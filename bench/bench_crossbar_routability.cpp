@@ -1,0 +1,84 @@
+// C4 / §4.2 — routability: "if the inputs and outputs of the crossbars are
+// 100- to 200-wires wide as in buses, crossbars may exhibit serious
+// physical wire routability issues. Due to this, commercial tools often
+// constrain the maximum crossbar size to 8x8 or less. NoCs permit wire
+// serialization, largely obviating the issue... NoC switches of radix
+// 10x10 can be efficiently designed."
+#include "bench_util.h"
+
+#include "bus/crossbar.h"
+#include "common/table.h"
+
+using namespace noc;
+
+namespace {
+
+void run_figure()
+{
+    bench::print_banner(
+        "C4 / §4.2 — bus-width crossbars vs 32-bit NoC switches",
+        "bus crossbars die beyond ~8x8; serialized NoC switches are fine "
+        "at 10x10 and beyond");
+
+    const Technology tech = make_technology_65nm();
+    Text_table table{{"fabric", "size", "port wires", "max row util(%)",
+                      "feasible", "classification"}};
+    bool bus_cliff = false;
+    bool bus8_ok = false;
+    bool noc10_ok = false;
+    for (const int size : {4, 8, 12, 16}) {
+        Crossbar_params xp;
+        xp.masters = size;
+        xp.slaves = size;
+        xp.width_bits = 150; // 100-200 wire bus port
+        const auto r = estimate_crossbar_phys(tech, xp);
+        table.row()
+            .add("bus crossbar")
+            .add(std::to_string(size) + "x" + std::to_string(size))
+            .add(xp.width_bits)
+            .add(r.max_row_utilization * 100.0, 1)
+            .add(r.drc_feasible ? "yes" : "NO")
+            .add(r.classification);
+        if (size == 8) bus8_ok = r.drc_feasible;
+        if (size > 8 && !r.drc_feasible) bus_cliff = true;
+    }
+    for (const int size : {8, 10, 14, 20}) {
+        Crossbar_params xp;
+        xp.masters = size;
+        xp.slaves = size;
+        xp.width_bits = 32; // serialized NoC link
+        const auto r = estimate_crossbar_phys(tech, xp);
+        table.row()
+            .add("NoC switch")
+            .add(std::to_string(size) + "x" + std::to_string(size))
+            .add(xp.width_bits)
+            .add(r.max_row_utilization * 100.0, 1)
+            .add(r.drc_feasible ? "yes" : "NO")
+            .add(r.classification);
+        if (size == 10) noc10_ok = r.drc_feasible;
+    }
+    table.print(std::cout);
+    bench::print_verdict(bus8_ok && bus_cliff && noc10_ok,
+                         "bus crossbars hit the wall just past 8x8; 32-bit "
+                         "NoC switches are routable at 10x10+");
+}
+
+void bm_crossbar_sim(benchmark::State& state)
+{
+    Crossbar_params xp;
+    xp.masters = 8;
+    xp.slaves = 8;
+    for (auto _ : state) {
+        auto r = simulate_crossbar(xp, 0.02, 8, 5'000);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(bm_crossbar_sim)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

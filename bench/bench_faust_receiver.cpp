@@ -1,0 +1,171 @@
+// C7 / §5 — the FAUST telecom SoC: "The implemented topology is a
+// quasi-mesh as on some routers connect more than one core. In the receiver
+// matrix — which consists of only 10 cores — the aggregate required
+// bandwidth is 10.6 Gbits/s to maintain real time communication."
+//
+// We map the 10-core receiver chain onto a 2x3 quasi-mesh (cores doubled up
+// on some switches), give every stream a GT connection sized to its
+// bandwidth, and verify the 10.6 Gb/s aggregate is sustained in real time.
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "qos/gt_allocator.h"
+#include "topology/routing.h"
+#include "traffic/app_graphs.h"
+#include "traffic/experiment.h"
+#include "traffic/flow_traffic.h"
+
+using namespace noc;
+
+namespace {
+
+void run_figure()
+{
+    bench::print_banner(
+        "C7 / §5 — FAUST receiver matrix on a quasi-mesh",
+        "10 cores, every stream hard real-time, aggregate 10.6 Gb/s "
+        "sustained");
+
+    const Core_graph g = make_faust_receiver_graph();
+    std::cout << "graph: " << g.core_count() << " cores, " << g.flow_count()
+              << " flows, aggregate "
+              << format_double(g.total_bandwidth_mbps() * 8e-3, 2)
+              << " Gb/s (paper: 10.6)\n\n";
+
+    // Quasi-mesh (§5): 6 switches in a 2x3 grid, 10 cores — "some routers
+    // connect more than one core".
+    Topology quasi{"faust_quasi_mesh", 6};
+    const int cores_at[6] = {2, 2, 2, 2, 1, 1};
+    for (int s = 0; s < 6; ++s)
+        for (int c = 0; c < cores_at[s]; ++c)
+            quasi.attach_core(Switch_id{static_cast<std::uint32_t>(s)});
+    for (int y = 0; y < 2; ++y)
+        for (int x = 0; x < 3; ++x) {
+            const Switch_id sw{static_cast<std::uint32_t>(y * 3 + x)};
+            quasi.set_switch_position(sw, {x * 1.2, y * 1.2});
+            if (x + 1 < 3)
+                quasi.add_bidir_link(
+                    sw, Switch_id{static_cast<std::uint32_t>(y * 3 + x + 1)});
+            if (y + 1 < 2)
+                quasi.add_bidir_link(
+                    sw,
+                    Switch_id{static_cast<std::uint32_t>((y + 1) * 3 + x)});
+        }
+    quasi.validate();
+    const auto rank = spanning_tree_ranks(quasi, Switch_id{1});
+    Route_set routes = updown_routes(quasi, rank);
+
+    Network_params params;
+    params.enable_gt = true;
+    params.slot_table_length = 32;
+    params.clock_ghz = 0.5; // FAUST-era clock
+
+    // One GT connection per flow, sized to its bandwidth.
+    const Gt_allocator alloc{quasi, routes, params.slot_table_length};
+    std::vector<Gt_request> reqs;
+    for (int i = 0; i < g.flow_count(); ++i) {
+        const auto& f = g.flow(Flow_id{static_cast<std::uint32_t>(i)});
+        const double load = flits_per_cycle_for(
+            f.bandwidth_mbps, params.clock_ghz, params.flit_width_bits,
+            f.packet_bytes);
+        reqs.push_back({Connection_id{static_cast<std::uint32_t>(i)},
+                        Core_id{static_cast<std::uint32_t>(f.src)},
+                        Core_id{static_cast<std::uint32_t>(f.dst)},
+                        std::min(1.0, load * 1.3)}); // 30% headroom
+    }
+    const auto allocation = alloc.allocate(reqs);
+    std::cout << "GT admission: "
+              << (allocation.feasible ? "all connections admitted"
+                                      : allocation.failure_reason)
+              << "\n\n";
+    if (!allocation.feasible) {
+        bench::print_verdict(false, "GT admission failed");
+        return;
+    }
+
+    Noc_system sys{std::move(quasi), std::move(routes), params};
+    for (int c = 0; c < 10; ++c)
+        sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+            .set_slot_table(
+                allocation.ni_tables[static_cast<std::size_t>(c)]);
+    for (int c = 0; c < 10; ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Flow_source::Params fp;
+        fp.clock_ghz = params.clock_ghz;
+        fp.flit_width_bits = params.flit_width_bits;
+        fp.critical_as_gt = true;
+        fp.jitter = false; // periodic real-time streams
+        fp.seed = 41 + static_cast<std::uint64_t>(c);
+        sys.ni(core).set_source(
+            std::make_unique<Flow_source>(core, g, fp));
+    }
+
+    const Cycle measure = 40'000;
+    sys.warmup(4'000);
+    sys.measure(measure);
+
+    Text_table table{{"flow", "bw req(MB/s)", "delivered(MB/s)",
+                      "avg lat(ns)", "bound(ns)", "ok"}};
+    bool all_ok = true;
+    double delivered_total_gbps = 0.0;
+    for (int i = 0; i < g.flow_count(); ++i) {
+        const Flow_id fid{static_cast<std::uint32_t>(i)};
+        const auto& f = g.flow(fid);
+        const auto flits = sys.stats().flow_flits_delivered(fid);
+        const double mbps = static_cast<double>(flits) *
+                            params.flit_width_bits / 8.0 /
+                            (measure / (params.clock_ghz * 1e9)) / 1e6;
+        const double lat_ns =
+            sys.stats().flow_latency(fid).mean() / params.clock_ghz;
+        const bool ok = mbps >= 0.9 * f.bandwidth_mbps &&
+                        (f.max_latency_ns <= 0 || lat_ns <= f.max_latency_ns);
+        all_ok = all_ok && ok;
+        delivered_total_gbps += mbps * 8e-3;
+        table.row()
+            .add(g.core(f.src).name + "->" + g.core(f.dst).name)
+            .add(f.bandwidth_mbps, 0)
+            .add(mbps, 1)
+            .add(lat_ns, 0)
+            .add(f.max_latency_ns, 0)
+            .add(ok ? "yes" : "NO");
+    }
+    table.print(std::cout);
+    std::cout << "\naggregate delivered: "
+              << format_double(delivered_total_gbps, 2)
+              << " Gb/s (required 10.6)\n";
+    bench::print_verdict(all_ok && delivered_total_gbps >= 10.6 * 0.9,
+                         "the quasi-mesh sustains the 10.6 Gb/s real-time "
+                         "aggregate with per-stream guarantees");
+}
+
+void bm_faust_sim(benchmark::State& state)
+{
+    const Core_graph g = make_faust_receiver_graph();
+    Mesh_params mp;
+    mp.width = 3;
+    mp.height = 2;
+    mp.cores_per_switch = 2;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.clock_ghz = 0.5;
+    Noc_system sys{std::move(topo), std::move(routes), params};
+    for (int c = 0; c < 10; ++c) {
+        Flow_source::Params fp;
+        fp.clock_ghz = 0.5;
+        fp.seed = 51 + static_cast<std::uint64_t>(c);
+        sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+            .set_source(std::make_unique<Flow_source>(
+                Core_id{static_cast<std::uint32_t>(c)}, g, fp));
+    }
+    for (auto _ : state) sys.kernel().run(100);
+}
+BENCHMARK(bm_faust_sim)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,71 @@
+// Figure 2 — "Study on 65nm, 32-bit switch scalability. Routers up to
+// 10x10: 85% row utilization or more; 14x14 to 22x22: 70% to 50% row
+// utilization; 26x26 and above: DRC violations to tackle manually even at
+// 50% row utilization."
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "phys/router_model.h"
+
+using namespace noc;
+
+namespace {
+
+void run_figure()
+{
+    bench::print_banner(
+        "F2 / Figure 2 — 65 nm 32-bit switch scalability",
+        "<=10x10 routable at >=85% utilization; 14x14..22x22 at 70-50%; "
+        ">=26x26 DRC-infeasible even at 50%");
+
+    const Technology tech = make_technology_65nm();
+    Text_table table{{"radix", "cell area(mm2)", "fmax(GHz)",
+                      "max row util(%)", "footprint(mm2)", "classification"}};
+    bool shape = true;
+    for (const int p : {2, 4, 6, 8, 10, 14, 18, 22, 26, 30, 34}) {
+        Router_phys_params rp;
+        rp.in_ports = p;
+        rp.out_ports = p;
+        rp.flit_width_bits = 32;
+        rp.buffer_depth = 4;
+        const auto r = estimate_router(tech, rp);
+        table.row()
+            .add(std::to_string(p) + "x" + std::to_string(p))
+            .add(r.cell_area_mm2, 4)
+            .add(r.max_freq_ghz, 2)
+            .add(r.max_row_utilization * 100.0, 1)
+            .add(r.footprint_mm2, 4)
+            .add(r.classification);
+        if (p <= 10 && r.max_row_utilization < 0.85) shape = false;
+        if (p >= 14 && p <= 22 &&
+            (r.max_row_utilization < 0.45 || r.max_row_utilization > 0.78))
+            shape = false;
+        if (p >= 26 && r.drc_feasible) shape = false;
+    }
+    table.print(std::cout);
+    bench::print_verdict(shape,
+                         "utilization bands match the published study "
+                         "(>=85% / 70-50% / DRC wall at 26x26)");
+}
+
+void bm_estimate_router(benchmark::State& state)
+{
+    const Technology tech = make_technology_65nm();
+    Router_phys_params rp;
+    rp.in_ports = static_cast<int>(state.range(0));
+    rp.out_ports = rp.in_ports;
+    rp.flit_width_bits = 32;
+    for (auto _ : state) {
+        auto r = estimate_router(tech, rp);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(bm_estimate_router)->Arg(5)->Arg(17)->Arg(33);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

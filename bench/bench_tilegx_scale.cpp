@@ -1,0 +1,128 @@
+// C8 / §5 — TILE-Gx-scale CMP: "The Tilera TILE-Gx processor has 100 cores
+// integrated onto a chip, with the cores connected by a 2D mesh network."
+//
+// Load sweep on the 10x10 mesh plus a scaling series (mesh size vs
+// saturation throughput and zero-load latency) showing why a mesh remains
+// the fabric of choice at this scale: per-node bandwidth degrades only
+// slowly while the bisection grows with the side.
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+
+using namespace noc;
+
+namespace {
+
+void run_figure()
+{
+    bench::print_banner(
+        "C8 / §5 — 100-core TILE-Gx-class mesh",
+        "a 2D mesh scales to 100 cores: bounded zero-load latency growth "
+        "(~sqrt(N)) and stable per-node saturation throughput");
+
+    Sweep_config cfg;
+    cfg.warmup = 1'000;
+    cfg.measure = 4'000;
+    Network_params params;
+
+    std::cout << "10x10 mesh load sweep (uniform random):\n";
+    {
+        Mesh_params mp;
+        mp.width = 10;
+        mp.height = 10;
+        const Topology topo = make_mesh(mp);
+        const Route_set routes = xy_routes(topo, mp);
+        auto factory = [&] {
+            return std::shared_ptr<const Dest_pattern>(
+                make_uniform_pattern(topo.core_count()));
+        };
+        Text_table table{{"offered(f/n/cy)", "accepted", "avg lat(cy)",
+                          "p99~(cy)"}};
+        for (const double rate : {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35}) {
+            const Load_point pt = run_synthetic_load(topo, routes, params,
+                                                     rate, factory, cfg);
+            table.row()
+                .add(rate, 3)
+                .add(pt.accepted_flits_per_node_cycle, 3)
+                .add(pt.avg_packet_latency, 1)
+                .add(pt.p99_estimate, 1);
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nmesh scaling series:\n";
+    Text_table scale{{"mesh", "cores", "zero-load lat(cy)",
+                      "saturation(f/n/cy)", "bisection(links)"}};
+    double lat4 = 0.0;
+    double lat10 = 0.0;
+    double sat10 = 0.0;
+    for (const int side : {4, 6, 8, 10}) {
+        Mesh_params mp;
+        mp.width = side;
+        mp.height = side;
+        const Topology topo = make_mesh(mp);
+        const Route_set routes = xy_routes(topo, mp);
+        auto factory = [&] {
+            return std::shared_ptr<const Dest_pattern>(
+                make_uniform_pattern(topo.core_count()));
+        };
+        const Load_point low = run_synthetic_load(topo, routes, params,
+                                                  0.02, factory, cfg);
+        const double sat = find_saturation_throughput(topo, routes, params,
+                                                      factory, cfg);
+        scale.row()
+            .add(std::to_string(side) + "x" + std::to_string(side))
+            .add(side * side)
+            .add(low.avg_packet_latency, 1)
+            .add(sat, 3)
+            .add(side);
+        if (side == 4) lat4 = low.avg_packet_latency;
+        if (side == 10) {
+            lat10 = low.avg_packet_latency;
+            sat10 = sat;
+        }
+    }
+    scale.print(std::cout);
+    // Zero-load latency should grow roughly linearly in the side (average
+    // hop count ~ 2/3 * side), i.e. ~2.5x from 4x4 to 10x10, and the
+    // saturation throughput stays a usable fraction of a flit/node/cycle.
+    const double growth = lat10 / lat4;
+    std::cout << "\nzero-load latency growth 4x4 -> 10x10: "
+              << format_double(growth, 2) << "x (hop-count ratio is 2.5x)\n";
+    bench::print_verdict(growth > 1.6 && growth < 3.5 && sat10 > 0.1,
+                         "latency grows ~linearly with mesh side; per-node "
+                         "throughput remains usable at 100 cores");
+}
+
+void bm_100core_sim(benchmark::State& state)
+{
+    Mesh_params mp;
+    mp.width = 10;
+    mp.height = 10;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+    Noc_system sys{std::move(topo), std::move(routes), Network_params{}};
+    auto pattern = std::shared_ptr<const Dest_pattern>(
+        make_uniform_pattern(100));
+    for (int c = 0; c < 100; ++c) {
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = 0.15;
+        sp.seed = 61 + static_cast<std::uint64_t>(c);
+        sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+            .set_source(std::make_unique<Bernoulli_source>(
+                Core_id{static_cast<std::uint32_t>(c)}, sp, pattern));
+    }
+    for (auto _ : state) sys.kernel().run(100);
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(bm_100core_sim)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

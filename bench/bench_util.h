@@ -1,0 +1,43 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary prints the table/series corresponding to one paper
+// figure or claim (with the paper's qualitative expectation alongside the
+// measured value), then runs its registered google-benchmark kernels so the
+// computational cost of the underlying engine is tracked too.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+
+namespace noc::bench {
+
+inline void print_banner(const std::string& experiment_id,
+                         const std::string& paper_claim)
+{
+    std::cout << "==================================================="
+                 "=============\n"
+              << experiment_id << "\n"
+              << "Paper: " << paper_claim << "\n"
+              << "==================================================="
+                 "=============\n\n";
+}
+
+inline void print_verdict(bool shape_holds, const std::string& summary)
+{
+    std::cout << "\n[" << (shape_holds ? "SHAPE-OK" : "SHAPE-MISMATCH")
+              << "] " << summary << "\n\n";
+}
+
+/// Print the table, then hand over to google-benchmark.
+inline int run_benchmarks(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}
+
+} // namespace noc::bench

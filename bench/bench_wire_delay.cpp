@@ -1,0 +1,83 @@
+// C9 / §1, §4.1 — "with technology scaling, gate delays decrease while
+// global wire delays do not. Thus in current advanced technologies the
+// delay on the wires has an increasingly significant impact"; NoC links
+// "can be explicitly segmented to further break critical paths".
+#include "bench_util.h"
+
+#include "common/table.h"
+#include "phys/wire_model.h"
+
+using namespace noc;
+
+namespace {
+
+void run_figure()
+{
+    bench::print_banner(
+        "C9 / §1+§4.1 — wire delay vs gate delay; link pipelining",
+        "wire delay per mm (in gate delays) worsens with scaling; link "
+        "segmentation restores the clock at a latency cost");
+
+    std::cout << "scaling of wire vs gate delay:\n";
+    Text_table scaling{{"node", "FO4(ps)", "wire(ps/mm)",
+                        "wire delay of 1mm (FO4s)"}};
+    double ratio90 = 0.0;
+    double ratio45 = 0.0;
+    for (const auto& tech : {make_technology_90nm(), make_technology_65nm(),
+                             make_technology_45nm()}) {
+        const double ratio = gate_vs_wire_delay_ratio(tech);
+        scaling.row()
+            .add(tech.name)
+            .add(tech.fo4_ps, 1)
+            .add(tech.wire_delay_ps_per_mm, 1)
+            .add(ratio, 2);
+        if (tech.name == "90nm") ratio90 = ratio;
+        if (tech.name == "45nm") ratio45 = ratio;
+    }
+    scaling.print(std::cout);
+
+    std::cout << "\nlink pipelining at 65 nm, 1 GHz:\n";
+    Text_table pipeline{{"length(mm)", "delay(ps)", "stages needed",
+                         "latency(cycles)", "slack/segment(ps)"}};
+    const Technology tech = make_technology_65nm();
+    bool monotone = true;
+    int prev_stages = -1;
+    for (const double mm : {0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 12.0}) {
+        const auto w = pipeline_wire(tech, mm, 1.0);
+        pipeline.row()
+            .add(mm, 1)
+            .add(w.delay_ps, 0)
+            .add(w.pipeline_stages)
+            .add(w.pipeline_stages + 1)
+            .add(w.segment_slack_ps, 0);
+        if (w.pipeline_stages < prev_stages) monotone = false;
+        prev_stages = w.pipeline_stages;
+    }
+    pipeline.print(std::cout);
+    std::cout << "\nsingle-cycle reach at 1 GHz: "
+              << format_double(max_single_cycle_wire_mm(tech, 1.0), 1)
+              << " mm; at 2 GHz: "
+              << format_double(max_single_cycle_wire_mm(tech, 2.0), 1)
+              << " mm\n";
+    bench::print_verdict(ratio45 > ratio90 && monotone,
+                         "wire/gate delay ratio worsens with each node; "
+                         "pipeline stages grow with wire length");
+}
+
+void bm_pipeline_wire(benchmark::State& state)
+{
+    const Technology tech = make_technology_65nm();
+    for (auto _ : state) {
+        auto w = pipeline_wire(tech, 7.3, 1.1);
+        benchmark::DoNotOptimize(w);
+    }
+}
+BENCHMARK(bm_pipeline_wire);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

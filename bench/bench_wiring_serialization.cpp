@@ -1,0 +1,99 @@
+// C3 / §4.1 — structured wiring: "A typical on-chip bus requires around 100
+// to 200 wires... a NoC sends packets, and can do so by splitting them over
+// multiple cycles in flits... By deploying highly serialized links, routing
+// can be simplified, while area and crosstalk can be minimized."
+#include "bench_util.h"
+
+#include "bus/wiring.h"
+#include "common/table.h"
+
+using namespace noc;
+
+namespace {
+
+void run_figure()
+{
+    bench::print_banner(
+        "C3 / §4.1 — bus wires vs serialized NoC links",
+        "bus = 100-200 wires; NoC link = flit width + handshake, freely "
+        "serializable; area & crosstalk drop, serialization cycles rise");
+
+    const Technology tech = make_technology_65nm();
+
+    std::cout << "Reference buses:\n";
+    Text_table bus_table{{"bus", "write", "read", "addr", "ctrl", "wires"}};
+    const Bus_wiring bus32;
+    Bus_wiring bus64 = bus32;
+    bus64.write_data_bits = 64;
+    bus64.read_data_bits = 64;
+    bus_table.row()
+        .add("32-bit AHB-class")
+        .add(bus32.write_data_bits)
+        .add(bus32.read_data_bits)
+        .add(bus32.address_bits)
+        .add(bus32.control_bits)
+        .add(bus32.total_wires());
+    bus_table.row()
+        .add("64-bit AXI-class")
+        .add(bus64.write_data_bits)
+        .add(bus64.read_data_bits)
+        .add(bus64.address_bits)
+        .add(bus64.control_bits)
+        .add(bus64.total_wires());
+    bus_table.print(std::cout);
+
+    std::cout << "\nNoC links vs the 64-bit bus (" << bus64.total_wires()
+              << " wires):\n";
+    Text_table table{{"flit width", "link wires", "reduction(x)",
+                      "area(mm2/mm)", "coupling pairs/mm",
+                      "cycles per bus beat"}};
+    bool shape = true;
+    double prev_wires = 1e9;
+    for (const int w : {128, 64, 32, 16, 8}) {
+        Noc_link_wiring link;
+        link.flit_width_bits = w;
+        const auto cmp = compare_wiring(tech, bus64, link);
+        table.row()
+            .add(w)
+            .add(cmp.noc_wires)
+            .add(cmp.wire_reduction_factor, 2)
+            .add(cmp.noc_area_mm2_per_mm, 4)
+            .add(coupling_pairs_per_mm(tech, cmp.noc_wires), 0)
+            .add(cmp.noc_cycles_per_bus_beat, 1);
+        if (cmp.noc_wires >= prev_wires) shape = false;
+        prev_wires = cmp.noc_wires;
+        if (w == 32 && (cmp.noc_wires < 32 || cmp.noc_wires > 48))
+            shape = false; // "e.g. 32"-wire class links
+    }
+    table.print(std::cout);
+    std::cout << "\nThe paper's example: fixed 32-bit flits give ~"
+              << compare_wiring(tech, bus64, Noc_link_wiring{})
+                     .wire_reduction_factor
+              << "x fewer wires than a 64-bit bus; the price is "
+              << compare_wiring(tech, bus64, Noc_link_wiring{})
+                     .noc_cycles_per_bus_beat
+              << " cycles of serialization per bus beat.\n";
+    bench::print_verdict(shape,
+                         "wire count, routing area and coupling fall "
+                         "monotonically with serialization");
+}
+
+void bm_compare_wiring(benchmark::State& state)
+{
+    const Technology tech = make_technology_65nm();
+    const Bus_wiring bus;
+    Noc_link_wiring link;
+    for (auto _ : state) {
+        auto c = compare_wiring(tech, bus, link);
+        benchmark::DoNotOptimize(c);
+    }
+}
+BENCHMARK(bm_compare_wiring);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    run_figure();
+    return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,86 @@
+// Case study: the BONE memory-centric MPSoC (Fig. 5) — ten RISC processors
+// and eight dual-port SRAMs connected by crossbars in a hierarchical star.
+//
+//   $ ./bone_star
+//
+// Demonstrates: the hierarchical star generator, up*/down* routing, and the
+// OCP-lite transaction layer — closed-loop masters issuing reads/writes to
+// the shared SRAMs through the NoC, with round-trip latency statistics.
+#include "arch/ocp.h"
+#include "common/table.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+
+#include <iostream>
+
+int main()
+{
+    using namespace noc;
+
+    Star_params sp;
+    sp.clusters = 5;
+    sp.cores_per_cluster = 2; // 10 RISC processors
+    sp.cores_at_root = 8;     // 8 dual-port SRAMs on the root crossbars
+    sp.root_count = 2;
+    Star star = make_star(sp);
+    const Route_set routes = updown_routes(star.topology, star.switch_rank);
+
+    std::cout << "BONE-style hierarchical star: "
+              << star.topology.switch_count() << " switches ("
+              << sp.root_count << " root crossbars), "
+              << star.topology.core_count() << " cores ("
+              << star.root_cores.size() << " SRAMs at the root)\n\n";
+
+    Network_params params;
+    params.separate_response_class = true; // req/resp VC isolation
+    Noc_system sys{star.topology, routes, params};
+
+    // Processors are closed-loop OCP masters hammering the SRAMs.
+    std::vector<Ocp_master_source*> masters;
+    for (int c = 0; c < sys.topology().core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        bool is_mem = false;
+        for (const Core_id m : star.root_cores) is_mem = is_mem || m == core;
+        if (is_mem) {
+            sys.ni(core).set_reply_latency(4); // SRAM access time
+            continue;
+        }
+        Ocp_master_source::Params op;
+        op.slaves = star.root_cores;
+        op.max_outstanding = 4;
+        op.min_burst_words = 4;
+        op.max_burst_words = 16;
+        op.seed = 100 + static_cast<std::uint64_t>(c);
+        auto src = std::make_unique<Ocp_master_source>(op);
+        masters.push_back(src.get());
+        Ocp_master_source* raw = src.get();
+        sys.ni(core).set_source(std::move(src));
+        sys.ni(core).set_delivery_listener(
+            [raw](const Flit& tail, Cycle now) {
+                if (tail.cls == Traffic_class::response)
+                    raw->notify_response(tail.src, now);
+            });
+    }
+
+    sys.kernel().run(50'000);
+
+    Text_table table{{"processor", "transactions", "avg RTT(cy)",
+                      "max RTT(cy)"}};
+    double rtt_sum = 0.0;
+    std::uint64_t tx_total = 0;
+    for (std::size_t m = 0; m < masters.size(); ++m) {
+        table.row()
+            .add("risc" + std::to_string(m))
+            .add(masters[m]->transactions_completed())
+            .add(masters[m]->round_trip().mean(), 1)
+            .add(masters[m]->round_trip().max(), 0);
+        rtt_sum += masters[m]->round_trip().mean();
+        tx_total += masters[m]->transactions_completed();
+    }
+    table.print(std::cout);
+    std::cout << "\n" << tx_total << " transactions completed; mean "
+              << "round trip " << format_double(rtt_sum / masters.size(), 1)
+              << " cycles through two crossbar levels — the flexible "
+                 "SRAM-to-processor mapping the BONE chip exploits.\n";
+    return 0;
+}

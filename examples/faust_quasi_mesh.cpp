@@ -1,0 +1,121 @@
+// Case study: the FAUST receiver matrix (§5) — 10 telecom cores on a
+// quasi-mesh, every stream a hard real-time GT connection, 10.6 Gb/s
+// aggregate.
+//
+//   $ ./faust_quasi_mesh
+//
+// Demonstrates: Æthereal-style TDMA admission (slot tables printed), GT
+// injection gating in the NIs, and the per-stream guarantee verified by
+// cycle-accurate simulation under best-effort interference.
+#include "common/table.h"
+#include "qos/gt_allocator.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+#include "traffic/flow_traffic.h"
+#include "traffic/app_graphs.h"
+
+#include <iostream>
+
+int main()
+{
+    using namespace noc;
+
+    const Core_graph g = make_faust_receiver_graph();
+    std::cout << "FAUST receiver: " << g.core_count() << " cores, "
+              << g.flow_count() << " hard-RT flows, aggregate "
+              << format_double(g.total_bandwidth_mbps() * 8e-3, 1)
+              << " Gb/s\n\n";
+
+    // Quasi-mesh: 6 switches, 10 cores (some switches host two cores).
+    Topology quasi{"faust_quasi_mesh", 6};
+    const int cores_at[6] = {2, 2, 2, 2, 1, 1};
+    for (int s = 0; s < 6; ++s)
+        for (int c = 0; c < cores_at[s]; ++c)
+            quasi.attach_core(Switch_id{static_cast<std::uint32_t>(s)});
+    for (int y = 0; y < 2; ++y)
+        for (int x = 0; x < 3; ++x) {
+            const Switch_id sw{static_cast<std::uint32_t>(y * 3 + x)};
+            if (x + 1 < 3)
+                quasi.add_bidir_link(
+                    sw, Switch_id{static_cast<std::uint32_t>(y * 3 + x + 1)});
+            if (y + 1 < 2)
+                quasi.add_bidir_link(
+                    sw,
+                    Switch_id{static_cast<std::uint32_t>((y + 1) * 3 + x)});
+        }
+    quasi.validate();
+    Route_set routes =
+        updown_routes(quasi, spanning_tree_ranks(quasi, Switch_id{1}));
+
+    Network_params params;
+    params.enable_gt = true;
+    params.slot_table_length = 32;
+    params.clock_ghz = 0.5;
+
+    const Gt_allocator alloc{quasi, routes, params.slot_table_length};
+    std::vector<Gt_request> reqs;
+    for (int i = 0; i < g.flow_count(); ++i) {
+        const auto& f = g.flow(Flow_id{static_cast<std::uint32_t>(i)});
+        const double load = flits_per_cycle_for(
+            f.bandwidth_mbps, params.clock_ghz, params.flit_width_bits,
+            f.packet_bytes);
+        reqs.push_back({Connection_id{static_cast<std::uint32_t>(i)},
+                        Core_id{static_cast<std::uint32_t>(f.src)},
+                        Core_id{static_cast<std::uint32_t>(f.dst)},
+                        std::min(1.0, load * 1.3)});
+    }
+    const auto allocation = alloc.allocate(reqs);
+    if (!allocation.feasible) {
+        std::cout << "GT admission failed: " << allocation.failure_reason
+                  << "\n";
+        return 1;
+    }
+    std::cout << "GT admission succeeded; verified conflict-free: "
+              << (alloc.verify(allocation) ? "yes" : "NO") << "\n\n";
+
+    // Show one NI's slot table — the Æthereal artifact itself.
+    std::cout << "slot table of ofdm_demod's NI (32 slots, '.'=BE): ";
+    for (const auto owner : allocation.ni_tables[0])
+        std::cout << (owner.is_valid() ? std::to_string(owner.get())
+                                       : std::string{"."});
+    std::cout << "\n\n";
+
+    // Run with the real-time streams and check every latency bound.
+    Noc_system sys{std::move(quasi), std::move(routes), params};
+    for (int c = 0; c < 10; ++c)
+        sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+            .set_slot_table(
+                allocation.ni_tables[static_cast<std::size_t>(c)]);
+    for (int c = 0; c < 10; ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Flow_source::Params fp;
+        fp.clock_ghz = params.clock_ghz;
+        fp.critical_as_gt = true;
+        fp.jitter = false;
+        fp.seed = 7 + static_cast<std::uint64_t>(c);
+        sys.ni(core).set_source(std::make_unique<Flow_source>(core, g, fp));
+    }
+    sys.warmup(2'000);
+    sys.measure(20'000);
+
+    Text_table table{{"stream", "avg lat(ns)", "bound(ns)", "met"}};
+    bool all_met = true;
+    for (int i = 0; i < g.flow_count(); ++i) {
+        const Flow_id fid{static_cast<std::uint32_t>(i)};
+        const auto& f = g.flow(fid);
+        const double ns =
+            sys.stats().flow_latency(fid).mean() / params.clock_ghz;
+        const bool met = ns <= f.max_latency_ns;
+        all_met = all_met && met;
+        table.row()
+            .add(g.core(f.src).name + "->" + g.core(f.dst).name)
+            .add(ns, 0)
+            .add(f.max_latency_ns, 0)
+            .add(met ? "yes" : "NO");
+    }
+    table.print(std::cout);
+    std::cout << "\nall real-time bounds " << (all_met ? "MET" : "VIOLATED")
+              << " — the GT machinery delivers the paper's 10.6 Gb/s "
+                 "real-time requirement.\n";
+    return all_met ? 0 : 1;
+}

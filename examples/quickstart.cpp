@@ -1,0 +1,60 @@
+// Quickstart: build a 4x4 mesh NoC, drive it with uniform random traffic,
+// and print a latency/throughput curve — the "hello world" of the library.
+//
+//   $ ./quickstart
+//
+// Walks through the three layers a user touches: topology generation,
+// routing computation (with a deadlock-freedom check), and cycle-accurate
+// simulation with the standard warmup/measure/drain protocol.
+#include "common/table.h"
+#include "topology/deadlock.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+
+#include <iostream>
+
+int main()
+{
+    using namespace noc;
+
+    // 1. Topology: 4x4 mesh, one core per switch (Fig. 4-style CMP tile).
+    Mesh_params mesh;
+    mesh.width = 4;
+    mesh.height = 4;
+    const Topology topo = make_mesh(mesh);
+
+    // 2. Routing: dimension-order XY, provably deadlock-free; we still run
+    //    the channel-dependency-graph check, as the library always can.
+    const Route_set routes = xy_routes(topo, mesh);
+    const auto report = analyze_deadlock(topo, routes, 1);
+    std::cout << "routing: XY on " << topo.name() << " -> "
+              << report.to_string(topo) << "\n\n";
+
+    // 3. Simulate a load sweep with 4-flit packets, uniform random traffic.
+    Network_params params;
+    params.flit_width_bits = 32;
+    params.buffer_depth = 4;
+    params.fc = Flow_control_kind::credit;
+
+    Sweep_config cfg;
+    Text_table table{{"offered(flits/node/cy)", "accepted", "avg lat(cy)",
+                      "p99~(cy)", "packets"}};
+    for (const double rate : {0.05, 0.1, 0.2, 0.3, 0.4, 0.5}) {
+        const Load_point pt = run_synthetic_load(
+            topo, routes, params, rate,
+            [&] { return std::shared_ptr<const Dest_pattern>(
+                      make_uniform_pattern(topo.core_count())); },
+            cfg);
+        table.row()
+            .add(pt.offered_flits_per_node_cycle, 3)
+            .add(pt.accepted_flits_per_node_cycle, 3)
+            .add(pt.avg_packet_latency, 1)
+            .add(pt.p99_estimate, 1)
+            .add(pt.packets);
+    }
+    table.print(std::cout);
+    std::cout << "\nLatency rises sharply near saturation (~0.4-0.5 "
+                 "flits/node/cycle for XY uniform on a 4x4 mesh) — the "
+                 "canonical NoC load curve.\n";
+    return 0;
+}

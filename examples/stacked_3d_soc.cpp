@@ -1,0 +1,62 @@
+// Case study: 3D-stacked SoC synthesis (Fig. 3) — the mobile platform
+// split over two dies, vertical links serialized to minimize TSVs.
+//
+//   $ ./stacked_3d_soc
+//
+// Demonstrates: layered core graphs, layer-pure clustering, the TSV /
+// serialization / yield trade, and the 2D-only test-mode check.
+#include "common/table.h"
+#include "synth3d/synth3d.h"
+#include "traffic/app_graphs.h"
+
+#include <iostream>
+
+int main()
+{
+    using namespace noc;
+
+    Synthesis3d_spec spec;
+    spec.base.graph = make_mobile_soc_3d_graph(2);
+    spec.base.tech = make_technology_65nm();
+    spec.base.operating_points = {{1.0, 32}};
+    spec.base.min_switches = 2;
+    spec.base.max_switches = 8;
+    spec.base.max_switch_radix = 10;
+
+    std::cout << "two-die mobile SoC: " << spec.base.graph.core_count()
+              << " cores over " << spec.base.graph.layer_count()
+              << " layers\n\n";
+
+    Text_table table{{"serialization", "designs", "best TSVs", "yield",
+                      "latency(ns)", "2D test mode"}};
+    for (const int s : {1, 2, 4}) {
+        spec.vertical_serialization = s;
+        const auto result = synthesize_3d(spec);
+        if (result.designs.empty()) {
+            table.row()
+                .add(s)
+                .add(static_cast<std::uint64_t>(0))
+                .add("infeasible: vertical links oversubscribed")
+                .add("-")
+                .add("-")
+                .add("-");
+            continue;
+        }
+        const Design_point_3d* best = &result.designs.front();
+        for (const auto& d : result.designs)
+            if (d.total_tsvs < best->total_tsvs) best = &d;
+        table.row()
+            .add(s)
+            .add(static_cast<std::uint64_t>(result.designs.size()))
+            .add(static_cast<std::uint64_t>(best->total_tsvs))
+            .add(best->stack_yield, 4)
+            .add(best->base.metrics.latency_ns, 1)
+            .add(best->two_d_test_mode_ok ? "yes" : "no");
+    }
+    table.print(std::cout);
+    std::cout << "\nSerialization trades vertical bandwidth for vias: the "
+                 "flow picks the factor that still carries the CPU/DRAM "
+                 "streams while minimizing the TSV count and maximizing "
+                 "stack yield (§4.4).\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+#include "arch/arbiter.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+Round_robin_arbiter::Round_robin_arbiter(int size) : size_{size}
+{
+    if (size <= 0)
+        throw std::invalid_argument{"Round_robin_arbiter: size <= 0"};
+}
+
+int Round_robin_arbiter::pick(const std::vector<bool>& requests)
+{
+    if (static_cast<int>(requests.size()) != size_)
+        throw std::invalid_argument{"Round_robin_arbiter: size mismatch"};
+    for (int i = 0; i < size_; ++i) {
+        const int idx = (next_ + i) % size_;
+        if (requests[static_cast<std::size_t>(idx)]) {
+            next_ = (idx + 1) % size_;
+            return idx;
+        }
+    }
+    return -1;
+}
+
+Fixed_priority_arbiter::Fixed_priority_arbiter(int size) : size_{size}
+{
+    if (size <= 0)
+        throw std::invalid_argument{"Fixed_priority_arbiter: size <= 0"};
+}
+
+int Fixed_priority_arbiter::pick(const std::vector<bool>& requests) const
+{
+    if (static_cast<int>(requests.size()) != size_)
+        throw std::invalid_argument{"Fixed_priority_arbiter: size mismatch"};
+    for (int i = 0; i < size_; ++i)
+        if (requests[static_cast<std::size_t>(i)]) return i;
+    return -1;
+}
+
+} // namespace noc

@@ -1,0 +1,41 @@
+// Arbiters: resolve conflicts "between packets when they require access to
+// the same physical link" (§3, Fig. 1a).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace noc {
+
+/// Round-robin arbiter over `size` requesters. `pick` returns the granted
+/// index or -1; the grant pointer advances past the winner (strong
+/// fairness among persistent requesters).
+class Round_robin_arbiter {
+public:
+    explicit Round_robin_arbiter(int size);
+
+    /// `requests[i]` true if requester i wants the resource this cycle.
+    [[nodiscard]] int pick(const std::vector<bool>& requests);
+
+    [[nodiscard]] int size() const { return size_; }
+
+private:
+    int size_;
+    int next_ = 0;
+};
+
+/// Fixed-priority arbiter: lowest index wins. Used for GT-over-BE priority
+/// selection and as a baseline in fairness tests.
+class Fixed_priority_arbiter {
+public:
+    explicit Fixed_priority_arbiter(int size);
+
+    [[nodiscard]] int pick(const std::vector<bool>& requests) const;
+
+    [[nodiscard]] int size() const { return size_; }
+
+private:
+    int size_;
+};
+
+} // namespace noc

@@ -1,0 +1,64 @@
+// Bounded flit FIFO used for router input VCs and NI queues.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+#include <string>
+
+namespace noc {
+
+template<typename T>
+class Bounded_fifo {
+public:
+    explicit Bounded_fifo(std::size_t capacity) : capacity_{capacity}
+    {
+        if (capacity == 0)
+            throw std::invalid_argument{"Bounded_fifo: zero capacity"};
+    }
+
+    [[nodiscard]] bool empty() const { return items_.empty(); }
+    [[nodiscard]] bool full() const { return items_.size() >= capacity_; }
+    [[nodiscard]] std::size_t size() const { return items_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::size_t free_slots() const
+    {
+        return capacity_ - items_.size();
+    }
+
+    void push(T v)
+    {
+        if (full())
+            throw std::logic_error{
+                "Bounded_fifo overflow — flow control violated"};
+        items_.push_back(std::move(v));
+        ++writes_;
+    }
+
+    [[nodiscard]] const T& front() const
+    {
+        if (empty()) throw std::logic_error{"Bounded_fifo::front on empty"};
+        return items_.front();
+    }
+
+    T pop()
+    {
+        if (empty()) throw std::logic_error{"Bounded_fifo::pop on empty"};
+        T v = std::move(items_.front());
+        items_.pop_front();
+        ++reads_;
+        return v;
+    }
+
+    /// Lifetime write/read counters (buffer activity for power models).
+    [[nodiscard]] std::uint64_t write_count() const { return writes_; }
+    [[nodiscard]] std::uint64_t read_count() const { return reads_; }
+
+private:
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::uint64_t writes_ = 0;
+    std::uint64_t reads_ = 0;
+};
+
+} // namespace noc

@@ -1,0 +1,70 @@
+// Pipeline channels — the only communication medium between components.
+//
+// A Pipeline_channel<T> models `latency` back-to-back registers: a value
+// written during step() at cycle t appears at the output during cycle
+// t + latency, for exactly one cycle. Because readers can only observe
+// values committed in earlier cycles, simulation results are independent of
+// the order in which the kernel steps components (see sim/kernel.h).
+#pragma once
+
+#include "sim/kernel.h"
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace noc {
+
+template<typename T>
+class Pipeline_channel final : public Component {
+public:
+    explicit Pipeline_channel(int latency, std::string name = "channel")
+        : name_{std::move(name)},
+          ring_(static_cast<std::size_t>(latency))
+    {
+        if (latency < 1)
+            throw std::invalid_argument{"Pipeline_channel: latency < 1"};
+    }
+
+    /// Write this cycle's input value; at most one write per cycle.
+    void write(T v)
+    {
+        if (pending_)
+            throw std::logic_error{name_ + ": double write in one cycle"};
+        pending_ = std::move(v);
+    }
+
+    /// Output stage: the value written `latency` cycles ago, if any.
+    [[nodiscard]] const std::optional<T>& out() const { return ring_[head_]; }
+
+    /// Channels are passive in phase 1.
+    void step(Cycle) override {}
+
+    void advance() override
+    {
+        ring_[head_] = std::exchange(pending_, std::nullopt);
+        head_ = (head_ + 1) % ring_.size();
+    }
+
+    [[nodiscard]] std::string name() const override { return name_; }
+    [[nodiscard]] int latency() const
+    {
+        return static_cast<int>(ring_.size());
+    }
+
+    /// Number of values that have traversed the channel (activity counter
+    /// for power estimation and utilization statistics).
+    [[nodiscard]] std::uint64_t transfer_count() const { return transfers_; }
+    void count_transfer() { ++transfers_; }
+
+private:
+    std::string name_;
+    std::vector<std::optional<T>> ring_;
+    std::size_t head_ = 0;
+    std::optional<T> pending_;
+    std::uint64_t transfers_ = 0;
+};
+
+} // namespace noc

@@ -1,0 +1,97 @@
+#include "arch/dc_fifo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace noc {
+
+Dc_fifo_result simulate_dc_fifo(const Dc_fifo_params& p,
+                                std::uint64_t item_count)
+{
+    if (p.writer_period_ns <= 0 || p.reader_period_ns <= 0 || p.depth < 2 ||
+        p.sync_stages < 1)
+        throw std::invalid_argument{"simulate_dc_fifo: bad parameters"};
+
+    // Writer attempts an item every writer edge; it stalls while the FIFO is
+    // full (full detection is itself conservative by sync_stages writer
+    // edges, modelled by delaying visibility of reads to the writer).
+    Dc_fifo_result res;
+    res.min_latency_ns = std::numeric_limits<double>::infinity();
+
+    std::deque<double> occupancy;  // write completion times of queued items
+    std::uint64_t written = 0;
+    std::uint64_t read = 0;
+    double last_read_time = 0.0;
+
+    // Read-pointer updates become visible to the writer sync_stages writer
+    // periods late: recent reads wait in `pending_reads` until old enough,
+    // then retire into the counter.
+    std::deque<double> pending_reads;
+    std::uint64_t visible_reads = 0;
+
+    std::uint64_t writer_edge = 0;
+    std::uint64_t reader_edge = 0;
+    const auto writer_time = [&](std::uint64_t e) {
+        return static_cast<double>(e) * p.writer_period_ns;
+    };
+    const auto reader_time = [&](std::uint64_t e) {
+        return p.reader_phase_ns + static_cast<double>(e) * p.reader_period_ns;
+    };
+
+    while (read < item_count) {
+        const double tw = writer_time(writer_edge);
+        const double tr = reader_time(reader_edge);
+        if (tw <= tr && written < item_count) {
+            // Occupancy visible to the writer: items written minus reads
+            // that happened at least sync_stages writer periods ago.
+            while (!pending_reads.empty() &&
+                   pending_reads.front() +
+                           p.sync_stages * p.writer_period_ns <=
+                       tw) {
+                pending_reads.pop_front();
+                ++visible_reads;
+            }
+            const std::uint64_t visible_occ = written - visible_reads;
+            if (visible_occ < static_cast<std::uint64_t>(p.depth)) {
+                occupancy.push_back(tw);
+                ++written;
+            }
+            ++writer_edge;
+        } else {
+            // Reader edge: an item is visible once its write is at least
+            // sync_stages reader periods old.
+            if (!occupancy.empty() &&
+                occupancy.front() + p.sync_stages * p.reader_period_ns <= tr) {
+                const double latency = tr - occupancy.front();
+                occupancy.pop_front();
+                pending_reads.push_back(tr);
+                ++read;
+                last_read_time = tr;
+                res.avg_latency_ns += latency;
+                res.max_latency_ns = std::max(res.max_latency_ns, latency);
+                res.min_latency_ns = std::min(res.min_latency_ns, latency);
+            }
+            ++reader_edge;
+        }
+    }
+
+    res.items = item_count;
+    res.avg_latency_ns /= static_cast<double>(item_count);
+    res.throughput_per_ns =
+        last_read_time > 0 ? static_cast<double>(item_count) / last_read_time
+                           : 0.0;
+    if (!std::isfinite(res.min_latency_ns)) res.min_latency_ns = 0.0;
+    return res;
+}
+
+double synchronous_link_latency_ns(double period_ns, int pipeline_stages)
+{
+    if (period_ns <= 0 || pipeline_stages < 1)
+        throw std::invalid_argument{"synchronous_link_latency_ns: bad args"};
+    return period_ns * pipeline_stages;
+}
+
+} // namespace noc

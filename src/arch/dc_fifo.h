@@ -1,0 +1,46 @@
+// Dual-clock FIFO synchronizer model for GALS NoCs (§4.3).
+//
+// NoCs "natively decouple transaction injection and transaction transport
+// times" and act as the backbone for Globally Asynchronous Locally
+// Synchronous designs. The standard clock-domain crossing is a gray-coded
+// dual-clock FIFO: a word written on a writer-clock edge becomes observable
+// to the reader only after `sync_stages` reader-clock edges (brute-force
+// two-flop synchronizer on the pointers). This model computes the exact
+// crossing latency of a periodic item stream in continuous time; the GALS
+// bench sweeps the frequency ratio to quantify the synchronization cost the
+// paper says NoCs absorb "natively".
+#pragma once
+
+#include <cstdint>
+
+namespace noc {
+
+struct Dc_fifo_params {
+    double writer_period_ns = 1.0;
+    double reader_period_ns = 1.0;
+    /// Reader clock phase offset in [0, reader_period).
+    double reader_phase_ns = 0.3;
+    int sync_stages = 2;
+    int depth = 8;
+};
+
+struct Dc_fifo_result {
+    double avg_latency_ns = 0.0;
+    double max_latency_ns = 0.0;
+    double min_latency_ns = 0.0;
+    /// Items per ns actually drained (bounded by both clocks).
+    double throughput_per_ns = 0.0;
+    std::uint64_t items = 0;
+};
+
+/// Push `item_count` items at full writer rate through the FIFO and report
+/// crossing latency (write edge -> read edge) statistics.
+[[nodiscard]] Dc_fifo_result simulate_dc_fifo(const Dc_fifo_params& p,
+                                              std::uint64_t item_count);
+
+/// Latency of a plain synchronous link with the same reader clock — the
+/// baseline the GALS overhead is measured against.
+[[nodiscard]] double synchronous_link_latency_ns(double period_ns,
+                                                 int pipeline_stages);
+
+} // namespace noc

@@ -1,0 +1,70 @@
+// FLow control unITs — the atomic transfer unit of the network (§3: packets
+// "are then serialized into a sequence of flits before transmission").
+#pragma once
+
+#include "arch/params.h"
+#include "common/types.h"
+#include "topology/route.h"
+
+#include <cstdint>
+
+namespace noc {
+
+enum class Flit_kind : std::uint8_t { head, body, tail, head_tail };
+
+[[nodiscard]] constexpr bool is_head(Flit_kind k)
+{
+    return k == Flit_kind::head || k == Flit_kind::head_tail;
+}
+[[nodiscard]] constexpr bool is_tail(Flit_kind k)
+{
+    return k == Flit_kind::tail || k == Flit_kind::head_tail;
+}
+
+/// One flit in flight. Head flits carry a non-owning pointer to their source
+/// route (stored in the NI look-up tables, which outlive the simulation), so
+/// forwarding a flit never allocates.
+struct Flit {
+    Flit_kind kind = Flit_kind::head_tail;
+    Traffic_class cls = Traffic_class::request;
+    Packet_id packet{};
+    Flow_id flow{};
+    Connection_id conn{};
+    Core_id src{};
+    Core_id dst{};
+    /// Index of this flit within its packet (0 = head).
+    std::uint32_t index = 0;
+    /// Total flits in the packet.
+    std::uint32_t packet_size = 1;
+    /// Source route (head flits; nullptr on body/tail).
+    const Route* route = nullptr;
+    /// Next hop to execute in `route`.
+    std::uint16_t route_index = 0;
+    /// Effective VC occupied on the link this flit is currently crossing.
+    std::uint16_t vc = 0;
+    /// ACK/NACK link sequence number (assigned per link by the sender).
+    std::uint32_t link_seq = 0;
+    /// Response size the target must send back (0 = none); tail flits only.
+    std::uint32_t reply_flits = 0;
+    /// Cycle the packet was created (source-queue entry).
+    Cycle birth = invalid_cycle;
+    /// Cycle the head flit entered the network (left the source queue).
+    Cycle inject = invalid_cycle;
+    /// True when the packet was generated inside the measurement window.
+    bool measured = false;
+};
+
+/// Reverse-channel token. One struct serves all three flow-control schemes;
+/// `kind` discriminates (keeping the wire format trivially copyable).
+struct Fc_token {
+    enum class Kind : std::uint8_t { credit, on_off_mask, ack, nack };
+    Kind kind = Kind::credit;
+    /// credit: VC being credited.
+    std::uint16_t vc = 0;
+    /// on_off_mask: bit v set = VC v is stopped (OFF).
+    std::uint32_t stop_mask = 0;
+    /// ack/nack: link sequence number (ack: cumulative; nack: rewind point).
+    std::uint32_t link_seq = 0;
+};
+
+} // namespace noc

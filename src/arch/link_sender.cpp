@@ -1,0 +1,116 @@
+#include "arch/link_sender.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace noc {
+
+Link_sender::Link_sender(const Network_params& params, Flit_channel* data,
+                         Token_channel* tokens, bool is_ejection)
+    : fc_{params.fc},
+      ejection_{is_ejection},
+      data_{data},
+      tokens_{tokens},
+      credits_(static_cast<std::size_t>(params.total_vcs()),
+               params.buffer_depth),
+      window_{static_cast<std::size_t>(params.output_buffer_depth)}
+{
+    if (data_ == nullptr)
+        throw std::invalid_argument{"Link_sender: null data channel"};
+    if (tokens_ == nullptr && !ejection_)
+        throw std::invalid_argument{"Link_sender: null token channel"};
+}
+
+void Link_sender::begin_cycle()
+{
+    sent_this_cycle_ = false;
+    if (ejection_ || tokens_ == nullptr) return;
+    const auto& token = tokens_->out();
+    if (!token) return;
+    switch (token->kind) {
+    case Fc_token::Kind::credit:
+        ++credits_[token->vc];
+        break;
+    case Fc_token::Kind::on_off_mask:
+        stop_mask_ = token->stop_mask;
+        break;
+    case Fc_token::Kind::ack: {
+        // Cumulative: everything up to and including link_seq is accepted.
+        while (!retransmit_.empty() && base_seq_ <= token->link_seq) {
+            retransmit_.pop_front();
+            ++base_seq_;
+            if (send_idx_ > 0) --send_idx_;
+        }
+        break;
+    }
+    case Fc_token::Kind::nack:
+        // Rewind to the sequence number the receiver expects.
+        if (token->link_seq >= base_seq_ &&
+            token->link_seq - base_seq_ <= retransmit_.size())
+            send_idx_ = token->link_seq - base_seq_;
+        break;
+    }
+}
+
+bool Link_sender::can_send(int vc) const
+{
+    if (sent_this_cycle_) return false;
+    if (ejection_) return true;
+    switch (fc_) {
+    case Flow_control_kind::credit:
+        return credits_[static_cast<std::size_t>(vc)] > 0;
+    case Flow_control_kind::on_off:
+        return ((stop_mask_ >> vc) & 1u) == 0;
+    case Flow_control_kind::ack_nack:
+        return retransmit_.size() < window_;
+    }
+    return false;
+}
+
+void Link_sender::send(Flit f)
+{
+    if (sent_this_cycle_)
+        throw std::logic_error{"Link_sender: two sends in one cycle"};
+    sent_this_cycle_ = true;
+    ++flits_sent_;
+    if (!ejection_) {
+        switch (fc_) {
+        case Flow_control_kind::credit:
+            if (credits_[f.vc] <= 0)
+                throw std::logic_error{"Link_sender: send without credit"};
+            --credits_[f.vc];
+            break;
+        case Flow_control_kind::on_off:
+            break;
+        case Flow_control_kind::ack_nack:
+            f.link_seq = next_seq_++;
+            retransmit_.push_back(f);
+            return; // transmitted by end_cycle()
+        }
+    }
+    data_->count_transfer();
+    data_->write(std::move(f));
+}
+
+void Link_sender::end_cycle()
+{
+    if (ejection_ || fc_ != Flow_control_kind::ack_nack) return;
+    if (send_idx_ >= retransmit_.size()) return;
+    const Flit& f = retransmit_[send_idx_];
+    // A flit is a retransmission when its sequence number was already put on
+    // the wire once (i.e. it is at or below the wire high-water mark).
+    if (wire_mark_valid_ && f.link_seq <= wire_mark_) ++retransmissions_;
+    wire_mark_ = wire_mark_valid_ ? std::max(wire_mark_, f.link_seq)
+                                  : f.link_seq;
+    wire_mark_valid_ = true;
+    data_->count_transfer();
+    data_->write(f);
+    ++send_idx_;
+}
+
+int Link_sender::credits(int vc) const
+{
+    return credits_[static_cast<std::size_t>(vc)];
+}
+
+} // namespace noc

@@ -1,0 +1,80 @@
+// Sender-side link-level flow control, shared by router outputs and NI
+// injection ports.
+//
+// Three schemes (§3):
+//   credit   — counter per VC, decremented on send, replenished by tokens;
+//   on_off   — downstream broadcasts a per-VC stop mask; the sender uses the
+//              last mask received (the downstream margin covers flits that
+//              are in flight when the mask flips);
+//   ack_nack — ×pipes-style: flits are transmitted speculatively and kept in
+//              an output (retransmission) buffer until acknowledged;
+//              a NACK rewinds the send pointer (go-back-N). This is the
+//              scheme that "requires output buffers" in the paper.
+#pragma once
+
+#include "arch/channel.h"
+#include "arch/flit.h"
+#include "arch/params.h"
+
+#include <deque>
+
+namespace noc {
+
+using Flit_channel = Pipeline_channel<Flit>;
+using Token_channel = Pipeline_channel<Fc_token>;
+
+class Link_sender {
+public:
+    /// `tokens` may be null only for ejection ports (no flow control).
+    Link_sender(const Network_params& params, Flit_channel* data,
+                Token_channel* tokens, bool is_ejection);
+
+    /// Phase 1 entry: consume the reverse-channel token, if any.
+    void begin_cycle();
+
+    /// May a flit be sent on effective VC `vc` this cycle? At most one
+    /// send() per cycle overall.
+    [[nodiscard]] bool can_send(int vc) const;
+
+    /// Commit a flit (f.vc must already be the effective VC).
+    void send(Flit f);
+
+    /// Phase-1 exit for ACK/NACK: transmit (or retransmit) one buffered
+    /// flit. No-op for other schemes.
+    void end_cycle();
+
+    [[nodiscard]] bool is_ejection() const { return ejection_; }
+    [[nodiscard]] int credits(int vc) const;
+    /// Flits sitting in the retransmission buffer (ACK/NACK only).
+    [[nodiscard]] std::size_t output_buffer_occupancy() const
+    {
+        return retransmit_.size();
+    }
+    [[nodiscard]] std::uint64_t retransmissions() const
+    {
+        return retransmissions_;
+    }
+    [[nodiscard]] std::uint64_t flits_sent() const { return flits_sent_; }
+
+private:
+    Flow_control_kind fc_;
+    bool ejection_;
+    Flit_channel* data_;
+    Token_channel* tokens_;
+    std::vector<int> credits_;      // credit scheme, per VC
+    std::uint32_t stop_mask_ = 0;   // on_off scheme
+    // --- ack_nack sender state ---
+    std::deque<Flit> retransmit_;
+    std::size_t window_;
+    std::uint32_t base_seq_ = 0; // seq of retransmit_.front()
+    std::uint32_t next_seq_ = 0; // next fresh sequence number
+    std::size_t send_idx_ = 0;   // next flit (index into retransmit_) to put
+                                 // on the wire
+    bool sent_this_cycle_ = false;
+    std::uint32_t wire_mark_ = 0; // highest seq ever transmitted
+    bool wire_mark_valid_ = false;
+    std::uint64_t retransmissions_ = 0;
+    std::uint64_t flits_sent_ = 0;
+};
+
+} // namespace noc

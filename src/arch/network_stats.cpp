@@ -1,0 +1,66 @@
+#include "arch/network_stats.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+void Network_stats::set_measurement_window(Cycle start, Cycle end)
+{
+    if (end < start)
+        throw std::invalid_argument{"Network_stats: bad window"};
+    window_start_ = start;
+    window_end_ = end;
+}
+
+void Network_stats::on_packet_created(Flow_id flow, Cycle now, bool measured)
+{
+    (void)flow;
+    (void)now;
+    ++created_;
+    if (measured) ++measured_created_;
+}
+
+void Network_stats::on_packet_injected(Cycle now)
+{
+    (void)now;
+}
+
+void Network_stats::on_packet_delivered(Flow_id flow,
+                                        std::uint32_t size_flits, Cycle birth,
+                                        Cycle inject, Cycle now, bool measured)
+{
+    ++delivered_;
+    if (!measured) return;
+    ++measured_delivered_;
+    measured_flits_ += size_flits;
+    const auto pkt_lat = static_cast<double>(now - birth);
+    const auto net_lat = static_cast<double>(now - inject);
+    packet_latency_.add(pkt_lat);
+    network_latency_.add(net_lat);
+    if (flow.is_valid()) {
+        flow_latency_[flow].add(pkt_lat);
+        flow_flits_[flow] += size_flits;
+    }
+}
+
+const Accumulator& Network_stats::flow_latency(Flow_id f) const
+{
+    static const Accumulator empty;
+    const auto it = flow_latency_.find(f);
+    return it == flow_latency_.end() ? empty : it->second;
+}
+
+std::uint64_t Network_stats::flow_flits_delivered(Flow_id f) const
+{
+    const auto it = flow_flits_.find(f);
+    return it == flow_flits_.end() ? 0 : it->second;
+}
+
+double Network_stats::accepted_flits_per_cycle() const
+{
+    const Cycle span = window_end_ - window_start_;
+    if (span == 0) return 0.0;
+    return static_cast<double>(measured_flits_) / static_cast<double>(span);
+}
+
+} // namespace noc

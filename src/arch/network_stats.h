@@ -1,0 +1,91 @@
+// Run-wide measurement: packet bookkeeping, latency statistics, and the
+// warmup / measurement / drain phase protocol used by every experiment.
+//
+// Only packets *created* inside the measurement window contribute to the
+// reported statistics — the standard open-loop methodology (warm the
+// network up, measure in steady state, then drain the marked packets).
+#pragma once
+
+#include "common/stats.h"
+#include "common/types.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace noc {
+
+class Network_stats {
+public:
+    /// [start, end): packets born in this window are measured.
+    void set_measurement_window(Cycle start, Cycle end);
+    [[nodiscard]] bool in_measurement(Cycle now) const
+    {
+        return now >= window_start_ && now < window_end_;
+    }
+
+    void on_packet_created(Flow_id flow, Cycle now, bool measured);
+    void on_packet_injected(Cycle now);
+    void on_packet_delivered(Flow_id flow, std::uint32_t size_flits,
+                             Cycle birth, Cycle inject, Cycle now,
+                             bool measured);
+
+    // --- totals (all packets, any phase) ------------------------------------
+    [[nodiscard]] std::uint64_t packets_created() const { return created_; }
+    [[nodiscard]] std::uint64_t packets_delivered() const
+    {
+        return delivered_;
+    }
+    [[nodiscard]] std::uint64_t packets_in_flight() const
+    {
+        return created_ - delivered_;
+    }
+
+    // --- measured-window results --------------------------------------------
+    [[nodiscard]] std::uint64_t measured_created() const
+    {
+        return measured_created_;
+    }
+    [[nodiscard]] std::uint64_t measured_delivered() const
+    {
+        return measured_delivered_;
+    }
+    [[nodiscard]] std::uint64_t measured_in_flight() const
+    {
+        return measured_created_ - measured_delivered_;
+    }
+    [[nodiscard]] std::uint64_t measured_flits_delivered() const
+    {
+        return measured_flits_;
+    }
+    /// Packet latency: delivery - creation (includes source queueing).
+    [[nodiscard]] const Accumulator& packet_latency() const
+    {
+        return packet_latency_;
+    }
+    /// Network latency: delivery - injection (excludes source queueing).
+    [[nodiscard]] const Accumulator& network_latency() const
+    {
+        return network_latency_;
+    }
+    [[nodiscard]] const Accumulator& flow_latency(Flow_id f) const;
+    [[nodiscard]] std::uint64_t flow_flits_delivered(Flow_id f) const;
+
+    /// Accepted throughput over the measurement window, flits/cycle (divide
+    /// by core count for the per-node rate).
+    [[nodiscard]] double accepted_flits_per_cycle() const;
+
+private:
+    Cycle window_start_ = 0;
+    Cycle window_end_ = 0;
+    std::uint64_t created_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t measured_created_ = 0;
+    std::uint64_t measured_delivered_ = 0;
+    std::uint64_t measured_flits_ = 0;
+    Accumulator packet_latency_;
+    Accumulator network_latency_;
+    std::unordered_map<Flow_id, Accumulator> flow_latency_;
+    std::unordered_map<Flow_id, std::uint64_t> flow_flits_;
+};
+
+} // namespace noc

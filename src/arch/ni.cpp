@@ -1,0 +1,184 @@
+#include "arch/ni.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace noc {
+
+Ni::Ni(Core_id core, const Network_params& params, const Route_set* routes,
+       Flit_channel* inject_data, Token_channel* inject_tokens,
+       Flit_channel* eject_data, Network_stats* stats)
+    : core_{core},
+      params_{params},
+      routes_{routes},
+      sender_{params, inject_data, inject_tokens, false},
+      eject_data_{eject_data},
+      stats_{stats}
+{
+    if (routes_ == nullptr || eject_data_ == nullptr || stats_ == nullptr)
+        throw std::invalid_argument{"Ni: null dependency"};
+}
+
+std::string Ni::name() const
+{
+    return "ni" + std::to_string(core_.get());
+}
+
+void Ni::set_source(std::unique_ptr<Traffic_source> source)
+{
+    source_ = std::move(source);
+}
+
+void Ni::set_slot_table(std::vector<Connection_id> slot_owner)
+{
+    if (!params_.enable_gt)
+        throw std::logic_error{"Ni::set_slot_table: GT not enabled"};
+    if (slot_owner.size() !=
+        static_cast<std::size_t>(params_.slot_table_length))
+        throw std::invalid_argument{"Ni::set_slot_table: length mismatch"};
+    slot_owner_ = std::move(slot_owner);
+}
+
+void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
+{
+    if (desc.dst == core_)
+        throw std::invalid_argument{"Ni: packet addressed to self"};
+    if (desc.size_flits == 0)
+        throw std::invalid_argument{"Ni: empty packet"};
+    if (desc.cls == Traffic_class::gt && desc.size_flits != 1)
+        throw std::invalid_argument{
+            "Ni: GT connections are flit-granular (one flit per reserved "
+            "slot, Æthereal-style); send size-1 packets"};
+    const Route* route = &routes_->at(core_, desc.dst);
+    if (route->empty())
+        throw std::logic_error{"Ni: no route to destination"};
+
+    // Unique packet id: core in the upper bits, local sequence below.
+    const Packet_id pid{(static_cast<std::uint64_t>(core_.get()) << 40) |
+                        next_packet_seq_++};
+    const bool measured = stats_->in_measurement(now);
+    stats_->on_packet_created(desc.flow, now, measured);
+
+    for (std::uint32_t i = 0; i < desc.size_flits; ++i) {
+        Flit f;
+        if (desc.size_flits == 1)
+            f.kind = Flit_kind::head_tail;
+        else if (i == 0)
+            f.kind = Flit_kind::head;
+        else if (i + 1 == desc.size_flits)
+            f.kind = Flit_kind::tail;
+        else
+            f.kind = Flit_kind::body;
+        f.cls = desc.cls;
+        f.packet = pid;
+        f.flow = desc.flow;
+        f.conn = desc.conn;
+        f.src = core_;
+        f.dst = desc.dst;
+        f.index = i;
+        f.packet_size = desc.size_flits;
+        f.route = is_head(f.kind) ? route : nullptr;
+        f.route_index = 0;
+        if (is_tail(f.kind)) f.reply_flits = desc.reply_flits;
+        f.birth = now;
+        f.measured = measured;
+        if (f.cls == Traffic_class::gt)
+            gt_queue_.push_back(std::move(f));
+        else
+            queue_.push_back(std::move(f));
+    }
+}
+
+void Ni::poll_source(Cycle now)
+{
+    if (!source_) return;
+    if (const auto desc = source_->poll(now)) enqueue_packet(*desc, now);
+}
+
+void Ni::release_replies(Cycle now)
+{
+    while (!pending_replies_.empty() &&
+           pending_replies_.front().first <= now) {
+        enqueue_packet(pending_replies_.front().second, now);
+        pending_replies_.pop_front();
+    }
+}
+
+void Ni::inject(Cycle now)
+{
+    // Æthereal slot gating: the current slot's owning connection may send
+    // its oldest queued flit (per-connection FIFO semantics over one queue).
+    if (!gt_queue_.empty()) {
+        if (slot_owner_.empty())
+            throw std::logic_error{"Ni: GT flit but no slot table"};
+        const auto slot = static_cast<std::size_t>(now % slot_owner_.size());
+        const Connection_id owner = slot_owner_[slot];
+        if (owner.is_valid()) {
+            const auto it = std::find_if(
+                gt_queue_.begin(), gt_queue_.end(),
+                [owner](const Flit& f) { return f.conn == owner; });
+            if (it != gt_queue_.end()) {
+                const int vc = params_.effective_vc(Traffic_class::gt, 0);
+                if (sender_.can_send(vc)) {
+                    Flit out = std::move(*it);
+                    gt_queue_.erase(it);
+                    out.vc = static_cast<std::uint16_t>(vc);
+                    out.inject = now;
+                    stats_->on_packet_injected(now);
+                    sender_.send(std::move(out));
+                    return; // one flit per cycle on the injection link
+                }
+            }
+        }
+    }
+
+    if (queue_.empty()) return;
+    Flit& f = queue_.front();
+    const int vc = params_.effective_vc(f.cls, 0);
+    if (!sender_.can_send(vc)) return;
+    Flit out = std::move(f);
+    queue_.pop_front();
+    out.vc = static_cast<std::uint16_t>(vc);
+    if (is_head(out.kind)) {
+        out.inject = now;
+        stats_->on_packet_injected(now);
+    }
+    sender_.send(std::move(out));
+}
+
+void Ni::eject(Cycle now)
+{
+    const auto& arriving = eject_data_->out();
+    if (!arriving) return;
+    const Flit& f = *arriving;
+    auto& received = reassembly_[f.packet];
+    ++received;
+    if (!is_tail(f.kind)) return;
+    if (received != f.packet_size)
+        throw std::logic_error{"Ni: tail arrived before full packet "
+                               "(wormhole ordering violated)"};
+    reassembly_.erase(f.packet);
+    stats_->on_packet_delivered(f.flow, f.packet_size, f.birth, f.inject,
+                                now, f.measured);
+    if (on_delivery_) on_delivery_(f, now);
+    if (f.reply_flits > 0) {
+        Packet_desc reply;
+        reply.dst = f.src;
+        reply.size_flits = f.reply_flits;
+        reply.cls = Traffic_class::response;
+        reply.flow = f.flow;
+        pending_replies_.emplace_back(now + reply_latency_, reply);
+    }
+}
+
+void Ni::step(Cycle now)
+{
+    sender_.begin_cycle();
+    release_replies(now);
+    poll_source(now);
+    inject(now);
+    sender_.end_cycle();
+    eject(now);
+}
+
+} // namespace noc

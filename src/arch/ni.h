@@ -1,0 +1,102 @@
+// Network interface (Fig. 1b).
+//
+// "The main role of the Network Interfaces is to convert the bus protocol
+// used by the Processing Elements to the network protocol used by the
+// switches... NIs convert transaction requests/responses into packets and
+// vice versa. Packets are then serialized into a sequence of flits." (§3)
+//
+// One Ni object bundles the initiator and target roles of one core:
+//   initiator side — polls a Traffic_source, packetizes, looks the route up
+//     in its LUT (source routing), serializes flits into the injection link
+//     under link-level flow control, and gates GT flits by the TDMA slot
+//     table (Æthereal §3);
+//   target side — reassembles ejected flits, reports deliveries, and can
+//     generate a response packet after a configurable service latency
+//     (modelling an OCP slave; the request flit carries the expected
+//     response size).
+#pragma once
+
+#include "arch/link_sender.h"
+#include "arch/network_stats.h"
+#include "arch/traffic_source.h"
+#include "topology/route.h"
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace noc {
+
+class Ni final : public Component {
+public:
+    Ni(Core_id core, const Network_params& params, const Route_set* routes,
+       Flit_channel* inject_data, Token_channel* inject_tokens,
+       Flit_channel* eject_data, Network_stats* stats);
+
+    void step(Cycle now) override;
+    [[nodiscard]] std::string name() const override;
+
+    /// Install the packet generator (may be null: pure target core).
+    void set_source(std::unique_ptr<Traffic_source> source);
+
+    /// Target-side service latency before a response is injected (cycles).
+    void set_reply_latency(Cycle latency) { reply_latency_ = latency; }
+
+    /// TDMA slot table: slot_owner[s] is the GT connection allowed to inject
+    /// in slot s (invalid id = slot free / BE only). Length must equal
+    /// params.slot_table_length.
+    void set_slot_table(std::vector<Connection_id> slot_owner);
+
+    /// Observer invoked when a packet addressed to this core completes
+    /// (tail delivered). Used by closed-loop masters (see arch/ocp.h).
+    void set_delivery_listener(std::function<void(const Flit&, Cycle)> fn)
+    {
+        on_delivery_ = std::move(fn);
+    }
+
+    /// Enqueue one packet directly (bypassing the source) — used by tests
+    /// and by transaction adapters.
+    void enqueue_packet(const Packet_desc& desc, Cycle now);
+
+    [[nodiscard]] Core_id core() const { return core_; }
+    [[nodiscard]] std::size_t source_queue_flits() const
+    {
+        return queue_.size() + gt_queue_.size();
+    }
+    [[nodiscard]] std::uint64_t flits_injected() const
+    {
+        return sender_.flits_sent();
+    }
+    [[nodiscard]] bool idle() const
+    {
+        return queue_.empty() && gt_queue_.empty() &&
+               pending_replies_.empty() && reassembly_.empty();
+    }
+
+private:
+    void poll_source(Cycle now);
+    void release_replies(Cycle now);
+    void inject(Cycle now);
+    void eject(Cycle now);
+
+    Core_id core_;
+    Network_params params_;
+    const Route_set* routes_;
+    Link_sender sender_;
+    Flit_channel* eject_data_;
+    Network_stats* stats_;
+    std::unique_ptr<Traffic_source> source_;
+    /// BE source queue (open loop). GT flits have their own queue so a
+    /// best-effort backlog can never head-of-line block a reserved slot.
+    std::deque<Flit> queue_;
+    std::deque<Flit> gt_queue_;
+    std::vector<Connection_id> slot_owner_;
+    Cycle reply_latency_ = 0;
+    std::deque<std::pair<Cycle, Packet_desc>> pending_replies_;
+    std::unordered_map<Packet_id, std::uint32_t> reassembly_;
+    std::function<void(const Flit&, Cycle)> on_delivery_;
+    std::uint64_t next_packet_seq_ = 0;
+};
+
+} // namespace noc

@@ -1,0 +1,167 @@
+#include "arch/noc_system.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace noc {
+
+Noc_system::Noc_system(Topology topology, Route_set routes,
+                       Network_params params, bool allow_partial_routes)
+    : topology_{std::move(topology)},
+      routes_{std::move(routes)},
+      params_{params}
+{
+    params_.validate();
+    topology_.validate();
+    if (routes_.core_count() != topology_.core_count())
+        throw std::invalid_argument{"Noc_system: route/core count mismatch"};
+
+    // Validate every route against the port map and VC budget up front —
+    // a bad route would otherwise surface as a mid-simulation logic error.
+    for (int s = 0; s < topology_.core_count(); ++s) {
+        for (int d = 0; d < topology_.core_count(); ++d) {
+            if (s == d) continue;
+            const Core_id src{static_cast<std::uint32_t>(s)};
+            const Core_id dst{static_cast<std::uint32_t>(d)};
+            const Route& r = routes_.at(src, dst);
+            if (r.empty()) {
+                if (allow_partial_routes) continue;
+                throw std::invalid_argument{"Noc_system: missing route"};
+            }
+            Switch_id sw = topology_.core_switch(src);
+            for (std::size_t h = 0; h < r.size(); ++h) {
+                if (static_cast<int>(r[h].out_vc) >= params_.route_vcs)
+                    throw std::invalid_argument{
+                        "Noc_system: route VC exceeds route_vcs"};
+                if (r[h].out_port >=
+                    static_cast<std::uint16_t>(
+                        topology_.output_port_count(sw)))
+                    throw std::invalid_argument{
+                        "Noc_system: route port out of range"};
+                const Link_id l = topology_.link_of_output_port(
+                    sw, Port_id{r[h].out_port});
+                if (!l.is_valid()) {
+                    if (h + 1 != r.size())
+                        throw std::invalid_argument{
+                            "Noc_system: ejection before route end"};
+                    break;
+                }
+                sw = topology_.link(l).to;
+            }
+        }
+    }
+
+    int max_link_latency = 1;
+    for (const auto& l : topology_.links())
+        max_link_latency = std::max(max_link_latency, 1 + l.pipeline_stages);
+    if (params_.fc == Flow_control_kind::on_off &&
+        params_.buffer_depth < 2 * max_link_latency + 2)
+        throw std::invalid_argument{
+            "Noc_system: ON/OFF needs buffer_depth >= 2*link_latency + 2 "
+            "(round-trip margin)"};
+
+    // Channels.
+    for (int i = 0; i < topology_.link_count(); ++i) {
+        const auto& l = topology_.links()[static_cast<std::size_t>(i)];
+        const int latency = 1 + l.pipeline_stages;
+        link_data_.push_back(std::make_unique<Pipeline_channel<Flit>>(
+            latency, "link" + std::to_string(i)));
+        link_tokens_.push_back(std::make_unique<Pipeline_channel<Fc_token>>(
+            latency, "link" + std::to_string(i) + ".fc"));
+    }
+    for (int c = 0; c < topology_.core_count(); ++c) {
+        inject_data_.push_back(std::make_unique<Pipeline_channel<Flit>>(
+            1, "inj" + std::to_string(c)));
+        inject_tokens_.push_back(std::make_unique<Pipeline_channel<Fc_token>>(
+            1, "inj" + std::to_string(c) + ".fc"));
+        eject_data_.push_back(std::make_unique<Pipeline_channel<Flit>>(
+            1, "ej" + std::to_string(c)));
+    }
+
+    // Routers, ports in the Topology numbering convention.
+    for (int s = 0; s < topology_.switch_count(); ++s) {
+        const Switch_id sw{static_cast<std::uint32_t>(s)};
+        std::vector<Router_input_port> ins;
+        std::vector<Router_output_port> outs;
+        for (const Core_id c : topology_.switch_cores(sw)) {
+            ins.push_back({inject_data_[c.get()].get(),
+                           inject_tokens_[c.get()].get(), 2});
+            outs.push_back({eject_data_[c.get()].get(), nullptr, true});
+        }
+        for (const Link_id l : topology_.in_links(sw)) {
+            const int latency =
+                1 + topology_.link(l).pipeline_stages;
+            ins.push_back({link_data_[l.get()].get(),
+                           link_tokens_[l.get()].get(), 2 * latency});
+        }
+        for (const Link_id l : topology_.out_links(sw))
+            outs.push_back({link_data_[l.get()].get(),
+                            link_tokens_[l.get()].get(), false});
+        routers_.push_back(std::make_unique<Router>(sw, params_,
+                                                    std::move(ins),
+                                                    std::move(outs)));
+    }
+
+    // NIs.
+    for (int c = 0; c < topology_.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        nis_.push_back(std::make_unique<Ni>(
+            core, params_, &routes_, inject_data_[core.get()].get(),
+            inject_tokens_[core.get()].get(), eject_data_[core.get()].get(),
+            &stats_));
+    }
+
+    // Registration order is irrelevant to results (two-phase kernel).
+    for (auto& n : nis_) kernel_.add(n.get());
+    for (auto& r : routers_) kernel_.add(r.get());
+    for (auto& ch : link_data_) kernel_.add(ch.get());
+    for (auto& ch : link_tokens_) kernel_.add(ch.get());
+    for (auto& ch : inject_data_) kernel_.add(ch.get());
+    for (auto& ch : inject_tokens_) kernel_.add(ch.get());
+    for (auto& ch : eject_data_) kernel_.add(ch.get());
+}
+
+void Noc_system::warmup(Cycle cycles)
+{
+    kernel_.run(cycles);
+}
+
+void Noc_system::measure(Cycle cycles)
+{
+    stats_.set_measurement_window(kernel_.now(), kernel_.now() + cycles);
+    kernel_.run(cycles);
+}
+
+bool Noc_system::drain(Cycle max_cycles)
+{
+    return kernel_.run_until(
+        [this] { return stats_.measured_in_flight() == 0; }, max_cycles);
+}
+
+std::uint64_t Noc_system::link_flits(Link_id l) const
+{
+    return link_data_.at(l.get())->transfer_count();
+}
+
+std::uint64_t Noc_system::total_router_buffer_writes() const
+{
+    std::uint64_t n = 0;
+    for (const auto& r : routers_) n += r->buffer_writes();
+    return n;
+}
+
+std::uint64_t Noc_system::total_router_buffer_reads() const
+{
+    std::uint64_t n = 0;
+    for (const auto& r : routers_) n += r->buffer_reads();
+    return n;
+}
+
+std::uint64_t Noc_system::total_flits_routed() const
+{
+    std::uint64_t n = 0;
+    for (const auto& r : routers_) n += r->flits_routed();
+    return n;
+}
+
+} // namespace noc

@@ -1,0 +1,83 @@
+// Noc_system — instantiates a complete simulatable network from a topology,
+// a route set and network parameters: one router per switch, one NI per
+// core, pipelined link channels in both directions (data forward, flow
+// control backward). This is the runtime half of the "NoC hardware
+// compiler" (×pipesCompiler [45]): synth/ produces the Topology+Route_set,
+// this class turns them into a live network.
+#pragma once
+
+#include "arch/network_stats.h"
+#include "arch/ni.h"
+#include "arch/router.h"
+#include "sim/kernel.h"
+#include "topology/graph.h"
+#include "topology/route.h"
+
+#include <memory>
+#include <vector>
+
+namespace noc {
+
+class Noc_system {
+public:
+    /// Takes ownership of the topology and routes; flits hold pointers into
+    /// the route set, so it must live exactly as long as the system.
+    /// `allow_partial_routes` permits empty entries for core pairs that
+    /// never communicate (synthesized designs route only the application's
+    /// flows); sending on a missing route still fails fast in the NI.
+    Noc_system(Topology topology, Route_set routes, Network_params params,
+               bool allow_partial_routes = false);
+
+    Noc_system(const Noc_system&) = delete;
+    Noc_system& operator=(const Noc_system&) = delete;
+
+    [[nodiscard]] Ni& ni(Core_id c)
+    {
+        return *nis_.at(c.get());
+    }
+    [[nodiscard]] Router& router(Switch_id s)
+    {
+        return *routers_.at(s.get());
+    }
+    [[nodiscard]] const Router& router(Switch_id s) const
+    {
+        return *routers_.at(s.get());
+    }
+    [[nodiscard]] Sim_kernel& kernel() { return kernel_; }
+    [[nodiscard]] Network_stats& stats() { return stats_; }
+    [[nodiscard]] const Network_stats& stats() const { return stats_; }
+    [[nodiscard]] const Topology& topology() const { return topology_; }
+    [[nodiscard]] const Route_set& routes() const { return routes_; }
+    [[nodiscard]] const Network_params& params() const { return params_; }
+
+    // --- measurement protocol ----------------------------------------------
+    void warmup(Cycle cycles);
+    /// Opens the measurement window and runs through it.
+    void measure(Cycle cycles);
+    /// Runs until every measured packet is delivered; false on timeout.
+    bool drain(Cycle max_cycles);
+
+    // --- activity (power models, utilization reports) ------------------------
+    /// Flits that traversed `link` so far.
+    [[nodiscard]] std::uint64_t link_flits(Link_id l) const;
+    [[nodiscard]] std::uint64_t total_router_buffer_writes() const;
+    [[nodiscard]] std::uint64_t total_router_buffer_reads() const;
+    [[nodiscard]] std::uint64_t total_flits_routed() const;
+
+private:
+    Topology topology_;
+    Route_set routes_;
+    Network_params params_;
+    Network_stats stats_;
+    Sim_kernel kernel_;
+
+    std::vector<std::unique_ptr<Pipeline_channel<Flit>>> link_data_;
+    std::vector<std::unique_ptr<Pipeline_channel<Fc_token>>> link_tokens_;
+    std::vector<std::unique_ptr<Pipeline_channel<Flit>>> inject_data_;
+    std::vector<std::unique_ptr<Pipeline_channel<Fc_token>>> inject_tokens_;
+    std::vector<std::unique_ptr<Pipeline_channel<Flit>>> eject_data_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Ni>> nis_;
+};
+
+} // namespace noc

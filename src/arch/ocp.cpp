@@ -1,0 +1,94 @@
+#include "arch/ocp.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+int payload_flits(std::uint32_t words, int flit_width_bits, int word_bits)
+{
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(words) * static_cast<std::uint64_t>(word_bits);
+    return static_cast<int>((bits + static_cast<std::uint64_t>(flit_width_bits) -
+                             1) /
+                            static_cast<std::uint64_t>(flit_width_bits));
+}
+
+} // namespace
+
+int ocp_request_flits(const Ocp_transaction& t, int flit_width_bits,
+                      int word_bits)
+{
+    if (flit_width_bits <= 0 || word_bits <= 0)
+        throw std::invalid_argument{"ocp_request_flits: bad widths"};
+    if (t.cmd == Ocp_cmd::read) return 1; // address/command header only
+    return 1 + payload_flits(t.burst_words, flit_width_bits, word_bits);
+}
+
+int ocp_response_flits(const Ocp_transaction& t, int flit_width_bits,
+                       int word_bits)
+{
+    if (flit_width_bits <= 0 || word_bits <= 0)
+        throw std::invalid_argument{"ocp_response_flits: bad widths"};
+    if (t.cmd == Ocp_cmd::write) return 1; // write acknowledge
+    return 1 + payload_flits(t.burst_words, flit_width_bits, word_bits);
+}
+
+Ocp_master_source::Ocp_master_source(Params p)
+    : p_{std::move(p)}, rng_{p_.seed}
+{
+    if (p_.slaves.empty())
+        throw std::invalid_argument{"Ocp_master_source: no slaves"};
+    if (p_.max_outstanding <= 0)
+        throw std::invalid_argument{"Ocp_master_source: outstanding <= 0"};
+    if (p_.min_burst_words == 0 || p_.max_burst_words < p_.min_burst_words)
+        throw std::invalid_argument{"Ocp_master_source: bad burst range"};
+}
+
+std::optional<Packet_desc> Ocp_master_source::poll(Cycle now)
+{
+    if (outstanding_ >= p_.max_outstanding || now < next_issue_)
+        return std::nullopt;
+
+    Ocp_transaction t;
+    t.cmd = rng_.next_bool(p_.read_fraction) ? Ocp_cmd::read : Ocp_cmd::write;
+    t.burst_words =
+        p_.min_burst_words +
+        static_cast<std::uint32_t>(rng_.next_below(
+            p_.max_burst_words - p_.min_burst_words + 1));
+    t.addr = rng_.next_u64();
+
+    const Core_id slave =
+        p_.slaves[static_cast<std::size_t>(rng_.next_below(p_.slaves.size()))];
+
+    Packet_desc desc;
+    desc.dst = slave;
+    desc.size_flits = static_cast<std::uint32_t>(
+        ocp_request_flits(t, p_.flit_width_bits));
+    desc.cls = Traffic_class::request;
+    desc.flow = p_.flow;
+    desc.reply_flits = static_cast<std::uint32_t>(
+        ocp_response_flits(t, p_.flit_width_bits));
+
+    ++outstanding_;
+    ++issued_;
+    next_issue_ = now + p_.think_time;
+    issue_times_[slave].push_back(now);
+    return desc;
+}
+
+void Ocp_master_source::notify_response(Core_id slave, Cycle now)
+{
+    auto it = issue_times_.find(slave);
+    if (it == issue_times_.end() || it->second.empty())
+        throw std::logic_error{
+            "Ocp_master_source: response without outstanding request"};
+    const Cycle issued_at = it->second.front();
+    it->second.pop_front();
+    --outstanding_;
+    ++completed_;
+    rtt_.add(static_cast<double>(now - issued_at));
+}
+
+} // namespace noc

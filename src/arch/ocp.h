@@ -1,0 +1,87 @@
+// OCP-lite transaction layer.
+//
+// §3: "many NoCs support standard protocols (e.g., OCP, AHB, AXI ...) at the
+// outer edge"; ×pipes NIs speak OCP 2.0 point-to-point. This module models
+// the transaction semantics that matter to the network: command, burst
+// length, the request/response packet sizes they map to, and a closed-loop
+// master that keeps a bounded number of outstanding transactions.
+#pragma once
+
+#include "arch/traffic_source.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+namespace noc {
+
+enum class Ocp_cmd : std::uint8_t { read, write };
+
+struct Ocp_transaction {
+    Ocp_cmd cmd = Ocp_cmd::read;
+    std::uint64_t addr = 0;
+    std::uint32_t burst_words = 1; ///< data beats (32-bit words)
+};
+
+/// Flits in the request packet: one header flit plus serialized write data.
+[[nodiscard]] int ocp_request_flits(const Ocp_transaction& t,
+                                    int flit_width_bits,
+                                    int word_bits = 32);
+
+/// Flits in the response: read data (header + payload) or a 1-flit write ack.
+[[nodiscard]] int ocp_response_flits(const Ocp_transaction& t,
+                                     int flit_width_bits,
+                                     int word_bits = 32);
+
+/// Closed-loop OCP master: issues reads/writes to a set of slave cores,
+/// bounded by `max_outstanding`; wire its `notify_response` to the owning
+/// NI's delivery listener. Round-trip latencies are exact because both the
+/// network and the target NI preserve per-(master, slave) ordering.
+class Ocp_master_source final : public Traffic_source {
+public:
+    struct Params {
+        std::vector<Core_id> slaves;
+        int max_outstanding = 4;
+        Cycle think_time = 0;      ///< min cycles between issues
+        double read_fraction = 0.7;
+        std::uint32_t min_burst_words = 1;
+        std::uint32_t max_burst_words = 8;
+        int flit_width_bits = 32;
+        Flow_id flow{};
+        std::uint64_t seed = 1;
+    };
+
+    explicit Ocp_master_source(Params p);
+
+    [[nodiscard]] std::optional<Packet_desc> poll(Cycle now) override;
+
+    /// Call when a response packet from `slave` completes at this master.
+    void notify_response(Core_id slave, Cycle now);
+
+    [[nodiscard]] int outstanding() const { return outstanding_; }
+    [[nodiscard]] std::uint64_t transactions_issued() const
+    {
+        return issued_;
+    }
+    [[nodiscard]] std::uint64_t transactions_completed() const
+    {
+        return completed_;
+    }
+    /// Round-trip latency (issue -> response tail), cycles.
+    [[nodiscard]] const Accumulator& round_trip() const { return rtt_; }
+
+private:
+    Params p_;
+    Rng rng_;
+    int outstanding_ = 0;
+    Cycle next_issue_ = 0;
+    std::uint64_t issued_ = 0;
+    std::uint64_t completed_ = 0;
+    Accumulator rtt_;
+    std::unordered_map<Core_id, std::deque<Cycle>> issue_times_;
+};
+
+} // namespace noc

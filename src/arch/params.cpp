@@ -1,0 +1,44 @@
+#include "arch/params.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+int Network_params::effective_vc(Traffic_class cls, int route_vc) const
+{
+    switch (cls) {
+    case Traffic_class::request: return route_vc;
+    case Traffic_class::response:
+        return separate_response_class ? route_vcs + route_vc : route_vc;
+    case Traffic_class::gt:
+        if (!enable_gt)
+            throw std::logic_error{"effective_vc: GT class without enable_gt"};
+        return gt_vc();
+    }
+    throw std::logic_error{"effective_vc: bad class"};
+}
+
+void Network_params::validate() const
+{
+    if (flit_width_bits <= 0)
+        throw std::invalid_argument{"Network_params: flit width <= 0"};
+    if (route_vcs <= 0)
+        throw std::invalid_argument{"Network_params: route_vcs <= 0"};
+    if (buffer_depth < 2)
+        throw std::invalid_argument{
+            "Network_params: buffer_depth must be >= 2 (ON/OFF margin)"};
+    if (fc == Flow_control_kind::ack_nack && total_vcs() != 1)
+        throw std::invalid_argument{
+            "Network_params: ACK/NACK flow control supports a single VC "
+            "(×pipes-style plain wormhole links)"};
+    if (fc == Flow_control_kind::ack_nack && output_buffer_depth < 4)
+        throw std::invalid_argument{
+            "Network_params: ACK/NACK needs an output buffer covering the "
+            "round trip (>= 4 flits)"};
+    if (enable_gt && slot_table_length < 2)
+        throw std::invalid_argument{"Network_params: slot table too short"};
+    if (clock_ghz <= 0.0)
+        throw std::invalid_argument{"Network_params: clock <= 0"};
+}
+
+} // namespace noc

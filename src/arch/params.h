@@ -1,0 +1,56 @@
+// Network configuration shared by routers, NIs and the system builder.
+#pragma once
+
+#include <cstdint>
+
+namespace noc {
+
+/// Link-level flow control scheme (§3: ×pipes supports ACK/NACK with output
+/// buffering and ON/OFF backpressure without; credit-based is the common
+/// third scheme and our default).
+enum class Flow_control_kind : std::uint8_t { credit, on_off, ack_nack };
+
+/// Traffic classes map to disjoint VC ranges so that request/response
+/// (message-dependent) coupling and GT/BE sharing can never deadlock or
+/// interfere at the buffer level.
+enum class Traffic_class : std::uint8_t { request = 0, response = 1, gt = 2 };
+
+struct Network_params {
+    /// Physical flit (link) width in bits — the serialization knob of §4.1.
+    int flit_width_bits = 32;
+    /// VCs available to the routing function per class (2 enables datelines).
+    int route_vcs = 1;
+    /// Give responses their own VC plane (breaks request/response deadlock).
+    bool separate_response_class = false;
+    /// Add a dedicated highest-priority VC for Æthereal-style GT traffic.
+    bool enable_gt = false;
+    /// Input buffer depth per VC, in flits.
+    int buffer_depth = 4;
+    Flow_control_kind fc = Flow_control_kind::credit;
+    /// Retransmission window (output buffer) for ACK/NACK, in flits.
+    int output_buffer_depth = 8;
+    /// TDMA slot-table length when enable_gt (Æthereal §3).
+    int slot_table_length = 16;
+    /// NoC clock, for bandwidth/latency reporting only.
+    double clock_ghz = 1.0;
+
+    [[nodiscard]] int class_count() const
+    {
+        return separate_response_class ? 2 : 1;
+    }
+    /// Total VCs instantiated per link.
+    [[nodiscard]] int total_vcs() const
+    {
+        return route_vcs * class_count() + (enable_gt ? 1 : 0);
+    }
+    /// Dedicated GT VC index (only meaningful when enable_gt).
+    [[nodiscard]] int gt_vc() const { return total_vcs() - 1; }
+    /// Effective VC for a flit of class `cls` whose route requests
+    /// `route_vc` on the next link.
+    [[nodiscard]] int effective_vc(Traffic_class cls, int route_vc) const;
+
+    /// Throws std::invalid_argument on inconsistent settings.
+    void validate() const;
+};
+
+} // namespace noc

@@ -1,0 +1,246 @@
+#include "arch/router.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+Router::Router(Switch_id id, const Network_params& params,
+               std::vector<Router_input_port> inputs,
+               std::vector<Router_output_port> outputs)
+    : id_{id}, params_{params}
+{
+    params_.validate();
+    if (inputs.empty() || outputs.empty())
+        throw std::invalid_argument{"Router: needs ports"};
+
+    const int vcs = params_.total_vcs();
+    for (auto& ip : inputs) {
+        if (ip.data == nullptr || ip.tokens == nullptr)
+            throw std::invalid_argument{"Router: null input channel"};
+        Input in{ip, {}, Round_robin_arbiter{vcs}, 0};
+        in.vcs.reserve(static_cast<std::size_t>(vcs));
+        for (int v = 0; v < vcs; ++v) {
+            Vc_state vs;
+            vs.fifo = std::make_unique<Bounded_fifo<Flit>>(
+                static_cast<std::size_t>(params_.buffer_depth));
+            in.vcs.push_back(std::move(vs));
+        }
+        inputs_.push_back(std::move(in));
+    }
+    for (auto& op : outputs) {
+        outputs_.push_back(
+            Output{Link_sender{params_, op.data, op.tokens, op.is_ejection},
+                   std::vector<Packet_id>(static_cast<std::size_t>(vcs)),
+                   Round_robin_arbiter{static_cast<int>(inputs_.size())},
+                   op.is_ejection});
+    }
+}
+
+std::string Router::name() const
+{
+    return "router" + std::to_string(id_.get());
+}
+
+std::optional<Router::Request> Router::classify(const Input& in, int vc) const
+{
+    const Vc_state& vs = in.vcs[static_cast<std::size_t>(vc)];
+    if (vs.fifo->empty()) return std::nullopt;
+    const Flit& f = vs.fifo->front();
+
+    int out_port = 0;
+    int out_vc = 0;
+    if (is_head(f.kind)) {
+        if (f.route == nullptr || f.route_index >= f.route->size())
+            throw std::logic_error{"Router: head flit without route"};
+        const Hop& hop = (*f.route)[f.route_index];
+        out_port = hop.out_port;
+        out_vc = params_.effective_vc(f.cls, hop.out_vc);
+    } else {
+        if (!vs.bound)
+            throw std::logic_error{"Router: body flit with no binding"};
+        out_port = vs.out_port;
+        out_vc = vs.out_vc;
+    }
+    if (out_port >= static_cast<int>(outputs_.size()))
+        throw std::logic_error{"Router: route references bad output port"};
+
+    const Output& o = outputs_[static_cast<std::size_t>(out_port)];
+    // Wormhole ownership: a head may claim an output VC only when free.
+    if (is_head(f.kind)) {
+        if (o.vc_owner[static_cast<std::size_t>(out_vc)].is_valid())
+            return std::nullopt;
+    }
+    if (!o.sender.can_send(out_vc)) return std::nullopt;
+    return Request{out_port, out_vc};
+}
+
+void Router::step(Cycle now)
+{
+    (void)now;
+    // Phase 1: reverse-channel tokens.
+    for (auto& o : outputs_) o.sender.begin_cycle();
+
+    // Phase 2a: each input nominates one VC (GT priority, then round-robin).
+    const int vcs = params_.total_vcs();
+    struct Nomination {
+        int vc = -1;
+        Request req;
+    };
+    std::vector<Nomination> nominated(inputs_.size());
+    std::vector<bool> vc_ready(static_cast<std::size_t>(vcs));
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        Input& in = inputs_[i];
+        // Dedicated GT VC wins unconditionally when ready.
+        if (params_.enable_gt) {
+            if (auto req = classify(in, params_.gt_vc())) {
+                nominated[i] = {params_.gt_vc(), *req};
+                continue;
+            }
+        }
+        for (int v = 0; v < vcs; ++v)
+            vc_ready[static_cast<std::size_t>(v)] =
+                (params_.enable_gt && v == params_.gt_vc())
+                    ? false
+                    : classify(in, v).has_value();
+        const int v = in.vc_arb.pick(vc_ready);
+        if (v >= 0) nominated[i] = {v, *classify(in, v)};
+    }
+
+    // Phase 2b: each output grants one nominee; GT has absolute priority.
+    std::vector<bool> wants(inputs_.size());
+    for (std::size_t op = 0; op < outputs_.size(); ++op) {
+        Output& out = outputs_[op];
+        bool any = false;
+        bool any_gt = false;
+        for (std::size_t i = 0; i < inputs_.size(); ++i) {
+            const auto& nom = nominated[i];
+            const bool w =
+                nom.vc >= 0 && nom.req.out_port == static_cast<int>(op);
+            wants[i] = w;
+            if (w) {
+                any = true;
+                const Flit& f = inputs_[i]
+                                    .vcs[static_cast<std::size_t>(nom.vc)]
+                                    .fifo->front();
+                any_gt = any_gt || f.cls == Traffic_class::gt;
+            }
+        }
+        if (!any) continue;
+        if (any_gt) {
+            for (std::size_t i = 0; i < inputs_.size(); ++i) {
+                if (!wants[i]) continue;
+                const auto& nom = nominated[i];
+                const Flit& f = inputs_[i]
+                                    .vcs[static_cast<std::size_t>(nom.vc)]
+                                    .fifo->front();
+                wants[i] = f.cls == Traffic_class::gt;
+            }
+        }
+        const int winner = out.in_arb.pick(wants);
+        if (winner < 0) continue;
+
+        // Switch traversal.
+        Input& in = inputs_[static_cast<std::size_t>(winner)];
+        const Nomination& nom = nominated[static_cast<std::size_t>(winner)];
+        Vc_state& vs = in.vcs[static_cast<std::size_t>(nom.vc)];
+        Flit f = vs.fifo->pop();
+        ++flits_routed_;
+
+        if (is_head(f.kind)) {
+            vs.bound = true;
+            vs.out_port = static_cast<std::uint16_t>(nom.req.out_port);
+            vs.out_vc = static_cast<std::uint16_t>(nom.req.out_vc);
+            out.vc_owner[static_cast<std::size_t>(nom.req.out_vc)] = f.packet;
+            ++f.route_index;
+        }
+        if (is_tail(f.kind)) {
+            vs.bound = false;
+            out.vc_owner[static_cast<std::size_t>(nom.req.out_vc)] =
+                Packet_id::invalid();
+        }
+        const auto freed_vc = f.vc; // VC the flit occupied in our buffer
+        f.vc = static_cast<std::uint16_t>(nom.req.out_vc);
+        out.sender.send(std::move(f));
+
+        // Return a credit upstream for the freed buffer slot.
+        if (params_.fc == Flow_control_kind::credit)
+            in.port.tokens->write(
+                Fc_token{Fc_token::Kind::credit, freed_vc, 0, 0});
+    }
+
+    // Phase 2c: ACK/NACK outputs put one (re)transmission on the wire.
+    for (auto& o : outputs_) o.sender.end_cycle();
+
+    // Phase 3: arrivals (after allocation, so flits wait >= 1 cycle).
+    for (auto& in : inputs_) deliver_arrival(in, now);
+
+    // Phase 4: ON/OFF stop masks reflect post-arrival occupancy.
+    if (params_.fc == Flow_control_kind::on_off) {
+        for (auto& in : inputs_) {
+            std::uint32_t mask = 0;
+            for (int v = 0; v < vcs; ++v)
+                if (in.vcs[static_cast<std::size_t>(v)].fifo->free_slots() <=
+                    static_cast<std::size_t>(in.port.onoff_margin))
+                    mask |= 1u << v;
+            in.port.tokens->write(
+                Fc_token{Fc_token::Kind::on_off_mask, 0, mask, 0});
+        }
+    }
+}
+
+void Router::deliver_arrival(Input& in, Cycle now)
+{
+    (void)now;
+    const auto& arriving = in.port.data->out();
+    if (!arriving) return;
+    const Flit& f = *arriving;
+
+    if (params_.fc == Flow_control_kind::ack_nack) {
+        auto& fifo = *in.vcs[0].fifo;
+        if (f.link_seq == in.expected_seq && !fifo.full()) {
+            fifo.push(f);
+            in.port.tokens->write(Fc_token{Fc_token::Kind::ack, 0, 0,
+                                           in.expected_seq});
+            ++in.expected_seq;
+        } else {
+            // Drop and ask the sender to rewind to what we expect.
+            in.port.tokens->write(
+                Fc_token{Fc_token::Kind::nack, 0, 0, in.expected_seq});
+        }
+        return;
+    }
+    in.vcs.at(f.vc).fifo->push(f);
+}
+
+std::uint64_t Router::buffer_writes() const
+{
+    std::uint64_t n = 0;
+    for (const auto& in : inputs_)
+        for (const auto& vs : in.vcs) n += vs.fifo->write_count();
+    return n;
+}
+
+std::uint64_t Router::buffer_reads() const
+{
+    std::uint64_t n = 0;
+    for (const auto& in : inputs_)
+        for (const auto& vs : in.vcs) n += vs.fifo->read_count();
+    return n;
+}
+
+std::size_t Router::input_vc_occupancy(int port, int vc) const
+{
+    return inputs_.at(static_cast<std::size_t>(port))
+        .vcs.at(static_cast<std::size_t>(vc))
+        .fifo->size();
+}
+
+std::size_t Router::total_occupancy() const
+{
+    std::size_t n = 0;
+    for (const auto& in : inputs_)
+        for (const auto& vs : in.vcs) n += vs.fifo->size();
+    return n;
+}
+
+} // namespace noc

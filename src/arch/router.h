@@ -1,0 +1,112 @@
+// Input-queued wormhole router (Fig. 1a) with optional virtual channels.
+//
+// Microarchitecture, per cycle (single step() call, order matters):
+//   1. output units consume reverse-channel tokens (credits / masks / acks);
+//   2. separable two-stage allocation: each input port nominates one ready
+//      VC (round-robin), each output port grants one nominee (round-robin,
+//      GT traffic has absolute priority); granted flits traverse the
+//      crossbar, update wormhole bindings, and return a credit upstream;
+//   3. newly arrived flits are written into input VC FIFOs (so a flit
+//      spends at least one full cycle in the router: hop latency =
+//      1 router + link pipeline cycles);
+//   4. ON/OFF inputs publish their stop mask.
+//
+// Wormhole state: each input VC binds to an (output port, output VC) from
+// head to tail; each output VC is owned by one packet from head to tail, so
+// packets never interleave flits within a VC (§3 wormhole switching).
+#pragma once
+
+#include "arch/arbiter.h"
+#include "arch/buffer.h"
+#include "arch/link_sender.h"
+#include "sim/kernel.h"
+
+#include <memory>
+#include <vector>
+
+namespace noc {
+
+struct Router_input_port {
+    Flit_channel* data = nullptr;   ///< incoming flits
+    Token_channel* tokens = nullptr;///< reverse channel to the sender
+    /// ON/OFF stop threshold (free slots at which we assert OFF). Must cover
+    /// the flits in flight over the round trip: 2 * channel latency.
+    int onoff_margin = 2;
+};
+
+struct Router_output_port {
+    Flit_channel* data = nullptr;   ///< outgoing flits
+    Token_channel* tokens = nullptr;///< reverse channel from the receiver
+    bool is_ejection = false;       ///< ejection ports always accept
+};
+
+class Router final : public Component {
+public:
+    Router(Switch_id id, const Network_params& params,
+           std::vector<Router_input_port> inputs,
+           std::vector<Router_output_port> outputs);
+
+    void step(Cycle now) override;
+    [[nodiscard]] std::string name() const override;
+
+    [[nodiscard]] Switch_id id() const { return id_; }
+    [[nodiscard]] int input_count() const
+    {
+        return static_cast<int>(inputs_.size());
+    }
+    [[nodiscard]] int output_count() const
+    {
+        return static_cast<int>(outputs_.size());
+    }
+
+    // --- observability ------------------------------------------------------
+    [[nodiscard]] std::uint64_t flits_routed() const { return flits_routed_; }
+    [[nodiscard]] std::uint64_t buffer_writes() const;
+    [[nodiscard]] std::uint64_t buffer_reads() const;
+    [[nodiscard]] std::size_t input_vc_occupancy(int port, int vc) const;
+    [[nodiscard]] const Link_sender& output_sender(int port) const
+    {
+        return outputs_[static_cast<std::size_t>(port)].sender;
+    }
+    /// Total flits currently buffered in this router.
+    [[nodiscard]] std::size_t total_occupancy() const;
+
+private:
+    struct Vc_state {
+        std::unique_ptr<Bounded_fifo<Flit>> fifo;
+        bool bound = false;
+        std::uint16_t out_port = 0;
+        std::uint16_t out_vc = 0;
+    };
+    struct Input {
+        Router_input_port port;
+        std::vector<Vc_state> vcs;
+        Round_robin_arbiter vc_arb;
+        std::uint32_t expected_seq = 0; // ack_nack receiver
+    };
+    struct Output {
+        Link_sender sender;
+        std::vector<Packet_id> vc_owner; // wormhole ownership per VC
+        Round_robin_arbiter in_arb;
+        bool is_ejection = false;
+    };
+
+    /// The (out_port, out_vc) the head flit of (input, vc) wants, or
+    /// nullopt when the VC cannot advance this cycle.
+    struct Request {
+        int out_port = -1;
+        int out_vc = -1;
+    };
+    [[nodiscard]] std::optional<Request> classify(const Input& in,
+                                                  int vc) const;
+
+    void deliver_arrival(Input& in, Cycle now);
+
+    Switch_id id_;
+    Network_params params_;
+    std::vector<Input> inputs_;
+    std::vector<Output> outputs_;
+    std::uint64_t flits_routed_ = 0;
+};
+
+} // namespace noc

@@ -1,0 +1,34 @@
+// Traffic-source interface implemented by the generators in traffic/.
+#pragma once
+
+#include "arch/params.h"
+#include "common/types.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace noc {
+
+/// A packet the source wants to enqueue.
+struct Packet_desc {
+    Core_id dst{};
+    std::uint32_t size_flits = 1;
+    Traffic_class cls = Traffic_class::request;
+    Flow_id flow{};
+    Connection_id conn{};
+    /// Response size the target must send back (0 = no response). This is
+    /// how read-data/write-ack sizes ride along with a request.
+    std::uint32_t reply_flits = 0;
+};
+
+/// Polled once per cycle by the owning NI. Implementations hold their own
+/// RNG stream so sources are independent and runs deterministic.
+class Traffic_source {
+public:
+    virtual ~Traffic_source() = default;
+
+    /// Return a packet to enqueue this cycle, or nullopt.
+    [[nodiscard]] virtual std::optional<Packet_desc> poll(Cycle now) = 0;
+};
+
+} // namespace noc

@@ -1,0 +1,107 @@
+#include "bus/crossbar.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+Bus_load_point simulate_crossbar(const Crossbar_params& p, double rate,
+                                 int burst_words, Cycle cycles,
+                                 std::uint64_t seed)
+{
+    if (p.masters < 1 || p.slaves < 1 || burst_words < 1)
+        throw std::invalid_argument{"simulate_crossbar: bad parameters"};
+
+    struct Pending {
+        Cycle born;
+        int words;
+        int slave;
+    };
+    std::vector<std::deque<Pending>> queues(
+        static_cast<std::size_t>(p.masters));
+    std::vector<Rng> rngs;
+    for (int m = 0; m < p.masters; ++m)
+        rngs.emplace_back(seed * 13 + static_cast<std::uint64_t>(m));
+
+    // Per-slave data-phase state.
+    struct Slave {
+        int busy_words = 0;
+        int master = -1;
+        Cycle born = 0;
+        int rr = 0;
+    };
+    std::vector<Slave> slaves(static_cast<std::size_t>(p.slaves));
+
+    Accumulator latency;
+    std::uint64_t transfers = 0;
+    std::uint64_t words_done = 0;
+
+    for (Cycle t = 0; t < cycles; ++t) {
+        for (int m = 0; m < p.masters; ++m)
+            if (rngs[static_cast<std::size_t>(m)].next_bool(rate))
+                queues[static_cast<std::size_t>(m)].push_back(
+                    {t, burst_words,
+                     static_cast<int>(rngs[static_cast<std::size_t>(m)]
+                                          .next_below(static_cast<std::uint64_t>(
+                                              p.slaves)))});
+
+        // A master drives at most one slave per cycle; track who is busy.
+        std::vector<bool> master_busy(static_cast<std::size_t>(p.masters));
+        for (auto& s : slaves)
+            if (s.busy_words > 0)
+                master_busy[static_cast<std::size_t>(s.master)] = true;
+
+        for (int si = 0; si < p.slaves; ++si) {
+            Slave& s = slaves[static_cast<std::size_t>(si)];
+            if (s.busy_words > 0) {
+                --s.busy_words;
+                ++words_done;
+                if (s.busy_words == 0) {
+                    latency.add(static_cast<double>(t - s.born + 1));
+                    ++transfers;
+                    queues[static_cast<std::size_t>(s.master)].pop_front();
+                }
+                continue;
+            }
+            // Arbitrate among masters whose *head* transaction targets si.
+            for (int i = 0; i < p.masters; ++i) {
+                const int m = (s.rr + i) % p.masters;
+                if (master_busy[static_cast<std::size_t>(m)]) continue;
+                auto& q = queues[static_cast<std::size_t>(m)];
+                if (q.empty() || q.front().slave != si) continue;
+                s.master = m;
+                s.born = q.front().born;
+                s.busy_words = q.front().words + p.arbitration_cycles - 1;
+                s.rr = (m + 1) % p.masters;
+                master_busy[static_cast<std::size_t>(m)] = true;
+                break;
+            }
+        }
+    }
+
+    Bus_load_point pt;
+    pt.offered_words_per_cycle = rate * burst_words * p.masters;
+    pt.accepted_words_per_cycle =
+        static_cast<double>(words_done) / static_cast<double>(cycles);
+    pt.avg_latency = latency.mean();
+    pt.max_latency = latency.max();
+    pt.transfers = transfers;
+    return pt;
+}
+
+Router_phys_result estimate_crossbar_phys(const Technology& tech,
+                                          const Crossbar_params& p)
+{
+    Router_phys_params rp;
+    rp.in_ports = p.masters;
+    rp.out_ports = p.slaves;
+    rp.flit_width_bits = p.width_bits;
+    rp.buffer_depth = 1; // output register only
+    rp.vcs = 1;
+    // Bus crossbars are laid out as regular bit slices (datapath
+    // discipline), which roughly halves effective wiring congestion versus
+    // the random-logic placement of a NoC switch.
+    rp.wiring_discipline = 2.0;
+    return estimate_router(tech, rp);
+}
+
+} // namespace noc

@@ -1,0 +1,40 @@
+// Multilayer-AHB-style crossbar model (§4.2 "Routability").
+//
+// "Crossbars are successful at providing non-blocking access and minimizing
+// arbitration delays. Unfortunately, if the inputs and outputs of the
+// crossbars are 100- to 200-wires wide as in buses, crossbars may exhibit
+// serious physical wire routability issues. Due to this, commercial tools
+// often constrain the maximum crossbar size to 8x8 or less."
+//
+// Two pieces: a cycle-level performance model (per-slave round-robin
+// arbitration, non-blocking across distinct slaves) and a physical
+// routability estimate that reuses the router wiring model with bus-width
+// ports — which is exactly what makes big bus crossbars unroutable while
+// 32-bit NoC switches of radix 10+ are fine.
+#pragma once
+
+#include "bus/shared_bus.h"
+#include "phys/router_model.h"
+
+namespace noc {
+
+struct Crossbar_params {
+    int masters = 4;
+    int slaves = 4;
+    int width_bits = 128; ///< full bus port width (data+addr+control)
+    int arbitration_cycles = 1;
+};
+
+/// Uniform-random master->slave transfers; per-slave round-robin.
+[[nodiscard]] Bus_load_point simulate_crossbar(const Crossbar_params& p,
+                                               double rate, int burst_words,
+                                               Cycle cycles,
+                                               std::uint64_t seed = 1);
+
+/// Physical feasibility of the crossbar macro: the router wiring model at
+/// bus-class port widths (no per-port buffering — crossbars are
+/// combinational plus output registers).
+[[nodiscard]] Router_phys_result estimate_crossbar_phys(
+    const Technology& tech, const Crossbar_params& p);
+
+} // namespace noc

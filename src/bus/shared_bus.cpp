@@ -1,0 +1,180 @@
+#include "bus/shared_bus.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+struct Pending {
+    Cycle born;
+    int words;
+};
+
+} // namespace
+
+Bus_load_point simulate_shared_bus(const Bus_params& p, double rate,
+                                   int burst_words, Cycle cycles,
+                                   std::uint64_t seed)
+{
+    if (p.masters < 1 || p.width_bits < 1 || burst_words < 1 || rate < 0)
+        throw std::invalid_argument{"simulate_shared_bus: bad parameters"};
+
+    std::vector<std::deque<Pending>> queues(
+        static_cast<std::size_t>(p.masters));
+    std::vector<Rng> rngs;
+    for (int m = 0; m < p.masters; ++m)
+        rngs.emplace_back(seed * 31 + static_cast<std::uint64_t>(m));
+
+    Accumulator latency;
+    std::uint64_t transfers = 0;
+    std::uint64_t words_done = 0;
+    int busy_until_words = 0; // words left in the current transfer
+    int current_master = -1;
+    Cycle current_born = 0;
+    int rr = 0;
+
+    for (Cycle t = 0; t < cycles; ++t) {
+        // Generation.
+        for (int m = 0; m < p.masters; ++m)
+            if (rngs[static_cast<std::size_t>(m)].next_bool(rate))
+                queues[static_cast<std::size_t>(m)].push_back(
+                    {t, burst_words});
+
+        // Data phase: one word per cycle.
+        if (busy_until_words > 0) {
+            --busy_until_words;
+            ++words_done;
+            if (busy_until_words == 0) {
+                latency.add(static_cast<double>(t - current_born + 1));
+                ++transfers;
+                queues[static_cast<std::size_t>(current_master)].pop_front();
+            }
+            continue;
+        }
+        // Arbitration: round-robin over masters with pending transfers;
+        // the winner pays the arbitration cycles before data moves.
+        for (int i = 0; i < p.masters; ++i) {
+            const int m = (rr + i) % p.masters;
+            if (!queues[static_cast<std::size_t>(m)].empty()) {
+                current_master = m;
+                current_born = queues[static_cast<std::size_t>(m)].front().born;
+                busy_until_words =
+                    queues[static_cast<std::size_t>(m)].front().words;
+                rr = (m + 1) % p.masters;
+                // Arbitration overhead: skip ahead.
+                t += static_cast<Cycle>(p.arbitration_cycles - 1);
+                break;
+            }
+        }
+    }
+
+    Bus_load_point pt;
+    pt.offered_words_per_cycle = rate * burst_words * p.masters;
+    pt.accepted_words_per_cycle =
+        static_cast<double>(words_done) / static_cast<double>(cycles);
+    pt.avg_latency = latency.mean();
+    pt.max_latency = latency.max();
+    pt.transfers = transfers;
+    return pt;
+}
+
+Bus_load_point simulate_bridged_bus(const Bridged_bus_params& p, double rate,
+                                    int burst_words, Cycle cycles,
+                                    std::uint64_t seed)
+{
+    if (p.cross_fraction < 0 || p.cross_fraction > 1 || p.bridge_latency < 1)
+        throw std::invalid_argument{"simulate_bridged_bus: bad parameters"};
+
+    const int per_segment = std::max(1, p.segment.masters / 2);
+
+    struct Seg {
+        std::vector<std::deque<Pending>> queues;
+        int busy_words = 0;
+        int current = -1;
+        Cycle born = 0;
+        int rr = 0;
+        bool current_is_bridge = false;
+    };
+    Seg segs[2];
+    for (auto& s : segs)
+        s.queues.resize(static_cast<std::size_t>(per_segment) + 1);
+    // queue index per_segment = the bridge's ingress queue on that segment.
+
+    std::vector<Rng> rngs;
+    for (int m = 0; m < 2 * per_segment; ++m)
+        rngs.emplace_back(seed * 77 + static_cast<std::uint64_t>(m));
+    Rng cross_rng{seed * 131 + 7};
+
+    struct In_bridge {
+        Cycle ready;
+        Cycle born;
+        int words;
+        int to_segment;
+    };
+    std::deque<In_bridge> bridge;
+
+    Accumulator latency;
+    std::uint64_t transfers = 0;
+    std::uint64_t words_done = 0;
+
+    for (Cycle t = 0; t < cycles; ++t) {
+        for (int m = 0; m < 2 * per_segment; ++m) {
+            if (!rngs[static_cast<std::size_t>(m)].next_bool(rate)) continue;
+            const int seg = m / per_segment;
+            const bool crosses = cross_rng.next_bool(p.cross_fraction);
+            if (crosses && static_cast<int>(bridge.size()) >= p.bridge_queue)
+                continue; // bridge full: transaction dropped at source
+            if (crosses)
+                bridge.push_back({t + static_cast<Cycle>(p.bridge_latency),
+                                  t, burst_words, 1 - seg});
+            else
+                segs[seg].queues[static_cast<std::size_t>(m % per_segment)]
+                    .push_back({t, burst_words});
+        }
+        // Bridge egress: ready transactions join the target segment queue.
+        while (!bridge.empty() && bridge.front().ready <= t) {
+            const auto& b = bridge.front();
+            segs[b.to_segment]
+                .queues[static_cast<std::size_t>(per_segment)]
+                .push_back({b.born, b.words});
+            bridge.pop_front();
+        }
+        for (auto& s : segs) {
+            if (s.busy_words > 0) {
+                --s.busy_words;
+                ++words_done;
+                if (s.busy_words == 0) {
+                    latency.add(static_cast<double>(t - s.born + 1));
+                    ++transfers;
+                    s.queues[static_cast<std::size_t>(s.current)].pop_front();
+                }
+                continue;
+            }
+            const int n = per_segment + 1;
+            for (int i = 0; i < n; ++i) {
+                const int m = (s.rr + i) % n;
+                if (!s.queues[static_cast<std::size_t>(m)].empty()) {
+                    s.current = m;
+                    s.born = s.queues[static_cast<std::size_t>(m)].front().born;
+                    s.busy_words =
+                        s.queues[static_cast<std::size_t>(m)].front().words;
+                    s.rr = (m + 1) % n;
+                    break;
+                }
+            }
+        }
+    }
+
+    Bus_load_point pt;
+    pt.offered_words_per_cycle =
+        rate * burst_words * 2 * per_segment;
+    pt.accepted_words_per_cycle =
+        static_cast<double>(words_done) / static_cast<double>(cycles);
+    pt.avg_latency = latency.mean();
+    pt.max_latency = latency.max();
+    pt.transfers = transfers;
+    return pt;
+}
+
+} // namespace noc

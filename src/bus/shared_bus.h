@@ -1,0 +1,63 @@
+// Cycle-level shared-bus and bridged-bus models — the §1 baseline ("for a
+// long while, bus-based solutions have been widely used... as the number of
+// components scales up, the complexity of the bus system also increases").
+//
+// The shared bus serializes every transfer through one arbiter; the bridged
+// variant splits masters/slaves over segments joined by a store-and-forward
+// bridge (the "several levels of bus hierarchy" of evolved SoC buses).
+#pragma once
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace noc {
+
+struct Bus_params {
+    int masters = 4;
+    /// Bus data width in bits (buses move whole words in parallel; §4.1
+    /// puts a typical bus at 100-200 wires).
+    int width_bits = 32;
+    /// Arbitration + address phase cost per transaction, cycles.
+    int arbitration_cycles = 1;
+    double clock_ghz = 1.0;
+};
+
+struct Bus_load_point {
+    double offered_words_per_cycle = 0.0;
+    double accepted_words_per_cycle = 0.0;
+    double avg_latency = 0.0;
+    double max_latency = 0.0;
+    std::uint64_t transfers = 0;
+};
+
+/// Simulate Bernoulli masters posting `burst_words`-long transfers at
+/// `rate` transfers/master/cycle for `cycles`. Round-robin arbitration.
+[[nodiscard]] Bus_load_point simulate_shared_bus(const Bus_params& p,
+                                                 double rate,
+                                                 int burst_words,
+                                                 Cycle cycles,
+                                                 std::uint64_t seed = 1);
+
+struct Bridged_bus_params {
+    Bus_params segment; ///< both segments share this configuration
+    /// Fraction of each master's traffic that crosses the bridge.
+    double cross_fraction = 0.5;
+    /// Store-and-forward latency of the bridge, cycles.
+    int bridge_latency = 4;
+    /// Bridge queue depth (transactions).
+    int bridge_queue = 8;
+};
+
+/// Two-segment bridged bus with half the masters on each side.
+[[nodiscard]] Bus_load_point simulate_bridged_bus(const Bridged_bus_params& p,
+                                                  double rate,
+                                                  int burst_words,
+                                                  Cycle cycles,
+                                                  std::uint64_t seed = 1);
+
+} // namespace noc

@@ -1,0 +1,39 @@
+#include "bus/wiring.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+Wiring_comparison compare_wiring(const Technology& tech,
+                                 const Bus_wiring& bus,
+                                 const Noc_link_wiring& link)
+{
+    if (link.flit_width_bits <= 0)
+        throw std::invalid_argument{"compare_wiring: bad flit width"};
+
+    Wiring_comparison c;
+    c.bus_wires = bus.total_wires();
+    c.noc_wires = link.total_wires();
+    c.wire_reduction_factor =
+        static_cast<double>(c.bus_wires) / c.noc_wires;
+    const double pitch_mm = tech.metal_pitch_um * 1e-3;
+    c.bus_area_mm2_per_mm = c.bus_wires * pitch_mm;
+    c.noc_area_mm2_per_mm = c.noc_wires * pitch_mm;
+    // One bus beat moves read+write data in parallel; the NoC serializes
+    // the same payload bits over flit_width wires.
+    const double payload_bits = bus.write_data_bits + bus.read_data_bits;
+    c.noc_cycles_per_bus_beat = payload_bits / link.flit_width_bits;
+    return c;
+}
+
+double coupling_pairs_per_mm(const Technology& tech, int wires)
+{
+    if (wires < 0)
+        throw std::invalid_argument{"coupling_pairs_per_mm: negative"};
+    // Adjacent-pair coupling events per mm of parallel run: each internal
+    // neighbour pair couples once per pitch-length segment.
+    const double segments_per_mm = 1.0 / (tech.metal_pitch_um * 1e-3);
+    return wires <= 1 ? 0.0 : (wires - 1) * segments_per_mm;
+}
+
+} // namespace noc

@@ -1,0 +1,57 @@
+// Wire-count accounting for bus vs. NoC links (§4.1).
+//
+// "A typical on-chip bus requires around 100 to 200 wires: 32 or 64 bits of
+// write data, 32 or 64 bits of read data, 32 bits of address, plus control
+// signals. On the other hand, a NoC sends packets ... it does not, in
+// principle, have constraints over how many wires need to be deployed in
+// parallel."
+#pragma once
+
+#include "phys/technology.h"
+
+namespace noc {
+
+struct Bus_wiring {
+    int write_data_bits = 32;
+    int read_data_bits = 32;
+    int address_bits = 32;
+    int control_bits = 20; ///< ready/valid/burst/prot/etc.
+    [[nodiscard]] int total_wires() const
+    {
+        return write_data_bits + read_data_bits + address_bits +
+               control_bits;
+    }
+};
+
+struct Noc_link_wiring {
+    int flit_width_bits = 32;
+    int flow_control_wires = 4; ///< credits / stall-go / ack-nack return
+    int has_valid_wire = 1;
+    [[nodiscard]] int total_wires() const
+    {
+        return flit_width_bits + flow_control_wires + has_valid_wire;
+    }
+};
+
+struct Wiring_comparison {
+    int bus_wires = 0;
+    int noc_wires = 0;
+    double wire_reduction_factor = 0.0; ///< bus / noc
+    double bus_area_mm2_per_mm = 0.0;   ///< routing area per mm of run
+    double noc_area_mm2_per_mm = 0.0;
+    /// Serialization penalty: cycles to move one 32-bit-word transaction
+    /// payload over the narrower NoC link.
+    double noc_cycles_per_bus_beat = 0.0;
+};
+
+/// Compare one bus run against one NoC link of the given flit width.
+[[nodiscard]] Wiring_comparison compare_wiring(const Technology& tech,
+                                               const Bus_wiring& bus,
+                                               const Noc_link_wiring& link);
+
+/// Crosstalk proxy: aggressor-coupling per mm grows with parallel wires
+/// (adjacent-pair count); used by the wiring bench.
+[[nodiscard]] double coupling_pairs_per_mm(const Technology& tech,
+                                           int wires);
+
+} // namespace noc

@@ -1,0 +1,67 @@
+// 2D geometry primitives for floorplanning and wire-length estimation.
+// All dimensions are in millimetres unless stated otherwise.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace noc {
+
+struct Point {
+    double x = 0.0;
+    double y = 0.0;
+
+    friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+/// Manhattan distance — on-chip wires are routed rectilinearly, so this, not
+/// Euclidean distance, is the wire-length estimate used everywhere.
+[[nodiscard]] inline double manhattan(const Point& a, const Point& b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+[[nodiscard]] inline double euclidean(const Point& a, const Point& b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Axis-aligned rectangle, lower-left anchored.
+struct Rect {
+    double x = 0.0; ///< lower-left corner
+    double y = 0.0;
+    double w = 0.0; ///< width
+    double h = 0.0; ///< height
+
+    [[nodiscard]] double area() const { return w * h; }
+    [[nodiscard]] Point center() const { return {x + w / 2, y + h / 2}; }
+    [[nodiscard]] double right() const { return x + w; }
+    [[nodiscard]] double top() const { return y + h; }
+
+    [[nodiscard]] bool contains(const Point& p) const
+    {
+        return p.x >= x && p.x <= right() && p.y >= y && p.y <= top();
+    }
+
+    /// Strict interior overlap (shared edges do not count).
+    [[nodiscard]] bool overlaps(const Rect& o) const
+    {
+        return x < o.right() && o.x < right() && y < o.top() && o.y < top();
+    }
+
+    /// Smallest rectangle containing both.
+    [[nodiscard]] Rect union_with(const Rect& o) const
+    {
+        const double nx = std::min(x, o.x);
+        const double ny = std::min(y, o.y);
+        const double nr = std::max(right(), o.right());
+        const double nt = std::max(top(), o.top());
+        return {nx, ny, nr - nx, nt - ny};
+    }
+
+    friend constexpr bool operator==(const Rect&, const Rect&) = default;
+};
+
+} // namespace noc

@@ -1,0 +1,40 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace noc {
+
+namespace {
+Log_level g_level = Log_level::warn;
+
+const char* prefix(Log_level level)
+{
+    switch (level) {
+    case Log_level::error: return "[error] ";
+    case Log_level::warn: return "[warn ] ";
+    case Log_level::info: return "[info ] ";
+    case Log_level::debug: return "[debug] ";
+    default: return "";
+    }
+}
+} // namespace
+
+void set_log_level(Log_level level)
+{
+    g_level = level;
+}
+
+Log_level log_level()
+{
+    return g_level;
+}
+
+void log_message(Log_level level, const std::string& text)
+{
+    if (static_cast<int>(level) > static_cast<int>(g_level)) return;
+    std::fputs(prefix(level), stderr);
+    std::fputs(text.c_str(), stderr);
+    std::fputc('\n', stderr);
+}
+
+} // namespace noc

@@ -1,0 +1,37 @@
+// Minimal leveled logger.
+//
+// Simulation and synthesis both want progress/diagnostic output that can be
+// silenced in tests and benches. A single global level keeps call sites
+// trivial; there is deliberately no per-module registry.
+#pragma once
+
+#include <string>
+
+namespace noc {
+
+enum class Log_level { off, error, warn, info, debug };
+
+/// Process-wide log threshold (default: warn). Tests set `off`.
+void set_log_level(Log_level level);
+[[nodiscard]] Log_level log_level();
+
+void log_message(Log_level level, const std::string& text);
+
+inline void log_error(const std::string& text)
+{
+    log_message(Log_level::error, text);
+}
+inline void log_warn(const std::string& text)
+{
+    log_message(Log_level::warn, text);
+}
+inline void log_info(const std::string& text)
+{
+    log_message(Log_level::info, text);
+}
+inline void log_debug(const std::string& text)
+{
+    log_message(Log_level::debug, text);
+}
+
+} // namespace noc

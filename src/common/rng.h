@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation.
+//
+// Benches and tests must be bit-reproducible across runs and platforms, so we
+// avoid std::default_random_engine (implementation-defined) and the
+// distribution objects (algorithm unspecified). xoshiro256** seeded through
+// SplitMix64 gives high-quality, portable streams.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace noc {
+
+/// xoshiro256** generator with SplitMix64 seeding. Header-only and cheap to
+/// copy; every stochastic component owns its own stream so that adding a
+/// component never perturbs another component's draws.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto& word : state_) {
+            // SplitMix64 step.
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /// Uniform 64-bit word.
+    std::uint64_t next_u64()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform integer in [0, bound). bound == 0 returns 0.
+    std::uint64_t next_below(std::uint64_t bound)
+    {
+        if (bound == 0) return 0;
+        // Lemire's nearly-divisionless method would be faster; modulo bias is
+        // below 2^-32 for the bounds used here (< 2^32), which is fine for a
+        // simulator.
+        return next_u64() % bound;
+    }
+
+    /// Uniform double in [0, 1).
+    double next_double()
+    {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
+
+    /// Bernoulli draw with probability p.
+    bool next_bool(double p) { return next_double() < p; }
+
+    /// Geometric draw: number of failures before first success, success
+    /// probability p in (0, 1].
+    std::uint64_t next_geometric(double p)
+    {
+        if (p >= 1.0) return 0;
+        const double u = next_double();
+        return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+} // namespace noc

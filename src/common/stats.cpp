@@ -1,0 +1,84 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace noc {
+
+void Accumulator::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void Accumulator::clear()
+{
+    *this = Accumulator{};
+}
+
+double Accumulator::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double Accumulator::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::std_dev() const
+{
+    return std::sqrt(variance());
+}
+
+double Accumulator::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double Accumulator::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+Histogram::Histogram(double bin_width, std::size_t bin_count)
+    : bin_width_{bin_width}, bins_(bin_count, 0)
+{
+    if (bin_width <= 0.0 || bin_count == 0)
+        throw std::invalid_argument{"Histogram: bad geometry"};
+}
+
+void Histogram::add(double x)
+{
+    auto idx = static_cast<std::size_t>(std::max(0.0, x) / bin_width_);
+    idx = std::min(idx, bins_.size() - 1);
+    ++bins_[idx];
+    ++total_;
+}
+
+void Histogram::clear()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    total_ = 0;
+}
+
+double Histogram::percentile(double fraction) const
+{
+    if (total_ == 0) return 0.0;
+    const double target = fraction * static_cast<double>(total_);
+    double running = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        running += static_cast<double>(bins_[i]);
+        if (running >= target)
+            return static_cast<double>(i + 1) * bin_width_;
+    }
+    return static_cast<double>(bins_.size()) * bin_width_;
+}
+
+} // namespace noc

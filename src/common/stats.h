@@ -1,0 +1,60 @@
+// Statistics accumulators for simulation measurement.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace noc {
+
+/// Streaming scalar accumulator: count / sum / min / max / mean / variance
+/// (Welford). Used for packet latency, buffer occupancy, link utilization.
+class Accumulator {
+public:
+    void add(double x);
+    void clear();
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return sum_; }
+    [[nodiscard]] double mean() const;
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double std_dev() const;
+    [[nodiscard]] double min() const;
+    [[nodiscard]] double max() const;
+
+private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [0, bin_width * bin_count); overflow values land
+/// in the last bin. Supports exact percentile queries over the binned data.
+class Histogram {
+public:
+    Histogram(double bin_width, std::size_t bin_count);
+
+    void add(double x);
+    void clear();
+
+    [[nodiscard]] std::uint64_t count() const { return total_; }
+    [[nodiscard]] const std::vector<std::uint64_t>& bins() const
+    {
+        return bins_;
+    }
+    [[nodiscard]] double bin_width() const { return bin_width_; }
+
+    /// Value below which `fraction` of samples fall (upper edge of the bin
+    /// that crosses the fraction). fraction in [0, 1].
+    [[nodiscard]] double percentile(double fraction) const;
+
+private:
+    double bin_width_;
+    std::vector<std::uint64_t> bins_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace noc

@@ -1,0 +1,94 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+
+namespace noc {
+
+std::string format_double(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+    return buf;
+}
+
+Text_table::Text_table(std::vector<std::string> headers)
+    : headers_{std::move(headers)}
+{
+    if (headers_.empty())
+        throw std::invalid_argument{"Text_table: no headers"};
+}
+
+Text_table& Text_table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Text_table& Text_table::add(std::string cell)
+{
+    if (rows_.empty())
+        throw std::logic_error{"Text_table: add before row()"};
+    if (rows_.back().size() >= headers_.size())
+        throw std::logic_error{"Text_table: too many cells in row"};
+    rows_.back().push_back(std::move(cell));
+    return *this;
+}
+
+Text_table& Text_table::add(double value, int precision)
+{
+    return add(format_double(value, precision));
+}
+
+Text_table& Text_table::add(std::uint64_t value)
+{
+    return add(std::to_string(value));
+}
+
+Text_table& Text_table::add(int value)
+{
+    return add(std::to_string(value));
+}
+
+void Text_table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto emit_row = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& cell = c < cells.size() ? cells[c] : "";
+            os << cell;
+            if (c + 1 < headers_.size())
+                os << std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+
+    emit_row(headers_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+    for (const auto& r : rows_) emit_row(r);
+}
+
+void Text_table::print_csv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c) os << ',';
+            os << cells[c];
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    for (const auto& r : rows_) emit(r);
+}
+
+} // namespace noc

@@ -1,0 +1,42 @@
+// Text-table / CSV emitter used by benches to print the rows and series that
+// correspond to the paper's figures.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format with
+/// a fixed precision so bench output is stable run-to-run.
+class Text_table {
+public:
+    explicit Text_table(std::vector<std::string> headers);
+
+    /// Begin a new row; subsequent `add*` calls fill it left to right.
+    Text_table& row();
+    Text_table& add(std::string cell);
+    Text_table& add(double value, int precision = 2);
+    Text_table& add(std::uint64_t value);
+    Text_table& add(int value);
+
+    /// Render with padded columns; optionally also as CSV.
+    void print(std::ostream& os) const;
+    void print_csv(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+    [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const
+    {
+        return rows_;
+    }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (locale-independent).
+[[nodiscard]] std::string format_double(double value, int precision = 2);
+
+} // namespace noc

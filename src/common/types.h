@@ -1,0 +1,95 @@
+// Fundamental scalar types and strong identifiers used across the library.
+//
+// A NoC model juggles many small integer id spaces (cores, switches, ports,
+// virtual channels, flows, packets). Mixing them up is the classic source of
+// silent bugs in interconnect simulators, so each id space gets a distinct
+// strong type. The wrapper is zero-cost: a single integral member.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace noc {
+
+/// Simulation time in clock cycles of the NoC clock domain.
+using Cycle = std::uint64_t;
+
+/// Sentinel for "no cycle recorded yet".
+inline constexpr Cycle invalid_cycle = std::numeric_limits<Cycle>::max();
+
+namespace detail {
+
+/// CRTP-free strong id: `Tag` makes each instantiation a distinct type.
+template<typename Tag, typename Rep = std::uint32_t>
+struct Strong_id {
+    using rep_type = Rep;
+
+    Rep value{invalid_value()};
+
+    constexpr Strong_id() = default;
+    constexpr explicit Strong_id(Rep v) : value{v} {}
+
+    [[nodiscard]] static constexpr Rep invalid_value()
+    {
+        return std::numeric_limits<Rep>::max();
+    }
+    [[nodiscard]] static constexpr Strong_id invalid() { return Strong_id{}; }
+
+    [[nodiscard]] constexpr bool is_valid() const
+    {
+        return value != invalid_value();
+    }
+    [[nodiscard]] constexpr Rep get() const { return value; }
+
+    friend constexpr bool operator==(Strong_id, Strong_id) = default;
+    friend constexpr auto operator<=>(Strong_id, Strong_id) = default;
+};
+
+} // namespace detail
+
+struct Core_tag {};
+struct Switch_tag {};
+struct Node_tag {};
+struct Port_tag {};
+struct Vc_tag {};
+struct Flow_tag {};
+struct Packet_tag {};
+struct Link_tag {};
+struct Connection_tag {};
+struct Layer_tag {};
+
+/// An IP core (processing element, memory, accelerator) attached to the NoC.
+using Core_id = detail::Strong_id<Core_tag>;
+/// A switch (router) in the network.
+using Switch_id = detail::Strong_id<Switch_tag>;
+/// A generic topology node (switch or network-interface endpoint).
+using Node_id = detail::Strong_id<Node_tag>;
+/// A port index local to one switch.
+using Port_id = detail::Strong_id<Port_tag, std::uint16_t>;
+/// A virtual channel index local to one port.
+using Vc_id = detail::Strong_id<Vc_tag, std::uint16_t>;
+/// One logical traffic flow (source core -> destination core stream).
+using Flow_id = detail::Strong_id<Flow_tag>;
+/// One packet instance, unique within a simulation run.
+using Packet_id = detail::Strong_id<Packet_tag, std::uint64_t>;
+/// A unidirectional link in the topology.
+using Link_id = detail::Strong_id<Link_tag>;
+/// A guaranteed-throughput (GT) connection in the QoS layer.
+using Connection_id = detail::Strong_id<Connection_tag>;
+/// A silicon layer in a 3D-stacked design (0 = bottom die).
+using Layer_id = detail::Strong_id<Layer_tag, std::uint16_t>;
+
+} // namespace noc
+
+namespace std {
+
+template<typename Tag, typename Rep>
+struct hash<noc::detail::Strong_id<Tag, Rep>> {
+    size_t operator()(noc::detail::Strong_id<Tag, Rep> id) const noexcept
+    {
+        return std::hash<Rep>{}(id.value);
+    }
+};
+
+} // namespace std

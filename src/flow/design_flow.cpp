@@ -1,0 +1,106 @@
+#include "flow/design_flow.h"
+
+#include "common/table.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace noc {
+
+Flow_result run_design_flow(const Flow_config& config)
+{
+    Flow_result result;
+
+    // 1. Topology synthesis across the architectural parameter sweep.
+    result.synthesis = synthesize_topologies(config.spec);
+    if (result.synthesis.designs.empty()) {
+        std::string msg = "design flow: no feasible design.";
+        for (const auto& r : result.synthesis.rejections)
+            msg += "\n  " + r;
+        throw std::runtime_error{msg};
+    }
+
+    // 2. Pareto extraction and the designer's weighted pick.
+    result.pareto_indices = result.synthesis.pareto();
+    {
+        std::vector<Design_metrics> metrics;
+        for (const auto i : result.pareto_indices)
+            metrics.push_back(result.synthesis.designs[i].metrics);
+        result.chosen = result.pareto_indices[pick_weighted(
+            metrics, config.power_weight, config.latency_weight,
+            config.area_weight)];
+    }
+    const Design_point& dp = result.synthesis.designs[result.chosen];
+
+    // 3. RTL generation + structural self-check.
+    result.rtl = generate_rtl(dp.topology,
+                              network_params_for(dp, config.spec.buffer_depth),
+                              config.top_name);
+    result.rtl_check = check_rtl(result.rtl.text);
+
+    // 4. Simulation-model validation against the application constraints.
+    if (config.validate_by_simulation)
+        result.validation =
+            validate_design(dp, config.spec.graph, config.validation_warmup,
+                            config.validation_cycles,
+                            config.spec.buffer_depth);
+
+    // 5. Report.
+    std::ostringstream os;
+    os << "# NoC design flow report — " << config.spec.graph.name() << "\n\n"
+       << "Cores: " << config.spec.graph.core_count()
+       << ", flows: " << config.spec.graph.flow_count()
+       << ", aggregate bandwidth: "
+       << format_double(config.spec.graph.total_bandwidth_mbps() * 8e-3, 2)
+       << " Gb/s\n\n"
+       << "## Design space (" << result.synthesis.designs.size()
+       << " feasible, " << result.synthesis.rejections.size()
+       << " rejected, " << result.pareto_indices.size() << " on front)\n\n";
+    Text_table table{{"design", "switches", "clock(GHz)", "width", "power(mW)",
+                      "latency(ns)", "area(mm2)", "pareto", "chosen"}};
+    for (std::size_t i = 0; i < result.synthesis.designs.size(); ++i) {
+        const auto& d = result.synthesis.designs[i];
+        const bool on_front =
+            std::find(result.pareto_indices.begin(),
+                      result.pareto_indices.end(),
+                      i) != result.pareto_indices.end();
+        table.row()
+            .add(d.name)
+            .add(d.switch_count)
+            .add(d.op.clock_ghz, 2)
+            .add(d.op.flit_width_bits)
+            .add(d.metrics.power_mw, 2)
+            .add(d.metrics.latency_ns, 1)
+            .add(d.metrics.area_mm2, 3)
+            .add(on_front ? "*" : "")
+            .add(i == result.chosen ? "<==" : "");
+    }
+    table.print(os);
+    os << "\n## Chosen design: " << dp.name << "\n"
+       << "- links: " << dp.topology.link_count()
+       << ", max radix: " << dp.topology.max_radix()
+       << ", pipeline stages: " << dp.total_pipeline_stages << "\n"
+       << "- max link utilization: "
+       << format_double(dp.max_link_utilization, 2) << "\n"
+       << "- RTL: " << result.rtl.module_count << " modules, "
+       << result.rtl.instance_count << " instances, structural check "
+       << (result.rtl_check.ok ? "PASSED" : "FAILED") << "\n";
+    if (config.validate_by_simulation) {
+        os << "- simulation validation: "
+           << (result.validation.bandwidth_met && result.validation.latency_met
+                   ? "PASSED"
+                   : "FAILED")
+           << " (accepted "
+           << format_double(result.validation.accepted_flits_per_cycle, 3)
+           << " / offered "
+           << format_double(result.validation.offered_flits_per_cycle, 3)
+           << " flits/cycle)\n";
+        for (const auto& v : result.validation.violations)
+            os << "  - violation: " << v << "\n";
+    }
+    result.report = os.str();
+    return result;
+}
+
+} // namespace noc

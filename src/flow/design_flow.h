@@ -1,0 +1,53 @@
+// The iNoCs-style end-to-end tool flow of Fig. 6:
+//
+//   application architecture + constraints (+ optional floorplan)
+//       -> topology synthesis across switch counts / operating points
+//       -> Pareto set -> designer pick (weighted)
+//       -> RTL generation + structural check
+//       -> simulation-model generation + run-time validation
+//       -> reports.
+#pragma once
+
+#include "rtlgen/verilog.h"
+#include "synth/compiler.h"
+#include "synth/topology_synth.h"
+
+#include <string>
+
+namespace noc {
+
+struct Flow_config {
+    Synthesis_spec spec;
+    /// Designer weights used to pick from the Pareto front.
+    double power_weight = 1.0;
+    double latency_weight = 0.3;
+    double area_weight = 0.1;
+    /// Run the generated simulation model against the spec.
+    bool validate_by_simulation = true;
+    Cycle validation_warmup = 2'000;
+    Cycle validation_cycles = 20'000;
+    std::string top_name = "noc_top";
+};
+
+struct Flow_result {
+    Synthesis_result synthesis;
+    std::vector<std::size_t> pareto_indices;
+    /// Index of the chosen design inside synthesis.designs.
+    std::size_t chosen = 0;
+    Rtl_output rtl;
+    Rtl_check rtl_check;
+    Validation_report validation;
+    /// Human-readable flow report (markdown).
+    std::string report;
+
+    [[nodiscard]] const Design_point& chosen_design() const
+    {
+        return synthesis.designs.at(chosen);
+    }
+};
+
+/// Run the complete flow; throws std::runtime_error when no feasible design
+/// exists (with the rejection log in the message).
+[[nodiscard]] Flow_result run_design_flow(const Flow_config& config);
+
+} // namespace noc

@@ -1,0 +1,247 @@
+#include "phys/floorplan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace noc {
+
+Floorplan::Floorplan(Rect die) : die_{die}
+{
+    if (die.w <= 0 || die.h <= 0)
+        throw std::invalid_argument{"Floorplan: empty die"};
+}
+
+bool Floorplan::fits(const Rect& r) const
+{
+    if (r.x < die_.x || r.y < die_.y || r.right() > die_.right() + 1e-9 ||
+        r.top() > die_.top() + 1e-9)
+        return false;
+    for (const auto& b : blocks_)
+        if (b.rect.overlaps(r)) return false;
+    return true;
+}
+
+int Floorplan::add_block(std::string name, Rect r, bool is_noc_component)
+{
+    if (!fits(r))
+        throw std::invalid_argument{"Floorplan::add_block: '" + name +
+                                    "' does not fit"};
+    blocks_.push_back({std::move(name), r, is_noc_component});
+    return static_cast<int>(blocks_.size()) - 1;
+}
+
+std::optional<int> Floorplan::place_near(std::string name, double w, double h,
+                                         Point near, bool is_noc_component)
+{
+    if (w <= 0 || h <= 0)
+        throw std::invalid_argument{"Floorplan::place_near: empty block"};
+    const double step = std::max(std::min(w, h) / 2.0, 1e-3);
+    const double max_radius =
+        std::hypot(die_.w, die_.h); // covers the whole die
+    // Spiral: rings of candidate centers at increasing radius.
+    for (double radius = 0.0; radius <= max_radius; radius += step) {
+        const int points =
+            radius == 0.0
+                ? 1
+                : std::max(8, static_cast<int>(radius * 8.0 / step));
+        for (int i = 0; i < points; ++i) {
+            const double angle = 2.0 * 3.141592653589793 * i / points;
+            const double cx = near.x + radius * std::cos(angle);
+            const double cy = near.y + radius * std::sin(angle);
+            Rect candidate{cx - w / 2, cy - h / 2, w, h};
+            // Clamp into the die.
+            candidate.x = std::clamp(candidate.x, die_.x, die_.right() - w);
+            candidate.y = std::clamp(candidate.y, die_.y, die_.top() - h);
+            if (fits(candidate)) {
+                blocks_.push_back(
+                    {std::move(name), candidate, is_noc_component});
+                return static_cast<int>(blocks_.size()) - 1;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+int Floorplan::block_index(const std::string& name) const
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i)
+        if (blocks_[i].name == name) return static_cast<int>(i);
+    throw std::invalid_argument{"Floorplan: unknown block " + name};
+}
+
+double Floorplan::wire_length(int a, int b) const
+{
+    return manhattan(block_center(a), block_center(b));
+}
+
+double Floorplan::occupied_area() const
+{
+    return std::accumulate(blocks_.begin(), blocks_.end(), 0.0,
+                           [](double acc, const Fp_block& b) {
+                               return acc + b.rect.area();
+                           });
+}
+
+void Floorplan::validate() const
+{
+    for (std::size_t i = 0; i < blocks_.size(); ++i) {
+        const Rect& r = blocks_[i].rect;
+        if (r.x < die_.x - 1e-9 || r.y < die_.y - 1e-9 ||
+            r.right() > die_.right() + 1e-9 || r.top() > die_.top() + 1e-9)
+            throw std::logic_error{"Floorplan: block outside die: " +
+                                   blocks_[i].name};
+        for (std::size_t j = i + 1; j < blocks_.size(); ++j)
+            if (r.overlaps(blocks_[j].rect))
+                throw std::logic_error{"Floorplan: overlap between " +
+                                       blocks_[i].name + " and " +
+                                       blocks_[j].name};
+    }
+}
+
+namespace {
+
+Floorplan shelf_pack(const Core_graph& graph, const std::vector<int>& cores,
+                     double gap_frac)
+{
+    if (gap_frac < 0 || gap_frac > 1)
+        throw std::invalid_argument{"make_shelf_floorplan: bad gap_frac"};
+    if (cores.empty())
+        throw std::invalid_argument{"make_shelf_floorplan: no cores"};
+
+    struct Item {
+        int core;
+        double side;
+    };
+    std::vector<Item> items;
+    double inflated_area = 0.0;
+    for (const int c : cores) {
+        const double side = std::sqrt(graph.core(c).area_mm2);
+        items.push_back({c, side});
+        const double inflated = side * (1.0 + gap_frac);
+        inflated_area += inflated * inflated;
+    }
+
+    // Affinity-aware ordering (§6: the floorplan estimate reflects "the
+    // communication among cores"): greedily chain cores so that heavy
+    // communicators sit in adjacent shelf slots. Start from the core with
+    // the largest total traffic; repeatedly append the unplaced core with
+    // the strongest ties to the last few placed ones.
+    {
+        const auto n = items.size();
+        std::vector<double> affinity(n * n, 0.0);
+        std::vector<int> index_of(static_cast<std::size_t>(
+                                      graph.core_count()),
+                                  -1);
+        for (std::size_t i = 0; i < n; ++i)
+            index_of[static_cast<std::size_t>(items[i].core)] =
+                static_cast<int>(i);
+        std::vector<double> total(n, 0.0);
+        for (const auto& f : graph.flows()) {
+            const int a = index_of[static_cast<std::size_t>(f.src)];
+            const int b = index_of[static_cast<std::size_t>(f.dst)];
+            if (a < 0 || b < 0) continue;
+            affinity[static_cast<std::size_t>(a) * n +
+                     static_cast<std::size_t>(b)] += f.bandwidth_mbps;
+            affinity[static_cast<std::size_t>(b) * n +
+                     static_cast<std::size_t>(a)] += f.bandwidth_mbps;
+            total[static_cast<std::size_t>(a)] += f.bandwidth_mbps;
+            total[static_cast<std::size_t>(b)] += f.bandwidth_mbps;
+        }
+        std::vector<char> placed(n, 0);
+        std::vector<Item> ordered;
+        ordered.reserve(n);
+        std::size_t seed = 0;
+        for (std::size_t i = 1; i < n; ++i)
+            if (total[i] > total[seed]) seed = i;
+        ordered.push_back(items[seed]);
+        placed[seed] = 1;
+        while (ordered.size() < n) {
+            std::size_t best = n;
+            double best_score = -1.0;
+            for (std::size_t cand = 0; cand < n; ++cand) {
+                if (placed[cand]) continue;
+                double score = 0.0;
+                const std::size_t window =
+                    std::min<std::size_t>(3, ordered.size());
+                for (std::size_t w = 0; w < window; ++w) {
+                    const auto prev = static_cast<std::size_t>(
+                        index_of[static_cast<std::size_t>(
+                            ordered[ordered.size() - 1 - w].core)]);
+                    score += affinity[prev * n + cand] / (1.0 + w);
+                }
+                if (score > best_score ||
+                    (score == best_score && best < n &&
+                     items[cand].core < items[best].core)) {
+                    best_score = score;
+                    best = cand;
+                }
+            }
+            ordered.push_back(items[best]);
+            placed[best] = 1;
+        }
+        items = std::move(ordered);
+    }
+
+    const double target_width = std::sqrt(inflated_area) * 1.12;
+
+    // First pass: compute extents; second pass: build the real floorplan.
+    struct Placement {
+        int core;
+        Rect rect;
+    };
+    std::vector<Placement> placements;
+    double x = 0.0;
+    double y = 0.0;
+    double shelf_h = 0.0;
+    double max_x = 0.0;
+    for (const auto& it : items) {
+        const double gap = it.side * gap_frac;
+        const double w = it.side + gap;
+        const double h = it.side + gap;
+        if (x + w > target_width && x > 0.0) {
+            x = 0.0;
+            y += shelf_h;
+            shelf_h = 0.0;
+        }
+        placements.push_back(
+            {it.core, {x + gap / 2, y + gap / 2, it.side, it.side}});
+        x += w;
+        shelf_h = std::max(shelf_h, h);
+        max_x = std::max(max_x, x);
+    }
+    const double die_w = max_x + 0.2;
+    const double die_h = y + shelf_h + 0.2;
+
+    Floorplan fp{{0, 0, die_w, die_h}};
+    // Insert in core order so block index == position within `cores`.
+    std::sort(placements.begin(), placements.end(),
+              [](const Placement& a, const Placement& b) {
+                  return a.core < b.core;
+              });
+    for (const auto& pl : placements)
+        fp.add_block(graph.core(pl.core).name, pl.rect, false);
+    fp.validate();
+    return fp;
+}
+
+} // namespace
+
+Floorplan make_shelf_floorplan(const Core_graph& graph, double gap_frac)
+{
+    std::vector<int> cores(static_cast<std::size_t>(graph.core_count()));
+    std::iota(cores.begin(), cores.end(), 0);
+    return shelf_pack(graph, cores, gap_frac);
+}
+
+Floorplan make_shelf_floorplan_layer(const Core_graph& graph, Layer_id layer,
+                                     double gap_frac)
+{
+    std::vector<int> cores;
+    for (int c = 0; c < graph.core_count(); ++c)
+        if (graph.core(c).layer == layer) cores.push_back(c);
+    return shelf_pack(graph, cores, gap_frac);
+}
+
+} // namespace noc

@@ -1,0 +1,95 @@
+// Floorplan substrate (§6: the flow "optionally takes the floorplan of the
+// SoC without the interconnect as an input ... the tool also produces an
+// output floorplan for the topology point, with the NoC components placed
+// at the ideal locations").
+//
+// Two pieces:
+//   * Floorplan — rectangles on a die with overlap-free invariants, nearest
+//     -whitespace insertion (the "incremental floorplanning" of SunFloor
+//     [11][12]: NoC blocks are added while only marginally perturbing the
+//     input floorplan), and wire-length queries;
+//   * make_shelf_floorplan — a deterministic shelf packer that generates
+//     the "early floorplan of the SoC" from a core graph when the designer
+//     does not supply one.
+#pragma once
+
+#include "common/geometry.h"
+#include "traffic/core_graph.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+struct Fp_block {
+    std::string name;
+    Rect rect;
+    bool is_noc_component = false; ///< inserted by the flow, not the input
+};
+
+class Floorplan {
+public:
+    explicit Floorplan(Rect die);
+
+    /// Place a block at a fixed position; throws if it leaves the die or
+    /// overlaps an existing block.
+    int add_block(std::string name, Rect r, bool is_noc_component = false);
+
+    /// Find the free location nearest `near` for a w x h block (spiral
+    /// search over a grid), add it, and return its index; nullopt when the
+    /// die has no room.
+    [[nodiscard]] std::optional<int> place_near(std::string name, double w,
+                                                double h, Point near,
+                                                bool is_noc_component = true);
+
+    [[nodiscard]] int block_count() const
+    {
+        return static_cast<int>(blocks_.size());
+    }
+    [[nodiscard]] const Fp_block& block(int i) const
+    {
+        return blocks_.at(static_cast<std::size_t>(i));
+    }
+    [[nodiscard]] int block_index(const std::string& name) const;
+    [[nodiscard]] Point block_center(int i) const
+    {
+        return block(i).rect.center();
+    }
+    /// Manhattan distance between block centers — the wire-length estimate.
+    [[nodiscard]] double wire_length(int a, int b) const;
+
+    [[nodiscard]] const Rect& die() const { return die_; }
+    [[nodiscard]] double occupied_area() const;
+    [[nodiscard]] double utilization() const
+    {
+        return occupied_area() / die_.area();
+    }
+    /// Sum of displacement applied to pre-existing blocks (always 0 here:
+    /// insertion never moves input blocks — the "marginal perturbation" is
+    /// zero by construction; exposed for reporting).
+    [[nodiscard]] double perturbation() const { return 0.0; }
+
+    /// No overlaps, everything inside the die.
+    void validate() const;
+
+private:
+    [[nodiscard]] bool fits(const Rect& r) const;
+
+    Rect die_;
+    std::vector<Fp_block> blocks_;
+};
+
+/// Deterministic shelf packing of the core graph's blocks (squares of the
+/// specified areas), with `gap_frac` spacing channels reserved around each
+/// block as whitespace for later NoC insertion.
+[[nodiscard]] Floorplan make_shelf_floorplan(const Core_graph& graph,
+                                             double gap_frac = 0.18);
+
+/// Shelf-pack only the cores on `layer` (3D flows keep one floorplan per
+/// die).
+[[nodiscard]] Floorplan make_shelf_floorplan_layer(const Core_graph& graph,
+                                                   Layer_id layer,
+                                                   double gap_frac = 0.18);
+
+} // namespace noc

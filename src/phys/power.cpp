@@ -1,0 +1,70 @@
+#include "phys/power.h"
+
+#include "phys/router_model.h"
+#include "phys/wire_model.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+std::vector<double> link_lengths_mm(const Topology& topo, double fallback_mm)
+{
+    std::vector<double> lengths;
+    lengths.reserve(static_cast<std::size_t>(topo.link_count()));
+    for (const auto& l : topo.links()) {
+        const auto a = topo.switch_position(l.from);
+        const auto b = topo.switch_position(l.to);
+        lengths.push_back(a && b ? manhattan(*a, *b) : fallback_mm);
+    }
+    return lengths;
+}
+
+Power_report estimate_power(const Noc_system& sys, const Technology& tech,
+                            Cycle cycles, double fallback_link_mm)
+{
+    if (cycles == 0)
+        throw std::invalid_argument{"estimate_power: zero cycles"};
+    const Topology& topo = sys.topology();
+    const Network_params& np = sys.params();
+
+    Power_report rep;
+    double energy_pj = 0.0;
+    std::uint64_t flits = 0;
+
+    for (int s = 0; s < topo.switch_count(); ++s) {
+        const Switch_id sw{static_cast<std::uint32_t>(s)};
+        Router_phys_params rp;
+        rp.in_ports = topo.input_port_count(sw);
+        rp.out_ports = topo.output_port_count(sw);
+        rp.flit_width_bits = np.flit_width_bits;
+        rp.buffer_depth = np.buffer_depth;
+        rp.vcs = np.total_vcs();
+        const auto phys = estimate_router(tech, rp);
+        const std::uint64_t routed = sys.router(sw).flits_routed();
+        energy_pj += static_cast<double>(routed) * phys.energy_per_flit_pj;
+        rep.router_dynamic_mw += static_cast<double>(routed) *
+                                 phys.energy_per_flit_pj * np.clock_ghz /
+                                 static_cast<double>(cycles);
+        rep.leakage_mw += phys.leakage_mw;
+        flits += routed;
+    }
+
+    const auto lengths = link_lengths_mm(topo, fallback_link_mm);
+    for (int l = 0; l < topo.link_count(); ++l) {
+        const auto transfers =
+            sys.link_flits(Link_id{static_cast<std::uint32_t>(l)});
+        const double e = wire_energy_pj(
+            tech, lengths[static_cast<std::size_t>(l)],
+            static_cast<double>(transfers) * np.flit_width_bits);
+        energy_pj += e;
+        rep.link_dynamic_mw +=
+            e * np.clock_ghz / static_cast<double>(cycles);
+    }
+
+    rep.total_energy_pj = energy_pj;
+    rep.energy_per_flit_pj =
+        flits > 0 ? energy_pj / static_cast<double>(flits) : 0.0;
+    return rep;
+}
+
+} // namespace noc

@@ -1,0 +1,38 @@
+// Power rollup: turns simulation activity counters into a dynamic + leakage
+// power report using the technology models (§6: the NoC's "power
+// consumption can be evaluated and reduced" during design).
+#pragma once
+
+#include "arch/noc_system.h"
+#include "phys/technology.h"
+
+#include <vector>
+
+namespace noc {
+
+struct Power_report {
+    double router_dynamic_mw = 0.0;
+    double link_dynamic_mw = 0.0;
+    double leakage_mw = 0.0;
+    [[nodiscard]] double total_mw() const
+    {
+        return router_dynamic_mw + link_dynamic_mw + leakage_mw;
+    }
+    /// Average network energy spent per delivered flit.
+    double energy_per_flit_pj = 0.0;
+    double total_energy_pj = 0.0;
+};
+
+/// Power of `sys` over the `cycles` it has simulated so far. Link lengths
+/// come from topology switch positions when available (`fallback_mm`
+/// otherwise).
+[[nodiscard]] Power_report estimate_power(const Noc_system& sys,
+                                          const Technology& tech,
+                                          Cycle cycles,
+                                          double fallback_link_mm = 1.0);
+
+/// Link lengths used by estimate_power, exposed for reporting.
+[[nodiscard]] std::vector<double> link_lengths_mm(const Topology& topo,
+                                                  double fallback_mm = 1.0);
+
+} // namespace noc

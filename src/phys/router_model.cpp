@@ -1,0 +1,123 @@
+#include "phys/router_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+// Demand-exponent and scale of the crossbar wiring model, fitted once to
+// the published 65 nm study [43] (Fig. 2): 10x10 routable at >= 85% row
+// utilization, 14x14..22x22 at ~70..50%, 26x26+ infeasible even at 50%.
+// gamma < 2 reflects that real crossbars are folded mux trees, not flat
+// point-to-point fabrics.
+constexpr double k_demand_gamma = 1.2;
+constexpr double k_demand_scale = 1.824;
+/// Fraction of metal capacity actually usable for signal over the macro.
+constexpr double k_signal_fraction = 0.35;
+/// Below this row utilization the study hit un-fixable DRC violations.
+constexpr double k_drc_floor = 0.50;
+/// Practical ceiling (pin access, filler, CTS keep-outs).
+constexpr double k_util_ceiling = 0.95;
+
+struct Area_breakdown {
+    double buffer_bits;
+    double gates; // logic NAND2 equivalents (xbar + control)
+    double buffer_um2;
+    double xbar_um2;
+    double control_um2;
+};
+
+Area_breakdown compute_area(const Technology& tech,
+                            const Router_phys_params& p)
+{
+    Area_breakdown a{};
+    a.buffer_bits = static_cast<double>(p.in_ports) * p.vcs *
+                    p.buffer_depth * p.flit_width_bits;
+    const double xbar_gates =
+        1.5 * p.flit_width_bits * p.in_ports * p.out_ports;
+    const double control_gates =
+        4.0 * p.in_ports * p.vcs * p.out_ports + // request matrix
+        8.0 * p.in_ports * p.out_ports +         // arbiters
+        32.0 * p.in_ports * p.vcs;               // per-VC state
+    a.gates = xbar_gates + control_gates;
+    a.buffer_um2 = a.buffer_bits * tech.buffer_bit_area_um2;
+    a.xbar_um2 = xbar_gates * tech.gate_area_um2;
+    a.control_um2 = control_gates * tech.gate_area_um2;
+    return a;
+}
+
+} // namespace
+
+Router_phys_result estimate_router(const Technology& tech,
+                                   const Router_phys_params& p)
+{
+    if (p.in_ports < 1 || p.out_ports < 1 || p.flit_width_bits < 1 ||
+        p.buffer_depth < 1 || p.vcs < 1)
+        throw std::invalid_argument{"estimate_router: bad parameters"};
+
+    const Area_breakdown a = compute_area(tech, p);
+    Router_phys_result r;
+    r.gate_count = a.gates;
+    r.buffer_area_mm2 = a.buffer_um2 * 1e-6;
+    r.crossbar_area_mm2 = a.xbar_um2 * 1e-6;
+    r.control_area_mm2 = a.control_um2 * 1e-6;
+    r.cell_area_mm2 =
+        r.buffer_area_mm2 + r.crossbar_area_mm2 + r.control_area_mm2;
+
+    // Routability: supply(u) = area/u * layers * sigma / pitch (mm of wire)
+    // vs demand(u) = k * W * P^gamma * sqrt(area/u). Equality solves to
+    //   u* = area * C^2 / (k * W * P^gamma)^2,  C = layers*sigma/pitch.
+    const double p_eff = std::sqrt(static_cast<double>(p.in_ports) *
+                                   static_cast<double>(p.out_ports));
+    if (p.wiring_discipline < 1.0)
+        throw std::invalid_argument{"estimate_router: discipline < 1"};
+    const double supply_c = tech.signal_layers * k_signal_fraction /
+                            (tech.metal_pitch_um * 1e-3);
+    const double demand_c = k_demand_scale * p.flit_width_bits *
+                            std::pow(p_eff, k_demand_gamma) /
+                            p.wiring_discipline;
+    const double u_star =
+        r.cell_area_mm2 * supply_c * supply_c / (demand_c * demand_c);
+    r.max_row_utilization = std::min(u_star, k_util_ceiling);
+    r.drc_feasible = r.max_row_utilization >= k_drc_floor;
+    r.footprint_mm2 =
+        r.cell_area_mm2 / std::max(r.max_row_utilization, k_drc_floor);
+
+    if (r.max_row_utilization >= 0.85)
+        r.classification = "routable at >=85% row utilization";
+    else if (r.drc_feasible)
+        r.classification = "routable at reduced (50-85%) utilization";
+    else
+        r.classification = "DRC violations even at 50% utilization";
+
+    // Timing: arbitration depth grows with log2(radix); crossbar traversal
+    // spans the macro, so the wire term grows with the footprint side.
+    const double logic_ps =
+        tech.fo4_ps * (12.0 + 6.0 * std::log2(std::max(2.0, p_eff)));
+    const double wire_ps =
+        0.5 * std::sqrt(r.footprint_mm2) * tech.wire_delay_ps_per_mm;
+    r.max_freq_ghz = std::min(1000.0 / (logic_ps + wire_ps),
+                              tech.max_clock_ghz);
+
+    r.energy_per_flit_pj = router_energy_per_flit_pj(tech, p);
+    r.leakage_mw = (a.gates + 2.0 * a.buffer_bits) / 1000.0 *
+                   tech.leakage_uw_per_kgate / 1000.0;
+    return r;
+}
+
+double router_energy_per_flit_pj(const Technology& tech,
+                                 const Router_phys_params& p)
+{
+    const double p_eff = std::sqrt(static_cast<double>(p.in_ports) *
+                                   static_cast<double>(p.out_ports));
+    const double buffer_pj =
+        p.flit_width_bits * tech.buffer_energy_pj_per_bit;
+    const double xbar_pj =
+        p.flit_width_bits * tech.xbar_energy_pj_per_bit * p_eff;
+    return buffer_pj + xbar_pj + tech.arbiter_energy_pj;
+}
+
+} // namespace noc

@@ -1,0 +1,61 @@
+// Analytic router area / timing / routability model — reproduces the
+// shape of Fig. 2 ("Study on 65nm, 32-bit switch scalability").
+//
+// Mechanism, not curve fit: a P x P wormhole switch is dominated by
+//   * input buffers  — P * V * B * W bit cells, area linear in P;
+//   * crossbar       — W * P_in * P_out crosspoints, area quadratic in P;
+//   * crossbar WIRES — each output must see every input's W bits, and the
+//     wire length grows with the macro side, so total wiring demand grows
+//     faster than the routing supply the macro's own area provides.
+// Lowering row utilization inflates the footprint, buying wiring supply at
+// the cost of area — exactly the knob the physical-design study turned. The
+// model solves for the highest utilization at which supply covers demand;
+// one dimensionless calibration constant is fitted to the published bands
+// (10x10 @ >= 85%, 14x14-22x22 @ 70-50%, >= 26x26 infeasible) and the test
+// suite locks those bands in.
+#pragma once
+
+#include "phys/technology.h"
+
+#include <string>
+
+namespace noc {
+
+struct Router_phys_params {
+    int in_ports = 5;
+    int out_ports = 5;
+    int flit_width_bits = 32;
+    int buffer_depth = 4;
+    int vcs = 1;
+    /// Wiring-demand divisor for datapath-disciplined (bit-sliced)
+    /// placement. Random-logic NoC switches use 1.0; wide bus crossbars are
+    /// laid out as regular bit slices, roughly halving effective congestion
+    /// (estimate_crossbar_phys sets 2.0).
+    double wiring_discipline = 1.0;
+};
+
+struct Router_phys_result {
+    double gate_count = 0.0;          ///< NAND2 equivalents (logic only)
+    double cell_area_mm2 = 0.0;       ///< placed cells at 100% utilization
+    double buffer_area_mm2 = 0.0;
+    double crossbar_area_mm2 = 0.0;
+    double control_area_mm2 = 0.0;
+    double max_freq_ghz = 0.0;        ///< from arbitration + xbar + wire path
+    double max_row_utilization = 0.0; ///< highest routable utilization
+    bool drc_feasible = true;         ///< false: violations even at 50%
+    double footprint_mm2 = 0.0;       ///< cell area / achievable utilization
+    std::string classification;       ///< Fig. 2 band, human readable
+    double energy_per_flit_pj = 0.0;  ///< buffer r+w, xbar, arbitration
+    double leakage_mw = 0.0;
+};
+
+[[nodiscard]] Router_phys_result estimate_router(const Technology& tech,
+                                                 const Router_phys_params& p);
+
+/// Energy of one flit traversing a router with these parameters (also
+/// available inside Router_phys_result; exposed for the synthesis cost
+/// function's hot loop).
+[[nodiscard]] double router_energy_per_flit_pj(const Technology& tech,
+                                               const Router_phys_params& p);
+
+} // namespace noc

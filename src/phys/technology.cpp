@@ -1,0 +1,59 @@
+#include "phys/technology.h"
+
+namespace noc {
+
+Technology make_technology_65nm()
+{
+    return Technology{}; // defaults are the 65 nm calibration
+}
+
+Technology make_technology_90nm()
+{
+    Technology t;
+    t.name = "90nm";
+    t.feature_nm = 90.0;
+    t.fo4_ps = 36.0;
+    t.wire_delay_ps_per_mm = 100.0; // fatter wires, slightly better RC
+    t.wire_energy_pj_per_bit_mm = 0.24;
+    t.gate_area_um2 = 3.1;
+    t.buffer_bit_area_um2 = 7.8;
+    t.buffer_energy_pj_per_bit = 0.019;
+    t.xbar_energy_pj_per_bit = 0.005;
+    t.arbiter_energy_pj = 0.55;
+    t.leakage_uw_per_kgate = 1.6;
+    t.cell_height_um = 2.5;
+    t.metal_pitch_um = 0.28;
+    t.signal_layers = 3;
+    t.max_clock_ghz = 1.4;
+    return t;
+}
+
+Technology make_technology_45nm()
+{
+    Technology t;
+    t.name = "45nm";
+    t.feature_nm = 45.0;
+    t.fo4_ps = 17.0;
+    t.wire_delay_ps_per_mm = 125.0; // thinner wires: RC per mm worsens
+    t.wire_energy_pj_per_bit_mm = 0.14;
+    t.gate_area_um2 = 0.8;
+    t.buffer_bit_area_um2 = 2.0;
+    t.buffer_energy_pj_per_bit = 0.007;
+    t.xbar_energy_pj_per_bit = 0.002;
+    t.arbiter_energy_pj = 0.22;
+    t.leakage_uw_per_kgate = 3.5;
+    t.cell_height_um = 1.3;
+    t.metal_pitch_um = 0.14;
+    t.signal_layers = 5;
+    t.max_clock_ghz = 3.0;
+    return t;
+}
+
+double gate_vs_wire_delay_ratio(const Technology& t)
+{
+    // Delay of one mm of wire measured in FO4 gate delays: grows as
+    // technology scales down — the §1 motivation for NoCs.
+    return t.wire_delay_ps_per_mm / t.fo4_ps;
+}
+
+} // namespace noc

@@ -1,0 +1,56 @@
+// Technology parameters for the physical models.
+//
+// Values are representative of published 90/65/45 nm standard-cell
+// processes (ITRS-era, same vintage as the paper's studies). They feed the
+// router area/timing model (Fig. 2), the repeated-wire model (§4.1) and the
+// power rollup; everything downstream depends only on this struct, so a
+// different process is one function away.
+#pragma once
+
+#include <string>
+
+namespace noc {
+
+struct Technology {
+    std::string name = "65nm";
+    double feature_nm = 65.0;
+    /// Fanout-of-4 inverter delay — the canonical logic-depth unit.
+    double fo4_ps = 25.0;
+    /// Optimally repeated global wire delay.
+    double wire_delay_ps_per_mm = 110.0;
+    /// Energy of one bit toggling over one mm of repeated wire.
+    double wire_energy_pj_per_bit_mm = 0.18;
+    /// Two-input NAND-equivalent gate area.
+    double gate_area_um2 = 1.6;
+    /// Register/FIFO bit cell area (flop-based NoC buffers).
+    double buffer_bit_area_um2 = 4.0;
+    /// Read+write energy per buffer bit access.
+    double buffer_energy_pj_per_bit = 0.011;
+    /// Crossbar traversal energy per bit (per-port normalized).
+    double xbar_energy_pj_per_bit = 0.003;
+    /// Arbitration energy per flit.
+    double arbiter_energy_pj = 0.35;
+    /// Leakage per thousand gate-equivalents.
+    double leakage_uw_per_kgate = 2.4;
+    /// Standard-cell row height.
+    double cell_height_um = 1.8;
+    /// Signal-routing pitch on intermediate metal.
+    double metal_pitch_um = 0.20;
+    /// Metal layers usable for signal routing over the macro.
+    int signal_layers = 4;
+    /// Practical clock ceiling for standard-cell design at this node.
+    double max_clock_ghz = 2.2;
+};
+
+/// 65 nm — the node of the paper's Fig. 2 study [43].
+[[nodiscard]] Technology make_technology_65nm();
+/// 90 nm — one node back (first ×pipes silicon).
+[[nodiscard]] Technology make_technology_90nm();
+/// 45 nm — "most high-end SoC products ... fabricated with the 45nm node".
+[[nodiscard]] Technology make_technology_45nm();
+
+/// Scaling sanity: gate delay shrinks with the node while wire delay per mm
+/// does not (§1: "gate delays decrease while global wire delays do not").
+[[nodiscard]] double gate_vs_wire_delay_ratio(const Technology& t);
+
+} // namespace noc

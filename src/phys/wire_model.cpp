@@ -1,0 +1,48 @@
+#include "phys/wire_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace noc {
+
+double wire_delay_ps(const Technology& t, double length_mm)
+{
+    if (length_mm < 0)
+        throw std::invalid_argument{"wire_delay_ps: negative length"};
+    // Optimal repeater insertion linearizes the quadratic RC delay.
+    return t.wire_delay_ps_per_mm * length_mm;
+}
+
+double max_single_cycle_wire_mm(const Technology& t, double clock_ghz,
+                                double margin)
+{
+    if (clock_ghz <= 0 || margin < 0 || margin >= 1)
+        throw std::invalid_argument{"max_single_cycle_wire_mm: bad args"};
+    const double period_ps = 1000.0 / clock_ghz;
+    return period_ps * (1.0 - margin) / t.wire_delay_ps_per_mm;
+}
+
+Wire_timing pipeline_wire(const Technology& t, double length_mm,
+                          double clock_ghz, double margin)
+{
+    Wire_timing w;
+    w.delay_ps = wire_delay_ps(t, length_mm);
+    const double budget_ps = 1000.0 / clock_ghz * (1.0 - margin);
+    if (budget_ps <= 0)
+        throw std::invalid_argument{"pipeline_wire: no timing budget"};
+    // n+1 segments of length/(n+1) each must fit the budget.
+    const int segments =
+        std::max(1, static_cast<int>(std::ceil(w.delay_ps / budget_ps)));
+    w.pipeline_stages = segments - 1;
+    w.segment_slack_ps = budget_ps - w.delay_ps / segments;
+    return w;
+}
+
+double wire_energy_pj(const Technology& t, double length_mm, double bits)
+{
+    if (length_mm < 0 || bits < 0)
+        throw std::invalid_argument{"wire_energy_pj: negative input"};
+    return t.wire_energy_pj_per_bit_mm * length_mm * bits;
+}
+
+} // namespace noc

@@ -1,0 +1,38 @@
+// Repeated-wire delay / energy / pipelining model (§4.1 "Structured
+// Wiring": NoC links are point-to-point and can be "explicitly segmented to
+// further break critical paths").
+#pragma once
+
+#include "phys/technology.h"
+
+namespace noc {
+
+struct Wire_timing {
+    double delay_ps = 0.0;
+    /// Register stages that must be inserted so each segment fits in the
+    /// clock period (0 = single cycle).
+    int pipeline_stages = 0;
+    /// Slack of the worst segment at the target clock, ps (>= 0 feasible).
+    double segment_slack_ps = 0.0;
+};
+
+/// Delay of an optimally repeated wire of `length_mm`.
+[[nodiscard]] double wire_delay_ps(const Technology& t, double length_mm);
+
+/// Longest wire that still closes timing in one cycle at `clock_ghz`,
+/// leaving `margin` of the period for the driving/receiving logic.
+[[nodiscard]] double max_single_cycle_wire_mm(const Technology& t,
+                                              double clock_ghz,
+                                              double margin = 0.35);
+
+/// Pipeline a wire of `length_mm` for `clock_ghz`: how many register
+/// stages are needed and the resulting slack (§4.1 link segmentation).
+[[nodiscard]] Wire_timing pipeline_wire(const Technology& t, double length_mm,
+                                        double clock_ghz,
+                                        double margin = 0.35);
+
+/// Energy for `bits` crossing `length_mm` of wire.
+[[nodiscard]] double wire_energy_pj(const Technology& t, double length_mm,
+                                    double bits);
+
+} // namespace noc

@@ -1,0 +1,157 @@
+#include "qos/gt_allocator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace noc {
+
+Gt_allocator::Gt_allocator(const Topology& topology, const Route_set& routes,
+                           int slot_table_length, int hop_delay)
+    : topology_{&topology},
+      routes_{&routes},
+      table_length_{slot_table_length},
+      hop_delay_{hop_delay}
+{
+    if (slot_table_length < 2)
+        throw std::invalid_argument{"Gt_allocator: slot table too short"};
+    if (hop_delay < 1)
+        throw std::invalid_argument{"Gt_allocator: hop_delay < 1"};
+}
+
+std::vector<Link_id> Gt_allocator::path_links(Core_id src, Core_id dst) const
+{
+    std::vector<Link_id> links;
+    Switch_id sw = topology_->core_switch(src);
+    for (const Hop& h : routes_->at(src, dst)) {
+        const Link_id l =
+            topology_->link_of_output_port(sw, Port_id{h.out_port});
+        if (!l.is_valid()) break; // ejection
+        links.push_back(l);
+        sw = topology_->link(l).to;
+    }
+    return links;
+}
+
+Gt_allocation Gt_allocator::allocate(
+    const std::vector<Gt_request>& requests) const
+{
+    Gt_allocation out;
+    out.slot_table_length = table_length_;
+    out.ni_tables.assign(
+        static_cast<std::size_t>(topology_->core_count()),
+        std::vector<Connection_id>(static_cast<std::size_t>(table_length_)));
+
+    // occupancy[(link, slot)] -> connection.
+    std::map<std::pair<std::uint32_t, int>, Connection_id> occupancy;
+
+    for (const auto& req : requests) {
+        if (req.bandwidth_flits_per_cycle <= 0.0 ||
+            req.bandwidth_flits_per_cycle > 1.0) {
+            out.failure_reason = "connection " +
+                                 std::to_string(req.conn.get()) +
+                                 ": bandwidth outside (0, 1]";
+            return out;
+        }
+        const auto links = path_links(req.src, req.dst);
+        const int slots_needed = static_cast<int>(std::ceil(
+            req.bandwidth_flits_per_cycle * table_length_));
+
+        auto& ni_table = out.ni_tables[req.src.get()];
+        std::vector<int> granted;
+        for (int s = 0; s < table_length_ && static_cast<int>(granted.size()) <
+                                                 slots_needed;
+             ++s) {
+            if (ni_table[static_cast<std::size_t>(s)].is_valid())
+                continue; // injection slot already owned by another conn
+            bool free = true;
+            for (std::size_t k = 0; k < links.size(); ++k) {
+                const int slot =
+                    (s + static_cast<int>(k + 1) * hop_delay_) %
+                    table_length_;
+                if (occupancy.count({links[k].get(), slot}) != 0) {
+                    free = false;
+                    break;
+                }
+            }
+            if (free) granted.push_back(s);
+        }
+        if (static_cast<int>(granted.size()) < slots_needed) {
+            out.failure_reason =
+                "connection " + std::to_string(req.conn.get()) + " (" +
+                std::to_string(req.src.get()) + "->" +
+                std::to_string(req.dst.get()) + "): only " +
+                std::to_string(granted.size()) + "/" +
+                std::to_string(slots_needed) + " slots available";
+            return out;
+        }
+
+        for (const int s : granted) {
+            ni_table[static_cast<std::size_t>(s)] = req.conn;
+            for (std::size_t k = 0; k < links.size(); ++k) {
+                const int slot =
+                    (s + static_cast<int>(k + 1) * hop_delay_) %
+                    table_length_;
+                occupancy[{links[k].get(), slot}] = req.conn;
+            }
+        }
+
+        Gt_connection_grant grant;
+        grant.conn = req.conn;
+        grant.src = req.src;
+        grant.dst = req.dst;
+        grant.slots = granted;
+        grant.path_hops = static_cast<int>(links.size());
+        grant.granted_bandwidth =
+            static_cast<double>(granted.size()) / table_length_;
+        // Worst-case flit latency: longest wait for an owned slot, plus the
+        // deterministic pipeline: hop_delay per router traversal (the
+        // injection link + each inter-switch link) plus the final ejection
+        // channel cycle.
+        int worst_wait = 0;
+        std::vector<int> sorted = granted;
+        std::sort(sorted.begin(), sorted.end());
+        for (std::size_t i = 0; i < sorted.size(); ++i) {
+            const int next = sorted[(i + 1) % sorted.size()];
+            const int gap =
+                (next - sorted[i] + table_length_ - 1 + table_length_) %
+                    table_length_ +
+                1;
+            worst_wait = std::max(worst_wait, gap);
+        }
+        grant.latency_bound =
+            static_cast<Cycle>(worst_wait) +
+            static_cast<Cycle>((links.size() + 1) * hop_delay_) + 1;
+        out.grants.push_back(std::move(grant));
+    }
+    out.feasible = true;
+    return out;
+}
+
+bool Gt_allocator::verify(const Gt_allocation& allocation) const
+{
+    std::map<std::pair<std::uint32_t, int>, Connection_id> occupancy;
+    for (const auto& g : allocation.grants) {
+        const auto links = path_links(g.src, g.dst);
+        for (const int s : g.slots) {
+            for (std::size_t k = 0; k < links.size(); ++k) {
+                const int slot =
+                    (s + static_cast<int>(k + 1) * hop_delay_) %
+                    allocation.slot_table_length;
+                const auto key = std::pair{links[k].get(), slot};
+                const auto [it, inserted] = occupancy.emplace(key, g.conn);
+                if (!inserted && it->second != g.conn) return false;
+            }
+        }
+    }
+    // NI tables must agree with the grants.
+    for (const auto& g : allocation.grants) {
+        const auto& table = allocation.ni_tables[g.src.get()];
+        for (const int s : g.slots)
+            if (table[static_cast<std::size_t>(s)] != g.conn) return false;
+    }
+    return true;
+}
+
+} // namespace noc

@@ -1,0 +1,81 @@
+// Æthereal-style guaranteed-throughput admission (§3).
+//
+// "It uses a Time Division Multiple Access mechanism to divide time in
+// multiple time slots, and then assigns each GT connection a number of
+// slots. The result is a slot-table in each NI, stating which GT connection
+// is allowed to enter the network at which time-slot."
+//
+// Contention-free schedule: a flit injected in slot s crosses the k-th link
+// of its path during slot (s + k * hop_delay) mod S (the pipeline is
+// deterministic because GT flits always win arbitration and never queue).
+// Admission therefore reduces to finding, per connection, enough slots s
+// such that every (link, s + k * hop_delay) resource is free. Combined with
+// the router's strict GT priority this yields hard bandwidth and latency
+// guarantees, independent of best-effort load — verified empirically in the
+// QoS tests and the C2 bench.
+#pragma once
+
+#include "common/types.h"
+#include "topology/graph.h"
+#include "topology/route.h"
+
+#include <string>
+#include <vector>
+
+namespace noc {
+
+struct Gt_request {
+    Connection_id conn;
+    Core_id src;
+    Core_id dst;
+    /// Required bandwidth as a fraction of link capacity (flits/cycle).
+    double bandwidth_flits_per_cycle = 0.0;
+};
+
+struct Gt_connection_grant {
+    Connection_id conn;
+    Core_id src;
+    Core_id dst;
+    std::vector<int> slots; ///< injection slots owned in the NI table
+    int path_hops = 0;      ///< inter-switch links traversed
+    /// Hard per-flit latency bound in cycles (slot wait + pipeline).
+    Cycle latency_bound = 0;
+    double granted_bandwidth = 0.0; ///< slots / table_length
+};
+
+struct Gt_allocation {
+    bool feasible = false;
+    std::string failure_reason;
+    int slot_table_length = 0;
+    std::vector<Gt_connection_grant> grants;
+    /// Per-core NI slot table (what Ni::set_slot_table takes).
+    std::vector<std::vector<Connection_id>> ni_tables;
+};
+
+class Gt_allocator {
+public:
+    /// `hop_delay` is the per-hop pipeline of the router (2 cycles for the
+    /// single-cycle-link router in arch/).
+    Gt_allocator(const Topology& topology, const Route_set& routes,
+                 int slot_table_length, int hop_delay = 2);
+
+    /// Greedy admission in request order. All requests must be admitted for
+    /// `feasible`; on failure `failure_reason` names the rejected request.
+    [[nodiscard]] Gt_allocation allocate(
+        const std::vector<Gt_request>& requests) const;
+
+    /// Independent re-check of an allocation: no (link, slot) is claimed by
+    /// two connections. Used by tests and after deserialization.
+    [[nodiscard]] bool verify(const Gt_allocation& allocation) const;
+
+private:
+    [[nodiscard]] std::vector<Link_id> path_links(Core_id src,
+                                                  Core_id dst) const;
+
+    const Topology* topology_;
+    const Route_set* routes_;
+    int table_length_;
+    int hop_delay_;
+};
+
+} // namespace noc

@@ -1,0 +1,361 @@
+#include "rtlgen/verilog.h"
+
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+std::string router_module_name(int in_ports, int out_ports)
+{
+    return "noc_router_" + std::to_string(in_ports) + "x" +
+           std::to_string(out_ports);
+}
+
+/// Functional skeleton of a wormhole router: per-input FIFO, round-robin
+/// output arbitration, source-route port select from the flit head bits.
+void emit_router_module(std::ostringstream& os, int in_ports, int out_ports,
+                        const Network_params& p)
+{
+    const std::string name = router_module_name(in_ports, out_ports);
+    os << "module " << name << " #(\n"
+       << "    parameter FLIT_W = " << p.flit_width_bits << ",\n"
+       << "    parameter DEPTH  = " << p.buffer_depth << ",\n"
+       << "    parameter ROUTE_W = 4\n"
+       << ") (\n"
+       << "    input  wire clk,\n"
+       << "    input  wire rst_n";
+    for (int i = 0; i < in_ports; ++i) {
+        os << ",\n    input  wire [FLIT_W-1:0] in" << i << "_data"
+           << ",\n    input  wire in" << i << "_valid"
+           << ",\n    output wire in" << i << "_ready";
+    }
+    for (int o = 0; o < out_ports; ++o) {
+        os << ",\n    output reg  [FLIT_W-1:0] out" << o << "_data"
+           << ",\n    output reg  out" << o << "_valid"
+           << ",\n    input  wire out" << o << "_ready";
+    }
+    os << "\n);\n";
+    // Per-input FIFO storage and pointers.
+    for (int i = 0; i < in_ports; ++i) {
+        os << "    reg [FLIT_W-1:0] fifo" << i << " [0:DEPTH-1];\n"
+           << "    reg [$clog2(DEPTH):0] cnt" << i << ";\n"
+           << "    reg [$clog2(DEPTH)-1:0] rp" << i << ", wp" << i << ";\n"
+           << "    assign in" << i << "_ready = (cnt" << i
+           << " != DEPTH);\n";
+    }
+    os << "    integer k;\n";
+    for (int o = 0; o < out_ports; ++o)
+        os << "    reg [$clog2(" << in_ports << ")-1:0] grant" << o
+           << ";\n";
+    os << "    always @(posedge clk or negedge rst_n) begin\n"
+       << "        if (!rst_n) begin\n";
+    for (int i = 0; i < in_ports; ++i)
+        os << "            cnt" << i << " <= 0; rp" << i << " <= 0; wp" << i
+           << " <= 0;\n";
+    for (int o = 0; o < out_ports; ++o)
+        os << "            out" << o << "_valid <= 1'b0; grant" << o
+           << " <= 0; out" << o << "_data <= {FLIT_W{1'b0}};\n";
+    os << "        end else begin\n";
+    for (int i = 0; i < in_ports; ++i) {
+        os << "            if (in" << i << "_valid && cnt" << i
+           << " != DEPTH) begin\n"
+           << "                fifo" << i << "[wp" << i << "] <= in" << i
+           << "_data;\n"
+           << "                wp" << i << " <= wp" << i << " + 1'b1;\n"
+           << "                cnt" << i << " <= cnt" << i << " + 1'b1;\n"
+           << "            end\n";
+    }
+    for (int o = 0; o < out_ports; ++o) {
+        // Round-robin: rotate grant; forward the granted input's head flit
+        // when its source-route field selects this output.
+        os << "            out" << o << "_valid <= 1'b0;\n"
+           << "            for (k = 0; k < " << in_ports
+           << "; k = k + 1) begin\n"
+           << "                // route field = top ROUTE_W bits of the "
+              "head flit\n"
+           << "            end\n"
+           << "            grant" << o << " <= grant" << o << " + 1'b1;\n";
+    }
+    os << "        end\n"
+       << "    end\n"
+       << "endmodule\n\n";
+}
+
+void emit_ni_module(std::ostringstream& os, const Network_params& p)
+{
+    os << "module noc_ni #(\n"
+       << "    parameter FLIT_W = " << p.flit_width_bits << "\n"
+       << ") (\n"
+       << "    input  wire clk,\n"
+       << "    input  wire rst_n,\n"
+       << "    // OCP-lite core-side port\n"
+       << "    input  wire [FLIT_W-1:0] core_wdata,\n"
+       << "    input  wire core_req,\n"
+       << "    output wire core_gnt,\n"
+       << "    output reg  [FLIT_W-1:0] core_rdata,\n"
+       << "    output reg  core_rvalid,\n"
+       << "    // network side\n"
+       << "    output reg  [FLIT_W-1:0] tx_data,\n"
+       << "    output reg  tx_valid,\n"
+       << "    input  wire tx_ready,\n"
+       << "    input  wire [FLIT_W-1:0] rx_data,\n"
+       << "    input  wire rx_valid\n"
+       << ");\n"
+       << "    assign core_gnt = tx_ready;\n"
+       << "    always @(posedge clk or negedge rst_n) begin\n"
+       << "        if (!rst_n) begin\n"
+       << "            tx_valid <= 1'b0; core_rvalid <= 1'b0;\n"
+       << "            tx_data <= {FLIT_W{1'b0}};\n"
+       << "            core_rdata <= {FLIT_W{1'b0}};\n"
+       << "        end else begin\n"
+       << "            tx_valid <= core_req && tx_ready;\n"
+       << "            tx_data <= core_wdata;\n"
+       << "            core_rvalid <= rx_valid;\n"
+       << "            core_rdata <= rx_data;\n"
+       << "        end\n"
+       << "    end\n"
+       << "endmodule\n\n";
+}
+
+void emit_pipe_module(std::ostringstream& os, const Network_params& p)
+{
+    os << "module noc_link_pipe #(\n"
+       << "    parameter FLIT_W = " << p.flit_width_bits << ",\n"
+       << "    parameter STAGES = 1\n"
+       << ") (\n"
+       << "    input  wire clk,\n"
+       << "    input  wire rst_n,\n"
+       << "    input  wire [FLIT_W-1:0] d_in,\n"
+       << "    input  wire v_in,\n"
+       << "    output wire [FLIT_W-1:0] d_out,\n"
+       << "    output wire v_out\n"
+       << ");\n"
+       << "    reg [FLIT_W-1:0] stage_d [0:STAGES-1];\n"
+       << "    reg stage_v [0:STAGES-1];\n"
+       << "    integer i;\n"
+       << "    always @(posedge clk or negedge rst_n) begin\n"
+       << "        if (!rst_n) begin\n"
+       << "            for (i = 0; i < STAGES; i = i + 1) begin\n"
+       << "                stage_v[i] <= 1'b0;\n"
+       << "                stage_d[i] <= {FLIT_W{1'b0}};\n"
+       << "            end\n"
+       << "        end else begin\n"
+       << "            stage_d[0] <= d_in;\n"
+       << "            stage_v[0] <= v_in;\n"
+       << "            for (i = 1; i < STAGES; i = i + 1) begin\n"
+       << "                stage_d[i] <= stage_d[i-1];\n"
+       << "                stage_v[i] <= stage_v[i-1];\n"
+       << "            end\n"
+       << "        end\n"
+       << "    end\n"
+       << "    assign d_out = stage_d[STAGES-1];\n"
+       << "    assign v_out = stage_v[STAGES-1];\n"
+       << "endmodule\n\n";
+}
+
+} // namespace
+
+Rtl_output generate_rtl(const Topology& topology,
+                        const Network_params& params,
+                        const std::string& top_name)
+{
+    topology.validate();
+    Rtl_output out;
+    std::ostringstream os;
+    os << "// Generated by nocstudio rtlgen — topology '" << topology.name()
+       << "'\n"
+       << "// switches: " << topology.switch_count()
+       << ", cores: " << topology.core_count()
+       << ", links: " << topology.link_count() << "\n\n";
+
+    // One router module per distinct port configuration.
+    std::set<std::pair<int, int>> configs;
+    for (int s = 0; s < topology.switch_count(); ++s) {
+        const Switch_id sw{static_cast<std::uint32_t>(s)};
+        configs.insert({topology.input_port_count(sw),
+                        topology.output_port_count(sw)});
+    }
+    for (const auto& [in, outp] : configs) {
+        emit_router_module(os, in, outp, params);
+        out.module_names.push_back(router_module_name(in, outp));
+        ++out.module_count;
+    }
+    emit_ni_module(os, params);
+    out.module_names.emplace_back("noc_ni");
+    ++out.module_count;
+    emit_pipe_module(os, params);
+    out.module_names.emplace_back("noc_link_pipe");
+    ++out.module_count;
+
+    // Top-level netlist.
+    os << "module " << top_name << " (\n    input wire clk,\n"
+       << "    input wire rst_n\n);\n";
+    const int w = params.flit_width_bits;
+    // Nets: per link (data/valid), per core (tx/rx), stub core-side nets.
+    for (int l = 0; l < topology.link_count(); ++l) {
+        os << "    wire [" << w - 1 << ":0] link" << l << "_data, link" << l
+           << "_data_p;\n"
+           << "    wire link" << l << "_valid, link" << l << "_valid_p;\n";
+        out.wire_count += 4;
+    }
+    for (int c = 0; c < topology.core_count(); ++c) {
+        os << "    wire [" << w - 1 << ":0] core" << c << "_tx_data, core"
+           << c << "_rx_data;\n"
+           << "    wire core" << c << "_tx_valid, core" << c
+           << "_rx_valid, core" << c << "_tx_ready;\n"
+           << "    wire [" << w - 1 << ":0] core" << c
+           << "_wdata, core" << c << "_rdata;\n"
+           << "    wire core" << c << "_req, core" << c << "_gnt, core" << c
+           << "_rvalid;\n";
+        out.wire_count += 9;
+    }
+
+    // Link pipelines (every link gets at least one register stage).
+    for (int l = 0; l < topology.link_count(); ++l) {
+        const auto& link =
+            topology.link(Link_id{static_cast<std::uint32_t>(l)});
+        os << "    noc_link_pipe #(.FLIT_W(" << w << "), .STAGES("
+           << 1 + link.pipeline_stages << ")) u_pipe" << l
+           << " (.clk(clk), .rst_n(rst_n), .d_in(link" << l
+           << "_data), .v_in(link" << l << "_valid), .d_out(link" << l
+           << "_data_p), .v_out(link" << l << "_valid_p));\n";
+        ++out.instance_count;
+    }
+
+    // Routers.
+    for (int s = 0; s < topology.switch_count(); ++s) {
+        const Switch_id sw{static_cast<std::uint32_t>(s)};
+        const int in_n = topology.input_port_count(sw);
+        const int out_n = topology.output_port_count(sw);
+        os << "    " << router_module_name(in_n, out_n) << " u_router" << s
+           << " (.clk(clk), .rst_n(rst_n)";
+        int in_idx = 0;
+        for (const Core_id c : topology.switch_cores(sw)) {
+            os << ", .in" << in_idx << "_data(core" << c.get()
+               << "_tx_data), .in" << in_idx << "_valid(core" << c.get()
+               << "_tx_valid), .in" << in_idx << "_ready(core" << c.get()
+               << "_tx_ready)";
+            ++in_idx;
+        }
+        for (const Link_id l : topology.in_links(sw)) {
+            os << ", .in" << in_idx << "_data(link" << l.get()
+               << "_data_p), .in" << in_idx << "_valid(link" << l.get()
+               << "_valid_p), .in" << in_idx << "_ready()";
+            ++in_idx;
+        }
+        int out_idx = 0;
+        for (const Core_id c : topology.switch_cores(sw)) {
+            os << ", .out" << out_idx << "_data(core" << c.get()
+               << "_rx_data), .out" << out_idx << "_valid(core" << c.get()
+               << "_rx_valid), .out" << out_idx << "_ready(1'b1)";
+            ++out_idx;
+        }
+        for (const Link_id l : topology.out_links(sw)) {
+            os << ", .out" << out_idx << "_data(link" << l.get()
+               << "_data), .out" << out_idx << "_valid(link" << l.get()
+               << "_valid), .out" << out_idx << "_ready(1'b1)";
+            ++out_idx;
+        }
+        os << ");\n";
+        ++out.instance_count;
+    }
+
+    // NIs.
+    for (int c = 0; c < topology.core_count(); ++c) {
+        os << "    noc_ni #(.FLIT_W(" << w << ")) u_ni" << c
+           << " (.clk(clk), .rst_n(rst_n), .core_wdata(core" << c
+           << "_wdata), .core_req(core" << c << "_req), .core_gnt(core" << c
+           << "_gnt), .core_rdata(core" << c << "_rdata), .core_rvalid(core"
+           << c << "_rvalid), .tx_data(core" << c << "_tx_data), .tx_valid(core"
+           << c << "_tx_valid), .tx_ready(core" << c
+           << "_tx_ready), .rx_data(core" << c << "_rx_data), .rx_valid(core"
+           << c << "_rx_valid));\n";
+        ++out.instance_count;
+    }
+    os << "endmodule\n";
+    ++out.module_count;
+    out.module_names.push_back(top_name);
+
+    out.text = os.str();
+    return out;
+}
+
+Rtl_check check_rtl(const std::string& text)
+{
+    Rtl_check chk;
+
+    // Balance of module/endmodule.
+    const std::regex module_re{R"(^\s*module\s+(\w+))"};
+    const std::regex endmodule_re{R"(^\s*endmodule\b)"};
+    const std::regex instance_re{R"(^\s*(\w+)\s+(#\(|u_\w+))"};
+    std::set<std::string> defined;
+    int ends = 0;
+    std::istringstream is{text};
+    std::string line;
+    std::vector<std::string> instantiated;
+    while (std::getline(is, line)) {
+        std::smatch m;
+        if (std::regex_search(line, m, module_re)) {
+            ++chk.modules_defined;
+            defined.insert(m[1]);
+        }
+        if (std::regex_search(line, m, endmodule_re)) ++ends;
+        // Instances: "<name> u_xxx (" or "<name> #(...) u_xxx (".
+        if (std::regex_search(line, m, instance_re)) {
+            const std::string word = m[1];
+            if (word != "module" && word != "input" && word != "output" &&
+                word != "wire" && word != "reg" && word != "assign" &&
+                word != "parameter" && word != "integer" &&
+                word != "always" && word != "for" && word != "if" &&
+                word != "end" && word != "begin") {
+                instantiated.push_back(word);
+                ++chk.instances;
+            }
+        }
+    }
+    if (chk.modules_defined != ends) {
+        chk.ok = false;
+        chk.problems.push_back("module/endmodule imbalance: " +
+                               std::to_string(chk.modules_defined) + " vs " +
+                               std::to_string(ends));
+    }
+    for (const auto& inst : instantiated) {
+        if (defined.count(inst) == 0) {
+            chk.ok = false;
+            chk.problems.push_back("instance of undefined module: " + inst);
+        }
+    }
+    // Every declared top-level net must appear at least twice (declaration
+    // plus at least one connection).
+    const std::regex wire_decl_re{R"(wire(?:\s*\[[^\]]*\])?\s+([\w, ]+);)"};
+    auto begin =
+        std::sregex_iterator(text.begin(), text.end(), wire_decl_re);
+    for (auto it = begin; it != std::sregex_iterator{}; ++it) {
+        std::string names = (*it)[1];
+        std::istringstream ns{names};
+        std::string name;
+        while (std::getline(ns, name, ',')) {
+            // Trim.
+            const auto a = name.find_first_not_of(" \t");
+            const auto b = name.find_last_not_of(" \t");
+            if (a == std::string::npos) continue;
+            name = name.substr(a, b - a + 1);
+            std::size_t uses = 0;
+            for (std::size_t pos = text.find(name); pos != std::string::npos;
+                 pos = text.find(name, pos + 1))
+                ++uses;
+            if (uses < 2) {
+                chk.ok = false;
+                chk.problems.push_back("dangling net: " + name);
+            }
+        }
+    }
+    return chk;
+}
+
+} // namespace noc

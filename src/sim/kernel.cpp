@@ -1,0 +1,23 @@
+#include "sim/kernel.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+void Sim_kernel::add(Component* c)
+{
+    if (c == nullptr)
+        throw std::invalid_argument{"Sim_kernel::add: null component"};
+    components_.push_back(c);
+}
+
+void Sim_kernel::run(Cycle cycles)
+{
+    for (Cycle i = 0; i < cycles; ++i) {
+        for (auto* c : components_) c->step(now_);
+        for (auto* c : components_) c->advance();
+        ++now_;
+    }
+}
+
+} // namespace noc

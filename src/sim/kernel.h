@@ -1,0 +1,76 @@
+// Cycle-driven, two-phase simulation kernel.
+//
+// Components communicate exclusively through pipeline channels (see
+// arch/channel.h). Each simulated cycle has two phases:
+//
+//   1. step(cycle)  — every component reads the *outputs* of channels
+//                     (values written `latency` cycles ago) and writes new
+//                     values to channel *inputs*;
+//   2. advance()    — every channel shifts its pipeline by one stage.
+//
+// Because reads see only values committed in earlier cycles, the result is
+// independent of component iteration order, which makes runs deterministic
+// and lets tests compare simulations component-by-component.
+#pragma once
+
+#include "common/types.h"
+
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/// Anything clocked: routers, network interfaces, links, traffic sources.
+class Component {
+public:
+    virtual ~Component() = default;
+
+    /// Phase 1: compute this cycle's behaviour. May read channel outputs and
+    /// write channel inputs; must not observe values written this cycle.
+    virtual void step(Cycle now) = 0;
+
+    /// Phase 2: commit pipeline state. Default: nothing to commit.
+    virtual void advance() {}
+
+    /// Diagnostic name used in error messages and traces.
+    [[nodiscard]] virtual std::string name() const { return "component"; }
+};
+
+/// Owns the component schedule and the global cycle counter. Components are
+/// registered by non-owning pointer; the builder that wires the system keeps
+/// ownership (see arch/noc_system.h).
+class Sim_kernel {
+public:
+    void add(Component* c);
+
+    /// Run `cycles` additional cycles.
+    void run(Cycle cycles);
+
+    /// Run until `pred()` returns true, checking every `check_interval`
+    /// cycles; gives up after `max_cycles`. Returns true if pred held.
+    template<typename Pred>
+    bool run_until(Pred&& pred, Cycle max_cycles, Cycle check_interval = 64)
+    {
+        const Cycle deadline = now_ + max_cycles;
+        while (now_ < deadline) {
+            const Cycle chunk =
+                check_interval < deadline - now_ ? check_interval
+                                                 : deadline - now_;
+            run(chunk);
+            if (pred()) return true;
+        }
+        return pred();
+    }
+
+    [[nodiscard]] Cycle now() const { return now_; }
+    [[nodiscard]] std::size_t component_count() const
+    {
+        return components_.size();
+    }
+
+private:
+    std::vector<Component*> components_;
+    Cycle now_ = 0;
+};
+
+} // namespace noc

@@ -1,0 +1,86 @@
+#include "synth/compiler.h"
+
+#include "common/table.h"
+#include "traffic/flow_traffic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace noc {
+
+Network_params network_params_for(const Design_point& dp, int buffer_depth)
+{
+    Network_params np;
+    np.flit_width_bits = dp.op.flit_width_bits;
+    np.clock_ghz = dp.op.clock_ghz;
+    np.buffer_depth = buffer_depth;
+    np.route_vcs = 1; // synthesized routes are order-based, single VC
+    np.fc = Flow_control_kind::credit;
+    return np;
+}
+
+std::unique_ptr<Noc_system> compile_design(const Design_point& dp,
+                                           int buffer_depth)
+{
+    return std::make_unique<Noc_system>(dp.topology, dp.routes,
+                                        network_params_for(dp, buffer_depth),
+                                        /*allow_partial_routes=*/true);
+}
+
+Validation_report validate_design(const Design_point& dp,
+                                  const Core_graph& graph,
+                                  Cycle warmup_cycles, Cycle measure_cycles,
+                                  int buffer_depth)
+{
+    auto sys = compile_design(dp, buffer_depth);
+    double offered = 0.0;
+    for (int c = 0; c < graph.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Flow_source::Params fp;
+        fp.clock_ghz = dp.op.clock_ghz;
+        fp.flit_width_bits = dp.op.flit_width_bits;
+        fp.seed = 1234 + static_cast<std::uint64_t>(c);
+        sys->ni(core).set_source(
+            std::make_unique<Flow_source>(core, graph, fp));
+    }
+    for (const auto& f : graph.flows())
+        offered += flits_per_cycle_for(f.bandwidth_mbps, dp.op.clock_ghz,
+                                       dp.op.flit_width_bits,
+                                       f.packet_bytes);
+
+    sys->warmup(warmup_cycles);
+    sys->measure(measure_cycles);
+
+    Validation_report rep;
+    rep.drained = sys->drain(measure_cycles * 4);
+    rep.offered_flits_per_cycle = offered;
+    rep.accepted_flits_per_cycle = sys->stats().accepted_flits_per_cycle();
+    rep.bandwidth_met =
+        rep.drained && rep.accepted_flits_per_cycle >= 0.95 * offered;
+    if (!rep.bandwidth_met)
+        rep.violations.push_back(
+            "accepted " + format_double(rep.accepted_flits_per_cycle, 3) +
+            " of offered " + format_double(offered, 3) + " flits/cycle");
+
+    rep.latency_met = true;
+    for (int i = 0; i < graph.flow_count(); ++i) {
+        const Flow_id fid{static_cast<std::uint32_t>(i)};
+        const Flow_spec& f = graph.flow(fid);
+        if (f.max_latency_ns <= 0) continue;
+        const auto& acc = sys->stats().flow_latency(fid);
+        if (acc.count() == 0) continue; // too slow a flow to observe
+        const double mean_ns = acc.mean() / dp.op.clock_ghz;
+        const double ratio = mean_ns / f.max_latency_ns;
+        rep.worst_latency_ratio = std::max(rep.worst_latency_ratio, ratio);
+        if (ratio > 1.0) {
+            rep.latency_met = false;
+            rep.violations.push_back(
+                "flow " + std::to_string(i) + ": " +
+                format_double(mean_ns, 1) + " ns vs bound " +
+                format_double(f.max_latency_ns, 1));
+        }
+    }
+    return rep;
+}
+
+} // namespace noc

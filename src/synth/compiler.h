@@ -1,0 +1,43 @@
+// The "NoC hardware compiler" half of ×pipesCompiler [45] / Netchip [42]:
+// turn a synthesized Design_point into a live cycle-accurate system with
+// application traffic generators, and validate the run-time behaviour
+// against the spec ("the tools also generate simulation models ... that can
+// be used to validate the run-time behavior of the system", §6).
+#pragma once
+
+#include "arch/noc_system.h"
+#include "synth/topology_synth.h"
+#include "traffic/core_graph.h"
+
+#include <memory>
+
+namespace noc {
+
+/// Network parameters matching a design point.
+[[nodiscard]] Network_params network_params_for(const Design_point& dp,
+                                                int buffer_depth = 4);
+
+/// Instantiate the simulatable network (no traffic attached).
+[[nodiscard]] std::unique_ptr<Noc_system> compile_design(
+    const Design_point& dp, int buffer_depth = 4);
+
+struct Validation_report {
+    bool drained = false;
+    bool bandwidth_met = false; ///< accepted >= 95% of offered
+    bool latency_met = false;   ///< every constrained flow under its bound
+    double offered_flits_per_cycle = 0.0;
+    double accepted_flits_per_cycle = 0.0;
+    /// Worst ratio of measured mean latency to the flow's bound (<= 1 ok).
+    double worst_latency_ratio = 0.0;
+    std::vector<std::string> violations;
+};
+
+/// Drive the compiled design with its application traffic for
+/// `measure_cycles` and check the spec's bandwidth/latency constraints.
+[[nodiscard]] Validation_report validate_design(const Design_point& dp,
+                                                const Core_graph& graph,
+                                                Cycle warmup_cycles = 2'000,
+                                                Cycle measure_cycles = 20'000,
+                                                int buffer_depth = 4);
+
+} // namespace noc

@@ -1,0 +1,61 @@
+#include "synth/pareto.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace noc {
+
+bool dominates(const Design_metrics& a, const Design_metrics& b)
+{
+    const bool no_worse = a.power_mw <= b.power_mw &&
+                          a.latency_ns <= b.latency_ns &&
+                          a.area_mm2 <= b.area_mm2;
+    const bool strictly_better = a.power_mw < b.power_mw ||
+                                 a.latency_ns < b.latency_ns ||
+                                 a.area_mm2 < b.area_mm2;
+    return no_worse && strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<Design_metrics>& points)
+{
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (std::size_t j = 0; j < points.size() && !dominated; ++j)
+            if (j != i && dominates(points[j], points[i])) dominated = true;
+        if (!dominated) front.push_back(i);
+    }
+    return front;
+}
+
+std::size_t pick_weighted(const std::vector<Design_metrics>& points,
+                          double power_weight, double latency_weight,
+                          double area_weight)
+{
+    if (points.empty())
+        throw std::invalid_argument{"pick_weighted: no points"};
+    // Normalize each axis by its max so weights are unitless.
+    Design_metrics maxima{1e-12, 1e-12, 1e-12};
+    for (const auto& p : points) {
+        maxima.power_mw = std::max(maxima.power_mw, p.power_mw);
+        maxima.latency_ns = std::max(maxima.latency_ns, p.latency_ns);
+        maxima.area_mm2 = std::max(maxima.area_mm2, p.area_mm2);
+    }
+    std::size_t best = 0;
+    double best_score = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const double score =
+            power_weight * points[i].power_mw / maxima.power_mw +
+            latency_weight * points[i].latency_ns / maxima.latency_ns +
+            area_weight * points[i].area_mm2 / maxima.area_mm2;
+        if (score < best_score) {
+            best_score = score;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace noc

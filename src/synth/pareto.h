@@ -1,0 +1,30 @@
+// Pareto filtering over (power, latency, area) — "from the set of all
+// Pareto optimal points, the designer can then choose a NoC instance" (§6).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace noc {
+
+struct Design_metrics {
+    double power_mw = 0.0;
+    double latency_ns = 0.0;
+    double area_mm2 = 0.0;
+};
+
+/// a dominates b: no worse on every axis, strictly better on one.
+[[nodiscard]] bool dominates(const Design_metrics& a,
+                             const Design_metrics& b);
+
+/// Indices of the non-dominated points, in input order.
+[[nodiscard]] std::vector<std::size_t> pareto_front(
+    const std::vector<Design_metrics>& points);
+
+/// Scalarized pick from the front: minimize the weighted normalized sum.
+/// Returns the index into `points`; requires a non-empty input.
+[[nodiscard]] std::size_t pick_weighted(
+    const std::vector<Design_metrics>& points, double power_weight,
+    double latency_weight, double area_weight);
+
+} // namespace noc

@@ -1,0 +1,178 @@
+#include "synth/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+/// Symmetric core-to-core bandwidth matrix.
+std::vector<std::vector<double>> affinity(const Core_graph& g)
+{
+    const auto n = static_cast<std::size_t>(g.core_count());
+    std::vector<std::vector<double>> w(n, std::vector<double>(n, 0.0));
+    for (const auto& f : g.flows()) {
+        w[static_cast<std::size_t>(f.src)][static_cast<std::size_t>(f.dst)] +=
+            f.bandwidth_mbps;
+        w[static_cast<std::size_t>(f.dst)][static_cast<std::size_t>(f.src)] +=
+            f.bandwidth_mbps;
+    }
+    return w;
+}
+
+} // namespace
+
+double cut_bandwidth(const Core_graph& graph,
+                     const std::vector<int>& core_cluster)
+{
+    double cut = 0.0;
+    for (const auto& f : graph.flows())
+        if (core_cluster.at(static_cast<std::size_t>(f.src)) !=
+            core_cluster.at(static_cast<std::size_t>(f.dst)))
+            cut += f.bandwidth_mbps;
+    return cut;
+}
+
+Partition_result partition_cores(const Core_graph& graph, int k,
+                                 int max_cores_per_cluster)
+{
+    const int n = graph.core_count();
+    if (k < 1 || k > n)
+        throw std::invalid_argument{"partition_cores: bad cluster count"};
+    if (max_cores_per_cluster < 1 ||
+        static_cast<long long>(k) * max_cores_per_cluster < n)
+        throw std::invalid_argument{
+            "partition_cores: capacity cannot hold all cores"};
+
+    const auto w = affinity(graph);
+
+    // Agglomeration: cluster ids are the smallest member core id.
+    std::vector<int> cluster(static_cast<std::size_t>(n));
+    std::iota(cluster.begin(), cluster.end(), 0);
+    std::vector<int> size(static_cast<std::size_t>(n), 1);
+    int clusters = n;
+
+    auto inter_bw = [&](int a, int b) {
+        double bw = 0.0;
+        for (int i = 0; i < n; ++i) {
+            if (cluster[static_cast<std::size_t>(i)] != a) continue;
+            for (int j = 0; j < n; ++j)
+                if (cluster[static_cast<std::size_t>(j)] == b)
+                    bw += w[static_cast<std::size_t>(i)]
+                           [static_cast<std::size_t>(j)];
+        }
+        return bw;
+    };
+
+    while (clusters > k) {
+        // Pick the mergeable pair with the heaviest traffic between them;
+        // ties break toward smaller combined size, then lower ids.
+        double best_bw = -1.0;
+        int best_a = -1;
+        int best_b = -1;
+        for (int a = 0; a < n; ++a) {
+            if (size[static_cast<std::size_t>(a)] == 0 ||
+                cluster[static_cast<std::size_t>(a)] != a)
+                continue;
+            for (int b = a + 1; b < n; ++b) {
+                if (size[static_cast<std::size_t>(b)] == 0 ||
+                    cluster[static_cast<std::size_t>(b)] != b)
+                    continue;
+                if (size[static_cast<std::size_t>(a)] +
+                        size[static_cast<std::size_t>(b)] >
+                    max_cores_per_cluster)
+                    continue;
+                const double bw = inter_bw(a, b);
+                const bool better =
+                    bw > best_bw ||
+                    (bw == best_bw && best_a >= 0 &&
+                     size[static_cast<std::size_t>(a)] +
+                             size[static_cast<std::size_t>(b)] <
+                         size[static_cast<std::size_t>(best_a)] +
+                             size[static_cast<std::size_t>(best_b)]);
+                if (better) {
+                    best_bw = bw;
+                    best_a = a;
+                    best_b = b;
+                }
+            }
+        }
+        if (best_a < 0)
+            throw std::logic_error{
+                "partition_cores: no mergeable pair (capacity too tight)"};
+        for (int i = 0; i < n; ++i)
+            if (cluster[static_cast<std::size_t>(i)] == best_b)
+                cluster[static_cast<std::size_t>(i)] = best_a;
+        size[static_cast<std::size_t>(best_a)] +=
+            size[static_cast<std::size_t>(best_b)];
+        size[static_cast<std::size_t>(best_b)] = 0;
+        --clusters;
+    }
+
+    // Compact cluster ids to [0, k).
+    std::vector<int> remap(static_cast<std::size_t>(n), -1);
+    int next = 0;
+    std::vector<int> result(static_cast<std::size_t>(n));
+    std::vector<int> csize(static_cast<std::size_t>(k), 0);
+    for (int i = 0; i < n; ++i) {
+        const int root = cluster[static_cast<std::size_t>(i)];
+        if (remap[static_cast<std::size_t>(root)] < 0)
+            remap[static_cast<std::size_t>(root)] = next++;
+        result[static_cast<std::size_t>(i)] =
+            remap[static_cast<std::size_t>(root)];
+        ++csize[static_cast<std::size_t>(
+            result[static_cast<std::size_t>(i)])];
+    }
+
+    // KL-style refinement: move a single core to another cluster while it
+    // strictly improves the cut and respects capacity. Bounded passes keep
+    // it deterministic and fast.
+    for (int pass = 0; pass < 4; ++pass) {
+        bool improved = false;
+        for (int i = 0; i < n; ++i) {
+            const int from = result[static_cast<std::size_t>(i)];
+            if (csize[static_cast<std::size_t>(from)] == 1 && clusters == k)
+                continue; // keep clusters non-empty
+            // Gain of moving i to cluster c: traffic to c minus traffic to
+            // its own cluster (i excluded).
+            std::vector<double> to_cluster(static_cast<std::size_t>(k), 0.0);
+            for (int j = 0; j < n; ++j)
+                if (j != i)
+                    to_cluster[static_cast<std::size_t>(
+                        result[static_cast<std::size_t>(j)])] +=
+                        w[static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(j)];
+            int best_c = from;
+            double best_gain = 0.0;
+            for (int c = 0; c < k; ++c) {
+                if (c == from ||
+                    csize[static_cast<std::size_t>(c)] >=
+                        max_cores_per_cluster)
+                    continue;
+                const double gain = to_cluster[static_cast<std::size_t>(c)] -
+                                    to_cluster[static_cast<std::size_t>(from)];
+                if (gain > best_gain + 1e-9) {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            if (best_c != from) {
+                result[static_cast<std::size_t>(i)] = best_c;
+                --csize[static_cast<std::size_t>(from)];
+                ++csize[static_cast<std::size_t>(best_c)];
+                improved = true;
+            }
+        }
+        if (!improved) break;
+    }
+
+    Partition_result out;
+    out.core_cluster = std::move(result);
+    out.cluster_count = k;
+    out.cut_bandwidth_mbps = cut_bandwidth(graph, out.core_cluster);
+    return out;
+}
+
+} // namespace noc

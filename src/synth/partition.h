@@ -1,0 +1,35 @@
+// Core-to-switch clustering: the first step of custom topology synthesis.
+//
+// Greedy agglomeration (merge the pair of clusters with the heaviest
+// inter-cluster traffic) down to k clusters, followed by a
+// Kernighan-Lin-style refinement pass that moves single cores while it
+// improves the cut — minimizing the bandwidth that must cross switches,
+// under a cores-per-switch cap that reserves ports for inter-switch links.
+#pragma once
+
+#include "traffic/core_graph.h"
+
+#include <vector>
+
+namespace noc {
+
+struct Partition_result {
+    /// cluster id per core, in [0, cluster_count).
+    std::vector<int> core_cluster;
+    int cluster_count = 0;
+    /// Total bandwidth (MB/s) crossing cluster boundaries.
+    double cut_bandwidth_mbps = 0.0;
+};
+
+/// Partition `graph` into exactly `k` clusters with at most
+/// `max_cores_per_cluster` cores each. Throws when infeasible
+/// (k * max_cores_per_cluster < core_count or k > core_count).
+[[nodiscard]] Partition_result partition_cores(const Core_graph& graph,
+                                               int k,
+                                               int max_cores_per_cluster);
+
+/// Cut bandwidth of an arbitrary assignment (exposed for tests).
+[[nodiscard]] double cut_bandwidth(const Core_graph& graph,
+                                   const std::vector<int>& core_cluster);
+
+} // namespace noc

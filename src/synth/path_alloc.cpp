@@ -1,0 +1,167 @@
+#include "synth/path_alloc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace noc {
+
+Path_allocator::Path_allocator(std::vector<int> cores_per_switch,
+                               int max_radix, double link_capacity_flits,
+                               Path_cost_params costs)
+    : switch_count_{static_cast<int>(cores_per_switch.size())},
+      max_radix_{max_radix},
+      capacity_{link_capacity_flits},
+      costs_{costs},
+      out_links_(cores_per_switch.size()),
+      out_used_{cores_per_switch},
+      in_used_{std::move(cores_per_switch)}
+{
+    if (switch_count_ < 1)
+        throw std::invalid_argument{"Path_allocator: no switches"};
+    if (max_radix_ < 2 || capacity_ <= 0)
+        throw std::invalid_argument{"Path_allocator: bad radix/capacity"};
+    // A switch whose cores consume every port is still usable for purely
+    // switch-local traffic; only an over-subscription is an error.
+    for (const int used : out_used_)
+        if (used > max_radix_)
+            throw std::invalid_argument{
+                "Path_allocator: cores exceed the switch radix"};
+}
+
+double Path_allocator::max_link_load() const
+{
+    double m = 0.0;
+    for (const auto& l : links_) m = std::max(m, l.load);
+    return m;
+}
+
+std::optional<std::vector<int>> Path_allocator::route_flow(int src_switch,
+                                                           int dst_switch,
+                                                           double load)
+{
+    if (src_switch < 0 || src_switch >= switch_count_ || dst_switch < 0 ||
+        dst_switch >= switch_count_)
+        throw std::invalid_argument{"route_flow: bad switch id"};
+    if (load <= 0 || load > capacity_) return std::nullopt;
+    if (src_switch == dst_switch) return std::vector<int>{};
+
+    // State: (switch, phase). phase 0 = ascending ids, 1 = descending.
+    // Edges: to every other switch, via the cheapest reusable link with
+    // spare capacity or a freshly minted link if ports allow.
+    struct Edge_choice {
+        double cost = std::numeric_limits<double>::infinity();
+        int link = -1; // -1 = new link
+    };
+    auto edge_choice = [&](int u, int v) {
+        Edge_choice best;
+        for (const int li : out_links_[static_cast<std::size_t>(u)]) {
+            const auto& l = links_[static_cast<std::size_t>(li)];
+            if (l.to != v || l.load + load > capacity_) continue;
+            const double c = costs_.hop_cost +
+                             costs_.congestion_weight * l.load / capacity_;
+            if (c < best.cost) {
+                best.cost = c;
+                best.link = li;
+            }
+        }
+        if (best.link < 0) {
+            if (out_used_[static_cast<std::size_t>(u)] < max_radix_ &&
+                in_used_[static_cast<std::size_t>(v)] < max_radix_) {
+                best.cost = costs_.hop_cost + costs_.new_link_cost;
+                best.link = -1;
+            }
+        }
+        return best;
+    };
+
+    const int states = 2 * switch_count_;
+    std::vector<double> dist(static_cast<std::size_t>(states),
+                             std::numeric_limits<double>::infinity());
+    struct Parent {
+        int state = -1;
+        int via_switch = -1; // predecessor switch
+        int link = -2;       // -1 new, >=0 existing, -2 none
+    };
+    std::vector<Parent> parent(static_cast<std::size_t>(states));
+
+    using Qe = std::pair<double, int>;
+    std::priority_queue<Qe, std::vector<Qe>, std::greater<>> pq;
+    const int start = 2 * src_switch;
+    dist[static_cast<std::size_t>(start)] = 0.0;
+    pq.push({0.0, start});
+
+    while (!pq.empty()) {
+        const auto [d, state] = pq.top();
+        pq.pop();
+        if (d > dist[static_cast<std::size_t>(state)] + 1e-12) continue;
+        const int u = state / 2;
+        const int phase = state % 2;
+        for (int v = 0; v < switch_count_; ++v) {
+            if (v == u) continue;
+            const bool up = v > u;
+            if (phase == 1 && up) continue; // no down -> up
+            const auto choice = edge_choice(u, v);
+            if (!std::isfinite(choice.cost)) continue;
+            const int nstate = 2 * v + (up ? 0 : 1);
+            const double nd = d + choice.cost;
+            if (nd + 1e-12 < dist[static_cast<std::size_t>(nstate)]) {
+                dist[static_cast<std::size_t>(nstate)] = nd;
+                parent[static_cast<std::size_t>(nstate)] = {state, u,
+                                                            choice.link};
+                pq.push({nd, nstate});
+            }
+        }
+    }
+
+    int goal = -1;
+    const int down_state = 2 * dst_switch + 1;
+    const int up_state = 2 * dst_switch;
+    if (std::isfinite(dist[static_cast<std::size_t>(down_state)]) &&
+        (!std::isfinite(dist[static_cast<std::size_t>(up_state)]) ||
+         dist[static_cast<std::size_t>(down_state)] <=
+             dist[static_cast<std::size_t>(up_state)]))
+        goal = down_state;
+    else if (std::isfinite(dist[static_cast<std::size_t>(up_state)]))
+        goal = up_state;
+    if (goal < 0) return std::nullopt;
+
+    // Reconstruct switch sequence.
+    struct Step {
+        int from;
+        int to;
+        int link;
+    };
+    std::vector<Step> steps;
+    for (int s = goal; s != start;
+         s = parent[static_cast<std::size_t>(s)].state) {
+        const auto& pa = parent[static_cast<std::size_t>(s)];
+        steps.push_back({pa.via_switch, s / 2, pa.link});
+    }
+    std::reverse(steps.begin(), steps.end());
+
+    // Materialize: mint new links, accumulate load.
+    std::vector<int> path;
+    for (const auto& st : steps) {
+        int li = st.link;
+        if (li < 0) {
+            // Port budget may have changed if this same path mints two
+            // links at one switch — re-check before committing.
+            if (out_used_[static_cast<std::size_t>(st.from)] >= max_radix_ ||
+                in_used_[static_cast<std::size_t>(st.to)] >= max_radix_)
+                return std::nullopt;
+            li = static_cast<int>(links_.size());
+            links_.push_back({st.from, st.to, 0.0});
+            out_links_[static_cast<std::size_t>(st.from)].push_back(li);
+            ++out_used_[static_cast<std::size_t>(st.from)];
+            ++in_used_[static_cast<std::size_t>(st.to)];
+        }
+        links_[static_cast<std::size_t>(li)].load += load;
+        path.push_back(li);
+    }
+    return path;
+}
+
+} // namespace noc

@@ -1,0 +1,77 @@
+// Deadlock-free path allocation on a growing custom switch graph.
+//
+// SunFloor routes flows in decreasing bandwidth order over a cost metric
+// that charges for new links/ports and for congestion, while keeping the
+// routing function deadlock-free. We obtain deadlock freedom *by
+// construction* instead of by check-and-retry: every path must ascend in
+// switch id and then descend (an up*/down* discipline over the total order
+// of switch ids), which makes the channel dependency graph acyclic for any
+// set of such paths — the turn-prohibition equivalent the literature uses.
+// Within that class, a Dijkstra over (switch, phase) states picks the
+// cheapest mix of reusing existing links and minting new ones.
+#pragma once
+
+#include "common/types.h"
+
+#include <optional>
+#include <vector>
+
+namespace noc {
+
+/// A unidirectional synthesized link with its accumulated load.
+struct Synth_link {
+    int from = 0;
+    int to = 0;
+    double load = 0.0; ///< flits/cycle
+};
+
+struct Path_cost_params {
+    /// Cost of minting a new link (router ports + wiring).
+    double new_link_cost = 3.0;
+    /// Base cost per hop over an existing link.
+    double hop_cost = 1.0;
+    /// Additional congestion-proportional cost (load / capacity weighted).
+    double congestion_weight = 1.0;
+};
+
+class Path_allocator {
+public:
+    /// `cores_per_switch` seeds the used-port counters (each attached core
+    /// consumes one input and one output port).
+    Path_allocator(std::vector<int> cores_per_switch, int max_radix,
+                   double link_capacity_flits,
+                   Path_cost_params costs = {});
+
+    /// Route `load` flits/cycle from src_switch to dst_switch; returns the
+    /// traversed link indices (into links()), creating links and
+    /// accumulating load. nullopt when no feasible path exists.
+    [[nodiscard]] std::optional<std::vector<int>>
+    route_flow(int src_switch, int dst_switch, double load);
+
+    [[nodiscard]] const std::vector<Synth_link>& links() const
+    {
+        return links_;
+    }
+    [[nodiscard]] double link_capacity() const { return capacity_; }
+    [[nodiscard]] int out_ports_used(int sw) const
+    {
+        return out_used_[static_cast<std::size_t>(sw)];
+    }
+    [[nodiscard]] int in_ports_used(int sw) const
+    {
+        return in_used_[static_cast<std::size_t>(sw)];
+    }
+    [[nodiscard]] double max_link_load() const;
+
+private:
+    int switch_count_;
+    int max_radix_;
+    double capacity_;
+    Path_cost_params costs_;
+    std::vector<Synth_link> links_;
+    std::vector<std::vector<int>> out_links_; // switch -> link indices
+    std::vector<int> out_used_;
+    std::vector<int> in_used_;
+};
+
+} // namespace noc

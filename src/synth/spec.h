@@ -1,0 +1,56 @@
+// Synthesis specification — the left-hand side of Fig. 6's tool flow:
+// application architecture + communication constraints (+ optional
+// floorplan) + technology characterization.
+#pragma once
+
+#include "phys/floorplan.h"
+#include "phys/technology.h"
+#include "traffic/core_graph.h"
+
+#include <vector>
+
+namespace noc {
+
+/// One (frequency, flit width) point of the architectural-parameter sweep
+/// ("setting architectural parameters such as frequency of operation, link
+/// width", §6).
+struct Operating_point {
+    double clock_ghz = 1.0;
+    int flit_width_bits = 32;
+
+    friend constexpr bool operator==(const Operating_point&,
+                                     const Operating_point&) = default;
+};
+
+struct Synthesis_spec {
+    Core_graph graph;
+    Technology tech;
+    std::vector<Operating_point> operating_points{{1.0, 32}};
+
+    /// Switch-count sweep; 0 = automatic upper bound (core count).
+    int min_switches = 1;
+    int max_switches = 0;
+    /// Hard cap on any switch's port count (ties to Fig. 2 routability).
+    int max_switch_radix = 10;
+    /// Keep peak link utilization below this fraction of capacity.
+    double link_utilization_cap = 0.7;
+    int buffer_depth = 4;
+
+    /// Use a floorplan for wire lengths (input_floorplan if provided, else
+    /// a generated shelf floorplan); false = unit-length links.
+    bool use_floorplan = true;
+    const Floorplan* input_floorplan = nullptr;
+    /// Wire-length assumption when use_floorplan is false, mm.
+    double default_link_mm = 2.0;
+    /// Timing margin left for logic when pipelining wires.
+    double wire_margin = 0.35;
+
+    /// Override the built-in min-cut clustering with a fixed core->switch
+    /// assignment (used by the 3D flow to keep clusters layer-pure). Length
+    /// must equal the core count; ids must be < the requested switch count.
+    const std::vector<int>* fixed_core_cluster = nullptr;
+
+    void validate() const;
+};
+
+} // namespace noc

@@ -1,0 +1,457 @@
+#include "synth/topology_synth.h"
+
+#include "common/log.h"
+#include "common/table.h"
+#include "phys/router_model.h"
+#include "phys/wire_model.h"
+#include "synth/partition.h"
+#include "synth/path_alloc.h"
+#include "topology/deadlock.h"
+#include "traffic/flow_traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace noc {
+namespace {
+
+std::string format_clock(const Operating_point& op)
+{
+    return format_double(op.clock_ghz, 2) + "GHz_w" +
+           std::to_string(op.flit_width_bits);
+}
+
+} // namespace
+} // namespace noc
+
+namespace noc {
+
+void Synthesis_spec::validate() const
+{
+    graph.validate();
+    if (operating_points.empty())
+        throw std::invalid_argument{"Synthesis_spec: no operating points"};
+    for (const auto& op : operating_points)
+        if (op.clock_ghz <= 0 || op.flit_width_bits <= 0)
+            throw std::invalid_argument{"Synthesis_spec: bad op point"};
+    if (min_switches < 1)
+        throw std::invalid_argument{"Synthesis_spec: min_switches < 1"};
+    if (max_switches != 0 && max_switches < min_switches)
+        throw std::invalid_argument{"Synthesis_spec: switch range empty"};
+    if (max_switch_radix < 3)
+        throw std::invalid_argument{"Synthesis_spec: radix too small"};
+    if (link_utilization_cap <= 0 || link_utilization_cap > 1)
+        throw std::invalid_argument{"Synthesis_spec: bad utilization cap"};
+    if (input_floorplan != nullptr &&
+        input_floorplan->block_count() < graph.core_count())
+        throw std::invalid_argument{
+            "Synthesis_spec: floorplan lacks core blocks"};
+}
+
+namespace {
+
+/// Flows aggregated per (src, dst) core pair — one route per pair.
+struct Pair_demand {
+    Core_id src;
+    Core_id dst;
+    double load_flits_per_cycle = 0.0;
+    std::vector<Flow_id> flows;
+};
+
+std::vector<Pair_demand> aggregate_demands(const Core_graph& g,
+                                           const Operating_point& op)
+{
+    std::map<std::pair<int, int>, Pair_demand> by_pair;
+    for (int i = 0; i < g.flow_count(); ++i) {
+        const Flow_id fid{static_cast<std::uint32_t>(i)};
+        const Flow_spec& f = g.flow(fid);
+        auto& d = by_pair[{f.src, f.dst}];
+        d.src = Core_id{static_cast<std::uint32_t>(f.src)};
+        d.dst = Core_id{static_cast<std::uint32_t>(f.dst)};
+        d.load_flits_per_cycle +=
+            flits_per_cycle_for(f.bandwidth_mbps, op.clock_ghz,
+                                op.flit_width_bits, f.packet_bytes);
+        d.flows.push_back(fid);
+    }
+    std::vector<Pair_demand> out;
+    out.reserve(by_pair.size());
+    for (auto& [key, d] : by_pair) out.push_back(std::move(d));
+    // Decreasing bandwidth: heavy flows get the short, fresh paths.
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Pair_demand& a, const Pair_demand& b) {
+                         return a.load_flits_per_cycle >
+                                b.load_flits_per_cycle;
+                     });
+    return out;
+}
+
+} // namespace
+
+std::optional<Design_point> synthesize_one(const Synthesis_spec& spec,
+                                           const Operating_point& op,
+                                           int switch_count,
+                                           std::string* reason)
+{
+    auto fail = [&](const std::string& why) -> std::optional<Design_point> {
+        if (reason)
+            *reason = "k=" + std::to_string(switch_count) + " @" +
+                      format_clock(op) + ": " + why;
+        return std::nullopt;
+    };
+
+    const Core_graph& g = spec.graph;
+    const int n = g.core_count();
+
+    // 1. Clustering. Reserve ports on each switch for inter-switch links.
+    const int reserve = switch_count == 1
+                            ? 0
+                            : std::min(3, spec.max_switch_radix - 1);
+    const int max_cores = spec.max_switch_radix - reserve;
+    if (max_cores < 1 ||
+        static_cast<long long>(max_cores) * switch_count < n)
+        return fail("radix cannot host all cores");
+    Partition_result part;
+    if (spec.fixed_core_cluster != nullptr) {
+        if (spec.fixed_core_cluster->size() != static_cast<std::size_t>(n))
+            return fail("fixed clustering has wrong length");
+        part.core_cluster = *spec.fixed_core_cluster;
+        part.cluster_count = switch_count;
+        for (const int c : part.core_cluster)
+            if (c < 0 || c >= switch_count)
+                return fail("fixed clustering references bad switch");
+        std::vector<int> sizes(static_cast<std::size_t>(switch_count), 0);
+        for (const int c : part.core_cluster)
+            if (++sizes[static_cast<std::size_t>(c)] > max_cores)
+                return fail("fixed clustering overfills a switch");
+        part.cut_bandwidth_mbps = cut_bandwidth(g, part.core_cluster);
+    } else {
+        try {
+            part = partition_cores(g, switch_count, max_cores);
+        } catch (const std::exception& e) {
+            return fail(std::string{"partition: "} + e.what());
+        }
+    }
+
+    // 2a. NI port feasibility: each core has one injection and one ejection
+    // port of one flit/cycle; no topology can fix an oversubscribed NI.
+    {
+        std::vector<double> inject(static_cast<std::size_t>(n), 0.0);
+        std::vector<double> eject(static_cast<std::size_t>(n), 0.0);
+        for (const auto& f : g.flows()) {
+            const double load =
+                flits_per_cycle_for(f.bandwidth_mbps, op.clock_ghz,
+                                    op.flit_width_bits, f.packet_bytes);
+            inject[static_cast<std::size_t>(f.src)] += load;
+            eject[static_cast<std::size_t>(f.dst)] += load;
+        }
+        for (int c = 0; c < n; ++c) {
+            if (inject[static_cast<std::size_t>(c)] >
+                spec.link_utilization_cap)
+                return fail("core " + g.core(c).name +
+                            " injection port oversubscribed (" +
+                            format_double(inject[static_cast<std::size_t>(c)],
+                                          2) +
+                            " flits/cy)");
+            if (eject[static_cast<std::size_t>(c)] >
+                spec.link_utilization_cap)
+                return fail("core " + g.core(c).name +
+                            " ejection port oversubscribed (" +
+                            format_double(eject[static_cast<std::size_t>(c)],
+                                          2) +
+                            " flits/cy)");
+        }
+    }
+
+    // 2b. Path allocation.
+    std::vector<int> cores_per_switch(static_cast<std::size_t>(switch_count),
+                                      0);
+    for (const int c : part.core_cluster)
+        ++cores_per_switch[static_cast<std::size_t>(c)];
+    Path_allocator alloc{cores_per_switch, spec.max_switch_radix,
+                         spec.link_utilization_cap};
+    const auto demands = aggregate_demands(g, op);
+    std::vector<std::vector<int>> pair_paths; // link indices per demand
+    for (const auto& d : demands) {
+        const auto path = alloc.route_flow(
+            part.core_cluster[d.src.get()], part.core_cluster[d.dst.get()],
+            d.load_flits_per_cycle);
+        if (!path)
+            return fail("unroutable demand " +
+                        std::to_string(d.src.get()) + "->" +
+                        std::to_string(d.dst.get()) + " (" +
+                        format_double(d.load_flits_per_cycle, 3) +
+                        " flits/cy)");
+        pair_paths.push_back(*path);
+    }
+
+    // 3. Build the topology; links in allocator order so Link_id == index.
+    Design_point dp;
+    dp.op = op;
+    dp.switch_count = switch_count;
+    dp.name = "k" + std::to_string(switch_count) + "_" + format_clock(op);
+    dp.core_cluster = part.core_cluster;
+    dp.topology = Topology{"synth_" + g.name() + "_" + dp.name,
+                           switch_count};
+    for (int c = 0; c < n; ++c)
+        dp.topology.attach_core(Switch_id{static_cast<std::uint32_t>(
+            part.core_cluster[static_cast<std::size_t>(c)])});
+    for (const auto& l : alloc.links())
+        dp.topology.add_link(Switch_id{static_cast<std::uint32_t>(l.from)},
+                             Switch_id{static_cast<std::uint32_t>(l.to)});
+
+    // 4. Routes per communicating pair.
+    dp.routes = Route_set{n};
+    std::vector<std::pair<Core_id, Route>> flow_routes;
+    for (std::size_t di = 0; di < demands.size(); ++di) {
+        const auto& d = demands[di];
+        Route r;
+        for (const int li : pair_paths[di])
+            r.push_back({dp.topology
+                             .output_port_of_link(
+                                 Link_id{static_cast<std::uint32_t>(li)})
+                             .get(),
+                         0});
+        r.push_back({dp.topology.ejection_port_of_core(d.dst).get(), 0});
+        flow_routes.emplace_back(d.src, r);
+        dp.routes.set(d.src, d.dst, std::move(r));
+    }
+    // Defense in depth: the order-based discipline must be cycle-free.
+    if (!analyze_deadlock_flows(dp.topology, flow_routes, 1).acyclic)
+        throw std::logic_error{
+            "synthesize_one: ordered path allocation produced a CDG cycle "
+            "(internal invariant violated)"};
+
+    // 5. Floorplan-aware placement and wire lengths.
+    dp.link_load.assign(alloc.links().size(), 0.0);
+    for (std::size_t li = 0; li < alloc.links().size(); ++li)
+        dp.link_load[li] = alloc.links()[li].load;
+    std::vector<double> ni_wire_mm(static_cast<std::size_t>(n), 0.5);
+    if (spec.use_floorplan) {
+        Floorplan fp = spec.input_floorplan != nullptr
+                           ? *spec.input_floorplan
+                           : make_shelf_floorplan(g);
+        // Place switches at the bandwidth-weighted centroid of their cores.
+        for (int s = 0; s < switch_count; ++s) {
+            const Switch_id sw{static_cast<std::uint32_t>(s)};
+            double wx = 0.0;
+            double wy = 0.0;
+            double wsum = 0.0;
+            for (const Core_id c : dp.topology.switch_cores(sw)) {
+                double weight = 1.0;
+                for (const auto& f : g.flows())
+                    if (f.src == static_cast<int>(c.get()) ||
+                        f.dst == static_cast<int>(c.get()))
+                        weight += f.bandwidth_mbps;
+                const Point p = fp.block_center(static_cast<int>(c.get()));
+                wx += p.x * weight;
+                wy += p.y * weight;
+                wsum += weight;
+            }
+            const Point target = wsum > 0
+                                     ? Point{wx / wsum, wy / wsum}
+                                     : fp.die().center();
+            Router_phys_params rp;
+            rp.in_ports = dp.topology.input_port_count(sw);
+            rp.out_ports = dp.topology.output_port_count(sw);
+            rp.flit_width_bits = op.flit_width_bits;
+            rp.buffer_depth = spec.buffer_depth;
+            const auto phys = estimate_router(spec.tech, rp);
+            const double side = std::sqrt(std::max(phys.footprint_mm2, 1e-4));
+            const auto placed = fp.place_near(
+                "sw" + std::to_string(s), side, side, target, true);
+            if (!placed) return fail("floorplan has no room for switches");
+            dp.topology.set_switch_position(sw,
+                                            fp.block_center(*placed));
+        }
+        fp.validate();
+        for (int c = 0; c < n; ++c) {
+            const auto swp = dp.topology.switch_position(
+                dp.topology.core_switch(Core_id{static_cast<std::uint32_t>(c)}));
+            ni_wire_mm[static_cast<std::size_t>(c)] =
+                manhattan(fp.block_center(c), *swp);
+        }
+        dp.floorplan = std::move(fp);
+    } else {
+        for (int s = 0; s < switch_count; ++s)
+            dp.topology.set_switch_position(
+                Switch_id{static_cast<std::uint32_t>(s)},
+                {spec.default_link_mm * s, 0.0});
+    }
+
+    // 6. Wire-length-driven link pipelining + timing feasibility.
+    dp.link_length_mm.assign(alloc.links().size(), spec.default_link_mm);
+    for (int li = 0; li < dp.topology.link_count(); ++li) {
+        const Link_id lid{static_cast<std::uint32_t>(li)};
+        if (spec.use_floorplan) {
+            const auto& l = dp.topology.link(lid);
+            dp.link_length_mm[static_cast<std::size_t>(li)] =
+                manhattan(*dp.topology.switch_position(l.from),
+                          *dp.topology.switch_position(l.to));
+        }
+        const auto timing = pipeline_wire(
+            spec.tech, dp.link_length_mm[static_cast<std::size_t>(li)],
+            op.clock_ghz, spec.wire_margin);
+        dp.topology.set_link_pipeline_stages(lid, timing.pipeline_stages);
+        dp.total_pipeline_stages += timing.pipeline_stages;
+    }
+
+    dp.min_router_freq_ghz = spec.tech.max_clock_ghz;
+    double area = 0.0;
+    double leakage_mw = 0.0;
+    double router_e_per_flit_total = 0.0; // sum over switches of e*load
+    for (int s = 0; s < switch_count; ++s) {
+        const Switch_id sw{static_cast<std::uint32_t>(s)};
+        Router_phys_params rp;
+        rp.in_ports = dp.topology.input_port_count(sw);
+        rp.out_ports = dp.topology.output_port_count(sw);
+        rp.flit_width_bits = op.flit_width_bits;
+        rp.buffer_depth = spec.buffer_depth;
+        const auto phys = estimate_router(spec.tech, rp);
+        if (!phys.drc_feasible)
+            return fail("switch " + std::to_string(s) +
+                        " not routable (radix " +
+                        std::to_string(std::max(rp.in_ports, rp.out_ports)) +
+                        ")");
+        dp.min_router_freq_ghz =
+            std::min(dp.min_router_freq_ghz, phys.max_freq_ghz);
+        area += phys.footprint_mm2;
+        leakage_mw += phys.leakage_mw;
+        // Flits/cycle through this switch: everything it emits.
+        double through = 0.0;
+        for (const Link_id l : dp.topology.out_links(sw))
+            through += dp.link_load[l.get()];
+        for (const Core_id c : dp.topology.switch_cores(sw))
+            for (const auto& d : demands)
+                if (d.dst == c) through += d.load_flits_per_cycle;
+        router_e_per_flit_total += through * phys.energy_per_flit_pj;
+    }
+    if (dp.min_router_freq_ghz < op.clock_ghz)
+        return fail("router timing (" +
+                    format_double(dp.min_router_freq_ghz, 2) +
+                    " GHz) below target clock");
+
+    // 7. Power: P_mw = E_pJ/flit * flits/cycle * f_GHz.
+    double link_power_mw = 0.0;
+    for (std::size_t li = 0; li < dp.link_load.size(); ++li)
+        link_power_mw += wire_energy_pj(spec.tech, dp.link_length_mm[li],
+                                        op.flit_width_bits) *
+                         dp.link_load[li] * op.clock_ghz;
+    for (const auto& d : demands) {
+        // NI injection and ejection wires.
+        link_power_mw +=
+            wire_energy_pj(spec.tech, ni_wire_mm[d.src.get()],
+                           op.flit_width_bits) *
+            d.load_flits_per_cycle * op.clock_ghz;
+        link_power_mw +=
+            wire_energy_pj(spec.tech, ni_wire_mm[d.dst.get()],
+                           op.flit_width_bits) *
+            d.load_flits_per_cycle * op.clock_ghz;
+    }
+    dp.metrics.power_mw =
+        router_e_per_flit_total * op.clock_ghz + link_power_mw + leakage_mw;
+    dp.metrics.area_mm2 = area;
+
+    // 8. Latency per flow: 2 cycles per router + link pipeline stages +
+    //    serialization + 1 ejection cycle, inflated by an M/D/1-style
+    //    queueing factor at the hottest resource along the path (synthesis
+    //    must not promise zero-load latency it cannot deliver under the
+    //    designed utilization).
+    dp.flow_latency_ns.assign(static_cast<std::size_t>(g.flow_count()), 0.0);
+    dp.worst_latency_slack_ns = std::numeric_limits<double>::infinity();
+    double weighted_latency = 0.0;
+    double weight_sum = 0.0;
+    for (std::size_t di = 0; di < demands.size(); ++di) {
+        const auto& d = demands[di];
+        int stages = 0;
+        double path_rho = 0.0;
+        for (const int li : pair_paths[di]) {
+            stages += dp.topology
+                          .link(Link_id{static_cast<std::uint32_t>(li)})
+                          .pipeline_stages;
+            path_rho = std::max(path_rho,
+                                dp.link_load[static_cast<std::size_t>(li)]);
+        }
+        const int routers = static_cast<int>(pair_paths[di].size()) + 1;
+        for (const Flow_id fid : d.flows) {
+            const Flow_spec& f = g.flow(fid);
+            std::uint32_t fpp = 0;
+            flits_per_cycle_for(f.bandwidth_mbps, op.clock_ghz,
+                                op.flit_width_bits, f.packet_bytes, &fpp);
+            const double rho = std::min(0.95, path_rho);
+            const double queueing =
+                rho / (2.0 * (1.0 - rho)) * static_cast<double>(fpp);
+            const double cycles =
+                2.0 * routers + stages + 1.0 + (fpp - 1) + queueing;
+            const double ns = cycles / op.clock_ghz;
+            dp.flow_latency_ns[fid.get()] = ns;
+            if (f.max_latency_ns > 0) {
+                const double slack = f.max_latency_ns - ns;
+                dp.worst_latency_slack_ns =
+                    std::min(dp.worst_latency_slack_ns, slack);
+                if (slack < 0)
+                    return fail("flow " + std::to_string(fid.get()) +
+                                " misses latency bound (" +
+                                format_double(ns, 1) + " > " +
+                                format_double(f.max_latency_ns, 1) + " ns)");
+            }
+            weighted_latency += ns * f.bandwidth_mbps;
+            weight_sum += f.bandwidth_mbps;
+        }
+    }
+    if (!std::isfinite(dp.worst_latency_slack_ns))
+        dp.worst_latency_slack_ns = 0.0;
+    dp.metrics.latency_ns =
+        weight_sum > 0 ? weighted_latency / weight_sum : 0.0;
+
+    dp.max_link_utilization =
+        alloc.max_link_load() / 1.0; // capacity is 1 flit/cycle
+    return dp;
+}
+
+Synthesis_result synthesize_topologies(const Synthesis_spec& spec)
+{
+    spec.validate();
+    const int upper = spec.max_switches == 0 ? spec.graph.core_count()
+                                             : spec.max_switches;
+    Synthesis_result result;
+    for (const auto& op : spec.operating_points) {
+        for (int k = spec.min_switches; k <= upper; ++k) {
+            std::string reason;
+            auto dp = synthesize_one(spec, op, k, &reason);
+            if (dp) {
+                log_info("synth: accepted " + dp->name);
+                result.designs.push_back(std::move(*dp));
+            } else {
+                log_debug("synth: rejected " + reason);
+                result.rejections.push_back(std::move(reason));
+            }
+        }
+    }
+    return result;
+}
+
+std::vector<std::size_t> Synthesis_result::pareto() const
+{
+    std::vector<Design_metrics> metrics;
+    metrics.reserve(designs.size());
+    for (const auto& d : designs) metrics.push_back(d.metrics);
+    return pareto_front(metrics);
+}
+
+const Design_point& Synthesis_result::pick(double power_w, double latency_w,
+                                           double area_w) const
+{
+    if (designs.empty())
+        throw std::logic_error{"Synthesis_result::pick: no feasible design"};
+    const auto front = pareto();
+    std::vector<Design_metrics> metrics;
+    metrics.reserve(front.size());
+    for (const auto i : front) metrics.push_back(designs[i].metrics);
+    const auto best = pick_weighted(metrics, power_w, latency_w, area_w);
+    return designs[front[best]];
+}
+
+} // namespace noc

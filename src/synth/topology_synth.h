@@ -1,0 +1,75 @@
+// SunFloor-style application-specific topology synthesis (§2, §6, [11]).
+//
+// "Based on the specifications, the topology synthesis tool builds several
+// topologies with different switch counts and architectural parameters ...
+// with each design point having different power, area and performance
+// values. From the set of all Pareto optimal points, the designer can then
+// choose a NoC instance."
+//
+// Per (operating point, switch count):
+//   1. min-cut clustering of cores onto switches (synth/partition.h);
+//   2. flows routed in decreasing-bandwidth order over a marginal-cost
+//      Dijkstra that mints links under radix and capacity budgets, with
+//      deadlock freedom by construction (synth/path_alloc.h);
+//   3. floorplan-aware switch placement (phys/floorplan.h), wire-length-
+//      driven link pipelining (phys/wire_model.h);
+//   4. analytic power/latency/area from the physical models, feasibility
+//      checks (bandwidth, per-flow latency bounds, router timing at the
+//      target clock);
+// then Pareto extraction over all feasible design points.
+#pragma once
+
+#include "synth/pareto.h"
+#include "synth/spec.h"
+#include "topology/graph.h"
+#include "topology/route.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+struct Design_point {
+    std::string name;
+    Operating_point op;
+    int switch_count = 0;
+
+    Topology topology{"unset", 1};
+    Route_set routes;              ///< filled for communicating pairs only
+    std::vector<int> core_cluster; ///< core -> switch
+    std::vector<double> link_load; ///< flits/cycle per link id
+    std::vector<double> link_length_mm;
+    std::optional<Floorplan> floorplan; ///< with NoC blocks inserted
+
+    Design_metrics metrics;        ///< power / latency / area
+    double max_link_utilization = 0.0;
+    double min_router_freq_ghz = 0.0;
+    double worst_latency_slack_ns = 0.0; ///< min over constrained flows
+    int total_pipeline_stages = 0;
+
+    /// Per-flow analytic latency (ns), indexed by flow id.
+    std::vector<double> flow_latency_ns;
+};
+
+struct Synthesis_result {
+    std::vector<Design_point> designs; ///< all feasible points
+    std::vector<std::string> rejections; ///< why candidate points failed
+
+    [[nodiscard]] std::vector<std::size_t> pareto() const;
+    /// Weighted pick over the Pareto front (indices into designs).
+    [[nodiscard]] const Design_point& pick(double power_w = 1.0,
+                                           double latency_w = 0.3,
+                                           double area_w = 0.1) const;
+};
+
+[[nodiscard]] Synthesis_result synthesize_topologies(
+    const Synthesis_spec& spec);
+
+/// Synthesize a single candidate (exposed for tests and ablations);
+/// nullopt + reason when infeasible.
+[[nodiscard]] std::optional<Design_point>
+synthesize_one(const Synthesis_spec& spec, const Operating_point& op,
+               int switch_count, std::string* reason = nullptr);
+
+} // namespace noc

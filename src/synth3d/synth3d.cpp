@@ -1,0 +1,269 @@
+#include "synth3d/synth3d.h"
+
+#include "synth/partition.h"
+#include "traffic/flow_traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace noc {
+
+int tsvs_per_vertical_link(int flit_width_bits, int serialization,
+                           int overhead)
+{
+    if (flit_width_bits < 1 || serialization < 1 || overhead < 0)
+        throw std::invalid_argument{"tsvs_per_vertical_link: bad args"};
+    return (flit_width_bits + serialization - 1) / serialization + overhead;
+}
+
+namespace {
+
+/// Layer-pure clustering: partition each layer's cores independently and
+/// concatenate the cluster ids. Returns (core->cluster, cluster->layer).
+struct Layered_clusters {
+    std::vector<int> core_cluster;
+    std::vector<Layer_id> cluster_layer;
+};
+
+Layered_clusters cluster_by_layer(const Core_graph& g, int total_clusters,
+                                  int max_cores_per_cluster)
+{
+    const int layers = g.layer_count();
+    std::vector<std::vector<int>> layer_cores(
+        static_cast<std::size_t>(layers));
+    for (int c = 0; c < g.core_count(); ++c)
+        layer_cores[g.core(c).layer.get()].push_back(c);
+
+    // Distribute clusters proportionally (at least one per occupied layer).
+    std::vector<int> k_per_layer(static_cast<std::size_t>(layers), 0);
+    int assigned = 0;
+    for (int l = 0; l < layers; ++l) {
+        if (layer_cores[static_cast<std::size_t>(l)].empty()) continue;
+        const double share =
+            static_cast<double>(
+                layer_cores[static_cast<std::size_t>(l)].size()) /
+            g.core_count();
+        k_per_layer[static_cast<std::size_t>(l)] = std::max(
+            1, static_cast<int>(std::round(share * total_clusters)));
+        assigned += k_per_layer[static_cast<std::size_t>(l)];
+    }
+    // Adjust to hit the exact total (prefer trimming/padding big layers).
+    while (assigned != total_clusters) {
+        int target = -1;
+        for (int l = 0; l < layers; ++l) {
+            if (layer_cores[static_cast<std::size_t>(l)].empty()) continue;
+            if (assigned > total_clusters) {
+                if (k_per_layer[static_cast<std::size_t>(l)] > 1 &&
+                    (target < 0 ||
+                     k_per_layer[static_cast<std::size_t>(l)] >
+                         k_per_layer[static_cast<std::size_t>(target)]))
+                    target = l;
+            } else {
+                if (k_per_layer[static_cast<std::size_t>(l)] <
+                        static_cast<int>(
+                            layer_cores[static_cast<std::size_t>(l)].size()) &&
+                    (target < 0 ||
+                     k_per_layer[static_cast<std::size_t>(l)] <
+                         k_per_layer[static_cast<std::size_t>(target)]))
+                    target = l;
+            }
+        }
+        if (target < 0)
+            throw std::invalid_argument{
+                "cluster_by_layer: cannot distribute clusters over layers"};
+        k_per_layer[static_cast<std::size_t>(target)] +=
+            assigned > total_clusters ? -1 : 1;
+        assigned += assigned > total_clusters ? -1 : 1;
+    }
+
+    Layered_clusters out;
+    out.core_cluster.assign(static_cast<std::size_t>(g.core_count()), -1);
+    int next_cluster = 0;
+    for (int l = 0; l < layers; ++l) {
+        const auto& cores = layer_cores[static_cast<std::size_t>(l)];
+        if (cores.empty()) continue;
+        const int k = k_per_layer[static_cast<std::size_t>(l)];
+
+        // Build the layer subgraph (intra-layer flows only) and partition.
+        Core_graph sub{"layer" + std::to_string(l)};
+        std::map<int, int> to_sub;
+        for (const int c : cores) {
+            to_sub[c] = sub.add_core(g.core(c));
+        }
+        for (const auto& f : g.flows()) {
+            const auto si = to_sub.find(f.src);
+            const auto di = to_sub.find(f.dst);
+            if (si == to_sub.end() || di == to_sub.end()) continue;
+            Flow_spec fs = f;
+            fs.src = si->second;
+            fs.dst = di->second;
+            sub.add_flow(fs);
+        }
+        const auto part = partition_cores(sub, k, max_cores_per_cluster);
+        for (const int c : cores)
+            out.core_cluster[static_cast<std::size_t>(c)] =
+                next_cluster + part.core_cluster[static_cast<std::size_t>(
+                                   to_sub[c])];
+        for (int i = 0; i < k; ++i)
+            out.cluster_layer.push_back(
+                Layer_id{static_cast<std::uint16_t>(l)});
+        next_cluster += k;
+    }
+    return out;
+}
+
+} // namespace
+
+Synthesis3d_result synthesize_3d(const Synthesis3d_spec& spec)
+{
+    spec.base.validate();
+    if (spec.vertical_serialization < 1)
+        throw std::invalid_argument{"synthesize_3d: bad serialization"};
+    const Core_graph& g = spec.base.graph;
+    if (g.layer_count() < 2)
+        throw std::invalid_argument{
+            "synthesize_3d: graph is single-layer; use the 2D flow"};
+
+    Synthesis3d_result result;
+    const int upper = spec.base.max_switches == 0
+                          ? g.core_count()
+                          : spec.base.max_switches;
+    const int lower = std::max(spec.base.min_switches, g.layer_count());
+    const int reserve = std::min(3, spec.base.max_switch_radix - 1);
+    const int max_cores = spec.base.max_switch_radix - reserve;
+
+    for (const auto& op : spec.base.operating_points) {
+        for (int k = lower; k <= upper; ++k) {
+            Layered_clusters clusters;
+            try {
+                clusters = cluster_by_layer(g, k, max_cores);
+            } catch (const std::exception& e) {
+                result.rejections.push_back(
+                    "k=" + std::to_string(k) + ": " + e.what());
+                continue;
+            }
+            Synthesis_spec sub = spec.base;
+            sub.operating_points = {op};
+            sub.fixed_core_cluster = &clusters.core_cluster;
+            // 3D stacks get per-layer floorplans; the single-die shelf
+            // packer does not apply. Use distance-class link lengths.
+            sub.use_floorplan = false;
+            std::string reason;
+            auto dp = synthesize_one(sub, op, k, &reason);
+            if (!dp) {
+                result.rejections.push_back(std::move(reason));
+                continue;
+            }
+
+            Design_point_3d d3;
+            d3.base = std::move(*dp);
+            const int s = spec.vertical_serialization;
+            for (int li = 0; li < d3.base.topology.link_count(); ++li) {
+                const Link_id lid{static_cast<std::uint32_t>(li)};
+                const auto& l = d3.base.topology.link(lid);
+                const Layer_id from_layer =
+                    clusters.cluster_layer[l.from.get()];
+                const Layer_id to_layer = clusters.cluster_layer[l.to.get()];
+                if (from_layer == to_layer) continue;
+                const int crossings = std::abs(
+                    static_cast<int>(from_layer.get()) -
+                    static_cast<int>(to_layer.get()));
+                Vertical_link_info v;
+                v.link = lid;
+                v.from_layer = from_layer;
+                v.to_layer = to_layer;
+                v.serialization = s;
+                v.tsv_count = crossings *
+                              tsvs_per_vertical_link(op.flit_width_bits, s,
+                                                     spec.tsv_overhead_per_link);
+                v.capacity_flits_per_cycle = 1.0 / s;
+                d3.total_tsvs += v.tsv_count;
+                const double util =
+                    d3.base.link_load[static_cast<std::size_t>(li)] /
+                    v.capacity_flits_per_cycle;
+                d3.max_vertical_utilization =
+                    std::max(d3.max_vertical_utilization, util);
+                d3.vertical_links.push_back(v);
+            }
+            if (d3.max_vertical_utilization >
+                spec.base.link_utilization_cap) {
+                result.rejections.push_back(
+                    "k=" + std::to_string(k) +
+                    ": serialized vertical links oversubscribed (util " +
+                    std::to_string(d3.max_vertical_utilization) + ")");
+                continue;
+            }
+            d3.stack_yield = std::pow(spec.tsv_yield, d3.total_tsvs);
+
+            // Serialization latency: each flit spends s cycles instead of 1
+            // on a vertical link; fold the penalty into the flow latencies
+            // and the bandwidth-weighted design latency.
+            if (s > 1) {
+                double weighted_penalty = 0.0;
+                double weight_sum = 0.0;
+                for (int fi = 0; fi < g.flow_count(); ++fi) {
+                    const auto& f = g.flow(
+                        Flow_id{static_cast<std::uint32_t>(fi)});
+                    const Route& r = d3.base.routes.at(
+                        Core_id{static_cast<std::uint32_t>(f.src)},
+                        Core_id{static_cast<std::uint32_t>(f.dst)});
+                    Switch_id sw = d3.base.topology.core_switch(
+                        Core_id{static_cast<std::uint32_t>(f.src)});
+                    int vertical_hops = 0;
+                    for (const Hop& h : r) {
+                        const Link_id l =
+                            d3.base.topology.link_of_output_port(
+                                sw, Port_id{h.out_port});
+                        if (!l.is_valid()) break;
+                        const auto& link = d3.base.topology.link(l);
+                        if (clusters.cluster_layer[link.from.get()] !=
+                            clusters.cluster_layer[link.to.get()])
+                            ++vertical_hops;
+                        sw = link.to;
+                    }
+                    std::uint32_t fpp = 0;
+                    flits_per_cycle_for(f.bandwidth_mbps, op.clock_ghz,
+                                        op.flit_width_bits, f.packet_bytes,
+                                        &fpp);
+                    const double penalty_ns =
+                        vertical_hops * (s - 1) * static_cast<double>(fpp) /
+                        op.clock_ghz;
+                    d3.base.flow_latency_ns[static_cast<std::size_t>(fi)] +=
+                        penalty_ns;
+                    weighted_penalty += penalty_ns * f.bandwidth_mbps;
+                    weight_sum += f.bandwidth_mbps;
+                }
+                if (weight_sum > 0)
+                    d3.base.metrics.latency_ns +=
+                        weighted_penalty / weight_sum;
+            }
+
+            // 2D-only test mode (§4.4): every intra-layer flow must route
+            // without touching another layer.
+            for (const auto& f : g.flows()) {
+                if (g.core(f.src).layer != g.core(f.dst).layer) continue;
+                const Route& r = d3.base.routes.at(
+                    Core_id{static_cast<std::uint32_t>(f.src)},
+                    Core_id{static_cast<std::uint32_t>(f.dst)});
+                Switch_id sw = d3.base.topology.core_switch(
+                    Core_id{static_cast<std::uint32_t>(f.src)});
+                for (const Hop& h : r) {
+                    const Link_id l = d3.base.topology.link_of_output_port(
+                        sw, Port_id{h.out_port});
+                    if (!l.is_valid()) break;
+                    if (clusters.cluster_layer[d3.base.topology.link(l)
+                                                   .to.get()] !=
+                        g.core(f.src).layer)
+                        d3.two_d_test_mode_ok = false;
+                    sw = d3.base.topology.link(l).to;
+                }
+            }
+            result.designs.push_back(std::move(d3));
+        }
+    }
+    return result;
+}
+
+} // namespace noc

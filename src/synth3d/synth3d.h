@@ -1,0 +1,71 @@
+// 3D-stacked NoC synthesis extensions (§4.4, Fig. 3; SunFloor 3D [12]).
+//
+// "NoCs are an ideal fit to 3D design paradigms... area and yield have been
+// optimized by suitably serializing vertical links, to minimize the number
+// of required vertical vias. Verification has been automated by leveraging
+// built-in link testing facilities. 3D system integration has also been
+// made easier by the flexibility of NoC routing tables, easily enabling
+// either 2D-only operation (in testing mode) or 3D-capable communication."
+//
+// This module takes a layered core graph, runs the 2D synthesis engine with
+// layer-aware clustering (a core's switch lives on the core's layer), then
+// post-processes every vertical link: TSV count, serialization factor (the
+// width/serialization trade that divides via count at the cost of extra
+// cycles and reduced capacity), per-layer floorplans, and the 2D-only test
+// mode check (every layer's subnetwork must remain connected for the flows
+// that stay inside the layer).
+#pragma once
+
+#include "synth/topology_synth.h"
+
+#include <vector>
+
+namespace noc {
+
+struct Synthesis3d_spec {
+    Synthesis_spec base; ///< graph must carry per-core layer assignments
+    /// Serialize vertical links by this factor: a W-bit logical link uses
+    /// W/s TSVs and s cycles per flit (1 = full-width).
+    int vertical_serialization = 1;
+    /// TSV pitch overhead: extra signal vias per vertical link (clock,
+    /// flow control, test access).
+    int tsv_overhead_per_link = 6;
+    /// Yield model: probability one TSV is good.
+    double tsv_yield = 0.999;
+};
+
+struct Vertical_link_info {
+    Link_id link;
+    Layer_id from_layer;
+    Layer_id to_layer;
+    int tsv_count = 0;
+    int serialization = 1;
+    double capacity_flits_per_cycle = 1.0;
+};
+
+struct Design_point_3d {
+    Design_point base;
+    std::vector<Vertical_link_info> vertical_links;
+    int total_tsvs = 0;
+    /// Probability that every TSV in the design is functional.
+    double stack_yield = 1.0;
+    /// Max utilization over vertical links at the reduced capacity.
+    double max_vertical_utilization = 0.0;
+    /// Each layer's intra-layer flows can run with 2D-only routing tables
+    /// (§4.4 testing mode).
+    bool two_d_test_mode_ok = true;
+};
+
+struct Synthesis3d_result {
+    std::vector<Design_point_3d> designs;
+    std::vector<std::string> rejections;
+};
+
+[[nodiscard]] Synthesis3d_result synthesize_3d(const Synthesis3d_spec& spec);
+
+/// TSVs for one vertical link at width `flit_width_bits` and serialization
+/// `s` (ceil(width/s) data vias + overhead).
+[[nodiscard]] int tsvs_per_vertical_link(int flit_width_bits,
+                                         int serialization, int overhead);
+
+} // namespace noc

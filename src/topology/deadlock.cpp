@@ -1,0 +1,154 @@
+#include "topology/deadlock.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace noc {
+
+namespace {
+
+/// Dependency edges between (link, vc) states, deduplicated.
+class Cdg {
+public:
+    Cdg(int link_count, int vc_count)
+        : vc_count_{vc_count},
+          adjacency_(static_cast<std::size_t>(link_count) *
+                     static_cast<std::size_t>(vc_count))
+    {
+    }
+
+    [[nodiscard]] int node_of(Link_id l, std::uint16_t vc) const
+    {
+        return static_cast<int>(l.get()) * vc_count_ + vc;
+    }
+
+    void add_edge(int a, int b)
+    {
+        auto& out = adjacency_[static_cast<std::size_t>(a)];
+        if (std::find(out.begin(), out.end(), b) == out.end())
+            out.push_back(b);
+    }
+
+    /// Iterative three-color DFS; returns a cycle (node list) if one exists.
+    [[nodiscard]] std::vector<int> find_cycle() const
+    {
+        const auto n = adjacency_.size();
+        std::vector<char> color(n, 0); // 0 white, 1 gray, 2 black
+        std::vector<int> stack;
+        std::vector<std::size_t> edge_pos(n, 0);
+        for (std::size_t start = 0; start < n; ++start) {
+            if (color[start] != 0) continue;
+            stack.push_back(static_cast<int>(start));
+            color[start] = 1;
+            while (!stack.empty()) {
+                const auto u = static_cast<std::size_t>(stack.back());
+                if (edge_pos[u] < adjacency_[u].size()) {
+                    const int v = adjacency_[u][edge_pos[u]++];
+                    const auto vu = static_cast<std::size_t>(v);
+                    if (color[vu] == 0) {
+                        color[vu] = 1;
+                        stack.push_back(v);
+                    } else if (color[vu] == 1) {
+                        // Extract the cycle from the gray stack.
+                        auto it = std::find(stack.begin(), stack.end(), v);
+                        return {it, stack.end()};
+                    }
+                } else {
+                    color[u] = 2;
+                    stack.pop_back();
+                }
+            }
+        }
+        return {};
+    }
+
+    [[nodiscard]] int vc_count() const { return vc_count_; }
+
+private:
+    int vc_count_;
+    std::vector<std::vector<int>> adjacency_;
+};
+
+void add_route_dependencies(Cdg& cdg, const Topology& t, Core_id src,
+                            const Route& route, int vc_count)
+{
+    Switch_id sw = t.core_switch(src);
+    int prev_node = -1;
+    for (const Hop& h : route) {
+        const Link_id l = t.link_of_output_port(sw, Port_id{h.out_port});
+        if (!l.is_valid()) break; // ejection: sink, no further dependency
+        if (static_cast<int>(h.out_vc) >= vc_count)
+            throw std::invalid_argument{
+                "analyze_deadlock: route uses vc beyond vc_count"};
+        const int node = cdg.node_of(l, h.out_vc);
+        if (prev_node >= 0) cdg.add_edge(prev_node, node);
+        prev_node = node;
+        sw = t.link(l).to;
+    }
+}
+
+Deadlock_report report_from(const Cdg& cdg, int vc_count)
+{
+    Deadlock_report rep;
+    const auto cycle = cdg.find_cycle();
+    rep.acyclic = cycle.empty();
+    for (const int node : cycle)
+        rep.cycle.emplace_back(
+            Link_id{static_cast<std::uint32_t>(node / vc_count)},
+            static_cast<std::uint16_t>(node % vc_count));
+    return rep;
+}
+
+} // namespace
+
+std::string Deadlock_report::to_string(const Topology& t) const
+{
+    if (acyclic) return "deadlock-free";
+    std::string s = "cycle:";
+    for (const auto& [link, vc] : cycle) {
+        s += " (" + std::to_string(t.link(link).from.get()) + "->" +
+             std::to_string(t.link(link).to.get()) + ",vc" +
+             std::to_string(vc) + ")";
+    }
+    return s;
+}
+
+Deadlock_report analyze_deadlock(const Topology& t, const Route_set& routes,
+                                 int vc_count)
+{
+    if (vc_count <= 0)
+        throw std::invalid_argument{"analyze_deadlock: vc_count <= 0"};
+    Cdg cdg{t.link_count(), vc_count};
+    for (int s = 0; s < routes.core_count(); ++s) {
+        for (int d = 0; d < routes.core_count(); ++d) {
+            if (s == d) continue;
+            const Core_id src{static_cast<std::uint32_t>(s)};
+            const Core_id dst{static_cast<std::uint32_t>(d)};
+            add_route_dependencies(cdg, t, src, routes.at(src, dst),
+                                   vc_count);
+        }
+    }
+    return report_from(cdg, vc_count);
+}
+
+bool routes_deadlock_free(const Topology& t, const Route_set& routes,
+                          int vc_count)
+{
+    return analyze_deadlock(t, routes, vc_count).acyclic;
+}
+
+Deadlock_report
+analyze_deadlock_flows(const Topology& t,
+                       const std::vector<std::pair<Core_id, Route>>& flows,
+                       int vc_count)
+{
+    if (vc_count <= 0)
+        throw std::invalid_argument{"analyze_deadlock_flows: vc_count <= 0"};
+    Cdg cdg{t.link_count(), vc_count};
+    for (const auto& [src, route] : flows)
+        add_route_dependencies(cdg, t, src, route, vc_count);
+    return report_from(cdg, vc_count);
+}
+
+} // namespace noc

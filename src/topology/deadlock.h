@@ -1,0 +1,47 @@
+// Channel-dependency-graph (CDG) deadlock analysis.
+//
+// DESIGN.md: "Deadlock safety is checked, not assumed." For deterministic
+// routing, the network is deadlock-free iff the dependency graph over
+// virtual channels is acyclic (Dally & Seitz). Nodes are (link, vc) pairs;
+// a route holding (l1, v1) while requesting (l2, v2) adds the edge
+// (l1,v1) -> (l2,v2). Injection and ejection queues are sources/sinks and
+// add no edges (message-level request/response coupling is broken by
+// traffic-class VC separation, checked per class by the caller).
+#pragma once
+
+#include "topology/graph.h"
+#include "topology/route.h"
+
+#include <string>
+#include <vector>
+
+namespace noc {
+
+struct Deadlock_report {
+    bool acyclic = true;
+    /// When cyclic: one (link id, vc) cycle as evidence, in order.
+    std::vector<std::pair<Link_id, std::uint16_t>> cycle;
+
+    [[nodiscard]] std::string to_string(const Topology& t) const;
+};
+
+/// Analyze the dependencies induced by `routes` on `t` with `vc_count`
+/// virtual channels per link.
+[[nodiscard]] Deadlock_report analyze_deadlock(const Topology& t,
+                                               const Route_set& routes,
+                                               int vc_count);
+
+/// Convenience: true iff acyclic.
+[[nodiscard]] bool routes_deadlock_free(const Topology& t,
+                                        const Route_set& routes,
+                                        int vc_count);
+
+/// Analyze dependencies of an explicit list of (src core, route) pairs —
+/// used by synthesis, which routes only the application's flows rather than
+/// all pairs.
+[[nodiscard]] Deadlock_report
+analyze_deadlock_flows(const Topology& t,
+                       const std::vector<std::pair<Core_id, Route>>& flows,
+                       int vc_count);
+
+} // namespace noc

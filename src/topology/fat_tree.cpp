@@ -1,0 +1,75 @@
+#include "topology/fat_tree.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace noc {
+
+namespace {
+
+int ipow(int base, int exp)
+{
+    int r = 1;
+    for (int i = 0; i < exp; ++i) r *= base;
+    return r;
+}
+
+} // namespace
+
+Fat_tree make_fat_tree(const Fat_tree_params& p)
+{
+    if (p.arity < 2 || p.levels < 1)
+        throw std::invalid_argument{"make_fat_tree: arity>=2, levels>=1"};
+
+    const int k = p.arity;
+    const int n = p.levels;
+    const int switches_per_level = ipow(k, n - 1);
+    const int switch_count = n * switches_per_level;
+    const int core_count = ipow(k, n);
+
+    Topology t{"fat_tree_k" + std::to_string(k) + "_n" + std::to_string(n),
+               switch_count};
+
+    auto switch_at = [&](int level, int w) {
+        return Switch_id{
+            static_cast<std::uint32_t>(level * switches_per_level + w)};
+    };
+
+    // Positions: levels stacked vertically, switches spread horizontally.
+    for (int l = 0; l < n; ++l)
+        for (int w = 0; w < switches_per_level; ++w)
+            t.set_switch_position(
+                switch_at(l, w),
+                {(w + 0.5) * p.tile_mm * core_count / switches_per_level,
+                 (l + 1) * p.tile_mm});
+
+    // Cores: core c (base-k digits c_{n-1}..c_0) attaches to level-0 switch
+    // with index c / k (digits c_{n-1}..c_1).
+    for (int c = 0; c < core_count; ++c) t.attach_core(switch_at(0, c / k));
+
+    // A level-l switch with digit vector w (n-1 digits, w[0] least
+    // significant) connects upward to the k level-(l+1) switches whose digit
+    // vectors agree with w everywhere except position l.
+    for (int l = 0; l + 1 < n; ++l) {
+        for (int w = 0; w < switches_per_level; ++w) {
+            const int stride = ipow(k, l);
+            const int digit = (w / stride) % k;
+            const int base = w - digit * stride;
+            for (int d = 0; d < k; ++d) {
+                const int upper = base + d * stride;
+                t.add_bidir_link(switch_at(l, w), switch_at(l + 1, upper));
+            }
+        }
+    }
+
+    std::vector<int> rank(static_cast<std::size_t>(switch_count));
+    for (int l = 0; l < n; ++l)
+        for (int w = 0; w < switches_per_level; ++w)
+            rank[static_cast<std::size_t>(switch_at(l, w).get())] = l;
+
+    t.validate();
+    return {std::move(t), std::move(rank)};
+}
+
+} // namespace noc

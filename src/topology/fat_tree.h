@@ -1,0 +1,29 @@
+// k-ary n-tree (fat tree) generator — the SPIN project's topology ([3] in
+// the paper used a fat tree to build one of the first NoCs).
+//
+// A k-ary n-tree has k^n cores and n levels of k^(n-1) switches. Level 0 is
+// nearest the cores; level n-1 switches are the roots. Every non-root switch
+// has k down ports and k up ports; roots have k down ports.
+#pragma once
+
+#include "topology/graph.h"
+
+#include <vector>
+
+namespace noc {
+
+struct Fat_tree_params {
+    int arity = 2;  ///< k
+    int levels = 2; ///< n
+    double tile_mm = 1.0;
+};
+
+struct Fat_tree {
+    Topology topology;
+    /// Rank used by up*/down* routing: switch level (roots highest).
+    std::vector<int> switch_rank;
+};
+
+[[nodiscard]] Fat_tree make_fat_tree(const Fat_tree_params& p);
+
+} // namespace noc

@@ -1,0 +1,121 @@
+#include "topology/fault.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace noc {
+
+Reroute_result reroute_around_failures(const Topology& t,
+                                       const std::vector<int>& switch_rank,
+                                       const std::set<Link_id>& failed)
+{
+    if (switch_rank.size() != static_cast<std::size_t>(t.switch_count()))
+        throw std::invalid_argument{
+            "reroute_around_failures: rank size mismatch"};
+    for (const Link_id l : failed)
+        if (l.get() >= static_cast<std::uint32_t>(t.link_count()))
+            throw std::invalid_argument{
+                "reroute_around_failures: bad failed link id"};
+
+    auto is_up = [&](Switch_id u, Switch_id v) {
+        return std::pair{switch_rank[v.get()], v.get()} >
+               std::pair{switch_rank[u.get()], u.get()};
+    };
+
+    const int s_count = t.switch_count();
+    Reroute_result out;
+    out.routes = Route_set{t.core_count()};
+
+    for (int src_sw = 0; src_sw < s_count; ++src_sw) {
+        struct Parent {
+            int state = -1;
+            Link_id via{};
+        };
+        std::vector<Parent> parent(static_cast<std::size_t>(2 * s_count));
+        std::vector<char> seen(static_cast<std::size_t>(2 * s_count), 0);
+        std::deque<int> queue;
+        const int start = 2 * src_sw;
+        seen[static_cast<std::size_t>(start)] = 1;
+        queue.push_back(start);
+        while (!queue.empty()) {
+            const int state = queue.front();
+            queue.pop_front();
+            const Switch_id u{static_cast<std::uint32_t>(state / 2)};
+            const int phase = state % 2;
+            for (const Link_id l : t.out_links(u)) {
+                if (failed.count(l) != 0) continue;
+                const Switch_id v = t.link(l).to;
+                const bool up = is_up(u, v);
+                if (phase == 1 && up) continue;
+                const int nstate =
+                    2 * static_cast<int>(v.get()) + (up ? 0 : 1);
+                if (seen[static_cast<std::size_t>(nstate)]) continue;
+                seen[static_cast<std::size_t>(nstate)] = 1;
+                parent[static_cast<std::size_t>(nstate)] = {state, l};
+                queue.push_back(nstate);
+            }
+        }
+
+        for (const Core_id src : t.switch_cores(
+                 Switch_id{static_cast<std::uint32_t>(src_sw)})) {
+            for (int d = 0; d < t.core_count(); ++d) {
+                const Core_id dst{static_cast<std::uint32_t>(d)};
+                if (dst == src) continue;
+                const int dst_sw =
+                    static_cast<int>(t.core_switch(dst).get());
+                if (dst_sw == src_sw) {
+                    Route r;
+                    r.push_back({t.ejection_port_of_core(dst).get(), 0});
+                    out.routes.set(src, dst, std::move(r));
+                    continue;
+                }
+                int state = -1;
+                if (seen[static_cast<std::size_t>(2 * dst_sw + 1)])
+                    state = 2 * dst_sw + 1;
+                else if (seen[static_cast<std::size_t>(2 * dst_sw)])
+                    state = 2 * dst_sw;
+                if (state < 0) {
+                    out.unreachable.emplace_back(src, dst);
+                    continue;
+                }
+                Route r;
+                while (state != start) {
+                    const auto& pa =
+                        parent[static_cast<std::size_t>(state)];
+                    r.push_back({t.output_port_of_link(pa.via).get(), 0});
+                    state = pa.state;
+                }
+                std::reverse(r.begin(), r.end());
+                r.push_back({t.ejection_port_of_core(dst).get(), 0});
+                out.routes.set(src, dst, std::move(r));
+            }
+        }
+    }
+    return out;
+}
+
+std::set<Link_id> links_used(const Topology& t, const Route_set& routes)
+{
+    std::set<Link_id> used;
+    for (int s = 0; s < routes.core_count(); ++s) {
+        for (int d = 0; d < routes.core_count(); ++d) {
+            if (s == d) continue;
+            const Core_id src{static_cast<std::uint32_t>(s)};
+            const Route& r = routes.at(src,
+                                       Core_id{static_cast<std::uint32_t>(d)});
+            if (r.empty()) continue;
+            Switch_id sw = t.core_switch(src);
+            for (const Hop& h : r) {
+                const Link_id l =
+                    t.link_of_output_port(sw, Port_id{h.out_port});
+                if (!l.is_valid()) break;
+                used.insert(l);
+                sw = t.link(l).to;
+            }
+        }
+    }
+    return used;
+}
+
+} // namespace noc

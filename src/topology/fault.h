@@ -1,0 +1,45 @@
+// Fault-tolerant rerouting (§1: "the distributed nature of NoC
+// infrastructures can be effectively leveraged to enhance system-level
+// reliability... reconfigurable NoCs can support component redundancy in a
+// transparent fashion").
+//
+// Source-routing NoCs reconfigure by rewriting the NI look-up tables: given
+// a set of failed links, we recompute up*/down* routes that avoid them. The
+// up*/down* discipline keeps the surviving routing function deadlock-free
+// on one VC; pairs whose endpoints are physically disconnected are
+// reported rather than silently dropped.
+#pragma once
+
+#include "topology/graph.h"
+#include "topology/route.h"
+
+#include <set>
+#include <vector>
+
+namespace noc {
+
+struct Reroute_result {
+    Route_set routes;
+    /// Core pairs with no surviving up*/down* path.
+    std::vector<std::pair<Core_id, Core_id>> unreachable;
+    [[nodiscard]] bool fully_connected() const
+    {
+        return unreachable.empty();
+    }
+};
+
+/// Recompute all-pairs up*/down* routes on `t` while treating every link in
+/// `failed` as unusable. `switch_rank` is the same rank order used for the
+/// healthy routing function (see topology/routing.h).
+[[nodiscard]] Reroute_result
+reroute_around_failures(const Topology& t,
+                        const std::vector<int>& switch_rank,
+                        const std::set<Link_id>& failed);
+
+/// Convenience: the links that, respecting the up*/down* discipline, are
+/// still usable in at least one route of `routes` (diagnostic for
+/// redundancy analysis).
+[[nodiscard]] std::set<Link_id> links_used(const Topology& t,
+                                           const Route_set& routes);
+
+} // namespace noc

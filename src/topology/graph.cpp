@@ -1,0 +1,146 @@
+#include "topology/graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace noc {
+
+Topology::Topology(std::string name, int switch_count) : name_{std::move(name)}
+{
+    if (switch_count <= 0)
+        throw std::invalid_argument{"Topology: switch_count must be > 0"};
+    switch_cores_.resize(static_cast<std::size_t>(switch_count));
+    out_links_.resize(static_cast<std::size_t>(switch_count));
+    in_links_.resize(static_cast<std::size_t>(switch_count));
+    positions_.resize(static_cast<std::size_t>(switch_count));
+}
+
+Core_id Topology::attach_core(Switch_id sw)
+{
+    if (sw.get() >= switch_cores_.size())
+        throw std::out_of_range{"Topology::attach_core: bad switch"};
+    const Core_id id{static_cast<std::uint32_t>(core_attach_.size())};
+    core_attach_.push_back(sw);
+    switch_cores_[sw.get()].push_back(id);
+    return id;
+}
+
+Link_id Topology::add_link(Switch_id from, Switch_id to, int pipeline_stages)
+{
+    if (from.get() >= out_links_.size() || to.get() >= in_links_.size())
+        throw std::out_of_range{"Topology::add_link: bad switch"};
+    if (from == to)
+        throw std::invalid_argument{"Topology::add_link: self loop"};
+    if (pipeline_stages < 0)
+        throw std::invalid_argument{"Topology::add_link: negative stages"};
+    const Link_id id{static_cast<std::uint32_t>(links_.size())};
+    links_.push_back({from, to, pipeline_stages});
+    out_links_[from.get()].push_back(id);
+    in_links_[to.get()].push_back(id);
+    return id;
+}
+
+void Topology::add_bidir_link(Switch_id a, Switch_id b, int pipeline_stages)
+{
+    add_link(a, b, pipeline_stages);
+    add_link(b, a, pipeline_stages);
+}
+
+void Topology::set_switch_position(Switch_id sw, Point p)
+{
+    positions_.at(sw.get()) = p;
+}
+
+void Topology::set_link_pipeline_stages(Link_id link, int stages)
+{
+    if (stages < 0)
+        throw std::invalid_argument{"set_link_pipeline_stages: negative"};
+    links_.at(link.get()).pipeline_stages = stages;
+}
+
+std::optional<Point> Topology::switch_position(Switch_id sw) const
+{
+    return positions_.at(sw.get());
+}
+
+int Topology::output_port_count(Switch_id sw) const
+{
+    return static_cast<int>(switch_cores_[sw.get()].size() +
+                            out_links_[sw.get()].size());
+}
+
+int Topology::input_port_count(Switch_id sw) const
+{
+    return static_cast<int>(switch_cores_[sw.get()].size() +
+                            in_links_[sw.get()].size());
+}
+
+Port_id Topology::output_port_of_link(Link_id link) const
+{
+    const auto& l = links_.at(link.get());
+    const auto& outs = out_links_[l.from.get()];
+    const auto it = std::find(outs.begin(), outs.end(), link);
+    const auto local = switch_cores_[l.from.get()].size();
+    return Port_id{static_cast<std::uint16_t>(
+        local + static_cast<std::size_t>(it - outs.begin()))};
+}
+
+Port_id Topology::input_port_of_link(Link_id link) const
+{
+    const auto& l = links_.at(link.get());
+    const auto& ins = in_links_[l.to.get()];
+    const auto it = std::find(ins.begin(), ins.end(), link);
+    const auto local = switch_cores_[l.to.get()].size();
+    return Port_id{static_cast<std::uint16_t>(
+        local + static_cast<std::size_t>(it - ins.begin()))};
+}
+
+Port_id Topology::ejection_port_of_core(Core_id c) const
+{
+    const Switch_id sw = core_attach_.at(c.get());
+    const auto& cores = switch_cores_[sw.get()];
+    const auto it = std::find(cores.begin(), cores.end(), c);
+    return Port_id{static_cast<std::uint16_t>(it - cores.begin())};
+}
+
+Port_id Topology::injection_port_of_core(Core_id c) const
+{
+    // Injection and ejection local indices coincide by construction.
+    return ejection_port_of_core(c);
+}
+
+Link_id Topology::link_of_output_port(Switch_id sw, Port_id port) const
+{
+    const auto local = switch_cores_[sw.get()].size();
+    if (port.get() < local) return Link_id::invalid();
+    const auto idx = static_cast<std::size_t>(port.get()) - local;
+    return out_links_[sw.get()].at(idx);
+}
+
+int Topology::max_radix() const
+{
+    int radix = 0;
+    for (int s = 0; s < switch_count(); ++s) {
+        const Switch_id sw{static_cast<std::uint32_t>(s)};
+        radix = std::max({radix, output_port_count(sw), input_port_count(sw)});
+    }
+    return radix;
+}
+
+void Topology::validate() const
+{
+    for (const auto& l : links_) {
+        if (l.from.get() >= out_links_.size() ||
+            l.to.get() >= in_links_.size())
+            throw std::logic_error{"Topology: link references bad switch"};
+    }
+    for (std::size_t c = 0; c < core_attach_.size(); ++c) {
+        const auto sw = core_attach_[c];
+        const auto& cores = switch_cores_.at(sw.get());
+        if (std::find(cores.begin(), cores.end(),
+                      Core_id{static_cast<std::uint32_t>(c)}) == cores.end())
+            throw std::logic_error{"Topology: core attachment inconsistent"};
+    }
+}
+
+} // namespace noc

@@ -1,0 +1,130 @@
+// Topology description: the static structure of a NoC instance.
+//
+// A topology is a directed multigraph of switches plus an attachment of IP
+// cores to switches. It is a pure description — the simulatable network is
+// built from it by arch/noc_system.h, physical estimates by phys/, and
+// synthesized instances by synth/.
+//
+// Port numbering convention (relied on by routing and the RTL generator):
+//   switch s output ports: [0 .. ejection_count) eject to local cores in
+//     ascending core-id order, then one port per outgoing link in ascending
+//     link-id order;
+//   switch s input ports: [0 .. injection_count) inject from local cores in
+//     ascending core-id order, then one port per incoming link in ascending
+//     link-id order.
+#pragma once
+
+#include "common/geometry.h"
+#include "common/types.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/// One unidirectional inter-switch link.
+struct Topology_link {
+    Switch_id from;
+    Switch_id to;
+    /// Extra pipeline stages on this link beyond the mandatory single
+    /// register (wire retiming; see §4.1 "links can be explicitly
+    /// segmented"). Total flit latency = 1 + pipeline_stages.
+    int pipeline_stages = 0;
+};
+
+class Topology {
+public:
+    Topology(std::string name, int switch_count);
+
+    /// Attach the next core (core ids are assigned densely in call order).
+    Core_id attach_core(Switch_id sw);
+
+    /// Add a unidirectional link; returns its id (dense, in call order).
+    Link_id add_link(Switch_id from, Switch_id to, int pipeline_stages = 0);
+
+    /// Add both directions with identical pipelining.
+    void add_bidir_link(Switch_id a, Switch_id b, int pipeline_stages = 0);
+
+    /// Optional placement of each switch (mm). Used by physical models.
+    void set_switch_position(Switch_id sw, Point p);
+
+    /// Retime a link after wire-length analysis (§4.1 link segmentation).
+    void set_link_pipeline_stages(Link_id link, int stages);
+
+    // --- structure queries -------------------------------------------------
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] int switch_count() const
+    {
+        return static_cast<int>(out_links_.size());
+    }
+    [[nodiscard]] int core_count() const
+    {
+        return static_cast<int>(core_attach_.size());
+    }
+    [[nodiscard]] int link_count() const
+    {
+        return static_cast<int>(links_.size());
+    }
+    [[nodiscard]] const Topology_link& link(Link_id id) const
+    {
+        return links_[id.get()];
+    }
+    [[nodiscard]] const std::vector<Topology_link>& links() const
+    {
+        return links_;
+    }
+    [[nodiscard]] Switch_id core_switch(Core_id c) const
+    {
+        return core_attach_[c.get()];
+    }
+    /// Cores attached to `sw`, ascending.
+    [[nodiscard]] const std::vector<Core_id>& switch_cores(Switch_id sw) const
+    {
+        return switch_cores_[sw.get()];
+    }
+    /// Outgoing / incoming link ids of `sw`, ascending.
+    [[nodiscard]] const std::vector<Link_id>& out_links(Switch_id sw) const
+    {
+        return out_links_[sw.get()];
+    }
+    [[nodiscard]] const std::vector<Link_id>& in_links(Switch_id sw) const
+    {
+        return in_links_[sw.get()];
+    }
+    [[nodiscard]] std::optional<Point> switch_position(Switch_id sw) const;
+
+    // --- port mapping (see header comment for the convention) --------------
+    [[nodiscard]] int output_port_count(Switch_id sw) const;
+    [[nodiscard]] int input_port_count(Switch_id sw) const;
+    /// Output port on link.from that drives `link`.
+    [[nodiscard]] Port_id output_port_of_link(Link_id link) const;
+    /// Input port on link.to fed by `link`.
+    [[nodiscard]] Port_id input_port_of_link(Link_id link) const;
+    /// Ejection port on core_switch(c) towards core c.
+    [[nodiscard]] Port_id ejection_port_of_core(Core_id c) const;
+    /// Injection port on core_switch(c) from core c.
+    [[nodiscard]] Port_id injection_port_of_core(Core_id c) const;
+    /// Inverse of output_port_of_link; invalid id if `port` is an ejection
+    /// port.
+    [[nodiscard]] Link_id link_of_output_port(Switch_id sw,
+                                              Port_id port) const;
+
+    /// Maximum of input/output port counts over all switches (switch radix).
+    [[nodiscard]] int max_radix() const;
+
+    /// Throws std::logic_error when structurally inconsistent (dangling
+    /// switch ids, unattached cores, self-loop links).
+    void validate() const;
+
+private:
+    std::string name_;
+    std::vector<Topology_link> links_;
+    std::vector<Switch_id> core_attach_;            // core -> switch
+    std::vector<std::vector<Core_id>> switch_cores_; // switch -> cores
+    std::vector<std::vector<Link_id>> out_links_;    // switch -> links
+    std::vector<std::vector<Link_id>> in_links_;
+    std::vector<std::optional<Point>> positions_;
+};
+
+} // namespace noc

@@ -1,0 +1,39 @@
+#include "topology/mesh.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+Topology make_mesh(const Mesh_params& p)
+{
+    if (p.width <= 0 || p.height <= 0 || p.cores_per_switch < 0)
+        throw std::invalid_argument{"make_mesh: bad parameters"};
+
+    Topology t{"mesh" + std::to_string(p.width) + "x" +
+                   std::to_string(p.height),
+               p.width * p.height};
+
+    for (int y = 0; y < p.height; ++y) {
+        for (int x = 0; x < p.width; ++x) {
+            const Switch_id sw = mesh_switch_at(p, x, y);
+            t.set_switch_position(sw, {x * p.tile_mm, y * p.tile_mm});
+            for (int c = 0; c < p.cores_per_switch; ++c) t.attach_core(sw);
+        }
+    }
+    // East/west then north/south, both directions.
+    for (int y = 0; y < p.height; ++y) {
+        for (int x = 0; x < p.width; ++x) {
+            const Switch_id sw = mesh_switch_at(p, x, y);
+            if (x + 1 < p.width)
+                t.add_bidir_link(sw, mesh_switch_at(p, x + 1, y),
+                                 p.link_pipeline_stages);
+            if (y + 1 < p.height)
+                t.add_bidir_link(sw, mesh_switch_at(p, x, y + 1),
+                                 p.link_pipeline_stages);
+        }
+    }
+    t.validate();
+    return t;
+}
+
+} // namespace noc

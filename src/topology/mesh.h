@@ -1,0 +1,28 @@
+// 2D mesh generator — the workhorse NoC topology (RAW, Teraflops, TILE-Gx).
+#pragma once
+
+#include "topology/graph.h"
+
+namespace noc {
+
+struct Mesh_params {
+    int width = 4;
+    int height = 4;
+    /// Cores attached per switch ("concentration"); 1 for CMP-style meshes.
+    int cores_per_switch = 1;
+    /// Tile pitch in mm used for switch positions (physical models).
+    double tile_mm = 1.0;
+    int link_pipeline_stages = 0;
+};
+
+/// Switch at (x, y) has id y*width + x; cores are attached switch-major.
+[[nodiscard]] Topology make_mesh(const Mesh_params& p);
+
+/// Convenience accessors for mesh coordinates.
+[[nodiscard]] inline Switch_id mesh_switch_at(const Mesh_params& p, int x,
+                                              int y)
+{
+    return Switch_id{static_cast<std::uint32_t>(y * p.width + x)};
+}
+
+} // namespace noc

@@ -1,0 +1,33 @@
+#include "topology/ring.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace noc {
+
+Topology make_ring(const Ring_params& p)
+{
+    if (p.node_count < 3)
+        throw std::invalid_argument{"make_ring: need at least 3 nodes"};
+
+    Topology t{"ring" + std::to_string(p.node_count), p.node_count};
+    const double radius = p.tile_mm * p.node_count / (2 * std::numbers::pi);
+    for (int i = 0; i < p.node_count; ++i) {
+        const Switch_id sw{static_cast<std::uint32_t>(i)};
+        const double angle = 2 * std::numbers::pi * i / p.node_count;
+        t.set_switch_position(sw, {radius * (1 + std::cos(angle)),
+                                   radius * (1 + std::sin(angle))});
+        for (int c = 0; c < p.cores_per_switch; ++c) t.attach_core(sw);
+    }
+    for (int i = 0; i < p.node_count; ++i) {
+        const Switch_id a{static_cast<std::uint32_t>(i)};
+        const Switch_id b{
+            static_cast<std::uint32_t>((i + 1) % p.node_count)};
+        t.add_bidir_link(a, b);
+    }
+    t.validate();
+    return t;
+}
+
+} // namespace noc

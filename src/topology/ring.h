@@ -1,0 +1,16 @@
+// Bidirectional ring generator.
+#pragma once
+
+#include "topology/graph.h"
+
+namespace noc {
+
+struct Ring_params {
+    int node_count = 8;
+    int cores_per_switch = 1;
+    double tile_mm = 1.0;
+};
+
+[[nodiscard]] Topology make_ring(const Ring_params& p);
+
+} // namespace noc

@@ -1,0 +1,57 @@
+// Source routes.
+//
+// ×pipes uses source routing: the initiator NI's look-up table stores, for
+// each destination, the full sequence of output ports the head flit must
+// request at every switch along the path (§3). We extend each hop with the
+// virtual channel to use on the *outgoing* link, which lets deterministic
+// routing functions encode dateline VC transitions (torus/ring/spidergon)
+// without a separate VC allocator.
+#pragma once
+
+#include "common/types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace noc {
+
+struct Hop {
+    std::uint16_t out_port = 0; ///< output port to request at this switch
+    std::uint16_t out_vc = 0;   ///< VC to occupy on the outgoing channel
+
+    friend constexpr bool operator==(const Hop&, const Hop&) = default;
+};
+
+/// Port/VC sequence from the source switch to the destination ejection port
+/// (last hop's out_port is the ejection port at the destination switch).
+using Route = std::vector<Hop>;
+
+/// All-pairs route table indexed by [src_core][dst_core]. The diagonal is
+/// left empty (cores do not send to themselves through the network).
+class Route_set {
+public:
+    Route_set() = default;
+    explicit Route_set(int core_count)
+        : routes_(static_cast<std::size_t>(core_count),
+                  std::vector<Route>(static_cast<std::size_t>(core_count)))
+    {
+    }
+
+    [[nodiscard]] int core_count() const
+    {
+        return static_cast<int>(routes_.size());
+    }
+    [[nodiscard]] const Route& at(Core_id src, Core_id dst) const
+    {
+        return routes_.at(src.get()).at(dst.get());
+    }
+    void set(Core_id src, Core_id dst, Route r)
+    {
+        routes_.at(src.get()).at(dst.get()) = std::move(r);
+    }
+
+private:
+    std::vector<std::vector<Route>> routes_;
+};
+
+} // namespace noc

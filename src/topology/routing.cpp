@@ -1,0 +1,381 @@
+#include "topology/routing.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+/// Append the hop that traverses `link`, on `vc`.
+void push_link_hop(Route& r, const Topology& t, Link_id link,
+                   std::uint16_t vc)
+{
+    r.push_back({t.output_port_of_link(link).get(), vc});
+}
+
+/// Append the final ejection hop into the destination core.
+void push_eject_hop(Route& r, const Topology& t, Core_id dst)
+{
+    r.push_back({t.ejection_port_of_core(dst).get(), 0});
+}
+
+/// Shared scaffolding: run `route_switches(src_sw, dst_sw)` to get the link
+/// and VC sequence for every core pair.
+template<typename Fn>
+Route_set build_all_pairs(const Topology& t, Fn&& route_between)
+{
+    Route_set set{t.core_count()};
+    for (int s = 0; s < t.core_count(); ++s) {
+        for (int d = 0; d < t.core_count(); ++d) {
+            if (s == d) continue;
+            const Core_id src{static_cast<std::uint32_t>(s)};
+            const Core_id dst{static_cast<std::uint32_t>(d)};
+            Route r = route_between(t.core_switch(src), t.core_switch(dst));
+            push_eject_hop(r, t, dst);
+            set.set(src, dst, std::move(r));
+        }
+    }
+    return set;
+}
+
+} // namespace
+
+Link_id find_link(const Topology& t, Switch_id from, Switch_id to)
+{
+    Link_id found = Link_id::invalid();
+    for (const Link_id l : t.out_links(from)) {
+        if (t.link(l).to == to) {
+            if (found.is_valid())
+                throw std::logic_error{"find_link: parallel links"};
+            found = l;
+        }
+    }
+    if (!found.is_valid()) throw std::logic_error{"find_link: no such link"};
+    return found;
+}
+
+Route_set xy_routes(const Topology& t, const Mesh_params& p)
+{
+    auto coord = [&](Switch_id sw) {
+        return std::pair<int, int>{static_cast<int>(sw.get()) % p.width,
+                                   static_cast<int>(sw.get()) / p.width};
+    };
+    return build_all_pairs(t, [&](Switch_id s, Switch_id d) {
+        Route r;
+        auto [x, y] = coord(s);
+        const auto [dx, dy] = coord(d);
+        while (x != dx) {
+            const int nx = x + (dx > x ? 1 : -1);
+            push_link_hop(r, t,
+                          find_link(t, mesh_switch_at(p, x, y),
+                                    mesh_switch_at(p, nx, y)),
+                          0);
+            x = nx;
+        }
+        while (y != dy) {
+            const int ny = y + (dy > y ? 1 : -1);
+            push_link_hop(r, t,
+                          find_link(t, mesh_switch_at(p, x, y),
+                                    mesh_switch_at(p, x, ny)),
+                          0);
+            y = ny;
+        }
+        return r;
+    });
+}
+
+Route_set torus_routes(const Topology& t, const Torus_params& p)
+{
+    if (p.width < 3 || p.height < 3)
+        throw std::invalid_argument{
+            "torus_routes: dimensions must be >= 3 (link ambiguity below)"};
+
+    auto coord = [&](Switch_id sw) {
+        return std::pair<int, int>{static_cast<int>(sw.get()) % p.width,
+                                   static_cast<int>(sw.get()) / p.width};
+    };
+
+    // Walk one dimension from `from` to `to` (modular), crossing the wrap
+    // link at most once; switch to vc 1 on the wrap hop and after it.
+    auto walk_dim = [&](Route& r, int from, int to, int size, bool is_x,
+                        int fixed) {
+        if (from == to) return;
+        const int fwd = (to - from + size) % size;
+        const int bwd = (from - to + size) % size;
+        const int dir = fwd <= bwd ? 1 : -1;
+        int steps = std::min(fwd, bwd);
+        std::uint16_t vc = 0;
+        int cur = from;
+        while (steps-- > 0) {
+            const int nxt = (cur + dir + size) % size;
+            const bool wrap = (dir == 1 && nxt < cur) ||
+                              (dir == -1 && nxt > cur);
+            if (wrap) vc = 1;
+            const Switch_id a = is_x
+                                    ? torus_switch_at(p, cur, fixed)
+                                    : torus_switch_at(p, fixed, cur);
+            const Switch_id b = is_x
+                                    ? torus_switch_at(p, nxt, fixed)
+                                    : torus_switch_at(p, fixed, nxt);
+            push_link_hop(r, t, find_link(t, a, b), vc);
+            cur = nxt;
+        }
+    };
+
+    return build_all_pairs(t, [&](Switch_id s, Switch_id d) {
+        Route r;
+        const auto [sx, sy] = coord(s);
+        const auto [dx, dy] = coord(d);
+        walk_dim(r, sx, dx, p.width, true, sy);
+        walk_dim(r, sy, dy, p.height, false, dx);
+        return r;
+    });
+}
+
+namespace {
+
+/// Ring walk used by both ring and spidergon routing. Switch ids must be the
+/// ring positions 0..size-1.
+void ring_walk(Route& r, const Topology& t, int from, int to, int size)
+{
+    if (from == to) return;
+    const int fwd = (to - from + size) % size;
+    const int bwd = (from - to + size) % size;
+    const int dir = fwd <= bwd ? 1 : -1;
+    int steps = std::min(fwd, bwd);
+    std::uint16_t vc = 0;
+    int cur = from;
+    while (steps-- > 0) {
+        const int nxt = (cur + dir + size) % size;
+        // Dateline: the wrap edge between positions size-1 and 0.
+        if ((dir == 1 && nxt < cur) || (dir == -1 && nxt > cur)) vc = 1;
+        push_link_hop(r, t,
+                      find_link(t,
+                                Switch_id{static_cast<std::uint32_t>(cur)},
+                                Switch_id{static_cast<std::uint32_t>(nxt)}),
+                      vc);
+        cur = nxt;
+    }
+}
+
+} // namespace
+
+Route_set ring_routes(const Topology& t, const Ring_params& p)
+{
+    return build_all_pairs(t, [&](Switch_id s, Switch_id d) {
+        Route r;
+        ring_walk(r, t, static_cast<int>(s.get()),
+                  static_cast<int>(d.get()), p.node_count);
+        return r;
+    });
+}
+
+Route_set spidergon_routes(const Topology& t, const Spidergon_params& p)
+{
+    const int n = p.node_count;
+    return build_all_pairs(t, [&](Switch_id s, Switch_id d) {
+        Route r;
+        int cur = static_cast<int>(s.get());
+        const int dst = static_cast<int>(d.get());
+        const int fwd = (dst - cur + n) % n;
+        const int bwd = (cur - dst + n) % n;
+        if (std::min(fwd, bwd) > n / 4) {
+            const int across = (cur + n / 2) % n;
+            push_link_hop(
+                r, t,
+                find_link(t, Switch_id{static_cast<std::uint32_t>(cur)},
+                          Switch_id{static_cast<std::uint32_t>(across)}),
+                0);
+            cur = across;
+        }
+        ring_walk(r, t, cur, dst, n);
+        return r;
+    });
+}
+
+Route_set updown_routes(const Topology& t,
+                        const std::vector<int>& switch_rank)
+{
+    if (switch_rank.size() != static_cast<std::size_t>(t.switch_count()))
+        throw std::invalid_argument{"updown_routes: rank size mismatch"};
+
+    // A link u->v is "up" when (rank, id) increases strictly; the strict
+    // total order makes the up orientation acyclic.
+    auto is_up = [&](Switch_id u, Switch_id v) {
+        return std::pair{switch_rank[v.get()], v.get()} >
+               std::pair{switch_rank[u.get()], u.get()};
+    };
+
+    const int s_count = t.switch_count();
+
+    // BFS over states (switch, phase): phase 0 = still ascending,
+    // phase 1 = descending. Runs once per source switch.
+    struct Parent {
+        int state = -1;      // predecessor state index
+        Link_id via{};       // link taken into this state
+    };
+
+    Route_set set{t.core_count()};
+    for (int src_sw = 0; src_sw < s_count; ++src_sw) {
+        std::vector<Parent> parent(static_cast<std::size_t>(2 * s_count));
+        std::vector<char> seen(static_cast<std::size_t>(2 * s_count), 0);
+        std::deque<int> queue;
+        const int start = 2 * src_sw; // phase 0
+        seen[static_cast<std::size_t>(start)] = 1;
+        queue.push_back(start);
+
+        while (!queue.empty()) {
+            const int state = queue.front();
+            queue.pop_front();
+            const Switch_id u{static_cast<std::uint32_t>(state / 2)};
+            const int phase = state % 2;
+            for (const Link_id l : t.out_links(u)) {
+                const Switch_id v = t.link(l).to;
+                const bool up = is_up(u, v);
+                if (phase == 1 && up) continue; // no down->up turns
+                const int nstate = 2 * static_cast<int>(v.get()) +
+                                   (up ? 0 : 1);
+                if (seen[static_cast<std::size_t>(nstate)]) continue;
+                seen[static_cast<std::size_t>(nstate)] = 1;
+                parent[static_cast<std::size_t>(nstate)] = {state, l};
+                queue.push_back(nstate);
+            }
+        }
+
+        for (int c = 0; c < t.core_count(); ++c) {
+            const Core_id dst{static_cast<std::uint32_t>(c)};
+            const int dst_sw = static_cast<int>(t.core_switch(dst).get());
+            if (dst_sw == src_sw) {
+                // Local pair: route is just the ejection hop; fill for every
+                // source core on this switch below.
+                continue;
+            }
+            // Prefer arriving in descending phase; either is valid.
+            int state = -1;
+            if (seen[static_cast<std::size_t>(2 * dst_sw + 1)])
+                state = 2 * dst_sw + 1;
+            else if (seen[static_cast<std::size_t>(2 * dst_sw)])
+                state = 2 * dst_sw;
+            if (state < 0)
+                throw std::logic_error{
+                    "updown_routes: destination unreachable"};
+            Route r;
+            while (state != start) {
+                const auto& pa = parent[static_cast<std::size_t>(state)];
+                r.push_back({t.output_port_of_link(pa.via).get(), 0});
+                state = pa.state;
+            }
+            std::reverse(r.begin(), r.end());
+
+            for (const Core_id s_core : t.switch_cores(
+                     Switch_id{static_cast<std::uint32_t>(src_sw)})) {
+                Route full = r;
+                push_eject_hop(full, t, dst);
+                if (s_core != dst) set.set(s_core, dst, std::move(full));
+            }
+        }
+        // Switch-local pairs.
+        for (const Core_id a : t.switch_cores(
+                 Switch_id{static_cast<std::uint32_t>(src_sw)})) {
+            for (const Core_id b : t.switch_cores(
+                     Switch_id{static_cast<std::uint32_t>(src_sw)})) {
+                if (a == b) continue;
+                Route r;
+                push_eject_hop(r, t, b);
+                set.set(a, b, std::move(r));
+            }
+        }
+    }
+    return set;
+}
+
+Route_set shortest_path_routes(const Topology& t)
+{
+    const int s_count = t.switch_count();
+    Route_set set{t.core_count()};
+    for (int src_sw = 0; src_sw < s_count; ++src_sw) {
+        std::vector<Link_id> via(static_cast<std::size_t>(s_count));
+        std::vector<int> prev(static_cast<std::size_t>(s_count), -1);
+        std::vector<char> seen(static_cast<std::size_t>(s_count), 0);
+        std::deque<int> queue;
+        seen[static_cast<std::size_t>(src_sw)] = 1;
+        queue.push_back(src_sw);
+        while (!queue.empty()) {
+            const int u = queue.front();
+            queue.pop_front();
+            for (const Link_id l :
+                 t.out_links(Switch_id{static_cast<std::uint32_t>(u)})) {
+                const int v = static_cast<int>(t.link(l).to.get());
+                if (seen[static_cast<std::size_t>(v)]) continue;
+                seen[static_cast<std::size_t>(v)] = 1;
+                prev[static_cast<std::size_t>(v)] = u;
+                via[static_cast<std::size_t>(v)] = l;
+                queue.push_back(v);
+            }
+        }
+        for (const Core_id src : t.switch_cores(
+                 Switch_id{static_cast<std::uint32_t>(src_sw)})) {
+            for (int c = 0; c < t.core_count(); ++c) {
+                const Core_id dst{static_cast<std::uint32_t>(c)};
+                if (dst == src) continue;
+                const int dst_sw =
+                    static_cast<int>(t.core_switch(dst).get());
+                if (!seen[static_cast<std::size_t>(dst_sw)])
+                    throw std::logic_error{
+                        "shortest_path_routes: unreachable"};
+                Route r;
+                for (int v = dst_sw; v != src_sw;
+                     v = prev[static_cast<std::size_t>(v)])
+                    r.push_back(
+                        {t.output_port_of_link(via[static_cast<std::size_t>(v)])
+                             .get(),
+                         0});
+                std::reverse(r.begin(), r.end());
+                push_eject_hop(r, t, dst);
+                set.set(src, dst, std::move(r));
+            }
+        }
+    }
+    return set;
+}
+
+std::vector<int> spanning_tree_ranks(const Topology& t, Switch_id root)
+{
+    std::vector<int> rank(static_cast<std::size_t>(t.switch_count()),
+                          std::numeric_limits<int>::min());
+    std::deque<Switch_id> queue;
+    rank[root.get()] = 0;
+    queue.push_back(root);
+    while (!queue.empty()) {
+        const Switch_id u = queue.front();
+        queue.pop_front();
+        for (const Link_id l : t.out_links(u)) {
+            const Switch_id v = t.link(l).to;
+            if (rank[v.get()] != std::numeric_limits<int>::min()) continue;
+            rank[v.get()] = rank[u.get()] - 1; // deeper = lower rank
+            queue.push_back(v);
+        }
+    }
+    for (const int r : rank)
+        if (r == std::numeric_limits<int>::min())
+            throw std::logic_error{"spanning_tree_ranks: graph disconnected"};
+    return rank;
+}
+
+std::vector<Switch_id> route_switch_path(const Topology& t, Core_id src,
+                                         const Route& route)
+{
+    std::vector<Switch_id> path{t.core_switch(src)};
+    for (const Hop& h : route) {
+        const Link_id l =
+            t.link_of_output_port(path.back(), Port_id{h.out_port});
+        if (!l.is_valid()) break; // ejection hop
+        path.push_back(t.link(l).to);
+    }
+    return path;
+}
+
+} // namespace noc

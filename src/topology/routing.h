@@ -1,0 +1,66 @@
+// Deterministic routing-function computation.
+//
+// Every function returns a full all-pairs Route_set for the ×pipes-style
+// source-routing NIs. Deadlock freedom is by construction (dimension order,
+// datelines, up*/down*) and is independently verifiable with
+// topology/deadlock.h — the test suite checks every generated route set.
+//
+// Virtual-channel conventions:
+//   * mesh XY, up*/down*, shortest-path: single VC class (vc 0);
+//   * torus / ring / spidergon: two VCs (dateline scheme) — flits start on
+//     vc 0 and move to vc 1 when crossing the dateline of the ring they are
+//     traversing.
+#pragma once
+
+#include "topology/fat_tree.h"
+#include "topology/graph.h"
+#include "topology/mesh.h"
+#include "topology/ring.h"
+#include "topology/route.h"
+#include "topology/spidergon.h"
+#include "topology/star.h"
+#include "topology/torus.h"
+
+#include <vector>
+
+namespace noc {
+
+/// Dimension-order XY routing on a mesh.
+[[nodiscard]] Route_set xy_routes(const Topology& t, const Mesh_params& p);
+
+/// Dimension-order routing with dateline VCs on a torus (needs >= 2 VCs).
+[[nodiscard]] Route_set torus_routes(const Topology& t,
+                                     const Torus_params& p);
+
+/// Shortest-direction ring routing with a dateline VC (needs >= 2 VCs).
+[[nodiscard]] Route_set ring_routes(const Topology& t, const Ring_params& p);
+
+/// Spidergon "across-first": take the across link when the ring distance
+/// exceeds N/4, then ring routing with datelines (needs >= 2 VCs).
+[[nodiscard]] Route_set spidergon_routes(const Topology& t,
+                                         const Spidergon_params& p);
+
+/// Up*/down* routing: ascend in rank, then descend; never down->up. The
+/// rank order (rank, switch id) must be strict for links, which makes the
+/// "up" orientation acyclic and the routing deadlock-free on one VC.
+[[nodiscard]] Route_set updown_routes(const Topology& t,
+                                      const std::vector<int>& switch_rank);
+
+/// Plain BFS shortest paths, no deadlock guarantee. Used as a baseline and
+/// as a negative control in the deadlock-checker tests.
+[[nodiscard]] Route_set shortest_path_routes(const Topology& t);
+
+/// Rank assignment for up*/down* on arbitrary graphs: BFS from `root`,
+/// rank = -depth (root highest).
+[[nodiscard]] std::vector<int> spanning_tree_ranks(const Topology& t,
+                                                   Switch_id root);
+
+/// The unique link from -> to; throws if absent or ambiguous.
+[[nodiscard]] Link_id find_link(const Topology& t, Switch_id from,
+                                Switch_id to);
+
+/// Switch sequence a route visits, starting at the source core's switch.
+[[nodiscard]] std::vector<Switch_id>
+route_switch_path(const Topology& t, Core_id src, const Route& route);
+
+} // namespace noc

@@ -1,0 +1,42 @@
+#include "topology/spidergon.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace noc {
+
+Topology make_spidergon(const Spidergon_params& p)
+{
+    if (p.node_count < 4 || p.node_count % 2 != 0)
+        throw std::invalid_argument{
+            "make_spidergon: node_count must be even and >= 4"};
+
+    Topology t{"spidergon" + std::to_string(p.node_count), p.node_count};
+    const double radius = p.tile_mm * p.node_count / (2 * std::numbers::pi);
+    for (int i = 0; i < p.node_count; ++i) {
+        const Switch_id sw{static_cast<std::uint32_t>(i)};
+        const double angle = 2 * std::numbers::pi * i / p.node_count;
+        t.set_switch_position(sw, {radius * (1 + std::cos(angle)),
+                                   radius * (1 + std::sin(angle))});
+        for (int c = 0; c < p.cores_per_switch; ++c) t.attach_core(sw);
+    }
+    for (int i = 0; i < p.node_count; ++i) {
+        const Switch_id a{static_cast<std::uint32_t>(i)};
+        t.add_bidir_link(a,
+                         Switch_id{static_cast<std::uint32_t>(
+                             (i + 1) % p.node_count)});
+    }
+    // Across links (one bidirectional pair per diameter). The across wire
+    // spans the die, so give it a pipeline stage.
+    for (int i = 0; i < p.node_count / 2; ++i) {
+        const Switch_id a{static_cast<std::uint32_t>(i)};
+        const Switch_id b{
+            static_cast<std::uint32_t>(i + p.node_count / 2)};
+        t.add_bidir_link(a, b, 1);
+    }
+    t.validate();
+    return t;
+}
+
+} // namespace noc

@@ -1,0 +1,19 @@
+// Spidergon generator (ST Microelectronics, [22] in the paper): an even-size
+// bidirectional ring plus "across" links connecting each node to the
+// diametrically opposite one. Constant degree 3, good diameter/cost tradeoff
+// for mid-size SoCs.
+#pragma once
+
+#include "topology/graph.h"
+
+namespace noc {
+
+struct Spidergon_params {
+    int node_count = 8; ///< must be even and >= 4
+    int cores_per_switch = 1;
+    double tile_mm = 1.0;
+};
+
+[[nodiscard]] Topology make_spidergon(const Spidergon_params& p);
+
+} // namespace noc

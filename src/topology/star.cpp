@@ -1,0 +1,64 @@
+#include "topology/star.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <string>
+
+namespace noc {
+
+Star make_star(const Star_params& p)
+{
+    if (p.clusters < 1 || p.cores_per_cluster < 0 || p.root_count < 1 ||
+        p.cores_at_root < 0)
+        throw std::invalid_argument{"make_star: bad parameters"};
+
+    const int switch_count = p.root_count + p.clusters;
+    Topology t{"star_c" + std::to_string(p.clusters) + "_r" +
+                   std::to_string(p.root_count),
+               switch_count};
+
+    const double span = p.tile_mm * std::max(2, p.clusters);
+    for (int r = 0; r < p.root_count; ++r)
+        t.set_switch_position(Switch_id{static_cast<std::uint32_t>(r)},
+                              {span / 2, span / 2 + r * p.tile_mm});
+    for (int c = 0; c < p.clusters; ++c) {
+        const double angle = 2 * std::numbers::pi * c / p.clusters;
+        t.set_switch_position(
+            Switch_id{static_cast<std::uint32_t>(p.root_count + c)},
+            {span / 2 * (1 + std::cos(angle)),
+             span / 2 * (1 + std::sin(angle))});
+    }
+
+    Star result{std::move(t), {}, {}};
+    Topology& topo = result.topology;
+
+    for (int m = 0; m < p.cores_at_root; ++m)
+        result.root_cores.push_back(topo.attach_core(
+            Switch_id{static_cast<std::uint32_t>(m % p.root_count)}));
+    for (int c = 0; c < p.clusters; ++c)
+        for (int i = 0; i < p.cores_per_cluster; ++i)
+            topo.attach_core(
+                Switch_id{static_cast<std::uint32_t>(p.root_count + c)});
+
+    for (int c = 0; c < p.clusters; ++c)
+        for (int r = 0; r < p.root_count; ++r)
+            topo.add_bidir_link(
+                Switch_id{static_cast<std::uint32_t>(p.root_count + c)},
+                Switch_id{static_cast<std::uint32_t>(r)});
+    // Chain the root crossbars so root-attached cores (the BONE SRAMs) can
+    // reach each other without a down->up turn, keeping up*/down* routing
+    // complete (ties between equal-rank roots break on switch id).
+    for (int r = 0; r + 1 < p.root_count; ++r)
+        topo.add_bidir_link(Switch_id{static_cast<std::uint32_t>(r)},
+                            Switch_id{static_cast<std::uint32_t>(r + 1)});
+
+    result.switch_rank.assign(static_cast<std::size_t>(switch_count), 0);
+    for (int r = 0; r < p.root_count; ++r)
+        result.switch_rank[static_cast<std::size_t>(r)] = 1;
+
+    topo.validate();
+    return result;
+}
+
+} // namespace noc

@@ -1,0 +1,36 @@
+// Hierarchical star generator — the memory-centric BONE topology of Fig. 5:
+// cluster switches host processing cores; one or more root crossbar switches
+// connect the clusters and optionally host shared memories at the root.
+#pragma once
+
+#include "topology/graph.h"
+
+#include <vector>
+
+namespace noc {
+
+struct Star_params {
+    int clusters = 4;
+    int cores_per_cluster = 2;
+    /// Cores (e.g. dual-port SRAMs in BONE) attached directly to the root.
+    int cores_at_root = 0;
+    /// Parallel root crossbars; >1 models the replicated crossbar layers of
+    /// the BONE chip. Each cluster connects to every root.
+    int root_count = 1;
+    double tile_mm = 1.0;
+};
+
+struct Star {
+    Topology topology;
+    /// Rank for up*/down* routing: roots rank 1, clusters rank 0.
+    std::vector<int> switch_rank;
+    /// Core ids attached at the root(s) (the shared memories).
+    std::vector<Core_id> root_cores;
+};
+
+/// Switch ids: roots first [0..root_count), then cluster switches. Root
+/// cores are attached round-robin over the roots, then cluster cores in
+/// cluster order.
+[[nodiscard]] Star make_star(const Star_params& p);
+
+} // namespace noc

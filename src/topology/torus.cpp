@@ -1,0 +1,38 @@
+#include "topology/torus.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+Topology make_torus(const Torus_params& p)
+{
+    if (p.width < 2 || p.height < 2)
+        throw std::invalid_argument{"make_torus: dimensions must be >= 2"};
+
+    Topology t{"torus" + std::to_string(p.width) + "x" +
+                   std::to_string(p.height),
+               p.width * p.height};
+
+    for (int y = 0; y < p.height; ++y) {
+        for (int x = 0; x < p.width; ++x) {
+            const Switch_id sw = torus_switch_at(p, x, y);
+            t.set_switch_position(sw, {x * p.tile_mm, y * p.tile_mm});
+            for (int c = 0; c < p.cores_per_switch; ++c) t.attach_core(sw);
+        }
+    }
+    for (int y = 0; y < p.height; ++y) {
+        for (int x = 0; x < p.width; ++x) {
+            const Switch_id sw = torus_switch_at(p, x, y);
+            const bool wrap_x = x + 1 == p.width;
+            const bool wrap_y = y + 1 == p.height;
+            t.add_bidir_link(sw, torus_switch_at(p, (x + 1) % p.width, y),
+                             wrap_x ? p.wrap_pipeline_stages : 0);
+            t.add_bidir_link(sw, torus_switch_at(p, x, (y + 1) % p.height),
+                             wrap_y ? p.wrap_pipeline_stages : 0);
+        }
+    }
+    t.validate();
+    return t;
+}
+
+} // namespace noc

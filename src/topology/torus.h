@@ -1,0 +1,25 @@
+// 2D torus generator (mesh with wrap-around links).
+#pragma once
+
+#include "topology/graph.h"
+
+namespace noc {
+
+struct Torus_params {
+    int width = 4;
+    int height = 4;
+    int cores_per_switch = 1;
+    double tile_mm = 1.0;
+    /// Wrap links are physically long; give them extra pipelining by default.
+    int wrap_pipeline_stages = 1;
+};
+
+[[nodiscard]] Topology make_torus(const Torus_params& p);
+
+[[nodiscard]] inline Switch_id torus_switch_at(const Torus_params& p, int x,
+                                               int y)
+{
+    return Switch_id{static_cast<std::uint32_t>(y * p.width + x)};
+}
+
+} // namespace noc

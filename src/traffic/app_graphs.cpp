@@ -1,0 +1,296 @@
+#include "traffic/app_graphs.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+/// Convenience: add a flow by core names.
+void flow(Core_graph& g, const std::string& src, const std::string& dst,
+          double mbps, double latency_ns = 0.0, bool critical = false,
+          std::uint32_t packet_bytes = 64)
+{
+    Flow_spec f;
+    f.src = g.core_index(src);
+    f.dst = g.core_index(dst);
+    f.bandwidth_mbps = mbps;
+    f.max_latency_ns = latency_ns;
+    f.is_critical = critical;
+    f.packet_bytes = packet_bytes;
+    g.add_flow(f);
+}
+
+void core(Core_graph& g, const std::string& name, double area_mm2,
+          bool is_memory = false, int layer = 0)
+{
+    Core_spec c;
+    c.name = name;
+    c.area_mm2 = area_mm2;
+    c.is_memory = is_memory;
+    c.layer = Layer_id{static_cast<std::uint16_t>(layer)};
+    g.add_core(std::move(c));
+}
+
+} // namespace
+
+Core_graph make_vopd_graph()
+{
+    Core_graph g{"vopd"};
+    core(g, "vld", 0.5);
+    core(g, "run_le_dec", 0.4);
+    core(g, "inv_scan", 0.4);
+    core(g, "acdc_pred", 0.6);
+    core(g, "stripe_mem", 1.2, true);
+    core(g, "iquant", 0.5);
+    core(g, "idct", 0.9);
+    core(g, "upsamp", 0.6);
+    core(g, "vop_rec", 0.8);
+    core(g, "pad", 0.4);
+    core(g, "vop_mem", 1.5, true);
+    core(g, "arm", 1.0);
+
+    flow(g, "vld", "run_le_dec", 70);
+    flow(g, "run_le_dec", "inv_scan", 362);
+    flow(g, "inv_scan", "acdc_pred", 362);
+    flow(g, "acdc_pred", "stripe_mem", 362);
+    flow(g, "stripe_mem", "iquant", 362);
+    flow(g, "iquant", "idct", 357);
+    flow(g, "idct", "upsamp", 353);
+    flow(g, "upsamp", "vop_rec", 300);
+    flow(g, "vop_rec", "pad", 313);
+    flow(g, "pad", "vop_mem", 313);
+    flow(g, "vop_mem", "pad", 94);
+    flow(g, "arm", "idct", 16);
+    flow(g, "idct", "arm", 16);
+    flow(g, "arm", "vop_mem", 16);
+
+    g.validate();
+    return g;
+}
+
+Core_graph make_mpeg4_graph()
+{
+    Core_graph g{"mpeg4"};
+    core(g, "vu", 1.2);
+    core(g, "au", 0.8);
+    core(g, "med_cpu", 1.5);
+    core(g, "sdram", 2.5, true);
+    core(g, "sram1", 1.2, true);
+    core(g, "sram2", 1.2, true);
+    core(g, "rast", 0.9);
+    core(g, "idct_etc", 1.0);
+    core(g, "adsp", 1.1);
+    core(g, "up_samp", 0.6);
+    core(g, "bab", 0.5);
+    core(g, "risc", 1.0);
+
+    // SDRAM is the hotspot: most cores stream through it.
+    flow(g, "vu", "sdram", 190);
+    flow(g, "au", "sdram", 0.5);
+    flow(g, "med_cpu", "sdram", 600);
+    flow(g, "sdram", "med_cpu", 40);
+    flow(g, "rast", "sdram", 640);
+    flow(g, "sdram", "rast", 250);
+    flow(g, "idct_etc", "sdram", 250);
+    flow(g, "up_samp", "sdram", 173);
+    flow(g, "sdram", "up_samp", 500);
+    flow(g, "bab", "sdram", 32);
+    flow(g, "risc", "sdram", 500);
+    flow(g, "sdram", "risc", 250);
+    flow(g, "au", "sram1", 60);
+    flow(g, "sram1", "au", 40);
+    flow(g, "adsp", "sram2", 200);
+    flow(g, "sram2", "adsp", 100);
+    flow(g, "med_cpu", "sram1", 40);
+    flow(g, "risc", "sram2", 100);
+    flow(g, "vu", "risc", 60);
+
+    g.validate();
+    return g;
+}
+
+Core_graph make_mwd_graph()
+{
+    Core_graph g{"mwd"};
+    core(g, "in", 0.5);
+    core(g, "nr", 0.7);
+    core(g, "mem1", 1.2, true);
+    core(g, "vs", 0.7);
+    core(g, "hs", 0.7);
+    core(g, "mem2", 1.2, true);
+    core(g, "hvs", 0.8);
+    core(g, "jug1", 0.6);
+    core(g, "mem3", 1.2, true);
+    core(g, "jug2", 0.6);
+    core(g, "se", 0.7);
+    core(g, "blend", 0.8);
+
+    flow(g, "in", "nr", 64);
+    flow(g, "in", "hs", 128);
+    flow(g, "nr", "mem1", 64);
+    flow(g, "nr", "vs", 96);
+    flow(g, "mem1", "hvs", 96);
+    flow(g, "vs", "mem2", 96);
+    flow(g, "hs", "jug1", 96);
+    flow(g, "mem2", "hvs", 96);
+    flow(g, "hvs", "jug2", 96);
+    flow(g, "jug1", "mem3", 96);
+    flow(g, "jug2", "mem3", 96);
+    flow(g, "mem3", "se", 64);
+    flow(g, "se", "blend", 16);
+    flow(g, "jug1", "blend", 16);
+
+    g.validate();
+    return g;
+}
+
+Core_graph make_faust_receiver_graph()
+{
+    Core_graph g{"faust_rx"};
+    // Telecom receiver chain; every flow is hard real-time. Aggregate
+    // bandwidth = 10.6 Gb/s = 1325 MB/s (§5: "the aggregate required
+    // bandwidth is 10.6 Gbits/s to maintain real time communication").
+    core(g, "ofdm_demod", 1.4);
+    core(g, "chan_est", 1.0);
+    core(g, "equalizer", 1.1);
+    core(g, "demapper", 0.8);
+    core(g, "deintlv", 0.7);
+    core(g, "turbo_dec", 1.8);
+    core(g, "crc_check", 0.4);
+    core(g, "rx_mem1", 1.2, true);
+    core(g, "rx_mem2", 1.2, true);
+    core(g, "mac_if", 0.9);
+
+    // MB/s values summing to 1325 (= 10.6 Gb/s).
+    flow(g, "ofdm_demod", "rx_mem1", 240, 800, true);
+    flow(g, "rx_mem1", "chan_est", 120, 800, true);
+    flow(g, "rx_mem1", "equalizer", 120, 800, true);
+    flow(g, "chan_est", "equalizer", 110, 800, true);
+    flow(g, "equalizer", "demapper", 170, 600, true);
+    flow(g, "demapper", "deintlv", 130, 600, true);
+    flow(g, "deintlv", "rx_mem2", 110, 600, true);
+    flow(g, "rx_mem2", "turbo_dec", 110, 400, true);
+    flow(g, "turbo_dec", "rx_mem2", 90, 400, true);
+    flow(g, "turbo_dec", "crc_check", 50, 400, true);
+    flow(g, "crc_check", "mac_if", 40, 400, true);
+    flow(g, "mac_if", "ofdm_demod", 35, 1000, true);
+
+    g.validate();
+    if (g.total_bandwidth_mbps() != 1325.0)
+        throw std::logic_error{"faust graph must total 10.6 Gb/s"};
+    return g;
+}
+
+namespace {
+
+Core_graph build_mobile_soc(int layers)
+{
+    Core_graph g{layers > 1 ? "mobile_soc_3d" : "mobile_soc"};
+    const auto ly = [&](int group) { return layers > 1 ? group % layers : 0; };
+
+    // Compute cluster.
+    core(g, "cpu0", 2.0, false, ly(0));
+    core(g, "cpu1", 2.0, false, ly(0));
+    core(g, "cpu2", 2.0, false, ly(0));
+    core(g, "cpu3", 2.0, false, ly(0));
+    core(g, "l2_cache", 3.0, true, ly(0));
+    // Graphics / display.
+    core(g, "gpu", 4.0, false, ly(1));
+    core(g, "display", 1.0, false, ly(1));
+    core(g, "compositor", 0.8, false, ly(1));
+    // Video pipeline.
+    core(g, "vid_dec", 1.5, false, ly(2));
+    core(g, "vid_enc", 1.5, false, ly(2));
+    // Imaging.
+    core(g, "isp", 1.8, false, ly(2));
+    core(g, "cam_if", 0.5, false, ly(2));
+    core(g, "jpeg", 0.7, false, ly(2));
+    // Modem / radio.
+    core(g, "modem_dsp", 2.2, false, ly(3));
+    core(g, "modem_mac", 1.0, false, ly(3));
+    core(g, "rf_if", 0.5, false, ly(3));
+    // Audio.
+    core(g, "audio_dsp", 0.9, false, ly(3));
+    // Memory system.
+    core(g, "dram_ctl0", 1.6, true, ly(0));
+    core(g, "dram_ctl1", 1.6, true, ly(1));
+    core(g, "ocm_sram", 1.2, true, ly(2));
+    core(g, "boot_rom", 0.4, true, ly(3));
+    // Infrastructure.
+    core(g, "dma0", 0.6, false, ly(0));
+    core(g, "dma1", 0.6, false, ly(1));
+    core(g, "crypto", 0.8, false, ly(3));
+    core(g, "usb", 0.5, false, ly(3));
+    core(g, "sdio", 0.4, false, ly(3));
+
+    // Bandwidths are budgeted so no single NI port exceeds ~55% of a
+    // 32-bit 1 GHz link (4 GB/s): the hottest ports are the L2 (CPU
+    // requests + refills) and the two DRAM controllers.
+    // CPU cluster <-> memory hierarchy.
+    flow(g, "cpu0", "l2_cache", 350, 150);
+    flow(g, "cpu1", "l2_cache", 350, 150);
+    flow(g, "cpu2", "l2_cache", 350, 150);
+    flow(g, "cpu3", "l2_cache", 350, 150);
+    flow(g, "l2_cache", "dram_ctl0", 800, 300);
+    flow(g, "dram_ctl0", "l2_cache", 800, 300);
+    // GPU streams.
+    flow(g, "gpu", "dram_ctl1", 1100, 400);
+    flow(g, "dram_ctl1", "gpu", 1200, 400);
+    flow(g, "gpu", "compositor", 400);
+    // Display path (real-time).
+    flow(g, "compositor", "display", 620, 600, true);
+    flow(g, "dram_ctl1", "display", 800, 600, true);
+    // Video decode/encode.
+    flow(g, "vid_dec", "dram_ctl0", 400, 500);
+    flow(g, "dram_ctl0", "vid_dec", 350, 500);
+    flow(g, "vid_enc", "dram_ctl0", 350, 500);
+    flow(g, "dram_ctl0", "vid_enc", 250, 500);
+    flow(g, "vid_dec", "compositor", 300);
+    // Imaging pipeline.
+    flow(g, "cam_if", "isp", 900, 300, true);
+    flow(g, "isp", "dram_ctl1", 500, 500);
+    flow(g, "isp", "jpeg", 220);
+    flow(g, "jpeg", "dram_ctl1", 100);
+    flow(g, "isp", "vid_enc", 350);
+    // Modem.
+    flow(g, "rf_if", "modem_dsp", 350, 200, true);
+    flow(g, "modem_dsp", "rf_if", 300, 200, true);
+    flow(g, "modem_dsp", "modem_mac", 250, 300);
+    flow(g, "modem_mac", "ocm_sram", 180);
+    flow(g, "ocm_sram", "modem_mac", 160);
+    flow(g, "modem_mac", "dram_ctl0", 120);
+    // Audio (low bandwidth, tight latency).
+    flow(g, "audio_dsp", "ocm_sram", 25, 150, true);
+    flow(g, "ocm_sram", "audio_dsp", 25, 150, true);
+    // DMA and peripherals.
+    flow(g, "dma0", "dram_ctl0", 250);
+    flow(g, "dma0", "ocm_sram", 150);
+    flow(g, "dma1", "dram_ctl1", 250);
+    flow(g, "usb", "dram_ctl1", 200);
+    flow(g, "sdio", "dram_ctl0", 80);
+    flow(g, "crypto", "dram_ctl0", 150);
+    flow(g, "dram_ctl0", "crypto", 150);
+    flow(g, "cpu0", "boot_rom", 20);
+    flow(g, "cpu0", "modem_mac", 40);
+    flow(g, "cpu1", "gpu", 60);
+
+    g.validate();
+    return g;
+}
+
+} // namespace
+
+Core_graph make_mobile_soc_graph()
+{
+    return build_mobile_soc(1);
+}
+
+Core_graph make_mobile_soc_3d_graph(int layers)
+{
+    if (layers < 2)
+        throw std::invalid_argument{"make_mobile_soc_3d_graph: layers >= 2"};
+    return build_mobile_soc(layers);
+}
+
+} // namespace noc

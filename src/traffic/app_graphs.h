@@ -1,0 +1,37 @@
+// Embedded application benchmark graphs.
+//
+// The classic multimedia graphs (VOPD, MPEG-4 decoder, MWD) are the
+// workloads the custom-topology literature the paper summarizes ([9], [11],
+// [42]) evaluates on; bandwidth figures are the MB/s values commonly
+// reproduced in that literature. The FAUST receiver graph models the
+// "receiver matrix ... 10 cores ... aggregate required bandwidth is
+// 10.6 Gbits/s" of §5, and the mobile SoC graph is a ~26-core phone
+// platform in the spirit of the OMAP/Nomadik/X-Gold examples of §1.
+#pragma once
+
+#include "traffic/core_graph.h"
+
+namespace noc {
+
+/// Video Object Plane Decoder: 12 cores, pipeline-shaped traffic.
+[[nodiscard]] Core_graph make_vopd_graph();
+
+/// MPEG-4 decoder: 12 cores with a strong SDRAM hotspot.
+[[nodiscard]] Core_graph make_mpeg4_graph();
+
+/// Multi-Window Display: 12 cores, pipeline with memory taps.
+[[nodiscard]] Core_graph make_mwd_graph();
+
+/// FAUST-style telecom receiver matrix: 10 cores, 10.6 Gb/s aggregate,
+/// all flows hard real-time (GT candidates).
+[[nodiscard]] Core_graph make_faust_receiver_graph();
+
+/// Heterogeneous mobile-phone SoC: 26 cores (CPU cluster, GPU, video,
+/// imaging, display, modem, memories, peripherals), 40 flows.
+[[nodiscard]] Core_graph make_mobile_soc_graph();
+
+/// The mobile SoC split over `layers` dies for 3D experiments (cores are
+/// assigned layers round-robin by functional group).
+[[nodiscard]] Core_graph make_mobile_soc_3d_graph(int layers);
+
+} // namespace noc

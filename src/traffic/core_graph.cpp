@@ -1,0 +1,69 @@
+#include "traffic/core_graph.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace noc {
+
+int Core_graph::add_core(Core_spec spec)
+{
+    cores_.push_back(std::move(spec));
+    return static_cast<int>(cores_.size()) - 1;
+}
+
+Flow_id Core_graph::add_flow(Flow_spec spec)
+{
+    flows_.push_back(spec);
+    return Flow_id{static_cast<std::uint32_t>(flows_.size() - 1)};
+}
+
+double Core_graph::total_bandwidth_mbps() const
+{
+    double total = 0.0;
+    for (const auto& f : flows_) total += f.bandwidth_mbps;
+    return total;
+}
+
+std::vector<Flow_id> Core_graph::flows_from(int src) const
+{
+    std::vector<Flow_id> out;
+    for (std::size_t i = 0; i < flows_.size(); ++i)
+        if (flows_[i].src == src)
+            out.push_back(Flow_id{static_cast<std::uint32_t>(i)});
+    return out;
+}
+
+int Core_graph::core_index(const std::string& name) const
+{
+    for (std::size_t i = 0; i < cores_.size(); ++i)
+        if (cores_[i].name == name) return static_cast<int>(i);
+    throw std::invalid_argument{"Core_graph: unknown core " + name};
+}
+
+int Core_graph::layer_count() const
+{
+    int layers = 1;
+    for (const auto& c : cores_)
+        layers = std::max(layers, static_cast<int>(c.layer.get()) + 1);
+    return layers;
+}
+
+void Core_graph::validate() const
+{
+    for (const auto& f : flows_) {
+        if (f.src < 0 || f.src >= core_count() || f.dst < 0 ||
+            f.dst >= core_count())
+            throw std::logic_error{"Core_graph: flow endpoint out of range"};
+        if (f.src == f.dst)
+            throw std::logic_error{"Core_graph: self flow"};
+        if (f.bandwidth_mbps <= 0)
+            throw std::logic_error{"Core_graph: non-positive bandwidth"};
+        if (f.packet_bytes == 0)
+            throw std::logic_error{"Core_graph: zero packet size"};
+    }
+    for (const auto& c : cores_)
+        if (c.area_mm2 <= 0)
+            throw std::logic_error{"Core_graph: non-positive core area"};
+}
+
+} // namespace noc

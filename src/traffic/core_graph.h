@@ -1,0 +1,91 @@
+// Application communication graphs — the input to the NoC design flow.
+//
+// §6: "The application communication constraints include the average
+// bandwidth of communication between the different cores, average latency
+// constraints, hard QoS constraints on bandwidth and latency..." A
+// Core_graph captures exactly that, plus per-core area (for floorplanning)
+// and layer assignments (for 3D synthesis).
+#pragma once
+
+#include "common/types.h"
+
+#include <string>
+#include <vector>
+
+namespace noc {
+
+struct Core_spec {
+    std::string name;
+    /// Memories/slaves tend to be traffic sinks; flagged for reporting and
+    /// for OCP-style master/slave role assignment.
+    bool is_memory = false;
+    /// Block area for floorplanning, mm^2.
+    double area_mm2 = 1.0;
+    /// Die layer for 3D designs (layer 0 = bottom; 2D graphs use 0).
+    Layer_id layer{0};
+};
+
+struct Flow_spec {
+    int src = 0;
+    int dst = 0;
+    /// Average bandwidth, MB/s (the unit of the classic NoC benchmarks).
+    double bandwidth_mbps = 0.0;
+    /// Hard latency bound in ns (0 = unconstrained).
+    double max_latency_ns = 0.0;
+    /// Message size the application ships per packet.
+    std::uint32_t packet_bytes = 64;
+    /// Hard real-time stream: mapped to a GT connection when QoS is on.
+    bool is_critical = false;
+};
+
+class Core_graph {
+public:
+    Core_graph() = default;
+    explicit Core_graph(std::string name) : name_{std::move(name)} {}
+
+    int add_core(Core_spec spec);
+    Flow_id add_flow(Flow_spec spec);
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] int core_count() const
+    {
+        return static_cast<int>(cores_.size());
+    }
+    [[nodiscard]] int flow_count() const
+    {
+        return static_cast<int>(flows_.size());
+    }
+    [[nodiscard]] const Core_spec& core(int i) const
+    {
+        return cores_.at(static_cast<std::size_t>(i));
+    }
+    [[nodiscard]] const Flow_spec& flow(Flow_id f) const
+    {
+        return flows_.at(f.get());
+    }
+    [[nodiscard]] const std::vector<Core_spec>& cores() const
+    {
+        return cores_;
+    }
+    [[nodiscard]] const std::vector<Flow_spec>& flows() const
+    {
+        return flows_;
+    }
+
+    [[nodiscard]] double total_bandwidth_mbps() const;
+    /// Flow ids originating at core `src`.
+    [[nodiscard]] std::vector<Flow_id> flows_from(int src) const;
+    [[nodiscard]] int core_index(const std::string& name) const;
+    [[nodiscard]] int layer_count() const;
+
+    /// Throws std::logic_error on dangling indices / self flows /
+    /// non-positive bandwidth.
+    void validate() const;
+
+private:
+    std::string name_;
+    std::vector<Core_spec> cores_;
+    std::vector<Flow_spec> flows_;
+};
+
+} // namespace noc

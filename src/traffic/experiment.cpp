@@ -1,0 +1,106 @@
+#include "traffic/experiment.h"
+
+#include "traffic/flow_traffic.h"
+
+#include <cmath>
+
+namespace noc {
+
+namespace {
+
+Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
+{
+    sys.warmup(cfg.warmup);
+    sys.measure(cfg.measure);
+    Load_point pt;
+    pt.drained = sys.drain(cfg.drain_limit);
+    pt.offered_flits_per_node_cycle = offered;
+    const auto cores = static_cast<double>(sys.topology().core_count());
+    pt.accepted_flits_per_node_cycle =
+        sys.stats().accepted_flits_per_cycle() / cores;
+    pt.avg_packet_latency = sys.stats().packet_latency().mean();
+    pt.avg_network_latency = sys.stats().network_latency().mean();
+    pt.p99_estimate = sys.stats().packet_latency().mean() +
+                      3.0 * sys.stats().packet_latency().std_dev();
+    pt.max_latency = sys.stats().packet_latency().max();
+    pt.packets = sys.stats().measured_delivered();
+    return pt;
+}
+
+} // namespace
+
+Load_point run_synthetic_load(
+    const Topology& topology, const Route_set& routes,
+    const Network_params& params, double rate_flits_per_node_cycle,
+    const std::function<std::shared_ptr<const Dest_pattern>()>&
+        pattern_factory,
+    const Sweep_config& cfg)
+{
+    Noc_system sys{topology, routes, params};
+    const auto pattern = pattern_factory();
+    for (int c = 0; c < topology.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = rate_flits_per_node_cycle;
+        sp.packet_size_flits = cfg.packet_size_flits;
+        sp.seed = cfg.seed * 7919 + static_cast<std::uint64_t>(c);
+        sys.ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+    return collect(sys, rate_flits_per_node_cycle, cfg);
+}
+
+double find_saturation_throughput(
+    const Topology& topology, const Route_set& routes,
+    const Network_params& params,
+    const std::function<std::shared_ptr<const Dest_pattern>()>&
+        pattern_factory,
+    const Sweep_config& cfg, double latency_cap)
+{
+    double lo = 0.0;
+    double hi = 1.0;
+    double best_accepted = 0.0;
+    for (int iter = 0; iter < 7; ++iter) {
+        const double mid = (lo + hi) / 2;
+        const Load_point pt = run_synthetic_load(topology, routes, params,
+                                                 mid, pattern_factory, cfg);
+        const bool saturated =
+            !pt.drained || pt.avg_packet_latency > latency_cap;
+        if (saturated) {
+            hi = mid;
+        } else {
+            lo = mid;
+            best_accepted = pt.accepted_flits_per_node_cycle;
+        }
+    }
+    return best_accepted;
+}
+
+Load_point run_application_load(const Topology& topology,
+                                const Route_set& routes,
+                                const Network_params& params,
+                                const Core_graph& graph,
+                                double bandwidth_scale,
+                                const Sweep_config& cfg)
+{
+    Noc_system sys{topology, routes, params};
+    double offered = 0.0;
+    for (int c = 0; c < topology.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Flow_source::Params fp;
+        fp.clock_ghz = params.clock_ghz;
+        fp.flit_width_bits = params.flit_width_bits;
+        fp.bandwidth_scale = bandwidth_scale;
+        fp.seed = cfg.seed * 104729 + static_cast<std::uint64_t>(c);
+        sys.ni(core).set_source(
+            std::make_unique<Flow_source>(core, graph, fp));
+    }
+    for (const auto& f : graph.flows())
+        offered += flits_per_cycle_for(f.bandwidth_mbps * bandwidth_scale,
+                                       params.clock_ghz,
+                                       params.flit_width_bits,
+                                       f.packet_bytes);
+    return collect(sys, offered / topology.core_count(), cfg);
+}
+
+} // namespace noc

@@ -1,0 +1,64 @@
+// Experiment harness shared by examples, tests and benches: build a network,
+// drive it with synthetic or application traffic, and report one load point
+// (latency / accepted throughput) with the standard warmup-measure-drain
+// protocol.
+#pragma once
+
+#include "arch/noc_system.h"
+#include "traffic/core_graph.h"
+#include "traffic/patterns.h"
+#include "traffic/synthetic.h"
+
+#include <functional>
+#include <memory>
+
+namespace noc {
+
+struct Load_point {
+    double offered_flits_per_node_cycle = 0.0;
+    double accepted_flits_per_node_cycle = 0.0;
+    double avg_packet_latency = 0.0; ///< cycles, creation -> delivery
+    double avg_network_latency = 0.0;
+    double p99_estimate = 0.0; ///< mean + 3 sigma, cheap tail proxy
+    double max_latency = 0.0;
+    std::uint64_t packets = 0;
+    bool drained = true;
+};
+
+struct Sweep_config {
+    Cycle warmup = 2'000;
+    Cycle measure = 10'000;
+    Cycle drain_limit = 60'000;
+    std::uint32_t packet_size_flits = 4;
+    std::uint64_t seed = 42;
+};
+
+/// One synthetic load point on a fresh network built from (topology,
+/// routes, params): every core gets a Bernoulli source at `rate` with
+/// destinations from `pattern_factory()`.
+[[nodiscard]] Load_point run_synthetic_load(
+    const Topology& topology, const Route_set& routes,
+    const Network_params& params, double rate_flits_per_node_cycle,
+    const std::function<std::shared_ptr<const Dest_pattern>()>&
+        pattern_factory,
+    const Sweep_config& cfg);
+
+/// Saturation throughput: binary-search the load at which average latency
+/// exceeds `latency_cap` cycles; returns accepted throughput there.
+[[nodiscard]] double find_saturation_throughput(
+    const Topology& topology, const Route_set& routes,
+    const Network_params& params,
+    const std::function<std::shared_ptr<const Dest_pattern>()>&
+        pattern_factory,
+    const Sweep_config& cfg, double latency_cap = 200.0);
+
+/// Drive a network with an application core graph via Flow_source on every
+/// core; `bandwidth_scale` scales all flows.
+[[nodiscard]] Load_point run_application_load(const Topology& topology,
+                                              const Route_set& routes,
+                                              const Network_params& params,
+                                              const Core_graph& graph,
+                                              double bandwidth_scale,
+                                              const Sweep_config& cfg);
+
+} // namespace noc

@@ -1,0 +1,91 @@
+#include "traffic/flow_traffic.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+double flits_per_cycle_for(double bandwidth_mbps, double clock_ghz,
+                           int flit_width_bits, std::uint32_t packet_bytes,
+                           std::uint32_t* out_flits_per_packet)
+{
+    if (bandwidth_mbps < 0 || clock_ghz <= 0 || flit_width_bits <= 0 ||
+        packet_bytes == 0)
+        throw std::invalid_argument{"flits_per_cycle_for: bad args"};
+    const double bits_per_second = bandwidth_mbps * 8e6;
+    const double cycles_per_second = clock_ghz * 1e9;
+    const auto flits_per_packet = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(packet_bytes) * 8 +
+         static_cast<std::uint64_t>(flit_width_bits) - 1) /
+        static_cast<std::uint64_t>(flit_width_bits));
+    if (out_flits_per_packet) *out_flits_per_packet = flits_per_packet;
+    // Payload-bits accounting: the packet carries packet_bytes of payload
+    // in flits_per_packet flits.
+    const double packets_per_second =
+        bits_per_second / (static_cast<double>(packet_bytes) * 8.0);
+    const double packets_per_cycle = packets_per_second / cycles_per_second;
+    return packets_per_cycle * flits_per_packet;
+}
+
+Flow_source::Flow_source(Core_id self, const Core_graph& graph, Params p)
+    : p_{p}, rng_{p.seed}
+{
+    for (const Flow_id fid : graph.flows_from(static_cast<int>(self.get()))) {
+        const Flow_spec& spec = graph.flow(fid);
+        Flow_state st;
+        st.id = fid;
+        st.dst = Core_id{static_cast<std::uint32_t>(spec.dst)};
+        std::uint32_t fpp = 0;
+        const double fpc =
+            flits_per_cycle_for(spec.bandwidth_mbps * p.bandwidth_scale,
+                                p.clock_ghz, p.flit_width_bits,
+                                spec.packet_bytes, &fpp);
+        st.gt = p.critical_as_gt && spec.is_critical;
+        if (st.gt) {
+            // GT connections are flit-granular (see arch/ni.h): ship the
+            // same bandwidth as single-flit packets.
+            st.flits_per_packet = 1;
+            st.packets_per_cycle = fpc;
+        } else {
+            st.flits_per_packet = fpp;
+            st.packets_per_cycle = fpc / fpp;
+        }
+        if (st.packets_per_cycle > 1.0)
+            throw std::invalid_argument{
+                "Flow_source: flow exceeds one packet per cycle"};
+        flows_.push_back(st);
+    }
+}
+
+std::optional<Packet_desc> Flow_source::poll(Cycle)
+{
+    // Every flow draws every cycle; fired packets go through a backlog so
+    // that the NI's one-enqueue-per-cycle interface never drops rate.
+    for (auto& f : flows_) {
+        bool fire = false;
+        if (p_.jitter) {
+            fire = rng_.next_bool(f.packets_per_cycle);
+        } else {
+            f.accumulator += f.packets_per_cycle;
+            if (f.accumulator >= 1.0) {
+                f.accumulator -= 1.0;
+                fire = true;
+            }
+        }
+        if (!fire) continue;
+        Packet_desc d;
+        d.dst = f.dst;
+        d.size_flits = f.flits_per_packet;
+        d.flow = f.id;
+        if (f.gt) {
+            d.cls = Traffic_class::gt;
+            d.conn = Connection_id{f.id.get()};
+        }
+        backlog_.push_back(d);
+    }
+    if (backlog_.empty()) return std::nullopt;
+    const Packet_desc d = backlog_.front();
+    backlog_.pop_front();
+    return d;
+}
+
+} // namespace noc

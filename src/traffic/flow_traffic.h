@@ -1,0 +1,61 @@
+// Flow-driven traffic: drives a simulated NoC with the bandwidths of an
+// application core graph (used to validate synthesized designs, §6: the
+// generated "simulation models with traffic generators ... validate the
+// run-time behavior of the system").
+#pragma once
+
+#include "arch/params.h"
+#include "arch/traffic_source.h"
+#include "common/rng.h"
+#include "traffic/core_graph.h"
+
+#include <deque>
+#include <vector>
+
+namespace noc {
+
+/// Converts MB/s at a clock and flit width into flits/cycle.
+[[nodiscard]] double flits_per_cycle_for(double bandwidth_mbps,
+                                         double clock_ghz,
+                                         int flit_width_bits,
+                                         std::uint32_t packet_bytes,
+                                         std::uint32_t* out_flits_per_packet =
+                                             nullptr);
+
+/// Injects every flow of `graph` that starts at `self`. Each flow is an
+/// independent process; `bandwidth_scale` uniformly scales offered load
+/// (load sweeps), `jitter` selects periodic (false) vs Bernoulli (true)
+/// injection.
+class Flow_source final : public Traffic_source {
+public:
+    struct Params {
+        double clock_ghz = 1.0;
+        int flit_width_bits = 32;
+        double bandwidth_scale = 1.0;
+        bool jitter = true;
+        /// Map critical flows to GT connections (ids assigned = flow id).
+        bool critical_as_gt = false;
+        std::uint64_t seed = 1;
+    };
+
+    Flow_source(Core_id self, const Core_graph& graph, Params p);
+
+    [[nodiscard]] std::optional<Packet_desc> poll(Cycle now) override;
+
+private:
+    struct Flow_state {
+        Flow_id id;
+        Core_id dst;
+        std::uint32_t flits_per_packet;
+        double packets_per_cycle;
+        double accumulator = 0.0; // periodic mode
+        bool gt = false;
+    };
+
+    std::vector<Flow_state> flows_;
+    std::deque<Packet_desc> backlog_;
+    Params p_;
+    Rng rng_;
+};
+
+} // namespace noc

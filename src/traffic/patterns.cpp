@@ -1,0 +1,218 @@
+#include "traffic/patterns.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+[[nodiscard]] bool is_pow2(int n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+class Uniform_pattern final : public Dest_pattern {
+public:
+    explicit Uniform_pattern(int n) : n_{n}
+    {
+        if (n < 2) throw std::invalid_argument{"uniform: need >= 2 cores"};
+    }
+    Core_id pick(Core_id src, Rng& rng) const override
+    {
+        auto d = static_cast<std::uint32_t>(
+            rng.next_below(static_cast<std::uint64_t>(n_ - 1)));
+        if (d >= src.get()) ++d; // skip self
+        return Core_id{d};
+    }
+    std::string name() const override { return "uniform"; }
+
+private:
+    int n_;
+};
+
+class Bit_complement_pattern final : public Dest_pattern {
+public:
+    explicit Bit_complement_pattern(int n) : n_{n}
+    {
+        if (!is_pow2(n) || n < 2)
+            throw std::invalid_argument{"bit_complement: power-of-2 cores"};
+    }
+    Core_id pick(Core_id src, Rng&) const override
+    {
+        return Core_id{(~src.get()) &
+                       static_cast<std::uint32_t>(n_ - 1)};
+    }
+    std::string name() const override { return "bit_complement"; }
+
+private:
+    int n_;
+};
+
+class Transpose_pattern final : public Dest_pattern {
+public:
+    Transpose_pattern(int w, int h) : w_{w}, h_{h}, fallback_{w * h}
+    {
+        if (w < 2 || h < 2 || w != h)
+            throw std::invalid_argument{"transpose: square grid required"};
+    }
+    Core_id pick(Core_id src, Rng& rng) const override
+    {
+        const int x = static_cast<int>(src.get()) % w_;
+        const int y = static_cast<int>(src.get()) / w_;
+        if (x == y) return fallback_.pick(src, rng);
+        return Core_id{static_cast<std::uint32_t>(x * w_ + y)};
+    }
+    std::string name() const override { return "transpose"; }
+
+private:
+    int w_;
+    int h_;
+    Uniform_pattern fallback_;
+};
+
+class Shuffle_pattern final : public Dest_pattern {
+public:
+    explicit Shuffle_pattern(int n) : n_{n}, fallback_{n}
+    {
+        if (!is_pow2(n) || n < 4)
+            throw std::invalid_argument{"shuffle: power-of-2 cores >= 4"};
+        bits_ = 0;
+        while ((1 << bits_) < n) ++bits_;
+    }
+    Core_id pick(Core_id src, Rng& rng) const override
+    {
+        const auto s = src.get();
+        const auto mask = static_cast<std::uint32_t>(n_ - 1);
+        const std::uint32_t d =
+            ((s << 1) | (s >> (bits_ - 1))) & mask;
+        if (d == s) return fallback_.pick(src, rng);
+        return Core_id{d};
+    }
+    std::string name() const override { return "shuffle"; }
+
+private:
+    int n_;
+    int bits_ = 0;
+    Uniform_pattern fallback_;
+};
+
+class Neighbor_pattern final : public Dest_pattern {
+public:
+    Neighbor_pattern(int w, int h) : w_{w}, h_{h}
+    {
+        if (w < 2 || h < 2)
+            throw std::invalid_argument{"neighbor: grid >= 2x2"};
+    }
+    Core_id pick(Core_id src, Rng& rng) const override
+    {
+        const int x = static_cast<int>(src.get()) % w_;
+        const int y = static_cast<int>(src.get()) / w_;
+        int nx[4];
+        int ny[4];
+        int count = 0;
+        if (x > 0) { nx[count] = x - 1; ny[count++] = y; }
+        if (x + 1 < w_) { nx[count] = x + 1; ny[count++] = y; }
+        if (y > 0) { nx[count] = x; ny[count++] = y - 1; }
+        if (y + 1 < h_) { nx[count] = x; ny[count++] = y + 1; }
+        const auto pick = static_cast<std::size_t>(
+            rng.next_below(static_cast<std::uint64_t>(count)));
+        return Core_id{static_cast<std::uint32_t>(ny[pick] * w_ + nx[pick])};
+    }
+    std::string name() const override { return "neighbor"; }
+
+private:
+    int w_;
+    int h_;
+};
+
+class Hotspot_pattern final : public Dest_pattern {
+public:
+    Hotspot_pattern(int n, std::vector<Core_id> hotspots, double fraction)
+        : hotspots_{std::move(hotspots)},
+          fraction_{fraction},
+          fallback_{n}
+    {
+        if (hotspots_.empty())
+            throw std::invalid_argument{"hotspot: no hotspots"};
+        if (fraction < 0.0 || fraction > 1.0)
+            throw std::invalid_argument{"hotspot: bad fraction"};
+    }
+    Core_id pick(Core_id src, Rng& rng) const override
+    {
+        if (rng.next_bool(fraction_)) {
+            const Core_id d = hotspots_[static_cast<std::size_t>(
+                rng.next_below(hotspots_.size()))];
+            if (d != src) return d;
+        }
+        return fallback_.pick(src, rng);
+    }
+    std::string name() const override { return "hotspot"; }
+
+private:
+    std::vector<Core_id> hotspots_;
+    double fraction_;
+    Uniform_pattern fallback_;
+};
+
+class Tornado_pattern final : public Dest_pattern {
+public:
+    Tornado_pattern(int w, int h) : w_{w}, h_{h}, fallback_{w * h}
+    {
+        if (w < 3 || h < 1) throw std::invalid_argument{"tornado: width>=3"};
+    }
+    Core_id pick(Core_id src, Rng& rng) const override
+    {
+        const int x = static_cast<int>(src.get()) % w_;
+        const int y = static_cast<int>(src.get()) / w_;
+        const int dx = (x + (w_ + 1) / 2 - 1) % w_;
+        if (dx == x) return fallback_.pick(src, rng);
+        return Core_id{static_cast<std::uint32_t>(y * w_ + dx)};
+    }
+    std::string name() const override { return "tornado"; }
+
+private:
+    int w_;
+    int h_;
+    Uniform_pattern fallback_;
+};
+
+} // namespace
+
+std::unique_ptr<Dest_pattern> make_uniform_pattern(int core_count)
+{
+    return std::make_unique<Uniform_pattern>(core_count);
+}
+
+std::unique_ptr<Dest_pattern> make_bit_complement_pattern(int core_count)
+{
+    return std::make_unique<Bit_complement_pattern>(core_count);
+}
+
+std::unique_ptr<Dest_pattern> make_transpose_pattern(int width, int height)
+{
+    return std::make_unique<Transpose_pattern>(width, height);
+}
+
+std::unique_ptr<Dest_pattern> make_shuffle_pattern(int core_count)
+{
+    return std::make_unique<Shuffle_pattern>(core_count);
+}
+
+std::unique_ptr<Dest_pattern> make_neighbor_pattern(int width, int height)
+{
+    return std::make_unique<Neighbor_pattern>(width, height);
+}
+
+std::unique_ptr<Dest_pattern> make_hotspot_pattern(
+    int core_count, std::vector<Core_id> hotspots, double hot_fraction)
+{
+    return std::make_unique<Hotspot_pattern>(core_count, std::move(hotspots),
+                                             hot_fraction);
+}
+
+std::unique_ptr<Dest_pattern> make_tornado_pattern(int width, int height)
+{
+    return std::make_unique<Tornado_pattern>(width, height);
+}
+
+} // namespace noc

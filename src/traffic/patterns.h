@@ -1,0 +1,55 @@
+// Synthetic destination patterns — the standard suite used to characterize
+// interconnects (uniform random, transpose, bit complement, shuffle,
+// neighbor, hotspot, tornado).
+#pragma once
+
+#include "common/rng.h"
+#include "common/types.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/// Picks a destination for each generated packet. Stateless except for RNG
+/// passed by the caller, so one instance can be shared across sources.
+class Dest_pattern {
+public:
+    virtual ~Dest_pattern() = default;
+    /// Never returns `src` itself.
+    [[nodiscard]] virtual Core_id pick(Core_id src, Rng& rng) const = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Uniformly random over all other cores.
+[[nodiscard]] std::unique_ptr<Dest_pattern> make_uniform_pattern(
+    int core_count);
+
+/// Bit-complement: dst = ~src (mod core_count, which must be a power of 2).
+[[nodiscard]] std::unique_ptr<Dest_pattern> make_bit_complement_pattern(
+    int core_count);
+
+/// Matrix transpose on a width x height grid of cores: (x,y) -> (y,x).
+/// Diagonal cores fall back to uniform.
+[[nodiscard]] std::unique_ptr<Dest_pattern> make_transpose_pattern(int width,
+                                                                   int height);
+
+/// Perfect shuffle: rotate the core index left by one bit (power of 2).
+[[nodiscard]] std::unique_ptr<Dest_pattern> make_shuffle_pattern(
+    int core_count);
+
+/// Nearest neighbor on a grid: one of the up-to-4 adjacent cores, uniformly.
+[[nodiscard]] std::unique_ptr<Dest_pattern> make_neighbor_pattern(int width,
+                                                                  int height);
+
+/// Hotspot: with probability `hot_fraction` target one of `hotspots`
+/// (uniformly), otherwise uniform over everyone.
+[[nodiscard]] std::unique_ptr<Dest_pattern> make_hotspot_pattern(
+    int core_count, std::vector<Core_id> hotspots, double hot_fraction);
+
+/// Tornado on a grid: dst x = x + ceil(width/2) - 1 (mod width), same row.
+[[nodiscard]] std::unique_ptr<Dest_pattern> make_tornado_pattern(int width,
+                                                                 int height);
+
+} // namespace noc

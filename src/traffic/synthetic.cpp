@@ -1,0 +1,53 @@
+#include "traffic/synthetic.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+Bernoulli_source::Bernoulli_source(
+    Core_id self, Params p, std::shared_ptr<const Dest_pattern> pattern)
+    : self_{self}, p_{p}, pattern_{std::move(pattern)}, rng_{p.seed}
+{
+    if (!pattern_) throw std::invalid_argument{"Bernoulli_source: pattern"};
+    if (p_.flits_per_cycle < 0 || p_.packet_size_flits == 0)
+        throw std::invalid_argument{"Bernoulli_source: bad params"};
+}
+
+std::optional<Packet_desc> Bernoulli_source::poll(Cycle)
+{
+    const double p_packet =
+        p_.flits_per_cycle / static_cast<double>(p_.packet_size_flits);
+    if (!rng_.next_bool(p_packet)) return std::nullopt;
+    Packet_desc d;
+    d.dst = pattern_->pick(self_, rng_);
+    d.size_flits = p_.packet_size_flits;
+    d.cls = p_.cls;
+    return d;
+}
+
+Burst_source::Burst_source(Core_id self, Params p,
+                           std::shared_ptr<const Dest_pattern> pattern)
+    : self_{self}, p_{p}, pattern_{std::move(pattern)}, rng_{p.seed}
+{
+    if (!pattern_) throw std::invalid_argument{"Burst_source: pattern"};
+}
+
+std::optional<Packet_desc> Burst_source::poll(Cycle)
+{
+    if (on_) {
+        if (rng_.next_bool(p_.p_on_to_off)) on_ = false;
+    } else {
+        if (rng_.next_bool(p_.p_off_to_on)) on_ = true;
+    }
+    if (!on_) return std::nullopt;
+    const double p_packet = p_.on_rate_flits_per_cycle /
+                            static_cast<double>(p_.packet_size_flits);
+    if (!rng_.next_bool(p_packet)) return std::nullopt;
+    Packet_desc d;
+    d.dst = pattern_->pick(self_, rng_);
+    d.size_flits = p_.packet_size_flits;
+    d.cls = p_.cls;
+    return d;
+}
+
+} // namespace noc

@@ -1,0 +1,62 @@
+// Open-loop synthetic traffic sources.
+#pragma once
+
+#include "arch/traffic_source.h"
+#include "common/rng.h"
+#include "traffic/patterns.h"
+
+#include <memory>
+
+namespace noc {
+
+/// Bernoulli process: each cycle a packet is generated with probability
+/// rate / size so the offered load is `rate` flits/cycle/node.
+class Bernoulli_source final : public Traffic_source {
+public:
+    struct Params {
+        double flits_per_cycle = 0.1; ///< offered load
+        std::uint32_t packet_size_flits = 4;
+        Traffic_class cls = Traffic_class::request;
+        std::uint64_t seed = 1;
+    };
+
+    Bernoulli_source(Core_id self, Params p,
+                     std::shared_ptr<const Dest_pattern> pattern);
+
+    [[nodiscard]] std::optional<Packet_desc> poll(Cycle now) override;
+
+private:
+    Core_id self_;
+    Params p_;
+    std::shared_ptr<const Dest_pattern> pattern_;
+    Rng rng_;
+};
+
+/// Two-state Markov-modulated (bursty) process: ON state injects like
+/// Bernoulli at `on_rate`; OFF state is silent; geometric dwell times.
+/// Average load = on_rate * p_on where p_on = beta / (alpha + beta).
+class Burst_source final : public Traffic_source {
+public:
+    struct Params {
+        double on_rate_flits_per_cycle = 0.5;
+        double p_on_to_off = 0.05; ///< alpha
+        double p_off_to_on = 0.05; ///< beta
+        std::uint32_t packet_size_flits = 4;
+        Traffic_class cls = Traffic_class::request;
+        std::uint64_t seed = 1;
+    };
+
+    Burst_source(Core_id self, Params p,
+                 std::shared_ptr<const Dest_pattern> pattern);
+
+    [[nodiscard]] std::optional<Packet_desc> poll(Cycle now) override;
+
+private:
+    Core_id self_;
+    Params p_;
+    std::shared_ptr<const Dest_pattern> pattern_;
+    Rng rng_;
+    bool on_ = false;
+};
+
+} // namespace noc

@@ -1,0 +1,75 @@
+#include "traffic/trace.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace noc {
+
+Trace_source::Trace_source(std::vector<Trace_event> events)
+    : events_{std::move(events)}
+{
+    for (std::size_t i = 1; i < events_.size(); ++i)
+        if (events_[i].at < events_[i - 1].at)
+            throw std::invalid_argument{
+                "Trace_source: events must be sorted by cycle"};
+    for (const auto& e : events_)
+        if (e.size_flits == 0)
+            throw std::invalid_argument{"Trace_source: empty packet"};
+}
+
+std::optional<Packet_desc> Trace_source::poll(Cycle now)
+{
+    if (next_ >= events_.size() || events_[next_].at > now)
+        return std::nullopt;
+    const Trace_event& e = events_[next_++];
+    Packet_desc d;
+    d.dst = e.dst;
+    d.size_flits = e.size_flits;
+    d.cls = e.cls;
+    d.flow = e.flow;
+    return d;
+}
+
+std::vector<std::vector<Trace_event>> parse_trace(const std::string& text,
+                                                  int core_count)
+{
+    if (core_count <= 0)
+        throw std::invalid_argument{"parse_trace: core_count <= 0"};
+    std::vector<std::vector<Trace_event>> per_core(
+        static_cast<std::size_t>(core_count));
+    std::istringstream is{text};
+    std::string line;
+    int line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos) line.erase(hash);
+        std::istringstream ls{line};
+        std::uint64_t at = 0;
+        long long src = -1;
+        long long dst = -1;
+        std::uint32_t size = 0;
+        if (!(ls >> at)) continue; // blank/comment line
+        if (!(ls >> src >> dst >> size))
+            throw std::invalid_argument{
+                "parse_trace: malformed line " + std::to_string(line_no)};
+        if (src < 0 || src >= core_count || dst < 0 || dst >= core_count ||
+            src == dst)
+            throw std::invalid_argument{
+                "parse_trace: bad core ids on line " +
+                std::to_string(line_no)};
+        Trace_event e;
+        e.at = at;
+        e.dst = Core_id{static_cast<std::uint32_t>(dst)};
+        e.size_flits = size;
+        auto& list = per_core[static_cast<std::size_t>(src)];
+        if (!list.empty() && list.back().at > e.at)
+            throw std::invalid_argument{
+                "parse_trace: events for core " + std::to_string(src) +
+                " not sorted (line " + std::to_string(line_no) + ")"};
+        list.push_back(e);
+    }
+    return per_core;
+}
+
+} // namespace noc

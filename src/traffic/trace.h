@@ -1,0 +1,53 @@
+// Trace-driven traffic replay.
+//
+// §6: the flow consumes communication behaviour "obtained by application
+// profiling"; a trace is the raw form of that profile. A Trace_source
+// replays timestamped packet events for one core, so recorded or
+// synthesized traces can drive any simulated NoC deterministically.
+#pragma once
+
+#include "arch/traffic_source.h"
+
+#include <string>
+
+#include <vector>
+
+namespace noc {
+
+struct Trace_event {
+    Cycle at = 0; ///< earliest injection cycle
+    Core_id dst{};
+    std::uint32_t size_flits = 1;
+    Traffic_class cls = Traffic_class::request;
+    Flow_id flow{};
+};
+
+/// Replays events in timestamp order (events must be sorted by `at`; the
+/// constructor verifies). One event is released per poll at/after its
+/// timestamp — back-pressure simply delays the rest of the trace, as it
+/// would a real core.
+class Trace_source final : public Traffic_source {
+public:
+    explicit Trace_source(std::vector<Trace_event> events);
+
+    [[nodiscard]] std::optional<Packet_desc> poll(Cycle now) override;
+
+    [[nodiscard]] std::size_t remaining() const
+    {
+        return events_.size() - next_;
+    }
+    [[nodiscard]] bool done() const { return next_ == events_.size(); }
+
+private:
+    std::vector<Trace_event> events_;
+    std::size_t next_ = 0;
+};
+
+/// Parse a whitespace-separated trace text: one "cycle src dst size" line
+/// per event (comments start with '#'). Returns per-core event lists,
+/// indexed by source core. Throws std::invalid_argument on malformed input
+/// or out-of-range core ids.
+[[nodiscard]] std::vector<std::vector<Trace_event>>
+parse_trace(const std::string& text, int core_count);
+
+} // namespace noc

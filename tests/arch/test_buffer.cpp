@@ -1,0 +1,54 @@
+#include "arch/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(BoundedFifo, RejectsZeroCapacity)
+{
+    EXPECT_THROW(Bounded_fifo<int>(0), std::invalid_argument);
+}
+
+TEST(BoundedFifo, FifoOrder)
+{
+    Bounded_fifo<int> f{3};
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.pop(), 3);
+}
+
+TEST(BoundedFifo, OverflowThrows)
+{
+    Bounded_fifo<int> f{2};
+    f.push(1);
+    f.push(2);
+    EXPECT_TRUE(f.full());
+    EXPECT_THROW(f.push(3), std::logic_error);
+}
+
+TEST(BoundedFifo, UnderflowThrows)
+{
+    Bounded_fifo<int> f{2};
+    EXPECT_THROW(f.pop(), std::logic_error);
+    EXPECT_THROW(f.front(), std::logic_error);
+}
+
+TEST(BoundedFifo, FreeSlotsAndCounters)
+{
+    Bounded_fifo<int> f{4};
+    EXPECT_EQ(f.free_slots(), 4u);
+    f.push(1);
+    f.push(2);
+    EXPECT_EQ(f.free_slots(), 2u);
+    EXPECT_EQ(f.size(), 2u);
+    (void)f.pop();
+    EXPECT_EQ(f.write_count(), 2u);
+    EXPECT_EQ(f.read_count(), 1u);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,71 @@
+#include "arch/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(PipelineChannel, RejectsZeroLatency)
+{
+    EXPECT_THROW(Pipeline_channel<int>(0), std::invalid_argument);
+}
+
+TEST(PipelineChannel, LatencyOneDelaysExactlyOneCycle)
+{
+    Pipeline_channel<int> ch{1};
+    EXPECT_FALSE(ch.out().has_value());
+    ch.write(42);
+    EXPECT_FALSE(ch.out().has_value()); // not visible same cycle
+    ch.advance();
+    ASSERT_TRUE(ch.out().has_value());
+    EXPECT_EQ(*ch.out(), 42);
+    ch.advance();
+    EXPECT_FALSE(ch.out().has_value()); // one cycle only
+}
+
+TEST(PipelineChannel, LatencyThreePipelines)
+{
+    Pipeline_channel<int> ch{3};
+    // Stream 0,1,2,... and observe them 3 advances later, in order.
+    for (int cycle = 0; cycle < 10; ++cycle) {
+        ch.write(cycle);
+        ch.advance();
+        if (cycle >= 3) {
+            ASSERT_TRUE(ch.out().has_value());
+            EXPECT_EQ(*ch.out(), cycle - 2); // written at cycle-2, seen now
+        }
+    }
+}
+
+TEST(PipelineChannel, BubblesPropagate)
+{
+    Pipeline_channel<int> ch{2};
+    ch.write(1);
+    ch.advance(); // slot A
+    ch.advance(); // bubble written this cycle
+    ASSERT_TRUE(ch.out().has_value());
+    EXPECT_EQ(*ch.out(), 1);
+    ch.advance();
+    EXPECT_FALSE(ch.out().has_value()); // the bubble
+}
+
+TEST(PipelineChannel, DoubleWriteThrows)
+{
+    Pipeline_channel<int> ch{1};
+    ch.write(1);
+    EXPECT_THROW(ch.write(2), std::logic_error);
+}
+
+TEST(PipelineChannel, TransferCounter)
+{
+    Pipeline_channel<int> ch{1, "x"};
+    EXPECT_EQ(ch.transfer_count(), 0u);
+    ch.count_transfer();
+    ch.count_transfer();
+    EXPECT_EQ(ch.transfer_count(), 2u);
+    EXPECT_EQ(ch.name(), "x");
+    EXPECT_EQ(ch.latency(), 1);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,68 @@
+#include "arch/dc_fifo.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(DcFifo, RejectsBadParams)
+{
+    Dc_fifo_params p;
+    p.depth = 1;
+    EXPECT_THROW(simulate_dc_fifo(p, 10), std::invalid_argument);
+    p = {};
+    p.writer_period_ns = 0;
+    EXPECT_THROW(simulate_dc_fifo(p, 10), std::invalid_argument);
+}
+
+TEST(DcFifo, EqualClocksLatencyNearSyncStages)
+{
+    Dc_fifo_params p;
+    p.writer_period_ns = 1.0;
+    p.reader_period_ns = 1.0;
+    p.sync_stages = 2;
+    const auto r = simulate_dc_fifo(p, 1'000);
+    // Crossing costs at least sync_stages reader periods, at most one more.
+    EXPECT_GE(r.min_latency_ns, 2.0);
+    EXPECT_LE(r.max_latency_ns, 3.0 + 1e-9);
+    EXPECT_EQ(r.items, 1'000u);
+}
+
+TEST(DcFifo, SlowReaderBoundsThroughput)
+{
+    Dc_fifo_params p;
+    p.writer_period_ns = 1.0;
+    p.reader_period_ns = 4.0; // reader 4x slower
+    const auto r = simulate_dc_fifo(p, 2'000);
+    EXPECT_NEAR(r.throughput_per_ns, 1.0 / 4.0, 0.02);
+}
+
+TEST(DcFifo, FastReaderBoundedByWriter)
+{
+    Dc_fifo_params p;
+    p.writer_period_ns = 2.0;
+    p.reader_period_ns = 1.0;
+    const auto r = simulate_dc_fifo(p, 2'000);
+    EXPECT_NEAR(r.throughput_per_ns, 1.0 / 2.0, 0.02);
+}
+
+TEST(DcFifo, MoreSyncStagesMoreLatency)
+{
+    Dc_fifo_params p2;
+    p2.sync_stages = 2;
+    Dc_fifo_params p4 = p2;
+    p4.sync_stages = 4;
+    const auto r2 = simulate_dc_fifo(p2, 500);
+    const auto r4 = simulate_dc_fifo(p4, 500);
+    EXPECT_GT(r4.avg_latency_ns, r2.avg_latency_ns);
+}
+
+TEST(DcFifo, SynchronousBaseline)
+{
+    EXPECT_DOUBLE_EQ(synchronous_link_latency_ns(1.0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(synchronous_link_latency_ns(0.5, 3), 1.5);
+    EXPECT_THROW(synchronous_link_latency_ns(0.0, 1), std::invalid_argument);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,211 @@
+#include "arch/link_sender.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+Flit make_flit(std::uint16_t vc = 0)
+{
+    Flit f;
+    f.vc = vc;
+    return f;
+}
+
+Network_params credit_params()
+{
+    Network_params p;
+    p.fc = Flow_control_kind::credit;
+    p.buffer_depth = 2;
+    return p;
+}
+
+TEST(LinkSender, NullChannelsRejected)
+{
+    Flit_channel data{1};
+    EXPECT_THROW(Link_sender(credit_params(), nullptr, nullptr, false),
+                 std::invalid_argument);
+    EXPECT_THROW(Link_sender(credit_params(), &data, nullptr, false),
+                 std::invalid_argument);
+    // Ejection may omit the token channel.
+    EXPECT_NO_THROW(Link_sender(credit_params(), &data, nullptr, true));
+}
+
+TEST(LinkSender, CreditsDecrementAndReplenish)
+{
+    Flit_channel data{1};
+    Token_channel tokens{1};
+    Link_sender s{credit_params(), &data, &tokens, false};
+
+    s.begin_cycle();
+    EXPECT_TRUE(s.can_send(0));
+    s.send(make_flit());
+    data.advance();
+    tokens.advance();
+
+    s.begin_cycle();
+    s.send(make_flit());
+    data.advance();
+    tokens.advance();
+
+    s.begin_cycle();
+    EXPECT_FALSE(s.can_send(0)); // depth 2 exhausted
+    EXPECT_EQ(s.credits(0), 0);
+
+    // Downstream returns one credit.
+    tokens.write(Fc_token{Fc_token::Kind::credit, 0, 0, 0});
+    data.advance();
+    tokens.advance();
+    s.begin_cycle();
+    EXPECT_TRUE(s.can_send(0));
+    EXPECT_EQ(s.credits(0), 1);
+}
+
+TEST(LinkSender, PerVcCreditsIndependent)
+{
+    Network_params p = credit_params();
+    p.route_vcs = 2;
+    Flit_channel data{1};
+    Token_channel tokens{1};
+    Link_sender s{p, &data, &tokens, false};
+    s.begin_cycle();
+    s.send(make_flit(0));
+    data.advance();
+    s.begin_cycle();
+    s.send(make_flit(0));
+    data.advance();
+    s.begin_cycle();
+    EXPECT_FALSE(s.can_send(0));
+    EXPECT_TRUE(s.can_send(1));
+}
+
+TEST(LinkSender, TwoSendsSameCycleThrow)
+{
+    Flit_channel data{1};
+    Token_channel tokens{1};
+    Link_sender s{credit_params(), &data, &tokens, false};
+    s.begin_cycle();
+    s.send(make_flit());
+    EXPECT_THROW(s.send(make_flit()), std::logic_error);
+    EXPECT_FALSE(s.can_send(0)); // also reported unavailable
+}
+
+TEST(LinkSender, SendWithoutCreditThrows)
+{
+    Flit_channel data{1};
+    Token_channel tokens{1};
+    Link_sender s{credit_params(), &data, &tokens, false};
+    s.begin_cycle();
+    s.send(make_flit());
+    data.advance();
+    s.begin_cycle();
+    s.send(make_flit());
+    data.advance();
+    s.begin_cycle();
+    EXPECT_THROW(s.send(make_flit()), std::logic_error);
+}
+
+TEST(LinkSender, OnOffRespectsStopMask)
+{
+    Network_params p;
+    p.fc = Flow_control_kind::on_off;
+    p.route_vcs = 2;
+    p.buffer_depth = 8;
+    Flit_channel data{1};
+    Token_channel tokens{1};
+    Link_sender s{p, &data, &tokens, false};
+
+    s.begin_cycle();
+    EXPECT_TRUE(s.can_send(0)); // default: all on
+    tokens.write(Fc_token{Fc_token::Kind::on_off_mask, 0, 0b01, 0});
+    tokens.advance();
+    data.advance();
+    s.begin_cycle();
+    EXPECT_FALSE(s.can_send(0));
+    EXPECT_TRUE(s.can_send(1));
+}
+
+Network_params acknack_params()
+{
+    Network_params p;
+    p.fc = Flow_control_kind::ack_nack;
+    p.route_vcs = 1;
+    p.output_buffer_depth = 4;
+    return p;
+}
+
+TEST(LinkSender, AckNackWindowLimitsAndAckFrees)
+{
+    Flit_channel data{1};
+    Token_channel tokens{1};
+    Link_sender s{acknack_params(), &data, &tokens, false};
+
+    // Fill the window of 4: all are buffered and streamed one per cycle.
+    for (int i = 0; i < 4; ++i) {
+        s.begin_cycle();
+        ASSERT_TRUE(s.can_send(0));
+        s.send(make_flit());
+        s.end_cycle();
+        data.advance();
+        tokens.advance();
+        ASSERT_TRUE(data.out().has_value());
+        EXPECT_EQ(data.out()->link_seq, static_cast<std::uint32_t>(i));
+    }
+    s.begin_cycle();
+    EXPECT_FALSE(s.can_send(0)); // window full
+    EXPECT_EQ(s.output_buffer_occupancy(), 4u);
+
+    // Cumulative ack for seq 1 frees two slots.
+    tokens.write(Fc_token{Fc_token::Kind::ack, 0, 0, 1});
+    data.advance();
+    tokens.advance();
+    s.begin_cycle();
+    EXPECT_TRUE(s.can_send(0));
+    EXPECT_EQ(s.output_buffer_occupancy(), 2u);
+}
+
+TEST(LinkSender, NackRewindsAndRetransmits)
+{
+    Flit_channel data{1};
+    Token_channel tokens{1};
+    Link_sender s{acknack_params(), &data, &tokens, false};
+
+    for (int i = 0; i < 3; ++i) {
+        s.begin_cycle();
+        s.send(make_flit());
+        s.end_cycle();
+        data.advance();
+        tokens.advance();
+    }
+    EXPECT_EQ(s.retransmissions(), 0u);
+
+    // NACK for seq 0: everything must be resent from 0.
+    tokens.write(Fc_token{Fc_token::Kind::nack, 0, 0, 0});
+    data.advance();
+    tokens.advance();
+    for (std::uint32_t expect_seq = 0; expect_seq < 3; ++expect_seq) {
+        s.begin_cycle();
+        s.end_cycle();
+        data.advance();
+        tokens.advance();
+        ASSERT_TRUE(data.out().has_value());
+        EXPECT_EQ(data.out()->link_seq, expect_seq);
+    }
+    EXPECT_EQ(s.retransmissions(), 3u);
+}
+
+TEST(LinkSender, EjectionAlwaysAccepts)
+{
+    Flit_channel data{1};
+    Link_sender s{credit_params(), &data, nullptr, true};
+    for (int i = 0; i < 10; ++i) {
+        s.begin_cycle();
+        EXPECT_TRUE(s.can_send(0));
+        s.send(make_flit());
+        data.advance();
+    }
+    EXPECT_EQ(s.flits_sent(), 10u);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,77 @@
+#include "arch/network_stats.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(NetworkStats, WindowValidation)
+{
+    Network_stats s;
+    EXPECT_THROW(s.set_measurement_window(10, 5), std::invalid_argument);
+    s.set_measurement_window(10, 20);
+    EXPECT_FALSE(s.in_measurement(9));
+    EXPECT_TRUE(s.in_measurement(10));
+    EXPECT_TRUE(s.in_measurement(19));
+    EXPECT_FALSE(s.in_measurement(20));
+}
+
+TEST(NetworkStats, OnlyMeasuredPacketsEnterAccumulators)
+{
+    Network_stats s;
+    s.set_measurement_window(0, 100);
+    s.on_packet_created(Flow_id{0}, 5, true);
+    s.on_packet_created(Flow_id{0}, 6, false); // warmup packet
+    s.on_packet_delivered(Flow_id{0}, 4, 5, 6, 25, true);
+    s.on_packet_delivered(Flow_id{0}, 4, 6, 7, 30, false);
+    EXPECT_EQ(s.packets_created(), 2u);
+    EXPECT_EQ(s.packets_delivered(), 2u);
+    EXPECT_EQ(s.measured_created(), 1u);
+    EXPECT_EQ(s.measured_delivered(), 1u);
+    EXPECT_EQ(s.measured_flits_delivered(), 4u);
+    EXPECT_DOUBLE_EQ(s.packet_latency().mean(), 20.0);  // 25 - 5
+    EXPECT_DOUBLE_EQ(s.network_latency().mean(), 19.0); // 25 - 6
+}
+
+TEST(NetworkStats, InFlightBookkeeping)
+{
+    Network_stats s;
+    s.set_measurement_window(0, 100);
+    s.on_packet_created(Flow_id{}, 1, true);
+    s.on_packet_created(Flow_id{}, 2, true);
+    EXPECT_EQ(s.measured_in_flight(), 2u);
+    EXPECT_EQ(s.packets_in_flight(), 2u);
+    s.on_packet_delivered(Flow_id{}, 1, 1, 1, 9, true);
+    EXPECT_EQ(s.measured_in_flight(), 1u);
+}
+
+TEST(NetworkStats, PerFlowAccounting)
+{
+    Network_stats s;
+    s.set_measurement_window(0, 100);
+    s.on_packet_delivered(Flow_id{3}, 2, 0, 0, 10, true);
+    s.on_packet_delivered(Flow_id{3}, 2, 0, 0, 14, true);
+    s.on_packet_delivered(Flow_id{5}, 8, 0, 0, 20, true);
+    EXPECT_EQ(s.flow_flits_delivered(Flow_id{3}), 4u);
+    EXPECT_EQ(s.flow_flits_delivered(Flow_id{5}), 8u);
+    EXPECT_EQ(s.flow_flits_delivered(Flow_id{99}), 0u);
+    EXPECT_DOUBLE_EQ(s.flow_latency(Flow_id{3}).mean(), 12.0);
+    EXPECT_EQ(s.flow_latency(Flow_id{99}).count(), 0u);
+    // Invalid flow ids are not tracked per flow.
+    s.on_packet_delivered(Flow_id{}, 2, 0, 0, 30, true);
+    EXPECT_EQ(s.flow_flits_delivered(Flow_id{}), 0u);
+}
+
+TEST(NetworkStats, AcceptedThroughput)
+{
+    Network_stats s;
+    s.set_measurement_window(100, 300); // 200-cycle window
+    s.on_packet_delivered(Flow_id{}, 50, 100, 100, 200, true);
+    s.on_packet_delivered(Flow_id{}, 50, 110, 110, 210, true);
+    EXPECT_DOUBLE_EQ(s.accepted_flits_per_cycle(), 100.0 / 200.0);
+    Network_stats empty;
+    EXPECT_DOUBLE_EQ(empty.accepted_flits_per_cycle(), 0.0);
+}
+
+} // namespace
+} // namespace noc

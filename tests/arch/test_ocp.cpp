@@ -1,0 +1,119 @@
+#include "arch/ocp.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(OcpSizing, ReadRequestIsHeaderOnly)
+{
+    Ocp_transaction t;
+    t.cmd = Ocp_cmd::read;
+    t.burst_words = 16;
+    EXPECT_EQ(ocp_request_flits(t, 32), 1);
+    EXPECT_EQ(ocp_request_flits(t, 128), 1);
+}
+
+TEST(OcpSizing, WriteCarriesSerializedPayload)
+{
+    Ocp_transaction t;
+    t.cmd = Ocp_cmd::write;
+    t.burst_words = 8; // 256 bits
+    EXPECT_EQ(ocp_request_flits(t, 32), 1 + 8);
+    EXPECT_EQ(ocp_request_flits(t, 64), 1 + 4);
+    EXPECT_EQ(ocp_request_flits(t, 128), 1 + 2);
+    EXPECT_EQ(ocp_request_flits(t, 100), 1 + 3); // ceil(256/100)
+}
+
+TEST(OcpSizing, ResponseSizes)
+{
+    Ocp_transaction rd{Ocp_cmd::read, 0, 4}; // 128 bits
+    Ocp_transaction wr{Ocp_cmd::write, 0, 4};
+    EXPECT_EQ(ocp_response_flits(rd, 32), 1 + 4);
+    EXPECT_EQ(ocp_response_flits(wr, 32), 1);
+}
+
+TEST(OcpSizing, RejectsBadWidths)
+{
+    const Ocp_transaction t;
+    EXPECT_THROW(ocp_request_flits(t, 0), std::invalid_argument);
+    EXPECT_THROW(ocp_response_flits(t, 32, 0), std::invalid_argument);
+}
+
+TEST(OcpMaster, RespectsOutstandingLimit)
+{
+    Ocp_master_source::Params p;
+    p.slaves = {Core_id{1}};
+    p.max_outstanding = 2;
+    Ocp_master_source m{p};
+    EXPECT_TRUE(m.poll(0).has_value());
+    EXPECT_TRUE(m.poll(1).has_value());
+    EXPECT_FALSE(m.poll(2).has_value()); // limit reached
+    m.notify_response(Core_id{1}, 10);
+    EXPECT_TRUE(m.poll(11).has_value());
+    EXPECT_EQ(m.transactions_issued(), 3u);
+    EXPECT_EQ(m.transactions_completed(), 1u);
+}
+
+TEST(OcpMaster, ThinkTimeSpacesIssues)
+{
+    Ocp_master_source::Params p;
+    p.slaves = {Core_id{1}};
+    p.max_outstanding = 10;
+    p.think_time = 5;
+    Ocp_master_source m{p};
+    EXPECT_TRUE(m.poll(0).has_value());
+    EXPECT_FALSE(m.poll(1).has_value());
+    EXPECT_FALSE(m.poll(4).has_value());
+    EXPECT_TRUE(m.poll(5).has_value());
+}
+
+TEST(OcpMaster, RoundTripLatencyBookkeeping)
+{
+    Ocp_master_source::Params p;
+    p.slaves = {Core_id{1}};
+    p.max_outstanding = 4;
+    Ocp_master_source m{p};
+    ASSERT_TRUE(m.poll(0).has_value());
+    ASSERT_TRUE(m.poll(2).has_value());
+    m.notify_response(Core_id{1}, 10); // first: latency 10
+    m.notify_response(Core_id{1}, 14); // second: latency 12
+    EXPECT_DOUBLE_EQ(m.round_trip().mean(), 11.0);
+}
+
+TEST(OcpMaster, UnexpectedResponseThrows)
+{
+    Ocp_master_source::Params p;
+    p.slaves = {Core_id{1}};
+    Ocp_master_source m{p};
+    EXPECT_THROW(m.notify_response(Core_id{1}, 3), std::logic_error);
+}
+
+TEST(OcpMaster, RequestsCarryReplySizes)
+{
+    Ocp_master_source::Params p;
+    p.slaves = {Core_id{1}};
+    p.max_outstanding = 100;
+    p.read_fraction = 1.0; // all reads
+    p.min_burst_words = 4;
+    p.max_burst_words = 4;
+    Ocp_master_source m{p};
+    for (int i = 0; i < 10; ++i) {
+        const auto d = m.poll(static_cast<Cycle>(i));
+        ASSERT_TRUE(d.has_value());
+        EXPECT_EQ(d->size_flits, 1u);      // read request: header only
+        EXPECT_EQ(d->reply_flits, 1u + 4u); // read data comes back
+    }
+}
+
+TEST(OcpMaster, RejectsBadParams)
+{
+    Ocp_master_source::Params p;
+    EXPECT_THROW(Ocp_master_source{p}, std::invalid_argument); // no slaves
+    p.slaves = {Core_id{1}};
+    p.max_outstanding = 0;
+    EXPECT_THROW(Ocp_master_source{p}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,152 @@
+#include "bus/crossbar.h"
+#include "bus/shared_bus.h"
+#include "bus/wiring.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(SharedBus, RejectsBadParams)
+{
+    Bus_params p;
+    p.masters = 0;
+    EXPECT_THROW(simulate_shared_bus(p, 0.01, 4, 100), std::invalid_argument);
+}
+
+TEST(SharedBus, LowLoadLatencyNearTransferTime)
+{
+    Bus_params p;
+    p.masters = 4;
+    const auto pt = simulate_shared_bus(p, 0.002, 8, 200'000);
+    EXPECT_GT(pt.transfers, 500u);
+    // 8 data beats + 1 arbitration: latency close to 9 when uncontended.
+    EXPECT_NEAR(pt.avg_latency, 9.0, 3.0);
+}
+
+TEST(SharedBus, SaturatesAtOneWordPerCycle)
+{
+    Bus_params p;
+    p.masters = 8;
+    const auto pt = simulate_shared_bus(p, 0.2, 8, 50'000);
+    EXPECT_LE(pt.accepted_words_per_cycle, 1.0);
+    EXPECT_GT(pt.accepted_words_per_cycle, 0.8); // saturated, ~1 word/cy
+}
+
+TEST(SharedBus, MoreMastersMoreContention)
+{
+    Bus_params few;
+    few.masters = 2;
+    Bus_params many;
+    many.masters = 16;
+    const auto pf = simulate_shared_bus(few, 0.01, 8, 100'000);
+    const auto pm = simulate_shared_bus(many, 0.01, 8, 100'000);
+    EXPECT_GT(pm.avg_latency, pf.avg_latency);
+}
+
+TEST(BridgedBus, TwoSegmentsBeatOneBusOnLocalTraffic)
+{
+    // Mostly-local traffic: two segments serve ~2 words/cycle total.
+    Bus_params one;
+    one.masters = 8;
+    Bridged_bus_params two;
+    two.segment.masters = 8;
+    two.cross_fraction = 0.1;
+    const auto p1 = simulate_shared_bus(one, 0.05, 8, 50'000);
+    const auto p2 = simulate_bridged_bus(two, 0.05, 8, 50'000);
+    EXPECT_GT(p2.accepted_words_per_cycle,
+              1.2 * p1.accepted_words_per_cycle);
+}
+
+TEST(BridgedBus, BridgeLatencyHurtsCrossTraffic)
+{
+    Bridged_bus_params p;
+    p.segment.masters = 4;
+    p.bridge_latency = 16;
+    p.cross_fraction = 1.0; // everything crosses
+    const auto all_cross = simulate_bridged_bus(p, 0.01, 4, 50'000);
+    p.cross_fraction = 0.0;
+    const auto local = simulate_bridged_bus(p, 0.01, 4, 50'000);
+    EXPECT_GT(all_cross.avg_latency, local.avg_latency + 10.0);
+}
+
+TEST(Crossbar, NonBlockingAcrossDistinctSlaves)
+{
+    // With as many slaves as masters and uniform targets, a crossbar
+    // sustains far more than one word per cycle — the shared bus cannot.
+    Crossbar_params xp;
+    xp.masters = 8;
+    xp.slaves = 8;
+    const auto px = simulate_crossbar(xp, 0.05, 8, 50'000);
+    Bus_params bp;
+    bp.masters = 8;
+    const auto pb = simulate_shared_bus(bp, 0.05, 8, 50'000);
+    EXPECT_GT(px.accepted_words_per_cycle,
+              2.0 * pb.accepted_words_per_cycle);
+}
+
+TEST(Crossbar, PhysicalModelShowsTheRoutabilityCliff)
+{
+    // §4.2: bus-width crossbars beyond ~8x8 are unroutable; 32-bit NoC
+    // switches at radix 10 are fine.
+    const Technology t = make_technology_65nm();
+    Crossbar_params wide;
+    wide.width_bits = 150; // a 100-200 wire bus port
+    wide.masters = 8;
+    wide.slaves = 8;
+    const auto r8 = estimate_crossbar_phys(t, wide);
+    wide.masters = 16;
+    wide.slaves = 16;
+    const auto r16 = estimate_crossbar_phys(t, wide);
+    EXPECT_FALSE(r16.drc_feasible);
+    EXPECT_GT(r8.max_row_utilization, r16.max_row_utilization);
+
+    Crossbar_params noc_like;
+    noc_like.width_bits = 32;
+    noc_like.masters = 10;
+    noc_like.slaves = 10;
+    EXPECT_TRUE(estimate_crossbar_phys(t, noc_like).drc_feasible);
+}
+
+TEST(Wiring, BusNeeds100To200Wires)
+{
+    const Bus_wiring bus32; // defaults: 32-bit data paths
+    EXPECT_GE(bus32.total_wires(), 100);
+    Bus_wiring bus64 = bus32;
+    bus64.write_data_bits = 64;
+    bus64.read_data_bits = 64;
+    EXPECT_LE(bus64.total_wires(), 200);
+}
+
+TEST(Wiring, NocLinkIsMuchNarrower)
+{
+    const Technology t = make_technology_65nm();
+    const Bus_wiring bus;
+    const Noc_link_wiring link; // 32-bit flits
+    const auto cmp = compare_wiring(t, bus, link);
+    EXPECT_GT(cmp.wire_reduction_factor, 2.5);
+    EXPECT_LT(cmp.noc_area_mm2_per_mm, cmp.bus_area_mm2_per_mm);
+    // Serialization price: 64 payload bits over 32 wires = 2 cycles.
+    EXPECT_DOUBLE_EQ(cmp.noc_cycles_per_bus_beat, 2.0);
+}
+
+TEST(Wiring, CouplingGrowsWithParallelWires)
+{
+    const Technology t = make_technology_65nm();
+    EXPECT_DOUBLE_EQ(coupling_pairs_per_mm(t, 1), 0.0);
+    EXPECT_GT(coupling_pairs_per_mm(t, 148), coupling_pairs_per_mm(t, 37));
+    EXPECT_THROW(coupling_pairs_per_mm(t, -1), std::invalid_argument);
+}
+
+TEST(BusDeterminism, SameSeedSameResult)
+{
+    Bus_params p;
+    p.masters = 4;
+    const auto a = simulate_shared_bus(p, 0.05, 8, 10'000, 42);
+    const auto b = simulate_shared_bus(p, 0.05, 8, 10'000, 42);
+    EXPECT_EQ(a.transfers, b.transfers);
+    EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+}
+
+} // namespace
+} // namespace noc

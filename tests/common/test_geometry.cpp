@@ -1,0 +1,67 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(Geometry, ManhattanDistance)
+{
+    EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+    EXPECT_DOUBLE_EQ(manhattan({3, 4}, {0, 0}), 7.0);
+    EXPECT_DOUBLE_EQ(manhattan({-1, -1}, {1, 1}), 4.0);
+    EXPECT_DOUBLE_EQ(manhattan({2, 2}, {2, 2}), 0.0);
+}
+
+TEST(Geometry, EuclideanDistance)
+{
+    EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+}
+
+TEST(Geometry, RectBasics)
+{
+    const Rect r{1, 2, 3, 4};
+    EXPECT_DOUBLE_EQ(r.area(), 12.0);
+    EXPECT_DOUBLE_EQ(r.right(), 4.0);
+    EXPECT_DOUBLE_EQ(r.top(), 6.0);
+    EXPECT_EQ(r.center(), (Point{2.5, 4.0}));
+}
+
+TEST(Geometry, RectContains)
+{
+    const Rect r{0, 0, 2, 2};
+    EXPECT_TRUE(r.contains({1, 1}));
+    EXPECT_TRUE(r.contains({0, 0}));  // boundary included
+    EXPECT_TRUE(r.contains({2, 2}));
+    EXPECT_FALSE(r.contains({2.1, 1}));
+}
+
+TEST(Geometry, OverlapIsStrictInterior)
+{
+    const Rect a{0, 0, 2, 2};
+    const Rect b{2, 0, 2, 2}; // shares an edge only
+    const Rect c{1, 1, 2, 2}; // true overlap
+    EXPECT_FALSE(a.overlaps(b));
+    EXPECT_FALSE(b.overlaps(a));
+    EXPECT_TRUE(a.overlaps(c));
+    EXPECT_TRUE(c.overlaps(a));
+}
+
+TEST(Geometry, ContainedRectOverlaps)
+{
+    const Rect outer{0, 0, 10, 10};
+    const Rect inner{3, 3, 1, 1};
+    EXPECT_TRUE(outer.overlaps(inner));
+    EXPECT_TRUE(inner.overlaps(outer));
+}
+
+TEST(Geometry, UnionWith)
+{
+    const Rect a{0, 0, 1, 1};
+    const Rect b{2, 3, 1, 1};
+    const Rect u = a.union_with(b);
+    EXPECT_EQ(u, (Rect{0, 0, 3, 4}));
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,94 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace noc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a{123};
+    Rng b{123};
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a{1};
+    Rng b{2};
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u64() == b.next_u64()) ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound)
+{
+    Rng r{7};
+    for (int i = 0; i < 10'000; ++i) EXPECT_LT(r.next_below(17), 17u);
+    EXPECT_EQ(r.next_below(0), 0u);
+    EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng r{9};
+    for (int i = 0; i < 10'000; ++i) {
+        const double x = r.next_double();
+        EXPECT_GE(x, 0.0);
+        EXPECT_LT(x, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf)
+{
+    Rng r{11};
+    double sum = 0.0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) sum += r.next_double();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliFrequencyTracksP)
+{
+    Rng r{13};
+    const int n = 100'000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        if (r.next_bool(0.3)) ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r{17};
+    const double p = 0.25;
+    const int n = 50'000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.next_geometric(p));
+    // Mean of failures-before-success is (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneIsZero)
+{
+    Rng r{19};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_geometric(1.0), 0u);
+}
+
+TEST(Rng, NextBelowRoughlyUniform)
+{
+    Rng r{23};
+    std::vector<int> counts(10, 0);
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<std::size_t>(r.next_below(10))];
+    for (const int c : counts)
+        EXPECT_NEAR(static_cast<double>(c) / n, 0.1, 0.01);
+}
+
+} // namespace
+} // namespace noc

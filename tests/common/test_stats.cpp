@@ -1,0 +1,129 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace noc {
+namespace {
+
+TEST(Accumulator, EmptyIsZero)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(Accumulator, SingleValue)
+{
+    Accumulator a;
+    a.add(5.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, KnownMoments)
+{
+    Accumulator a;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    // Sample variance of this classic dataset is 32/7.
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(a.std_dev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, NegativeValues)
+{
+    Accumulator a;
+    a.add(-3.0);
+    a.add(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+}
+
+TEST(Accumulator, ClearResets)
+{
+    Accumulator a;
+    a.add(1.0);
+    a.add(2.0);
+    a.clear();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Accumulator, WelfordMatchesNaiveOnLongStream)
+{
+    Accumulator a;
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    const int n = 10'000;
+    for (int i = 0; i < n; ++i) {
+        const double x = static_cast<double>((i * 37) % 101);
+        a.add(x);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = (sum_sq - n * mean * mean) / (n - 1);
+    EXPECT_NEAR(a.mean(), mean, 1e-9);
+    EXPECT_NEAR(a.variance(), var, 1e-6);
+}
+
+TEST(Histogram, RejectsBadGeometry)
+{
+    EXPECT_THROW(Histogram(0.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h{1.0, 4};
+    h.add(0.5);  // bin 0
+    h.add(1.5);  // bin 1
+    h.add(3.5);  // bin 3
+    h.add(99.0); // overflow -> last bin
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bins()[0], 1u);
+    EXPECT_EQ(h.bins()[1], 1u);
+    EXPECT_EQ(h.bins()[2], 0u);
+    EXPECT_EQ(h.bins()[3], 2u);
+}
+
+TEST(Histogram, NegativeClampsToFirstBin)
+{
+    Histogram h{1.0, 4};
+    h.add(-2.0);
+    EXPECT_EQ(h.bins()[0], 1u);
+}
+
+TEST(Histogram, PercentileMonotone)
+{
+    Histogram h{1.0, 100};
+    for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i));
+    const double p50 = h.percentile(0.50);
+    const double p90 = h.percentile(0.90);
+    const double p99 = h.percentile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_NEAR(p50, 50.0, 1.0);
+    EXPECT_NEAR(p99, 99.0, 1.0);
+}
+
+TEST(Histogram, PercentileOnEmptyIsZero)
+{
+    const Histogram h{1.0, 4};
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+} // namespace
+} // namespace noc

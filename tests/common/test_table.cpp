@@ -1,0 +1,68 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace noc {
+namespace {
+
+TEST(TextTable, RejectsEmptyHeaders)
+{
+    EXPECT_THROW(Text_table{std::vector<std::string>{}},
+                 std::invalid_argument);
+}
+
+TEST(TextTable, AddBeforeRowThrows)
+{
+    Text_table t{{"a"}};
+    EXPECT_THROW(t.add("x"), std::logic_error);
+}
+
+TEST(TextTable, TooManyCellsThrows)
+{
+    Text_table t{{"a", "b"}};
+    t.row().add("1").add("2");
+    EXPECT_THROW(t.add("3"), std::logic_error);
+}
+
+TEST(TextTable, PrintsAlignedColumns)
+{
+    Text_table t{{"name", "value"}};
+    t.row().add("x").add(3.14159, 2);
+    t.row().add("longer_name").add(static_cast<std::uint64_t>(7));
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("3.14"), std::string::npos);
+    EXPECT_NE(s.find("longer_name"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    Text_table t{{"a", "b"}};
+    t.row().add("1").add("2");
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, FormatDoublePrecision)
+{
+    EXPECT_EQ(format_double(1.23456, 2), "1.23");
+    EXPECT_EQ(format_double(1.0, 0), "1");
+    EXPECT_EQ(format_double(-2.5, 1), "-2.5");
+}
+
+TEST(TextTable, RowCountTracksRows)
+{
+    Text_table t{{"a"}};
+    EXPECT_EQ(t.row_count(), 0u);
+    t.row().add("1");
+    t.row().add("2");
+    EXPECT_EQ(t.row_count(), 2u);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,90 @@
+#include "flow/design_flow.h"
+#include "traffic/app_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace noc {
+namespace {
+
+Flow_config vopd_flow()
+{
+    Flow_config cfg;
+    cfg.spec.graph = make_vopd_graph();
+    cfg.spec.tech = make_technology_65nm();
+    cfg.spec.operating_points = {{1.0, 32}};
+    cfg.spec.min_switches = 2;
+    cfg.spec.max_switches = 5;
+    cfg.validation_warmup = 500;
+    cfg.validation_cycles = 5'000;
+    return cfg;
+}
+
+TEST(DesignFlow, EndToEndOnVopd)
+{
+    const auto result = run_design_flow(vopd_flow());
+    EXPECT_FALSE(result.synthesis.designs.empty());
+    EXPECT_FALSE(result.pareto_indices.empty());
+    EXPECT_LT(result.chosen, result.synthesis.designs.size());
+    EXPECT_TRUE(result.rtl_check.ok);
+    EXPECT_TRUE(result.validation.bandwidth_met);
+    EXPECT_TRUE(result.validation.latency_met);
+    // The report mentions the key stages.
+    EXPECT_NE(result.report.find("Design space"), std::string::npos);
+    EXPECT_NE(result.report.find("Chosen design"), std::string::npos);
+    EXPECT_NE(result.report.find("PASSED"), std::string::npos);
+}
+
+TEST(DesignFlow, ChosenDesignIsOnTheFront)
+{
+    const auto result = run_design_flow(vopd_flow());
+    EXPECT_NE(std::find(result.pareto_indices.begin(),
+                        result.pareto_indices.end(), result.chosen),
+              result.pareto_indices.end());
+}
+
+TEST(DesignFlow, WeightsSteerTheChoice)
+{
+    Flow_config power_biased = vopd_flow();
+    power_biased.validate_by_simulation = false;
+    power_biased.power_weight = 1.0;
+    power_biased.latency_weight = 0.0;
+    Flow_config latency_biased = vopd_flow();
+    latency_biased.validate_by_simulation = false;
+    latency_biased.power_weight = 0.0;
+    latency_biased.latency_weight = 1.0;
+
+    const auto rp = run_design_flow(power_biased);
+    const auto rl = run_design_flow(latency_biased);
+    EXPECT_LE(rp.chosen_design().metrics.power_mw,
+              rl.chosen_design().metrics.power_mw);
+    EXPECT_GE(rp.chosen_design().metrics.latency_ns,
+              rl.chosen_design().metrics.latency_ns);
+}
+
+TEST(DesignFlow, InfeasibleSpecThrowsWithReasons)
+{
+    Flow_config cfg = vopd_flow();
+    cfg.spec.operating_points = {{2.5, 32}}; // beyond 65 nm router timing
+    try {
+        (void)run_design_flow(cfg);
+        FAIL() << "expected std::runtime_error";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string{e.what()}.find("no feasible design"),
+                  std::string::npos);
+        EXPECT_NE(std::string{e.what()}.find("timing"), std::string::npos);
+    }
+}
+
+TEST(DesignFlow, SkippingValidationSkipsSimulation)
+{
+    Flow_config cfg = vopd_flow();
+    cfg.validate_by_simulation = false;
+    const auto result = run_design_flow(cfg);
+    EXPECT_FALSE(result.validation.drained); // untouched default
+    EXPECT_TRUE(result.rtl_check.ok);
+}
+
+} // namespace
+} // namespace noc

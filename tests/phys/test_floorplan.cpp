@@ -1,0 +1,108 @@
+#include "phys/floorplan.h"
+#include "traffic/app_graphs.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(Floorplan, RejectsEmptyDie)
+{
+    EXPECT_THROW(Floorplan({0, 0, 0, 1}), std::invalid_argument);
+}
+
+TEST(Floorplan, AddBlockEnforcesBounds)
+{
+    Floorplan fp{{0, 0, 10, 10}};
+    EXPECT_NO_THROW(fp.add_block("a", {1, 1, 2, 2}));
+    EXPECT_THROW(fp.add_block("out", {9, 9, 2, 2}), std::invalid_argument);
+    EXPECT_THROW(fp.add_block("ovl", {2, 2, 2, 2}), std::invalid_argument);
+}
+
+TEST(Floorplan, PlaceNearFindsNearestWhitespace)
+{
+    Floorplan fp{{0, 0, 10, 10}};
+    fp.add_block("a", {4, 4, 2, 2}); // center occupied
+    const auto idx = fp.place_near("sw", 1, 1, {5, 5});
+    ASSERT_TRUE(idx.has_value());
+    // Must be adjacent-ish to the occupied center block.
+    const Point c = fp.block_center(*idx);
+    EXPECT_LT(manhattan(c, {5, 5}), 4.0);
+    EXPECT_NO_THROW(fp.validate());
+    EXPECT_TRUE(fp.block(*idx).is_noc_component);
+}
+
+TEST(Floorplan, PlaceNearFailsWhenFull)
+{
+    Floorplan fp{{0, 0, 4, 4}};
+    fp.add_block("big", {0, 0, 4, 4});
+    EXPECT_FALSE(fp.place_near("sw", 1, 1, {2, 2}).has_value());
+}
+
+TEST(Floorplan, WireLengthIsCenterManhattan)
+{
+    Floorplan fp{{0, 0, 10, 10}};
+    const int a = fp.add_block("a", {0, 0, 2, 2}); // center (1,1)
+    const int b = fp.add_block("b", {6, 4, 2, 2}); // center (7,5)
+    EXPECT_DOUBLE_EQ(fp.wire_length(a, b), 6 + 4);
+}
+
+TEST(Floorplan, BlockIndexByName)
+{
+    Floorplan fp{{0, 0, 10, 10}};
+    fp.add_block("alpha", {0, 0, 1, 1});
+    fp.add_block("beta", {2, 2, 1, 1});
+    EXPECT_EQ(fp.block_index("beta"), 1);
+    EXPECT_THROW(fp.block_index("gamma"), std::invalid_argument);
+}
+
+TEST(ShelfFloorplan, PacksAllGraphsLegally)
+{
+    for (const auto& g : {make_vopd_graph(), make_mpeg4_graph(),
+                          make_mwd_graph(), make_mobile_soc_graph()}) {
+        const Floorplan fp = make_shelf_floorplan(g);
+        EXPECT_EQ(fp.block_count(), g.core_count());
+        EXPECT_NO_THROW(fp.validate());
+        // Block i is core i.
+        for (int c = 0; c < g.core_count(); ++c)
+            EXPECT_EQ(fp.block(c).name, g.core(c).name);
+        // Reasonable utilization: not absurdly sparse, not overfull.
+        EXPECT_GT(fp.utilization(), 0.3);
+        EXPECT_LT(fp.utilization(), 0.95);
+    }
+}
+
+TEST(ShelfFloorplan, LeavesWhitespaceForNocInsertion)
+{
+    const Core_graph g = make_mobile_soc_graph();
+    Floorplan fp = make_shelf_floorplan(g);
+    // We must be able to drop several switch-sized blocks near the middle.
+    int placed = 0;
+    for (int i = 0; i < 6; ++i)
+        if (fp.place_near("sw" + std::to_string(i), 0.3, 0.3,
+                          fp.die().center()))
+            ++placed;
+    EXPECT_EQ(placed, 6);
+    EXPECT_NO_THROW(fp.validate());
+}
+
+TEST(ShelfFloorplan, LayerVariantFiltersCores)
+{
+    const Core_graph g = make_mobile_soc_3d_graph(2);
+    const Floorplan l0 = make_shelf_floorplan_layer(g, Layer_id{0});
+    const Floorplan l1 = make_shelf_floorplan_layer(g, Layer_id{1});
+    int on_l0 = 0;
+    for (int c = 0; c < g.core_count(); ++c)
+        if (g.core(c).layer == Layer_id{0}) ++on_l0;
+    EXPECT_EQ(l0.block_count(), on_l0);
+    EXPECT_EQ(l0.block_count() + l1.block_count(), g.core_count());
+}
+
+TEST(ShelfFloorplan, GapFractionValidated)
+{
+    EXPECT_THROW(make_shelf_floorplan(make_vopd_graph(), -0.1),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace noc

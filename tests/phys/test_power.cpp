@@ -1,0 +1,100 @@
+#include "phys/power.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+std::unique_ptr<Noc_system> make_loaded_mesh(double rate, Cycle cycles)
+{
+    Mesh_params mp;
+    mp.width = 3;
+    mp.height = 3;
+    Topology t = make_mesh(mp);
+    Route_set r = xy_routes(t, mp);
+    auto sys = std::make_unique<Noc_system>(std::move(t), std::move(r),
+                                            Network_params{});
+    auto pattern = std::shared_ptr<const Dest_pattern>(
+        make_uniform_pattern(9));
+    for (int c = 0; c < 9; ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = rate;
+        sp.seed = 5 + static_cast<std::uint64_t>(c);
+        sys->ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+    sys->kernel().run(cycles);
+    return sys;
+}
+
+TEST(Power, ZeroCyclesRejected)
+{
+    auto sys = make_loaded_mesh(0.1, 10);
+    EXPECT_THROW(estimate_power(*sys, make_technology_65nm(), 0),
+                 std::invalid_argument);
+}
+
+TEST(Power, IdleNetworkBurnsOnlyLeakage)
+{
+    Mesh_params mp;
+    Topology t = make_mesh(mp);
+    Route_set r = xy_routes(t, mp);
+    Noc_system sys{std::move(t), std::move(r), Network_params{}};
+    sys.kernel().run(1'000);
+    const auto rep = estimate_power(sys, make_technology_65nm(), 1'000);
+    EXPECT_DOUBLE_EQ(rep.router_dynamic_mw, 0.0);
+    EXPECT_DOUBLE_EQ(rep.link_dynamic_mw, 0.0);
+    EXPECT_GT(rep.leakage_mw, 0.0);
+}
+
+TEST(Power, DynamicPowerGrowsWithLoad)
+{
+    const Cycle cycles = 5'000;
+    auto low = make_loaded_mesh(0.05, cycles);
+    auto high = make_loaded_mesh(0.3, cycles);
+    const auto pl = estimate_power(*low, make_technology_65nm(), cycles);
+    const auto ph = estimate_power(*high, make_technology_65nm(), cycles);
+    EXPECT_GT(ph.router_dynamic_mw, pl.router_dynamic_mw * 2);
+    EXPECT_GT(ph.link_dynamic_mw, pl.link_dynamic_mw * 2);
+    EXPECT_DOUBLE_EQ(ph.leakage_mw, pl.leakage_mw);
+}
+
+TEST(Power, EnergyPerFlitInPlausibleRange)
+{
+    const Cycle cycles = 5'000;
+    auto sys = make_loaded_mesh(0.2, cycles);
+    const auto rep = estimate_power(*sys, make_technology_65nm(), cycles);
+    // Router + ~1mm wire per hop at 65 nm: a few pJ per flit-hop.
+    EXPECT_GT(rep.energy_per_flit_pj, 0.5);
+    EXPECT_LT(rep.energy_per_flit_pj, 50.0);
+    EXPECT_GT(rep.total_mw(), 0.0);
+}
+
+TEST(Power, LinkLengthsFallBackWithoutPositions)
+{
+    Topology t{"bare", 2};
+    t.attach_core(Switch_id{0});
+    t.attach_core(Switch_id{1});
+    t.add_bidir_link(Switch_id{0}, Switch_id{1});
+    const auto lengths = link_lengths_mm(t, 3.5);
+    ASSERT_EQ(lengths.size(), 2u);
+    EXPECT_DOUBLE_EQ(lengths[0], 3.5);
+}
+
+TEST(Power, LinkLengthsUsePositionsWhenPresent)
+{
+    Topology t{"placed", 2};
+    t.attach_core(Switch_id{0});
+    t.attach_core(Switch_id{1});
+    t.add_bidir_link(Switch_id{0}, Switch_id{1});
+    t.set_switch_position(Switch_id{0}, {0, 0});
+    t.set_switch_position(Switch_id{1}, {2, 1});
+    const auto lengths = link_lengths_mm(t);
+    EXPECT_DOUBLE_EQ(lengths[0], 3.0);
+}
+
+} // namespace
+} // namespace noc

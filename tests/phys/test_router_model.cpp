@@ -1,0 +1,150 @@
+// Locks in the Fig. 2 bands: the whole point of the physical model.
+#include "phys/router_model.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+Router_phys_params radix(int p, int width = 32)
+{
+    Router_phys_params rp;
+    rp.in_ports = p;
+    rp.out_ports = p;
+    rp.flit_width_bits = width;
+    rp.buffer_depth = 4;
+    rp.vcs = 1;
+    return rp;
+}
+
+TEST(RouterModel, RejectsBadParams)
+{
+    const Technology t = make_technology_65nm();
+    EXPECT_THROW(estimate_router(t, radix(0)), std::invalid_argument);
+    Router_phys_params rp = radix(4);
+    rp.flit_width_bits = 0;
+    EXPECT_THROW(estimate_router(t, rp), std::invalid_argument);
+}
+
+TEST(RouterModel, Fig2Band_10x10_RoutableAtHighUtilization)
+{
+    // "Routers up to 10x10: 85% row utilization or more"
+    const Technology t = make_technology_65nm();
+    for (const int p : {2, 5, 8, 10}) {
+        const auto r = estimate_router(t, radix(p));
+        EXPECT_GE(r.max_row_utilization, 0.85)
+            << "radix " << p << " should be comfortably routable";
+        EXPECT_TRUE(r.drc_feasible);
+    }
+}
+
+TEST(RouterModel, Fig2Band_14to22_ReducedUtilization)
+{
+    // "14x14 to 22x22: 70% to 50% row utilization"
+    const Technology t = make_technology_65nm();
+    const auto r14 = estimate_router(t, radix(14));
+    EXPECT_GE(r14.max_row_utilization, 0.60);
+    EXPECT_LE(r14.max_row_utilization, 0.78);
+    EXPECT_TRUE(r14.drc_feasible);
+    const auto r22 = estimate_router(t, radix(22));
+    EXPECT_GE(r22.max_row_utilization, 0.45);
+    EXPECT_LE(r22.max_row_utilization, 0.58);
+    EXPECT_TRUE(r22.drc_feasible);
+}
+
+TEST(RouterModel, Fig2Band_26Plus_DrcInfeasible)
+{
+    // "26x26 and above: DRC violations to tackle manually even at 50%"
+    const Technology t = make_technology_65nm();
+    for (const int p : {26, 30, 34}) {
+        const auto r = estimate_router(t, radix(p));
+        EXPECT_FALSE(r.drc_feasible) << "radix " << p;
+        EXPECT_LT(r.max_row_utilization, 0.50);
+        EXPECT_NE(r.classification.find("DRC"), std::string::npos);
+    }
+}
+
+TEST(RouterModel, UtilizationMonotoneInRadix)
+{
+    const Technology t = make_technology_65nm();
+    double prev = 2.0;
+    for (int p = 4; p <= 34; p += 2) {
+        const auto r = estimate_router(t, radix(p));
+        EXPECT_LE(r.max_row_utilization, prev + 1e-9) << "radix " << p;
+        prev = r.max_row_utilization;
+    }
+}
+
+TEST(RouterModel, WiderPortsHurtRoutability)
+{
+    // The crossbar wiring mechanism: doubling the port width at fixed
+    // radix must reduce the achievable utilization.
+    const Technology t = make_technology_65nm();
+    const auto r32 = estimate_router(t, radix(10, 32));
+    const auto r64 = estimate_router(t, radix(10, 64));
+    const auto r128 = estimate_router(t, radix(10, 128));
+    EXPECT_GT(r32.max_row_utilization, r64.max_row_utilization);
+    EXPECT_GT(r64.max_row_utilization, r128.max_row_utilization);
+    // Bus-width (128+) ports at radix 10 are hopeless — §4.2's point.
+    EXPECT_FALSE(r128.drc_feasible);
+}
+
+TEST(RouterModel, AreaGrowsWithEverything)
+{
+    const Technology t = make_technology_65nm();
+    const auto base = estimate_router(t, radix(6));
+    auto deeper = radix(6);
+    deeper.buffer_depth = 16;
+    auto more_vcs = radix(6);
+    more_vcs.vcs = 4;
+    EXPECT_GT(estimate_router(t, radix(12)).cell_area_mm2,
+              base.cell_area_mm2);
+    EXPECT_GT(estimate_router(t, deeper).cell_area_mm2, base.cell_area_mm2);
+    EXPECT_GT(estimate_router(t, more_vcs).cell_area_mm2,
+              base.cell_area_mm2);
+}
+
+TEST(RouterModel, FrequencyDecreasesWithRadix)
+{
+    const Technology t = make_technology_65nm();
+    const auto r5 = estimate_router(t, radix(5));
+    const auto r20 = estimate_router(t, radix(20));
+    EXPECT_GT(r5.max_freq_ghz, r20.max_freq_ghz);
+    // 65 nm ×pipes-class 5x5 routers closed around 1 GHz.
+    EXPECT_GT(r5.max_freq_ghz, 0.8);
+    EXPECT_LT(r5.max_freq_ghz, 2.2 + 1e-9);
+}
+
+TEST(RouterModel, EnergyPerFlitScalesWithWidthAndRadix)
+{
+    const Technology t = make_technology_65nm();
+    EXPECT_GT(router_energy_per_flit_pj(t, radix(10, 64)),
+              router_energy_per_flit_pj(t, radix(10, 32)));
+    EXPECT_GT(router_energy_per_flit_pj(t, radix(16, 32)),
+              router_energy_per_flit_pj(t, radix(4, 32)));
+    // Plausible 65 nm range: ~0.5 - 10 pJ per flit per hop.
+    const double e = router_energy_per_flit_pj(t, radix(5, 32));
+    EXPECT_GT(e, 0.3);
+    EXPECT_LT(e, 10.0);
+}
+
+TEST(RouterModel, TechnologyScalingShrinksArea)
+{
+    const auto a90 = estimate_router(make_technology_90nm(), radix(8));
+    const auto a65 = estimate_router(make_technology_65nm(), radix(8));
+    const auto a45 = estimate_router(make_technology_45nm(), radix(8));
+    EXPECT_GT(a90.cell_area_mm2, a65.cell_area_mm2);
+    EXPECT_GT(a65.cell_area_mm2, a45.cell_area_mm2);
+}
+
+TEST(RouterModel, GateVsWireRatioWorsensWithScaling)
+{
+    // §1: "gate delays decrease while global wire delays do not".
+    EXPECT_LT(gate_vs_wire_delay_ratio(make_technology_90nm()),
+              gate_vs_wire_delay_ratio(make_technology_65nm()));
+    EXPECT_LT(gate_vs_wire_delay_ratio(make_technology_65nm()),
+              gate_vs_wire_delay_ratio(make_technology_45nm()));
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,65 @@
+#include "phys/wire_model.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(WireModel, DelayLinearInLength)
+{
+    const Technology t = make_technology_65nm();
+    EXPECT_DOUBLE_EQ(wire_delay_ps(t, 0.0), 0.0);
+    EXPECT_DOUBLE_EQ(wire_delay_ps(t, 2.0), 2.0 * t.wire_delay_ps_per_mm);
+    EXPECT_THROW(wire_delay_ps(t, -1.0), std::invalid_argument);
+}
+
+TEST(WireModel, MaxSingleCycleLength)
+{
+    const Technology t = make_technology_65nm();
+    // At 1 GHz with 35% margin: 650 ps of budget over 110 ps/mm ~ 5.9 mm.
+    const double mm = max_single_cycle_wire_mm(t, 1.0);
+    EXPECT_NEAR(mm, 650.0 / 110.0, 0.01);
+    // Doubling the clock halves the reach.
+    EXPECT_NEAR(max_single_cycle_wire_mm(t, 2.0), mm / 2, 0.01);
+    EXPECT_THROW(max_single_cycle_wire_mm(t, 0.0), std::invalid_argument);
+}
+
+TEST(WireModel, PipelineStagesCoverLongWires)
+{
+    const Technology t = make_technology_65nm();
+    // Short wire: single cycle, no stages.
+    const auto short_wire = pipeline_wire(t, 1.0, 1.0);
+    EXPECT_EQ(short_wire.pipeline_stages, 0);
+    EXPECT_GE(short_wire.segment_slack_ps, 0.0);
+    // 12 mm at 1 GHz, 110 ps/mm = 1320 ps over a 650 ps budget: 2 segments
+    // are not enough (660 ps each > 650); 3 segments are.
+    const auto long_wire = pipeline_wire(t, 12.0, 1.0);
+    EXPECT_EQ(long_wire.pipeline_stages, 3 - 1);
+    EXPECT_GE(long_wire.segment_slack_ps, 0.0);
+}
+
+TEST(WireModel, EachSegmentMeetsTiming)
+{
+    const Technology t = make_technology_65nm();
+    for (double len = 0.5; len < 20.0; len += 0.7) {
+        for (const double clock : {0.5, 1.0, 2.0}) {
+            const auto w = pipeline_wire(t, len, clock);
+            const double budget = 1000.0 / clock * 0.65;
+            const double per_segment =
+                wire_delay_ps(t, len) / (w.pipeline_stages + 1);
+            EXPECT_LE(per_segment, budget + 1e-9)
+                << "len " << len << " clock " << clock;
+        }
+    }
+}
+
+TEST(WireModel, EnergyLinearInBitsAndLength)
+{
+    const Technology t = make_technology_65nm();
+    EXPECT_DOUBLE_EQ(wire_energy_pj(t, 2.0, 32.0),
+                     2.0 * 32.0 * t.wire_energy_pj_per_bit_mm);
+    EXPECT_THROW(wire_energy_pj(t, -1.0, 1.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,141 @@
+#include "qos/gt_allocator.h"
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+std::pair<Topology, Route_set> mesh33()
+{
+    Mesh_params p;
+    p.width = 3;
+    p.height = 3;
+    Topology t = make_mesh(p);
+    Route_set r = xy_routes(t, p);
+    return {std::move(t), std::move(r)};
+}
+
+TEST(GtAllocator, RejectsBadConstruction)
+{
+    const auto [t, r] = mesh33();
+    EXPECT_THROW(Gt_allocator(t, r, 1), std::invalid_argument);
+    EXPECT_THROW(Gt_allocator(t, r, 16, 0), std::invalid_argument);
+}
+
+TEST(GtAllocator, SingleConnectionGetsRequestedSlots)
+{
+    const auto [t, r] = mesh33();
+    const Gt_allocator alloc{t, r, 16};
+    const auto a = alloc.allocate(
+        {{Connection_id{0}, Core_id{0}, Core_id{8}, 0.25}});
+    ASSERT_TRUE(a.feasible) << a.failure_reason;
+    ASSERT_EQ(a.grants.size(), 1u);
+    EXPECT_EQ(a.grants[0].slots.size(), 4u); // 0.25 * 16
+    EXPECT_DOUBLE_EQ(a.grants[0].granted_bandwidth, 0.25);
+    EXPECT_EQ(a.grants[0].path_hops, 4); // XY: 2 east + 2 north
+    EXPECT_TRUE(alloc.verify(a));
+    // NI table of core 0 contains the connection in exactly 4 slots.
+    int owned = 0;
+    for (const auto c : a.ni_tables[0])
+        if (c == Connection_id{0}) ++owned;
+    EXPECT_EQ(owned, 4);
+}
+
+TEST(GtAllocator, DisjointPathsShareSlots)
+{
+    const auto [t, r] = mesh33();
+    const Gt_allocator alloc{t, r, 8};
+    // 0->2 (top row east) and 6->8 (bottom row east) never share a link.
+    const auto a = alloc.allocate({
+        {Connection_id{0}, Core_id{0}, Core_id{2}, 0.5},
+        {Connection_id{1}, Core_id{6}, Core_id{8}, 0.5},
+    });
+    ASSERT_TRUE(a.feasible) << a.failure_reason;
+    EXPECT_TRUE(alloc.verify(a));
+}
+
+TEST(GtAllocator, SharedLinkSlotsAreTimeDisjoint)
+{
+    const auto [t, r] = mesh33();
+    const Gt_allocator alloc{t, r, 8};
+    // Both use the east link 1->2 (XY routing): slots must not collide at
+    // that link, accounting for the different path offsets.
+    const auto a = alloc.allocate({
+        {Connection_id{0}, Core_id{0}, Core_id{2}, 0.5},
+        {Connection_id{1}, Core_id{1}, Core_id{2}, 0.5},
+    });
+    ASSERT_TRUE(a.feasible) << a.failure_reason;
+    EXPECT_TRUE(alloc.verify(a));
+}
+
+TEST(GtAllocator, OverSubscriptionFails)
+{
+    const auto [t, r] = mesh33();
+    const Gt_allocator alloc{t, r, 8};
+    const auto a = alloc.allocate({
+        {Connection_id{0}, Core_id{0}, Core_id{2}, 0.75},
+        {Connection_id{1}, Core_id{1}, Core_id{2}, 0.5},
+    });
+    EXPECT_FALSE(a.feasible);
+    EXPECT_NE(a.failure_reason.find("connection 1"), std::string::npos);
+}
+
+TEST(GtAllocator, BandwidthOutsideRangeFails)
+{
+    const auto [t, r] = mesh33();
+    const Gt_allocator alloc{t, r, 8};
+    EXPECT_FALSE(alloc.allocate({{Connection_id{0}, Core_id{0}, Core_id{1},
+                                  0.0}})
+                     .feasible);
+    EXPECT_FALSE(alloc.allocate({{Connection_id{0}, Core_id{0}, Core_id{1},
+                                  1.5}})
+                     .feasible);
+}
+
+TEST(GtAllocator, LatencyBoundShrinksWithMoreSlots)
+{
+    const auto [t, r] = mesh33();
+    const Gt_allocator alloc{t, r, 16};
+    const auto thin = alloc.allocate(
+        {{Connection_id{0}, Core_id{0}, Core_id{8}, 1.0 / 16}});
+    const auto fat = alloc.allocate(
+        {{Connection_id{0}, Core_id{0}, Core_id{8}, 0.5}});
+    ASSERT_TRUE(thin.feasible);
+    ASSERT_TRUE(fat.feasible);
+    EXPECT_GT(thin.grants[0].latency_bound, fat.grants[0].latency_bound);
+}
+
+TEST(GtAllocator, VerifyCatchesTamperedTables)
+{
+    const auto [t, r] = mesh33();
+    const Gt_allocator alloc{t, r, 8};
+    auto a = alloc.allocate({{Connection_id{0}, Core_id{0}, Core_id{2}, 0.25}});
+    ASSERT_TRUE(a.feasible);
+    ASSERT_TRUE(alloc.verify(a));
+    // Steal the slot in the NI table.
+    a.ni_tables[0][static_cast<std::size_t>(a.grants[0].slots[0])] =
+        Connection_id{9};
+    EXPECT_FALSE(alloc.verify(a));
+}
+
+TEST(GtAllocator, ManyConnectionsOnTeraflopsMesh)
+{
+    Mesh_params p;
+    p.width = 8;
+    p.height = 10;
+    Topology t = make_mesh(p);
+    Route_set r = xy_routes(t, p);
+    const Gt_allocator alloc{t, r, 32};
+    std::vector<Gt_request> reqs;
+    for (std::uint32_t i = 0; i < 20; ++i)
+        reqs.push_back({Connection_id{i}, Core_id{i},
+                        Core_id{79 - i}, 1.0 / 32});
+    const auto a = alloc.allocate(reqs);
+    ASSERT_TRUE(a.feasible) << a.failure_reason;
+    EXPECT_TRUE(alloc.verify(a));
+    EXPECT_EQ(a.grants.size(), 20u);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,203 @@
+// The Æthereal promise, measured: GT connections keep their bandwidth and
+// stay under their analytic latency bound no matter how much best-effort
+// traffic floods the network.
+#include "arch/noc_system.h"
+#include "qos/gt_allocator.h"
+#include "topology/routing.h"
+#include "traffic/patterns.h"
+#include "traffic/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+/// GT source: one single-flit packet per owned slot's worth of bandwidth,
+/// tagged with flow + connection; paced at `rate` flits/cycle.
+class Gt_source final : public Traffic_source {
+public:
+    Gt_source(Core_id dst, Connection_id conn, Flow_id flow, double rate)
+        : dst_{dst}, conn_{conn}, flow_{flow}, rate_{rate}
+    {
+    }
+    std::optional<Packet_desc> poll(Cycle) override
+    {
+        acc_ += rate_;
+        if (acc_ < 1.0) return std::nullopt;
+        acc_ -= 1.0;
+        Packet_desc d;
+        d.dst = dst_;
+        d.size_flits = 1;
+        d.cls = Traffic_class::gt;
+        d.conn = conn_;
+        d.flow = flow_;
+        return d;
+    }
+
+private:
+    Core_id dst_;
+    Connection_id conn_;
+    Flow_id flow_;
+    double rate_;
+    double acc_ = 0.0;
+};
+
+struct Gt_setup {
+    Noc_system* sys;
+    Gt_allocation allocation;
+};
+
+/// 4x4 mesh with two GT connections crossing the center plus saturating BE
+/// background from every core.
+class GtGuarantee : public ::testing::TestWithParam<double> {};
+
+TEST_P(GtGuarantee, LatencyBoundHoldsUnderBeLoad)
+{
+    const double be_rate = GetParam();
+
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 4;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+
+    Network_params params;
+    params.enable_gt = true;
+    params.slot_table_length = 16;
+    params.buffer_depth = 4;
+
+    const Gt_allocator alloc{topo, routes, params.slot_table_length};
+    const std::vector<Gt_request> reqs = {
+        {Connection_id{0}, Core_id{0}, Core_id{15}, 0.25},
+        {Connection_id{1}, Core_id{12}, Core_id{3}, 0.125},
+    };
+    const auto allocation = alloc.allocate(reqs);
+    ASSERT_TRUE(allocation.feasible) << allocation.failure_reason;
+    ASSERT_TRUE(alloc.verify(allocation));
+
+    Noc_system sys{std::move(topo), std::move(routes), params};
+    for (int c = 0; c < sys.topology().core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        sys.ni(core).set_slot_table(allocation.ni_tables[core.get()]);
+    }
+    // GT sources at 80% of their reserved bandwidth.
+    sys.ni(Core_id{0}).set_source(std::make_unique<Gt_source>(
+        Core_id{15}, Connection_id{0}, Flow_id{0}, 0.25 * 0.8));
+    sys.ni(Core_id{12}).set_source(std::make_unique<Gt_source>(
+        Core_id{3}, Connection_id{1}, Flow_id{1}, 0.125 * 0.8));
+    // BE background from every other core.
+    auto pattern = std::shared_ptr<const Dest_pattern>(
+        make_uniform_pattern(sys.topology().core_count()));
+    for (int c = 0; c < sys.topology().core_count(); ++c) {
+        if (c == 0 || c == 12) continue;
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = be_rate;
+        sp.packet_size_flits = 4;
+        sp.seed = 77 + static_cast<std::uint64_t>(c);
+        sys.ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+
+    sys.warmup(2'000);
+    sys.measure(8'000);
+
+    for (std::size_t g = 0; g < allocation.grants.size(); ++g) {
+        const auto& grant = allocation.grants[g];
+        const auto& lat = sys.stats().flow_latency(Flow_id{
+            static_cast<std::uint32_t>(g)});
+        ASSERT_GT(lat.count(), 50u) << "GT flow " << g << " starved";
+        EXPECT_LE(lat.max(), static_cast<double>(grant.latency_bound))
+            << "GT latency bound violated at BE load " << be_rate;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BeLoads, GtGuarantee,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.6, 0.9),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                             return "be" + std::to_string(static_cast<int>(
+                                               info.param * 100));
+                         });
+
+TEST(GtGuarantee, GtBandwidthIsDeliveredAtFullReservation)
+{
+    Mesh_params mp;
+    mp.width = 3;
+    mp.height = 3;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.enable_gt = true;
+    params.slot_table_length = 8;
+
+    const Gt_allocator alloc{topo, routes, 8};
+    const auto allocation = alloc.allocate(
+        {{Connection_id{0}, Core_id{0}, Core_id{8}, 0.5}});
+    ASSERT_TRUE(allocation.feasible);
+
+    Noc_system sys{std::move(topo), std::move(routes), params};
+    for (int c = 0; c < 9; ++c)
+        sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+            .set_slot_table(allocation.ni_tables[static_cast<std::size_t>(c)]);
+    // Offer exactly the reserved rate.
+    sys.ni(Core_id{0}).set_source(std::make_unique<Gt_source>(
+        Core_id{8}, Connection_id{0}, Flow_id{0}, 0.5));
+
+    sys.warmup(1'000);
+    sys.measure(4'000);
+    const auto delivered = sys.stats().flow_flits_delivered(Flow_id{0});
+    // 0.5 flits/cycle over 4000 cycles = 2000 flits (small edge slack).
+    EXPECT_GT(delivered, 1'900u);
+}
+
+TEST(GtGuarantee, MissingSlotTableThrows)
+{
+    Mesh_params mp;
+    mp.width = 2;
+    mp.height = 2;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.enable_gt = true;
+    Noc_system sys{std::move(topo), std::move(routes), params};
+    sys.ni(Core_id{0}).set_source(std::make_unique<Gt_source>(
+        Core_id{3}, Connection_id{0}, Flow_id{0}, 0.2));
+    EXPECT_THROW(sys.kernel().run(100), std::logic_error);
+}
+
+TEST(GtGuarantee, SlotTableLengthMismatchThrows)
+{
+    Mesh_params mp;
+    mp.width = 2;
+    mp.height = 2;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.enable_gt = true;
+    params.slot_table_length = 16;
+    Noc_system sys{std::move(topo), std::move(routes), params};
+    EXPECT_THROW(sys.ni(Core_id{0}).set_slot_table(
+                     std::vector<Connection_id>(8)),
+                 std::invalid_argument);
+}
+
+TEST(GtGuarantee, GtPacketsMustBeSingleFlit)
+{
+    Mesh_params mp;
+    mp.width = 2;
+    mp.height = 2;
+    Topology topo = make_mesh(mp);
+    Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.enable_gt = true;
+    Noc_system sys{std::move(topo), std::move(routes), params};
+    Packet_desc d;
+    d.dst = Core_id{1};
+    d.size_flits = 4;
+    d.cls = Traffic_class::gt;
+    EXPECT_THROW(sys.ni(Core_id{0}).enqueue_packet(d, 0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,115 @@
+#include "rtlgen/verilog.h"
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(RtlGen, MeshNetlistStructure)
+{
+    Mesh_params mp;
+    mp.width = 3;
+    mp.height = 3;
+    const Topology t = make_mesh(mp);
+    const auto rtl = generate_rtl(t, Network_params{});
+    // Router configs on a 3x3 mesh: corner 3x3, edge 4x4, center 5x5
+    // (+ NI + pipe + top).
+    EXPECT_EQ(rtl.module_count, 3 + 2 + 1);
+    // One pipe per link + one router per switch + one NI per core.
+    EXPECT_EQ(rtl.instance_count, t.link_count() + 9 + 9);
+    EXPECT_GT(rtl.wire_count, 0);
+    EXPECT_NE(rtl.text.find("module noc_top"), std::string::npos);
+    EXPECT_NE(rtl.text.find("noc_router_5x5"), std::string::npos);
+}
+
+TEST(RtlGen, SelfCheckPasses)
+{
+    Mesh_params mp;
+    mp.width = 2;
+    mp.height = 2;
+    const Topology t = make_mesh(mp);
+    const auto rtl = generate_rtl(t, Network_params{});
+    const auto chk = check_rtl(rtl.text);
+    EXPECT_TRUE(chk.ok) << (chk.problems.empty() ? ""
+                                                 : chk.problems.front());
+    EXPECT_EQ(chk.modules_defined, rtl.module_count);
+    EXPECT_GE(chk.instances, rtl.instance_count);
+}
+
+TEST(RtlGen, CheckerCatchesImbalance)
+{
+    Mesh_params mp;
+    const Topology t = make_mesh(mp);
+    auto rtl = generate_rtl(t, Network_params{});
+    // Drop the last endmodule.
+    const auto pos = rtl.text.rfind("endmodule");
+    rtl.text.erase(pos);
+    const auto chk = check_rtl(rtl.text);
+    EXPECT_FALSE(chk.ok);
+    ASSERT_FALSE(chk.problems.empty());
+    EXPECT_NE(chk.problems.front().find("imbalance"), std::string::npos);
+}
+
+TEST(RtlGen, CheckerCatchesUndefinedModule)
+{
+    const std::string text = "module top (input wire clk);\n"
+                             "    ghost_module u_ghost (.clk(clk));\n"
+                             "endmodule\n";
+    const auto chk = check_rtl(text);
+    EXPECT_FALSE(chk.ok);
+    bool found = false;
+    for (const auto& p : chk.problems)
+        if (p.find("ghost_module") != std::string::npos) found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(RtlGen, PipelinedLinksGetStageParameters)
+{
+    Topology t{"p", 2};
+    t.attach_core(Switch_id{0});
+    t.attach_core(Switch_id{1});
+    t.add_bidir_link(Switch_id{0}, Switch_id{1}, 2);
+    const auto rtl = generate_rtl(t, Network_params{});
+    EXPECT_NE(rtl.text.find(".STAGES(3)"), std::string::npos);
+}
+
+TEST(RtlGen, HeterogeneousTopologyEmitsOneModulePerConfig)
+{
+    // Star: root 5x5-ish, clusters smaller — distinct configs.
+    Topology t{"hetero", 3};
+    t.attach_core(Switch_id{0});
+    t.attach_core(Switch_id{1});
+    t.attach_core(Switch_id{1});
+    t.attach_core(Switch_id{2});
+    t.add_bidir_link(Switch_id{0}, Switch_id{1});
+    t.add_bidir_link(Switch_id{1}, Switch_id{2});
+    const auto rtl = generate_rtl(t, Network_params{});
+    // Configs: sw0 = 1 core + 1 link = 2x2; sw1 = 2 cores + 2 links = 4x4;
+    // sw2 = 1 core + 1 link = 2x2 -> two distinct router modules.
+    EXPECT_EQ(rtl.module_count, 2 + 2 + 1);
+    EXPECT_TRUE(check_rtl(rtl.text).ok);
+}
+
+TEST(RtlGen, DeterministicOutput)
+{
+    Mesh_params mp;
+    const Topology t = make_mesh(mp);
+    const auto a = generate_rtl(t, Network_params{});
+    const auto b = generate_rtl(t, Network_params{});
+    EXPECT_EQ(a.text, b.text);
+}
+
+TEST(RtlGen, FlitWidthPropagates)
+{
+    Mesh_params mp;
+    const Topology t = make_mesh(mp);
+    Network_params p;
+    p.flit_width_bits = 64;
+    const auto rtl = generate_rtl(t, p);
+    EXPECT_NE(rtl.text.find("FLIT_W = 64"), std::string::npos);
+    EXPECT_NE(rtl.text.find("wire [63:0]"), std::string::npos);
+}
+
+} // namespace
+} // namespace noc

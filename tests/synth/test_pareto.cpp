@@ -1,0 +1,85 @@
+#include "synth/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace noc {
+namespace {
+
+TEST(Pareto, DominationSemantics)
+{
+    const Design_metrics a{10, 10, 10};
+    const Design_metrics b{12, 10, 10};
+    const Design_metrics c{10, 10, 10};
+    EXPECT_TRUE(dominates(a, b));
+    EXPECT_FALSE(dominates(b, a));
+    EXPECT_FALSE(dominates(a, c)); // equal: no strict improvement
+    EXPECT_FALSE(dominates(c, a));
+}
+
+TEST(Pareto, FrontExtractsNonDominated)
+{
+    const std::vector<Design_metrics> pts = {
+        {10, 50, 5},  // A: low power, slow
+        {50, 10, 5},  // B: fast, hungry
+        {30, 30, 5},  // C: middle (non-dominated vs A and B)
+        {60, 60, 6},  // D: dominated by all
+        {10, 50, 5},  // E: duplicate of A (kept: no strict dominance)
+    };
+    const auto front = pareto_front(pts);
+    EXPECT_TRUE(std::find(front.begin(), front.end(), 0u) != front.end());
+    EXPECT_TRUE(std::find(front.begin(), front.end(), 1u) != front.end());
+    EXPECT_TRUE(std::find(front.begin(), front.end(), 2u) != front.end());
+    EXPECT_TRUE(std::find(front.begin(), front.end(), 3u) == front.end());
+    EXPECT_TRUE(std::find(front.begin(), front.end(), 4u) != front.end());
+}
+
+TEST(Pareto, FrontOfEmptyIsEmpty)
+{
+    EXPECT_TRUE(pareto_front({}).empty());
+}
+
+TEST(Pareto, SinglePointIsItsOwnFront)
+{
+    const auto front = pareto_front({{1, 2, 3}});
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 0u);
+}
+
+TEST(Pareto, WeightedPickFollowsWeights)
+{
+    const std::vector<Design_metrics> pts = {
+        {10, 100, 5}, // power-optimal
+        {100, 10, 5}, // latency-optimal
+    };
+    EXPECT_EQ(pick_weighted(pts, 1.0, 0.0, 0.0), 0u);
+    EXPECT_EQ(pick_weighted(pts, 0.0, 1.0, 0.0), 1u);
+    EXPECT_THROW(pick_weighted({}, 1, 1, 1), std::invalid_argument);
+}
+
+TEST(Pareto, FrontMembersNeverDominateEachOther)
+{
+    std::vector<Design_metrics> pts;
+    for (int i = 0; i < 30; ++i)
+        pts.push_back({static_cast<double>((i * 7) % 13),
+                       static_cast<double>((i * 11) % 17),
+                       static_cast<double>((i * 5) % 7)});
+    const auto front = pareto_front(pts);
+    ASSERT_FALSE(front.empty());
+    for (const auto i : front)
+        for (const auto j : front)
+            if (i != j) EXPECT_FALSE(dominates(pts[i], pts[j]));
+    // And every non-front point is dominated by someone on the front.
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (std::find(front.begin(), front.end(), i) != front.end())
+            continue;
+        bool covered = false;
+        for (const auto j : front)
+            if (dominates(pts[j], pts[i])) covered = true;
+        EXPECT_TRUE(covered);
+    }
+}
+
+} // namespace
+} // namespace noc

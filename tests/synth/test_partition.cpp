@@ -1,0 +1,128 @@
+#include "synth/partition.h"
+#include "traffic/app_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace noc {
+namespace {
+
+Core_graph two_communities()
+{
+    // Two 3-core cliques joined by one thin edge: any sane partitioner
+    // splits exactly between them.
+    Core_graph g{"communities"};
+    for (int i = 0; i < 6; ++i)
+        g.add_core({"c" + std::to_string(i), false, 1.0, Layer_id{0}});
+    auto heavy = [&](int a, int b) {
+        g.add_flow({a, b, 500.0, 0.0, 64, false});
+    };
+    heavy(0, 1);
+    heavy(1, 2);
+    heavy(2, 0);
+    heavy(3, 4);
+    heavy(4, 5);
+    heavy(5, 3);
+    g.add_flow({0, 3, 10.0, 0.0, 64, false}); // thin bridge
+    g.validate();
+    return g;
+}
+
+TEST(Partition, RejectsBadArguments)
+{
+    const Core_graph g = two_communities();
+    EXPECT_THROW(partition_cores(g, 0, 4), std::invalid_argument);
+    EXPECT_THROW(partition_cores(g, 7, 4), std::invalid_argument);
+    EXPECT_THROW(partition_cores(g, 2, 2), std::invalid_argument); // 2*2 < 6
+}
+
+TEST(Partition, FindsNaturalCommunities)
+{
+    const Core_graph g = two_communities();
+    const auto part = partition_cores(g, 2, 3);
+    EXPECT_EQ(part.cluster_count, 2);
+    // Cores 0-2 together, 3-5 together.
+    EXPECT_EQ(part.core_cluster[0], part.core_cluster[1]);
+    EXPECT_EQ(part.core_cluster[1], part.core_cluster[2]);
+    EXPECT_EQ(part.core_cluster[3], part.core_cluster[4]);
+    EXPECT_EQ(part.core_cluster[4], part.core_cluster[5]);
+    EXPECT_NE(part.core_cluster[0], part.core_cluster[3]);
+    EXPECT_DOUBLE_EQ(part.cut_bandwidth_mbps, 10.0);
+}
+
+TEST(Partition, RespectsCapacity)
+{
+    const Core_graph g = two_communities();
+    for (int k = 2; k <= 6; ++k) {
+        const auto part = partition_cores(g, k, 3);
+        std::vector<int> sizes(static_cast<std::size_t>(k), 0);
+        for (const int c : part.core_cluster) {
+            ASSERT_GE(c, 0);
+            ASSERT_LT(c, k);
+            ++sizes[static_cast<std::size_t>(c)];
+        }
+        for (const int s : sizes) EXPECT_LE(s, 3);
+    }
+}
+
+TEST(Partition, KEqualsNIsSingletons)
+{
+    const Core_graph g = two_communities();
+    const auto part = partition_cores(g, 6, 1);
+    std::set<int> distinct(part.core_cluster.begin(),
+                           part.core_cluster.end());
+    EXPECT_EQ(distinct.size(), 6u);
+    // Every flow crosses clusters now.
+    EXPECT_DOUBLE_EQ(part.cut_bandwidth_mbps, g.total_bandwidth_mbps());
+}
+
+TEST(Partition, KOneIsAllTogether)
+{
+    const Core_graph g = two_communities();
+    const auto part = partition_cores(g, 1, 6);
+    for (const int c : part.core_cluster) EXPECT_EQ(c, 0);
+    EXPECT_DOUBLE_EQ(part.cut_bandwidth_mbps, 0.0);
+}
+
+TEST(Partition, CutNeverExceedsTotal)
+{
+    for (const auto& g : {make_vopd_graph(), make_mpeg4_graph(),
+                          make_mwd_graph(), make_mobile_soc_graph()}) {
+        for (int k = 2; k <= 5; ++k) {
+            const auto part = partition_cores(g, k, g.core_count());
+            EXPECT_GE(part.cut_bandwidth_mbps, 0.0);
+            EXPECT_LE(part.cut_bandwidth_mbps, g.total_bandwidth_mbps());
+        }
+    }
+}
+
+TEST(Partition, PipelineGraphPrefersAdjacentStages)
+{
+    // VOPD is a pipeline: a 6-way partition should keep the heaviest
+    // adjacent stages (362 MB/s chain) together more often than apart.
+    const Core_graph g = make_vopd_graph();
+    const auto part = partition_cores(g, 6, 2);
+    int heavy_pairs_together = 0;
+    int heavy_pairs = 0;
+    for (const auto& f : g.flows()) {
+        if (f.bandwidth_mbps < 300) continue;
+        ++heavy_pairs;
+        if (part.core_cluster[static_cast<std::size_t>(f.src)] ==
+            part.core_cluster[static_cast<std::size_t>(f.dst)])
+            ++heavy_pairs_together;
+    }
+    EXPECT_GT(heavy_pairs_together * 2, heavy_pairs)
+        << "expected most >=300MB/s pairs co-clustered";
+}
+
+TEST(Partition, DeterministicAcrossRuns)
+{
+    const Core_graph g = make_mpeg4_graph();
+    const auto a = partition_cores(g, 4, 4);
+    const auto b = partition_cores(g, 4, 4);
+    EXPECT_EQ(a.core_cluster, b.core_cluster);
+}
+
+} // namespace
+} // namespace noc

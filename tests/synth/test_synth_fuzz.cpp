@@ -1,0 +1,99 @@
+// Randomized synthesis fuzzing: arbitrary (seeded) core graphs must either
+// synthesize into designs that satisfy every structural invariant, or be
+// rejected with a reason — never crash, never emit a deadlocking or
+// oversubscribed NoC.
+#include "common/rng.h"
+#include "synth/compiler.h"
+#include "synth/topology_synth.h"
+#include "topology/deadlock.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+Core_graph random_graph(std::uint64_t seed)
+{
+    Rng rng{seed};
+    const int cores = 6 + static_cast<int>(rng.next_below(16));
+    Core_graph g{"fuzz" + std::to_string(seed)};
+    for (int c = 0; c < cores; ++c) {
+        Core_spec spec;
+        spec.name = "c" + std::to_string(c);
+        spec.area_mm2 = 0.3 + rng.next_double() * 2.5;
+        spec.is_memory = rng.next_bool(0.25);
+        g.add_core(std::move(spec));
+    }
+    const int flows = cores + static_cast<int>(rng.next_below(
+                                  static_cast<std::uint64_t>(2 * cores)));
+    for (int f = 0; f < flows; ++f) {
+        const int src = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(cores)));
+        int dst = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(cores)));
+        if (dst == src) dst = (dst + 1) % cores;
+        Flow_spec fs;
+        fs.src = src;
+        fs.dst = dst;
+        fs.bandwidth_mbps = 10 + static_cast<double>(rng.next_below(400));
+        fs.packet_bytes = rng.next_bool(0.5) ? 32 : 64;
+        if (rng.next_bool(0.3))
+            fs.max_latency_ns = 200 + static_cast<double>(
+                                          rng.next_below(800));
+        g.add_flow(fs);
+    }
+    g.validate();
+    return g;
+}
+
+class SynthFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SynthFuzz, DesignsSatisfyAllInvariantsOrAreRejected)
+{
+    Synthesis_spec spec;
+    spec.graph = random_graph(GetParam());
+    spec.tech = make_technology_65nm();
+    spec.min_switches = 2;
+    spec.max_switches = 8;
+    spec.max_switch_radix = 9;
+
+    const auto result = synthesize_topologies(spec);
+    // Every candidate is accounted for.
+    EXPECT_EQ(result.designs.size() + result.rejections.size(), 7u);
+    for (const auto& r : result.rejections) EXPECT_FALSE(r.empty());
+
+    for (const auto& dp : result.designs) {
+        dp.topology.validate();
+        EXPECT_LE(dp.topology.max_radix(), 9);
+        EXPECT_LE(dp.max_link_utilization,
+                  spec.link_utilization_cap + 1e-9);
+        // Deadlock freedom of the emitted routing function.
+        std::vector<std::pair<Core_id, Route>> flows;
+        for (const auto& f : spec.graph.flows())
+            flows.emplace_back(
+                Core_id{static_cast<std::uint32_t>(f.src)},
+                dp.routes.at(Core_id{static_cast<std::uint32_t>(f.src)},
+                             Core_id{static_cast<std::uint32_t>(f.dst)}));
+        EXPECT_TRUE(analyze_deadlock_flows(dp.topology, flows, 1).acyclic);
+        // Latency promises respect the declared bounds.
+        for (int i = 0; i < spec.graph.flow_count(); ++i) {
+            const auto& f = spec.graph.flow(
+                Flow_id{static_cast<std::uint32_t>(i)});
+            if (f.max_latency_ns > 0) {
+                EXPECT_LE(dp.flow_latency_ns[static_cast<std::size_t>(i)],
+                          f.max_latency_ns + 1e-9);
+            }
+        }
+        // Floorplan legality.
+        ASSERT_TRUE(dp.floorplan.has_value());
+        dp.floorplan->validate();
+        // The compiled instance constructs (route/port consistency).
+        EXPECT_NO_THROW(compile_design(dp));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SynthFuzz,
+                         ::testing::Range<std::uint64_t>(100, 112));
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,249 @@
+// End-to-end synthesis properties on the embedded application graphs.
+#include "synth/compiler.h"
+#include "synth/topology_synth.h"
+#include "topology/deadlock.h"
+#include "traffic/app_graphs.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+Synthesis_spec base_spec(Core_graph g)
+{
+    Synthesis_spec spec;
+    spec.graph = std::move(g);
+    spec.tech = make_technology_65nm();
+    spec.operating_points = {{1.0, 32}};
+    spec.min_switches = 1;
+    spec.max_switches = 6;
+    spec.max_switch_radix = 10;
+    return spec;
+}
+
+struct Synth_case {
+    std::string name;
+    Core_graph graph;
+};
+
+class SynthProperty : public ::testing::TestWithParam<Synth_case> {};
+
+TEST_P(SynthProperty, ProducesFeasibleDeadlockFreeDesigns)
+{
+    const auto result = synthesize_topologies(base_spec(GetParam().graph));
+    ASSERT_FALSE(result.designs.empty())
+        << "no feasible design; rejections: " +
+               (result.rejections.empty() ? std::string{"none"}
+                                          : result.rejections.front());
+    for (const auto& dp : result.designs) {
+        // Structure.
+        EXPECT_NO_THROW(dp.topology.validate());
+        EXPECT_EQ(dp.topology.core_count(), GetParam().graph.core_count());
+        EXPECT_LE(dp.topology.max_radix(), 10);
+        // Every flow pair has a route; routes are deadlock-free on 1 VC.
+        std::vector<std::pair<Core_id, Route>> flows;
+        for (const auto& f : GetParam().graph.flows()) {
+            const Route& r = dp.routes.at(
+                Core_id{static_cast<std::uint32_t>(f.src)},
+                Core_id{static_cast<std::uint32_t>(f.dst)});
+            ASSERT_FALSE(r.empty());
+            flows.emplace_back(Core_id{static_cast<std::uint32_t>(f.src)},
+                               r);
+        }
+        EXPECT_TRUE(analyze_deadlock_flows(dp.topology, flows, 1).acyclic);
+        // Loads within cap; metrics positive; timing met.
+        EXPECT_LE(dp.max_link_utilization, 0.7 + 1e-9);
+        EXPECT_GT(dp.metrics.power_mw, 0.0);
+        EXPECT_GT(dp.metrics.latency_ns, 0.0);
+        EXPECT_GT(dp.metrics.area_mm2, 0.0);
+        EXPECT_GE(dp.min_router_freq_ghz, dp.op.clock_ghz);
+        // Floorplan was produced and is legal.
+        ASSERT_TRUE(dp.floorplan.has_value());
+        EXPECT_NO_THROW(dp.floorplan->validate());
+    }
+}
+
+TEST_P(SynthProperty, ParetoFrontIsConsistent)
+{
+    const auto result = synthesize_topologies(base_spec(GetParam().graph));
+    ASSERT_FALSE(result.designs.empty());
+    const auto front = result.pareto();
+    ASSERT_FALSE(front.empty());
+    for (const auto i : front) {
+        for (const auto j : front) {
+            if (i != j) {
+                EXPECT_FALSE(dominates(result.designs[i].metrics,
+                                       result.designs[j].metrics));
+            }
+        }
+    }
+    EXPECT_NO_THROW(result.pick());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, SynthProperty,
+    ::testing::Values(Synth_case{"vopd", make_vopd_graph()},
+                      Synth_case{"mpeg4", make_mpeg4_graph()},
+                      Synth_case{"mwd", make_mwd_graph()},
+                      Synth_case{"faust", make_faust_receiver_graph()}),
+    [](const ::testing::TestParamInfo<Synth_case>& info) {
+        return info.param.name;
+    });
+
+TEST(Synthesis, MobileSocSynthesizes)
+{
+    Synthesis_spec spec = base_spec(make_mobile_soc_graph());
+    spec.min_switches = 3;
+    spec.max_switches = 8;
+    const auto result = synthesize_topologies(spec);
+    ASSERT_FALSE(result.designs.empty());
+    // The big SoC needs several switches: k=3 should appear or be rejected
+    // with a reason, never silently dropped.
+    EXPECT_EQ(result.designs.size() + result.rejections.size(),
+              6u); // k = 3..8 at one operating point
+}
+
+TEST(Synthesis, SimulationValidatesSynthesizedDesign)
+{
+    // The generated "simulation model" must confirm the analytic promises:
+    // full bandwidth acceptance and no latency violation (§6 validation).
+    Synthesis_spec spec = base_spec(make_vopd_graph());
+    const auto result = synthesize_topologies(spec);
+    ASSERT_FALSE(result.designs.empty());
+    const Design_point& dp = result.pick();
+    const auto report = validate_design(dp, spec.graph, 1'000, 10'000);
+    EXPECT_TRUE(report.drained);
+    EXPECT_TRUE(report.bandwidth_met)
+        << (report.violations.empty() ? "" : report.violations.front());
+    EXPECT_TRUE(report.latency_met)
+        << (report.violations.empty() ? "" : report.violations.front());
+}
+
+TEST(Synthesis, HigherClockReducesLinkUtilization)
+{
+    // Ablation knob: doubling the clock doubles link capacity, so the same
+    // bandwidth occupies a smaller fraction of it.
+    Synthesis_spec slow = base_spec(make_vopd_graph());
+    slow.operating_points = {{0.5, 32}};
+    Synthesis_spec fast = base_spec(make_vopd_graph());
+    fast.operating_points = {{1.0, 32}};
+    const auto rs = synthesize_topologies(slow);
+    const auto rf = synthesize_topologies(fast);
+    ASSERT_FALSE(rs.designs.empty());
+    ASSERT_FALSE(rf.designs.empty());
+    auto max_util = [](const Synthesis_result& r) {
+        double u = 0;
+        for (const auto& d : r.designs)
+            u = std::max(u, d.max_link_utilization);
+        return u;
+    };
+    EXPECT_LT(max_util(rf), max_util(rs) + 1e-9);
+}
+
+TEST(Synthesis, NarrowerFlitsRaiseLinkUtilization)
+{
+    // Halving the flit width (the §4.1 serialization knob) halves capacity:
+    // the synthesized designs run their links hotter.
+    Synthesis_spec narrow = base_spec(make_vopd_graph());
+    narrow.operating_points = {{1.0, 16}};
+    Synthesis_spec wide = base_spec(make_vopd_graph());
+    wide.operating_points = {{1.0, 32}};
+    const auto rn = synthesize_topologies(narrow);
+    const auto rw = synthesize_topologies(wide);
+    ASSERT_FALSE(rn.designs.empty());
+    ASSERT_FALSE(rw.designs.empty());
+    auto max_util = [](const Synthesis_result& r) {
+        double u = 0;
+        for (const auto& d : r.designs)
+            u = std::max(u, d.max_link_utilization);
+        return u;
+    };
+    EXPECT_GT(max_util(rn), max_util(rw));
+}
+
+TEST(Synthesis, WideFlitsHitTheRoutabilityWall)
+{
+    // At 64-bit ports, radix 8-9 switches are no longer routable (the
+    // Fig. 2 study is explicitly a *32-bit* scalability result): synthesis
+    // must reject big-radix clusters rather than emit an unbuildable NoC,
+    // and succeed once the radix cap keeps switches small.
+    Synthesis_spec wide = base_spec(make_vopd_graph());
+    wide.operating_points = {{1.0, 64}};
+    const auto rejected = synthesize_topologies(wide);
+    EXPECT_TRUE(rejected.designs.empty());
+    bool saw_routability = false;
+    for (const auto& r : rejected.rejections)
+        if (r.find("not routable") != std::string::npos)
+            saw_routability = true;
+    EXPECT_TRUE(saw_routability);
+
+    Synthesis_spec capped = base_spec(make_vopd_graph());
+    capped.operating_points = {{1.0, 64}};
+    capped.max_switch_radix = 6; // clusters stay small -> routable at 64 bit
+    capped.min_switches = 4;
+    capped.max_switches = 8;
+    const auto ok = synthesize_topologies(capped);
+    EXPECT_FALSE(ok.designs.empty());
+}
+
+TEST(Synthesis, TargetClockBeyondRouterTimingIsRejected)
+{
+    // 65 nm standard-cell routers close around 1.3 GHz at these radices;
+    // a 2 GHz target must be rejected with a timing reason.
+    Synthesis_spec fast = base_spec(make_vopd_graph());
+    fast.operating_points = {{2.0, 32}};
+    const auto r = synthesize_topologies(fast);
+    EXPECT_TRUE(r.designs.empty());
+    bool saw_timing = false;
+    for (const auto& rej : r.rejections)
+        if (rej.find("timing") != std::string::npos) saw_timing = true;
+    EXPECT_TRUE(saw_timing);
+}
+
+TEST(Synthesis, RejectionReasonsAreDescriptive)
+{
+    Synthesis_spec spec = base_spec(make_mpeg4_graph());
+    // Impossible setup: radix too small to host the cores on few switches.
+    spec.min_switches = 1;
+    spec.max_switches = 1;
+    spec.max_switch_radix = 4;
+    const auto result = synthesize_topologies(spec);
+    EXPECT_TRUE(result.designs.empty());
+    ASSERT_FALSE(result.rejections.empty());
+    EXPECT_NE(result.rejections.front().find("k=1"), std::string::npos);
+}
+
+TEST(Synthesis, SpecValidation)
+{
+    Synthesis_spec spec = base_spec(make_vopd_graph());
+    spec.operating_points.clear();
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec = base_spec(make_vopd_graph());
+    spec.link_utilization_cap = 1.5;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec = base_spec(make_vopd_graph());
+    spec.max_switch_radix = 2;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(Synthesis, CompiledDesignRunsPartialRoutes)
+{
+    Synthesis_spec spec = base_spec(make_vopd_graph());
+    const auto result = synthesize_topologies(spec);
+    ASSERT_FALSE(result.designs.empty());
+    auto sys = compile_design(result.pick());
+    // Non-communicating pairs have no route: sending must fail fast.
+    // (vld -> arm has no flow in VOPD.)
+    const Core_id vld{0};
+    const Core_id arm{11};
+    if (result.pick().routes.at(vld, arm).empty()) {
+        EXPECT_THROW(sys->ni(vld).enqueue_packet(
+                         {arm, 1, Traffic_class::request, Flow_id{},
+                          Connection_id{}, 0},
+                         0),
+                     std::logic_error);
+    }
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,126 @@
+#include "synth3d/synth3d.h"
+#include "traffic/app_graphs.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+Synthesis3d_spec spec_3d(int layers, int serialization = 1)
+{
+    Synthesis3d_spec s;
+    s.base.graph = make_mobile_soc_3d_graph(layers);
+    s.base.tech = make_technology_65nm();
+    s.base.operating_points = {{1.0, 32}};
+    s.base.min_switches = layers;
+    s.base.max_switches = 8;
+    s.base.max_switch_radix = 10;
+    s.vertical_serialization = serialization;
+    return s;
+}
+
+TEST(TsvCount, SerializationDividesDataVias)
+{
+    EXPECT_EQ(tsvs_per_vertical_link(32, 1, 6), 38);
+    EXPECT_EQ(tsvs_per_vertical_link(32, 2, 6), 22);
+    EXPECT_EQ(tsvs_per_vertical_link(32, 4, 6), 14);
+    EXPECT_EQ(tsvs_per_vertical_link(32, 8, 6), 10);
+    EXPECT_THROW(tsvs_per_vertical_link(0, 1, 6), std::invalid_argument);
+    EXPECT_THROW(tsvs_per_vertical_link(32, 0, 6), std::invalid_argument);
+}
+
+TEST(Synth3d, RejectsSingleLayerGraphs)
+{
+    Synthesis3d_spec s;
+    s.base.graph = make_mobile_soc_graph();
+    s.base.tech = make_technology_65nm();
+    EXPECT_THROW(synthesize_3d(s), std::invalid_argument);
+}
+
+TEST(Synth3d, TwoLayerStackSynthesizes)
+{
+    const auto result = synthesize_3d(spec_3d(2));
+    ASSERT_FALSE(result.designs.empty())
+        << (result.rejections.empty() ? "?" : result.rejections.front());
+    for (const auto& d : result.designs) {
+        // Inter-layer traffic exists, so TSVs must exist.
+        EXPECT_GT(d.total_tsvs, 0);
+        EXPECT_FALSE(d.vertical_links.empty());
+        EXPECT_GT(d.stack_yield, 0.0);
+        EXPECT_LE(d.stack_yield, 1.0);
+        // Vertical links must connect different layers.
+        for (const auto& v : d.vertical_links)
+            EXPECT_NE(v.from_layer, v.to_layer);
+    }
+}
+
+TEST(Synth3d, SerializationTradesTsvsForUtilization)
+{
+    const auto s1 = synthesize_3d(spec_3d(2, 1));
+    const auto s2 = synthesize_3d(spec_3d(2, 2));
+    ASSERT_FALSE(s1.designs.empty());
+    ASSERT_FALSE(s2.designs.empty());
+    // Compare the same switch count where both exist.
+    for (const auto& d1 : s1.designs) {
+        for (const auto& d2 : s2.designs) {
+            if (d1.base.switch_count != d2.base.switch_count) continue;
+            EXPECT_LT(d2.total_tsvs, d1.total_tsvs);
+            EXPECT_GE(d2.max_vertical_utilization,
+                      d1.max_vertical_utilization);
+            EXPECT_GE(d2.stack_yield, d1.stack_yield);
+            // Serialization adds latency.
+            EXPECT_GE(d2.base.metrics.latency_ns,
+                      d1.base.metrics.latency_ns);
+        }
+    }
+}
+
+TEST(Synth3d, ExcessiveSerializationOversubscribesVerticals)
+{
+    // At s = 16 the vertical capacity (1/16 flit/cycle) cannot carry the
+    // CPU-DRAM streams: designs get rejected for vertical oversubscription.
+    const auto result = synthesize_3d(spec_3d(2, 16));
+    bool saw_oversubscription = false;
+    for (const auto& r : result.rejections)
+        if (r.find("oversubscribed") != std::string::npos)
+            saw_oversubscription = true;
+    EXPECT_TRUE(saw_oversubscription || result.designs.empty());
+}
+
+TEST(Synth3d, FourLayerStackHasMoreTsvsThanTwoLayer)
+{
+    const auto s2 = synthesize_3d(spec_3d(2));
+    auto spec4 = spec_3d(4);
+    spec4.base.min_switches = 4;
+    const auto s4 = synthesize_3d(spec4);
+    ASSERT_FALSE(s2.designs.empty());
+    ASSERT_FALSE(s4.designs.empty());
+    auto min_tsvs = [](const Synthesis3d_result& r) {
+        int m = 1 << 30;
+        for (const auto& d : r.designs) m = std::min(m, d.total_tsvs);
+        return m;
+    };
+    // Spreading the same flows over more layers cannot reduce the best
+    // achievable TSV count.
+    EXPECT_GE(min_tsvs(s4), min_tsvs(s2));
+}
+
+TEST(Synth3d, LayerPureClustering)
+{
+    const auto result = synthesize_3d(spec_3d(2));
+    ASSERT_FALSE(result.designs.empty());
+    const auto& d = result.designs.front();
+    const Core_graph& g = make_mobile_soc_3d_graph(2);
+    // Every pair of cores sharing a switch must share a layer.
+    for (int a = 0; a < g.core_count(); ++a) {
+        for (int b = a + 1; b < g.core_count(); ++b) {
+            if (d.base.core_cluster[static_cast<std::size_t>(a)] ==
+                d.base.core_cluster[static_cast<std::size_t>(b)]) {
+                EXPECT_EQ(g.core(a).layer, g.core(b).layer);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace noc

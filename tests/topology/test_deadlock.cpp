@@ -1,0 +1,139 @@
+#include "topology/deadlock.h"
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+/// Build a 4-switch ring with one core each and *naive* clockwise routing on
+/// a single VC — the textbook deadlocked configuration.
+std::pair<Topology, Route_set> clockwise_ring()
+{
+    Topology t{"cw_ring", 4};
+    for (int i = 0; i < 4; ++i)
+        t.attach_core(Switch_id{static_cast<std::uint32_t>(i)});
+    std::vector<Link_id> cw;
+    for (int i = 0; i < 4; ++i)
+        cw.push_back(t.add_link(Switch_id{static_cast<std::uint32_t>(i)},
+                                Switch_id{static_cast<std::uint32_t>(
+                                    (i + 1) % 4)}));
+    Route_set r{4};
+    for (int s = 0; s < 4; ++s) {
+        for (int d = 0; d < 4; ++d) {
+            if (s == d) continue;
+            Route route;
+            int cur = s;
+            while (cur != d) {
+                route.push_back(
+                    {t.output_port_of_link(cw[static_cast<std::size_t>(cur)])
+                         .get(),
+                     0});
+                cur = (cur + 1) % 4;
+            }
+            route.push_back({t.ejection_port_of_core(
+                                  Core_id{static_cast<std::uint32_t>(d)})
+                                 .get(),
+                             0});
+            r.set(Core_id{static_cast<std::uint32_t>(s)},
+                  Core_id{static_cast<std::uint32_t>(d)}, std::move(route));
+        }
+    }
+    return {std::move(t), std::move(r)};
+}
+
+TEST(Deadlock, DetectsClockwiseRingCycle)
+{
+    const auto [t, r] = clockwise_ring();
+    const auto report = analyze_deadlock(t, r, 1);
+    EXPECT_FALSE(report.acyclic);
+    // The evidence cycle must involve all four ring links on vc 0.
+    EXPECT_EQ(report.cycle.size(), 4u);
+    for (const auto& [link, vc] : report.cycle) EXPECT_EQ(vc, 0);
+    EXPECT_NE(report.to_string(t).find("cycle"), std::string::npos);
+}
+
+TEST(Deadlock, DatelineBreaksRingCycle)
+{
+    // Same ring, but crossing the 3->0 link switches to vc 1.
+    auto [t, r] = clockwise_ring();
+    Route_set fixed{4};
+    for (int s = 0; s < 4; ++s) {
+        for (int d = 0; d < 4; ++d) {
+            if (s == d) continue;
+            Route route = r.at(Core_id{static_cast<std::uint32_t>(s)},
+                               Core_id{static_cast<std::uint32_t>(d)});
+            // Walk and flip to vc1 after wrapping past switch 3.
+            int cur = s;
+            bool wrapped = false;
+            for (auto& hop : route) {
+                const Link_id l = t.link_of_output_port(
+                    Switch_id{static_cast<std::uint32_t>(cur)},
+                    Port_id{hop.out_port});
+                if (!l.is_valid()) break;
+                if (cur == 3) wrapped = true;
+                hop.out_vc = wrapped ? 1 : 0;
+                cur = (cur + 1) % 4;
+            }
+            fixed.set(Core_id{static_cast<std::uint32_t>(s)},
+                      Core_id{static_cast<std::uint32_t>(d)},
+                      std::move(route));
+        }
+    }
+    // A vc beyond the budget is a spec violation, not a deadlock verdict.
+    EXPECT_THROW(routes_deadlock_free(t, fixed, 1), std::invalid_argument);
+    EXPECT_TRUE(routes_deadlock_free(t, fixed, 2));
+}
+
+TEST(Deadlock, VcBeyondBudgetThrows)
+{
+    const auto [t, r] = clockwise_ring();
+    Route_set bad{4};
+    Route route;
+    route.push_back({t.output_port_of_link(Link_id{0}).get(), 3});
+    route.push_back({t.ejection_port_of_core(Core_id{1}).get(), 0});
+    bad.set(Core_id{0}, Core_id{1}, route);
+    EXPECT_THROW(analyze_deadlock_flows(
+                     t, {{Core_id{0}, bad.at(Core_id{0}, Core_id{1})}}, 1),
+                 std::invalid_argument);
+}
+
+TEST(Deadlock, AcyclicOnLinearChain)
+{
+    Topology t{"chain", 3};
+    for (int i = 0; i < 3; ++i)
+        t.attach_core(Switch_id{static_cast<std::uint32_t>(i)});
+    t.add_bidir_link(Switch_id{0}, Switch_id{1});
+    t.add_bidir_link(Switch_id{1}, Switch_id{2});
+    const Route_set r = shortest_path_routes(t);
+    EXPECT_TRUE(routes_deadlock_free(t, r, 1));
+}
+
+TEST(Deadlock, FlowsVariantMatchesAllPairs)
+{
+    const auto [t, r] = clockwise_ring();
+    std::vector<std::pair<Core_id, Route>> flows;
+    for (int s = 0; s < 4; ++s)
+        for (int d = 0; d < 4; ++d)
+            if (s != d)
+                flows.emplace_back(
+                    Core_id{static_cast<std::uint32_t>(s)},
+                    r.at(Core_id{static_cast<std::uint32_t>(s)},
+                         Core_id{static_cast<std::uint32_t>(d)}));
+    EXPECT_FALSE(analyze_deadlock_flows(t, flows, 1).acyclic);
+
+    // Dropping all wrapping routes leaves an acyclic chain of dependencies.
+    std::vector<std::pair<Core_id, Route>> partial;
+    for (const auto& [src, route] : flows)
+        if (route.size() <= 2) partial.emplace_back(src, route);
+    EXPECT_TRUE(analyze_deadlock_flows(t, partial, 1).acyclic);
+}
+
+TEST(Deadlock, RejectsNonPositiveVcCount)
+{
+    const auto [t, r] = clockwise_ring();
+    EXPECT_THROW(analyze_deadlock(t, r, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,159 @@
+#include "topology/fat_tree.h"
+#include "topology/mesh.h"
+#include "topology/ring.h"
+#include "topology/spidergon.h"
+#include "topology/star.h"
+#include "topology/torus.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(Mesh, StructureCounts)
+{
+    Mesh_params p;
+    p.width = 3;
+    p.height = 4;
+    const Topology t = make_mesh(p);
+    EXPECT_EQ(t.switch_count(), 12);
+    EXPECT_EQ(t.core_count(), 12);
+    // Links: horizontal 2*4 + vertical 3*3 = 17 bidir pairs = 34 directed.
+    EXPECT_EQ(t.link_count(), 34);
+    // Corner switch: 1 core + 2 links.
+    EXPECT_EQ(t.output_port_count(mesh_switch_at(p, 0, 0)), 3);
+    // Center switch: 1 core + 4 links.
+    EXPECT_EQ(t.output_port_count(mesh_switch_at(p, 1, 1)), 5);
+}
+
+TEST(Mesh, Concentration)
+{
+    Mesh_params p;
+    p.width = 2;
+    p.height = 2;
+    p.cores_per_switch = 4;
+    const Topology t = make_mesh(p);
+    EXPECT_EQ(t.core_count(), 16);
+    EXPECT_EQ(t.switch_cores(Switch_id{0}).size(), 4u);
+}
+
+TEST(Mesh, RejectsBadParams)
+{
+    Mesh_params p;
+    p.width = 0;
+    EXPECT_THROW(make_mesh(p), std::invalid_argument);
+}
+
+TEST(Mesh, PositionsFollowGrid)
+{
+    Mesh_params p;
+    p.width = 2;
+    p.height = 2;
+    p.tile_mm = 2.0;
+    const Topology t = make_mesh(p);
+    EXPECT_EQ(t.switch_position(mesh_switch_at(p, 1, 1))->x, 2.0);
+    EXPECT_EQ(t.switch_position(mesh_switch_at(p, 1, 1))->y, 2.0);
+}
+
+TEST(Torus, StructureCounts)
+{
+    Torus_params p;
+    p.width = 4;
+    p.height = 4;
+    const Topology t = make_torus(p);
+    EXPECT_EQ(t.switch_count(), 16);
+    // Every switch has exactly 4 out-links (torus regularity): 64 directed.
+    EXPECT_EQ(t.link_count(), 64);
+    for (int s = 0; s < 16; ++s)
+        EXPECT_EQ(
+            t.out_links(Switch_id{static_cast<std::uint32_t>(s)}).size(), 4u);
+}
+
+TEST(Torus, WrapLinksGetPipelining)
+{
+    Torus_params p;
+    p.width = 4;
+    p.height = 4;
+    p.wrap_pipeline_stages = 2;
+    const Topology t = make_torus(p);
+    int pipelined = 0;
+    for (const auto& l : t.links())
+        if (l.pipeline_stages == 2) ++pipelined;
+    // One wrap pair per row and per column: (4+4) * 2 directed = 16.
+    EXPECT_EQ(pipelined, 16);
+}
+
+TEST(Ring, Structure)
+{
+    Ring_params p;
+    p.node_count = 6;
+    const Topology t = make_ring(p);
+    EXPECT_EQ(t.switch_count(), 6);
+    EXPECT_EQ(t.link_count(), 12);
+    EXPECT_THROW(make_ring(Ring_params{2, 1, 1.0}), std::invalid_argument);
+}
+
+TEST(Spidergon, Structure)
+{
+    Spidergon_params p;
+    p.node_count = 8;
+    const Topology t = make_spidergon(p);
+    EXPECT_EQ(t.switch_count(), 8);
+    // Ring links 16 + across 8 = 24 directed; constant degree 3.
+    EXPECT_EQ(t.link_count(), 24);
+    for (int s = 0; s < 8; ++s)
+        EXPECT_EQ(
+            t.out_links(Switch_id{static_cast<std::uint32_t>(s)}).size(), 3u);
+    EXPECT_THROW(make_spidergon(Spidergon_params{6 + 1, 1, 1.0}),
+                 std::invalid_argument);
+}
+
+TEST(FatTree, KAry2Tree)
+{
+    Fat_tree_params p;
+    p.arity = 2;
+    p.levels = 2;
+    const Fat_tree ft = make_fat_tree(p);
+    EXPECT_EQ(ft.topology.core_count(), 4);
+    EXPECT_EQ(ft.topology.switch_count(), 4);
+    // Each level-0 switch connects to both roots: 4 bidir = 8 directed.
+    EXPECT_EQ(ft.topology.link_count(), 8);
+    EXPECT_EQ(ft.switch_rank[0], 0);
+    EXPECT_EQ(ft.switch_rank[2], 1);
+}
+
+TEST(FatTree, Quaternary3LevelsIsSpinSized)
+{
+    // SPIN used 4-ary fat trees; 3 levels host 64 cores.
+    Fat_tree_params p;
+    p.arity = 4;
+    p.levels = 3;
+    const Fat_tree ft = make_fat_tree(p);
+    EXPECT_EQ(ft.topology.core_count(), 64);
+    EXPECT_EQ(ft.topology.switch_count(), 48);
+    // Level-0 switches have 4 core ports + 4 up links = radix 8; middle
+    // switches 4 down + 4 up = 8; roots 4 down.
+    EXPECT_EQ(ft.topology.max_radix(), 8);
+}
+
+TEST(Star, BoneShape)
+{
+    // BONE (Fig. 5): 10 RISC processors in clusters, 8 dual-port SRAMs at
+    // the root crossbars.
+    Star_params p;
+    p.clusters = 5;
+    p.cores_per_cluster = 2;
+    p.cores_at_root = 8;
+    p.root_count = 2;
+    const Star star = make_star(p);
+    EXPECT_EQ(star.topology.core_count(), 18);
+    EXPECT_EQ(star.topology.switch_count(), 7);
+    EXPECT_EQ(star.root_cores.size(), 8u);
+    EXPECT_EQ(star.switch_rank[0], 1);
+    EXPECT_EQ(star.switch_rank[2], 0);
+    // Every cluster connects to both roots.
+    EXPECT_EQ(star.topology.out_links(Switch_id{2}).size(), 2u);
+}
+
+} // namespace
+} // namespace noc

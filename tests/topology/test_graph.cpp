@@ -1,0 +1,99 @@
+#include "topology/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(TopologyGraph, RejectsBadConstruction)
+{
+    EXPECT_THROW(Topology("t", 0), std::invalid_argument);
+    EXPECT_THROW(Topology("t", -1), std::invalid_argument);
+}
+
+TEST(TopologyGraph, AttachAndQueryCores)
+{
+    Topology t{"t", 2};
+    const Core_id c0 = t.attach_core(Switch_id{0});
+    const Core_id c1 = t.attach_core(Switch_id{0});
+    const Core_id c2 = t.attach_core(Switch_id{1});
+    EXPECT_EQ(t.core_count(), 3);
+    EXPECT_EQ(t.core_switch(c0), Switch_id{0});
+    EXPECT_EQ(t.core_switch(c2), Switch_id{1});
+    EXPECT_EQ(t.switch_cores(Switch_id{0}).size(), 2u);
+    EXPECT_EQ(t.switch_cores(Switch_id{0})[1], c1);
+}
+
+TEST(TopologyGraph, RejectsSelfLoopAndBadIds)
+{
+    Topology t{"t", 2};
+    EXPECT_THROW(t.add_link(Switch_id{0}, Switch_id{0}), std::invalid_argument);
+    EXPECT_THROW(t.add_link(Switch_id{0}, Switch_id{9}), std::out_of_range);
+    EXPECT_THROW(t.attach_core(Switch_id{5}), std::out_of_range);
+    EXPECT_THROW(t.add_link(Switch_id{0}, Switch_id{1}, -1),
+                 std::invalid_argument);
+}
+
+TEST(TopologyGraph, PortNumberingConvention)
+{
+    // Switch 0 hosts two cores and has one outgoing + one incoming link.
+    Topology t{"t", 2};
+    const Core_id c0 = t.attach_core(Switch_id{0});
+    const Core_id c1 = t.attach_core(Switch_id{0});
+    t.attach_core(Switch_id{1});
+    const Link_id l01 = t.add_link(Switch_id{0}, Switch_id{1});
+    const Link_id l10 = t.add_link(Switch_id{1}, Switch_id{0});
+
+    // Output ports of switch 0: [eject c0, eject c1, link l01].
+    EXPECT_EQ(t.output_port_count(Switch_id{0}), 3);
+    EXPECT_EQ(t.ejection_port_of_core(c0), Port_id{0});
+    EXPECT_EQ(t.ejection_port_of_core(c1), Port_id{1});
+    EXPECT_EQ(t.output_port_of_link(l01), Port_id{2});
+    // Input ports of switch 0: [inject c0, inject c1, link l10].
+    EXPECT_EQ(t.input_port_count(Switch_id{0}), 3);
+    EXPECT_EQ(t.input_port_of_link(l10), Port_id{2});
+    // Inverse mapping.
+    EXPECT_EQ(t.link_of_output_port(Switch_id{0}, Port_id{2}), l01);
+    EXPECT_FALSE(t.link_of_output_port(Switch_id{0}, Port_id{0}).is_valid());
+}
+
+TEST(TopologyGraph, BidirAddsBothDirections)
+{
+    Topology t{"t", 2};
+    t.add_bidir_link(Switch_id{0}, Switch_id{1}, 3);
+    ASSERT_EQ(t.link_count(), 2);
+    EXPECT_EQ(t.link(Link_id{0}).from, Switch_id{0});
+    EXPECT_EQ(t.link(Link_id{1}).from, Switch_id{1});
+    EXPECT_EQ(t.link(Link_id{0}).pipeline_stages, 3);
+    EXPECT_EQ(t.link(Link_id{1}).pipeline_stages, 3);
+}
+
+TEST(TopologyGraph, MaxRadix)
+{
+    Topology t{"t", 3};
+    t.attach_core(Switch_id{0});
+    t.add_bidir_link(Switch_id{0}, Switch_id{1});
+    t.add_bidir_link(Switch_id{0}, Switch_id{2});
+    // Switch 0: 1 core + 2 links = 3 ports each way.
+    EXPECT_EQ(t.max_radix(), 3);
+}
+
+TEST(TopologyGraph, PositionsRoundTrip)
+{
+    Topology t{"t", 1};
+    EXPECT_FALSE(t.switch_position(Switch_id{0}).has_value());
+    t.set_switch_position(Switch_id{0}, {1.5, 2.5});
+    ASSERT_TRUE(t.switch_position(Switch_id{0}).has_value());
+    EXPECT_EQ(t.switch_position(Switch_id{0})->x, 1.5);
+}
+
+TEST(TopologyGraph, ValidatePassesOnWellFormed)
+{
+    Topology t{"t", 2};
+    t.attach_core(Switch_id{0});
+    t.add_bidir_link(Switch_id{0}, Switch_id{1});
+    EXPECT_NO_THROW(t.validate());
+}
+
+} // namespace
+} // namespace noc

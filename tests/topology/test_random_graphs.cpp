@@ -1,0 +1,114 @@
+// Randomized property testing: up*/down* routing must connect every core
+// pair deadlock-free on *arbitrary* connected topologies, and the whole
+// sim stack must conserve packets on them. Seeds are fixed, so failures
+// reproduce.
+#include "arch/noc_system.h"
+#include "common/rng.h"
+#include "topology/deadlock.h"
+#include "topology/routing.h"
+#include "traffic/patterns.h"
+#include "traffic/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+/// Random connected multigraph: a random spanning tree plus extra links.
+Topology random_topology(std::uint64_t seed)
+{
+    Rng rng{seed};
+    const int switches = 3 + static_cast<int>(rng.next_below(10));
+    Topology t{"rand" + std::to_string(seed), switches};
+    // Cores: 1-2 per switch.
+    for (int s = 0; s < switches; ++s) {
+        const int cores = 1 + static_cast<int>(rng.next_below(2));
+        for (int c = 0; c < cores; ++c)
+            t.attach_core(Switch_id{static_cast<std::uint32_t>(s)});
+    }
+    // Spanning tree (random parent among earlier switches).
+    for (int s = 1; s < switches; ++s) {
+        const auto parent = static_cast<std::uint32_t>(
+            rng.next_below(static_cast<std::uint64_t>(s)));
+        t.add_bidir_link(Switch_id{static_cast<std::uint32_t>(s)},
+                         Switch_id{parent},
+                         static_cast<int>(rng.next_below(3)));
+    }
+    // Extra cross links.
+    const int extras = static_cast<int>(rng.next_below(
+        static_cast<std::uint64_t>(switches)));
+    for (int e = 0; e < extras; ++e) {
+        const auto a = static_cast<std::uint32_t>(
+            rng.next_below(static_cast<std::uint64_t>(switches)));
+        const auto b = static_cast<std::uint32_t>(
+            rng.next_below(static_cast<std::uint64_t>(switches)));
+        if (a == b) continue;
+        t.add_bidir_link(Switch_id{a}, Switch_id{b});
+    }
+    t.validate();
+    return t;
+}
+
+class RandomGraphProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomGraphProperty, UpDownRoutesConnectAndAreDeadlockFree)
+{
+    const Topology t = random_topology(GetParam());
+    const auto rank = spanning_tree_ranks(t, Switch_id{0});
+    const Route_set routes = updown_routes(t, rank);
+    // Connectivity: every pair routed, ending at the right ejection port.
+    for (int s = 0; s < t.core_count(); ++s) {
+        for (int d = 0; d < t.core_count(); ++d) {
+            if (s == d) continue;
+            const Core_id src{static_cast<std::uint32_t>(s)};
+            const Core_id dst{static_cast<std::uint32_t>(d)};
+            const Route& r = routes.at(src, dst);
+            ASSERT_FALSE(r.empty());
+            const auto path = route_switch_path(t, src, r);
+            ASSERT_EQ(path.back(), t.core_switch(dst));
+        }
+    }
+    EXPECT_TRUE(routes_deadlock_free(t, routes, 1));
+}
+
+TEST_P(RandomGraphProperty, SimulationConservesPacketsOnRandomGraphs)
+{
+    const Topology t = random_topology(GetParam());
+    const auto rank = spanning_tree_ranks(t, Switch_id{0});
+    Route_set routes = updown_routes(t, rank);
+    // ON/OFF needs round-trip margin for the random pipeline depths.
+    int max_latency = 1;
+    for (const auto& l : t.links())
+        max_latency = std::max(max_latency, 1 + l.pipeline_stages);
+    Network_params p;
+    p.fc = GetParam() % 2 == 0 ? Flow_control_kind::credit
+                               : Flow_control_kind::on_off;
+    p.buffer_depth = 2 * max_latency + 2;
+
+    Noc_system sys{t, std::move(routes), p};
+    auto pattern = std::shared_ptr<const Dest_pattern>(
+        make_uniform_pattern(t.core_count()));
+    for (int c = 0; c < t.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = 0.15;
+        sp.packet_size_flits = 3;
+        sp.seed = GetParam() * 1009 + static_cast<std::uint64_t>(c);
+        sys.ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+    sys.warmup(500);
+    sys.measure(2'000);
+    ASSERT_TRUE(sys.drain(50'000)) << "possible deadlock on seed "
+                                   << GetParam();
+    EXPECT_EQ(sys.stats().measured_created(),
+              sys.stats().measured_delivered());
+    EXPECT_GT(sys.stats().measured_delivered(), 50u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+} // namespace
+} // namespace noc

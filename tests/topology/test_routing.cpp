@@ -1,0 +1,296 @@
+#include "topology/deadlock.h"
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+namespace noc {
+namespace {
+
+/// A named (topology, routes, vc_count) case for the property suite.
+struct Routing_case {
+    std::string name;
+    std::function<std::pair<Topology, Route_set>()> build;
+    int vc_count = 1;
+};
+
+std::pair<Topology, Route_set> build_mesh_case(int w, int h, int conc = 1)
+{
+    Mesh_params p;
+    p.width = w;
+    p.height = h;
+    p.cores_per_switch = conc;
+    Topology t = make_mesh(p);
+    Route_set r = xy_routes(t, p);
+    return {std::move(t), std::move(r)};
+}
+
+const std::vector<Routing_case>& routing_cases()
+{
+    static const std::vector<Routing_case> cases = {
+        {"mesh2x2", [] { return build_mesh_case(2, 2); }, 1},
+        {"mesh4x4", [] { return build_mesh_case(4, 4); }, 1},
+        {"mesh8x10_teraflops", [] { return build_mesh_case(8, 10); }, 1},
+        {"mesh3x5_rect", [] { return build_mesh_case(3, 5); }, 1},
+        {"cmesh2x2x4", [] { return build_mesh_case(2, 2, 4); }, 1},
+        {"torus4x4",
+         [] {
+             Torus_params p;
+             p.width = 4;
+             p.height = 4;
+             Topology t = make_torus(p);
+             Route_set r = torus_routes(t, p);
+             return std::pair{std::move(t), std::move(r)};
+         },
+         2},
+        {"torus5x3",
+         [] {
+             Torus_params p;
+             p.width = 5;
+             p.height = 3;
+             Topology t = make_torus(p);
+             Route_set r = torus_routes(t, p);
+             return std::pair{std::move(t), std::move(r)};
+         },
+         2},
+        {"ring8",
+         [] {
+             Ring_params p;
+             p.node_count = 8;
+             Topology t = make_ring(p);
+             Route_set r = ring_routes(t, p);
+             return std::pair{std::move(t), std::move(r)};
+         },
+         2},
+        {"spidergon8",
+         [] {
+             Spidergon_params p;
+             p.node_count = 8;
+             Topology t = make_spidergon(p);
+             Route_set r = spidergon_routes(t, p);
+             return std::pair{std::move(t), std::move(r)};
+         },
+         2},
+        {"spidergon16",
+         [] {
+             Spidergon_params p;
+             p.node_count = 16;
+             Topology t = make_spidergon(p);
+             Route_set r = spidergon_routes(t, p);
+             return std::pair{std::move(t), std::move(r)};
+         },
+         2},
+        {"fat_tree_2_2",
+         [] {
+             Fat_tree ft = make_fat_tree({2, 2, 1.0});
+             Route_set r = updown_routes(ft.topology, ft.switch_rank);
+             return std::pair{std::move(ft.topology), std::move(r)};
+         },
+         1},
+        {"fat_tree_4_2",
+         [] {
+             Fat_tree ft = make_fat_tree({4, 2, 1.0});
+             Route_set r = updown_routes(ft.topology, ft.switch_rank);
+             return std::pair{std::move(ft.topology), std::move(r)};
+         },
+         1},
+        {"bone_star",
+         [] {
+             Star_params p;
+             p.clusters = 5;
+             p.cores_per_cluster = 2;
+             p.cores_at_root = 8;
+             p.root_count = 2;
+             Star s = make_star(p);
+             Route_set r = updown_routes(s.topology, s.switch_rank);
+             return std::pair{std::move(s.topology), std::move(r)};
+         },
+         1},
+        {"mesh_updown_spanning_tree",
+         [] {
+             Mesh_params p;
+             p.width = 3;
+             p.height = 3;
+             Topology t = make_mesh(p);
+             const auto rank = spanning_tree_ranks(t, Switch_id{4});
+             Route_set r = updown_routes(t, rank);
+             return std::pair{std::move(t), std::move(r)};
+         },
+         1},
+    };
+    return cases;
+}
+
+class RoutingProperty : public ::testing::TestWithParam<Routing_case> {};
+
+/// Every route must start at the source switch, traverse existing links,
+/// and end by ejecting at the destination core's switch.
+TEST_P(RoutingProperty, RoutesConnectAllPairs)
+{
+    const auto [topo, routes] = GetParam().build();
+    for (int s = 0; s < topo.core_count(); ++s) {
+        for (int d = 0; d < topo.core_count(); ++d) {
+            if (s == d) continue;
+            const Core_id src{static_cast<std::uint32_t>(s)};
+            const Core_id dst{static_cast<std::uint32_t>(d)};
+            const Route& r = routes.at(src, dst);
+            ASSERT_FALSE(r.empty()) << "missing route " << s << "->" << d;
+            Switch_id sw = topo.core_switch(src);
+            for (std::size_t h = 0; h < r.size(); ++h) {
+                ASSERT_LT(r[h].out_port, topo.output_port_count(sw));
+                const Link_id l =
+                    topo.link_of_output_port(sw, Port_id{r[h].out_port});
+                if (!l.is_valid()) {
+                    // Ejection: must be the last hop, at dst's switch, on
+                    // dst's ejection port.
+                    ASSERT_EQ(h + 1, r.size());
+                    ASSERT_EQ(sw, topo.core_switch(dst));
+                    ASSERT_EQ(Port_id{r[h].out_port},
+                              topo.ejection_port_of_core(dst));
+                } else {
+                    sw = topo.link(l).to;
+                }
+            }
+        }
+    }
+}
+
+/// The generated routing function must be deadlock-free on its VC budget.
+TEST_P(RoutingProperty, DeadlockFree)
+{
+    const auto [topo, routes] = GetParam().build();
+    const auto report = analyze_deadlock(topo, routes, GetParam().vc_count);
+    EXPECT_TRUE(report.acyclic) << report.to_string(topo);
+}
+
+/// Minimality where we guarantee it: XY and dimension-order routes never
+/// exceed the Manhattan switch distance (checked on route length).
+TEST_P(RoutingProperty, RouteLengthsAreSane)
+{
+    const auto [topo, routes] = GetParam().build();
+    const int upper = topo.switch_count() + 1; // generous diameter bound
+    for (int s = 0; s < topo.core_count(); ++s) {
+        for (int d = 0; d < topo.core_count(); ++d) {
+            if (s == d) continue;
+            const Core_id src{static_cast<std::uint32_t>(s)};
+            const Core_id dst{static_cast<std::uint32_t>(d)};
+            EXPECT_LE(static_cast<int>(routes.at(src, dst).size()), upper);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, RoutingProperty, ::testing::ValuesIn(routing_cases()),
+    [](const ::testing::TestParamInfo<Routing_case>& info) {
+        return info.param.name;
+    });
+
+TEST(XyRoutes, FollowsDimensionOrder)
+{
+    Mesh_params p;
+    p.width = 3;
+    p.height = 3;
+    const Topology t = make_mesh(p);
+    const Route_set r = xy_routes(t, p);
+    // Core 0 (0,0) to core 8 (2,2): X first then Y, 4 link hops + ejection.
+    const Route& route = r.at(Core_id{0}, Core_id{8});
+    EXPECT_EQ(route.size(), 5u);
+    const auto path = route_switch_path(t, Core_id{0}, route);
+    ASSERT_EQ(path.size(), 5u);
+    EXPECT_EQ(path[1], mesh_switch_at(p, 1, 0));
+    EXPECT_EQ(path[2], mesh_switch_at(p, 2, 0));
+    EXPECT_EQ(path[3], mesh_switch_at(p, 2, 1));
+    EXPECT_EQ(path[4], mesh_switch_at(p, 2, 2));
+}
+
+TEST(TorusRoutes, UsesWrapAndDateline)
+{
+    Torus_params p;
+    p.width = 4;
+    p.height = 4;
+    const Topology t = make_torus(p);
+    const Route_set r = torus_routes(t, p);
+    // (0,0) -> (3,0): one wrap hop in -x direction; the wrap hop uses vc 1.
+    const Route& route = r.at(Core_id{0}, Core_id{3});
+    ASSERT_EQ(route.size(), 2u); // wrap hop + ejection
+    EXPECT_EQ(route[0].out_vc, 1);
+}
+
+TEST(TorusRoutes, RequiresMinimumSize)
+{
+    Torus_params p;
+    p.width = 2;
+    p.height = 2;
+    const Topology t = make_torus(p);
+    EXPECT_THROW(torus_routes(t, p), std::invalid_argument);
+}
+
+TEST(RingRoutes, TakesShortestDirection)
+{
+    Ring_params p;
+    p.node_count = 8;
+    const Topology t = make_ring(p);
+    const Route_set r = ring_routes(t, p);
+    // 0 -> 2 clockwise: 2 hops + eject; 0 -> 6 counter-clockwise: same.
+    EXPECT_EQ(r.at(Core_id{0}, Core_id{2}).size(), 3u);
+    EXPECT_EQ(r.at(Core_id{0}, Core_id{6}).size(), 3u);
+}
+
+TEST(SpidergonRoutes, AcrossFirstShortensFarPairs)
+{
+    Spidergon_params p;
+    p.node_count = 16;
+    const Topology t = make_spidergon(p);
+    const Route_set r = spidergon_routes(t, p);
+    // Opposite node: a single across hop + ejection.
+    EXPECT_EQ(r.at(Core_id{0}, Core_id{8}).size(), 2u);
+    // Distance 5 > N/4: across (1) + ring (3) + eject = 5 < ring-only 5+1.
+    EXPECT_LE(r.at(Core_id{0}, Core_id{5}).size(), 5u);
+}
+
+TEST(UpdownRoutes, RejectsRankSizeMismatch)
+{
+    Mesh_params p;
+    const Topology t = make_mesh(p);
+    EXPECT_THROW(updown_routes(t, std::vector<int>(3, 0)),
+                 std::invalid_argument);
+}
+
+TEST(ShortestPathRoutes, MatchManhattanOnMesh)
+{
+    Mesh_params p;
+    p.width = 4;
+    p.height = 4;
+    const Topology t = make_mesh(p);
+    const Route_set r = shortest_path_routes(t);
+    for (int s = 0; s < 16; ++s) {
+        for (int d = 0; d < 16; ++d) {
+            if (s == d) continue;
+            const int manhattan_hops =
+                std::abs(s % 4 - d % 4) + std::abs(s / 4 - d / 4);
+            EXPECT_EQ(r.at(Core_id{static_cast<std::uint32_t>(s)},
+                           Core_id{static_cast<std::uint32_t>(d)})
+                          .size(),
+                      static_cast<std::size_t>(manhattan_hops) + 1);
+        }
+    }
+}
+
+TEST(FindLink, ThrowsOnMissing)
+{
+    Topology t{"t", 3};
+    t.add_link(Switch_id{0}, Switch_id{1});
+    EXPECT_THROW(find_link(t, Switch_id{1}, Switch_id{0}), std::logic_error);
+    EXPECT_NO_THROW(find_link(t, Switch_id{0}, Switch_id{1}));
+}
+
+TEST(SpanningTreeRanks, DisconnectedThrows)
+{
+    Topology t{"t", 2}; // no links
+    EXPECT_THROW(spanning_tree_ranks(t, Switch_id{0}), std::logic_error);
+}
+
+} // namespace
+} // namespace noc

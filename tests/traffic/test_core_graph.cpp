@@ -1,0 +1,97 @@
+#include "traffic/app_graphs.h"
+#include "traffic/core_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(CoreGraph, BuildAndQuery)
+{
+    Core_graph g{"t"};
+    const int a = g.add_core({"a", false, 1.0, Layer_id{0}});
+    const int b = g.add_core({"b", true, 2.0, Layer_id{0}});
+    g.add_flow({a, b, 100.0, 0.0, 64, false});
+    EXPECT_EQ(g.core_count(), 2);
+    EXPECT_EQ(g.flow_count(), 1);
+    EXPECT_EQ(g.core_index("b"), 1);
+    EXPECT_THROW(g.core_index("zzz"), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(g.total_bandwidth_mbps(), 100.0);
+    EXPECT_EQ(g.flows_from(a).size(), 1u);
+    EXPECT_EQ(g.flows_from(b).size(), 0u);
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(CoreGraph, ValidateCatchesBadFlows)
+{
+    Core_graph g{"t"};
+    const int a = g.add_core({"a", false, 1.0, Layer_id{0}});
+    g.add_flow({a, a, 100.0, 0.0, 64, false});
+    EXPECT_THROW(g.validate(), std::logic_error);
+
+    Core_graph g2{"t2"};
+    const int x = g2.add_core({"x", false, 1.0, Layer_id{0}});
+    const int y = g2.add_core({"y", false, 1.0, Layer_id{0}});
+    g2.add_flow({x, y, -5.0, 0.0, 64, false});
+    EXPECT_THROW(g2.validate(), std::logic_error);
+}
+
+TEST(AppGraphs, VopdShape)
+{
+    const Core_graph g = make_vopd_graph();
+    EXPECT_EQ(g.core_count(), 12);
+    EXPECT_GE(g.flow_count(), 12);
+    // The pipeline dominates: heaviest flow is 362 MB/s.
+    double max_bw = 0;
+    for (const auto& f : g.flows()) max_bw = std::max(max_bw, f.bandwidth_mbps);
+    EXPECT_DOUBLE_EQ(max_bw, 362.0);
+}
+
+TEST(AppGraphs, Mpeg4HasSdramHotspot)
+{
+    const Core_graph g = make_mpeg4_graph();
+    const int sdram = g.core_index("sdram");
+    double at_sdram = 0;
+    for (const auto& f : g.flows())
+        if (f.src == sdram || f.dst == sdram) at_sdram += f.bandwidth_mbps;
+    EXPECT_GT(at_sdram / g.total_bandwidth_mbps(), 0.7);
+}
+
+TEST(AppGraphs, FaustAggregateIsTenPointSixGbps)
+{
+    const Core_graph g = make_faust_receiver_graph();
+    EXPECT_EQ(g.core_count(), 10);
+    EXPECT_DOUBLE_EQ(g.total_bandwidth_mbps() * 8.0 / 1000.0, 10.6);
+    for (const auto& f : g.flows()) {
+        EXPECT_TRUE(f.is_critical);
+        EXPECT_GT(f.max_latency_ns, 0.0);
+    }
+}
+
+TEST(AppGraphs, MobileSocShape)
+{
+    const Core_graph g = make_mobile_soc_graph();
+    EXPECT_EQ(g.core_count(), 26);
+    EXPECT_GE(g.flow_count(), 38);
+    EXPECT_EQ(g.layer_count(), 1);
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(AppGraphs, MobileSoc3dAssignsLayers)
+{
+    const Core_graph g = make_mobile_soc_3d_graph(2);
+    EXPECT_EQ(g.layer_count(), 2);
+    EXPECT_THROW(make_mobile_soc_3d_graph(1), std::invalid_argument);
+}
+
+TEST(AppGraphs, AllGraphsValidate)
+{
+    for (const auto& g :
+         {make_vopd_graph(), make_mpeg4_graph(), make_mwd_graph(),
+          make_faust_receiver_graph(), make_mobile_soc_graph(),
+          make_mobile_soc_3d_graph(4)})
+        EXPECT_NO_THROW(g.validate());
+}
+
+} // namespace
+} // namespace noc

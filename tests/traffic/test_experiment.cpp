@@ -1,0 +1,109 @@
+#include "traffic/experiment.h"
+#include "traffic/app_graphs.h"
+#include "traffic/flow_traffic.h"
+
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(FlitsPerCycle, UnitConversion)
+{
+    // 400 MB/s at 1 GHz on 32-bit flits: 3.2e9 bits/s over 32e9 bits/s
+    // of link capacity = 0.1 flits/cycle.
+    std::uint32_t fpp = 0;
+    const double fpc = flits_per_cycle_for(400.0, 1.0, 32, 64, &fpp);
+    EXPECT_NEAR(fpc, 0.1, 1e-9);
+    EXPECT_EQ(fpp, 16u); // 64 bytes = 512 bits = 16 flits of 32 bits
+}
+
+TEST(FlitsPerCycle, RejectsBadArgs)
+{
+    EXPECT_THROW(flits_per_cycle_for(1.0, 0.0, 32, 64),
+                 std::invalid_argument);
+    EXPECT_THROW(flits_per_cycle_for(1.0, 1.0, 32, 0),
+                 std::invalid_argument);
+}
+
+TEST(Experiment, LoadCurveMonotoneInLatency)
+{
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 4;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    Sweep_config cfg;
+    cfg.warmup = 500;
+    cfg.measure = 3'000;
+
+    const auto factory = [&] {
+        return std::shared_ptr<const Dest_pattern>(
+            make_uniform_pattern(topo.core_count()));
+    };
+    const Load_point low =
+        run_synthetic_load(topo, routes, params, 0.05, factory, cfg);
+    const Load_point high =
+        run_synthetic_load(topo, routes, params, 0.35, factory, cfg);
+    EXPECT_TRUE(low.drained);
+    EXPECT_GT(low.packets, 100u);
+    EXPECT_GT(high.avg_packet_latency, low.avg_packet_latency);
+    // At low load, accepted ~= offered.
+    EXPECT_NEAR(low.accepted_flits_per_node_cycle, 0.05, 0.01);
+}
+
+TEST(Experiment, SaturationSearchIsInPlausibleRange)
+{
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 4;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    Sweep_config cfg;
+    cfg.warmup = 300;
+    cfg.measure = 2'000;
+    cfg.drain_limit = 20'000;
+
+    const double sat = find_saturation_throughput(
+        topo, routes, params,
+        [&] {
+            return std::shared_ptr<const Dest_pattern>(
+                make_uniform_pattern(topo.core_count()));
+        },
+        cfg);
+    // XY on 4x4 uniform saturates around 0.3-0.6 flits/node/cycle.
+    EXPECT_GT(sat, 0.15);
+    EXPECT_LT(sat, 0.8);
+}
+
+TEST(Experiment, VopdOnMeshMeetsBandwidth)
+{
+    // Map VOPD onto a 4x3 mesh in core-id order and check every flow
+    // achieves its demanded bandwidth at 1 GHz / 32-bit.
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 3;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    const Core_graph g = make_vopd_graph();
+
+    Sweep_config cfg;
+    cfg.warmup = 1'000;
+    cfg.measure = 20'000;
+    const Load_point pt =
+        run_application_load(topo, routes, params, g, 1.0, cfg);
+    EXPECT_TRUE(pt.drained);
+    EXPECT_GT(pt.packets, 100u);
+    // Accepted must match offered within statistical noise (network is
+    // far from saturation for VOPD at these parameters).
+    EXPECT_NEAR(pt.accepted_flits_per_node_cycle,
+                pt.offered_flits_per_node_cycle,
+                0.15 * pt.offered_flits_per_node_cycle);
+}
+
+} // namespace
+} // namespace noc

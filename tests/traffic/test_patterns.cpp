@@ -1,0 +1,103 @@
+#include "traffic/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace noc {
+namespace {
+
+TEST(Patterns, UniformNeverPicksSelfAndCoversAll)
+{
+    const auto p = make_uniform_pattern(8);
+    Rng rng{5};
+    std::map<std::uint32_t, int> hits;
+    for (int i = 0; i < 8'000; ++i) {
+        const Core_id d = p->pick(Core_id{3}, rng);
+        EXPECT_NE(d, Core_id{3});
+        EXPECT_LT(d.get(), 8u);
+        ++hits[d.get()];
+    }
+    EXPECT_EQ(hits.size(), 7u); // every other core reached
+    for (const auto& [core, n] : hits) EXPECT_NEAR(n, 8'000 / 7, 200);
+}
+
+TEST(Patterns, UniformRejectsTinySystems)
+{
+    EXPECT_THROW(make_uniform_pattern(1), std::invalid_argument);
+}
+
+TEST(Patterns, BitComplement)
+{
+    const auto p = make_bit_complement_pattern(16);
+    Rng rng{1};
+    EXPECT_EQ(p->pick(Core_id{0}, rng), Core_id{15});
+    EXPECT_EQ(p->pick(Core_id{5}, rng), Core_id{10});
+    EXPECT_THROW(make_bit_complement_pattern(12), std::invalid_argument);
+}
+
+TEST(Patterns, TransposeSwapsCoordinates)
+{
+    const auto p = make_transpose_pattern(4, 4);
+    Rng rng{1};
+    // (1,0) = core 1 -> (0,1) = core 4.
+    EXPECT_EQ(p->pick(Core_id{1}, rng), Core_id{4});
+    // (3,2) = core 11 -> (2,3) = core 14.
+    EXPECT_EQ(p->pick(Core_id{11}, rng), Core_id{14});
+    // Diagonal falls back to some other core.
+    EXPECT_NE(p->pick(Core_id{5}, rng), Core_id{5});
+    EXPECT_THROW(make_transpose_pattern(4, 3), std::invalid_argument);
+}
+
+TEST(Patterns, ShuffleRotatesBits)
+{
+    const auto p = make_shuffle_pattern(8);
+    Rng rng{1};
+    // 3 bits: 0b011 -> 0b110.
+    EXPECT_EQ(p->pick(Core_id{3}, rng), Core_id{6});
+    // 0b100 -> 0b001.
+    EXPECT_EQ(p->pick(Core_id{4}, rng), Core_id{1});
+    // 0 and 7 are fixed points -> fallback.
+    EXPECT_NE(p->pick(Core_id{0}, rng), Core_id{0});
+    EXPECT_NE(p->pick(Core_id{7}, rng), Core_id{7});
+}
+
+TEST(Patterns, NeighborPicksAdjacentOnly)
+{
+    const auto p = make_neighbor_pattern(4, 4);
+    Rng rng{3};
+    for (int i = 0; i < 1'000; ++i) {
+        const Core_id d = p->pick(Core_id{5}, rng); // (1,1)
+        const int dx = std::abs(static_cast<int>(d.get()) % 4 - 1);
+        const int dy = std::abs(static_cast<int>(d.get()) / 4 - 1);
+        EXPECT_EQ(dx + dy, 1);
+    }
+    // Corner has exactly two neighbors.
+    std::map<std::uint32_t, int> hits;
+    for (int i = 0; i < 1'000; ++i) ++hits[p->pick(Core_id{0}, rng).get()];
+    EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST(Patterns, HotspotConcentratesTraffic)
+{
+    const auto p = make_hotspot_pattern(16, {Core_id{0}}, 0.5);
+    Rng rng{7};
+    int hot = 0;
+    const int n = 10'000;
+    for (int i = 0; i < n; ++i)
+        if (p->pick(Core_id{9}, rng) == Core_id{0}) ++hot;
+    // 50% direct + (50% * 1/15) uniform spillover.
+    EXPECT_NEAR(static_cast<double>(hot) / n, 0.5 + 0.5 / 15, 0.02);
+}
+
+TEST(Patterns, TornadoHalfWayShift)
+{
+    const auto p = make_tornado_pattern(8, 1);
+    Rng rng{1};
+    // x=0 -> x + ceil(8/2)-1 = 3.
+    EXPECT_EQ(p->pick(Core_id{0}, rng), Core_id{3});
+    EXPECT_EQ(p->pick(Core_id{6}, rng), Core_id{1}); // wraps
+}
+
+} // namespace
+} // namespace noc

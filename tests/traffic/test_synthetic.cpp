@@ -1,0 +1,118 @@
+#include "traffic/synthetic.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(Bernoulli, RateMatchesOffered)
+{
+    Bernoulli_source::Params p;
+    p.flits_per_cycle = 0.2;
+    p.packet_size_flits = 4;
+    p.seed = 3;
+    Bernoulli_source src{Core_id{0},
+                         p,
+                         std::shared_ptr<const Dest_pattern>(
+                             make_uniform_pattern(8))};
+    const int cycles = 100'000;
+    std::uint64_t flits = 0;
+    for (int i = 0; i < cycles; ++i)
+        if (const auto d = src.poll(static_cast<Cycle>(i)))
+            flits += d->size_flits;
+    EXPECT_NEAR(static_cast<double>(flits) / cycles, 0.2, 0.01);
+}
+
+TEST(Bernoulli, ZeroRateGeneratesNothing)
+{
+    Bernoulli_source::Params p;
+    p.flits_per_cycle = 0.0;
+    Bernoulli_source src{Core_id{0},
+                         p,
+                         std::shared_ptr<const Dest_pattern>(
+                             make_uniform_pattern(4))};
+    for (int i = 0; i < 1'000; ++i)
+        EXPECT_FALSE(src.poll(static_cast<Cycle>(i)).has_value());
+}
+
+TEST(Bernoulli, RejectsBadParams)
+{
+    Bernoulli_source::Params p;
+    p.packet_size_flits = 0;
+    EXPECT_THROW(Bernoulli_source(Core_id{0}, p,
+                                  std::shared_ptr<const Dest_pattern>(
+                                      make_uniform_pattern(4))),
+                 std::invalid_argument);
+    EXPECT_THROW(Bernoulli_source(Core_id{0}, Bernoulli_source::Params{},
+                                  nullptr),
+                 std::invalid_argument);
+}
+
+TEST(Burst, AverageLoadMatchesOnFraction)
+{
+    Burst_source::Params p;
+    p.on_rate_flits_per_cycle = 0.6;
+    p.p_on_to_off = 0.02;
+    p.p_off_to_on = 0.02; // p_on = 0.5
+    p.packet_size_flits = 2;
+    p.seed = 11;
+    Burst_source src{Core_id{1},
+                     p,
+                     std::shared_ptr<const Dest_pattern>(
+                         make_uniform_pattern(8))};
+    const int cycles = 400'000;
+    std::uint64_t flits = 0;
+    for (int i = 0; i < cycles; ++i)
+        if (const auto d = src.poll(static_cast<Cycle>(i)))
+            flits += d->size_flits;
+    EXPECT_NEAR(static_cast<double>(flits) / cycles, 0.3, 0.02);
+}
+
+TEST(Burst, BurstinessExceedsBernoulliVariance)
+{
+    // Compare windowed variance of generated flits: the MMPP source must be
+    // burstier than Bernoulli at the same mean rate.
+    const auto windowed_variance = [](auto& src) {
+        const int windows = 2'000;
+        const int window = 100;
+        double sum = 0.0;
+        double sum_sq = 0.0;
+        Cycle now = 0;
+        for (int w = 0; w < windows; ++w) {
+            int cnt = 0;
+            for (int i = 0; i < window; ++i)
+                if (src.poll(now++).has_value()) ++cnt;
+            sum += cnt;
+            sum_sq += static_cast<double>(cnt) * cnt;
+        }
+        const double mean = sum / windows;
+        return std::pair{mean, sum_sq / windows - mean * mean};
+    };
+
+    Bernoulli_source::Params bp;
+    bp.flits_per_cycle = 0.3;
+    bp.packet_size_flits = 1;
+    bp.seed = 5;
+    Bernoulli_source b{Core_id{0},
+                       bp,
+                       std::shared_ptr<const Dest_pattern>(
+                           make_uniform_pattern(8))};
+    Burst_source::Params sp;
+    sp.on_rate_flits_per_cycle = 0.6;
+    sp.p_on_to_off = 0.01;
+    sp.p_off_to_on = 0.01;
+    sp.packet_size_flits = 1;
+    sp.seed = 5;
+    Burst_source s{Core_id{0},
+                   sp,
+                   std::shared_ptr<const Dest_pattern>(
+                       make_uniform_pattern(8))};
+
+    const auto [bm, bv] = windowed_variance(b);
+    const auto [sm, sv] = windowed_variance(s);
+    EXPECT_NEAR(bm, sm, 3.0); // similar mean load
+    EXPECT_GT(sv, 2.0 * bv);  // much burstier
+}
+
+} // namespace
+} // namespace noc

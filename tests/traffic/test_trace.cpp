@@ -1,0 +1,94 @@
+#include "arch/noc_system.h"
+#include "topology/routing.h"
+#include "traffic/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(TraceSource, RejectsUnsortedAndEmptyPackets)
+{
+    EXPECT_THROW(Trace_source({{10, Core_id{1}, 1, Traffic_class::request,
+                                Flow_id{}},
+                               {5, Core_id{1}, 1, Traffic_class::request,
+                                Flow_id{}}}),
+                 std::invalid_argument);
+    EXPECT_THROW(Trace_source({{0, Core_id{1}, 0, Traffic_class::request,
+                                Flow_id{}}}),
+                 std::invalid_argument);
+}
+
+TEST(TraceSource, ReleasesAtTimestamps)
+{
+    Trace_source src{{{5, Core_id{1}, 2, Traffic_class::request, Flow_id{}},
+                      {5, Core_id{2}, 3, Traffic_class::request, Flow_id{}},
+                      {9, Core_id{1}, 1, Traffic_class::request, Flow_id{}}}};
+    EXPECT_FALSE(src.poll(4).has_value());
+    const auto a = src.poll(5);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->dst, Core_id{1});
+    const auto b = src.poll(6); // second same-cycle event, released late
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(b->size_flits, 3u);
+    EXPECT_FALSE(src.poll(7).has_value());
+    EXPECT_TRUE(src.poll(9).has_value());
+    EXPECT_TRUE(src.done());
+}
+
+TEST(TraceParse, ParsesWithComments)
+{
+    const std::string text = "# cycle src dst size\n"
+                             "0 0 1 4\n"
+                             "\n"
+                             "7 1 0 2   # reply\n"
+                             "9 0 2 1\n";
+    const auto per_core = parse_trace(text, 3);
+    ASSERT_EQ(per_core.size(), 3u);
+    EXPECT_EQ(per_core[0].size(), 2u);
+    EXPECT_EQ(per_core[1].size(), 1u);
+    EXPECT_EQ(per_core[0][1].at, 9u);
+    EXPECT_EQ(per_core[1][0].size_flits, 2u);
+}
+
+TEST(TraceParse, RejectsMalformedInput)
+{
+    EXPECT_THROW(parse_trace("0 0 1", 2), std::invalid_argument);   // short
+    EXPECT_THROW(parse_trace("0 0 5 1", 2), std::invalid_argument); // id
+    EXPECT_THROW(parse_trace("0 1 1 4", 2), std::invalid_argument); // self
+    EXPECT_THROW(parse_trace("5 0 1 1\n1 0 1 1", 2),
+                 std::invalid_argument); // unsorted per core
+    EXPECT_THROW(parse_trace("", 0), std::invalid_argument);
+}
+
+TEST(TraceReplay, DrivesANetworkDeterministically)
+{
+    const std::string text = "0 0 3 4\n"
+                             "2 1 2 4\n"
+                             "10 0 2 2\n"
+                             "11 3 0 6\n"
+                             "30 2 1 1\n";
+    auto run = [&] {
+        Mesh_params mp;
+        mp.width = 2;
+        mp.height = 2;
+        Topology t = make_mesh(mp);
+        Route_set r = xy_routes(t, mp);
+        Noc_system sys{std::move(t), std::move(r), Network_params{}};
+        sys.stats().set_measurement_window(0, 1'000);
+        const auto per_core = parse_trace(text, 4);
+        for (int c = 0; c < 4; ++c)
+            sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+                .set_source(std::make_unique<Trace_source>(
+                    per_core[static_cast<std::size_t>(c)]));
+        EXPECT_TRUE(sys.drain(1'000));
+        return std::pair{sys.stats().packets_delivered(),
+                         sys.stats().packet_latency().mean()};
+    };
+    const auto a = run();
+    EXPECT_EQ(a.first, 5u);
+    EXPECT_EQ(a, run()); // bit-identical replay
+}
+
+} // namespace
+} // namespace noc
