@@ -1,0 +1,186 @@
+// Kernel throughput: activity-gated vs reference schedule.
+//
+// The design-flow argument for NoC products (§6) is fast design-space
+// exploration: sweeps evaluate many (topology, load, parameter) points, so
+// simulated cycles/sec is the bottleneck resource. This bench drives an 8x8
+// mesh with uniform-random Bernoulli traffic at three injection rates
+// through both kernel schedules, checks the runs are bit-identical, and
+// reports simulated cycles/sec and flit-hops/sec. Results are also written
+// to BENCH_kernel.json to seed the performance trajectory across PRs.
+#include "bench_util.h"
+
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace noc;
+
+namespace {
+
+constexpr int kMeshW = 8;
+constexpr int kMeshH = 8;
+constexpr Cycle kWarmup = 2'000;
+constexpr Cycle kMeasure = 50'000;
+const double kRates[] = {0.05, 0.15, 0.30};
+
+struct Mode_result {
+    double cycles_per_sec = 0.0;
+    double flit_hops_per_sec = 0.0;
+    std::uint64_t flit_hops = 0;       // total_flits_routed
+    std::uint64_t packets_delivered = 0;
+    double packet_latency_mean = 0.0;
+};
+
+Mesh_params mesh_params()
+{
+    Mesh_params mp;
+    mp.width = kMeshW;
+    mp.height = kMeshH;
+    return mp;
+}
+
+std::unique_ptr<Noc_system> build(const Topology& topo,
+                                  const Route_set& routes, double rate,
+                                  Kernel_mode mode)
+{
+    auto sys = std::make_unique<Noc_system>(topo, routes, Network_params{});
+    sys->kernel().set_mode(mode);
+    auto pattern = std::shared_ptr<const Dest_pattern>(
+        make_uniform_pattern(topo.core_count()));
+    for (int c = 0; c < topo.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = rate;
+        sp.seed = 31337 + static_cast<std::uint64_t>(c);
+        sys->ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+    return sys;
+}
+
+Mode_result run_mode(const Topology& topo, const Route_set& routes,
+                     double rate, Kernel_mode mode)
+{
+    auto sys = build(topo, routes, rate, mode);
+    sys->warmup(kWarmup);
+    const auto t0 = std::chrono::steady_clock::now();
+    sys->measure(kMeasure);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    Mode_result r;
+    r.cycles_per_sec = static_cast<double>(kMeasure) / secs;
+    r.flit_hops = sys->total_flits_routed();
+    r.flit_hops_per_sec = static_cast<double>(r.flit_hops) / secs;
+    r.packets_delivered = sys->stats().packets_delivered();
+    r.packet_latency_mean = sys->stats().packet_latency().mean();
+    return r;
+}
+
+/// Returns false on a gated-vs-reference divergence (deterministic, so a
+/// hard failure for CI); speedup numbers are reported but not gated on —
+/// they depend on the machine.
+bool run_figure()
+{
+    bench::print_banner(
+        "K1 / §6 — simulation-kernel throughput: activity gating",
+        "design-space exploration is bounded by simulator speed; gating "
+        "idle components (software clock gating) should pay most at the "
+        "low-to-medium loads that dominate sweeps");
+
+    const Mesh_params mp = mesh_params();
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+
+    std::printf("%-8s %15s %15s %15s %15s %9s\n", "rate", "ref cyc/s",
+                "gated cyc/s", "speedup", "flit-hops/s", "identical");
+
+    bool all_identical = true;
+    double speedup_at_low = 0.0;
+    double speedup_at_high = 0.0;
+    std::string json = "{\n  \"bench\": \"kernel_throughput\",\n"
+                       "  \"mesh\": \"" +
+                       std::to_string(kMeshW) + "x" +
+                       std::to_string(kMeshH) +
+                       "\",\n  \"measure_cycles\": " +
+                       std::to_string(kMeasure) + ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < std::size(kRates); ++i) {
+        const double rate = kRates[i];
+        const Mode_result ref =
+            run_mode(topo, routes, rate, Kernel_mode::reference);
+        const Mode_result gated =
+            run_mode(topo, routes, rate, Kernel_mode::activity_gated);
+        // Identical seeds + two-phase discipline => the two schedules must
+        // agree on every simulated quantity, bit for bit.
+        const bool identical =
+            ref.flit_hops == gated.flit_hops &&
+            ref.packets_delivered == gated.packets_delivered &&
+            ref.packet_latency_mean == gated.packet_latency_mean;
+        all_identical = all_identical && identical;
+        const double speedup = gated.cycles_per_sec / ref.cycles_per_sec;
+        if (i == 0) speedup_at_low = speedup;
+        speedup_at_high = speedup;
+        std::printf("%-8.2f %15.3e %15.3e %14.2fx %15.3e %9s\n", rate,
+                    ref.cycles_per_sec, gated.cycles_per_sec, speedup,
+                    gated.flit_hops_per_sec, identical ? "yes" : "NO");
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"rate\": %.2f, \"ref_cycles_per_sec\": %.1f, "
+            "\"gated_cycles_per_sec\": %.1f, \"speedup\": %.3f, "
+            "\"gated_flit_hops_per_sec\": %.1f, \"flit_hops\": %llu, "
+            "\"bit_identical\": %s}%s\n",
+            rate, ref.cycles_per_sec, gated.cycles_per_sec, speedup,
+            gated.flit_hops_per_sec,
+            static_cast<unsigned long long>(gated.flit_hops),
+            identical ? "true" : "false",
+            i + 1 < std::size(kRates) ? "," : "");
+        json += buf;
+    }
+    json += "  ]\n}\n";
+    if (std::FILE* f = std::fopen("BENCH_kernel.json", "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_kernel.json\n");
+    }
+
+    bench::print_verdict(
+        all_identical && speedup_at_low >= 2.0 && speedup_at_high >= 0.95,
+        "gated kernel bit-identical to reference; >= 2x cycles/sec at 5% "
+        "injection, no regression at the highest rate (measured " +
+            std::to_string(speedup_at_low) + "x low, " +
+            std::to_string(speedup_at_high) + "x high)");
+    return all_identical;
+}
+
+void bm_kernel_cycles(benchmark::State& state)
+{
+    const auto mode = static_cast<Kernel_mode>(state.range(0));
+    const double rate =
+        static_cast<double>(state.range(1)) / 100.0;
+    const Mesh_params mp = mesh_params();
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    auto sys = build(topo, routes, rate, mode);
+    sys->warmup(kWarmup);
+    for (auto _ : state) sys->kernel().run(1'000);
+    state.SetItemsProcessed(state.iterations() * 1'000); // simulated cycles
+}
+BENCHMARK(bm_kernel_cycles)
+    ->ArgsProduct({{static_cast<long>(Kernel_mode::activity_gated),
+                    static_cast<long>(Kernel_mode::reference)},
+                   {5, 15, 30}})
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    if (!run_figure()) return 1; // equivalence break: fail the CI smoke
+    return bench::run_benchmarks(argc, argv);
+}

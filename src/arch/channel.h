@@ -5,6 +5,20 @@
 // t + latency, for exactly one cycle. Because readers can only observe
 // values committed in earlier cycles, simulation results are independent of
 // the order in which the kernel steps components (see sim/kernel.h).
+//
+// Channels participate in the kernel's activity gating (kernel.h) two ways:
+//
+//   * commit() — the devirtualized per-cycle shift used by Channel_group.
+//     It fast-paths a completely empty pipeline (one load + branch), wraps
+//     the ring head with compare-and-reset instead of a modulo, and
+//     specializes the common latency-1 case to a single register move. It
+//     returns whether the output stage is occupied so the group can wake
+//     the reader on exactly the cycle the value becomes visible.
+//
+//   * advance() — the naive virtual path, kept bit-for-bit equivalent for
+//     Kernel_mode::reference and for channels driven directly as Components
+//     (unit tests). Both paths maintain the same occupancy accounting, so a
+//     kernel may switch modes mid-run.
 #pragma once
 
 #include "sim/kernel.h"
@@ -17,12 +31,29 @@
 
 namespace noc {
 
+template<typename T> class Channel_group;
+
+/// Push-mode consumer: the channel hands each value over at the commit that
+/// makes it visible, instead of the consumer polling out() during step().
+/// State-only consumers (flow-control token counters) use this so a token
+/// arrival does not need to wake a whole component just to be read — and
+/// since BOTH kernel schedules deliver at the same commit, push consumption
+/// cannot diverge between them.
+template<typename T>
+class Value_sink {
+public:
+    virtual ~Value_sink() = default;
+    virtual void deliver(const T& v) = 0;
+};
+
 template<typename T>
 class Pipeline_channel final : public Component {
+    friend class Channel_group<T>;
 public:
     explicit Pipeline_channel(int latency, std::string name = "channel")
         : name_{std::move(name)},
-          ring_(static_cast<std::size_t>(latency))
+          ring_(static_cast<std::size_t>(latency)),
+          single_stage_{latency == 1}
     {
         if (latency < 1)
             throw std::invalid_argument{"Pipeline_channel: latency < 1"};
@@ -34,18 +65,72 @@ public:
         if (pending_)
             throw std::logic_error{name_ + ": double write in one cycle"};
         pending_ = std::move(v);
+        // Group-registered channels join their group's armed list so the
+        // per-cycle commit walks only channels with values in flight.
+        if (!armed_ && group_ != nullptr) group_->arm(this);
     }
 
     /// Output stage: the value written `latency` cycles ago, if any.
     [[nodiscard]] const std::optional<T>& out() const { return ring_[head_]; }
 
+    /// Devirtualized per-cycle shift (see header comment). Returns true when
+    /// the output stage holds a value after the shift.
+    bool commit()
+    {
+        // Fast path: nothing anywhere in the pipeline. Skipping the head
+        // advance is safe because with every slot empty the head position is
+        // unobservable — timing is measured in commits, not head offsets.
+        if (occupied_ == 0 && !pending_) return false;
+        if (single_stage_) {
+            // Latency 1: the pipeline is a single register.
+            occupied_ = pending_ ? 1 : 0;
+            ring_[0] = std::exchange(pending_, std::nullopt);
+            if (occupied_ == 0) return false;
+            if (sink_ != nullptr) sink_->deliver(*ring_[0]);
+            return true;
+        }
+        std::optional<T>& slot = ring_[head_];
+        if (slot) --occupied_;        // the value that just expired
+        if (pending_) ++occupied_;    // the value entering the pipeline
+        slot = std::exchange(pending_, std::nullopt);
+        if (++head_ == ring_.size()) head_ = 0;
+        if (!ring_[head_].has_value()) return false;
+        if (sink_ != nullptr) sink_->deliver(*ring_[head_]);
+        return true;
+    }
+
     /// Channels are passive in phase 1.
     void step(Cycle) override {}
 
+    [[nodiscard]] bool uses_advance() const override { return true; }
+
+    /// Reference path: the naive shift (modulo wrap, no empty fast path).
     void advance() override
     {
-        ring_[head_] = std::exchange(pending_, std::nullopt);
+        std::optional<T>& slot = ring_[head_];
+        if (slot) --occupied_;
+        if (pending_) ++occupied_;
+        slot = std::exchange(pending_, std::nullopt);
         head_ = (head_ + 1) % ring_.size();
+        if (ring_[head_].has_value() && sink_ != nullptr)
+            sink_->deliver(*ring_[head_]);
+    }
+
+    /// Wake edge: the component that reads out(); re-armed by the kernel
+    /// whenever a commit makes the output non-empty. Wired at build time by
+    /// the system builder (arch/noc_system.cpp).
+    void set_reader(Component* reader) { reader_ = reader; }
+    [[nodiscard]] Component* reader() const { return reader_; }
+
+    /// Push-mode consumer (see Value_sink). Values are still visible at
+    /// out() for the usual one cycle; the sink is called exactly once per
+    /// value, at the commit that makes it visible.
+    void set_sink(Value_sink<T>* sink) { sink_ = sink; }
+
+    /// True when no value is pending or in flight anywhere in the pipeline.
+    [[nodiscard]] bool quiet() const
+    {
+        return occupied_ == 0 && !pending_;
     }
 
     [[nodiscard]] std::string name() const override { return name_; }
@@ -64,7 +149,90 @@ private:
     std::vector<std::optional<T>> ring_;
     std::size_t head_ = 0;
     std::optional<T> pending_;
+    Component* reader_ = nullptr;
+    Value_sink<T>* sink_ = nullptr;
+    Channel_group<T>* group_ = nullptr; ///< set when group-registered
+    std::uint32_t occupied_ = 0;        ///< non-empty ring slots
+    bool armed_ = false;                ///< on the group's active list
+    bool single_stage_;
     std::uint64_t transfers_ = 0;
 };
+
+/// Flat typed channel array (see Channel_group_base in sim/kernel.h). The
+/// commit loop is direct calls into Pipeline_channel<T>::commit — the
+/// compiler sees the concrete type and inlines the fast paths. Only armed
+/// channels (a write seen, not yet drained) are walked each cycle: a
+/// channel arms itself on write() and is dropped from the list once its
+/// pipeline is empty again, so a quiet link costs nothing at all.
+template<typename T>
+class Channel_group final : public Channel_group_base {
+public:
+    void add(Pipeline_channel<T>* ch)
+    {
+        ch->group_ = this;
+        channels_.push_back(ch);
+        as_components_.push_back(ch);
+        if (!ch->quiet() && !ch->armed_) arm(ch);
+    }
+
+    void arm(Pipeline_channel<T>* ch)
+    {
+        // A sink/reader invoked during commit_all must not write a channel
+        // of the same group: the push would invalidate the loop below (and
+        // its commit would be silently dropped by the compaction). No
+        // current sink does; fail loudly if one starts to.
+        if (committing_)
+            throw std::logic_error{
+                "Channel_group: write() to an idle channel from inside the "
+                "group's own commit"};
+        ch->armed_ = true;
+        active_.push_back(ch);
+    }
+
+    void commit_all(Sim_kernel& kernel) override
+    {
+        committing_ = true;
+        std::size_t keep = 0;
+        for (auto* ch : active_) {
+            if (ch->commit() && ch->reader() != nullptr)
+                kernel.wake(ch->reader());
+            if (ch->quiet())
+                ch->armed_ = false; // drained: drop from the list
+            else
+                active_[keep++] = ch;
+        }
+        active_.resize(keep);
+        committing_ = false;
+    }
+
+    void advance_all_naive() override
+    {
+        for (auto* c : as_components_) c->advance();
+    }
+
+    void step_all_naive(Cycle now) override
+    {
+        for (auto* c : as_components_) c->step(now);
+    }
+
+    [[nodiscard]] std::size_t size() const override
+    {
+        return channels_.size();
+    }
+
+private:
+    std::vector<Pipeline_channel<T>*> channels_;
+    std::vector<Pipeline_channel<T>*> active_; ///< armed channels only
+    std::vector<Component*> as_components_; ///< virtual-dispatch reference path
+    bool committing_ = false;
+};
+
+template<typename T>
+void Sim_kernel::add_channel(Pipeline_channel<T>* ch)
+{
+    if (ch == nullptr)
+        throw std::invalid_argument{"Sim_kernel::add_channel: null channel"};
+    ensure_group<Channel_group<T>>().add(ch);
+}
 
 } // namespace noc

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace noc {
 
@@ -19,24 +20,43 @@ Link_sender::Link_sender(const Network_params& params, Flit_channel* data,
         throw std::invalid_argument{"Link_sender: null data channel"};
     if (tokens_ == nullptr && !ejection_)
         throw std::invalid_argument{"Link_sender: null token channel"};
+    if (tokens_ != nullptr) tokens_->set_sink(this);
 }
 
-void Link_sender::begin_cycle()
+Link_sender::Link_sender(Link_sender&& other) noexcept
+    : fc_{other.fc_},
+      ejection_{other.ejection_},
+      data_{other.data_},
+      tokens_{std::exchange(other.tokens_, nullptr)},
+      credits_{std::move(other.credits_)},
+      stop_mask_{other.stop_mask_},
+      retransmit_{std::move(other.retransmit_)},
+      window_{other.window_},
+      base_seq_{other.base_seq_},
+      next_seq_{other.next_seq_},
+      send_idx_{other.send_idx_},
+      sent_this_cycle_{other.sent_this_cycle_},
+      wire_mark_{other.wire_mark_},
+      wire_mark_valid_{other.wire_mark_valid_},
+      retransmissions_{other.retransmissions_},
+      flits_sent_{other.flits_sent_}
 {
-    sent_this_cycle_ = false;
-    if (ejection_ || tokens_ == nullptr) return;
-    const auto& token = tokens_->out();
-    if (!token) return;
-    switch (token->kind) {
+    // The sink registration is an address, so it must follow the object.
+    if (tokens_ != nullptr) tokens_->set_sink(this);
+}
+
+void Link_sender::deliver(const Fc_token& token)
+{
+    switch (token.kind) {
     case Fc_token::Kind::credit:
-        ++credits_[token->vc];
+        ++credits_[token.vc];
         break;
     case Fc_token::Kind::on_off_mask:
-        stop_mask_ = token->stop_mask;
+        stop_mask_ = token.stop_mask;
         break;
     case Fc_token::Kind::ack: {
         // Cumulative: everything up to and including link_seq is accepted.
-        while (!retransmit_.empty() && base_seq_ <= token->link_seq) {
+        while (!retransmit_.empty() && base_seq_ <= token.link_seq) {
             retransmit_.pop_front();
             ++base_seq_;
             if (send_idx_ > 0) --send_idx_;
@@ -45,9 +65,9 @@ void Link_sender::begin_cycle()
     }
     case Fc_token::Kind::nack:
         // Rewind to the sequence number the receiver expects.
-        if (token->link_seq >= base_seq_ &&
-            token->link_seq - base_seq_ <= retransmit_.size())
-            send_idx_ = token->link_seq - base_seq_;
+        if (token.link_seq >= base_seq_ &&
+            token.link_seq - base_seq_ <= retransmit_.size())
+            send_idx_ = token.link_seq - base_seq_;
         break;
     }
 }
@@ -92,9 +112,8 @@ void Link_sender::send(Flit f)
     data_->write(std::move(f));
 }
 
-void Link_sender::end_cycle()
+void Link_sender::transmit_from_window()
 {
-    if (ejection_ || fc_ != Flow_control_kind::ack_nack) return;
     if (send_idx_ >= retransmit_.size()) return;
     const Flit& f = retransmit_[send_idx_];
     // A flit is a retransmission when its sequence number was already put on

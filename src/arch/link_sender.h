@@ -23,14 +23,30 @@ namespace noc {
 using Flit_channel = Pipeline_channel<Flit>;
 using Token_channel = Pipeline_channel<Fc_token>;
 
-class Link_sender {
+/// Registers itself as the token channel's push sink: credits, masks and
+/// ACK/NACKs are folded into sender state at the commit that makes them
+/// visible, identically under both kernel schedules, so a token arrival
+/// never needs to wake the owning component just to be read. (A sender
+/// whose state demands action — an ACK/NACK retransmission backlog — keeps
+/// its owner awake via is_quiescent(); everything else is passive until the
+/// owner has flits to push.)
+class Link_sender final : public Value_sink<Fc_token> {
 public:
     /// `tokens` may be null only for ejection ports (no flow control).
     Link_sender(const Network_params& params, Flit_channel* data,
                 Token_channel* tokens, bool is_ejection);
 
-    /// Phase 1 entry: consume the reverse-channel token, if any.
-    void begin_cycle();
+    Link_sender(const Link_sender&) = delete;
+    Link_sender& operator=(const Link_sender&) = delete;
+    Link_sender(Link_sender&& other) noexcept;
+    Link_sender& operator=(Link_sender&&) = delete;
+
+    /// Phase 1 entry: arm for this cycle's sends (token consumption happens
+    /// in deliver(), at channel-commit time).
+    void begin_cycle() { sent_this_cycle_ = false; }
+
+    /// Value_sink: fold one reverse-channel token into sender state.
+    void deliver(const Fc_token& token) override;
 
     /// May a flit be sent on effective VC `vc` this cycle? At most one
     /// send() per cycle overall.
@@ -40,8 +56,18 @@ public:
     void send(Flit f);
 
     /// Phase-1 exit for ACK/NACK: transmit (or retransmit) one buffered
-    /// flit. No-op for other schemes.
-    void end_cycle();
+    /// flit. No-op for other schemes (inline test, out-of-line work).
+    void end_cycle()
+    {
+        if (ejection_ || fc_ != Flow_control_kind::ack_nack) return;
+        transmit_from_window();
+    }
+
+    /// Sleep hook for the owning component: true when this sender needs no
+    /// further cycles on its own — credit/ON/OFF state is passive between
+    /// tokens (token arrivals wake the owner through the token channel), so
+    /// only an ACK/NACK retransmission backlog keeps a sender busy.
+    [[nodiscard]] bool is_quiescent() const { return retransmit_.empty(); }
 
     [[nodiscard]] bool is_ejection() const { return ejection_; }
     [[nodiscard]] int credits(int vc) const;
@@ -57,6 +83,8 @@ public:
     [[nodiscard]] std::uint64_t flits_sent() const { return flits_sent_; }
 
 private:
+    void transmit_from_window();
+
     Flow_control_kind fc_;
     bool ejection_;
     Flit_channel* data_;

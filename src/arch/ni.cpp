@@ -24,9 +24,16 @@ std::string Ni::name() const
     return "ni" + std::to_string(core_.get());
 }
 
+bool Ni::is_quiescent() const
+{
+    return idle() && sender_.is_quiescent() &&
+           (!source_ || source_may_sleep_);
+}
+
 void Ni::set_source(std::unique_ptr<Traffic_source> source)
 {
     source_ = std::move(source);
+    request_wake();
 }
 
 void Ni::set_slot_table(std::vector<Connection_id> slot_owner)
@@ -41,6 +48,9 @@ void Ni::set_slot_table(std::vector<Connection_id> slot_owner)
 
 void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
 {
+    // New work may arrive while this NI is descheduled (tests, transaction
+    // adapters, delivery listeners on other components).
+    request_wake();
     if (desc.dst == core_)
         throw std::invalid_argument{"Ni: packet addressed to self"};
     if (desc.size_flits == 0)
@@ -179,6 +189,18 @@ void Ni::step(Cycle now)
     inject(now);
     sender_.end_cycle();
     eject(now);
+
+    // Activity gating: if the source promises no poll before cycle `at`,
+    // this NI may sleep once otherwise idle — with a timed kernel wake at
+    // the promised cycle so the injection happens exactly when the
+    // reference schedule (which polls every cycle) would make it.
+    if (source_) {
+        const Cycle at = source_->next_poll_at(now);
+        source_may_sleep_ = at > now + 1; // also true for invalid_cycle
+        if (source_may_sleep_ && at != invalid_cycle && idle() &&
+            sender_.is_quiescent())
+            request_wake_at(at);
+    }
 }
 
 } // namespace noc

@@ -35,6 +35,13 @@ public:
        Flit_channel* eject_data, Network_stats* stats);
 
     void step(Cycle now) override;
+    /// Quiescent when idle(), the injection sender has no retransmission
+    /// backlog, and the traffic source (if any) has no poll due next cycle
+    /// (see Traffic_source::next_poll_at; a future injection is covered by
+    /// a timed kernel wake requested during step()). Credit returns and
+    /// ejected flits arrive over channels that re-wake this NI; work
+    /// enqueued from outside the simulation re-arms it via request_wake().
+    [[nodiscard]] bool is_quiescent() const override;
     [[nodiscard]] std::string name() const override;
 
     /// Install the packet generator (may be null: pure target core).
@@ -97,6 +104,8 @@ private:
     std::unordered_map<Packet_id, std::uint32_t> reassembly_;
     std::function<void(const Flit&, Cycle)> on_delivery_;
     std::uint64_t next_packet_seq_ = 0;
+    /// Source promise refreshed each step: no poll due next cycle.
+    bool source_may_sleep_ = false;
 };
 
 } // namespace noc

@@ -111,14 +111,41 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
             &stats_));
     }
 
+    // Channel -> reader wake edges, so the kernel's activity gating can
+    // re-arm exactly the component that observes each commit:
+    //   link data       -> downstream router;
+    //   injection data  -> the core's router;
+    //   ejection data   -> the NI.
+    // Token channels carry no wake edge: each Link_sender registers itself
+    // as its token channel's push sink, so credits/masks/ACKs fold into
+    // sender state at commit time without waking anything.
+    for (int i = 0; i < topology_.link_count(); ++i) {
+        const auto& l = topology_.links()[static_cast<std::size_t>(i)];
+        link_data_[static_cast<std::size_t>(i)]->set_reader(
+            routers_[l.to.get()].get());
+    }
+    for (int c = 0; c < topology_.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        const auto sw = topology_.core_switch(core).get();
+        inject_data_[core.get()]->set_reader(routers_[sw].get());
+        eject_data_[core.get()]->set_reader(nis_[core.get()].get());
+    }
+
     // Registration order is irrelevant to results (two-phase kernel).
+    // Components enter the scheduler; channels enter flat per-payload-type
+    // groups committed with a devirtualized loop (see sim/kernel.h).
     for (auto& n : nis_) kernel_.add(n.get());
     for (auto& r : routers_) kernel_.add(r.get());
-    for (auto& ch : link_data_) kernel_.add(ch.get());
-    for (auto& ch : link_tokens_) kernel_.add(ch.get());
-    for (auto& ch : inject_data_) kernel_.add(ch.get());
-    for (auto& ch : inject_tokens_) kernel_.add(ch.get());
-    for (auto& ch : eject_data_) kernel_.add(ch.get());
+    for (auto& ch : link_data_) kernel_.add_channel(ch.get());
+    for (auto& ch : link_tokens_) kernel_.add_channel(ch.get());
+    for (auto& ch : inject_data_) kernel_.add_channel(ch.get());
+    for (auto& ch : inject_tokens_) kernel_.add_channel(ch.get());
+    for (auto& ch : eject_data_) kernel_.add_channel(ch.get());
+
+    // Every input path to every component now carries a wake edge, so
+    // activity gating is sound (see sim/kernel.h). Callers can flip back to
+    // the naive schedule with kernel().set_mode(Kernel_mode::reference).
+    kernel_.set_mode(Kernel_mode::activity_gated);
 }
 
 void Noc_system::warmup(Cycle cycles)

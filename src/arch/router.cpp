@@ -36,6 +36,17 @@ Router::Router(Switch_id id, const Network_params& params,
     }
 }
 
+bool Router::is_quiescent() const
+{
+    if (buffered_ != 0) return false;
+    // Only ACK/NACK senders hold work of their own (a retransmission
+    // backlog); credit/ON-OFF sender state is passive between tokens.
+    if (params_.fc == Flow_control_kind::ack_nack)
+        for (const auto& o : outputs_)
+            if (!o.sender.is_quiescent()) return false;
+    return true;
+}
+
 std::string Router::name() const
 {
     return "router" + std::to_string(id_.get());
@@ -82,12 +93,11 @@ void Router::step(Cycle now)
 
     // Phase 2a: each input nominates one VC (GT priority, then round-robin).
     const int vcs = params_.total_vcs();
-    struct Nomination {
-        int vc = -1;
-        Request req;
-    };
-    std::vector<Nomination> nominated(inputs_.size());
-    std::vector<bool> vc_ready(static_cast<std::size_t>(vcs));
+    auto& nominated = nominated_;
+    nominated.assign(inputs_.size(), Nomination{});
+    auto& vc_ready = vc_ready_;
+    vc_ready.assign(static_cast<std::size_t>(vcs), false);
+    vc_req_.assign(static_cast<std::size_t>(vcs), Request{});
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
         Input& in = inputs_[i];
         // Dedicated GT VC wins unconditionally when ready.
@@ -97,17 +107,22 @@ void Router::step(Cycle now)
                 continue;
             }
         }
-        for (int v = 0; v < vcs; ++v)
-            vc_ready[static_cast<std::size_t>(v)] =
-                (params_.enable_gt && v == params_.gt_vc())
-                    ? false
-                    : classify(in, v).has_value();
+        for (int v = 0; v < vcs; ++v) {
+            const auto sv = static_cast<std::size_t>(v);
+            vc_ready[sv] = false;
+            if (params_.enable_gt && v == params_.gt_vc()) continue;
+            if (const auto req = classify(in, v)) {
+                vc_ready[sv] = true;
+                vc_req_[sv] = *req;
+            }
+        }
         const int v = in.vc_arb.pick(vc_ready);
-        if (v >= 0) nominated[i] = {v, *classify(in, v)};
+        if (v >= 0) nominated[i] = {v, vc_req_[static_cast<std::size_t>(v)]};
     }
 
     // Phase 2b: each output grants one nominee; GT has absolute priority.
-    std::vector<bool> wants(inputs_.size());
+    auto& wants = wants_;
+    wants.assign(inputs_.size(), false);
     for (std::size_t op = 0; op < outputs_.size(); ++op) {
         Output& out = outputs_[op];
         bool any = false;
@@ -144,6 +159,7 @@ void Router::step(Cycle now)
         const Nomination& nom = nominated[static_cast<std::size_t>(winner)];
         Vc_state& vs = in.vcs[static_cast<std::size_t>(nom.vc)];
         Flit f = vs.fifo->pop();
+        --buffered_;
         ++flits_routed_;
 
         if (is_head(f.kind)) {
@@ -199,6 +215,7 @@ void Router::deliver_arrival(Input& in, Cycle now)
         auto& fifo = *in.vcs[0].fifo;
         if (f.link_seq == in.expected_seq && !fifo.full()) {
             fifo.push(f);
+            ++buffered_;
             in.port.tokens->write(Fc_token{Fc_token::Kind::ack, 0, 0,
                                            in.expected_seq});
             ++in.expected_seq;
@@ -210,6 +227,7 @@ void Router::deliver_arrival(Input& in, Cycle now)
         return;
     }
     in.vcs.at(f.vc).fifo->push(f);
+    ++buffered_;
 }
 
 std::uint64_t Router::buffer_writes() const

@@ -47,6 +47,14 @@ public:
            std::vector<Router_output_port> outputs);
 
     void step(Cycle now) override;
+    /// Quiescent when every input VC FIFO is empty and every output sender
+    /// has nothing pending (no ACK/NACK backlog). Wormhole bindings and
+    /// credit counters are passive state: they need no cycles to persist,
+    /// and any event that can change them (flit or token arrival) travels
+    /// over an input channel that re-wakes the router. The last ON/OFF mask
+    /// published before sleeping is a pure function of this idle state, so
+    /// it stays valid upstream while the router is descheduled.
+    [[nodiscard]] bool is_quiescent() const override;
     [[nodiscard]] std::string name() const override;
 
     [[nodiscard]] Switch_id id() const { return id_; }
@@ -102,10 +110,25 @@ private:
 
     void deliver_arrival(Input& in, Cycle now);
 
+    struct Nomination {
+        int vc = -1;
+        Request req;
+    };
+
     Switch_id id_;
     Network_params params_;
     std::vector<Input> inputs_;
     std::vector<Output> outputs_;
+    // Per-cycle allocation scratch, hoisted out of step(): this is the
+    // simulator's hottest loop and a heap allocation per router per cycle
+    // dominated its cost.
+    std::vector<Nomination> nominated_;
+    std::vector<bool> vc_ready_;
+    std::vector<Request> vc_req_; ///< classify result cache, per VC
+    std::vector<bool> wants_;
+    /// Flits buffered across all input VC FIFOs, maintained incrementally
+    /// so the kernel's per-step is_quiescent() check is O(1).
+    std::uint32_t buffered_ = 0;
     std::uint64_t flits_routed_ = 0;
 };
 

@@ -29,6 +29,20 @@ public:
 
     /// Return a packet to enqueue this cycle, or nullopt.
     [[nodiscard]] virtual std::optional<Packet_desc> poll(Cycle now) = 0;
+
+    /// Earliest future cycle at which poll() could produce a packet or a
+    /// side effect (an RNG draw, a state transition), or invalid_cycle if
+    /// that can never happen again (e.g. an exhausted trace). The owning NI
+    /// uses this for activity gating: a return > now + 1 promises that
+    /// polls in (now, next) would be side-effect-free nullopts, so the NI
+    /// may sleep through the gap (with a timed kernel wake at `next`) and a
+    /// gated run stays bit-identical to the reference kernel, which does
+    /// issue those no-op polls. Sources that draw their RNG every cycle
+    /// must keep the default (now + 1: poll me every cycle).
+    [[nodiscard]] virtual Cycle next_poll_at(Cycle now) const
+    {
+        return now + 1;
+    }
 };
 
 } // namespace noc

@@ -44,13 +44,30 @@ public:
     }
 
     /// Uniform integer in [0, bound). bound == 0 returns 0.
+    ///
+    /// Lemire's nearly-divisionless bounded draw ("Fast Random Integer
+    /// Generation in an Interval", ACM TOMACS 2019): take the high word of a
+    /// 64x64 widening multiply, rejecting only the (probability bound/2^64)
+    /// low-word slice that would bias the result — the expensive `%` runs
+    /// once per rejection, not per draw. Exactly uniform, unlike the old
+    /// modulo reduction. Note this changes the value stream relative to the
+    /// pre-Lemire implementation (same u64 consumption outside the
+    /// vanishingly rare rejection path); the pinned-stream test in
+    /// tests/common/test_rng.cpp freezes the new stream.
     std::uint64_t next_below(std::uint64_t bound)
     {
         if (bound == 0) return 0;
-        // Lemire's nearly-divisionless method would be faster; modulo bias is
-        // below 2^-32 for the bounds used here (< 2^32), which is fine for a
-        // simulator.
-        return next_u64() % bound;
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next_u64()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound; // 2^64 % bound
+            while (lo < threshold) {
+                m = static_cast<unsigned __int128>(next_u64()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
     }
 
     /// Uniform double in [0, 1).

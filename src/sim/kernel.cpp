@@ -1,21 +1,110 @@
 #include "sim/kernel.h"
 
-#include <stdexcept>
-
 namespace noc {
 
 void Sim_kernel::add(Component* c)
 {
     if (c == nullptr)
         throw std::invalid_argument{"Sim_kernel::add: null component"};
+    c->sched_ = this;
+    c->sched_id_ = static_cast<std::uint32_t>(components_.size());
     components_.push_back(c);
+    awake_.push_back(1);
+    if (c->uses_advance()) advancers_.push_back(c);
+}
+
+void Sim_kernel::set_mode(Kernel_mode m)
+{
+    mode_ = m;
+    // Re-arm everything on a mode switch: the reference schedule does not
+    // maintain wake state, so stale sleep flags must not leak into a
+    // subsequent gated run.
+    for (auto& a : awake_) a = 1;
+}
+
+void Sim_kernel::wake_at(Component* c, Cycle at)
+{
+    if (c == nullptr || c->sched_ != this) return;
+    if (mode_ == Kernel_mode::reference) return; // everything steps anyway
+    if (at <= now_) {
+        awake_[c->sched_id_] = 1;
+        return;
+    }
+    timers_.emplace(at, c);
+}
+
+std::size_t Sim_kernel::channel_count() const
+{
+    std::size_t n = 0;
+    for (const auto& g : groups_) n += g->size();
+    return n;
+}
+
+std::size_t Sim_kernel::active_component_count() const
+{
+    std::size_t n = 0;
+    for (const auto a : awake_) n += a;
+    return n;
 }
 
 void Sim_kernel::run(Cycle cycles)
 {
+    if (mode_ == Kernel_mode::reference)
+        run_reference(cycles);
+    else
+        run_gated(cycles);
+}
+
+void Sim_kernel::run_reference(Cycle cycles)
+{
+    // The naive pre-gating schedule: every component steps and advances
+    // through its virtual interface every cycle; channels in groups advance
+    // one virtual call at a time with no empty fast path.
     for (Cycle i = 0; i < cycles; ++i) {
         for (auto* c : components_) c->step(now_);
+        for (const auto& g : groups_) g->step_all_naive(now_);
+        for (const auto& g : groups_) g->advance_all_naive();
         for (auto* c : components_) c->advance();
+        ++now_;
+    }
+}
+
+void Sim_kernel::run_gated(Cycle cycles)
+{
+    const std::size_t n = components_.size();
+    stepped_.resize(n);
+    for (Cycle i = 0; i < cycles; ++i) {
+        // Timed self-wakes due this cycle.
+        while (!timers_.empty() && timers_.top().first <= now_) {
+            wake(timers_.top().second);
+            timers_.pop();
+        }
+
+        // Phase 1: step the active set; each stepped component that reports
+        // quiescent is descheduled on the spot. The snapshot (stepped_)
+        // keeps the later advance pass aligned with who actually stepped.
+        // The sleep decision happens before channel commits, so a
+        // commit-time wake overrides it and the component runs the cycle
+        // its input becomes visible; direct cross-component mutation during
+        // another component's step re-arms via request_wake().
+        for (std::size_t k = 0; k < n; ++k) {
+            stepped_[k] = awake_[k];
+            if (awake_[k]) {
+                Component* c = components_[k];
+                c->step(now_);
+                if (c->is_quiescent()) awake_[k] = 0;
+            }
+        }
+
+        // Phase 2: devirtualized channel commit; wakes readers of channels
+        // whose output became non-empty.
+        for (const auto& g : groups_) g->commit_all(*this);
+
+        // Legacy component-registered channels commit through advance();
+        // nothing else declares one, so this loop is normally empty.
+        for (auto* c : advancers_)
+            if (stepped_[c->sched_id_]) c->advance();
+
         ++now_;
     }
 }

@@ -1,24 +1,87 @@
-// Cycle-driven, two-phase simulation kernel.
+// Cycle-driven, two-phase simulation kernel with activity gating.
 //
 // Components communicate exclusively through pipeline channels (see
 // arch/channel.h). Each simulated cycle has two phases:
 //
-//   1. step(cycle)  — every component reads the *outputs* of channels
+//   1. step(cycle)  — every *active* component reads the outputs of channels
 //                     (values written `latency` cycles ago) and writes new
-//                     values to channel *inputs*;
-//   2. advance()    — every channel shifts its pipeline by one stage.
+//                     values to channel inputs;
+//   2. commit       — every channel shifts its pipeline by one stage.
 //
 // Because reads see only values committed in earlier cycles, the result is
 // independent of component iteration order, which makes runs deterministic
 // and lets tests compare simulations component-by-component.
+//
+// Activity gating (the software analog of router clock gating) rests on two
+// mechanisms:
+//
+//   * Sleep/wake for components. After a component steps, the kernel asks
+//     is_quiescent(); a component that reports quiescent is descheduled and
+//     skipped on subsequent cycles until something wakes it. Channels
+//     registered through add_channel() carry a wake edge to their reader
+//     (wired by the system builder): whenever a commit makes a channel's
+//     output non-empty, the reader is re-armed for the next cycle — exactly
+//     the cycle at which it could first observe the value. Components may
+//     also re-arm themselves via request_wake() when mutated from outside
+//     the simulation (e.g. a packet enqueued between run() calls), or
+//     schedule a timed self-wake via request_wake_at() when their next
+//     action is known in advance (an NI whose source has already drawn its
+//     next injection cycle). State-only consumers can avoid wakes entirely:
+//     a channel with a Value_sink (arch/channel.h) pushes each value into
+//     the sink at the commit that makes it visible — flow-control tokens
+//     use this, so a returning credit updates the sender's counter without
+//     waking the router that owns it.
+//
+//   * Devirtualized channel commit. Channels registered via add_channel()
+//     are held in flat arrays per payload type and advanced with a direct
+//     (non-virtual, inlinable) loop — one virtual call per payload *type*
+//     per cycle instead of one per channel. The commit itself fast-paths
+//     fully-empty pipelines to a single load-and-branch.
+//
+// The sleep contract a component must honour to override is_quiescent():
+//
+//   quiescent  ==  "given no further input, every future step() is a no-op
+//                   with bit-identical external behaviour to not running"
+//
+// i.e. all FIFOs empty, no retransmission buffers pending, no RNG that must
+// be drawn every cycle (a source that draws its RNG per poll — Burst_source
+// today — is never quiescent: skipping a poll would desynchronize the
+// stream; Bernoulli_source sidesteps this by drawing geometric gaps and
+// naming its next injection cycle via next_poll_at), and anything it
+// periodically
+// publishes (e.g. an ON/OFF stop mask) is a pure function of that idle state
+// so the last published value stays correct while asleep. Under that
+// contract a gated run is bit-identical to the ungated one: a sleeping
+// component's steps would have been no-ops, and every input that could
+// change its state travels through a channel whose commit re-wakes it on
+// the exact cycle the value becomes visible.
+//
+// Gating is sound only when EVERY path by which input can reach a sleeping
+// component carries a wake edge. The kernel cannot verify that; the builder
+// that wires the edges asserts it by calling set_mode(activity_gated) —
+// Noc_system does. A bare kernel therefore defaults to
+// Kernel_mode::reference, the naive pre-gating schedule (every component
+// stepped and advanced through its virtual interface every cycle), which is
+// also what equivalence tests and benches diff the gated kernel against on
+// identical configurations.
 #pragma once
 
 #include "common/types.h"
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
 #include <string>
+#include <typeindex>
+#include <utility>
 #include <vector>
 
 namespace noc {
+
+class Sim_kernel;
+template<typename T> class Pipeline_channel;
 
 /// Anything clocked: routers, network interfaces, links, traffic sources.
 class Component {
@@ -30,10 +93,68 @@ public:
     virtual void step(Cycle now) = 0;
 
     /// Phase 2: commit pipeline state. Default: nothing to commit.
+    /// A component that overrides this must also override uses_advance() to
+    /// return true — the gated scheduler only visits declared advancers in
+    /// phase 2 (the reference schedule calls advance() on everything).
     virtual void advance() {}
+
+    /// Declares that advance() does real work (see above).
+    [[nodiscard]] virtual bool uses_advance() const { return false; }
+
+    /// May the kernel skip this component until one of its inputs commits a
+    /// value? Must follow the sleep contract in the header comment; the
+    /// default (never quiescent) is always safe.
+    [[nodiscard]] virtual bool is_quiescent() const { return false; }
 
     /// Diagnostic name used in error messages and traces.
     [[nodiscard]] virtual std::string name() const { return "component"; }
+
+protected:
+    /// Re-arm this component in its kernel's active set. Call when state
+    /// changes outside step() (e.g. work enqueued between run() calls).
+    /// No-op when the component is not registered with a kernel.
+    void request_wake();
+
+    /// Schedule a future self-wake: the component will be re-armed at the
+    /// start of cycle `at`. Used by components whose next action is known in
+    /// advance (e.g. an NI whose source has drawn its next injection cycle)
+    /// so they can sleep through the gap. Timers only affect scheduling,
+    /// never simulation state, and are ignored in reference mode (where
+    /// everything steps anyway).
+    void request_wake_at(Cycle at);
+
+private:
+    friend class Sim_kernel;
+    Sim_kernel* sched_ = nullptr;
+    std::uint32_t sched_id_ = 0;
+};
+
+/// One flat, devirtualized array of channels of a single payload type. The
+/// kernel talks to groups through this interface — one virtual dispatch per
+/// payload type per cycle; the per-channel loop inside is direct calls.
+class Channel_group_base {
+public:
+    virtual ~Channel_group_base() = default;
+
+    /// Gated commit: fast-path empty channels, wake readers of channels
+    /// whose output stage became non-empty.
+    virtual void commit_all(Sim_kernel& kernel) = 0;
+
+    /// Reference commit: the naive pre-gating path — one virtual advance()
+    /// per channel, no empty skip, no wakes.
+    virtual void advance_all_naive() = 0;
+
+    /// Reference phase 1: the seed kernel stepped channels too (a virtual
+    /// no-op each); reproduced so the reference baseline is cost-faithful.
+    virtual void step_all_naive(Cycle now) = 0;
+
+    [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+/// Kernel schedule selector (see header comment).
+enum class Kernel_mode : std::uint8_t {
+    activity_gated, ///< sleep/wake scheduling + devirtualized channel commit
+    reference,      ///< naive: every component, every cycle, fully virtual
 };
 
 /// Owns the component schedule and the global cycle counter. Components are
@@ -42,6 +163,26 @@ public:
 class Sim_kernel {
 public:
     void add(Component* c);
+
+    /// Register a channel for devirtualized commit. The channel must NOT
+    /// also be add()ed; its reader wake edge is wired via
+    /// Pipeline_channel::set_reader. Definition in arch/channel.h.
+    template<typename T> void add_channel(Pipeline_channel<T>* ch);
+
+    void set_mode(Kernel_mode m);
+    [[nodiscard]] Kernel_mode mode() const { return mode_; }
+
+    /// Re-arm `c` for the next cycle. Ignores components registered with a
+    /// different (or no) kernel.
+    void wake(Component* c)
+    {
+        if (c == nullptr || c->sched_ != this) return;
+        awake_[c->sched_id_] = 1;
+    }
+
+    /// Re-arm `c` at the start of cycle `at` (immediately if `at` has
+    /// passed). No-op in reference mode.
+    void wake_at(Component* c, Cycle at);
 
     /// Run `cycles` additional cycles.
     void run(Cycle cycles);
@@ -67,10 +208,52 @@ public:
     {
         return components_.size();
     }
+    [[nodiscard]] std::size_t channel_count() const;
+    /// Components currently armed to step next cycle (observability: the
+    /// activity gating win is component_count() minus this).
+    [[nodiscard]] std::size_t active_component_count() const;
 
 private:
+    void run_gated(Cycle cycles);
+    void run_reference(Cycle cycles);
+
+    /// Find-or-create the group holding channels of one payload type.
+    template<typename Group> Group& ensure_group()
+    {
+        const std::type_index key{typeid(Group)};
+        for (const auto& [k, g] : group_index_)
+            if (k == key) return static_cast<Group&>(*g);
+        auto owned = std::make_unique<Group>();
+        Group& ref = *owned;
+        groups_.push_back(std::move(owned));
+        group_index_.emplace_back(key, &ref);
+        return ref;
+    }
+
     std::vector<Component*> components_;
+    std::vector<Component*> advancers_; // components with uses_advance()
+    std::vector<std::uint8_t> awake_;   // parallel to components_
+    std::vector<std::uint8_t> stepped_; // scratch: stepped this cycle
+    std::vector<std::unique_ptr<Channel_group_base>> groups_;
+    std::vector<std::pair<std::type_index, Channel_group_base*>> group_index_;
+    /// Timed self-wakes, earliest first. Scheduling metadata only — never
+    /// simulation state — so drops and duplicates are harmless.
+    std::priority_queue<std::pair<Cycle, Component*>,
+                        std::vector<std::pair<Cycle, Component*>>,
+                        std::greater<>>
+        timers_;
     Cycle now_ = 0;
+    Kernel_mode mode_ = Kernel_mode::reference;
 };
+
+inline void Component::request_wake()
+{
+    if (sched_ != nullptr) sched_->wake(this);
+}
+
+inline void Component::request_wake_at(Cycle at)
+{
+    if (sched_ != nullptr) sched_->wake_at(this, at);
+}
 
 } // namespace noc

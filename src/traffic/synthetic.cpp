@@ -11,18 +11,34 @@ Bernoulli_source::Bernoulli_source(
     if (!pattern_) throw std::invalid_argument{"Bernoulli_source: pattern"};
     if (p_.flits_per_cycle < 0 || p_.packet_size_flits == 0)
         throw std::invalid_argument{"Bernoulli_source: bad params"};
+    p_packet_ =
+        p_.flits_per_cycle / static_cast<double>(p_.packet_size_flits);
 }
 
-std::optional<Packet_desc> Bernoulli_source::poll(Cycle)
+std::optional<Packet_desc> Bernoulli_source::poll(Cycle now)
 {
-    const double p_packet =
-        p_.flits_per_cycle / static_cast<double>(p_.packet_size_flits);
-    if (!rng_.next_bool(p_packet)) return std::nullopt;
+    if (p_packet_ <= 0.0) return std::nullopt;
+    if (!armed_) {
+        // First poll: the next success is next_geometric failures away,
+        // which may be this very cycle (gap 0) — exactly a per-cycle
+        // Bernoulli trial stream starting at `now`.
+        next_at_ = now + rng_.next_geometric(p_packet_);
+        armed_ = true;
+    }
+    if (now < next_at_) return std::nullopt;
     Packet_desc d;
     d.dst = pattern_->pick(self_, rng_);
     d.size_flits = p_.packet_size_flits;
     d.cls = p_.cls;
+    next_at_ = now + 1 + rng_.next_geometric(p_packet_);
     return d;
+}
+
+Cycle Bernoulli_source::next_poll_at(Cycle now) const
+{
+    if (p_packet_ <= 0.0) return invalid_cycle; // zero rate: never again
+    if (!armed_) return now + 1;                // must be polled to arm
+    return next_at_ > now + 1 ? next_at_ : now + 1;
 }
 
 Burst_source::Burst_source(Core_id self, Params p,

@@ -9,8 +9,15 @@
 
 namespace noc {
 
-/// Bernoulli process: each cycle a packet is generated with probability
-/// rate / size so the offered load is `rate` flits/cycle/node.
+/// Bernoulli process: a packet is generated each cycle with probability
+/// rate / size, so the offered load is `rate` flits/cycle/node.
+///
+/// Implemented with geometric inter-arrival gaps — the identical stochastic
+/// process (a Bernoulli trial per cycle IS a geometric gap between
+/// successes), but drawn one arrival at a time. Between arrivals poll() is a
+/// side-effect-free nullopt and next_poll_at() names the injection cycle,
+/// so an idle NI can sleep through the gap under activity gating instead of
+/// burning an RNG draw per simulated cycle.
 class Bernoulli_source final : public Traffic_source {
 public:
     struct Params {
@@ -24,12 +31,16 @@ public:
                      std::shared_ptr<const Dest_pattern> pattern);
 
     [[nodiscard]] std::optional<Packet_desc> poll(Cycle now) override;
+    [[nodiscard]] Cycle next_poll_at(Cycle now) const override;
 
 private:
     Core_id self_;
     Params p_;
     std::shared_ptr<const Dest_pattern> pattern_;
     Rng rng_;
+    double p_packet_ = 0.0;
+    Cycle next_at_ = invalid_cycle;
+    bool armed_ = false;
 };
 
 /// Two-state Markov-modulated (bursty) process: ON state injects like

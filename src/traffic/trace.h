@@ -32,6 +32,15 @@ public:
 
     [[nodiscard]] std::optional<Packet_desc> poll(Cycle now) override;
 
+    /// The next event's timestamp; invalid_cycle once the trace is
+    /// exhausted (the owning NI may then sleep for good once drained).
+    [[nodiscard]] Cycle next_poll_at(Cycle now) const override
+    {
+        if (done()) return invalid_cycle;
+        const Cycle at = events_[next_].at;
+        return at > now + 1 ? at : now + 1;
+    }
+
     [[nodiscard]] std::size_t remaining() const
     {
         return events_.size() - next_;
