@@ -2,6 +2,7 @@
 // the same physical link" (§3, Fig. 1a).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,21 @@ public:
 
     /// `requests[i]` true if requester i wants the resource this cycle.
     [[nodiscard]] int pick(const std::vector<bool>& requests);
+
+    /// Bitmask fast path for the router hot loop (requires size <= 64):
+    /// bit i set = requester i wants the resource. Identical grant sequence
+    /// to pick() — the first set bit at or cyclically after the grant
+    /// pointer wins and the pointer advances past it.
+    [[nodiscard]] int pick_mask(std::uint64_t requests)
+    {
+        if (requests == 0) return -1;
+        const std::uint64_t at_or_after = requests >> next_;
+        const int idx = at_or_after != 0
+                            ? next_ + std::countr_zero(at_or_after)
+                            : std::countr_zero(requests);
+        next_ = idx + 1 == size_ ? 0 : idx + 1;
+        return idx;
+    }
 
     [[nodiscard]] int size() const { return size_; }
 

@@ -215,6 +215,10 @@ public:
         for (auto* c : as_components_) c->step(now);
     }
 
+    /// No armed channel == no value pending or in flight anywhere (a
+    /// channel stays armed until its pipeline fully drains).
+    [[nodiscard]] bool all_quiet() const override { return active_.empty(); }
+
     [[nodiscard]] std::size_t size() const override
     {
         return channels_.size();

@@ -1,5 +1,44 @@
 // FLow control unITs — the atomic transfer unit of the network (§3: packets
 // "are then serialized into a sequence of flits before transmission").
+//
+// ## Flit ownership and lifetime (the Flit_pool contract)
+//
+// Flit payloads live in the per-system Flit_pool (arch/flit_pool.h); what
+// moves through channels, VC rings, source queues and retransmission
+// windows is a 4-byte Flit_ref handle. Every live handle has exactly one
+// OWNER — the container responsible for eventually releasing it — and any
+// number of transient borrows within a cycle:
+//
+//   * The NI ACQUIRES one slot per flit at INJECTION time (late
+//     materialization: enqueue_packet only queues a compact per-packet
+//     record, so open-loop backlogs hold no pool slots — see arch/ni.h).
+//   * Under credit / ON-OFF flow control, ownership moves linearly with the
+//     handle: source queue -> data channel -> router input VC ring ->
+//     next channel -> ... -> ejection channel -> receiving NI, which
+//     RELEASES the slot after reassembly bookkeeping and the delivery
+//     listener have run. Nothing on the path copies the payload.
+//   * Under ACK/NACK, Link_sender::send moves ownership into the sender's
+//     retransmission window (the output-buffering cost the paper ascribes
+//     to ACK/NACK schemes, §3). Each transmission puts an owned COPY of
+//     the window slot on the wire — never a borrow, because with go-back-N
+//     the same sequence number can be in flight twice and the cumulative
+//     ACK for the first transmission may retire and recycle the window
+//     slot while the duplicate is still crossing the link. The receiver
+//     owns every arriving wire copy: it keeps accepts (they go straight
+//     into the VC ring) and releases drops; the sender releases window
+//     slots as the cumulative ACK retires them. Ejection ports bypass the
+//     window, so their handles transfer ownership like the credit case.
+//
+// A Flit_ref held after its owner released it is DANGLING: dereferencing
+// one through Flit_pool::operator[] is a simulator bug (not a recoverable
+// condition) and throws in NOC_DEBUG builds; release builds do not check.
+// Mutating a pooled flit in place (Router::step advances route_index and
+// rewrites vc at switch traversal) is legal exactly because ownership is
+// unique — the one owner is the party doing the mutation.
+//
+// Flit& references obtained from the pool stay valid across acquire()
+// (chunked storage never relocates), so a delivery listener may enqueue new
+// packets while holding the delivered tail flit.
 #pragma once
 
 #include "arch/params.h"

@@ -1,0 +1,151 @@
+// Pooled flit storage: one slab of Flit payloads per system, addressed by
+// 32-bit handles.
+//
+// PR 1 showed that once the mesh fills up, simulation time is dominated by
+// copying ~80-byte Flit structs through deque-backed FIFOs. The fix is the
+// software analog of what silicon does (§4: "silicon-proven NoCs live or
+// die by buffer cost"): flit payloads live in ONE place — the pool — and
+// what actually flows through channels, VC buffers, source queues and
+// retransmission windows is a 4-byte Flit_ref handle. A hop moves one
+// 32-bit index instead of memcpying the struct.
+//
+// Storage is chunked (fixed-size arrays, never relocated), so a Flit& stays
+// valid across acquire() growth — callers may hold a reference while
+// enqueueing more packets (delivery listeners do exactly that). Handles are
+// recycled LIFO for cache warmth. See arch/flit.h for the ownership rules
+// that say who acquires and who releases.
+#pragma once
+
+#include "arch/flit.h"
+#include "common/noc_assert.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace noc {
+
+/// Handle to a pooled Flit. Trivially copyable, 4 bytes; the invalid value
+/// doubles as "no flit". A Flit_ref is owned by exactly one container at a
+/// time (see arch/flit.h); dereferencing a released handle is a bug that
+/// NOC_DEBUG builds catch in Flit_pool::operator[].
+struct Flit_ref {
+    static constexpr std::uint32_t invalid_index = 0xffff'ffffu;
+
+    std::uint32_t index = invalid_index;
+
+    [[nodiscard]] constexpr bool is_valid() const
+    {
+        return index != invalid_index;
+    }
+    friend constexpr bool operator==(Flit_ref, Flit_ref) = default;
+};
+
+/// Growable slab of Flits with a LIFO free list. Not thread-safe (one pool
+/// per Noc_system; the kernel is single-threaded).
+class Flit_pool {
+public:
+    /// Flits per chunk. Chunks are allocated whole and never freed until the
+    /// pool dies, so saturation backlogs cost a handful of mmaps, not a
+    /// realloc-and-copy of every live flit.
+    static constexpr std::uint32_t chunk_shift = 10;
+    static constexpr std::uint32_t chunk_size = 1u << chunk_shift;
+
+    explicit Flit_pool(std::uint32_t initial_capacity = chunk_size)
+    {
+        while (capacity_ < initial_capacity) add_chunk();
+    }
+
+    Flit_pool(const Flit_pool&) = delete;
+    Flit_pool& operator=(const Flit_pool&) = delete;
+
+    [[nodiscard]] Flit& operator[](Flit_ref ref)
+    {
+        NOC_ASSERT(ref.index < capacity_, "Flit_pool: bad handle");
+        NOC_ASSERT(live_flags_[ref.index], "Flit_pool: dangling handle");
+        return chunks_[ref.index >> chunk_shift][ref.index &
+                                                 (chunk_size - 1)];
+    }
+    [[nodiscard]] const Flit& operator[](Flit_ref ref) const
+    {
+        return const_cast<Flit_pool&>(*this)[ref];
+    }
+
+    /// Take a slot (default-initialized Flit). Grows by one chunk when the
+    /// free list is empty — exhaustion is growth, never failure, because a
+    /// source queue under open-loop overload is legitimately unbounded.
+    [[nodiscard]] Flit_ref acquire()
+    {
+        const Flit_ref ref = acquire_uninitialized();
+        chunks_[ref.index >> chunk_shift][ref.index & (chunk_size - 1)] =
+            Flit{};
+        return ref;
+    }
+
+    /// Like acquire() but leaves the recycled slot's contents unspecified —
+    /// for callers that overwrite the whole Flit immediately (the ACK/NACK
+    /// wire copy in Link_sender::transmit_from_window).
+    [[nodiscard]] Flit_ref acquire_uninitialized()
+    {
+        if (free_.empty()) add_chunk();
+        const std::uint32_t idx = free_.back();
+        free_.pop_back();
+#ifdef NOC_DEBUG
+        live_flags_[idx] = 1;
+#endif
+        ++live_;
+        if (live_ > high_water_) high_water_ = live_;
+        ++total_acquired_;
+        return Flit_ref{idx};
+    }
+
+    /// Return a slot to the free list. Double-release and releasing an
+    /// invalid handle are bugs; NOC_DEBUG builds throw.
+    void release(Flit_ref ref)
+    {
+        NOC_ASSERT(ref.index < capacity_, "Flit_pool: release of bad handle");
+        NOC_ASSERT(live_flags_[ref.index], "Flit_pool: double release");
+#ifdef NOC_DEBUG
+        live_flags_[ref.index] = 0;
+#endif
+        free_.push_back(ref.index);
+        --live_;
+    }
+
+    /// Slots currently acquired.
+    [[nodiscard]] std::uint32_t live() const { return live_; }
+    /// Maximum simultaneously-live slots ever seen (the buffer-cost number a
+    /// hardware implementation would have to provision).
+    [[nodiscard]] std::uint32_t high_water() const { return high_water_; }
+    [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+    [[nodiscard]] std::uint64_t total_acquired() const
+    {
+        return total_acquired_;
+    }
+
+private:
+    void add_chunk()
+    {
+        chunks_.push_back(std::make_unique<Flit[]>(chunk_size));
+        free_.reserve(capacity_ + chunk_size);
+        // Push in reverse so the LIFO free list hands out ascending indices.
+        for (std::uint32_t i = chunk_size; i-- > 0;)
+            free_.push_back(capacity_ + i);
+        capacity_ += chunk_size;
+#ifdef NOC_DEBUG
+        live_flags_.resize(capacity_, 0);
+#endif
+    }
+
+    std::vector<std::unique_ptr<Flit[]>> chunks_;
+    std::vector<std::uint32_t> free_;
+#ifdef NOC_DEBUG
+    std::vector<std::uint8_t> live_flags_;
+#endif
+    std::uint32_t capacity_ = 0;
+    std::uint32_t live_ = 0;
+    std::uint32_t high_water_ = 0;
+    std::uint64_t total_acquired_ = 0;
+};
+
+} // namespace noc

@@ -6,16 +6,20 @@
 
 namespace noc {
 
-Link_sender::Link_sender(const Network_params& params, Flit_channel* data,
-                         Token_channel* tokens, bool is_ejection)
+Link_sender::Link_sender(const Network_params& params, Flit_pool* pool,
+                         Flit_channel* data, Token_channel* tokens,
+                         bool is_ejection)
     : fc_{params.fc},
       ejection_{is_ejection},
+      pool_{pool},
       data_{data},
       tokens_{tokens},
       credits_(static_cast<std::size_t>(params.total_vcs()),
                params.buffer_depth),
-      window_{static_cast<std::size_t>(params.output_buffer_depth)}
+      retransmit_{static_cast<std::size_t>(params.output_buffer_depth)}
 {
+    if (pool_ == nullptr)
+        throw std::invalid_argument{"Link_sender: null flit pool"};
     if (data_ == nullptr)
         throw std::invalid_argument{"Link_sender: null data channel"};
     if (tokens_ == nullptr && !ejection_)
@@ -26,12 +30,14 @@ Link_sender::Link_sender(const Network_params& params, Flit_channel* data,
 Link_sender::Link_sender(Link_sender&& other) noexcept
     : fc_{other.fc_},
       ejection_{other.ejection_},
+      pool_{other.pool_},
       data_{other.data_},
       tokens_{std::exchange(other.tokens_, nullptr)},
+      wake_target_{other.wake_target_},
+      wake_on_token_{other.wake_on_token_},
       credits_{std::move(other.credits_)},
       stop_mask_{other.stop_mask_},
       retransmit_{std::move(other.retransmit_)},
-      window_{other.window_},
       base_seq_{other.base_seq_},
       next_seq_{other.next_seq_},
       send_idx_{other.send_idx_},
@@ -50,24 +56,43 @@ void Link_sender::deliver(const Fc_token& token)
     switch (token.kind) {
     case Fc_token::Kind::credit:
         ++credits_[token.vc];
+        if (wake_on_token_ && wake_target_ != nullptr)
+            wake_target_->request_wake();
         break;
     case Fc_token::Kind::on_off_mask:
-        stop_mask_ = token.stop_mask;
+        // Only a mask CHANGE can unblock (or block) anything; an active
+        // downstream router republishes the same mask every cycle.
+        if (token.stop_mask != stop_mask_) {
+            stop_mask_ = token.stop_mask;
+            if (wake_on_token_ && wake_target_ != nullptr)
+                wake_target_->request_wake();
+        }
         break;
     case Fc_token::Kind::ack: {
         // Cumulative: everything up to and including link_seq is accepted.
+        bool retired = false;
         while (!retransmit_.empty() && base_seq_ <= token.link_seq) {
-            retransmit_.pop_front();
+            pool_->release(retransmit_.pop());
             ++base_seq_;
             if (send_idx_ > 0) --send_idx_;
+            retired = true;
         }
+        // Retired slots free window space, which is what can_send() gates
+        // on for ACK/NACK — relevant only to a blocked-sleeping owner.
+        if (retired && wake_on_token_ && wake_target_ != nullptr)
+            wake_target_->request_wake();
         break;
     }
     case Fc_token::Kind::nack:
         // Rewind to the sequence number the receiver expects.
         if (token.link_seq >= base_seq_ &&
-            token.link_seq - base_seq_ <= retransmit_.size())
+            token.link_seq - base_seq_ <= retransmit_.size()) {
             send_idx_ = token.link_seq - base_seq_;
+            // The rewind creates transmission work: the owner may be asleep
+            // with a caught-up window, so always re-arm it.
+            if (send_idx_ < retransmit_.size() && wake_target_ != nullptr)
+                wake_target_->request_wake();
+        }
         break;
     }
 }
@@ -82,48 +107,54 @@ bool Link_sender::can_send(int vc) const
     case Flow_control_kind::on_off:
         return ((stop_mask_ >> vc) & 1u) == 0;
     case Flow_control_kind::ack_nack:
-        return retransmit_.size() < window_;
+        return !retransmit_.full();
     }
     return false;
 }
 
-void Link_sender::send(Flit f)
+void Link_sender::send(Flit_ref ref)
 {
-    if (sent_this_cycle_)
-        throw std::logic_error{"Link_sender: two sends in one cycle"};
+    NOC_ASSERT(!sent_this_cycle_, "Link_sender: two sends in one cycle");
     sent_this_cycle_ = true;
     ++flits_sent_;
     if (!ejection_) {
         switch (fc_) {
         case Flow_control_kind::credit:
-            if (credits_[f.vc] <= 0)
-                throw std::logic_error{"Link_sender: send without credit"};
-            --credits_[f.vc];
+            NOC_ASSERT(credits_[(*pool_)[ref].vc] > 0,
+                       "Link_sender: send without credit");
+            --credits_[(*pool_)[ref].vc];
             break;
         case Flow_control_kind::on_off:
             break;
         case Flow_control_kind::ack_nack:
-            f.link_seq = next_seq_++;
-            retransmit_.push_back(f);
-            return; // transmitted by end_cycle()
+            (*pool_)[ref].link_seq = next_seq_++;
+            retransmit_.push(ref); // owns the slot until ACKed
+            return;                // transmitted by end_cycle()
         }
     }
     data_->count_transfer();
-    data_->write(std::move(f));
+    data_->write(ref);
 }
 
 void Link_sender::transmit_from_window()
 {
     if (send_idx_ >= retransmit_.size()) return;
-    const Flit& f = retransmit_[send_idx_];
+    const Flit_ref ref = retransmit_[send_idx_];
+    const std::uint32_t seq = (*pool_)[ref].link_seq;
     // A flit is a retransmission when its sequence number was already put on
     // the wire once (i.e. it is at or below the wire high-water mark).
-    if (wire_mark_valid_ && f.link_seq <= wire_mark_) ++retransmissions_;
-    wire_mark_ = wire_mark_valid_ ? std::max(wire_mark_, f.link_seq)
-                                  : f.link_seq;
+    if (wire_mark_valid_ && seq <= wire_mark_) ++retransmissions_;
+    wire_mark_ = wire_mark_valid_ ? std::max(wire_mark_, seq) : seq;
     wire_mark_valid_ = true;
+    // The wire carries an owned COPY of the window slot, not a borrow: with
+    // go-back-N the same sequence number can be in flight twice, and the
+    // ACK for the first transmission may retire (and recycle) the window
+    // slot while the duplicate is still crossing the link. The receiver
+    // owns the copy — it releases drops and keeps accepts (arch/flit.h).
+    const Flit_ref wire = pool_->acquire_uninitialized();
+    (*pool_)[wire] = (*pool_)[ref];
     data_->count_transfer();
-    data_->write(f);
+    data_->write(wire);
     ++send_idx_;
 }
 

@@ -10,31 +10,47 @@
 //              an output (retransmission) buffer until acknowledged;
 //              a NACK rewinds the send pointer (go-back-N). This is the
 //              scheme that "requires output buffers" in the paper.
+//
+// Flits are pooled (arch/flit_pool.h): send() takes a Flit_ref. Credit and
+// ON/OFF senders pass ownership straight onto the wire; the ACK/NACK sender
+// moves ownership into its retransmission ring and each transmission puts
+// an owned COPY of the window slot on the wire (never a borrow — go-back-N
+// duplicates can still be in flight when the ACK recycles the window slot).
+// The receiver keeps accepts and releases drops; the sender releases window
+// slots as the cumulative ACK retires them (see arch/flit.h).
 #pragma once
 
 #include "arch/channel.h"
 #include "arch/flit.h"
+#include "arch/flit_pool.h"
 #include "arch/params.h"
-
-#include <deque>
+#include "arch/ring_fifo.h"
 
 namespace noc {
 
-using Flit_channel = Pipeline_channel<Flit>;
+using Flit_channel = Pipeline_channel<Flit_ref>;
 using Token_channel = Pipeline_channel<Fc_token>;
 
 /// Registers itself as the token channel's push sink: credits, masks and
 /// ACK/NACKs are folded into sender state at the commit that makes them
 /// visible, identically under both kernel schedules, so a token arrival
-/// never needs to wake the owning component just to be read. (A sender
-/// whose state demands action — an ACK/NACK retransmission backlog — keeps
-/// its owner awake via is_quiescent(); everything else is passive until the
-/// owner has flits to push.)
+/// never needs to wake the owning component just to be read.
+///
+/// Two exceptions re-arm the owning component from inside deliver():
+///   * a NACK that rewinds the send pointer creates retransmission work, so
+///     the owner is always woken (this is what lets ACK/NACK components
+///     sleep with a fully-transmitted, not-yet-acknowledged window);
+///   * while the owner is in a blocked-until-token sleep (the saturated
+///     fast path: every head flit blocked on credits/masks/window space),
+///     it arms wake_on_token() and any token that changes sender state
+///     re-arms it. ON/OFF masks only count as a change when the mask value
+///     actually differs — an active downstream router republishes the same
+///     mask every cycle, and waking on those would defeat the memo.
 class Link_sender final : public Value_sink<Fc_token> {
 public:
     /// `tokens` may be null only for ejection ports (no flow control).
-    Link_sender(const Network_params& params, Flit_channel* data,
-                Token_channel* tokens, bool is_ejection);
+    Link_sender(const Network_params& params, Flit_pool* pool,
+                Flit_channel* data, Token_channel* tokens, bool is_ejection);
 
     Link_sender(const Link_sender&) = delete;
     Link_sender& operator=(const Link_sender&) = delete;
@@ -52,8 +68,8 @@ public:
     /// send() per cycle overall.
     [[nodiscard]] bool can_send(int vc) const;
 
-    /// Commit a flit (f.vc must already be the effective VC).
-    void send(Flit f);
+    /// Commit a flit (its vc field must already be the effective VC).
+    void send(Flit_ref ref);
 
     /// Phase-1 exit for ACK/NACK: transmit (or retransmit) one buffered
     /// flit. No-op for other schemes (inline test, out-of-line work).
@@ -64,10 +80,22 @@ public:
     }
 
     /// Sleep hook for the owning component: true when this sender needs no
-    /// further cycles on its own — credit/ON/OFF state is passive between
-    /// tokens (token arrivals wake the owner through the token channel), so
-    /// only an ACK/NACK retransmission backlog keeps a sender busy.
-    [[nodiscard]] bool is_quiescent() const { return retransmit_.empty(); }
+    /// further cycles on its own. Credit/ON-OFF state is passive between
+    /// tokens; an ACK/NACK window whose send pointer has caught up is also
+    /// passive, because the only events that create new work — a NACK
+    /// rewind, or the owner queueing another flit — both re-arm the owner.
+    [[nodiscard]] bool is_quiescent() const
+    {
+        return send_idx_ >= retransmit_.size();
+    }
+
+    /// Saturated fast path: the component that owns this sender, re-armed
+    /// by deliver() per the rules in the class comment. Wired once at
+    /// construction time by Router / Ni.
+    void set_wake_target(Component* owner) { wake_target_ = owner; }
+    /// Armed by the owner when it enters a blocked-until-token sleep;
+    /// re-evaluated (typically disarmed) on its next step.
+    void set_wake_on_token(bool armed) { wake_on_token_ = armed; }
 
     [[nodiscard]] bool is_ejection() const { return ejection_; }
     [[nodiscard]] int credits(int vc) const;
@@ -75,6 +103,12 @@ public:
     [[nodiscard]] std::size_t output_buffer_occupancy() const
     {
         return retransmit_.size();
+    }
+    /// Retransmission-ring activity (buffer power modelling, like the VC
+    /// ring counters on the receive side).
+    [[nodiscard]] std::uint64_t output_buffer_writes() const
+    {
+        return retransmit_.write_count();
     }
     [[nodiscard]] std::uint64_t retransmissions() const
     {
@@ -87,13 +121,16 @@ private:
 
     Flow_control_kind fc_;
     bool ejection_;
+    Flit_pool* pool_;
     Flit_channel* data_;
     Token_channel* tokens_;
+    Component* wake_target_ = nullptr;
+    bool wake_on_token_ = false;
     std::vector<int> credits_;      // credit scheme, per VC
     std::uint32_t stop_mask_ = 0;   // on_off scheme
     // --- ack_nack sender state ---
-    std::deque<Flit> retransmit_;
-    std::size_t window_;
+    /// Unacknowledged flits, oldest first; owns its handles (see flit.h).
+    Ring_fifo<Flit_ref> retransmit_;
     std::uint32_t base_seq_ = 0; // seq of retransmit_.front()
     std::uint32_t next_seq_ = 0; // next fresh sequence number
     std::size_t send_idx_ = 0;   // next flit (index into retransmit_) to put

@@ -1,22 +1,25 @@
 #include "arch/ni.h"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace noc {
 
-Ni::Ni(Core_id core, const Network_params& params, const Route_set* routes,
-       Flit_channel* inject_data, Token_channel* inject_tokens,
-       Flit_channel* eject_data, Network_stats* stats)
+Ni::Ni(Core_id core, const Network_params& params, Flit_pool* pool,
+       const Route_set* routes, Flit_channel* inject_data,
+       Token_channel* inject_tokens, Flit_channel* eject_data,
+       Network_stats* stats)
     : core_{core},
       params_{params},
+      pool_{pool},
       routes_{routes},
-      sender_{params, inject_data, inject_tokens, false},
+      sender_{params, pool, inject_data, inject_tokens, false},
       eject_data_{eject_data},
       stats_{stats}
 {
-    if (routes_ == nullptr || eject_data_ == nullptr || stats_ == nullptr)
+    if (pool_ == nullptr || routes_ == nullptr || eject_data_ == nullptr ||
+        stats_ == nullptr)
         throw std::invalid_argument{"Ni: null dependency"};
+    sender_.set_wake_target(this);
 }
 
 std::string Ni::name() const
@@ -26,13 +29,13 @@ std::string Ni::name() const
 
 bool Ni::is_quiescent() const
 {
-    return idle() && sender_.is_quiescent() &&
-           (!source_ || source_may_sleep_);
+    return may_sleep_;
 }
 
 void Ni::set_source(std::unique_ptr<Traffic_source> source)
 {
     source_ = std::move(source);
+    may_sleep_ = false;
     request_wake();
 }
 
@@ -51,6 +54,8 @@ void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
     // New work may arrive while this NI is descheduled (tests, transaction
     // adapters, delivery listeners on other components).
     request_wake();
+    may_sleep_ = false;
+    enqueued_this_step_ = true;
     if (desc.dst == core_)
         throw std::invalid_argument{"Ni: packet addressed to self"};
     if (desc.size_flits == 0)
@@ -69,34 +74,58 @@ void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
     const bool measured = stats_->in_measurement(now);
     stats_->on_packet_created(desc.flow, now, measured);
 
-    for (std::uint32_t i = 0; i < desc.size_flits; ++i) {
-        Flit f;
-        if (desc.size_flits == 1)
-            f.kind = Flit_kind::head_tail;
-        else if (i == 0)
-            f.kind = Flit_kind::head;
-        else if (i + 1 == desc.size_flits)
-            f.kind = Flit_kind::tail;
-        else
-            f.kind = Flit_kind::body;
-        f.cls = desc.cls;
-        f.packet = pid;
-        f.flow = desc.flow;
-        f.conn = desc.conn;
-        f.src = core_;
-        f.dst = desc.dst;
-        f.index = i;
-        f.packet_size = desc.size_flits;
-        f.route = is_head(f.kind) ? route : nullptr;
-        f.route_index = 0;
-        if (is_tail(f.kind)) f.reply_flits = desc.reply_flits;
-        f.birth = now;
-        f.measured = measured;
-        if (f.cls == Traffic_class::gt)
-            gt_queue_.push_back(std::move(f));
-        else
-            queue_.push_back(std::move(f));
+    Pending_packet p;
+    p.dst = desc.dst;
+    p.size_flits = desc.size_flits;
+    p.reply_flits = desc.reply_flits;
+    p.cls = desc.cls;
+    p.flow = desc.flow;
+    p.conn = desc.conn;
+    p.route = route;
+    p.pid = pid;
+    p.birth = now;
+    p.measured = measured;
+    queued_flits_ += desc.size_flits;
+    if (desc.cls == Traffic_class::gt)
+        gt_queue_.push(p);
+    else
+        queue_.push(p);
+}
+
+Flit_ref Ni::materialize_flit(Pending_packet& p, Cycle now, int vc)
+{
+    const Flit_ref ref = pool_->acquire();
+    Flit& f = (*pool_)[ref];
+    const std::uint32_t i = p.next_flit;
+    if (p.size_flits == 1)
+        f.kind = Flit_kind::head_tail;
+    else if (i == 0)
+        f.kind = Flit_kind::head;
+    else if (i + 1 == p.size_flits)
+        f.kind = Flit_kind::tail;
+    else
+        f.kind = Flit_kind::body;
+    f.cls = p.cls;
+    f.packet = p.pid;
+    f.flow = p.flow;
+    f.conn = p.conn;
+    f.src = core_;
+    f.dst = p.dst;
+    f.index = i;
+    f.packet_size = p.size_flits;
+    f.route = is_head(f.kind) ? p.route : nullptr;
+    f.route_index = 0;
+    if (is_tail(f.kind)) f.reply_flits = p.reply_flits;
+    f.birth = p.birth;
+    f.measured = p.measured;
+    f.vc = static_cast<std::uint16_t>(vc);
+    if (is_head(f.kind)) {
+        f.inject = now;
+        stats_->on_packet_injected(now);
     }
+    ++p.next_flit;
+    --queued_flits_;
+    return ref;
 }
 
 void Ni::poll_source(Cycle now)
@@ -117,53 +146,49 @@ void Ni::release_replies(Cycle now)
 void Ni::inject(Cycle now)
 {
     // Æthereal slot gating: the current slot's owning connection may send
-    // its oldest queued flit (per-connection FIFO semantics over one queue).
+    // its oldest queued flit (per-connection FIFO semantics over one
+    // queue). GT packets are single-flit (enforced in enqueue_packet).
     if (!gt_queue_.empty()) {
         if (slot_owner_.empty())
             throw std::logic_error{"Ni: GT flit but no slot table"};
         const auto slot = static_cast<std::size_t>(now % slot_owner_.size());
         const Connection_id owner = slot_owner_[slot];
         if (owner.is_valid()) {
-            const auto it = std::find_if(
-                gt_queue_.begin(), gt_queue_.end(),
-                [owner](const Flit& f) { return f.conn == owner; });
-            if (it != gt_queue_.end()) {
+            for (std::size_t i = 0; i < gt_queue_.size(); ++i) {
+                if (gt_queue_[i].conn != owner) continue;
                 const int vc = params_.effective_vc(Traffic_class::gt, 0);
-                if (sender_.can_send(vc)) {
-                    Flit out = std::move(*it);
-                    gt_queue_.erase(it);
-                    out.vc = static_cast<std::uint16_t>(vc);
-                    out.inject = now;
-                    stats_->on_packet_injected(now);
-                    sender_.send(std::move(out));
-                    return; // one flit per cycle on the injection link
-                }
+                if (!sender_.can_send(vc)) break;
+                Pending_packet p = gt_queue_.erase_at(i);
+                const Flit_ref ref = materialize_flit(p, now, vc);
+                sent_this_step_ = true;
+                sender_.send(ref);
+                return; // one flit per cycle on the injection link
             }
         }
     }
 
     if (queue_.empty()) return;
-    Flit& f = queue_.front();
-    const int vc = params_.effective_vc(f.cls, 0);
+    Pending_packet& p = queue_.front();
+    const int vc = params_.effective_vc(p.cls, 0);
     if (!sender_.can_send(vc)) return;
-    Flit out = std::move(f);
-    queue_.pop_front();
-    out.vc = static_cast<std::uint16_t>(vc);
-    if (is_head(out.kind)) {
-        out.inject = now;
-        stats_->on_packet_injected(now);
-    }
-    sender_.send(std::move(out));
+    const Flit_ref ref = materialize_flit(p, now, vc);
+    if (p.next_flit == p.size_flits) (void)queue_.pop();
+    sent_this_step_ = true;
+    sender_.send(ref);
 }
 
 void Ni::eject(Cycle now)
 {
     const auto& arriving = eject_data_->out();
     if (!arriving) return;
-    const Flit& f = *arriving;
+    const Flit_ref ref = *arriving;
+    const Flit& f = (*pool_)[ref];
     auto& received = reassembly_[f.packet];
     ++received;
-    if (!is_tail(f.kind)) return;
+    if (!is_tail(f.kind)) {
+        pool_->release(ref); // ownership ended at ejection
+        return;
+    }
     if (received != f.packet_size)
         throw std::logic_error{"Ni: tail arrived before full packet "
                                "(wormhole ordering violated)"};
@@ -179,10 +204,49 @@ void Ni::eject(Cycle now)
         reply.flow = f.flow;
         pending_replies_.emplace_back(now + reply_latency_, reply);
     }
+    pool_->release(ref);
+}
+
+void Ni::compute_sleep(Cycle now)
+{
+    // Drained sleep: nothing queued anywhere, sender caught up, source
+    // quiet. Partial reassemblies are pure state — the flits that complete
+    // them arrive over the eject channel, whose wake edge re-arms us.
+    const bool source_quiet = !source_ || source_may_sleep_;
+    bool sleep = false;
+    bool blocked = false;
+    if (queue_.empty() && gt_queue_.empty()) {
+        sleep = sender_.is_quiescent() && source_quiet;
+    } else if (!queue_.empty() && gt_queue_.empty() && !sent_this_step_ &&
+               !enqueued_this_step_) {
+        // Injection-blocked sleep (saturated fast path): a backlog exists
+        // but this whole step neither sent nor enqueued, so the head flit
+        // is blocked on link-level flow control — passive until a token
+        // changes sender state. GT backlogs keep us awake: their gating is
+        // a function of the cycle number (TDMA slot), not of an event.
+        sleep = sender_.is_quiescent() && source_quiet;
+        blocked = sleep;
+    }
+    // A reply due this cycle or next needs a step NOW; a timed wake cannot
+    // express "this cycle" (the kernel would clobber it with the sleep
+    // decision), so stay awake for it.
+    if (!pending_replies_.empty() && pending_replies_.front().first <= now)
+        sleep = blocked = false;
+    if (sleep) {
+        // Timed wakes for everything we promised to do later.
+        if (source_ && next_source_poll_ != invalid_cycle)
+            request_wake_at(next_source_poll_);
+        if (!pending_replies_.empty())
+            request_wake_at(pending_replies_.front().first);
+    }
+    sender_.set_wake_on_token(blocked);
+    may_sleep_ = sleep;
 }
 
 void Ni::step(Cycle now)
 {
+    sent_this_step_ = false;
+    enqueued_this_step_ = false;
     sender_.begin_cycle();
     release_replies(now);
     poll_source(now);
@@ -191,16 +255,15 @@ void Ni::step(Cycle now)
     eject(now);
 
     // Activity gating: if the source promises no poll before cycle `at`,
-    // this NI may sleep once otherwise idle — with a timed kernel wake at
-    // the promised cycle so the injection happens exactly when the
+    // this NI may sleep once otherwise passive — with a timed kernel wake
+    // at the promised cycle so the injection happens exactly when the
     // reference schedule (which polls every cycle) would make it.
     if (source_) {
         const Cycle at = source_->next_poll_at(now);
         source_may_sleep_ = at > now + 1; // also true for invalid_cycle
-        if (source_may_sleep_ && at != invalid_cycle && idle() &&
-            sender_.is_quiescent())
-            request_wake_at(at);
+        next_source_poll_ = at;
     }
+    compute_sleep(now);
 }
 
 } // namespace noc

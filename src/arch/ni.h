@@ -14,10 +14,21 @@
 //     generate a response packet after a configurable service latency
 //     (modelling an OCP slave; the request flit carries the expected
 //     response size).
+//
+// Flits are pooled (arch/flit.h) and materialized LATE: enqueue_packet
+// queues one compact Pending_packet record per packet, and a pool slot is
+// acquired only at the cycle a flit actually enters the injection link.
+// An open-loop backlog therefore costs queue records, not pool slots — the
+// pool stays sized by what the NETWORK holds (buffers, channel stages,
+// retransmission windows), so its slab stays cache-resident at saturation
+// and its high-water mark reads as the hardware buffer-provisioning cost.
+// eject() releases each delivered handle.
 #pragma once
 
+#include "arch/flit_pool.h"
 #include "arch/link_sender.h"
 #include "arch/network_stats.h"
+#include "arch/ring_fifo.h"
 #include "arch/traffic_source.h"
 #include "topology/route.h"
 
@@ -30,17 +41,22 @@ namespace noc {
 
 class Ni final : public Component {
 public:
-    Ni(Core_id core, const Network_params& params, const Route_set* routes,
-       Flit_channel* inject_data, Token_channel* inject_tokens,
-       Flit_channel* eject_data, Network_stats* stats);
+    Ni(Core_id core, const Network_params& params, Flit_pool* pool,
+       const Route_set* routes, Flit_channel* inject_data,
+       Token_channel* inject_tokens, Flit_channel* eject_data,
+       Network_stats* stats);
 
     void step(Cycle now) override;
-    /// Quiescent when idle(), the injection sender has no retransmission
-    /// backlog, and the traffic source (if any) has no poll due next cycle
-    /// (see Traffic_source::next_poll_at; a future injection is covered by
-    /// a timed kernel wake requested during step()). Credit returns and
-    /// ejected flits arrive over channels that re-wake this NI; work
-    /// enqueued from outside the simulation re-arms it via request_wake().
+    /// Sleep decision, recomputed at the end of every step (see
+    /// compute_sleep in ni.cpp). Two ways to sleep:
+    ///   * drained — queues empty, sender caught up, source quiet (future
+    ///     polls / reply releases covered by timed kernel wakes);
+    ///   * injection-blocked (saturated fast path) — a BE backlog exists
+    ///     but this step neither sent nor enqueued anything, i.e. the head
+    ///     flit is blocked on link-level flow control. The injection
+    ///     sender's wake_on_token edge re-arms us on any state-changing
+    ///     token; ejected flits and external enqueues re-arm us through the
+    ///     eject channel and request_wake() respectively.
     [[nodiscard]] bool is_quiescent() const override;
     [[nodiscard]] std::string name() const override;
 
@@ -69,7 +85,7 @@ public:
     [[nodiscard]] Core_id core() const { return core_; }
     [[nodiscard]] std::size_t source_queue_flits() const
     {
-        return queue_.size() + gt_queue_.size();
+        return queued_flits_;
     }
     [[nodiscard]] std::uint64_t flits_injected() const
     {
@@ -82,22 +98,45 @@ public:
     }
 
 private:
+    /// One enqueued packet awaiting serialization; flit `next_flit` is the
+    /// next to materialize into the pool and send.
+    struct Pending_packet {
+        Core_id dst{};
+        std::uint32_t size_flits = 1;
+        std::uint32_t reply_flits = 0;
+        Traffic_class cls = Traffic_class::request;
+        Flow_id flow{};
+        Connection_id conn{};
+        const Route* route = nullptr;
+        Packet_id pid{};
+        Cycle birth = invalid_cycle;
+        bool measured = false;
+        std::uint32_t next_flit = 0;
+    };
+
     void poll_source(Cycle now);
     void release_replies(Cycle now);
     void inject(Cycle now);
     void eject(Cycle now);
+    void compute_sleep(Cycle now);
+    /// Acquire a pool slot for packet `p`'s next flit, fill it, and send it
+    /// on effective VC `vc`; advances the packet's flit cursor.
+    [[nodiscard]] Flit_ref materialize_flit(Pending_packet& p, Cycle now,
+                                            int vc);
 
     Core_id core_;
     Network_params params_;
+    Flit_pool* pool_;
     const Route_set* routes_;
     Link_sender sender_;
     Flit_channel* eject_data_;
     Network_stats* stats_;
     std::unique_ptr<Traffic_source> source_;
-    /// BE source queue (open loop). GT flits have their own queue so a
+    /// BE source queue (open loop). GT packets have their own queue so a
     /// best-effort backlog can never head-of-line block a reserved slot.
-    std::deque<Flit> queue_;
-    std::deque<Flit> gt_queue_;
+    Ring_fifo<Pending_packet> queue_{16, /*growable=*/true};
+    Ring_fifo<Pending_packet> gt_queue_{8, /*growable=*/true};
+    std::size_t queued_flits_ = 0;
     std::vector<Connection_id> slot_owner_;
     Cycle reply_latency_ = 0;
     std::deque<std::pair<Cycle, Packet_desc>> pending_replies_;
@@ -106,6 +145,12 @@ private:
     std::uint64_t next_packet_seq_ = 0;
     /// Source promise refreshed each step: no poll due next cycle.
     bool source_may_sleep_ = false;
+    /// Source's promised next poll cycle (valid when source_may_sleep_).
+    Cycle next_source_poll_ = invalid_cycle;
+    // --- per-step sleep bookkeeping (see compute_sleep) ---
+    bool sent_this_step_ = false;
+    bool enqueued_this_step_ = false;
+    bool may_sleep_ = false;
 };
 
 } // namespace noc

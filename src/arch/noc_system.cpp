@@ -60,21 +60,21 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
             "Noc_system: ON/OFF needs buffer_depth >= 2*link_latency + 2 "
             "(round-trip margin)"};
 
-    // Channels.
+    // Channels (flit channels carry Flit_ref handles into pool_).
     for (int i = 0; i < topology_.link_count(); ++i) {
         const auto& l = topology_.links()[static_cast<std::size_t>(i)];
         const int latency = 1 + l.pipeline_stages;
-        link_data_.push_back(std::make_unique<Pipeline_channel<Flit>>(
+        link_data_.push_back(std::make_unique<Flit_channel>(
             latency, "link" + std::to_string(i)));
-        link_tokens_.push_back(std::make_unique<Pipeline_channel<Fc_token>>(
+        link_tokens_.push_back(std::make_unique<Token_channel>(
             latency, "link" + std::to_string(i) + ".fc"));
     }
     for (int c = 0; c < topology_.core_count(); ++c) {
-        inject_data_.push_back(std::make_unique<Pipeline_channel<Flit>>(
+        inject_data_.push_back(std::make_unique<Flit_channel>(
             1, "inj" + std::to_string(c)));
-        inject_tokens_.push_back(std::make_unique<Pipeline_channel<Fc_token>>(
+        inject_tokens_.push_back(std::make_unique<Token_channel>(
             1, "inj" + std::to_string(c) + ".fc"));
-        eject_data_.push_back(std::make_unique<Pipeline_channel<Flit>>(
+        eject_data_.push_back(std::make_unique<Flit_channel>(
             1, "ej" + std::to_string(c)));
     }
 
@@ -97,7 +97,7 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
         for (const Link_id l : topology_.out_links(sw))
             outs.push_back({link_data_[l.get()].get(),
                             link_tokens_[l.get()].get(), false});
-        routers_.push_back(std::make_unique<Router>(sw, params_,
+        routers_.push_back(std::make_unique<Router>(sw, params_, &pool_,
                                                     std::move(ins),
                                                     std::move(outs)));
     }
@@ -106,7 +106,7 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
     for (int c = 0; c < topology_.core_count(); ++c) {
         const Core_id core{static_cast<std::uint32_t>(c)};
         nis_.push_back(std::make_unique<Ni>(
-            core, params_, &routes_, inject_data_[core.get()].get(),
+            core, params_, &pool_, &routes_, inject_data_[core.get()].get(),
             inject_tokens_[core.get()].get(), eject_data_[core.get()].get(),
             &stats_));
     }

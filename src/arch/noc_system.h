@@ -6,6 +6,7 @@
 // this class turns them into a live network.
 #pragma once
 
+#include "arch/flit_pool.h"
 #include "arch/network_stats.h"
 #include "arch/ni.h"
 #include "arch/router.h"
@@ -44,6 +45,9 @@ public:
         return *routers_.at(s.get());
     }
     [[nodiscard]] Sim_kernel& kernel() { return kernel_; }
+    /// The per-system flit slab; its high_water() is the buffer-provisioning
+    /// cost of the run (see arch/flit_pool.h).
+    [[nodiscard]] const Flit_pool& flit_pool() const { return pool_; }
     [[nodiscard]] Network_stats& stats() { return stats_; }
     [[nodiscard]] const Network_stats& stats() const { return stats_; }
     [[nodiscard]] const Topology& topology() const { return topology_; }
@@ -70,12 +74,16 @@ private:
     Network_params params_;
     Network_stats stats_;
     Sim_kernel kernel_;
+    /// Declared before routers/NIs: they hold handles into it and release
+    /// slots only through explicit calls, never from destructors, but the
+    /// slab must still outlive every component that can dereference it.
+    Flit_pool pool_;
 
-    std::vector<std::unique_ptr<Pipeline_channel<Flit>>> link_data_;
-    std::vector<std::unique_ptr<Pipeline_channel<Fc_token>>> link_tokens_;
-    std::vector<std::unique_ptr<Pipeline_channel<Flit>>> inject_data_;
-    std::vector<std::unique_ptr<Pipeline_channel<Fc_token>>> inject_tokens_;
-    std::vector<std::unique_ptr<Pipeline_channel<Flit>>> eject_data_;
+    std::vector<std::unique_ptr<Flit_channel>> link_data_;
+    std::vector<std::unique_ptr<Token_channel>> link_tokens_;
+    std::vector<std::unique_ptr<Flit_channel>> inject_data_;
+    std::vector<std::unique_ptr<Token_channel>> inject_tokens_;
+    std::vector<std::unique_ptr<Flit_channel>> eject_data_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Ni>> nis_;
 };

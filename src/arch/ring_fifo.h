@@ -1,0 +1,148 @@
+// Power-of-two ring FIFO used for router input VCs, NI source queues and
+// ACK/NACK retransmission windows.
+//
+// Replaces the deque-backed Bounded_fifo on every flit hot path: storage is
+// one contiguous power-of-two array indexed with a mask (no modulo, no
+// deque segment chasing, no per-push allocation), elements are meant to be
+// 4-byte Flit_ref handles, and the empty/overflow guards are NOC_DEBUG
+// assertions rather than always-on throws. Like Bounded_fifo it counts
+// lifetime writes and reads, which is the buffer-activity input to the
+// power models.
+//
+// Two flavours, chosen at construction:
+//   * bounded  — full() reflects the *logical* capacity (which need not be
+//                a power of two: a depth-6 VC buffer occupies an 8-slot
+//                ring but still reports full at 6). Pushing past it is a
+//                flow-control violation — callers that want the always-on
+//                guard check full() themselves (Router::deliver_arrival).
+//   * growable — full() is never true; pushing into a full ring doubles the
+//                storage (source queues under open-loop overload).
+#pragma once
+
+#include "common/noc_assert.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace noc {
+
+template<typename T>
+class Ring_fifo {
+public:
+    explicit Ring_fifo(std::size_t capacity, bool growable = false)
+        : capacity_{capacity}, growable_{growable}
+    {
+        if (capacity == 0) capacity_ = capacity = 1;
+        std::size_t physical = 1;
+        while (physical < capacity) physical <<= 1;
+        slots_.resize(physical);
+        mask_ = physical - 1;
+    }
+
+    [[nodiscard]] bool empty() const { return head_ == tail_; }
+    [[nodiscard]] std::size_t size() const
+    {
+        return static_cast<std::size_t>(tail_ - head_);
+    }
+    [[nodiscard]] bool full() const
+    {
+        return !growable_ && size() >= capacity_;
+    }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] std::size_t free_slots() const
+    {
+        return capacity_ - size();
+    }
+
+    void push(T v)
+    {
+        if (size() == slots_.size()) {
+            NOC_ASSERT(growable_,
+                       "Ring_fifo overflow — flow control violated");
+            if (growable_) grow();
+        }
+        NOC_ASSERT(growable_ || size() < capacity_,
+                   "Ring_fifo overflow — flow control violated");
+        slots_[tail_ & mask_] = v;
+        ++tail_;
+        ++writes_;
+    }
+
+    [[nodiscard]] const T& front() const
+    {
+        NOC_ASSERT(!empty(), "Ring_fifo::front on empty");
+        return slots_[head_ & mask_];
+    }
+
+    /// Mutable front: lets a consumer update in-place state that rides with
+    /// the queued element (an NI advancing the flit cursor of the packet
+    /// record it is serializing).
+    [[nodiscard]] T& front()
+    {
+        NOC_ASSERT(!empty(), "Ring_fifo::front on empty");
+        return slots_[head_ & mask_];
+    }
+
+    /// i-th element from the front (0 = front). Used by the ACK/NACK
+    /// retransmission window to replay from an arbitrary rewind point.
+    [[nodiscard]] const T& operator[](std::size_t i) const
+    {
+        NOC_ASSERT(i < size(), "Ring_fifo: index out of range");
+        return slots_[(head_ + i) & mask_];
+    }
+
+    T pop()
+    {
+        NOC_ASSERT(!empty(), "Ring_fifo::pop on empty");
+        T v = slots_[head_ & mask_];
+        ++head_;
+        ++reads_;
+        return v;
+    }
+
+    /// Remove the i-th element from the front, preserving order (shifts the
+    /// tail side down). O(size - i); only used by the short NI GT queue,
+    /// where slot-table gating may service connections out of FIFO order.
+    T erase_at(std::size_t i)
+    {
+        NOC_ASSERT(i < size(), "Ring_fifo::erase_at out of range");
+        T v = slots_[(head_ + i) & mask_];
+        for (std::size_t k = i; k + 1 < size(); ++k)
+            slots_[(head_ + k) & mask_] = slots_[(head_ + k + 1) & mask_];
+        --tail_;
+        ++reads_;
+        return v;
+    }
+
+    /// Lifetime write/read counters (buffer activity for power models).
+    [[nodiscard]] std::uint64_t write_count() const { return writes_; }
+    [[nodiscard]] std::uint64_t read_count() const { return reads_; }
+
+private:
+    void grow()
+    {
+        // Relinearize into a ring of twice the size: logical order is
+        // preserved, head resets to slot 0.
+        std::vector<T> bigger(slots_.size() * 2);
+        const std::size_t n = size();
+        for (std::size_t i = 0; i < n; ++i)
+            bigger[i] = slots_[(head_ + i) & mask_];
+        slots_ = std::move(bigger);
+        mask_ = slots_.size() - 1;
+        head_ = 0;
+        tail_ = n;
+        capacity_ = slots_.size();
+    }
+
+    std::vector<T> slots_;
+    std::size_t mask_ = 0;
+    /// Monotonic positions; size = tail - head, physical slot = pos & mask.
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+    std::size_t capacity_;
+    bool growable_;
+    std::uint64_t writes_ = 0;
+    std::uint64_t reads_ = 0;
+};
+
+} // namespace noc

@@ -4,43 +4,61 @@
 
 namespace noc {
 
-Router::Router(Switch_id id, const Network_params& params,
+Router::Router(Switch_id id, const Network_params& params, Flit_pool* pool,
                std::vector<Router_input_port> inputs,
                std::vector<Router_output_port> outputs)
-    : id_{id}, params_{params}
+    : id_{id}, params_{params}, pool_{pool}
 {
     params_.validate();
+    if (pool_ == nullptr)
+        throw std::invalid_argument{"Router: null flit pool"};
     if (inputs.empty() || outputs.empty())
         throw std::invalid_argument{"Router: needs ports"};
 
     const int vcs = params_.total_vcs();
+    if (vcs > 64 || inputs.size() > 64)
+        throw std::invalid_argument{
+            "Router: allocation masks support at most 64 VCs and ports"};
     for (auto& ip : inputs) {
         if (ip.data == nullptr || ip.tokens == nullptr)
             throw std::invalid_argument{"Router: null input channel"};
-        Input in{ip, {}, Round_robin_arbiter{vcs}, 0};
+        Input in{ip, {}, Round_robin_arbiter{vcs}, 0, 0, {}};
         in.vcs.reserve(static_cast<std::size_t>(vcs));
-        for (int v = 0; v < vcs; ++v) {
-            Vc_state vs;
-            vs.fifo = std::make_unique<Bounded_fifo<Flit>>(
-                static_cast<std::size_t>(params_.buffer_depth));
-            in.vcs.push_back(std::move(vs));
-        }
+        for (int v = 0; v < vcs; ++v)
+            in.vcs.push_back(Vc_state{
+                Ring_fifo<Flit_ref>{
+                    static_cast<std::size_t>(params_.buffer_depth)},
+                false, 0, 0});
         inputs_.push_back(std::move(in));
     }
-    for (auto& op : outputs) {
-        outputs_.push_back(
-            Output{Link_sender{params_, op.data, op.tokens, op.is_ejection},
-                   std::vector<Packet_id>(static_cast<std::size_t>(vcs)),
-                   Round_robin_arbiter{static_cast<int>(inputs_.size())},
-                   op.is_ejection});
+    // Wire the arrival sinks once the Input addresses are final.
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        inputs_[i].arrival_sink.router = this;
+        inputs_[i].arrival_sink.input = static_cast<std::uint32_t>(i);
+        inputs_[i].port.data->set_sink(&inputs_[i].arrival_sink);
     }
+    for (auto& op : outputs) {
+        outputs_.push_back(Output{
+            Link_sender{params_, pool_, op.data, op.tokens, op.is_ejection},
+            std::vector<Packet_id>(static_cast<std::size_t>(vcs)),
+            Round_robin_arbiter{static_cast<int>(inputs_.size())},
+            op.is_ejection});
+    }
+    // Saturated fast path: tokens that change sender state can unblock a
+    // sleeping router, so every output sender gets a wake edge back to us.
+    for (auto& o : outputs_) o.sender.set_wake_target(this);
+
+    nominated_.resize(inputs_.size());
+    vc_req_.resize(static_cast<std::size_t>(vcs));
+    out_wants_.resize(outputs_.size());
 }
 
 bool Router::is_quiescent() const
 {
-    if (buffered_ != 0) return false;
-    // Only ACK/NACK senders hold work of their own (a retransmission
-    // backlog); credit/ON-OFF sender state is passive between tokens.
+    if (buffered_ != 0) return blocked_memo_;
+    // Only a pending (re)transmission keeps a sender busy on its own; an
+    // unacknowledged but fully-transmitted ACK/NACK window is passive (a
+    // NACK rewind re-wakes us through the sender's wake target).
     if (params_.fc == Flow_control_kind::ack_nack)
         for (const auto& o : outputs_)
             if (!o.sender.is_quiescent()) return false;
@@ -55,8 +73,8 @@ std::string Router::name() const
 std::optional<Router::Request> Router::classify(const Input& in, int vc) const
 {
     const Vc_state& vs = in.vcs[static_cast<std::size_t>(vc)];
-    if (vs.fifo->empty()) return std::nullopt;
-    const Flit& f = vs.fifo->front();
+    if (vs.fifo.empty()) return std::nullopt;
+    const Flit& f = (*pool_)[vs.fifo.front()];
 
     int out_port = 0;
     int out_vc = 0;
@@ -88,79 +106,81 @@ std::optional<Router::Request> Router::classify(const Input& in, int vc) const
 void Router::step(Cycle now)
 {
     (void)now;
+    blocked_memo_ = false;
     // Phase 1: reverse-channel tokens.
     for (auto& o : outputs_) o.sender.begin_cycle();
 
     // Phase 2a: each input nominates one VC (GT priority, then round-robin).
     const int vcs = params_.total_vcs();
+    const bool gt_enabled = params_.enable_gt;
     auto& nominated = nominated_;
-    nominated.assign(inputs_.size(), Nomination{});
-    auto& vc_ready = vc_ready_;
-    vc_ready.assign(static_cast<std::size_t>(vcs), false);
-    vc_req_.assign(static_cast<std::size_t>(vcs), Request{});
     for (std::size_t i = 0; i < inputs_.size(); ++i) {
         Input& in = inputs_[i];
+        Nomination& nom = nominated[i];
+        nom.vc = -1;
+        if (in.occupancy == 0) continue; // nothing buffered: no nominee
         // Dedicated GT VC wins unconditionally when ready.
-        if (params_.enable_gt) {
+        if (gt_enabled) {
             if (auto req = classify(in, params_.gt_vc())) {
-                nominated[i] = {params_.gt_vc(), *req};
+                nom = {params_.gt_vc(), *req};
                 continue;
             }
         }
+        std::uint64_t ready = 0;
         for (int v = 0; v < vcs; ++v) {
-            const auto sv = static_cast<std::size_t>(v);
-            vc_ready[sv] = false;
-            if (params_.enable_gt && v == params_.gt_vc()) continue;
+            if (gt_enabled && v == params_.gt_vc()) continue;
             if (const auto req = classify(in, v)) {
-                vc_ready[sv] = true;
-                vc_req_[sv] = *req;
+                ready |= 1ull << v;
+                vc_req_[static_cast<std::size_t>(v)] = *req;
             }
         }
-        const int v = in.vc_arb.pick(vc_ready);
-        if (v >= 0) nominated[i] = {v, vc_req_[static_cast<std::size_t>(v)]};
+        const int v = in.vc_arb.pick_mask(ready);
+        if (v >= 0) nom = {v, vc_req_[static_cast<std::size_t>(v)]};
     }
 
     // Phase 2b: each output grants one nominee; GT has absolute priority.
-    auto& wants = wants_;
-    wants.assign(inputs_.size(), false);
+    // Each input nominates at most one (VC, output), so an input appears in
+    // exactly one output's nominee mask and double grants are impossible.
+    bool moved = false;
+    for (auto& w : out_wants_) w = 0;
+    for (std::size_t i = 0; i < inputs_.size(); ++i)
+        if (nominated[i].vc >= 0)
+            out_wants_[static_cast<std::size_t>(nominated[i].req.out_port)] |=
+                1ull << i;
     for (std::size_t op = 0; op < outputs_.size(); ++op) {
+        std::uint64_t wants = out_wants_[op];
+        if (wants == 0) continue;
         Output& out = outputs_[op];
-        bool any = false;
-        bool any_gt = false;
-        for (std::size_t i = 0; i < inputs_.size(); ++i) {
-            const auto& nom = nominated[i];
-            const bool w =
-                nom.vc >= 0 && nom.req.out_port == static_cast<int>(op);
-            wants[i] = w;
-            if (w) {
-                any = true;
-                const Flit& f = inputs_[i]
-                                    .vcs[static_cast<std::size_t>(nom.vc)]
-                                    .fifo->front();
-                any_gt = any_gt || f.cls == Traffic_class::gt;
+        if (gt_enabled) {
+            // GT nominees (if any) preempt best-effort ones. Skipped whole
+            // when GT is off: no flit can carry Traffic_class::gt then, and
+            // the head-flit scan costs a pool load per nominee per cycle.
+            std::uint64_t gt_wants = 0;
+            for (std::uint64_t m = wants; m != 0; m &= m - 1) {
+                const int i = std::countr_zero(m);
+                const auto& nom = nominated[static_cast<std::size_t>(i)];
+                const Flit& f =
+                    (*pool_)[inputs_[static_cast<std::size_t>(i)]
+                                 .vcs[static_cast<std::size_t>(nom.vc)]
+                                 .fifo.front()];
+                if (f.cls == Traffic_class::gt) gt_wants |= 1ull << i;
             }
+            if (gt_wants != 0) wants = gt_wants;
         }
-        if (!any) continue;
-        if (any_gt) {
-            for (std::size_t i = 0; i < inputs_.size(); ++i) {
-                if (!wants[i]) continue;
-                const auto& nom = nominated[i];
-                const Flit& f = inputs_[i]
-                                    .vcs[static_cast<std::size_t>(nom.vc)]
-                                    .fifo->front();
-                wants[i] = f.cls == Traffic_class::gt;
-            }
-        }
-        const int winner = out.in_arb.pick(wants);
+        const int winner = out.in_arb.pick_mask(wants);
         if (winner < 0) continue;
 
-        // Switch traversal.
+        // Switch traversal: move the handle, mutate the pooled flit in
+        // place (we are its unique owner — see arch/flit.h).
         Input& in = inputs_[static_cast<std::size_t>(winner)];
         const Nomination& nom = nominated[static_cast<std::size_t>(winner)];
         Vc_state& vs = in.vcs[static_cast<std::size_t>(nom.vc)];
-        Flit f = vs.fifo->pop();
+        const Flit_ref ref = vs.fifo.pop();
+        Flit& f = (*pool_)[ref];
         --buffered_;
+        --in.occupancy;
         ++flits_routed_;
+        moved = true;
 
         if (is_head(f.kind)) {
             vs.bound = true;
@@ -176,7 +196,7 @@ void Router::step(Cycle now)
         }
         const auto freed_vc = f.vc; // VC the flit occupied in our buffer
         f.vc = static_cast<std::uint16_t>(nom.req.out_vc);
-        out.sender.send(std::move(f));
+        out.sender.send(ref);
 
         // Return a credit upstream for the freed buffer slot.
         if (params_.fc == Flow_control_kind::credit)
@@ -187,54 +207,95 @@ void Router::step(Cycle now)
     // Phase 2c: ACK/NACK outputs put one (re)transmission on the wire.
     for (auto& o : outputs_) o.sender.end_cycle();
 
-    // Phase 3: arrivals (after allocation, so flits wait >= 1 cycle).
-    for (auto& in : inputs_) deliver_arrival(in, now);
+    // Phase 3: arrivals (after allocation, so flits wait >= 1 cycle). The
+    // input-channel sinks queued them at the previous commit — the commit
+    // that woke us.
+    bool arrived = false;
+    for (const auto& [idx, ref] : pending_arrivals_)
+        arrived |= deliver_arrival(inputs_[idx], ref);
+    pending_arrivals_.clear();
 
     // Phase 4: ON/OFF stop masks reflect post-arrival occupancy.
     if (params_.fc == Flow_control_kind::on_off) {
         for (auto& in : inputs_) {
             std::uint32_t mask = 0;
             for (int v = 0; v < vcs; ++v)
-                if (in.vcs[static_cast<std::size_t>(v)].fifo->free_slots() <=
+                if (in.vcs[static_cast<std::size_t>(v)].fifo.free_slots() <=
                     static_cast<std::size_t>(in.port.onoff_margin))
                     mask |= 1u << v;
             in.port.tokens->write(
                 Fc_token{Fc_token::Kind::on_off_mask, 0, mask, 0});
         }
     }
+
+    // Saturated fast path: nothing moved, nothing arrived, nothing pending
+    // on the wire, yet flits are buffered — every head is blocked until an
+    // external event (flit or state-changing token). Record the memo and
+    // arm the senders' token wake edges; is_quiescent() will deschedule us.
+    if (buffered_ != 0 && !moved && !arrived) {
+        blocked_memo_ = true;
+        if (params_.fc == Flow_control_kind::ack_nack)
+            for (const auto& o : outputs_)
+                if (!o.sender.is_quiescent()) {
+                    blocked_memo_ = false;
+                    break;
+                }
+        if (blocked_memo_) ++blocked_sleeps_;
+    }
+    if (blocked_memo_ != senders_armed_) {
+        for (auto& o : outputs_) o.sender.set_wake_on_token(blocked_memo_);
+        senders_armed_ = blocked_memo_;
+    }
 }
 
-void Router::deliver_arrival(Input& in, Cycle now)
+void Router::Arrival_sink::deliver(const Flit_ref& ref)
 {
-    (void)now;
-    const auto& arriving = in.port.data->out();
-    if (!arriving) return;
-    const Flit& f = *arriving;
+    router->pending_arrivals_.emplace_back(input, ref);
+}
 
+bool Router::deliver_arrival(Input& in, Flit_ref ref)
+{
     if (params_.fc == Flow_control_kind::ack_nack) {
-        auto& fifo = *in.vcs[0].fifo;
+        // The wire flit is an owned copy of the upstream retransmission
+        // slot (see Link_sender::transmit_from_window): keep it on accept,
+        // release it on drop.
+        auto& fifo = in.vcs[0].fifo;
+        const Flit& f = (*pool_)[ref];
         if (f.link_seq == in.expected_seq && !fifo.full()) {
-            fifo.push(f);
+            fifo.push(ref);
             ++buffered_;
+            ++in.occupancy;
             in.port.tokens->write(Fc_token{Fc_token::Kind::ack, 0, 0,
                                            in.expected_seq});
             ++in.expected_seq;
-        } else {
-            // Drop and ask the sender to rewind to what we expect.
-            in.port.tokens->write(
-                Fc_token{Fc_token::Kind::nack, 0, 0, in.expected_seq});
+            return true;
         }
-        return;
+        // Drop and ask the sender to rewind to what we expect.
+        pool_->release(ref);
+        in.port.tokens->write(
+            Fc_token{Fc_token::Kind::nack, 0, 0, in.expected_seq});
+        return false;
     }
-    in.vcs.at(f.vc).fifo->push(f);
+    const auto vc = (*pool_)[ref].vc;
+    NOC_ASSERT(vc < in.vcs.size(), "Router: arriving flit has bad VC");
+    auto& fifo = in.vcs[vc].fifo;
+    // Always-on guard (not NOC_ASSERT): an overflow here means link-level
+    // flow control was violated — e.g. an ON/OFF margin smaller than the
+    // round trip — and must surface as an error, not corrupt the ring.
+    if (fifo.full())
+        throw std::logic_error{
+            "Router: input VC overflow — flow control violated"};
+    fifo.push(ref);
     ++buffered_;
+    ++in.occupancy;
+    return true;
 }
 
 std::uint64_t Router::buffer_writes() const
 {
     std::uint64_t n = 0;
     for (const auto& in : inputs_)
-        for (const auto& vs : in.vcs) n += vs.fifo->write_count();
+        for (const auto& vs : in.vcs) n += vs.fifo.write_count();
     return n;
 }
 
@@ -242,7 +303,7 @@ std::uint64_t Router::buffer_reads() const
 {
     std::uint64_t n = 0;
     for (const auto& in : inputs_)
-        for (const auto& vs : in.vcs) n += vs.fifo->read_count();
+        for (const auto& vs : in.vcs) n += vs.fifo.read_count();
     return n;
 }
 
@@ -250,14 +311,14 @@ std::size_t Router::input_vc_occupancy(int port, int vc) const
 {
     return inputs_.at(static_cast<std::size_t>(port))
         .vcs.at(static_cast<std::size_t>(vc))
-        .fifo->size();
+        .fifo.size();
 }
 
 std::size_t Router::total_occupancy() const
 {
     std::size_t n = 0;
     for (const auto& in : inputs_)
-        for (const auto& vs : in.vcs) n += vs.fifo->size();
+        for (const auto& vs : in.vcs) n += vs.fifo.size();
     return n;
 }
 

@@ -14,14 +14,20 @@
 // Wormhole state: each input VC binds to an (output port, output VC) from
 // head to tail; each output VC is owned by one packet from head to tail, so
 // packets never interleave flits within a VC (§3 wormhole switching).
+//
+// Storage: VC buffers are power-of-two rings of Flit_ref into the
+// per-system Flit_pool — a switch traversal moves a 4-byte handle and
+// mutates the pooled flit in place (route_index, vc) instead of copying the
+// struct at every hop. See arch/flit.h for the ownership rules.
 #pragma once
 
 #include "arch/arbiter.h"
-#include "arch/buffer.h"
+#include "arch/flit_pool.h"
 #include "arch/link_sender.h"
+#include "arch/ring_fifo.h"
 #include "sim/kernel.h"
 
-#include <memory>
+#include <optional>
 #include <vector>
 
 namespace noc {
@@ -42,18 +48,28 @@ struct Router_output_port {
 
 class Router final : public Component {
 public:
-    Router(Switch_id id, const Network_params& params,
+    Router(Switch_id id, const Network_params& params, Flit_pool* pool,
            std::vector<Router_input_port> inputs,
            std::vector<Router_output_port> outputs);
 
     void step(Cycle now) override;
-    /// Quiescent when every input VC FIFO is empty and every output sender
-    /// has nothing pending (no ACK/NACK backlog). Wormhole bindings and
-    /// credit counters are passive state: they need no cycles to persist,
-    /// and any event that can change them (flit or token arrival) travels
-    /// over an input channel that re-wakes the router. The last ON/OFF mask
-    /// published before sleeping is a pure function of this idle state, so
-    /// it stays valid upstream while the router is descheduled.
+    /// Two ways to sleep:
+    ///   * empty — every input VC ring is empty and every output sender's
+    ///     send pointer has caught up with its window. Wormhole bindings
+    ///     and credit counters are passive state; any event that can change
+    ///     them (flit arrival, NACK) re-wakes the router.
+    ///   * blocked (the saturated fast path) — flits are buffered but the
+    ///     last step forwarded nothing, accepted nothing and has no pending
+    ///     (re)transmissions, i.e. every occupied VC's head is blocked on
+    ///     an output VC owner, a credit, a stop mask or window space. None
+    ///     of those can change without an external event: an arriving flit
+    ///     wakes us through the data channel's wake edge, and the output
+    ///     senders are armed (wake_on_token) so any state-changing token
+    ///     re-arms us. A step in between would be a bit-identical no-op —
+    ///     allocation with all-blocked heads grants nothing and does not
+    ///     advance arbiter state.
+    /// The last ON/OFF mask published before sleeping is a pure function of
+    /// the (frozen) occupancy, so it stays valid upstream while descheduled.
     [[nodiscard]] bool is_quiescent() const override;
     [[nodiscard]] std::string name() const override;
 
@@ -78,19 +94,43 @@ public:
     }
     /// Total flits currently buffered in this router.
     [[nodiscard]] std::size_t total_occupancy() const;
+    /// Number of steps that ended with the blocked-router memo set (flits
+    /// buffered, nothing movable). Diagnostic only: it counts memo
+    /// *decisions*, not descheduled cycles, so the reference schedule —
+    /// which ignores quiescence and re-evaluates the memo every blocked
+    /// cycle — legitimately reports a larger value than the gated one for
+    /// the same bit-identical run. Keep it out of equivalence snapshots.
+    [[nodiscard]] std::uint64_t blocked_sleep_entries() const
+    {
+        return blocked_sleeps_;
+    }
 
 private:
     struct Vc_state {
-        std::unique_ptr<Bounded_fifo<Flit>> fifo;
+        Ring_fifo<Flit_ref> fifo;
         bool bound = false;
         std::uint16_t out_port = 0;
         std::uint16_t out_vc = 0;
     };
+    /// Per-input push sink: the input data channel delivers each arriving
+    /// handle at the commit that makes it visible (identically under both
+    /// kernel schedules), so phase 3 walks an exact arrival list instead of
+    /// polling every input channel's output stage every cycle.
+    struct Arrival_sink final : Value_sink<Flit_ref> {
+        Router* router = nullptr;
+        std::uint32_t input = 0;
+        void deliver(const Flit_ref& ref) override;
+    };
+
     struct Input {
         Router_input_port port;
         std::vector<Vc_state> vcs;
         Round_robin_arbiter vc_arb;
         std::uint32_t expected_seq = 0; // ack_nack receiver
+        /// Flits buffered across this input's VCs; lets nomination skip
+        /// empty inputs without touching their rings.
+        std::uint32_t occupancy = 0;
+        Arrival_sink arrival_sink;
     };
     struct Output {
         Link_sender sender;
@@ -108,7 +148,8 @@ private:
     [[nodiscard]] std::optional<Request> classify(const Input& in,
                                                   int vc) const;
 
-    void deliver_arrival(Input& in, Cycle now);
+    /// Returns true when a flit was accepted into a VC ring.
+    bool deliver_arrival(Input& in, Flit_ref ref);
 
     struct Nomination {
         int vc = -1;
@@ -117,18 +158,36 @@ private:
 
     Switch_id id_;
     Network_params params_;
+    Flit_pool* pool_;
     std::vector<Input> inputs_;
     std::vector<Output> outputs_;
     // Per-cycle allocation scratch, hoisted out of step(): this is the
-    // simulator's hottest loop and a heap allocation per router per cycle
-    // dominated its cost.
+    // simulator's hottest loop, and both a heap allocation per cycle and
+    // vector<bool> request tracking dominated its cost at saturation.
+    // Request sets are uint64 bitmasks (ports and VCs are capped at 64,
+    // enforced in the constructor) arbitrated with pick_mask.
     std::vector<Nomination> nominated_;
-    std::vector<bool> vc_ready_;
-    std::vector<Request> vc_req_; ///< classify result cache, per VC
-    std::vector<bool> wants_;
+    std::vector<Request> vc_req_;          ///< classify results, per VC
+    std::vector<std::uint64_t> out_wants_; ///< nominee mask, per output
+    /// Arrivals delivered by the input-channel sinks at the last commit;
+    /// consumed (in delivery order) by the next step's phase 3. Cross-input
+    /// order within a cycle is unobservable — arrivals land in per-input
+    /// rings and the reverse-channel tokens they emit use per-input
+    /// channels — so the two kernel schedules may deliver in different
+    /// orders without diverging.
+    std::vector<std::pair<std::uint32_t, Flit_ref>> pending_arrivals_;
     /// Flits buffered across all input VC FIFOs, maintained incrementally
     /// so the kernel's per-step is_quiescent() check is O(1).
     std::uint32_t buffered_ = 0;
+    /// Blocked-router memo: set at the end of a step that moved nothing,
+    /// accepted nothing and left no transmissions pending while flits are
+    /// buffered (see is_quiescent). Output senders are armed to wake us on
+    /// any state-changing token while the memo stands.
+    bool blocked_memo_ = false;
+    /// Mirror of the senders' wake_on_token flags, so the common
+    /// no-memo-to-no-memo transition skips the arming loop.
+    bool senders_armed_ = false;
+    std::uint64_t blocked_sleeps_ = 0;
     std::uint64_t flits_routed_ = 0;
 };
 

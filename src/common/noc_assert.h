@@ -1,0 +1,36 @@
+// Debug-only invariant checks for simulation hot paths.
+//
+// The seed code guarded every FIFO push/pop/front with an always-on throw.
+// Those guards catch wiring bugs (a flow-control violation IS a bug, not an
+// input error), but they sit on the innermost loops of Router::step and cost
+// real throughput at saturation. NOC_ASSERT keeps them as assertions that
+// compile to nothing unless NOC_DEBUG is defined (or the build is a plain
+// debug build without NDEBUG), so correctness work runs fully checked while
+// benchmark/CI release builds pay zero.
+//
+// Checks that validate *external* input (route tables, user parameters) or
+// that a test deliberately provokes (the ON/OFF margin-violation guard in
+// Router::deliver_arrival) stay as always-on throws — only per-flit hot-path
+// checks use NOC_ASSERT.
+#pragma once
+
+#if !defined(NOC_DEBUG) && !defined(NDEBUG)
+#define NOC_DEBUG 1
+#endif
+
+#ifdef NOC_DEBUG
+
+#include <stdexcept>
+
+#define NOC_ASSERT(cond, msg)                                                  \
+    do {                                                                       \
+        if (!(cond)) throw std::logic_error{msg};                              \
+    } while (false)
+
+#else
+
+#define NOC_ASSERT(cond, msg)                                                  \
+    do {                                                                       \
+    } while (false)
+
+#endif

@@ -10,6 +10,7 @@ void Sim_kernel::add(Component* c)
     c->sched_id_ = static_cast<std::uint32_t>(components_.size());
     components_.push_back(c);
     awake_.push_back(1);
+    ++awake_count_;
     if (c->uses_advance()) advancers_.push_back(c);
 }
 
@@ -20,6 +21,7 @@ void Sim_kernel::set_mode(Kernel_mode m)
     // maintain wake state, so stale sleep flags must not leak into a
     // subsequent gated run.
     for (auto& a : awake_) a = 1;
+    awake_count_ = awake_.size();
 }
 
 void Sim_kernel::wake_at(Component* c, Cycle at)
@@ -27,7 +29,7 @@ void Sim_kernel::wake_at(Component* c, Cycle at)
     if (c == nullptr || c->sched_ != this) return;
     if (mode_ == Kernel_mode::reference) return; // everything steps anyway
     if (at <= now_) {
-        awake_[c->sched_id_] = 1;
+        wake(c);
         return;
     }
     timers_.emplace(at, c);
@@ -42,9 +44,7 @@ std::size_t Sim_kernel::channel_count() const
 
 std::size_t Sim_kernel::active_component_count() const
 {
-    std::size_t n = 0;
-    for (const auto a : awake_) n += a;
-    return n;
+    return awake_count_;
 }
 
 void Sim_kernel::run(Cycle cycles)
@@ -73,11 +73,33 @@ void Sim_kernel::run_gated(Cycle cycles)
 {
     const std::size_t n = components_.size();
     stepped_.resize(n);
-    for (Cycle i = 0; i < cycles; ++i) {
+    const Cycle deadline = now_ + cycles;
+    while (now_ < deadline) {
         // Timed self-wakes due this cycle.
         while (!timers_.empty() && timers_.top().first <= now_) {
             wake(timers_.top().second);
             timers_.pop();
+        }
+
+        // Idle-region skip-ahead: with no component armed and no value
+        // pending or in flight in any channel, every cycle until the next
+        // timer is provably a no-op (nothing steps, every commit is the
+        // empty fast path, no wake can fire) — so jump now_ straight to
+        // the earliest pending timer, or to the end of the run. Matters
+        // for trace replay with long inter-burst gaps.
+        if (awake_count_ == 0) {
+            bool quiet = true;
+            for (const auto& g : groups_)
+                if (!g->all_quiet()) {
+                    quiet = false;
+                    break;
+                }
+            if (quiet) {
+                now_ = (!timers_.empty() && timers_.top().first < deadline)
+                           ? timers_.top().first
+                           : deadline;
+                continue; // due timers pop at the top of the loop
+            }
         }
 
         // Phase 1: step the active set; each stepped component that reports
@@ -92,7 +114,10 @@ void Sim_kernel::run_gated(Cycle cycles)
             if (awake_[k]) {
                 Component* c = components_[k];
                 c->step(now_);
-                if (c->is_quiescent()) awake_[k] = 0;
+                if (c->is_quiescent()) {
+                    awake_[k] = 0;
+                    --awake_count_;
+                }
             }
         }
 

@@ -109,12 +109,15 @@ public:
     /// Diagnostic name used in error messages and traces.
     [[nodiscard]] virtual std::string name() const { return "component"; }
 
-protected:
     /// Re-arm this component in its kernel's active set. Call when state
     /// changes outside step() (e.g. work enqueued between run() calls).
+    /// Public so collaborators that are not Components — a Link_sender
+    /// folding a token that unblocks its sleeping owner — can re-arm it;
+    /// waking is always safe (a spurious wake costs one no-op step).
     /// No-op when the component is not registered with a kernel.
     void request_wake();
 
+protected:
     /// Schedule a future self-wake: the component will be re-armed at the
     /// start of cycle `at`. Used by components whose next action is known in
     /// advance (e.g. an NI whose source has drawn its next injection cycle)
@@ -148,6 +151,10 @@ public:
     /// no-op each); reproduced so the reference baseline is cost-faithful.
     virtual void step_all_naive(Cycle now) = 0;
 
+    /// True when no channel in the group has a value pending or in flight
+    /// (enables the kernel's idle-region skip-ahead).
+    [[nodiscard]] virtual bool all_quiet() const = 0;
+
     [[nodiscard]] virtual std::size_t size() const = 0;
 };
 
@@ -177,7 +184,10 @@ public:
     void wake(Component* c)
     {
         if (c == nullptr || c->sched_ != this) return;
-        awake_[c->sched_id_] = 1;
+        if (!awake_[c->sched_id_]) {
+            awake_[c->sched_id_] = 1;
+            ++awake_count_;
+        }
     }
 
     /// Re-arm `c` at the start of cycle `at` (immediately if `at` has
@@ -233,6 +243,7 @@ private:
     std::vector<Component*> components_;
     std::vector<Component*> advancers_; // components with uses_advance()
     std::vector<std::uint8_t> awake_;   // parallel to components_
+    std::size_t awake_count_ = 0;       // number of set awake_ flags
     std::vector<std::uint8_t> stepped_; // scratch: stepped this cycle
     std::vector<std::unique_ptr<Channel_group_base>> groups_;
     std::vector<std::pair<std::type_index, Channel_group_base*>> group_index_;

@@ -46,24 +46,60 @@ Burst_source::Burst_source(Core_id self, Params p,
     : self_{self}, p_{p}, pattern_{std::move(pattern)}, rng_{p.seed}
 {
     if (!pattern_) throw std::invalid_argument{"Burst_source: pattern"};
+    if (p_.on_rate_flits_per_cycle < 0 || p_.packet_size_flits == 0)
+        throw std::invalid_argument{"Burst_source: bad params"};
+    p_packet_ = p_.on_rate_flits_per_cycle /
+                static_cast<double>(p_.packet_size_flits);
 }
 
-std::optional<Packet_desc> Burst_source::poll(Cycle)
+Cycle Burst_source::draw_event_at(Cycle base, double p)
 {
-    if (on_) {
-        if (rng_.next_bool(p_.p_on_to_off)) on_ = false;
-    } else {
-        if (rng_.next_bool(p_.p_off_to_on)) on_ = true;
+    if (p <= 0.0) return invalid_cycle;
+    return base + rng_.next_geometric(p);
+}
+
+std::optional<Packet_desc> Burst_source::poll(Cycle now)
+{
+    if (!armed_) {
+        // First poll: the OFF state's first transition trial happens this
+        // very cycle (a geometric gap of 0 turns the source ON at `now`).
+        armed_ = true;
+        on_at_ = draw_event_at(now, p_.p_off_to_on);
     }
-    if (!on_) return std::nullopt;
-    const double p_packet = p_.on_rate_flits_per_cycle /
-                            static_cast<double>(p_.packet_size_flits);
-    if (!rng_.next_bool(p_packet)) return std::nullopt;
+    if (!on_) {
+        if (now < on_at_) return std::nullopt;
+        // Turn ON at `now`. The first ON->OFF trial is next cycle; the
+        // first injection trial is this cycle (matching the per-cycle
+        // formulation: transition draw first, then injection draw).
+        on_ = true;
+        off_at_ = draw_event_at(now + 1, p_.p_on_to_off);
+        inject_at_ = draw_event_at(now, p_packet_);
+    } else if (now >= off_at_) {
+        // The dwell ends this cycle: no injection, back to OFF.
+        on_ = false;
+        on_at_ = draw_event_at(now + 1, p_.p_off_to_on);
+        return std::nullopt;
+    }
+    if (now < inject_at_) return std::nullopt;
     Packet_desc d;
     d.dst = pattern_->pick(self_, rng_);
     d.size_flits = p_.packet_size_flits;
     d.cls = p_.cls;
+    inject_at_ = draw_event_at(now + 1, p_packet_);
     return d;
+}
+
+Cycle Burst_source::next_poll_at(Cycle now) const
+{
+    if (!armed_) return now + 1; // must be polled once to seed the events
+    Cycle next = invalid_cycle;
+    if (!on_) {
+        next = on_at_;
+    } else {
+        next = off_at_ < inject_at_ ? off_at_ : inject_at_;
+    }
+    if (next == invalid_cycle) return invalid_cycle; // silent forever
+    return next > now + 1 ? next : now + 1;
 }
 
 } // namespace noc

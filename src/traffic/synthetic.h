@@ -46,6 +46,14 @@ private:
 /// Two-state Markov-modulated (bursty) process: ON state injects like
 /// Bernoulli at `on_rate`; OFF state is silent; geometric dwell times.
 /// Average load = on_rate * p_on where p_on = beta / (alpha + beta).
+///
+/// Event-driven like Bernoulli_source: instead of three Bernoulli draws per
+/// cycle (state transition, then injection), the source draws the geometric
+/// quantities directly — the cycle the OFF state ends, the cycle the ON
+/// dwell ends, and the next injection cycle within the dwell. The same
+/// stochastic process, but poll() between events is a side-effect-free
+/// nullopt and next_poll_at() names the next event, so a bursty NI sleeps
+/// through OFF periods and intra-burst gaps under activity gating.
 class Burst_source final : public Traffic_source {
 public:
     struct Params {
@@ -61,13 +69,23 @@ public:
                  std::shared_ptr<const Dest_pattern> pattern);
 
     [[nodiscard]] std::optional<Packet_desc> poll(Cycle now) override;
+    [[nodiscard]] Cycle next_poll_at(Cycle now) const override;
 
 private:
+    /// First cycle >= base (exclusive of earlier ones) at which a Bernoulli
+    /// stream with success probability p succeeds; invalid_cycle when p<=0.
+    [[nodiscard]] Cycle draw_event_at(Cycle base, double p);
+
     Core_id self_;
     Params p_;
     std::shared_ptr<const Dest_pattern> pattern_;
     Rng rng_;
+    double p_packet_ = 0.0;
     bool on_ = false;
+    bool armed_ = false;
+    Cycle on_at_ = invalid_cycle;     ///< OFF -> ON transition cycle
+    Cycle off_at_ = invalid_cycle;    ///< ON -> OFF transition cycle
+    Cycle inject_at_ = invalid_cycle; ///< next injection cycle while ON
 };
 
 } // namespace noc

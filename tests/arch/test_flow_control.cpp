@@ -1,5 +1,6 @@
 // Flow-control stress: each scheme must survive saturation without buffer
-// overflow (Bounded_fifo throws on violation) and deliver everything.
+// overflow (Router::deliver_arrival throws on violation) and deliver
+// everything.
 #include "arch/noc_system.h"
 #include "topology/routing.h"
 #include "traffic/patterns.h"

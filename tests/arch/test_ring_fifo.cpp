@@ -1,0 +1,99 @@
+// Ring_fifo: wrap-around correctness, logical-vs-physical capacity, growth,
+// ordered middle erase, and the write/read counters that feed the power
+// model (they must keep the exact semantics Bounded_fifo had).
+#include "arch/ring_fifo.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(RingFifo, FifoOrderAcrossManyWraps)
+{
+    Ring_fifo<int> f{4};
+    int next_in = 0;
+    int next_out = 0;
+    // Staggered pushes/pops force the head/tail positions through many
+    // wrap-arounds of the 4-slot physical ring.
+    for (int round = 0; round < 100; ++round) {
+        while (!f.full()) f.push(next_in++);
+        EXPECT_EQ(f.size(), 4u);
+        for (int k = 0; k < 3; ++k) EXPECT_EQ(f.pop(), next_out++);
+    }
+    EXPECT_EQ(f.write_count(), static_cast<std::uint64_t>(next_in));
+    EXPECT_EQ(f.read_count(), static_cast<std::uint64_t>(next_out));
+}
+
+TEST(RingFifo, LogicalCapacityCanBeBelowPhysical)
+{
+    // Depth 6 occupies an 8-slot ring but must report full at 6 — the
+    // buffer_depth parameter is not constrained to powers of two.
+    Ring_fifo<int> f{6};
+    EXPECT_EQ(f.capacity(), 6u);
+    for (int i = 0; i < 6; ++i) {
+        EXPECT_FALSE(f.full());
+        EXPECT_EQ(f.free_slots(), 6u - static_cast<std::size_t>(i));
+        f.push(i);
+    }
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.free_slots(), 0u);
+    EXPECT_EQ(f.front(), 0);
+}
+
+TEST(RingFifo, GrowablePreservesOrderAcrossGrowthMidWrap)
+{
+    Ring_fifo<int> f{2, /*growable=*/true};
+    // Offset the head so growth happens with a wrapped ring.
+    f.push(-2);
+    f.push(-1);
+    (void)f.pop();
+    (void)f.pop();
+    for (int i = 0; i < 40; ++i) f.push(i); // several doublings
+    EXPECT_EQ(f.size(), 40u);
+    EXPECT_FALSE(f.full()); // growable rings are never full
+    for (int i = 0; i < 40; ++i) EXPECT_EQ(f.pop(), i);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(RingFifo, IndexAndEraseAtKeepOrder)
+{
+    Ring_fifo<int> f{8};
+    for (int i = 0; i < 5; ++i) f.push(i);
+    EXPECT_EQ(f[0], 0);
+    EXPECT_EQ(f[4], 4);
+    EXPECT_EQ(f.erase_at(2), 2); // remove the middle element
+    EXPECT_EQ(f.size(), 4u);
+    EXPECT_EQ(f.pop(), 0);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_EQ(f.pop(), 4);
+}
+
+TEST(RingFifo, CountersFeedThePowerModel)
+{
+    // write_count/read_count are lifetime totals: erase_at counts as a read
+    // (the slot was drained), growth copies do not count at all.
+    Ring_fifo<int> f{2, /*growable=*/true};
+    for (int i = 0; i < 8; ++i) f.push(i);
+    EXPECT_EQ(f.write_count(), 8u);
+    (void)f.pop();
+    (void)f.erase_at(0);
+    EXPECT_EQ(f.read_count(), 2u);
+    EXPECT_EQ(f.write_count(), 8u);
+}
+
+#ifdef NOC_DEBUG
+TEST(RingFifo, DebugBuildCatchesOverflowAndUnderflow)
+{
+    Ring_fifo<int> f{2};
+    EXPECT_THROW((void)f.front(), std::logic_error);
+    EXPECT_THROW((void)f.pop(), std::logic_error);
+    f.push(1);
+    f.push(2);
+    EXPECT_THROW(f.push(3), std::logic_error);
+    EXPECT_THROW((void)f[2], std::logic_error);
+}
+#endif
+
+} // namespace
+} // namespace noc

@@ -162,23 +162,24 @@ TEST(Router, OnOffMarginViolationIsDetected)
     p.fc = Flow_control_kind::on_off;
     p.buffer_depth = 4;
 
-    Pipeline_channel<Flit> link_a{3, "link_a"};
-    Pipeline_channel<Fc_token> link_a_fc{3, "link_a.fc"};
-    Pipeline_channel<Flit> link_b{3, "link_b"};
-    Pipeline_channel<Fc_token> link_b_fc{3, "link_b.fc"};
-    Pipeline_channel<Flit> inj_a{1};
-    Pipeline_channel<Fc_token> inj_a_fc{1};
-    Pipeline_channel<Flit> inj_b{1};
-    Pipeline_channel<Fc_token> inj_b_fc{1};
-    Pipeline_channel<Flit> ej{1};
+    Flit_pool pool;
+    Flit_channel link_a{3, "link_a"};
+    Token_channel link_a_fc{3, "link_a.fc"};
+    Flit_channel link_b{3, "link_b"};
+    Token_channel link_b_fc{3, "link_b.fc"};
+    Flit_channel inj_a{1};
+    Token_channel inj_a_fc{1};
+    Flit_channel inj_b{1};
+    Token_channel inj_b_fc{1};
+    Flit_channel ej{1};
 
-    Router up_a{Switch_id{0}, p, {{&inj_a, &inj_a_fc, 2}},
+    Router up_a{Switch_id{0}, p, &pool, {{&inj_a, &inj_a_fc, 2}},
                 {{&link_a, &link_a_fc, false}}};
-    Router up_b{Switch_id{1}, p, {{&inj_b, &inj_b_fc, 2}},
+    Router up_b{Switch_id{1}, p, &pool, {{&inj_b, &inj_b_fc, 2}},
                 {{&link_b, &link_b_fc, false}}};
     // Downstream: two link inputs with the BROKEN margin of 1, one
     // ejection output they both contend for.
-    Router down{Switch_id{2}, p,
+    Router down{Switch_id{2}, p, &pool,
                 {{&link_a, &link_a_fc, 1}, {&link_b, &link_b_fc, 1}},
                 {{&ej, nullptr, true}}};
 
@@ -196,15 +197,15 @@ TEST(Router, OnOffMarginViolationIsDetected)
     // our own injection-port flow control (so the only misconfigured hop
     // is the downstream link input).
     std::uint64_t seq = 0;
-    auto inject = [&](Pipeline_channel<Flit>& inj,
-                      Pipeline_channel<Fc_token>& fc) {
+    auto inject = [&](Flit_channel& inj, Token_channel& fc) {
         if (fc.out() && (fc.out()->stop_mask & 1u)) return;
-        Flit flit;
+        const Flit_ref ref = pool.acquire();
+        Flit& flit = pool[ref];
         flit.kind = Flit_kind::head_tail;
         flit.packet = Packet_id{seq++};
         flit.packet_size = 1;
         flit.route = &route;
-        inj.write(flit);
+        inj.write(ref);
     };
     EXPECT_THROW(
         {

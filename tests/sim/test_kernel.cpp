@@ -236,6 +236,66 @@ TEST(SimKernel, GroupCommitMatchesLegacyAdvance)
     }
 }
 
+/// Idle-region skip-ahead: with the active set empty and every channel
+/// quiet, the gated kernel jumps now_ to the next timer instead of ticking
+/// cycle-by-cycle — and a component's timed wake still fires on exactly the
+/// promised cycle, so behaviour is unchanged.
+class Timed_sleeper final : public Component {
+public:
+    void step(Cycle now) override
+    {
+        stepped_at.push_back(now);
+        request_wake_at(now + 1'000);
+    }
+    [[nodiscard]] bool is_quiescent() const override { return true; }
+    std::vector<Cycle> stepped_at;
+};
+
+TEST(SimKernel, IdleRegionSkipAheadPreservesTimedWakes)
+{
+    Sim_kernel k;
+    k.set_mode(Kernel_mode::activity_gated);
+    Timed_sleeper s;
+    k.add(&s);
+    k.run(3'500); // covers steps at 0, 1000, 2000, 3000 with idle gaps
+    EXPECT_EQ(k.now(), 3'500u);
+    EXPECT_EQ(s.stepped_at,
+              (std::vector<Cycle>{0, 1'000, 2'000, 3'000}));
+}
+
+TEST(SimKernel, SkipAheadStopsAtRunBoundary)
+{
+    // A fully-idle system must still advance now_ by exactly the requested
+    // cycles (run(n) is a contract, not a hint).
+    Sim_kernel k;
+    k.set_mode(Kernel_mode::activity_gated);
+    Sleeper s;
+    k.add(&s);
+    k.run(7);
+    EXPECT_EQ(k.now(), 7u);
+    EXPECT_EQ(s.steps, 1); // stepped once at cycle 0, then skipped
+    k.run(5);
+    EXPECT_EQ(k.now(), 12u);
+}
+
+/// Skip-ahead must NOT fire while a channel still has values in flight:
+/// a long-latency channel with a sleeping reader is the trap.
+TEST(SimKernel, SkipAheadWaitsForInFlightChannelValues)
+{
+    Pipeline_channel<int> ch{5};
+    Sink sink{&ch};
+    Sim_kernel k;
+    k.set_mode(Kernel_mode::activity_gated);
+    k.add(&sink);
+    k.add_channel(&ch);
+    ch.set_reader(&sink);
+    k.run(1); // sink sleeps immediately
+    ch.write(9); // written during cycle 1 -> visible at cycle 6
+    k.run(10);
+    ASSERT_EQ(sink.observed.size(), 1u);
+    EXPECT_EQ(sink.observed[0], (std::pair<Cycle, int>{6, 9}));
+}
+
 TEST(SimKernel, TwoPhaseOrderIndependence)
 {
     // Reader before writer and writer before reader must observe identical

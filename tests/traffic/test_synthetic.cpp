@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace noc {
 namespace {
 
@@ -112,6 +115,55 @@ TEST(Burst, BurstinessExceedsBernoulliVariance)
     const auto [sm, sv] = windowed_variance(s);
     EXPECT_NEAR(bm, sm, 3.0); // similar mean load
     EXPECT_GT(sv, 2.0 * bv);  // much burstier
+}
+
+/// The activity-gating contract (Traffic_source::next_poll_at): polling
+/// only at the promised cycles must produce the identical packet sequence
+/// to polling every cycle — the skipped polls are side-effect-free nullopts.
+TEST(Burst, SleepingThroughPromisedGapsIsLossless)
+{
+    Burst_source::Params p;
+    p.on_rate_flits_per_cycle = 0.5;
+    p.p_on_to_off = 0.05;
+    p.p_off_to_on = 0.03;
+    p.packet_size_flits = 2;
+    p.seed = 77;
+    auto pattern =
+        std::shared_ptr<const Dest_pattern>(make_uniform_pattern(16));
+    Burst_source every_cycle{Core_id{2}, p, pattern};
+    Burst_source event_driven{Core_id{2}, p, pattern};
+
+    std::vector<std::pair<Cycle, Core_id>> dense;
+    for (Cycle t = 0; t < 50'000; ++t)
+        if (const auto d = every_cycle.poll(t)) dense.push_back({t, d->dst});
+
+    std::vector<std::pair<Cycle, Core_id>> sparse;
+    Cycle t = 0;
+    std::uint64_t polls = 0;
+    while (t < 50'000) {
+        ++polls;
+        if (const auto d = event_driven.poll(t)) sparse.push_back({t, d->dst});
+        const Cycle next = event_driven.next_poll_at(t);
+        ASSERT_GT(next, t);
+        t = next;
+    }
+    EXPECT_EQ(dense, sparse);
+    // The point of the exercise: bursty NIs sleep through OFF dwells and
+    // intra-burst gaps instead of polling 50k times.
+    EXPECT_LT(polls, dense.size() * 3 + 1'000);
+}
+
+/// Degenerate transition probabilities must not wedge next_poll_at.
+TEST(Burst, PermanentOffPromisesSilenceForever)
+{
+    Burst_source::Params p;
+    p.p_off_to_on = 0.0; // never turns on
+    Burst_source src{Core_id{0},
+                     p,
+                     std::shared_ptr<const Dest_pattern>(
+                         make_uniform_pattern(4))};
+    EXPECT_FALSE(src.poll(0).has_value());
+    EXPECT_EQ(src.next_poll_at(0), invalid_cycle);
 }
 
 } // namespace
