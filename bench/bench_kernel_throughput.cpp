@@ -1,4 +1,5 @@
-// Kernel throughput: activity-gated vs reference schedule.
+// Kernel throughput: activity-gated vs reference schedule, plus the
+// sharded (multi-threaded) schedule's thread-scaling sweep.
 //
 // The design-flow argument for NoC products (§6) is fast design-space
 // exploration: sweeps evaluate many (topology, load, parameter) points, so
@@ -15,9 +16,19 @@
 // together with the flit-pool high-water mark — the buffer-provisioning
 // cost of the run now that pool slots are held only by in-network flits.
 //
+// The thread-scaling sweep then runs the SATURATED point through
+// Kernel_mode::sharded at 1, 2 and 4 shards on the 8x8 mesh and on a 16x16
+// mesh (the TILE-Gx / teraflops scale the paper's case studies need; large
+// enough to amortize the two barriers per cycle), checking every run
+// bit-identical to the gated schedule and reporting parallel speedup.
+// Speedup is only meaningful with >= `threads` hardware threads — the JSON
+// records hardware_concurrency so trend tooling can judge. `--threads`
+// runs just this sweep (no rate figure, no JSON) for quick scaling checks.
+//
 // `--smoke` runs a tiny cycle budget and asserts only the bit-identical
-// flag — a CI guard that storage refactors cannot silently diverge the two
-// schedules; timing on a loaded CI box is noise, so no JSON is written.
+// flags (including a 2-shard sharded run) — a CI guard that storage or
+// kernel refactors cannot silently diverge the schedules; timing on a
+// loaded CI box is noise, so no JSON is written.
 #include "bench_util.h"
 
 #include "topology/routing.h"
@@ -28,6 +39,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace noc;
@@ -67,9 +79,10 @@ Mesh_params mesh_params()
 
 std::unique_ptr<Noc_system> build(const Topology& topo,
                                   const Route_set& routes, double rate,
-                                  Kernel_mode mode)
+                                  Kernel_mode mode, std::uint32_t shards = 1)
 {
-    auto sys = std::make_unique<Noc_system>(topo, routes, Network_params{});
+    auto sys = std::make_unique<Noc_system>(topo, routes, Network_params{},
+                                            false, shards);
     sys->kernel().set_mode(mode);
     auto pattern = std::shared_ptr<const Dest_pattern>(
         make_uniform_pattern(topo.core_count()));
@@ -86,9 +99,9 @@ std::unique_ptr<Noc_system> build(const Topology& topo,
 
 Mode_result run_mode(const Topology& topo, const Route_set& routes,
                      double rate, Kernel_mode mode,
-                     const Bench_budget& budget)
+                     const Bench_budget& budget, std::uint32_t shards = 1)
 {
-    auto sys = build(topo, routes, rate, mode);
+    auto sys = build(topo, routes, rate, mode, shards);
     sys->warmup(budget.warmup);
     const auto t0 = std::chrono::steady_clock::now();
     sys->measure(budget.measure);
@@ -103,6 +116,64 @@ Mode_result run_mode(const Topology& topo, const Route_set& routes,
     r.packet_latency_mean = sys->stats().packet_latency().mean();
     r.pool_high_water = sys->flit_pool().high_water();
     return r;
+}
+
+/// Thread-scaling sweep at the saturation rate: Kernel_mode::sharded at 1,
+/// 2 and 4 shards against the gated baseline on the same mesh. Returns
+/// false on any divergence from the gated run (hard CI failure); appends
+/// its JSON rows to `json`. Pool high water is excluded from the identity
+/// check: per-shard free-list segments make it a (reported) upper bound,
+/// not a bit-stable quantity.
+bool run_threads_sweep(int mesh_w, int mesh_h, const Bench_budget& budget,
+                       std::string& json, bool last_mesh)
+{
+    Mesh_params mp;
+    mp.width = mesh_w;
+    mp.height = mesh_h;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+
+    const Mode_result gated = run_mode(topo, routes, kSaturationRate,
+                                       Kernel_mode::activity_gated, budget);
+    std::printf("\n%dx%d mesh, rate %.2f (saturation), %u hw threads:\n",
+                mesh_w, mesh_h, kSaturationRate,
+                std::thread::hardware_concurrency());
+    std::printf("%-8s %13s %15s %9s %9s %9s\n", "threads", "cyc/s",
+                "flit-hops/s", "vs gated", "vs 1-thr", "identical");
+    std::printf("%-8s %13.3e %15.3e %9s %9s %9s\n", "gated",
+                gated.cycles_per_sec, gated.flit_hops_per_sec, "-", "-", "-");
+
+    bool all_identical = true;
+    double base_1thread = 0.0;
+    const std::uint32_t threads_sweep[] = {1, 2, 4};
+    for (std::size_t i = 0; i < std::size(threads_sweep); ++i) {
+        const std::uint32_t threads = threads_sweep[i];
+        const Mode_result r =
+            run_mode(topo, routes, kSaturationRate, Kernel_mode::sharded,
+                     budget, threads);
+        const bool identical =
+            r.flit_hops == gated.flit_hops &&
+            r.packets_delivered == gated.packets_delivered &&
+            r.packet_latency_mean == gated.packet_latency_mean;
+        all_identical = all_identical && identical;
+        if (threads == 1) base_1thread = r.flit_hops_per_sec;
+        const double vs_gated = r.flit_hops_per_sec / gated.flit_hops_per_sec;
+        const double vs_1 = r.flit_hops_per_sec / base_1thread;
+        std::printf("%-8u %13.3e %15.3e %8.2fx %8.2fx %9s\n", threads,
+                    r.cycles_per_sec, r.flit_hops_per_sec, vs_gated, vs_1,
+                    identical ? "yes" : "NO");
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "    {\"mesh\": \"%dx%d\", \"threads\": %u, \"rate\": %.2f, "
+            "\"flit_hops_per_sec\": %.1f, \"speedup_vs_gated\": %.3f, "
+            "\"speedup_vs_1_thread\": %.3f, \"bit_identical\": %s}%s\n",
+            mesh_w, mesh_h, threads, kSaturationRate, r.flit_hops_per_sec,
+            vs_gated, vs_1, identical ? "true" : "false",
+            (last_mesh && i + 1 == std::size(threads_sweep)) ? "" : ",");
+        json += buf;
+    }
+    return all_identical;
 }
 
 /// Returns false on a gated-vs-reference divergence (deterministic, so a
@@ -173,6 +244,40 @@ bool run_figure(const Bench_budget& budget)
             i + 1 < std::size(kRates) ? "," : "");
         json += buf;
     }
+    json += "  ],\n";
+
+    if (!budget.timing_meaningful) {
+        // Smoke: one tiny sharded run must also match the gated schedule
+        // bit for bit; skip the timing sweep entirely.
+        const Mode_result gated =
+            run_mode(topo, routes, kSaturationRate,
+                     Kernel_mode::activity_gated, budget);
+        const Mode_result sharded =
+            run_mode(topo, routes, kSaturationRate, Kernel_mode::sharded,
+                     budget, 2);
+        const bool sharded_identical =
+            sharded.flit_hops == gated.flit_hops &&
+            sharded.packets_delivered == gated.packets_delivered &&
+            sharded.packet_latency_mean == gated.packet_latency_mean;
+        all_identical = all_identical && sharded_identical;
+        bench::print_verdict(
+            all_identical,
+            "SMOKE: gated kernel bit-identical to reference and 2-shard "
+            "sharded kernel bit-identical to gated (pooled storage active "
+            "in all) at every rate; timing not checked under the tiny "
+            "smoke budget");
+        return all_identical;
+    }
+
+    // Thread-scaling sweep at saturation: the 8x8 figure mesh plus a 16x16
+    // mesh big enough to amortize the per-cycle barriers.
+    json += "  \"hardware_threads\": " +
+            std::to_string(std::thread::hardware_concurrency()) +
+            ",\n  \"threads_sweep\": [\n";
+    const bool sweep8_ok = run_threads_sweep(8, 8, budget, json, false);
+    const bool sweep16_ok = run_threads_sweep(16, 16, budget, json, true);
+    all_identical = all_identical && sweep8_ok && sweep16_ok;
+
     json += "  ],\n  \"headline_saturation_flit_hops_per_sec\": " +
             std::to_string(headline_hops_per_sec) + "\n}\n";
     if (budget.write_json) {
@@ -183,21 +288,13 @@ bool run_figure(const Bench_budget& budget)
         }
     }
 
-    if (!budget.timing_meaningful) {
-        bench::print_verdict(
-            all_identical,
-            "SMOKE: gated kernel bit-identical to reference (pooled "
-            "storage active in both) at every rate; timing not checked "
-            "under the tiny smoke budget");
-        return all_identical;
-    }
     const bool timing_ok =
         speedup_at_low >= 2.0 && speedup_at_high >= 0.95;
     bench::print_verdict(
         all_identical && timing_ok,
-        "gated kernel bit-identical to reference (pooled storage active in "
-        "both); >= 2x cycles/sec at 5% injection, no regression past "
-        "saturation (measured " +
+        "gated and sharded kernels bit-identical to reference at every "
+        "rate, mesh and thread count; >= 2x cycles/sec at 5% injection, no "
+        "regression past saturation (measured " +
             std::to_string(speedup_at_low) + "x low, " +
             std::to_string(speedup_at_high) + "x at rate 0.5)");
     return all_identical;
@@ -228,6 +325,7 @@ int main(int argc, char** argv)
 {
     Bench_budget budget;
     bool smoke = false;
+    bool threads_only = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) {
             smoke = true;
@@ -235,7 +333,20 @@ int main(int argc, char** argv)
             budget.measure = 2'000;
             budget.write_json = false;
             budget.timing_meaningful = false;
+        } else if (std::strcmp(argv[i], "--threads") == 0) {
+            threads_only = true;
         }
+    }
+    if (threads_only) {
+        // Just the thread-scaling sweep (still a hard failure on any
+        // gated-vs-sharded divergence).
+        std::string json;
+        const bool ok = run_threads_sweep(8, 8, budget, json, false) &&
+                        run_threads_sweep(16, 16, budget, json, true);
+        bench::print_verdict(
+            ok, "sharded kernel bit-identical to gated at every mesh and "
+                "thread count");
+        return ok ? 0 : 1;
     }
     if (!run_figure(budget)) return 1; // equivalence break: fail CI
     if (smoke) return 0; // tiny budget verified; skip the timing harness

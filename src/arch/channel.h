@@ -19,6 +19,14 @@
 //     Kernel_mode::reference and for channels driven directly as Components
 //     (unit tests). Both paths maintain the same occupancy accounting, so a
 //     kernel may switch modes mid-run.
+//
+// Threading (Kernel_mode::sharded, see sim/kernel.h): a channel has exactly
+// one writer, and must be registered via add_channel() into that writer's
+// shard. write() (phase 1) and commit() (phase 2) then both execute on the
+// writer shard's thread; the reader observes out() — and a Value_sink's
+// owner observes the folded state — only in a later phase 1, across the
+// kernel's barrier. Reader wakes raised by commit_all are routed through
+// the kernel's cross-shard mailboxes when the reader lives elsewhere.
 #pragma once
 
 #include "sim/kernel.h"
@@ -232,11 +240,14 @@ private:
 };
 
 template<typename T>
-void Sim_kernel::add_channel(Pipeline_channel<T>* ch)
+void Sim_kernel::add_channel(Pipeline_channel<T>* ch, std::uint32_t shard)
 {
     if (ch == nullptr)
         throw std::invalid_argument{"Sim_kernel::add_channel: null channel"};
-    ensure_group<Channel_group<T>>().add(ch);
+    if (shard >= shard_count())
+        throw std::invalid_argument{
+            "Sim_kernel::add_channel: shard out of range"};
+    ensure_group<Channel_group<T>>(shard).add(ch);
 }
 
 } // namespace noc

@@ -14,13 +14,29 @@
 // enqueueing more packets (delivery listeners do exactly that). Handles are
 // recycled LIFO for cache warmth. See arch/flit.h for the ownership rules
 // that say who acquires and who releases.
+//
+// Threading (the sharded kernel, sim/kernel.h): the free list is SEGMENTED.
+// Each kernel shard owns one segment, selected through a thread-local index
+// that the kernel's per-shard worker sets at job start
+// (set_thread_segment, wired by Noc_system via the shard thread-init hook).
+// acquire() and release() touch only the executing thread's segment, so the
+// hot path needs no locks or atomics: a flit released far from where it was
+// acquired simply migrates to the releasing shard's segment — a free slot
+// is a free slot. Only chunk growth takes a mutex (rare: growth doubles as
+// backlog absorption), and the chunk directory is pre-reserved so a
+// concurrent operator[] never observes a relocation. Handles themselves
+// cross shards only through committed channels, i.e. across the kernel's
+// barrier, which provides the happens-before edge for the payload bytes.
 #pragma once
 
 #include "arch/flit.h"
 #include "common/noc_assert.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
 #include <vector>
 
 namespace noc {
@@ -41,8 +57,8 @@ struct Flit_ref {
     friend constexpr bool operator==(Flit_ref, Flit_ref) = default;
 };
 
-/// Growable slab of Flits with a LIFO free list. Not thread-safe (one pool
-/// per Noc_system; the kernel is single-threaded).
+/// Growable slab of Flits with per-shard LIFO free-list segments (see the
+/// header comment for the threading rules).
 class Flit_pool {
 public:
     /// Flits per chunk. Chunks are allocated whole and never freed until the
@@ -50,18 +66,56 @@ public:
     /// realloc-and-copy of every live flit.
     static constexpr std::uint32_t chunk_shift = 10;
     static constexpr std::uint32_t chunk_size = 1u << chunk_shift;
+    /// Chunk-directory bound: pre-reserved so growth never relocates the
+    /// directory under a concurrent reader. 4M flits is ~50x the worst
+    /// backlog any bench has produced; exceeding it throws.
+    static constexpr std::uint32_t max_chunks = 4096;
 
     explicit Flit_pool(std::uint32_t initial_capacity = chunk_size)
+        : segments_(1)
     {
-        while (capacity_ < initial_capacity) add_chunk();
+        chunks_.reserve(max_chunks);
+#ifdef NOC_DEBUG
+        live_flags_.resize(static_cast<std::size_t>(max_chunks) * chunk_size,
+                           0);
+#endif
+        while (capacity_.load(std::memory_order_relaxed) < initial_capacity)
+            add_chunk(segments_[0]);
     }
 
     Flit_pool(const Flit_pool&) = delete;
     Flit_pool& operator=(const Flit_pool&) = delete;
 
+    /// Split the free list into `n` per-shard segments. Must be called
+    /// before any flit is acquired (Noc_system does it at build time).
+    /// Pre-filled free slots stay with segment 0; other segments grow on
+    /// first use.
+    void set_segment_count(std::uint32_t n)
+    {
+        if (n == 0)
+            throw std::invalid_argument{"Flit_pool: segment count >= 1"};
+        if (total_acquired() != 0)
+            throw std::logic_error{
+                "Flit_pool: set_segment_count before first acquire"};
+        std::vector<std::uint32_t> free = std::move(segments_[0].free);
+        segments_ = std::vector<Segment>(n);
+        segments_[0].free = std::move(free);
+    }
+    [[nodiscard]] std::uint32_t segment_count() const
+    {
+        return static_cast<std::uint32_t>(segments_.size());
+    }
+
+    /// Select the calling thread's segment. Set by the sharded kernel's
+    /// per-shard thread-init hook; threads that never call it (all
+    /// sequential code) use segment 0. Clamped against this pool's segment
+    /// count at use, so a stale index from another system is harmless.
+    static void set_thread_segment(std::uint32_t s) { t_segment_ = s; }
+
     [[nodiscard]] Flit& operator[](Flit_ref ref)
     {
-        NOC_ASSERT(ref.index < capacity_, "Flit_pool: bad handle");
+        NOC_ASSERT(ref.index < capacity_.load(std::memory_order_relaxed),
+                   "Flit_pool: bad handle");
         NOC_ASSERT(live_flags_[ref.index], "Flit_pool: dangling handle");
         return chunks_[ref.index >> chunk_shift][ref.index &
                                                  (chunk_size - 1)];
@@ -87,65 +141,104 @@ public:
     /// wire copy in Link_sender::transmit_from_window).
     [[nodiscard]] Flit_ref acquire_uninitialized()
     {
-        if (free_.empty()) add_chunk();
-        const std::uint32_t idx = free_.back();
-        free_.pop_back();
+        Segment& seg = my_segment();
+        if (seg.free.empty()) add_chunk(seg);
+        const std::uint32_t idx = seg.free.back();
+        seg.free.pop_back();
 #ifdef NOC_DEBUG
         live_flags_[idx] = 1;
 #endif
-        ++live_;
-        if (live_ > high_water_) high_water_ = live_;
-        ++total_acquired_;
+        ++seg.live;
+        if (seg.live > seg.high_water) seg.high_water = seg.live;
+        ++seg.total_acquired;
         return Flit_ref{idx};
     }
 
-    /// Return a slot to the free list. Double-release and releasing an
-    /// invalid handle are bugs; NOC_DEBUG builds throw.
+    /// Return a slot to the calling thread's segment. Double-release and
+    /// releasing an invalid handle are bugs; NOC_DEBUG builds throw.
     void release(Flit_ref ref)
     {
-        NOC_ASSERT(ref.index < capacity_, "Flit_pool: release of bad handle");
+        NOC_ASSERT(ref.index < capacity_.load(std::memory_order_relaxed),
+                   "Flit_pool: release of bad handle");
         NOC_ASSERT(live_flags_[ref.index], "Flit_pool: double release");
 #ifdef NOC_DEBUG
         live_flags_[ref.index] = 0;
 #endif
-        free_.push_back(ref.index);
-        --live_;
+        Segment& seg = my_segment();
+        seg.free.push_back(ref.index);
+        --seg.live;
     }
 
-    /// Slots currently acquired.
-    [[nodiscard]] std::uint32_t live() const { return live_; }
-    /// Maximum simultaneously-live slots ever seen (the buffer-cost number a
-    /// hardware implementation would have to provision).
-    [[nodiscard]] std::uint32_t high_water() const { return high_water_; }
-    [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+    /// Slots currently acquired, summed over segments. Exact at any
+    /// sequential point (between kernel runs); per-segment live counts are
+    /// signed because a flit acquired in one segment may be released into
+    /// another.
+    [[nodiscard]] std::uint32_t live() const
+    {
+        std::int64_t n = 0;
+        for (const auto& s : segments_) n += s.live;
+        return static_cast<std::uint32_t>(n);
+    }
+    /// Sum of per-segment high-water marks: the buffer-provisioning cost of
+    /// the run. With one segment this is the exact maximum of live(); with
+    /// several it is a (tight in practice) upper bound, since segments need
+    /// not peak on the same cycle.
+    [[nodiscard]] std::uint32_t high_water() const
+    {
+        std::int64_t n = 0;
+        for (const auto& s : segments_) n += s.high_water;
+        return static_cast<std::uint32_t>(n);
+    }
+    [[nodiscard]] std::uint32_t capacity() const
+    {
+        return capacity_.load(std::memory_order_relaxed);
+    }
     [[nodiscard]] std::uint64_t total_acquired() const
     {
-        return total_acquired_;
+        std::uint64_t n = 0;
+        for (const auto& s : segments_) n += s.total_acquired;
+        return n;
     }
 
 private:
-    void add_chunk()
+    /// One shard's free list and accounting, padded so two workers' hot
+    /// counters never share a cache line.
+    struct alignas(64) Segment {
+        std::vector<std::uint32_t> free;
+        std::int64_t live = 0; ///< may dip negative per segment (migration)
+        std::int64_t high_water = 0;
+        std::uint64_t total_acquired = 0;
+    };
+
+    [[nodiscard]] Segment& my_segment()
     {
-        chunks_.push_back(std::make_unique<Flit[]>(chunk_size));
-        free_.reserve(capacity_ + chunk_size);
-        // Push in reverse so the LIFO free list hands out ascending indices.
-        for (std::uint32_t i = chunk_size; i-- > 0;)
-            free_.push_back(capacity_ + i);
-        capacity_ += chunk_size;
-#ifdef NOC_DEBUG
-        live_flags_.resize(capacity_, 0);
-#endif
+        const std::uint32_t s = t_segment_;
+        return segments_[s < segments_.size() ? s : 0];
     }
 
-    std::vector<std::unique_ptr<Flit[]>> chunks_;
-    std::vector<std::uint32_t> free_;
+    void add_chunk(Segment& seg)
+    {
+        const std::lock_guard<std::mutex> lock{grow_mutex_};
+        if (chunks_.size() >= max_chunks)
+            throw std::length_error{"Flit_pool: exceeded max_chunks"};
+        chunks_.push_back(std::make_unique<Flit[]>(chunk_size));
+        const std::uint32_t base = capacity_.load(std::memory_order_relaxed);
+        seg.free.reserve(seg.free.size() + chunk_size);
+        // Push in reverse so the LIFO free list hands out ascending indices.
+        for (std::uint32_t i = chunk_size; i-- > 0;)
+            seg.free.push_back(base + i);
+        capacity_.store(base + chunk_size, std::memory_order_release);
+    }
+
+    std::vector<std::unique_ptr<Flit[]>> chunks_; ///< never relocated
+    std::vector<Segment> segments_;               ///< >= 1
 #ifdef NOC_DEBUG
-    std::vector<std::uint8_t> live_flags_;
+    std::vector<std::uint8_t> live_flags_; ///< pre-sized to max capacity
 #endif
-    std::uint32_t capacity_ = 0;
-    std::uint32_t live_ = 0;
-    std::uint32_t high_water_ = 0;
-    std::uint64_t total_acquired_ = 0;
+    std::mutex grow_mutex_;
+    std::atomic<std::uint32_t> capacity_{0};
+
+    inline static thread_local std::uint32_t t_segment_ = 0;
 };
 
 } // namespace noc

@@ -35,6 +35,7 @@ Link_sender::Link_sender(Link_sender&& other) noexcept
       tokens_{std::exchange(other.tokens_, nullptr)},
       wake_target_{other.wake_target_},
       wake_on_token_{other.wake_on_token_},
+      state_gen_{other.state_gen_},
       credits_{std::move(other.credits_)},
       stop_mask_{other.stop_mask_},
       retransmit_{std::move(other.retransmit_)},
@@ -56,6 +57,7 @@ void Link_sender::deliver(const Fc_token& token)
     switch (token.kind) {
     case Fc_token::Kind::credit:
         ++credits_[token.vc];
+        ++state_gen_;
         if (wake_on_token_ && wake_target_ != nullptr)
             wake_target_->request_wake();
         break;
@@ -64,6 +66,7 @@ void Link_sender::deliver(const Fc_token& token)
         // downstream router republishes the same mask every cycle.
         if (token.stop_mask != stop_mask_) {
             stop_mask_ = token.stop_mask;
+            ++state_gen_;
             if (wake_on_token_ && wake_target_ != nullptr)
                 wake_target_->request_wake();
         }
@@ -79,8 +82,11 @@ void Link_sender::deliver(const Fc_token& token)
         }
         // Retired slots free window space, which is what can_send() gates
         // on for ACK/NACK — relevant only to a blocked-sleeping owner.
-        if (retired && wake_on_token_ && wake_target_ != nullptr)
-            wake_target_->request_wake();
+        if (retired) {
+            ++state_gen_;
+            if (wake_on_token_ && wake_target_ != nullptr)
+                wake_target_->request_wake();
+        }
         break;
     }
     case Fc_token::Kind::nack:
@@ -118,6 +124,7 @@ void Link_sender::send(Flit_ref ref)
     sent_this_cycle_ = true;
     ++flits_sent_;
     if (!ejection_) {
+        ++state_gen_; // a credit or window slot is consumed below
         switch (fc_) {
         case Flow_control_kind::credit:
             NOC_ASSERT(credits_[(*pool_)[ref].vc] > 0,

@@ -98,6 +98,15 @@ public:
     void set_wake_on_token(bool armed) { wake_on_token_ = armed; }
 
     [[nodiscard]] bool is_ejection() const { return ejection_; }
+
+    /// Monotonic counter bumped on every event that can change a future
+    /// can_send() verdict: a send (credit consumed / window slot filled),
+    /// a delivered credit, an ON/OFF mask CHANGE, a retired ACK window
+    /// slot. The router's per-VC classify memo keys its cached allocation
+    /// verdicts on this (see Router::classify): while the counter is
+    /// unchanged, a cached verdict against this sender is still valid.
+    [[nodiscard]] std::uint64_t state_gen() const { return state_gen_; }
+
     [[nodiscard]] int credits(int vc) const;
     /// Flits sitting in the retransmission buffer (ACK/NACK only).
     [[nodiscard]] std::size_t output_buffer_occupancy() const
@@ -126,6 +135,7 @@ private:
     Token_channel* tokens_;
     Component* wake_target_ = nullptr;
     bool wake_on_token_ = false;
+    std::uint64_t state_gen_ = 0; ///< see state_gen()
     std::vector<int> credits_;      // credit scheme, per VC
     std::uint32_t stop_mask_ = 0;   // on_off scheme
     // --- ack_nack sender state ---

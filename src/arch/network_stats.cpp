@@ -4,6 +4,16 @@
 
 namespace noc {
 
+Network_stats::Network_stats()
+{
+    slots_.push_back(std::make_unique<Slot>());
+}
+
+void Network_stats::ensure_slots(std::size_t n)
+{
+    while (slots_.size() < n) slots_.push_back(std::make_unique<Slot>());
+}
+
 void Network_stats::set_measurement_window(Cycle start, Cycle end)
 {
     if (end < start)
@@ -12,7 +22,8 @@ void Network_stats::set_measurement_window(Cycle start, Cycle end)
     window_end_ = end;
 }
 
-void Network_stats::on_packet_created(Flow_id flow, Cycle now, bool measured)
+void Network_stats::Slot::on_packet_created(Flow_id flow, Cycle now,
+                                            bool measured)
 {
     (void)flow;
     (void)now;
@@ -20,21 +31,22 @@ void Network_stats::on_packet_created(Flow_id flow, Cycle now, bool measured)
     if (measured) ++measured_created_;
 }
 
-void Network_stats::on_packet_injected(Cycle now)
+void Network_stats::Slot::on_packet_injected(Cycle now)
 {
     (void)now;
 }
 
-void Network_stats::on_packet_delivered(Flow_id flow,
-                                        std::uint32_t size_flits, Cycle birth,
-                                        Cycle inject, Cycle now, bool measured)
+void Network_stats::Slot::on_packet_delivered(Flow_id flow,
+                                              std::uint32_t size_flits,
+                                              Cycle birth, Cycle inject,
+                                              Cycle now, bool measured)
 {
     ++delivered_;
     if (!measured) return;
     ++measured_delivered_;
     measured_flits_ += size_flits;
-    const auto pkt_lat = static_cast<double>(now - birth);
-    const auto net_lat = static_cast<double>(now - inject);
+    const std::uint64_t pkt_lat = now - birth;
+    const std::uint64_t net_lat = now - inject;
     packet_latency_.add(pkt_lat);
     network_latency_.add(net_lat);
     if (flow.is_valid()) {
@@ -43,24 +55,81 @@ void Network_stats::on_packet_delivered(Flow_id flow,
     }
 }
 
-const Accumulator& Network_stats::flow_latency(Flow_id f) const
+std::uint64_t Network_stats::packets_created() const
 {
-    static const Accumulator empty;
-    const auto it = flow_latency_.find(f);
-    return it == flow_latency_.end() ? empty : it->second;
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->created_;
+    return n;
+}
+
+std::uint64_t Network_stats::packets_delivered() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->delivered_;
+    return n;
+}
+
+std::uint64_t Network_stats::measured_created() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->measured_created_;
+    return n;
+}
+
+std::uint64_t Network_stats::measured_delivered() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->measured_delivered_;
+    return n;
+}
+
+std::uint64_t Network_stats::measured_flits_delivered() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->measured_flits_;
+    return n;
+}
+
+Exact_stat Network_stats::packet_latency() const
+{
+    Exact_stat m;
+    for (const auto& s : slots_) m.merge(s->packet_latency_);
+    return m;
+}
+
+Exact_stat Network_stats::network_latency() const
+{
+    Exact_stat m;
+    for (const auto& s : slots_) m.merge(s->network_latency_);
+    return m;
+}
+
+Exact_stat Network_stats::flow_latency(Flow_id f) const
+{
+    Exact_stat m;
+    for (const auto& s : slots_) {
+        const auto it = s->flow_latency_.find(f);
+        if (it != s->flow_latency_.end()) m.merge(it->second);
+    }
+    return m;
 }
 
 std::uint64_t Network_stats::flow_flits_delivered(Flow_id f) const
 {
-    const auto it = flow_flits_.find(f);
-    return it == flow_flits_.end() ? 0 : it->second;
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) {
+        const auto it = s->flow_flits_.find(f);
+        if (it != s->flow_flits_.end()) n += it->second;
+    }
+    return n;
 }
 
 double Network_stats::accepted_flits_per_cycle() const
 {
     const Cycle span = window_end_ - window_start_;
     if (span == 0) return 0.0;
-    return static_cast<double>(measured_flits_) / static_cast<double>(span);
+    return static_cast<double>(measured_flits_delivered()) /
+           static_cast<double>(span);
 }
 
 } // namespace noc

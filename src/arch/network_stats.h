@@ -4,11 +4,20 @@
 // Only packets *created* inside the measurement window contribute to the
 // reported statistics — the standard open-loop methodology (warm the
 // network up, measure in steady state, then drain the marked packets).
+//
+// Threading (the sharded kernel, sim/kernel.h): recording is SHARDED. Each
+// kernel shard gets its own Slot, and every NI records through its shard's
+// slot, so phase-1 recording never shares a counter across threads. All
+// counters are exact integers (Exact_stat for latencies), so the aggregate
+// queries — which merge the slots on demand, at sequential points — are
+// bit-identical to a single-threaded run regardless of how deliveries
+// interleaved across shards.
 #pragma once
 
 #include "common/stats.h"
 #include "common/types.h"
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -16,58 +25,81 @@ namespace noc {
 
 class Network_stats {
 public:
-    /// [start, end): packets born in this window are measured.
+    /// One shard's recording surface. NIs hold a pointer to their shard's
+    /// slot; only that shard's thread writes it during a run.
+    class Slot {
+    public:
+        void on_packet_created(Flow_id flow, Cycle now, bool measured);
+        void on_packet_injected(Cycle now);
+        void on_packet_delivered(Flow_id flow, std::uint32_t size_flits,
+                                 Cycle birth, Cycle inject, Cycle now,
+                                 bool measured);
+
+    private:
+        friend class Network_stats;
+        std::uint64_t created_ = 0;
+        std::uint64_t delivered_ = 0;
+        std::uint64_t measured_created_ = 0;
+        std::uint64_t measured_delivered_ = 0;
+        std::uint64_t measured_flits_ = 0;
+        Exact_stat packet_latency_;
+        Exact_stat network_latency_;
+        std::unordered_map<Flow_id, Exact_stat> flow_latency_;
+        std::unordered_map<Flow_id, std::uint64_t> flow_flits_;
+    };
+
+    Network_stats();
+
+    /// Grow to `n` recording slots (never shrinks below existing ones;
+    /// slot addresses are stable). Called by the system builder before
+    /// handing slots to NIs.
+    void ensure_slots(std::size_t n);
+    [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+    [[nodiscard]] Slot& slot(std::size_t i) { return *slots_.at(i); }
+
+    /// [start, end): packets born in this window are measured. Read-only
+    /// during a run (set between runs), so shards may query concurrently.
     void set_measurement_window(Cycle start, Cycle end);
     [[nodiscard]] bool in_measurement(Cycle now) const
     {
         return now >= window_start_ && now < window_end_;
     }
 
-    void on_packet_created(Flow_id flow, Cycle now, bool measured);
-    void on_packet_injected(Cycle now);
+    // --- convenience single-slot recording (tests, sequential users) --------
+    void on_packet_created(Flow_id flow, Cycle now, bool measured)
+    {
+        slots_[0]->on_packet_created(flow, now, measured);
+    }
+    void on_packet_injected(Cycle now) { slots_[0]->on_packet_injected(now); }
     void on_packet_delivered(Flow_id flow, std::uint32_t size_flits,
                              Cycle birth, Cycle inject, Cycle now,
-                             bool measured);
-
-    // --- totals (all packets, any phase) ------------------------------------
-    [[nodiscard]] std::uint64_t packets_created() const { return created_; }
-    [[nodiscard]] std::uint64_t packets_delivered() const
+                             bool measured)
     {
-        return delivered_;
+        slots_[0]->on_packet_delivered(flow, size_flits, birth, inject, now,
+                                       measured);
     }
+
+    // --- totals (all packets, any phase; merged over slots) -----------------
+    [[nodiscard]] std::uint64_t packets_created() const;
+    [[nodiscard]] std::uint64_t packets_delivered() const;
     [[nodiscard]] std::uint64_t packets_in_flight() const
     {
-        return created_ - delivered_;
+        return packets_created() - packets_delivered();
     }
 
-    // --- measured-window results --------------------------------------------
-    [[nodiscard]] std::uint64_t measured_created() const
-    {
-        return measured_created_;
-    }
-    [[nodiscard]] std::uint64_t measured_delivered() const
-    {
-        return measured_delivered_;
-    }
+    // --- measured-window results (merged over slots) ------------------------
+    [[nodiscard]] std::uint64_t measured_created() const;
+    [[nodiscard]] std::uint64_t measured_delivered() const;
     [[nodiscard]] std::uint64_t measured_in_flight() const
     {
-        return measured_created_ - measured_delivered_;
+        return measured_created() - measured_delivered();
     }
-    [[nodiscard]] std::uint64_t measured_flits_delivered() const
-    {
-        return measured_flits_;
-    }
+    [[nodiscard]] std::uint64_t measured_flits_delivered() const;
     /// Packet latency: delivery - creation (includes source queueing).
-    [[nodiscard]] const Accumulator& packet_latency() const
-    {
-        return packet_latency_;
-    }
+    [[nodiscard]] Exact_stat packet_latency() const;
     /// Network latency: delivery - injection (excludes source queueing).
-    [[nodiscard]] const Accumulator& network_latency() const
-    {
-        return network_latency_;
-    }
-    [[nodiscard]] const Accumulator& flow_latency(Flow_id f) const;
+    [[nodiscard]] Exact_stat network_latency() const;
+    [[nodiscard]] Exact_stat flow_latency(Flow_id f) const;
     [[nodiscard]] std::uint64_t flow_flits_delivered(Flow_id f) const;
 
     /// Accepted throughput over the measurement window, flits/cycle (divide
@@ -77,15 +109,8 @@ public:
 private:
     Cycle window_start_ = 0;
     Cycle window_end_ = 0;
-    std::uint64_t created_ = 0;
-    std::uint64_t delivered_ = 0;
-    std::uint64_t measured_created_ = 0;
-    std::uint64_t measured_delivered_ = 0;
-    std::uint64_t measured_flits_ = 0;
-    Accumulator packet_latency_;
-    Accumulator network_latency_;
-    std::unordered_map<Flow_id, Accumulator> flow_latency_;
-    std::unordered_map<Flow_id, std::uint64_t> flow_flits_;
+    /// unique_ptr so slot addresses survive ensure_slots growth.
+    std::vector<std::unique_ptr<Slot>> slots_;
 };
 
 } // namespace noc

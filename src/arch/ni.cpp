@@ -19,7 +19,15 @@ Ni::Ni(Core_id core, const Network_params& params, Flit_pool* pool,
     if (pool_ == nullptr || routes_ == nullptr || eject_data_ == nullptr ||
         stats_ == nullptr)
         throw std::invalid_argument{"Ni: null dependency"};
+    stats_slot_ = &stats_->slot(0);
     sender_.set_wake_target(this);
+}
+
+void Ni::set_stats_slot(Network_stats::Slot* slot)
+{
+    if (slot == nullptr)
+        throw std::invalid_argument{"Ni: null stats slot"};
+    stats_slot_ = slot;
 }
 
 std::string Ni::name() const
@@ -72,7 +80,7 @@ void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
     const Packet_id pid{(static_cast<std::uint64_t>(core_.get()) << 40) |
                         next_packet_seq_++};
     const bool measured = stats_->in_measurement(now);
-    stats_->on_packet_created(desc.flow, now, measured);
+    stats_slot_->on_packet_created(desc.flow, now, measured);
 
     Pending_packet p;
     p.dst = desc.dst;
@@ -121,7 +129,7 @@ Flit_ref Ni::materialize_flit(Pending_packet& p, Cycle now, int vc)
     f.vc = static_cast<std::uint16_t>(vc);
     if (is_head(f.kind)) {
         f.inject = now;
-        stats_->on_packet_injected(now);
+        stats_slot_->on_packet_injected(now);
     }
     ++p.next_flit;
     --queued_flits_;
@@ -193,8 +201,8 @@ void Ni::eject(Cycle now)
         throw std::logic_error{"Ni: tail arrived before full packet "
                                "(wormhole ordering violated)"};
     reassembly_.erase(f.packet);
-    stats_->on_packet_delivered(f.flow, f.packet_size, f.birth, f.inject,
-                                now, f.measured);
+    stats_slot_->on_packet_delivered(f.flow, f.packet_size, f.birth,
+                                     f.inject, now, f.measured);
     if (on_delivery_) on_delivery_(f, now);
     if (f.reply_flits > 0) {
         Packet_desc reply;

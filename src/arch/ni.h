@@ -82,6 +82,11 @@ public:
     /// and by transaction adapters.
     void enqueue_packet(const Packet_desc& desc, Cycle now);
 
+    /// Stats recording slot (defaults to the stats object's slot 0). The
+    /// sharded system builder points each NI at its shard's slot so
+    /// phase-1 recording never crosses threads (see arch/network_stats.h).
+    void set_stats_slot(Network_stats::Slot* slot);
+
     [[nodiscard]] Core_id core() const { return core_; }
     [[nodiscard]] std::size_t source_queue_flits() const
     {
@@ -131,6 +136,7 @@ private:
     Link_sender sender_;
     Flit_channel* eject_data_;
     Network_stats* stats_;
+    Network_stats::Slot* stats_slot_; ///< this NI's recording slot
     std::unique_ptr<Traffic_source> source_;
     /// BE source queue (open loop). GT packets have their own queue so a
     /// best-effort backlog can never head-of-line block a reserved slot.

@@ -6,7 +6,8 @@
 namespace noc {
 
 Noc_system::Noc_system(Topology topology, Route_set routes,
-                       Network_params params, bool allow_partial_routes)
+                       Network_params params, bool allow_partial_routes,
+                       std::uint32_t shard_count)
     : topology_{std::move(topology)},
       routes_{std::move(routes)},
       params_{params}
@@ -15,6 +16,18 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
     topology_.validate();
     if (routes_.core_count() != topology_.core_count())
         throw std::invalid_argument{"Noc_system: route/core count mismatch"};
+    if (shard_count == 0)
+        throw std::invalid_argument{"Noc_system: shard_count must be >= 1"};
+
+    // Shard partition: contiguous switch-id blocks (row bands on the
+    // row-major meshes), balanced to within one switch. Every channel joins
+    // its single writer's shard; NIs follow their switch, so a tile's NI,
+    // router and all intra-tile channels always share a shard.
+    shard_count_ = std::min(
+        shard_count, static_cast<std::uint32_t>(topology_.switch_count()));
+    kernel_.set_shard_count(shard_count_);
+    pool_.set_segment_count(shard_count_);
+    stats_.ensure_slots(shard_count_);
 
     // Validate every route against the port map and VC budget up front —
     // a bad route would otherwise surface as a mid-simulation logic error.
@@ -133,19 +146,51 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
 
     // Registration order is irrelevant to results (two-phase kernel).
     // Components enter the scheduler; channels enter flat per-payload-type
-    // groups committed with a devirtualized loop (see sim/kernel.h).
-    for (auto& n : nis_) kernel_.add(n.get());
-    for (auto& r : routers_) kernel_.add(r.get());
-    for (auto& ch : link_data_) kernel_.add_channel(ch.get());
-    for (auto& ch : link_tokens_) kernel_.add_channel(ch.get());
-    for (auto& ch : inject_data_) kernel_.add_channel(ch.get());
-    for (auto& ch : inject_tokens_) kernel_.add_channel(ch.get());
-    for (auto& ch : eject_data_) kernel_.add_channel(ch.get());
+    // groups committed with a devirtualized loop (see sim/kernel.h). Each
+    // registration names its shard: components their own, channels their
+    // single WRITER's (the invariant the sharded commit relies on):
+    //   link data       written by the upstream router's output sender;
+    //   link tokens     written by the downstream router (reverse channel);
+    //   inject data     written by the core's NI;
+    //   inject tokens / eject data  written by the core's router.
+    for (int c = 0; c < topology_.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        const std::uint32_t shard = shard_of_core(core);
+        kernel_.add(nis_[static_cast<std::size_t>(c)].get(), shard);
+        nis_[static_cast<std::size_t>(c)]->set_stats_slot(
+            &stats_.slot(shard));
+    }
+    for (int s = 0; s < topology_.switch_count(); ++s)
+        kernel_.add(routers_[static_cast<std::size_t>(s)].get(),
+                    shard_of_switch(Switch_id{static_cast<std::uint32_t>(s)}));
+    for (int i = 0; i < topology_.link_count(); ++i) {
+        const auto& l = topology_.links()[static_cast<std::size_t>(i)];
+        kernel_.add_channel(link_data_[static_cast<std::size_t>(i)].get(),
+                            shard_of_switch(l.from));
+        kernel_.add_channel(link_tokens_[static_cast<std::size_t>(i)].get(),
+                            shard_of_switch(l.to));
+    }
+    for (int c = 0; c < topology_.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        const std::uint32_t ni_shard = shard_of_core(core);
+        const std::uint32_t rt_shard =
+            shard_of_switch(topology_.core_switch(core));
+        kernel_.add_channel(inject_data_[core.get()].get(), ni_shard);
+        kernel_.add_channel(inject_tokens_[core.get()].get(), rt_shard);
+        kernel_.add_channel(eject_data_[core.get()].get(), rt_shard);
+    }
+
+    // Each shard's worker thread allocates and releases flits through its
+    // own pool segment (thread-local selection; see arch/flit_pool.h).
+    kernel_.set_shard_thread_init(
+        [](std::uint32_t shard) { Flit_pool::set_thread_segment(shard); });
 
     // Every input path to every component now carries a wake edge, so
-    // activity gating is sound (see sim/kernel.h). Callers can flip back to
-    // the naive schedule with kernel().set_mode(Kernel_mode::reference).
-    kernel_.set_mode(Kernel_mode::activity_gated);
+    // activity gating is sound (see sim/kernel.h), and every channel sits
+    // in its writer's shard, so the sharded schedule is race-free. Callers
+    // can flip modes with kernel().set_mode().
+    kernel_.set_mode(shard_count_ > 1 ? Kernel_mode::sharded
+                                      : Kernel_mode::activity_gated);
 }
 
 void Noc_system::warmup(Cycle cycles)

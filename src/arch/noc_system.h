@@ -26,8 +26,19 @@ public:
     /// `allow_partial_routes` permits empty entries for core pairs that
     /// never communicate (synthesized designs route only the application's
     /// flows); sending on a missing route still fails fast in the NI.
+    ///
+    /// `shard_count` > 1 builds the system for the sharded (multi-threaded)
+    /// kernel schedule: switches are partitioned into `shard_count`
+    /// contiguous id-range blocks (spatially contiguous row bands on the
+    /// row-major meshes), each NI follows its switch, every channel is
+    /// registered in its single writer's shard, each shard gets its own
+    /// flit-pool free-list segment and stats slot, and the kernel starts in
+    /// Kernel_mode::sharded. Results are bit-identical to the sequential
+    /// schedules for any shard count (the equivalence suite proves it).
+    /// The count is clamped to the switch count.
     Noc_system(Topology topology, Route_set routes, Network_params params,
-               bool allow_partial_routes = false);
+               bool allow_partial_routes = false,
+               std::uint32_t shard_count = 1);
 
     Noc_system(const Noc_system&) = delete;
     Noc_system& operator=(const Noc_system&) = delete;
@@ -54,6 +65,19 @@ public:
     [[nodiscard]] const Route_set& routes() const { return routes_; }
     [[nodiscard]] const Network_params& params() const { return params_; }
 
+    // --- shard partition (sharded kernel; see ctor comment) -----------------
+    [[nodiscard]] std::uint32_t shard_count() const { return shard_count_; }
+    [[nodiscard]] std::uint32_t shard_of_switch(Switch_id s) const
+    {
+        return static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(s.get()) * shard_count_ /
+            static_cast<std::uint64_t>(topology_.switch_count()));
+    }
+    [[nodiscard]] std::uint32_t shard_of_core(Core_id c) const
+    {
+        return shard_of_switch(topology_.core_switch(c));
+    }
+
     // --- measurement protocol ----------------------------------------------
     void warmup(Cycle cycles);
     /// Opens the measurement window and runs through it.
@@ -72,6 +96,7 @@ private:
     Topology topology_;
     Route_set routes_;
     Network_params params_;
+    std::uint32_t shard_count_ = 1;
     Network_stats stats_;
     Sim_kernel kernel_;
     /// Declared before routers/NIs: they hold handles into it and release

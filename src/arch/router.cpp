@@ -1,6 +1,7 @@
 #include "arch/router.h"
 
 #include <stdexcept>
+#include <utility>
 
 namespace noc {
 
@@ -32,11 +33,8 @@ Router::Router(Switch_id id, const Network_params& params, Flit_pool* pool,
         inputs_.push_back(std::move(in));
     }
     // Wire the arrival sinks once the Input addresses are final.
-    for (std::size_t i = 0; i < inputs_.size(); ++i) {
-        inputs_[i].arrival_sink.router = this;
-        inputs_[i].arrival_sink.input = static_cast<std::uint32_t>(i);
+    for (std::size_t i = 0; i < inputs_.size(); ++i)
         inputs_[i].port.data->set_sink(&inputs_[i].arrival_sink);
-    }
     for (auto& op : outputs) {
         outputs_.push_back(Output{
             Link_sender{params_, pool_, op.data, op.tokens, op.is_ejection},
@@ -70,10 +68,29 @@ std::string Router::name() const
     return "router" + std::to_string(id_.get());
 }
 
-std::optional<Router::Request> Router::classify(const Input& in, int vc) const
+std::optional<Router::Request> Router::classify(Input& in, int vc)
 {
-    const Vc_state& vs = in.vcs[static_cast<std::size_t>(vc)];
-    if (vs.fifo.empty()) return std::nullopt;
+    Vc_state& vs = in.vcs[static_cast<std::size_t>(vc)];
+    // Memo hit: same head flit (fifo unchanged) against an unchanged
+    // output — the previous verdict still holds. classify() is only called
+    // during allocation (phase 2a), before any send this cycle, so the
+    // transient sent_this_cycle_ part of can_send() is false at both the
+    // memo's computation and its reuse.
+    if (vs.memo_fifo_gen == vs.fifo_gen) {
+        if (vs.memo_out_port < 0) return std::nullopt; // memo: fifo empty
+        const Output& o =
+            outputs_[static_cast<std::size_t>(vs.memo_out_port)];
+        if (vs.memo_out_gen == o.owner_gen + o.sender.state_gen()) {
+            if (vs.memo_ready) return vs.memo_req;
+            return std::nullopt;
+        }
+    }
+
+    if (vs.fifo.empty()) {
+        vs.memo_fifo_gen = vs.fifo_gen;
+        vs.memo_out_port = -1;
+        return std::nullopt;
+    }
     const Flit& f = (*pool_)[vs.fifo.front()];
 
     int out_port = 0;
@@ -94,13 +111,21 @@ std::optional<Router::Request> Router::classify(const Input& in, int vc) const
         throw std::logic_error{"Router: route references bad output port"};
 
     const Output& o = outputs_[static_cast<std::size_t>(out_port)];
+    bool ready = true;
     // Wormhole ownership: a head may claim an output VC only when free.
-    if (is_head(f.kind)) {
-        if (o.vc_owner[static_cast<std::size_t>(out_vc)].is_valid())
-            return std::nullopt;
-    }
-    if (!o.sender.can_send(out_vc)) return std::nullopt;
-    return Request{out_port, out_vc};
+    if (is_head(f.kind) &&
+        o.vc_owner[static_cast<std::size_t>(out_vc)].is_valid())
+        ready = false;
+    else if (!o.sender.can_send(out_vc))
+        ready = false;
+
+    vs.memo_fifo_gen = vs.fifo_gen;
+    vs.memo_out_port = out_port;
+    vs.memo_out_gen = o.owner_gen + o.sender.state_gen();
+    vs.memo_ready = ready;
+    if (!ready) return std::nullopt;
+    vs.memo_req = Request{out_port, out_vc};
+    return vs.memo_req;
 }
 
 void Router::step(Cycle now)
@@ -176,6 +201,7 @@ void Router::step(Cycle now)
         const Nomination& nom = nominated[static_cast<std::size_t>(winner)];
         Vc_state& vs = in.vcs[static_cast<std::size_t>(nom.vc)];
         const Flit_ref ref = vs.fifo.pop();
+        ++vs.fifo_gen; // a new head (or empty): this VC's memo is stale
         Flit& f = (*pool_)[ref];
         --buffered_;
         --in.occupancy;
@@ -187,12 +213,14 @@ void Router::step(Cycle now)
             vs.out_port = static_cast<std::uint16_t>(nom.req.out_port);
             vs.out_vc = static_cast<std::uint16_t>(nom.req.out_vc);
             out.vc_owner[static_cast<std::size_t>(nom.req.out_vc)] = f.packet;
+            ++out.owner_gen;
             ++f.route_index;
         }
         if (is_tail(f.kind)) {
             vs.bound = false;
             out.vc_owner[static_cast<std::size_t>(nom.req.out_vc)] =
                 Packet_id::invalid();
+            ++out.owner_gen;
         }
         const auto freed_vc = f.vc; // VC the flit occupied in our buffer
         f.vc = static_cast<std::uint16_t>(nom.req.out_vc);
@@ -208,12 +236,15 @@ void Router::step(Cycle now)
     for (auto& o : outputs_) o.sender.end_cycle();
 
     // Phase 3: arrivals (after allocation, so flits wait >= 1 cycle). The
-    // input-channel sinks queued them at the previous commit — the commit
-    // that woke us.
+    // input-channel sinks parked them at the previous commit — the commit
+    // that woke us — one slot per input.
     bool arrived = false;
-    for (const auto& [idx, ref] : pending_arrivals_)
-        arrived |= deliver_arrival(inputs_[idx], ref);
-    pending_arrivals_.clear();
+    for (auto& in : inputs_) {
+        if (!in.arrival_sink.pending.is_valid()) continue;
+        const Flit_ref ref =
+            std::exchange(in.arrival_sink.pending, Flit_ref{});
+        arrived |= deliver_arrival(in, ref);
+    }
 
     // Phase 4: ON/OFF stop masks reflect post-arrival occupancy.
     if (params_.fc == Flow_control_kind::on_off) {
@@ -250,7 +281,10 @@ void Router::step(Cycle now)
 
 void Router::Arrival_sink::deliver(const Flit_ref& ref)
 {
-    router->pending_arrivals_.emplace_back(input, ref);
+    // One slot suffices: the delivery wakes the owning router, whose next
+    // step drains the slot before this channel can commit another value.
+    NOC_ASSERT(!pending.is_valid(), "Router: arrival slot overrun");
+    pending = ref;
 }
 
 bool Router::deliver_arrival(Input& in, Flit_ref ref)
@@ -263,6 +297,7 @@ bool Router::deliver_arrival(Input& in, Flit_ref ref)
         const Flit& f = (*pool_)[ref];
         if (f.link_seq == in.expected_seq && !fifo.full()) {
             fifo.push(ref);
+            ++in.vcs[0].fifo_gen;
             ++buffered_;
             ++in.occupancy;
             in.port.tokens->write(Fc_token{Fc_token::Kind::ack, 0, 0,
@@ -286,6 +321,7 @@ bool Router::deliver_arrival(Input& in, Flit_ref ref)
         throw std::logic_error{
             "Router: input VC overflow — flow control violated"};
     fifo.push(ref);
+    ++in.vcs[vc].fifo_gen;
     ++buffered_;
     ++in.occupancy;
     return true;

@@ -106,19 +106,43 @@ public:
     }
 
 private:
+    /// The (out_port, out_vc) the head flit of (input, vc) wants, or
+    /// nullopt when the VC cannot advance this cycle.
+    struct Request {
+        int out_port = -1;
+        int out_vc = -1;
+    };
+
     struct Vc_state {
         Ring_fifo<Flit_ref> fifo;
         bool bound = false;
         std::uint16_t out_port = 0;
         std::uint16_t out_vc = 0;
+        /// Bumped on every push/pop of `fifo` (a new head may want a
+        /// different output; a pop may also rewrite the binding).
+        std::uint64_t fifo_gen = 0;
+        // --- classify memo (see Router::classify) --------------------------
+        /// fifo_gen snapshot the memo was taken at; ~0 = no memo.
+        std::uint64_t memo_fifo_gen = ~0ull;
+        /// Output-state snapshot (owner_gen + sender state_gen) the memo's
+        /// verdict depends on; only meaningful when memo_out_port >= 0.
+        std::uint64_t memo_out_gen = 0;
+        /// Output the memo'd head wants; -1 = memo says "fifo empty".
+        std::int32_t memo_out_port = -1;
+        bool memo_ready = false;
+        Request memo_req; ///< valid when memo_ready
     };
     /// Per-input push sink: the input data channel delivers each arriving
-    /// handle at the commit that makes it visible (identically under both
-    /// kernel schedules), so phase 3 walks an exact arrival list instead of
-    /// polling every input channel's output stage every cycle.
+    /// handle at the commit that makes it visible (identically under all
+    /// kernel schedules) into a single-slot buffer private to this sink,
+    /// consumed by the next step's phase 3. One slot suffices: every
+    /// delivery wakes this router, whose step drains the slot before the
+    /// next commit can refill it. Keeping the slot per input (rather than
+    /// a shared arrival list) makes delivery race-free under the sharded
+    /// kernel, where different input channels may commit on different
+    /// shard threads.
     struct Arrival_sink final : Value_sink<Flit_ref> {
-        Router* router = nullptr;
-        std::uint32_t input = 0;
+        Flit_ref pending{};
         void deliver(const Flit_ref& ref) override;
     };
 
@@ -137,16 +161,18 @@ private:
         std::vector<Packet_id> vc_owner; // wormhole ownership per VC
         Round_robin_arbiter in_arb;
         bool is_ejection = false;
+        /// Bumped on every vc_owner mutation; owner_gen + sender.state_gen()
+        /// is the output-state snapshot the classify memo keys on.
+        std::uint64_t owner_gen = 0;
     };
 
-    /// The (out_port, out_vc) the head flit of (input, vc) wants, or
-    /// nullopt when the VC cannot advance this cycle.
-    struct Request {
-        int out_port = -1;
-        int out_vc = -1;
-    };
-    [[nodiscard]] std::optional<Request> classify(const Input& in,
-                                                  int vc) const;
+    /// Memoized allocation verdict for (input, vc): recomputes only when
+    /// the VC's fifo changed or the output it targets changed state
+    /// (arrival / credit / mask / window / wormhole-owner change). At
+    /// saturation most VCs are blocked on an unchanged output for many
+    /// consecutive cycles, so this removes the ~3 redundant classify
+    /// walks per router-cycle the ROADMAP called out.
+    [[nodiscard]] std::optional<Request> classify(Input& in, int vc);
 
     /// Returns true when a flit was accepted into a VC ring.
     bool deliver_arrival(Input& in, Flit_ref ref);
@@ -169,13 +195,11 @@ private:
     std::vector<Nomination> nominated_;
     std::vector<Request> vc_req_;          ///< classify results, per VC
     std::vector<std::uint64_t> out_wants_; ///< nominee mask, per output
-    /// Arrivals delivered by the input-channel sinks at the last commit;
-    /// consumed (in delivery order) by the next step's phase 3. Cross-input
-    /// order within a cycle is unobservable — arrivals land in per-input
-    /// rings and the reverse-channel tokens they emit use per-input
-    /// channels — so the two kernel schedules may deliver in different
-    /// orders without diverging.
-    std::vector<std::pair<std::uint32_t, Flit_ref>> pending_arrivals_;
+    // Arrivals live in the per-input sink slots until phase 3 consumes
+    // them, in input-index order. Cross-input order within a cycle is
+    // unobservable — arrivals land in per-input rings and the
+    // reverse-channel tokens they emit use per-input channels — so the
+    // kernel schedules may deliver in different orders without diverging.
     /// Flits buffered across all input VC FIFOs, maintained incrementally
     /// so the kernel's per-step is_quiescent() check is O(1).
     std::uint32_t buffered_ = 0;

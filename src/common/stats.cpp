@@ -47,6 +47,21 @@ double Accumulator::max() const
     return count_ == 0 ? 0.0 : max_;
 }
 
+double Exact_stat::variance() const
+{
+    if (count_ < 2) return 0.0;
+    const double n = static_cast<double>(count_);
+    const double s = static_cast<double>(sum_);
+    const double ss = static_cast<double>(sum_sq_);
+    const double num = ss - s * s / n;
+    return num <= 0.0 ? 0.0 : num / (n - 1.0);
+}
+
+double Exact_stat::std_dev() const
+{
+    return std::sqrt(variance());
+}
+
 Histogram::Histogram(double bin_width, std::size_t bin_count)
     : bin_width_{bin_width}, bins_(bin_count, 0)
 {

@@ -31,6 +31,62 @@ private:
     double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Exact accumulator for integer-valued samples (cycle latencies). All
+/// internal state is integral, so accumulation — and merging partial
+/// accumulators — is associative and commutative with NO floating-point
+/// order sensitivity: the sharded kernel's per-shard stats merged in any
+/// order are bit-identical to the sequential kernel's single stream. The
+/// query surface mirrors Accumulator (mean/min/max/std_dev as doubles).
+class Exact_stat {
+public:
+    void add(std::uint64_t x)
+    {
+        ++count_;
+        sum_ += x;
+        sum_sq_ += x * x;
+        if (x < min_) min_ = x;
+        if (x > max_) max_ = x;
+    }
+
+    void merge(const Exact_stat& o)
+    {
+        count_ += o.count_;
+        sum_ += o.sum_;
+        sum_sq_ += o.sum_sq_;
+        if (o.min_ < min_) min_ = o.min_;
+        if (o.max_ > max_) max_ = o.max_;
+    }
+
+    [[nodiscard]] std::uint64_t count() const { return count_; }
+    [[nodiscard]] double sum() const { return static_cast<double>(sum_); }
+    [[nodiscard]] double mean() const
+    {
+        return count_ == 0 ? 0.0
+                           : static_cast<double>(sum_) /
+                                 static_cast<double>(count_);
+    }
+    /// Sample variance from exact integer moments (matches Accumulator's
+    /// count-1 convention).
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double std_dev() const;
+    // Empty accumulators report 0 like Accumulator, for drop-in use.
+    [[nodiscard]] double min() const
+    {
+        return count_ == 0 ? 0.0 : static_cast<double>(min_);
+    }
+    [[nodiscard]] double max() const
+    {
+        return count_ == 0 ? 0.0 : static_cast<double>(max_);
+    }
+
+private:
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t sum_sq_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
 /// Fixed-bin histogram over [0, bin_width * bin_count); overflow values land
 /// in the last bin. Supports exact percentile queries over the binned data.
 class Histogram {

@@ -1,27 +1,74 @@
 #include "sim/kernel.h"
 
+#include "common/noc_assert.h"
+
 namespace noc {
 
-void Sim_kernel::add(Component* c)
+thread_local std::uint32_t Sim_kernel::t_current_shard_ = 0;
+
+Sim_kernel::Sim_kernel() : shards_(1)
+{
+    wake_mail_[0].resize(1);
+    wake_mail_[1].resize(1);
+}
+
+Sim_kernel::~Sim_kernel()
+{
+    if (!workers_.empty()) {
+        {
+            const std::lock_guard<std::mutex> lock{job_mutex_};
+            shutdown_ = true;
+        }
+        job_cv_.notify_all();
+        for (auto& w : workers_) w.join();
+    }
+}
+
+void Sim_kernel::set_shard_count(std::uint32_t n)
+{
+    if (n == 0)
+        throw std::invalid_argument{"Sim_kernel: shard count must be >= 1"};
+    if (!components_.empty() || channel_count() != 0)
+        throw std::logic_error{
+            "Sim_kernel: set_shard_count before registering components"};
+    if (!workers_.empty())
+        throw std::logic_error{
+            "Sim_kernel: cannot reshard after workers spawned"};
+    shards_ = std::vector<Shard_state>(n);
+    wake_mail_[0].assign(static_cast<std::size_t>(n) * n, {});
+    wake_mail_[1].assign(static_cast<std::size_t>(n) * n, {});
+}
+
+void Sim_kernel::add(Component* c, std::uint32_t shard)
 {
     if (c == nullptr)
         throw std::invalid_argument{"Sim_kernel::add: null component"};
+    if (shard >= shard_count())
+        throw std::invalid_argument{"Sim_kernel::add: shard out of range"};
     c->sched_ = this;
     c->sched_id_ = static_cast<std::uint32_t>(components_.size());
+    c->shard_ = shard;
     components_.push_back(c);
     awake_.push_back(1);
-    ++awake_count_;
-    if (c->uses_advance()) advancers_.push_back(c);
+    Shard_state& sh = shards_[shard];
+    sh.members.push_back(c->sched_id_);
+    ++sh.awake_count;
+    if (c->uses_advance()) sh.advancers.push_back(c);
 }
 
 void Sim_kernel::set_mode(Kernel_mode m)
 {
+    if (m == Kernel_mode::sharded && parallel_active_)
+        throw std::logic_error{"Sim_kernel: mode switch during a run"};
     mode_ = m;
     // Re-arm everything on a mode switch: the reference schedule does not
     // maintain wake state, so stale sleep flags must not leak into a
-    // subsequent gated run.
+    // subsequent gated or sharded run.
     for (auto& a : awake_) a = 1;
-    awake_count_ = awake_.size();
+    for (auto& sh : shards_) sh.awake_count = sh.members.size();
+    // Pending cross-shard wakes are subsumed by the re-arm.
+    for (auto& parity : wake_mail_)
+        for (auto& box : parity) box.clear();
 }
 
 void Sim_kernel::wake_at(Component* c, Cycle at)
@@ -32,27 +79,67 @@ void Sim_kernel::wake_at(Component* c, Cycle at)
         wake(c);
         return;
     }
-    timers_.emplace(at, c);
+    // Timers live in the component's own shard queue; during a parallel
+    // phase only that shard's thread may push (components self-schedule).
+    NOC_ASSERT(!parallel_active_ || c->shard_ == t_current_shard_,
+               "Sim_kernel: cross-shard wake_at during a parallel phase");
+    shards_[c->shard_].timers.emplace(at, c);
 }
 
 std::size_t Sim_kernel::channel_count() const
 {
     std::size_t n = 0;
-    for (const auto& g : groups_) n += g->size();
+    for (const auto& sh : shards_)
+        for (const auto& g : sh.groups) n += g->size();
     return n;
 }
 
 std::size_t Sim_kernel::active_component_count() const
 {
-    return awake_count_;
+    std::size_t n = total_awake();
+    // Wakes still in flight in a mailbox arm their target on the next
+    // cycle; count them so "active" matches what the next cycle will step.
+    for (const auto& parity : wake_mail_)
+        for (const auto& box : parity) n += box.size();
+    return n;
+}
+
+std::uint32_t Sim_kernel::component_shard(const Component* c) const
+{
+    if (c == nullptr || c->sched_ != this)
+        throw std::invalid_argument{
+            "Sim_kernel: component not registered here"};
+    return c->shard_;
+}
+
+std::size_t Sim_kernel::component_count_in_shard(std::uint32_t s) const
+{
+    return shards_.at(s).members.size();
+}
+
+std::size_t Sim_kernel::channel_count_in_shard(std::uint32_t s) const
+{
+    std::size_t n = 0;
+    for (const auto& g : shards_.at(s).groups) n += g->size();
+    return n;
+}
+
+void Sim_kernel::cross_shard_wake(Component* c)
+{
+    wake_mail_[mail_parity_][static_cast<std::size_t>(t_current_shard_) *
+                                 shard_count() +
+                             c->shard_]
+        .push_back(c->sched_id_);
+    cross_wakes_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Sim_kernel::run(Cycle cycles)
 {
-    if (mode_ == Kernel_mode::reference)
-        run_reference(cycles);
-    else
-        run_gated(cycles);
+    switch (mode_) {
+    case Kernel_mode::reference: run_reference(cycles); break;
+    case Kernel_mode::activity_gated: run_gated(cycles); break;
+    case Kernel_mode::sharded: run_sharded(cycles); break;
+    }
 }
 
 void Sim_kernel::run_reference(Cycle cycles)
@@ -62,11 +149,45 @@ void Sim_kernel::run_reference(Cycle cycles)
     // one virtual call at a time with no empty fast path.
     for (Cycle i = 0; i < cycles; ++i) {
         for (auto* c : components_) c->step(now_);
-        for (const auto& g : groups_) g->step_all_naive(now_);
-        for (const auto& g : groups_) g->advance_all_naive();
+        for (const auto& sh : shards_)
+            for (const auto& g : sh.groups) g->step_all_naive(now_);
+        for (const auto& sh : shards_)
+            for (const auto& g : sh.groups) g->advance_all_naive();
         for (auto* c : components_) c->advance();
         ++now_;
     }
+}
+
+void Sim_kernel::drain_due_timers(Shard_state& sh, Cycle now)
+{
+    while (!sh.timers.empty() && sh.timers.top().first <= now) {
+        wake(sh.timers.top().second);
+        sh.timers.pop();
+    }
+}
+
+bool Sim_kernel::all_groups_quiet() const
+{
+    for (const auto& sh : shards_)
+        for (const auto& g : sh.groups)
+            if (!g->all_quiet()) return false;
+    return true;
+}
+
+Cycle Sim_kernel::earliest_timer() const
+{
+    Cycle t = invalid_cycle;
+    for (const auto& sh : shards_)
+        if (!sh.timers.empty() && sh.timers.top().first < t)
+            t = sh.timers.top().first;
+    return t;
+}
+
+void Sim_kernel::record_job_error() noexcept
+{
+    const std::lock_guard<std::mutex> lock{job_mutex_};
+    if (!job_error_) job_error_ = std::current_exception();
+    job_failed_.store(true, std::memory_order_release);
 }
 
 void Sim_kernel::run_gated(Cycle cycles)
@@ -76,10 +197,7 @@ void Sim_kernel::run_gated(Cycle cycles)
     const Cycle deadline = now_ + cycles;
     while (now_ < deadline) {
         // Timed self-wakes due this cycle.
-        while (!timers_.empty() && timers_.top().first <= now_) {
-            wake(timers_.top().second);
-            timers_.pop();
-        }
+        for (auto& sh : shards_) drain_due_timers(sh, now_);
 
         // Idle-region skip-ahead: with no component armed and no value
         // pending or in flight in any channel, every cycle until the next
@@ -87,19 +205,10 @@ void Sim_kernel::run_gated(Cycle cycles)
         // empty fast path, no wake can fire) — so jump now_ straight to
         // the earliest pending timer, or to the end of the run. Matters
         // for trace replay with long inter-burst gaps.
-        if (awake_count_ == 0) {
-            bool quiet = true;
-            for (const auto& g : groups_)
-                if (!g->all_quiet()) {
-                    quiet = false;
-                    break;
-                }
-            if (quiet) {
-                now_ = (!timers_.empty() && timers_.top().first < deadline)
-                           ? timers_.top().first
-                           : deadline;
-                continue; // due timers pop at the top of the loop
-            }
+        if (total_awake() == 0 && all_groups_quiet()) {
+            const Cycle t = earliest_timer();
+            now_ = (t != invalid_cycle && t < deadline) ? t : deadline;
+            continue; // due timers pop at the top of the loop
         }
 
         // Phase 1: step the active set; each stepped component that reports
@@ -116,22 +225,180 @@ void Sim_kernel::run_gated(Cycle cycles)
                 c->step(now_);
                 if (c->is_quiescent()) {
                     awake_[k] = 0;
-                    --awake_count_;
+                    --shards_[c->shard_].awake_count;
                 }
             }
         }
 
         // Phase 2: devirtualized channel commit; wakes readers of channels
         // whose output became non-empty.
-        for (const auto& g : groups_) g->commit_all(*this);
+        for (const auto& sh : shards_)
+            for (const auto& g : sh.groups) g->commit_all(*this);
 
         // Legacy component-registered channels commit through advance();
         // nothing else declares one, so this loop is normally empty.
-        for (auto* c : advancers_)
-            if (stepped_[c->sched_id_]) c->advance();
+        for (const auto& sh : shards_)
+            for (auto* c : sh.advancers)
+                if (stepped_[c->sched_id_]) c->advance();
 
         ++now_;
     }
+}
+
+void Sim_kernel::ensure_workers()
+{
+    const std::uint32_t n = shard_count();
+    if (workers_.size() + 1 == n || n == 1) {
+        if (workers_.empty()) barrier_.reset(n);
+        return;
+    }
+    barrier_.reset(n);
+    workers_.reserve(n - 1);
+    for (std::uint32_t s = 1; s < n; ++s)
+        workers_.emplace_back([this, s] { worker_main(s); });
+}
+
+void Sim_kernel::worker_main(std::uint32_t shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock{job_mutex_};
+            job_cv_.wait(lock, [&] {
+                return shutdown_ || job_epoch_ != seen;
+            });
+            if (shutdown_) return;
+            seen = job_epoch_;
+        }
+        shard_job(shard);
+    }
+}
+
+void Sim_kernel::run_sharded(Cycle cycles)
+{
+    if (cycles == 0) return;
+    ensure_workers();
+    stepped_.resize(components_.size());
+    job_deadline_ = now_ + cycles;
+    job_cycle_.store(now_, std::memory_order_relaxed);
+    job_failed_.store(false, std::memory_order_relaxed);
+    job_error_ = nullptr;
+    parallel_active_ = true;
+    {
+        const std::lock_guard<std::mutex> lock{job_mutex_};
+        ++job_epoch_;
+    }
+    job_cv_.notify_all();
+    shard_job(0); // the calling thread is shard 0's worker
+    parallel_active_ = false;
+    // Workers released from the final barrier only read the job_* atomics
+    // before parking, and only sharded completions — which need their
+    // participation — write those, so nothing the caller does next races.
+    if (job_error_) {
+        const std::exception_ptr e = job_error_;
+        job_error_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void Sim_kernel::shard_job(std::uint32_t shard)
+{
+    t_current_shard_ = shard;
+    if (thread_init_) thread_init_(shard);
+    Shard_state& sh = shards_[shard];
+    const Cycle deadline = job_deadline_;
+    const std::uint32_t n = shard_count();
+    Cycle now = job_cycle_.load(std::memory_order_relaxed);
+    for (;;) {
+        // Phase 1: inbound cross-shard wakes produced last cycle (the
+        // other mailbox parity; this cycle's producers append to
+        // wake_mail_[mail_parity_]), due timers, then step this shard's
+        // active set (see run_gated). A phase that throws poisons the job:
+        // the barrier protocol still runs every phase (so no worker is
+        // ever left blocked) but the remaining work is skipped and
+        // run_sharded rethrows once the job has wound down.
+        if (!job_failed_.load(std::memory_order_acquire)) {
+            try {
+                auto& inboxes = wake_mail_[mail_parity_ ^ 1u];
+                for (std::uint32_t from = 0; from < n; ++from) {
+                    auto& box =
+                        inboxes[static_cast<std::size_t>(from) * n + shard];
+                    for (const std::uint32_t id : box)
+                        if (!awake_[id]) {
+                            awake_[id] = 1;
+                            ++sh.awake_count;
+                        }
+                    box.clear();
+                }
+                drain_due_timers(sh, now);
+                for (const std::uint32_t id : sh.members) {
+                    stepped_[id] = awake_[id];
+                    if (awake_[id]) {
+                        Component* c = components_[id];
+                        c->step(now);
+                        if (c->is_quiescent()) {
+                            awake_[id] = 0;
+                            --sh.awake_count;
+                        }
+                    }
+                }
+            } catch (...) {
+                record_job_error();
+            }
+        }
+
+        barrier_.arrive_and_wait([] {});
+
+        // Phase 2: commit this shard's channels. Wakes for foreign readers
+        // go through the mailboxes (see Sim_kernel::wake).
+        if (!job_failed_.load(std::memory_order_acquire)) {
+            try {
+                for (const auto& g : sh.groups) g->commit_all(*this);
+                for (auto* c : sh.advancers)
+                    if (stepped_[c->sched_id_]) c->advance();
+            } catch (...) {
+                record_job_error();
+            }
+        }
+
+        barrier_.arrive_and_wait([this, deadline] {
+            advance_cycle(deadline);
+        });
+        // Exit on the monotonic job cycle, NOT a resettable flag: read
+        // late (after the caller launched the next job) it can only have
+        // grown further past this job's deadline.
+        now = job_cycle_.load(std::memory_order_acquire);
+        if (now >= deadline) break;
+    }
+}
+
+void Sim_kernel::advance_cycle(Cycle deadline)
+{
+    // Runs on exactly one thread while every other worker is blocked at the
+    // barrier, so it may touch all shard state.
+    Cycle next = now_ + 1;
+    if (job_failed_.load(std::memory_order_acquire)) {
+        next = deadline; // wind the job down; run_sharded rethrows
+    } else if (total_awake() == 0 && all_groups_quiet()) {
+        // Idle-region skip-ahead (see run_gated), extended with the mailbox
+        // check: a wake in flight arms its target next cycle, so the region
+        // is not idle.
+        bool quiet = true;
+        for (const auto& parity : wake_mail_)
+            for (const auto& box : parity)
+                if (!box.empty()) {
+                    quiet = false;
+                    break;
+                }
+        if (quiet) {
+            const Cycle t = earliest_timer();
+            next = (t != invalid_cycle && t < deadline) ? t : deadline;
+            if (next < now_ + 1) next = now_ + 1; // timers due now popped
+        }
+    }
+    mail_parity_ ^= 1u;
+    now_ = next;
+    job_cycle_.store(next, std::memory_order_release);
 }
 
 } // namespace noc

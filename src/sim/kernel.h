@@ -1,4 +1,5 @@
-// Cycle-driven, two-phase simulation kernel with activity gating.
+// Cycle-driven, two-phase simulation kernel with activity gating and an
+// optional sharded (multi-threaded) schedule.
 //
 // Components communicate exclusively through pipeline channels (see
 // arch/channel.h). Each simulated cycle has two phases:
@@ -44,17 +45,13 @@
 //                   with bit-identical external behaviour to not running"
 //
 // i.e. all FIFOs empty, no retransmission buffers pending, no RNG that must
-// be drawn every cycle (a source that draws its RNG per poll — Burst_source
-// today — is never quiescent: skipping a poll would desynchronize the
-// stream; Bernoulli_source sidesteps this by drawing geometric gaps and
-// naming its next injection cycle via next_poll_at), and anything it
-// periodically
-// publishes (e.g. an ON/OFF stop mask) is a pure function of that idle state
-// so the last published value stays correct while asleep. Under that
-// contract a gated run is bit-identical to the ungated one: a sleeping
-// component's steps would have been no-ops, and every input that could
-// change its state travels through a channel whose commit re-wakes it on
-// the exact cycle the value becomes visible.
+// be drawn every cycle, and anything it periodically publishes (e.g. an
+// ON/OFF stop mask) is a pure function of that idle state so the last
+// published value stays correct while asleep. Under that contract a gated
+// run is bit-identical to the ungated one: a sleeping component's steps
+// would have been no-ops, and every input that could change its state
+// travels through a channel whose commit re-wakes it on the exact cycle the
+// value becomes visible.
 //
 // Gating is sound only when EVERY path by which input can reach a sleeping
 // component carries a wake edge. The kernel cannot verify that; the builder
@@ -64,17 +61,96 @@
 // stepped and advanced through its virtual interface every cycle), which is
 // also what equivalence tests and benches diff the gated kernel against on
 // identical configurations.
+//
+// ---------------------------------------------------------------------------
+// Threading model (Kernel_mode::sharded)
+//
+// The sharded schedule runs the gated schedule's two phases on a persistent
+// pool of worker threads, one shard per thread (the calling thread doubles
+// as shard 0's worker). The builder partitions components and channels into
+// spatially contiguous shards via the `shard` arguments of add() /
+// add_channel(); each shard owns
+//
+//   * a slice of the awake bitmap plus its own awake count,
+//   * its own timer queue,
+//   * its own per-payload-type channel groups,
+//
+// and a cycle is two parallel phases separated by a barrier:
+//
+//   phase 1 (step)    each shard drains its inbound wake mailboxes and due
+//                     timers, then steps its own active components;
+//   -- barrier --
+//   phase 2 (commit)  each shard commits its own channel groups;
+//   -- barrier --     (one thread advances the cycle / runs skip-ahead)
+//
+// The two-phase read-committed discipline is what makes this bit-identical
+// to the sequential schedules: a step may only observe values committed in
+// earlier cycles, so the interleaving of steps across shards — like the
+// iteration order within one shard — cannot change results.
+//
+// Single-writer-per-channel invariant: every channel has exactly ONE
+// component that calls write() on it, and the builder must register the
+// channel in that writer's shard. Phase 1 then touches channel input state
+// (pending value, the group's armed list) only from the writer's thread,
+// and phase 2 commits it only from the same thread — no locks, no atomics
+// on the hot path. Channel OUTPUT state crosses shards only through the
+// barrier: a commit in shard A at cycle t publishes a value that shard B's
+// reader first observes during step at t+1, after the barrier between them.
+// The same applies to Value_sinks: each sink is registered on exactly one
+// channel, so phase 2 touches each sink from exactly one thread (the
+// writer-shard's), and the sink's owner reads the folded state only in a
+// later phase 1. Consequently a sink must mutate only state that is
+// otherwise untouched during phase 2 (Link_sender's token counters and the
+// router arrival slots satisfy this).
+//
+// What components may touch in each phase:
+//   phase 1: their own state, channel *outputs* (read), channel *inputs*
+//            they own (write), and the kernel's wake API for THEMSELVES
+//            (request_wake / request_wake_at). They must not mutate
+//            components outside their shard — all cross-shard influence
+//            must flow through channels. (Noc_system obeys this: delivery
+//            listeners and reply generation are NI-local.)
+//   phase 2: only channel commit machinery runs; sinks fold values into
+//            single-consumer state and may wake any component — wake() is
+//            the one cross-shard-safe kernel entry point during a parallel
+//            phase.
+//
+// Cross-shard wakes (a committed link-data value whose reader router lives
+// in another shard; a token that unblocks a sender owned by another shard)
+// go through per-(writer-shard x reader-shard) single-producer
+// single-consumer mailboxes: the committing thread appends the target's id
+// to its own outbox row, and the target shard drains its inbox column at
+// the start of the next phase 1 — the exact cycle a local wake would have
+// armed the component for. Mailboxes are double-buffered by cycle parity so
+// a drain never runs concurrently with an append; the barrier between
+// phases provides the happens-before edge, so no atomics are needed on the
+// mailbox vectors themselves.
+//
+// Error handling: the simulator's exceptions signal wiring/invariant
+// violations, and every schedule propagates them to run()'s caller. Under
+// the sharded schedule the first exception a phase throws is captured,
+// the remaining phases become no-ops while the job winds down through the
+// normal barrier protocol (so no worker is left blocked), and run()
+// rethrows on the calling thread. The simulation state mid-cycle is NOT
+// rolled back — as in the sequential schedules, a throwing run leaves the
+// system unusable for further simulation.
 #pragma once
 
 #include "common/types.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <typeindex>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -123,13 +199,15 @@ protected:
     /// advance (e.g. an NI whose source has drawn its next injection cycle)
     /// so they can sleep through the gap. Timers only affect scheduling,
     /// never simulation state, and are ignored in reference mode (where
-    /// everything steps anyway).
+    /// everything steps anyway). May only be called by the component itself
+    /// (its timer lives in its own shard's queue).
     void request_wake_at(Cycle at);
 
 private:
     friend class Sim_kernel;
     Sim_kernel* sched_ = nullptr;
     std::uint32_t sched_id_ = 0;
+    std::uint32_t shard_ = 0;
 };
 
 /// One flat, devirtualized array of channels of a single payload type. The
@@ -162,6 +240,7 @@ public:
 enum class Kernel_mode : std::uint8_t {
     activity_gated, ///< sleep/wake scheduling + devirtualized channel commit
     reference,      ///< naive: every component, every cycle, fully virtual
+    sharded,        ///< gated schedule run shard-parallel on worker threads
 };
 
 /// Owns the component schedule and the global cycle counter. Components are
@@ -169,29 +248,65 @@ enum class Kernel_mode : std::uint8_t {
 /// ownership (see arch/noc_system.h).
 class Sim_kernel {
 public:
-    void add(Component* c);
+    Sim_kernel();
+    ~Sim_kernel();
+    Sim_kernel(const Sim_kernel&) = delete;
+    Sim_kernel& operator=(const Sim_kernel&) = delete;
 
-    /// Register a channel for devirtualized commit. The channel must NOT
-    /// also be add()ed; its reader wake edge is wired via
-    /// Pipeline_channel::set_reader. Definition in arch/channel.h.
-    template<typename T> void add_channel(Pipeline_channel<T>* ch);
+    /// Number of shards the sharded schedule will use. Must be called
+    /// before any add()/add_channel() (shard membership is recorded at
+    /// registration time). A kernel always has at least one shard.
+    void set_shard_count(std::uint32_t n);
+    [[nodiscard]] std::uint32_t shard_count() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+    /// Register a component into shard `shard` (default 0).
+    void add(Component* c, std::uint32_t shard = 0);
+
+    /// Register a channel for devirtualized commit into shard `shard`,
+    /// which MUST be the shard of the channel's single writer (see the
+    /// threading-model comment). The channel must NOT also be add()ed; its
+    /// reader wake edge is wired via Pipeline_channel::set_reader.
+    /// Definition in arch/channel.h.
+    template<typename T>
+    void add_channel(Pipeline_channel<T>* ch, std::uint32_t shard = 0);
 
     void set_mode(Kernel_mode m);
     [[nodiscard]] Kernel_mode mode() const { return mode_; }
 
+    /// Hook invoked on each shard's worker thread at the start of every
+    /// sharded run, with the shard index — used by the builder to point
+    /// thread-local allocation at the shard's resources (the flit pool's
+    /// per-shard free-list segment). Must be set before the first run.
+    void set_shard_thread_init(std::function<void(std::uint32_t)> hook)
+    {
+        thread_init_ = std::move(hook);
+    }
+
     /// Re-arm `c` for the next cycle. Ignores components registered with a
-    /// different (or no) kernel.
+    /// different (or no) kernel. Safe to call from any phase, any thread of
+    /// a sharded run: a wake targeting a foreign shard is routed through
+    /// that shard's mailbox and takes effect at the next cycle — the same
+    /// cycle a local wake would.
     void wake(Component* c)
     {
         if (c == nullptr || c->sched_ != this) return;
+        if (parallel_active_ && c->shard_ != t_current_shard_) {
+            cross_shard_wake(c);
+            return;
+        }
         if (!awake_[c->sched_id_]) {
             awake_[c->sched_id_] = 1;
-            ++awake_count_;
+            ++shards_[c->shard_].awake_count;
         }
     }
 
     /// Re-arm `c` at the start of cycle `at` (immediately if `at` has
-    /// passed). No-op in reference mode.
+    /// passed). No-op in reference mode. During a parallel phase this may
+    /// only be called for components of the executing shard (i.e. by the
+    /// component itself).
     void wake_at(Component* c, Cycle at);
 
     /// Run `cycles` additional cycles.
@@ -220,41 +335,168 @@ public:
     }
     [[nodiscard]] std::size_t channel_count() const;
     /// Components currently armed to step next cycle (observability: the
-    /// activity gating win is component_count() minus this).
+    /// activity gating win is component_count() minus this). Cross-shard
+    /// wakes still sitting in a mailbox are counted too; since mailbox
+    /// appends are not deduplicated against the target's bitmap (reading a
+    /// foreign shard's awake byte mid-phase would race), a component with a
+    /// wake in flight can be counted more than once — treat the value as
+    /// an upper bound that is exact when the mailboxes are empty.
     [[nodiscard]] std::size_t active_component_count() const;
 
+    // --- shard introspection (partitioner tests, observability) -----------
+    /// Shard the component was registered into.
+    [[nodiscard]] std::uint32_t component_shard(const Component* c) const;
+    /// Number of components registered into shard `s`.
+    [[nodiscard]] std::size_t component_count_in_shard(std::uint32_t s) const;
+    /// Number of channels registered into shard `s`.
+    [[nodiscard]] std::size_t channel_count_in_shard(std::uint32_t s) const;
+    /// Total cross-shard wakes routed through mailboxes so far. Counts
+    /// mailbox appends, not arm transitions: a target woken twice in one
+    /// cycle counts twice here even though it arms once (the drain
+    /// deduplicates against the bitmap).
+    [[nodiscard]] std::uint64_t cross_shard_wake_count() const
+    {
+        return cross_wakes_.load(std::memory_order_relaxed);
+    }
+
 private:
+    /// Minimal sense-reversing spin barrier. The last arriver runs
+    /// `completion` while every other participant is still blocked, giving
+    /// it exclusive access to all shard state; the release store / acquire
+    /// loads publish everything written before the barrier to every thread
+    /// past it. Spins briefly then yields — cycle times are far shorter
+    /// than a futex sleep/wake round trip.
+    class Spin_barrier {
+    public:
+        void reset(std::uint32_t participants) { count_ = participants; }
+
+        template<typename Completion>
+        void arrive_and_wait(Completion&& completion)
+        {
+            const std::uint32_t phase =
+                phase_.load(std::memory_order_acquire);
+            if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                count_) {
+                completion();
+                arrived_.store(0, std::memory_order_relaxed);
+                phase_.store(phase + 1, std::memory_order_release);
+            } else {
+                int spins = 0;
+                while (phase_.load(std::memory_order_acquire) == phase)
+                    if (++spins > 2048) std::this_thread::yield();
+            }
+        }
+
+    private:
+        std::atomic<std::uint32_t> arrived_{0};
+        std::atomic<std::uint32_t> phase_{0};
+        std::uint32_t count_ = 1;
+    };
+
+    /// Everything one shard's worker touches on its own: members, active
+    /// set accounting, timers, channel groups. Cache-line aligned so two
+    /// workers' hot counters never share a line.
+    struct alignas(64) Shard_state {
+        std::vector<std::uint32_t> members; ///< component ids, step order
+        std::size_t awake_count = 0;
+        std::vector<Component*> advancers;
+        std::vector<std::unique_ptr<Channel_group_base>> groups;
+        std::unordered_map<std::type_index, Channel_group_base*> group_index;
+        /// Timed self-wakes, earliest first. Scheduling metadata only —
+        /// never simulation state — so drops and duplicates are harmless.
+        std::priority_queue<std::pair<Cycle, Component*>,
+                            std::vector<std::pair<Cycle, Component*>>,
+                            std::greater<>>
+            timers;
+    };
+
     void run_gated(Cycle cycles);
     void run_reference(Cycle cycles);
+    void run_sharded(Cycle cycles);
+    /// The per-shard cycle loop of a sharded run; shard 0 executes on the
+    /// calling thread, the rest on persistent workers.
+    void shard_job(std::uint32_t shard);
+    /// Barrier-exclusive end-of-cycle step: advance now_ (with idle
+    /// skip-ahead), flip the mailbox parity, publish the job-done flag.
+    void advance_cycle(Cycle deadline);
+    void cross_shard_wake(Component* c);
+    void ensure_workers();
+    void worker_main(std::uint32_t shard);
+    void drain_due_timers(Shard_state& sh, Cycle now);
+    /// Record the first exception a sharded phase threw; the job then winds
+    /// down through the normal barrier protocol and run_sharded rethrows.
+    void record_job_error() noexcept;
+    /// No value pending or in flight in any channel of any shard.
+    [[nodiscard]] bool all_groups_quiet() const;
+    /// Earliest pending timer across shards, or invalid_cycle.
+    [[nodiscard]] Cycle earliest_timer() const;
 
-    /// Find-or-create the group holding channels of one payload type.
-    template<typename Group> Group& ensure_group()
+    /// Find-or-create the group holding channels of one payload type in
+    /// one shard. Hash lookup — the old linear scan was quadratic in the
+    /// number of payload types registered.
+    template<typename Group> Group& ensure_group(std::uint32_t shard)
     {
+        Shard_state& sh = shards_[shard];
         const std::type_index key{typeid(Group)};
-        for (const auto& [k, g] : group_index_)
-            if (k == key) return static_cast<Group&>(*g);
+        if (const auto it = sh.group_index.find(key);
+            it != sh.group_index.end())
+            return static_cast<Group&>(*it->second);
         auto owned = std::make_unique<Group>();
         Group& ref = *owned;
-        groups_.push_back(std::move(owned));
-        group_index_.emplace_back(key, &ref);
+        sh.groups.push_back(std::move(owned));
+        sh.group_index.emplace(key, &ref);
         return ref;
     }
 
+    [[nodiscard]] std::size_t total_awake() const
+    {
+        std::size_t n = 0;
+        for (const auto& sh : shards_) n += sh.awake_count;
+        return n;
+    }
+
     std::vector<Component*> components_;
-    std::vector<Component*> advancers_; // components with uses_advance()
     std::vector<std::uint8_t> awake_;   // parallel to components_
-    std::size_t awake_count_ = 0;       // number of set awake_ flags
     std::vector<std::uint8_t> stepped_; // scratch: stepped this cycle
-    std::vector<std::unique_ptr<Channel_group_base>> groups_;
-    std::vector<std::pair<std::type_index, Channel_group_base*>> group_index_;
-    /// Timed self-wakes, earliest first. Scheduling metadata only — never
-    /// simulation state — so drops and duplicates are harmless.
-    std::priority_queue<std::pair<Cycle, Component*>,
-                        std::vector<std::pair<Cycle, Component*>>,
-                        std::greater<>>
-        timers_;
+    std::vector<Shard_state> shards_;   // always >= 1
+    /// Cross-shard wake mailboxes: wake_mail_[parity][from * n + to] holds
+    /// component ids. Double-buffered by cycle parity (see header comment).
+    std::vector<std::vector<std::uint32_t>> wake_mail_[2];
+    std::uint32_t mail_parity_ = 0; ///< buffer producers append to
     Cycle now_ = 0;
     Kernel_mode mode_ = Kernel_mode::reference;
+    bool parallel_active_ = false;
+    std::function<void(std::uint32_t)> thread_init_;
+    std::atomic<std::uint64_t> cross_wakes_{0};
+
+    // --- persistent worker pool (sharded mode) -----------------------------
+    std::vector<std::thread> workers_; ///< shards 1..n-1; lazily spawned
+    Spin_barrier barrier_;
+    std::mutex job_mutex_;
+    std::condition_variable job_cv_;
+    std::uint64_t job_epoch_ = 0; ///< guarded by job_mutex_
+    Cycle job_deadline_ = 0;      ///< published before each job
+    bool shutdown_ = false;       ///< guarded by job_mutex_
+    /// The job's current cycle, published by advance_cycle (the barrier
+    /// completion). An atomic so a worker's post-barrier read can never
+    /// race with anything the caller does after run_sharded returns; and
+    /// MONOTONICALLY NON-DECREASING across jobs, so a worker that reads it
+    /// late — after the caller already launched the next job — still
+    /// observes a value at or past its own job's deadline and exits. (A
+    /// resettable done-flag here once produced zombie workers: a late
+    /// reader missed the exit, kept participating in the next job's
+    /// barriers uninvited, and wedged the participant count.)
+    std::atomic<Cycle> job_cycle_{0};
+    /// First exception thrown inside a sharded phase (guarded by
+    /// job_mutex_); phases become no-ops once set and run_sharded rethrows
+    /// it on the calling thread after the job winds down.
+    std::exception_ptr job_error_;
+    std::atomic<bool> job_failed_{false};
+
+    /// Shard the current thread is executing (meaningful only while
+    /// parallel_active_); 0 on every thread otherwise, so sequential wakes
+    /// take the direct path.
+    static thread_local std::uint32_t t_current_shard_;
 };
 
 inline void Component::request_wake()

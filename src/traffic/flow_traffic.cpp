@@ -56,22 +56,61 @@ Flow_source::Flow_source(Core_id self, const Core_graph& graph, Params p)
     }
 }
 
-std::optional<Packet_desc> Flow_source::poll(Cycle)
+void Flow_source::schedule(Flow_state& f, Cycle from)
 {
-    // Every flow draws every cycle; fired packets go through a backlog so
-    // that the NI's one-enqueue-per-cycle interface never drops rate.
-    for (auto& f : flows_) {
-        bool fire = false;
-        if (p_.jitter) {
-            fire = rng_.next_bool(f.packets_per_cycle);
-        } else {
-            f.accumulator += f.packets_per_cycle;
-            if (f.accumulator >= 1.0) {
-                f.accumulator -= 1.0;
-                fire = true;
+    if (f.packets_per_cycle <= 0.0) {
+        f.fire_at = invalid_cycle; // silent flow: never fires
+        return;
+    }
+    if (p_.jitter) {
+        // A Bernoulli trial per cycle IS a geometric gap between
+        // successes; drawing the gap directly is the identical process,
+        // one draw per packet instead of one per cycle.
+        f.fire_at = from + rng_.next_geometric(f.packets_per_cycle);
+    } else {
+        // Periodic mode: pre-run the accumulator to its next crossing with
+        // the SAME sequence of += operations a per-cycle poll would
+        // perform, so the FP stream — and thus every fire cycle — is
+        // bit-identical to the pre-event-driven implementation. (The work
+        // is the same O(1/rate) the per-cycle formulation pays, just paid
+        // at the event instead of spread over the gap.) Two stops bound
+        // the loop for degenerate rates: if the addend no longer changes
+        // the accumulator (below one ulp of the running sum) the per-cycle
+        // formulation would never fire again either, so silence is exactly
+        // equivalent; and a gap beyond max_prerun_gap cycles (a flow
+        // firing less than ~once per 4M cycles contributes nothing any
+        // practical run can observe) is likewise declared silent rather
+        // than pre-run eagerly for seconds.
+        constexpr Cycle max_prerun_gap = Cycle{1} << 22;
+        Cycle k = 0;
+        double acc = f.accumulator;
+        do {
+            const double next_acc = acc + f.packets_per_cycle;
+            if (next_acc == acc || k > max_prerun_gap) {
+                f.accumulator = acc;
+                f.fire_at = invalid_cycle;
+                return;
             }
-        }
-        if (!fire) continue;
+            acc = next_acc;
+            ++k;
+        } while (acc < 1.0);
+        f.accumulator = acc - 1.0;
+        f.fire_at = from + (k - 1);
+    }
+}
+
+std::optional<Packet_desc> Flow_source::poll(Cycle now)
+{
+    if (!armed_) {
+        // First poll: each flow's first trial happens this very cycle (a
+        // zero gap fires at `now`), matching the per-cycle formulation.
+        armed_ = true;
+        for (auto& f : flows_) schedule(f, now);
+    }
+    // Fired packets go through a backlog so that the NI's
+    // one-enqueue-per-cycle interface never drops rate.
+    for (auto& f : flows_) {
+        if (f.fire_at > now) continue; // invalid_cycle compares greater
         Packet_desc d;
         d.dst = f.dst;
         d.size_flits = f.flits_per_packet;
@@ -81,11 +120,23 @@ std::optional<Packet_desc> Flow_source::poll(Cycle)
             d.conn = Connection_id{f.id.get()};
         }
         backlog_.push_back(d);
+        schedule(f, now + 1); // next trial next cycle: one fire per cycle
     }
     if (backlog_.empty()) return std::nullopt;
     const Packet_desc d = backlog_.front();
     backlog_.pop_front();
     return d;
+}
+
+Cycle Flow_source::next_poll_at(Cycle now) const
+{
+    if (!armed_) return now + 1; // must be polled once to seed the events
+    if (!backlog_.empty()) return now + 1; // still draining a burst
+    Cycle next = invalid_cycle;
+    for (const auto& f : flows_)
+        if (f.fire_at < next) next = f.fire_at;
+    if (next == invalid_cycle) return invalid_cycle; // silent forever
+    return next > now + 1 ? next : now + 1;
 }
 
 } // namespace noc

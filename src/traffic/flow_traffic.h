@@ -26,6 +26,16 @@ namespace noc {
 /// independent process; `bandwidth_scale` uniformly scales offered load
 /// (load sweeps), `jitter` selects periodic (false) vs Bernoulli (true)
 /// injection.
+///
+/// Event-driven like Bernoulli_source (traffic/synthetic.h): instead of a
+/// per-cycle draw per flow, each flow's next injection cycle is computed
+/// ahead of time — a geometric gap draw in jitter mode (the identical
+/// stochastic process: a Bernoulli trial per cycle IS a geometric gap), and
+/// the exact same accumulator stepping in periodic mode (pre-run to the
+/// next crossing, so the FP stream is bit-identical to per-cycle stepping).
+/// Between events poll() is a side-effect-free nullopt and next_poll_at()
+/// names the earliest upcoming event, so NIs driven by application graphs
+/// sleep through inter-injection gaps under activity gating.
 class Flow_source final : public Traffic_source {
 public:
     struct Params {
@@ -41,6 +51,7 @@ public:
     Flow_source(Core_id self, const Core_graph& graph, Params p);
 
     [[nodiscard]] std::optional<Packet_desc> poll(Cycle now) override;
+    [[nodiscard]] Cycle next_poll_at(Cycle now) const override;
 
 private:
     struct Flow_state {
@@ -50,12 +61,17 @@ private:
         double packets_per_cycle;
         double accumulator = 0.0; // periodic mode
         bool gt = false;
+        Cycle fire_at = invalid_cycle; ///< next injection event
     };
+
+    /// Draw/advance flow `f`'s next injection cycle, first trial at `from`.
+    void schedule(Flow_state& f, Cycle from);
 
     std::vector<Flow_state> flows_;
     std::deque<Packet_desc> backlog_;
     Params p_;
     Rng rng_;
+    bool armed_ = false; ///< first poll seeds every flow's event
 };
 
 } // namespace noc

@@ -1,14 +1,20 @@
-// Activity-gated vs reference kernel equivalence.
+// Activity-gated and sharded vs reference kernel equivalence.
 //
 // The gating refactor (sim/kernel.h) must be a pure scheduling optimization:
 // for any configuration, running the identical network under
 // Kernel_mode::activity_gated and Kernel_mode::reference has to produce
 // bit-identical measured statistics, per-router activity counters, and final
-// cycle counts. These tests sweep the flow-control schemes, load levels,
-// source models and a dateline-VC topology through both kernels and diff
-// every observable counter.
+// cycle counts. The same holds for Kernel_mode::sharded at ANY shard count:
+// the two-phase read-committed discipline makes the shard-parallel schedule
+// a pure re-interleaving of the gated one, so every configuration here is
+// additionally swept through the sharded kernel at 1, 2 and 4 shards
+// (1 shard = the degenerate case that must equal the gated schedule).
+// These tests sweep the flow-control schemes, load levels, source models
+// and a dateline-VC topology through the kernels and diff every observable
+// counter.
 #include "topology/routing.h"
 #include "traffic/experiment.h"
+#include "traffic/flow_traffic.h"
 #include "traffic/trace.h"
 
 #include <gtest/gtest.h>
@@ -76,12 +82,14 @@ struct Run_result {
 
 /// Build the configured system, install sources via `rig`, run the standard
 /// warmup/measure/drain protocol under `mode`, and snapshot every counter.
+/// `shards` > 1 partitions the system (only meaningful with
+/// Kernel_mode::sharded).
 template<typename Rig>
 Run_result run_mode(const Topology& topo, const Route_set& routes,
                     const Network_params& params, Kernel_mode mode,
-                    const Rig& rig)
+                    const Rig& rig, std::uint32_t shards = 1)
 {
-    Noc_system sys{topo, routes, params};
+    Noc_system sys{topo, routes, params, false, shards};
     sys.kernel().set_mode(mode);
     rig(sys);
     sys.warmup(500);
@@ -118,6 +126,25 @@ void expect_equivalent(const Topology& topo, const Route_set& routes,
     EXPECT_EQ(gated.snap.per_link_flits, ref.snap.per_link_flits);
     EXPECT_EQ(gated.snap.per_ni_injected, ref.snap.per_ni_injected);
     EXPECT_TRUE(gated.snap.drained);
+    // The sharded schedule must reproduce the same run bit-for-bit at any
+    // partition width, including the degenerate single shard.
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+        const Run_result sharded = run_mode(
+            topo, routes, params, Kernel_mode::sharded, rig, shards);
+        EXPECT_TRUE(sharded.snap == ref.snap) << shards << " shards";
+        EXPECT_EQ(sharded.snap.now, ref.snap.now) << shards << " shards";
+        EXPECT_EQ(sharded.snap.delivered, ref.snap.delivered)
+            << shards << " shards";
+        EXPECT_EQ(sharded.snap.packet_latency_mean,
+                  ref.snap.packet_latency_mean)
+            << shards << " shards";
+        EXPECT_EQ(sharded.snap.per_router_flits, ref.snap.per_router_flits)
+            << shards << " shards";
+        EXPECT_EQ(sharded.snap.per_link_flits, ref.snap.per_link_flits)
+            << shards << " shards";
+        EXPECT_EQ(sharded.snap.per_ni_injected, ref.snap.per_ni_injected)
+            << shards << " shards";
+    }
     // Open-loop sources keep injecting after the measurement window, so no
     // bound on the post-drain active set holds here — the "gating actually
     // gates" check lives in TraceDrivenSystemSleepsWhenDone, where traffic
@@ -249,6 +276,45 @@ TEST(KernelEquivalence, TraceDrivenSystemSleepsWhenDone)
     EXPECT_GT(gated.snap.delivered, 0u);
     EXPECT_TRUE(gated.snap.drained);
     EXPECT_EQ(gated.active_after_drain, 0u); // everything asleep
+    // The sharded schedule must gate (and skip idle regions) just as well.
+    const Run_result sharded =
+        run_mode(topo, routes, params, Kernel_mode::sharded, rig, 4);
+    EXPECT_TRUE(sharded.snap == ref.snap);
+    EXPECT_EQ(sharded.active_after_drain, 0u);
+}
+
+/// Application-graph traffic (Flow_source) through every kernel schedule:
+/// the event-driven rewrite (flow_traffic.h) must leave the gated and
+/// sharded runs bit-identical to reference, now with NIs sleeping through
+/// the inter-injection gaps the flows promise.
+TEST(KernelEquivalence, FlowSourceApplicationGraph)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const Network_params params;
+
+    auto rig = [&](Noc_system& sys) {
+        const int cores = sys.topology().core_count();
+        Core_graph g{"equiv"};
+        for (int c = 0; c < cores; ++c) g.add_core({"c", false, 1.0, {}});
+        for (int c = 0; c < cores; ++c) {
+            Flow_spec f;
+            f.src = c;
+            f.dst = (c + 3) % cores;
+            f.bandwidth_mbps = 150.0 + 40.0 * (c % 4);
+            f.packet_bytes = 16;
+            g.add_flow(f);
+        }
+        for (int c = 0; c < cores; ++c) {
+            const Core_id core{static_cast<std::uint32_t>(c)};
+            Flow_source::Params fp;
+            fp.seed = 2024 + static_cast<std::uint64_t>(c);
+            sys.ni(core).set_source(
+                std::make_unique<Flow_source>(core, g, fp));
+        }
+    };
+    expect_equivalent(topo, routes, params, rig);
 }
 
 } // namespace

@@ -79,6 +79,85 @@ TEST(Experiment, SaturationSearchIsInPlausibleRange)
     EXPECT_LT(sat, 0.8);
 }
 
+/// The activity-gating contract (Traffic_source::next_poll_at) for the
+/// event-driven Flow_source: polling only at the promised cycles must
+/// produce the identical packet sequence to polling every cycle — the
+/// skipped polls are side-effect-free nullopts. Exercised in both jitter
+/// (geometric gaps) and periodic (accumulator pre-run) modes.
+TEST(FlowSource, SleepingThroughPromisedGapsIsLossless)
+{
+    Core_graph g{"gaps"};
+    for (int c = 0; c < 8; ++c) g.add_core({"c", false, 1.0, {}});
+    for (int c = 0; c < 3; ++c) {
+        Flow_spec f;
+        f.src = 0;
+        f.dst = c + 1;
+        f.bandwidth_mbps = 120.0 * (c + 1);
+        f.packet_bytes = 16;
+        g.add_flow(f);
+    }
+    for (const bool jitter : {true, false}) {
+        Flow_source::Params p;
+        p.jitter = jitter;
+        p.seed = 99;
+        Flow_source every_cycle{Core_id{0}, g, p};
+        Flow_source event_driven{Core_id{0}, g, p};
+
+        std::vector<std::pair<Cycle, std::uint32_t>> dense;
+        for (Cycle t = 0; t < 30'000; ++t)
+            if (const auto d = every_cycle.poll(t))
+                dense.push_back({t, d->flow.get()});
+
+        std::vector<std::pair<Cycle, std::uint32_t>> sparse;
+        Cycle t = 0;
+        std::uint64_t polls = 0;
+        while (t < 30'000) {
+            ++polls;
+            if (const auto d = event_driven.poll(t))
+                sparse.push_back({t, d->flow.get()});
+            const Cycle next = event_driven.next_poll_at(t);
+            ASSERT_GT(next, t);
+            t = next;
+        }
+        EXPECT_EQ(dense, sparse) << (jitter ? "jitter" : "periodic");
+        // The point of the exercise: application-graph NIs sleep through
+        // inter-injection gaps instead of polling 30k times.
+        EXPECT_LT(polls, dense.size() * 3 + 1'000);
+    }
+}
+
+/// A periodic flow whose rate is below one ulp of the accumulator can never
+/// reach the firing threshold — the per-cycle formulation would silently
+/// never fire, and the event-driven pre-run must reach the same verdict in
+/// bounded time instead of spinning in the accumulator loop.
+TEST(FlowSource, VanishinglySlowPeriodicFlowPromisesSilence)
+{
+    Core_graph g{"slow"};
+    for (int c = 0; c < 2; ++c) g.add_core({"c", false, 1.0, {}});
+    Flow_spec f;
+    f.src = 0;
+    f.dst = 1;
+    f.bandwidth_mbps = 1e-12;
+    f.packet_bytes = 16;
+    g.add_flow(f);
+    Flow_source::Params p;
+    p.jitter = false;
+    Flow_source src{Core_id{0}, g, p};
+    EXPECT_FALSE(src.poll(0).has_value()); // must return, not hang
+    EXPECT_EQ(src.next_poll_at(0), invalid_cycle);
+}
+
+/// A silent graph (no flows from this core) must promise silence forever so
+/// the owning NI can sleep for good.
+TEST(FlowSource, NoFlowsPromisesSilenceForever)
+{
+    Core_graph g{"silent"};
+    for (int c = 0; c < 4; ++c) g.add_core({"c", false, 1.0, {}});
+    Flow_source src{Core_id{2}, g, {}};
+    EXPECT_FALSE(src.poll(0).has_value());
+    EXPECT_EQ(src.next_poll_at(0), invalid_cycle);
+}
+
 TEST(Experiment, VopdOnMeshMeetsBandwidth)
 {
     // Map VOPD onto a 4x3 mesh in core-id order and check every flow
