@@ -1,0 +1,147 @@
+// Design-space sweep throughput: system-per-thread parallel exploration.
+//
+// The products argument (§6) is that NoC design flows win by evaluating
+// many (topology, parameter, load) points quickly; src/explore turns the
+// simulator into that evaluation engine. This bench runs the acceptance
+// sweep — 2 topologies (mesh vs torus) x 2 synthetic patterns x 3 loads =
+// 12 points plus 4 saturation searches — once on 1 worker thread and once
+// on 4, asserts the two Sweep_results serialize byte-identically (the
+// determinism contract: worker scheduling must be invisible), and records
+// the wall-clock speedup plus each curve's headline figures into
+// BENCH_sweep.json for cross-PR trending, alongside BENCH_kernel.json.
+// Speedup is only meaningful with >= 4 hardware threads; the JSON records
+// hardware_threads so trend tooling can judge.
+//
+// `--smoke` shrinks the cycle budget and uses 2 worker threads — the CI
+// guard that the sweep engine stays deterministic under parallelism; on a
+// loaded CI box the timing is noise, so the JSON still records the headline
+// points but the verdict gates only on byte-identity.
+#include "bench_util.h"
+
+#include "explore/sweep_runner.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+using namespace noc;
+
+namespace {
+
+Sweep_spec acceptance_spec(bool smoke)
+{
+    Network_params vc2;
+    vc2.route_vcs = 2; // datelines for the torus; same buffers for the mesh
+    Sweep_spec spec;
+    spec.name = "mesh-vs-torus-8x8";
+    spec.add_mesh(8, 8, vc2, "vc2");
+    spec.add_torus(8, 8, vc2, "vc2");
+    spec.add_synthetic(Sweep_pattern_kind::uniform);
+    spec.add_synthetic(Sweep_pattern_kind::tornado);
+    spec.loads = {0.05, 0.20, 0.35};
+    spec.search_saturation = !smoke; // 4 extra binary-search tasks
+    if (smoke) {
+        spec.base.warmup = 200;
+        spec.base.measure = 1'000;
+        spec.base.drain_limit = 8'000;
+    } else {
+        spec.base.warmup = 1'000;
+        spec.base.measure = 8'000;
+        spec.base.drain_limit = 50'000;
+    }
+    return spec;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+    bench::print_banner(
+        "E1 / §6 — design-space sweep engine: system-per-thread scaling",
+        "automated flows explore many design points before committing to "
+        "silicon; independent points are embarrassingly parallel, so the "
+        "sweep engine should scale with worker threads while staying "
+        "bit-deterministic");
+
+    const Sweep_spec spec = acceptance_spec(smoke);
+    const std::uint32_t threaded_workers = smoke ? 2 : 4;
+
+    const Sweep_result serial = run_sweep(spec, 1);
+    const Sweep_result threaded = run_sweep(spec, threaded_workers);
+
+    const bool identical = serial.to_json() == threaded.to_json() &&
+                           serial.to_csv() == threaded.to_csv();
+    bool all_ran = true;
+    for (const auto& c : serial.curves)
+        for (const auto& p : c.points) all_ran = all_ran && p.error.empty();
+
+    std::printf("%s", serial.report().c_str());
+    const double speedup = threaded.wall_seconds > 0.0
+                               ? serial.wall_seconds / threaded.wall_seconds
+                               : 0.0;
+    std::printf("\n%-24s %10s %10s\n", "run", "workers", "wall(s)");
+    std::printf("%-24s %10u %10.3f\n", "serial", serial.worker_threads,
+                serial.wall_seconds);
+    std::printf("%-24s %10u %10.3f\n", "threaded", threaded.worker_threads,
+                threaded.wall_seconds);
+    std::printf("speedup %.2fx on %u hardware threads, byte-identical: %s\n",
+                speedup, std::thread::hardware_concurrency(),
+                identical ? "yes" : "NO");
+
+    // BENCH_sweep.json: headline per-curve figures (from the serial run —
+    // the threaded one is byte-identical or we fail) + the scaling record.
+    std::string json =
+        "{\n  \"bench\": \"sweep\",\n  \"spec\": \"" + spec.name +
+        "\",\n  \"points\": " +
+        std::to_string(spec.curve_count() * spec.loads.size()) +
+        ",\n  \"measure_cycles\": " + std::to_string(spec.base.measure) +
+        ",\n  \"smoke\": " + (smoke ? "true" : "false") +
+        ",\n  \"hardware_threads\": " +
+        std::to_string(std::thread::hardware_concurrency()) +
+        ",\n  \"curves\": [\n";
+    for (std::size_t i = 0; i < serial.curves.size(); ++i) {
+        const Design_curve& c = serial.curves[i];
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "    {\"curve\": \"%s\", \"zero_load_latency\": %.3f, "
+                      "\"saturation_throughput\": %.4f, "
+                      "\"saturation_searched\": %s, \"on_pareto\": %s}%s\n",
+                      c.label.c_str(), c.zero_load_latency,
+                      c.saturation_throughput,
+                      c.saturation_searched ? "true" : "false",
+                      c.on_pareto ? "true" : "false",
+                      i + 1 < serial.curves.size() ? "," : "");
+        json += buf;
+    }
+    char tail[256];
+    std::snprintf(tail, sizeof tail,
+                  "  ],\n  \"serial_wall_seconds\": %.3f,\n"
+                  "  \"threaded_workers\": %u,\n"
+                  "  \"threaded_wall_seconds\": %.3f,\n"
+                  "  \"speedup_vs_1_worker\": %.3f,\n"
+                  "  \"byte_identical\": %s\n}\n",
+                  serial.wall_seconds, threaded.worker_threads,
+                  threaded.wall_seconds, speedup,
+                  identical ? "true" : "false");
+    json += tail;
+    if (std::FILE* f = std::fopen("BENCH_sweep.json", "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("\nwrote BENCH_sweep.json\n");
+    }
+
+    bench::print_verdict(
+        identical && all_ran,
+        "sweep of " +
+            std::to_string(spec.curve_count() * spec.loads.size()) +
+            " points byte-identical between 1 and " +
+            std::to_string(threaded_workers) +
+            " worker threads; speedup recorded (meaningful only with >= " +
+            std::to_string(threaded_workers) + " hardware threads)");
+    return identical && all_ran ? 0 : 1;
+}

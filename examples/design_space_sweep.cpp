@@ -1,0 +1,66 @@
+// Design-space exploration end to end: declare a sweep, run it across
+// worker threads, read the curves and the simulation-backed Pareto front.
+//
+//   $ ./example_design_space_sweep
+//
+// The paper's §6 argument is that NoCs became products through automated
+// flows that explore the design space before committing to silicon. This
+// example is that loop in miniature: mesh vs torus at two network-parameter
+// points, driven by uniform and tornado traffic over a load grid, every
+// point a full cycle-accurate simulation — then the engine assembles
+// latency/throughput curves, binary-searches each design's saturation
+// point, and reports which designs survive on the (cost, zero-load
+// latency, saturation throughput) Pareto front.
+#include "explore/sweep_runner.h"
+
+#include <iostream>
+
+int main()
+{
+    using namespace noc;
+
+    // 1. Declare the space: designs x traffics x loads.
+    Network_params vc2;
+    vc2.route_vcs = 2; // the torus needs dateline VCs; keep the mesh equal
+    Network_params vc2_deep = vc2;
+    vc2_deep.buffer_depth = 8;
+
+    Sweep_spec spec;
+    spec.name = "mesh-vs-torus-6x6";
+    spec.add_mesh(6, 6);
+    spec.add_torus(6, 6);
+    spec.cross_params({{"vc2-b4", vc2}, {"vc2-b8", vc2_deep}});
+    spec.add_synthetic(Sweep_pattern_kind::uniform);
+    spec.add_synthetic(Sweep_pattern_kind::tornado);
+    spec.loads = {0.05, 0.15, 0.30};
+    spec.search_saturation = true;
+    spec.base.warmup = 500;
+    spec.base.measure = 4'000;
+    spec.base.drain_limit = 30'000;
+
+    const auto points = spec.enumerate();
+    std::cout << "sweep '" << spec.name << "': " << spec.designs.size()
+              << " designs x " << spec.traffics.size() << " traffics x "
+              << spec.loads.size() << " loads = " << points.size()
+              << " simulation points (+ "
+              << spec.curve_count() << " saturation searches)\n\n";
+
+    // 2. Run it: whole systems in parallel, one per worker thread. Results
+    //    are byte-identical for any worker count — try changing it.
+    const Sweep_result result = run_sweep(spec, 4);
+
+    // 3. Read the outcome: curves, saturation, Pareto front.
+    std::cout << result.report() << "\n";
+    std::cout << "Simulation-backed Pareto front:\n";
+    for (const std::size_t i : result.pareto)
+        std::cout << "  * " << result.curves[i].label << "  (zero-load "
+                  << result.curves[i].zero_load_latency << " cy, saturation "
+                  << result.curves[i].saturation_throughput
+                  << " flits/node/cycle)\n";
+    std::cout << "\nThe torus buys saturation throughput on tornado "
+                 "traffic (wraparound halves the worst-case hop count) at "
+                 "extra wiring cost; whether that survives the front is "
+                 "measured, not modeled — the point of simulation-backed "
+                 "exploration.\n";
+    return 0;
+}

@@ -55,6 +55,9 @@ int main()
     table.print(std::cout);
     std::cout << "\nLatency rises sharply near saturation (~0.4-0.5 "
                  "flits/node/cycle for XY uniform on a 4x4 mesh) — the "
-                 "canonical NoC load curve.\n";
+                 "canonical NoC load curve.\n"
+                 "\nNext step: example_design_space_sweep runs curves like "
+                 "this one for MANY designs in parallel (src/explore) and "
+                 "ranks them on a simulation-backed Pareto front.\n";
     return 0;
 }

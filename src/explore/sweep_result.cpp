@@ -1,0 +1,296 @@
+#include "explore/sweep_result.h"
+
+#include "common/table.h"
+#include "synth/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+/// Shortest-round-trip double formatting: deterministic bytes for identical
+/// bit patterns (the serialization contract), readable for the common case.
+std::string fmt(double v)
+{
+    for (int prec = 6; prec < 17; ++prec) {
+        char shorter[64];
+        std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+        double back = 0.0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v || (std::isnan(back) && std::isnan(v)))
+            return shorter;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+std::string json_escape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            // RFC 8259 forbids raw control characters inside strings.
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(
+                              static_cast<unsigned char>(c)));
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+/// RFC 4180 quoting for fields that carry free-form text (labels, error
+/// messages): wrap in quotes when the field contains a separator, a quote
+/// or a newline, doubling embedded quotes.
+std::string csv_escape(const std::string& s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"') out += "\"\"";
+        else out.push_back(c);
+    }
+    out += "\"";
+    return out;
+}
+
+/// A point that contributes to curve metrics: ran, drained, under the cap.
+bool usable(const Point_result& p, double latency_cap)
+{
+    return p.error.empty() && p.load.drained &&
+           p.load.avg_packet_latency <= latency_cap &&
+           p.load.packets > 0;
+}
+
+double curve_cost_bits(const Design_variant& d, const Topology& topo)
+{
+    const double width = d.params.flit_width_bits;
+    double wiring = static_cast<double>(topo.link_count()) * width;
+    double buffering = 0.0;
+    for (int s = 0; s < topo.switch_count(); ++s)
+        buffering += static_cast<double>(topo.input_port_count(
+                         Switch_id{static_cast<std::uint32_t>(s)})) *
+                     d.params.total_vcs() * d.params.buffer_depth * width;
+    return wiring + buffering;
+}
+
+} // namespace
+
+Sweep_result assemble_sweep_result(const Sweep_spec& spec,
+                                   std::vector<Point_result> point_results,
+                                   const std::vector<double>& saturation)
+{
+    const std::size_t loads = spec.loads.size();
+    if (point_results.size() != spec.curve_count() * loads)
+        throw std::invalid_argument{
+            "assemble_sweep_result: point count does not match the spec"};
+    if (saturation.size() != spec.curve_count())
+        throw std::invalid_argument{
+            "assemble_sweep_result: saturation count does not match"};
+
+    Sweep_result result;
+    result.spec_name = spec.name;
+    result.curves.reserve(spec.curve_count());
+
+    std::size_t next = 0;
+    for (std::uint32_t d = 0; d < spec.designs.size(); ++d) {
+        const Topology topo = make_sweep_topology(spec.designs[d]);
+        for (std::uint32_t t = 0; t < spec.traffics.size(); ++t) {
+            Design_curve curve;
+            curve.design = d;
+            curve.traffic = t;
+            curve.label = spec.curve_label(d, t);
+            curve.design_label = spec.designs[d].label;
+            curve.params_label = spec.designs[d].params_label;
+            curve.traffic_label = spec.traffics[t].label;
+            curve.cost_bits = curve_cost_bits(spec.designs[d], topo);
+            for (std::size_t li = 0; li < loads; ++li)
+                curve.points.push_back(std::move(point_results[next++]));
+
+            // Zero-load latency: the first usable grid point (lowest load).
+            for (const auto& p : curve.points)
+                if (usable(p, spec.latency_cap)) {
+                    curve.zero_load_latency = p.load.avg_packet_latency;
+                    break;
+                }
+            // Saturation: binary-search result when available, else the
+            // best accepted throughput over usable grid points.
+            const std::size_t ci = result.curves.size();
+            if (saturation[ci] >= 0.0) {
+                curve.saturation_throughput = saturation[ci];
+                curve.saturation_searched = true;
+            } else {
+                for (const auto& p : curve.points)
+                    if (usable(p, spec.latency_cap) &&
+                        p.load.accepted_flits_per_node_cycle >
+                            curve.saturation_throughput)
+                        curve.saturation_throughput =
+                            p.load.accepted_flits_per_node_cycle;
+            }
+            result.curves.push_back(std::move(curve));
+        }
+    }
+
+    // Simulation-backed Pareto front over (cost, zero-load latency,
+    // -saturation throughput): reuse the synth layer's dominance filter by
+    // mapping the explore axes onto its three minimization slots. Designs
+    // compete only WITHIN a traffic workload (a design's tornado curve
+    // must not shadow its own uniform curve — those answer different
+    // questions), so the front is computed per traffic variant and
+    // reported as one sorted union. Curves with no usable point carry no
+    // evidence and are excluded.
+    for (std::uint32_t t = 0; t < spec.traffics.size(); ++t) {
+        std::vector<Design_metrics> metrics;
+        std::vector<std::size_t> candidates;
+        for (std::size_t i = 0; i < result.curves.size(); ++i) {
+            const Design_curve& c = result.curves[i];
+            if (c.traffic != t) continue;
+            // A curve without a single usable grid point has no latency
+            // evidence (zero_load_latency kept its 0.0 sentinel, which
+            // would read as PERFECT latency to the dominance filter) —
+            // excluded even when a saturation search returned a
+            // throughput, per the no-evidence contract above.
+            if (c.zero_load_latency <= 0.0) continue;
+            Design_metrics m;
+            m.power_mw = c.cost_bits;
+            m.latency_ns = c.zero_load_latency;
+            m.area_mm2 = -c.saturation_throughput;
+            metrics.push_back(m);
+            candidates.push_back(i);
+        }
+        for (const std::size_t k : pareto_front(metrics)) {
+            result.pareto.push_back(candidates[k]);
+            result.curves[candidates[k]].on_pareto = true;
+        }
+    }
+    std::sort(result.pareto.begin(), result.pareto.end());
+    return result;
+}
+
+std::string Sweep_result::to_json() const
+{
+    std::string json = "{\n  \"sweep\": \"" + json_escape(spec_name) +
+                       "\",\n  \"curves\": [\n";
+    for (std::size_t i = 0; i < curves.size(); ++i) {
+        const Design_curve& c = curves[i];
+        json += "    {\"label\": \"" + json_escape(c.label) +
+                "\", \"design\": \"" + json_escape(c.design_label) +
+                "\", \"params\": \"" + json_escape(c.params_label) +
+                "\", \"traffic\": \"" + json_escape(c.traffic_label) +
+                "\",\n     \"cost_bits\": " + fmt(c.cost_bits) +
+                ", \"zero_load_latency\": " + fmt(c.zero_load_latency) +
+                ", \"saturation_throughput\": " +
+                fmt(c.saturation_throughput) +
+                ", \"saturation_searched\": " +
+                (c.saturation_searched ? "true" : "false") +
+                ", \"on_pareto\": " + (c.on_pareto ? "true" : "false") +
+                ",\n     \"points\": [\n";
+        for (std::size_t p = 0; p < c.points.size(); ++p) {
+            const Point_result& pr = c.points[p];
+            json += "       {\"load\": " + fmt(pr.point.load);
+            if (!pr.error.empty()) {
+                json += ", \"error\": \"" + json_escape(pr.error) + "\"}";
+            } else {
+                json +=
+                    ", \"offered\": " +
+                    fmt(pr.load.offered_flits_per_node_cycle) +
+                    ", \"accepted\": " +
+                    fmt(pr.load.accepted_flits_per_node_cycle) +
+                    ", \"avg_packet_latency\": " +
+                    fmt(pr.load.avg_packet_latency) +
+                    ", \"avg_network_latency\": " +
+                    fmt(pr.load.avg_network_latency) +
+                    ", \"p99_estimate\": " + fmt(pr.load.p99_estimate) +
+                    ", \"max_latency\": " + fmt(pr.load.max_latency) +
+                    ", \"packets\": " + std::to_string(pr.load.packets) +
+                    ", \"drained\": " +
+                    (pr.load.drained ? "true" : "false") + "}";
+            }
+            json += p + 1 < c.points.size() ? ",\n" : "\n";
+        }
+        json += "     ]}";
+        json += i + 1 < curves.size() ? ",\n" : "\n";
+    }
+    json += "  ],\n  \"pareto\": [";
+    for (std::size_t i = 0; i < pareto.size(); ++i) {
+        json += "\"" + json_escape(curves[pareto[i]].label) + "\"";
+        if (i + 1 < pareto.size()) json += ", ";
+    }
+    json += "]\n}\n";
+    return json;
+}
+
+std::string Sweep_result::to_csv() const
+{
+    std::string csv =
+        "curve,design,params,traffic,load,offered,accepted,"
+        "avg_packet_latency,avg_network_latency,p99_estimate,max_latency,"
+        "packets,drained,error\n";
+    for (const auto& c : curves)
+        for (const auto& p : c.points) {
+            csv += csv_escape(c.label) + "," + csv_escape(c.design_label) +
+                   "," + csv_escape(c.params_label) + "," +
+                   csv_escape(c.traffic_label) + "," + fmt(p.point.load) +
+                   ",";
+            if (!p.error.empty()) {
+                csv += ",,,,,,0,false," + csv_escape(p.error);
+            } else {
+                csv += fmt(p.load.offered_flits_per_node_cycle) + "," +
+                       fmt(p.load.accepted_flits_per_node_cycle) + "," +
+                       fmt(p.load.avg_packet_latency) + "," +
+                       fmt(p.load.avg_network_latency) + "," +
+                       fmt(p.load.p99_estimate) + "," +
+                       fmt(p.load.max_latency) + "," +
+                       std::to_string(p.load.packets) + "," +
+                       (p.load.drained ? "true" : "false") + ",";
+            }
+            csv += "\n";
+        }
+    return csv;
+}
+
+std::string Sweep_result::report() const
+{
+    std::ostringstream os;
+    os << "# Design-space sweep — " << spec_name << "\n\n"
+       << curves.size() << " design curves, " << pareto.size()
+       << " on the simulation-backed Pareto front (" << worker_threads
+       << " worker threads, " << format_double(wall_seconds, 2)
+       << " s wall)\n\n";
+    Text_table table{{"curve", "cost(bits)", "lat0(cy)", "sat(fl/n/cy)",
+                      "sat src", "pareto"}};
+    for (const auto& c : curves)
+        table.row()
+            .add(c.label)
+            .add(c.cost_bits, 0)
+            .add(c.zero_load_latency, 1)
+            .add(c.saturation_throughput, 3)
+            .add(c.saturation_searched ? "search" : "grid")
+            .add(c.on_pareto ? "*" : "");
+    table.print(os);
+    bool errors = false;
+    for (const auto& c : curves)
+        for (const auto& p : c.points)
+            if (!p.error.empty()) {
+                if (!errors) os << "\nFailed points:\n";
+                errors = true;
+                os << "- " << c.label << " @ " << p.point.load << ": "
+                   << p.error << "\n";
+            }
+    return os.str();
+}
+
+} // namespace noc

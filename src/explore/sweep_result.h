@@ -1,0 +1,88 @@
+// Sweep results: per-design latency/throughput curves assembled from
+// per-point Load_points, simulated saturation, and the simulation-backed
+// Pareto front (see the subsystem overview in sweep_spec.h).
+#pragma once
+
+#include "explore/sweep_spec.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/// One executed point. wall_seconds is execution metadata — it is reported
+/// by report() but deliberately excluded from to_json()/to_csv(), which
+/// must be byte-identical regardless of worker count or machine load.
+struct Point_result {
+    Sweep_point point;
+    Load_point load;
+    double wall_seconds = 0.0;
+    /// Non-empty when the point threw (bad combo, simulation invariant
+    /// violation); the load fields are then meaningless and the point is
+    /// excluded from curve metrics.
+    std::string error;
+};
+
+/// One (design, traffic) curve over the load grid.
+struct Design_curve {
+    std::uint32_t design = 0;  ///< index into Sweep_spec::designs
+    std::uint32_t traffic = 0; ///< index into Sweep_spec::traffics
+    std::string label;         ///< "design/params/traffic"
+    std::string design_label;
+    std::string params_label;
+    std::string traffic_label;
+    /// Implementation-cost proxy in storage bits: wiring (links x flit
+    /// width) + buffering (input ports x VCs x depth x flit width). The
+    /// cost axis of the simulation-backed Pareto front — simulation
+    /// measures performance, this stands in for the area/power the synth
+    /// flow computes analytically.
+    double cost_bits = 0.0;
+    std::vector<Point_result> points; ///< load-grid order
+    /// Mean packet latency at the lowest drained, unsaturated load.
+    double zero_load_latency = 0.0;
+    /// Accepted flits/node/cycle at saturation: the binary-search result
+    /// when the spec asked for it, else the best drained grid point under
+    /// the latency cap.
+    double saturation_throughput = 0.0;
+    bool saturation_searched = false;
+    /// On its traffic workload's Pareto front (designs compete only within
+    /// one workload; see Sweep_result::pareto).
+    bool on_pareto = false;
+};
+
+/// Everything a sweep produced. Deterministic for a given spec: curves are
+/// in spec enumeration order and every simulated quantity derives from
+/// per-point seeds fixed by the spec, so two runs with different worker
+/// counts serialize to byte-identical JSON/CSV.
+struct Sweep_result {
+    std::string spec_name;
+    std::vector<Design_curve> curves;
+    /// Curve indices (ascending) on the simulation-backed front over
+    /// (cost_bits, zero_load_latency, -saturation_throughput), computed
+    /// per traffic variant: a design's curves under different workloads
+    /// answer different questions and never dominate each other.
+    std::vector<std::size_t> pareto;
+    // Execution metadata (not serialized; see Point_result::wall_seconds).
+    std::uint32_t worker_threads = 1;
+    double wall_seconds = 0.0;
+
+    /// Machine-readable result (bench trending). Byte-deterministic.
+    [[nodiscard]] std::string to_json() const;
+    /// One row per point: label, load, accepted, latencies... Deterministic.
+    [[nodiscard]] std::string to_csv() const;
+    /// Human-readable summary (markdown): curve table, Pareto front,
+    /// execution metadata.
+    [[nodiscard]] std::string report() const;
+};
+
+/// Assemble curves, saturation figures and the Pareto front from executed
+/// points (library-internal; Sweep_runner calls it, tests may too).
+/// `point_results` must be in enumeration order; `saturation` holds the
+/// per-curve binary-search results when the spec requested them (indexed by
+/// curve, < 0 = not searched).
+[[nodiscard]] Sweep_result assemble_sweep_result(
+    const Sweep_spec& spec, std::vector<Point_result> point_results,
+    const std::vector<double>& saturation);
+
+} // namespace noc

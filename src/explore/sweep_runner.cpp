@@ -1,0 +1,195 @@
+#include "explore/sweep_runner.h"
+
+#include <chrono>
+#include <exception>
+#include <utility>
+
+namespace noc {
+
+namespace {
+
+/// Execute one grid point: build the whole system fresh (topology, routes,
+/// traffic) and run the standard warmup/measure/drain protocol. Every input
+/// derives from the spec + the point's seed, so any worker produces the
+/// identical Load_point.
+Load_point run_point(const Sweep_spec& spec, const Sweep_point& p)
+{
+    const Design_variant& d = spec.designs[p.design];
+    const Traffic_variant& t = spec.traffics[p.traffic];
+    const Topology topo = make_sweep_topology(d);
+    const Route_set routes = make_sweep_routes(d, topo);
+    const Sweep_config cfg = point_config(spec, d, p.seed);
+    if (t.is_application)
+        return run_application_load(topo, routes, d.params, *t.graph,
+                                    p.load, cfg);
+    return run_synthetic_load(
+        topo, routes, d.params, p.load,
+        [&] { return make_sweep_pattern(t, d, topo.core_count()); }, cfg);
+}
+
+/// Per-curve saturation binary search (synthetic traffic only). One
+/// sequential task: the search's iterations depend on each other.
+double search_saturation(const Sweep_spec& spec, std::uint32_t design,
+                         std::uint32_t traffic)
+{
+    const Design_variant& d = spec.designs[design];
+    const Traffic_variant& t = spec.traffics[traffic];
+    const Topology topo = make_sweep_topology(d);
+    const Route_set routes = make_sweep_routes(d, topo);
+    const Sweep_config cfg = point_config(
+        spec, d,
+        sweep_seed(spec, spec.curve_label(design, traffic) + "@saturation"));
+    return find_saturation_throughput(
+        topo, routes, d.params,
+        [&] { return make_sweep_pattern(t, d, topo.core_count()); }, cfg,
+        spec.latency_cap);
+}
+
+} // namespace
+
+Sweep_runner::Sweep_runner(std::uint32_t worker_threads)
+{
+    if (worker_threads == 0) {
+        worker_threads = std::thread::hardware_concurrency();
+        if (worker_threads == 0) worker_threads = 1;
+    }
+    workers_.reserve(worker_threads - 1);
+    for (std::uint32_t w = 1; w < worker_threads; ++w)
+        workers_.emplace_back([this] { worker_main(); });
+}
+
+Sweep_runner::~Sweep_runner()
+{
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        shutdown_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void Sweep_runner::worker_main()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock{mutex_};
+            // Park; run() waits for a full park before mutating job state,
+            // so a worker can never observe a half-built job.
+            ++parked_;
+            done_cv_.notify_all();
+            job_cv_.wait(lock,
+                         [&] { return shutdown_ || job_epoch_ != seen; });
+            --parked_;
+            if (shutdown_) return;
+            seen = job_epoch_;
+        }
+        execute_tasks();
+    }
+}
+
+void Sweep_runner::execute_tasks()
+{
+    for (;;) {
+        const std::uint32_t i =
+            next_task_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks_.size()) return;
+        run_task(tasks_[i]);
+        // The release part of the final decrement publishes every task's
+        // writes to the run() thread's acquire read of 0.
+        if (tasks_left_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            const std::lock_guard<std::mutex> lock{mutex_};
+            done_cv_.notify_all();
+        }
+    }
+}
+
+void Sweep_runner::run_task(const Task& t)
+{
+    if (t.is_saturation) {
+        try {
+            saturation_[t.curve] = search_saturation(
+                *spec_, t.curve / static_cast<std::uint32_t>(
+                                      spec_->traffics.size()),
+                t.curve % static_cast<std::uint32_t>(
+                              spec_->traffics.size()));
+        } catch (...) {
+            saturation_[t.curve] = -1.0; // fall back to the grid estimate
+        }
+        return;
+    }
+    Point_result& out = results_[t.point_index];
+    out.point = points_[t.point_index];
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        out.load = run_point(*spec_, out.point);
+    } catch (const std::exception& e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    out.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+}
+
+Sweep_result Sweep_runner::run(const Sweep_spec& spec)
+{
+    // A previous job's workers may still be draining their last claim
+    // attempt; job state may only be rebuilt once every worker is parked.
+    {
+        std::unique_lock<std::mutex> lock{mutex_};
+        done_cv_.wait(lock, [&] { return parked_ == workers_.size(); });
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    points_ = spec.enumerate(); // validates
+    spec_ = &spec;
+    results_.assign(points_.size(), Point_result{});
+    saturation_.assign(spec.curve_count(), -1.0);
+    tasks_.clear();
+    // Saturation searches go FIRST: each is ~7 grid points of sequential
+    // work, so starting them last would leave the tail of the job bounded
+    // by one search with every other worker idle. Claim order only affects
+    // wall time — results land by index either way.
+    if (spec.search_saturation)
+        for (std::uint32_t c = 0;
+             c < static_cast<std::uint32_t>(spec.curve_count()); ++c)
+            if (!spec.traffics[c % spec.traffics.size()].is_application)
+                tasks_.push_back({true, 0, c});
+    for (std::uint32_t i = 0; i < points_.size(); ++i)
+        tasks_.push_back({false, i, 0});
+    next_task_.store(0, std::memory_order_relaxed);
+    tasks_left_.store(static_cast<std::uint32_t>(tasks_.size()),
+                      std::memory_order_relaxed);
+
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        ++job_epoch_;
+    }
+    job_cv_.notify_all();
+    execute_tasks(); // the calling thread is an executor too
+    {
+        std::unique_lock<std::mutex> lock{mutex_};
+        done_cv_.wait(lock, [&] {
+            return tasks_left_.load(std::memory_order_acquire) == 0;
+        });
+    }
+
+    Sweep_result result =
+        assemble_sweep_result(spec, std::move(results_), saturation_);
+    result.worker_threads = worker_threads();
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    spec_ = nullptr;
+    return result;
+}
+
+Sweep_result run_sweep(const Sweep_spec& spec, std::uint32_t worker_threads)
+{
+    Sweep_runner runner{worker_threads};
+    return runner.run(spec);
+}
+
+} // namespace noc

@@ -1,0 +1,92 @@
+// Sweep_runner — system-per-thread parallel execution of a Sweep_spec.
+//
+// The execution complement of the sharded kernel (sim/kernel.h): a sweep's
+// points are whole independent Noc_system instances, so instead of sharding
+// one system across threads, each worker builds, runs and tears down entire
+// systems — embarrassingly parallel, no barriers on the simulation path.
+// The two compose per design: a Design_variant with shard_threads > 1 runs
+// its (large) systems on the sharded kernel while the pool packs the small
+// ones, so a mixed sweep keeps every hardware thread busy either way.
+//
+// The pool itself follows the kernel's worker-pool discipline: persistent
+// threads parked on a condition variable between jobs (a run() call is one
+// job), work claimed from a shared atomic cursor, completion signalled back
+// to the caller — the calling thread also executes tasks, so worker_threads
+// counts TOTAL concurrent executors, and a worker_threads == 1 runner is
+// the plain sequential loop with no pool at all.
+//
+// Determinism: results are stored by point index into a pre-sized vector
+// and every point's RNG seed comes from the spec (Sweep_spec::enumerate),
+// so the claim order — which depends on thread scheduling — is invisible:
+// a 1-worker run and an N-worker run of the same spec produce byte-identical
+// Sweep_result serializations. A point that throws records its exception
+// message in Point_result::error instead of poisoning the job.
+#pragma once
+
+#include "explore/sweep_result.h"
+#include "explore/sweep_spec.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace noc {
+
+class Sweep_runner {
+public:
+    /// `worker_threads` total executors (>= 1); 0 = hardware concurrency.
+    explicit Sweep_runner(std::uint32_t worker_threads = 1);
+    ~Sweep_runner();
+    Sweep_runner(const Sweep_runner&) = delete;
+    Sweep_runner& operator=(const Sweep_runner&) = delete;
+
+    [[nodiscard]] std::uint32_t worker_threads() const
+    {
+        return static_cast<std::uint32_t>(workers_.size()) + 1;
+    }
+
+    /// Execute every point of the spec (plus one saturation search per
+    /// synthetic curve when the spec asks), assemble curves and the Pareto
+    /// front. Throws std::invalid_argument on an inconsistent spec; points
+    /// that fail at runtime are recorded per point, not thrown.
+    [[nodiscard]] Sweep_result run(const Sweep_spec& spec);
+
+private:
+    /// One schedulable unit: a grid point, or a whole per-curve saturation
+    /// binary search (internally sequential, so it is a single task).
+    struct Task {
+        bool is_saturation = false;
+        std::uint32_t point_index = 0; ///< into points_ (grid task)
+        std::uint32_t curve = 0;       ///< curve index (saturation task)
+    };
+
+    void worker_main();
+    void execute_tasks(); ///< claim-and-run loop shared by all executors
+    void run_task(const Task& t);
+
+    // Job state, valid while a run() is in flight.
+    const Sweep_spec* spec_ = nullptr;
+    std::vector<Sweep_point> points_;
+    std::vector<Task> tasks_;
+    std::vector<Point_result> results_;    ///< indexed by point index
+    std::vector<double> saturation_;       ///< per curve; -1 = not searched
+    std::atomic<std::uint32_t> next_task_{0};
+    std::atomic<std::uint32_t> tasks_left_{0};
+
+    std::vector<std::thread> workers_; ///< the other worker_threads-1
+    std::mutex mutex_;
+    std::condition_variable job_cv_;  ///< workers wait for a new job
+    std::condition_variable done_cv_; ///< run() waits for tasks_left_ == 0
+    std::uint64_t job_epoch_ = 0;     ///< guarded by mutex_
+    std::size_t parked_ = 0;          ///< workers at the cv; guarded by mutex_
+    bool shutdown_ = false;           ///< guarded by mutex_
+};
+
+/// Convenience wrapper: one-shot runner with `worker_threads` executors.
+[[nodiscard]] Sweep_result run_sweep(const Sweep_spec& spec,
+                                     std::uint32_t worker_threads = 1);
+
+} // namespace noc

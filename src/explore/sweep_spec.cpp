@@ -1,0 +1,425 @@
+#include "explore/sweep_spec.h"
+
+#include "topology/routing.h"
+#include "traffic/patterns.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+/// FNV-1a over a label, then a SplitMix64 finalizer — the same portable
+/// mixing discipline as common/rng.h. Point seeds must be a pure function
+/// of the spec (never of thread scheduling), bit-stable across platforms.
+std::uint64_t hash_label(std::uint64_t h, const std::string& s)
+{
+    for (const char c : s) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+bool is_grid_pattern(Sweep_pattern_kind k)
+{
+    return k == Sweep_pattern_kind::transpose ||
+           k == Sweep_pattern_kind::neighbor ||
+           k == Sweep_pattern_kind::tornado;
+}
+
+bool is_power_of_two(int n)
+{
+    return n > 0 && (n & (n - 1)) == 0;
+}
+
+} // namespace
+
+Design_variant& Sweep_spec::add_mesh(int w, int h, Network_params params,
+                                     std::string params_label)
+{
+    Design_variant d;
+    d.label = "mesh" + std::to_string(w) + "x" + std::to_string(h);
+    d.kind = Sweep_topology_kind::mesh;
+    d.width = w;
+    d.height = h;
+    d.params = params;
+    d.params_label = std::move(params_label);
+    designs.push_back(std::move(d));
+    return designs.back();
+}
+
+Design_variant& Sweep_spec::add_torus(int w, int h, Network_params params,
+                                      std::string params_label)
+{
+    Design_variant d;
+    d.label = "torus" + std::to_string(w) + "x" + std::to_string(h);
+    d.kind = Sweep_topology_kind::torus;
+    d.width = w;
+    d.height = h;
+    d.params = params;
+    d.params_label = std::move(params_label);
+    designs.push_back(std::move(d));
+    return designs.back();
+}
+
+Design_variant& Sweep_spec::add_ring(int nodes, Network_params params,
+                                     std::string params_label)
+{
+    Design_variant d;
+    d.label = "ring" + std::to_string(nodes);
+    d.kind = Sweep_topology_kind::ring;
+    d.width = nodes;
+    d.height = 1;
+    d.params = params;
+    d.params_label = std::move(params_label);
+    designs.push_back(std::move(d));
+    return designs.back();
+}
+
+Design_variant& Sweep_spec::add_design(
+    std::string label, std::shared_ptr<const Topology> topology,
+    std::shared_ptr<const Route_set> routes, Network_params params,
+    bool allow_partial_routes)
+{
+    Design_variant d;
+    d.label = std::move(label);
+    d.kind = Sweep_topology_kind::custom;
+    // Sentinel dims: a custom topology has no implied grid, so grid-shaped
+    // patterns demand explicit width/height (validate() enforces it) —
+    // inheriting the 4x4 defaults would silently misinterpret any
+    // 16-core topology as a grid.
+    d.width = 0;
+    d.height = 0;
+    d.custom_topology = std::move(topology);
+    d.custom_routes = std::move(routes);
+    d.allow_partial_routes = allow_partial_routes;
+    d.params = params;
+    designs.push_back(std::move(d));
+    return designs.back();
+}
+
+void Sweep_spec::cross_params(
+    const std::vector<std::pair<std::string, Network_params>>& variants)
+{
+    if (variants.empty())
+        throw std::invalid_argument{"Sweep_spec: empty params cross"};
+    std::vector<Design_variant> crossed;
+    crossed.reserve(designs.size() * variants.size());
+    for (const auto& d : designs)
+        for (const auto& [label, params] : variants) {
+            Design_variant v = d;
+            v.params = params;
+            v.params_label = label;
+            crossed.push_back(std::move(v));
+        }
+    designs = std::move(crossed);
+}
+
+Traffic_variant& Sweep_spec::add_synthetic(Sweep_pattern_kind pattern)
+{
+    static const char* names[] = {"uniform",  "transpose", "bitcomp",
+                                  "shuffle",  "neighbor",  "tornado",
+                                  "hotspot"};
+    Traffic_variant t;
+    t.pattern = pattern;
+    t.label = names[static_cast<std::size_t>(pattern)];
+    traffics.push_back(std::move(t));
+    return traffics.back();
+}
+
+Traffic_variant& Sweep_spec::add_hotspot(std::vector<Core_id> hotspots,
+                                         double hot_fraction)
+{
+    Traffic_variant t;
+    t.pattern = Sweep_pattern_kind::hotspot;
+    t.label = "hotspot" + std::to_string(hotspots.size());
+    t.hotspots = std::move(hotspots);
+    t.hot_fraction = hot_fraction;
+    traffics.push_back(std::move(t));
+    return traffics.back();
+}
+
+Traffic_variant& Sweep_spec::add_application(
+    std::shared_ptr<const Core_graph> graph, std::string label)
+{
+    Traffic_variant t;
+    t.is_application = true;
+    t.graph = std::move(graph);
+    t.label = std::move(label);
+    traffics.push_back(std::move(t));
+    return traffics.back();
+}
+
+void Sweep_spec::validate() const
+{
+    if (designs.empty())
+        throw std::invalid_argument{"Sweep_spec: no designs"};
+    if (traffics.empty())
+        throw std::invalid_argument{"Sweep_spec: no traffics"};
+    if (loads.empty())
+        throw std::invalid_argument{"Sweep_spec: empty load grid"};
+    for (const double l : loads)
+        if (l <= 0.0)
+            throw std::invalid_argument{"Sweep_spec: loads must be > 0"};
+    for (std::size_t i = 1; i < loads.size(); ++i)
+        if (loads[i] <= loads[i - 1])
+            throw std::invalid_argument{
+                "Sweep_spec: load grid must be strictly ascending"};
+    for (const auto& d : designs) {
+        if (d.label.empty())
+            throw std::invalid_argument{"Sweep_spec: unlabeled design"};
+        d.params.validate();
+        switch (d.kind) {
+        case Sweep_topology_kind::mesh:
+            if (d.width < 1 || d.height < 1)
+                throw std::invalid_argument{"Sweep_spec: bad mesh dims"};
+            break;
+        case Sweep_topology_kind::torus:
+            if (d.width < 2 || d.height < 2)
+                throw std::invalid_argument{"Sweep_spec: bad torus dims"};
+            if (d.routing == Sweep_routing_kind::dimension_order &&
+                d.params.route_vcs < 2)
+                throw std::invalid_argument{
+                    "Sweep_spec: torus dateline routing needs route_vcs >= "
+                    "2 on design '" +
+                    d.label + "'"};
+            break;
+        case Sweep_topology_kind::ring:
+            if (d.width < 3)
+                throw std::invalid_argument{"Sweep_spec: ring needs >= 3"};
+            if (d.routing == Sweep_routing_kind::dimension_order &&
+                d.params.route_vcs < 2)
+                throw std::invalid_argument{
+                    "Sweep_spec: ring dateline routing needs route_vcs >= 2 "
+                    "on design '" +
+                    d.label + "'"};
+            break;
+        case Sweep_topology_kind::custom:
+            if (!d.custom_topology || !d.custom_routes)
+                throw std::invalid_argument{
+                    "Sweep_spec: custom design '" + d.label +
+                    "' missing topology or routes"};
+            break;
+        }
+    }
+    // Curve labels are the identity results (and seeds!) key on, so
+    // "design/params" pairs and traffic labels must be unique — two
+    // designs differing only in an unlabeled knob (e.g. routing) would
+    // otherwise share seeds and serialize indistinguishably.
+    {
+        std::set<std::string> seen;
+        for (const auto& d : designs)
+            if (!seen.insert(d.label + "/" + d.params_label).second)
+                throw std::invalid_argument{
+                    "Sweep_spec: duplicate design identity '" + d.label +
+                    "/" + d.params_label +
+                    "' (distinguish via label or params_label)"};
+    }
+    {
+        std::set<std::string> seen;
+        for (const auto& t : traffics)
+            if (!seen.insert(t.label).second)
+                throw std::invalid_argument{
+                    "Sweep_spec: duplicate traffic label '" + t.label + "'"};
+    }
+    for (const auto& t : traffics) {
+        if (t.label.empty())
+            throw std::invalid_argument{"Sweep_spec: unlabeled traffic"};
+        if (t.is_application) {
+            if (!t.graph)
+                throw std::invalid_argument{
+                    "Sweep_spec: application traffic '" + t.label +
+                    "' has no core graph"};
+            continue;
+        }
+        if (t.pattern == Sweep_pattern_kind::hotspot && t.hotspots.empty())
+            throw std::invalid_argument{
+                "Sweep_spec: hotspot traffic with no hotspots"};
+        for (const auto& d : designs) {
+            if (is_grid_pattern(t.pattern)) {
+                if (d.kind == Sweep_topology_kind::ring)
+                    throw std::invalid_argument{
+                        "Sweep_spec: grid pattern '" + t.label +
+                        "' on non-grid design '" + d.label + "'"};
+                // Custom designs must declare their grid dims explicitly
+                // for grid-shaped patterns (add_design sets the 0 sentinel).
+                if (d.kind == Sweep_topology_kind::custom &&
+                    (d.width < 1 || d.height < 1 ||
+                     d.width * d.height !=
+                         d.custom_topology->core_count()))
+                    throw std::invalid_argument{
+                        "Sweep_spec: grid pattern '" + t.label +
+                        "' needs explicit width*height == core count on "
+                        "custom design '" +
+                        d.label + "'"};
+                if (t.pattern == Sweep_pattern_kind::transpose &&
+                    d.width != d.height)
+                    throw std::invalid_argument{
+                        "Sweep_spec: transpose needs a square grid on "
+                        "design '" +
+                        d.label + "'"};
+            }
+            if ((t.pattern == Sweep_pattern_kind::bit_complement ||
+                 t.pattern == Sweep_pattern_kind::shuffle)) {
+                const int cores =
+                    d.kind == Sweep_topology_kind::custom
+                        ? d.custom_topology->core_count()
+                        : d.width * d.height;
+                if (!is_power_of_two(cores))
+                    throw std::invalid_argument{
+                        "Sweep_spec: pattern '" + t.label +
+                        "' needs a power-of-2 core count on design '" +
+                        d.label + "'"};
+            }
+        }
+    }
+    if (latency_cap <= 0.0)
+        throw std::invalid_argument{"Sweep_spec: latency_cap must be > 0"};
+}
+
+std::string Sweep_spec::curve_label(std::uint32_t design,
+                                    std::uint32_t traffic) const
+{
+    return designs.at(design).label + "/" + designs.at(design).params_label +
+           "/" + traffics.at(traffic).label;
+}
+
+std::uint64_t sweep_seed(const Sweep_spec& spec, const std::string& key)
+{
+    const std::uint64_t h =
+        hash_label(hash_label(0xcbf29ce484222325ull, spec.name), key);
+    return mix64(h ^ mix64(spec.base.seed));
+}
+
+std::vector<Sweep_point> Sweep_spec::enumerate() const
+{
+    validate();
+    std::vector<Sweep_point> points;
+    points.reserve(curve_count() * loads.size());
+    for (std::uint32_t d = 0; d < designs.size(); ++d)
+        for (std::uint32_t t = 0; t < traffics.size(); ++t)
+            for (std::uint32_t li = 0; li < loads.size(); ++li) {
+                Sweep_point p;
+                p.index = static_cast<std::uint32_t>(points.size());
+                p.design = d;
+                p.traffic = t;
+                p.load_index = li;
+                p.load = loads[li];
+                // Label-keyed: the seed survives reordering/appending of
+                // designs, traffics and loads (only the point's own
+                // identity feeds it), so growing a spec never perturbs
+                // existing points.
+                p.seed = sweep_seed(
+                    *this, curve_label(d, t) + "@" + std::to_string(li));
+                points.push_back(p);
+            }
+    return points;
+}
+
+Topology make_sweep_topology(const Design_variant& d)
+{
+    switch (d.kind) {
+    case Sweep_topology_kind::mesh: {
+        Mesh_params mp;
+        mp.width = d.width;
+        mp.height = d.height;
+        mp.link_pipeline_stages = d.link_pipeline_stages;
+        return make_mesh(mp);
+    }
+    case Sweep_topology_kind::torus: {
+        Torus_params tp;
+        tp.width = d.width;
+        tp.height = d.height;
+        return make_torus(tp);
+    }
+    case Sweep_topology_kind::ring: {
+        Ring_params rp;
+        rp.node_count = d.width;
+        return make_ring(rp);
+    }
+    case Sweep_topology_kind::custom: return *d.custom_topology;
+    }
+    throw std::logic_error{"make_sweep_topology: bad kind"};
+}
+
+Route_set make_sweep_routes(const Design_variant& d, const Topology& topo)
+{
+    if (d.kind == Sweep_topology_kind::custom) return *d.custom_routes;
+    if (d.routing == Sweep_routing_kind::shortest_path)
+        return shortest_path_routes(topo);
+    switch (d.kind) {
+    case Sweep_topology_kind::mesh: {
+        Mesh_params mp;
+        mp.width = d.width;
+        mp.height = d.height;
+        mp.link_pipeline_stages = d.link_pipeline_stages;
+        return xy_routes(topo, mp);
+    }
+    case Sweep_topology_kind::torus: {
+        Torus_params tp;
+        tp.width = d.width;
+        tp.height = d.height;
+        return torus_routes(topo, tp);
+    }
+    case Sweep_topology_kind::ring: {
+        Ring_params rp;
+        rp.node_count = d.width;
+        return ring_routes(topo, rp);
+    }
+    case Sweep_topology_kind::custom: break; // handled above
+    }
+    throw std::logic_error{"make_sweep_routes: bad kind"};
+}
+
+std::shared_ptr<const Dest_pattern> make_sweep_pattern(
+    const Traffic_variant& t, const Design_variant& d, int core_count)
+{
+    if (t.is_application)
+        throw std::logic_error{
+            "make_sweep_pattern: application traffic has no pattern"};
+    switch (t.pattern) {
+    case Sweep_pattern_kind::uniform:
+        return make_uniform_pattern(core_count);
+    case Sweep_pattern_kind::transpose:
+        return make_transpose_pattern(d.width, d.height);
+    case Sweep_pattern_kind::bit_complement:
+        return make_bit_complement_pattern(core_count);
+    case Sweep_pattern_kind::shuffle:
+        return make_shuffle_pattern(core_count);
+    case Sweep_pattern_kind::neighbor:
+        return make_neighbor_pattern(d.width, d.height);
+    case Sweep_pattern_kind::tornado:
+        return make_tornado_pattern(d.width, d.height);
+    case Sweep_pattern_kind::hotspot:
+        return make_hotspot_pattern(core_count, t.hotspots, t.hot_fraction);
+    }
+    throw std::logic_error{"make_sweep_pattern: bad kind"};
+}
+
+Sweep_config point_config(const Sweep_spec& spec, const Design_variant& d,
+                          std::uint64_t seed)
+{
+    Sweep_config cfg = spec.base;
+    cfg.seed = seed;
+    cfg.allow_partial_routes = d.allow_partial_routes;
+    if (d.shard_threads > 1) {
+        cfg.kernel_mode = Kernel_mode::sharded;
+        cfg.kernel_threads = d.shard_threads;
+    } else if (d.shard_threads == 1) {
+        cfg.kernel_mode = Kernel_mode::activity_gated;
+        cfg.kernel_threads = 1;
+    }
+    return cfg;
+}
+
+} // namespace noc

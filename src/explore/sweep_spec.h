@@ -1,0 +1,209 @@
+// src/explore — parallel design-space exploration over the cycle-accurate
+// simulator.
+//
+// The paper's products story (§6) is that NoCs shipped because automated
+// design flows could explore large (topology, operating-point, parameter)
+// spaces before committing to silicon. The synth/ and flow/ layers explore
+// that space ANALYTICALLY — fast closed-form power/latency/area models over
+// thousands of candidates. This subsystem closes the loop the tool-flow
+// literature (SunFloor/×pipesCompiler, the Kao & Fink Pareto framework)
+// says a usable NoC tool needs: take the handful of designs that survive
+// the analytic screen, or a hand-declared grid of generator-built ones, and
+// validate them against the cycle-accurate simulator at scale —
+// latency/throughput curves per design, simulated saturation, and a
+// simulation-backed Pareto front that can cross-check the analytic pick
+// (flow/design_flow.h's validate_with_simulation).
+//
+// The three pieces:
+//   * Sweep_spec (this header) — declaratively enumerates points as the
+//     cross product  designs × traffics × load grid,  where a design is a
+//     (topology generator or prebuilt topology, routing, Network_params)
+//     triple and a traffic is a synthetic destination pattern or an
+//     application core graph. enumerate() assigns every point a
+//     deterministic seed derived from the spec alone, so results never
+//     depend on which worker runs which point.
+//   * Sweep_runner (sweep_runner.h) — executes whole independent
+//     Noc_system instances one-per-worker on a persistent thread pool
+//     (embarrassingly parallel, the complement of the sharded kernel:
+//     shard the 16x16 points, pack the 4x4 points — a design may request
+//     both via shard_threads).
+//   * Sweep_result (sweep_result.h) — assembles per-point Load_points into
+//     per-design curves, computes simulated saturation, ranks designs on a
+//     simulation-backed Pareto front, and serializes to JSON/CSV for bench
+//     trending.
+#pragma once
+
+#include "topology/graph.h"
+#include "topology/route.h"
+#include "traffic/core_graph.h"
+#include "traffic/experiment.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace noc {
+
+/// Generator used to build a design's topology (custom = prebuilt pair).
+enum class Sweep_topology_kind : std::uint8_t { mesh, torus, ring, custom };
+
+/// Routing function for generator-built designs. dimension_order picks the
+/// canonical deadlock-free function per generator (XY on meshes, dateline
+/// dimension-order on tori, dateline shortest-direction on rings);
+/// shortest_path is the BFS baseline with no deadlock guarantee — sweeps
+/// report its undrained points honestly rather than hiding them.
+enum class Sweep_routing_kind : std::uint8_t { dimension_order, shortest_path };
+
+/// One design under evaluation: topology source + routing + parameters.
+struct Design_variant {
+    std::string label;
+    Sweep_topology_kind kind = Sweep_topology_kind::mesh;
+    /// Grid dims for mesh/torus; ring uses width*height switches. For
+    /// custom designs add_design() resets both to 0 — set them explicitly
+    /// (matching the core count) to use grid-shaped traffic patterns.
+    int width = 4;
+    int height = 4;
+    int link_pipeline_stages = 0;
+    Sweep_routing_kind routing = Sweep_routing_kind::dimension_order;
+    /// Prebuilt topology/routes for kind == custom (e.g. a synthesized
+    /// Design_point); shared so many points can reference one copy.
+    std::shared_ptr<const Topology> custom_topology;
+    std::shared_ptr<const Route_set> custom_routes;
+    /// Synthesized designs route only the application's flows.
+    bool allow_partial_routes = false;
+    Network_params params{};
+    /// Names the params variant inside design labels ("credit-vc1").
+    std::string params_label = "default";
+    /// Worker threads for THIS design's systems: 0 inherits the spec's
+    /// base config; > 1 runs the point on the sharded kernel (large meshes
+    /// shard while small points pack the sweep pool).
+    std::uint32_t shard_threads = 0;
+};
+
+/// Synthetic destination pattern kinds (traffic/patterns.h). Grid-shaped
+/// patterns (transpose/neighbor/tornado) take their dims from the design.
+enum class Sweep_pattern_kind : std::uint8_t {
+    uniform,
+    transpose,
+    bit_complement,
+    shuffle,
+    neighbor,
+    tornado,
+    hotspot,
+};
+
+/// One traffic workload: a synthetic pattern or an application core graph.
+/// For synthetic traffic the load grid is in flits/node/cycle; for
+/// application traffic it scales the graph's flow bandwidths.
+struct Traffic_variant {
+    std::string label;
+    bool is_application = false;
+    Sweep_pattern_kind pattern = Sweep_pattern_kind::uniform;
+    std::vector<Core_id> hotspots; ///< hotspot pattern only
+    double hot_fraction = 0.5;     ///< hotspot pattern only
+    std::shared_ptr<const Core_graph> graph; ///< application traffic only
+};
+
+/// One enumerated simulation point: indices into the spec plus the seed
+/// derived from it. (design, traffic) identifies the curve the point's
+/// Load_point lands on; load_index its position along the load grid.
+struct Sweep_point {
+    std::uint32_t index = 0; ///< dense, enumeration order
+    std::uint32_t design = 0;
+    std::uint32_t traffic = 0;
+    std::uint32_t load_index = 0;
+    double load = 0.0;
+    std::uint64_t seed = 0; ///< deterministic function of the spec alone
+};
+
+/// Declarative sweep description. Fill the three axes (or use the add_*
+/// helpers), then hand the spec to a Sweep_runner. enumerate() is the
+/// single source of truth for what gets simulated and with which seeds.
+struct Sweep_spec {
+    std::string name = "sweep";
+    std::vector<Design_variant> designs;
+    std::vector<Traffic_variant> traffics;
+    /// Load grid, ascending: flits/node/cycle (synthetic) or bandwidth
+    /// scale (application traffic).
+    std::vector<double> loads;
+    /// Measurement protocol + base seed + default kernel schedule for every
+    /// point (see traffic/experiment.h). Per-design shard_threads override
+    /// the kernel knobs.
+    Sweep_config base;
+    /// Also binary-search each synthetic design's saturation throughput
+    /// (one extra worker task per curve); application curves always derive
+    /// saturation from the measured grid.
+    bool search_saturation = false;
+    /// Latency (cycles) past which a point counts as saturated.
+    double latency_cap = 200.0;
+
+    // --- builder helpers (plain push_backs; fields stay assignable) --------
+    Design_variant& add_mesh(int w, int h, Network_params params = {},
+                             std::string params_label = "default");
+    Design_variant& add_torus(int w, int h, Network_params params = {},
+                              std::string params_label = "default");
+    Design_variant& add_ring(int nodes, Network_params params = {},
+                             std::string params_label = "default");
+    Design_variant& add_design(std::string label,
+                               std::shared_ptr<const Topology> topology,
+                               std::shared_ptr<const Route_set> routes,
+                               Network_params params,
+                               bool allow_partial_routes = true);
+    /// Cross every design added so far with `variants`: designs.size()
+    /// multiplies by variants.size(). The declarative way to sweep
+    /// Network_params (VC counts, buffer depths, flow control) per topology.
+    void cross_params(
+        const std::vector<std::pair<std::string, Network_params>>& variants);
+    Traffic_variant& add_synthetic(Sweep_pattern_kind pattern);
+    Traffic_variant& add_hotspot(std::vector<Core_id> hotspots,
+                                 double hot_fraction);
+    Traffic_variant& add_application(std::shared_ptr<const Core_graph> graph,
+                                     std::string label);
+
+    /// Throws std::invalid_argument on an inconsistent spec (empty axes,
+    /// grid pattern on a non-grid design, application traffic without a
+    /// graph, dateline topologies without the 2 VCs they need...).
+    void validate() const;
+
+    /// All points in deterministic order (validates first). Point seeds mix
+    /// base.seed with the point's labels and load index, so they are stable
+    /// under reordering of worker execution and under appending new designs
+    /// or loads to the spec.
+    [[nodiscard]] std::vector<Sweep_point> enumerate() const;
+
+    [[nodiscard]] std::size_t curve_count() const
+    {
+        return designs.size() * traffics.size();
+    }
+    /// Curve label "design/params/traffic" — the identity results key on.
+    [[nodiscard]] std::string curve_label(std::uint32_t design,
+                                          std::uint32_t traffic) const;
+};
+
+/// Deterministic seed for any sweep entity, derived from the spec's name,
+/// base seed and `key` alone (label-keyed, so appending designs/loads to a
+/// spec never perturbs existing points). enumerate() uses
+/// "curve_label@load_index"; the runner's saturation searches use
+/// "curve_label@saturation".
+[[nodiscard]] std::uint64_t sweep_seed(const Sweep_spec& spec,
+                                       const std::string& key);
+
+/// Build a design variant's topology (generators or the custom pair).
+[[nodiscard]] Topology make_sweep_topology(const Design_variant& d);
+/// Build its route set (must be passed the topology from the line above).
+[[nodiscard]] Route_set make_sweep_routes(const Design_variant& d,
+                                          const Topology& topo);
+/// Build a traffic variant's destination pattern for a design (synthetic
+/// traffic only; grid patterns use the design's dims).
+[[nodiscard]] std::shared_ptr<const Dest_pattern> make_sweep_pattern(
+    const Traffic_variant& t, const Design_variant& d, int core_count);
+
+/// Effective per-point Sweep_config: base protocol, the point's seed, the
+/// design's partial-route flag and its kernel-schedule override.
+[[nodiscard]] Sweep_config point_config(const Sweep_spec& spec,
+                                        const Design_variant& d,
+                                        std::uint64_t seed);
+
+} // namespace noc

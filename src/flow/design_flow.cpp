@@ -1,8 +1,10 @@
 #include "flow/design_flow.h"
 
 #include "common/table.h"
+#include "explore/sweep_runner.h"
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -101,6 +103,121 @@ Flow_result run_design_flow(const Flow_config& config)
     }
     result.report = os.str();
     return result;
+}
+
+Sim_cross_check validate_with_simulation(const Flow_result& flow,
+                                         const Flow_config& config,
+                                         const Sim_sweep_options& options)
+{
+    if (flow.pareto_indices.empty())
+        throw std::invalid_argument{
+            "validate_with_simulation: flow has no Pareto designs"};
+
+    // One sweep design per analytic-front candidate: its synthesized
+    // topology and (partial) route table, its operating point's network
+    // parameters, the application graph as traffic, bandwidth scales as
+    // the load grid. The sweep's own Pareto front — zero-load latency and
+    // saturated throughput measured by the simulator against the design's
+    // storage cost — is the simulation-backed counterpart of the analytic
+    // (power, latency, area) front the flow picked from.
+    Sim_cross_check check;
+    Sweep_spec spec;
+    spec.name = "flow-validate:" + config.spec.graph.name();
+    const auto graph =
+        std::make_shared<const Core_graph>(config.spec.graph);
+    for (const std::size_t i : flow.pareto_indices) {
+        const Design_point& dp = flow.synthesis.designs[i];
+        spec.add_design(dp.name,
+                        std::make_shared<const Topology>(dp.topology),
+                        std::make_shared<const Route_set>(dp.routes),
+                        network_params_for(dp, config.spec.buffer_depth));
+        check.candidate_designs.push_back(i);
+    }
+    spec.add_application(graph, config.spec.graph.name());
+    spec.loads = options.bandwidth_scales;
+    spec.base.warmup = options.warmup;
+    spec.base.measure = options.measure;
+    spec.base.drain_limit = options.drain_limit;
+    spec.latency_cap = options.latency_cap;
+
+    const Sweep_result sweep = run_sweep(spec, options.worker_threads);
+    check.sweep_json = sweep.to_json();
+    check.sweep_csv = sweep.to_csv();
+
+    // Map sweep curves (one per candidate, single traffic) back onto
+    // synthesis.designs indices.
+    for (const std::size_t c : sweep.pareto)
+        check.sim_front_designs.push_back(
+            check.candidate_designs[sweep.curves[c].design]);
+    check.analytic_pick_on_sim_front =
+        std::find(check.sim_front_designs.begin(),
+                  check.sim_front_designs.end(),
+                  flow.chosen) != check.sim_front_designs.end();
+
+    // Simulated weighted pick, same weights as the analytic one: cost
+    // under the power weight, measured zero-load latency under the latency
+    // weight, and saturation SHORTFALL (best candidate's throughput minus
+    // this one's — positive and minimized, as pick_weighted's
+    // max-normalization requires) under the area weight. Candidates with
+    // no usable simulation evidence (all points failed/saturated) are
+    // excluded, matching the Pareto assembly; with no evidence at all the
+    // analytic pick stands.
+    {
+        std::vector<Design_metrics> metrics;
+        std::vector<std::size_t> evidenced; // curve indices
+        double best_sat = 0.0;
+        for (const auto& c : sweep.curves)
+            if (c.zero_load_latency > 0.0)
+                best_sat = std::max(best_sat, c.saturation_throughput);
+        for (std::size_t i = 0; i < sweep.curves.size(); ++i) {
+            const auto& c = sweep.curves[i];
+            if (c.zero_load_latency <= 0.0) continue;
+            metrics.push_back({c.cost_bits, c.zero_load_latency,
+                               best_sat - c.saturation_throughput});
+            evidenced.push_back(i);
+        }
+        check.sim_best =
+            metrics.empty()
+                ? flow.chosen
+                : check.candidate_designs
+                      [sweep.curves[evidenced[pick_weighted(
+                                        metrics, config.power_weight,
+                                        config.latency_weight,
+                                        config.area_weight)]]
+                           .design];
+    }
+
+    std::ostringstream os;
+    os << "# Simulation cross-check — " << config.spec.graph.name() << "\n\n"
+       << check.candidate_designs.size()
+       << " analytic Pareto designs swept through the cycle-accurate "
+          "simulator ("
+       << options.bandwidth_scales.size() << " bandwidth scales, "
+       << sweep.worker_threads << " sweep workers)\n\n";
+    Text_table table{{"design", "cost(bits)", "sim lat0(cy)",
+                      "sim sat(fl/n/cy)", "sim front", "analytic pick"}};
+    for (std::size_t c = 0; c < sweep.curves.size(); ++c) {
+        const auto& curve = sweep.curves[c];
+        table.row()
+            .add(curve.design_label)
+            .add(curve.cost_bits, 0)
+            .add(curve.zero_load_latency, 1)
+            .add(curve.saturation_throughput, 3)
+            .add(curve.on_pareto ? "*" : "")
+            .add(check.candidate_designs[curve.design] == flow.chosen
+                     ? "<=="
+                     : "");
+    }
+    table.print(os);
+    os << "\nanalytic pick "
+       << flow.synthesis.designs[flow.chosen].name
+       << (check.analytic_pick_on_sim_front
+               ? " CONFIRMED on the simulation-backed front"
+               : " NOT on the simulation-backed front")
+       << "; simulated weighted pick: "
+       << flow.synthesis.designs[check.sim_best].name << "\n";
+    check.report = os.str();
+    return check;
 }
 
 } // namespace noc

@@ -50,4 +50,53 @@ struct Flow_result {
 /// exists (with the rejection log in the message).
 [[nodiscard]] Flow_result run_design_flow(const Flow_config& config);
 
+// --- simulation-backed cross-check (src/explore) ---------------------------
+
+/// Budget for sweeping the analytic Pareto front through the simulator.
+struct Sim_sweep_options {
+    /// Bandwidth scales applied to the application graph (the load grid of
+    /// the underlying Sweep_spec), strictly ascending.
+    std::vector<double> bandwidth_scales{0.5, 0.75, 1.0};
+    Cycle warmup = 1'000;
+    Cycle measure = 8'000;
+    Cycle drain_limit = 40'000;
+    /// Sweep worker threads (whole systems in parallel; see
+    /// explore/sweep_runner.h). 0 = hardware concurrency.
+    std::uint32_t worker_threads = 1;
+    /// Latency (cycles) past which a point counts as saturated.
+    double latency_cap = 500.0;
+};
+
+/// The analytic picks re-ranked by cycle-accurate simulation.
+struct Sim_cross_check {
+    /// Serialized curves/front over the candidate designs (curve i
+    /// corresponds to candidate_designs[i]); the full Sweep_result stays in
+    /// explore/ — this header carries only its serializations.
+    std::string sweep_json; ///< Sweep_result::to_json() of the sweep
+    std::string sweep_csv;  ///< Sweep_result::to_csv()
+    /// Indices into Flow_result::synthesis.designs, analytic-front order.
+    std::vector<std::size_t> candidate_designs;
+    /// Candidates on the SIMULATION-backed Pareto front (subset of
+    /// candidate_designs, same index space as synthesis.designs).
+    std::vector<std::size_t> sim_front_designs;
+    /// Candidate with the best simulated weighted rank (same weights as
+    /// the analytic pick over cost / measured latency / saturation
+    /// shortfall; index into synthesis.designs). Falls back to the
+    /// analytic chosen design when no candidate produced usable
+    /// simulation evidence.
+    std::size_t sim_best = 0;
+    /// Did the analytic chosen design survive onto the simulated front?
+    bool analytic_pick_on_sim_front = false;
+    std::string report; ///< human-readable summary (markdown)
+};
+
+/// Validate the flow's analytic Pareto front against the cycle-accurate
+/// simulator: every front design runs the application graph across
+/// `bandwidth_scales` on a Sweep_runner, producing a simulation-backed
+/// front to cross-check the analytic pick. Requires a Flow_result whose
+/// synthesis succeeded.
+[[nodiscard]] Sim_cross_check validate_with_simulation(
+    const Flow_result& flow, const Flow_config& config,
+    const Sim_sweep_options& options = {});
+
 } // namespace noc

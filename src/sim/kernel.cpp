@@ -317,30 +317,58 @@ void Sim_kernel::shard_job(std::uint32_t shard)
         // the barrier protocol still runs every phase (so no worker is
         // ever left blocked) but the remaining work is skipped and
         // run_sharded rethrows once the job has wound down.
+        bool walked = false;
         if (!job_failed_.load(std::memory_order_acquire)) {
             try {
+                // Idle-shard fast path: with nothing armed, no inbound
+                // wake and no due timer, the member walk is provably a
+                // no-op (every stepped_ flag would be cleared and nobody
+                // would step), so a lightly-loaded shard costs only this
+                // check and the barrier arrival, not a walk over its
+                // members. stepped_ is left stale; phase 2 compensates by
+                // keying its advancer pass on `walked`.
                 auto& inboxes = wake_mail_[mail_parity_ ^ 1u];
-                for (std::uint32_t from = 0; from < n; ++from) {
-                    auto& box =
-                        inboxes[static_cast<std::size_t>(from) * n + shard];
-                    for (const std::uint32_t id : box)
-                        if (!awake_[id]) {
-                            awake_[id] = 1;
-                            ++sh.awake_count;
-                        }
-                    box.clear();
-                }
-                drain_due_timers(sh, now);
-                for (const std::uint32_t id : sh.members) {
-                    stepped_[id] = awake_[id];
-                    if (awake_[id]) {
-                        Component* c = components_[id];
-                        c->step(now);
-                        if (c->is_quiescent()) {
-                            awake_[id] = 0;
-                            --sh.awake_count;
+                // Cheapest checks first: a busy shard (the common case)
+                // must not pay the O(shards) mailbox scan just to learn
+                // what awake_count already told it.
+                const bool busy = [&] {
+                    if (sh.awake_count != 0) return true;
+                    if (!sh.timers.empty() && sh.timers.top().first <= now)
+                        return true;
+                    for (std::uint32_t from = 0; from < n; ++from)
+                        if (!inboxes[static_cast<std::size_t>(from) * n +
+                                     shard]
+                                 .empty())
+                            return true;
+                    return false;
+                }();
+                if (busy) {
+                    walked = true;
+                    for (std::uint32_t from = 0; from < n; ++from) {
+                        auto& box =
+                            inboxes[static_cast<std::size_t>(from) * n +
+                                    shard];
+                        for (const std::uint32_t id : box)
+                            if (!awake_[id]) {
+                                awake_[id] = 1;
+                                ++sh.awake_count;
+                            }
+                        box.clear();
+                    }
+                    drain_due_timers(sh, now);
+                    for (const std::uint32_t id : sh.members) {
+                        stepped_[id] = awake_[id];
+                        if (awake_[id]) {
+                            Component* c = components_[id];
+                            c->step(now);
+                            if (c->is_quiescent()) {
+                                awake_[id] = 0;
+                                --sh.awake_count;
+                            }
                         }
                     }
+                } else {
+                    ++sh.idle_skips;
                 }
             } catch (...) {
                 record_job_error();
@@ -350,12 +378,18 @@ void Sim_kernel::shard_job(std::uint32_t shard)
         barrier_.arrive_and_wait([] {});
 
         // Phase 2: commit this shard's channels. Wakes for foreign readers
-        // go through the mailboxes (see Sim_kernel::wake).
+        // go through the mailboxes (see Sim_kernel::wake). On the idle
+        // fast path quiet groups are skipped outright (channels can still
+        // carry in-flight values while every component sleeps, so busy
+        // groups commit regardless), and the advancer pass — guarded by
+        // the stale stepped_ flags — is skipped with the walk.
         if (!job_failed_.load(std::memory_order_acquire)) {
             try {
-                for (const auto& g : sh.groups) g->commit_all(*this);
-                for (auto* c : sh.advancers)
-                    if (stepped_[c->sched_id_]) c->advance();
+                for (const auto& g : sh.groups)
+                    if (walked || !g->all_quiet()) g->commit_all(*this);
+                if (walked)
+                    for (auto* c : sh.advancers)
+                        if (stepped_[c->sched_id_]) c->advance();
             } catch (...) {
                 record_job_error();
             }

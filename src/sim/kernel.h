@@ -78,7 +78,13 @@
 // and a cycle is two parallel phases separated by a barrier:
 //
 //   phase 1 (step)    each shard drains its inbound wake mailboxes and due
-//                     timers, then steps its own active components;
+//                     timers, then steps its own active components. An idle
+//                     shard — empty active set, empty inboxes, no due timer
+//                     — skips the member walk entirely and proceeds
+//                     straight to the barrier (its phase 2 then commits
+//                     only non-quiet channel groups), so a quiet region of
+//                     a large mesh costs two barrier arrivals per cycle,
+//                     not a walk;
 //   -- barrier --
 //   phase 2 (commit)  each shard commits its own channel groups;
 //   -- barrier --     (one thread advances the cycle / runs skip-ahead)
@@ -358,6 +364,18 @@ public:
     {
         return cross_wakes_.load(std::memory_order_relaxed);
     }
+    /// Cycles on which a shard took the idle fast path — empty active set,
+    /// empty inbound mailboxes, no due timer — and skipped its step-phase
+    /// member walk entirely (ROADMAP "adaptive shard schedules" item (b)).
+    /// Observability only; summed across shards and cycles. Counted in a
+    /// per-shard slot (no shared cache line on the fast path itself), so
+    /// read it only between runs, like the other shard introspection.
+    [[nodiscard]] std::uint64_t idle_shard_skip_count() const
+    {
+        std::uint64_t n = 0;
+        for (const auto& sh : shards_) n += sh.idle_skips;
+        return n;
+    }
 
 private:
     /// Minimal sense-reversing spin barrier. The last arriver runs
@@ -399,6 +417,7 @@ private:
     struct alignas(64) Shard_state {
         std::vector<std::uint32_t> members; ///< component ids, step order
         std::size_t awake_count = 0;
+        std::uint64_t idle_skips = 0; ///< fast-path cycles (own thread only)
         std::vector<Component*> advancers;
         std::vector<std::unique_ptr<Channel_group_base>> groups;
         std::unordered_map<std::type_index, Channel_group_base*> group_index;

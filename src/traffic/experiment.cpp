@@ -8,6 +8,16 @@ namespace noc {
 
 namespace {
 
+/// Shard count the Sweep_config's kernel knobs ask Noc_system to build for:
+/// only the sharded schedule partitions; the sequential schedules always
+/// build single-shard systems (per-shard stats slots and pool segments are
+/// partition metadata, not simulation state, so results never depend on it).
+std::uint32_t build_shards(const Sweep_config& cfg)
+{
+    if (cfg.kernel_mode != Kernel_mode::sharded) return 1;
+    return cfg.kernel_threads > 0 ? cfg.kernel_threads : 1;
+}
+
 Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
 {
     sys.warmup(cfg.warmup);
@@ -36,7 +46,9 @@ Load_point run_synthetic_load(
         pattern_factory,
     const Sweep_config& cfg)
 {
-    Noc_system sys{topology, routes, params};
+    Noc_system sys{topology, routes, params, cfg.allow_partial_routes,
+                   build_shards(cfg)};
+    sys.kernel().set_mode(cfg.kernel_mode);
     const auto pattern = pattern_factory();
     for (int c = 0; c < topology.core_count(); ++c) {
         const Core_id core{static_cast<std::uint32_t>(c)};
@@ -83,7 +95,9 @@ Load_point run_application_load(const Topology& topology,
                                 double bandwidth_scale,
                                 const Sweep_config& cfg)
 {
-    Noc_system sys{topology, routes, params};
+    Noc_system sys{topology, routes, params, cfg.allow_partial_routes,
+                   build_shards(cfg)};
+    sys.kernel().set_mode(cfg.kernel_mode);
     double offered = 0.0;
     for (int c = 0; c < topology.core_count(); ++c) {
         const Core_id core{static_cast<std::uint32_t>(c)};

@@ -31,6 +31,17 @@ struct Sweep_config {
     Cycle drain_limit = 60'000;
     std::uint32_t packet_size_flits = 4;
     std::uint64_t seed = 42;
+    /// Kernel schedule the point runs under. Every schedule is bit-identical
+    /// to every other (the equivalence suite proves it), so this is purely a
+    /// speed knob: explore sweeps pick gated for small meshes and sharded
+    /// for the big ones.
+    Kernel_mode kernel_mode = Kernel_mode::activity_gated;
+    /// Worker threads (shards) when kernel_mode == sharded; clamped to the
+    /// switch count by Noc_system. Ignored by the sequential schedules.
+    std::uint32_t kernel_threads = 1;
+    /// Accept route sets with empty entries for pairs that never communicate
+    /// (synthesized designs route only the application's flows).
+    bool allow_partial_routes = false;
 };
 
 /// One synthetic load point on a fresh network built from (topology,

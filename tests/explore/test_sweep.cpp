@@ -1,0 +1,296 @@
+// The explore subsystem's contract: declarative enumeration with
+// spec-derived seeds, worker-count-independent (byte-identical) results,
+// per-point bit-identity with direct experiment-harness calls, and a sane
+// simulation-backed Pareto front.
+#include "explore/sweep_runner.h"
+
+#include "topology/routing.h"
+#include "traffic/app_graphs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace noc {
+namespace {
+
+Network_params two_vc_params()
+{
+    Network_params p;
+    p.route_vcs = 2; // dateline topologies need 2; meshes just get buffers
+    return p;
+}
+
+/// Small mesh-vs-torus spec: 2 designs x 2 traffics x 3 loads = 12 points,
+/// quick enough for unit tests.
+Sweep_spec small_spec()
+{
+    Sweep_spec spec;
+    spec.name = "unit";
+    spec.add_mesh(4, 4, two_vc_params(), "vc2");
+    spec.add_torus(4, 4, two_vc_params(), "vc2");
+    spec.add_synthetic(Sweep_pattern_kind::uniform);
+    spec.add_synthetic(Sweep_pattern_kind::transpose);
+    spec.loads = {0.05, 0.15, 0.25};
+    spec.base.warmup = 300;
+    spec.base.measure = 1'500;
+    spec.base.drain_limit = 10'000;
+    return spec;
+}
+
+TEST(SweepSpec, EnumerateShapeAndDeterminism)
+{
+    const Sweep_spec spec = small_spec();
+    const auto points = spec.enumerate();
+    ASSERT_EQ(points.size(), 12u); // 2 designs x 2 traffics x 3 loads
+    std::set<std::uint64_t> seeds;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(points[i].index, i);
+        EXPECT_LT(points[i].design, 2u);
+        EXPECT_LT(points[i].traffic, 2u);
+        EXPECT_EQ(points[i].load, spec.loads[points[i].load_index]);
+        seeds.insert(points[i].seed);
+    }
+    EXPECT_EQ(seeds.size(), points.size()) << "per-point seeds collide";
+    // Pure function of the spec: a second enumeration is identical...
+    const auto again = spec.enumerate();
+    for (std::size_t i = 0; i < points.size(); ++i)
+        EXPECT_EQ(points[i].seed, again[i].seed);
+    // ...and appending a load leaves existing points' seeds untouched
+    // (label-keyed derivation).
+    Sweep_spec grown = small_spec();
+    grown.loads.push_back(0.35);
+    const auto grown_points = grown.enumerate();
+    for (const auto& p : points)
+        for (const auto& g : grown_points)
+            if (g.design == p.design && g.traffic == p.traffic &&
+                g.load_index == p.load_index)
+                EXPECT_EQ(g.seed, p.seed);
+}
+
+TEST(SweepSpec, ValidateRejectsInconsistentSpecs)
+{
+    Sweep_spec empty;
+    EXPECT_THROW(empty.enumerate(), std::invalid_argument);
+
+    Sweep_spec bad_vcs;
+    bad_vcs.add_torus(4, 4); // default params: route_vcs = 1, no datelines
+    bad_vcs.add_synthetic(Sweep_pattern_kind::uniform);
+    bad_vcs.loads = {0.1};
+    EXPECT_THROW(bad_vcs.validate(), std::invalid_argument);
+
+    Sweep_spec grid_on_ring;
+    grid_on_ring.add_ring(8, two_vc_params());
+    grid_on_ring.add_synthetic(Sweep_pattern_kind::transpose);
+    grid_on_ring.loads = {0.1};
+    EXPECT_THROW(grid_on_ring.validate(), std::invalid_argument);
+
+    Sweep_spec bad_grid = small_spec();
+    bad_grid.loads = {0.2, 0.1}; // not ascending
+    EXPECT_THROW(bad_grid.validate(), std::invalid_argument);
+
+    Sweep_spec non_square;
+    non_square.add_mesh(4, 2);
+    non_square.add_synthetic(Sweep_pattern_kind::transpose);
+    non_square.loads = {0.1};
+    EXPECT_THROW(non_square.validate(), std::invalid_argument);
+
+    // Two designs distinguishable only by an unlabeled knob would share
+    // curve labels (and therefore seeds): rejected.
+    Sweep_spec dup = small_spec();
+    dup.add_mesh(4, 4, two_vc_params(), "vc2");
+    EXPECT_THROW(dup.validate(), std::invalid_argument);
+
+    // Custom designs must declare grid dims for grid patterns; a 16-core
+    // topology must not silently count as a 4x4 grid.
+    Sweep_spec custom_grid;
+    Mesh_params mp; // 4x4
+    auto topo = std::make_shared<const Topology>(make_mesh(mp));
+    auto routes =
+        std::make_shared<const Route_set>(xy_routes(*topo, mp));
+    custom_grid.add_design("custom16", topo, routes, Network_params{});
+    custom_grid.add_synthetic(Sweep_pattern_kind::tornado);
+    custom_grid.loads = {0.1};
+    EXPECT_THROW(custom_grid.validate(), std::invalid_argument);
+    custom_grid.designs[0].width = 4; // explicit dims make it legal
+    custom_grid.designs[0].height = 4;
+    EXPECT_NO_THROW(custom_grid.validate());
+}
+
+TEST(SweepRunner, ByteIdenticalAcrossWorkerCounts)
+{
+    const Sweep_spec spec = small_spec();
+    const Sweep_result serial = run_sweep(spec, 1);
+    const Sweep_result parallel = run_sweep(spec, 4);
+    ASSERT_EQ(serial.curves.size(), 4u);
+    // The sweep determinism contract: scheduling is invisible, so the
+    // serializations match byte for byte.
+    EXPECT_EQ(serial.to_json(), parallel.to_json());
+    EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+    EXPECT_EQ(parallel.worker_threads, 4u);
+    for (const auto& c : serial.curves)
+        for (const auto& p : c.points) {
+            EXPECT_TRUE(p.error.empty())
+                << c.label << " @ " << p.point.load << ": " << p.error;
+            EXPECT_GT(p.load.packets, 0u);
+        }
+}
+
+TEST(SweepRunner, PointBitIdenticalToDirectExperimentCall)
+{
+    const Sweep_spec spec = small_spec();
+    const auto points = spec.enumerate();
+    const Sweep_result result = run_sweep(spec, 2);
+
+    // Recompute one mid-grid point by hand through the experiment harness:
+    // identical seeds + identical config must give the identical bits.
+    const Sweep_point& p = points.at(4);
+    const Design_variant& d = spec.designs[p.design];
+    const Traffic_variant& t = spec.traffics[p.traffic];
+    const Topology topo = make_sweep_topology(d);
+    const Route_set routes = make_sweep_routes(d, topo);
+    const Load_point direct = run_synthetic_load(
+        topo, routes, d.params, p.load,
+        [&] { return make_sweep_pattern(t, d, topo.core_count()); },
+        point_config(spec, d, p.seed));
+
+    const Point_result& swept =
+        result.curves.at(p.design * spec.traffics.size() + p.traffic)
+            .points.at(p.load_index);
+    ASSERT_TRUE(swept.error.empty());
+    EXPECT_EQ(swept.load.packets, direct.packets);
+    EXPECT_EQ(swept.load.accepted_flits_per_node_cycle,
+              direct.accepted_flits_per_node_cycle);
+    EXPECT_EQ(swept.load.avg_packet_latency, direct.avg_packet_latency);
+    EXPECT_EQ(swept.load.avg_network_latency, direct.avg_network_latency);
+    EXPECT_EQ(swept.load.max_latency, direct.max_latency);
+    EXPECT_EQ(swept.load.drained, direct.drained);
+}
+
+TEST(SweepRunner, ShardedPointsMatchGatedPoints)
+{
+    // A design may request the sharded kernel for its systems; the
+    // schedules are bit-identical, so the whole Sweep_result must be too.
+    Sweep_spec gated = small_spec();
+    Sweep_spec sharded = small_spec();
+    for (auto& d : sharded.designs) d.shard_threads = 2;
+    const Sweep_result a = run_sweep(gated, 2);
+    const Sweep_result b = run_sweep(sharded, 2);
+    EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+TEST(SweepResult, ParetoFrontIsNonDominatedAndCoversTheRest)
+{
+    Sweep_spec spec = small_spec();
+    spec.search_saturation = true; // exercise the search tasks too
+    const Sweep_result result = run_sweep(spec, 2);
+    ASSERT_FALSE(result.pareto.empty());
+    for (const std::size_t i : result.pareto) {
+        ASSERT_LT(i, result.curves.size());
+        EXPECT_TRUE(result.curves[i].on_pareto);
+        EXPECT_TRUE(result.curves[i].saturation_searched);
+        EXPECT_GT(result.curves[i].saturation_throughput, 0.0);
+    }
+    // Dominance check straight from the definition: every off-front curve
+    // is dominated by some front curve OF THE SAME TRAFFIC on
+    // (cost, latency, -throughput) — workloads never compete.
+    auto dominates3 = [](const Design_curve& a, const Design_curve& b) {
+        const bool no_worse = a.cost_bits <= b.cost_bits &&
+                              a.zero_load_latency <= b.zero_load_latency &&
+                              a.saturation_throughput >=
+                                  b.saturation_throughput;
+        const bool better = a.cost_bits < b.cost_bits ||
+                            a.zero_load_latency < b.zero_load_latency ||
+                            a.saturation_throughput >
+                                b.saturation_throughput;
+        return no_worse && better;
+    };
+    for (std::size_t i = 0; i < result.curves.size(); ++i) {
+        if (result.curves[i].on_pareto) continue;
+        bool dominated = false;
+        for (const std::size_t f : result.pareto)
+            dominated = dominated ||
+                        (result.curves[f].traffic ==
+                             result.curves[i].traffic &&
+                         dominates3(result.curves[f], result.curves[i]));
+        EXPECT_TRUE(dominated) << result.curves[i].label;
+    }
+    // Report and serializations name every curve.
+    const std::string report = result.report();
+    const std::string json = result.to_json();
+    for (const auto& c : result.curves) {
+        EXPECT_NE(report.find(c.label), std::string::npos);
+        EXPECT_NE(json.find(c.label), std::string::npos);
+    }
+}
+
+TEST(SweepRunner, ApplicationTrafficCurves)
+{
+    // Application traffic: the load grid scales the graph's bandwidths.
+    Sweep_spec spec;
+    spec.name = "app";
+    spec.add_mesh(3, 4); // 12 switches = VOPD's 12 cores
+    spec.add_application(
+        std::make_shared<const Core_graph>(make_vopd_graph()), "vopd");
+    spec.loads = {0.5, 1.0};
+    spec.base.warmup = 300;
+    spec.base.measure = 2'000;
+    spec.base.drain_limit = 20'000;
+    const Sweep_result serial = run_sweep(spec, 1);
+    const Sweep_result parallel = run_sweep(spec, 3);
+    EXPECT_EQ(serial.to_json(), parallel.to_json());
+    ASSERT_EQ(serial.curves.size(), 1u);
+    const Design_curve& c = serial.curves[0];
+    for (const auto& p : c.points) ASSERT_TRUE(p.error.empty()) << p.error;
+    EXPECT_GT(c.points[0].load.packets, 0u);
+    EXPECT_FALSE(c.saturation_searched); // no binary search for app curves
+    // Offered load scales with the bandwidth scale.
+    EXPECT_LT(c.points[0].load.offered_flits_per_node_cycle,
+              c.points[1].load.offered_flits_per_node_cycle);
+}
+
+TEST(SweepRunner, FailedPointsAreRecordedNotThrown)
+{
+    // Uniform traffic on a partial route set: the NI throws on the first
+    // missing route; the sweep must record the error and carry on.
+    Sweep_spec spec;
+    spec.name = "errors";
+    auto topo = std::make_shared<const Topology>([] {
+        Mesh_params mp;
+        mp.width = 2;
+        mp.height = 2;
+        return make_mesh(mp);
+    }());
+    auto routes = std::make_shared<const Route_set>([&] {
+        Mesh_params mp;
+        mp.width = 2;
+        mp.height = 2;
+        Route_set full = xy_routes(*topo, mp);
+        Route_set partial{topo->core_count()};
+        // Keep only core 0 -> 1; everything else missing.
+        partial.set(Core_id{0}, Core_id{1},
+                    full.at(Core_id{0}, Core_id{1}));
+        return partial;
+    }());
+    spec.add_design("partial2x2", topo, routes, Network_params{}, true);
+    spec.add_mesh(2, 2);
+    spec.add_synthetic(Sweep_pattern_kind::uniform);
+    spec.loads = {0.1};
+    spec.base.warmup = 100;
+    spec.base.measure = 500;
+    spec.base.drain_limit = 2'000;
+
+    const Sweep_result result = run_sweep(spec, 2);
+    ASSERT_EQ(result.curves.size(), 2u);
+    EXPECT_FALSE(result.curves[0].points[0].error.empty());
+    EXPECT_TRUE(result.curves[1].points[0].error.empty());
+    // The broken curve carries no evidence, so the front is the good one.
+    ASSERT_EQ(result.pareto.size(), 1u);
+    EXPECT_EQ(result.pareto[0], 1u);
+    // Serializations stay well-formed and name the error.
+    EXPECT_NE(result.to_json().find("\"error\""), std::string::npos);
+    EXPECT_NE(result.report().find("Failed points"), std::string::npos);
+}
+
+} // namespace
+} // namespace noc

@@ -36,6 +36,51 @@ TEST(DesignFlow, EndToEndOnVopd)
     EXPECT_NE(result.report.find("PASSED"), std::string::npos);
 }
 
+TEST(DesignFlow, ValidateWithSimulationCrossChecksTheFront)
+{
+    const auto result = run_design_flow(vopd_flow());
+    Sim_sweep_options opts;
+    opts.bandwidth_scales = {0.5, 1.0};
+    opts.warmup = 300;
+    opts.measure = 3'000;
+    opts.drain_limit = 20'000;
+    opts.worker_threads = 2;
+    const auto check =
+        validate_with_simulation(result, vopd_flow(), opts);
+
+    // One candidate per analytic-front design, each simulated.
+    EXPECT_EQ(check.candidate_designs.size(), result.pareto_indices.size());
+    ASSERT_FALSE(check.sim_front_designs.empty());
+    for (const std::size_t i : check.sim_front_designs) {
+        EXPECT_LT(i, result.synthesis.designs.size());
+        // The simulated front is a subset of the analytic candidates.
+        EXPECT_NE(std::find(check.candidate_designs.begin(),
+                            check.candidate_designs.end(), i),
+                  check.candidate_designs.end());
+    }
+    EXPECT_NE(std::find(check.candidate_designs.begin(),
+                        check.candidate_designs.end(), check.sim_best),
+              check.candidate_designs.end());
+    // Serialized sweep + report carry the evidence.
+    EXPECT_NE(check.sweep_json.find("\"curves\""), std::string::npos);
+    EXPECT_NE(check.sweep_csv.find("avg_packet_latency"),
+              std::string::npos);
+    EXPECT_NE(check.report.find("Simulation cross-check"),
+              std::string::npos);
+    for (const std::size_t i : check.candidate_designs)
+        EXPECT_NE(
+            check.report.find(result.synthesis.designs[i].name),
+            std::string::npos);
+    // Determinism: the sweep serialization is worker-count independent.
+    Sim_sweep_options serial_opts = opts;
+    serial_opts.worker_threads = 1;
+    const auto serial =
+        validate_with_simulation(result, vopd_flow(), serial_opts);
+    EXPECT_EQ(serial.sweep_json, check.sweep_json);
+    EXPECT_EQ(serial.sim_front_designs, check.sim_front_designs);
+    EXPECT_EQ(serial.sim_best, check.sim_best);
+}
+
 TEST(DesignFlow, ChosenDesignIsOnTheFront)
 {
     const auto result = run_design_flow(vopd_flow());

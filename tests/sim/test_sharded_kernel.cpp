@@ -296,5 +296,112 @@ TEST(ShardedWakeMailbox, TokensCrossingShardsMatchReferenceTiming)
     EXPECT_GT(sharded.cross_wakes, 0u); // the mailbox actually carried wakes
 }
 
+// --- idle-shard fast path --------------------------------------------------
+
+/// A shard whose active set, inbound mailboxes and timer queue are all
+/// quiet skips its step-phase member walk (kernel.cpp's fast path). Rig: a
+/// two-shard 4x4 mesh where all traffic lives in rows 0-1 (shard 0) — XY
+/// routes between those cores never leave the top half, so shard 1 stays
+/// permanently idle. The skip must not perturb results: identical bits to
+/// the gated schedule, with the skip counter proving the path was taken.
+TEST(ShardedKernel, IdleShardFastPathSkipsWalkAndStaysBitIdentical)
+{
+    Mesh_params mp; // 4x4
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+
+    auto rig = [&](Noc_system& sys) {
+        // Sources on the 8 top-half cores, destinations confined to the
+        // same 8 (hot_fraction 1.0 => only hotspots are ever picked).
+        std::vector<Core_id> top;
+        for (std::uint32_t c = 0; c < 8; ++c) top.push_back(Core_id{c});
+        auto pattern = std::shared_ptr<const Dest_pattern>(
+            make_hotspot_pattern(topo.core_count(), top, 1.0));
+        for (std::uint32_t c = 0; c < 8; ++c) {
+            Bernoulli_source::Params sp;
+            sp.flits_per_cycle = 0.2;
+            sp.seed = 100 + c;
+            sys.ni(Core_id{c}).set_source(
+                std::make_unique<Bernoulli_source>(Core_id{c}, sp,
+                                                   pattern));
+        }
+    };
+
+    auto run = [&](Kernel_mode mode, std::uint32_t shards) {
+        Noc_system sys{topo, routes, Network_params{}, false, shards};
+        sys.kernel().set_mode(mode);
+        rig(sys);
+        sys.warmup(500);
+        sys.measure(2'000);
+        sys.drain(10'000);
+        struct Out {
+            std::uint64_t delivered;
+            std::uint64_t flits_routed;
+            double latency_mean;
+            double latency_max;
+            std::uint64_t idle_skips;
+        } o{sys.stats().packets_delivered(), sys.total_flits_routed(),
+            sys.stats().packet_latency().mean(),
+            sys.stats().packet_latency().max(),
+            sys.kernel().idle_shard_skip_count()};
+        return o;
+    };
+
+    const auto gated = run(Kernel_mode::activity_gated, 1);
+    const auto sharded = run(Kernel_mode::sharded, 2);
+    EXPECT_GT(gated.delivered, 0u);
+    EXPECT_EQ(sharded.delivered, gated.delivered);
+    EXPECT_EQ(sharded.flits_routed, gated.flits_routed);
+    EXPECT_EQ(sharded.latency_mean, gated.latency_mean);
+    EXPECT_EQ(sharded.latency_max, gated.latency_max);
+    // Shard 1 is idle from the first cycle (its sources never arm), so it
+    // must have taken the fast path for the bulk of the run; a couple of
+    // start-of-run cycles step everything while the initial arm decays.
+    EXPECT_GT(sharded.idle_skips, 2'000u);
+    EXPECT_EQ(gated.idle_skips, 0u); // sequential schedules never count
+}
+
+/// Traffic crossing INTO a previously idle shard must cut the fast path
+/// short on exactly the right cycle (the mailbox drain is part of the
+/// fast-path check). The existing cross-shard timing tests pin exactness;
+/// this pins coexistence of skipping and delivery in one run.
+TEST(ShardedKernel, IdleShardStillReceivesCrossShardTraffic)
+{
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 1; // line: shard 1 = switches 2..3
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+
+    auto run = [&](Kernel_mode mode, std::uint32_t shards) {
+        Noc_system sys{topo, routes, Network_params{}, false, shards};
+        sys.kernel().set_mode(mode);
+        // One low-rate flow 0 -> 3: long idle gaps on both shards between
+        // packets, every packet crosses the boundary.
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = 0.01;
+        sp.seed = 11;
+        auto pattern = std::shared_ptr<const Dest_pattern>(
+            make_hotspot_pattern(4, {Core_id{3}}, 1.0));
+        sys.ni(Core_id{0}).set_source(
+            std::make_unique<Bernoulli_source>(Core_id{0}, sp, pattern));
+        sys.warmup(200);
+        sys.measure(3'000);
+        sys.drain(10'000);
+        return std::tuple{sys.stats().packets_delivered(),
+                          sys.stats().packet_latency().mean(),
+                          sys.kernel().idle_shard_skip_count()};
+    };
+
+    const auto [gated_delivered, gated_latency, gated_skips] =
+        run(Kernel_mode::activity_gated, 1);
+    const auto [delivered, latency, skips] = run(Kernel_mode::sharded, 2);
+    EXPECT_GT(gated_delivered, 0u);
+    EXPECT_EQ(delivered, gated_delivered);
+    EXPECT_EQ(latency, gated_latency);
+    EXPECT_GT(skips, 0u);
+    (void)gated_skips;
+}
+
 } // namespace
 } // namespace noc

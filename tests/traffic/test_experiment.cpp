@@ -158,6 +158,44 @@ TEST(FlowSource, NoFlowsPromisesSilenceForever)
     EXPECT_EQ(src.next_poll_at(0), invalid_cycle);
 }
 
+/// The Sweep_config kernel knobs: every schedule the config can pick must
+/// produce bit-identical Load_points (the schedules are equivalent; the
+/// knob exists so explore points choose gated or sharded per point).
+TEST(Experiment, KernelModeKnobIsBitInvisible)
+{
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 4;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    const auto factory = [&] {
+        return std::shared_ptr<const Dest_pattern>(
+            make_uniform_pattern(topo.core_count()));
+    };
+
+    auto run = [&](Kernel_mode mode, std::uint32_t threads) {
+        Sweep_config cfg;
+        cfg.warmup = 300;
+        cfg.measure = 2'000;
+        cfg.kernel_mode = mode;
+        cfg.kernel_threads = threads;
+        return run_synthetic_load(topo, routes, params, 0.2, factory, cfg);
+    };
+
+    const Load_point gated = run(Kernel_mode::activity_gated, 1);
+    const Load_point reference = run(Kernel_mode::reference, 1);
+    const Load_point sharded = run(Kernel_mode::sharded, 4);
+    EXPECT_GT(gated.packets, 0u);
+    for (const Load_point* p : {&reference, &sharded}) {
+        EXPECT_EQ(p->packets, gated.packets);
+        EXPECT_EQ(p->accepted_flits_per_node_cycle,
+                  gated.accepted_flits_per_node_cycle);
+        EXPECT_EQ(p->avg_packet_latency, gated.avg_packet_latency);
+        EXPECT_EQ(p->max_latency, gated.max_latency);
+    }
+}
+
 TEST(Experiment, VopdOnMeshMeetsBandwidth)
 {
     // Map VOPD onto a 4x3 mesh in core-id order and check every flow
