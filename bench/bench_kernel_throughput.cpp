@@ -21,6 +21,10 @@
 // mesh (the TILE-Gx / teraflops scale the paper's case studies need; large
 // enough to amortize the two barriers per cycle), checking every run
 // bit-identical to the gated schedule and reporting parallel speedup.
+// A partition-balance figure follows: row-0 hotspot traffic profiled into
+// Partition_plan::balanced weights, reporting how much the weight-balanced
+// cut reduces the max-shard share of routed flits vs the equal-count
+// partition (the barrier-bound work of the hottest shard).
 // Speedup is only meaningful with >= `threads` hardware threads — the JSON
 // records hardware_concurrency so trend tooling can judge. `--threads`
 // runs just this sweep (no rate figure, no JSON) for quick scaling checks.
@@ -31,8 +35,11 @@
 // loaded CI box is noise, so no JSON is written.
 #include "bench_util.h"
 
+#include "arch/noc_builder.h"
 #include "topology/routing.h"
 #include "traffic/experiment.h"
+
+#include <algorithm>
 
 #include <chrono>
 #include <cstdio>
@@ -77,15 +84,21 @@ Mesh_params mesh_params()
     return mp;
 }
 
-std::unique_ptr<Noc_system> build(const Topology& topo,
-                                  const Route_set& routes, double rate,
-                                  Kernel_mode mode, std::uint32_t shards = 1)
+std::unique_ptr<Noc_system> build(
+    const Topology& topo, const Route_set& routes, double rate,
+    Kernel_mode mode, Partition_plan plan = Partition_plan::single(),
+    std::shared_ptr<const Dest_pattern> pattern = nullptr)
 {
-    auto sys = std::make_unique<Noc_system>(topo, routes, Network_params{},
-                                            false, shards);
-    sys->kernel().set_mode(mode);
-    auto pattern = std::shared_ptr<const Dest_pattern>(
-        make_uniform_pattern(topo.core_count()));
+    auto sys = Noc_builder{}
+                   .topology(topo)
+                   .routes(routes)
+                   .params(Network_params{})
+                   .schedule(mode)
+                   .partition(std::move(plan))
+                   .build();
+    if (!pattern)
+        pattern = std::shared_ptr<const Dest_pattern>(
+            make_uniform_pattern(topo.core_count()));
     for (int c = 0; c < topo.core_count(); ++c) {
         const Core_id core{static_cast<std::uint32_t>(c)};
         Bernoulli_source::Params sp;
@@ -99,9 +112,10 @@ std::unique_ptr<Noc_system> build(const Topology& topo,
 
 Mode_result run_mode(const Topology& topo, const Route_set& routes,
                      double rate, Kernel_mode mode,
-                     const Bench_budget& budget, std::uint32_t shards = 1)
+                     const Bench_budget& budget,
+                     Partition_plan plan = Partition_plan::single())
 {
-    auto sys = build(topo, routes, rate, mode, shards);
+    auto sys = build(topo, routes, rate, mode, std::move(plan));
     sys->warmup(budget.warmup);
     const auto t0 = std::chrono::steady_clock::now();
     sys->measure(budget.measure);
@@ -150,7 +164,7 @@ bool run_threads_sweep(int mesh_w, int mesh_h, const Bench_budget& budget,
         const std::uint32_t threads = threads_sweep[i];
         const Mode_result r =
             run_mode(topo, routes, kSaturationRate, Kernel_mode::sharded,
-                     budget, threads);
+                     budget, Partition_plan::contiguous(threads));
         const bool identical =
             r.flit_hops == gated.flit_hops &&
             r.packets_delivered == gated.packets_delivered &&
@@ -174,6 +188,99 @@ bool run_threads_sweep(int mesh_w, int mesh_h, const Bench_budget& budget,
         json += buf;
     }
     return all_identical;
+}
+
+/// Weight-balanced partitioning on a hotspot mesh (ROADMAP "load-balanced
+/// shard partitioning"): drive the 8x8 mesh with row-0 hotspot traffic,
+/// profile per-switch flits_routed under the gated schedule, and compare
+/// the max-shard share of routed flits between the equal-count contiguous
+/// partition and Partition_plan::balanced on the profile — then run the
+/// balanced partition through the sharded kernel and require bit-identity
+/// to the gated run (partition choice must be invisible in results).
+/// Appends a "partition_balance" record to `json` when asked. Returns
+/// false on divergence or if balancing failed to reduce the max share.
+bool run_partition_balance(const Bench_budget& budget, std::string* json)
+{
+    const Mesh_params mp = mesh_params();
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    constexpr std::uint32_t kShards = 4;
+    constexpr double kRate = 0.30;
+
+    std::vector<Core_id> hot;
+    for (std::uint32_t c = 0; c < static_cast<std::uint32_t>(kMeshW); ++c)
+        hot.push_back(Core_id{c}); // row 0: one edge of the die
+    const auto pattern = std::shared_ptr<const Dest_pattern>(
+        make_hotspot_pattern(topo.core_count(), hot, 0.75));
+
+    auto drive = [&](Kernel_mode mode, Partition_plan plan) {
+        auto sys = build(topo, routes, kRate, mode, std::move(plan), pattern);
+        sys->warmup(budget.warmup);
+        sys->measure(budget.measure);
+        return sys;
+    };
+
+    // Profiling run: the gated baseline also supplies the reference
+    // counters and the balanced plan's weights.
+    const auto gated = drive(Kernel_mode::activity_gated,
+                             Partition_plan::single());
+    const std::vector<std::uint64_t> profile = gated->switch_load_profile();
+
+    // Max-shard share of routed flits under each partition (pure
+    // arithmetic on the profile: per-switch counters are bit-identical
+    // across partitions, only the grouping changes).
+    auto max_share = [&](const std::vector<std::uint32_t>& shard_of) {
+        std::vector<std::uint64_t> per_shard(kShards, 0);
+        std::uint64_t total = 0;
+        for (std::size_t s = 0; s < profile.size(); ++s) {
+            per_shard[shard_of[s]] += profile[s];
+            total += profile[s];
+        }
+        std::uint64_t worst = 0;
+        for (const std::uint64_t v : per_shard) worst = std::max(worst, v);
+        return total > 0 ? static_cast<double>(worst) /
+                               static_cast<double>(total)
+                         : 0.0;
+    };
+    const std::uint32_t switches =
+        static_cast<std::uint32_t>(topo.switch_count());
+    const double contiguous_share =
+        max_share(Partition_plan::contiguous(kShards).assign(switches));
+    const Partition_plan balanced =
+        Partition_plan::balanced(kShards, profile);
+    const double balanced_share = max_share(balanced.assign(switches));
+
+    // The balanced partition must be a pure re-interleaving: bit-identical
+    // counters to the gated run.
+    const auto bal_sys = drive(Kernel_mode::sharded, balanced);
+    const bool identical =
+        bal_sys->total_flits_routed() == gated->total_flits_routed() &&
+        bal_sys->stats().packets_delivered() ==
+            gated->stats().packets_delivered() &&
+        bal_sys->stats().packet_latency().mean() ==
+            gated->stats().packet_latency().mean();
+    const bool reduced = balanced_share < contiguous_share;
+
+    std::printf("\nhotspot %dx%d mesh, %u shards: max-shard flits_routed "
+                "share %.3f contiguous -> %.3f balanced (%s), "
+                "bit-identical: %s\n",
+                kMeshW, kMeshH, kShards, contiguous_share, balanced_share,
+                reduced ? "reduced" : "NOT REDUCED",
+                identical ? "yes" : "NO");
+    if (json != nullptr) {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof buf,
+            "  \"partition_balance\": {\"mesh\": \"%dx%d\", "
+            "\"traffic\": \"hotspot-row0\", \"shards\": %u, "
+            "\"max_shard_share_contiguous\": %.4f, "
+            "\"max_shard_share_balanced\": %.4f, "
+            "\"bit_identical\": %s},\n",
+            kMeshW, kMeshH, kShards, contiguous_share, balanced_share,
+            identical ? "true" : "false");
+        *json += buf;
+    }
+    return identical && reduced;
 }
 
 /// Returns false on a gated-vs-reference divergence (deterministic, so a
@@ -254,18 +361,20 @@ bool run_figure(const Bench_budget& budget)
                      Kernel_mode::activity_gated, budget);
         const Mode_result sharded =
             run_mode(topo, routes, kSaturationRate, Kernel_mode::sharded,
-                     budget, 2);
+                     budget, Partition_plan::contiguous(2));
         const bool sharded_identical =
             sharded.flit_hops == gated.flit_hops &&
             sharded.packets_delivered == gated.packets_delivered &&
             sharded.packet_latency_mean == gated.packet_latency_mean;
-        all_identical = all_identical && sharded_identical;
+        const bool balance_ok = run_partition_balance(budget, nullptr);
+        all_identical = all_identical && sharded_identical && balance_ok;
         bench::print_verdict(
             all_identical,
-            "SMOKE: gated kernel bit-identical to reference and 2-shard "
-            "sharded kernel bit-identical to gated (pooled storage active "
-            "in all) at every rate; timing not checked under the tiny "
-            "smoke budget");
+            "SMOKE: gated kernel bit-identical to reference, 2-shard "
+            "sharded kernel and the profile-balanced partition "
+            "bit-identical to gated (pooled storage active in all) at "
+            "every rate, balanced partition reduces the hotspot max-shard "
+            "share; timing not checked under the tiny smoke budget");
         return all_identical;
     }
 
@@ -276,9 +385,12 @@ bool run_figure(const Bench_budget& budget)
             ",\n  \"threads_sweep\": [\n";
     const bool sweep8_ok = run_threads_sweep(8, 8, budget, json, false);
     const bool sweep16_ok = run_threads_sweep(16, 16, budget, json, true);
-    all_identical = all_identical && sweep8_ok && sweep16_ok;
+    json += "  ],\n";
+    const bool balance_ok = run_partition_balance(budget, &json);
+    all_identical =
+        all_identical && sweep8_ok && sweep16_ok && balance_ok;
 
-    json += "  ],\n  \"headline_saturation_flit_hops_per_sec\": " +
+    json += "  \"headline_saturation_flit_hops_per_sec\": " +
             std::to_string(headline_hops_per_sec) + "\n}\n";
     if (budget.write_json) {
         if (std::FILE* f = std::fopen("BENCH_kernel.json", "w")) {

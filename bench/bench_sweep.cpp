@@ -16,14 +16,30 @@
 // guard that the sweep engine stays deterministic under parallelism; on a
 // loaded CI box the timing is noise, so the JSON still records the headline
 // points but the verdict gates only on byte-identity.
+//
+// Distributed sweeps (first step of the ROADMAP item): `--points a..b`
+// runs only the grid points with enumeration index in [a, b) and writes
+// them as one deterministic record per line into
+// BENCH_sweep_points_<a>_<b>.json — label-keyed seeds make every point
+// independent of which process runs it, so disjoint slices can be farmed
+// to separate machines with no coordination. `--merge out.json in1 in2 ...`
+// concatenates slice files back into one full point set, verifying the
+// slices agree on the spec, cover every index exactly once, and sorting by
+// index — the merged file is byte-identical to what a single
+// `--points 0..N` run would have written.
 #include "bench_util.h"
 
 #include "explore/sweep_runner.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 using namespace noc;
 
@@ -53,13 +69,253 @@ Sweep_spec acceptance_spec(bool smoke)
     return spec;
 }
 
+/// One deterministic record line for an executed point (no trailing comma
+/// or newline; the writer adds those). Uses the library's shared
+/// shortest-round-trip formatter and JSON escaping (sweep_result.h), so
+/// slice files written on different machines agree byte-for-byte on
+/// identical results.
+std::string point_record(const std::string& curve_label,
+                         const Point_result& pr)
+{
+    std::string line = "    {\"index\": " +
+                       std::to_string(pr.point.index) + ", \"curve\": \"" +
+                       json_escape_string(curve_label) + "\", \"load\": " +
+                       shortest_double(pr.point.load);
+    if (!pr.error.empty())
+        return line + ", \"error\": \"" + json_escape_string(pr.error) +
+               "\"}";
+    return line + ", \"offered\": " +
+           shortest_double(pr.load.offered_flits_per_node_cycle) +
+           ", \"accepted\": " +
+           shortest_double(pr.load.accepted_flits_per_node_cycle) +
+           ", \"avg_packet_latency\": " +
+           shortest_double(pr.load.avg_packet_latency) +
+           ", \"p99_estimate\": " + shortest_double(pr.load.p99_estimate) +
+           ", \"packets\": " + std::to_string(pr.load.packets) +
+           ", \"drained\": " + (pr.load.drained ? "true" : "false") + "}";
+}
+
+std::string points_file_name(std::uint32_t a, std::uint32_t b)
+{
+    return "BENCH_sweep_points_" + std::to_string(a) + "_" +
+           std::to_string(b) + ".json";
+}
+
+/// Measurement-budget fingerprint of a spec. Slices are only mergeable
+/// when the whole protocol matches — the spec NAME alone would let a
+/// --smoke slice (same name, 8x smaller measurement window) silently mix
+/// with full-budget slices.
+std::string budget_tag(const Sweep_spec& spec)
+{
+    return "w" + std::to_string(spec.base.warmup) + "-m" +
+           std::to_string(spec.base.measure) + "-d" +
+           std::to_string(spec.base.drain_limit) + "-s" +
+           std::to_string(spec.base.seed);
+}
+
+/// Assemble the slice-file payload from records already sorted by index.
+std::string points_payload(const std::string& spec_name,
+                           const std::string& budget, std::uint32_t a,
+                           std::uint32_t b, std::uint32_t grid_points,
+                           const std::vector<std::string>& records)
+{
+    std::string out = "{\n  \"bench\": \"sweep_points\",\n  \"spec\": \"" +
+                      spec_name + "\",\n  \"budget\": \"" + budget +
+                      "\",\n  \"grid_points\": \"" +
+                      std::to_string(grid_points) + "\",\n  \"range\": \"" +
+                      std::to_string(a) + ".." + std::to_string(b) +
+                      "\",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i)
+        out += records[i] + (i + 1 < records.size() ? ",\n" : "\n");
+    out += "  ]\n}\n";
+    return out;
+}
+
+/// `--points a..b`: run one slice of the acceptance spec on a single
+/// worker and write its per-point records — the process-level shard of a
+/// distributed sweep.
+int run_points_slice(bool smoke, std::uint32_t a, std::uint32_t b)
+{
+    Sweep_spec spec = acceptance_spec(smoke);
+    // Per-curve saturation searches belong to whole-grid runs; a slice
+    // serializes point records only, so searching here would burn ~7 full
+    // simulations per curve and discard the result.
+    spec.search_saturation = false;
+    const auto total =
+        static_cast<std::uint32_t>(spec.enumerate().size());
+    if (a >= b || a >= total) {
+        std::fprintf(stderr, "--points %u..%u: empty slice (grid has %u)\n",
+                     a, b, total);
+        return 1;
+    }
+    b = std::min(b, total);
+    const Sweep_result result = run_sweep_slice(spec, {a, b}, 1);
+
+    std::vector<std::string> records;
+    std::map<std::uint32_t, std::string> by_index;
+    for (const auto& c : result.curves)
+        for (const auto& p : c.points)
+            if (!p.skipped) by_index[p.point.index] = point_record(c.label, p);
+    for (auto& [idx, line] : by_index) records.push_back(std::move(line));
+
+    const std::string name = points_file_name(a, b);
+    if (std::FILE* f = std::fopen(name.c_str(), "w")) {
+        const std::string payload = points_payload(
+            spec.name, budget_tag(spec), a, b, total, records);
+        std::fputs(payload.c_str(), f);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", name.c_str());
+        return 1;
+    }
+    std::printf("ran points [%u, %u) of %u (%zu records) -> %s\n", a, b,
+                total, records.size(), name.c_str());
+    return 0;
+}
+
+/// `--merge out.json in1 in2 ...`: concatenate slice files into the full
+/// deterministic point set (verifying spec agreement and exact coverage).
+/// Extract `"key": "value"` from a header line; empty when absent.
+std::string header_field(const std::string& line, const std::string& key)
+{
+    const std::string marker = "\"" + key + "\": \"";
+    const auto at = line.find(marker);
+    if (at == std::string::npos) return {};
+    const auto start = at + marker.size();
+    return line.substr(start, line.find('"', start) - start);
+}
+
+int run_merge(const std::string& out_name,
+              const std::vector<std::string>& inputs)
+{
+    std::string spec_name;
+    std::string budget;
+    std::string grid_points;
+    std::map<std::uint32_t, std::string> by_index;
+    for (const auto& in_name : inputs) {
+        std::ifstream in{in_name};
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", in_name.c_str());
+            return 1;
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+            // Slices are mergeable only when they agree on the spec AND
+            // the full measurement budget (see budget_tag).
+            for (const auto& [key, slot] :
+                 {std::pair<const char*, std::string*>{"spec", &spec_name},
+                  std::pair<const char*, std::string*>{"budget", &budget},
+                  std::pair<const char*, std::string*>{"grid_points",
+                                                       &grid_points}}) {
+                const std::string value = header_field(line, key);
+                if (value.empty()) continue;
+                if (slot->empty()) *slot = value;
+                if (value != *slot) {
+                    std::fprintf(stderr,
+                                 "%s: %s '%s' does not match '%s' — "
+                                 "slices from different runs?\n",
+                                 in_name.c_str(), key, value.c_str(),
+                                 slot->c_str());
+                    return 1;
+                }
+            }
+            const auto idx_at = line.find("{\"index\": ");
+            if (idx_at == std::string::npos) continue;
+            const std::uint32_t idx = static_cast<std::uint32_t>(
+                std::strtoul(line.c_str() + idx_at + 10, nullptr, 10));
+            // Normalize: strip the slice-local trailing comma.
+            std::string record = line;
+            while (!record.empty() &&
+                   (record.back() == ',' || record.back() == '\r'))
+                record.pop_back();
+            if (by_index.count(idx) != 0 && by_index[idx] != record) {
+                std::fprintf(stderr,
+                             "point %u appears twice with different "
+                             "results (non-deterministic slice?)\n",
+                             idx);
+                return 1;
+            }
+            by_index[idx] = std::move(record);
+        }
+    }
+    if (by_index.empty()) {
+        std::fprintf(stderr, "no point records found\n");
+        return 1;
+    }
+    // Exact coverage: the slice headers carry the grid total, so a
+    // missing TAIL slice (straggler machine) is a hard error, not a
+    // silently shorter "complete" file.
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(by_index.size());
+    const std::uint32_t expected = static_cast<std::uint32_t>(
+        std::strtoul(grid_points.c_str(), nullptr, 10));
+    if (expected == 0 || count != expected) {
+        std::fprintf(stderr,
+                     "coverage gap: %u of %s grid points present\n", count,
+                     grid_points.empty() ? "?" : grid_points.c_str());
+        return 1;
+    }
+    for (std::uint32_t i = 0; i < count; ++i)
+        if (by_index.count(i) == 0) {
+            std::fprintf(stderr,
+                         "coverage gap: point %u missing (have %u "
+                         "records)\n",
+                         i, count);
+            return 1;
+        }
+    std::vector<std::string> records;
+    for (auto& [idx, line] : by_index) records.push_back(std::move(line));
+    if (std::FILE* f = std::fopen(out_name.c_str(), "w")) {
+        const std::string payload =
+            points_payload(spec_name, budget, 0, count, expected, records);
+        std::fputs(payload.c_str(), f);
+        std::fclose(f);
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", out_name.c_str());
+        return 1;
+    }
+    std::printf("merged %zu slice files, %u points -> %s\n", inputs.size(),
+                count, out_name.c_str());
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
 {
     bool smoke = false;
-    for (int i = 1; i < argc; ++i)
+    std::uint32_t points_a = 0;
+    std::uint32_t points_b = 0;
+    bool points_mode = false;
+    for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+        if (std::strcmp(argv[i], "--points") == 0) {
+            const char* range = i + 1 < argc ? argv[i + 1] : nullptr;
+            const char* dots =
+                range != nullptr ? std::strstr(range, "..") : nullptr;
+            if (dots == nullptr) {
+                std::fprintf(stderr, "usage: bench_sweep --points a..b\n");
+                return 1;
+            }
+            points_a = static_cast<std::uint32_t>(
+                std::strtoul(range, nullptr, 10));
+            points_b = static_cast<std::uint32_t>(
+                std::strtoul(dots + 2, nullptr, 10));
+            points_mode = true;
+        }
+        if (std::strcmp(argv[i], "--merge") == 0) {
+            if (i + 2 >= argc) {
+                std::fprintf(stderr,
+                             "usage: bench_sweep --merge out.json in1.json "
+                             "[in2.json ...]\n");
+                return 1;
+            }
+            std::vector<std::string> inputs;
+            for (int j = i + 2; j < argc; ++j) inputs.emplace_back(argv[j]);
+            return run_merge(argv[i + 1], inputs);
+        }
+    }
+    if (points_mode) return run_points_slice(smoke, points_a, points_b);
 
     bench::print_banner(
         "E1 / §6 — design-space sweep engine: system-per-thread scaling",

@@ -6,6 +6,7 @@
 // Demonstrates: the hierarchical star generator, up*/down* routing, and the
 // OCP-lite transaction layer — closed-loop masters issuing reads/writes to
 // the shared SRAMs through the NoC, with round-trip latency statistics.
+#include "arch/noc_builder.h"
 #include "arch/ocp.h"
 #include "common/table.h"
 #include "topology/routing.h"
@@ -33,7 +34,12 @@ int main()
 
     Network_params params;
     params.separate_response_class = true; // req/resp VC isolation
-    Noc_system sys{star.topology, routes, params};
+    auto sys_ptr = Noc_builder{}
+                       .topology(star.topology)
+                       .routes(routes)
+                       .params(params)
+                       .build();
+    Noc_system& sys = *sys_ptr;
 
     // Processors are closed-loop OCP masters hammering the SRAMs.
     std::vector<Ocp_master_source*> masters;

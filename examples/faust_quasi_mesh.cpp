@@ -7,6 +7,7 @@
 // Demonstrates: Æthereal-style TDMA admission (slot tables printed), GT
 // injection gating in the NIs, and the per-stream guarantee verified by
 // cycle-accurate simulation under best-effort interference.
+#include "arch/noc_builder.h"
 #include "common/table.h"
 #include "qos/gt_allocator.h"
 #include "topology/routing.h"
@@ -81,7 +82,12 @@ int main()
     std::cout << "\n\n";
 
     // Run with the real-time streams and check every latency bound.
-    Noc_system sys{std::move(quasi), std::move(routes), params};
+    auto sys_ptr = Noc_builder{}
+                       .topology(std::move(quasi))
+                       .routes(std::move(routes))
+                       .params(params)
+                       .build();
+    Noc_system& sys = *sys_ptr;
     for (int c = 0; c < 10; ++c)
         sys.ni(Core_id{static_cast<std::uint32_t>(c)})
             .set_slot_table(

@@ -1,0 +1,54 @@
+// Build_options — the declarative construction surface of Noc_system.
+//
+// One value type gathers every knob that used to straggle through the
+// positional ctor tail (`allow_partial_routes`, `shard_count`) and get
+// re-declared by each harness (Sweep_config, Sweep_spec, flow configs):
+// kernel schedule, shard partition plan, pool sizing, partial-route policy.
+// Harnesses embed ONE Build_options and forward it; Noc_builder
+// (arch/noc_builder.h) is the fluent way to fill it in.
+//
+// Semantics:
+//   * kernel_mode is the schedule the system starts in (callers may still
+//     flip it later via kernel().set_mode()). The partition plan is
+//     consulted only when kernel_mode == Kernel_mode::sharded — the
+//     sequential schedules always build single-shard systems, because
+//     per-shard pool segments and stats slots are partition metadata, not
+//     simulation state, and results never depend on them.
+//   * partition says how many shards and where the cuts go
+//     (arch/partition_plan.h); it is clamped to the switch count.
+//   * pool_reserve_flits pre-sizes the flit pool (0 = the pool's default
+//     single chunk). Purely an allocation warm-up: the pool grows on
+//     demand either way.
+#pragma once
+
+#include "arch/partition_plan.h"
+#include "sim/kernel.h"
+
+#include <cstdint>
+
+namespace noc {
+
+struct Build_options {
+    /// Schedule the kernel starts in. Every schedule is bit-identical to
+    /// every other (the equivalence suite proves it) — a speed knob.
+    Kernel_mode kernel_mode = Kernel_mode::activity_gated;
+    /// Shard partition used when kernel_mode == sharded.
+    Partition_plan partition = Partition_plan::single();
+    /// Accept route sets with empty entries for pairs that never
+    /// communicate (synthesized designs route only the application's
+    /// flows); sending on a missing route still fails fast in the NI.
+    bool allow_partial_routes = false;
+    /// Flit-pool slots to pre-allocate (0 = pool default).
+    std::uint32_t pool_reserve_flits = 0;
+
+    /// Shards the system will actually build (before the switch-count
+    /// clamp): the plan's count under the sharded schedule, else 1.
+    [[nodiscard]] std::uint32_t build_shards() const
+    {
+        if (kernel_mode != Kernel_mode::sharded) return 1;
+        const std::uint32_t n = partition.requested_shards();
+        return n > 0 ? n : 1;
+    }
+};
+
+} // namespace noc

@@ -112,6 +112,17 @@ public:
     /// count at use, so a stale index from another system is harmless.
     static void set_thread_segment(std::uint32_t s) { t_segment_ = s; }
 
+#ifdef NOC_DEBUG
+    /// Debug-only liveness query (the tracking exists only in NOC_DEBUG
+    /// builds): is `ref` currently acquired? Used by post-mortem readers
+    /// (Trace_probe::dump) to skip records whose flit was since released.
+    [[nodiscard]] bool is_live(Flit_ref ref) const
+    {
+        return ref.index < capacity_.load(std::memory_order_relaxed) &&
+               live_flags_[ref.index] != 0;
+    }
+#endif
+
     [[nodiscard]] Flit& operator[](Flit_ref ref)
     {
         NOC_ASSERT(ref.index < capacity_.load(std::memory_order_relaxed),

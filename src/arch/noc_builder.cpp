@@ -1,0 +1,35 @@
+#include "arch/noc_builder.h"
+
+#include "arch/probe.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace noc {
+
+std::unique_ptr<Noc_system> Noc_builder::build()
+{
+    if (!topology_.has_value())
+        throw std::invalid_argument{"Noc_builder: no topology set"};
+    if (!routes_.has_value())
+        throw std::invalid_argument{"Noc_builder: no routes set"};
+    // Disengage the one-shot inputs BEFORE constructing: if the Noc_system
+    // ctor throws (bad routes, invalid params), a retried build() must hit
+    // the fail-fast checks above, not hand moved-from state to a new
+    // system.
+    Topology topo = std::move(*topology_);
+    Route_set routes = std::move(*routes_);
+    topology_.reset();
+    routes_.reset();
+    auto sys = std::make_unique<Noc_system>(std::move(topo),
+                                           std::move(routes), params_,
+                                           options_);
+    // The probe is one-shot like topology/routes: re-attaching it to a
+    // second build would rebind (and resize) its per-shard state while the
+    // first system's routers still hold the pointer.
+    if (Probe* p = std::exchange(probe_, nullptr); p != nullptr)
+        sys->attach_probe(p);
+    return sys;
+}
+
+} // namespace noc

@@ -1,0 +1,125 @@
+// Noc_builder — the fluent construction facade over Noc_system.
+//
+// The paper's products argument (§6) is that NoCs shipped when ad-hoc point
+// tools became one coherent design flow; this builder is that flow's
+// construction surface. One declarative chain replaces the positional ctor
+// tail and the per-harness knob duplication:
+//
+//   Trace_probe trace;                       // optional flight recorder
+//   auto sys = Noc_builder{}
+//                  .topology(make_mesh(mp))
+//                  .routes(xy_routes(topo, mp))
+//                  .params(params)
+//                  .partition(Partition_plan::balanced(4, weights))
+//                  .allow_partial_routes()
+//                  .probe(&trace)
+//                  .build();
+//
+// Every setter writes into one Build_options value (arch/build_options.h),
+// so a harness that already carries options can hand them over wholesale
+// with .options(o) and still override individual knobs after. build()
+// validates (topology and routes are mandatory), constructs the system,
+// and attaches any probes; the builder can be reused — build() leaves the
+// accumulated Build_options in place, but topology, routes and probe must
+// be set again (topology/routes are moved into the system; the probe is
+// disengaged so one probe never binds two systems).
+//
+// Convenience: .partition(plan) with more than one shard implies the
+// sharded schedule unless .schedule() was called explicitly — asking for a
+// partition IS asking for the parallel kernel.
+#pragma once
+
+#include "arch/noc_system.h"
+
+#include <memory>
+#include <optional>
+
+namespace noc {
+
+class Noc_builder {
+public:
+    Noc_builder& topology(Topology t)
+    {
+        topology_ = std::move(t);
+        return *this;
+    }
+    Noc_builder& routes(Route_set r)
+    {
+        routes_ = std::move(r);
+        return *this;
+    }
+    Noc_builder& params(const Network_params& p)
+    {
+        params_ = p;
+        return *this;
+    }
+    /// Replace the whole accumulated option set (later setters still
+    /// override individual fields). Pins the schedule against partition()'s
+    /// sharded inference only when the handed-over options actually chose a
+    /// non-default schedule — forwarding default options and then asking
+    /// for a partition still means "go parallel".
+    Noc_builder& options(Build_options o)
+    {
+        schedule_set_ = o.kernel_mode != Kernel_mode::activity_gated;
+        options_ = std::move(o);
+        return *this;
+    }
+    /// Kernel schedule the system starts in.
+    Noc_builder& schedule(Kernel_mode m)
+    {
+        options_.kernel_mode = m;
+        schedule_set_ = true;
+        return *this;
+    }
+    /// Shard partition plan; > 1 shard implies Kernel_mode::sharded unless
+    /// schedule() was called explicitly.
+    Noc_builder& partition(Partition_plan plan)
+    {
+        if (!schedule_set_ && plan.requested_shards() > 1)
+            options_.kernel_mode = Kernel_mode::sharded;
+        options_.partition = std::move(plan);
+        return *this;
+    }
+    Noc_builder& allow_partial_routes(bool v = true)
+    {
+        options_.allow_partial_routes = v;
+        return *this;
+    }
+    /// Pre-size the flit pool (see Build_options::pool_reserve_flits).
+    Noc_builder& reserve_flits(std::uint32_t flits)
+    {
+        options_.pool_reserve_flits = flits;
+        return *this;
+    }
+    /// Attach `p` to the built system's routers (arch/probe.h). Non-owning:
+    /// the probe must outlive the system. One probe per build for now; a
+    /// second call replaces the first. One-shot like topology/routes —
+    /// build() disengages it, because binding one probe to a second system
+    /// would resize its per-shard state under the first system's routers.
+    Noc_builder& probe(Probe* p)
+    {
+        probe_ = p;
+        return *this;
+    }
+
+    [[nodiscard]] const Build_options& current_options() const
+    {
+        return options_;
+    }
+
+    /// Construct the system (Noc_system is neither copyable nor movable,
+    /// so the builder hands out unique_ptr). Throws std::invalid_argument
+    /// when topology or routes were never set; the same validation the
+    /// Noc_system ctor performs applies on top.
+    [[nodiscard]] std::unique_ptr<Noc_system> build();
+
+private:
+    std::optional<Topology> topology_;
+    std::optional<Route_set> routes_;
+    Network_params params_{};
+    Build_options options_{};
+    bool schedule_set_ = false;
+    Probe* probe_ = nullptr;
+};
+
+} // namespace noc

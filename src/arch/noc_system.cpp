@@ -1,30 +1,94 @@
 #include "arch/noc_system.h"
 
+#include "arch/probe.h"
+
+#include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace noc {
 
+struct Noc_system::Legacy_init {
+    Topology topology;
+    Route_set routes;
+    Network_params params;
+    Build_options options;
+
+    Legacy_init(Topology t, Route_set r, Network_params p,
+                bool allow_partial_routes, std::uint32_t shard_count)
+        : topology{std::move(t)}, routes{std::move(r)}, params{p}
+    {
+        if (shard_count == 0)
+            throw std::invalid_argument{
+                "Noc_system: shard_count must be >= 1"};
+        // Legacy semantics: the schedule keyed on the CLAMPED count (a
+        // 4-shard request on a 1-switch topology stayed sequential), so
+        // clamp against the topology before it is moved on.
+        const std::uint32_t clamped = std::min(
+            shard_count,
+            static_cast<std::uint32_t>(
+                std::max(topology.switch_count(), 1)));
+        options.kernel_mode = clamped > 1 ? Kernel_mode::sharded
+                                          : Kernel_mode::activity_gated;
+        options.partition = Partition_plan::contiguous(shard_count);
+        options.allow_partial_routes = allow_partial_routes;
+    }
+};
+
+Noc_system::Noc_system(Legacy_init init)
+    : Noc_system{std::move(init.topology), std::move(init.routes),
+                 init.params, std::move(init.options)}
+{
+}
+
+// The deprecated positional-tail shim (one PR only) delegates to the
+// Build_options primitive with the exact legacy semantics.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 Noc_system::Noc_system(Topology topology, Route_set routes,
                        Network_params params, bool allow_partial_routes,
                        std::uint32_t shard_count)
+    : Noc_system{Legacy_init{std::move(topology), std::move(routes), params,
+                             allow_partial_routes, shard_count}}
+{
+}
+#pragma GCC diagnostic pop
+
+Noc_system::Noc_system(Topology topology, Route_set routes,
+                       Network_params params, Build_options options)
     : topology_{std::move(topology)},
       routes_{std::move(routes)},
-      params_{params}
+      params_{params},
+      pool_{options.pool_reserve_flits == 0 ? Flit_pool::chunk_size
+                                            : options.pool_reserve_flits}
 {
     params_.validate();
     topology_.validate();
     if (routes_.core_count() != topology_.core_count())
         throw std::invalid_argument{"Noc_system: route/core count mismatch"};
-    if (shard_count == 0)
-        throw std::invalid_argument{"Noc_system: shard_count must be >= 1"};
 
-    // Shard partition: contiguous switch-id blocks (row bands on the
-    // row-major meshes), balanced to within one switch. Every channel joins
-    // its single writer's shard; NIs follow their switch, so a tile's NI,
-    // router and all intra-tile channels always share a shard.
-    shard_count_ = std::min(
-        shard_count, static_cast<std::uint32_t>(topology_.switch_count()));
+    // Shard partition: the Partition_plan resolves to contiguous switch-id
+    // blocks (row bands on the row-major meshes) — equal-count or
+    // weight-balanced cuts, clamped to the switch count. Every channel
+    // joins its single writer's shard; NIs follow their switch, so a
+    // tile's NI, router and all intra-tile channels always share a shard.
+    // The sequential schedules always build one shard: partition state is
+    // metadata (pool segments, stats slots), never simulation state.
+    // Resolve the plan only when a sharded build actually uses it — the
+    // documented contract (arch/build_options.h) is that the partition is
+    // ignored metadata under the sequential schedules, so e.g. a balanced
+    // plan whose weights were profiled on a different design must not
+    // fail a gated build.
+    if (options.build_shards() <= 1) {
+        switch_shard_.assign(
+            static_cast<std::size_t>(topology_.switch_count()), 0);
+        shard_count_ = 1;
+    } else {
+        switch_shard_ = options.partition.assign(
+            static_cast<std::uint32_t>(topology_.switch_count()));
+        shard_count_ = switch_shard_.back() + 1;
+    }
     kernel_.set_shard_count(shard_count_);
     pool_.set_segment_count(shard_count_);
     stats_.ensure_slots(shard_count_);
@@ -38,7 +102,7 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
             const Core_id dst{static_cast<std::uint32_t>(d)};
             const Route& r = routes_.at(src, dst);
             if (r.empty()) {
-                if (allow_partial_routes) continue;
+                if (options.allow_partial_routes) continue;
                 throw std::invalid_argument{"Noc_system: missing route"};
             }
             Switch_id sw = topology_.core_switch(src);
@@ -187,10 +251,27 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
 
     // Every input path to every component now carries a wake edge, so
     // activity gating is sound (see sim/kernel.h), and every channel sits
-    // in its writer's shard, so the sharded schedule is race-free. Callers
-    // can flip modes with kernel().set_mode().
-    kernel_.set_mode(shard_count_ > 1 ? Kernel_mode::sharded
-                                      : Kernel_mode::activity_gated);
+    // in its writer's shard, so the sharded schedule is race-free.
+    // Build_options::kernel_mode picks the starting schedule; callers can
+    // still flip modes with kernel().set_mode().
+    kernel_.set_mode(options.kernel_mode);
+}
+
+void Noc_system::attach_probe(Probe* probe)
+{
+    if (probe != nullptr) probe->bind(shard_count_);
+    for (int s = 0; s < topology_.switch_count(); ++s)
+        routers_[static_cast<std::size_t>(s)]->set_probe(
+            probe,
+            shard_of_switch(Switch_id{static_cast<std::uint32_t>(s)}));
+}
+
+std::vector<std::uint64_t> Noc_system::switch_load_profile() const
+{
+    std::vector<std::uint64_t> weights;
+    weights.reserve(routers_.size());
+    for (const auto& r : routers_) weights.push_back(r->flits_routed());
+    return weights;
 }
 
 void Noc_system::warmup(Cycle cycles)

@@ -4,8 +4,19 @@
 // control backward). This is the runtime half of the "NoC hardware
 // compiler" (×pipesCompiler [45]): synth/ produces the Topology+Route_set,
 // this class turns them into a live network.
+//
+// Construction is layered (the PR-5 API redesign):
+//   * Build_options (arch/build_options.h) gathers the construction knobs —
+//     kernel schedule, Partition_plan, partial-route policy, pool sizing —
+//     in one value type that harnesses embed and forward;
+//   * Noc_builder (arch/noc_builder.h) is the fluent facade most callers
+//     should use: topology + routes + params + options (+ probes), then
+//     build();
+//   * this ctor is the primitive the builder drives; the old positional
+//     (bool, shard_count) tail survives one PR as a deprecated shim.
 #pragma once
 
+#include "arch/build_options.h"
 #include "arch/flit_pool.h"
 #include "arch/network_stats.h"
 #include "arch/ni.h"
@@ -19,26 +30,29 @@
 
 namespace noc {
 
+class Probe;
+
 class Noc_system {
 public:
     /// Takes ownership of the topology and routes; flits hold pointers into
     /// the route set, so it must live exactly as long as the system.
-    /// `allow_partial_routes` permits empty entries for core pairs that
-    /// never communicate (synthesized designs route only the application's
-    /// flows); sending on a missing route still fails fast in the NI.
-    ///
-    /// `shard_count` > 1 builds the system for the sharded (multi-threaded)
-    /// kernel schedule: switches are partitioned into `shard_count`
-    /// contiguous id-range blocks (spatially contiguous row bands on the
-    /// row-major meshes), each NI follows its switch, every channel is
-    /// registered in its single writer's shard, each shard gets its own
-    /// flit-pool free-list segment and stats slot, and the kernel starts in
-    /// Kernel_mode::sharded. Results are bit-identical to the sequential
-    /// schedules for any shard count (the equivalence suite proves it).
-    /// The count is clamped to the switch count.
+    /// `options` selects the kernel schedule, the shard partition (under
+    /// Kernel_mode::sharded: switches split into contiguous id-range blocks
+    /// by the Partition_plan, each NI following its switch, every channel
+    /// registered in its single writer's shard, one flit-pool segment and
+    /// stats slot per shard), the partial-route policy and the pool
+    /// reserve. Results are bit-identical across schedules and partitions
+    /// (the equivalence suite proves it).
+    explicit Noc_system(Topology topology, Route_set routes,
+                        Network_params params, Build_options options = {});
+
+    /// Legacy positional tail, one PR only: equivalent to Build_options
+    /// with {kernel_mode: shard_count > 1 ? sharded : activity_gated,
+    /// partition: contiguous(shard_count), allow_partial_routes}.
+    [[deprecated("pass Build_options (or use Noc_builder) instead of the "
+                 "positional bool/shard_count tail")]]
     Noc_system(Topology topology, Route_set routes, Network_params params,
-               bool allow_partial_routes = false,
-               std::uint32_t shard_count = 1);
+               bool allow_partial_routes, std::uint32_t shard_count = 1);
 
     Noc_system(const Noc_system&) = delete;
     Noc_system& operator=(const Noc_system&) = delete;
@@ -69,14 +83,25 @@ public:
     [[nodiscard]] std::uint32_t shard_count() const { return shard_count_; }
     [[nodiscard]] std::uint32_t shard_of_switch(Switch_id s) const
     {
-        return static_cast<std::uint32_t>(
-            static_cast<std::uint64_t>(s.get()) * shard_count_ /
-            static_cast<std::uint64_t>(topology_.switch_count()));
+        return switch_shard_[s.get()];
     }
     [[nodiscard]] std::uint32_t shard_of_core(Core_id c) const
     {
         return shard_of_switch(topology_.core_switch(c));
     }
+
+    // --- observability probes (arch/probe.h) --------------------------------
+    /// Attach `probe` to every router's crossbar-traversal hook (nullptr
+    /// detaches). Non-owning: the probe must outlive the system or be
+    /// detached first. Calls probe->bind(shard_count()) so per-shard probe
+    /// state (Trace_probe's rings) is sized before the first hop; call only
+    /// between kernel runs.
+    void attach_probe(Probe* probe);
+
+    /// Per-switch flits_routed counters — the profile a
+    /// Partition_plan::balanced plan for a NEXT build of the same design
+    /// wants as weights. Read between runs.
+    [[nodiscard]] std::vector<std::uint64_t> switch_load_profile() const;
 
     // --- measurement protocol ----------------------------------------------
     void warmup(Cycle cycles);
@@ -93,10 +118,20 @@ public:
     [[nodiscard]] std::uint64_t total_flits_routed() const;
 
 private:
+    /// Bundles the legacy shim's arguments so the delegating ctor can
+    /// clamp shard_count against the topology BEFORE it is moved (the
+    /// legacy schedule choice keyed on the clamped count). Defined in
+    /// noc_system.cpp; dies with the shim.
+    struct Legacy_init;
+    explicit Noc_system(Legacy_init init);
+
     Topology topology_;
     Route_set routes_;
     Network_params params_;
     std::uint32_t shard_count_ = 1;
+    /// Per-switch shard ids resolved from the Partition_plan (contiguous
+    /// blocks; see arch/partition_plan.h).
+    std::vector<std::uint32_t> switch_shard_;
     Network_stats stats_;
     Sim_kernel kernel_;
     /// Declared before routers/NIs: they hold handles into it and release

@@ -1,0 +1,138 @@
+#include "arch/partition_plan.h"
+
+#include "topology/graph.h"
+#include "topology/route.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace noc {
+
+namespace {
+
+/// Can `weights` be split into <= `shards` contiguous blocks of sum <= cap?
+bool feasible(const std::vector<std::uint64_t>& weights,
+              std::uint32_t shards, std::uint64_t cap)
+{
+    std::uint32_t blocks = 1;
+    std::uint64_t sum = 0;
+    for (const std::uint64_t w : weights) {
+        if (sum + w > cap) {
+            if (++blocks > shards) return false;
+            sum = 0;
+        }
+        sum += w;
+    }
+    return true;
+}
+
+} // namespace
+
+Partition_plan Partition_plan::contiguous(std::uint32_t shards)
+{
+    if (shards == 0)
+        throw std::invalid_argument{"Partition_plan: shards must be >= 1"};
+    Partition_plan p;
+    p.shards_ = shards;
+    return p;
+}
+
+Partition_plan Partition_plan::balanced(std::uint32_t shards,
+                                        std::vector<std::uint64_t> weights)
+{
+    if (shards == 0)
+        throw std::invalid_argument{"Partition_plan: shards must be >= 1"};
+    if (weights.empty())
+        throw std::invalid_argument{
+            "Partition_plan: balanced plan needs a weight per switch"};
+    Partition_plan p;
+    p.shards_ = shards;
+    p.weights_ = std::move(weights);
+    return p;
+}
+
+std::vector<std::uint32_t> Partition_plan::assign(
+    std::uint32_t switch_count) const
+{
+    if (switch_count == 0)
+        throw std::invalid_argument{"Partition_plan: no switches"};
+    const std::uint32_t n = std::min(shards_, switch_count);
+    std::vector<std::uint32_t> shard_of(switch_count, 0);
+
+    if (weights_.empty() ||
+        std::all_of(weights_.begin(), weights_.end(),
+                    [](std::uint64_t w) { return w == 0; })) {
+        if (!weights_.empty() && weights_.size() != switch_count)
+            throw std::invalid_argument{
+                "Partition_plan: weight count != switch count"};
+        // Legacy equal-count cut: switch s -> s * n / S.
+        for (std::uint32_t s = 0; s < switch_count; ++s)
+            shard_of[s] = static_cast<std::uint32_t>(
+                static_cast<std::uint64_t>(s) * n / switch_count);
+        return shard_of;
+    }
+
+    if (weights_.size() != switch_count)
+        throw std::invalid_argument{
+            "Partition_plan: weight count != switch count"};
+
+    // Minimize the maximum block weight: binary-search the cap (the classic
+    // linear-partition bound), then cut greedily under it while reserving
+    // one switch for every remaining shard. The optimum is <= total/n +
+    // max(w): a greedy pass with that cap never opens an (n+1)-th block.
+    const std::uint64_t total =
+        std::accumulate(weights_.begin(), weights_.end(), std::uint64_t{0});
+    std::uint64_t lo = *std::max_element(weights_.begin(), weights_.end());
+    std::uint64_t hi = total;
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        if (feasible(weights_, n, mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    const std::uint64_t cap = lo;
+
+    std::uint32_t next = 0;
+    for (std::uint32_t shard = 0; shard < n; ++shard) {
+        const std::uint32_t reserved = n - shard - 1;
+        std::uint64_t sum = 0;
+        const std::uint32_t start = next;
+        while (next < switch_count - reserved) {
+            if (next > start && sum + weights_[next] > cap) break;
+            sum += weights_[next];
+            ++next;
+        }
+        for (std::uint32_t s = start; s < next; ++s) shard_of[s] = shard;
+    }
+    return shard_of;
+}
+
+std::vector<std::uint64_t> route_weight_estimate(const Topology& topology,
+                                                 const Route_set& routes)
+{
+    std::vector<std::uint64_t> weights(
+        static_cast<std::size_t>(topology.switch_count()), 0);
+    for (int s = 0; s < topology.core_count(); ++s) {
+        for (int d = 0; d < topology.core_count(); ++d) {
+            if (s == d) continue;
+            const Route& r =
+                routes.at(Core_id{static_cast<std::uint32_t>(s)},
+                          Core_id{static_cast<std::uint32_t>(d)});
+            if (r.empty()) continue;
+            Switch_id sw = topology.core_switch(
+                Core_id{static_cast<std::uint32_t>(s)});
+            for (std::size_t h = 0; h < r.size(); ++h) {
+                ++weights[sw.get()];
+                const Link_id l = topology.link_of_output_port(
+                    sw, Port_id{r[h].out_port});
+                if (!l.is_valid()) break; // ejection: route ends here
+                sw = topology.link(l).to;
+            }
+        }
+    }
+    return weights;
+}
+
+} // namespace noc

@@ -1,0 +1,86 @@
+// Partition_plan — first-class description of how a system's switches are
+// split into kernel shards (the sharded schedule of sim/kernel.h).
+//
+// The plan replaces the raw `shard_count` construction parameter: a value
+// type that says both HOW MANY shards to build and WHERE the cut points go.
+// Every plan produces contiguous switch-id blocks (spatially contiguous row
+// bands on the row-major meshes) because the sharded kernel's race-freedom
+// argument and the mailbox layout assume block partitions; what varies is
+// how the cut points are chosen:
+//
+//   * contiguous(n)  — equal switch COUNTS per shard (the historical
+//     behavior): switch s goes to shard s*n/S. Right when traffic is
+//     roughly uniform across the die.
+//   * balanced(n, w) — equal switch WEIGHT per shard: cut points minimize
+//     the maximum block weight, where w[s] is switch s's expected work —
+//     `flits_routed` counts from a profiling run (switch_load_profile), or
+//     the synthesis flow's static bandwidth estimates
+//     (route_weight_estimate). On a hotspot mesh this stops one hot shard
+//     from bounding every cycle at the barrier.
+//
+// Which plan is chosen is partition METADATA, never simulation state:
+// results are bit-identical for any plan (the equivalence suite pins
+// contiguous vs balanced at 1/2/4 shards across all flow-control schemes).
+//
+// The balanced cut is guaranteed within one maximum switch weight of the
+// ideal: max block weight <= total/n + max(w). assign() is deterministic —
+// same inputs, same cuts, on every platform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace noc {
+
+class Topology;
+class Route_set;
+
+class Partition_plan {
+public:
+    /// Default plan: one shard (the sequential schedules).
+    Partition_plan() = default;
+
+    [[nodiscard]] static Partition_plan single() { return {}; }
+
+    /// Equal-count contiguous blocks; reproduces the legacy `shard_count`
+    /// partition exactly. Throws std::invalid_argument on shards == 0.
+    [[nodiscard]] static Partition_plan contiguous(std::uint32_t shards);
+
+    /// Weight-balanced contiguous blocks: `weights[s]` is switch s's
+    /// expected work. The weight vector's size must equal the switch count
+    /// of the system the plan is resolved against (assign() throws
+    /// otherwise). All-zero weights degrade to contiguous().
+    [[nodiscard]] static Partition_plan balanced(
+        std::uint32_t shards, std::vector<std::uint64_t> weights);
+
+    /// Shards the plan asks for (before clamping to the switch count).
+    [[nodiscard]] std::uint32_t requested_shards() const { return shards_; }
+    [[nodiscard]] bool is_balanced() const { return !weights_.empty(); }
+    [[nodiscard]] const std::vector<std::uint64_t>& weights() const
+    {
+        return weights_;
+    }
+
+    /// Resolve the plan for a concrete system: per-switch shard ids,
+    /// non-decreasing (contiguous blocks), every shard in
+    /// [0, min(requested, switch_count)) non-empty. Throws
+    /// std::invalid_argument when a balanced plan's weight vector does not
+    /// match `switch_count`.
+    [[nodiscard]] std::vector<std::uint32_t> assign(
+        std::uint32_t switch_count) const;
+
+private:
+    std::uint32_t shards_ = 1;
+    std::vector<std::uint64_t> weights_; ///< empty = contiguous
+};
+
+/// Static per-switch weight estimate from the route set alone: the number
+/// of source-destination routes whose path crosses each switch (ejection
+/// hop included). A synthesis-time stand-in for a profiling run — on
+/// synthesized designs the route set covers exactly the application's
+/// flows, so route coverage tracks offered bandwidth. Partial route sets
+/// (empty entries) are fine; missing pairs simply contribute nothing.
+[[nodiscard]] std::vector<std::uint64_t> route_weight_estimate(
+    const Topology& topology, const Route_set& routes);
+
+} // namespace noc

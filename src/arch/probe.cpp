@@ -1,0 +1,83 @@
+#include "arch/probe.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace noc {
+
+Trace_probe::Trace_probe(std::uint32_t capacity_per_shard)
+{
+    // Clamp to [16, 2^24] before rounding: bit_ceil above 2^31 is UB, and
+    // a flight recorder past 16M records per shard (64 MiB of handles) is
+    // a misconfiguration, not a use case.
+    const std::uint32_t wanted =
+        std::min(std::max(capacity_per_shard, 16u), 1u << 24);
+    const std::uint32_t cap = std::bit_ceil(wanted);
+    mask_ = cap - 1;
+    rings_.resize(1);
+    rings_[0].records.assign(cap, Flit_ref{});
+}
+
+void Trace_probe::bind(std::uint32_t shard_count)
+{
+    if (shard_count == 0) shard_count = 1;
+    rings_ = std::vector<Ring>(shard_count);
+    for (auto& r : rings_)
+        r.records.assign(static_cast<std::size_t>(mask_) + 1, Flit_ref{});
+}
+
+std::uint64_t Trace_probe::total_recorded() const
+{
+    std::uint64_t n = 0;
+    for (const auto& r : rings_) n += r.count;
+    return n;
+}
+
+std::vector<Flit_ref> Trace_probe::recent(std::uint32_t s) const
+{
+    const Ring& r = rings_.at(s);
+    const std::uint64_t cap = mask_ + 1;
+    const std::uint64_t kept = r.count < cap ? r.count : cap;
+    std::vector<Flit_ref> out;
+    out.reserve(static_cast<std::size_t>(kept));
+    for (std::uint64_t i = r.count - kept; i < r.count; ++i)
+        out.push_back(r.records[static_cast<std::size_t>(i & mask_)]);
+    return out;
+}
+
+std::string Trace_probe::dump(const Flit_pool& pool) const
+{
+    std::string out;
+    for (std::uint32_t s = 0; s < shard_count(); ++s) {
+        out += "shard " + std::to_string(s) + ": " +
+               std::to_string(recorded(s)) + " hops recorded\n";
+        for (const Flit_ref ref : recent(s)) {
+            if (!ref.is_valid() || ref.index >= pool.capacity()) continue;
+#ifdef NOC_DEBUG
+            // Debug builds track liveness; skip records whose flit has been
+            // delivered and released since (the handle would resolve to a
+            // recycled slot — see the header-comment caveat).
+            if (!pool.is_live(ref)) continue;
+#endif
+            const Flit& f = pool[ref];
+            out += "  flit#" + std::to_string(ref.index) + " pkt" +
+                   std::to_string(f.packet.get()) + " " +
+                   std::to_string(f.src.get()) + "->" +
+                   std::to_string(f.dst.get()) + " idx " +
+                   std::to_string(f.index) + "/" +
+                   std::to_string(f.packet_size) + " hop " +
+                   std::to_string(f.route_index) + "\n";
+        }
+    }
+    return out;
+}
+
+void Trace_probe::clear()
+{
+    for (auto& r : rings_) {
+        r.count = 0;
+        for (auto& rec : r.records) rec = Flit_ref{};
+    }
+}
+
+} // namespace noc

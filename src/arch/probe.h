@@ -1,0 +1,130 @@
+// Probe — near-zero-cost observability hooks on the simulation hot path,
+// and Trace_probe, the pool-aware flight recorder built on them.
+//
+// ## The Probe interface
+//
+// A probe attaches to a whole system (Noc_system::attach_probe, or
+// Noc_builder::probe while building) and receives one on_hop() call per
+// switch traversal — the moment Router::step moves a flit through the
+// crossbar. The probe is non-owning and must outlive the system (or be
+// detached with attach_probe(nullptr) first); systems start probe-free and
+// the hot path pays a single predictable branch when no probe is attached.
+//
+// Threading contract (the sharded kernel, sim/kernel.h): on_hop() runs in
+// phase 1 on the shard's own worker thread, concurrently across shards. A
+// probe implementation must therefore partition any mutable state by the
+// `shard` argument (it is the router's shard id, in [0, shard_count)) and
+// touch only that shard's slice — exactly the discipline Trace_probe
+// follows. bind() runs once, single-threaded, at attach time, before any
+// on_hop(); read-out accessors may be called only between kernel runs
+// (sequential points), like every other shard introspection.
+//
+// ## Trace_probe record format
+//
+// Trace_probe keeps one fixed-capacity ring buffer per shard; each record
+// is exactly the 4-byte Flit_ref handle of the flit that hopped — the
+// ROADMAP's "pool-aware trace capture": because flit payloads live in the
+// per-system Flit_pool, the handle IS the trace record, and logging a hop
+// costs one ring store (no payload copy, no allocation, no branch beyond
+// the attach check). The ring overwrites oldest-first, so after any run the
+// probe holds the last `capacity` hops of each shard — a flight recorder
+// for deadlock/livelock post-mortems at near-zero steady-state cost.
+//
+// Resolving records: a handle dereferences through the pool
+// (Trace_probe::dump) to the full Flit — src/dst/packet/route_index tell
+// you what was moving where. Handles are meaningful while their flit is in
+// flight, which is precisely the post-mortem case (a wedged network holds
+// its flits); a record whose flit was since delivered and released
+// resolves to whatever packet recycled the slot, and NOC_DEBUG builds
+// detect exactly this (dump() skips dangling records there instead of
+// throwing). The records themselves never dangle memory-wise — pool chunks
+// are never freed while the system lives.
+#pragma once
+
+#include "arch/flit_pool.h"
+#include "common/types.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/// Hot-path observability interface; see the header comment for the
+/// threading contract.
+class Probe {
+public:
+    virtual ~Probe() = default;
+
+    /// Attach-time setup: the system's shard count (>= 1). Runs before any
+    /// on_hop(); per-shard state must be sized here.
+    virtual void bind(std::uint32_t shard_count) { (void)shard_count; }
+
+    /// One switch traversal: router `sw` (registered in shard `shard`)
+    /// moved `flit` through its crossbar at cycle `now`.
+    virtual void on_hop(std::uint32_t shard, Cycle now, Switch_id sw,
+                        Flit_ref flit) = 0;
+};
+
+/// Per-shard ring-buffer flight recorder of 4-byte Flit_ref hop records
+/// (format and threading rules in the header comment).
+class Trace_probe final : public Probe {
+public:
+    /// `capacity_per_shard` is rounded up to a power of two (>= 16).
+    explicit Trace_probe(std::uint32_t capacity_per_shard = 4096);
+
+    void bind(std::uint32_t shard_count) override;
+
+    void on_hop(std::uint32_t shard, Cycle now, Switch_id sw,
+                Flit_ref flit) override
+    {
+        (void)now;
+        (void)sw;
+        Ring& r = rings_[shard];
+        r.records[static_cast<std::size_t>(r.count & mask_)] = flit;
+        ++r.count;
+    }
+
+    [[nodiscard]] std::uint32_t capacity_per_shard() const
+    {
+        return mask_ + 1;
+    }
+    [[nodiscard]] std::uint32_t shard_count() const
+    {
+        return static_cast<std::uint32_t>(rings_.size());
+    }
+    /// Hops recorded in shard `s` since attach (monotonic; not capped by
+    /// the ring capacity).
+    [[nodiscard]] std::uint64_t recorded(std::uint32_t s) const
+    {
+        return rings_.at(s).count;
+    }
+    /// Total hops recorded across shards. With one probe attached to one
+    /// system this equals the system's total_flits_routed() delta.
+    [[nodiscard]] std::uint64_t total_recorded() const;
+
+    /// The retained records of shard `s`, oldest first (at most
+    /// capacity_per_shard()). Call only between kernel runs.
+    [[nodiscard]] std::vector<Flit_ref> recent(std::uint32_t s) const;
+
+    /// Human-readable post-mortem: every retained record resolved through
+    /// `pool` (src -> dst, packet, flit index, route position). See the
+    /// header comment for the dangling-record caveat.
+    [[nodiscard]] std::string dump(const Flit_pool& pool) const;
+
+    /// Drop all retained records and counts (rings stay allocated).
+    void clear();
+
+private:
+    /// One shard's ring; cache-line aligned so two shards' write cursors
+    /// never share a line.
+    struct alignas(64) Ring {
+        std::vector<Flit_ref> records;
+        std::uint64_t count = 0; ///< total ever recorded
+    };
+
+    std::uint32_t mask_ = 0; ///< capacity - 1 (power of two)
+    std::vector<Ring> rings_;
+};
+
+} // namespace noc

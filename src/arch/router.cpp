@@ -1,5 +1,7 @@
 #include "arch/router.h"
 
+#include "arch/probe.h"
+
 #include <stdexcept>
 #include <utility>
 
@@ -130,7 +132,6 @@ std::optional<Router::Request> Router::classify(Input& in, int vc)
 
 void Router::step(Cycle now)
 {
-    (void)now;
     blocked_memo_ = false;
     // Phase 1: reverse-channel tokens.
     for (auto& o : outputs_) o.sender.begin_cycle();
@@ -206,6 +207,7 @@ void Router::step(Cycle now)
         --buffered_;
         --in.occupancy;
         ++flits_routed_;
+        if (probe_ != nullptr) probe_->on_hop(probe_shard_, now, id_, ref);
         moved = true;
 
         if (is_head(f.kind)) {

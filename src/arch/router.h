@@ -32,6 +32,8 @@
 
 namespace noc {
 
+class Probe;
+
 struct Router_input_port {
     Flit_channel* data = nullptr;   ///< incoming flits
     Token_channel* tokens = nullptr;///< reverse channel to the sender
@@ -84,6 +86,14 @@ public:
     }
 
     // --- observability ------------------------------------------------------
+    /// Attach a hop probe (arch/probe.h): called once per crossbar
+    /// traversal with this router's shard id. Non-owning; nullptr detaches.
+    /// Wired system-wide by Noc_system::attach_probe.
+    void set_probe(Probe* probe, std::uint32_t shard)
+    {
+        probe_ = probe;
+        probe_shard_ = shard;
+    }
     [[nodiscard]] std::uint64_t flits_routed() const { return flits_routed_; }
     [[nodiscard]] std::uint64_t buffer_writes() const;
     [[nodiscard]] std::uint64_t buffer_reads() const;
@@ -213,6 +223,12 @@ private:
     bool senders_armed_ = false;
     std::uint64_t blocked_sleeps_ = 0;
     std::uint64_t flits_routed_ = 0;
+    /// Hop probe (null = none; the common case pays one branch per routed
+    /// flit). probe_shard_ is this router's kernel shard, so a per-shard
+    /// probe (Trace_probe) writes only its own slice — race-free under the
+    /// sharded schedule.
+    Probe* probe_ = nullptr;
+    std::uint32_t probe_shard_ = 0;
 };
 
 } // namespace noc

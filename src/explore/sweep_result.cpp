@@ -11,11 +11,7 @@
 
 namespace noc {
 
-namespace {
-
-/// Shortest-round-trip double formatting: deterministic bytes for identical
-/// bit patterns (the serialization contract), readable for the common case.
-std::string fmt(double v)
+std::string shortest_double(double v)
 {
     for (int prec = 6; prec < 17; ++prec) {
         char shorter[64];
@@ -30,7 +26,7 @@ std::string fmt(double v)
     return buf;
 }
 
-std::string json_escape(const std::string& s)
+std::string json_escape_string(const std::string& s)
 {
     std::string out;
     out.reserve(s.size());
@@ -52,6 +48,8 @@ std::string json_escape(const std::string& s)
     return out;
 }
 
+namespace {
+
 /// RFC 4180 quoting for fields that carry free-form text (labels, error
 /// messages): wrap in quotes when the field contains a separator, a quote
 /// or a newline, doubling embedded quotes.
@@ -70,7 +68,7 @@ std::string csv_escape(const std::string& s)
 /// A point that contributes to curve metrics: ran, drained, under the cap.
 bool usable(const Point_result& p, double latency_cap)
 {
-    return p.error.empty() && p.load.drained &&
+    return p.error.empty() && !p.skipped && p.load.drained &&
            p.load.avg_packet_latency <= latency_cap &&
            p.load.packets > 0;
 }
@@ -182,39 +180,41 @@ Sweep_result assemble_sweep_result(const Sweep_spec& spec,
 
 std::string Sweep_result::to_json() const
 {
-    std::string json = "{\n  \"sweep\": \"" + json_escape(spec_name) +
+    std::string json = "{\n  \"sweep\": \"" + json_escape_string(spec_name) +
                        "\",\n  \"curves\": [\n";
     for (std::size_t i = 0; i < curves.size(); ++i) {
         const Design_curve& c = curves[i];
-        json += "    {\"label\": \"" + json_escape(c.label) +
-                "\", \"design\": \"" + json_escape(c.design_label) +
-                "\", \"params\": \"" + json_escape(c.params_label) +
-                "\", \"traffic\": \"" + json_escape(c.traffic_label) +
-                "\",\n     \"cost_bits\": " + fmt(c.cost_bits) +
-                ", \"zero_load_latency\": " + fmt(c.zero_load_latency) +
+        json += "    {\"label\": \"" + json_escape_string(c.label) +
+                "\", \"design\": \"" + json_escape_string(c.design_label) +
+                "\", \"params\": \"" + json_escape_string(c.params_label) +
+                "\", \"traffic\": \"" + json_escape_string(c.traffic_label) +
+                "\",\n     \"cost_bits\": " + shortest_double(c.cost_bits) +
+                ", \"zero_load_latency\": " + shortest_double(c.zero_load_latency) +
                 ", \"saturation_throughput\": " +
-                fmt(c.saturation_throughput) +
+                shortest_double(c.saturation_throughput) +
                 ", \"saturation_searched\": " +
                 (c.saturation_searched ? "true" : "false") +
                 ", \"on_pareto\": " + (c.on_pareto ? "true" : "false") +
                 ",\n     \"points\": [\n";
         for (std::size_t p = 0; p < c.points.size(); ++p) {
             const Point_result& pr = c.points[p];
-            json += "       {\"load\": " + fmt(pr.point.load);
-            if (!pr.error.empty()) {
-                json += ", \"error\": \"" + json_escape(pr.error) + "\"}";
+            json += "       {\"load\": " + shortest_double(pr.point.load);
+            if (pr.skipped) {
+                json += ", \"skipped\": true}";
+            } else if (!pr.error.empty()) {
+                json += ", \"error\": \"" + json_escape_string(pr.error) + "\"}";
             } else {
                 json +=
                     ", \"offered\": " +
-                    fmt(pr.load.offered_flits_per_node_cycle) +
+                    shortest_double(pr.load.offered_flits_per_node_cycle) +
                     ", \"accepted\": " +
-                    fmt(pr.load.accepted_flits_per_node_cycle) +
+                    shortest_double(pr.load.accepted_flits_per_node_cycle) +
                     ", \"avg_packet_latency\": " +
-                    fmt(pr.load.avg_packet_latency) +
+                    shortest_double(pr.load.avg_packet_latency) +
                     ", \"avg_network_latency\": " +
-                    fmt(pr.load.avg_network_latency) +
-                    ", \"p99_estimate\": " + fmt(pr.load.p99_estimate) +
-                    ", \"max_latency\": " + fmt(pr.load.max_latency) +
+                    shortest_double(pr.load.avg_network_latency) +
+                    ", \"p99_estimate\": " + shortest_double(pr.load.p99_estimate) +
+                    ", \"max_latency\": " + shortest_double(pr.load.max_latency) +
                     ", \"packets\": " + std::to_string(pr.load.packets) +
                     ", \"drained\": " +
                     (pr.load.drained ? "true" : "false") + "}";
@@ -226,7 +226,7 @@ std::string Sweep_result::to_json() const
     }
     json += "  ],\n  \"pareto\": [";
     for (std::size_t i = 0; i < pareto.size(); ++i) {
-        json += "\"" + json_escape(curves[pareto[i]].label) + "\"";
+        json += "\"" + json_escape_string(curves[pareto[i]].label) + "\"";
         if (i + 1 < pareto.size()) json += ", ";
     }
     json += "]\n}\n";
@@ -243,17 +243,19 @@ std::string Sweep_result::to_csv() const
         for (const auto& p : c.points) {
             csv += csv_escape(c.label) + "," + csv_escape(c.design_label) +
                    "," + csv_escape(c.params_label) + "," +
-                   csv_escape(c.traffic_label) + "," + fmt(p.point.load) +
+                   csv_escape(c.traffic_label) + "," + shortest_double(p.point.load) +
                    ",";
-            if (!p.error.empty()) {
+            if (p.skipped) {
+                csv += ",,,,,,0,false,skipped";
+            } else if (!p.error.empty()) {
                 csv += ",,,,,,0,false," + csv_escape(p.error);
             } else {
-                csv += fmt(p.load.offered_flits_per_node_cycle) + "," +
-                       fmt(p.load.accepted_flits_per_node_cycle) + "," +
-                       fmt(p.load.avg_packet_latency) + "," +
-                       fmt(p.load.avg_network_latency) + "," +
-                       fmt(p.load.p99_estimate) + "," +
-                       fmt(p.load.max_latency) + "," +
+                csv += shortest_double(p.load.offered_flits_per_node_cycle) + "," +
+                       shortest_double(p.load.accepted_flits_per_node_cycle) + "," +
+                       shortest_double(p.load.avg_packet_latency) + "," +
+                       shortest_double(p.load.avg_network_latency) + "," +
+                       shortest_double(p.load.p99_estimate) + "," +
+                       shortest_double(p.load.max_latency) + "," +
                        std::to_string(p.load.packets) + "," +
                        (p.load.drained ? "true" : "false") + ",";
             }

@@ -22,6 +22,10 @@ struct Point_result {
     /// violation); the load fields are then meaningless and the point is
     /// excluded from curve metrics.
     std::string error;
+    /// True when a Point_range run left this point to another process
+    /// (distributed sweeps); the load fields are untouched and the point
+    /// is excluded from curve metrics, serialized as {"skipped": true}.
+    bool skipped = false;
 };
 
 /// One (design, traffic) curve over the load grid.
@@ -75,6 +79,16 @@ struct Sweep_result {
     /// execution metadata.
     [[nodiscard]] std::string report() const;
 };
+
+/// Shortest-round-trip double formatting — THE deterministic-bytes
+/// contract every sweep serialization (to_json/to_csv and the bench-level
+/// slice files) must share, so results written on different machines agree
+/// byte-for-byte. Exposed so tooling never re-implements it.
+[[nodiscard]] std::string shortest_double(double v);
+
+/// Escape a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters). Shared for the same reason.
+[[nodiscard]] std::string json_escape_string(const std::string& s);
 
 /// Assemble curves, saturation figures and the Pareto front from executed
 /// points (library-internal; Sweep_runner calls it, tests may too).

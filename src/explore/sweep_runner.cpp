@@ -133,7 +133,7 @@ void Sweep_runner::run_task(const Task& t)
             .count();
 }
 
-Sweep_result Sweep_runner::run(const Sweep_spec& spec)
+Sweep_result Sweep_runner::run(const Sweep_spec& spec, Point_range range)
 {
     // A previous job's workers may still be draining their last claim
     // attempt; job state may only be rebuilt once every worker is parked.
@@ -148,17 +148,26 @@ Sweep_result Sweep_runner::run(const Sweep_spec& spec)
     results_.assign(points_.size(), Point_result{});
     saturation_.assign(spec.curve_count(), -1.0);
     tasks_.clear();
+    const bool full_grid =
+        range.begin == 0 && range.end >= points_.size();
     // Saturation searches go FIRST: each is ~7 grid points of sequential
     // work, so starting them last would leave the tail of the job bounded
     // by one search with every other worker idle. Claim order only affects
-    // wall time — results land by index either way.
-    if (spec.search_saturation)
+    // wall time — results land by index either way. A slice run skips
+    // them: per-curve searches would be duplicated by every slice.
+    if (spec.search_saturation && full_grid)
         for (std::uint32_t c = 0;
              c < static_cast<std::uint32_t>(spec.curve_count()); ++c)
             if (!spec.traffics[c % spec.traffics.size()].is_application)
                 tasks_.push_back({true, 0, c});
-    for (std::uint32_t i = 0; i < points_.size(); ++i)
-        tasks_.push_back({false, i, 0});
+    for (std::uint32_t i = 0; i < points_.size(); ++i) {
+        if (i >= range.begin && i < range.end) {
+            tasks_.push_back({false, i, 0});
+        } else {
+            results_[i].point = points_[i];
+            results_[i].skipped = true;
+        }
+    }
     next_task_.store(0, std::memory_order_relaxed);
     tasks_left_.store(static_cast<std::uint32_t>(tasks_.size()),
                       std::memory_order_relaxed);
@@ -190,6 +199,14 @@ Sweep_result run_sweep(const Sweep_spec& spec, std::uint32_t worker_threads)
 {
     Sweep_runner runner{worker_threads};
     return runner.run(spec);
+}
+
+Sweep_result run_sweep_slice(const Sweep_spec& spec,
+                             Sweep_runner::Point_range range,
+                             std::uint32_t worker_threads)
+{
+    Sweep_runner runner{worker_threads};
+    return runner.run(spec, range);
 }
 
 } // namespace noc

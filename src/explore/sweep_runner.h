@@ -48,11 +48,33 @@ public:
         return static_cast<std::uint32_t>(workers_.size()) + 1;
     }
 
+    /// Half-open slice [begin, end) of the enumerated point grid — the
+    /// unit of distributed sweeps: the spec's label-keyed deterministic
+    /// seeds mean disjoint slices can be farmed to separate processes (or
+    /// machines) and the results merged without any coordination
+    /// (`bench_sweep --points a..b` + `--merge`). The default covers every
+    /// point.
+    struct Point_range {
+        std::uint32_t begin = 0;
+        std::uint32_t end = 0xffff'ffffu;
+    };
+
     /// Execute every point of the spec (plus one saturation search per
     /// synthetic curve when the spec asks), assemble curves and the Pareto
     /// front. Throws std::invalid_argument on an inconsistent spec; points
     /// that fail at runtime are recorded per point, not thrown.
-    [[nodiscard]] Sweep_result run(const Sweep_spec& spec);
+    [[nodiscard]] Sweep_result run(const Sweep_spec& spec)
+    {
+        return run(spec, Point_range{});
+    }
+
+    /// Execute only the points whose enumeration index lands in `range`.
+    /// Out-of-range points appear in the result with
+    /// Point_result::skipped set (excluded from curve metrics); the
+    /// per-curve saturation searches run only when the range covers the
+    /// whole grid, so disjoint slices never duplicate work.
+    [[nodiscard]] Sweep_result run(const Sweep_spec& spec,
+                                   Point_range range);
 
 private:
     /// One schedulable unit: a grid point, or a whole per-curve saturation
@@ -88,5 +110,10 @@ private:
 /// Convenience wrapper: one-shot runner with `worker_threads` executors.
 [[nodiscard]] Sweep_result run_sweep(const Sweep_spec& spec,
                                      std::uint32_t worker_threads = 1);
+
+/// One-shot slice run (see Sweep_runner::Point_range).
+[[nodiscard]] Sweep_result run_sweep_slice(const Sweep_spec& spec,
+                                           Sweep_runner::Point_range range,
+                                           std::uint32_t worker_threads = 1);
 
 } // namespace noc

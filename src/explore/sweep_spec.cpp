@@ -411,14 +411,25 @@ Sweep_config point_config(const Sweep_spec& spec, const Design_variant& d,
 {
     Sweep_config cfg = spec.base;
     cfg.seed = seed;
-    cfg.allow_partial_routes = d.allow_partial_routes;
+    cfg.build.allow_partial_routes = d.allow_partial_routes;
     if (d.shard_threads > 1) {
-        cfg.kernel_mode = Kernel_mode::sharded;
-        cfg.kernel_threads = d.shard_threads;
+        cfg.build.kernel_mode = Kernel_mode::sharded;
+        cfg.build.partition = Partition_plan::contiguous(d.shard_threads);
     } else if (d.shard_threads == 1) {
+        cfg.build.kernel_mode = Kernel_mode::activity_gated;
+        cfg.build.partition = Partition_plan::single();
+    }
+    // A design-level override must beat the base config's legacy aliases
+    // too (effective_build() would otherwise let a deprecated base field
+    // win over the design's request).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    cfg.allow_partial_routes = false;
+    if (d.shard_threads != 0) {
         cfg.kernel_mode = Kernel_mode::activity_gated;
         cfg.kernel_threads = 1;
     }
+#pragma GCC diagnostic pop
     return cfg;
 }
 

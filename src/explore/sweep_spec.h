@@ -77,8 +77,9 @@ struct Design_variant {
     /// Names the params variant inside design labels ("credit-vc1").
     std::string params_label = "default";
     /// Worker threads for THIS design's systems: 0 inherits the spec's
-    /// base config; > 1 runs the point on the sharded kernel (large meshes
-    /// shard while small points pack the sweep pool).
+    /// base config; > 1 runs the point on the sharded kernel with a
+    /// contiguous Partition_plan (large meshes shard while small points
+    /// pack the sweep pool).
     std::uint32_t shard_threads = 0;
 };
 
@@ -128,9 +129,10 @@ struct Sweep_spec {
     /// Load grid, ascending: flits/node/cycle (synthetic) or bandwidth
     /// scale (application traffic).
     std::vector<double> loads;
-    /// Measurement protocol + base seed + default kernel schedule for every
-    /// point (see traffic/experiment.h). Per-design shard_threads override
-    /// the kernel knobs.
+    /// Measurement protocol + base seed + default Build_options (kernel
+    /// schedule, partition plan, pool sizing) for every point — see
+    /// traffic/experiment.h. Per-design shard_threads override the
+    /// schedule/partition knobs.
     Sweep_config base;
     /// Also binary-search each synthetic design's saturation throughput
     /// (one extra worker task per curve); application curves always derive

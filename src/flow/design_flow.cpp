@@ -46,7 +46,7 @@ Flow_result run_design_flow(const Flow_config& config)
         result.validation =
             validate_design(dp, config.spec.graph, config.validation_warmup,
                             config.validation_cycles,
-                            config.spec.buffer_depth);
+                            config.spec.buffer_depth, config.build);
 
     // 5. Report.
     std::ostringstream os;
@@ -138,6 +138,7 @@ Sim_cross_check validate_with_simulation(const Flow_result& flow,
     spec.base.warmup = options.warmup;
     spec.base.measure = options.measure;
     spec.base.drain_limit = options.drain_limit;
+    spec.base.build = options.build;
     spec.latency_cap = options.latency_cap;
 
     const Sweep_result sweep = run_sweep(spec, options.worker_threads);

@@ -26,6 +26,11 @@ struct Flow_config {
     bool validate_by_simulation = true;
     Cycle validation_warmup = 2'000;
     Cycle validation_cycles = 20'000;
+    /// Construction options for the validation systems (kernel schedule,
+    /// Partition_plan, pool sizing; arch/build_options.h). Partial routes
+    /// are always allowed — synthesized designs route only the
+    /// application's flows.
+    Build_options build;
     std::string top_name = "noc_top";
 };
 
@@ -65,6 +70,9 @@ struct Sim_sweep_options {
     std::uint32_t worker_threads = 1;
     /// Latency (cycles) past which a point counts as saturated.
     double latency_cap = 500.0;
+    /// Construction options for every validation-sweep system (becomes
+    /// the sweep's Sweep_config::build; per-design flags still apply).
+    Build_options build;
 };
 
 /// The analytic picks re-ranked by cycle-accurate simulation.

@@ -67,9 +67,18 @@
 //
 // The sharded schedule runs the gated schedule's two phases on a persistent
 // pool of worker threads, one shard per thread (the calling thread doubles
-// as shard 0's worker). The builder partitions components and channels into
-// spatially contiguous shards via the `shard` arguments of add() /
-// add_channel(); each shard owns
+// as shard 0's worker). The system builder partitions components and
+// channels into spatially contiguous shards via the `shard` arguments of
+// add() / add_channel(). Callers do not pick shard ids by hand: they hand
+// Noc_builder (arch/noc_builder.h) — or the Build_options ctor it drives —
+// a Partition_plan (arch/partition_plan.h), which resolves to contiguous
+// switch-id blocks with either equal-count cuts (contiguous(n)) or
+// weight-balanced cuts from a profiling run's flits_routed counts
+// (balanced(n, weights)); Noc_system then registers every component and
+// channel per the rules below. WHERE the cuts land is scheduling metadata:
+// results are bit-identical for any plan, only the barrier wait changes
+// (a weight-balanced plan keeps one hot shard from bounding every cycle).
+// Each shard owns
 //
 //   * a slice of the awake bitmap plus its own awake count,
 //   * its own timer queue,
@@ -115,7 +124,9 @@
 //            (request_wake / request_wake_at). They must not mutate
 //            components outside their shard — all cross-shard influence
 //            must flow through channels. (Noc_system obeys this: delivery
-//            listeners and reply generation are NI-local.)
+//            listeners and reply generation are NI-local, and observability
+//            probes (arch/probe.h) partition their state by shard — a
+//            router's on_hop() call writes only its own shard's slice.)
 //   phase 2: only channel commit machinery runs; sinks fold values into
 //            single-consumer state and may wake any component — wake() is
 //            the one cross-shard-safe kernel entry point during a parallel

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace noc {
 
@@ -20,19 +21,21 @@ Network_params network_params_for(const Design_point& dp, int buffer_depth)
 }
 
 std::unique_ptr<Noc_system> compile_design(const Design_point& dp,
-                                           int buffer_depth)
+                                           int buffer_depth,
+                                           Build_options options)
 {
+    options.allow_partial_routes = true;
     return std::make_unique<Noc_system>(dp.topology, dp.routes,
                                         network_params_for(dp, buffer_depth),
-                                        /*allow_partial_routes=*/true);
+                                        std::move(options));
 }
 
 Validation_report validate_design(const Design_point& dp,
                                   const Core_graph& graph,
                                   Cycle warmup_cycles, Cycle measure_cycles,
-                                  int buffer_depth)
+                                  int buffer_depth, Build_options options)
 {
-    auto sys = compile_design(dp, buffer_depth);
+    auto sys = compile_design(dp, buffer_depth, std::move(options));
     double offered = 0.0;
     for (int c = 0; c < graph.core_count(); ++c) {
         const Core_id core{static_cast<std::uint32_t>(c)};

@@ -17,9 +17,12 @@ namespace noc {
 [[nodiscard]] Network_params network_params_for(const Design_point& dp,
                                                 int buffer_depth = 4);
 
-/// Instantiate the simulatable network (no traffic attached).
+/// Instantiate the simulatable network (no traffic attached). `options`
+/// selects the kernel schedule / partition / pool sizing
+/// (arch/build_options.h); allow_partial_routes is always forced on —
+/// synthesized designs route only the application's flows.
 [[nodiscard]] std::unique_ptr<Noc_system> compile_design(
-    const Design_point& dp, int buffer_depth = 4);
+    const Design_point& dp, int buffer_depth = 4, Build_options options = {});
 
 struct Validation_report {
     bool drained = false;
@@ -38,6 +41,7 @@ struct Validation_report {
                                                 const Core_graph& graph,
                                                 Cycle warmup_cycles = 2'000,
                                                 Cycle measure_cycles = 20'000,
-                                                int buffer_depth = 4);
+                                                int buffer_depth = 4,
+                                                Build_options options = {});
 
 } // namespace noc

@@ -6,17 +6,22 @@
 
 namespace noc {
 
-namespace {
-
-/// Shard count the Sweep_config's kernel knobs ask Noc_system to build for:
-/// only the sharded schedule partitions; the sequential schedules always
-/// build single-shard systems (per-shard stats slots and pool segments are
-/// partition metadata, not simulation state, so results never depend on it).
-std::uint32_t build_shards(const Sweep_config& cfg)
+// The legacy Sweep_config fields are deprecated; this merge function is
+// their single sanctioned reader while the aliases live out their one PR.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Build_options Sweep_config::effective_build() const
 {
-    if (cfg.kernel_mode != Kernel_mode::sharded) return 1;
-    return cfg.kernel_threads > 0 ? cfg.kernel_threads : 1;
+    Build_options b = build;
+    if (kernel_mode != Kernel_mode::activity_gated) b.kernel_mode = kernel_mode;
+    if (kernel_threads > 1)
+        b.partition = Partition_plan::contiguous(kernel_threads);
+    if (allow_partial_routes) b.allow_partial_routes = true;
+    return b;
 }
+#pragma GCC diagnostic pop
+
+namespace {
 
 Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
 {
@@ -46,9 +51,7 @@ Load_point run_synthetic_load(
         pattern_factory,
     const Sweep_config& cfg)
 {
-    Noc_system sys{topology, routes, params, cfg.allow_partial_routes,
-                   build_shards(cfg)};
-    sys.kernel().set_mode(cfg.kernel_mode);
+    Noc_system sys{topology, routes, params, cfg.effective_build()};
     const auto pattern = pattern_factory();
     for (int c = 0; c < topology.core_count(); ++c) {
         const Core_id core{static_cast<std::uint32_t>(c)};
@@ -95,9 +98,7 @@ Load_point run_application_load(const Topology& topology,
                                 double bandwidth_scale,
                                 const Sweep_config& cfg)
 {
-    Noc_system sys{topology, routes, params, cfg.allow_partial_routes,
-                   build_shards(cfg)};
-    sys.kernel().set_mode(cfg.kernel_mode);
+    Noc_system sys{topology, routes, params, cfg.effective_build()};
     double offered = 0.0;
     for (int c = 0; c < topology.core_count(); ++c) {
         const Core_id core{static_cast<std::uint32_t>(c)};

@@ -31,17 +31,41 @@ struct Sweep_config {
     Cycle drain_limit = 60'000;
     std::uint32_t packet_size_flits = 4;
     std::uint64_t seed = 42;
-    /// Kernel schedule the point runs under. Every schedule is bit-identical
-    /// to every other (the equivalence suite proves it), so this is purely a
-    /// speed knob: explore sweeps pick gated for small meshes and sharded
-    /// for the big ones.
+    /// Construction options for every system the point builds — kernel
+    /// schedule, shard Partition_plan, partial-route policy, pool sizing —
+    /// forwarded wholesale to Noc_system (see arch/build_options.h). The
+    /// schedule is purely a speed knob: every schedule is bit-identical to
+    /// every other (the equivalence suite proves it), so explore sweeps
+    /// pick gated for small meshes and sharded for the big ones.
+    Build_options build;
+
+    // --- deprecated aliases (this PR only) ---------------------------------
+    // The kernel knobs used to be re-declared here; they now live in
+    // `build`. A legacy field changed from its default overrides the
+    // corresponding `build` field (effective_build() merges them).
+    [[deprecated("use build.kernel_mode")]]
     Kernel_mode kernel_mode = Kernel_mode::activity_gated;
-    /// Worker threads (shards) when kernel_mode == sharded; clamped to the
-    /// switch count by Noc_system. Ignored by the sequential schedules.
+    [[deprecated("use build.partition (Partition_plan::contiguous(n))")]]
     std::uint32_t kernel_threads = 1;
-    /// Accept route sets with empty entries for pairs that never communicate
-    /// (synthesized designs route only the application's flows).
+    [[deprecated("use build.allow_partial_routes")]]
     bool allow_partial_routes = false;
+
+    // Special members defaulted inside a suppression region: their
+    // definitions "use" the deprecated members (default init / copy), and
+    // that must not warn in every TU that merely constructs a config.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    Sweep_config() = default;
+    Sweep_config(const Sweep_config&) = default;
+    Sweep_config(Sweep_config&&) = default;
+    Sweep_config& operator=(const Sweep_config&) = default;
+    Sweep_config& operator=(Sweep_config&&) = default;
+    ~Sweep_config() = default;
+#pragma GCC diagnostic pop
+
+    /// `build` with any changed legacy alias folded in — what the run_*
+    /// harnesses actually hand to Noc_system.
+    [[nodiscard]] Build_options effective_build() const;
 };
 
 /// One synthetic load point on a fresh network built from (topology,

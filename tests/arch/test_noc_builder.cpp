@@ -1,0 +1,212 @@
+// Noc_builder facade tests: the fluent chain builds the same system the
+// Build_options ctor does, partition() implies the sharded schedule,
+// error paths fail fast, and the builder is reusable.
+#include "arch/noc_builder.h"
+#include "arch/probe.h"
+#include "topology/mesh.h"
+#include "topology/routing.h"
+#include "traffic/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+namespace noc {
+namespace {
+
+Mesh_params mesh4()
+{
+    Mesh_params mp;
+    return mp; // 4x4
+}
+
+void rig(Noc_system& sys, double rate = 0.2)
+{
+    const int cores = sys.topology().core_count();
+    auto pattern =
+        std::shared_ptr<const Dest_pattern>(make_uniform_pattern(cores));
+    for (int c = 0; c < cores; ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = rate;
+        sp.seed = 321 + static_cast<std::uint64_t>(c);
+        sys.ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+}
+
+struct Snapshot {
+    Cycle now;
+    std::uint64_t delivered;
+    std::uint64_t flits_routed;
+    double latency_mean;
+    bool operator==(const Snapshot&) const = default;
+};
+
+Snapshot protocol(Noc_system& sys)
+{
+    rig(sys);
+    sys.warmup(300);
+    sys.measure(1'500);
+    (void)sys.drain(20'000);
+    return {sys.kernel().now(), sys.stats().packets_delivered(),
+            sys.total_flits_routed(), sys.stats().packet_latency().mean()};
+}
+
+TEST(NocBuilder, BuildsBitIdenticalToDirectConstruction)
+{
+    const Mesh_params mp = mesh4();
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+
+    Noc_system direct{topo, routes, Network_params{}};
+    const Snapshot want = protocol(direct);
+
+    auto built = Noc_builder{}
+                     .topology(topo)
+                     .routes(routes)
+                     .params(Network_params{})
+                     .build();
+    const Snapshot got = protocol(*built);
+    EXPECT_TRUE(got == want);
+    EXPECT_EQ(built->kernel().mode(), Kernel_mode::activity_gated);
+    EXPECT_EQ(built->shard_count(), 1u);
+}
+
+TEST(NocBuilder, PartitionImpliesShardedSchedule)
+{
+    const Mesh_params mp = mesh4();
+    const Topology topo = make_mesh(mp);
+    auto sys = Noc_builder{}
+                   .topology(topo)
+                   .routes(xy_routes(topo, mp))
+                   .params(Network_params{})
+                   .partition(Partition_plan::contiguous(4))
+                   .build();
+    EXPECT_EQ(sys->kernel().mode(), Kernel_mode::sharded);
+    EXPECT_EQ(sys->shard_count(), 4u);
+
+    // ... unless the schedule was pinned explicitly: then the partition is
+    // metadata the sequential schedule ignores (single shard built).
+    auto gated = Noc_builder{}
+                     .topology(topo)
+                     .routes(xy_routes(topo, mp))
+                     .params(Network_params{})
+                     .schedule(Kernel_mode::activity_gated)
+                     .partition(Partition_plan::contiguous(4))
+                     .build();
+    EXPECT_EQ(gated->kernel().mode(), Kernel_mode::activity_gated);
+    EXPECT_EQ(gated->shard_count(), 1u);
+}
+
+TEST(NocBuilder, OptionsHandoverAndOverride)
+{
+    const Mesh_params mp = mesh4();
+    const Topology topo = make_mesh(mp);
+    Build_options opts;
+    opts.kernel_mode = Kernel_mode::reference;
+    opts.pool_reserve_flits = 4096;
+    auto sys = Noc_builder{}
+                   .topology(topo)
+                   .routes(xy_routes(topo, mp))
+                   .params(Network_params{})
+                   .options(opts)
+                   .build();
+    EXPECT_EQ(sys->kernel().mode(), Kernel_mode::reference);
+    EXPECT_GE(sys->flit_pool().capacity(), 4096u);
+}
+
+TEST(NocBuilder, SequentialSchedulesIgnoreThePartitionPlan)
+{
+    // The documented Build_options contract: under a sequential schedule
+    // the partition is metadata, never consulted — so a balanced plan
+    // whose weights were profiled on a DIFFERENT design (wrong length)
+    // must not fail a gated build, only a sharded one.
+    const Mesh_params mp = mesh4();
+    const Topology topo = make_mesh(mp);
+    const Partition_plan mismatched =
+        Partition_plan::balanced(4, {1, 2, 3}); // 3 weights, 16 switches
+    auto gated = Noc_builder{}
+                     .topology(topo)
+                     .routes(xy_routes(topo, mp))
+                     .params(Network_params{})
+                     .schedule(Kernel_mode::activity_gated)
+                     .partition(mismatched)
+                     .build();
+    EXPECT_EQ(gated->shard_count(), 1u);
+    EXPECT_THROW((void)Noc_builder{}
+                     .topology(topo)
+                     .routes(xy_routes(topo, mp))
+                     .params(Network_params{})
+                     .schedule(Kernel_mode::sharded)
+                     .partition(mismatched)
+                     .build(),
+                 std::invalid_argument);
+}
+
+TEST(NocBuilder, FailedBuildDoesNotLeaveMovedFromInputs)
+{
+    // A build that throws inside the Noc_system ctor (route/core
+    // mismatch) must disengage topology/routes first: the retry hits the
+    // fail-fast missing-input check instead of constructing from
+    // moved-from state.
+    const Mesh_params mp = mesh4();
+    const Topology topo = make_mesh(mp);
+    Mesh_params small;
+    small.width = 2;
+    small.height = 2;
+    const Topology small_topo = make_mesh(small);
+    Noc_builder b;
+    b.topology(topo).routes(xy_routes(small_topo, small))
+        .params(Network_params{});
+    EXPECT_THROW((void)b.build(), std::invalid_argument); // count mismatch
+    EXPECT_THROW((void)b.build(), std::invalid_argument); // inputs gone
+    // Re-setting both makes the builder whole again.
+    b.topology(topo).routes(xy_routes(topo, mp));
+    EXPECT_NO_THROW((void)b.build());
+}
+
+TEST(NocBuilder, ProbeIsOneShotAcrossBuilds)
+{
+    // A reused builder must NOT re-attach the previous build's probe: a
+    // second bind() would resize the probe's per-shard state while the
+    // first system's routers still hold the pointer.
+    const Mesh_params mp = mesh4();
+    const Topology topo = make_mesh(mp);
+    Trace_probe trace{64};
+    Noc_builder b;
+    auto first = b.topology(topo)
+                     .routes(xy_routes(topo, mp))
+                     .params(Network_params{})
+                     .partition(Partition_plan::contiguous(4))
+                     .probe(&trace)
+                     .build();
+    EXPECT_EQ(trace.shard_count(), 4u);
+    auto second = b.topology(topo).routes(xy_routes(topo, mp)).build();
+    // The probe stayed bound to the first system's shard layout...
+    EXPECT_EQ(trace.shard_count(), 4u);
+    // ...and the second system records nothing into it.
+    rig(*second);
+    second->warmup(200);
+    second->kernel().run(500);
+    EXPECT_EQ(trace.total_recorded(), 0u);
+}
+
+TEST(NocBuilder, MissingInputsFailFast)
+{
+    const Mesh_params mp = mesh4();
+    const Topology topo = make_mesh(mp);
+    EXPECT_THROW((void)Noc_builder{}.build(), std::invalid_argument);
+    EXPECT_THROW((void)Noc_builder{}.topology(topo).build(),
+                 std::invalid_argument);
+    // Topology/routes are consumed by build(): a second build without
+    // resetting them must fail, not silently reuse moved-from state.
+    Noc_builder b;
+    b.topology(topo).routes(xy_routes(topo, mp)).params(Network_params{});
+    (void)b.build();
+    EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+} // namespace
+} // namespace noc

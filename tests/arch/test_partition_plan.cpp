@@ -1,0 +1,144 @@
+// Partition_plan unit tests: the contiguous plan must reproduce the legacy
+// equal-count cut exactly, and the balanced plan must equalize block weight
+// to within one maximum switch weight of the ideal (the linear-partition
+// bound) while keeping blocks contiguous and every shard non-empty.
+#include "arch/partition_plan.h"
+#include "topology/mesh.h"
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace noc {
+namespace {
+
+/// Max block-weight of an assignment, plus structural checks.
+std::uint64_t check_blocks(const std::vector<std::uint32_t>& shard_of,
+                           const std::vector<std::uint64_t>& weights,
+                           std::uint32_t expected_shards)
+{
+    EXPECT_EQ(shard_of.size(), weights.size());
+    std::uint32_t prev = 0;
+    std::vector<std::uint64_t> block(expected_shards, 0);
+    std::vector<bool> seen(expected_shards, false);
+    for (std::size_t s = 0; s < shard_of.size(); ++s) {
+        EXPECT_GE(shard_of[s], prev) << "blocks must be contiguous";
+        EXPECT_LE(shard_of[s] - prev, 1u) << "shard ids must be dense";
+        prev = shard_of[s];
+        EXPECT_LT(shard_of[s], expected_shards);
+        if (shard_of[s] >= expected_shards) return 0;
+        block[shard_of[s]] += weights[s];
+        seen[shard_of[s]] = true;
+    }
+    for (std::uint32_t sh = 0; sh < expected_shards; ++sh)
+        EXPECT_TRUE(seen[sh]) << "shard " << sh << " empty";
+    return *std::max_element(block.begin(), block.end());
+}
+
+TEST(PartitionPlan, ContiguousReproducesLegacyEqualCountCut)
+{
+    const std::uint32_t switches = 16;
+    for (const std::uint32_t n : {1u, 2u, 3u, 4u, 7u}) {
+        const auto shard_of = Partition_plan::contiguous(n).assign(switches);
+        for (std::uint32_t s = 0; s < switches; ++s)
+            EXPECT_EQ(shard_of[s],
+                      static_cast<std::uint32_t>(
+                          static_cast<std::uint64_t>(s) * n / switches))
+                << "switch " << s << " at " << n << " shards";
+    }
+}
+
+TEST(PartitionPlan, ClampsToSwitchCount)
+{
+    const auto shard_of = Partition_plan::contiguous(64).assign(3);
+    EXPECT_EQ(shard_of, (std::vector<std::uint32_t>{0, 1, 2}));
+    const auto balanced =
+        Partition_plan::balanced(64, {5, 1, 1}).assign(3);
+    EXPECT_EQ(balanced, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(PartitionPlan, BalancedEqualizesWithinOneMaxSwitchWeight)
+{
+    // Several adversarial weight shapes: hotspot front, hotspot back,
+    // sawtooth, one giant, uniform.
+    const std::vector<std::vector<std::uint64_t>> shapes = {
+        {100, 90, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+        {1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 90, 100},
+        {9, 1, 8, 2, 7, 3, 6, 4, 5, 5, 4, 6, 3, 7, 2, 8},
+        {1, 1, 1, 1000, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1},
+        std::vector<std::uint64_t>(16, 7),
+    };
+    for (const auto& w : shapes) {
+        const std::uint64_t total =
+            std::accumulate(w.begin(), w.end(), std::uint64_t{0});
+        const std::uint64_t wmax = *std::max_element(w.begin(), w.end());
+        for (const std::uint32_t n : {2u, 3u, 4u, 8u}) {
+            const auto shard_of = Partition_plan::balanced(n, w).assign(
+                static_cast<std::uint32_t>(w.size()));
+            const std::uint64_t max_block = check_blocks(shard_of, w, n);
+            // The satellite bound: within one max switch weight of ideal.
+            EXPECT_LE(max_block, total / n + wmax)
+                << n << " shards, shape total " << total;
+        }
+    }
+}
+
+TEST(PartitionPlan, BalancedBeatsContiguousOnSkewedWeights)
+{
+    // Front-loaded weights: the equal-count cut piles the load on shard 0.
+    std::vector<std::uint64_t> w(16, 1);
+    w[0] = 50;
+    w[1] = 40;
+    const std::uint64_t contiguous_max = check_blocks(
+        Partition_plan::contiguous(4).assign(16), w, 4);
+    const std::uint64_t balanced_max = check_blocks(
+        Partition_plan::balanced(4, w).assign(16), w, 4);
+    EXPECT_LT(balanced_max, contiguous_max);
+}
+
+TEST(PartitionPlan, AllZeroWeightsDegradeToContiguous)
+{
+    const auto zero = Partition_plan::balanced(
+                          4, std::vector<std::uint64_t>(16, 0))
+                          .assign(16);
+    EXPECT_EQ(zero, Partition_plan::contiguous(4).assign(16));
+}
+
+TEST(PartitionPlan, ErrorPaths)
+{
+    EXPECT_THROW((void)Partition_plan::contiguous(0), std::invalid_argument);
+    EXPECT_THROW((void)Partition_plan::balanced(0, {1, 2}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)Partition_plan::balanced(2, {}),
+                 std::invalid_argument);
+    // Weight vector must match the switch count it is resolved against.
+    EXPECT_THROW((void)Partition_plan::balanced(2, {1, 2, 3}).assign(4),
+                 std::invalid_argument);
+    EXPECT_THROW((void)Partition_plan::contiguous(2).assign(0),
+                 std::invalid_argument);
+}
+
+TEST(PartitionPlan, RouteWeightEstimateCountsTraversals)
+{
+    // 2x1 mesh, 2 cores: routes 0->1 and 1->0, each crossing both switches
+    // (source switch + destination switch with its ejection hop).
+    Mesh_params mp;
+    mp.width = 2;
+    mp.height = 1;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const auto w = route_weight_estimate(topo, routes);
+    ASSERT_EQ(w.size(), 2u);
+    EXPECT_EQ(w[0], 2u); // 0->1 starts here, 1->0 ejects here
+    EXPECT_EQ(w[1], 2u);
+    // Estimates are valid balanced-plan weights.
+    const auto shard_of = Partition_plan::balanced(2, w).assign(2);
+    EXPECT_EQ(shard_of, (std::vector<std::uint32_t>{0, 1}));
+}
+
+} // namespace
+} // namespace noc

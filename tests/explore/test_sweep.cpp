@@ -292,5 +292,45 @@ TEST(SweepRunner, FailedPointsAreRecordedNotThrown)
     EXPECT_NE(result.report().find("Failed points"), std::string::npos);
 }
 
+TEST(SweepRunner, PointRangeSlicesMergeToTheFullRun)
+{
+    // Distributed sweeps (bench_sweep --points a..b): two disjoint slices
+    // of the grid, run by separate runners, must merge into exactly the
+    // full run — label-keyed seeds make every point independent of which
+    // process executes it.
+    const Sweep_spec spec = small_spec();
+    const auto n =
+        static_cast<std::uint32_t>(spec.enumerate().size());
+    ASSERT_EQ(n, 12u);
+    const Sweep_result full = run_sweep(spec, 1);
+    const Sweep_result lo = run_sweep_slice(spec, {0, 5}, 1);
+    const Sweep_result hi = run_sweep_slice(spec, {5, n}, 1);
+
+    // Slices mark their out-of-range points skipped (and serialize them
+    // as such), never as errors.
+    EXPECT_NE(lo.to_json().find("\"skipped\": true"), std::string::npos);
+    EXPECT_EQ(full.to_json().find("\"skipped\""), std::string::npos);
+
+    // Merge by enumeration index and reassemble: identical to the full
+    // run, byte for byte.
+    std::vector<Point_result> merged(n);
+    for (const Sweep_result* slice : {&lo, &hi})
+        for (const auto& c : slice->curves)
+            for (const auto& p : c.points)
+                if (!p.skipped) merged[p.point.index] = p;
+    const Sweep_result reassembled = assemble_sweep_result(
+        spec, std::move(merged), std::vector<double>(spec.curve_count(), -1.0));
+    EXPECT_EQ(reassembled.to_json(), full.to_json());
+    EXPECT_EQ(reassembled.to_csv(), full.to_csv());
+
+    // And each slice's executed points already match the full run's.
+    for (std::size_t c = 0; c < full.curves.size(); ++c)
+        for (std::size_t p = 0; p < full.curves[c].points.size(); ++p) {
+            const Point_result& a = lo.curves[c].points[p];
+            if (a.skipped) continue;
+            EXPECT_EQ(a.load.packets, full.curves[c].points[p].load.packets);
+        }
+}
+
 } // namespace
 } // namespace noc

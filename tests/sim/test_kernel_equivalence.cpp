@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -80,17 +81,31 @@ struct Run_result {
     std::size_t component_count = 0;
 };
 
+/// Ramp weights for balanced-partition runs: deterministic, deliberately
+/// lopsided so the balanced cut lands somewhere the equal-count cut never
+/// would. (Which partition is chosen must be invisible in results.)
+std::vector<std::uint64_t> ramp_weights(int switches)
+{
+    std::vector<std::uint64_t> w;
+    for (int s = 0; s < switches; ++s)
+        w.push_back(1 + static_cast<std::uint64_t>(s) * s % 17);
+    return w;
+}
+
 /// Build the configured system, install sources via `rig`, run the standard
 /// warmup/measure/drain protocol under `mode`, and snapshot every counter.
-/// `shards` > 1 partitions the system (only meaningful with
+/// `plan` partitions the system (only meaningful with
 /// Kernel_mode::sharded).
 template<typename Rig>
 Run_result run_mode(const Topology& topo, const Route_set& routes,
                     const Network_params& params, Kernel_mode mode,
-                    const Rig& rig, std::uint32_t shards = 1)
+                    const Rig& rig,
+                    Partition_plan plan = Partition_plan::single())
 {
-    Noc_system sys{topo, routes, params, false, shards};
-    sys.kernel().set_mode(mode);
+    Build_options opts;
+    opts.kernel_mode = mode;
+    opts.partition = std::move(plan);
+    Noc_system sys{topo, routes, params, opts};
     rig(sys);
     sys.warmup(500);
     sys.measure(2'000);
@@ -127,23 +142,37 @@ void expect_equivalent(const Topology& topo, const Route_set& routes,
     EXPECT_EQ(gated.snap.per_ni_injected, ref.snap.per_ni_injected);
     EXPECT_TRUE(gated.snap.drained);
     // The sharded schedule must reproduce the same run bit-for-bit at any
-    // partition width, including the degenerate single shard.
+    // partition width — including the degenerate single shard — and for
+    // ANY cut placement: each width runs under both the equal-count
+    // contiguous plan and a weight-balanced plan with lopsided ramp
+    // weights (partition choice is metadata, never simulation state).
+    const auto weights = ramp_weights(topo.switch_count());
     for (const std::uint32_t shards : {1u, 2u, 4u}) {
-        const Run_result sharded = run_mode(
-            topo, routes, params, Kernel_mode::sharded, rig, shards);
-        EXPECT_TRUE(sharded.snap == ref.snap) << shards << " shards";
-        EXPECT_EQ(sharded.snap.now, ref.snap.now) << shards << " shards";
-        EXPECT_EQ(sharded.snap.delivered, ref.snap.delivered)
-            << shards << " shards";
-        EXPECT_EQ(sharded.snap.packet_latency_mean,
-                  ref.snap.packet_latency_mean)
-            << shards << " shards";
-        EXPECT_EQ(sharded.snap.per_router_flits, ref.snap.per_router_flits)
-            << shards << " shards";
-        EXPECT_EQ(sharded.snap.per_link_flits, ref.snap.per_link_flits)
-            << shards << " shards";
-        EXPECT_EQ(sharded.snap.per_ni_injected, ref.snap.per_ni_injected)
-            << shards << " shards";
+        for (const bool balanced : {false, true}) {
+            const Partition_plan plan =
+                balanced ? Partition_plan::balanced(shards, weights)
+                         : Partition_plan::contiguous(shards);
+            const char* kind = balanced ? "balanced" : "contiguous";
+            const Run_result sharded = run_mode(
+                topo, routes, params, Kernel_mode::sharded, rig, plan);
+            EXPECT_TRUE(sharded.snap == ref.snap)
+                << shards << " shards " << kind;
+            EXPECT_EQ(sharded.snap.now, ref.snap.now)
+                << shards << " shards " << kind;
+            EXPECT_EQ(sharded.snap.delivered, ref.snap.delivered)
+                << shards << " shards " << kind;
+            EXPECT_EQ(sharded.snap.packet_latency_mean,
+                      ref.snap.packet_latency_mean)
+                << shards << " shards " << kind;
+            EXPECT_EQ(sharded.snap.per_router_flits,
+                      ref.snap.per_router_flits)
+                << shards << " shards " << kind;
+            EXPECT_EQ(sharded.snap.per_link_flits, ref.snap.per_link_flits)
+                << shards << " shards " << kind;
+            EXPECT_EQ(sharded.snap.per_ni_injected,
+                      ref.snap.per_ni_injected)
+                << shards << " shards " << kind;
+        }
     }
     // Open-loop sources keep injecting after the measurement window, so no
     // bound on the post-drain active set holds here — the "gating actually
@@ -278,9 +307,74 @@ TEST(KernelEquivalence, TraceDrivenSystemSleepsWhenDone)
     EXPECT_EQ(gated.active_after_drain, 0u); // everything asleep
     // The sharded schedule must gate (and skip idle regions) just as well.
     const Run_result sharded =
-        run_mode(topo, routes, params, Kernel_mode::sharded, rig, 4);
+        run_mode(topo, routes, params, Kernel_mode::sharded, rig,
+                 Partition_plan::contiguous(4));
     EXPECT_TRUE(sharded.snap == ref.snap);
     EXPECT_EQ(sharded.active_after_drain, 0u);
+}
+
+/// Hotspot traffic on a mesh under Partition_plan::balanced with weights
+/// from a real profiling run (switch_load_profile of a prior identical
+/// run): the weight-balanced cut must be bit-identical to reference at 2
+/// and 4 shards — the correctness bar for the ROADMAP's load-balanced
+/// partitioning. Also checks the balanced plan actually moved a cut point
+/// on this deliberately skewed load.
+TEST(KernelEquivalence, HotspotMeshBalancedPartition)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const Network_params params;
+    auto rig = [&](Noc_system& sys) {
+        const int cores = sys.topology().core_count();
+        // All traffic converges on core 0's corner: row 0 switches carry
+        // far more work than the opposite edge.
+        auto pattern = std::shared_ptr<const Dest_pattern>(
+            make_hotspot_pattern(cores, {Core_id{0}, Core_id{1}}, 0.8));
+        for (int c = 0; c < cores; ++c) {
+            const Core_id core{static_cast<std::uint32_t>(c)};
+            Bernoulli_source::Params sp;
+            sp.flits_per_cycle = 0.10;
+            sp.packet_size_flits = 4;
+            sp.seed = 77 + static_cast<std::uint64_t>(c);
+            sys.ni(core).set_source(
+                std::make_unique<Bernoulli_source>(core, sp, pattern));
+        }
+    };
+
+    const Run_result ref =
+        run_mode(topo, routes, params, Kernel_mode::reference, rig);
+
+    // Profiling run: same rig under the gated schedule; its per-switch
+    // flits_routed is the balanced plan's weight vector.
+    std::vector<std::uint64_t> profile;
+    {
+        Build_options opts;
+        Noc_system sys{topo, routes, params, opts};
+        rig(sys);
+        sys.warmup(500);
+        sys.measure(2'000);
+        (void)sys.drain(30'000);
+        profile = sys.switch_load_profile();
+    }
+    ASSERT_EQ(profile.size(),
+              static_cast<std::size_t>(topo.switch_count()));
+    EXPECT_GT(*std::max_element(profile.begin(), profile.end()), 0u);
+
+    for (const std::uint32_t shards : {2u, 4u}) {
+        const Partition_plan plan = Partition_plan::balanced(shards, profile);
+        const Run_result bal =
+            run_mode(topo, routes, params, Kernel_mode::sharded, rig, plan);
+        EXPECT_TRUE(bal.snap == ref.snap) << shards << " shards";
+        EXPECT_EQ(bal.snap.per_router_flits, ref.snap.per_router_flits)
+            << shards << " shards";
+        // The skewed profile must move at least one cut vs equal-count.
+        EXPECT_NE(plan.assign(static_cast<std::uint32_t>(
+                      topo.switch_count())),
+                  Partition_plan::contiguous(shards).assign(
+                      static_cast<std::uint32_t>(topo.switch_count())))
+            << shards << " shards";
+    }
 }
 
 /// Application-graph traffic (Flow_source) through every kernel schedule:

@@ -6,7 +6,9 @@
 // Bit-identity of whole-system runs lives in test_kernel_equivalence.cpp;
 // these tests poke the machinery directly.
 #include "arch/channel.h"
+#include "arch/noc_builder.h"
 #include "arch/noc_system.h"
+#include "arch/probe.h"
 #include "sim/kernel.h"
 #include "topology/mesh.h"
 #include "topology/routing.h"
@@ -14,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -29,7 +32,11 @@ TEST(ShardPartitioner, EveryComponentAndChannelAssignedExactlyOnce)
     const Topology topo = make_mesh(mp);
     const Route_set routes = xy_routes(topo, mp);
     for (const std::uint32_t shards : {1u, 2u, 3u, 4u}) {
-        Noc_system sys{topo, routes, Network_params{}, false, shards};
+        Build_options opts;
+        opts.kernel_mode = shards > 1 ? Kernel_mode::sharded
+                                      : Kernel_mode::activity_gated;
+        opts.partition = Partition_plan::contiguous(shards);
+        Noc_system sys{topo, routes, Network_params{}, opts};
         ASSERT_EQ(sys.shard_count(), shards);
         const Sim_kernel& k = sys.kernel();
 
@@ -59,7 +66,10 @@ TEST(ShardPartitioner, WriterAndReaderShardsRecordedPerThreadingModel)
     const Topology topo = make_mesh(mp);
     const Route_set routes = xy_routes(topo, mp);
     const std::uint32_t shards = 4;
-    Noc_system sys{topo, routes, Network_params{}, false, shards};
+    Build_options opts;
+    opts.kernel_mode = Kernel_mode::sharded;
+    opts.partition = Partition_plan::contiguous(shards);
+    Noc_system sys{topo, routes, Network_params{}, opts};
     const Sim_kernel& k = sys.kernel();
 
     // Switch blocks are contiguous and balanced; an NI shares its
@@ -104,9 +114,48 @@ TEST(ShardPartitioner, ShardCountClampedToSwitchCount)
     mp.height = 1; // 2 switches
     const Topology topo = make_mesh(mp);
     const Route_set routes = xy_routes(topo, mp);
-    Noc_system sys{topo, routes, Network_params{}, false, 64};
+    Build_options opts;
+    opts.kernel_mode = Kernel_mode::sharded;
+    opts.partition = Partition_plan::contiguous(64);
+    Noc_system sys{topo, routes, Network_params{}, opts};
     EXPECT_EQ(sys.shard_count(), 2u);
     EXPECT_EQ(sys.kernel().mode(), Kernel_mode::sharded);
+}
+
+/// A weight-balanced plan's blocks actually follow the weights: with the
+/// weight piled on the first two switches of a 4x4 mesh, a 2-shard
+/// balanced partition cuts right after switch 0 (max block weight 114,
+/// the optimum), where the equal-count plan would cut at 8 — and the
+/// partitioner invariants (contiguity, NI follows switch) hold for the
+/// skewed cut too.
+TEST(ShardPartitioner, BalancedPlanFollowsWeights)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    std::vector<std::uint64_t> weights(
+        static_cast<std::size_t>(topo.switch_count()), 1);
+    weights[0] = 100;
+    weights[1] = 100;
+    Build_options opts;
+    opts.kernel_mode = Kernel_mode::sharded;
+    opts.partition = Partition_plan::balanced(2, weights);
+    Noc_system sys{topo, routes, Network_params{}, opts};
+    ASSERT_EQ(sys.shard_count(), 2u);
+    EXPECT_EQ(sys.shard_of_switch(Switch_id{0}), 0u);
+    EXPECT_EQ(sys.shard_of_switch(Switch_id{1}), 1u); // skewed cut at 1
+    std::uint32_t prev = 0;
+    for (int s = 0; s < topo.switch_count(); ++s) {
+        const std::uint32_t sh =
+            sys.shard_of_switch(Switch_id{static_cast<std::uint32_t>(s)});
+        EXPECT_GE(sh, prev);
+        prev = sh;
+    }
+    for (int c = 0; c < topo.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        EXPECT_EQ(sys.kernel().component_shard(&sys.ni(core)),
+                  sys.shard_of_switch(topo.core_switch(core)));
+    }
 }
 
 // --- cross-shard wake mailboxes -------------------------------------------
@@ -269,8 +318,10 @@ TEST(ShardedWakeMailbox, TokensCrossingShardsMatchReferenceTiming)
     };
 
     auto run = [&](Kernel_mode mode, std::uint32_t shards) {
-        Noc_system sys{topo, routes, params, false, shards};
-        sys.kernel().set_mode(mode);
+        Build_options opts;
+        opts.kernel_mode = mode;
+        opts.partition = Partition_plan::contiguous(shards);
+        Noc_system sys{topo, routes, params, opts};
         rig(sys);
         sys.warmup(200);
         sys.measure(1'000);
@@ -328,8 +379,10 @@ TEST(ShardedKernel, IdleShardFastPathSkipsWalkAndStaysBitIdentical)
     };
 
     auto run = [&](Kernel_mode mode, std::uint32_t shards) {
-        Noc_system sys{topo, routes, Network_params{}, false, shards};
-        sys.kernel().set_mode(mode);
+        Build_options opts;
+        opts.kernel_mode = mode;
+        opts.partition = Partition_plan::contiguous(shards);
+        Noc_system sys{topo, routes, Network_params{}, opts};
         rig(sys);
         sys.warmup(500);
         sys.measure(2'000);
@@ -374,8 +427,10 @@ TEST(ShardedKernel, IdleShardStillReceivesCrossShardTraffic)
     const Route_set routes = xy_routes(topo, mp);
 
     auto run = [&](Kernel_mode mode, std::uint32_t shards) {
-        Noc_system sys{topo, routes, Network_params{}, false, shards};
-        sys.kernel().set_mode(mode);
+        Build_options opts;
+        opts.kernel_mode = mode;
+        opts.partition = Partition_plan::contiguous(shards);
+        Noc_system sys{topo, routes, Network_params{}, opts};
         // One low-rate flow 0 -> 3: long idle gaps on both shards between
         // packets, every packet crosses the boundary.
         Bernoulli_source::Params sp;
@@ -401,6 +456,63 @@ TEST(ShardedKernel, IdleShardStillReceivesCrossShardTraffic)
     EXPECT_EQ(latency, gated_latency);
     EXPECT_GT(skips, 0u);
     (void)gated_skips;
+}
+
+// --- trace probe under the sharded schedule --------------------------------
+
+/// Trace_probe's per-shard rings are written concurrently by the shard
+/// workers during phase 1; this runs a 4-shard mesh with the probe
+/// attached (the TSan CI job covers this test, so any probe race fails the
+/// build) and checks the accounting: every crossbar traversal lands in
+/// exactly one shard's ring, per-shard counts match the shard's routers,
+/// and the retained records resolve to real flits.
+TEST(ShardedKernel, TraceProbeRecordsEveryHopAcrossFourShards)
+{
+    Mesh_params mp; // 4x4
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+
+    Trace_probe trace{256};
+    auto sys = Noc_builder{}
+                   .topology(topo)
+                   .routes(routes)
+                   .params(Network_params{})
+                   .partition(Partition_plan::contiguous(4))
+                   .probe(&trace)
+                   .build();
+    ASSERT_EQ(sys->shard_count(), 4u);
+    ASSERT_EQ(trace.shard_count(), 4u);
+
+    auto pattern = std::shared_ptr<const Dest_pattern>(
+        make_uniform_pattern(topo.core_count()));
+    for (int c = 0; c < topo.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = 0.15;
+        sp.seed = 500 + static_cast<std::uint64_t>(c);
+        sys->ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+    sys->warmup(300);
+    sys->measure(2'000);
+    EXPECT_TRUE(sys->drain(20'000));
+
+    EXPECT_GT(sys->total_flits_routed(), 0u);
+    EXPECT_EQ(trace.total_recorded(), sys->total_flits_routed());
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        std::uint64_t shard_hops = 0;
+        for (int sw = 0; sw < topo.switch_count(); ++sw) {
+            const Switch_id id{static_cast<std::uint32_t>(sw)};
+            if (sys->shard_of_switch(id) == s)
+                shard_hops += sys->router(id).flits_routed();
+        }
+        EXPECT_EQ(trace.recorded(s), shard_hops) << "shard " << s;
+        const auto recent = trace.recent(s);
+        EXPECT_EQ(static_cast<std::uint64_t>(recent.size()),
+                  std::min<std::uint64_t>(shard_hops,
+                                          trace.capacity_per_shard()));
+        for (const Flit_ref r : recent) EXPECT_TRUE(r.is_valid());
+    }
 }
 
 } // namespace

@@ -174,20 +174,29 @@ TEST(Experiment, KernelModeKnobIsBitInvisible)
             make_uniform_pattern(topo.core_count()));
     };
 
-    auto run = [&](Kernel_mode mode, std::uint32_t threads) {
+    auto run = [&](Kernel_mode mode, Partition_plan plan) {
         Sweep_config cfg;
         cfg.warmup = 300;
         cfg.measure = 2'000;
-        cfg.kernel_mode = mode;
-        cfg.kernel_threads = threads;
+        cfg.build.kernel_mode = mode;
+        cfg.build.partition = std::move(plan);
         return run_synthetic_load(topo, routes, params, 0.2, factory, cfg);
     };
 
-    const Load_point gated = run(Kernel_mode::activity_gated, 1);
-    const Load_point reference = run(Kernel_mode::reference, 1);
-    const Load_point sharded = run(Kernel_mode::sharded, 4);
+    const Load_point gated =
+        run(Kernel_mode::activity_gated, Partition_plan::single());
+    const Load_point reference =
+        run(Kernel_mode::reference, Partition_plan::single());
+    const Load_point sharded =
+        run(Kernel_mode::sharded, Partition_plan::contiguous(4));
+    // A weight-balanced partition is equally invisible in results.
+    std::vector<std::uint64_t> weights;
+    for (int s = 0; s < topo.switch_count(); ++s)
+        weights.push_back(1 + static_cast<std::uint64_t>(s % 5));
+    const Load_point balanced =
+        run(Kernel_mode::sharded, Partition_plan::balanced(4, weights));
     EXPECT_GT(gated.packets, 0u);
-    for (const Load_point* p : {&reference, &sharded}) {
+    for (const Load_point* p : {&reference, &sharded, &balanced}) {
         EXPECT_EQ(p->packets, gated.packets);
         EXPECT_EQ(p->accepted_flits_per_node_cycle,
                   gated.accepted_flits_per_node_cycle);
