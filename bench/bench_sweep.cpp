@@ -29,6 +29,7 @@
 // `--points 0..N` run would have written.
 #include "bench_util.h"
 
+#include "explore/slice_merge.h"
 #include "explore/sweep_runner.h"
 
 #include <algorithm>
@@ -36,6 +37,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <thread>
@@ -175,99 +177,36 @@ int run_points_slice(bool smoke, std::uint32_t a, std::uint32_t b)
 
 /// `--merge out.json in1 in2 ...`: concatenate slice files into the full
 /// deterministic point set (verifying spec agreement and exact coverage).
-/// Extract `"key": "value"` from a header line; empty when absent.
-std::string header_field(const std::string& line, const std::string& key)
-{
-    const std::string marker = "\"" + key + "\": \"";
-    const auto at = line.find(marker);
-    if (at == std::string::npos) return {};
-    const auto start = at + marker.size();
-    return line.substr(start, line.find('"', start) - start);
-}
-
 int run_merge(const std::string& out_name,
               const std::vector<std::string>& inputs)
 {
-    std::string spec_name;
-    std::string budget;
-    std::string grid_points;
-    std::map<std::uint32_t, std::string> by_index;
+    // All validation lives in explore/slice_merge.h (unit tested with
+    // deliberately damaged documents); this wrapper only does file IO.
+    Slice_merge acc;
     for (const auto& in_name : inputs) {
         std::ifstream in{in_name};
         if (!in) {
             std::fprintf(stderr, "cannot read %s\n", in_name.c_str());
             return 1;
         }
-        std::string line;
-        while (std::getline(in, line)) {
-            // Slices are mergeable only when they agree on the spec AND
-            // the full measurement budget (see budget_tag).
-            for (const auto& [key, slot] :
-                 {std::pair<const char*, std::string*>{"spec", &spec_name},
-                  std::pair<const char*, std::string*>{"budget", &budget},
-                  std::pair<const char*, std::string*>{"grid_points",
-                                                       &grid_points}}) {
-                const std::string value = header_field(line, key);
-                if (value.empty()) continue;
-                if (slot->empty()) *slot = value;
-                if (value != *slot) {
-                    std::fprintf(stderr,
-                                 "%s: %s '%s' does not match '%s' — "
-                                 "slices from different runs?\n",
-                                 in_name.c_str(), key, value.c_str(),
-                                 slot->c_str());
-                    return 1;
-                }
-            }
-            const auto idx_at = line.find("{\"index\": ");
-            if (idx_at == std::string::npos) continue;
-            const std::uint32_t idx = static_cast<std::uint32_t>(
-                std::strtoul(line.c_str() + idx_at + 10, nullptr, 10));
-            // Normalize: strip the slice-local trailing comma.
-            std::string record = line;
-            while (!record.empty() &&
-                   (record.back() == ',' || record.back() == '\r'))
-                record.pop_back();
-            if (by_index.count(idx) != 0 && by_index[idx] != record) {
-                std::fprintf(stderr,
-                             "point %u appears twice with different "
-                             "results (non-deterministic slice?)\n",
-                             idx);
-                return 1;
-            }
-            by_index[idx] = std::move(record);
-        }
-    }
-    if (by_index.empty()) {
-        std::fprintf(stderr, "no point records found\n");
-        return 1;
-    }
-    // Exact coverage: the slice headers carry the grid total, so a
-    // missing TAIL slice (straggler machine) is a hard error, not a
-    // silently shorter "complete" file.
-    const std::uint32_t count =
-        static_cast<std::uint32_t>(by_index.size());
-    const std::uint32_t expected = static_cast<std::uint32_t>(
-        std::strtoul(grid_points.c_str(), nullptr, 10));
-    if (expected == 0 || count != expected) {
-        std::fprintf(stderr,
-                     "coverage gap: %u of %s grid points present\n", count,
-                     grid_points.empty() ? "?" : grid_points.c_str());
-        return 1;
-    }
-    for (std::uint32_t i = 0; i < count; ++i)
-        if (by_index.count(i) == 0) {
-            std::fprintf(stderr,
-                         "coverage gap: point %u missing (have %u "
-                         "records)\n",
-                         i, count);
+        std::string content{std::istreambuf_iterator<char>{in},
+                            std::istreambuf_iterator<char>{}};
+        const std::string err = merge_slice_document(in_name, content, acc);
+        if (!err.empty()) {
+            std::fprintf(stderr, "%s\n", err.c_str());
             return 1;
         }
+    }
     std::vector<std::string> records;
-    for (auto& [idx, line] : by_index) records.push_back(std::move(line));
+    const std::string err = finish_slice_merge(acc, records);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 1;
+    }
+    const auto count = static_cast<std::uint32_t>(records.size());
     if (std::FILE* f = std::fopen(out_name.c_str(), "w")) {
-        const std::string payload =
-            points_payload(spec_name, budget, 0, count, expected, records);
+        const std::string payload = points_payload(
+            acc.spec_name, acc.budget, 0, count, count, records);
         std::fputs(payload.c_str(), f);
         std::fclose(f);
     } else {

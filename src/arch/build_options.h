@@ -25,8 +25,11 @@
 #include "sim/kernel.h"
 
 #include <cstdint>
+#include <memory>
 
 namespace noc {
+
+class Fault_plan;
 
 struct Build_options {
     /// Schedule the kernel starts in. Every schedule is bit-identical to
@@ -40,6 +43,10 @@ struct Build_options {
     bool allow_partial_routes = false;
     /// Flit-pool slots to pre-allocate (0 = pool default).
     std::uint32_t pool_reserve_flits = 0;
+    /// Deterministic fault schedule applied at reconfiguration points
+    /// (arch/fault_plan.h); null = fault-free run. Shared so equivalence
+    /// runs and sweep points reuse one immutable plan.
+    std::shared_ptr<const Fault_plan> fault_plan;
 
     /// Shards the system will actually build (before the switch-count
     /// clamp): the plan's count under the sharded schedule, else 1.

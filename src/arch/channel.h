@@ -152,6 +152,47 @@ public:
     [[nodiscard]] std::uint64_t transfer_count() const { return transfers_; }
     void count_transfer() { ++transfers_; }
 
+    // --- fault-injection support (arch/fault_plan.h) -----------------------
+    // Both walks visit only values the channel still OWNS, oldest first:
+    // the visible output stage (skipped when a sink is attached — that
+    // value was already handed over at the commit that exposed it), the
+    // in-flight stages, then the pending input. May only be called at a
+    // sequential point between kernel runs.
+
+    /// Visit owned values oldest-first; `f(T&)` may mutate in place (a
+    /// transient fault marking a flit corrupted).
+    template<typename F> void for_each_owned(F&& f)
+    {
+        const std::size_t n = ring_.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            if (k == 0 && sink_ != nullptr) continue;
+            if (auto& slot = ring_[(head_ + k) % n]; slot) f(*slot);
+        }
+        if (pending_) f(*pending_);
+    }
+
+    /// Drop owned values for which `pred(const T&)` holds, keeping the
+    /// occupancy accounting consistent. Returns how many were dropped —
+    /// the caller releases any pooled payloads from inside `pred`.
+    template<typename Pred> std::size_t remove_owned_if(Pred&& pred)
+    {
+        std::size_t removed = 0;
+        const std::size_t n = ring_.size();
+        for (std::size_t k = 0; k < n; ++k) {
+            if (k == 0 && sink_ != nullptr) continue;
+            if (auto& slot = ring_[(head_ + k) % n]; slot && pred(*slot)) {
+                slot.reset();
+                --occupied_;
+                ++removed;
+            }
+        }
+        if (pending_ && pred(*pending_)) {
+            pending_.reset();
+            ++removed;
+        }
+        return removed;
+    }
+
 private:
     std::string name_;
     std::vector<std::optional<T>> ring_;

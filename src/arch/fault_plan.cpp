@@ -1,0 +1,79 @@
+#include "arch/fault_plan.h"
+
+#include "common/rng.h"
+#include "topology/graph.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace noc {
+
+void Fault_plan::validate(const Topology& t) const
+{
+    const auto check_link = [&](Link_id l) {
+        if (!l.is_valid() ||
+            l.get() >= static_cast<std::uint32_t>(t.link_count()))
+            throw std::invalid_argument{
+                "Fault_plan: link id out of range for this topology"};
+    };
+    for (const Transient_fault& f : transients_) check_link(f.link);
+    for (const Permanent_fault& f : permanents_) {
+        if (f.links.empty())
+            throw std::invalid_argument{
+                "Fault_plan: permanent failure with no links"};
+        for (const Link_id l : f.links) check_link(l);
+    }
+    if (!permanents_.empty() && reroute_latency == 0)
+        throw std::invalid_argument{
+            "Fault_plan: reroute_latency must be >= 1"};
+}
+
+std::vector<Cycle> Fault_plan::event_cycles() const
+{
+    std::vector<Cycle> cycles;
+    for (const Transient_fault& f : transients_) cycles.push_back(f.at);
+    for (const Permanent_fault& f : permanents_) {
+        cycles.push_back(f.at);
+        cycles.push_back(f.at + reroute_latency);
+    }
+    std::sort(cycles.begin(), cycles.end());
+    cycles.erase(std::unique(cycles.begin(), cycles.end()), cycles.end());
+    return cycles;
+}
+
+Fault_plan Fault_plan::random_plan(const Topology& t, std::uint64_t seed,
+                                   std::uint32_t transient_count,
+                                   std::uint32_t permanent_count,
+                                   Cycle horizon)
+{
+    if (t.link_count() == 0)
+        throw std::invalid_argument{"Fault_plan: topology has no links"};
+    if (horizon < 8)
+        throw std::invalid_argument{"Fault_plan: horizon too short"};
+    const auto links = static_cast<std::uint64_t>(t.link_count());
+    permanent_count = std::min(
+        permanent_count, static_cast<std::uint32_t>(t.link_count()));
+
+    Fault_plan plan;
+    Rng rng{seed};
+    for (std::uint32_t i = 0; i < transient_count; ++i) {
+        const Cycle at =
+            horizon / 8 + rng.next_below(horizon - horizon / 8);
+        const Link_id link{
+            static_cast<std::uint32_t>(rng.next_below(links))};
+        plan.add_transient(at, link);
+    }
+    if (permanent_count > 0) {
+        std::set<Link_id> victims;
+        while (victims.size() < permanent_count)
+            victims.insert(Link_id{
+                static_cast<std::uint32_t>(rng.next_below(links))});
+        plan.add_permanent(
+            horizon / 2,
+            std::vector<Link_id>(victims.begin(), victims.end()));
+    }
+    return plan;
+}
+
+} // namespace noc

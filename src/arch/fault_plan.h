@@ -1,0 +1,103 @@
+// Deterministic fault schedule for live fault injection (§1: "reconfigurable
+// NoCs can support component redundancy in a transparent fashion").
+//
+// A Fault_plan is a pure description of WHAT goes wrong and WHEN: transient
+// flit corruptions (one flit on one link, recovered by the ACK/NACK
+// go-back-N window when the scheme provides one) and permanent link
+// failures (the link dies, in-flight traffic on it is lost, and the system
+// reroutes around it online). The plan is applied by Noc_system at
+// *reconfiguration points* — the sequential boundaries between kernel
+// run() calls (see the threading-model section of sim/kernel.h) — so a
+// given plan produces bit-identical results under the reference, gated and
+// sharded schedules at any shard count.
+#pragma once
+
+#include "common/types.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace noc {
+
+class Topology;
+
+/// One scheduled corruption: at the boundary entering cycle `at`, the
+/// oldest in-flight flit on `link` (arrival slot first, then wire stages)
+/// has its payload marked corrupted. Deterministic no-op when the link is
+/// idle at that cycle.
+struct Transient_fault {
+    Cycle at = 0;
+    Link_id link;
+};
+
+/// One scheduled permanent failure: at the boundary entering cycle `at`,
+/// every link in `links` dies for the rest of the run.
+struct Permanent_fault {
+    Cycle at = 0;
+    std::vector<Link_id> links;
+};
+
+/// Ordered, validated schedule of faults. Build one (or draw a random one
+/// with random_plan), hand it to Build_options::fault_plan, and Noc_system
+/// executes it. The plan is immutable while a simulation runs — share it
+/// across the equivalence runs that must agree bit-for-bit.
+class Fault_plan {
+public:
+    /// Cycles between a permanent failure and the installation of the
+    /// recomputed routes — models the detection + path-recomputation time
+    /// of the reconfiguration controller. Injection is paused while the
+    /// reroute is pending.
+    Cycle reroute_latency = 64;
+
+    /// Root for the spanning-tree rank of the post-failure up*/down*
+    /// reroute (must stay fixed across failures so successive reroutes
+    /// compose deterministically).
+    Switch_id reroute_root{0};
+
+    void add_transient(Cycle at, Link_id link)
+    {
+        transients_.push_back({at, link});
+    }
+    void add_permanent(Cycle at, std::vector<Link_id> links)
+    {
+        permanents_.push_back({at, std::move(links)});
+    }
+
+    [[nodiscard]] const std::vector<Transient_fault>& transients() const
+    {
+        return transients_;
+    }
+    [[nodiscard]] const std::vector<Permanent_fault>& permanents() const
+    {
+        return permanents_;
+    }
+    [[nodiscard]] bool empty() const
+    {
+        return transients_.empty() && permanents_.empty();
+    }
+
+    /// Throws std::invalid_argument on out-of-range link ids, an empty
+    /// permanent-failure link set, or a zero reroute latency.
+    void validate(const Topology& t) const;
+
+    /// Every cycle at which Noc_system must stop the kernel and apply
+    /// events, sorted ascending, deduplicated. Reroute-completion
+    /// boundaries (failure cycle + reroute_latency) are included.
+    [[nodiscard]] std::vector<Cycle> event_cycles() const;
+
+    /// Seeded random plan: `transient_count` corruptions on random links at
+    /// random cycles in [horizon/8, horizon), plus — when `permanent_count`
+    /// > 0 — one permanent failure of `permanent_count` distinct random
+    /// links at horizon/2. Deterministic in (topology, seed, counts,
+    /// horizon).
+    [[nodiscard]] static Fault_plan
+    random_plan(const Topology& t, std::uint64_t seed,
+                std::uint32_t transient_count, std::uint32_t permanent_count,
+                Cycle horizon);
+
+private:
+    std::vector<Transient_fault> transients_;
+    std::vector<Permanent_fault> permanents_;
+};
+
+} // namespace noc

@@ -91,6 +91,12 @@ struct Flit {
     Cycle inject = invalid_cycle;
     /// True when the packet was generated inside the measurement window.
     bool measured = false;
+    /// Payload damaged by an injected transient fault (arch/fault_plan.h).
+    /// Under ACK/NACK the receiver drops-and-NACKs a corrupted flit so the
+    /// go-back-N window retransmits the clean original; schemes without
+    /// link-level protection deliver it as-is (the corruption is counted
+    /// either way).
+    bool corrupted = false;
 };
 
 /// Reverse-channel token. One struct serves all three flow-control schemes;

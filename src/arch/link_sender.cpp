@@ -43,6 +43,7 @@ Link_sender::Link_sender(Link_sender&& other) noexcept
       next_seq_{other.next_seq_},
       send_idx_{other.send_idx_},
       sent_this_cycle_{other.sent_this_cycle_},
+      failed_{other.failed_},
       wire_mark_{other.wire_mark_},
       wire_mark_valid_{other.wire_mark_valid_},
       retransmissions_{other.retransmissions_},
@@ -105,6 +106,7 @@ void Link_sender::deliver(const Fc_token& token)
 
 bool Link_sender::can_send(int vc) const
 {
+    if (failed_) return false;
     if (sent_this_cycle_) return false;
     if (ejection_) return true;
     switch (fc_) {

@@ -125,6 +125,75 @@ public:
     }
     [[nodiscard]] std::uint64_t flits_sent() const { return flits_sent_; }
 
+    // --- fault-injection support (arch/fault_plan.h) -----------------------
+    // All of these may only be called at a sequential point between kernel
+    // runs, by the fault engine in Noc_system.
+
+    /// Permanently kill this sender (its link died). Every retransmission-
+    /// window entry is handed to `on_drop(Flit_ref)` — the caller counts
+    /// and releases — and can_send() is false forever after.
+    template<typename Drop> void fail(Drop&& on_drop)
+    {
+        failed_ = true;
+        while (!retransmit_.empty()) on_drop(retransmit_.pop());
+        send_idx_ = 0;
+        wire_mark_valid_ = false;
+        ++state_gen_;
+    }
+    [[nodiscard]] bool failed() const { return failed_; }
+
+    /// Visit every retransmission-window entry, oldest first.
+    template<typename F> void for_each_window(F&& f) const
+    {
+        for (std::size_t i = 0; i < retransmit_.size(); ++i)
+            f(retransmit_[i]);
+    }
+
+    /// Return one credit for a flit that was purged downstream (its normal
+    /// credit return will never come). Credit scheme only.
+    void restore_credit(int vc)
+    {
+        ++credits_[static_cast<std::size_t>(vc)];
+        ++state_gen_;
+    }
+
+    /// ACK/NACK recovery on a SURVIVING link whose window lost entries to a
+    /// purge. Caller must first have purged the link's data channel (wire
+    /// copies) and token channel (in-flight ACK/NACKs); `receiver_seq` is
+    /// the receiver's expected_seq. Window entries below `receiver_seq`
+    /// were already accepted (their ACK was in flight) and retire here;
+    /// entries matching `doomed(const Flit&)` go to `on_drop(Flit_ref)`;
+    /// the survivors are renumbered densely from `receiver_seq` and the
+    /// send pointer rewinds so all of them retransmit. Leaves sender and
+    /// receiver agreeing on the sequence space with nothing in flight.
+    template<typename Doomed, typename Drop>
+    void reset_window(std::uint32_t receiver_seq, Doomed&& doomed,
+                      Drop&& on_drop)
+    {
+        while (!retransmit_.empty() && base_seq_ < receiver_seq) {
+            pool_->release(retransmit_.pop());
+            ++base_seq_;
+        }
+        for (std::size_t i = 0; i < retransmit_.size();) {
+            const Flit_ref ref = retransmit_[i];
+            if (doomed((*pool_)[ref])) {
+                on_drop(retransmit_.erase_at(i));
+            } else {
+                ++i;
+            }
+        }
+        base_seq_ = receiver_seq;
+        for (std::size_t i = 0; i < retransmit_.size(); ++i)
+            (*pool_)[retransmit_[i]].link_seq =
+                receiver_seq + static_cast<std::uint32_t>(i);
+        next_seq_ = base_seq_ + static_cast<std::uint32_t>(retransmit_.size());
+        send_idx_ = 0;
+        // The rewound sequence space invalidates the wire high-water mark;
+        // resends after a reset are undercounted rather than miscounted.
+        wire_mark_valid_ = false;
+        ++state_gen_;
+    }
+
 private:
     void transmit_from_window();
 
@@ -146,6 +215,7 @@ private:
     std::size_t send_idx_ = 0;   // next flit (index into retransmit_) to put
                                  // on the wire
     bool sent_this_cycle_ = false;
+    bool failed_ = false; ///< link permanently dead (see fail())
     std::uint32_t wire_mark_ = 0; // highest seq ever transmitted
     bool wire_mark_valid_ = false;
     std::uint64_t retransmissions_ = 0;

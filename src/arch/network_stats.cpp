@@ -69,6 +69,34 @@ std::uint64_t Network_stats::packets_delivered() const
     return n;
 }
 
+std::uint64_t Network_stats::packets_dropped() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->dropped_;
+    return n;
+}
+
+std::uint64_t Network_stats::packets_unreachable() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->unreachable_;
+    return n;
+}
+
+std::uint64_t Network_stats::flits_dropped() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->dropped_flits_;
+    return n;
+}
+
+std::uint64_t Network_stats::measured_dropped() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->measured_dropped_;
+    return n;
+}
+
 std::uint64_t Network_stats::measured_created() const
 {
     std::uint64_t n = 0;

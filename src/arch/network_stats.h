@@ -34,6 +34,24 @@ public:
         void on_packet_delivered(Flow_id flow, std::uint32_t size_flits,
                                  Cycle birth, Cycle inject, Cycle now,
                                  bool measured);
+        /// A packet removed from the network by a fault (permanent link
+        /// failure purge). Flit counts are reported separately via
+        /// on_flits_dropped — drops at different stages lose different
+        /// numbers of flits.
+        void on_packet_dropped(bool measured)
+        {
+            ++dropped_;
+            if (measured) ++measured_dropped_;
+        }
+        void on_flits_dropped(std::uint64_t n) { dropped_flits_ += n; }
+        /// A packet offered to a destination no surviving route reaches
+        /// (counts as dropped too — see Ni::enqueue_packet).
+        void on_packet_unreachable(bool measured, std::uint32_t flits)
+        {
+            on_packet_dropped(measured);
+            ++unreachable_;
+            dropped_flits_ += flits;
+        }
 
     private:
         friend class Network_stats;
@@ -42,6 +60,10 @@ public:
         std::uint64_t measured_created_ = 0;
         std::uint64_t measured_delivered_ = 0;
         std::uint64_t measured_flits_ = 0;
+        std::uint64_t dropped_ = 0;
+        std::uint64_t measured_dropped_ = 0;
+        std::uint64_t unreachable_ = 0;
+        std::uint64_t dropped_flits_ = 0;
         Exact_stat packet_latency_;
         Exact_stat network_latency_;
         std::unordered_map<Flow_id, Exact_stat> flow_latency_;
@@ -82,17 +104,24 @@ public:
     // --- totals (all packets, any phase; merged over slots) -----------------
     [[nodiscard]] std::uint64_t packets_created() const;
     [[nodiscard]] std::uint64_t packets_delivered() const;
+    [[nodiscard]] std::uint64_t packets_dropped() const;
+    [[nodiscard]] std::uint64_t packets_unreachable() const;
+    [[nodiscard]] std::uint64_t flits_dropped() const;
+    /// Dropped packets are accounted for: they will never be delivered, so
+    /// drain loops that wait for in-flight to reach zero still terminate
+    /// after a fault.
     [[nodiscard]] std::uint64_t packets_in_flight() const
     {
-        return packets_created() - packets_delivered();
+        return packets_created() - packets_delivered() - packets_dropped();
     }
 
     // --- measured-window results (merged over slots) ------------------------
     [[nodiscard]] std::uint64_t measured_created() const;
     [[nodiscard]] std::uint64_t measured_delivered() const;
+    [[nodiscard]] std::uint64_t measured_dropped() const;
     [[nodiscard]] std::uint64_t measured_in_flight() const
     {
-        return measured_created() - measured_delivered();
+        return measured_created() - measured_delivered() - measured_dropped();
     }
     [[nodiscard]] std::uint64_t measured_flits_delivered() const;
     /// Packet latency: delivery - creation (includes source queueing).
@@ -106,11 +135,57 @@ public:
     /// by core count for the per-node rate).
     [[nodiscard]] double accepted_flits_per_cycle() const;
 
+    // --- fault / recovery bookkeeping (arch/fault_plan.h) -------------------
+    // Written only at sequential points by the Noc_system fault engine, so
+    // these live on the stats object itself rather than in the slots.
+
+    /// One permanent-failure → reroute-complete episode.
+    struct Recovery_record {
+        Cycle failed_at = invalid_cycle;
+        Cycle recovered_at = invalid_cycle; ///< reroute published
+        std::vector<Link_id> links;         ///< links that died
+        /// (src, dst) pairs with no surviving route after the reroute.
+        std::vector<std::pair<Core_id, Core_id>> unreachable_pairs;
+        std::uint64_t packets_dropped = 0; ///< purged at the failure point
+        [[nodiscard]] Cycle time_to_recover() const
+        {
+            return recovered_at - failed_at;
+        }
+    };
+
+    void record_corrupted_flit() { ++corrupted_flits_; }
+    [[nodiscard]] std::uint64_t corrupted_flits() const
+    {
+        return corrupted_flits_;
+    }
+    /// Absolute retransmission total, re-synced from the link senders after
+    /// each kernel run chunk (the senders own the live counters).
+    void record_retransmissions(std::uint64_t total)
+    {
+        retransmissions_ = total;
+    }
+    [[nodiscard]] std::uint64_t retransmissions() const
+    {
+        return retransmissions_;
+    }
+    void record_recovery(Recovery_record r)
+    {
+        recoveries_.push_back(std::move(r));
+    }
+    [[nodiscard]] const std::vector<Recovery_record>& recoveries() const
+    {
+        return recoveries_;
+    }
+
 private:
     Cycle window_start_ = 0;
     Cycle window_end_ = 0;
     /// unique_ptr so slot addresses survive ensure_slots growth.
     std::vector<std::unique_ptr<Slot>> slots_;
+    // --- sequential-only fault bookkeeping ---
+    std::uint64_t corrupted_flits_ = 0;
+    std::uint64_t retransmissions_ = 0;
+    std::vector<Recovery_record> recoveries_;
 };
 
 } // namespace noc

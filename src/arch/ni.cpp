@@ -47,6 +47,20 @@ void Ni::set_source(std::unique_ptr<Traffic_source> source)
     request_wake();
 }
 
+void Ni::set_inject_paused(bool paused)
+{
+    inject_paused_ = paused;
+    may_sleep_ = false;
+    request_wake();
+}
+
+void Ni::set_routes(const Route_set* routes)
+{
+    if (routes == nullptr)
+        throw std::invalid_argument{"Ni::set_routes: null route set"};
+    routes_ = routes;
+}
+
 void Ni::set_slot_table(std::vector<Connection_id> slot_owner)
 {
     if (!params_.enable_gt)
@@ -73,8 +87,17 @@ void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
             "Ni: GT connections are flit-granular (one flit per reserved "
             "slot, Æthereal-style); send size-1 packets"};
     const Route* route = &routes_->at(core_, desc.dst);
-    if (route->empty())
-        throw std::logic_error{"Ni: no route to destination"};
+    if (route->empty()) {
+        if (!fault_tolerant_)
+            throw std::logic_error{"Ni: no route to destination"};
+        // The pair is disconnected (permanent link failure): the offered
+        // packet is counted — created, dropped, unreachable — and discarded
+        // so the workload keeps running instead of hanging or throwing.
+        const bool measured = stats_->in_measurement(now);
+        stats_slot_->on_packet_created(desc.flow, now, measured);
+        stats_slot_->on_packet_unreachable(measured, desc.size_flits);
+        return;
+    }
 
     // Unique packet id: core in the upper bits, local sequence below.
     const Packet_id pid{(static_cast<std::uint64_t>(core_.get()) << 40) |
@@ -153,10 +176,19 @@ void Ni::release_replies(Cycle now)
 
 void Ni::inject(Cycle now)
 {
+    // Reroute in progress: no NEW packet may start until the fault engine
+    // republishes route tables (set_inject_paused), but a packet already
+    // mid-serialization must finish — its head flits hold wormhole
+    // resources in the network, and the drain the reroute waits on can
+    // only complete once the tail follows them out. GT packets are
+    // single-flit, so pausing blocks them entirely.
+    const bool mid_packet = !queue_.empty() && queue_.front().next_flit > 0;
+    if (inject_paused_ && !mid_packet) return;
+
     // Æthereal slot gating: the current slot's owning connection may send
     // its oldest queued flit (per-connection FIFO semantics over one
     // queue). GT packets are single-flit (enforced in enqueue_packet).
-    if (!gt_queue_.empty()) {
+    if (!gt_queue_.empty() && !inject_paused_) {
         if (slot_owner_.empty())
             throw std::logic_error{"Ni: GT flit but no slot table"};
         const auto slot = static_cast<std::size_t>(now % slot_owner_.size());

@@ -102,6 +102,91 @@ public:
                pending_replies_.empty() && reassembly_.empty();
     }
 
+    // --- fault-injection support (arch/fault_plan.h) -----------------------
+    // Sequential-point only: called between kernel runs by the Noc_system
+    // fault engine, never from inside a step.
+
+    /// Drop-at-enqueue mode (enabled whenever a fault plan is installed):
+    /// a packet whose route LUT entry is empty is counted as created,
+    /// dropped and unreachable instead of throwing — after a permanent
+    /// failure some pairs may be legitimately disconnected.
+    void set_fault_tolerant(bool v) { fault_tolerant_ = v; }
+
+    /// Freeze flit materialization while a reroute is in progress. Sources
+    /// keep generating (the backlog is queue records, not pool slots) and
+    /// ejection continues; only the injection link goes quiet.
+    void set_inject_paused(bool paused);
+
+    /// Swap the route LUT after an online reconfiguration. In-flight
+    /// packets and the mid-serialization record keep pointers into the
+    /// retired set, which the caller keeps alive; rebind_queued_routes()
+    /// re-points everything that has not started serializing.
+    void set_routes(const Route_set* routes);
+
+    /// Mutable injection sender (window resets / credit restores).
+    [[nodiscard]] Link_sender& injection_sender() { return sender_; }
+
+    /// Visit the packet this NI is mid-serializing (some flits already in
+    /// the network, the rest still queued), if any: f(Packet_id, Route).
+    /// Only the BE queue front can be mid-flight — GT packets are
+    /// single-flit and leave whole.
+    template<typename F> void visit_in_progress(F&& f) const
+    {
+        if (!queue_.empty() && queue_.front().next_flit > 0) {
+            const Pending_packet& p = queue_.front();
+            f(p.pid, *p.route);
+        }
+    }
+
+    /// Purge queued and reassembly state of doomed packets. Only the
+    /// mid-serialization record can be doomed (its in-network flits are
+    /// purged by the caller); `on_drop(pid, measured, remaining_flits)`
+    /// reports the flits that will now never materialize.
+    template<typename DoomedFn, typename DropFn>
+    void purge_doomed(DoomedFn&& doomed, DropFn&& on_drop)
+    {
+        if (!queue_.empty() && queue_.front().next_flit > 0 &&
+            doomed(queue_.front().pid)) {
+            const Pending_packet p = queue_.pop();
+            queued_flits_ -= p.size_flits - p.next_flit;
+            on_drop(p.pid, p.measured, p.size_flits - p.next_flit);
+        }
+        for (auto it = reassembly_.begin(); it != reassembly_.end();) {
+            if (doomed(it->first))
+                it = reassembly_.erase(it);
+            else
+                ++it;
+        }
+    }
+
+    /// Re-point not-yet-started queued packets at the current LUT after
+    /// set_routes(). Packets whose destination became unreachable are
+    /// dropped via on_unreachable(measured, size_flits).
+    template<typename DropFn>
+    void rebind_queued_routes(DropFn&& on_unreachable)
+    {
+        auto rebind = [&](Ring_fifo<Pending_packet>& q) {
+            for (std::size_t i = 0; i < q.size();) {
+                Pending_packet& p = q[i];
+                if (p.next_flit > 0) {
+                    ++i; // mid-flight: keeps its (still valid) old route
+                    continue;
+                }
+                const Route* route = &routes_->at(core_, p.dst);
+                if (route->empty()) {
+                    queued_flits_ -= p.size_flits;
+                    on_unreachable(p.measured, p.size_flits);
+                    (void)q.erase_at(i);
+                } else {
+                    p.route = route;
+                    ++i;
+                }
+            }
+        };
+        rebind(queue_);
+        rebind(gt_queue_);
+    }
+
 private:
     /// One enqueued packet awaiting serialization; flit `next_flit` is the
     /// next to materialize into the pool and send.
@@ -157,6 +242,9 @@ private:
     bool sent_this_step_ = false;
     bool enqueued_this_step_ = false;
     bool may_sleep_ = false;
+    // --- fault-injection state (see the public fault block) ---
+    bool fault_tolerant_ = false;
+    bool inject_paused_ = false;
 };
 
 } // namespace noc

@@ -91,6 +91,14 @@ public:
         options_.pool_reserve_flits = flits;
         return *this;
     }
+    /// Deterministic fault schedule the system executes at reconfiguration
+    /// points (arch/fault_plan.h). Shared: equivalence runs across kernel
+    /// schedules hand the same immutable plan to every build.
+    Noc_builder& fault_plan(std::shared_ptr<const Fault_plan> plan)
+    {
+        options_.fault_plan = std::move(plan);
+        return *this;
+    }
     /// Attach `p` to the built system's routers (arch/probe.h). Non-owning:
     /// the probe must outlive the system. One probe per build for now; a
     /// second call replaces the first. One-shot like topology/routes —

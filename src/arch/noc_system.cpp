@@ -1,59 +1,16 @@
 #include "arch/noc_system.h"
 
 #include "arch/probe.h"
+#include "topology/fault.h"
+#include "topology/routing.h"
 
 #include <algorithm>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <utility>
 
 namespace noc {
-
-struct Noc_system::Legacy_init {
-    Topology topology;
-    Route_set routes;
-    Network_params params;
-    Build_options options;
-
-    Legacy_init(Topology t, Route_set r, Network_params p,
-                bool allow_partial_routes, std::uint32_t shard_count)
-        : topology{std::move(t)}, routes{std::move(r)}, params{p}
-    {
-        if (shard_count == 0)
-            throw std::invalid_argument{
-                "Noc_system: shard_count must be >= 1"};
-        // Legacy semantics: the schedule keyed on the CLAMPED count (a
-        // 4-shard request on a 1-switch topology stayed sequential), so
-        // clamp against the topology before it is moved on.
-        const std::uint32_t clamped = std::min(
-            shard_count,
-            static_cast<std::uint32_t>(
-                std::max(topology.switch_count(), 1)));
-        options.kernel_mode = clamped > 1 ? Kernel_mode::sharded
-                                          : Kernel_mode::activity_gated;
-        options.partition = Partition_plan::contiguous(shard_count);
-        options.allow_partial_routes = allow_partial_routes;
-    }
-};
-
-Noc_system::Noc_system(Legacy_init init)
-    : Noc_system{std::move(init.topology), std::move(init.routes),
-                 init.params, std::move(init.options)}
-{
-}
-
-// The deprecated positional-tail shim (one PR only) delegates to the
-// Build_options primitive with the exact legacy semantics.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Noc_system::Noc_system(Topology topology, Route_set routes,
-                       Network_params params, bool allow_partial_routes,
-                       std::uint32_t shard_count)
-    : Noc_system{Legacy_init{std::move(topology), std::move(routes), params,
-                             allow_partial_routes, shard_count}}
-{
-}
-#pragma GCC diagnostic pop
 
 Noc_system::Noc_system(Topology topology, Route_set routes,
                        Network_params params, Build_options options)
@@ -255,11 +212,29 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
     // Build_options::kernel_mode picks the starting schedule; callers can
     // still flip modes with kernel().set_mode().
     kernel_.set_mode(options.kernel_mode);
+
+    // Fault plan: validated against this topology, events sorted once.
+    // NIs switch to drop-at-enqueue for unreachable destinations — a
+    // faulted run must report disconnection, not throw or hang.
+    if (options.fault_plan) {
+        options.fault_plan->validate(topology_);
+        fault_plan_ = options.fault_plan;
+        transients_ = fault_plan_->transients();
+        std::stable_sort(transients_.begin(), transients_.end(),
+                         [](const Transient_fault& a,
+                            const Transient_fault& b) { return a.at < b.at; });
+        permanents_ = fault_plan_->permanents();
+        std::stable_sort(permanents_.begin(), permanents_.end(),
+                         [](const Permanent_fault& a,
+                            const Permanent_fault& b) { return a.at < b.at; });
+        for (const auto& ni : nis_) ni->set_fault_tolerant(true);
+    }
 }
 
 void Noc_system::attach_probe(Probe* probe)
 {
     if (probe != nullptr) probe->bind(shard_count_);
+    probe_ = probe; // fault events go to the same probe as hop traces
     for (int s = 0; s < topology_.switch_count(); ++s)
         routers_[static_cast<std::size_t>(s)]->set_probe(
             probe,
@@ -276,19 +251,496 @@ std::vector<std::uint64_t> Noc_system::switch_load_profile() const
 
 void Noc_system::warmup(Cycle cycles)
 {
-    kernel_.run(cycles);
+    run_with_faults(cycles);
 }
 
 void Noc_system::measure(Cycle cycles)
 {
     stats_.set_measurement_window(kernel_.now(), kernel_.now() + cycles);
-    kernel_.run(cycles);
+    run_with_faults(cycles);
 }
 
 bool Noc_system::drain(Cycle max_cycles)
 {
-    return kernel_.run_until(
-        [this] { return stats_.measured_in_flight() == 0; }, max_cycles);
+    if (!fault_plan_)
+        return kernel_.run_until(
+            [this] { return stats_.measured_in_flight() == 0; }, max_cycles);
+    // Fixed 64-cycle chunks, split further at fault boundaries, so the
+    // cadence of sequential points — and therefore the exact stop cycle —
+    // is identical across kernel schedules. Termination: dropped packets
+    // are subtracted from measured_in_flight (arch/network_stats.h), so a
+    // purge can only bring the drain closer to done.
+    constexpr Cycle drain_chunk = 64;
+    const Cycle deadline = kernel_.now() + max_cycles;
+    service_fault_events();
+    while (stats_.measured_in_flight() != 0) {
+        if (kernel_.now() >= deadline) {
+            sync_fault_counters();
+            return false;
+        }
+        const Cycle stop = next_fault_stop(
+            std::min(deadline, kernel_.now() + drain_chunk));
+        kernel_.run(stop - kernel_.now());
+        service_fault_events();
+    }
+    sync_fault_counters();
+    return true;
+}
+
+// --- fault engine -----------------------------------------------------------
+// Everything below runs on the caller thread at sequential points between
+// kernel runs: under the sharded schedule the workers are parked between
+// run() calls, so these mutations need no synchronization and happen at
+// the same cycle under every schedule — which is what keeps faulted runs
+// bit-identical across kernel modes (the KernelEquivalence suite proves
+// it).
+
+void Noc_system::run_with_faults(Cycle cycles)
+{
+    if (!fault_plan_) {
+        kernel_.run(cycles);
+        return;
+    }
+    const Cycle end = kernel_.now() + cycles;
+    service_fault_events();
+    while (kernel_.now() < end) {
+        kernel_.run(next_fault_stop(end) - kernel_.now());
+        service_fault_events();
+    }
+    sync_fault_counters();
+}
+
+Cycle Noc_system::next_fault_stop(Cycle limit) const
+{
+    Cycle stop = limit;
+    if (next_transient_ < transients_.size())
+        stop = std::min(stop, transients_[next_transient_].at);
+    if (next_permanent_ < permanents_.size())
+        stop = std::min(stop, permanents_[next_permanent_].at);
+    if (reroute_at_ != invalid_cycle) stop = std::min(stop, reroute_at_);
+    return std::max(stop, kernel_.now() + 1); // always make progress
+}
+
+void Noc_system::service_fault_events()
+{
+    const Cycle now = kernel_.now();
+    // A reroute completion was scheduled before any event still pending,
+    // so it resolves first; then failures, then corruptions on the
+    // (possibly reduced) surviving network. Completion additionally waits
+    // for the network to empty (pool_.live() == 0): the old and new
+    // routing functions are each deadlock-free on one VC, but their UNION
+    // need not be, so mixing in-flight old-route packets with new-route
+    // packets can wormhole-deadlock. Injection is paused from the failure
+    // on, surviving old-route traffic drains deadlock-free, and the pool
+    // count is schedule-invariant at sequential points — so the switchover
+    // cycle is still bit-identical across kernel modes. While waiting past
+    // reroute_at_, next_fault_stop degenerates to 1-cycle chunks.
+    if (reroute_at_ != invalid_cycle && reroute_at_ <= now &&
+        pool_.live() == 0)
+        complete_reroute();
+    while (next_permanent_ < permanents_.size() &&
+           permanents_[next_permanent_].at <= now)
+        apply_permanent(permanents_[next_permanent_++]);
+    while (next_transient_ < transients_.size() &&
+           transients_[next_transient_].at <= now)
+        apply_transient(transients_[next_transient_++]);
+}
+
+void Noc_system::apply_transient(const Transient_fault& fault)
+{
+    if (failed_links_.count(fault.link) != 0) return; // dead wire: nothing
+    const auto& tl = topology_.link(fault.link);
+    Router& rx = *routers_[tl.to.get()];
+    const int in_port = topology_.input_port_of_link(fault.link).get();
+    // The victim is the in-flight flit closest to delivery: the parked
+    // arrival first, else the oldest wire stage. Deterministic no-op when
+    // the link is idle at the fault cycle.
+    Flit_ref victim = rx.arrival_pending(in_port);
+    if (!victim.is_valid())
+        link_data_[fault.link.get()]->for_each_owned(
+            [&](const Flit_ref& ref) {
+                if (!victim.is_valid()) victim = ref;
+            });
+    if (!victim.is_valid()) return;
+    pool_[victim].corrupted = true;
+    stats_.record_corrupted_flit();
+    kernel_.wake(&rx);
+    if (probe_ != nullptr) {
+        Fault_event ev;
+        ev.kind = Fault_event::Kind::transient_injected;
+        ev.at = kernel_.now();
+        ev.links = {fault.link};
+        probe_->on_fault_event(ev);
+    }
+}
+
+void Noc_system::apply_permanent(const Permanent_fault& fault)
+{
+    const Cycle now = kernel_.now();
+    std::vector<Link_id> fresh; // re-failing a dead link is a no-op
+    for (const Link_id l : fault.links)
+        if (failed_links_.insert(l).second) fresh.push_back(l);
+    if (fresh.empty()) return;
+
+    // ---- 1. Doom set: every packet that can no longer make progress.
+    //   (a) flits physically on a dead link — wire stages, the parked
+    //       arrival, the sender's retransmission window;
+    //   (b) head flits anywhere whose REMAINING route (route_index is the
+    //       next hop) crosses a dead link, including heads still in NI
+    //       injection windows and inject channels, plus the queued record
+    //       of a mid-serialization packet;
+    //   (c) straddlers — packets owning an output VC of a dead link: the
+    //       head is past the failure point (it may even have been
+    //       delivered) but the tail is not, so no head flit in the network
+    //       carries the route any more. Wormhole ownership is the witness.
+    std::unordered_map<Packet_id, bool> doomed; // pid -> any measured flit
+    const auto note = [&](const Flit& f) { doomed[f.packet] |= f.measured; };
+    const auto route_dies = [&](Core_id src, const Route& r,
+                                std::uint32_t from_index) {
+        Switch_id sw = topology_.core_switch(src);
+        for (std::size_t h = 0; h < r.size(); ++h) {
+            const Link_id l =
+                topology_.link_of_output_port(sw, Port_id{r[h].out_port});
+            if (!l.is_valid()) break; // ejection hop
+            if (h >= from_index && failed_links_.count(l) != 0) return true;
+            sw = topology_.link(l).to;
+        }
+        return false;
+    };
+    const auto flit_dies = [&](const Flit& f) {
+        return f.route != nullptr &&
+               route_dies(f.src, *f.route, f.route_index);
+    };
+    for (const Link_id l : fresh) {
+        link_data_[l.get()]->for_each_owned(
+            [&](const Flit_ref& ref) { note(pool_[ref]); });
+        const auto& tl = topology_.link(l);
+        const int in_port = topology_.input_port_of_link(l).get();
+        if (const Flit_ref ref =
+                routers_[tl.to.get()]->arrival_pending(in_port);
+            ref.is_valid())
+            note(pool_[ref]);
+        Router& tx = *routers_[tl.from.get()];
+        const int out_port = topology_.output_port_of_link(l).get();
+        tx.output_sender_mut(out_port).for_each_window(
+            [&](Flit_ref ref) { note(pool_[ref]); });
+        for (int v = 0; v < params_.total_vcs(); ++v) {
+            const Packet_id owner = tx.output_vc_owner(out_port, v);
+            if (owner.is_valid()) doomed.try_emplace(owner, false);
+        }
+    }
+    for (const auto& r : routers_) {
+        r->for_each_buffered([&](int, Flit_ref ref) {
+            if (flit_dies(pool_[ref])) note(pool_[ref]);
+        });
+        for (int p = 0; p < r->output_count(); ++p)
+            r->output_sender_mut(p).for_each_window([&](Flit_ref ref) {
+                if (flit_dies(pool_[ref])) note(pool_[ref]);
+            });
+    }
+    for (int i = 0; i < topology_.link_count(); ++i)
+        link_data_[static_cast<std::size_t>(i)]->for_each_owned(
+            [&](const Flit_ref& ref) {
+                if (flit_dies(pool_[ref])) note(pool_[ref]);
+            });
+    for (int c = 0; c < topology_.core_count(); ++c) {
+        inject_data_[static_cast<std::size_t>(c)]->for_each_owned(
+            [&](const Flit_ref& ref) {
+                if (flit_dies(pool_[ref])) note(pool_[ref]);
+            });
+        Ni& ni = *nis_[static_cast<std::size_t>(c)];
+        ni.injection_sender().for_each_window([&](Flit_ref ref) {
+            if (flit_dies(pool_[ref])) note(pool_[ref]);
+        });
+        ni.visit_in_progress([&](Packet_id pid, const Route& route) {
+            if (route_dies(Core_id{static_cast<std::uint32_t>(c)}, route, 0))
+                doomed.try_emplace(pid, false);
+        });
+    }
+
+    // ---- 2. Purge. Flit-drop accounting: originals count, ACK/NACK wire
+    // copies release uncounted (their window originals are the count);
+    // accepted copies in VC rings do count, so under ACK/NACK a flit whose
+    // accept was in flight can be counted twice — flits_dropped is a
+    // diagnostic, the exact invariants live on the packet counters.
+    std::uint64_t flits_dropped = 0;
+    const auto drop_ref = [&](Flit_ref ref) {
+        const auto it = doomed.find(pool_[ref].packet);
+        if (it != doomed.end()) it->second |= pool_[ref].measured;
+        ++flits_dropped;
+        pool_.release(ref);
+    };
+    const auto release_copy = [&](Flit_ref ref) { pool_.release(ref); };
+    const bool ack_nack = params_.fc == Flow_control_kind::ack_nack;
+    const auto is_doomed_pid = [&](Packet_id pid) {
+        return doomed.find(pid) != doomed.end();
+    };
+    const auto is_doomed_flit = [&](const Flit& f) {
+        return doomed.find(f.packet) != doomed.end();
+    };
+
+    // 2a. Dead links: everything on the wire dies with the link, the
+    // sender's window drains, and the reverse channel goes silent.
+    for (const Link_id l : fresh) {
+        link_data_[l.get()]->remove_owned_if([&](Flit_ref& ref) {
+            if (ack_nack)
+                release_copy(ref);
+            else
+                drop_ref(ref);
+            return true;
+        });
+        link_tokens_[l.get()]->remove_owned_if([](Fc_token&) { return true; });
+        const auto& tl = topology_.link(l);
+        const int in_port = topology_.input_port_of_link(l).get();
+        if (const Flit_ref ref = routers_[tl.to.get()]->take_arrival(in_port);
+            ref.is_valid()) {
+            if (ack_nack)
+                release_copy(ref);
+            else
+                drop_ref(ref);
+        }
+        routers_[tl.from.get()]
+            ->output_sender_mut(topology_.output_port_of_link(l).get())
+            .fail(drop_ref);
+    }
+
+    // 2b. ACK/NACK: find the SURVIVING windows that hold doomed entries —
+    // they need a full protocol reset (2e) — before anything mutates them.
+    std::vector<Link_id> reset_links;
+    std::vector<Core_id> reset_cores;
+    if (ack_nack) {
+        for (int i = 0; i < topology_.link_count(); ++i) {
+            const Link_id l{static_cast<std::uint32_t>(i)};
+            if (failed_links_.count(l) != 0) continue;
+            bool dirty = false;
+            const auto& tl = topology_.link(l);
+            routers_[tl.from.get()]
+                ->output_sender_mut(topology_.output_port_of_link(l).get())
+                .for_each_window([&](Flit_ref ref) {
+                    dirty = dirty || is_doomed_flit(pool_[ref]);
+                });
+            if (dirty) reset_links.push_back(l);
+        }
+        for (int c = 0; c < topology_.core_count(); ++c) {
+            bool dirty = false;
+            nis_[static_cast<std::size_t>(c)]
+                ->injection_sender()
+                .for_each_window([&](Flit_ref ref) {
+                    dirty = dirty || is_doomed_flit(pool_[ref]);
+                });
+            if (dirty)
+                reset_cores.push_back(Core_id{static_cast<std::uint32_t>(c)});
+        }
+    }
+
+    // 2c. Router buffers and wormhole state; purged VC-ring flits restore
+    // the credit their normal return will never send (credit scheme only —
+    // ON/OFF masks recompute from occupancy, ACK/NACK windows reset in 2e).
+    for (int s = 0; s < topology_.switch_count(); ++s) {
+        const Switch_id sw{static_cast<std::uint32_t>(s)};
+        routers_[static_cast<std::size_t>(s)]->purge_doomed(
+            is_doomed_pid, drop_ref, [&](int port, int vc) {
+                if (params_.fc != Flow_control_kind::credit) return;
+                const auto& cores = topology_.switch_cores(sw);
+                if (port < static_cast<int>(cores.size())) {
+                    nis_[cores[static_cast<std::size_t>(port)].get()]
+                        ->injection_sender()
+                        .restore_credit(vc);
+                    return;
+                }
+                const Link_id l = topology_.in_links(
+                    sw)[static_cast<std::size_t>(port) - cores.size()];
+                if (failed_links_.count(l) != 0) return; // dead sender
+                routers_[topology_.link(l).from.get()]
+                    ->output_sender_mut(
+                        topology_.output_port_of_link(l).get())
+                    .restore_credit(vc);
+            });
+    }
+
+    // 2d. Doomed originals still in flight on SURVIVING wires
+    // (credit / ON-OFF carry ownership on the wire; ACK/NACK wires hold
+    // copies and are handled by the 2e resets). Ejection channels carry
+    // ownership under every scheme and have no flow control to repair.
+    if (!ack_nack) {
+        for (int i = 0; i < topology_.link_count(); ++i) {
+            const Link_id l{static_cast<std::uint32_t>(i)};
+            if (failed_links_.count(l) != 0) continue;
+            Link_sender& up =
+                routers_[topology_.link(l).from.get()]->output_sender_mut(
+                    topology_.output_port_of_link(l).get());
+            link_data_[static_cast<std::size_t>(i)]->remove_owned_if(
+                [&](Flit_ref& ref) {
+                    if (!is_doomed_flit(pool_[ref])) return false;
+                    const int vc = pool_[ref].vc;
+                    drop_ref(ref);
+                    if (params_.fc == Flow_control_kind::credit)
+                        up.restore_credit(vc);
+                    return true;
+                });
+        }
+        for (int c = 0; c < topology_.core_count(); ++c) {
+            Link_sender& up =
+                nis_[static_cast<std::size_t>(c)]->injection_sender();
+            inject_data_[static_cast<std::size_t>(c)]->remove_owned_if(
+                [&](Flit_ref& ref) {
+                    if (!is_doomed_flit(pool_[ref])) return false;
+                    const int vc = pool_[ref].vc;
+                    drop_ref(ref);
+                    if (params_.fc == Flow_control_kind::credit)
+                        up.restore_credit(vc);
+                    return true;
+                });
+        }
+    }
+    for (int c = 0; c < topology_.core_count(); ++c)
+        eject_data_[static_cast<std::size_t>(c)]->remove_owned_if(
+            [&](Flit_ref& ref) {
+                if (!is_doomed_flit(pool_[ref])) return false;
+                drop_ref(ref);
+                return true;
+            });
+
+    // 2e. ACK/NACK protocol resets on surviving links that lost window
+    // entries: clear the wire (copies), the parked arrival (also a copy)
+    // and the reverse channel, then rewind the window against the
+    // receiver's expected sequence (see Link_sender::reset_window).
+    if (ack_nack) {
+        for (const Link_id l : reset_links) {
+            link_data_[l.get()]->remove_owned_if([&](Flit_ref& ref) {
+                release_copy(ref);
+                return true;
+            });
+            link_tokens_[l.get()]->remove_owned_if(
+                [](Fc_token&) { return true; });
+            const auto& tl = topology_.link(l);
+            Router& rx = *routers_[tl.to.get()];
+            const int in_port = topology_.input_port_of_link(l).get();
+            if (const Flit_ref ref = rx.take_arrival(in_port);
+                ref.is_valid())
+                release_copy(ref);
+            routers_[tl.from.get()]
+                ->output_sender_mut(topology_.output_port_of_link(l).get())
+                .reset_window(rx.expected_seq(in_port), is_doomed_flit,
+                              drop_ref);
+        }
+        for (const Core_id c : reset_cores) {
+            inject_data_[c.get()]->remove_owned_if([&](Flit_ref& ref) {
+                release_copy(ref);
+                return true;
+            });
+            inject_tokens_[c.get()]->remove_owned_if(
+                [](Fc_token&) { return true; });
+            Router& rx = *routers_[topology_.core_switch(c).get()];
+            const int in_port = topology_.injection_port_of_core(c).get();
+            if (const Flit_ref ref = rx.take_arrival(in_port);
+                ref.is_valid())
+                release_copy(ref);
+            nis_[c.get()]->injection_sender().reset_window(
+                rx.expected_seq(in_port), is_doomed_flit, drop_ref);
+        }
+    }
+
+    // 2f. NI queue records (the mid-serialization packet) and reassembly
+    // state of doomed packets.
+    for (const auto& ni : nis_)
+        ni->purge_doomed(is_doomed_pid, [&](Packet_id pid, bool measured,
+                                            std::uint32_t remaining) {
+            doomed[pid] = doomed[pid] || measured;
+            flits_dropped += remaining;
+        });
+
+    // ---- 3. Account, pause injection, schedule the online reroute.
+    Network_stats::Slot& slot = stats_.slot(0);
+    for (const auto& [pid, measured] : doomed) {
+        (void)pid;
+        slot.on_packet_dropped(measured);
+    }
+    slot.on_flits_dropped(flits_dropped);
+
+    for (const auto& ni : nis_) ni->set_inject_paused(true);
+    if (reroute_at_ == invalid_cycle) {
+        pending_recovery_ = {};
+        pending_recovery_.failed_at = now;
+    }
+    pending_recovery_.links.assign(failed_links_.begin(),
+                                   failed_links_.end());
+    pending_recovery_.packets_dropped += doomed.size();
+    reroute_at_ = now + fault_plan_->reroute_latency;
+
+    wake_everything();
+    if (probe_ != nullptr) {
+        Fault_event ev;
+        ev.kind = Fault_event::Kind::link_failed;
+        ev.at = now;
+        ev.links = fresh;
+        ev.packets_dropped = doomed.size();
+        probe_->on_fault_event(ev);
+    }
+}
+
+void Noc_system::complete_reroute()
+{
+    const Cycle now = kernel_.now();
+    // Ranks come from the SURVIVING graph, not the healthy topology: stale
+    // ranks would forbid detours around a cut tree edge and report
+    // reachable pairs as unreachable (topology/fault.h). A duplex link
+    // with one dead direction is retired whole (symmetrize_failures) so
+    // the up*/down* reachability argument holds; the surviving routes then
+    // reach exactly the pairs connected in the undirected surviving graph.
+    // Fixed preferred root, so successive reroutes compose
+    // deterministically.
+    const std::set<Link_id> retired =
+        symmetrize_failures(topology_, failed_links_);
+    Reroute_result rr = reroute_around_failures(
+        topology_,
+        failure_aware_ranks(topology_, fault_plan_->reroute_root, retired),
+        retired);
+    reroute_epochs_.push_back(
+        std::make_unique<Route_set>(std::move(rr.routes)));
+    const Route_set* fresh = reroute_epochs_.back().get();
+    unreachable_pairs_ = std::move(rr.unreachable);
+
+    // Publish the new LUTs: queued-but-unstarted packets rebind (or drop,
+    // when their destination is now unreachable); mid-flight packets keep
+    // pointers into the retired epoch, which stays alive with the system.
+    Network_stats::Slot& slot = stats_.slot(0);
+    for (const auto& ni : nis_) {
+        ni->set_routes(fresh);
+        ni->rebind_queued_routes([&](bool measured, std::uint32_t flits) {
+            slot.on_packet_unreachable(measured, flits);
+        });
+        ni->set_inject_paused(false);
+    }
+    reroute_at_ = invalid_cycle;
+    pending_recovery_.recovered_at = now;
+    pending_recovery_.unreachable_pairs = unreachable_pairs_;
+    stats_.record_recovery(pending_recovery_);
+    wake_everything();
+    if (probe_ != nullptr) {
+        Fault_event ev;
+        ev.kind = Fault_event::Kind::rerouted;
+        ev.at = now;
+        ev.links.assign(failed_links_.begin(), failed_links_.end());
+        ev.unreachable_pairs = unreachable_pairs_.size();
+        probe_->on_fault_event(ev);
+    }
+}
+
+void Noc_system::sync_fault_counters()
+{
+    std::uint64_t retx = 0;
+    for (const auto& r : routers_)
+        for (int p = 0; p < r->output_count(); ++p)
+            retx += r->output_sender(p).retransmissions();
+    for (const auto& n : nis_) retx += n->injection_sender().retransmissions();
+    stats_.record_retransmissions(retx);
+}
+
+void Noc_system::wake_everything()
+{
+    for (const auto& r : routers_) kernel_.wake(r.get());
+    for (const auto& n : nis_) kernel_.wake(n.get());
 }
 
 std::uint64_t Noc_system::link_flits(Link_id l) const

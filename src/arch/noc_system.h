@@ -12,11 +12,22 @@
 //   * Noc_builder (arch/noc_builder.h) is the fluent facade most callers
 //     should use: topology + routes + params + options (+ probes), then
 //     build();
-//   * this ctor is the primitive the builder drives; the old positional
-//     (bool, shard_count) tail survives one PR as a deprecated shim.
+//   * this ctor is the primitive the builder drives.
+//
+// Fault injection (arch/fault_plan.h): when Build_options::fault_plan is
+// set, the measurement protocol (warmup/measure/drain) runs the kernel in
+// chunks split at the plan's event cycles and applies faults at the
+// resulting sequential points — transient flit corruption, permanent link
+// kills with an in-flight purge, and an online reroute that rewrites the
+// NI route LUTs mid-run. All fault mutation happens on the caller thread
+// between kernel runs, so results stay bit-identical across kernel
+// schedules and shard counts, and the sharded schedule needs no extra
+// synchronization (run() boundaries are its natural reconfiguration
+// points; see the threading-model notes in sim/kernel.h).
 #pragma once
 
 #include "arch/build_options.h"
+#include "arch/fault_plan.h"
 #include "arch/flit_pool.h"
 #include "arch/network_stats.h"
 #include "arch/ni.h"
@@ -26,6 +37,7 @@
 #include "topology/route.h"
 
 #include <memory>
+#include <set>
 #include <vector>
 
 namespace noc {
@@ -45,14 +57,6 @@ public:
     /// (the equivalence suite proves it).
     explicit Noc_system(Topology topology, Route_set routes,
                         Network_params params, Build_options options = {});
-
-    /// Legacy positional tail, one PR only: equivalent to Build_options
-    /// with {kernel_mode: shard_count > 1 ? sharded : activity_gated,
-    /// partition: contiguous(shard_count), allow_partial_routes}.
-    [[deprecated("pass Build_options (or use Noc_builder) instead of the "
-                 "positional bool/shard_count tail")]]
-    Noc_system(Topology topology, Route_set routes, Network_params params,
-               bool allow_partial_routes, std::uint32_t shard_count = 1);
 
     Noc_system(const Noc_system&) = delete;
     Noc_system& operator=(const Noc_system&) = delete;
@@ -104,11 +108,51 @@ public:
     [[nodiscard]] std::vector<std::uint64_t> switch_load_profile() const;
 
     // --- measurement protocol ----------------------------------------------
+    // With a fault plan installed these run the kernel in chunks split at
+    // the plan's event cycles (see the header comment).
     void warmup(Cycle cycles);
     /// Opens the measurement window and runs through it.
     void measure(Cycle cycles);
-    /// Runs until every measured packet is delivered; false on timeout.
+    /// Runs until every measured packet is delivered or dropped; false on
+    /// timeout. Dropped and unreachable packets count as accounted for, so
+    /// a faulted run drains instead of hanging.
     bool drain(Cycle max_cycles);
+
+    // --- fault injection / online reconfiguration (arch/fault_plan.h) -------
+    [[nodiscard]] const Fault_plan* fault_plan() const
+    {
+        return fault_plan_.get();
+    }
+    /// Links permanently failed so far.
+    [[nodiscard]] const std::set<Link_id>& failed_links() const
+    {
+        return failed_links_;
+    }
+    /// (src, dst) pairs with no surviving route after the last reroute.
+    [[nodiscard]] const std::vector<std::pair<Core_id, Core_id>>&
+    unreachable_pairs() const
+    {
+        return unreachable_pairs_;
+    }
+    /// True between a permanent failure and its reroute completion
+    /// (injection is paused network-wide in that window). Completion
+    /// requires both the plan's reroute_latency to elapse AND the network
+    /// to drain of in-flight flits, so old-route and new-route packets
+    /// never mix (their union can deadlock even though each routing
+    /// function alone is deadlock-free); time_to_recover in the stats is
+    /// therefore latency + drain time.
+    [[nodiscard]] bool reroute_pending() const
+    {
+        return reroute_at_ != invalid_cycle;
+    }
+    /// The route LUT the NIs currently inject with: the original set until
+    /// a reroute, then the latest reroute epoch. Retired epochs stay alive
+    /// for the lifetime of the system (in-flight packets hold pointers
+    /// into them).
+    [[nodiscard]] const Route_set& current_routes() const
+    {
+        return reroute_epochs_.empty() ? routes_ : *reroute_epochs_.back();
+    }
 
     // --- activity (power models, utilization reports) ------------------------
     /// Flits that traversed `link` so far.
@@ -118,12 +162,20 @@ public:
     [[nodiscard]] std::uint64_t total_flits_routed() const;
 
 private:
-    /// Bundles the legacy shim's arguments so the delegating ctor can
-    /// clamp shard_count against the topology BEFORE it is moved (the
-    /// legacy schedule choice keyed on the clamped count). Defined in
-    /// noc_system.cpp; dies with the shim.
-    struct Legacy_init;
-    explicit Noc_system(Legacy_init init);
+    // --- fault engine (noc_system.cpp; sequential points only) --------------
+    /// Run `cycles` kernel cycles, splitting at fault-plan event cycles.
+    void run_with_faults(Cycle cycles);
+    /// Apply every fault event due at or before kernel_.now().
+    void service_fault_events();
+    /// Earliest of `limit`, the next pending fault cycle and a pending
+    /// reroute completion (all strictly after now).
+    [[nodiscard]] Cycle next_fault_stop(Cycle limit) const;
+    void apply_transient(const Transient_fault& fault);
+    void apply_permanent(const Permanent_fault& fault);
+    void complete_reroute();
+    /// Re-sync sender-owned counters (retransmissions) into stats_.
+    void sync_fault_counters();
+    void wake_everything();
 
     Topology topology_;
     Route_set routes_;
@@ -146,6 +198,25 @@ private:
     std::vector<std::unique_ptr<Flit_channel>> eject_data_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Ni>> nis_;
+
+    // --- fault-engine state (null/empty on fault-free systems) --------------
+    std::shared_ptr<const Fault_plan> fault_plan_;
+    /// Plan events sorted by cycle, consumed front-to-back.
+    std::vector<Transient_fault> transients_;
+    std::vector<Permanent_fault> permanents_;
+    std::size_t next_transient_ = 0;
+    std::size_t next_permanent_ = 0;
+    std::set<Link_id> failed_links_;
+    /// Cycle a pending reroute completes at (invalid_cycle = none).
+    Cycle reroute_at_ = invalid_cycle;
+    /// In-progress recovery record, finished at reroute completion.
+    Network_stats::Recovery_record pending_recovery_;
+    /// Every reroute's Route_set, oldest first; all stay alive (see
+    /// current_routes()).
+    std::vector<std::unique_ptr<Route_set>> reroute_epochs_;
+    std::vector<std::pair<Core_id, Core_id>> unreachable_pairs_;
+    /// The attached probe (also receives on_fault_event).
+    Probe* probe_ = nullptr;
 };
 
 } // namespace noc

@@ -78,6 +78,7 @@ void Trace_probe::clear()
         r.count = 0;
         for (auto& rec : r.records) rec = Flit_ref{};
     }
+    fault_events_.clear();
 }
 
 } // namespace noc

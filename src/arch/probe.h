@@ -50,6 +50,22 @@
 
 namespace noc {
 
+/// One fault-engine event (arch/fault_plan.h), reported through
+/// Probe::on_fault_event so probes can record recovery timelines alongside
+/// their hop traces.
+struct Fault_event {
+    enum class Kind {
+        transient_injected, ///< one flit corrupted on `links[0]`
+        link_failed,        ///< permanent failure: purge done, reroute pending
+        rerouted,           ///< new route tables published
+    };
+    Kind kind = Kind::transient_injected;
+    Cycle at = invalid_cycle;
+    std::vector<Link_id> links;          ///< affected links
+    std::uint64_t packets_dropped = 0;   ///< purged at a permanent failure
+    std::uint64_t unreachable_pairs = 0; ///< pairs still dead after reroute
+};
+
 /// Hot-path observability interface; see the header comment for the
 /// threading contract.
 class Probe {
@@ -64,6 +80,11 @@ public:
     /// moved `flit` through its crossbar at cycle `now`.
     virtual void on_hop(std::uint32_t shard, Cycle now, Switch_id sw,
                         Flit_ref flit) = 0;
+
+    /// One fault-engine event (arch/fault_plan.h). Unlike on_hop this runs
+    /// at a sequential point between kernel runs, never concurrently —
+    /// implementations need no per-shard partitioning for it.
+    virtual void on_fault_event(const Fault_event& event) { (void)event; }
 };
 
 /// Per-shard ring-buffer flight recorder of 4-byte Flit_ref hop records
@@ -103,6 +124,17 @@ public:
     /// system this equals the system's total_flits_routed() delta.
     [[nodiscard]] std::uint64_t total_recorded() const;
 
+    /// Sequential-point fault events are retained verbatim (there are few
+    /// of them) — the recovery timeline of the run.
+    void on_fault_event(const Fault_event& event) override
+    {
+        fault_events_.push_back(event);
+    }
+    [[nodiscard]] const std::vector<Fault_event>& fault_events() const
+    {
+        return fault_events_;
+    }
+
     /// The retained records of shard `s`, oldest first (at most
     /// capacity_per_shard()). Call only between kernel runs.
     [[nodiscard]] std::vector<Flit_ref> recent(std::uint32_t s) const;
@@ -125,6 +157,7 @@ private:
 
     std::uint32_t mask_ = 0; ///< capacity - 1 (power of two)
     std::vector<Ring> rings_;
+    std::vector<Fault_event> fault_events_;
 };
 
 } // namespace noc

@@ -91,6 +91,14 @@ public:
         return slots_[(head_ + i) & mask_];
     }
 
+    /// Mutable i-th element: in-place updates of queued records (an NI
+    /// rebinding route pointers after an online reconfiguration).
+    [[nodiscard]] T& operator[](std::size_t i)
+    {
+        NOC_ASSERT(i < size(), "Ring_fifo: index out of range");
+        return slots_[(head_ + i) & mask_];
+    }
+
     T pop()
     {
         NOC_ASSERT(!empty(), "Ring_fifo::pop on empty");

@@ -297,7 +297,10 @@ bool Router::deliver_arrival(Input& in, Flit_ref ref)
         // release it on drop.
         auto& fifo = in.vcs[0].fifo;
         const Flit& f = (*pool_)[ref];
-        if (f.link_seq == in.expected_seq && !fifo.full()) {
+        // A corrupted wire copy (injected transient fault) is treated like
+        // a failed checksum: drop and NACK, and the go-back-N window
+        // retransmits the clean original — the §3 ACK/NACK recovery story.
+        if (!f.corrupted && f.link_seq == in.expected_seq && !fifo.full()) {
             fifo.push(ref);
             ++in.vcs[0].fifo_gen;
             ++buffered_;

@@ -28,6 +28,7 @@
 #include "sim/kernel.h"
 
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace noc {
@@ -113,6 +114,106 @@ public:
     [[nodiscard]] std::uint64_t blocked_sleep_entries() const
     {
         return blocked_sleeps_;
+    }
+
+    // --- fault-injection support (arch/fault_plan.h) -----------------------
+    // May only be called at a sequential point between kernel runs, by the
+    // fault engine in Noc_system.
+
+    /// Mutable output sender: the fault engine fails dead links and resets
+    /// ACK/NACK windows on surviving ones.
+    [[nodiscard]] Link_sender& output_sender_mut(int port)
+    {
+        return outputs_[static_cast<std::size_t>(port)].sender;
+    }
+    /// ACK/NACK receiver state: next link sequence expected on `port`.
+    [[nodiscard]] std::uint32_t expected_seq(int port) const
+    {
+        return inputs_[static_cast<std::size_t>(port)].expected_seq;
+    }
+    /// The parked arrival of input `port` (invalid when none).
+    [[nodiscard]] Flit_ref arrival_pending(int port) const
+    {
+        return inputs_[static_cast<std::size_t>(port)].arrival_sink.pending;
+    }
+    /// Remove and return the parked arrival of `port` (invalid when none).
+    /// Used before an ACK/NACK window reset: the parked copy counts as
+    /// in flight and must be cleared with the wire.
+    [[nodiscard]] Flit_ref take_arrival(int port)
+    {
+        return std::exchange(
+            inputs_[static_cast<std::size_t>(port)].arrival_sink.pending,
+            Flit_ref{});
+    }
+    /// Packet owning (output port, vc); invalid when the VC is free.
+    [[nodiscard]] Packet_id output_vc_owner(int port, int vc) const
+    {
+        return outputs_[static_cast<std::size_t>(port)]
+            .vc_owner[static_cast<std::size_t>(vc)];
+    }
+
+    /// Visit every flit handle this router currently buffers — parked
+    /// arrival slots and input VC rings — as f(int input_port, Flit_ref).
+    template<typename F> void for_each_buffered(F&& f) const
+    {
+        for (std::size_t p = 0; p < inputs_.size(); ++p) {
+            const Input& in = inputs_[p];
+            if (in.arrival_sink.pending.is_valid())
+                f(static_cast<int>(p), in.arrival_sink.pending);
+            for (const Vc_state& vs : in.vcs)
+                for (std::size_t i = 0; i < vs.fifo.size(); ++i)
+                    f(static_cast<int>(p), vs.fifo[i]);
+        }
+    }
+
+    /// Remove every buffered flit of a doomed packet and clear the
+    /// wormhole state those packets held. `doomed(Packet_id)` decides;
+    /// `on_drop(Flit_ref)` counts and releases the handle; per flit purged
+    /// from a VC ring or arrival slot, `credit(int input_port, int vc)`
+    /// lets Noc_system restore the upstream credit whose return will never
+    /// come (no-op for schemes without credits).
+    template<typename DoomedFn, typename DropFn, typename CreditFn>
+    void purge_doomed(DoomedFn&& doomed, DropFn&& on_drop, CreditFn&& credit)
+    {
+        for (std::size_t p = 0; p < inputs_.size(); ++p) {
+            Input& in = inputs_[p];
+            if (in.arrival_sink.pending.is_valid() &&
+                doomed((*pool_)[in.arrival_sink.pending].packet)) {
+                const Flit_ref ref =
+                    std::exchange(in.arrival_sink.pending, Flit_ref{});
+                const int vc = (*pool_)[ref].vc;
+                on_drop(ref);
+                credit(static_cast<int>(p), vc);
+            }
+            for (std::size_t v = 0; v < in.vcs.size(); ++v) {
+                Vc_state& vs = in.vcs[v];
+                // Unbind before clearing owners: the pid is still recorded.
+                const Packet_id bound_owner =
+                    vs.bound ? outputs_[vs.out_port].vc_owner[vs.out_vc]
+                             : Packet_id::invalid();
+                if (bound_owner.is_valid() && doomed(bound_owner)) {
+                    vs.bound = false;
+                    ++vs.fifo_gen;
+                }
+                for (std::size_t i = 0; i < vs.fifo.size();) {
+                    if (doomed((*pool_)[vs.fifo[i]].packet)) {
+                        on_drop(vs.fifo.erase_at(i));
+                        ++vs.fifo_gen;
+                        --buffered_;
+                        --in.occupancy;
+                        credit(static_cast<int>(p), static_cast<int>(v));
+                    } else {
+                        ++i;
+                    }
+                }
+            }
+        }
+        for (Output& out : outputs_)
+            for (Packet_id& owner : out.vc_owner)
+                if (owner.is_valid() && doomed(owner)) {
+                    owner = Packet_id::invalid();
+                    ++out.owner_gen;
+                }
     }
 
 private:

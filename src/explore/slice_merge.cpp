@@ -1,0 +1,117 @@
+#include "explore/slice_merge.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace noc {
+
+std::string merge_slice_document(const std::string& name,
+                                 const std::string& content,
+                                 Slice_merge& acc)
+{
+    std::vector<std::string> lines;
+    {
+        std::istringstream in{content};
+        std::string line;
+        while (std::getline(in, line)) lines.push_back(line);
+    }
+    bool has_header = false;
+    for (const auto& l : lines)
+        if (l.find("\"bench\": \"sweep_points\"") != std::string::npos)
+            has_header = true;
+    if (!has_header)
+        return name +
+               ": not a bench_sweep slice file (no \"bench\": "
+               "\"sweep_points\" header — wrong, empty or truncated file?)";
+    // A complete document ends with its closing brace; a torn write loses
+    // it (records are written before the brace, so any tail damage shows
+    // here or in a record check below).
+    std::string last_line;
+    for (auto it = lines.rbegin(); it != lines.rend(); ++it)
+        if (it->find_first_not_of(" \t\r") != std::string::npos) {
+            last_line = *it;
+            break;
+        }
+    while (!last_line.empty() && last_line.back() == '\r')
+        last_line.pop_back();
+    if (last_line != "}")
+        return name +
+               ": truncated slice file (document does not end with its "
+               "closing brace — incomplete write?)";
+
+    auto header_field = [](const std::string& line, const std::string& key) {
+        const std::string marker = "\"" + key + "\": \"";
+        const auto at = line.find(marker);
+        if (at == std::string::npos) return std::string{};
+        const auto start = at + marker.size();
+        return line.substr(start, line.find('"', start) - start);
+    };
+
+    for (const std::string& l : lines) {
+        // Slices are mergeable only when they agree on the spec AND the
+        // full measurement budget (the budget tag folds warmup/measure/
+        // drain/seed, so half-budget smoke slices never mix into a full
+        // run).
+        for (const auto& [key, slot] :
+             {std::pair<const char*, std::string*>{"spec", &acc.spec_name},
+              std::pair<const char*, std::string*>{"budget", &acc.budget},
+              std::pair<const char*, std::string*>{"grid_points",
+                                                   &acc.grid_points}}) {
+            const std::string value = header_field(l, key);
+            if (value.empty()) continue;
+            if (slot->empty()) *slot = value;
+            if (value != *slot)
+                return name + ": " + key + " '" + value +
+                       "' does not match '" + *slot +
+                       "' — slices from different runs?";
+        }
+        const auto idx_at = l.find("{\"index\": ");
+        if (idx_at == std::string::npos) continue;
+        const auto idx = static_cast<std::uint32_t>(
+            std::strtoul(l.c_str() + idx_at + 10, nullptr, 10));
+        // Normalize: strip the slice-local trailing comma.
+        std::string record = l;
+        while (!record.empty() &&
+               (record.back() == ',' || record.back() == '\r'))
+            record.pop_back();
+        // Every record is a one-line JSON object; a line that lost its
+        // tail (torn write inside a record) must not survive the merge.
+        if (record.empty() || record.back() != '}')
+            return name + ": corrupted record for point " +
+                   std::to_string(idx) +
+                   " (line does not close its object — truncated write?)";
+        if (acc.by_index.count(idx) != 0 && acc.by_index[idx] != record)
+            return "point " + std::to_string(idx) +
+                   " appears twice with different results "
+                   "(non-deterministic slice?)";
+        acc.by_index[idx] = std::move(record);
+    }
+    return {};
+}
+
+std::string finish_slice_merge(const Slice_merge& acc,
+                               std::vector<std::string>& records)
+{
+    if (acc.by_index.empty()) return "no point records found";
+    const auto count = static_cast<std::uint32_t>(acc.by_index.size());
+    const auto expected = static_cast<std::uint32_t>(
+        std::strtoul(acc.grid_points.c_str(), nullptr, 10));
+    // Exact coverage: the slice headers carry the grid total, so a missing
+    // TAIL slice (straggler machine) is a hard error, not a silently
+    // shorter "complete" file.
+    if (expected == 0 || count != expected)
+        return "coverage gap: " + std::to_string(count) + " of " +
+               (acc.grid_points.empty() ? std::string{"?"}
+                                        : acc.grid_points) +
+               " grid points present";
+    for (std::uint32_t i = 0; i < count; ++i)
+        if (acc.by_index.count(i) == 0)
+            return "coverage gap: point " + std::to_string(i) +
+                   " missing (have " + std::to_string(count) + " records)";
+    records.clear();
+    for (const auto& [idx, line] : acc.by_index) records.push_back(line);
+    return {};
+}
+
+} // namespace noc

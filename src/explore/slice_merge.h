@@ -1,0 +1,45 @@
+// Validation and merging of distributed sweep slice documents.
+//
+// A slice file (bench_sweep --points a..b) is one complete JSON document:
+// a header object carrying (spec, budget, grid_points), one-line point
+// records, and a closing brace. Merging must reject a damaged slice — a
+// torn write from a straggler machine, a wrong file, a partial download —
+// with a diagnostic rather than fold a plausible-looking fragment into a
+// "complete" merge. The checks live here, in the library, so they are unit
+// tested with deliberately damaged documents; bench_sweep --merge is a
+// thin file-reading wrapper around them.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/// Accumulator across slice documents. Feed every document through
+/// merge_slice_document, then call finish_slice_merge for the coverage
+/// check and the final index-ordered record list.
+struct Slice_merge {
+    std::string spec_name;   ///< header "spec" — must agree across slices
+    std::string budget;      ///< header "budget" — must agree across slices
+    std::string grid_points; ///< header "grid_points" — total point count
+    std::map<std::uint32_t, std::string> by_index; ///< normalized records
+};
+
+/// Validate one slice document and fold its records into `acc`. `name` is
+/// used only for diagnostics (a file name, usually). Returns the empty
+/// string on success, else a human-readable diagnostic; on failure `acc`
+/// may hold records already folded from this document, so callers must
+/// treat the whole merge as poisoned.
+[[nodiscard]] std::string merge_slice_document(const std::string& name,
+                                               const std::string& content,
+                                               Slice_merge& acc);
+
+/// Exact-coverage check: every index in [0, grid_points) present exactly
+/// once. On success returns "" and fills `records` in index order; else a
+/// diagnostic (missing tail slice, empty merge, unparseable total).
+[[nodiscard]] std::string finish_slice_merge(const Slice_merge& acc,
+                                             std::vector<std::string>& records);
+
+} // namespace noc

@@ -1,7 +1,6 @@
 #include "explore/sweep_result.h"
 
 #include "common/table.h"
-#include "synth/pareto.h"
 
 #include <algorithm>
 #include <cmath>
@@ -101,79 +100,116 @@ Sweep_result assemble_sweep_result(const Sweep_spec& spec,
 
     Sweep_result result;
     result.spec_name = spec.name;
+    result.has_fault_axis = !spec.fault_scenarios.empty();
     result.curves.reserve(spec.curve_count());
 
     std::size_t next = 0;
     for (std::uint32_t d = 0; d < spec.designs.size(); ++d) {
         const Topology topo = make_sweep_topology(spec.designs[d]);
-        for (std::uint32_t t = 0; t < spec.traffics.size(); ++t) {
-            Design_curve curve;
-            curve.design = d;
-            curve.traffic = t;
-            curve.label = spec.curve_label(d, t);
-            curve.design_label = spec.designs[d].label;
-            curve.params_label = spec.designs[d].params_label;
-            curve.traffic_label = spec.traffics[t].label;
-            curve.cost_bits = curve_cost_bits(spec.designs[d], topo);
-            for (std::size_t li = 0; li < loads; ++li)
-                curve.points.push_back(std::move(point_results[next++]));
+        for (std::uint32_t t = 0; t < spec.traffics.size(); ++t)
+            for (std::uint32_t s = 0;
+                 s < static_cast<std::uint32_t>(spec.scenario_count());
+                 ++s) {
+                Design_curve curve;
+                curve.design = d;
+                curve.traffic = t;
+                curve.scenario = s;
+                curve.label = spec.curve_label(d, t, s);
+                curve.design_label = spec.designs[d].label;
+                curve.params_label = spec.designs[d].params_label;
+                curve.traffic_label = spec.traffics[t].label;
+                if (result.has_fault_axis)
+                    curve.scenario_label = spec.fault_scenarios[s].label;
+                curve.cost_bits = curve_cost_bits(spec.designs[d], topo);
+                for (std::size_t li = 0; li < loads; ++li)
+                    curve.points.push_back(std::move(point_results[next++]));
 
-            // Zero-load latency: the first usable grid point (lowest load).
-            for (const auto& p : curve.points)
-                if (usable(p, spec.latency_cap)) {
-                    curve.zero_load_latency = p.load.avg_packet_latency;
-                    break;
-                }
-            // Saturation: binary-search result when available, else the
-            // best accepted throughput over usable grid points.
-            const std::size_t ci = result.curves.size();
-            if (saturation[ci] >= 0.0) {
-                curve.saturation_throughput = saturation[ci];
-                curve.saturation_searched = true;
-            } else {
+                // Zero-load latency: first usable grid point (lowest load).
                 for (const auto& p : curve.points)
-                    if (usable(p, spec.latency_cap) &&
-                        p.load.accepted_flits_per_node_cycle >
-                            curve.saturation_throughput)
-                        curve.saturation_throughput =
-                            p.load.accepted_flits_per_node_cycle;
+                    if (usable(p, spec.latency_cap)) {
+                        curve.zero_load_latency = p.load.avg_packet_latency;
+                        break;
+                    }
+                // Saturation: binary-search result when available, else the
+                // best accepted throughput over usable grid points.
+                const std::size_t ci = result.curves.size();
+                if (saturation[ci] >= 0.0) {
+                    curve.saturation_throughput = saturation[ci];
+                    curve.saturation_searched = true;
+                } else {
+                    for (const auto& p : curve.points)
+                        if (usable(p, spec.latency_cap) &&
+                            p.load.accepted_flits_per_node_cycle >
+                                curve.saturation_throughput)
+                            curve.saturation_throughput =
+                                p.load.accepted_flits_per_node_cycle;
+                }
+                // Availability: mean over usable points (each already the
+                // measured-window delivered/(delivered+dropped) ratio).
+                double avail_sum = 0.0;
+                std::size_t avail_n = 0;
+                for (const auto& p : curve.points)
+                    if (usable(p, spec.latency_cap)) {
+                        avail_sum += p.load.availability;
+                        ++avail_n;
+                    }
+                if (avail_n > 0)
+                    curve.availability =
+                        avail_sum / static_cast<double>(avail_n);
+                result.curves.push_back(std::move(curve));
             }
-            result.curves.push_back(std::move(curve));
-        }
     }
 
     // Simulation-backed Pareto front over (cost, zero-load latency,
-    // -saturation throughput): reuse the synth layer's dominance filter by
-    // mapping the explore axes onto its three minimization slots. Designs
-    // compete only WITHIN a traffic workload (a design's tornado curve
-    // must not shadow its own uniform curve — those answer different
-    // questions), so the front is computed per traffic variant and
-    // reported as one sorted union. Curves with no usable point carry no
-    // evidence and are excluded.
-    for (std::uint32_t t = 0; t < spec.traffics.size(); ++t) {
-        std::vector<Design_metrics> metrics;
-        std::vector<std::size_t> candidates;
-        for (std::size_t i = 0; i < result.curves.size(); ++i) {
-            const Design_curve& c = result.curves[i];
-            if (c.traffic != t) continue;
-            // A curve without a single usable grid point has no latency
-            // evidence (zero_load_latency kept its 0.0 sentinel, which
-            // would read as PERFECT latency to the dominance filter) —
-            // excluded even when a saturation search returned a
-            // throughput, per the no-evidence contract above.
-            if (c.zero_load_latency <= 0.0) continue;
-            Design_metrics m;
-            m.power_mw = c.cost_bits;
-            m.latency_ns = c.zero_load_latency;
-            m.area_mm2 = -c.saturation_throughput;
-            metrics.push_back(m);
-            candidates.push_back(i);
+    // -saturation throughput, -availability): the synth layer's dominance
+    // rule (no worse everywhere, strictly better somewhere) extended by
+    // the reliability axis — with no fault scenarios every availability is
+    // 1.0 and the filter is exactly the historical three-dimensional one.
+    // Designs compete only WITHIN one (traffic, scenario) workload (a
+    // design's tornado curve must not shadow its own uniform curve, nor a
+    // faulted curve its fault-free baseline — those answer different
+    // questions), so fronts are computed per pair and reported as one
+    // sorted union. Curves with no usable point carry no evidence and are
+    // excluded.
+    const auto dominates4 = [](const Design_curve& a, const Design_curve& b) {
+        if (a.cost_bits > b.cost_bits) return false;
+        if (a.zero_load_latency > b.zero_load_latency) return false;
+        if (a.saturation_throughput < b.saturation_throughput) return false;
+        if (a.availability < b.availability) return false;
+        return a.cost_bits < b.cost_bits ||
+               a.zero_load_latency < b.zero_load_latency ||
+               a.saturation_throughput > b.saturation_throughput ||
+               a.availability > b.availability;
+    };
+    for (std::uint32_t t = 0; t < spec.traffics.size(); ++t)
+        for (std::uint32_t s = 0;
+             s < static_cast<std::uint32_t>(spec.scenario_count()); ++s) {
+            std::vector<std::size_t> candidates;
+            for (std::size_t i = 0; i < result.curves.size(); ++i) {
+                const Design_curve& c = result.curves[i];
+                if (c.traffic != t || c.scenario != s) continue;
+                // A curve without a single usable grid point has no
+                // latency evidence (zero_load_latency kept its 0.0
+                // sentinel, which would read as PERFECT latency to the
+                // dominance filter) — excluded even when a saturation
+                // search returned a throughput.
+                if (c.zero_load_latency <= 0.0) continue;
+                candidates.push_back(i);
+            }
+            for (const std::size_t i : candidates) {
+                bool dominated = false;
+                for (const std::size_t j : candidates)
+                    if (j != i && dominates4(result.curves[j],
+                                             result.curves[i])) {
+                        dominated = true;
+                        break;
+                    }
+                if (!dominated) {
+                    result.pareto.push_back(i);
+                    result.curves[i].on_pareto = true;
+                }
+            }
         }
-        for (const std::size_t k : pareto_front(metrics)) {
-            result.pareto.push_back(candidates[k]);
-            result.curves[candidates[k]].on_pareto = true;
-        }
-    }
     std::sort(result.pareto.begin(), result.pareto.end());
     return result;
 }
@@ -188,12 +224,19 @@ std::string Sweep_result::to_json() const
                 "\", \"design\": \"" + json_escape_string(c.design_label) +
                 "\", \"params\": \"" + json_escape_string(c.params_label) +
                 "\", \"traffic\": \"" + json_escape_string(c.traffic_label) +
-                "\",\n     \"cost_bits\": " + shortest_double(c.cost_bits) +
+                "\",";
+        if (has_fault_axis)
+            json += " \"scenario\": \"" +
+                    json_escape_string(c.scenario_label) + "\",";
+        json += "\n     \"cost_bits\": " + shortest_double(c.cost_bits) +
                 ", \"zero_load_latency\": " + shortest_double(c.zero_load_latency) +
                 ", \"saturation_throughput\": " +
                 shortest_double(c.saturation_throughput) +
                 ", \"saturation_searched\": " +
                 (c.saturation_searched ? "true" : "false") +
+                (has_fault_axis
+                     ? ", \"availability\": " + shortest_double(c.availability)
+                     : std::string{}) +
                 ", \"on_pareto\": " + (c.on_pareto ? "true" : "false") +
                 ",\n     \"points\": [\n";
         for (std::size_t p = 0; p < c.points.size(); ++p) {
@@ -217,7 +260,22 @@ std::string Sweep_result::to_json() const
                     ", \"max_latency\": " + shortest_double(pr.load.max_latency) +
                     ", \"packets\": " + std::to_string(pr.load.packets) +
                     ", \"drained\": " +
-                    (pr.load.drained ? "true" : "false") + "}";
+                    (pr.load.drained ? "true" : "false");
+                if (has_fault_axis)
+                    json +=
+                        ", \"dropped\": " +
+                        std::to_string(pr.load.packets_dropped) +
+                        ", \"unreachable\": " +
+                        std::to_string(pr.load.packets_unreachable) +
+                        ", \"corrupted_flits\": " +
+                        std::to_string(pr.load.corrupted_flits) +
+                        ", \"retransmissions\": " +
+                        std::to_string(pr.load.retransmissions) +
+                        ", \"recoveries\": " +
+                        std::to_string(pr.load.recoveries) +
+                        ", \"availability\": " +
+                        shortest_double(pr.load.availability);
+                json += "}";
             }
             json += p + 1 < c.points.size() ? ",\n" : "\n";
         }
@@ -235,20 +293,31 @@ std::string Sweep_result::to_json() const
 
 std::string Sweep_result::to_csv() const
 {
-    std::string csv =
-        "curve,design,params,traffic,load,offered,accepted,"
+    std::string csv = "curve,design,params,traffic,";
+    if (has_fault_axis) csv += "scenario,";
+    csv +=
+        "load,offered,accepted,"
         "avg_packet_latency,avg_network_latency,p99_estimate,max_latency,"
-        "packets,drained,error\n";
+        "packets,drained,";
+    if (has_fault_axis)
+        csv += "dropped,unreachable,corrupted_flits,retransmissions,"
+               "recoveries,availability,";
+    csv += "error\n";
+    // Six empty value columns for rows with no measurement (skipped /
+    // errored), plus the reliability ones when the axis is on.
+    const std::string empty_values =
+        has_fault_axis ? ",,,,,,0,false,,,,,,," : ",,,,,,0,false,";
     for (const auto& c : curves)
         for (const auto& p : c.points) {
             csv += csv_escape(c.label) + "," + csv_escape(c.design_label) +
                    "," + csv_escape(c.params_label) + "," +
-                   csv_escape(c.traffic_label) + "," + shortest_double(p.point.load) +
-                   ",";
+                   csv_escape(c.traffic_label) + ",";
+            if (has_fault_axis) csv += csv_escape(c.scenario_label) + ",";
+            csv += shortest_double(p.point.load) + ",";
             if (p.skipped) {
-                csv += ",,,,,,0,false,skipped";
+                csv += empty_values + "skipped";
             } else if (!p.error.empty()) {
-                csv += ",,,,,,0,false," + csv_escape(p.error);
+                csv += empty_values + csv_escape(p.error);
             } else {
                 csv += shortest_double(p.load.offered_flits_per_node_cycle) + "," +
                        shortest_double(p.load.accepted_flits_per_node_cycle) + "," +
@@ -258,6 +327,13 @@ std::string Sweep_result::to_csv() const
                        shortest_double(p.load.max_latency) + "," +
                        std::to_string(p.load.packets) + "," +
                        (p.load.drained ? "true" : "false") + ",";
+                if (has_fault_axis)
+                    csv += std::to_string(p.load.packets_dropped) + "," +
+                           std::to_string(p.load.packets_unreachable) + "," +
+                           std::to_string(p.load.corrupted_flits) + "," +
+                           std::to_string(p.load.retransmissions) + "," +
+                           std::to_string(p.load.recoveries) + "," +
+                           shortest_double(p.load.availability) + ",";
             }
             csv += "\n";
         }
@@ -272,17 +348,39 @@ std::string Sweep_result::report() const
        << " on the simulation-backed Pareto front (" << worker_threads
        << " worker threads, " << format_double(wall_seconds, 2)
        << " s wall)\n\n";
-    Text_table table{{"curve", "cost(bits)", "lat0(cy)", "sat(fl/n/cy)",
-                      "sat src", "pareto"}};
+    if (has_fault_axis) {
+        Text_table table{{"curve", "cost(bits)", "lat0(cy)", "sat(fl/n/cy)",
+                          "sat src", "avail", "pareto"}};
+        for (const auto& c : curves)
+            table.row()
+                .add(c.label)
+                .add(c.cost_bits, 0)
+                .add(c.zero_load_latency, 1)
+                .add(c.saturation_throughput, 3)
+                .add(c.saturation_searched ? "search" : "grid")
+                .add(c.availability, 4)
+                .add(c.on_pareto ? "*" : "");
+        table.print(os);
+    } else {
+        Text_table table{{"curve", "cost(bits)", "lat0(cy)", "sat(fl/n/cy)",
+                          "sat src", "pareto"}};
+        for (const auto& c : curves)
+            table.row()
+                .add(c.label)
+                .add(c.cost_bits, 0)
+                .add(c.zero_load_latency, 1)
+                .add(c.saturation_throughput, 3)
+                .add(c.saturation_searched ? "search" : "grid")
+                .add(c.on_pareto ? "*" : "");
+        table.print(os);
+    }
+    std::size_t retried = 0;
     for (const auto& c : curves)
-        table.row()
-            .add(c.label)
-            .add(c.cost_bits, 0)
-            .add(c.zero_load_latency, 1)
-            .add(c.saturation_throughput, 3)
-            .add(c.saturation_searched ? "search" : "grid")
-            .add(c.on_pareto ? "*" : "");
-    table.print(os);
+        for (const auto& p : c.points)
+            if (p.retried && p.error.empty()) ++retried;
+    if (retried > 0)
+        os << "\n" << retried
+           << " point(s) succeeded only on the runner's second attempt\n";
     bool errors = false;
     for (const auto& c : curves)
         for (const auto& p : c.points)

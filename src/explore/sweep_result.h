@@ -26,16 +26,25 @@ struct Point_result {
     /// (distributed sweeps); the load fields are untouched and the point
     /// is excluded from curve metrics, serialized as {"skipped": true}.
     bool skipped = false;
+    /// True when the first execution attempt threw and the runner re-ran
+    /// the point (execution metadata, like wall_seconds: reported, never
+    /// serialized — a retried point's load fields are byte-identical to a
+    /// first-try success by determinism of the inputs).
+    bool retried = false;
 };
 
 /// One (design, traffic) curve over the load grid.
 struct Design_curve {
     std::uint32_t design = 0;  ///< index into Sweep_spec::designs
     std::uint32_t traffic = 0; ///< index into Sweep_spec::traffics
-    std::string label;         ///< "design/params/traffic"
+    /// Index into Sweep_spec::fault_scenarios (0, with an empty
+    /// scenario_label, when the spec declares none).
+    std::uint32_t scenario = 0;
+    std::string label; ///< "design/params/traffic[/scenario]"
     std::string design_label;
     std::string params_label;
     std::string traffic_label;
+    std::string scenario_label; ///< empty without a fault axis
     /// Implementation-cost proxy in storage bits: wiring (links x flit
     /// width) + buffering (input ports x VCs x depth x flit width). The
     /// cost axis of the simulation-backed Pareto front — simulation
@@ -50,8 +59,13 @@ struct Design_curve {
     /// the latency cap.
     double saturation_throughput = 0.0;
     bool saturation_searched = false;
-    /// On its traffic workload's Pareto front (designs compete only within
-    /// one workload; see Sweep_result::pareto).
+    /// Measured-window delivery fraction delivered/(delivered+dropped),
+    /// aggregated over the curve's usable points. 1.0 on fault-free runs;
+    /// under a fault scenario this is the reliability dimension the Pareto
+    /// front trades against cost/latency/throughput.
+    double availability = 1.0;
+    /// On its workload's Pareto front (designs compete only within one
+    /// (traffic, fault scenario) pair; see Sweep_result::pareto).
     bool on_pareto = false;
 };
 
@@ -62,10 +76,17 @@ struct Design_curve {
 struct Sweep_result {
     std::string spec_name;
     std::vector<Design_curve> curves;
+    /// True when the spec declared fault scenarios; gates the reliability
+    /// columns in to_json()/to_csv() so fault-free sweeps serialize
+    /// byte-identically to builds that predate the fault axis.
+    bool has_fault_axis = false;
     /// Curve indices (ascending) on the simulation-backed front over
-    /// (cost_bits, zero_load_latency, -saturation_throughput), computed
-    /// per traffic variant: a design's curves under different workloads
-    /// answer different questions and never dominate each other.
+    /// (cost_bits, zero_load_latency, -saturation_throughput,
+    /// -availability), computed per (traffic, scenario) pair: a design's
+    /// curves under different workloads or fault scenarios answer
+    /// different questions and never dominate each other. Without a fault
+    /// axis every availability is 1.0 and the filter degenerates to the
+    /// historical three-dimensional front.
     std::vector<std::size_t> pareto;
     // Execution metadata (not serialized; see Point_result::wall_seconds).
     std::uint32_t worker_threads = 1;

@@ -18,7 +18,7 @@ Load_point run_point(const Sweep_spec& spec, const Sweep_point& p)
     const Traffic_variant& t = spec.traffics[p.traffic];
     const Topology topo = make_sweep_topology(d);
     const Route_set routes = make_sweep_routes(d, topo);
-    const Sweep_config cfg = point_config(spec, d, p.seed);
+    const Sweep_config cfg = point_config(spec, d, p.seed, &topo, p.scenario);
     if (t.is_application)
         return run_application_load(topo, routes, d.params, *t.graph,
                                     p.load, cfg);
@@ -30,7 +30,7 @@ Load_point run_point(const Sweep_spec& spec, const Sweep_point& p)
 /// Per-curve saturation binary search (synthetic traffic only). One
 /// sequential task: the search's iterations depend on each other.
 double search_saturation(const Sweep_spec& spec, std::uint32_t design,
-                         std::uint32_t traffic)
+                         std::uint32_t traffic, std::uint32_t scenario)
 {
     const Design_variant& d = spec.designs[design];
     const Traffic_variant& t = spec.traffics[traffic];
@@ -38,7 +38,9 @@ double search_saturation(const Sweep_spec& spec, std::uint32_t design,
     const Route_set routes = make_sweep_routes(d, topo);
     const Sweep_config cfg = point_config(
         spec, d,
-        sweep_seed(spec, spec.curve_label(design, traffic) + "@saturation"));
+        sweep_seed(spec, spec.curve_label(design, traffic, scenario) +
+                             "@saturation"),
+        &topo, scenario);
     return find_saturation_throughput(
         topo, routes, d.params,
         [&] { return make_sweep_pattern(t, d, topo.core_count()); }, cfg,
@@ -106,13 +108,14 @@ void Sweep_runner::execute_tasks()
 
 void Sweep_runner::run_task(const Task& t)
 {
+    const auto scenarios =
+        static_cast<std::uint32_t>(spec_->scenario_count());
+    const auto traffics = static_cast<std::uint32_t>(spec_->traffics.size());
     if (t.is_saturation) {
         try {
             saturation_[t.curve] = search_saturation(
-                *spec_, t.curve / static_cast<std::uint32_t>(
-                                      spec_->traffics.size()),
-                t.curve % static_cast<std::uint32_t>(
-                              spec_->traffics.size()));
+                *spec_, t.curve / (traffics * scenarios),
+                (t.curve / scenarios) % traffics, t.curve % scenarios);
         } catch (...) {
             saturation_[t.curve] = -1.0; // fall back to the grid estimate
         }
@@ -121,12 +124,28 @@ void Sweep_runner::run_task(const Task& t)
     Point_result& out = results_[t.point_index];
     out.point = points_[t.point_index];
     const auto t0 = std::chrono::steady_clock::now();
-    try {
-        out.load = run_point(*spec_, out.point);
-    } catch (const std::exception& e) {
-        out.error = e.what();
-    } catch (...) {
-        out.error = "unknown exception";
+    // One retry on failure: the inputs are deterministic, so a second
+    // attempt only helps against environmental failures (allocation
+    // pressure from sibling workers, thread-creation limits for a sharded
+    // point) — exactly the ones worth absorbing instead of poisoning a
+    // long sweep. A deterministic throw fails identically and keeps its
+    // message; `retried` records that the point needed a second attempt.
+    for (int attempt = 0; attempt < 2; ++attempt) {
+        out.error.clear();
+        try {
+            // The chaos hook (set_point_attempt_hook) throws from the same
+            // place an environmental failure would, so the retry path is
+            // testable without one.
+            if (point_attempt_hook_)
+                point_attempt_hook_(out.point, attempt);
+            out.load = run_point(*spec_, out.point);
+        } catch (const std::exception& e) {
+            out.error = e.what();
+        } catch (...) {
+            out.error = "unknown exception";
+        }
+        if (out.error.empty()) break;
+        if (attempt == 0) out.retried = true;
     }
     out.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -158,7 +177,9 @@ Sweep_result Sweep_runner::run(const Sweep_spec& spec, Point_range range)
     if (spec.search_saturation && full_grid)
         for (std::uint32_t c = 0;
              c < static_cast<std::uint32_t>(spec.curve_count()); ++c)
-            if (!spec.traffics[c % spec.traffics.size()].is_application)
+            if (!spec.traffics[(c / spec.scenario_count()) %
+                               spec.traffics.size()]
+                     .is_application)
                 tasks_.push_back({true, 0, c});
     for (std::uint32_t i = 0; i < points_.size(); ++i) {
         if (i >= range.begin && i < range.end) {

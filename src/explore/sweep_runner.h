@@ -19,7 +19,9 @@
 // and every point's RNG seed comes from the spec (Sweep_spec::enumerate),
 // so the claim order — which depends on thread scheduling — is invisible:
 // a 1-worker run and an N-worker run of the same spec produce byte-identical
-// Sweep_result serializations. A point that throws records its exception
+// Sweep_result serializations. A point that throws is re-executed once
+// (environmental failures — allocation pressure, thread limits — resolve;
+// deterministic ones fail identically) and then records its exception
 // message in Point_result::error instead of poisoning the job.
 #pragma once
 
@@ -29,6 +31,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -76,6 +79,19 @@ public:
     [[nodiscard]] Sweep_result run(const Sweep_spec& spec,
                                    Point_range range);
 
+    /// Chaos/test seam for the retry-once path: called before each
+    /// execution attempt of every grid point (attempt 0, then 1 only after
+    /// a failure) from the executing worker. A throw is handled exactly
+    /// like a failure of the point itself — which is the point: tests (and
+    /// fault drills) inject transient failures here and assert the runner
+    /// absorbs them. Must be set while no run() is in flight; the hook
+    /// must be thread-safe when worker_threads > 1.
+    void set_point_attempt_hook(
+        std::function<void(const Sweep_point&, int attempt)> hook)
+    {
+        point_attempt_hook_ = std::move(hook);
+    }
+
 private:
     /// One schedulable unit: a grid point, or a whole per-curve saturation
     /// binary search (internally sequential, so it is a single task).
@@ -90,6 +106,7 @@ private:
     void run_task(const Task& t);
 
     // Job state, valid while a run() is in flight.
+    std::function<void(const Sweep_point&, int)> point_attempt_hook_;
     const Sweep_spec* spec_ = nullptr;
     std::vector<Sweep_point> points_;
     std::vector<Task> tasks_;

@@ -1,5 +1,6 @@
 #include "explore/sweep_spec.h"
 
+#include "arch/fault_plan.h"
 #include "topology/routing.h"
 #include "traffic/patterns.h"
 
@@ -160,6 +161,19 @@ Traffic_variant& Sweep_spec::add_application(
     return traffics.back();
 }
 
+Fault_scenario& Sweep_spec::add_fault_scenario(
+    std::string label, std::uint32_t transient_count,
+    std::uint32_t permanent_link_count, Cycle reroute_latency)
+{
+    Fault_scenario s;
+    s.label = std::move(label);
+    s.transient_count = transient_count;
+    s.permanent_link_count = permanent_link_count;
+    s.reroute_latency = reroute_latency;
+    fault_scenarios.push_back(std::move(s));
+    return fault_scenarios.back();
+}
+
 void Sweep_spec::validate() const
 {
     if (designs.empty())
@@ -232,6 +246,23 @@ void Sweep_spec::validate() const
                 throw std::invalid_argument{
                     "Sweep_spec: duplicate traffic label '" + t.label + "'"};
     }
+    {
+        std::set<std::string> seen;
+        for (const auto& s : fault_scenarios) {
+            if (s.label.empty())
+                throw std::invalid_argument{
+                    "Sweep_spec: unlabeled fault scenario"};
+            if (!seen.insert(s.label).second)
+                throw std::invalid_argument{
+                    "Sweep_spec: duplicate fault scenario label '" +
+                    s.label + "'"};
+            if (s.transient_count == 0 && s.permanent_link_count == 0)
+                throw std::invalid_argument{
+                    "Sweep_spec: fault scenario '" + s.label +
+                    "' injects nothing (declare no scenarios for the "
+                    "fault-free baseline)"};
+        }
+    }
     for (const auto& t : traffics) {
         if (t.label.empty())
             throw std::invalid_argument{"Sweep_spec: unlabeled traffic"};
@@ -288,10 +319,17 @@ void Sweep_spec::validate() const
 }
 
 std::string Sweep_spec::curve_label(std::uint32_t design,
-                                    std::uint32_t traffic) const
+                                    std::uint32_t traffic,
+                                    std::uint32_t scenario) const
 {
-    return designs.at(design).label + "/" + designs.at(design).params_label +
-           "/" + traffics.at(traffic).label;
+    std::string label = designs.at(design).label + "/" +
+                        designs.at(design).params_label + "/" +
+                        traffics.at(traffic).label;
+    // The implicit fault-free scenario adds no suffix, so specs without a
+    // reliability axis keep their historical labels (and therefore seeds).
+    if (!fault_scenarios.empty())
+        label += "/" + fault_scenarios.at(scenario).label;
+    return label;
 }
 
 std::uint64_t sweep_seed(const Sweep_spec& spec, const std::string& key)
@@ -308,21 +346,23 @@ std::vector<Sweep_point> Sweep_spec::enumerate() const
     points.reserve(curve_count() * loads.size());
     for (std::uint32_t d = 0; d < designs.size(); ++d)
         for (std::uint32_t t = 0; t < traffics.size(); ++t)
-            for (std::uint32_t li = 0; li < loads.size(); ++li) {
-                Sweep_point p;
-                p.index = static_cast<std::uint32_t>(points.size());
-                p.design = d;
-                p.traffic = t;
-                p.load_index = li;
-                p.load = loads[li];
-                // Label-keyed: the seed survives reordering/appending of
-                // designs, traffics and loads (only the point's own
-                // identity feeds it), so growing a spec never perturbs
-                // existing points.
-                p.seed = sweep_seed(
-                    *this, curve_label(d, t) + "@" + std::to_string(li));
-                points.push_back(p);
-            }
+            for (std::uint32_t s = 0; s < scenario_count(); ++s)
+                for (std::uint32_t li = 0; li < loads.size(); ++li) {
+                    Sweep_point p;
+                    p.index = static_cast<std::uint32_t>(points.size());
+                    p.design = d;
+                    p.traffic = t;
+                    p.scenario = s;
+                    p.load_index = li;
+                    p.load = loads[li];
+                    // Label-keyed: the seed survives reordering/appending
+                    // of designs, traffics, scenarios and loads (only the
+                    // point's own identity feeds it), so growing a spec
+                    // never perturbs existing points.
+                    p.seed = sweep_seed(*this, curve_label(d, t, s) + "@" +
+                                                   std::to_string(li));
+                    points.push_back(p);
+                }
     return points;
 }
 
@@ -407,7 +447,8 @@ std::shared_ptr<const Dest_pattern> make_sweep_pattern(
 }
 
 Sweep_config point_config(const Sweep_spec& spec, const Design_variant& d,
-                          std::uint64_t seed)
+                          std::uint64_t seed, const Topology* topo,
+                          std::uint32_t scenario)
 {
     Sweep_config cfg = spec.base;
     cfg.seed = seed;
@@ -419,17 +460,21 @@ Sweep_config point_config(const Sweep_spec& spec, const Design_variant& d,
         cfg.build.kernel_mode = Kernel_mode::activity_gated;
         cfg.build.partition = Partition_plan::single();
     }
-    // A design-level override must beat the base config's legacy aliases
-    // too (effective_build() would otherwise let a deprecated base field
-    // win over the design's request).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    cfg.allow_partial_routes = false;
-    if (d.shard_threads != 0) {
-        cfg.kernel_mode = Kernel_mode::activity_gated;
-        cfg.kernel_threads = 1;
+    if (!spec.fault_scenarios.empty() && topo != nullptr) {
+        const Fault_scenario& sc = spec.fault_scenarios.at(scenario);
+        // Scenario shapes are declarative; the concrete links come from a
+        // random plan over the point's actual topology, seeded from the
+        // point's label-keyed seed + the scenario label so every worker
+        // (and every rerun) kills the same links.
+        Fault_plan plan = Fault_plan::random_plan(
+            *topo, mix64(seed ^ hash_label(0xcbf29ce484222325ull, sc.label)),
+            static_cast<int>(sc.transient_count),
+            static_cast<int>(sc.permanent_link_count),
+            cfg.warmup + cfg.measure);
+        plan.reroute_latency = sc.reroute_latency;
+        cfg.build.fault_plan = std::make_shared<const Fault_plan>(
+            std::move(plan));
     }
-#pragma GCC diagnostic pop
     return cfg;
 }
 

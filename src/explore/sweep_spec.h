@@ -107,6 +107,20 @@ struct Traffic_variant {
     std::shared_ptr<const Core_graph> graph; ///< application traffic only
 };
 
+/// One reliability scenario: every point under it runs with a
+/// Fault_plan::random_plan of this shape built against the point's actual
+/// topology (arch/fault_plan.h), seeded from the point's label-keyed seed
+/// so the same scenario hits the same links on every rerun and worker
+/// count. An empty Sweep_spec::fault_scenarios list means the implicit
+/// fault-free scenario — existing specs enumerate, seed and serialize
+/// exactly as before the axis existed.
+struct Fault_scenario {
+    std::string label;
+    std::uint32_t transient_count = 0;      ///< random flit corruptions
+    std::uint32_t permanent_link_count = 0; ///< links killed mid-measure
+    Cycle reroute_latency = 64; ///< failure-detection + LUT-rewrite delay
+};
+
 /// One enumerated simulation point: indices into the spec plus the seed
 /// derived from it. (design, traffic) identifies the curve the point's
 /// Load_point lands on; load_index its position along the load grid.
@@ -114,6 +128,7 @@ struct Sweep_point {
     std::uint32_t index = 0; ///< dense, enumeration order
     std::uint32_t design = 0;
     std::uint32_t traffic = 0;
+    std::uint32_t scenario = 0; ///< into fault_scenarios (0 when none)
     std::uint32_t load_index = 0;
     double load = 0.0;
     std::uint64_t seed = 0; ///< deterministic function of the spec alone
@@ -134,6 +149,10 @@ struct Sweep_spec {
     /// traffic/experiment.h. Per-design shard_threads override the
     /// schedule/partition knobs.
     Sweep_config base;
+    /// Reliability axis: every (design, traffic) curve is additionally run
+    /// under each scenario, multiplying the curve count. Empty = the
+    /// implicit fault-free scenario (no extra curves, labels unchanged).
+    std::vector<Fault_scenario> fault_scenarios;
     /// Also binary-search each synthetic design's saturation throughput
     /// (one extra worker task per curve); application curves always derive
     /// saturation from the measured grid.
@@ -163,6 +182,10 @@ struct Sweep_spec {
                                  double hot_fraction);
     Traffic_variant& add_application(std::shared_ptr<const Core_graph> graph,
                                      std::string label);
+    Fault_scenario& add_fault_scenario(std::string label,
+                                       std::uint32_t transient_count,
+                                       std::uint32_t permanent_link_count,
+                                       Cycle reroute_latency = 64);
 
     /// Throws std::invalid_argument on an inconsistent spec (empty axes,
     /// grid pattern on a non-grid design, application traffic without a
@@ -175,13 +198,20 @@ struct Sweep_spec {
     /// or loads to the spec.
     [[nodiscard]] std::vector<Sweep_point> enumerate() const;
 
+    /// Scenario axis length with the implicit fault-free scenario folded in.
+    [[nodiscard]] std::size_t scenario_count() const
+    {
+        return fault_scenarios.empty() ? 1 : fault_scenarios.size();
+    }
     [[nodiscard]] std::size_t curve_count() const
     {
-        return designs.size() * traffics.size();
+        return designs.size() * traffics.size() * scenario_count();
     }
     /// Curve label "design/params/traffic" — the identity results key on.
+    /// With fault scenarios declared, "design/params/traffic/scenario".
     [[nodiscard]] std::string curve_label(std::uint32_t design,
-                                          std::uint32_t traffic) const;
+                                          std::uint32_t traffic,
+                                          std::uint32_t scenario = 0) const;
 };
 
 /// Deterministic seed for any sweep entity, derived from the spec's name,
@@ -203,9 +233,15 @@ struct Sweep_spec {
     const Traffic_variant& t, const Design_variant& d, int core_count);
 
 /// Effective per-point Sweep_config: base protocol, the point's seed, the
-/// design's partial-route flag and its kernel-schedule override.
+/// design's partial-route flag and its kernel-schedule override. When the
+/// spec declares fault scenarios and `topo` is non-null, the point's
+/// scenario is materialized as a Fault_plan::random_plan against `topo`
+/// (seeded from `seed` + the scenario label, horizon = warmup + measure)
+/// and installed in the returned config's build options.
 [[nodiscard]] Sweep_config point_config(const Sweep_spec& spec,
                                         const Design_variant& d,
-                                        std::uint64_t seed);
+                                        std::uint64_t seed,
+                                        const Topology* topo = nullptr,
+                                        std::uint32_t scenario = 0);
 
 } // namespace noc

@@ -143,6 +143,31 @@
 // phases provides the happens-before edge, so no atomics are needed on the
 // mailbox vectors themselves.
 //
+// Reconfiguration points: the boundary between two run() calls is a
+// sequential point — every worker is parked at the job barrier, all
+// channel commits from the last cycle have been published, and the caller
+// thread has exclusive access to the entire component graph. Structural
+// mutation (rewriting route LUTs, failing links, corrupting or purging
+// in-flight flits, pausing injection — everything the fault engine in
+// arch/fault_plan.h does) is legal ONLY at these points, and only from
+// the thread that calls run(). The rules:
+//   - Never mutate shared simulation state from inside a phase; a
+//     component that wants to reconfigure must surface the request to the
+//     run() caller (e.g. by returning from run() at a scheduled cycle)
+//     and let it happen between calls.
+//   - Mutations at a sequential point need no synchronization and are
+//     TSan-clean by construction: the next run() call's job hand-off
+//     publishes them to every worker.
+//   - A mutation that changes which components CAN make progress (killing
+//     a link, rewriting routes) must wake the affected components, or an
+//     activity-gated/sharded schedule may leave them parked on state that
+//     no longer arrives; waking everything is always safe and costs one
+//     dense cycle.
+//   - Determinism: anything mutated at a sequential point is ordinary
+//     per-cycle state, so a fixed mutation schedule keyed on cycle numbers
+//     (Fault_plan) stays bit-identical across reference, activity-gated
+//     and sharded runs at any shard count.
+//
 // Error handling: the simulator's exceptions signal wiring/invariant
 // violations, and every schedule propagates them to run()'s caller. Under
 // the sharded schedule the first exception a phase throws is captured,

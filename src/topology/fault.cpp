@@ -95,6 +95,55 @@ Reroute_result reroute_around_failures(const Topology& t,
     return out;
 }
 
+std::set<Link_id> symmetrize_failures(const Topology& t,
+                                      const std::set<Link_id>& failed)
+{
+    std::set<Link_id> out = failed;
+    for (const Link_id l : failed) {
+        if (l.get() >= static_cast<std::uint32_t>(t.link_count()))
+            throw std::invalid_argument{
+                "symmetrize_failures: bad link id"};
+        const auto& lk = t.link(l);
+        for (const Link_id r : t.out_links(lk.to))
+            if (t.link(r).to == lk.from) out.insert(r);
+    }
+    return out;
+}
+
+std::vector<int> failure_aware_ranks(const Topology& t,
+                                     Switch_id preferred_root,
+                                     const std::set<Link_id>& failed)
+{
+    const int s_count = t.switch_count();
+    if (preferred_root.get() >= static_cast<std::uint32_t>(s_count))
+        throw std::invalid_argument{"failure_aware_ranks: bad root"};
+    std::vector<int> rank(static_cast<std::size_t>(s_count), 1);
+    auto bfs_component = [&](Switch_id root) {
+        std::deque<Switch_id> queue;
+        rank[root.get()] = 0;
+        queue.push_back(root);
+        while (!queue.empty()) {
+            const Switch_id u = queue.front();
+            queue.pop_front();
+            for (const Link_id l : t.out_links(u)) {
+                if (failed.count(l) != 0) continue;
+                const Switch_id v = t.link(l).to;
+                if (rank[v.get()] <= 0) continue; // visited
+                rank[v.get()] = rank[u.get()] - 1;
+                queue.push_back(v);
+            }
+        }
+    };
+    // Preferred root's component first, then any component the failures cut
+    // off, rooted at its lowest-id switch — the rank order only matters
+    // within a component (routes never cross components).
+    bfs_component(preferred_root);
+    for (int s = 0; s < s_count; ++s)
+        if (rank[static_cast<std::size_t>(s)] > 0)
+            bfs_component(Switch_id{static_cast<std::uint32_t>(s)});
+    return rank;
+}
+
 std::set<Link_id> links_used(const Topology& t, const Route_set& routes)
 {
     std::set<Link_id> used;

@@ -36,6 +36,32 @@ reroute_around_failures(const Topology& t,
                         const std::vector<int>& switch_rank,
                         const std::set<Link_id>& failed);
 
+/// The failure set closed under link reversal: for every failed link the
+/// opposite direction of the same switch pair (when the topology has one)
+/// is added. A duplex link with one dead direction is retired whole — the
+/// standard practice, and what makes up*/down* reachability arguments
+/// (which assume bidirectional channels) hold on the surviving graph.
+[[nodiscard]] std::set<Link_id>
+symmetrize_failures(const Topology& t, const std::set<Link_id>& failed);
+
+/// BFS ranks computed on the SURVIVING graph (links not in `failed`), the
+/// correct rank input for reroute_around_failures: ranks from the healthy
+/// topology (spanning_tree_ranks) can leave surviving-connected pairs
+/// unroutable when a failure cuts a tree edge, because the stale up/down
+/// orientation forbids the detour. Ranks from the surviving graph make the
+/// up*/down* BFS reach exactly the pairs BFS-reachability reaches: every
+/// surviving path decomposes into up-to-root then down-to-destination
+/// along the BFS tree. That guarantee needs `failed` to be symmetric
+/// (symmetrize_failures) — an up move from a child uses the child->parent
+/// direction, the down move the opposite — and the same symmetrized set
+/// passed to reroute_around_failures. `preferred_root` gets rank 0 in its
+/// component; every other component is rooted at its lowest-id switch
+/// (also rank 0). Deeper = more negative. Never throws on disconnection —
+/// disconnected pairs surface as Reroute_result::unreachable.
+[[nodiscard]] std::vector<int>
+failure_aware_ranks(const Topology& t, Switch_id preferred_root,
+                    const std::set<Link_id>& failed);
+
 /// Convenience: the links that, respecting the up*/down* discipline, are
 /// still usable in at least one route of `routes` (diagnostic for
 /// redundancy analysis).

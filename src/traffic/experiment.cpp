@@ -6,21 +6,6 @@
 
 namespace noc {
 
-// The legacy Sweep_config fields are deprecated; this merge function is
-// their single sanctioned reader while the aliases live out their one PR.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Build_options Sweep_config::effective_build() const
-{
-    Build_options b = build;
-    if (kernel_mode != Kernel_mode::activity_gated) b.kernel_mode = kernel_mode;
-    if (kernel_threads > 1)
-        b.partition = Partition_plan::contiguous(kernel_threads);
-    if (allow_partial_routes) b.allow_partial_routes = true;
-    return b;
-}
-#pragma GCC diagnostic pop
-
 namespace {
 
 Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
@@ -39,6 +24,25 @@ Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
                       3.0 * sys.stats().packet_latency().std_dev();
     pt.max_latency = sys.stats().packet_latency().max();
     pt.packets = sys.stats().measured_delivered();
+    pt.packets_dropped = sys.stats().packets_dropped();
+    pt.packets_unreachable = sys.stats().packets_unreachable();
+    pt.corrupted_flits = sys.stats().corrupted_flits();
+    pt.retransmissions = sys.stats().retransmissions();
+    const auto& recs = sys.stats().recoveries();
+    pt.recoveries = recs.size();
+    if (!recs.empty()) {
+        double sum = 0.0;
+        for (const auto& r : recs)
+            sum += static_cast<double>(r.time_to_recover());
+        pt.avg_time_to_recover = sum / static_cast<double>(recs.size());
+    }
+    const double measured_delivered =
+        static_cast<double>(sys.stats().measured_delivered());
+    const double measured_dropped =
+        static_cast<double>(sys.stats().measured_dropped());
+    if (measured_delivered + measured_dropped > 0.0)
+        pt.availability =
+            measured_delivered / (measured_delivered + measured_dropped);
     return pt;
 }
 
@@ -51,7 +55,7 @@ Load_point run_synthetic_load(
         pattern_factory,
     const Sweep_config& cfg)
 {
-    Noc_system sys{topology, routes, params, cfg.effective_build()};
+    Noc_system sys{topology, routes, params, cfg.build};
     const auto pattern = pattern_factory();
     for (int c = 0; c < topology.core_count(); ++c) {
         const Core_id core{static_cast<std::uint32_t>(c)};
@@ -98,7 +102,7 @@ Load_point run_application_load(const Topology& topology,
                                 double bandwidth_scale,
                                 const Sweep_config& cfg)
 {
-    Noc_system sys{topology, routes, params, cfg.effective_build()};
+    Noc_system sys{topology, routes, params, cfg.build};
     double offered = 0.0;
     for (int c = 0; c < topology.core_count(); ++c) {
         const Core_id core{static_cast<std::uint32_t>(c)};

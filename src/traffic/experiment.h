@@ -23,6 +23,17 @@ struct Load_point {
     double max_latency = 0.0;
     std::uint64_t packets = 0;
     bool drained = true;
+
+    // --- reliability (nonzero only with a Build_options::fault_plan) --------
+    std::uint64_t packets_dropped = 0; ///< purged at permanent link failures
+    std::uint64_t packets_unreachable = 0; ///< no surviving route
+    std::uint64_t corrupted_flits = 0;     ///< transient injections that hit
+    std::uint64_t retransmissions = 0;     ///< ACK/NACK go-back-N resends
+    std::uint64_t recoveries = 0;          ///< completed online reroutes
+    double avg_time_to_recover = 0.0;      ///< cycles, failure -> reroute
+    /// delivered / (delivered + dropped) over the measurement window; 1.0
+    /// on a fault-free run, the explore layer's availability dimension.
+    double availability = 1.0;
 };
 
 struct Sweep_config {
@@ -36,36 +47,10 @@ struct Sweep_config {
     /// forwarded wholesale to Noc_system (see arch/build_options.h). The
     /// schedule is purely a speed knob: every schedule is bit-identical to
     /// every other (the equivalence suite proves it), so explore sweeps
-    /// pick gated for small meshes and sharded for the big ones.
+    /// pick gated for small meshes and sharded for the big ones. A fault
+    /// plan rides in build.fault_plan and surfaces in the Load_point's
+    /// reliability fields.
     Build_options build;
-
-    // --- deprecated aliases (this PR only) ---------------------------------
-    // The kernel knobs used to be re-declared here; they now live in
-    // `build`. A legacy field changed from its default overrides the
-    // corresponding `build` field (effective_build() merges them).
-    [[deprecated("use build.kernel_mode")]]
-    Kernel_mode kernel_mode = Kernel_mode::activity_gated;
-    [[deprecated("use build.partition (Partition_plan::contiguous(n))")]]
-    std::uint32_t kernel_threads = 1;
-    [[deprecated("use build.allow_partial_routes")]]
-    bool allow_partial_routes = false;
-
-    // Special members defaulted inside a suppression region: their
-    // definitions "use" the deprecated members (default init / copy), and
-    // that must not warn in every TU that merely constructs a config.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    Sweep_config() = default;
-    Sweep_config(const Sweep_config&) = default;
-    Sweep_config(Sweep_config&&) = default;
-    Sweep_config& operator=(const Sweep_config&) = default;
-    Sweep_config& operator=(Sweep_config&&) = default;
-    ~Sweep_config() = default;
-#pragma GCC diagnostic pop
-
-    /// `build` with any changed legacy alias folded in — what the run_*
-    /// harnesses actually hand to Noc_system.
-    [[nodiscard]] Build_options effective_build() const;
 };
 
 /// One synthetic load point on a fresh network built from (topology,

@@ -1,0 +1,182 @@
+// The distributed-merge hardening contract (explore/slice_merge.h):
+// bench_sweep --merge must reject damaged, truncated or mismatched slice
+// files with a diagnostic naming the file and the defect, and accept a
+// healthy set byte-for-byte. These tests feed the validator synthetic
+// slice documents in the exact shape bench_sweep's points_payload writes.
+#include "explore/slice_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace noc {
+namespace {
+
+/// One point record as bench_sweep serializes it: a one-line JSON object
+/// opening with the merge key the validator anchors on.
+std::string record_line(std::uint32_t index, const std::string& label)
+{
+    return "    {\"index\": " + std::to_string(index) + ", \"curve\": \"" +
+           label + "\", \"load\": 0.1, \"packets\": " +
+           std::to_string(1000 + index) + "}";
+}
+
+/// A well-formed slice document covering [a, b) of a `grid` point grid —
+/// the same layout bench_sweep's points_payload emits.
+std::string slice_document(std::uint32_t a, std::uint32_t b,
+                           std::uint32_t grid,
+                           const std::string& spec = "unit",
+                           const std::string& budget = "w300-m1500")
+{
+    std::string out = "{\n  \"bench\": \"sweep_points\",\n  \"spec\": \"" +
+                      spec + "\",\n  \"budget\": \"" + budget +
+                      "\",\n  \"grid_points\": \"" + std::to_string(grid) +
+                      "\",\n  \"range\": \"" + std::to_string(a) + ".." +
+                      std::to_string(b) + "\",\n  \"points\": [\n";
+    for (std::uint32_t i = a; i < b; ++i)
+        out += record_line(i, "mesh") + (i + 1 < b ? ",\n" : "\n");
+    out += "  ]\n}\n";
+    return out;
+}
+
+TEST(SliceMerge, HealthySlicesMergeInIndexOrder)
+{
+    Slice_merge acc;
+    // Out-of-order arrival (tail slice first) must not matter.
+    EXPECT_EQ(merge_slice_document("hi.json", slice_document(2, 4, 4), acc),
+              "");
+    EXPECT_EQ(merge_slice_document("lo.json", slice_document(0, 2, 4), acc),
+              "");
+    std::vector<std::string> records;
+    EXPECT_EQ(finish_slice_merge(acc, records), "");
+    ASSERT_EQ(records.size(), 4u);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_NE(records[i].find("\"index\": " + std::to_string(i)),
+                  std::string::npos);
+        EXPECT_EQ(records[i].back(), '}') << "trailing comma not stripped";
+    }
+    // Re-reading an identical slice (operator passed the same file twice)
+    // is harmless: byte-identical records dedupe silently.
+    EXPECT_EQ(merge_slice_document("lo.json", slice_document(0, 2, 4), acc),
+              "");
+    EXPECT_EQ(finish_slice_merge(acc, records), "");
+    EXPECT_EQ(records.size(), 4u);
+}
+
+TEST(SliceMerge, RejectsFileWithoutSliceHeader)
+{
+    Slice_merge acc;
+    const std::string diag =
+        merge_slice_document("notes.json", "{\n  \"bench\": \"other\"\n}\n",
+                             acc);
+    EXPECT_NE(diag.find("notes.json"), std::string::npos);
+    EXPECT_NE(diag.find("not a bench_sweep slice"), std::string::npos);
+    // An empty file (zero-byte write) takes the same path.
+    EXPECT_NE(merge_slice_document("empty.json", "", acc)
+                  .find("not a bench_sweep slice"),
+              std::string::npos);
+}
+
+TEST(SliceMerge, RejectsTruncatedDocument)
+{
+    // Torn write: the file loses its tail mid-document (after the last
+    // record, before the closing brace).
+    std::string doc = slice_document(0, 4, 4);
+    doc.resize(doc.find("  ]"));
+    Slice_merge acc;
+    const std::string diag = merge_slice_document("torn.json", doc, acc);
+    EXPECT_NE(diag.find("torn.json"), std::string::npos);
+    EXPECT_NE(diag.find("truncated"), std::string::npos);
+}
+
+TEST(SliceMerge, RejectsRecordTornMidLine)
+{
+    // Damage inside a record: the line opens its object but never closes
+    // it (interrupted write padded out by a later append).
+    std::string doc = slice_document(0, 4, 4);
+    const std::string whole = record_line(2, "mesh") + ",";
+    const auto at = doc.find(whole);
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, whole.size(),
+                "    {\"index\": 2, \"curve\": \"mesh\", \"loa");
+    Slice_merge acc;
+    const std::string diag = merge_slice_document("damaged.json", doc, acc);
+    EXPECT_NE(diag.find("damaged.json"), std::string::npos);
+    EXPECT_NE(diag.find("point 2"), std::string::npos);
+    EXPECT_NE(diag.find("does not close its object"), std::string::npos);
+}
+
+TEST(SliceMerge, RejectsSlicesFromDifferentRuns)
+{
+    Slice_merge acc;
+    ASSERT_EQ(merge_slice_document("a.json", slice_document(0, 2, 4), acc),
+              "");
+    // Same spec name, different measurement budget: a smoke slice must not
+    // silently mix into a full-budget merge.
+    const std::string diag = merge_slice_document(
+        "b.json", slice_document(2, 4, 4, "unit", "w100-m200"), acc);
+    EXPECT_NE(diag.find("b.json"), std::string::npos);
+    EXPECT_NE(diag.find("budget"), std::string::npos);
+    EXPECT_NE(diag.find("different runs"), std::string::npos);
+
+    Slice_merge acc2;
+    ASSERT_EQ(merge_slice_document("a.json", slice_document(0, 2, 4), acc2),
+              "");
+    EXPECT_NE(merge_slice_document(
+                  "c.json", slice_document(2, 4, 4, "other-spec"), acc2)
+                  .find("spec"),
+              std::string::npos);
+}
+
+TEST(SliceMerge, RejectsDuplicateIndexWithDivergentResults)
+{
+    Slice_merge acc;
+    ASSERT_EQ(merge_slice_document("a.json", slice_document(0, 4, 4), acc),
+              "");
+    // Same point index, different payload — overlapping slices from a
+    // non-deterministic (or mis-ranged) rerun.
+    std::string doc = slice_document(2, 4, 4);
+    const auto at = doc.find("\"packets\": 1002");
+    ASSERT_NE(at, std::string::npos);
+    doc.replace(at, 15, "\"packets\": 9999");
+    const std::string diag = merge_slice_document("b.json", doc, acc);
+    EXPECT_NE(diag.find("point 2"), std::string::npos);
+    EXPECT_NE(diag.find("twice with different results"), std::string::npos);
+}
+
+TEST(SliceMerge, ReportsCoverageGaps)
+{
+    // Missing tail slice: records 0..2 of a 4-point grid.
+    Slice_merge acc;
+    ASSERT_EQ(merge_slice_document("a.json", slice_document(0, 2, 4), acc),
+              "");
+    std::vector<std::string> records;
+    std::string diag = finish_slice_merge(acc, records);
+    EXPECT_NE(diag.find("coverage gap"), std::string::npos);
+    EXPECT_NE(diag.find("2 of 4"), std::string::npos);
+
+    // Right count, wrong indices: a hole in the middle with a duplicate
+    // range elsewhere must name the missing point.
+    Slice_merge acc2;
+    ASSERT_EQ(merge_slice_document("a.json", slice_document(0, 2, 3), acc2),
+              "");
+    ASSERT_EQ(
+        merge_slice_document("b.json",
+                             slice_document(2, 3, 3)
+                                 .replace(slice_document(2, 3, 3).find(
+                                              "\"index\": 2"),
+                                          10, "\"index\": 7"),
+                             acc2),
+        "");
+    diag = finish_slice_merge(acc2, records);
+    EXPECT_NE(diag.find("point 2 missing"), std::string::npos);
+
+    // Nothing merged at all.
+    Slice_merge acc3;
+    EXPECT_NE(finish_slice_merge(acc3, records).find("no point records"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace noc

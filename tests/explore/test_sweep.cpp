@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <stdexcept>
 
 namespace noc {
 namespace {
@@ -330,6 +332,125 @@ TEST(SweepRunner, PointRangeSlicesMergeToTheFullRun)
             if (a.skipped) continue;
             EXPECT_EQ(a.load.packets, full.curves[c].points[p].load.packets);
         }
+}
+
+TEST(SweepRunner, RetryAbsorbsTransientFailures)
+{
+    // A transient failure (injected through the chaos hook, from the same
+    // code path an environmental throw would take) costs one retry and
+    // nothing else: the result is byte-identical to an undisturbed run,
+    // with only the `retried` execution metadata showing the scar.
+    Sweep_spec spec = small_spec();
+    const Sweep_result clean = run_sweep(spec, 2);
+
+    Sweep_runner runner{2};
+    std::atomic<int> throws{0};
+    runner.set_point_attempt_hook([&](const Sweep_point& p, int attempt) {
+        if (p.index % 3 == 0 && attempt == 0) {
+            ++throws;
+            throw std::runtime_error{"injected transient failure"};
+        }
+    });
+    const Sweep_result bumpy = runner.run(spec);
+    EXPECT_EQ(throws.load(), 4); // 12 points, every third hit once
+
+    EXPECT_EQ(bumpy.to_json(), clean.to_json());
+    EXPECT_EQ(bumpy.to_csv(), clean.to_csv());
+    for (const auto& c : bumpy.curves)
+        for (const auto& p : c.points) {
+            EXPECT_TRUE(p.error.empty());
+            EXPECT_EQ(p.retried, p.point.index % 3 == 0);
+        }
+    // The report mentions the absorbed retries; the clean one does not.
+    EXPECT_NE(bumpy.report().find("second attempt"), std::string::npos);
+    EXPECT_EQ(clean.report().find("second attempt"), std::string::npos);
+}
+
+TEST(SweepRunner, DeterministicFailuresFailBothAttempts)
+{
+    Sweep_spec spec = small_spec();
+    Sweep_runner runner{1};
+    std::atomic<int> attempts{0};
+    runner.set_point_attempt_hook([&](const Sweep_point& p, int) {
+        if (p.index == 5) {
+            ++attempts;
+            throw std::runtime_error{"deterministic failure"};
+        }
+    });
+    const Sweep_result result = runner.run(spec);
+    EXPECT_EQ(attempts.load(), 2); // retried once, failed identically
+    int failed = 0;
+    for (const auto& c : result.curves)
+        for (const auto& p : c.points)
+            if (!p.error.empty()) {
+                ++failed;
+                EXPECT_EQ(p.point.index, 5u);
+                EXPECT_EQ(p.error, "deterministic failure");
+                EXPECT_TRUE(p.retried);
+            }
+    EXPECT_EQ(failed, 1);
+    // A double failure is a failed point, not an absorbed retry.
+    EXPECT_EQ(result.report().find("second attempt"), std::string::npos);
+}
+
+TEST(SweepRunner, FaultScenarioAxisMultipliesCurvesDeterministically)
+{
+    // The reliability axis: each (design, traffic) curve re-runs under
+    // every declared fault scenario, and the per-point Fault_plans derive
+    // from the spec's label-keyed seeds — so the same links die on every
+    // rerun and worker count, and the whole result stays byte-identical.
+    Sweep_spec spec;
+    spec.name = "fault-axis";
+    spec.add_mesh(4, 4, two_vc_params(), "vc2");
+    spec.add_synthetic(Sweep_pattern_kind::uniform);
+    spec.loads = {0.05, 0.10};
+    spec.base.warmup = 300;
+    spec.base.measure = 1'500;
+    spec.base.drain_limit = 15'000;
+    spec.add_fault_scenario("soft", 6, 0);  // transients only
+    spec.add_fault_scenario("frail", 6, 1); // plus a link failure
+
+    const auto points = spec.enumerate();
+    ASSERT_EQ(points.size(), 4u); // 1 design x 1 traffic x 2 scen x 2 loads
+    EXPECT_NE(points[0].seed, points[2].seed)
+        << "scenario must feed the point seed";
+
+    const Sweep_result serial = run_sweep(spec, 1);
+    const Sweep_result parallel = run_sweep(spec, 3);
+    EXPECT_EQ(serial.to_json(), parallel.to_json());
+    EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+
+    ASSERT_EQ(serial.curves.size(), 2u);
+    EXPECT_TRUE(serial.has_fault_axis);
+    const Design_curve& soft = serial.curves[0];
+    const Design_curve& frail = serial.curves[1];
+    EXPECT_EQ(soft.scenario_label, "soft");
+    EXPECT_EQ(frail.scenario_label, "frail");
+    EXPECT_NE(soft.label.find("/soft"), std::string::npos);
+    for (const auto& c : serial.curves)
+        for (const auto& p : c.points) {
+            ASSERT_TRUE(p.error.empty())
+                << c.label << " @ " << p.point.load << ": " << p.error;
+            EXPECT_TRUE(p.load.drained)
+                << "faulty points must drain, not hang";
+            EXPECT_GT(p.load.availability, 0.0);
+            EXPECT_LE(p.load.availability, 1.0);
+        }
+    // Transients never kill links, so the soft scenario needs no reroute;
+    // the frail one must heal its permanent failure online, per point.
+    for (const auto& p : soft.points) EXPECT_EQ(p.load.recoveries, 0u);
+    for (const auto& p : frail.points)
+        EXPECT_EQ(p.load.recoveries, 1u) << "permanent failure not healed";
+    EXPECT_GT(frail.availability, 0.0);
+    EXPECT_LE(frail.availability, 1.0);
+
+    // The reliability columns serialize only under a fault axis, so
+    // fault-free sweeps keep their pre-axis byte format.
+    EXPECT_NE(serial.to_json().find("\"availability\""), std::string::npos);
+    EXPECT_NE(serial.to_csv().find("availability"), std::string::npos);
+    const Sweep_result plain = run_sweep(small_spec(), 1);
+    EXPECT_FALSE(plain.has_fault_axis);
+    EXPECT_EQ(plain.to_json().find("\"availability\""), std::string::npos);
 }
 
 } // namespace

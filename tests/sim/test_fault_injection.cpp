@@ -1,0 +1,338 @@
+// Fault injection vs kernel-schedule equivalence.
+//
+// The fault engine (arch/fault_plan.h, Noc_system's reconfiguration points)
+// mutates the network only at sequential points between kernel run() calls,
+// so a fixed Fault_plan must produce bit-identical results under the
+// reference, activity-gated and sharded schedules at any shard count —
+// exactly the bar the fault-free KernelEquivalence tests set. These tests
+// live in the same suite so the TSan CI leg (filter KernelEquivalence.*)
+// races the fault path through the sharded kernel too.
+//
+// Also here: the non-hang guarantee — a failure that disconnects cores
+// drops the unreachable traffic and drains instead of timing out — and the
+// Probe fault-event hook.
+#include "arch/fault_plan.h"
+#include "arch/probe.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+#include "traffic/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace noc {
+namespace {
+
+/// Every observable the fault-free equivalence suite diffs, plus the fault
+/// counters the engine maintains.
+struct Fault_snapshot {
+    Cycle now = 0;
+    bool drained = false;
+    std::uint64_t created = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t measured_created = 0;
+    std::uint64_t measured_delivered = 0;
+    std::uint64_t measured_dropped = 0;
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t packets_unreachable = 0;
+    std::uint64_t flits_dropped = 0;
+    std::uint64_t corrupted_flits = 0;
+    std::uint64_t retransmissions = 0;
+    double packet_latency_mean = 0.0;
+    std::uint64_t buffer_writes = 0;
+    std::size_t recovery_count = 0;
+    std::vector<Cycle> recovered_at;
+    std::vector<std::uint64_t> per_router_flits;
+    std::vector<std::uint64_t> per_ni_injected;
+    std::vector<std::uint64_t> per_link_flits;
+    std::vector<std::pair<Core_id, Core_id>> unreachable_pairs;
+
+    bool operator==(const Fault_snapshot&) const = default;
+};
+
+Fault_snapshot snapshot(Noc_system& sys, bool drained)
+{
+    Fault_snapshot s;
+    s.now = sys.kernel().now();
+    s.drained = drained;
+    const Network_stats& st = sys.stats();
+    s.created = st.packets_created();
+    s.delivered = st.packets_delivered();
+    s.measured_created = st.measured_created();
+    s.measured_delivered = st.measured_delivered();
+    s.measured_dropped = st.measured_dropped();
+    s.packets_dropped = st.packets_dropped();
+    s.packets_unreachable = st.packets_unreachable();
+    s.flits_dropped = st.flits_dropped();
+    s.corrupted_flits = st.corrupted_flits();
+    s.retransmissions = st.retransmissions();
+    s.packet_latency_mean = st.packet_latency().mean();
+    s.buffer_writes = sys.total_router_buffer_writes();
+    s.recovery_count = st.recoveries().size();
+    for (const auto& r : st.recoveries())
+        s.recovered_at.push_back(r.recovered_at);
+    for (int r = 0; r < sys.topology().switch_count(); ++r)
+        s.per_router_flits.push_back(
+            sys.router(Switch_id{static_cast<std::uint32_t>(r)})
+                .flits_routed());
+    for (int l = 0; l < sys.topology().link_count(); ++l)
+        s.per_link_flits.push_back(
+            sys.link_flits(Link_id{static_cast<std::uint32_t>(l)}));
+    for (int c = 0; c < sys.topology().core_count(); ++c)
+        s.per_ni_injected.push_back(
+            sys.ni(Core_id{static_cast<std::uint32_t>(c)}).flits_injected());
+    s.unreachable_pairs = sys.unreachable_pairs();
+    return s;
+}
+
+auto bernoulli_rig(double rate, std::uint32_t packet_flits = 4)
+{
+    return [rate, packet_flits](Noc_system& sys) {
+        const int cores = sys.topology().core_count();
+        auto pattern = std::shared_ptr<const Dest_pattern>(
+            make_uniform_pattern(cores));
+        for (int c = 0; c < cores; ++c) {
+            const Core_id core{static_cast<std::uint32_t>(c)};
+            Bernoulli_source::Params sp;
+            sp.flits_per_cycle = rate;
+            sp.packet_size_flits = packet_flits;
+            sp.seed = 4242 + static_cast<std::uint64_t>(c);
+            sys.ni(core).set_source(
+                std::make_unique<Bernoulli_source>(core, sp, pattern));
+        }
+    };
+}
+
+template<typename Rig>
+Fault_snapshot run_mode(const Topology& topo, const Route_set& routes,
+                        const Network_params& params, Kernel_mode mode,
+                        const Rig& rig,
+                        std::shared_ptr<const Fault_plan> plan,
+                        Partition_plan partition = Partition_plan::single())
+{
+    Build_options opts;
+    opts.kernel_mode = mode;
+    opts.partition = std::move(partition);
+    opts.fault_plan = std::move(plan);
+    Noc_system sys{topo, routes, params, opts};
+    rig(sys);
+    sys.warmup(500);
+    sys.measure(2'000);
+    const bool drained = sys.drain(30'000);
+    sys.kernel().run(32);
+    return snapshot(sys, drained);
+}
+
+/// The faulted analogue of expect_equivalent: the same plan through every
+/// schedule, diffed against reference.
+template<typename Rig>
+void expect_fault_equivalent(const Topology& topo, const Route_set& routes,
+                             const Network_params& params, const Rig& rig,
+                             std::shared_ptr<const Fault_plan> plan)
+{
+    const Fault_snapshot ref = run_mode(topo, routes, params,
+                                        Kernel_mode::reference, rig, plan);
+    EXPECT_GT(ref.delivered, 0u);
+    const Fault_snapshot gated = run_mode(
+        topo, routes, params, Kernel_mode::activity_gated, rig, plan);
+    EXPECT_TRUE(gated == ref);
+    // Headline fields individually, for readable failures.
+    EXPECT_EQ(gated.now, ref.now);
+    EXPECT_EQ(gated.delivered, ref.delivered);
+    EXPECT_EQ(gated.packets_dropped, ref.packets_dropped);
+    EXPECT_EQ(gated.corrupted_flits, ref.corrupted_flits);
+    EXPECT_EQ(gated.retransmissions, ref.retransmissions);
+    EXPECT_EQ(gated.recovered_at, ref.recovered_at);
+    EXPECT_EQ(gated.per_link_flits, ref.per_link_flits);
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+        const Fault_snapshot sharded =
+            run_mode(topo, routes, params, Kernel_mode::sharded, rig, plan,
+                     Partition_plan::contiguous(shards));
+        EXPECT_TRUE(sharded == ref) << shards << " shards";
+        EXPECT_EQ(sharded.now, ref.now) << shards << " shards";
+        EXPECT_EQ(sharded.packets_dropped, ref.packets_dropped)
+            << shards << " shards";
+        EXPECT_EQ(sharded.recovered_at, ref.recovered_at)
+            << shards << " shards";
+        EXPECT_EQ(sharded.per_router_flits, ref.per_router_flits)
+            << shards << " shards";
+        EXPECT_EQ(sharded.per_link_flits, ref.per_link_flits)
+            << shards << " shards";
+        EXPECT_EQ(sharded.per_ni_injected, ref.per_ni_injected)
+            << shards << " shards";
+    }
+}
+
+/// A deterministic mixed plan: a sprinkle of transients over the warmup
+/// and measurement window, plus one permanent two-link failure
+/// mid-measurement.
+std::shared_ptr<const Fault_plan> mixed_plan(const Topology& topo,
+                                             std::uint32_t transients,
+                                             std::uint32_t dead_links)
+{
+    return std::make_shared<const Fault_plan>(Fault_plan::random_plan(
+        topo, /*seed=*/20100607, transients, dead_links,
+        /*horizon=*/2'500));
+}
+
+TEST(KernelEquivalence, TransientFaultsCreditMesh)
+{
+    // No ACK/NACK window under credit flow control: corruption marks the
+    // flit and delivery accounting still matches across schedules.
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    expect_fault_equivalent(topo, routes, params, bernoulli_rig(0.10),
+                            mixed_plan(topo, 24, 0));
+}
+
+TEST(KernelEquivalence, TransientFaultsAckNackMesh)
+{
+    // Go-back-N retransmission actually fires: the corrupted flit is
+    // NACKed, the window rewinds, and the retransmission counters must
+    // agree bit-for-bit everywhere.
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.fc = Flow_control_kind::ack_nack;
+    expect_fault_equivalent(topo, routes, params, bernoulli_rig(0.10),
+                            mixed_plan(topo, 24, 0));
+}
+
+TEST(KernelEquivalence, PermanentFailureCreditMesh)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    expect_fault_equivalent(topo, routes, params, bernoulli_rig(0.10),
+                            mixed_plan(topo, 0, 2));
+}
+
+TEST(KernelEquivalence, PermanentFailureOnOffMesh)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.fc = Flow_control_kind::on_off;
+    params.buffer_depth = 6;
+    expect_fault_equivalent(topo, routes, params, bernoulli_rig(0.10),
+                            mixed_plan(topo, 0, 2));
+}
+
+TEST(KernelEquivalence, MixedFaultsAckNackMesh)
+{
+    // The hardest case: transients racing a permanent failure under the
+    // scheme with retransmission state — window purges, credit repairs and
+    // the online reroute all in one run.
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.fc = Flow_control_kind::ack_nack;
+    expect_fault_equivalent(topo, routes, params, bernoulli_rig(0.10),
+                            mixed_plan(topo, 16, 2));
+}
+
+TEST(KernelEquivalence, PermanentFailureTorus)
+{
+    Torus_params tp;
+    const Topology topo = make_torus(tp);
+    const Route_set routes = torus_routes(topo, tp);
+    Network_params params;
+    params.route_vcs = 2; // dateline VCs
+    expect_fault_equivalent(topo, routes, params, bernoulli_rig(0.08),
+                            mixed_plan(topo, 0, 2));
+}
+
+/// Disconnecting a corner core must not hang the drain: its traffic is
+/// dropped as unreachable, the drain completes, and the pairs are
+/// reported. Also exercises the Probe fault-event hook.
+TEST(KernelEquivalence, DisconnectedCoreDrainsAndReports)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const Network_params params;
+
+    // Kill every outbound link of switch 0; symmetrization retires the
+    // inbound directions too, so core 0 ends up fully disconnected.
+    auto plan = std::make_shared<Fault_plan>();
+    std::vector<Link_id> dead;
+    for (const Link_id l : topo.out_links(Switch_id{0})) dead.push_back(l);
+    ASSERT_FALSE(dead.empty());
+    plan->add_permanent(1'000, dead);
+
+    Build_options opts;
+    opts.fault_plan = plan;
+    Noc_system sys{topo, routes, params, opts};
+    Trace_probe probe;
+    sys.attach_probe(&probe);
+    bernoulli_rig(0.10)(sys);
+    sys.warmup(500);
+    sys.measure(2'000);
+    EXPECT_TRUE(sys.drain(30'000)) << "disconnected-core drain hung";
+
+    EXPECT_EQ(sys.failed_links().size(), dead.size());
+    // Core 0 can reach nobody and nobody can reach it: 2*(cores-1) pairs.
+    const std::size_t cores =
+        static_cast<std::size_t>(topo.core_count());
+    EXPECT_EQ(sys.unreachable_pairs().size(), 2 * (cores - 1));
+    for (const auto& [src, dst] : sys.unreachable_pairs())
+        EXPECT_TRUE(src == Core_id{0} || dst == Core_id{0});
+    // Offered traffic to/from the island was dropped, not lost track of.
+    EXPECT_GT(sys.stats().packets_unreachable(), 0u);
+    EXPECT_EQ(sys.stats().recoveries().size(), 1u);
+
+    // The probe saw the failure and the reroute, in order.
+    const auto& events = probe.fault_events();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, Fault_event::Kind::link_failed);
+    EXPECT_EQ(events[0].at, 1'000u);
+    EXPECT_EQ(events[1].kind, Fault_event::Kind::rerouted);
+    EXPECT_GE(events[1].at, 1'000u + plan->reroute_latency);
+    EXPECT_EQ(events[1].unreachable_pairs, 2 * (cores - 1));
+}
+
+/// Surviving traffic keeps flowing after a reroute: the post-recovery
+/// routes avoid every retired link, so dead wires carry nothing after the
+/// failure cycle (their counters freeze).
+TEST(KernelEquivalence, DeadLinksCarryNothingAfterFailure)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const Network_params params;
+    auto plan = mixed_plan(topo, 0, 2);
+
+    Build_options opts;
+    opts.fault_plan = plan;
+    Noc_system sys{topo, routes, params, opts};
+    bernoulli_rig(0.10)(sys);
+    sys.warmup(500);
+    sys.measure(2'000);
+    ASSERT_TRUE(sys.drain(30'000));
+
+    ASSERT_FALSE(sys.failed_links().empty());
+    std::vector<std::uint64_t> at_death;
+    for (const Link_id l : sys.failed_links())
+        at_death.push_back(sys.link_flits(l));
+    // Keep running well past the recovery: the frozen counters must not
+    // move, while the network as a whole still delivers.
+    const std::uint64_t delivered_before = sys.stats().packets_delivered();
+    sys.kernel().run(2'000);
+    std::size_t i = 0;
+    for (const Link_id l : sys.failed_links())
+        EXPECT_EQ(sys.link_flits(l), at_death[i++]) << "dead link " << l.get();
+    EXPECT_GT(sys.stats().packets_delivered(), delivered_before);
+}
+
+} // namespace
+} // namespace noc

@@ -2,8 +2,10 @@
 #include "arch/noc_system.h"
 #include "common/rng.h"
 #include "topology/deadlock.h"
+#include "topology/fat_tree.h"
 #include "topology/fault.h"
 #include "topology/routing.h"
+#include "topology/torus.h"
 #include "traffic/patterns.h"
 #include "traffic/synthetic.h"
 
@@ -123,6 +125,123 @@ TEST_P(FaultSweep, SurvivesRandomLinkFailures)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FaultSweep,
                          ::testing::Range<std::uint64_t>(1, 13));
+
+// --- failure-aware rank fuzz -------------------------------------------------
+// With ranks recomputed on the surviving graph (failure_aware_ranks) and a
+// symmetrized failure set, the up*/down* reroute has an exact contract:
+// `unreachable` equals BFS reachability on the undirected surviving graph —
+// no turn-limited losses, no silent drops — and the surviving routes stay
+// deadlock-free on one VC and never touch a retired link. Fuzzed over
+// random failure subsets on a mesh, a torus and a fat tree.
+
+/// Union-find-free oracle: component label per switch over links outside
+/// `retired` (symmetric, so direction is irrelevant).
+std::vector<int> surviving_components(const Topology& t,
+                                      const std::set<Link_id>& retired)
+{
+    std::vector<int> comp(static_cast<std::size_t>(t.switch_count()), -1);
+    int next = 0;
+    for (int s = 0; s < t.switch_count(); ++s) {
+        if (comp[static_cast<std::size_t>(s)] >= 0) continue;
+        std::vector<Switch_id> stack{Switch_id{static_cast<std::uint32_t>(s)}};
+        comp[static_cast<std::size_t>(s)] = next;
+        while (!stack.empty()) {
+            const Switch_id u = stack.back();
+            stack.pop_back();
+            for (const Link_id l : t.out_links(u)) {
+                if (retired.count(l) != 0) continue;
+                const Switch_id v = t.link(l).to;
+                if (comp[v.get()] >= 0) continue;
+                comp[v.get()] = next;
+                stack.push_back(v);
+            }
+        }
+        ++next;
+    }
+    return comp;
+}
+
+void fuzz_reroute(const Topology& t, const std::vector<int>& healthy_rank,
+                  std::uint64_t seed, std::size_t fail_count)
+{
+    Rng rng{seed};
+    std::set<Link_id> failed;
+    while (failed.size() < fail_count)
+        failed.insert(Link_id{static_cast<std::uint32_t>(
+            rng.next_below(static_cast<std::uint64_t>(t.link_count())))});
+    (void)healthy_rank; // the healthy rank is deliberately NOT used
+
+    const std::set<Link_id> retired = symmetrize_failures(t, failed);
+    const auto rank = failure_aware_ranks(t, Switch_id{0}, retired);
+    const auto rr = reroute_around_failures(t, rank, retired);
+
+    // Exactness: unreachable == disconnected pairs of the surviving graph.
+    const auto comp = surviving_components(t, retired);
+    std::set<std::pair<std::uint32_t, std::uint32_t>> reported;
+    for (const auto& [src, dst] : rr.unreachable)
+        reported.insert({src.get(), dst.get()});
+    std::size_t expected = 0;
+    for (int s = 0; s < t.core_count(); ++s) {
+        for (int d = 0; d < t.core_count(); ++d) {
+            if (s == d) continue;
+            const Core_id src{static_cast<std::uint32_t>(s)};
+            const Core_id dst{static_cast<std::uint32_t>(d)};
+            const bool connected =
+                comp[t.core_switch(src).get()] ==
+                comp[t.core_switch(dst).get()];
+            if (!connected) ++expected;
+            EXPECT_NE(connected,
+                      reported.count({src.get(), dst.get()}) != 0)
+                << "pair " << s << "->" << d << " seed " << seed;
+            EXPECT_EQ(connected, !rr.routes.at(src, dst).empty())
+                << "pair " << s << "->" << d << " seed " << seed;
+        }
+    }
+    EXPECT_EQ(reported.size(), expected) << "seed " << seed;
+
+    // Safety: deadlock-free on one VC, no retired link touched.
+    EXPECT_TRUE(routes_deadlock_free(t, rr.routes, 1)) << "seed " << seed;
+    const auto used = links_used(t, rr.routes);
+    for (const Link_id l : retired)
+        EXPECT_EQ(used.count(l), 0u) << "link " << l.get() << " seed "
+                                     << seed;
+}
+
+class RerouteFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RerouteFuzz, MeshExactReachability)
+{
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 4;
+    const Topology t = make_mesh(mp);
+    fuzz_reroute(t, spanning_tree_ranks(t, Switch_id{0}), GetParam(),
+                 1 + GetParam() % 5);
+}
+
+TEST_P(RerouteFuzz, TorusExactReachability)
+{
+    Torus_params tp;
+    const Topology t = make_torus(tp);
+    fuzz_reroute(t, spanning_tree_ranks(t, Switch_id{0}), GetParam() * 7919,
+                 1 + GetParam() % 6);
+}
+
+TEST_P(RerouteFuzz, FatTreeExactReachability)
+{
+    Fat_tree_params fp;
+    fp.arity = 2;
+    fp.levels = 3;
+    const Fat_tree ft = make_fat_tree(fp);
+    // A fat tree has far less path diversity than a mesh: single failures
+    // routinely strand leaves, which is exactly what the exactness
+    // contract must report.
+    fuzz_reroute(ft.topology, ft.switch_rank, GetParam() * 104729,
+                 1 + GetParam() % 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RerouteFuzz,
+                         ::testing::Range<std::uint64_t>(1, 17));
 
 } // namespace
 } // namespace noc
