@@ -11,6 +11,19 @@
 //     online reroute rewrites the NI route LUTs after the plan's
 //     reroute_latency, and traffic keeps flowing on the survivor paths —
 //     degraded, but alive and fully drained.
+// Plus the recovery-mode comparison that motivates epoch-based reroute:
+// the same up*/down*-routed mesh loses one carefully chosen duplex link
+// (one whose retirement leaves the BFS ranks unchanged, so the union of
+// the old and new routing functions provably stays deadlock-free) under
+// both completion paths —
+//   * epoch leg — the union check admits a LIVE switchover: time to
+//     recover is exactly reroute_latency, old-epoch packets finish on
+//     their old routes while new traffic takes the detours;
+//   * drain leg — Recovery_mode::drain forces the PR-6 behavior: pause,
+//     drain the whole network, then swap — strictly slower.
+// Both legs run the NI end-to-end replay protocol, so every purged packet
+// on the still-connected mesh is re-queued and delivered: packets_dropped
+// ends at 0 and availability at 1.0.
 // Plus a saturation comparison: binary-searched saturation throughput of
 // the healthy mesh vs the same mesh with the failed links — the paper's
 // graceful-degradation story in one number.
@@ -21,6 +34,7 @@
 #include "bench_util.h"
 
 #include "arch/fault_plan.h"
+#include "topology/fault.h"
 #include "topology/routing.h"
 #include "traffic/experiment.h"
 #include "traffic/patterns.h"
@@ -28,7 +42,9 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 using namespace noc;
 
@@ -114,12 +130,51 @@ int main(int argc, char** argv)
     const Load_point transients = run_at(mesh_an, load, transient_plan);
     const Load_point failure = run_at(mesh, load, failure_plan);
 
+    // Epoch vs drain recovery on an up*/down*-routed mesh. The victim is
+    // the first duplex link whose retirement leaves the BFS ranks from
+    // root 0 unchanged: the failure-aware reroute then obeys the up/down
+    // discipline of the SAME rank order as the healthy routes, the union
+    // CDG is acyclic, and the epoch leg's live switchover is admitted.
+    Fixture mesh_ud = make_fixture(smoke, Flow_control_kind::credit);
+    const std::vector<int> ud_ranks =
+        spanning_tree_ranks(mesh_ud.topo, Switch_id{0});
+    mesh_ud.routes = updown_routes(mesh_ud.topo, ud_ranks);
+    Link_id victim{};
+    for (int i = 0; i < mesh_ud.topo.link_count(); ++i) {
+        const Link_id l{static_cast<std::uint32_t>(i)};
+        const std::set<Link_id> retired =
+            symmetrize_failures(mesh_ud.topo, {l});
+        if (failure_aware_ranks(mesh_ud.topo, Switch_id{0}, retired) ==
+            ud_ranks) {
+            victim = l;
+            break;
+        }
+    }
+    auto epoch_plan = std::make_shared<Fault_plan>();
+    epoch_plan->add_permanent(horizon / 2, {victim});
+    epoch_plan->reroute_latency = 8;
+    epoch_plan->replay = true;
+    epoch_plan->recovery = Recovery_mode::epoch;
+    auto drain_plan = std::make_shared<Fault_plan>(*epoch_plan);
+    drain_plan->recovery = Recovery_mode::drain;
+    const Load_point epoch_leg = run_at(mesh_ud, load, epoch_plan);
+    const Load_point drain_leg = run_at(mesh_ud, load, drain_plan);
+
     std::printf("%-14s %8s %9s %7s %7s %6s %6s %5s %7s %6s %s\n", "run",
                 "acc/n/cy", "lat(cy)", "pkts", "drop", "unrch", "corr",
                 "retx", "ttr(cy)", "avail", "drained");
     print_row("baseline", baseline);
     print_row("transients", transients);
     print_row("link-failure", failure);
+    print_row("epoch-reroute", epoch_leg);
+    print_row("drain-reroute", drain_leg);
+    std::printf("\nepoch recovery %.1f cy (%llu live switchover(s), %llu "
+                "replayed) vs drain recovery %.1f cy (%llu replayed)\n",
+                epoch_leg.avg_time_to_recover,
+                static_cast<unsigned long long>(epoch_leg.live_switchovers),
+                static_cast<unsigned long long>(epoch_leg.packets_replayed),
+                drain_leg.avg_time_to_recover,
+                static_cast<unsigned long long>(drain_leg.packets_replayed));
 
     // Graceful degradation: saturation of the healthy mesh vs the same
     // mesh carrying the permanent failure the whole run.
@@ -156,6 +211,20 @@ int main(int argc, char** argv)
         ",\n  \"time_to_recover\": " +
         std::to_string(failure.avg_time_to_recover) +
         ",\n  \"availability\": " + std::to_string(failure.availability) +
+        ",\n  \"epoch_time_to_recover\": " +
+        std::to_string(epoch_leg.avg_time_to_recover) +
+        ",\n  \"epoch_live_switchovers\": " +
+        std::to_string(epoch_leg.live_switchovers) +
+        ",\n  \"epoch_packets_dropped\": " +
+        std::to_string(epoch_leg.packets_dropped) +
+        ",\n  \"epoch_packets_replayed\": " +
+        std::to_string(epoch_leg.packets_replayed) +
+        ",\n  \"epoch_availability\": " +
+        std::to_string(epoch_leg.availability) +
+        ",\n  \"drain_time_to_recover\": " +
+        std::to_string(drain_leg.avg_time_to_recover) +
+        ",\n  \"drain_packets_replayed\": " +
+        std::to_string(drain_leg.packets_replayed) +
         ",\n  \"saturation_healthy\": " + std::to_string(sat_healthy) +
         ",\n  \"saturation_degraded\": " + std::to_string(sat_degraded) +
         "\n}\n";
@@ -174,13 +243,28 @@ int main(int argc, char** argv)
         failure.avg_time_to_recover >= 1.0 &&
         // the wounded network still moves traffic, at most mildly degraded
         failure.accepted_flits_per_node_cycle > 0.0 && sat_degraded > 0.0 &&
-        sat_degraded <= sat_healthy + 1e-9;
+        sat_degraded <= sat_healthy + 1e-9 &&
+        // epoch leg: the live switchover fired and beat the drain path
+        epoch_leg.drained && drain_leg.drained &&
+        epoch_leg.recoveries == 1 && drain_leg.recoveries == 1 &&
+        epoch_leg.live_switchovers == 1 &&
+        drain_leg.live_switchovers == 0 &&
+        epoch_leg.avg_time_to_recover < drain_leg.avg_time_to_recover &&
+        // end-to-end replay: every purged packet on the still-connected
+        // mesh was re-queued and delivered
+        epoch_leg.packets_dropped == 0 && drain_leg.packets_dropped == 0 &&
+        epoch_leg.packets_unreachable == 0 &&
+        epoch_leg.availability >= 1.0 && drain_leg.availability >= 1.0;
     bench::print_verdict(
         ok, "transients absorbed (availability " +
                 std::to_string(transients.availability) +
                 "), link failure rerouted in " +
                 std::to_string(failure.avg_time_to_recover) +
-                " cycles with degraded saturation " +
+                " cycles, epoch switchover in " +
+                std::to_string(epoch_leg.avg_time_to_recover) +
+                " cycles vs drain " +
+                std::to_string(drain_leg.avg_time_to_recover) +
+                " with zero dropped after replay, degraded saturation " +
                 std::to_string(sat_degraded) + " vs healthy " +
                 std::to_string(sat_healthy));
     return ok ? 0 : 1;

@@ -155,6 +155,56 @@ int main()
                   << " unreachable pairs)\n";
     std::cout << "  delivered " << rstats.measured_delivered()
               << " packets through it all; probe recorded "
-              << fault_trace.fault_events().size() << " fault events\n";
+              << fault_trace.fault_events().size() << " fault events\n\n";
+
+    // 6. End-to-end reliability: a whole-router death healed without
+    //    losing a single connected-pair packet. Two upgrades over step 5:
+    //    - Recovery_mode::epoch (the default): instead of pausing to drain,
+    //      the recomputed routes publish at failure + reroute_latency
+    //      exactly, while old-epoch packets finish on the routes they were
+    //      born with — admitted by an acyclicity check on the union
+    //      channel-dependency graph of both route sets, falling back to
+    //      the drain path when the check says no.
+    //    - plan->replay: source NIs keep every packet until the
+    //      destination acknowledges delivery, so packets purged at the
+    //      failure are re-injected after the reroute (bounded retries,
+    //      deterministic backoff) instead of dropped. The only losses left
+    //      are conclusively-unreachable ones — traffic to or from the dead
+    //      router's own core.
+    auto rplan = std::make_shared<Fault_plan>();
+    rplan->add_router_death(Cycle{7'000}, Switch_id{5});
+    rplan->replay = true; // recovery == Recovery_mode::epoch is the default
+    auto esys = Noc_builder{}
+                    .topology(topo)
+                    .routes(routes)
+                    .params(params)
+                    .fault_plan(rplan)
+                    .build();
+    for (int c = 0; c < topo.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = 0.1;
+        sp.seed = 42 + static_cast<std::uint64_t>(c);
+        esys->ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+    esys->warmup(2'000);
+    esys->measure(10'000);
+    esys->drain(60'000);
+    const auto& estats = esys->stats();
+    std::cout << "router-death drill: switch 5 died, "
+              << estats.packets_replayed() << " purged packets replayed, "
+              << estats.packets_unreachable()
+              << " unreachable (the dead core's own traffic), "
+              << estats.packets_dropped() - estats.packets_unreachable()
+              << " connected-pair packets lost\n";
+    for (const auto& rec : estats.recoveries())
+        std::cout << "  "
+                  << (rec.live_switchover ? "live epoch switchover"
+                                          : "drain-path reroute")
+                  << " @ cycle " << rec.recovered_at << " (ttr "
+                  << rec.time_to_recover() << " cycles, "
+                  << rec.unreachable_pairs.size()
+                  << " unreachable pairs)\n";
     return 0;
 }

@@ -17,12 +17,19 @@ void Fault_plan::validate(const Topology& t) const
             throw std::invalid_argument{
                 "Fault_plan: link id out of range for this topology"};
     };
+    const auto check_switch = [&](Switch_id s) {
+        if (!s.is_valid() ||
+            s.get() >= static_cast<std::uint32_t>(t.switch_count()))
+            throw std::invalid_argument{
+                "Fault_plan: switch id out of range for this topology"};
+    };
     for (const Transient_fault& f : transients_) check_link(f.link);
     for (const Permanent_fault& f : permanents_) {
-        if (f.links.empty())
+        if (f.links.empty() && f.switches.empty())
             throw std::invalid_argument{
-                "Fault_plan: permanent failure with no links"};
+                "Fault_plan: permanent failure with no links or switches"};
         for (const Link_id l : f.links) check_link(l);
+        for (const Switch_id s : f.switches) check_switch(s);
     }
     if (!permanents_.empty() && reroute_latency == 0)
         throw std::invalid_argument{
@@ -47,31 +54,78 @@ Fault_plan Fault_plan::random_plan(const Topology& t, std::uint64_t seed,
                                    std::uint32_t permanent_count,
                                    Cycle horizon)
 {
+    Random_fault_shape shape;
+    shape.transient_count = transient_count;
+    shape.permanent_link_count = permanent_count;
+    return random_plan(t, seed, shape, horizon);
+}
+
+Fault_plan Fault_plan::random_plan(const Topology& t, std::uint64_t seed,
+                                   const Random_fault_shape& shape,
+                                   Cycle horizon)
+{
     if (t.link_count() == 0)
         throw std::invalid_argument{"Fault_plan: topology has no links"};
     if (horizon < 8)
         throw std::invalid_argument{"Fault_plan: horizon too short"};
     const auto links = static_cast<std::uint64_t>(t.link_count());
-    permanent_count = std::min(
-        permanent_count, static_cast<std::uint32_t>(t.link_count()));
+    const auto switches = static_cast<std::uint64_t>(t.switch_count());
+    const std::uint32_t permanent_count =
+        std::min(shape.permanent_link_count,
+                 static_cast<std::uint32_t>(t.link_count()));
+    const std::uint32_t death_count =
+        std::min(shape.router_death_count,
+                 static_cast<std::uint32_t>(t.switch_count()));
 
     Fault_plan plan;
     Rng rng{seed};
-    for (std::uint32_t i = 0; i < transient_count; ++i) {
+    for (std::uint32_t i = 0; i < shape.transient_count; ++i) {
         const Cycle at =
             horizon / 8 + rng.next_below(horizon - horizon / 8);
         const Link_id link{
             static_cast<std::uint32_t>(rng.next_below(links))};
         plan.add_transient(at, link);
     }
-    if (permanent_count > 0) {
+    std::set<Switch_id> dead_switches;
+    if (permanent_count > 0 || death_count > 0) {
         std::set<Link_id> victims;
         while (victims.size() < permanent_count)
             victims.insert(Link_id{
                 static_cast<std::uint32_t>(rng.next_below(links))});
-        plan.add_permanent(
-            horizon / 2,
-            std::vector<Link_id>(victims.begin(), victims.end()));
+        while (dead_switches.size() < death_count)
+            dead_switches.insert(Switch_id{
+                static_cast<std::uint32_t>(rng.next_below(switches))});
+        Permanent_fault f;
+        f.at = horizon / 2;
+        f.links.assign(victims.begin(), victims.end());
+        f.switches.assign(dead_switches.begin(), dead_switches.end());
+        plan.permanents_.push_back(std::move(f));
+    }
+    if (shape.region_switch_count > 0 &&
+        dead_switches.size() < static_cast<std::size_t>(t.switch_count())) {
+        // Grow a connected cluster by BFS from a random surviving anchor:
+        // a topology-agnostic stand-in for a rectangular power domain.
+        Switch_id anchor;
+        do {
+            anchor = Switch_id{
+                static_cast<std::uint32_t>(rng.next_below(switches))};
+        } while (dead_switches.count(anchor));
+        std::vector<Switch_id> region{anchor};
+        std::set<Switch_id> in_region{anchor};
+        for (std::size_t head = 0;
+             head < region.size() &&
+             region.size() < shape.region_switch_count;
+             ++head) {
+            for (const Link_id l : t.out_links(region[head])) {
+                const Switch_id next = t.link(l).to;
+                if (in_region.count(next) || dead_switches.count(next))
+                    continue;
+                in_region.insert(next);
+                region.push_back(next);
+                if (region.size() >= shape.region_switch_count) break;
+            }
+        }
+        plan.add_region_off(horizon / 2, std::move(region));
     }
     return plan;
 }

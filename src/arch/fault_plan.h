@@ -31,10 +31,39 @@ struct Transient_fault {
 };
 
 /// One scheduled permanent failure: at the boundary entering cycle `at`,
-/// every link in `links` dies for the rest of the run.
+/// every link in `links` dies for the rest of the run, and every switch in
+/// `switches` dies wholesale — all its incident duplex links are retired
+/// and its network interface powers off (pending traffic to/from it is
+/// unreachable from then on). `is_region` marks a multi-switch power-off
+/// domain (a region event) rather than independent router deaths; the
+/// distinction only affects how the failure is reported.
 struct Permanent_fault {
     Cycle at = 0;
     std::vector<Link_id> links;
+    std::vector<Switch_id> switches;
+    bool is_region = false;
+};
+
+/// How Noc_system switches routes after a permanent failure.
+enum class Recovery_mode : std::uint8_t {
+    /// PR 6 behaviour: pause injection, drain every in-flight packet, then
+    /// install the failure-aware routes. Always safe, stops the world.
+    drain,
+    /// Epoch-based live switchover: new injections take the recomputed
+    /// routes immediately while old-epoch packets finish on theirs,
+    /// admitted by an acyclicity check on the UNION channel-dependency
+    /// graph of every route function still in flight
+    /// (topology/deadlock.h: analyze_union_deadlock). Falls back to the
+    /// drain path for that failure when the union check finds a cycle.
+    epoch,
+};
+
+/// Shape of a random multi-failure plan (see random_plan below).
+struct Random_fault_shape {
+    std::uint32_t transient_count = 0;
+    std::uint32_t permanent_link_count = 0;
+    std::uint32_t router_death_count = 0;
+    std::uint32_t region_switch_count = 0;
 };
 
 /// Ordered, validated schedule of faults. Build one (or draw a random one
@@ -54,13 +83,42 @@ public:
     /// compose deterministically).
     Switch_id reroute_root{0};
 
+    /// Route-switchover policy after a permanent failure. Epoch mode is
+    /// the default: it degrades to exactly the drain behaviour whenever
+    /// the union deadlock check refuses the live switchover.
+    Recovery_mode recovery = Recovery_mode::epoch;
+
+    /// End-to-end NI retransmission: when true, source NIs hold every
+    /// injected packet until the destination NI acknowledges delivery, and
+    /// packets lost to a permanent failure (stranded-packet purge, router
+    /// death) are re-injected after the reroute instead of being dropped —
+    /// up to `max_replays` attempts per packet, released
+    /// `replay_backoff * attempt` cycles after the recomputed routes
+    /// install. Both knobs are deterministic, so replay runs stay
+    /// bit-identical across kernel schedules.
+    bool replay = false;
+    std::uint32_t max_replays = 4;
+    Cycle replay_backoff = 8;
+
     void add_transient(Cycle at, Link_id link)
     {
         transients_.push_back({at, link});
     }
     void add_permanent(Cycle at, std::vector<Link_id> links)
     {
-        permanents_.push_back({at, std::move(links)});
+        permanents_.push_back({at, std::move(links), {}, false});
+    }
+    /// Whole-router death: retires every link incident to `sw` and powers
+    /// off its NI.
+    void add_router_death(Cycle at, Switch_id sw)
+    {
+        permanents_.push_back({at, {}, {sw}, false});
+    }
+    /// Region power-off: every switch in `switches` dies at once (links +
+    /// NIs), reported as one region event.
+    void add_region_off(Cycle at, std::vector<Switch_id> switches)
+    {
+        permanents_.push_back({at, {}, std::move(switches), true});
     }
 
     [[nodiscard]] const std::vector<Transient_fault>& transients() const
@@ -94,6 +152,17 @@ public:
     random_plan(const Topology& t, std::uint64_t seed,
                 std::uint32_t transient_count, std::uint32_t permanent_count,
                 Cycle horizon);
+
+    /// Seeded random multi-failure plan. Transients as above; at horizon/2
+    /// one permanent event of `permanent_link_count` random links plus
+    /// `router_death_count` random router deaths, and — when
+    /// `region_switch_count` > 0 — a region power-off of a BFS-grown
+    /// connected switch cluster (disjoint from the dead routers) as a
+    /// second same-cycle event. Deterministic in (topology, seed, shape,
+    /// horizon).
+    [[nodiscard]] static Fault_plan
+    random_plan(const Topology& t, std::uint64_t seed,
+                const Random_fault_shape& shape, Cycle horizon);
 
 private:
     std::vector<Transient_fault> transients_;

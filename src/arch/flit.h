@@ -85,6 +85,11 @@ struct Flit {
     std::uint32_t link_seq = 0;
     /// Response size the target must send back (0 = none); tail flits only.
     std::uint32_t reply_flits = 0;
+    /// Route epoch the packet was injected under (bumped per online
+    /// reroute, arch/noc_system.h): during an epoch-based live switchover
+    /// old-epoch and new-epoch packets coexist in flight, and this stamp is
+    /// the observable witness of which route function a flit follows.
+    std::uint16_t route_epoch = 0;
     /// Cycle the packet was created (source-queue entry).
     Cycle birth = invalid_cycle;
     /// Cycle the head flit entered the network (left the source queue).

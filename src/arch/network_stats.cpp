@@ -97,6 +97,13 @@ std::uint64_t Network_stats::measured_dropped() const
     return n;
 }
 
+std::uint64_t Network_stats::measured_unreachable() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->measured_unreachable_;
+    return n;
+}
+
 std::uint64_t Network_stats::measured_created() const
 {
     std::uint64_t n = 0;

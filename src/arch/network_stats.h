@@ -50,6 +50,7 @@ public:
         {
             on_packet_dropped(measured);
             ++unreachable_;
+            if (measured) ++measured_unreachable_;
             dropped_flits_ += flits;
         }
 
@@ -63,6 +64,7 @@ public:
         std::uint64_t dropped_ = 0;
         std::uint64_t measured_dropped_ = 0;
         std::uint64_t unreachable_ = 0;
+        std::uint64_t measured_unreachable_ = 0;
         std::uint64_t dropped_flits_ = 0;
         Exact_stat packet_latency_;
         Exact_stat network_latency_;
@@ -119,6 +121,7 @@ public:
     [[nodiscard]] std::uint64_t measured_created() const;
     [[nodiscard]] std::uint64_t measured_delivered() const;
     [[nodiscard]] std::uint64_t measured_dropped() const;
+    [[nodiscard]] std::uint64_t measured_unreachable() const;
     [[nodiscard]] std::uint64_t measured_in_flight() const
     {
         return measured_created() - measured_delivered() - measured_dropped();
@@ -144,9 +147,17 @@ public:
         Cycle failed_at = invalid_cycle;
         Cycle recovered_at = invalid_cycle; ///< reroute published
         std::vector<Link_id> links;         ///< links that died
+        std::vector<Switch_id> switches;    ///< routers that died (if any)
         /// (src, dst) pairs with no surviving route after the reroute.
         std::vector<std::pair<Core_id, Core_id>> unreachable_pairs;
         std::uint64_t packets_dropped = 0; ///< purged at the failure point
+        /// Purged packets rescheduled for end-to-end replay instead of
+        /// being dropped (Fault_plan::replay).
+        std::uint64_t packets_replayed = 0;
+        /// True when the union deadlock check admitted an epoch-based live
+        /// switchover (recovered_at == failed_at + reroute_latency exactly);
+        /// false when this episode took the drain path.
+        bool live_switchover = false;
         [[nodiscard]] Cycle time_to_recover() const
         {
             return recovered_at - failed_at;
@@ -176,6 +187,13 @@ public:
     {
         return recoveries_;
     }
+    /// Packets rescued by end-to-end NI replay (cumulative; sequential
+    /// points only, like the other fault counters).
+    void record_replays(std::uint64_t n) { packets_replayed_ += n; }
+    [[nodiscard]] std::uint64_t packets_replayed() const
+    {
+        return packets_replayed_;
+    }
 
 private:
     Cycle window_start_ = 0;
@@ -185,6 +203,7 @@ private:
     // --- sequential-only fault bookkeeping ---
     std::uint64_t corrupted_flits_ = 0;
     std::uint64_t retransmissions_ = 0;
+    std::uint64_t packets_replayed_ = 0;
     std::vector<Recovery_record> recoveries_;
 };
 

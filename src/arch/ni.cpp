@@ -59,6 +59,60 @@ void Ni::set_routes(const Route_set* routes)
     if (routes == nullptr)
         throw std::invalid_argument{"Ni::set_routes: null route set"};
     routes_ = routes;
+    ++epoch_; // new injections are stamped with the new route epoch
+}
+
+void Ni::schedule_replay(Packet_id pid, Cycle release)
+{
+    const auto it = awaiting_ack_.find(pid);
+    if (it == awaiting_ack_.end())
+        throw std::logic_error{"Ni::schedule_replay: no replay record"};
+    ++it->second.attempts;
+    // Sorted insert by release cycle; ties keep insertion order (the
+    // caller schedules in packet-id order), so releases are deterministic.
+    auto pos = replay_queue_.begin();
+    while (pos != replay_queue_.end() && pos->first <= release) ++pos;
+    replay_queue_.insert(pos, {release, pid});
+    may_sleep_ = false;
+    request_wake();
+}
+
+void Ni::release_replays(Cycle now)
+{
+    while (!replay_queue_.empty() && replay_queue_.front().first <= now) {
+        const Packet_id pid = replay_queue_.front().second;
+        replay_queue_.pop_front();
+        const auto it = awaiting_ack_.find(pid);
+        if (it == awaiting_ack_.end()) continue; // acked or powered off
+        const Replay_record& rec = it->second;
+        const Route* route = &routes_->at(core_, rec.dst);
+        if (route->empty()) {
+            // The reroute left this pair disconnected: the packet is now
+            // conclusively undeliverable. It was counted created at its
+            // original enqueue, so only the drop is recorded here.
+            stats_slot_->on_packet_unreachable(rec.measured, rec.size_flits);
+            awaiting_ack_.erase(it);
+            continue;
+        }
+        Pending_packet p;
+        p.dst = rec.dst;
+        p.size_flits = rec.size_flits;
+        p.reply_flits = rec.reply_flits;
+        p.cls = rec.cls;
+        p.flow = rec.flow;
+        p.conn = rec.conn;
+        p.route = route;
+        p.pid = pid; // the SAME packet: not re-counted as created
+        p.birth = rec.birth;
+        p.measured = rec.measured;
+        p.epoch = epoch_;
+        queued_flits_ += p.size_flits;
+        enqueued_this_step_ = true;
+        if (p.cls == Traffic_class::gt)
+            gt_queue_.push(p);
+        else
+            queue_.push(p);
+    }
 }
 
 void Ni::set_slot_table(std::vector<Connection_id> slot_owner)
@@ -82,6 +136,14 @@ void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
         throw std::invalid_argument{"Ni: packet addressed to self"};
     if (desc.size_flits == 0)
         throw std::invalid_argument{"Ni: empty packet"};
+    if (powered_off_) {
+        // Dead core (router death / region power-off): offered traffic is
+        // counted and discarded, exactly like the no-route case below.
+        const bool measured = stats_->in_measurement(now);
+        stats_slot_->on_packet_created(desc.flow, now, measured);
+        stats_slot_->on_packet_unreachable(measured, desc.size_flits);
+        return;
+    }
     if (desc.cls == Traffic_class::gt && desc.size_flits != 1)
         throw std::invalid_argument{
             "Ni: GT connections are flit-granular (one flit per reserved "
@@ -116,7 +178,20 @@ void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
     p.pid = pid;
     p.birth = now;
     p.measured = measured;
+    p.epoch = epoch_;
     queued_flits_ += desc.size_flits;
+    if (replay_protocol_) {
+        Replay_record rec;
+        rec.dst = desc.dst;
+        rec.size_flits = desc.size_flits;
+        rec.reply_flits = desc.reply_flits;
+        rec.cls = desc.cls;
+        rec.flow = desc.flow;
+        rec.conn = desc.conn;
+        rec.birth = now;
+        rec.measured = measured;
+        awaiting_ack_.emplace(pid, rec);
+    }
     if (desc.cls == Traffic_class::gt)
         gt_queue_.push(p);
     else
@@ -146,6 +221,7 @@ Flit_ref Ni::materialize_flit(Pending_packet& p, Cycle now, int vc)
     f.packet_size = p.size_flits;
     f.route = is_head(f.kind) ? p.route : nullptr;
     f.route_index = 0;
+    f.route_epoch = p.epoch;
     if (is_tail(f.kind)) f.reply_flits = p.reply_flits;
     f.birth = p.birth;
     f.measured = p.measured;
@@ -230,11 +306,20 @@ void Ni::eject(Cycle now)
         return;
     }
     if (received != f.packet_size)
-        throw std::logic_error{"Ni: tail arrived before full packet "
-                               "(wormhole ordering violated)"};
+        throw std::logic_error{
+            "Ni: tail arrived before full packet "
+            "(wormhole ordering violated) pid=" +
+            std::to_string(f.packet.get()) + " src=" +
+            std::to_string(f.src.get()) + " dst=" +
+            std::to_string(f.dst.get()) + " received=" +
+            std::to_string(received) + " size=" +
+            std::to_string(f.packet_size) + " now=" + std::to_string(now)};
     reassembly_.erase(f.packet);
     stats_slot_->on_packet_delivered(f.flow, f.packet_size, f.birth,
                                      f.inject, now, f.measured);
+    // End-to-end replay: remember the delivery so the fault engine can ack
+    // the source NI's replay record at the next sequential point.
+    if (replay_protocol_) delivered_pids_.push_back(f.packet);
     if (on_delivery_) on_delivery_(f, now);
     if (f.reply_flits > 0) {
         Packet_desc reply;
@@ -267,10 +352,12 @@ void Ni::compute_sleep(Cycle now)
         sleep = sender_.is_quiescent() && source_quiet;
         blocked = sleep;
     }
-    // A reply due this cycle or next needs a step NOW; a timed wake cannot
-    // express "this cycle" (the kernel would clobber it with the sleep
-    // decision), so stay awake for it.
+    // A reply (or replay release) due this cycle or next needs a step NOW;
+    // a timed wake cannot express "this cycle" (the kernel would clobber it
+    // with the sleep decision), so stay awake for it.
     if (!pending_replies_.empty() && pending_replies_.front().first <= now)
+        sleep = blocked = false;
+    if (!replay_queue_.empty() && replay_queue_.front().first <= now)
         sleep = blocked = false;
     if (sleep) {
         // Timed wakes for everything we promised to do later.
@@ -278,6 +365,8 @@ void Ni::compute_sleep(Cycle now)
             request_wake_at(next_source_poll_);
         if (!pending_replies_.empty())
             request_wake_at(pending_replies_.front().first);
+        if (!replay_queue_.empty())
+            request_wake_at(replay_queue_.front().first);
     }
     sender_.set_wake_on_token(blocked);
     may_sleep_ = sleep;
@@ -289,6 +378,7 @@ void Ni::step(Cycle now)
     enqueued_this_step_ = false;
     sender_.begin_cycle();
     release_replies(now);
+    release_replays(now);
     poll_source(now);
     inject(now);
     sender_.end_cycle();

@@ -36,6 +36,8 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace noc {
 
@@ -99,7 +101,8 @@ public:
     [[nodiscard]] bool idle() const
     {
         return queue_.empty() && gt_queue_.empty() &&
-               pending_replies_.empty() && reassembly_.empty();
+               pending_replies_.empty() && reassembly_.empty() &&
+               replay_queue_.empty();
     }
 
     // --- fault-injection support (arch/fault_plan.h) -----------------------
@@ -120,21 +123,105 @@ public:
     /// Swap the route LUT after an online reconfiguration. In-flight
     /// packets and the mid-serialization record keep pointers into the
     /// retired set, which the caller keeps alive; rebind_queued_routes()
-    /// re-points everything that has not started serializing.
+    /// re-points everything that has not started serializing. Bumps the
+    /// route epoch new injections are stamped with (Flit::route_epoch).
     void set_routes(const Route_set* routes);
+
+    /// Route epoch new injections are stamped with (0 until the first
+    /// set_routes after construction).
+    [[nodiscard]] std::uint16_t route_epoch() const { return epoch_; }
+
+    // --- end-to-end replay protocol (Fault_plan::replay) --------------------
+    // The source NI keeps a replay record per injected packet until the
+    // destination NI's delivery is acknowledged back to it; packets purged
+    // by a permanent failure are re-injected from the record instead of
+    // being dropped. ACK collection and replay scheduling happen at
+    // sequential points (Noc_system::collect_acks / apply_permanent);
+    // releases happen inside step() at a deterministic cycle, so replay
+    // runs stay bit-identical across kernel schedules.
+
+    void set_replay_protocol(bool v) { replay_protocol_ = v; }
+
+    /// Destination side: packet ids whose tails this NI delivered since
+    /// the last take (cleared by the call).
+    [[nodiscard]] std::vector<Packet_id> take_delivered_pids()
+    {
+        return std::exchange(delivered_pids_, {});
+    }
+
+    /// Source side: the destination acknowledged `pid` end to end.
+    void ack_packet(Packet_id pid) { awaiting_ack_.erase(pid); }
+
+    /// True when `pid` still has a replay record with attempts left.
+    [[nodiscard]] bool can_replay(Packet_id pid,
+                                  std::uint32_t max_replays) const
+    {
+        const auto it = awaiting_ack_.find(pid);
+        return it != awaiting_ack_.end() && it->second.attempts < max_replays;
+    }
+    [[nodiscard]] std::uint32_t replay_attempts(Packet_id pid) const
+    {
+        const auto it = awaiting_ack_.find(pid);
+        return it == awaiting_ack_.end() ? 0 : it->second.attempts;
+    }
+    /// Forget `pid`'s record (the packet is conclusively dropped).
+    void drop_replay_record(Packet_id pid) { awaiting_ack_.erase(pid); }
+
+    /// Re-queue `pid`'s packet at cycle `release` (bumps its attempt
+    /// count). The re-injected packet keeps its original id, birth cycle
+    /// and measured flag — a replay is the SAME packet, so it is not
+    /// re-counted as created.
+    void schedule_replay(Packet_id pid, Cycle release);
+
+    /// Router death (arch/fault_plan.h): detach the source, drop every
+    /// queued / replay-pending packet through
+    /// `on_unreachable(measured, size_flits)`, clear replay state, and
+    /// refuse future enqueues (counted created + unreachable). The caller
+    /// purges this NI's in-network flits separately via the doom set.
+    template<typename DropFn> void power_off(DropFn&& on_unreachable)
+    {
+        powered_off_ = true;
+        source_.reset();
+        source_may_sleep_ = true;
+        next_source_poll_ = invalid_cycle;
+        auto drop_queue = [&](Ring_fifo<Pending_packet>& q) {
+            while (!q.empty()) {
+                const Pending_packet p = q.pop();
+                queued_flits_ -= p.size_flits - p.next_flit;
+                if (p.next_flit == 0)
+                    on_unreachable(p.measured, p.size_flits);
+                // A mid-serialization front was already accounted through
+                // the caller's doom set (its flits are in the network).
+            }
+        };
+        drop_queue(queue_);
+        drop_queue(gt_queue_);
+        for (const auto& [release, pid] : replay_queue_) {
+            (void)release;
+            const auto it = awaiting_ack_.find(pid);
+            if (it != awaiting_ack_.end())
+                on_unreachable(it->second.measured, it->second.size_flits);
+        }
+        replay_queue_.clear();
+        awaiting_ack_.clear();
+        delivered_pids_.clear();
+        pending_replies_.clear();
+        reassembly_.clear();
+    }
+    [[nodiscard]] bool powered_off() const { return powered_off_; }
 
     /// Mutable injection sender (window resets / credit restores).
     [[nodiscard]] Link_sender& injection_sender() { return sender_; }
 
     /// Visit the packet this NI is mid-serializing (some flits already in
-    /// the network, the rest still queued), if any: f(Packet_id, Route).
-    /// Only the BE queue front can be mid-flight — GT packets are
-    /// single-flit and leave whole.
+    /// the network, the rest still queued), if any:
+    /// f(Packet_id, Route, dst). Only the BE queue front can be mid-flight
+    /// — GT packets are single-flit and leave whole.
     template<typename F> void visit_in_progress(F&& f) const
     {
         if (!queue_.empty() && queue_.front().next_flit > 0) {
             const Pending_packet& p = queue_.front();
-            f(p.pid, *p.route);
+            f(p.pid, *p.route, p.dst);
         }
     }
 
@@ -175,10 +262,12 @@ public:
                 const Route* route = &routes_->at(core_, p.dst);
                 if (route->empty()) {
                     queued_flits_ -= p.size_flits;
+                    awaiting_ack_.erase(p.pid); // conclusively undeliverable
                     on_unreachable(p.measured, p.size_flits);
                     (void)q.erase_at(i);
                 } else {
                     p.route = route;
+                    p.epoch = epoch_;
                     ++i;
                 }
             }
@@ -202,10 +291,26 @@ private:
         Cycle birth = invalid_cycle;
         bool measured = false;
         std::uint32_t next_flit = 0;
+        std::uint16_t epoch = 0; ///< route epoch stamped on its flits
+    };
+
+    /// Source-side replay record (set_replay_protocol): everything needed
+    /// to re-enqueue the packet as ITSELF — original id, birth, measured.
+    struct Replay_record {
+        Core_id dst{};
+        std::uint32_t size_flits = 1;
+        std::uint32_t reply_flits = 0;
+        Traffic_class cls = Traffic_class::request;
+        Flow_id flow{};
+        Connection_id conn{};
+        Cycle birth = invalid_cycle;
+        bool measured = false;
+        std::uint32_t attempts = 0;
     };
 
     void poll_source(Cycle now);
     void release_replies(Cycle now);
+    void release_replays(Cycle now);
     void inject(Cycle now);
     void eject(Cycle now);
     void compute_sleep(Cycle now);
@@ -245,6 +350,16 @@ private:
     // --- fault-injection state (see the public fault block) ---
     bool fault_tolerant_ = false;
     bool inject_paused_ = false;
+    bool replay_protocol_ = false;
+    bool powered_off_ = false;
+    std::uint16_t epoch_ = 0; ///< bumped by set_routes
+    /// Replay records by packet id; erased on end-to-end ACK.
+    std::unordered_map<Packet_id, Replay_record> awaiting_ack_;
+    /// Tails delivered here since the last take_delivered_pids().
+    std::vector<Packet_id> delivered_pids_;
+    /// Scheduled re-injections, sorted by release cycle (ties keep
+    /// insertion = packet-id order, so releases are deterministic).
+    std::deque<std::pair<Cycle, Packet_id>> replay_queue_;
 };
 
 } // namespace noc

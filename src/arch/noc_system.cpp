@@ -1,6 +1,7 @@
 #include "arch/noc_system.h"
 
 #include "arch/probe.h"
+#include "topology/deadlock.h"
 #include "topology/fault.h"
 #include "topology/routing.h"
 
@@ -228,6 +229,11 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
                          [](const Permanent_fault& a,
                             const Permanent_fault& b) { return a.at < b.at; });
         for (const auto& ni : nis_) ni->set_fault_tolerant(true);
+        if (fault_plan_->replay)
+            for (const auto& ni : nis_) ni->set_replay_protocol(true);
+        // The union the live-switchover check runs over starts as just the
+        // original routing function.
+        live_epochs_.push_back(&routes_);
     }
 }
 
@@ -324,26 +330,44 @@ Cycle Noc_system::next_fault_stop(Cycle limit) const
 void Noc_system::service_fault_events()
 {
     const Cycle now = kernel_.now();
+    collect_acks();
     // A reroute completion was scheduled before any event still pending,
     // so it resolves first; then failures, then corruptions on the
-    // (possibly reduced) surviving network. Completion additionally waits
-    // for the network to empty (pool_.live() == 0): the old and new
-    // routing functions are each deadlock-free on one VC, but their UNION
-    // need not be, so mixing in-flight old-route packets with new-route
-    // packets can wormhole-deadlock. Injection is paused from the failure
-    // on, surviving old-route traffic drains deadlock-free, and the pool
-    // count is schedule-invariant at sequential points — so the switchover
-    // cycle is still bit-identical across kernel modes. While waiting past
-    // reroute_at_, next_fault_stop degenerates to 1-cycle chunks.
-    if (reroute_at_ != invalid_cycle && reroute_at_ <= now &&
-        pool_.live() == 0)
-        complete_reroute();
+    // (possibly reduced) surviving network.
+    //
+    // Two completion paths:
+    //   * Recovery_mode::epoch — at reroute_at_ exactly, attempt a LIVE
+    //     switchover: old-epoch packets finish on their retired routes
+    //     while new injections take the failure-aware set, admitted only
+    //     when the union CDG of every routing function still in flight
+    //     plus the candidate is acyclic (each function alone being
+    //     deadlock-free does not make their mixture so). A cyclic union
+    //     falls back to the drain path below.
+    //   * Drain path (Recovery_mode::drain, or the fallback) — completion
+    //     additionally waits for the network to empty (pool_.live() == 0):
+    //     injection stays paused, surviving old-route traffic drains
+    //     deadlock-free. While waiting past reroute_at_, next_fault_stop
+    //     degenerates to 1-cycle chunks.
+    // Both the pool count and the union verdict are schedule-invariant at
+    // sequential points, so the switchover cycle is bit-identical across
+    // kernel modes either way.
+    if (reroute_at_ != invalid_cycle && reroute_at_ <= now) {
+        if (fault_plan_->recovery == Recovery_mode::epoch && !await_drain_ &&
+            !try_live_switchover())
+            await_drain_ = true;
+        if (reroute_at_ != invalid_cycle && pool_.live() == 0)
+            complete_reroute();
+    }
     while (next_permanent_ < permanents_.size() &&
            permanents_[next_permanent_].at <= now)
         apply_permanent(permanents_[next_permanent_++]);
     while (next_transient_ < transients_.size() &&
            transients_[next_transient_].at <= now)
         apply_transient(transients_[next_transient_++]);
+    // Pool empty at a sequential point ⇒ no packet of any retired epoch is
+    // in flight any more; trim the union back to the current function.
+    if (pool_.live() == 0 && live_epochs_.size() > 1)
+        live_epochs_.assign(1, &current_routes());
 }
 
 void Noc_system::apply_transient(const Transient_fault& fault)
@@ -377,10 +401,22 @@ void Noc_system::apply_transient(const Transient_fault& fault)
 void Noc_system::apply_permanent(const Permanent_fault& fault)
 {
     const Cycle now = kernel_.now();
-    std::vector<Link_id> fresh; // re-failing a dead link is a no-op
-    for (const Link_id l : fault.links)
+    // Router death / region power-off lowers to the switch's full incident
+    // link set plus its NIs powering off (2g). Re-failing a dead link or a
+    // dead switch is a no-op.
+    std::vector<Switch_id> fresh_switches;
+    for (const Switch_id s : fault.switches)
+        if (dead_switches_.insert(s).second) fresh_switches.push_back(s);
+    std::vector<Link_id> fresh;
+    const auto fail_link = [&](Link_id l) {
         if (failed_links_.insert(l).second) fresh.push_back(l);
-    if (fresh.empty()) return;
+    };
+    for (const Link_id l : fault.links) fail_link(l);
+    for (const Switch_id s : fresh_switches) {
+        for (const Link_id l : topology_.out_links(s)) fail_link(l);
+        for (const Link_id l : topology_.in_links(s)) fail_link(l);
+    }
+    if (fresh.empty() && fresh_switches.empty()) return;
 
     // ---- 1. Doom set: every packet that can no longer make progress.
     //   (a) flits physically on a dead link — wire stages, the parked
@@ -407,9 +443,16 @@ void Noc_system::apply_permanent(const Permanent_fault& fault)
         }
         return false;
     };
+    const auto core_dead = [&](Core_id c) {
+        return dead_switches_.count(topology_.core_switch(c)) != 0;
+    };
+    // core_dead catches what route_dies cannot: packets between cores of
+    // one dead switch (their route crosses no topology link) and body
+    // flits addressed to a dead destination (no route pointer needed).
     const auto flit_dies = [&](const Flit& f) {
-        return f.route != nullptr &&
-               route_dies(f.src, *f.route, f.route_index);
+        return core_dead(f.src) || core_dead(f.dst) ||
+               (f.route != nullptr &&
+                route_dies(f.src, *f.route, f.route_index));
     };
     for (const Link_id l : fresh) {
         link_data_[l.get()]->for_each_owned(
@@ -448,12 +491,22 @@ void Noc_system::apply_permanent(const Permanent_fault& fault)
             [&](const Flit_ref& ref) {
                 if (flit_dies(pool_[ref])) note(pool_[ref]);
             });
+        // Ejection channels too: a packet whose last flit is at the dead
+        // destination's doorstep has nothing left anywhere else, so this
+        // is the only scan that can doom it.
+        eject_data_[static_cast<std::size_t>(c)]->for_each_owned(
+            [&](const Flit_ref& ref) {
+                if (flit_dies(pool_[ref])) note(pool_[ref]);
+            });
         Ni& ni = *nis_[static_cast<std::size_t>(c)];
         ni.injection_sender().for_each_window([&](Flit_ref ref) {
             if (flit_dies(pool_[ref])) note(pool_[ref]);
         });
-        ni.visit_in_progress([&](Packet_id pid, const Route& route) {
-            if (route_dies(Core_id{static_cast<std::uint32_t>(c)}, route, 0))
+        ni.visit_in_progress([&](Packet_id pid, const Route& route,
+                                 Core_id dst) {
+            const Core_id src{static_cast<std::uint32_t>(c)};
+            if (route_dies(src, route, 0) || core_dead(src) ||
+                core_dead(dst))
                 doomed.try_emplace(pid, false);
         });
     }
@@ -650,13 +703,56 @@ void Noc_system::apply_permanent(const Permanent_fault& fault)
             flits_dropped += remaining;
         });
 
-    // ---- 3. Account, pause injection, schedule the online reroute.
+    // 2g. Dead switches power their NIs off. Runs after 2f so a
+    // mid-serialization queue front was already popped with accounting;
+    // what remains — queued records that never materialized a flit and
+    // pending replays (whose purged flits were counted when they were
+    // doomed) — reports as unreachable packets.
     Network_stats::Slot& slot = stats_.slot(0);
-    for (const auto& [pid, measured] : doomed) {
-        (void)pid;
-        slot.on_packet_dropped(measured);
+    for (const Switch_id s : fresh_switches)
+        for (const Core_id c : topology_.switch_cores(s))
+            nis_[c.get()]->power_off([&](bool measured, std::uint32_t) {
+                slot.on_packet_unreachable(measured, 0);
+            });
+
+    // ---- 3. Account, pause injection, schedule the online reroute.
+    // With the replay protocol on, a doomed packet whose source NI still
+    // holds its un-ACKed record re-queues after the reroute (same packet
+    // id / birth / measured flag — a replay is the SAME packet) instead of
+    // counting as dropped; sources give up after Fault_plan::max_replays
+    // attempts, and packets of dead cores count unreachable. The doom set
+    // is iterated in packet-id order so replay release cycles are
+    // schedule-invariant.
+    std::vector<std::pair<Packet_id, bool>> doomed_sorted(doomed.begin(),
+                                                          doomed.end());
+    std::sort(doomed_sorted.begin(), doomed_sorted.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first.get() < b.first.get();
+              });
+    const bool replay = fault_plan_->replay;
+    std::uint64_t replayed = 0;
+    for (const auto& [pid, measured] : doomed_sorted) {
+        const Core_id src{static_cast<std::uint32_t>(pid.get() >> 40)};
+        Ni& sni = *nis_[src.get()];
+        if (replay && sni.can_replay(pid, fault_plan_->max_replays)) {
+            // Strictly after the epoch-path switchover; on the drain path a
+            // release may precede publication, where the record waits in
+            // the (paused) source queue and rebinds at publication.
+            const Cycle release =
+                now + fault_plan_->reroute_latency +
+                fault_plan_->replay_backoff * (sni.replay_attempts(pid) + 1);
+            sni.schedule_replay(pid, release);
+            ++replayed;
+        } else {
+            if (replay) sni.drop_replay_record(pid);
+            if (core_dead(src))
+                slot.on_packet_unreachable(measured, 0);
+            else
+                slot.on_packet_dropped(measured);
+        }
     }
     slot.on_flits_dropped(flits_dropped);
+    stats_.record_replays(replayed);
 
     for (const auto& ni : nis_) ni->set_inject_paused(true);
     if (reroute_at_ == invalid_cycle) {
@@ -665,41 +761,92 @@ void Noc_system::apply_permanent(const Permanent_fault& fault)
     }
     pending_recovery_.links.assign(failed_links_.begin(),
                                    failed_links_.end());
-    pending_recovery_.packets_dropped += doomed.size();
+    pending_recovery_.switches.assign(dead_switches_.begin(),
+                                      dead_switches_.end());
+    pending_recovery_.packets_dropped += doomed.size() - replayed;
+    pending_recovery_.packets_replayed += replayed;
     reroute_at_ = now + fault_plan_->reroute_latency;
+    await_drain_ = false; // this purge may change the union verdict
 
     wake_everything();
     if (probe_ != nullptr) {
         Fault_event ev;
-        ev.kind = Fault_event::Kind::link_failed;
+        ev.kind = !fresh_switches.empty()
+                      ? (fault.is_region ? Fault_event::Kind::region_failed
+                                         : Fault_event::Kind::router_failed)
+                      : Fault_event::Kind::link_failed;
         ev.at = now;
         ev.links = fresh;
-        ev.packets_dropped = doomed.size();
+        ev.switches = fresh_switches;
+        ev.packets_dropped = doomed.size() - replayed;
+        ev.packets_replayed = replayed;
         probe_->on_fault_event(ev);
+        if (replayed != 0) {
+            Fault_event rev;
+            rev.kind = Fault_event::Kind::packet_replayed;
+            rev.at = now;
+            rev.packets_replayed = replayed;
+            probe_->on_fault_event(rev);
+        }
     }
 }
 
-void Noc_system::complete_reroute()
+// Failure-aware route recomputation, shared by both completion paths.
+// Ranks come from the SURVIVING graph, not the healthy topology: stale
+// ranks would forbid detours around a cut tree edge and report reachable
+// pairs as unreachable (topology/fault.h). A duplex link with one dead
+// direction is retired whole (symmetrize_failures) so the up*/down*
+// reachability argument holds; the surviving routes then reach exactly the
+// pairs connected in the undirected surviving graph. Fixed preferred root,
+// so successive reroutes compose deterministically.
+
+bool Noc_system::try_live_switchover()
 {
-    const Cycle now = kernel_.now();
-    // Ranks come from the SURVIVING graph, not the healthy topology: stale
-    // ranks would forbid detours around a cut tree edge and report
-    // reachable pairs as unreachable (topology/fault.h). A duplex link
-    // with one dead direction is retired whole (symmetrize_failures) so
-    // the up*/down* reachability argument holds; the surviving routes then
-    // reach exactly the pairs connected in the undirected surviving graph.
-    // Fixed preferred root, so successive reroutes compose
-    // deterministically.
     const std::set<Link_id> retired =
         symmetrize_failures(topology_, failed_links_);
     Reroute_result rr = reroute_around_failures(
         topology_,
         failure_aware_ranks(topology_, fault_plan_->reroute_root, retired),
         retired);
+    // Admission: the CDG over every routing function that may still have
+    // packets in flight PLUS the candidate must be acyclic — each function
+    // alone being deadlock-free does not make their mixture so. A cyclic
+    // union rejects the live switchover and the caller falls back to the
+    // drain path.
+    std::vector<const Route_set*> union_sets = live_epochs_;
+    union_sets.push_back(&rr.routes);
+    if (!analyze_union_deadlock(topology_, union_sets, params_.route_vcs,
+                                retired)
+             .acyclic)
+        return false;
+    publish_reroute(std::move(rr.routes), std::move(rr.unreachable), true);
+    return true;
+}
+
+void Noc_system::complete_reroute()
+{
+    const std::set<Link_id> retired =
+        symmetrize_failures(topology_, failed_links_);
+    Reroute_result rr = reroute_around_failures(
+        topology_,
+        failure_aware_ranks(topology_, fault_plan_->reroute_root, retired),
+        retired);
+    publish_reroute(std::move(rr.routes), std::move(rr.unreachable), false);
+}
+
+void Noc_system::publish_reroute(
+    Route_set routes, std::vector<std::pair<Core_id, Core_id>> unreachable,
+    bool live)
+{
+    const Cycle now = kernel_.now();
     reroute_epochs_.push_back(
-        std::make_unique<Route_set>(std::move(rr.routes)));
+        std::make_unique<Route_set>(std::move(routes)));
     const Route_set* fresh = reroute_epochs_.back().get();
-    unreachable_pairs_ = std::move(rr.unreachable);
+    unreachable_pairs_ = std::move(unreachable);
+    if (live)
+        live_epochs_.push_back(fresh); // old epochs still in flight
+    else
+        live_epochs_.assign(1, fresh); // drain path: network is empty
 
     // Publish the new LUTs: queued-but-unstarted packets rebind (or drop,
     // when their destination is now unreachable); mid-flight packets keep
@@ -710,10 +857,12 @@ void Noc_system::complete_reroute()
         ni->rebind_queued_routes([&](bool measured, std::uint32_t flits) {
             slot.on_packet_unreachable(measured, flits);
         });
-        ni->set_inject_paused(false);
+        if (!ni->powered_off()) ni->set_inject_paused(false);
     }
     reroute_at_ = invalid_cycle;
+    await_drain_ = false;
     pending_recovery_.recovered_at = now;
+    pending_recovery_.live_switchover = live;
     pending_recovery_.unreachable_pairs = unreachable_pairs_;
     stats_.record_recovery(pending_recovery_);
     wake_everything();
@@ -722,13 +871,26 @@ void Noc_system::complete_reroute()
         ev.kind = Fault_event::Kind::rerouted;
         ev.at = now;
         ev.links.assign(failed_links_.begin(), failed_links_.end());
+        ev.switches.assign(dead_switches_.begin(), dead_switches_.end());
         ev.unreachable_pairs = unreachable_pairs_.size();
         probe_->on_fault_event(ev);
     }
 }
 
+void Noc_system::collect_acks()
+{
+    if (!fault_plan_ || !fault_plan_->replay) return;
+    // Packet ids encode their source core in the high bits (arch/ni.cpp),
+    // so routing an ACK home is a direct index. NI iteration order is
+    // fixed, keeping record retirement deterministic.
+    for (const auto& ni : nis_)
+        for (const Packet_id pid : ni->take_delivered_pids())
+            nis_[static_cast<std::size_t>(pid.get() >> 40)]->ack_packet(pid);
+}
+
 void Noc_system::sync_fault_counters()
 {
+    collect_acks(); // bound replay-record growth at every protocol stage
     std::uint64_t retx = 0;
     for (const auto& r : routers_)
         for (int p = 0; p < r->output_count(); ++p)

@@ -128,6 +128,11 @@ public:
     {
         return failed_links_;
     }
+    /// Switches dead so far (router deaths / region power-offs).
+    [[nodiscard]] const std::set<Switch_id>& dead_switches() const
+    {
+        return dead_switches_;
+    }
     /// (src, dst) pairs with no surviving route after the last reroute.
     [[nodiscard]] const std::vector<std::pair<Core_id, Core_id>>&
     unreachable_pairs() const
@@ -135,12 +140,16 @@ public:
         return unreachable_pairs_;
     }
     /// True between a permanent failure and its reroute completion
-    /// (injection is paused network-wide in that window). Completion
-    /// requires both the plan's reroute_latency to elapse AND the network
-    /// to drain of in-flight flits, so old-route and new-route packets
-    /// never mix (their union can deadlock even though each routing
-    /// function alone is deadlock-free); time_to_recover in the stats is
-    /// therefore latency + drain time.
+    /// (injection is paused network-wide in that window). Under
+    /// Recovery_mode::epoch, completion happens at failure +
+    /// reroute_latency exactly whenever the union deadlock check admits a
+    /// live switchover (old-epoch packets finish on their old routes while
+    /// new injections take the failure-aware ones); when the union has a
+    /// cycle — or under Recovery_mode::drain — completion additionally
+    /// waits for the network to empty, so time_to_recover is latency +
+    /// drain time on that path. Either way the switchover cycle is
+    /// schedule-invariant (pool occupancy and the union verdict are both
+    /// deterministic at sequential points).
     [[nodiscard]] bool reroute_pending() const
     {
         return reroute_at_ != invalid_cycle;
@@ -152,6 +161,13 @@ public:
     [[nodiscard]] const Route_set& current_routes() const
     {
         return reroute_epochs_.empty() ? routes_ : *reroute_epochs_.back();
+    }
+    /// Route epochs published so far (0 before the first reroute). The
+    /// flits of packets injected under epoch e carry Flit::route_epoch ==
+    /// e, so probes can watch epochs mix during a live switchover.
+    [[nodiscard]] std::size_t route_epoch() const
+    {
+        return reroute_epochs_.size();
     }
 
     // --- activity (power models, utilization reports) ------------------------
@@ -172,7 +188,20 @@ private:
     [[nodiscard]] Cycle next_fault_stop(Cycle limit) const;
     void apply_transient(const Transient_fault& fault);
     void apply_permanent(const Permanent_fault& fault);
+    /// Recompute failure-aware routes and, when the union CDG of every
+    /// route function still in flight plus the candidate is acyclic,
+    /// publish them immediately (live switchover). False = union cyclic.
+    bool try_live_switchover();
+    /// Drain-path completion (pool empty): recompute and publish.
     void complete_reroute();
+    /// Common publication tail: install `routes` as the next epoch,
+    /// rebind/unpause NIs, close the recovery record.
+    void publish_reroute(Route_set routes,
+                         std::vector<std::pair<Core_id, Core_id>> unreachable,
+                         bool live);
+    /// End-to-end ACK sweep (Fault_plan::replay): route every delivered
+    /// pid back to its source NI and retire the replay record.
+    void collect_acks();
     /// Re-sync sender-owned counters (retransmissions) into stats_.
     void sync_fault_counters();
     void wake_everything();
@@ -207,8 +236,18 @@ private:
     std::size_t next_transient_ = 0;
     std::size_t next_permanent_ = 0;
     std::set<Link_id> failed_links_;
+    std::set<Switch_id> dead_switches_;
     /// Cycle a pending reroute completes at (invalid_cycle = none).
     Cycle reroute_at_ = invalid_cycle;
+    /// Epoch mode: the union check refused a live switchover for the
+    /// pending reroute, so it waits for the drain path (reset by any new
+    /// failure, whose purge may change the verdict).
+    bool await_drain_ = false;
+    /// Route sets that may still have packets in flight (the union the
+    /// live-switchover check runs over). Trimmed back to the current set
+    /// whenever the pool is observed empty at a sequential point — a
+    /// schedule-invariant observation.
+    std::vector<const Route_set*> live_epochs_;
     /// In-progress recovery record, finished at reroute completion.
     Network_stats::Recovery_record pending_recovery_;
     /// Every reroute's Route_set, oldest first; all stay alive (see

@@ -5,6 +5,23 @@
 
 namespace noc {
 
+namespace {
+
+const char* fault_kind_name(Fault_event::Kind k)
+{
+    switch (k) {
+    case Fault_event::Kind::transient_injected: return "transient_injected";
+    case Fault_event::Kind::link_failed: return "link_failed";
+    case Fault_event::Kind::router_failed: return "router_failed";
+    case Fault_event::Kind::region_failed: return "region_failed";
+    case Fault_event::Kind::rerouted: return "rerouted";
+    case Fault_event::Kind::packet_replayed: return "packet_replayed";
+    }
+    return "unknown";
+}
+
+} // namespace
+
 Trace_probe::Trace_probe(std::uint32_t capacity_per_shard)
 {
     // Clamp to [16, 2^24] before rounding: bit_ceil above 2^31 is UB, and
@@ -67,6 +84,30 @@ std::string Trace_probe::dump(const Flit_pool& pool) const
                    std::to_string(f.index) + "/" +
                    std::to_string(f.packet_size) + " hop " +
                    std::to_string(f.route_index) + "\n";
+        }
+    }
+    if (!fault_events_.empty()) {
+        out += "fault events: " + std::to_string(fault_events_.size()) +
+               "\n";
+        for (const Fault_event& e : fault_events_) {
+            out += "  @" + std::to_string(e.at) + " " +
+                   fault_kind_name(e.kind);
+            if (!e.links.empty())
+                out += " links=" + std::to_string(e.links.size());
+            if (!e.switches.empty()) {
+                out += " switches=";
+                for (std::size_t i = 0; i < e.switches.size(); ++i)
+                    out += (i ? "," : "") +
+                           std::to_string(e.switches[i].get());
+            }
+            if (e.packets_dropped)
+                out += " dropped=" + std::to_string(e.packets_dropped);
+            if (e.packets_replayed)
+                out += " replayed=" + std::to_string(e.packets_replayed);
+            if (e.unreachable_pairs)
+                out += " unreachable_pairs=" +
+                       std::to_string(e.unreachable_pairs);
+            out += "\n";
         }
     }
     return out;

@@ -57,12 +57,17 @@ struct Fault_event {
     enum class Kind {
         transient_injected, ///< one flit corrupted on `links[0]`
         link_failed,        ///< permanent failure: purge done, reroute pending
+        router_failed,      ///< whole-router death: links + NI retired
+        region_failed,      ///< region power-off: every switch in `switches`
         rerouted,           ///< new route tables published
+        packet_replayed,    ///< purged packets rescheduled for replay
     };
     Kind kind = Kind::transient_injected;
     Cycle at = invalid_cycle;
     std::vector<Link_id> links;          ///< affected links
+    std::vector<Switch_id> switches;     ///< dead routers (router/region)
     std::uint64_t packets_dropped = 0;   ///< purged at a permanent failure
+    std::uint64_t packets_replayed = 0;  ///< purged but rescheduled (replay)
     std::uint64_t unreachable_pairs = 0; ///< pairs still dead after reroute
 };
 

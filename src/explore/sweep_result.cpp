@@ -273,8 +273,14 @@ std::string Sweep_result::to_json() const
                         std::to_string(pr.load.retransmissions) +
                         ", \"recoveries\": " +
                         std::to_string(pr.load.recoveries) +
+                        ", \"replayed\": " +
+                        std::to_string(pr.load.packets_replayed) +
+                        ", \"live_switchovers\": " +
+                        std::to_string(pr.load.live_switchovers) +
                         ", \"availability\": " +
-                        shortest_double(pr.load.availability);
+                        shortest_double(pr.load.availability) +
+                        ", \"connected_availability\": " +
+                        shortest_double(pr.load.connected_availability);
                 json += "}";
             }
             json += p + 1 < c.points.size() ? ",\n" : "\n";
@@ -301,12 +307,13 @@ std::string Sweep_result::to_csv() const
         "packets,drained,";
     if (has_fault_axis)
         csv += "dropped,unreachable,corrupted_flits,retransmissions,"
-               "recoveries,availability,";
+               "recoveries,replayed,live_switchovers,availability,"
+               "connected_availability,";
     csv += "error\n";
     // Six empty value columns for rows with no measurement (skipped /
     // errored), plus the reliability ones when the axis is on.
     const std::string empty_values =
-        has_fault_axis ? ",,,,,,0,false,,,,,,," : ",,,,,,0,false,";
+        has_fault_axis ? ",,,,,,0,false,,,,,,,,,," : ",,,,,,0,false,";
     for (const auto& c : curves)
         for (const auto& p : c.points) {
             csv += csv_escape(c.label) + "," + csv_escape(c.design_label) +
@@ -333,7 +340,11 @@ std::string Sweep_result::to_csv() const
                            std::to_string(p.load.corrupted_flits) + "," +
                            std::to_string(p.load.retransmissions) + "," +
                            std::to_string(p.load.recoveries) + "," +
-                           shortest_double(p.load.availability) + ",";
+                           std::to_string(p.load.packets_replayed) + "," +
+                           std::to_string(p.load.live_switchovers) + "," +
+                           shortest_double(p.load.availability) + "," +
+                           shortest_double(p.load.connected_availability) +
+                           ",";
             }
             csv += "\n";
         }

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <exception>
+#include <string>
 #include <utility>
 
 namespace noc {
@@ -147,6 +148,16 @@ void Sweep_runner::run_task(const Task& t)
         if (out.error.empty()) break;
         if (attempt == 0) out.retried = true;
     }
+    // A fault point that hit the per-point drain cap (Sweep_config::
+    // fault_drain_cap) records a named error rather than posing as a
+    // merely-saturated measurement: a storm can legitimately leave a point
+    // unable to drain, and the cap plus this label keep the worker from
+    // wedging on drain_limit while making the cause visible in reports.
+    if (out.error.empty() && !out.load.drained &&
+        spec_->base.fault_drain_cap != 0 && !spec_->fault_scenarios.empty())
+        out.error = "fault drain cap (" +
+                    std::to_string(spec_->base.fault_drain_cap) +
+                    " cycles) exceeded before the point drained";
     out.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();

@@ -256,7 +256,8 @@ void Sweep_spec::validate() const
                 throw std::invalid_argument{
                     "Sweep_spec: duplicate fault scenario label '" +
                     s.label + "'"};
-            if (s.transient_count == 0 && s.permanent_link_count == 0)
+            if (s.transient_count == 0 && s.permanent_link_count == 0 &&
+                s.router_death_count == 0 && s.region_switch_count == 0)
                 throw std::invalid_argument{
                     "Sweep_spec: fault scenario '" + s.label +
                     "' injects nothing (declare no scenarios for the "
@@ -462,16 +463,20 @@ Sweep_config point_config(const Sweep_spec& spec, const Design_variant& d,
     }
     if (!spec.fault_scenarios.empty() && topo != nullptr) {
         const Fault_scenario& sc = spec.fault_scenarios.at(scenario);
-        // Scenario shapes are declarative; the concrete links come from a
+        // Scenario shapes are declarative; the concrete victims come from a
         // random plan over the point's actual topology, seeded from the
         // point's label-keyed seed + the scenario label so every worker
-        // (and every rerun) kills the same links.
+        // (and every rerun) kills the same links, routers and region.
+        Random_fault_shape shape;
+        shape.transient_count = sc.transient_count;
+        shape.permanent_link_count = sc.permanent_link_count;
+        shape.router_death_count = sc.router_death_count;
+        shape.region_switch_count = sc.region_switch_count;
         Fault_plan plan = Fault_plan::random_plan(
             *topo, mix64(seed ^ hash_label(0xcbf29ce484222325ull, sc.label)),
-            static_cast<int>(sc.transient_count),
-            static_cast<int>(sc.permanent_link_count),
-            cfg.warmup + cfg.measure);
+            shape, cfg.warmup + cfg.measure);
         plan.reroute_latency = sc.reroute_latency;
+        plan.replay = sc.replay;
         cfg.build.fault_plan = std::make_shared<const Fault_plan>(
             std::move(plan));
     }

@@ -118,7 +118,15 @@ struct Fault_scenario {
     std::string label;
     std::uint32_t transient_count = 0;      ///< random flit corruptions
     std::uint32_t permanent_link_count = 0; ///< links killed mid-measure
+    std::uint32_t router_death_count = 0;   ///< whole switches killed
+    /// Switches powered off as one contiguous region (failure domain:
+    /// all incident links plus the local NIs die together).
+    std::uint32_t region_switch_count = 0;
     Cycle reroute_latency = 64; ///< failure-detection + LUT-rewrite delay
+    /// Source NIs keep end-to-end replay records and re-queue purged
+    /// packets after the reroute (Fault_plan::replay): drops on
+    /// still-connected pairs become packets_replayed.
+    bool replay = false;
 };
 
 /// One enumerated simulation point: indices into the spec plus the seed

@@ -143,13 +143,13 @@
 // phases provides the happens-before edge, so no atomics are needed on the
 // mailbox vectors themselves.
 //
-// Reconfiguration points: the boundary between two run() calls is a
-// sequential point — every worker is parked at the job barrier, all
-// channel commits from the last cycle have been published, and the caller
-// thread has exclusive access to the entire component graph. Structural
-// mutation (rewriting route LUTs, failing links, corrupting or purging
-// in-flight flits, pausing injection — everything the fault engine in
-// arch/fault_plan.h does) is legal ONLY at these points, and only from
+// Reconfiguration points and route epochs: the boundary between two run()
+// calls is a sequential point — every worker is parked at the job barrier,
+// all channel commits from the last cycle have been published, and the
+// caller thread has exclusive access to the entire component graph.
+// Structural mutation (rewriting route LUTs, failing links, corrupting or
+// purging in-flight flits, pausing injection — everything the fault engine
+// in arch/fault_plan.h does) is legal ONLY at these points, and only from
 // the thread that calls run(). The rules:
 //   - Never mutate shared simulation state from inside a phase; a
 //     component that wants to reconfigure must surface the request to the
@@ -167,6 +167,27 @@
 //     per-cycle state, so a fixed mutation schedule keyed on cycle numbers
 //     (Fault_plan) stays bit-identical across reference, activity-gated
 //     and sharded runs at any shard count.
+//
+// Route swaps ride on this machinery as EPOCHS. A route table is never
+// edited in place: Noc_system publishes a complete replacement Route_set
+// at a sequential point, stamps every packet with the epoch it was
+// injected under (Flit::route_epoch), and lets old-epoch packets finish on
+// the route set they were born with — each Route_set stays immutable for
+// as long as any packet references it. Two completion paths:
+//   - Live switchover (Recovery_mode::epoch): the replacement publishes at
+//     failure + reroute_latency exactly, while old-epoch packets are still
+//     in flight. Safe only when the channel-dependency graph of the UNION
+//     of every in-flight route function is acyclic
+//     (topology/deadlock.h:analyze_union_deadlock) — checked at the
+//     sequential point, before anything mutates.
+//   - Drain fallback: when the union check finds a cycle, the swap waits
+//     at successive sequential points until the flit pool is empty (the
+//     drain path), then publishes to a network with exactly one live
+//     epoch.
+// Both paths mutate only at sequential points and key every decision off
+// kernel state that is identical across schedules (cycle number, flit-pool
+// liveness at the boundary), so epoch history — like every other fault
+// observable — is bit-identical at any shard count.
 //
 // Error handling: the simulator's exceptions signal wiring/invariant
 // violations, and every schedule propagates them to run()'s caller. Under

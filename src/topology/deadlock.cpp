@@ -88,6 +88,39 @@ void add_route_dependencies(Cdg& cdg, const Topology& t, Core_id src,
     }
 }
 
+/// Like add_route_dependencies, but only the suffix of the route strictly
+/// after its last failed link contributes edges: anything holding a channel
+/// at or before a failed hop is doomed by the purge and cannot take part in
+/// a deadlock among survivors.
+void add_surviving_route_dependencies(Cdg& cdg, const Topology& t,
+                                      Core_id src, const Route& route,
+                                      int vc_count,
+                                      const std::set<Link_id>& failed)
+{
+    // Collect the (link, vc) node sequence first so we can locate the last
+    // failed hop before emitting edges.
+    std::vector<int> nodes;
+    std::size_t last_failed = 0;
+    bool any_failed = false;
+    Switch_id sw = t.core_switch(src);
+    for (const Hop& h : route) {
+        const Link_id l = t.link_of_output_port(sw, Port_id{h.out_port});
+        if (!l.is_valid()) break; // ejection: sink, no further dependency
+        if (static_cast<int>(h.out_vc) >= vc_count)
+            throw std::invalid_argument{
+                "analyze_union_deadlock: route uses vc beyond vc_count"};
+        if (failed.count(l)) {
+            last_failed = nodes.size();
+            any_failed = true;
+        }
+        nodes.push_back(cdg.node_of(l, h.out_vc));
+        sw = t.link(l).to;
+    }
+    const std::size_t first = any_failed ? last_failed + 1 : 0;
+    for (std::size_t i = first; i + 1 < nodes.size(); ++i)
+        cdg.add_edge(nodes[i], nodes[i + 1]);
+}
+
 Deadlock_report report_from(const Cdg& cdg, int vc_count)
 {
     Deadlock_report rep;
@@ -148,6 +181,33 @@ analyze_deadlock_flows(const Topology& t,
     Cdg cdg{t.link_count(), vc_count};
     for (const auto& [src, route] : flows)
         add_route_dependencies(cdg, t, src, route, vc_count);
+    return report_from(cdg, vc_count);
+}
+
+Deadlock_report
+analyze_union_deadlock(const Topology& t,
+                       const std::vector<const Route_set*>& route_sets,
+                       int vc_count, const std::set<Link_id>& failed_links)
+{
+    if (vc_count <= 0)
+        throw std::invalid_argument{"analyze_union_deadlock: vc_count <= 0"};
+    Cdg cdg{t.link_count(), vc_count};
+    for (const Route_set* routes : route_sets) {
+        if (routes == nullptr)
+            throw std::invalid_argument{
+                "analyze_union_deadlock: null route set"};
+        for (int s = 0; s < routes->core_count(); ++s) {
+            for (int d = 0; d < routes->core_count(); ++d) {
+                if (s == d) continue;
+                const Core_id src{static_cast<std::uint32_t>(s)};
+                const Core_id dst{static_cast<std::uint32_t>(d)};
+                const Route& r = routes->at(src, dst);
+                if (r.empty()) continue; // unreachable pair: no packets
+                add_surviving_route_dependencies(cdg, t, src, r, vc_count,
+                                                 failed_links);
+            }
+        }
+    }
     return report_from(cdg, vc_count);
 }
 

@@ -12,6 +12,7 @@
 #include "topology/graph.h"
 #include "topology/route.h"
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -43,5 +44,22 @@ struct Deadlock_report {
 analyze_deadlock_flows(const Topology& t,
                        const std::vector<std::pair<Core_id, Route>>& flows,
                        int vc_count);
+
+/// Analyze the UNION of several route functions coexisting in flight —
+/// the admission check for an epoch-based live reroute, where packets
+/// stamped with an old route epoch finish on their old routes while new
+/// injections follow the failure-aware ones. The network is deadlock-free
+/// during the transition iff the union CDG is acyclic.
+///
+/// `failed_links` prunes dependencies no surviving packet can exert: the
+/// stranded-packet purge dooms every packet that still has to cross a
+/// failed link, so a route through a failure only contributes the channel
+/// dependencies strictly after its LAST failed hop (the only suffix a
+/// surviving packet can occupy). Route sets that avoid the failed links
+/// (the new epoch's) contribute every edge unchanged.
+[[nodiscard]] Deadlock_report
+analyze_union_deadlock(const Topology& t,
+                       const std::vector<const Route_set*>& route_sets,
+                       int vc_count, const std::set<Link_id>& failed_links);
 
 } // namespace noc

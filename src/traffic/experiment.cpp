@@ -2,6 +2,7 @@
 
 #include "traffic/flow_traffic.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace noc {
@@ -13,7 +14,11 @@ Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
     sys.warmup(cfg.warmup);
     sys.measure(cfg.measure);
     Load_point pt;
-    pt.drained = sys.drain(cfg.drain_limit);
+    const Cycle drain_limit =
+        cfg.fault_drain_cap != 0 && cfg.build.fault_plan != nullptr
+            ? std::min(cfg.drain_limit, cfg.fault_drain_cap)
+            : cfg.drain_limit;
+    pt.drained = sys.drain(drain_limit);
     pt.offered_flits_per_node_cycle = offered;
     const auto cores = static_cast<double>(sys.topology().core_count());
     pt.accepted_flits_per_node_cycle =
@@ -32,10 +37,13 @@ Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
     pt.recoveries = recs.size();
     if (!recs.empty()) {
         double sum = 0.0;
-        for (const auto& r : recs)
+        for (const auto& r : recs) {
             sum += static_cast<double>(r.time_to_recover());
+            if (r.live_switchover) ++pt.live_switchovers;
+        }
         pt.avg_time_to_recover = sum / static_cast<double>(recs.size());
     }
+    pt.packets_replayed = sys.stats().packets_replayed();
     const double measured_delivered =
         static_cast<double>(sys.stats().measured_delivered());
     const double measured_dropped =
@@ -43,6 +51,15 @@ Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
     if (measured_delivered + measured_dropped > 0.0)
         pt.availability =
             measured_delivered / (measured_delivered + measured_dropped);
+    // Unreachable packets count dropped too; subtracting them leaves the
+    // drops on still-connected pairs — the losses replay can and should
+    // have eliminated.
+    const double connected_dropped =
+        measured_dropped -
+        static_cast<double>(sys.stats().measured_unreachable());
+    if (measured_delivered + connected_dropped > 0.0)
+        pt.connected_availability =
+            measured_delivered / (measured_delivered + connected_dropped);
     return pt;
 }
 

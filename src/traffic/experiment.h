@@ -31,9 +31,20 @@ struct Load_point {
     std::uint64_t retransmissions = 0;     ///< ACK/NACK go-back-N resends
     std::uint64_t recoveries = 0;          ///< completed online reroutes
     double avg_time_to_recover = 0.0;      ///< cycles, failure -> reroute
+    /// Purged packets re-queued by the NI end-to-end replay protocol
+    /// (Fault_plan::replay) instead of counting as dropped.
+    std::uint64_t packets_replayed = 0;
+    /// Reroutes the union deadlock check admitted WITHOUT draining
+    /// (Recovery_mode::epoch): time_to_recover == reroute_latency exactly.
+    std::uint64_t live_switchovers = 0;
     /// delivered / (delivered + dropped) over the measurement window; 1.0
     /// on a fault-free run, the explore layer's availability dimension.
     double availability = 1.0;
+    /// Availability over pairs a surviving route connects: unreachable
+    /// packets (no route exists) are excluded from the denominator, so
+    /// with replay on this is 1.0 whenever every still-connected pair's
+    /// traffic eventually lands.
+    double connected_availability = 1.0;
 };
 
 struct Sweep_config {
@@ -51,6 +62,11 @@ struct Sweep_config {
     /// plan rides in build.fault_plan and surfaces in the Load_point's
     /// reliability fields.
     Build_options build;
+    /// Nonzero: cap the drain phase of FAULTED points at this many cycles
+    /// instead of drain_limit (fault storms can leave a point legitimately
+    /// unable to drain; a sweep worker must not wedge on it — see
+    /// Sweep_runner's retry path).
+    Cycle fault_drain_cap = 0;
 };
 
 /// One synthetic load point on a fresh network built from (topology,

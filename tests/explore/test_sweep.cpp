@@ -453,5 +453,71 @@ TEST(SweepRunner, FaultScenarioAxisMultipliesCurvesDeterministically)
     EXPECT_EQ(plain.to_json().find("\"availability\""), std::string::npos);
 }
 
+TEST(SweepRunner, StormScenarioWithReplayReportsReliabilityColumns)
+{
+    // A failure-domain scenario: random links, a whole-router death and a
+    // two-switch region power-off, with end-to-end replay on. The sweep
+    // must survive it deterministically, and replay makes connected-pair
+    // availability exactly 1.0 — every drop is conclusively unreachable.
+    Sweep_spec spec;
+    spec.name = "storm-axis";
+    spec.add_mesh(4, 4, two_vc_params(), "vc2");
+    spec.add_synthetic(Sweep_pattern_kind::uniform);
+    spec.loads = {0.05};
+    spec.base.warmup = 300;
+    spec.base.measure = 1'500;
+    spec.base.drain_limit = 20'000;
+    Fault_scenario& storm = spec.add_fault_scenario("storm", 4, 1);
+    storm.router_death_count = 1;
+    storm.region_switch_count = 2;
+    storm.replay = true;
+
+    const Sweep_result serial = run_sweep(spec, 1);
+    const Sweep_result parallel = run_sweep(spec, 3);
+    EXPECT_EQ(serial.to_json(), parallel.to_json());
+    EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+
+    ASSERT_EQ(serial.curves.size(), 1u);
+    for (const auto& p : serial.curves[0].points) {
+        ASSERT_TRUE(p.error.empty()) << p.error;
+        EXPECT_TRUE(p.load.drained);
+        EXPECT_GE(p.load.recoveries, 1u);
+        EXPECT_DOUBLE_EQ(p.load.connected_availability, 1.0)
+            << "a still-connected pair lost a packet despite replay";
+    }
+    EXPECT_NE(serial.to_json().find("\"replayed\""), std::string::npos);
+    EXPECT_NE(serial.to_json().find("\"connected_availability\""),
+              std::string::npos);
+    EXPECT_NE(serial.to_csv().find("replayed"), std::string::npos);
+    EXPECT_NE(serial.to_csv().find("connected_availability"),
+              std::string::npos);
+}
+
+TEST(SweepRunner, FaultDrainCapNamesTheTimeout)
+{
+    // A storm point that cannot drain inside the per-point cap must fail
+    // with the named error instead of posing as a merely-slow measurement
+    // (or wedging a worker on the full drain_limit).
+    Sweep_spec spec;
+    spec.name = "drain-cap";
+    spec.add_mesh(4, 4, two_vc_params(), "vc2");
+    spec.add_synthetic(Sweep_pattern_kind::uniform);
+    spec.loads = {0.10};
+    spec.base.warmup = 300;
+    spec.base.measure = 1'500;
+    spec.base.drain_limit = 20'000;
+    spec.base.fault_drain_cap = 8; // far below any real drain time
+    spec.add_fault_scenario("frail", 0, 1);
+
+    const Sweep_result result = run_sweep(spec, 1);
+    ASSERT_EQ(result.curves.size(), 1u);
+    for (const auto& p : result.curves[0].points) {
+        EXPECT_FALSE(p.load.drained);
+        EXPECT_NE(p.error.find("fault drain cap (8 cycles) exceeded"),
+                  std::string::npos)
+            << "error was: " << p.error;
+    }
+}
+
 } // namespace
 } // namespace noc

@@ -13,6 +13,7 @@
 // Probe fault-event hook.
 #include "arch/fault_plan.h"
 #include "arch/probe.h"
+#include "topology/fault.h"
 #include "topology/routing.h"
 #include "traffic/experiment.h"
 #include "traffic/synthetic.h"
@@ -21,6 +22,7 @@
 
 #include <memory>
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -39,6 +41,8 @@ struct Fault_snapshot {
     std::uint64_t measured_dropped = 0;
     std::uint64_t packets_dropped = 0;
     std::uint64_t packets_unreachable = 0;
+    std::uint64_t packets_replayed = 0;
+    std::uint64_t measured_unreachable = 0;
     std::uint64_t flits_dropped = 0;
     std::uint64_t corrupted_flits = 0;
     std::uint64_t retransmissions = 0;
@@ -46,6 +50,7 @@ struct Fault_snapshot {
     std::uint64_t buffer_writes = 0;
     std::size_t recovery_count = 0;
     std::vector<Cycle> recovered_at;
+    std::vector<bool> live_switchovers;
     std::vector<std::uint64_t> per_router_flits;
     std::vector<std::uint64_t> per_ni_injected;
     std::vector<std::uint64_t> per_link_flits;
@@ -67,14 +72,18 @@ Fault_snapshot snapshot(Noc_system& sys, bool drained)
     s.measured_dropped = st.measured_dropped();
     s.packets_dropped = st.packets_dropped();
     s.packets_unreachable = st.packets_unreachable();
+    s.packets_replayed = st.packets_replayed();
+    s.measured_unreachable = st.measured_unreachable();
     s.flits_dropped = st.flits_dropped();
     s.corrupted_flits = st.corrupted_flits();
     s.retransmissions = st.retransmissions();
     s.packet_latency_mean = st.packet_latency().mean();
     s.buffer_writes = sys.total_router_buffer_writes();
     s.recovery_count = st.recoveries().size();
-    for (const auto& r : st.recoveries())
+    for (const auto& r : st.recoveries()) {
         s.recovered_at.push_back(r.recovered_at);
+        s.live_switchovers.push_back(r.live_switchover);
+    }
     for (int r = 0; r < sys.topology().switch_count(); ++r)
         s.per_router_flits.push_back(
             sys.router(Switch_id{static_cast<std::uint32_t>(r)})
@@ -128,11 +137,15 @@ Fault_snapshot run_mode(const Topology& topo, const Route_set& routes,
 }
 
 /// The faulted analogue of expect_equivalent: the same plan through every
-/// schedule, diffed against reference.
+/// schedule, diffed against reference. Returns the reference snapshot so
+/// callers can additionally assert recovery-specific facts (live
+/// switchover, replay counts) without re-running the simulation.
 template<typename Rig>
-void expect_fault_equivalent(const Topology& topo, const Route_set& routes,
-                             const Network_params& params, const Rig& rig,
-                             std::shared_ptr<const Fault_plan> plan)
+Fault_snapshot expect_fault_equivalent(const Topology& topo,
+                                       const Route_set& routes,
+                                       const Network_params& params,
+                                       const Rig& rig,
+                                       std::shared_ptr<const Fault_plan> plan)
 {
     const Fault_snapshot ref = run_mode(topo, routes, params,
                                         Kernel_mode::reference, rig, plan);
@@ -165,6 +178,55 @@ void expect_fault_equivalent(const Topology& topo, const Route_set& routes,
         EXPECT_EQ(sharded.per_ni_injected, ref.per_ni_injected)
             << shards << " shards";
     }
+    return ref;
+}
+
+/// The busiest duplex mesh link whose retirement leaves the BFS ranks
+/// from switch 0 unchanged. The failure-aware reroute then obeys the
+/// up/down discipline of the SAME rank order as the healthy up*/down*
+/// routes, so the union admission check passes and the episode takes the
+/// live epoch path instead of pausing to drain. "Busiest" (most src-dst
+/// routes crossing it) so in-flight packets actually straddle the failure
+/// and the purge/replay machinery has work to do.
+Link_id rank_preserving_victim(const Topology& topo,
+                               const std::vector<int>& ranks,
+                               const Route_set& routes)
+{
+    const auto usage = [&](Link_id l) {
+        std::uint32_t uses = 0;
+        for (int s = 0; s < routes.core_count(); ++s)
+            for (int d = 0; d < routes.core_count(); ++d) {
+                if (s == d) continue;
+                const Core_id src{static_cast<std::uint32_t>(s)};
+                Switch_id sw = topo.core_switch(src);
+                for (const auto& h :
+                     routes.at(src, Core_id{static_cast<std::uint32_t>(d)})) {
+                    const Link_id link =
+                        topo.link_of_output_port(sw, Port_id{h.out_port});
+                    if (!link.is_valid()) break;
+                    if (link == l) {
+                        ++uses;
+                        break;
+                    }
+                    sw = topo.link(link).to;
+                }
+            }
+        return uses;
+    };
+    Link_id best{};
+    std::uint32_t best_uses = 0;
+    for (int i = 0; i < topo.link_count(); ++i) {
+        const Link_id l{static_cast<std::uint32_t>(i)};
+        if (failure_aware_ranks(topo, Switch_id{0},
+                                symmetrize_failures(topo, {l})) != ranks)
+            continue;
+        const std::uint32_t u = usage(l);
+        if (!best.is_valid() || u > best_uses) {
+            best = l;
+            best_uses = u;
+        }
+    }
+    return best;
 }
 
 /// A deterministic mixed plan: a sprinkle of transients over the warmup
@@ -332,6 +394,153 @@ TEST(KernelEquivalence, DeadLinksCarryNothingAfterFailure)
     for (const Link_id l : sys.failed_links())
         EXPECT_EQ(sys.link_flits(l), at_death[i++]) << "dead link " << l.get();
     EXPECT_GT(sys.stats().packets_delivered(), delivered_before);
+}
+
+TEST(KernelEquivalence, EpochLiveRerouteUpdownMesh)
+{
+    // Up*/down* routes plus a rank-preserving victim: the union deadlock
+    // check admits the new routes while old-epoch packets are still in
+    // flight, so recovery completes in exactly reroute_latency cycles with
+    // no drain pause — and must do so identically on every schedule.
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const std::vector<int> ranks = spanning_tree_ranks(topo, Switch_id{0});
+    const Route_set routes = updown_routes(topo, ranks);
+    const Link_id victim = rank_preserving_victim(topo, ranks, routes);
+    ASSERT_TRUE(victim.is_valid());
+    auto plan = std::make_shared<Fault_plan>();
+    plan->add_permanent(1'250, {victim});
+    plan->reroute_latency = 8;
+    const Network_params params;
+    const Fault_snapshot ref = expect_fault_equivalent(
+        topo, routes, params, bernoulli_rig(0.10), plan);
+    ASSERT_EQ(ref.recovery_count, 1u);
+    EXPECT_EQ(ref.live_switchovers, std::vector<bool>{true});
+    EXPECT_EQ(ref.recovered_at[0], 1'250 + plan->reroute_latency);
+    EXPECT_TRUE(ref.drained);
+}
+
+TEST(KernelEquivalence, EpochReplayDropsNothingUpdownMesh)
+{
+    // Same live switchover, with end-to-end replay on: every packet purged
+    // at the failure is rescheduled from its source NI, so the run ends
+    // with zero drops and a positive replay count, bit-identically across
+    // schedules.
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const std::vector<int> ranks = spanning_tree_ranks(topo, Switch_id{0});
+    const Route_set routes = updown_routes(topo, ranks);
+    const Link_id victim = rank_preserving_victim(topo, ranks, routes);
+    ASSERT_TRUE(victim.is_valid());
+    auto plan = std::make_shared<Fault_plan>();
+    plan->add_permanent(1'250, {victim});
+    plan->reroute_latency = 8;
+    plan->replay = true;
+    const Network_params params;
+    // Heavier load and longer wormholes than the sibling test: 8-flit
+    // packets occupy the victim for whole windows, so the failure is
+    // guaranteed to catch straddlers and exercise the replay path.
+    const Fault_snapshot ref = expect_fault_equivalent(
+        topo, routes, params, bernoulli_rig(0.20, 8), plan);
+    ASSERT_EQ(ref.recovery_count, 1u);
+    EXPECT_EQ(ref.live_switchovers, std::vector<bool>{true});
+    EXPECT_TRUE(ref.drained);
+    EXPECT_EQ(ref.packets_dropped, 0u);
+    EXPECT_EQ(ref.packets_unreachable, 0u);
+    EXPECT_GT(ref.packets_replayed, 0u);
+}
+
+TEST(KernelEquivalence, RouterDeathCreditMesh)
+{
+    // Whole-router death: every attached link retires and the local NI
+    // powers off. With one core per mesh switch, every pair touching the
+    // dead core becomes unreachable; the survivors keep running and the
+    // purge/reroute stays schedule-identical.
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    auto plan = std::make_shared<Fault_plan>();
+    plan->add_router_death(1'250, Switch_id{5});
+    const Network_params params;
+    const Fault_snapshot ref = expect_fault_equivalent(
+        topo, routes, params, bernoulli_rig(0.10), plan);
+    ASSERT_EQ(ref.recovery_count, 1u);
+    EXPECT_TRUE(ref.drained);
+    const auto cores = static_cast<std::size_t>(topo.core_count());
+    EXPECT_EQ(ref.unreachable_pairs.size(), 2 * (cores - 1));
+    EXPECT_GT(ref.packets_unreachable, 0u);
+}
+
+TEST(KernelEquivalence, RegionPowerOffReplayMesh)
+{
+    // A corner region powers off while replay is on: survivor-to-survivor
+    // packets purged by the storm are replayed (never dropped — the only
+    // losses are conclusively-unreachable traffic touching the region,
+    // which counts as dropped AND unreachable), and every unreachable pair
+    // involves a powered-off switch.
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const std::set<Switch_id> region{Switch_id{0}, Switch_id{1},
+                                     Switch_id{4}};
+    auto plan = std::make_shared<Fault_plan>();
+    plan->add_region_off(1'250,
+                         {Switch_id{0}, Switch_id{1}, Switch_id{4}});
+    plan->replay = true;
+    const Network_params params;
+    const Fault_snapshot ref = expect_fault_equivalent(
+        topo, routes, params, bernoulli_rig(0.10), plan);
+    ASSERT_EQ(ref.recovery_count, 1u);
+    EXPECT_TRUE(ref.drained);
+    EXPECT_EQ(ref.packets_dropped, ref.packets_unreachable);
+    EXPECT_FALSE(ref.unreachable_pairs.empty());
+    for (const auto& [src, dst] : ref.unreachable_pairs)
+        EXPECT_TRUE(
+            region.count(topo.core_switch(src)) != 0 ||
+            region.count(topo.core_switch(dst)) != 0)
+            << "pair " << src.get() << "->" << dst.get();
+}
+
+/// The probe narrates a router death end to end: a router_failed event
+/// naming the dead switch, a packet_replayed event for the purged traffic,
+/// and the rerouted event closing the episode — all visible in dump().
+TEST(KernelEquivalence, RouterDeathProbeEventsAndReplay)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const Network_params params;
+    auto plan = std::make_shared<Fault_plan>();
+    plan->add_router_death(1'250, Switch_id{5});
+    plan->replay = true;
+
+    Build_options opts;
+    opts.fault_plan = plan;
+    Noc_system sys{topo, routes, params, opts};
+    Trace_probe probe;
+    sys.attach_probe(&probe);
+    bernoulli_rig(0.10)(sys);
+    sys.warmup(500);
+    sys.measure(2'000);
+    EXPECT_TRUE(sys.drain(30'000));
+
+    const auto& events = probe.fault_events();
+    ASSERT_GE(events.size(), 2u);
+    EXPECT_EQ(events[0].kind, Fault_event::Kind::router_failed);
+    EXPECT_EQ(events[0].at, 1'250u);
+    EXPECT_EQ(events[0].switches, std::vector<Switch_id>{Switch_id{5}});
+    EXPECT_EQ(events.back().kind, Fault_event::Kind::rerouted);
+    EXPECT_EQ(events.back().switches,
+              std::vector<Switch_id>{Switch_id{5}});
+    if (sys.stats().packets_replayed() > 0) {
+        bool saw_replay = false;
+        for (const auto& e : events)
+            saw_replay |= e.kind == Fault_event::Kind::packet_replayed;
+        EXPECT_TRUE(saw_replay);
+    }
+    const std::string dump = probe.dump(sys.flit_pool());
+    EXPECT_NE(dump.find("router_failed"), std::string::npos);
+    EXPECT_NE(dump.find("rerouted"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,235 @@
+// Randomized fault-storm fuzzing across topologies and kernel schedules.
+//
+// Each storm draws a seeded Random_fault_shape plan — permanent link
+// failures, whole-router deaths and one region power-off, with transients
+// sprinkled on top — and drives it through warmup/measure/drain with the
+// end-to-end replay protocol on. The invariants checked per storm:
+//
+//   1. The survivors stay deadlock-free: the drain completes (a cycle in
+//      the post-failure routes, or a purge that leaks wormhole state,
+//      wedges the network and fails this).
+//   2. Dead links carry nothing after the failure cycle — their flit
+//      counters freeze at the purge.
+//   3. Connected-pair availability is exactly 1.0: with replay on, the
+//      only losses are conclusively-unreachable packets, so
+//      packets_dropped == packets_unreachable.
+//   4. The whole storm is bit-identical across the reference,
+//      activity-gated and sharded (1/2/4 shards) kernel schedules.
+//
+// The seeds-per-topology count is capped by the NOC_FAULT_STORM_SEEDS
+// environment variable (CI smoke legs set it low; sanitizer legs run the
+// default).
+#include "arch/fault_plan.h"
+#include "arch/noc_system.h"
+#include "topology/fat_tree.h"
+#include "topology/routing.h"
+#include "traffic/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace noc {
+namespace {
+
+/// Storm observables: every counter the schedules must agree on, plus the
+/// per-component tallies that catch a divergent purge.
+struct Storm_snapshot {
+    Cycle now = 0;
+    bool drained = false;
+    std::uint64_t created = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t packets_dropped = 0;
+    std::uint64_t packets_unreachable = 0;
+    std::uint64_t packets_replayed = 0;
+    std::uint64_t corrupted_flits = 0;
+    std::size_t recovery_count = 0;
+    std::vector<Cycle> recovered_at;
+    std::vector<std::uint64_t> per_link_flits;
+    std::vector<std::uint64_t> per_ni_injected;
+    std::vector<std::pair<Core_id, Core_id>> unreachable_pairs;
+
+    bool operator==(const Storm_snapshot&) const = default;
+};
+
+/// Seeds fuzzed per topology; NOC_FAULT_STORM_SEEDS caps it for smoke CI.
+int storm_seed_count()
+{
+    constexpr int default_seeds = 4;
+    if (const char* env = std::getenv("NOC_FAULT_STORM_SEEDS")) {
+        const int n = std::atoi(env);
+        if (n > 0) return n;
+    }
+    return default_seeds;
+}
+
+void rig_sources(Noc_system& sys, double rate)
+{
+    const int cores = sys.topology().core_count();
+    auto pattern =
+        std::shared_ptr<const Dest_pattern>(make_uniform_pattern(cores));
+    for (int c = 0; c < cores; ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = rate;
+        sp.packet_size_flits = 4;
+        sp.seed = 77'000 + static_cast<std::uint64_t>(c);
+        sys.ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+}
+
+Storm_snapshot run_storm(const Topology& topo, const Route_set& routes,
+                         const Network_params& params, Kernel_mode mode,
+                         std::shared_ptr<const Fault_plan> plan,
+                         Partition_plan partition = Partition_plan::single())
+{
+    Build_options opts;
+    opts.kernel_mode = mode;
+    opts.partition = std::move(partition);
+    opts.fault_plan = std::move(plan);
+    Noc_system sys{topo, routes, params, opts};
+    rig_sources(sys, 0.08);
+    sys.warmup(500);
+    sys.measure(2'000);
+    const bool drained = sys.drain(40'000);
+    sys.kernel().run(32);
+
+    Storm_snapshot s;
+    s.now = sys.kernel().now();
+    s.drained = drained;
+    const Network_stats& st = sys.stats();
+    s.created = st.packets_created();
+    s.delivered = st.packets_delivered();
+    s.packets_dropped = st.packets_dropped();
+    s.packets_unreachable = st.packets_unreachable();
+    s.packets_replayed = st.packets_replayed();
+    s.corrupted_flits = st.corrupted_flits();
+    s.recovery_count = st.recoveries().size();
+    for (const auto& r : st.recoveries())
+        s.recovered_at.push_back(r.recovered_at);
+    for (int l = 0; l < topo.link_count(); ++l)
+        s.per_link_flits.push_back(
+            sys.link_flits(Link_id{static_cast<std::uint32_t>(l)}));
+    for (int c = 0; c < topo.core_count(); ++c)
+        s.per_ni_injected.push_back(
+            sys.ni(Core_id{static_cast<std::uint32_t>(c)}).flits_injected());
+    s.unreachable_pairs = sys.unreachable_pairs();
+    return s;
+}
+
+/// Invariants 1-3 on a dedicated instrumented run, sampling the dead-link
+/// counters at the purge and again well after recovery.
+void check_storm_invariants(const Topology& topo, const Route_set& routes,
+                            const Network_params& params,
+                            std::shared_ptr<const Fault_plan> plan,
+                            const std::string& label)
+{
+    Build_options opts;
+    opts.fault_plan = plan;
+    Noc_system sys{topo, routes, params, opts};
+    rig_sources(sys, 0.08);
+    sys.warmup(500);
+    sys.measure(2'000);
+    EXPECT_TRUE(sys.drain(40'000)) << label << ": survivors wedged";
+
+    // Dead wires froze at the purge: running past the recovery must not
+    // move their counters while the network still operates.
+    std::vector<std::uint64_t> at_death;
+    for (const Link_id l : sys.failed_links())
+        at_death.push_back(sys.link_flits(l));
+    sys.kernel().run(1'000);
+    std::size_t i = 0;
+    for (const Link_id l : sys.failed_links())
+        EXPECT_EQ(sys.link_flits(l), at_death[i++])
+            << label << ": dead link " << l.get() << " carried traffic";
+
+    // Replay makes connected-pair availability exactly 1.0: nothing is
+    // dropped except conclusively-unreachable traffic.
+    EXPECT_EQ(sys.stats().packets_dropped(),
+              sys.stats().packets_unreachable())
+        << label << ": a still-connected pair lost a packet";
+    EXPECT_GE(sys.stats().recoveries().size(), 1u) << label;
+}
+
+void fuzz_storms(const Topology& topo, const Route_set& routes,
+                 const Network_params& params,
+                 const Random_fault_shape& shape, std::uint64_t seed_base,
+                 const std::string& label)
+{
+    const int seeds = storm_seed_count();
+    for (int s = 0; s < seeds; ++s) {
+        auto plan = std::make_shared<Fault_plan>(Fault_plan::random_plan(
+            topo, seed_base + static_cast<std::uint64_t>(s), shape,
+            /*horizon=*/2'500));
+        plan->replay = true;
+        const std::string tag =
+            label + " seed " + std::to_string(seed_base + s);
+
+        check_storm_invariants(topo, routes, params, plan, tag);
+
+        // Invariant 4: the identical storm through every schedule.
+        const Storm_snapshot ref = run_storm(
+            topo, routes, params, Kernel_mode::reference, plan);
+        EXPECT_TRUE(ref.drained) << tag;
+        const Storm_snapshot gated = run_storm(
+            topo, routes, params, Kernel_mode::activity_gated, plan);
+        EXPECT_TRUE(gated == ref) << tag << " (gated)";
+        for (const std::uint32_t shards : {1u, 2u, 4u}) {
+            const Storm_snapshot sharded =
+                run_storm(topo, routes, params, Kernel_mode::sharded, plan,
+                          Partition_plan::contiguous(shards));
+            EXPECT_TRUE(sharded == ref)
+                << tag << " (" << shards << " shards)";
+        }
+    }
+}
+
+TEST(FaultStorm, MeshLinksRoutersAndRegion)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const Network_params params;
+    Random_fault_shape shape;
+    shape.transient_count = 4;
+    shape.permanent_link_count = 2;
+    shape.router_death_count = 1;
+    shape.region_switch_count = 3;
+    fuzz_storms(topo, routes, params, shape, 9'100, "mesh");
+}
+
+TEST(FaultStorm, TorusLinksAndRouters)
+{
+    Torus_params tp;
+    const Topology topo = make_torus(tp);
+    const Route_set routes = torus_routes(topo, tp);
+    Network_params params;
+    params.route_vcs = 2; // dateline VCs
+    Random_fault_shape shape;
+    shape.transient_count = 4;
+    shape.permanent_link_count = 2;
+    shape.router_death_count = 1;
+    shape.region_switch_count = 2;
+    fuzz_storms(topo, routes, params, shape, 9'200, "torus");
+}
+
+TEST(FaultStorm, FatTreeLinksAndRegion)
+{
+    const Fat_tree ft = make_fat_tree({2, 3, 1.0});
+    const Route_set routes = updown_routes(ft.topology, ft.switch_rank);
+    const Network_params params;
+    Random_fault_shape shape;
+    shape.transient_count = 4;
+    shape.permanent_link_count = 1;
+    shape.router_death_count = 1;
+    shape.region_switch_count = 2;
+    fuzz_storms(ft.topology, routes, params, shape, 9'300, "fat-tree");
+}
+
+} // namespace
+} // namespace noc

@@ -1,4 +1,5 @@
 #include "topology/deadlock.h"
+#include "topology/fault.h"
 #include "topology/routing.h"
 
 #include <gtest/gtest.h>
@@ -133,6 +134,91 @@ TEST(Deadlock, RejectsNonPositiveVcCount)
 {
     const auto [t, r] = clockwise_ring();
     EXPECT_THROW(analyze_deadlock(t, r, 0), std::invalid_argument);
+}
+
+// --- union analysis (epoch-based live reroute admission) --------------------
+
+TEST(DeadlockUnion, SingletonUnionMatchesSingleSetAnalysis)
+{
+    const auto [t, r] = clockwise_ring();
+    EXPECT_FALSE(analyze_union_deadlock(t, {&r}, 1, {}).acyclic);
+
+    Topology chain{"chain", 3};
+    for (int i = 0; i < 3; ++i)
+        chain.attach_core(Switch_id{static_cast<std::uint32_t>(i)});
+    chain.add_bidir_link(Switch_id{0}, Switch_id{1});
+    chain.add_bidir_link(Switch_id{1}, Switch_id{2});
+    const Route_set cr = shortest_path_routes(chain);
+    EXPECT_TRUE(analyze_union_deadlock(chain, {&cr}, 1, {}).acyclic);
+}
+
+TEST(DeadlockUnion, SuffixAfterFailedHopPruningBreaksTheRingCycle)
+{
+    // Purged packets cannot hold a channel at or before a failed hop, so a
+    // route through a failure only contributes its suffix — which breaks
+    // the clockwise ring's 4-link cycle once any one link is dead.
+    const auto [t, r] = clockwise_ring();
+    EXPECT_FALSE(analyze_union_deadlock(t, {&r}, 1, {}).acyclic);
+    EXPECT_TRUE(analyze_union_deadlock(t, {&r}, 1, {Link_id{0}}).acyclic);
+}
+
+TEST(DeadlockUnion, IdenticalRankUpdownEpochsStayDeadlockFree)
+{
+    // The live-switchover happy path: retire a duplex mesh link whose loss
+    // leaves the BFS ranks unchanged; the failure-aware reroute then obeys
+    // the up/down discipline of the SAME rank order as the healthy routes,
+    // so old-epoch and new-epoch packets can mix in flight deadlock-free.
+    Mesh_params mp;
+    mp.width = 4;
+    mp.height = 4;
+    const Topology t = make_mesh(mp);
+    const std::vector<int> ranks = spanning_tree_ranks(t, Switch_id{0});
+    const Route_set healthy = updown_routes(t, ranks);
+    Link_id victim{};
+    for (int i = 0; i < t.link_count(); ++i) {
+        const Link_id l{static_cast<std::uint32_t>(i)};
+        if (failure_aware_ranks(t, Switch_id{0},
+                                symmetrize_failures(t, {l})) == ranks) {
+            victim = l;
+            break;
+        }
+    }
+    ASSERT_TRUE(victim.is_valid());
+    const std::set<Link_id> retired = symmetrize_failures(t, {victim});
+    const Reroute_result rr = reroute_around_failures(
+        t, failure_aware_ranks(t, Switch_id{0}, retired), retired);
+    EXPECT_TRUE(rr.unreachable.empty());
+    EXPECT_TRUE(
+        analyze_union_deadlock(t, {&healthy, &rr.routes}, 1, retired)
+            .acyclic);
+}
+
+TEST(DeadlockUnion, AcyclicHalvesCanFormACyclicUnion)
+{
+    // The negative control that makes the admission check necessary: split
+    // the clockwise ring's two-hop flows into opposite pairs. Each half is
+    // deadlock-free alone (two disjoint chains), but their union closes
+    // the classic four-link cycle — exactly the hazard of letting old- and
+    // new-epoch packets mix without analysing the combined dependencies.
+    const auto [t, full] = clockwise_ring();
+    Route_set a{4};
+    a.set(Core_id{0}, Core_id{2}, full.at(Core_id{0}, Core_id{2}));
+    a.set(Core_id{2}, Core_id{0}, full.at(Core_id{2}, Core_id{0}));
+    Route_set b{4};
+    b.set(Core_id{1}, Core_id{3}, full.at(Core_id{1}, Core_id{3}));
+    b.set(Core_id{3}, Core_id{1}, full.at(Core_id{3}, Core_id{1}));
+    EXPECT_TRUE(analyze_union_deadlock(t, {&a}, 1, {}).acyclic);
+    EXPECT_TRUE(analyze_union_deadlock(t, {&b}, 1, {}).acyclic);
+    EXPECT_FALSE(analyze_union_deadlock(t, {&a, &b}, 1, {}).acyclic);
+}
+
+TEST(DeadlockUnion, RejectsNullSetAndBadVcCount)
+{
+    const auto [t, r] = clockwise_ring();
+    EXPECT_THROW(analyze_union_deadlock(t, {&r}, 0, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(analyze_union_deadlock(t, {nullptr}, 1, {}),
+                 std::invalid_argument);
 }
 
 } // namespace
