@@ -27,12 +27,54 @@
 // slices agree on the spec, cover every index exactly once, and sorting by
 // index — the merged file is byte-identical to what a single
 // `--points 0..N` run would have written.
+//
+// == Sweep farm: the worker protocol ==
+//
+// `--points` doubles as the WORKER MODE of the fault-tolerant farm driver
+// (`noc_farm`, src/farm/orchestrator.h): the orchestrator fork/execs one
+// `bench_sweep --points a..b` per slice and supervises it. The contract a
+// worker honors:
+//
+//   --slice-dir DIR     Publish the slice into DIR instead of the CWD.
+//                       Publication is ATOMIC: the payload is written to
+//                       `<file>.tmp.<pid>` and renamed over the published
+//                       name only when complete (explore/slice_io.h), so a
+//                       crash mid-write can never leave a half-slice under
+//                       the published name — torn bytes stay under the tmp
+//                       name, which every consumer ignores.
+//   --heartbeat PATH    Liveness channel: a background thread rewrites
+//                       PATH with an incrementing counter every ~50ms for
+//                       as long as the worker makes progress. An attempt
+//                       whose heartbeat goes stale past the orchestrator's
+//                       timeout is presumed hung, killed, and retried.
+//   --chaos-act ACT     Fault-injection hook (none|kill|hang|torn) — the
+//                       farm's chaos harness, mirroring the simulator's
+//                       Fault_plan one layer up. `kill` crashes (SIGKILL)
+//                       before any output; `hang` stops heartbeating and
+//                       sleeps forever (exercises hang detection); `torn`
+//                       computes the slice, writes HALF the payload to the
+//                       tmp file, and crashes (exercises atomic-publication
+//                       and resume's torn-tmp sweep). The orchestrator
+//                       decides actions deterministically from the chaos
+//                       seed, so chaos runs are reproducible.
+//   --grid-total        Probe mode: print "<points> <spec> <budget>" for
+//                       the acceptance spec and exit — the farm uses it to
+//                       size its slices and pin resume fingerprints.
+//
+// Exit codes: 0 = slice published; 1 = invalid request (NOT retryable —
+// the farm aborts); anything else, or death by signal = transient failure
+// (the farm retries with backoff under a bounded attempt budget).
+// Checkpoint/resume: the published slice files ARE the checkpoint;
+// `noc_farm --resume` re-validates them and re-runs only the gaps.
 #include "bench_util.h"
 
+#include "explore/slice_io.h"
 #include "explore/slice_merge.h"
 #include "explore/sweep_runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +84,9 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <signal.h>
+#include <unistd.h>
 
 using namespace noc;
 
@@ -71,73 +116,58 @@ Sweep_spec acceptance_spec(bool smoke)
     return spec;
 }
 
-/// One deterministic record line for an executed point (no trailing comma
-/// or newline; the writer adds those). Uses the library's shared
-/// shortest-round-trip formatter and JSON escaping (sweep_result.h), so
-/// slice files written on different machines agree byte-for-byte on
-/// identical results.
-std::string point_record(const std::string& curve_label,
-                         const Point_result& pr)
-{
-    std::string line = "    {\"index\": " +
-                       std::to_string(pr.point.index) + ", \"curve\": \"" +
-                       json_escape_string(curve_label) + "\", \"load\": " +
-                       shortest_double(pr.point.load);
-    if (!pr.error.empty())
-        return line + ", \"error\": \"" + json_escape_string(pr.error) +
-               "\"}";
-    return line + ", \"offered\": " +
-           shortest_double(pr.load.offered_flits_per_node_cycle) +
-           ", \"accepted\": " +
-           shortest_double(pr.load.accepted_flits_per_node_cycle) +
-           ", \"avg_packet_latency\": " +
-           shortest_double(pr.load.avg_packet_latency) +
-           ", \"p99_estimate\": " + shortest_double(pr.load.p99_estimate) +
-           ", \"packets\": " + std::to_string(pr.load.packets) +
-           ", \"drained\": " + (pr.load.drained ? "true" : "false") + "}";
-}
+// Slice serialization (record/payload/file-name/budget formats) lives in
+// explore/slice_io.h, shared with the farm orchestrator so a farmed merge
+// is byte-identical to this binary's own output by construction.
 
-std::string points_file_name(std::uint32_t a, std::uint32_t b)
-{
-    return "BENCH_sweep_points_" + std::to_string(a) + "_" +
-           std::to_string(b) + ".json";
-}
+/// Heartbeat writer for farm-supervised runs: rewrites `path` with an
+/// incrementing counter until stopped. The orchestrator watches for
+/// CHANGING content, not timestamps, so coarse filesystem clocks cannot
+/// fake liveness.
+class Heartbeat {
+public:
+    explicit Heartbeat(std::string path) : path_(std::move(path))
+    {
+        if (path_.empty()) return;
+        thread_ = std::thread{[this] {
+            std::uint64_t beat = 0;
+            while (!stop_.load(std::memory_order_relaxed)) {
+                if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
+                    std::fprintf(f, "%llu\n",
+                                 static_cast<unsigned long long>(beat++));
+                    std::fclose(f);
+                }
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds{50});
+            }
+        }};
+    }
+    ~Heartbeat()
+    {
+        stop_.store(true, std::memory_order_relaxed);
+        if (thread_.joinable()) thread_.join();
+    }
 
-/// Measurement-budget fingerprint of a spec. Slices are only mergeable
-/// when the whole protocol matches — the spec NAME alone would let a
-/// --smoke slice (same name, 8x smaller measurement window) silently mix
-/// with full-budget slices.
-std::string budget_tag(const Sweep_spec& spec)
-{
-    return "w" + std::to_string(spec.base.warmup) + "-m" +
-           std::to_string(spec.base.measure) + "-d" +
-           std::to_string(spec.base.drain_limit) + "-s" +
-           std::to_string(spec.base.seed);
-}
-
-/// Assemble the slice-file payload from records already sorted by index.
-std::string points_payload(const std::string& spec_name,
-                           const std::string& budget, std::uint32_t a,
-                           std::uint32_t b, std::uint32_t grid_points,
-                           const std::vector<std::string>& records)
-{
-    std::string out = "{\n  \"bench\": \"sweep_points\",\n  \"spec\": \"" +
-                      spec_name + "\",\n  \"budget\": \"" + budget +
-                      "\",\n  \"grid_points\": \"" +
-                      std::to_string(grid_points) + "\",\n  \"range\": \"" +
-                      std::to_string(a) + ".." + std::to_string(b) +
-                      "\",\n  \"points\": [\n";
-    for (std::size_t i = 0; i < records.size(); ++i)
-        out += records[i] + (i + 1 < records.size() ? ",\n" : "\n");
-    out += "  ]\n}\n";
-    return out;
-}
+private:
+    std::string path_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+};
 
 /// `--points a..b`: run one slice of the acceptance spec on a single
 /// worker and write its per-point records — the process-level shard of a
-/// distributed sweep.
-int run_points_slice(bool smoke, std::uint32_t a, std::uint32_t b)
+/// distributed sweep, and the farm's worker mode (protocol in the header
+/// comment). Exit codes: 0 published, 1 invalid request, 3 retryable IO
+/// failure.
+int run_points_slice(bool smoke, std::uint32_t a, std::uint32_t b,
+                     const std::string& slice_dir,
+                     const std::string& heartbeat_path,
+                     const std::string& chaos_act)
 {
+    // Chaos `kill`: crash before any output exists — the pure worker-loss
+    // case the farm's retry path must absorb.
+    if (chaos_act == "kill") raise(SIGKILL);
+
     Sweep_spec spec = acceptance_spec(smoke);
     // Per-curve saturation searches belong to whole-grid runs; a slice
     // serializes point records only, so searching here would burn ~7 full
@@ -151,27 +181,56 @@ int run_points_slice(bool smoke, std::uint32_t a, std::uint32_t b)
         return 1;
     }
     b = std::min(b, total);
+
+    // Chaos `hang`: one beat, then silence — a livelocked worker as the
+    // orchestrator's heartbeat watchdog sees it. (The real heartbeat
+    // thread is never started, so the file goes stale by construction.)
+    if (chaos_act == "hang") {
+        if (!heartbeat_path.empty())
+            if (std::FILE* f = std::fopen(heartbeat_path.c_str(), "w")) {
+                std::fputs("0\n", f);
+                std::fclose(f);
+            }
+        for (;;) std::this_thread::sleep_for(std::chrono::hours{1});
+    }
+
+    const Heartbeat heartbeat{heartbeat_path};
     const Sweep_result result = run_sweep_slice(spec, {a, b}, 1);
 
     std::vector<std::string> records;
     std::map<std::uint32_t, std::string> by_index;
     for (const auto& c : result.curves)
         for (const auto& p : c.points)
-            if (!p.skipped) by_index[p.point.index] = point_record(c.label, p);
+            if (!p.skipped)
+                by_index[p.point.index] = slice_point_record(c.label, p);
     for (auto& [idx, line] : by_index) records.push_back(std::move(line));
 
-    const std::string name = points_file_name(a, b);
-    if (std::FILE* f = std::fopen(name.c_str(), "w")) {
-        const std::string payload = points_payload(
-            spec.name, budget_tag(spec), a, b, total, records);
-        std::fputs(payload.c_str(), f);
-        std::fclose(f);
-    } else {
-        std::fprintf(stderr, "cannot write %s\n", name.c_str());
-        return 1;
+    const std::string name = slice_file_name(a, b);
+    const std::string path =
+        slice_dir.empty() ? name : slice_dir + "/" + name;
+    const std::string payload = slice_payload(
+        spec.name, slice_budget_tag(spec), a, b, total, records);
+
+    // Chaos `torn`: crash mid-write — half the payload lands under the
+    // TMP name and the process dies before the rename, so the published
+    // name never appears. Resume must sweep the tmp file, never trust it.
+    if (chaos_act == "torn") {
+        const std::string tmp =
+            path + ".tmp." + std::to_string(static_cast<int>(getpid()));
+        if (std::FILE* f = std::fopen(tmp.c_str(), "w")) {
+            std::fwrite(payload.data(), 1, payload.size() / 2, f);
+            std::fclose(f);
+        }
+        raise(SIGKILL);
+    }
+
+    const std::string err = write_file_atomic(path, payload);
+    if (!err.empty()) {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        return 3; // retryable by the farm's exit-code contract
     }
     std::printf("ran points [%u, %u) of %u (%zu records) -> %s\n", a, b,
-                total, records.size(), name.c_str());
+                total, records.size(), path.c_str());
     return 0;
 }
 
@@ -204,13 +263,11 @@ int run_merge(const std::string& out_name,
         return 1;
     }
     const auto count = static_cast<std::uint32_t>(records.size());
-    if (std::FILE* f = std::fopen(out_name.c_str(), "w")) {
-        const std::string payload = points_payload(
-            acc.spec_name, acc.budget, 0, count, count, records);
-        std::fputs(payload.c_str(), f);
-        std::fclose(f);
-    } else {
-        std::fprintf(stderr, "cannot write %s\n", out_name.c_str());
+    const std::string payload =
+        slice_payload(acc.spec_name, acc.budget, 0, count, count, records);
+    const std::string werr = write_file_atomic(out_name, payload);
+    if (!werr.empty()) {
+        std::fprintf(stderr, "%s\n", werr.c_str());
         return 1;
     }
     std::printf("merged %zu slice files, %u points -> %s\n", inputs.size(),
@@ -226,8 +283,19 @@ int main(int argc, char** argv)
     std::uint32_t points_a = 0;
     std::uint32_t points_b = 0;
     bool points_mode = false;
+    bool grid_total = false;
+    std::string slice_dir;
+    std::string heartbeat_path;
+    std::string chaos_act = "none";
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+        if (std::strcmp(argv[i], "--grid-total") == 0) grid_total = true;
+        if (std::strcmp(argv[i], "--slice-dir") == 0 && i + 1 < argc)
+            slice_dir = argv[i + 1];
+        if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc)
+            heartbeat_path = argv[i + 1];
+        if (std::strcmp(argv[i], "--chaos-act") == 0 && i + 1 < argc)
+            chaos_act = argv[i + 1];
         if (std::strcmp(argv[i], "--points") == 0) {
             const char* range = i + 1 < argc ? argv[i + 1] : nullptr;
             const char* dots =
@@ -254,7 +322,24 @@ int main(int argc, char** argv)
             return run_merge(argv[i + 1], inputs);
         }
     }
-    if (points_mode) return run_points_slice(smoke, points_a, points_b);
+    if (chaos_act != "none" && chaos_act != "kill" &&
+        chaos_act != "hang" && chaos_act != "torn") {
+        std::fprintf(stderr,
+                     "--chaos-act %s: expected none|kill|hang|torn\n",
+                     chaos_act.c_str());
+        return 1;
+    }
+    if (grid_total) {
+        // Farm probe: grid size + protocol fingerprints, one line.
+        Sweep_spec spec = acceptance_spec(smoke);
+        spec.search_saturation = false;
+        std::printf("%zu %s %s\n", spec.enumerate().size(),
+                    spec.name.c_str(), slice_budget_tag(spec).c_str());
+        return 0;
+    }
+    if (points_mode)
+        return run_points_slice(smoke, points_a, points_b, slice_dir,
+                                heartbeat_path, chaos_act);
 
     bench::print_banner(
         "E1 / §6 — design-space sweep engine: system-per-thread scaling",

@@ -206,5 +206,17 @@ int main()
                   << rec.time_to_recover() << " cycles, "
                   << rec.unreachable_pairs.size()
                   << " unreachable pairs)\n";
+
+    // 7. Scale out: when one machine's sweep is too slow, the sweep farm
+    //    (src/farm, `noc_farm` binary) shards the point grid across
+    //    crash-isolated `bench_sweep --points a..b` worker processes with
+    //    retry/backoff, hang detection, straggler re-dispatch and
+    //    checkpoint/resume — and because per-point seeds are label-keyed
+    //    (step "explore" above), the farmed merge is byte-identical to a
+    //    single-process run:
+    //        ./noc_farm --workers 8 --out-dir farm_out
+    //        ./noc_farm --resume farm_out      # after any crash: gaps only
+    //    See the "Sweep farm" section in bench/bench_sweep.cpp for the
+    //    worker protocol.
     return 0;
 }

@@ -1,0 +1,54 @@
+// Retry_policy — the one retry/backoff vocabulary shared by every layer
+// that re-executes failed work: Sweep_runner re-runs a grid point whose
+// attempt threw (in-process, same thread), and the farm orchestrator
+// (farm/orchestrator.h) re-dispatches a slice whose worker process died,
+// hung, or tore its output file. Both layers absorb only *environmental*
+// failures — the inputs are deterministic, so a retried success is
+// byte-identical to a first-try success and the policy never shows up in
+// serialized results.
+#pragma once
+
+#include <cstdint>
+
+namespace noc {
+
+struct Retry_policy {
+    /// Total execution attempts allowed per unit of work (>= 1). 1 means
+    /// no retry at all; the historical Sweep_runner behavior is 2
+    /// ("retry once").
+    std::uint32_t max_attempts = 2;
+
+    /// Delay before the first retry, in milliseconds. 0 disables backoff
+    /// (retry immediately) — the right call for in-process retries where
+    /// the failure mode is allocation pressure from sibling workers, and
+    /// the wrong one for process farms where a crashing node needs time.
+    std::uint32_t backoff_ms = 0;
+
+    /// Exponential growth factor applied per additional failure.
+    double multiplier = 2.0;
+
+    /// Ceiling on any single delay, so a long attempt budget cannot
+    /// produce hour-long sleeps.
+    std::uint32_t cap_ms = 60'000;
+
+    /// Delay to wait after `failures` consecutive failed attempts
+    /// (failures >= 1): backoff_ms * multiplier^(failures-1), capped.
+    [[nodiscard]] std::uint32_t delay_ms(std::uint32_t failures) const
+    {
+        if (backoff_ms == 0 || failures == 0) return 0;
+        double d = backoff_ms;
+        for (std::uint32_t i = 1; i < failures; ++i) {
+            d *= multiplier;
+            if (d >= cap_ms) return cap_ms;
+        }
+        return d >= cap_ms ? cap_ms : static_cast<std::uint32_t>(d);
+    }
+
+    /// True when `attempts_so_far` used the whole budget.
+    [[nodiscard]] bool exhausted(std::uint32_t attempts_so_far) const
+    {
+        return attempts_so_far >= max_attempts;
+    }
+};
+
+} // namespace noc

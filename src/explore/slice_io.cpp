@@ -1,0 +1,90 @@
+#include "explore/slice_io.h"
+
+#include <cstdio>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace noc {
+
+std::string slice_file_name(std::uint32_t a, std::uint32_t b)
+{
+    return "BENCH_sweep_points_" + std::to_string(a) + "_" +
+           std::to_string(b) + ".json";
+}
+
+std::string slice_point_record(const std::string& curve_label,
+                               const Point_result& pr)
+{
+    std::string line = "    {\"index\": " +
+                       std::to_string(pr.point.index) + ", \"curve\": \"" +
+                       json_escape_string(curve_label) + "\", \"load\": " +
+                       shortest_double(pr.point.load);
+    if (!pr.error.empty())
+        return line + ", \"error\": \"" + json_escape_string(pr.error) +
+               "\"}";
+    return line + ", \"offered\": " +
+           shortest_double(pr.load.offered_flits_per_node_cycle) +
+           ", \"accepted\": " +
+           shortest_double(pr.load.accepted_flits_per_node_cycle) +
+           ", \"avg_packet_latency\": " +
+           shortest_double(pr.load.avg_packet_latency) +
+           ", \"p99_estimate\": " + shortest_double(pr.load.p99_estimate) +
+           ", \"packets\": " + std::to_string(pr.load.packets) +
+           ", \"drained\": " + (pr.load.drained ? "true" : "false") + "}";
+}
+
+std::string slice_budget_tag(const Sweep_spec& spec)
+{
+    return "w" + std::to_string(spec.base.warmup) + "-m" +
+           std::to_string(spec.base.measure) + "-d" +
+           std::to_string(spec.base.drain_limit) + "-s" +
+           std::to_string(spec.base.seed);
+}
+
+std::string slice_payload(const std::string& spec_name,
+                          const std::string& budget, std::uint32_t a,
+                          std::uint32_t b, std::uint32_t grid_points,
+                          const std::vector<std::string>& records)
+{
+    std::string out = "{\n  \"bench\": \"sweep_points\",\n  \"spec\": \"" +
+                      spec_name + "\",\n  \"budget\": \"" + budget +
+                      "\",\n  \"grid_points\": \"" +
+                      std::to_string(grid_points) + "\",\n  \"range\": \"" +
+                      std::to_string(a) + ".." + std::to_string(b) +
+                      "\",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i)
+        out += records[i] + (i + 1 < records.size() ? ",\n" : "\n");
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string write_file_atomic(const std::string& path,
+                              const std::string& content)
+{
+#ifdef _WIN32
+    const int pid = _getpid();
+#else
+    const int pid = static_cast<int>(getpid());
+#endif
+    const std::string tmp = path + ".tmp." + std::to_string(pid);
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return "cannot open " + tmp + " for writing";
+    const std::size_t wrote =
+        std::fwrite(content.data(), 1, content.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    if (std::fclose(f) != 0 || wrote != content.size() || !flushed) {
+        std::remove(tmp.c_str());
+        return "short or failed write to " + tmp;
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        return "cannot rename " + tmp + " over " + path;
+    }
+    return {};
+}
+
+} // namespace noc

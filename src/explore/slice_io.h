@@ -1,0 +1,58 @@
+// Slice-file protocol for distributed sweeps — the byte-level contract
+// between the producers (`bench_sweep --points a..b` worker processes, one
+// per farm slice) and the consumers (`bench_sweep --merge`, the farm
+// orchestrator's checkpoint scan and final merge).
+//
+// Everything here used to live inside bench_sweep; it moved into the
+// library so the farm layer (src/farm) reassembles slices with the SAME
+// serialization code the workers used to write them — byte-identity of a
+// farmed sweep against a single-process run is a function call away, not a
+// re-implementation. The formatting primitives (shortest_double,
+// json_escape_string) come from sweep_result.h, so slice files written on
+// different machines agree byte-for-byte on identical results.
+//
+// Publication is ATOMIC: write_file_atomic writes `<path>.tmp.<pid>` and
+// renames it over `<path>` only when the full payload is on disk. A worker
+// that crashes mid-write can therefore never produce a half-slice under
+// the published name — the torn bytes stay under the tmp name, which every
+// consumer ignores (and the farm's resume scan deletes). slice_merge's
+// torn-document diagnostics still exist as defense in depth against
+// non-atomic transports (a partial download, a truncated copy).
+#pragma once
+
+#include "explore/sweep_result.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/// Canonical file name of the published slice covering points [a, b).
+[[nodiscard]] std::string slice_file_name(std::uint32_t a, std::uint32_t b);
+
+/// One deterministic record line for an executed point (no trailing comma
+/// or newline; the payload assembler adds those).
+[[nodiscard]] std::string slice_point_record(const std::string& curve_label,
+                                             const Point_result& pr);
+
+/// Measurement-budget fingerprint of a spec. Slices are only mergeable
+/// when the whole protocol matches — the spec NAME alone would let a
+/// --smoke slice (same name, 8x smaller measurement window) silently mix
+/// with full-budget slices.
+[[nodiscard]] std::string slice_budget_tag(const Sweep_spec& spec);
+
+/// Assemble the slice-file payload from records already sorted by index.
+/// A full merge is the same document with a == 0, b == grid_points.
+[[nodiscard]] std::string slice_payload(
+    const std::string& spec_name, const std::string& budget, std::uint32_t a,
+    std::uint32_t b, std::uint32_t grid_points,
+    const std::vector<std::string>& records);
+
+/// Atomic publication: write `path + ".tmp." + pid`, flush, rename over
+/// `path`. Returns "" on success, else a diagnostic; on failure the target
+/// is untouched (a leftover tmp file may exist and is safe to ignore).
+[[nodiscard]] std::string write_file_atomic(const std::string& path,
+                                            const std::string& content);
+
+} // namespace noc

@@ -81,10 +81,21 @@ std::string merge_slice_document(const std::string& name,
             return name + ": corrupted record for point " +
                    std::to_string(idx) +
                    " (line does not close its object — truncated write?)";
-        if (acc.by_index.count(idx) != 0 && acc.by_index[idx] != record)
-            return "point " + std::to_string(idx) +
-                   " appears twice with different results "
-                   "(non-deterministic slice?)";
+        // Duplicate coverage is legitimate (straggler re-dispatch,
+        // first-completion-wins: both attempts may publish byte-identical
+        // slices) — dedupe and count. Divergent bytes for the same index
+        // stay fatal: that is a non-deterministic worker or a mis-ranged
+        // rerun, and silently picking one answer would corrupt the merge.
+        if (const auto it = acc.by_index.find(idx);
+            it != acc.by_index.end()) {
+            if (it->second != record)
+                return name + ": divergent duplicate — point " +
+                       std::to_string(idx) +
+                       " appears twice with different results "
+                       "(non-deterministic slice?)";
+            ++acc.duplicate_records;
+            continue;
+        }
         acc.by_index[idx] = std::move(record);
     }
     return {};
@@ -112,6 +123,42 @@ std::string finish_slice_merge(const Slice_merge& acc,
     records.clear();
     for (const auto& [idx, line] : acc.by_index) records.push_back(line);
     return {};
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+slice_missing_ranges(const Slice_merge& acc)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> gaps;
+    const auto total = static_cast<std::uint32_t>(
+        std::strtoul(acc.grid_points.c_str(), nullptr, 10));
+    std::uint32_t gap_start = 0;
+    bool in_gap = false;
+    for (std::uint32_t i = 0; i < total; ++i) {
+        const bool present = acc.by_index.count(i) != 0;
+        if (!present && !in_gap) {
+            gap_start = i;
+            in_gap = true;
+        } else if (present && in_gap) {
+            gaps.emplace_back(gap_start, i);
+            in_gap = false;
+        }
+    }
+    if (in_gap) gaps.emplace_back(gap_start, total);
+    return gaps;
+}
+
+std::string slice_coverage_report(const Slice_merge& acc)
+{
+    const std::string total =
+        acc.grid_points.empty() ? std::string{"?"} : acc.grid_points;
+    std::string out = "coverage " + std::to_string(acc.by_index.size()) +
+                      "/" + total + " points";
+    const auto gaps = slice_missing_ranges(acc);
+    if (gaps.empty()) return out;
+    out += "; missing";
+    for (const auto& [a, b] : gaps)
+        out += " [" + std::to_string(a) + ".." + std::to_string(b) + ")";
+    return out;
 }
 
 } // namespace noc

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace noc {
@@ -25,6 +26,14 @@ struct Slice_merge {
     std::string budget;      ///< header "budget" — must agree across slices
     std::string grid_points; ///< header "grid_points" — total point count
     std::map<std::uint32_t, std::string> by_index; ///< normalized records
+    /// Byte-identical records seen more than once. LEGITIMATE, not an
+    /// error: the farm's straggler re-dispatch runs the same slice on two
+    /// workers and publishes whichever finishes first — the loser may
+    /// still land its (byte-identical, by determinism of the inputs) file,
+    /// and an operator may pass the same file twice. They dedupe silently;
+    /// this counter keeps them observable. A duplicate index with
+    /// DIFFERENT bytes remains the fatal "divergent duplicate" diagnostic.
+    std::uint64_t duplicate_records = 0;
 };
 
 /// Validate one slice document and fold its records into `acc`. `name` is
@@ -41,5 +50,17 @@ struct Slice_merge {
 /// diagnostic (missing tail slice, empty merge, unparseable total).
 [[nodiscard]] std::string finish_slice_merge(const Slice_merge& acc,
                                              std::vector<std::string>& records);
+
+/// Partial-coverage report for an (incomplete) merge: which index ranges
+/// are present and which are missing, e.g.
+/// "coverage 8/12 points; missing [4..6) [10..12)". Used by the farm's
+/// resume scan and failure reports so an aborted sweep names its gaps
+/// instead of just failing the exact-coverage check.
+[[nodiscard]] std::string slice_coverage_report(const Slice_merge& acc);
+
+/// The missing half-open index ranges of [0, grid_points) — the re-run
+/// work list for checkpoint/resume.
+[[nodiscard]] std::vector<std::pair<std::uint32_t, std::uint32_t>>
+slice_missing_ranges(const Slice_merge& acc);
 
 } // namespace noc

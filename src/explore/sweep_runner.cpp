@@ -125,20 +125,31 @@ void Sweep_runner::run_task(const Task& t)
     Point_result& out = results_[t.point_index];
     out.point = points_[t.point_index];
     const auto t0 = std::chrono::steady_clock::now();
-    // One retry on failure: the inputs are deterministic, so a second
-    // attempt only helps against environmental failures (allocation
-    // pressure from sibling workers, thread-creation limits for a sharded
-    // point) — exactly the ones worth absorbing instead of poisoning a
-    // long sweep. A deterministic throw fails identically and keeps its
-    // message; `retried` records that the point needed a second attempt.
-    for (int attempt = 0; attempt < 2; ++attempt) {
+    // Retry on failure under the runner's Retry_policy (default: one
+    // immediate retry): the inputs are deterministic, so further attempts
+    // only help against environmental failures (allocation pressure from
+    // sibling workers, thread-creation limits for a sharded point) —
+    // exactly the ones worth absorbing instead of poisoning a long sweep.
+    // A deterministic throw exhausts the budget failing identically and
+    // keeps its message; `retried` records that the point needed more than
+    // one attempt. Backoff (when configured) sleeps only this worker;
+    // results land by index, so the delay is invisible in the output.
+    const std::uint32_t attempts =
+        retry_.max_attempts == 0 ? 1 : retry_.max_attempts;
+    for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+        if (attempt > 0) {
+            const std::uint32_t delay = retry_.delay_ms(attempt);
+            if (delay > 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds{delay});
+        }
         out.error.clear();
         try {
             // The chaos hook (set_point_attempt_hook) throws from the same
             // place an environmental failure would, so the retry path is
             // testable without one.
             if (point_attempt_hook_)
-                point_attempt_hook_(out.point, attempt);
+                point_attempt_hook_(out.point, static_cast<int>(attempt));
             out.load = run_point(*spec_, out.point);
         } catch (const std::exception& e) {
             out.error = e.what();
@@ -146,7 +157,9 @@ void Sweep_runner::run_task(const Task& t)
             out.error = "unknown exception";
         }
         if (out.error.empty()) break;
-        if (attempt == 0) out.retried = true;
+        // `retried` records a retry actually dispatched — under a
+        // single-attempt budget a failure is just a failure.
+        if (attempt + 1 < attempts) out.retried = true;
     }
     // A fault point that hit the per-point drain cap (Sweep_config::
     // fault_drain_cap) records a named error rather than posing as a

@@ -19,12 +19,16 @@
 // and every point's RNG seed comes from the spec (Sweep_spec::enumerate),
 // so the claim order — which depends on thread scheduling — is invisible:
 // a 1-worker run and an N-worker run of the same spec produce byte-identical
-// Sweep_result serializations. A point that throws is re-executed once
-// (environmental failures — allocation pressure, thread limits — resolve;
-// deterministic ones fail identically) and then records its exception
-// message in Point_result::error instead of poisoning the job.
+// Sweep_result serializations. A point that throws is re-executed under the
+// runner's Retry_policy (default: one immediate retry — environmental
+// failures like allocation pressure or thread limits resolve; deterministic
+// ones fail identically) and then records its exception message in
+// Point_result::error instead of poisoning the job. Because the inputs are
+// deterministic, the policy is invisible in serialized output: any attempt
+// budget and backoff produce byte-identical results across worker counts.
 #pragma once
 
+#include "common/retry_policy.h"
 #include "explore/sweep_result.h"
 #include "explore/sweep_spec.h"
 
@@ -79,13 +83,23 @@ public:
     [[nodiscard]] Sweep_result run(const Sweep_spec& spec,
                                    Point_range range);
 
-    /// Chaos/test seam for the retry-once path: called before each
-    /// execution attempt of every grid point (attempt 0, then 1 only after
-    /// a failure) from the executing worker. A throw is handled exactly
-    /// like a failure of the point itself — which is the point: tests (and
-    /// fault drills) inject transient failures here and assert the runner
-    /// absorbs them. Must be set while no run() is in flight; the hook
-    /// must be thread-safe when worker_threads > 1.
+    /// Retry/backoff policy for failed grid points, shared vocabulary with
+    /// the farm orchestrator (common/retry_policy.h). Default: the
+    /// historical retry-once with no backoff. Must be set while no run()
+    /// is in flight.
+    void set_retry_policy(Retry_policy policy) { retry_ = policy; }
+    [[nodiscard]] const Retry_policy& retry_policy() const
+    {
+        return retry_;
+    }
+
+    /// Chaos/test seam for the retry path: called before each execution
+    /// attempt of every grid point (attempt 0, then 1, 2, ... only after
+    /// failures, bounded by the Retry_policy) from the executing worker. A
+    /// throw is handled exactly like a failure of the point itself — which
+    /// is the point: tests (and fault drills) inject transient failures
+    /// here and assert the runner absorbs them. Must be set while no run()
+    /// is in flight; the hook must be thread-safe when worker_threads > 1.
     void set_point_attempt_hook(
         std::function<void(const Sweep_point&, int attempt)> hook)
     {
@@ -104,6 +118,8 @@ private:
     void worker_main();
     void execute_tasks(); ///< claim-and-run loop shared by all executors
     void run_task(const Task& t);
+
+    Retry_policy retry_{};
 
     // Job state, valid while a run() is in flight.
     std::function<void(const Sweep_point&, int)> point_attempt_hook_;

@@ -1,0 +1,89 @@
+#include "farm/chaos.h"
+
+#include <cstdlib>
+
+namespace noc {
+
+namespace {
+
+/// splitmix64 — the same cheap, well-mixed hash the seeding layers use;
+/// good enough to make (seed, slice, attempt) draws independent.
+std::uint64_t chaos_mix(std::uint64_t x)
+{
+    x += 0x9e37'79b9'7f4a'7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58'476d'1ce4'e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d0'49bb'1331'11ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Chaos_action Chaos_spec::action(std::uint32_t slice_begin,
+                                std::uint32_t attempt) const
+{
+    if (!any() || attempt >= attempt_cap) return Chaos_action::none;
+    const std::uint64_t h = chaos_mix(
+        chaos_mix(seed ^ (static_cast<std::uint64_t>(slice_begin) << 32)) ^
+        attempt);
+    // 53-bit mantissa draw in [0, 1).
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u < p_kill) return Chaos_action::kill;
+    if (u < p_kill + p_hang) return Chaos_action::hang;
+    if (u < p_kill + p_hang + p_torn) return Chaos_action::torn;
+    return Chaos_action::none;
+}
+
+const char* chaos_action_name(Chaos_action a)
+{
+    switch (a) {
+    case Chaos_action::kill: return "kill";
+    case Chaos_action::hang: return "hang";
+    case Chaos_action::torn: return "torn";
+    case Chaos_action::none: break;
+    }
+    return "none";
+}
+
+std::string parse_chaos_spec(const std::string& text, Chaos_spec& out)
+{
+    std::size_t at = 0;
+    while (at < text.size()) {
+        auto comma = text.find(',', at);
+        if (comma == std::string::npos) comma = text.size();
+        const std::string item = text.substr(at, comma - at);
+        at = comma + 1;
+        if (item.empty()) continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos)
+            return "chaos: '" + item + "' is not key=value";
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        char* end = nullptr;
+        if (key == "kill" || key == "hang" || key == "torn") {
+            const double p = std::strtod(val.c_str(), &end);
+            if (end == val.c_str() || *end != '\0' || p < 0.0 || p > 1.0)
+                return "chaos: " + key + "=" + val +
+                       " is not a probability in [0, 1]";
+            (key == "kill" ? out.p_kill
+                           : key == "hang" ? out.p_hang : out.p_torn) = p;
+        } else if (key == "seed") {
+            out.seed = std::strtoull(val.c_str(), &end, 10);
+            if (end == val.c_str() || *end != '\0')
+                return "chaos: seed=" + val + " is not an integer";
+        } else if (key == "cap") {
+            const unsigned long cap = std::strtoul(val.c_str(), &end, 10);
+            if (end == val.c_str() || *end != '\0')
+                return "chaos: cap=" + val + " is not an integer";
+            out.attempt_cap = static_cast<std::uint32_t>(cap);
+        } else {
+            return "chaos: unknown key '" + key +
+                   "' (expected kill/hang/torn/seed/cap)";
+        }
+    }
+    if (out.p_kill + out.p_hang + out.p_torn > 1.0)
+        return "chaos: kill+hang+torn probabilities exceed 1";
+    return {};
+}
+
+} // namespace noc

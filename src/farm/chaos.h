@@ -1,0 +1,51 @@
+// Chaos harness for the sweep farm — the Fault_plan philosophy one layer
+// up: instead of corrupting flits on simulated links (arch/fault_plan.h),
+// it injects process-level failures into slice workers so the orchestrator
+// is exercised against the failure modes it claims to survive.
+//
+// The orchestrator rolls the dice — deterministically, from (seed, slice
+// begin, attempt) — and passes the chosen action to the child as a plain
+// `--chaos-act` argument; the worker then crashes, hangs, or tears its
+// write at the scripted point. Decisions live on the orchestrator side so
+// a chaos run is reproducible from the seed alone and so the harness works
+// with ANY worker that honors the argument, not just bench_sweep.
+//
+// `attempt_cap` bounds the injection: once a slice has burned that many
+// attempts, chaos stands down and the worker runs clean. That keeps a
+// chaos run convergent by construction — the retry budget only has to
+// exceed the cap — while still forcing every recovery path to fire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace noc {
+
+enum class Chaos_action : std::uint8_t { none, kill, hang, torn };
+
+struct Chaos_spec {
+    double p_kill = 0.0; ///< crash before any output is written
+    double p_hang = 0.0; ///< stop heartbeating and sleep forever
+    double p_torn = 0.0; ///< write a partial tmp file, then crash
+    std::uint64_t seed = 1;
+    std::uint32_t attempt_cap = 3; ///< attempts >= cap always run clean
+
+    [[nodiscard]] bool any() const
+    {
+        return p_kill > 0.0 || p_hang > 0.0 || p_torn > 0.0;
+    }
+
+    /// Deterministic action for one (slice, attempt) dispatch.
+    [[nodiscard]] Chaos_action action(std::uint32_t slice_begin,
+                                      std::uint32_t attempt) const;
+};
+
+/// The `--chaos-act` vocabulary shared with workers.
+[[nodiscard]] const char* chaos_action_name(Chaos_action a);
+
+/// Parse "kill=0.3,hang=0.2,torn=0.1,seed=7,cap=3" (any subset of keys,
+/// any order) into `out`. Returns "" on success, else a diagnostic.
+[[nodiscard]] std::string parse_chaos_spec(const std::string& text,
+                                           Chaos_spec& out);
+
+} // namespace noc

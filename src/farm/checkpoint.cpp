@@ -1,0 +1,129 @@
+#include "farm/checkpoint.h"
+
+#include "explore/slice_io.h"
+#include "explore/slice_merge.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include <dirent.h>
+
+namespace noc {
+
+namespace {
+
+bool read_whole_file(const std::string& path, std::string& out)
+{
+    std::ifstream in{path, std::ios::binary};
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>{in},
+               std::istreambuf_iterator<char>{});
+    return true;
+}
+
+} // namespace
+
+std::string validate_slice_file(const std::string& name,
+                                const std::string& content,
+                                std::uint32_t begin, std::uint32_t end,
+                                std::uint32_t grid_points,
+                                const std::string& expect_spec,
+                                const std::string& expect_budget)
+{
+    Slice_merge acc;
+    // Pre-seeding the fingerprints turns "matches the expectation" into
+    // the merge layer's own mismatch diagnostics.
+    acc.spec_name = expect_spec;
+    acc.budget = expect_budget;
+    acc.grid_points = std::to_string(grid_points);
+    const std::string err = merge_slice_document(name, content, acc);
+    if (!err.empty()) return err;
+    // The header must claim exactly this slice's range...
+    if (content.find("\"range\": \"" + std::to_string(begin) + ".." +
+                     std::to_string(end) + "\"") == std::string::npos)
+        return name + ": header range does not match slice [" +
+               std::to_string(begin) + ".." + std::to_string(end) + ")";
+    // ...and the records must cover it exactly.
+    if (acc.by_index.size() != end - begin)
+        return name + ": " + std::to_string(acc.by_index.size()) +
+               " records for a " + std::to_string(end - begin) +
+               "-point slice";
+    for (const auto& [idx, record] : acc.by_index)
+        if (idx < begin || idx >= end)
+            return name + ": record " + std::to_string(idx) +
+                   " outside slice range [" + std::to_string(begin) +
+                   ".." + std::to_string(end) + ")";
+    return {};
+}
+
+Checkpoint_scan scan_checkpoint(const std::string& dir,
+                                const std::vector<Slice_range>& slices,
+                                std::uint32_t grid_points,
+                                const std::string& expect_spec,
+                                const std::string& expect_budget,
+                                bool trust_published)
+{
+    Checkpoint_scan scan;
+    scan.trusted.assign(slices.size(), false);
+    scan.spec_name = expect_spec;
+    scan.budget = expect_budget;
+
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) {
+        scan.error = "cannot open checkpoint dir " + dir;
+        return scan;
+    }
+    std::vector<std::string> entries;
+    while (const dirent* e = ::readdir(d)) entries.emplace_back(e->d_name);
+    ::closedir(d);
+
+    for (const auto& entry : entries) {
+        const std::string path = dir + "/" + entry;
+        // Torn/orphaned artifacts first: a tmp file is by construction an
+        // interrupted write, a .beat file a dead attempt's heartbeat.
+        if (entry.find(".tmp.") != std::string::npos ||
+            (entry.size() > 5 &&
+             entry.compare(entry.size() - 5, 5, ".beat") == 0)) {
+            if (std::remove(path.c_str()) == 0) ++scan.tmp_removed;
+            continue;
+        }
+        // A published slice file of this farm's layout?
+        for (std::size_t s = 0; s < slices.size(); ++s) {
+            if (entry != slice_file_name(slices[s].begin, slices[s].end))
+                continue;
+            if (!trust_published) {
+                std::remove(path.c_str());
+                break;
+            }
+            std::string content;
+            if (!read_whole_file(path, content)) {
+                ++scan.invalid;
+                break;
+            }
+            const std::string err = validate_slice_file(
+                entry, content, slices[s].begin, slices[s].end,
+                grid_points, scan.spec_name, scan.budget);
+            if (!err.empty()) {
+                ++scan.invalid;
+                break;
+            }
+            // Adopt fingerprints from the first trusted slice so later
+            // slices must agree with it, not just with the (possibly
+            // empty) external expectation.
+            if (scan.spec_name.empty() || scan.budget.empty()) {
+                Slice_merge acc;
+                if (merge_slice_document(entry, content, acc).empty()) {
+                    scan.spec_name = acc.spec_name;
+                    scan.budget = acc.budget;
+                }
+            }
+            scan.trusted[s] = true;
+            ++scan.trusted_count;
+            break;
+        }
+    }
+    return scan;
+}
+
+} // namespace noc

@@ -1,0 +1,61 @@
+// Checkpoint/resume for the sweep farm. The out-dir IS the checkpoint:
+// every published slice file is a durable record of completed work
+// (publication is atomic — explore/slice_io.h — so a file under the
+// published name is either whole or absent). Resuming after an
+// orchestrator crash is therefore a directory scan, not a log replay:
+// validate each published slice against the expected protocol
+// fingerprints, trust the ones that check out, re-run only the gaps.
+//
+// Tmp files (`*.tmp.<pid>`) are torn or orphaned writes by definition —
+// a crashed worker died mid-write, or a cancelled duplicate never got to
+// rename. The scan deletes them (counted, reported); they are never
+// trusted. A file under a published slice name that fails validation
+// (foreign spec, wrong budget, damaged content smuggled in by a non-atomic
+// transport) is counted invalid and its slice re-run — the re-run's atomic
+// rename simply replaces it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+/// Half-open point range of one farm slice.
+struct Slice_range {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+};
+
+struct Checkpoint_scan {
+    std::vector<bool> trusted; ///< per expected slice: published and valid
+    std::uint32_t trusted_count = 0;
+    std::uint32_t invalid = 0;     ///< published-name files failing checks
+    std::uint32_t tmp_removed = 0; ///< torn/orphaned tmp files deleted
+    std::string spec_name; ///< fingerprint adopted from trusted slices
+    std::string budget;    ///< fingerprint adopted from trusted slices
+    std::string error;     ///< fatal scan problem (unreadable dir, ...)
+};
+
+/// Scan `dir` for the farm's slice files. `slices` is the expected slice
+/// layout; `grid_points` the full grid size. `expect_spec`/`expect_budget`
+/// (either may be empty = adopt from the first valid slice) pin the
+/// protocol fingerprints a trusted slice must carry. With
+/// `trust_published` false (a fresh, non-resume run) every recognized
+/// slice/tmp/heartbeat file is deleted instead — stale results from an
+/// earlier run must not leak into a new one.
+[[nodiscard]] Checkpoint_scan scan_checkpoint(
+    const std::string& dir, const std::vector<Slice_range>& slices,
+    std::uint32_t grid_points, const std::string& expect_spec,
+    const std::string& expect_budget, bool trust_published);
+
+/// Validate one published slice document for [begin, end) of a
+/// `grid_points` grid: parseable, internally consistent, exactly covering
+/// its range, and matching the (possibly empty = unconstrained) spec and
+/// budget fingerprints. Returns "" when trustworthy, else the reason.
+[[nodiscard]] std::string validate_slice_file(
+    const std::string& name, const std::string& content,
+    std::uint32_t begin, std::uint32_t end, std::uint32_t grid_points,
+    const std::string& expect_spec, const std::string& expect_budget);
+
+} // namespace noc

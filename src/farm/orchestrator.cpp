@@ -1,0 +1,550 @@
+#include "farm/orchestrator.h"
+
+#include "explore/slice_io.h"
+#include "explore/slice_merge.h"
+#include "farm/process_supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <thread>
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+namespace noc {
+
+std::vector<Slice_range> farm_slices(std::uint32_t total_points,
+                                     std::uint32_t slice_points)
+{
+    std::vector<Slice_range> slices;
+    if (slice_points == 0) slice_points = 1;
+    for (std::uint32_t a = 0; a < total_points; a += slice_points)
+        slices.push_back({a, std::min(a + slice_points, total_points)});
+    return slices;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool read_small_file(const std::string& path, std::string& out)
+{
+    std::ifstream in{path, std::ios::binary};
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>{in},
+               std::istreambuf_iterator<char>{});
+    return true;
+}
+
+/// One live worker attempt of a slice.
+struct Live_attempt {
+    pid_t pid = -1;
+    std::uint32_t attempt = 0; ///< dispatch index for this slice
+    Clock::time_point start{};
+    std::string beat_path;
+    std::string last_beat;       ///< last observed heartbeat content
+    Clock::time_point last_change{};
+    bool cancelled = false; ///< killed because a sibling published first
+    bool hung = false;      ///< killed by the heartbeat watchdog
+};
+
+struct Slice_state {
+    Slice_range range;
+    bool published = false;
+    std::uint32_t dispatches = 0; ///< total spawns (budgeted)
+    std::uint32_t failures = 0;
+    Clock::time_point eligible{}; ///< backoff gate for the next dispatch
+    std::vector<Live_attempt> live;
+    std::string last_failure;
+};
+
+std::string substituted(std::string arg, const Slice_state& s,
+                        std::uint32_t attempt, const Farm_config& cfg,
+                        const std::string& beat_path,
+                        const std::string& chaos)
+{
+    const auto replace_all = [&arg](const std::string& key,
+                                    const std::string& value) {
+        for (std::size_t at = arg.find(key); at != std::string::npos;
+             at = arg.find(key, at + value.size()))
+            arg.replace(at, key.size(), value);
+    };
+    replace_all("{begin}", std::to_string(s.range.begin));
+    replace_all("{end}", std::to_string(s.range.end));
+    replace_all("{attempt}", std::to_string(attempt));
+    replace_all("{dir}", cfg.out_dir);
+    replace_all("{slice}", cfg.out_dir + "/" +
+                               slice_file_name(s.range.begin, s.range.end));
+    replace_all("{heartbeat}", beat_path);
+    replace_all("{chaos}", chaos);
+    return arg;
+}
+
+class Farm {
+public:
+    explicit Farm(const Farm_config& cfg) : cfg_(cfg) {}
+    Farm_report run();
+
+private:
+    void dispatch(Slice_state& s, bool straggler);
+    void reap_and_account(Slice_state& s, Live_attempt& a,
+                          const Child_status& st);
+    void on_failure(Slice_state& s, std::uint32_t attempt,
+                    const std::string& why);
+    void check_heartbeats();
+    [[nodiscard]] bool try_dispatch_work();
+    [[nodiscard]] double straggler_threshold() const;
+    void abort_farm(const std::string& why);
+    void merge_published();
+    void sweep_leftovers();
+    void fill_coverage();
+    void progress(const std::string& line) const;
+
+    const Farm_config& cfg_;
+    Farm_report report_;
+    Process_supervisor supervisor_;
+    std::vector<Slice_state> slices_;
+    std::vector<double> completed_wall_; ///< per published attempt
+    std::string spec_name_;              ///< adopted fingerprints
+    std::string budget_;
+    Clock::time_point t0_{};
+    bool aborted_ = false;
+};
+
+void Farm::progress(const std::string& line) const
+{
+    if (cfg_.quiet) return;
+    std::printf("[farm %7.2fs] %s\n", seconds_since(t0_), line.c_str());
+    std::fflush(stdout);
+}
+
+double Farm::straggler_threshold() const
+{
+    double median = 0.0;
+    if (!completed_wall_.empty()) {
+        std::vector<double> sorted = completed_wall_;
+        const auto mid = sorted.begin() +
+                         static_cast<std::ptrdiff_t>(sorted.size() / 2);
+        std::nth_element(sorted.begin(), mid, sorted.end());
+        median = *mid;
+    }
+    return std::max(cfg_.straggler_after_s, cfg_.straggler_factor * median);
+}
+
+void Farm::dispatch(Slice_state& s, bool straggler)
+{
+    const std::uint32_t attempt = s.dispatches;
+    const std::string beat_path =
+        cfg_.out_dir + "/hb_" + std::to_string(s.range.begin) + "_" +
+        std::to_string(attempt) + ".beat";
+    const Chaos_action act = cfg_.chaos.action(s.range.begin, attempt);
+    switch (act) {
+    case Chaos_action::kill: ++report_.chaos_killed; break;
+    case Chaos_action::hang: ++report_.chaos_hung; break;
+    case Chaos_action::torn: ++report_.chaos_torn; break;
+    case Chaos_action::none: break;
+    }
+    std::vector<std::string> argv;
+    argv.reserve(cfg_.worker_argv.size());
+    for (const auto& a : cfg_.worker_argv)
+        argv.push_back(
+            substituted(a, s, attempt, cfg_, beat_path,
+                        chaos_action_name(act)));
+    const std::string log_path =
+        cfg_.out_dir + "/worker_" + std::to_string(s.range.begin) + "_" +
+        std::to_string(s.range.end) + ".log";
+    std::string err;
+    const pid_t pid = supervisor_.spawn(argv, log_path, err);
+    ++s.dispatches;
+    ++report_.attempts;
+    if (straggler) ++report_.stragglers_redispatched;
+    else if (s.failures > 0) ++report_.retries;
+    if (pid < 0) {
+        // Spawning itself failed (fd/process limits) — an environmental
+        // failure like any other: burn the attempt, back off, retry.
+        on_failure(s, attempt, err);
+        return;
+    }
+    Live_attempt a;
+    a.pid = pid;
+    a.attempt = attempt;
+    a.start = Clock::now();
+    a.last_change = a.start;
+    a.beat_path = beat_path;
+    s.live.push_back(std::move(a));
+    progress("slice [" + std::to_string(s.range.begin) + ".." +
+             std::to_string(s.range.end) + ") attempt " +
+             std::to_string(attempt) + (straggler ? " (straggler dup)" : "") +
+             (act == Chaos_action::none
+                  ? std::string{}
+                  : " chaos=" + std::string{chaos_action_name(act)}) +
+             " -> pid " + std::to_string(pid));
+}
+
+void Farm::on_failure(Slice_state& s, std::uint32_t attempt,
+                      const std::string& why)
+{
+    ++s.failures;
+    s.last_failure = why;
+    const std::uint32_t delay = cfg_.retry.delay_ms(s.failures);
+    s.eligible = Clock::now() + std::chrono::milliseconds{delay};
+    progress("slice [" + std::to_string(s.range.begin) + ".." +
+             std::to_string(s.range.end) + ") attempt " +
+             std::to_string(attempt) + " FAILED: " + why +
+             (s.dispatches < cfg_.retry.max_attempts
+                  ? " (retry in " + std::to_string(delay) + "ms)"
+                  : " (attempt budget spent)"));
+    if (cfg_.retry.exhausted(s.dispatches) && s.live.empty() &&
+        !s.published)
+        abort_farm("slice [" + std::to_string(s.range.begin) + ".." +
+                   std::to_string(s.range.end) + ") failed " +
+                   std::to_string(s.dispatches) +
+                   " attempts; last failure: " + why);
+}
+
+void Farm::reap_and_account(Slice_state& s, Live_attempt& a,
+                            const Child_status& st)
+{
+    std::remove(a.beat_path.c_str());
+    if (a.cancelled) return; // already counted when it was killed
+    if (s.published) return; // late sibling of a published slice
+    if (a.hung) {
+        ++report_.hangs_detected;
+        on_failure(s, a.attempt,
+                   "heartbeat stale for > " +
+                       std::to_string(cfg_.heartbeat_timeout_s) +
+                       "s (hang) — killed");
+        return;
+    }
+    if (st.state == Child_status::State::signaled) {
+        on_failure(s, a.attempt,
+                   "killed by signal " + std::to_string(st.signal));
+        return;
+    }
+    if (st.exit_code == 1) {
+        // Contract: 1 = invalid request. Retrying a configuration error
+        // would burn the budget on a failure that cannot resolve.
+        abort_farm("worker rejected slice [" +
+                   std::to_string(s.range.begin) + ".." +
+                   std::to_string(s.range.end) +
+                   ") as an invalid request (exit 1) — see " + cfg_.out_dir +
+                   "/worker_" + std::to_string(s.range.begin) + "_" +
+                   std::to_string(s.range.end) + ".log");
+        return;
+    }
+    if (st.exit_code != 0) {
+        on_failure(s, a.attempt, "exit code " +
+                                     std::to_string(st.exit_code));
+        return;
+    }
+    // Exit 0: trust, but verify — the published file must exist and pass
+    // the same validation resume applies. A worker that exited 0 without
+    // publishing (or published damage through a non-atomic path) is a
+    // failure, not a success.
+    const std::string path =
+        cfg_.out_dir + "/" + slice_file_name(s.range.begin, s.range.end);
+    std::string content;
+    if (!read_small_file(path, content)) {
+        on_failure(s, a.attempt, "exited 0 but " + path + " is missing");
+        return;
+    }
+    const std::string err =
+        validate_slice_file(slice_file_name(s.range.begin, s.range.end),
+                            content, s.range.begin, s.range.end,
+                            cfg_.total_points, spec_name_, budget_);
+    if (!err.empty()) {
+        on_failure(s, a.attempt, "published slice invalid: " + err);
+        return;
+    }
+    if (spec_name_.empty() || budget_.empty()) {
+        Slice_merge acc;
+        if (merge_slice_document(path, content, acc).empty()) {
+            spec_name_ = acc.spec_name;
+            budget_ = acc.budget;
+        }
+    }
+    s.published = true;
+    ++report_.published;
+    completed_wall_.push_back(seconds_since(a.start));
+    progress("slice [" + std::to_string(s.range.begin) + ".." +
+             std::to_string(s.range.end) + ") PUBLISHED by attempt " +
+             std::to_string(a.attempt) + " (" +
+             std::to_string(report_.published) + "/" +
+             std::to_string(report_.slices) + ")");
+    // First completion wins: siblings still running the same slice are
+    // duplicates now — kill them (their output, had they finished, would
+    // be byte-identical anyway). Counted here, not at reap time: when the
+    // LAST slice publishes, the run loop exits before the sibling is
+    // reaped and a reap-side count would lose it.
+    for (auto& other : s.live)
+        if (other.pid != a.pid && !other.cancelled) {
+            other.cancelled = true;
+            supervisor_.kill_child(other.pid);
+            ++report_.duplicates_cancelled;
+        }
+}
+
+void Farm::check_heartbeats()
+{
+    const auto now = Clock::now();
+    for (auto& s : slices_)
+        for (auto& a : s.live) {
+            if (a.cancelled || a.hung) continue;
+            std::string beat;
+            if (read_small_file(a.beat_path, beat) && beat != a.last_beat) {
+                a.last_beat = std::move(beat);
+                a.last_change = now;
+            }
+            const double stale =
+                std::chrono::duration<double>(now - a.last_change).count();
+            if (stale > cfg_.heartbeat_timeout_s) {
+                a.hung = true;
+                supervisor_.kill_child(a.pid);
+            }
+        }
+}
+
+bool Farm::try_dispatch_work()
+{
+    std::size_t live_total = 0;
+    for (const auto& s : slices_) live_total += s.live.size();
+    bool dispatched = false;
+    while (live_total < cfg_.workers && !aborted_) {
+        const auto now = Clock::now();
+        // Fresh work first: the lowest un-attempted-or-retryable slice
+        // with no live attempt and an elapsed backoff.
+        Slice_state* fresh = nullptr;
+        for (auto& s : slices_)
+            if (!s.published && s.live.empty() &&
+                !cfg_.retry.exhausted(s.dispatches) && s.eligible <= now) {
+                fresh = &s;
+                break;
+            }
+        if (fresh != nullptr) {
+            dispatch(*fresh, false);
+            ++live_total;
+            dispatched = true;
+            continue;
+        }
+        // No fresh work but idle workers: consider straggler re-dispatch.
+        // Duplicate the oldest-running live slice once its current attempt
+        // has outlived the threshold — first completion wins.
+        Slice_state* straggler = nullptr;
+        double oldest = 0.0;
+        const double threshold = straggler_threshold();
+        for (auto& s : slices_) {
+            if (s.published || s.live.empty()) continue;
+            if (s.live.size() >= cfg_.max_live_per_slice) continue;
+            if (cfg_.retry.exhausted(s.dispatches)) continue;
+            for (const auto& a : s.live) {
+                if (a.cancelled || a.hung) continue;
+                const double age = seconds_since(a.start);
+                if (age > threshold && age > oldest) {
+                    oldest = age;
+                    straggler = &s;
+                }
+            }
+        }
+        if (straggler == nullptr) break;
+        dispatch(*straggler, true);
+        ++live_total;
+        dispatched = true;
+    }
+    return dispatched;
+}
+
+void Farm::abort_farm(const std::string& why)
+{
+    if (aborted_) return;
+    aborted_ = true;
+    report_.error = why;
+    supervisor_.kill_all();
+    fill_coverage();
+    progress("ABORT: " + why);
+}
+
+void Farm::fill_coverage()
+{
+    Slice_merge acc;
+    acc.grid_points = std::to_string(cfg_.total_points);
+    for (const auto& s : slices_) {
+        if (!s.published) continue;
+        std::string content;
+        const std::string path =
+            cfg_.out_dir + "/" + slice_file_name(s.range.begin, s.range.end);
+        if (read_small_file(path, content))
+            (void)merge_slice_document(path, content, acc);
+    }
+    report_.coverage = slice_coverage_report(acc);
+}
+
+void Farm::merge_published()
+{
+    Slice_merge acc;
+    acc.spec_name = spec_name_;
+    acc.budget = budget_;
+    acc.grid_points = std::to_string(cfg_.total_points);
+    for (const auto& s : slices_) {
+        const std::string path =
+            cfg_.out_dir + "/" + slice_file_name(s.range.begin, s.range.end);
+        std::string content;
+        if (!read_small_file(path, content)) {
+            abort_farm("published slice vanished before merge: " + path);
+            return;
+        }
+        const std::string err = merge_slice_document(path, content, acc);
+        if (!err.empty()) {
+            abort_farm("merge failed: " + err);
+            return;
+        }
+    }
+    std::vector<std::string> records;
+    const std::string err = finish_slice_merge(acc, records);
+    if (!err.empty()) {
+        abort_farm("merge failed: " + err);
+        return;
+    }
+    report_.duplicate_records = acc.duplicate_records;
+    const std::string merged_path =
+        cfg_.merged_path.empty() ? cfg_.out_dir + "/merged_points.json"
+                                 : cfg_.merged_path;
+    const auto count = static_cast<std::uint32_t>(records.size());
+    const std::string payload = slice_payload(acc.spec_name, acc.budget, 0,
+                                              count, count, records);
+    const std::string werr = write_file_atomic(merged_path, payload);
+    if (!werr.empty()) {
+        abort_farm("cannot write merged result: " + werr);
+        return;
+    }
+    report_.merged_path = merged_path;
+    report_.spec_name = acc.spec_name;
+    report_.budget = acc.budget;
+    report_.coverage = slice_coverage_report(acc);
+}
+
+void Farm::sweep_leftovers()
+{
+    // Cancelled duplicates may have left tmp files (killed between write
+    // and rename) and the run leaves per-attempt logs; tmp and beat files
+    // are garbage by contract — sweep and count them.
+    DIR* d = ::opendir(cfg_.out_dir.c_str());
+    if (d == nullptr) return;
+    std::vector<std::string> doomed;
+    while (const dirent* e = ::readdir(d)) {
+        const std::string entry = e->d_name;
+        if (entry.find(".tmp.") != std::string::npos ||
+            (entry.size() > 5 &&
+             entry.compare(entry.size() - 5, 5, ".beat") == 0))
+            doomed.push_back(cfg_.out_dir + "/" + entry);
+    }
+    ::closedir(d);
+    for (const auto& path : doomed)
+        if (std::remove(path.c_str()) == 0) ++report_.tmp_ignored;
+}
+
+Farm_report Farm::run()
+{
+    t0_ = Clock::now();
+    spec_name_ = cfg_.expect_spec;
+    budget_ = cfg_.expect_budget;
+
+    if (cfg_.worker_argv.empty() || cfg_.workers == 0 ||
+        cfg_.total_points == 0 || cfg_.retry.max_attempts == 0) {
+        report_.error = "farm config: worker_argv, workers, total_points "
+                        "and retry.max_attempts must all be non-zero";
+        return report_;
+    }
+    ::mkdir(cfg_.out_dir.c_str(), 0755); // EEXIST is fine
+
+    const std::vector<Slice_range> slices =
+        farm_slices(cfg_.total_points, cfg_.slice_points);
+    report_.slices = static_cast<std::uint32_t>(slices.size());
+
+    // The out-dir is the checkpoint. Resume trusts validated published
+    // slices; a fresh run clears recognized artifacts so stale results
+    // cannot leak in.
+    const Checkpoint_scan scan =
+        scan_checkpoint(cfg_.out_dir, slices, cfg_.total_points, spec_name_,
+                        budget_, cfg_.resume);
+    if (!scan.error.empty()) {
+        report_.error = scan.error;
+        return report_;
+    }
+    report_.resumed_trusted = scan.trusted_count;
+    report_.resumed_invalid = scan.invalid;
+    report_.tmp_ignored = scan.tmp_removed;
+    spec_name_ = scan.spec_name;
+    budget_ = scan.budget;
+
+    slices_.resize(slices.size());
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+        slices_[i].range = slices[i];
+        slices_[i].published = cfg_.resume && scan.trusted[i];
+        if (slices_[i].published) ++report_.published;
+    }
+    if (cfg_.resume)
+        progress("resume: " + std::to_string(scan.trusted_count) + "/" +
+                 std::to_string(slices.size()) + " slices trusted, " +
+                 std::to_string(scan.invalid) + " invalid, " +
+                 std::to_string(scan.tmp_removed) + " tmp/beat swept");
+
+    while (!aborted_) {
+        if (report_.published == report_.slices) break;
+        if (cfg_.max_wall_s > 0.0 && seconds_since(t0_) > cfg_.max_wall_s) {
+            abort_farm("farm deadline (" + std::to_string(cfg_.max_wall_s) +
+                       "s) exceeded");
+            break;
+        }
+        // Reap finished children. Index-based with erase-before-account:
+        // reap_and_account mutates the live list (cancels siblings) as
+        // slices publish, so the finished attempt leaves the list first.
+        for (auto& s : slices_) {
+            for (std::size_t i = 0; i < s.live.size();) {
+                const Child_status st = supervisor_.poll(s.live[i].pid);
+                if (st.state == Child_status::State::running) {
+                    ++i;
+                    continue;
+                }
+                Live_attempt done = s.live[i];
+                s.live.erase(s.live.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+                reap_and_account(s, done, st);
+                if (aborted_) break;
+            }
+            if (aborted_) break;
+        }
+        if (aborted_) break;
+        check_heartbeats();
+        if (!try_dispatch_work())
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                cfg_.poll_interval_s));
+    }
+
+    if (!aborted_) {
+        supervisor_.kill_all(); // cancelled duplicates still draining
+        merge_published();
+    }
+    sweep_leftovers();
+    report_.success = !aborted_ && report_.published == report_.slices &&
+                      !report_.merged_path.empty();
+    report_.wall_seconds = seconds_since(t0_);
+    return report_;
+}
+
+} // namespace
+
+Farm_report run_farm(const Farm_config& cfg)
+{
+    Farm farm{cfg};
+    return farm.run();
+}
+
+} // namespace noc

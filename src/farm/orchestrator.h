@@ -1,0 +1,127 @@
+// Farm orchestrator — the cluster-scale sweep driver (ROADMAP: "sweep
+// farm"). Shards a sweep's point grid into contiguous slices, runs each
+// slice in a crash-isolated worker process (farm/process_supervisor.h),
+// and reassembles the byte-deterministic merged result with the same
+// slice-merge code path `bench_sweep --merge` uses.
+//
+// Robustness model — worker failures are the COMMON case at farm scale,
+// so every one has a bounded, observable recovery path:
+//
+//   crash   (exit != 0, killed, OOM)  -> retry with exponential backoff
+//                                        under a bounded Retry_policy
+//                                        attempt budget.
+//   hang    (live pid, no progress)   -> per-attempt heartbeat files; an
+//                                        attempt whose heartbeat goes
+//                                        stale past the timeout is killed
+//                                        and retried like a crash.
+//   torn    (crash mid-write)         -> atomic publication (tmp+rename,
+//                                        explore/slice_io.h): a half-slice
+//                                        can never appear under the
+//                                        published name; leftover tmp
+//                                        files are ignored and swept.
+//   straggler (slow, not dead)        -> when workers idle and a live
+//                                        slice has run well past the
+//                                        median completed attempt, the
+//                                        slice is re-dispatched to a
+//                                        second worker; first completion
+//                                        wins and the loser is killed —
+//                                        byte-determinism makes the
+//                                        duplicate free (identical bytes
+//                                        even if both publish).
+//   orchestrator crash                -> the out-dir is the checkpoint:
+//                                        --resume trusts validated
+//                                        published slices and re-runs
+//                                        only the gaps
+//                                        (farm/checkpoint.h).
+//
+// The worker command is an argv TEMPLATE with placeholders substituted
+// per dispatch, so any protocol-conforming binary can be farmed (tests
+// drive the orchestrator with /bin/sh scripts):
+//   {begin} {end}  — the slice's half-open point range
+//   {attempt}      — 0-based dispatch index for this slice
+//   {dir}          — the out-dir (workers publish
+//                    slice_file_name(begin, end) inside it, atomically)
+//   {slice}        — convenience: the full published-slice path
+//   {heartbeat}    — file the worker must rewrite (any changing content)
+//                    at sub-timeout intervals while it makes progress
+//   {chaos}        — none|kill|hang|torn: the chaos action the worker
+//                    must perform (farm/chaos.h decides, deterministically
+//                    from the seed, so chaos runs are reproducible).
+#pragma once
+
+#include "common/retry_policy.h"
+#include "farm/chaos.h"
+#include "farm/checkpoint.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+struct Farm_config {
+    /// Worker argv template (see placeholder table above).
+    std::vector<std::string> worker_argv;
+    std::string out_dir;            ///< slice files, heartbeats, logs
+    std::uint32_t total_points = 0; ///< full grid size
+    std::uint32_t slice_points = 0; ///< points per slice (>= 1)
+    std::uint32_t workers = 4;      ///< concurrent worker processes
+    /// Attempt budget + backoff per slice (shared vocabulary with
+    /// Sweep_runner's per-point retries). max_attempts bounds ALL
+    /// dispatches of a slice, straggler duplicates included.
+    Retry_policy retry{4, 250};
+    Chaos_spec chaos; ///< failure injection into children (off by default)
+    double heartbeat_timeout_s = 30.0; ///< stale heartbeat = hung
+    double poll_interval_s = 0.02;
+    /// Straggler re-dispatch fires only for attempts older than
+    /// max(straggler_after_s, straggler_factor * median completed attempt
+    /// wall time), and only when a worker slot is idle.
+    double straggler_after_s = 5.0;
+    double straggler_factor = 3.0;
+    std::uint32_t max_live_per_slice = 2;
+    double max_wall_s = 0.0; ///< 0 = no farm-level deadline
+    bool resume = false;     ///< trust validated published slices
+    /// Protocol fingerprints a resumed slice must match (empty = adopt
+    /// from the first valid slice; see farm/checkpoint.h).
+    std::string expect_spec;
+    std::string expect_budget;
+    std::string merged_path; ///< default: <out_dir>/merged_points.json
+    bool quiet = false;      ///< suppress per-event progress lines
+};
+
+struct Farm_report {
+    bool success = false;
+    std::string error;       ///< why the farm failed (success == false)
+    std::string merged_path; ///< written only on success
+    std::string coverage;    ///< partial-coverage report (failure paths)
+    std::uint32_t slices = 0;
+    std::uint32_t published = 0;
+    std::uint32_t attempts = 0; ///< total worker dispatches
+    std::uint32_t retries = 0;  ///< failure-driven re-dispatches
+    std::uint32_t hangs_detected = 0;
+    std::uint32_t stragglers_redispatched = 0;
+    std::uint32_t duplicates_cancelled = 0; ///< first-completion-wins kills
+    std::uint32_t chaos_killed = 0; ///< chaos actions handed to workers
+    std::uint32_t chaos_hung = 0;
+    std::uint32_t chaos_torn = 0;
+    std::uint32_t resumed_trusted = 0; ///< slices trusted by --resume scan
+    std::uint32_t resumed_invalid = 0; ///< published-name files re-run
+    std::uint32_t tmp_ignored = 0;     ///< torn/orphaned tmp files swept
+    std::uint64_t duplicate_records = 0; ///< byte-identical merge dupes
+    double wall_seconds = 0.0;
+    std::string spec_name; ///< adopted protocol fingerprints
+    std::string budget;
+};
+
+/// Run the farm to completion (or bounded failure). Never throws for
+/// worker-side problems — those are the job; configuration errors (no
+/// workers, empty template, unwritable out-dir) fail fast in the report.
+[[nodiscard]] Farm_report run_farm(const Farm_config& cfg);
+
+/// The slice layout run_farm uses: contiguous [k*slice_points,
+/// min((k+1)*slice_points, total)) ranges. Exposed for checkpoint tooling
+/// and tests.
+[[nodiscard]] std::vector<Slice_range> farm_slices(
+    std::uint32_t total_points, std::uint32_t slice_points);
+
+} // namespace noc

@@ -1,0 +1,99 @@
+#include "farm/process_supervisor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace noc {
+
+pid_t Process_supervisor::spawn(const std::vector<std::string>& argv,
+                                const std::string& log_path,
+                                std::string& error)
+{
+    if (argv.empty()) {
+        error = "spawn: empty argv";
+        return -1;
+    }
+    // Open the log in the parent so a failure is reportable; the fd is
+    // inherited across fork and dup2'd onto stdout/stderr in the child.
+    int log_fd = -1;
+    if (!log_path.empty()) {
+        log_fd = ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                        0644);
+        if (log_fd < 0) {
+            error = "spawn: cannot open log " + log_path + ": " +
+                    std::strerror(errno);
+            return -1;
+        }
+    }
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto& a : argv)
+        cargv.push_back(const_cast<char*>(a.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        error = std::string{"spawn: fork failed: "} + std::strerror(errno);
+        if (log_fd >= 0) ::close(log_fd);
+        return -1;
+    }
+    if (pid == 0) {
+        // Child: only async-signal-safe calls between fork and exec.
+        if (log_fd >= 0) {
+            ::dup2(log_fd, 1);
+            ::dup2(log_fd, 2);
+            ::close(log_fd);
+        }
+        ::execvp(cargv[0], cargv.data());
+        _exit(127); // exec failed; 127 is retryable by contract
+    }
+    if (log_fd >= 0) ::close(log_fd);
+    live_.push_back(pid);
+    error.clear();
+    return pid;
+}
+
+Child_status Process_supervisor::poll(pid_t pid)
+{
+    Child_status st;
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == 0) return st; // still running
+    // r == pid (reaped) or r < 0 (not our child anymore — treat as gone
+    // with an error exit so the farm's failure path handles it).
+    live_.erase(std::remove(live_.begin(), live_.end(), pid), live_.end());
+    if (r == pid && WIFEXITED(status)) {
+        st.state = Child_status::State::exited;
+        st.exit_code = WEXITSTATUS(status);
+    } else if (r == pid && WIFSIGNALED(status)) {
+        st.state = Child_status::State::signaled;
+        st.signal = WTERMSIG(status);
+    } else {
+        st.state = Child_status::State::exited;
+        st.exit_code = 126;
+    }
+    return st;
+}
+
+void Process_supervisor::kill_child(pid_t pid)
+{
+    ::kill(pid, SIGKILL);
+}
+
+void Process_supervisor::kill_all()
+{
+    for (const pid_t pid : live_) ::kill(pid, SIGKILL);
+    for (const pid_t pid : live_) {
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+    }
+    live_.clear();
+}
+
+} // namespace noc

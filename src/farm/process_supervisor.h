@@ -1,0 +1,63 @@
+// Crash isolation for the sweep farm: each slice runs in its own child
+// process (fork/exec), so a worker that segfaults, leaks, wedges a thread
+// pool, or gets OOM-killed takes down exactly one slice attempt — never
+// the orchestrator and never its sibling slices. This is the process-level
+// analogue of Sweep_runner's per-point try/catch: the catch block becomes
+// waitpid, and "exception message" becomes an exit status.
+//
+// Exit-status contract (shared with bench_sweep's worker mode):
+//   0         — slice published (the supervisor still verifies the file).
+//   1         — invalid request (bad flags, empty range): NOT retryable;
+//               the farm aborts instead of burning the attempt budget on a
+//               configuration error.
+//   other / killed by signal — transient worker failure: retryable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace noc {
+
+/// Outcome of polling one child.
+struct Child_status {
+    enum class State : std::uint8_t { running, exited, signaled } state =
+        State::running;
+    int exit_code = 0; ///< valid when exited
+    int signal = 0;    ///< valid when signaled
+};
+
+class Process_supervisor {
+public:
+    /// fork/exec `argv` (argv[0] resolved via PATH). stdout/stderr are
+    /// redirected to `log_path` when non-empty (appended — retries of a
+    /// slice share one log), so a crashing worker leaves evidence without
+    /// interleaving into the orchestrator's output. Returns the pid, or -1
+    /// with `error` set.
+    [[nodiscard]] pid_t spawn(const std::vector<std::string>& argv,
+                              const std::string& log_path,
+                              std::string& error);
+
+    /// Non-blocking status poll; reaps the child when it has exited.
+    [[nodiscard]] Child_status poll(pid_t pid);
+
+    /// SIGKILL — for hang detection and first-completion-wins duplicate
+    /// cancellation. The child is NOT reaped here; the caller keeps
+    /// polling until the kill is reflected (so every exit funnels through
+    /// one code path).
+    void kill_child(pid_t pid);
+
+    /// SIGKILL + blocking reap of every still-live child this supervisor
+    /// spawned — the farm's abort path and destructor guarantee: no
+    /// orphaned workers outlive the orchestrator.
+    void kill_all();
+
+    ~Process_supervisor() { kill_all(); }
+
+private:
+    std::vector<pid_t> live_; ///< spawned and not yet reaped
+};
+
+} // namespace noc

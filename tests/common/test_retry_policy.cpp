@@ -1,0 +1,65 @@
+// Retry_policy (common/retry_policy.h): the shared retry/backoff
+// vocabulary. The math matters because both Sweep_runner (in-process
+// point retries) and the farm orchestrator (process-level slice
+// re-dispatch) sleep exactly delay_ms between attempts — an off-by-one
+// in the exponent turns a 250ms first backoff into 500ms farm-wide.
+#include "common/retry_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace noc {
+namespace {
+
+TEST(RetryPolicy, DefaultsMatchHistoricalRetryOnce)
+{
+    const Retry_policy p;
+    EXPECT_EQ(p.max_attempts, 2u);
+    EXPECT_EQ(p.backoff_ms, 0u);
+    EXPECT_EQ(p.delay_ms(1), 0u); // immediate in-process retry
+    EXPECT_FALSE(p.exhausted(1));
+    EXPECT_TRUE(p.exhausted(2));
+}
+
+TEST(RetryPolicy, ExponentialBackoffFromFirstFailure)
+{
+    const Retry_policy p{5, 250, 2.0, 60'000};
+    EXPECT_EQ(p.delay_ms(0), 0u); // no failures yet, no delay
+    EXPECT_EQ(p.delay_ms(1), 250u);
+    EXPECT_EQ(p.delay_ms(2), 500u);
+    EXPECT_EQ(p.delay_ms(3), 1000u);
+    EXPECT_EQ(p.delay_ms(4), 2000u);
+}
+
+TEST(RetryPolicy, CapBoundsEveryDelay)
+{
+    const Retry_policy p{20, 1000, 10.0, 5000};
+    EXPECT_EQ(p.delay_ms(1), 1000u);
+    EXPECT_EQ(p.delay_ms(2), 5000u); // 10'000 capped
+    EXPECT_EQ(p.delay_ms(19), 5000u); // deep exponent cannot overflow
+    const Retry_policy tight{8, 7000, 2.0, 5000};
+    EXPECT_EQ(tight.delay_ms(1), 5000u); // base already above the cap
+}
+
+TEST(RetryPolicy, NonIntegerMultiplier)
+{
+    const Retry_policy p{6, 100, 1.5, 60'000};
+    EXPECT_EQ(p.delay_ms(1), 100u);
+    EXPECT_EQ(p.delay_ms(2), 150u);
+    EXPECT_EQ(p.delay_ms(3), 225u);
+}
+
+TEST(RetryPolicy, ZeroBackoffNeverSleeps)
+{
+    const Retry_policy p{10, 0, 2.0, 60'000};
+    for (std::uint32_t f = 0; f < 10; ++f) EXPECT_EQ(p.delay_ms(f), 0u);
+}
+
+TEST(RetryPolicy, ExhaustionBoundary)
+{
+    const Retry_policy p{1, 0, 2.0, 60'000};
+    EXPECT_FALSE(p.exhausted(0));
+    EXPECT_TRUE(p.exhausted(1)); // max_attempts == 1 means no retry
+}
+
+} // namespace
+} // namespace noc

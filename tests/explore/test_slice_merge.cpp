@@ -141,8 +141,59 @@ TEST(SliceMerge, RejectsDuplicateIndexWithDivergentResults)
     ASSERT_NE(at, std::string::npos);
     doc.replace(at, 15, "\"packets\": 9999");
     const std::string diag = merge_slice_document("b.json", doc, acc);
+    EXPECT_NE(diag.find("b.json"), std::string::npos);
+    EXPECT_NE(diag.find("divergent duplicate"), std::string::npos);
     EXPECT_NE(diag.find("point 2"), std::string::npos);
     EXPECT_NE(diag.find("twice with different results"), std::string::npos);
+}
+
+TEST(SliceMerge, CountsByteIdenticalDuplicatesWithoutRejecting)
+{
+    // First-completion-wins re-dispatch: both workers of a duplicated
+    // slice may publish, and determinism makes their bytes identical.
+    // The merge folds them silently but keeps the count observable.
+    Slice_merge acc;
+    ASSERT_EQ(merge_slice_document("a.json", slice_document(0, 2, 4), acc),
+              "");
+    EXPECT_EQ(acc.duplicate_records, 0u);
+    ASSERT_EQ(merge_slice_document("a2.json", slice_document(0, 2, 4), acc),
+              "");
+    EXPECT_EQ(acc.duplicate_records, 2u); // both records seen twice
+    ASSERT_EQ(merge_slice_document("b.json", slice_document(2, 4, 4), acc),
+              "");
+    EXPECT_EQ(acc.duplicate_records, 2u); // fresh records don't count
+    std::vector<std::string> records;
+    EXPECT_EQ(finish_slice_merge(acc, records), "");
+    EXPECT_EQ(records.size(), 4u); // duplicates deduped, coverage exact
+}
+
+TEST(SliceMerge, CoverageReportNamesMissingRanges)
+{
+    Slice_merge acc;
+    ASSERT_EQ(merge_slice_document("a.json", slice_document(0, 4, 12), acc),
+              "");
+    ASSERT_EQ(merge_slice_document("b.json", slice_document(6, 10, 12), acc),
+              "");
+    EXPECT_EQ(slice_coverage_report(acc),
+              "coverage 8/12 points; missing [4..6) [10..12)");
+    const auto gaps = slice_missing_ranges(acc);
+    ASSERT_EQ(gaps.size(), 2u);
+    EXPECT_EQ(gaps[0].first, 4u);
+    EXPECT_EQ(gaps[0].second, 6u);
+    EXPECT_EQ(gaps[1].first, 10u);
+    EXPECT_EQ(gaps[1].second, 12u);
+
+    // Complete coverage: no gaps to name.
+    ASSERT_EQ(merge_slice_document("c.json", slice_document(4, 6, 12), acc),
+              "");
+    ASSERT_EQ(merge_slice_document("d.json", slice_document(10, 12, 12), acc),
+              "");
+    EXPECT_EQ(slice_coverage_report(acc), "coverage 12/12 points");
+    EXPECT_TRUE(slice_missing_ranges(acc).empty());
+
+    // Nothing merged yet: everything is missing.
+    Slice_merge empty;
+    EXPECT_TRUE(slice_missing_ranges(empty).empty()); // grid unknown
 }
 
 TEST(SliceMerge, ReportsCoverageGaps)

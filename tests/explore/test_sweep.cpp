@@ -393,6 +393,57 @@ TEST(SweepRunner, DeterministicFailuresFailBothAttempts)
     EXPECT_EQ(result.report().find("second attempt"), std::string::npos);
 }
 
+TEST(SweepRunner, RetryPolicyExtendsTheAttemptBudget)
+{
+    // The configurable Retry_policy (shared vocabulary with the farm
+    // orchestrator) replaces the historical hardcoded retry-once: with a
+    // 3-attempt budget, a point that fails twice still lands, and the
+    // result stays byte-identical to a clean run.
+    Sweep_spec spec = small_spec();
+    const Sweep_result clean = run_sweep(spec, 2);
+
+    Sweep_runner runner{2};
+    runner.set_retry_policy(Retry_policy{3, 0});
+    EXPECT_EQ(runner.retry_policy().max_attempts, 3u);
+    std::atomic<int> throws{0};
+    runner.set_point_attempt_hook([&](const Sweep_point& p, int attempt) {
+        if (p.index == 5 && attempt < 2) {
+            ++throws;
+            throw std::runtime_error{"double transient failure"};
+        }
+    });
+    const Sweep_result bumpy = runner.run(spec);
+    EXPECT_EQ(throws.load(), 2); // attempts 0 and 1; attempt 2 succeeds
+    EXPECT_EQ(bumpy.to_json(), clean.to_json());
+    for (const auto& c : bumpy.curves)
+        for (const auto& p : c.points) {
+            EXPECT_TRUE(p.error.empty()) << p.error;
+            EXPECT_EQ(p.retried, p.point.index == 5u);
+        }
+}
+
+TEST(SweepRunner, RetryPolicySingleAttemptDisablesRetry)
+{
+    Sweep_spec spec = small_spec();
+    Sweep_runner runner{1};
+    runner.set_retry_policy(Retry_policy{1, 0});
+    std::atomic<int> attempts{0};
+    runner.set_point_attempt_hook([&](const Sweep_point& p, int) {
+        if (p.index == 5) {
+            ++attempts;
+            throw std::runtime_error{"transient that would have resolved"};
+        }
+    });
+    const Sweep_result result = runner.run(spec);
+    EXPECT_EQ(attempts.load(), 1); // budget of one: no second chance
+    for (const auto& c : result.curves)
+        for (const auto& p : c.points)
+            if (p.point.index == 5) {
+                EXPECT_FALSE(p.error.empty());
+                EXPECT_FALSE(p.retried);
+            }
+}
+
 TEST(SweepRunner, FaultScenarioAxisMultipliesCurvesDeterministically)
 {
     // The reliability axis: each (design, traffic) curve re-runs under

@@ -1,0 +1,378 @@
+// Farm orchestrator robustness contract (farm/orchestrator.h): crash
+// isolation with bounded retry/backoff, heartbeat hang detection,
+// straggler re-dispatch with first-completion-wins, atomic publication,
+// and checkpoint/resume that trusts only validated published slices.
+//
+// The workers here are /bin/sh scripts, not bench_sweep: the orchestrator
+// speaks an argv-template protocol precisely so its failure machinery is
+// testable with workers whose behavior (crash on attempt 0, hang forever,
+// dawdle until a duplicate wins) is scripted per attempt. The end-to-end
+// farm-vs-single-process byte-identity check with real simulation workers
+// lives in CI's farm smoke leg (noc_farm --chaos ... --ref).
+#include "farm/orchestrator.h"
+
+#include "explore/slice_io.h"
+#include "explore/slice_merge.h"
+#include "farm/checkpoint.h"
+#include "farm/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include <sys/stat.h>
+
+namespace noc {
+namespace {
+
+/// The worker script every test parameterizes: writes a well-formed slice
+/// document for [$1, $2) of a 12-point grid — the same shape bench_sweep
+/// publishes — atomically (tmp + mv), after running the test's
+/// attempt-dependent PRELUDE ($3 = attempt, $5 = heartbeat path).
+const char* const publish_body = R"SH(
+a=$1; b=$2; dir=$4
+f="$dir/BENCH_sweep_points_${a}_${b}.json"
+t="$f.tmp.$$"
+{
+  printf '{\n  "bench": "sweep_points",\n  "spec": "unit",\n'
+  printf '  "budget": "w1-m1",\n  "grid_points": "%s",\n' "$GRID"
+  printf '  "range": "%s..%s",\n  "points": [\n' "$a" "$b"
+  i=$a
+  while [ $i -lt $b ]; do
+    sep=","
+    [ $((i + 1)) -eq $b ] && sep=""
+    printf '    {"index": %s, "v": %s}%s\n' "$i" "$((i * 7))" "$sep"
+    i=$((i + 1))
+  done
+  printf '  ]\n}\n'
+} > "$t"
+mv "$t" "$f"
+exit 0
+)SH";
+
+struct Rig {
+    std::string dir;
+    std::string script;
+
+    explicit Rig(const std::string& name)
+        : dir("farm_test_" + name), script(dir + "/worker.sh")
+    {
+        std::system(("rm -rf " + dir).c_str());
+        ::mkdir(dir.c_str(), 0755);
+    }
+
+    /// Install the worker script: `prelude` runs first with $1=begin
+    /// $2=end $3=attempt $4=dir $5=heartbeat; falls through into the
+    /// slice-publishing body for a `grid`-point grid.
+    void install_worker(const std::string& prelude, std::uint32_t grid = 12)
+    {
+        std::ofstream out{script};
+        out << "#!/bin/sh\nGRID=" << grid << "\n"
+            << prelude << "\n" << publish_body;
+    }
+
+    [[nodiscard]] Farm_config config(std::uint32_t total,
+                                     std::uint32_t slice_points,
+                                     std::uint32_t workers) const
+    {
+        Farm_config cfg;
+        cfg.worker_argv = {"/bin/sh", script,    "{begin}", "{end}",
+                           "{attempt}", "{dir}", "{heartbeat}"};
+        cfg.out_dir = dir;
+        cfg.total_points = total;
+        cfg.slice_points = slice_points;
+        cfg.workers = workers;
+        cfg.retry = Retry_policy{5, 20};
+        cfg.heartbeat_timeout_s = 60.0; // hang tests lower it
+        cfg.poll_interval_s = 0.005;
+        cfg.straggler_after_s = 60.0; // straggler test lowers it
+        cfg.quiet = true;
+        return cfg;
+    }
+
+    [[nodiscard]] std::string read(const std::string& name) const
+    {
+        std::ifstream in{dir + "/" + name, std::ios::binary};
+        return {std::istreambuf_iterator<char>{in},
+                std::istreambuf_iterator<char>{}};
+    }
+
+    void write(const std::string& name, const std::string& content) const
+    {
+        std::ofstream out{dir + "/" + name, std::ios::binary};
+        out << content;
+    }
+
+    ~Rig() { std::system(("rm -rf " + dir).c_str()); }
+};
+
+/// What the scripted workers' records merge to: the expected full payload
+/// for byte-identity checks.
+std::string expected_merged(std::uint32_t total)
+{
+    std::vector<std::string> records;
+    for (std::uint32_t i = 0; i < total; ++i)
+        records.push_back("    {\"index\": " + std::to_string(i) +
+                          ", \"v\": " + std::to_string(i * 7) + "}");
+    return slice_payload("unit", "w1-m1", 0, total, total, records);
+}
+
+/// One valid slice document exactly as the scripted worker publishes it.
+std::string slice_doc(std::uint32_t a, std::uint32_t b, std::uint32_t grid)
+{
+    std::vector<std::string> records;
+    for (std::uint32_t i = a; i < b; ++i)
+        records.push_back("    {\"index\": " + std::to_string(i) +
+                          ", \"v\": " + std::to_string(i * 7) + "}");
+    return slice_payload("unit", "w1-m1", a, b, grid, records);
+}
+
+TEST(FarmSlices, ContiguousLayoutCoversGrid)
+{
+    const auto slices = farm_slices(12, 5);
+    ASSERT_EQ(slices.size(), 3u);
+    EXPECT_EQ(slices[0].begin, 0u);
+    EXPECT_EQ(slices[0].end, 5u);
+    EXPECT_EQ(slices[2].begin, 10u);
+    EXPECT_EQ(slices[2].end, 12u); // tail slice clipped to the grid
+    EXPECT_EQ(farm_slices(12, 12).size(), 1u);
+    EXPECT_TRUE(farm_slices(0, 4).empty());
+}
+
+TEST(FarmChaos, DeterministicBoundedInjection)
+{
+    Chaos_spec spec;
+    ASSERT_EQ(parse_chaos_spec("kill=0.3,hang=0.2,torn=0.1,seed=7,cap=2",
+                               spec),
+              "");
+    EXPECT_DOUBLE_EQ(spec.p_kill, 0.3);
+    EXPECT_DOUBLE_EQ(spec.p_hang, 0.2);
+    EXPECT_DOUBLE_EQ(spec.p_torn, 0.1);
+    EXPECT_EQ(spec.seed, 7u);
+    // Same (slice, attempt) -> same action, reproducible from the seed.
+    for (std::uint32_t s = 0; s < 40; s += 3)
+        for (std::uint32_t at = 0; at < 2; ++at)
+            EXPECT_EQ(spec.action(s, at), spec.action(s, at));
+    // The attempt cap guarantees convergence: at and past it, always clean.
+    for (std::uint32_t s = 0; s < 40; ++s)
+        for (std::uint32_t at = 2; at < 6; ++at)
+            EXPECT_EQ(spec.action(s, at), Chaos_action::none);
+    // With these probabilities some pre-cap action must fire somewhere.
+    bool any = false;
+    for (std::uint32_t s = 0; s < 40 && !any; ++s)
+        any = spec.action(s, 0) != Chaos_action::none;
+    EXPECT_TRUE(any);
+
+    Chaos_spec bad;
+    EXPECT_NE(parse_chaos_spec("kill=1.5", bad), "");
+    EXPECT_NE(parse_chaos_spec("kill=0.9,hang=0.9", bad), "");
+    EXPECT_NE(parse_chaos_spec("flood=0.5", bad), "");
+}
+
+TEST(Farm, CleanRunMergesByteIdentical)
+{
+    Rig rig{"clean"};
+    rig.install_worker("");
+    const Farm_report r = run_farm(rig.config(12, 3, 3));
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(r.slices, 4u);
+    EXPECT_EQ(r.published, 4u);
+    EXPECT_EQ(r.attempts, 4u);
+    EXPECT_EQ(r.retries, 0u);
+    EXPECT_EQ(rig.read("merged_points.json"), expected_merged(12));
+    EXPECT_EQ(r.spec_name, "unit");
+    EXPECT_EQ(r.budget, "w1-m1");
+}
+
+TEST(Farm, CrashedWorkersRetryUnderBoundedBudget)
+{
+    // Every slice crashes (SIGKILL, no output) on attempts 0 and 1, then
+    // publishes on attempt 2 — inside the 5-attempt budget.
+    Rig rig{"crash"};
+    rig.install_worker("if [ $3 -lt 2 ]; then kill -9 $$; fi");
+    const Farm_report r = run_farm(rig.config(12, 3, 4));
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(r.attempts, 12u); // 4 slices x 3 attempts
+    EXPECT_EQ(r.retries, 8u);
+    EXPECT_EQ(rig.read("merged_points.json"), expected_merged(12));
+}
+
+TEST(Farm, AttemptBudgetExhaustionFailsWithCoverageReport)
+{
+    Rig rig{"budget"};
+    rig.install_worker("exit 9"); // deterministic failure, every attempt
+    Farm_config cfg = rig.config(12, 6, 2);
+    cfg.retry = Retry_policy{2, 5};
+    const Farm_report r = run_farm(cfg);
+    EXPECT_FALSE(r.success);
+    EXPECT_NE(r.error.find("failed 2 attempts"), std::string::npos)
+        << r.error;
+    EXPECT_NE(r.error.find("exit code 9"), std::string::npos) << r.error;
+    EXPECT_NE(r.coverage.find("missing"), std::string::npos) << r.coverage;
+    EXPECT_TRUE(rig.read("merged_points.json").empty());
+}
+
+TEST(Farm, InvalidRequestAbortsWithoutBurningRetries)
+{
+    // Exit 1 = invalid request by the worker contract: a configuration
+    // error cannot resolve by retrying, so the farm aborts on the spot.
+    Rig rig{"fatal"};
+    rig.install_worker("exit 1");
+    const Farm_report r = run_farm(rig.config(12, 3, 2));
+    EXPECT_FALSE(r.success);
+    EXPECT_NE(r.error.find("invalid request"), std::string::npos)
+        << r.error;
+    EXPECT_LE(r.attempts, 2u); // no retry storm
+}
+
+TEST(Farm, HangDetectedByStaleHeartbeatAndRetried)
+{
+    // Attempt 0 heartbeats once and wedges (exec sleep keeps the pid);
+    // the watchdog must kill it and attempt 1 publishes.
+    Rig rig{"hang"};
+    rig.install_worker(
+        "if [ $3 -eq 0 ]; then echo 0 > $5; exec sleep 30; fi", 3);
+    Farm_config cfg = rig.config(3, 3, 2);
+    cfg.heartbeat_timeout_s = 0.3;
+    const Farm_report r = run_farm(cfg);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(r.hangs_detected, 1u);
+    EXPECT_EQ(r.attempts, 2u);
+    EXPECT_EQ(rig.read("merged_points.json"), expected_merged(3));
+}
+
+TEST(Farm, StragglerRedispatchFirstCompletionWins)
+{
+    // Attempt 0 stays HEALTHY (heartbeats continuously) but dawdles far
+    // past the straggler threshold without publishing; with an idle
+    // worker available the farm must re-dispatch the slice, let attempt 1
+    // publish, and kill the dawdler — not wait for it and not call it
+    // hung.
+    Rig rig{"straggler"};
+    rig.install_worker("if [ $3 -eq 0 ]; then\n"
+                       "  i=0\n"
+                       "  while [ $i -lt 200 ]; do\n"
+                       "    echo $i > $5\n"
+                       "    i=$((i + 1))\n"
+                       "    sleep 0.05\n"
+                       "  done\n"
+                       "  exit 9\n"
+                       "fi",
+                       3);
+    Farm_config cfg = rig.config(3, 3, 2);
+    cfg.straggler_after_s = 0.25;
+    cfg.heartbeat_timeout_s = 30.0; // liveness is not the issue here
+    const Farm_report r = run_farm(cfg);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_GE(r.stragglers_redispatched, 1u);
+    EXPECT_GE(r.duplicates_cancelled, 1u);
+    EXPECT_EQ(r.hangs_detected, 0u);
+    EXPECT_LT(r.wall_seconds, 8.0); // did not wait out the dawdler
+    EXPECT_EQ(rig.read("merged_points.json"), expected_merged(3));
+}
+
+TEST(Farm, ResumeTrustsPublishedIgnoresTornTmpRerunsGaps)
+{
+    // The crash-mid-write matrix after a hard orchestrator kill:
+    //   [0..3)  published slice            -> trusted, NOT re-run
+    //   [3..6)  published slice            -> trusted, NOT re-run
+    //   [6..9)  torn tmp (crash mid-write) -> ignored + swept, re-run
+    //   [9..12) damaged file under the published name (non-atomic
+    //           transport) -> invalid, re-run
+    Rig rig{"resume"};
+    rig.install_worker("touch $4/ran_$1");
+    rig.write(slice_file_name(0, 3), slice_doc(0, 3, 12));
+    rig.write(slice_file_name(3, 6), slice_doc(3, 6, 12));
+    rig.write(slice_file_name(6, 9) + ".tmp.4242",
+              slice_doc(6, 9, 12).substr(0, 40));
+    rig.write(slice_file_name(9, 12),
+              slice_doc(9, 12, 12).substr(0, 60)); // truncated document
+    Farm_config cfg = rig.config(12, 3, 4);
+    cfg.resume = true;
+    const Farm_report r = run_farm(cfg);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(r.resumed_trusted, 2u);
+    EXPECT_EQ(r.resumed_invalid, 1u);
+    EXPECT_EQ(r.tmp_ignored, 1u);
+    EXPECT_EQ(r.attempts, 2u); // only the two gaps ran
+    EXPECT_FALSE(std::ifstream{rig.dir + "/ran_0"}.good());
+    EXPECT_FALSE(std::ifstream{rig.dir + "/ran_3"}.good());
+    EXPECT_TRUE(std::ifstream{rig.dir + "/ran_6"}.good());
+    EXPECT_TRUE(std::ifstream{rig.dir + "/ran_9"}.good());
+    // The resumed merge is byte-identical to an uninterrupted full run.
+    EXPECT_EQ(rig.read("merged_points.json"), expected_merged(12));
+}
+
+TEST(Farm, ResumeRejectsForeignSlices)
+{
+    // A slice from a different protocol (wrong budget) under the right
+    // file name must be re-run, not folded in.
+    Rig rig{"foreign"};
+    rig.install_worker("touch $4/ran_$1", 6);
+    std::string foreign = slice_doc(0, 3, 6);
+    const auto at = foreign.find("w1-m1");
+    foreign.replace(at, 5, "w9-m9");
+    rig.write(slice_file_name(0, 3), foreign);
+    rig.write(slice_file_name(3, 6), slice_doc(3, 6, 6));
+    Farm_config cfg = rig.config(6, 3, 2);
+    cfg.resume = true;
+    cfg.expect_spec = "unit";
+    cfg.expect_budget = "w1-m1";
+    const Farm_report r = run_farm(cfg);
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(r.resumed_trusted, 1u);
+    EXPECT_EQ(r.resumed_invalid, 1u);
+    EXPECT_TRUE(std::ifstream{rig.dir + "/ran_0"}.good());
+    EXPECT_FALSE(std::ifstream{rig.dir + "/ran_3"}.good());
+    EXPECT_EQ(rig.read("merged_points.json"), expected_merged(6));
+}
+
+TEST(Farm, FreshRunClearsStaleArtifacts)
+{
+    // Without --resume, results from an earlier run are stale by
+    // definition: every slice re-runs and pre-existing files are removed
+    // first (a stale slice under a published name must not short-circuit
+    // the exit-0 verification).
+    Rig rig{"fresh"};
+    rig.install_worker("touch $4/ran_$1");
+    // Stale content that would be DETECTABLY wrong if trusted.
+    std::string stale = slice_doc(0, 3, 12);
+    rig.write(slice_file_name(0, 3), stale);
+    const Farm_report r = run_farm(rig.config(12, 3, 2));
+    ASSERT_TRUE(r.success) << r.error;
+    EXPECT_EQ(r.resumed_trusted, 0u);
+    EXPECT_EQ(r.attempts, 4u);
+    EXPECT_TRUE(std::ifstream{rig.dir + "/ran_0"}.good());
+    EXPECT_EQ(rig.read("merged_points.json"), expected_merged(12));
+}
+
+TEST(FarmCheckpoint, ValidateSliceFileNamesEveryDefect)
+{
+    const std::string good = slice_doc(3, 6, 12);
+    EXPECT_EQ(validate_slice_file("s.json", good, 3, 6, 12, "unit",
+                                  "w1-m1"),
+              "");
+    // Wrong range header.
+    EXPECT_NE(validate_slice_file("s.json", good, 6, 9, 12, "", ""), "");
+    // Wrong grid.
+    EXPECT_NE(validate_slice_file("s.json", good, 3, 6, 24, "", ""), "");
+    // Wrong fingerprints.
+    EXPECT_NE(
+        validate_slice_file("s.json", good, 3, 6, 12, "other", "w1-m1"),
+        "");
+    EXPECT_NE(
+        validate_slice_file("s.json", good, 3, 6, 12, "unit", "w2-m2"),
+        "");
+    // Truncated document.
+    EXPECT_NE(validate_slice_file("s.json", good.substr(0, 50), 3, 6, 12,
+                                  "", ""),
+              "");
+}
+
+} // namespace
+} // namespace noc

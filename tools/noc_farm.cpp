@@ -1,0 +1,290 @@
+// noc_farm — fault-tolerant sweep farm driver (src/farm/orchestrator.h).
+//
+// Shards the bench_sweep acceptance spec's point grid into slices, runs
+// each slice in a crash-isolated `bench_sweep --points a..b` worker
+// process, survives worker crashes / hangs / torn writes (retry with
+// exponential backoff, heartbeat hang detection, straggler re-dispatch,
+// atomic publication), and reassembles the merged point set — byte-
+// identical to a fault-free single-process `bench_sweep --points 0..N`
+// run, which is the acceptance check CI performs with `cmp`.
+//
+//   ./noc_farm --smoke --workers 4 --out-dir farm_out \
+//              --chaos kill=0.3,hang=0.2,torn=0.2
+//   ./noc_farm --resume farm_out        # after an orchestrator crash:
+//                                       # trusts validated slices, re-runs
+//                                       # only the gaps
+//
+// `--ref FILE` compares the merged bytes against FILE (the single-process
+// run's output) and fails the verdict on any difference. `--bench PATH`
+// records the farm's robustness figures (wall time, retries, stragglers,
+// chaos survival) for cross-PR trending — BENCH_farm.json at the repo
+// root is committed from a fault-free full run plus a chaos smoke check.
+#include "explore/slice_io.h"
+#include "farm/orchestrator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace noc;
+
+namespace {
+
+bool read_whole(const std::string& path, std::string& out)
+{
+    std::ifstream in{path, std::ios::binary};
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>{in},
+               std::istreambuf_iterator<char>{});
+    return true;
+}
+
+/// Ask the worker binary for the grid size and protocol fingerprints
+/// (`bench_sweep --grid-total`): the farm sizes its slices from the
+/// worker's own answer, so the two can never disagree about the grid.
+bool probe_worker(const std::string& worker_bin, bool smoke,
+                  std::uint32_t& total, std::string& spec,
+                  std::string& budget)
+{
+    const std::string cmd =
+        worker_bin + (smoke ? " --smoke" : "") + " --grid-total";
+    std::FILE* p = ::popen(cmd.c_str(), "r");
+    if (p == nullptr) return false;
+    char line[512] = {0};
+    const bool got = std::fgets(line, sizeof line, p) != nullptr;
+    const int rc = ::pclose(p);
+    if (!got || rc != 0) return false;
+    char spec_buf[256] = {0};
+    char budget_buf[128] = {0};
+    unsigned long t = 0;
+    if (std::sscanf(line, "%lu %255s %127s", &t, spec_buf, budget_buf) != 3)
+        return false;
+    total = static_cast<std::uint32_t>(t);
+    spec = spec_buf;
+    budget = budget_buf;
+    return total > 0;
+}
+
+int fail_usage(const char* why)
+{
+    std::fprintf(
+        stderr,
+        "noc_farm: %s\n"
+        "usage: noc_farm [--smoke] [--workers N] [--slice-points K]\n"
+        "                [--out-dir DIR | --resume DIR]\n"
+        "                [--worker-bin PATH]\n"
+        "                [--chaos kill=p,hang=p,torn=p[,seed=s][,cap=n]]\n"
+        "                [--retries N] [--backoff-ms B]\n"
+        "                [--heartbeat-timeout-ms T] [--straggler-after-ms S]\n"
+        "                [--max-wall-s W] [--merged PATH] [--ref FILE]\n"
+        "                [--bench PATH] [--quiet]\n",
+        why);
+    return 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    Farm_config cfg;
+    bool smoke = false;
+    std::string worker_bin = "./bench_sweep";
+    std::string ref_path;
+    std::string bench_path;
+    cfg.out_dir = "farm_out";
+    cfg.workers = 4;
+    cfg.slice_points = 3;
+    cfg.retry = Retry_policy{6, 100};
+    cfg.heartbeat_timeout_s = 5.0;
+    cfg.poll_interval_s = 0.01;
+    cfg.straggler_after_s = 20.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const auto arg = [&](const char* name) {
+            return std::strcmp(argv[i], name) == 0;
+        };
+        const auto value = [&]() -> const char* {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg("--smoke")) {
+            smoke = true;
+        } else if (arg("--workers")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--workers needs a count");
+            cfg.workers = static_cast<std::uint32_t>(std::atoi(v));
+        } else if (arg("--slice-points")) {
+            const char* v = value();
+            if (v == nullptr)
+                return fail_usage("--slice-points needs a count");
+            cfg.slice_points = static_cast<std::uint32_t>(std::atoi(v));
+        } else if (arg("--out-dir")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--out-dir needs a path");
+            cfg.out_dir = v;
+        } else if (arg("--resume")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--resume needs a dir");
+            cfg.out_dir = v;
+            cfg.resume = true;
+        } else if (arg("--worker-bin")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--worker-bin needs a path");
+            worker_bin = v;
+        } else if (arg("--chaos")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--chaos needs a spec");
+            const std::string err = parse_chaos_spec(v, cfg.chaos);
+            if (!err.empty()) return fail_usage(err.c_str());
+        } else if (arg("--retries")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--retries needs a count");
+            cfg.retry.max_attempts =
+                static_cast<std::uint32_t>(std::atoi(v));
+        } else if (arg("--backoff-ms")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--backoff-ms needs ms");
+            cfg.retry.backoff_ms = static_cast<std::uint32_t>(std::atoi(v));
+        } else if (arg("--heartbeat-timeout-ms")) {
+            const char* v = value();
+            if (v == nullptr)
+                return fail_usage("--heartbeat-timeout-ms needs ms");
+            cfg.heartbeat_timeout_s = std::atoi(v) / 1000.0;
+        } else if (arg("--straggler-after-ms")) {
+            const char* v = value();
+            if (v == nullptr)
+                return fail_usage("--straggler-after-ms needs ms");
+            cfg.straggler_after_s = std::atoi(v) / 1000.0;
+        } else if (arg("--max-wall-s")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--max-wall-s needs secs");
+            cfg.max_wall_s = std::atof(v);
+        } else if (arg("--merged")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--merged needs a path");
+            cfg.merged_path = v;
+        } else if (arg("--ref")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--ref needs a file");
+            ref_path = v;
+        } else if (arg("--bench")) {
+            const char* v = value();
+            if (v == nullptr) return fail_usage("--bench needs a path");
+            bench_path = v;
+        } else if (arg("--quiet")) {
+            cfg.quiet = true;
+        } else {
+            return fail_usage(
+                (std::string{"unknown argument "} + argv[i]).c_str());
+        }
+    }
+
+    std::uint32_t total = 0;
+    if (!probe_worker(worker_bin, smoke, total, cfg.expect_spec,
+                      cfg.expect_budget)) {
+        std::fprintf(stderr,
+                     "noc_farm: cannot probe worker '%s --grid-total' — "
+                     "is the worker binary next to noc_farm?\n",
+                     worker_bin.c_str());
+        return 1;
+    }
+    cfg.total_points = total;
+    cfg.worker_argv = {worker_bin};
+    if (smoke) cfg.worker_argv.push_back("--smoke");
+    for (const char* a : {"--points", "{begin}..{end}", "--slice-dir",
+                          "{dir}", "--heartbeat", "{heartbeat}",
+                          "--chaos-act", "{chaos}"})
+        cfg.worker_argv.emplace_back(a);
+
+    std::printf("noc_farm: %u points, %u-point slices, %u workers, "
+                "retry budget %u (backoff %ums), chaos kill=%.2f "
+                "hang=%.2f torn=%.2f%s\n",
+                cfg.total_points, cfg.slice_points, cfg.workers,
+                cfg.retry.max_attempts, cfg.retry.backoff_ms,
+                cfg.chaos.p_kill, cfg.chaos.p_hang, cfg.chaos.p_torn,
+                cfg.resume ? " [RESUME]" : "");
+
+    const Farm_report r = run_farm(cfg);
+
+    std::printf(
+        "\nfarm: %s in %.2fs\n"
+        "  slices %u/%u published, %u attempts (%u retries, %u straggler "
+        "re-dispatches, %u duplicates cancelled)\n"
+        "  failures survived: %u hangs detected; chaos injected: %u kill, "
+        "%u hang, %u torn\n"
+        "  checkpoint: %u slices trusted on resume, %u invalid re-run, %u "
+        "tmp/beat files swept, %u duplicate records deduped\n",
+        r.success ? "COMPLETE" : ("FAILED — " + r.error).c_str(),
+        r.wall_seconds, r.published, r.slices, r.attempts, r.retries,
+        r.stragglers_redispatched, r.duplicates_cancelled,
+        r.hangs_detected, r.chaos_killed, r.chaos_hung, r.chaos_torn,
+        r.resumed_trusted, r.resumed_invalid, r.tmp_ignored,
+        static_cast<std::uint32_t>(r.duplicate_records));
+    if (!r.coverage.empty()) std::printf("  %s\n", r.coverage.c_str());
+
+    bool ref_identical = true;
+    if (r.success && !ref_path.empty()) {
+        std::string merged, ref;
+        ref_identical = read_whole(r.merged_path, merged) &&
+                        read_whole(ref_path, ref) && merged == ref;
+        std::printf("  merged vs %s: %s\n", ref_path.c_str(),
+                    ref_identical ? "byte-identical"
+                                  : "DIFFERENT (determinism violation)");
+    }
+
+    const bool ok = r.success && ref_identical;
+    if (!bench_path.empty()) {
+        std::string json =
+            "{\n  \"bench\": \"farm\",\n  \"smoke\": " +
+            std::string{smoke ? "true" : "false"} +
+            ",\n  \"total_points\": " + std::to_string(cfg.total_points) +
+            ",\n  \"slice_points\": " + std::to_string(cfg.slice_points) +
+            ",\n  \"workers\": " + std::to_string(cfg.workers) +
+            ",\n  \"hardware_threads\": " +
+            std::to_string(std::thread::hardware_concurrency()) +
+            ",\n  \"retry_max_attempts\": " +
+            std::to_string(cfg.retry.max_attempts) +
+            ",\n  \"retry_backoff_ms\": " +
+            std::to_string(cfg.retry.backoff_ms) +
+            ",\n  \"chaos\": {\"kill\": " + shortest_double(cfg.chaos.p_kill) +
+            ", \"hang\": " + shortest_double(cfg.chaos.p_hang) +
+            ", \"torn\": " + shortest_double(cfg.chaos.p_torn) +
+            ", \"seed\": " + std::to_string(cfg.chaos.seed) +
+            ", \"attempt_cap\": " + std::to_string(cfg.chaos.attempt_cap) +
+            "},\n  \"chaos_injected\": {\"kill\": " +
+            std::to_string(r.chaos_killed) +
+            ", \"hang\": " + std::to_string(r.chaos_hung) +
+            ", \"torn\": " + std::to_string(r.chaos_torn) +
+            "},\n  \"slices\": " + std::to_string(r.slices) +
+            ",\n  \"attempts\": " + std::to_string(r.attempts) +
+            ",\n  \"retries\": " + std::to_string(r.retries) +
+            ",\n  \"hangs_detected\": " + std::to_string(r.hangs_detected) +
+            ",\n  \"stragglers_redispatched\": " +
+            std::to_string(r.stragglers_redispatched) +
+            ",\n  \"duplicates_cancelled\": " +
+            std::to_string(r.duplicates_cancelled) +
+            ",\n  \"resumed_trusted\": " +
+            std::to_string(r.resumed_trusted) +
+            ",\n  \"tmp_ignored\": " + std::to_string(r.tmp_ignored) +
+            ",\n  \"wall_seconds\": " + shortest_double(r.wall_seconds) +
+            ",\n  \"merged_identical_to_ref\": " +
+            (ref_path.empty() ? "null"
+                              : (ref_identical ? "true" : "false")) +
+            ",\n  \"chaos_survived\": " +
+            (cfg.chaos.any() && ok ? "true"
+                                   : (cfg.chaos.any() ? "false" : "null")) +
+            ",\n  \"success\": " + (ok ? "true" : "false") + "\n}\n";
+        const std::string err = write_file_atomic(bench_path, json);
+        if (err.empty()) std::printf("wrote %s\n", bench_path.c_str());
+        else std::fprintf(stderr, "%s\n", err.c_str());
+    }
+
+    std::printf("\n[%s] %s\n", ok ? "SHAPE-OK" : "SHAPE-MISMATCH",
+                ok ? "farm completed; merged result verified"
+                   : "farm did not converge to a verified merged result");
+    return ok ? 0 : 1;
+}
