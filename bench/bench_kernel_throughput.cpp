@@ -36,6 +36,7 @@
 #include "bench_util.h"
 
 #include "arch/noc_builder.h"
+#include "telemetry/registry.h"
 #include "topology/routing.h"
 #include "traffic/experiment.h"
 
@@ -74,7 +75,20 @@ struct Mode_result {
     std::uint64_t packets_delivered = 0;
     double packet_latency_mean = 0.0;
     std::uint32_t pool_high_water = 0;
+    // Kernel scheduling counters, read through the telemetry registry
+    // (telemetry/registry.h) — how each schedule earned its speed. NOT in
+    // any bit-identity check: schedules legitimately skip differently.
+    std::uint64_t idle_shard_skips = 0;   // sharded: whole-shard idle skips
+    std::uint64_t skip_ahead_regions = 0; // gated/sharded quiet regions
+    std::uint64_t skip_ahead_cycles = 0;  // cycles those regions covered
+    std::uint64_t cross_shard_wakes = 0;  // sharded: mailbox wake messages
 };
+
+std::uint64_t reg_read(const Telemetry_registry& reg, const char* name)
+{
+    const std::size_t i = reg.find(name);
+    return i == Telemetry_registry::npos ? 0 : reg.read(i);
+}
 
 Mesh_params mesh_params()
 {
@@ -129,6 +143,12 @@ Mode_result run_mode(const Topology& topo, const Route_set& routes,
     r.packets_delivered = sys->stats().packets_delivered();
     r.packet_latency_mean = sys->stats().packet_latency().mean();
     r.pool_high_water = sys->flit_pool().high_water();
+    Telemetry_registry reg;
+    sys->attach_telemetry(reg);
+    r.idle_shard_skips = reg_read(reg, "kernel.idle_shard_skips");
+    r.skip_ahead_regions = reg_read(reg, "kernel.skip_ahead_regions");
+    r.skip_ahead_cycles = reg_read(reg, "kernel.skip_ahead_cycles");
+    r.cross_shard_wakes = reg_read(reg, "kernel.cross_shard_wakes");
     return r;
 }
 
@@ -152,10 +172,12 @@ bool run_threads_sweep(int mesh_w, int mesh_h, const Bench_budget& budget,
     std::printf("\n%dx%d mesh, rate %.2f (saturation), %u hw threads:\n",
                 mesh_w, mesh_h, kSaturationRate,
                 std::thread::hardware_concurrency());
-    std::printf("%-8s %13s %15s %9s %9s %9s\n", "threads", "cyc/s",
-                "flit-hops/s", "vs gated", "vs 1-thr", "identical");
-    std::printf("%-8s %13.3e %15.3e %9s %9s %9s\n", "gated",
-                gated.cycles_per_sec, gated.flit_hops_per_sec, "-", "-", "-");
+    std::printf("%-8s %13s %15s %9s %9s %10s %10s %9s\n", "threads",
+                "cyc/s", "flit-hops/s", "vs gated", "vs 1-thr",
+                "idle-skips", "x-wakes", "identical");
+    std::printf("%-8s %13.3e %15.3e %9s %9s %10s %10s %9s\n", "gated",
+                gated.cycles_per_sec, gated.flit_hops_per_sec, "-", "-",
+                "-", "-", "-");
 
     bool all_identical = true;
     double base_1thread = 0.0;
@@ -173,17 +195,26 @@ bool run_threads_sweep(int mesh_w, int mesh_h, const Bench_budget& budget,
         if (threads == 1) base_1thread = r.flit_hops_per_sec;
         const double vs_gated = r.flit_hops_per_sec / gated.flit_hops_per_sec;
         const double vs_1 = r.flit_hops_per_sec / base_1thread;
-        std::printf("%-8u %13.3e %15.3e %8.2fx %8.2fx %9s\n", threads,
-                    r.cycles_per_sec, r.flit_hops_per_sec, vs_gated, vs_1,
+        std::printf("%-8u %13.3e %15.3e %8.2fx %8.2fx %10llu %10llu %9s\n",
+                    threads, r.cycles_per_sec, r.flit_hops_per_sec,
+                    vs_gated, vs_1,
+                    static_cast<unsigned long long>(r.idle_shard_skips),
+                    static_cast<unsigned long long>(r.cross_shard_wakes),
                     identical ? "yes" : "NO");
-        char buf[512];
+        char buf[640];
         std::snprintf(
             buf, sizeof buf,
             "    {\"mesh\": \"%dx%d\", \"threads\": %u, \"rate\": %.2f, "
             "\"flit_hops_per_sec\": %.1f, \"speedup_vs_gated\": %.3f, "
-            "\"speedup_vs_1_thread\": %.3f, \"bit_identical\": %s}%s\n",
+            "\"speedup_vs_1_thread\": %.3f, \"idle_shard_skips\": %llu, "
+            "\"skip_ahead_cycles\": %llu, \"cross_shard_wakes\": %llu, "
+            "\"bit_identical\": %s}%s\n",
             mesh_w, mesh_h, threads, kSaturationRate, r.flit_hops_per_sec,
-            vs_gated, vs_1, identical ? "true" : "false",
+            vs_gated, vs_1,
+            static_cast<unsigned long long>(r.idle_shard_skips),
+            static_cast<unsigned long long>(r.skip_ahead_cycles),
+            static_cast<unsigned long long>(r.cross_shard_wakes),
+            identical ? "true" : "false",
             (last_mesh && i + 1 == std::size(threads_sweep)) ? "" : ",");
         json += buf;
     }
@@ -337,17 +368,23 @@ bool run_figure(const Bench_budget& budget)
                     ref.cycles_per_sec, gated.cycles_per_sec, speedup,
                     gated.flit_hops_per_sec, gated.pool_high_water,
                     identical ? "yes" : "NO");
-        char buf[512];
+        char buf[640];
         std::snprintf(
             buf, sizeof buf,
             "    {\"rate\": %.2f, \"ref_cycles_per_sec\": %.1f, "
             "\"gated_cycles_per_sec\": %.1f, \"speedup\": %.3f, "
             "\"gated_flit_hops_per_sec\": %.1f, \"flit_hops\": %llu, "
-            "\"pool_high_water\": %u, \"bit_identical\": %s}%s\n",
+            "\"pool_high_water\": %u, "
+            "\"gated_skip_ahead_regions\": %llu, "
+            "\"gated_skip_ahead_cycles\": %llu, "
+            "\"bit_identical\": %s}%s\n",
             rate, ref.cycles_per_sec, gated.cycles_per_sec, speedup,
             gated.flit_hops_per_sec,
             static_cast<unsigned long long>(gated.flit_hops),
-            gated.pool_high_water, identical ? "true" : "false",
+            gated.pool_high_water,
+            static_cast<unsigned long long>(gated.skip_ahead_regions),
+            static_cast<unsigned long long>(gated.skip_ahead_cycles),
+            identical ? "true" : "false",
             i + 1 < std::size(kRates) ? "," : "");
         json += buf;
     }

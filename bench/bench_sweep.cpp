@@ -60,6 +60,13 @@
 //   --grid-total        Probe mode: print "<points> <spec> <budget>" for
 //                       the acceptance spec and exit — the farm uses it to
 //                       size its slices and pin resume fingerprints.
+//   --telemetry-dir D   (points mode) Attach the live telemetry registry +
+//                       async sampler (src/telemetry) to every point,
+//                       sampling each 64 cycles into D/point_<seed>.noct
+//                       for live viewing with tools/noc_top. Samples go to
+//                       that side stream ONLY: the published slice bytes
+//                       are identical with or without this flag, and CI
+//                       gates on exactly that with cmp.
 //
 // Exit codes: 0 = slice published; 1 = invalid request (NOT retryable —
 // the farm aborts); anything else, or death by signal = transient failure
@@ -86,6 +93,7 @@
 #include <vector>
 
 #include <signal.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 using namespace noc;
@@ -123,18 +131,32 @@ Sweep_spec acceptance_spec(bool smoke)
 /// Heartbeat writer for farm-supervised runs: rewrites `path` with an
 /// incrementing counter until stopped. The orchestrator watches for
 /// CHANGING content, not timestamps, so coarse filesystem clocks cannot
-/// fake liveness.
+/// fake liveness. With a progress counter attached the content is the
+/// extended "beat done total" format — the orchestrator parses it into
+/// live per-slice progress lines, and heartbeats without it still satisfy
+/// the watchdog (liveness needs only changing bytes).
 class Heartbeat {
 public:
-    explicit Heartbeat(std::string path) : path_(std::move(path))
+    explicit Heartbeat(std::string path,
+                       const std::atomic<std::uint32_t>* done = nullptr,
+                       std::uint32_t total = 0)
+        : path_(std::move(path)), done_(done), total_(total)
     {
         if (path_.empty()) return;
         thread_ = std::thread{[this] {
             std::uint64_t beat = 0;
             while (!stop_.load(std::memory_order_relaxed)) {
                 if (std::FILE* f = std::fopen(path_.c_str(), "w")) {
-                    std::fprintf(f, "%llu\n",
-                                 static_cast<unsigned long long>(beat++));
+                    if (done_ != nullptr)
+                        std::fprintf(
+                            f, "%llu %u %u\n",
+                            static_cast<unsigned long long>(beat++),
+                            done_->load(std::memory_order_relaxed),
+                            total_);
+                    else
+                        std::fprintf(f, "%llu\n",
+                                     static_cast<unsigned long long>(
+                                         beat++));
                     std::fclose(f);
                 }
                 std::this_thread::sleep_for(
@@ -150,6 +172,8 @@ public:
 
 private:
     std::string path_;
+    const std::atomic<std::uint32_t>* done_;
+    std::uint32_t total_;
     std::atomic<bool> stop_{false};
     std::thread thread_;
 };
@@ -162,7 +186,8 @@ private:
 int run_points_slice(bool smoke, std::uint32_t a, std::uint32_t b,
                      const std::string& slice_dir,
                      const std::string& heartbeat_path,
-                     const std::string& chaos_act)
+                     const std::string& chaos_act,
+                     const std::string& telemetry_dir)
 {
     // Chaos `kill`: crash before any output exists — the pure worker-loss
     // case the farm's retry path must absorb.
@@ -194,8 +219,23 @@ int run_points_slice(bool smoke, std::uint32_t a, std::uint32_t b,
         for (;;) std::this_thread::sleep_for(std::chrono::hours{1});
     }
 
-    const Heartbeat heartbeat{heartbeat_path};
-    const Sweep_result result = run_sweep_slice(spec, {a, b}, 1);
+    // Live telemetry (CI's sampled-vs-unsampled gate, tools/noc_top):
+    // sampling goes to side streams under telemetry_dir only, so the slice
+    // bytes below must be identical with or without it.
+    if (!telemetry_dir.empty()) {
+        ::mkdir(telemetry_dir.c_str(), 0755); // EEXIST is fine
+        spec.base.telemetry_period = 64;
+        spec.base.telemetry_dir = telemetry_dir;
+    }
+
+    // Extended heartbeat: the runner's point-done hook streams per-slice
+    // progress to the orchestrator through the liveness file.
+    std::atomic<std::uint32_t> done{0};
+    const Heartbeat heartbeat{heartbeat_path, &done, b - a};
+    Sweep_runner runner{1};
+    runner.set_point_done_hook(
+        [&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    const Sweep_result result = runner.run(spec, {a, b});
 
     std::vector<std::string> records;
     std::map<std::uint32_t, std::string> by_index;
@@ -287,11 +327,14 @@ int main(int argc, char** argv)
     std::string slice_dir;
     std::string heartbeat_path;
     std::string chaos_act = "none";
+    std::string telemetry_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
         if (std::strcmp(argv[i], "--grid-total") == 0) grid_total = true;
         if (std::strcmp(argv[i], "--slice-dir") == 0 && i + 1 < argc)
             slice_dir = argv[i + 1];
+        if (std::strcmp(argv[i], "--telemetry-dir") == 0 && i + 1 < argc)
+            telemetry_dir = argv[i + 1];
         if (std::strcmp(argv[i], "--heartbeat") == 0 && i + 1 < argc)
             heartbeat_path = argv[i + 1];
         if (std::strcmp(argv[i], "--chaos-act") == 0 && i + 1 < argc)
@@ -339,7 +382,7 @@ int main(int argc, char** argv)
     }
     if (points_mode)
         return run_points_slice(smoke, points_a, points_b, slice_dir,
-                                heartbeat_path, chaos_act);
+                                heartbeat_path, chaos_act, telemetry_dir);
 
     bench::print_banner(
         "E1 / §6 — design-space sweep engine: system-per-thread scaling",
@@ -356,6 +399,32 @@ int main(int argc, char** argv)
 
     const bool identical = serial.to_json() == threaded.to_json() &&
                            serial.to_csv() == threaded.to_csv();
+
+    // Live-saturation early-stop leg: the same grid with
+    // Sweep_config::early_stop_check armed. Saturated points cut their
+    // measurement window short the moment mean latency crosses the cap
+    // while still rising; the decision is deterministic, so 1 worker and
+    // N workers must stay byte-identical, and the cycles actually
+    // measured (vs the full window) are the savings ledger.
+    Sweep_spec es_spec = acceptance_spec(smoke);
+    es_spec.search_saturation = false;
+    es_spec.base.early_stop_check = smoke ? 200 : 500;
+    const Sweep_result es_serial = run_sweep(es_spec, 1);
+    const Sweep_result es_threaded = run_sweep(es_spec, threaded_workers);
+    const bool es_identical =
+        es_serial.to_json() == es_threaded.to_json() &&
+        es_serial.to_csv() == es_threaded.to_csv();
+    std::uint64_t es_points = 0;
+    std::uint64_t es_stopped = 0;
+    std::uint64_t es_measured_cycles = 0;
+    for (const auto& c : es_serial.curves)
+        for (const auto& p : c.points)
+            if (p.error.empty() && !p.skipped) {
+                ++es_points;
+                es_measured_cycles += p.load.measured_cycles;
+                if (p.load.early_stopped) ++es_stopped;
+            }
+    const std::uint64_t es_full_cycles = es_points * es_spec.base.measure;
     bool all_ran = true;
     for (const auto& c : serial.curves)
         for (const auto& p : c.points) all_ran = all_ran && p.error.empty();
@@ -372,6 +441,20 @@ int main(int argc, char** argv)
     std::printf("speedup %.2fx on %u hardware threads, byte-identical: %s\n",
                 speedup, std::thread::hardware_concurrency(),
                 identical ? "yes" : "NO");
+    std::printf("early-stop leg (check every %llu cycles): %llu/%llu points "
+                "stopped early, %llu of %llu measure cycles simulated "
+                "(%.1f%% saved), byte-identical 1 vs %u workers: %s\n",
+                static_cast<unsigned long long>(
+                    es_spec.base.early_stop_check),
+                static_cast<unsigned long long>(es_stopped),
+                static_cast<unsigned long long>(es_points),
+                static_cast<unsigned long long>(es_measured_cycles),
+                static_cast<unsigned long long>(es_full_cycles),
+                es_full_cycles > 0
+                    ? 100.0 * (1.0 - static_cast<double>(es_measured_cycles) /
+                                         static_cast<double>(es_full_cycles))
+                    : 0.0,
+                threaded_workers, es_identical ? "yes" : "NO");
 
     // BENCH_sweep.json: headline per-curve figures (from the serial run —
     // the threaded one is byte-identical or we fail) + the scaling record.
@@ -398,15 +481,25 @@ int main(int argc, char** argv)
                       i + 1 < serial.curves.size() ? "," : "");
         json += buf;
     }
-    char tail[256];
+    char tail[640];
     std::snprintf(tail, sizeof tail,
-                  "  ],\n  \"serial_wall_seconds\": %.3f,\n"
+                  "  ],\n  \"early_stop\": {\"check_cycles\": %llu, "
+                  "\"points\": %llu, \"early_stopped\": %llu, "
+                  "\"measured_cycles\": %llu, \"full_cycles\": %llu, "
+                  "\"byte_identical\": %s},\n"
+                  "  \"serial_wall_seconds\": %.3f,\n"
                   "  \"threaded_workers\": %u,\n"
                   "  \"threaded_wall_seconds\": %.3f,\n"
                   "  \"speedup_vs_1_worker\": %.3f,\n"
                   "  \"byte_identical\": %s\n}\n",
-                  serial.wall_seconds, threaded.worker_threads,
-                  threaded.wall_seconds, speedup,
+                  static_cast<unsigned long long>(
+                      es_spec.base.early_stop_check),
+                  static_cast<unsigned long long>(es_points),
+                  static_cast<unsigned long long>(es_stopped),
+                  static_cast<unsigned long long>(es_measured_cycles),
+                  static_cast<unsigned long long>(es_full_cycles),
+                  es_identical ? "true" : "false", serial.wall_seconds,
+                  threaded.worker_threads, threaded.wall_seconds, speedup,
                   identical ? "true" : "false");
     json += tail;
     if (std::FILE* f = std::fopen("BENCH_sweep.json", "w")) {
@@ -416,12 +509,13 @@ int main(int argc, char** argv)
     }
 
     bench::print_verdict(
-        identical && all_ran,
+        identical && all_ran && es_identical,
         "sweep of " +
             std::to_string(spec.curve_count() * spec.loads.size()) +
             " points byte-identical between 1 and " +
             std::to_string(threaded_workers) +
-            " worker threads; speedup recorded (meaningful only with >= " +
+            " worker threads (early-stop leg included); speedup recorded "
+            "(meaningful only with >= " +
             std::to_string(threaded_workers) + " hardware threads)");
-    return identical && all_ran ? 0 : 1;
+    return identical && all_ran && es_identical ? 0 : 1;
 }

@@ -13,6 +13,9 @@
 #include "arch/noc_builder.h"
 #include "arch/probe.h"
 #include "common/table.h"
+#include "telemetry/heatmap.h"
+#include "telemetry/registry.h"
+#include "telemetry/sampler.h"
 #include "topology/deadlock.h"
 #include "topology/routing.h"
 #include "traffic/experiment.h"
@@ -41,8 +44,9 @@ int main()
     //    every knob — kernel schedule, shard Partition_plan, partial-route
     //    policy, pool sizing, observability probes. Here: defaults (the
     //    activity-gated sequential kernel) plus a Trace_probe, the
-    //    per-shard ring-buffer flight recorder of 4-byte Flit_ref hop
-    //    records (see arch/probe.h). A large mesh would add
+    //    per-shard ring-buffer flight recorder of 16-byte Hop records
+    //    (flit handle + switch + cycle, see arch/probe.h). A large mesh
+    //    would add
     //    .partition(Partition_plan::contiguous(4)) — or ::balanced(4, w)
     //    with weights from a profiling run — to go multi-threaded.
     Network_params params;
@@ -105,7 +109,52 @@ int main()
                  "this one for MANY designs in parallel (src/explore) and "
                  "ranks them on a simulation-backed Pareto front.\n\n";
 
-    // 5. Reliability: the same system under a deterministic Fault_plan
+    // 5. Live monitoring: the telemetry service (src/telemetry) watches a
+    //    run WITHOUT perturbing it. attach_telemetry registers the
+    //    system's full metric surface (per-link occupancy, per-NI
+    //    injection/ejection, per-router routed/occupancy, kernel
+    //    scheduling counters) as pull-based read-functions — zero hot-path
+    //    cost — and an async Telemetry_sampler snapshots the surface every
+    //    N cycles into a byte-deterministic .noct stream, encoded on a
+    //    background thread. Stream to a file and `noc_top --follow` tails
+    //    it live while the simulation runs:
+    //        ./noc_top --follow quickstart.noct      # live counter table
+    //        ./noc_top --heatmap link quickstart.noct # per-link heatmap
+    //    Here we sample a saturating load and render the router queue-depth
+    //    heatmap post-hoc — watch congestion pool in the mesh center, the
+    //    spatial signature of XY uniform saturation.
+    {
+        Telemetry_registry registry;
+        auto msys = Noc_builder{}
+                        .topology(topo)
+                        .routes(routes)
+                        .params(params)
+                        .build();
+        for (int c = 0; c < topo.core_count(); ++c) {
+            const Core_id core{static_cast<std::uint32_t>(c)};
+            Bernoulli_source::Params sp;
+            sp.flits_per_cycle = 0.45; // just past saturation
+            sp.seed = 42 + static_cast<std::uint64_t>(c);
+            msys->ni(core).set_source(
+                std::make_unique<Bernoulli_source>(core, sp, pattern));
+        }
+        msys->attach_telemetry(registry);
+        Telemetry_sampler sampler{&registry, 256, "quickstart.noct"};
+        msys->attach_sampler(&sampler);
+        msys->warmup(1'000);
+        msys->measure(4'000);
+        msys->attach_sampler(nullptr);
+        sampler.stop();
+        const Telemetry_stream stream =
+            decode_telemetry_stream(sampler.stream());
+        std::cout << "live telemetry: " << stream.entries.size()
+                  << " metrics x " << stream.records.size()
+                  << " samples (every " << stream.period
+                  << " cycles) -> quickstart.noct\n\n"
+                  << render_heatmap(stream, "router", ".occ") << "\n";
+    }
+
+    // 6. Reliability: the same system under a deterministic Fault_plan
     //    (arch/fault_plan.h). Transient faults corrupt one link flit each
     //    — the ACK/NACK link layer detects and retransmits them — and a
     //    permanent failure kills links mid-run: the system drops the
@@ -157,7 +206,7 @@ int main()
               << " packets through it all; probe recorded "
               << fault_trace.fault_events().size() << " fault events\n\n";
 
-    // 6. End-to-end reliability: a whole-router death healed without
+    // 7. End-to-end reliability: a whole-router death healed without
     //    losing a single connected-pair packet. Two upgrades over step 5:
     //    - Recovery_mode::epoch (the default): instead of pausing to drain,
     //      the recomputed routes publish at failure + reroute_latency
@@ -207,7 +256,7 @@ int main()
                   << rec.unreachable_pairs.size()
                   << " unreachable pairs)\n";
 
-    // 7. Scale out: when one machine's sweep is too slow, the sweep farm
+    // 8. Scale out: when one machine's sweep is too slow, the sweep farm
     //    (src/farm, `noc_farm` binary) shards the point grid across
     //    crash-isolated `bench_sweep --points a..b` worker processes with
     //    retry/backoff, hang detection, straggler re-dispatch and

@@ -141,6 +141,14 @@ public:
         return occupied_ == 0 && !pending_;
     }
 
+    /// Values currently pending or in flight — the queue depth the
+    /// telemetry registry samples (telemetry/registry.h). Sequential
+    /// points only, like every other between-runs read.
+    [[nodiscard]] std::uint32_t occupancy() const
+    {
+        return occupied_ + (pending_ ? 1u : 0u);
+    }
+
     [[nodiscard]] std::string name() const override { return name_; }
     [[nodiscard]] int latency() const
     {

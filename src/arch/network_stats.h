@@ -84,6 +84,18 @@ public:
     /// [start, end): packets born in this window are measured. Read-only
     /// during a run (set between runs), so shards may query concurrently.
     void set_measurement_window(Cycle start, Cycle end);
+    /// Truncate an open window at `now` (live saturation early-stop):
+    /// packet marking stops immediately and rate denominators —
+    /// accepted_flits_per_cycle() — divide by the cycles actually
+    /// measured. Sequential points only, like set_measurement_window.
+    void close_measurement_window(Cycle now)
+    {
+        if (now > window_start_ && now < window_end_) window_end_ = now;
+    }
+    [[nodiscard]] Cycle measurement_window_cycles() const
+    {
+        return window_end_ - window_start_;
+    }
     [[nodiscard]] bool in_measurement(Cycle now) const
     {
         return now >= window_start_ && now < window_end_;

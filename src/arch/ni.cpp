@@ -299,6 +299,7 @@ void Ni::eject(Cycle now)
     if (!arriving) return;
     const Flit_ref ref = *arriving;
     const Flit& f = (*pool_)[ref];
+    ++flits_ejected_;
     auto& received = reassembly_[f.packet];
     ++received;
     if (!is_tail(f.kind)) {

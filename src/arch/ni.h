@@ -98,6 +98,19 @@ public:
     {
         return sender_.flits_sent();
     }
+    /// Flits this NI has taken off its ejection channel (telemetry's
+    /// per-NI ejection rate). Exact and schedule-invariant, like
+    /// flits_injected().
+    [[nodiscard]] std::uint64_t flits_ejected() const
+    {
+        return flits_ejected_;
+    }
+    /// Packets awaiting an end-to-end replay ACK (0 unless the replay
+    /// protocol is on) — the telemetry replay-pressure gauge.
+    [[nodiscard]] std::size_t replay_pending() const
+    {
+        return awaiting_ack_.size();
+    }
     [[nodiscard]] bool idle() const
     {
         return queue_.empty() && gt_queue_.empty() &&
@@ -339,6 +352,7 @@ private:
     std::unordered_map<Packet_id, std::uint32_t> reassembly_;
     std::function<void(const Flit&, Cycle)> on_delivery_;
     std::uint64_t next_packet_seq_ = 0;
+    std::uint64_t flits_ejected_ = 0; ///< see flits_ejected()
     /// Source promise refreshed each step: no poll due next cycle.
     bool source_may_sleep_ = false;
     /// Source's promised next poll cycle (valid when source_may_sleep_).

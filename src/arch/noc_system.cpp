@@ -1,6 +1,8 @@
 #include "arch/noc_system.h"
 
 #include "arch/probe.h"
+#include "telemetry/registry.h"
+#include "telemetry/sampler.h"
 #include "topology/deadlock.h"
 #include "topology/fault.h"
 #include "topology/routing.h"
@@ -255,6 +257,80 @@ std::vector<std::uint64_t> Noc_system::switch_load_profile() const
     return weights;
 }
 
+std::uint32_t Noc_system::link_occupancy(Link_id l) const
+{
+    return link_data_.at(l.get())->occupancy();
+}
+
+void Noc_system::attach_telemetry(Telemetry_registry& registry) const
+{
+    // Fixed registration order (links, NIs, routers, kernel, pool) keeps
+    // captures — and the sampler stream built from them — deterministic.
+    // Every read-function targets a counter the component maintains
+    // anyway; nothing here adds hot-path work.
+    for (int i = 0; i < topology_.link_count(); ++i) {
+        const auto& l = topology_.links()[static_cast<std::size_t>(i)];
+        const std::uint32_t shard = shard_of_switch(l.from);
+        const Flit_channel* ch = link_data_[static_cast<std::size_t>(i)].get();
+        const std::string base = "link" + std::to_string(i);
+        registry.add_gauge(base + ".occ", shard,
+                           [ch] { return ch->occupancy(); });
+        registry.add_counter(base + ".flits", shard,
+                             [ch] { return ch->transfer_count(); });
+    }
+    for (int c = 0; c < topology_.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        const std::uint32_t shard = shard_of_core(core);
+        const Ni* ni = nis_[static_cast<std::size_t>(c)].get();
+        const std::string base = "ni" + std::to_string(c);
+        registry.add_counter(base + ".injected", shard,
+                             [ni] { return ni->flits_injected(); });
+        registry.add_counter(base + ".ejected", shard,
+                             [ni] { return ni->flits_ejected(); });
+        registry.add_gauge(base + ".queued", shard, [ni] {
+            return static_cast<std::uint64_t>(ni->source_queue_flits());
+        });
+        registry.add_gauge(base + ".replay_pending", shard, [ni] {
+            return static_cast<std::uint64_t>(ni->replay_pending());
+        });
+    }
+    for (int s = 0; s < topology_.switch_count(); ++s) {
+        const std::uint32_t shard =
+            shard_of_switch(Switch_id{static_cast<std::uint32_t>(s)});
+        const Router* r = routers_[static_cast<std::size_t>(s)].get();
+        const std::string base = "router" + std::to_string(s);
+        registry.add_counter(base + ".routed", shard,
+                             [r] { return r->flits_routed(); });
+        registry.add_gauge(base + ".occ", shard, [r] {
+            return static_cast<std::uint64_t>(r->total_occupancy());
+        });
+        // Blocked-cycle counter: scheduling observability, legitimately
+        // schedule-dependent (see router.h) — consumers diffing streams
+        // across kernel modes must skip it, like the kernel.* group.
+        registry.add_counter(base + ".blocked", shard,
+                             [r] { return r->blocked_sleep_entries(); });
+    }
+    const Sim_kernel* k = &kernel_;
+    registry.add_counter("kernel.idle_shard_skips", 0,
+                         [k] { return k->idle_shard_skip_count(); });
+    registry.add_counter("kernel.skip_ahead_regions", 0,
+                         [k] { return k->skip_ahead_region_count(); });
+    registry.add_counter("kernel.skip_ahead_cycles", 0,
+                         [k] { return k->skip_ahead_cycle_count(); });
+    registry.add_counter("kernel.cross_shard_wakes", 0,
+                         [k] { return k->cross_shard_wake_count(); });
+    registry.add_gauge("kernel.active_components", 0, [k] {
+        return static_cast<std::uint64_t>(k->active_component_count());
+    });
+    const Flit_pool* pool = &pool_;
+    registry.add_gauge("pool.live", 0, [pool] {
+        return static_cast<std::uint64_t>(pool->live());
+    });
+    registry.add_counter("pool.high_water", 0, [pool] {
+        return static_cast<std::uint64_t>(pool->high_water());
+    });
+}
+
 void Noc_system::warmup(Cycle cycles)
 {
     run_with_faults(cycles);
@@ -262,15 +338,45 @@ void Noc_system::warmup(Cycle cycles)
 
 void Noc_system::measure(Cycle cycles)
 {
+    open_measurement(cycles);
+    advance(cycles);
+}
+
+void Noc_system::open_measurement(Cycle cycles)
+{
     stats_.set_measurement_window(kernel_.now(), kernel_.now() + cycles);
+}
+
+void Noc_system::advance(Cycle cycles)
+{
     run_with_faults(cycles);
+}
+
+void Noc_system::close_measurement()
+{
+    stats_.close_measurement_window(kernel_.now());
 }
 
 bool Noc_system::drain(Cycle max_cycles)
 {
-    if (!fault_plan_)
-        return kernel_.run_until(
-            [this] { return stats_.measured_in_flight() == 0; }, max_cycles);
+    if (!fault_plan_) {
+        if (sampler_ == nullptr)
+            return kernel_.run_until(
+                [this] { return stats_.measured_in_flight() == 0; },
+                max_cycles);
+        // Sampled fast path: same 64-cycle predicate cadence as
+        // run_until, with the sampling splits inside each chunk — the
+        // stop cycle is unchanged (splitting a kernel run at a cycle
+        // boundary is behaviour-neutral; the fault path below relies on
+        // the same fact).
+        constexpr Cycle check_interval = 64;
+        const Cycle deadline = kernel_.now() + max_cycles;
+        while (kernel_.now() < deadline) {
+            run_plain(std::min(check_interval, deadline - kernel_.now()));
+            if (stats_.measured_in_flight() == 0) return true;
+        }
+        return stats_.measured_in_flight() == 0;
+    }
     // Fixed 64-cycle chunks, split further at fault boundaries, so the
     // cadence of sequential points — and therefore the exact stop cycle —
     // is identical across kernel schedules. Termination: dropped packets
@@ -286,7 +392,7 @@ bool Noc_system::drain(Cycle max_cycles)
         }
         const Cycle stop = next_fault_stop(
             std::min(deadline, kernel_.now() + drain_chunk));
-        kernel_.run(stop - kernel_.now());
+        run_plain(stop - kernel_.now());
         service_fault_events();
     }
     sync_fault_counters();
@@ -304,16 +410,38 @@ bool Noc_system::drain(Cycle max_cycles)
 void Noc_system::run_with_faults(Cycle cycles)
 {
     if (!fault_plan_) {
-        kernel_.run(cycles);
+        run_plain(cycles);
         return;
     }
     const Cycle end = kernel_.now() + cycles;
     service_fault_events();
     while (kernel_.now() < end) {
-        kernel_.run(next_fault_stop(end) - kernel_.now());
+        run_plain(next_fault_stop(end) - kernel_.now());
         service_fault_events();
     }
     sync_fault_counters();
+}
+
+void Noc_system::run_plain(Cycle cycles)
+{
+    if (sampler_ == nullptr) { // the one-branch-when-disabled discipline
+        kernel_.run(cycles);
+        return;
+    }
+    // Split this kernel run at the sampler's due cycles so every sample
+    // observes the registry at an exact period multiple. Crucially this
+    // NEVER services fault events: the fault cadence (next_fault_stop,
+    // drain chunks) stays exactly as unsampled, so a reroute completion —
+    // which checks pool liveness at ITS sequential points — lands on the
+    // same cycle with or without a sampler attached.
+    const Cycle end = kernel_.now() + cycles;
+    while (kernel_.now() < end) {
+        const Cycle due = sampler_->next_sample_at();
+        const Cycle stop = (due > kernel_.now() && due < end) ? due : end;
+        kernel_.run(stop - kernel_.now());
+        if (kernel_.now() >= sampler_->next_sample_at())
+            sampler_->sample(kernel_.now());
+    }
 }
 
 Cycle Noc_system::next_fault_stop(Cycle limit) const

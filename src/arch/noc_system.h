@@ -43,6 +43,8 @@
 namespace noc {
 
 class Probe;
+class Telemetry_registry;
+class Telemetry_sampler;
 
 class Noc_system {
 public:
@@ -107,12 +109,49 @@ public:
     /// wants as weights. Read between runs.
     [[nodiscard]] std::vector<std::uint64_t> switch_load_profile() const;
 
+    // --- live telemetry (telemetry/registry.h, telemetry/sampler.h) ---------
+    /// Register this system's full metric surface into `registry`:
+    /// per-link channel occupancy + transfer counts, per-NI
+    /// injection/ejection/queued/replay, per-router routed/occupancy/
+    /// blocked, kernel scheduling counters and flit-pool liveness. Entries
+    /// are read-functions over counters the components maintain anyway, so
+    /// attaching telemetry costs nothing on the hot path and cannot
+    /// perturb results (the registry's determinism contract). The registry
+    /// captures only at sequential points; it must not outlive the system.
+    void attach_telemetry(Telemetry_registry& registry) const;
+
+    /// Attach an async sampler (nullptr detaches): the measurement
+    /// protocol splits its kernel runs at the sampler's next_sample_at()
+    /// cycles and calls sample() there, on this thread. The splits happen
+    /// strictly INSIDE fault chunks, so they never add fault-engine
+    /// sequential points — sampled runs stay bit-identical to unsampled
+    /// ones. Unattached systems pay one predictable branch per run chunk.
+    void attach_sampler(Telemetry_sampler* sampler)
+    {
+        sampler_ = sampler;
+    }
+
+    /// Link-channel queue depth (pending + in-flight values). Sequential
+    /// points only.
+    [[nodiscard]] std::uint32_t link_occupancy(Link_id l) const;
+
     // --- measurement protocol ----------------------------------------------
     // With a fault plan installed these run the kernel in chunks split at
     // the plan's event cycles (see the header comment).
     void warmup(Cycle cycles);
     /// Opens the measurement window and runs through it.
     void measure(Cycle cycles);
+    /// Chunked measurement (live saturation early-stop,
+    /// traffic/experiment.h): open the window for `cycles` without running,
+    /// then advance() in chunks inspecting stats between them, and
+    /// optionally close_measurement() before the window's scheduled end so
+    /// rate denominators use the cycles actually measured. measure(c) ==
+    /// open_measurement(c) + advance(c).
+    void open_measurement(Cycle cycles);
+    /// Run `cycles` under the fault protocol (no window change).
+    void advance(Cycle cycles);
+    /// Truncate the measurement window at the current cycle.
+    void close_measurement();
     /// Runs until every measured packet is delivered or dropped; false on
     /// timeout. Dropped and unreachable packets count as accounted for, so
     /// a faulted run drains instead of hanging.
@@ -181,6 +220,10 @@ private:
     // --- fault engine (noc_system.cpp; sequential points only) --------------
     /// Run `cycles` kernel cycles, splitting at fault-plan event cycles.
     void run_with_faults(Cycle cycles);
+    /// Innermost run: split at sampler cycles (when attached), WITHOUT
+    /// servicing fault events — the fault cadence stays bare, so sampling
+    /// cannot move a reroute completion (see attach_sampler).
+    void run_plain(Cycle cycles);
     /// Apply every fault event due at or before kernel_.now().
     void service_fault_events();
     /// Earliest of `limit`, the next pending fault cycle and a pending
@@ -256,6 +299,8 @@ private:
     std::vector<std::pair<Core_id, Core_id>> unreachable_pairs_;
     /// The attached probe (also receives on_fault_event).
     Probe* probe_ = nullptr;
+    /// The attached telemetry sampler (null = no sampling splits).
+    Telemetry_sampler* sampler_ = nullptr;
 };
 
 } // namespace noc

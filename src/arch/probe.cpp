@@ -25,14 +25,14 @@ const char* fault_kind_name(Fault_event::Kind k)
 Trace_probe::Trace_probe(std::uint32_t capacity_per_shard)
 {
     // Clamp to [16, 2^24] before rounding: bit_ceil above 2^31 is UB, and
-    // a flight recorder past 16M records per shard (64 MiB of handles) is
-    // a misconfiguration, not a use case.
+    // a flight recorder past 16M records per shard (256 MiB of Hops) is a
+    // misconfiguration, not a use case.
     const std::uint32_t wanted =
         std::min(std::max(capacity_per_shard, 16u), 1u << 24);
     const std::uint32_t cap = std::bit_ceil(wanted);
     mask_ = cap - 1;
     rings_.resize(1);
-    rings_[0].records.assign(cap, Flit_ref{});
+    rings_[0].records.assign(cap, Hop{});
 }
 
 void Trace_probe::bind(std::uint32_t shard_count)
@@ -40,7 +40,7 @@ void Trace_probe::bind(std::uint32_t shard_count)
     if (shard_count == 0) shard_count = 1;
     rings_ = std::vector<Ring>(shard_count);
     for (auto& r : rings_)
-        r.records.assign(static_cast<std::size_t>(mask_) + 1, Flit_ref{});
+        r.records.assign(static_cast<std::size_t>(mask_) + 1, Hop{});
 }
 
 std::uint64_t Trace_probe::total_recorded() const
@@ -52,38 +52,81 @@ std::uint64_t Trace_probe::total_recorded() const
 
 std::vector<Flit_ref> Trace_probe::recent(std::uint32_t s) const
 {
+    std::vector<Flit_ref> out;
+    for (const Hop& h : recent_hops(s)) out.push_back(h.flit);
+    return out;
+}
+
+std::vector<Trace_probe::Hop> Trace_probe::recent_hops(
+    std::uint32_t s) const
+{
     const Ring& r = rings_.at(s);
     const std::uint64_t cap = mask_ + 1;
     const std::uint64_t kept = r.count < cap ? r.count : cap;
-    std::vector<Flit_ref> out;
+    std::vector<Hop> out;
     out.reserve(static_cast<std::size_t>(kept));
     for (std::uint64_t i = r.count - kept; i < r.count; ++i)
         out.push_back(r.records[static_cast<std::size_t>(i & mask_)]);
     return out;
 }
 
-std::string Trace_probe::dump(const Flit_pool& pool) const
+namespace {
+
+/// One resolved record line, or empty when the handle cannot be resolved
+/// (invalid, out of range, or — NOC_DEBUG only — released since; see the
+/// header-comment caveat).
+std::string hop_line(const Flit_pool& pool, const Trace_probe::Hop& h)
+{
+    if (!h.flit.is_valid() || h.flit.index >= pool.capacity()) return {};
+#ifdef NOC_DEBUG
+    if (!pool.is_live(h.flit)) return {};
+#endif
+    const Flit& f = pool[h.flit];
+    return "@" + std::to_string(h.now) + " sw" +
+           std::to_string(h.sw.get()) + " flit#" +
+           std::to_string(h.flit.index) + " pkt" +
+           std::to_string(f.packet.get()) + " " +
+           std::to_string(f.src.get()) + "->" +
+           std::to_string(f.dst.get()) + " idx " +
+           std::to_string(f.index) + "/" +
+           std::to_string(f.packet_size) + " hop " +
+           std::to_string(f.route_index);
+}
+
+} // namespace
+
+std::string Trace_probe::dump(const Flit_pool& pool, Dump_order order) const
 {
     std::string out;
-    for (std::uint32_t s = 0; s < shard_count(); ++s) {
-        out += "shard " + std::to_string(s) + ": " +
-               std::to_string(recorded(s)) + " hops recorded\n";
-        for (const Flit_ref ref : recent(s)) {
-            if (!ref.is_valid() || ref.index >= pool.capacity()) continue;
-#ifdef NOC_DEBUG
-            // Debug builds track liveness; skip records whose flit has been
-            // delivered and released since (the handle would resolve to a
-            // recycled slot — see the header-comment caveat).
-            if (!pool.is_live(ref)) continue;
-#endif
-            const Flit& f = pool[ref];
-            out += "  flit#" + std::to_string(ref.index) + " pkt" +
-                   std::to_string(f.packet.get()) + " " +
-                   std::to_string(f.src.get()) + "->" +
-                   std::to_string(f.dst.get()) + " idx " +
-                   std::to_string(f.index) + "/" +
-                   std::to_string(f.packet_size) + " hop " +
-                   std::to_string(f.route_index) + "\n";
+    if (order == Dump_order::cycle_merged) {
+        // One global timeline: every shard's retained records, sorted by
+        // cycle. Stable sort keeps shard order (then oldest-first within a
+        // shard) on ties, so the bytes are deterministic for a
+        // deterministic run regardless of shard count.
+        std::vector<std::pair<std::uint32_t, Hop>> hops;
+        for (std::uint32_t s = 0; s < shard_count(); ++s)
+            for (const Hop& h : recent_hops(s)) hops.emplace_back(s, h);
+        std::stable_sort(hops.begin(), hops.end(),
+                         [](const auto& a, const auto& b) {
+                             return a.second.now < b.second.now;
+                         });
+        out += "cycle-merged: " + std::to_string(total_recorded()) +
+               " hops recorded, " + std::to_string(hops.size()) +
+               " retained across " + std::to_string(shard_count()) +
+               " shard(s)\n";
+        for (const auto& [s, h] : hops) {
+            const std::string line = hop_line(pool, h);
+            if (!line.empty())
+                out += "  " + line + " [shard " + std::to_string(s) + "]\n";
+        }
+    } else {
+        for (std::uint32_t s = 0; s < shard_count(); ++s) {
+            out += "shard " + std::to_string(s) + ": " +
+                   std::to_string(recorded(s)) + " hops recorded\n";
+            for (const Hop& h : recent_hops(s)) {
+                const std::string line = hop_line(pool, h);
+                if (!line.empty()) out += "  " + line + "\n";
+            }
         }
     }
     if (!fault_events_.empty()) {
@@ -117,7 +160,7 @@ void Trace_probe::clear()
 {
     for (auto& r : rings_) {
         r.count = 0;
-        for (auto& rec : r.records) rec = Flit_ref{};
+        for (auto& rec : r.records) rec = Hop{};
     }
     fault_events_.clear();
 }

@@ -22,13 +22,22 @@
 // ## Trace_probe record format
 //
 // Trace_probe keeps one fixed-capacity ring buffer per shard; each record
-// is exactly the 4-byte Flit_ref handle of the flit that hopped — the
-// ROADMAP's "pool-aware trace capture": because flit payloads live in the
-// per-system Flit_pool, the handle IS the trace record, and logging a hop
+// is a 16-byte Hop: the 4-byte Flit_ref handle of the flit that hopped,
+// the switch it traversed, and the cycle it happened — the ROADMAP's
+// "pool-aware trace capture": flit payloads live in the per-system
+// Flit_pool, so the handle stands in for the payload and logging a hop
 // costs one ring store (no payload copy, no allocation, no branch beyond
 // the attach check). The ring overwrites oldest-first, so after any run the
 // probe holds the last `capacity` hops of each shard — a flight recorder
 // for deadlock/livelock post-mortems at near-zero steady-state cost.
+//
+// Carrying the cycle in the record matters for readout: shards run
+// concurrently, so per-shard rings interleave arbitrarily across threads
+// and a shard-order dump (the default) shows each shard's timeline but not
+// the global one. dump(pool, Dump_order::cycle_merged) merges every
+// shard's retained records into one cycle-sorted timeline (stable: ties
+// keep shard order), which is byte-deterministic for a deterministic run
+// regardless of shard count.
 //
 // Resolving records: a handle dereferences through the pool
 // (Trace_probe::dump) to the full Flit — src/dst/packet/route_index tell
@@ -92,10 +101,23 @@ public:
     virtual void on_fault_event(const Fault_event& event) { (void)event; }
 };
 
-/// Per-shard ring-buffer flight recorder of 4-byte Flit_ref hop records
-/// (format and threading rules in the header comment).
+/// Per-shard ring-buffer flight recorder of 16-byte Hop records (format
+/// and threading rules in the header comment).
 class Trace_probe final : public Probe {
 public:
+    /// One retained record: which flit crossed which switch, and when.
+    struct Hop {
+        Flit_ref flit;
+        Switch_id sw{};
+        Cycle now = invalid_cycle;
+    };
+
+    /// Readout ordering for dump() — see the header comment.
+    enum class Dump_order : std::uint8_t {
+        shard,        ///< per-shard timelines, shard 0 first (historical)
+        cycle_merged, ///< one global timeline, cycle-sorted across shards
+    };
+
     /// `capacity_per_shard` is rounded up to a power of two (>= 16).
     explicit Trace_probe(std::uint32_t capacity_per_shard = 4096);
 
@@ -104,10 +126,9 @@ public:
     void on_hop(std::uint32_t shard, Cycle now, Switch_id sw,
                 Flit_ref flit) override
     {
-        (void)now;
-        (void)sw;
         Ring& r = rings_[shard];
-        r.records[static_cast<std::size_t>(r.count & mask_)] = flit;
+        r.records[static_cast<std::size_t>(r.count & mask_)] =
+            Hop{flit, sw, now};
         ++r.count;
     }
 
@@ -140,14 +161,19 @@ public:
         return fault_events_;
     }
 
-    /// The retained records of shard `s`, oldest first (at most
+    /// The retained flit handles of shard `s`, oldest first (at most
     /// capacity_per_shard()). Call only between kernel runs.
     [[nodiscard]] std::vector<Flit_ref> recent(std::uint32_t s) const;
+    /// Same records with their switch + cycle context.
+    [[nodiscard]] std::vector<Hop> recent_hops(std::uint32_t s) const;
 
     /// Human-readable post-mortem: every retained record resolved through
-    /// `pool` (src -> dst, packet, flit index, route position). See the
-    /// header comment for the dangling-record caveat.
-    [[nodiscard]] std::string dump(const Flit_pool& pool) const;
+    /// `pool` (src -> dst, packet, flit index, route position), in
+    /// per-shard or cycle-merged order (Dump_order). See the header
+    /// comment for the dangling-record caveat.
+    [[nodiscard]] std::string dump(const Flit_pool& pool,
+                                   Dump_order order =
+                                       Dump_order::shard) const;
 
     /// Drop all retained records and counts (rings stay allocated).
     void clear();
@@ -156,7 +182,7 @@ private:
     /// One shard's ring; cache-line aligned so two shards' write cursors
     /// never share a line.
     struct alignas(64) Ring {
-        std::vector<Flit_ref> records;
+        std::vector<Hop> records;
         std::uint64_t count = 0; ///< total ever recorded
     };
 

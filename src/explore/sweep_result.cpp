@@ -101,6 +101,7 @@ Sweep_result assemble_sweep_result(const Sweep_spec& spec,
     Sweep_result result;
     result.spec_name = spec.name;
     result.has_fault_axis = !spec.fault_scenarios.empty();
+    result.has_early_stop = spec.base.early_stop_check != 0;
     result.curves.reserve(spec.curve_count());
 
     std::size_t next = 0;
@@ -261,6 +262,11 @@ std::string Sweep_result::to_json() const
                     ", \"packets\": " + std::to_string(pr.load.packets) +
                     ", \"drained\": " +
                     (pr.load.drained ? "true" : "false");
+                if (has_early_stop)
+                    json += std::string{", \"early_stopped\": "} +
+                            (pr.load.early_stopped ? "true" : "false") +
+                            ", \"measured_cycles\": " +
+                            std::to_string(pr.load.measured_cycles);
                 if (has_fault_axis)
                     json +=
                         ", \"dropped\": " +
@@ -305,15 +311,18 @@ std::string Sweep_result::to_csv() const
         "load,offered,accepted,"
         "avg_packet_latency,avg_network_latency,p99_estimate,max_latency,"
         "packets,drained,";
+    if (has_early_stop) csv += "early_stopped,measured_cycles,";
     if (has_fault_axis)
         csv += "dropped,unreachable,corrupted_flits,retransmissions,"
                "recoveries,replayed,live_switchovers,availability,"
                "connected_availability,";
     csv += "error\n";
     // Six empty value columns for rows with no measurement (skipped /
-    // errored), plus the reliability ones when the axis is on.
-    const std::string empty_values =
-        has_fault_axis ? ",,,,,,0,false,,,,,,,,,," : ",,,,,,0,false,";
+    // errored), plus the early-stop / reliability ones when those axes are
+    // on.
+    std::string empty_values = ",,,,,,0,false,";
+    if (has_early_stop) empty_values += ",,";
+    if (has_fault_axis) empty_values += ",,,,,,,,,";
     for (const auto& c : curves)
         for (const auto& p : c.points) {
             csv += csv_escape(c.label) + "," + csv_escape(c.design_label) +
@@ -334,6 +343,11 @@ std::string Sweep_result::to_csv() const
                        shortest_double(p.load.max_latency) + "," +
                        std::to_string(p.load.packets) + "," +
                        (p.load.drained ? "true" : "false") + ",";
+                if (has_early_stop)
+                    csv += std::string{p.load.early_stopped ? "true"
+                                                            : "false"} +
+                           "," + std::to_string(p.load.measured_cycles) +
+                           ",";
                 if (has_fault_axis)
                     csv += std::to_string(p.load.packets_dropped) + "," +
                            std::to_string(p.load.packets_unreachable) + "," +
@@ -384,6 +398,21 @@ std::string Sweep_result::report() const
                 .add(c.saturation_searched ? "search" : "grid")
                 .add(c.on_pareto ? "*" : "");
         table.print(os);
+    }
+    if (has_early_stop) {
+        std::uint64_t stopped = 0;
+        std::uint64_t measured_cycles = 0;
+        std::size_t ran = 0;
+        for (const auto& c : curves)
+            for (const auto& p : c.points)
+                if (p.error.empty() && !p.skipped) {
+                    ++ran;
+                    measured_cycles += p.load.measured_cycles;
+                    if (p.load.early_stopped) ++stopped;
+                }
+        os << "\n" << stopped << " of " << ran
+           << " point(s) early-stopped at live saturation; "
+           << measured_cycles << " cycles measured in total\n";
     }
     std::size_t retried = 0;
     for (const auto& c : curves)

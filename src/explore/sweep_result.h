@@ -80,6 +80,12 @@ struct Sweep_result {
     /// columns in to_json()/to_csv() so fault-free sweeps serialize
     /// byte-identically to builds that predate the fault axis.
     bool has_fault_axis = false;
+    /// True when the spec armed the live saturation early-stop
+    /// (Sweep_config::early_stop_check); gates the early_stopped /
+    /// measured_cycles columns the same way has_fault_axis gates the
+    /// reliability ones, so specs that never opt in serialize
+    /// byte-identically to builds that predate the protocol.
+    bool has_early_stop = false;
     /// Curve indices (ascending) on the simulation-backed front over
     /// (cost_bits, zero_load_latency, -saturation_throughput,
     /// -availability), computed per (traffic, scenario) pair: a design's

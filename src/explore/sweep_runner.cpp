@@ -174,6 +174,7 @@ void Sweep_runner::run_task(const Task& t)
     out.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    if (point_done_hook_) point_done_hook_();
 }
 
 Sweep_result Sweep_runner::run(const Sweep_spec& spec, Point_range range)

@@ -106,6 +106,17 @@ public:
         point_attempt_hook_ = std::move(hook);
     }
 
+    /// Progress seam: called once after every grid point finishes (success
+    /// or recorded error) from the executing worker — the farm's worker
+    /// heartbeat streams live per-slice progress through it. Must be
+    /// thread-safe when worker_threads > 1 (an atomic counter is the
+    /// intended shape) and set while no run() is in flight. Purely
+    /// observational: results land by index regardless.
+    void set_point_done_hook(std::function<void()> hook)
+    {
+        point_done_hook_ = std::move(hook);
+    }
+
 private:
     /// One schedulable unit: a grid point, or a whole per-curve saturation
     /// binary search (internally sequential, so it is a single task).
@@ -123,6 +134,7 @@ private:
 
     // Job state, valid while a run() is in flight.
     std::function<void(const Sweep_point&, int)> point_attempt_hook_;
+    std::function<void()> point_done_hook_;
     const Sweep_spec* spec_ = nullptr;
     std::vector<Sweep_point> points_;
     std::vector<Task> tasks_;

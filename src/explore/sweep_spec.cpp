@@ -453,6 +453,12 @@ Sweep_config point_config(const Sweep_spec& spec, const Design_variant& d,
 {
     Sweep_config cfg = spec.base;
     cfg.seed = seed;
+    // The early-stop threshold is the spec's saturation cap: a point the
+    // sweep would classify as saturated anyway is exactly the one worth
+    // cutting short (base.early_stop_check arms the protocol; the spec owns
+    // the cap so the two classifications can never disagree).
+    if (cfg.early_stop_check != 0)
+        cfg.early_stop_latency_cap = spec.latency_cap;
     cfg.build.allow_partial_routes = d.allow_partial_routes;
     if (d.shard_threads > 1) {
         cfg.build.kernel_mode = Kernel_mode::sharded;

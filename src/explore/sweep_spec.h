@@ -155,7 +155,11 @@ struct Sweep_spec {
     /// Measurement protocol + base seed + default Build_options (kernel
     /// schedule, partition plan, pool sizing) for every point — see
     /// traffic/experiment.h. Per-design shard_threads override the
-    /// schedule/partition knobs.
+    /// schedule/partition knobs. The live-saturation early-stop
+    /// (base.early_stop_check) and telemetry sampling knobs
+    /// (base.telemetry_period / telemetry_dir) ride here too; with
+    /// early-stop armed, point_config syncs its latency cap to this spec's
+    /// latency_cap so "stopped early" and "saturated" can never disagree.
     Sweep_config base;
     /// Reliability axis: every (design, traffic) curve is additionally run
     /// under each scenario, multiplying the curve count. Empty = the

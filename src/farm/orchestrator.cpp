@@ -54,13 +54,22 @@ struct Live_attempt {
     Clock::time_point last_change{};
     bool cancelled = false; ///< killed because a sibling published first
     bool hung = false;      ///< killed by the heartbeat watchdog
+    /// Live per-slice progress piggybacked on the heartbeat: workers that
+    /// speak the extended "beat done total" format stream their finished
+    /// point count through the same file the liveness watchdog reads.
+    std::uint32_t done = 0;
+    std::uint32_t total = 0;
 };
 
 struct Slice_state {
     Slice_range range;
     bool published = false;
+    bool trusted = false; ///< adopted from the resume checkpoint scan
     std::uint32_t dispatches = 0; ///< total spawns (budgeted)
     std::uint32_t failures = 0;
+    std::uint32_t straggler_dups = 0;
+    std::uint32_t published_by_attempt = 0;
+    double publish_wall = 0.0; ///< winning attempt's wall seconds
     Clock::time_point eligible{}; ///< backoff gate for the next dispatch
     std::vector<Live_attempt> live;
     std::string last_failure;
@@ -165,8 +174,12 @@ void Farm::dispatch(Slice_state& s, bool straggler)
     const pid_t pid = supervisor_.spawn(argv, log_path, err);
     ++s.dispatches;
     ++report_.attempts;
-    if (straggler) ++report_.stragglers_redispatched;
-    else if (s.failures > 0) ++report_.retries;
+    if (straggler) {
+        ++report_.stragglers_redispatched;
+        ++s.straggler_dups;
+    } else if (s.failures > 0) {
+        ++report_.retries;
+    }
     if (pid < 0) {
         // Spawning itself failed (fd/process limits) — an environmental
         // failure like any other: burn the attempt, back off, retry.
@@ -272,8 +285,10 @@ void Farm::reap_and_account(Slice_state& s, Live_attempt& a,
         }
     }
     s.published = true;
+    s.published_by_attempt = a.attempt;
+    s.publish_wall = seconds_since(a.start);
     ++report_.published;
-    completed_wall_.push_back(seconds_since(a.start));
+    completed_wall_.push_back(s.publish_wall);
     progress("slice [" + std::to_string(s.range.begin) + ".." +
              std::to_string(s.range.end) + ") PUBLISHED by attempt " +
              std::to_string(a.attempt) + " (" +
@@ -302,6 +317,25 @@ void Farm::check_heartbeats()
             if (read_small_file(a.beat_path, beat) && beat != a.last_beat) {
                 a.last_beat = std::move(beat);
                 a.last_change = now;
+                // Extended heartbeat "beat done total": a per-slice
+                // progress stream riding the liveness channel. Workers
+                // that only write the bare counter parse as 1 field and
+                // stay silent here — both formats satisfy the watchdog.
+                unsigned long long b = 0;
+                unsigned done = 0;
+                unsigned total = 0;
+                if (std::sscanf(a.last_beat.c_str(), "%llu %u %u", &b,
+                                &done, &total) == 3 &&
+                    total > 0 &&
+                    (done != a.done || total != a.total)) {
+                    a.done = done;
+                    a.total = total;
+                    progress("slice [" + std::to_string(s.range.begin) +
+                             ".." + std::to_string(s.range.end) +
+                             ") attempt " + std::to_string(a.attempt) +
+                             ": " + std::to_string(done) + "/" +
+                             std::to_string(total) + " points done");
+                }
             }
             const double stale =
                 std::chrono::duration<double>(now - a.last_change).count();
@@ -488,13 +522,23 @@ Farm_report Farm::run()
     for (std::size_t i = 0; i < slices.size(); ++i) {
         slices_[i].range = slices[i];
         slices_[i].published = cfg_.resume && scan.trusted[i];
+        slices_[i].trusted = slices_[i].published;
         if (slices_[i].published) ++report_.published;
     }
-    if (cfg_.resume)
+    if (cfg_.resume) {
         progress("resume: " + std::to_string(scan.trusted_count) + "/" +
                  std::to_string(slices.size()) + " slices trusted, " +
                  std::to_string(scan.invalid) + " invalid, " +
                  std::to_string(scan.tmp_removed) + " tmp/beat swept");
+        // Name every decision: which slices the checkpoint satisfied and
+        // which must re-run, so a resumed farm's plan is auditable from
+        // the log alone.
+        for (const auto& s : slices_)
+            progress("resume: slice [" + std::to_string(s.range.begin) +
+                     ".." + std::to_string(s.range.end) + ") " +
+                     (s.trusted ? "TRUSTED (validated checkpoint)"
+                                : "re-run (missing or invalid)"));
+    }
 
     while (!aborted_) {
         if (report_.published == report_.slices) break;
@@ -536,6 +580,20 @@ Farm_report Farm::run()
     report_.success = !aborted_ && report_.published == report_.slices &&
                       !report_.merged_path.empty();
     report_.wall_seconds = seconds_since(t0_);
+    report_.slice_stats.reserve(slices_.size());
+    for (const auto& s : slices_) {
+        Farm_slice_stats st;
+        st.begin = s.range.begin;
+        st.end = s.range.end;
+        st.dispatches = s.dispatches;
+        st.failures = s.failures;
+        st.straggler_dups = s.straggler_dups;
+        st.trusted_on_resume = s.trusted;
+        st.published = s.published;
+        st.published_by_attempt = s.published_by_attempt;
+        st.wall_seconds = s.publish_wall;
+        report_.slice_stats.push_back(st);
+    }
     return report_;
 }
 

@@ -89,6 +89,23 @@ struct Farm_config {
     bool quiet = false;      ///< suppress per-event progress lines
 };
 
+/// Per-slice execution ledger for the final summary table (noc_farm) —
+/// how many dispatches each slice took, which attempt won, and whether
+/// resume trusted it from the checkpoint instead of re-running.
+struct Farm_slice_stats {
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0; ///< half-open point range
+    std::uint32_t dispatches = 0; ///< total spawns, stragglers included
+    std::uint32_t failures = 0;   ///< crash/hang/invalid-publish events
+    std::uint32_t straggler_dups = 0; ///< speculative duplicate dispatches
+    bool trusted_on_resume = false;   ///< adopted from the checkpoint scan
+    bool published = false;
+    /// Dispatch index of the attempt that published (first-completion
+    /// wins); meaningless when trusted_on_resume.
+    std::uint32_t published_by_attempt = 0;
+    double wall_seconds = 0.0; ///< winning attempt's wall (0 when trusted)
+};
+
 struct Farm_report {
     bool success = false;
     std::string error;       ///< why the farm failed (success == false)
@@ -111,6 +128,9 @@ struct Farm_report {
     double wall_seconds = 0.0;
     std::string spec_name; ///< adopted protocol fingerprints
     std::string budget;
+    /// One entry per slice, slice order — the attempt/retry/straggler
+    /// ledger noc_farm renders as its final summary table.
+    std::vector<Farm_slice_stats> slice_stats;
 };
 
 /// Run the farm to completion (or bounded failure). Never throws for

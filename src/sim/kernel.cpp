@@ -207,7 +207,13 @@ void Sim_kernel::run_gated(Cycle cycles)
         // for trace replay with long inter-burst gaps.
         if (total_awake() == 0 && all_groups_quiet()) {
             const Cycle t = earliest_timer();
-            now_ = (t != invalid_cycle && t < deadline) ? t : deadline;
+            const Cycle next =
+                (t != invalid_cycle && t < deadline) ? t : deadline;
+            if (next > now_) {
+                ++skip_ahead_regions_;
+                skip_ahead_cycles_ += next - now_;
+            }
+            now_ = next;
             continue; // due timers pop at the top of the loop
         }
 
@@ -428,6 +434,12 @@ void Sim_kernel::advance_cycle(Cycle deadline)
             const Cycle t = earliest_timer();
             next = (t != invalid_cycle && t < deadline) ? t : deadline;
             if (next < now_ + 1) next = now_ + 1; // timers due now popped
+            if (next > now_ + 1) {
+                // Barrier-exclusive, like now_ itself: the completion runs
+                // on one thread and the release/acquire pair publishes it.
+                ++skip_ahead_regions_;
+                skip_ahead_cycles_ += next - (now_ + 1);
+            }
         }
     }
     mail_parity_ ^= 1u;

@@ -433,6 +433,21 @@ public:
         for (const auto& sh : shards_) n += sh.idle_skips;
         return n;
     }
+    /// Idle-region skip-aheads taken (run_gated and the sharded
+    /// advance_cycle): whole-kernel quiet regions where now_ jumped
+    /// straight to the next timer or deadline. Scheduling observability
+    /// like idle_shard_skip_count — read between runs; values differ
+    /// across schedules (and across run() chunkings) for the same
+    /// bit-identical simulation.
+    [[nodiscard]] std::uint64_t skip_ahead_region_count() const
+    {
+        return skip_ahead_regions_;
+    }
+    /// Cycles those skip-aheads never executed.
+    [[nodiscard]] std::uint64_t skip_ahead_cycle_count() const
+    {
+        return skip_ahead_cycles_;
+    }
 
 private:
     /// Minimal sense-reversing spin barrier. The last arriver runs
@@ -540,6 +555,11 @@ private:
     std::vector<std::vector<std::uint32_t>> wake_mail_[2];
     std::uint32_t mail_parity_ = 0; ///< buffer producers append to
     Cycle now_ = 0;
+    /// Skip-ahead observability (see the accessors). Written only where
+    /// now_ is — the gated loop, or the barrier-exclusive advance_cycle —
+    /// so they need no atomics, exactly like now_.
+    std::uint64_t skip_ahead_regions_ = 0;
+    std::uint64_t skip_ahead_cycles_ = 0;
     Kernel_mode mode_ = Kernel_mode::reference;
     bool parallel_active_ = false;
     std::function<void(std::uint32_t)> thread_init_;

@@ -1,0 +1,64 @@
+#include "telemetry/heatmap.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace noc {
+
+namespace {
+
+bool matches(const std::string& name, const std::string& prefix,
+             const std::string& suffix)
+{
+    if (name.size() < prefix.size() + suffix.size()) return false;
+    if (name.compare(0, prefix.size(), prefix) != 0) return false;
+    return name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+char scale_char(std::uint64_t v, std::uint64_t max)
+{
+    if (v == 0) return '.';
+    if (v >= max) return '#';
+    // 1..9 linear bands over (0, max).
+    const std::uint64_t band = 1 + (v * 9 - 1) / max;
+    return static_cast<char>('0' + std::min<std::uint64_t>(band, 9));
+}
+
+} // namespace
+
+std::string render_heatmap(const Telemetry_stream& stream,
+                           const std::string& prefix,
+                           const std::string& suffix)
+{
+    std::vector<std::size_t> cols;
+    for (std::size_t e = 0; e < stream.entries.size(); ++e)
+        if (matches(stream.entries[e].name, prefix, suffix))
+            cols.push_back(e);
+    std::string out = "heatmap " + prefix + "*" + suffix + ": " +
+                      std::to_string(cols.size()) + " columns, " +
+                      std::to_string(stream.records.size()) + " samples\n";
+    if (cols.empty() || stream.records.empty()) return out;
+
+    std::uint64_t max = 0;
+    for (const auto& rec : stream.records)
+        for (const std::size_t c : cols) max = std::max(max, rec.values[c]);
+    out += "max " + std::to_string(max) + " ('#'), '.'=0, '1'..'9' linear\n";
+    out += "columns: ";
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (i != 0) out += ",";
+        out += stream.entries[cols[i]].name;
+    }
+    out += "\n";
+    for (const auto& rec : stream.records) {
+        std::string cycle = std::to_string(rec.cycle);
+        if (cycle.size() < 10) cycle.insert(0, 10 - cycle.size(), ' ');
+        out += cycle + " |";
+        for (const std::size_t c : cols)
+            out += max == 0 ? '.' : scale_char(rec.values[c], max);
+        out += "|\n";
+    }
+    return out;
+}
+
+} // namespace noc

@@ -1,0 +1,25 @@
+// Queue-depth heatmaps over time — a regression-grade consumer of the
+// telemetry stream. Rows are samples (one per record), columns are the
+// registry entries matching a name prefix+suffix (e.g. "router"+".occ" for
+// per-router buffered flits, "link"+".occ" for per-channel occupancy), and
+// each cell is a single scale character: '.' for zero, '1'..'9' linearly up
+// to the observed maximum, '#' for the maximum itself. The render is a pure
+// function of the decoded stream, so it is byte-deterministic — the tests
+// gate on it across kernel schedules (gauge entries are simulation state;
+// see the determinism contract in telemetry/registry.h).
+#pragma once
+
+#include "telemetry/sampler.h"
+
+#include <string>
+
+namespace noc {
+
+/// Render the entries whose names start with `prefix` and end with
+/// `suffix` (either may be empty = match all). Column order is entry
+/// registration order; the legend line maps columns to entry names.
+[[nodiscard]] std::string render_heatmap(const Telemetry_stream& stream,
+                                         const std::string& prefix,
+                                         const std::string& suffix);
+
+} // namespace noc

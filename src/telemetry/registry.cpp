@@ -1,0 +1,42 @@
+#include "telemetry/registry.h"
+
+namespace noc {
+
+std::size_t Telemetry_registry::find(const std::string& name) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].name == name) return i;
+    return npos;
+}
+
+std::size_t Telemetry_registry::entry_count_in_shard(std::uint32_t s) const
+{
+    std::size_t n = 0;
+    for (const auto& e : entries_)
+        if (e.shard == s) ++n;
+    return n;
+}
+
+std::vector<std::size_t>
+Telemetry_registry::entries_in_shard(std::uint32_t s) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < entries_.size(); ++i)
+        if (entries_[i].shard == s) out.push_back(i);
+    return out;
+}
+
+std::vector<std::uint64_t> Telemetry_registry::capture() const
+{
+    std::vector<std::uint64_t> out;
+    capture_into(out);
+    return out;
+}
+
+void Telemetry_registry::capture_into(std::vector<std::uint64_t>& out) const
+{
+    out.resize(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) out[i] = entries_[i].read();
+}
+
+} // namespace noc

@@ -1,0 +1,142 @@
+// Telemetry_registry — the counter surface of the live telemetry service.
+//
+// Components REGISTER named exact-integer counters and gauges; consumers
+// (the async Telemetry_sampler, heatmap renderers, ad-hoc dumps) CAPTURE
+// the whole surface in one call. Registration hands the registry a
+// read-function over a counter the component already maintains — the
+// registry never owns counter storage and never sits on the simulation hot
+// path. Noc_system::attach_telemetry populates a registry with the full
+// metric surface of one system: per-channel occupancy, per-NI
+// injection/ejection/replay, per-router routed/occupancy/blocked, kernel
+// scheduling counters (idle-shard skips, skip-ahead regions, cross-shard
+// mailbox wakes) and flit-pool liveness.
+//
+// ---------------------------------------------------------------------------
+// Threading and determinism contract (mirrors sim/kernel.h)
+//
+// * Zero hot-path cost, enabled or not. The probe discipline of
+//   arch/probe.h is one predictable branch per hop when disabled; the
+//   registry is stricter — it is PULL-based, so there is no per-cycle cost
+//   at all. Every registered read-function reads a counter the component
+//   maintains anyway (channel occupancy, Link_sender::flits_sent, router
+//   flits_routed, ...). Attaching a registry therefore cannot perturb
+//   simulation state: a telemetry-attached run is bit-identical to a bare
+//   one on the reference, activity-gated and sharded schedules alike (the
+//   KernelEquivalence suite proves it).
+//
+// * capture() is legal ONLY at sequential points — between two kernel
+//   run() calls, on the thread that calls run(). At a sequential point
+//   every shard worker is parked at the job barrier and all phase-2 commits
+//   are published (the same happens-before edge the fault engine relies
+//   on), so reading per-shard counters needs no synchronization and is
+//   TSan-clean by construction. Calling capture() from inside a phase, or
+//   from any other thread, races with the shard workers and is undefined.
+//
+// * Shard ownership is metadata, not synchronization. Each entry records
+//   the shard that WRITES its underlying counter (the channel's writer
+//   shard, the NI's/router's registration shard, 0 for global kernel
+//   state). Consumers use it to slice the surface spatially (per-shard
+//   load views, partition debugging); it grants no license to read an
+//   entry mid-run from the owning thread either — capture is sequential,
+//   full stop.
+//
+// * Determinism. Entries are captured in registration order, and
+//   Noc_system registers in fixed topology order, so two captures of the
+//   same system at the same cycle yield identical vectors, and the sampler
+//   stream built from them is byte-deterministic. Values that describe
+//   SIMULATION state (occupancy, injected/ejected flits, routed flits) are
+//   schedule-invariant — identical across kernel modes and shard counts at
+//   any sequential point. Values that describe SCHEDULING (kernel.* skip
+//   and wake counters, router blocked-sleep entries, and pool.high_water —
+//   an INTRA-cycle allocation peak, sensitive to the within-cycle
+//   component order schedules legitimately permute) differ between
+//   schedules for the same bit-identical run; consumers that diff streams
+//   across schedules must filter to the simulation-state subset.
+//
+// * Counter vs gauge is display semantics only: a counter is monotonic
+//   over a run (rates are meaningful), a gauge is an instantaneous level
+//   (occupancy heatmaps are meaningful). Both capture as uint64.
+#pragma once
+
+#include "common/types.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace noc {
+
+class Telemetry_registry {
+public:
+    enum class Kind : std::uint8_t {
+        counter, ///< monotonic total (flits routed, packets injected)
+        gauge,   ///< instantaneous level (queue depth, pool liveness)
+    };
+
+    /// One registered metric: a name, the shard that writes the underlying
+    /// counter, and the read-function that samples it.
+    struct Entry {
+        std::string name;
+        Kind kind = Kind::counter;
+        std::uint32_t shard = 0;
+        std::function<std::uint64_t()> read;
+    };
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    /// Register a monotonic counter owned by shard `shard`. Names should be
+    /// stable and unique ("link3.flits", "ni5.injected", "kernel.skips");
+    /// duplicates are allowed but make find() ambiguous.
+    void add_counter(std::string name, std::uint32_t shard,
+                     std::function<std::uint64_t()> read)
+    {
+        entries_.push_back(
+            {std::move(name), Kind::counter, shard, std::move(read)});
+    }
+
+    /// Register an instantaneous gauge owned by shard `shard`.
+    void add_gauge(std::string name, std::uint32_t shard,
+                   std::function<std::uint64_t()> read)
+    {
+        entries_.push_back(
+            {std::move(name), Kind::gauge, shard, std::move(read)});
+    }
+
+    [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+    [[nodiscard]] const Entry& entry(std::size_t i) const
+    {
+        return entries_.at(i);
+    }
+
+    /// Index of the first entry named `name`, or npos.
+    [[nodiscard]] std::size_t find(const std::string& name) const;
+
+    /// Number of entries whose underlying counter is written by shard `s`.
+    [[nodiscard]] std::size_t entry_count_in_shard(std::uint32_t s) const;
+
+    /// Indices of the entries owned by shard `s`, in registration order.
+    [[nodiscard]] std::vector<std::size_t>
+    entries_in_shard(std::uint32_t s) const;
+
+    /// Read every entry in registration order. Sequential points only (see
+    /// the contract above).
+    [[nodiscard]] std::vector<std::uint64_t> capture() const;
+
+    /// capture() into a caller-owned buffer (resized to entry_count());
+    /// lets a periodic sampler reuse one allocation.
+    void capture_into(std::vector<std::uint64_t>& out) const;
+
+    /// Read one entry by index. Sequential points only.
+    [[nodiscard]] std::uint64_t read(std::size_t i) const
+    {
+        return entries_.at(i).read();
+    }
+
+    void clear() { entries_.clear(); }
+
+private:
+    std::vector<Entry> entries_;
+};
+
+} // namespace noc

@@ -1,0 +1,264 @@
+#include "telemetry/sampler.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace noc {
+
+namespace {
+
+constexpr std::uint8_t stream_magic[4] = {'N', 'O', 'C', 'T'};
+constexpr std::uint32_t stream_version = 1;
+
+std::uint64_t read_u64(const std::vector<std::uint8_t>& b, std::size_t at)
+{
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+        v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+    return v;
+}
+
+std::uint32_t read_u32(const std::vector<std::uint8_t>& b, std::size_t at)
+{
+    return static_cast<std::uint32_t>(b[at]) |
+           static_cast<std::uint32_t>(b[at + 1]) << 8 |
+           static_cast<std::uint32_t>(b[at + 2]) << 16 |
+           static_cast<std::uint32_t>(b[at + 3]) << 24;
+}
+
+} // namespace
+
+Telemetry_sampler::Telemetry_sampler(const Telemetry_registry* registry,
+                                     Cycle period, std::string stream_path)
+    : registry_{registry},
+      period_{period == 0 ? 1 : period},
+      next_{period == 0 ? 1 : period},
+      stream_path_{std::move(stream_path)}
+{
+    encode_header();
+    flush_to_file(0);
+    encoder_ = std::thread{[this] { encoder_main(); }};
+}
+
+Telemetry_sampler::~Telemetry_sampler()
+{
+    stop();
+}
+
+void Telemetry_sampler::sample(Cycle now)
+{
+    Pending_sample s;
+    s.index = sample_index_++;
+    s.cycle = now;
+    registry_->capture_into(s.values);
+    while (next_ <= now) next_ += period_;
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        queue_.push_back(std::move(s));
+    }
+    cv_.notify_one();
+}
+
+void Telemetry_sampler::stop()
+{
+    if (stopped_) return;
+    stopped_ = true;
+    {
+        const std::lock_guard<std::mutex> lock{mutex_};
+        shutdown_ = true;
+    }
+    cv_.notify_one();
+    if (encoder_.joinable()) encoder_.join();
+}
+
+void Telemetry_sampler::encoder_main()
+{
+    for (;;) {
+        Pending_sample s;
+        {
+            std::unique_lock<std::mutex> lock{mutex_};
+            cv_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+            if (queue_.empty()) return; // shutdown and drained
+            s = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        const std::size_t before = stream_.size();
+        encode_record(s.index, s.cycle, s.values);
+        flush_to_file(before);
+    }
+}
+
+void Telemetry_sampler::append_u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        stream_.push_back(static_cast<std::uint8_t>(v & 0xff));
+        v >>= 8;
+    }
+}
+
+void Telemetry_sampler::encode_header()
+{
+    stream_.insert(stream_.end(), std::begin(stream_magic),
+                   std::end(stream_magic));
+    std::uint32_t ver = stream_version;
+    for (int i = 0; i < 4; ++i) {
+        stream_.push_back(static_cast<std::uint8_t>(ver & 0xff));
+        ver >>= 8;
+    }
+    append_u64(period_);
+    std::uint32_t n = static_cast<std::uint32_t>(registry_->entry_count());
+    for (int i = 0; i < 4; ++i) {
+        stream_.push_back(static_cast<std::uint8_t>(n & 0xff));
+        n >>= 8;
+    }
+    for (std::size_t e = 0; e < registry_->entry_count(); ++e) {
+        const auto& entry = registry_->entry(e);
+        stream_.push_back(static_cast<std::uint8_t>(entry.kind));
+        std::uint32_t shard = entry.shard;
+        for (int i = 0; i < 4; ++i) {
+            stream_.push_back(static_cast<std::uint8_t>(shard & 0xff));
+            shard >>= 8;
+        }
+        const auto len = static_cast<std::uint16_t>(entry.name.size());
+        stream_.push_back(static_cast<std::uint8_t>(len & 0xff));
+        stream_.push_back(static_cast<std::uint8_t>(len >> 8));
+        stream_.insert(stream_.end(), entry.name.begin(), entry.name.end());
+    }
+}
+
+void Telemetry_sampler::encode_record(std::uint64_t index, Cycle cycle,
+                                      const std::vector<std::uint64_t>& values)
+{
+    append_u64(index);
+    append_u64(cycle);
+    for (const std::uint64_t v : values) append_u64(v);
+}
+
+void Telemetry_sampler::flush_to_file(std::size_t from)
+{
+    if (stream_path_.empty()) return;
+    // Append-only with a flush per record so a live viewer tailing the file
+    // always sees a whole-record prefix (decode ignores a torn tail).
+    std::FILE* f = std::fopen(stream_path_.c_str(), from == 0 ? "wb" : "ab");
+    if (f == nullptr) return; // telemetry must never kill the run
+    std::fwrite(stream_.data() + from, 1, stream_.size() - from, f);
+    std::fclose(f);
+    flushed_ = stream_.size();
+}
+
+// --- decoding ---------------------------------------------------------------
+
+Telemetry_stream
+decode_telemetry_stream(const std::vector<std::uint8_t>& bytes)
+{
+    Telemetry_stream out;
+    std::size_t at = 0;
+    const auto need = [&](std::size_t n) {
+        if (at + n > bytes.size())
+            throw std::runtime_error{"telemetry stream: truncated header"};
+    };
+    need(4);
+    for (int i = 0; i < 4; ++i)
+        if (bytes[at + static_cast<std::size_t>(i)] != stream_magic[i])
+            throw std::runtime_error{"telemetry stream: bad magic"};
+    at += 4;
+    need(4);
+    const std::uint32_t version = read_u32(bytes, at);
+    at += 4;
+    if (version != stream_version)
+        throw std::runtime_error{"telemetry stream: unsupported version"};
+    need(8);
+    out.period = read_u64(bytes, at);
+    at += 8;
+    need(4);
+    const std::uint32_t entry_count = read_u32(bytes, at);
+    at += 4;
+    out.entries.reserve(entry_count);
+    for (std::uint32_t e = 0; e < entry_count; ++e) {
+        need(7);
+        Telemetry_stream::Entry entry;
+        entry.kind = static_cast<Telemetry_registry::Kind>(bytes[at]);
+        ++at;
+        entry.shard = read_u32(bytes, at);
+        at += 4;
+        const std::size_t len = static_cast<std::size_t>(bytes[at]) |
+                                static_cast<std::size_t>(bytes[at + 1]) << 8;
+        at += 2;
+        need(len);
+        entry.name.assign(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+                          bytes.begin() +
+                              static_cast<std::ptrdiff_t>(at + len));
+        at += len;
+        out.entries.push_back(std::move(entry));
+    }
+    const std::size_t record_bytes = 8 * (2 + out.entries.size());
+    while (at + record_bytes <= bytes.size()) {
+        Telemetry_stream::Record rec;
+        rec.index = read_u64(bytes, at);
+        at += 8;
+        rec.cycle = read_u64(bytes, at);
+        at += 8;
+        rec.values.reserve(out.entries.size());
+        for (std::size_t e = 0; e < out.entries.size(); ++e) {
+            rec.values.push_back(read_u64(bytes, at));
+            at += 8;
+        }
+        out.records.push_back(std::move(rec));
+    }
+    return out; // a trailing partial record (live tail) is ignored
+}
+
+std::string to_json(const Telemetry_stream& stream)
+{
+    std::string out = "{\n  \"period\": " + std::to_string(stream.period) +
+                      ",\n  \"entries\": [";
+    for (std::size_t e = 0; e < stream.entries.size(); ++e) {
+        const auto& entry = stream.entries[e];
+        out += e == 0 ? "\n" : ",\n";
+        out += "    {\"name\": \"" + entry.name + "\", \"kind\": \"" +
+               (entry.kind == Telemetry_registry::Kind::counter ? "counter"
+                                                                : "gauge") +
+               "\", \"shard\": " + std::to_string(entry.shard) + "}";
+    }
+    out += "\n  ],\n  \"records\": [";
+    for (std::size_t r = 0; r < stream.records.size(); ++r) {
+        const auto& rec = stream.records[r];
+        out += r == 0 ? "\n" : ",\n";
+        out += "    {\"index\": " + std::to_string(rec.index) +
+               ", \"cycle\": " + std::to_string(rec.cycle) + ", \"values\": [";
+        for (std::size_t v = 0; v < rec.values.size(); ++v) {
+            if (v != 0) out += ", ";
+            out += std::to_string(rec.values[v]);
+        }
+        out += "]}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+std::string render_latest(const Telemetry_stream& stream)
+{
+    if (stream.records.empty()) return "(no samples)\n";
+    const auto& last = stream.records.back();
+    const Telemetry_stream::Record* prev =
+        stream.records.size() > 1
+            ? &stream.records[stream.records.size() - 2]
+            : nullptr;
+    std::string out = "sample " + std::to_string(last.index) + " @ cycle " +
+                      std::to_string(last.cycle) + "\n";
+    for (std::size_t e = 0; e < stream.entries.size(); ++e) {
+        const auto& entry = stream.entries[e];
+        out += "  " + entry.name;
+        if (entry.name.size() < 26) out.append(26 - entry.name.size(), ' ');
+        out += std::to_string(last.values[e]);
+        if (entry.kind == Telemetry_registry::Kind::counter &&
+            prev != nullptr && last.values[e] >= prev->values[e])
+            out += " (+" + std::to_string(last.values[e] - prev->values[e]) +
+                   ")";
+        out += " [shard " + std::to_string(entry.shard) + "]\n";
+    }
+    return out;
+}
+
+} // namespace noc

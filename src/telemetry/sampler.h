@@ -1,0 +1,150 @@
+// Telemetry_sampler — the async half of the live telemetry service: a
+// background thread that encodes periodic snapshots of a Telemetry_registry
+// into a byte-deterministic binary stream while the simulation runs.
+//
+// Division of labour (the mgsim monitor/binarysampler pattern):
+//
+//   * CAPTURE happens on the simulation thread, at sequential points only.
+//     Noc_system::attach_sampler splits its kernel runs at the sampler's
+//     next_sample_at() cycles, so sample() always observes the registry at
+//     an exact multiple of the period — the sample INDEX and CYCLE are
+//     pure functions of the simulated run, independent of wall time, outer
+//     run() chunking, worker count or how fast the encoder drains.
+//   * ENCODING and I/O happen on the background thread: sample() hands the
+//     captured vector to a mutex-guarded FIFO and returns; the encoder
+//     appends records to the in-memory stream (and, when streaming to a
+//     file, writes + flushes so a live viewer — tools/noc_top — can tail
+//     it mid-run).
+//
+// Determinism: records are encoded in FIFO order, each holding only the
+// sample index, the simulated cycle and the captured values — wall-clock
+// time never enters the stream. Two runs of the same configuration on the
+// same schedule therefore produce byte-identical streams. (Across
+// schedules, kernel.* scheduling counters may differ; see the contract in
+// telemetry/registry.h.)
+//
+// Fault-determinism caveat for integrators: splitting a kernel run at a
+// sample cycle is NOT the same as adding a fault-engine sequential point.
+// Noc_system services fault events on its own cadence (fault stops, drain
+// chunks) and runs the sampler splits strictly INSIDE those chunks, so
+// attaching a sampler can never change when a reroute completes — sampled
+// and unsampled runs stay bit-identical.
+//
+// Binary stream layout (all integers little-endian):
+//   header:  magic "NOCT" | u32 version (1) | u64 period | u32 entry_count
+//            then per entry: u8 kind | u32 shard | u16 name_len | name bytes
+//   records: u64 sample_index | u64 cycle | entry_count x u64 values
+#pragma once
+
+#include "common/types.h"
+#include "telemetry/registry.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace noc {
+
+class Telemetry_sampler {
+public:
+    /// Sample every `period` cycles (first sample at cycle `period`). The
+    /// registry must outlive the sampler or stop() must be called first.
+    /// When `stream_path` is non-empty the stream is also written (and
+    /// flushed record-by-record) to that file for live viewing.
+    explicit Telemetry_sampler(const Telemetry_registry* registry,
+                               Cycle period, std::string stream_path = {});
+    ~Telemetry_sampler();
+    Telemetry_sampler(const Telemetry_sampler&) = delete;
+    Telemetry_sampler& operator=(const Telemetry_sampler&) = delete;
+
+    /// Next cycle a sample is due at. Noc_system splits kernel runs here.
+    [[nodiscard]] Cycle next_sample_at() const { return next_; }
+
+    /// Capture one sample at cycle `now` (must be called at a sequential
+    /// point, from the thread that calls kernel run()). Advances
+    /// next_sample_at() past `now`. Cheap: one registry capture plus one
+    /// queue push; encoding happens on the background thread.
+    void sample(Cycle now);
+
+    /// Drain the queue, stop the encoder thread and close the file stream.
+    /// Idempotent. After stop() the full stream is available via stream().
+    void stop();
+
+    /// Samples captured so far.
+    [[nodiscard]] std::uint64_t sample_count() const { return sample_index_; }
+
+    /// The encoded stream. Call only after stop() (the encoder owns the
+    /// buffer while running).
+    [[nodiscard]] const std::vector<std::uint8_t>& stream() const
+    {
+        return stream_;
+    }
+
+private:
+    void encoder_main();
+    void encode_header();
+    void encode_record(std::uint64_t index, Cycle cycle,
+                       const std::vector<std::uint64_t>& values);
+    void append_u64(std::uint64_t v);
+    void flush_to_file(std::size_t from);
+
+    struct Pending_sample {
+        std::uint64_t index = 0;
+        Cycle cycle = 0;
+        std::vector<std::uint64_t> values;
+    };
+
+    const Telemetry_registry* registry_;
+    Cycle period_;
+    Cycle next_;
+    std::uint64_t sample_index_ = 0;
+    std::string stream_path_;
+
+    std::vector<std::uint8_t> stream_; ///< encoder thread only (until stop)
+    std::size_t flushed_ = 0;          ///< stream_ bytes written to the file
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Pending_sample> queue_; ///< guarded by mutex_
+    bool shutdown_ = false;            ///< guarded by mutex_
+    bool stopped_ = false;             ///< caller thread only
+    std::thread encoder_;
+};
+
+// --- stream decoding (noc_top, heatmaps, tests) -----------------------------
+
+/// A fully decoded telemetry stream.
+struct Telemetry_stream {
+    struct Entry {
+        std::string name;
+        Telemetry_registry::Kind kind = Telemetry_registry::Kind::counter;
+        std::uint32_t shard = 0;
+    };
+    struct Record {
+        std::uint64_t index = 0;
+        Cycle cycle = 0;
+        std::vector<std::uint64_t> values; ///< parallel to entries
+    };
+    Cycle period = 0;
+    std::vector<Entry> entries;
+    std::vector<Record> records;
+};
+
+/// Decode `bytes`; throws std::runtime_error on a malformed header. A
+/// trailing partial record (a live file caught mid-write) is ignored, so
+/// tailing viewers can decode snapshots of a growing file.
+[[nodiscard]] Telemetry_stream
+decode_telemetry_stream(const std::vector<std::uint8_t>& bytes);
+
+/// JSON rendering of a decoded stream (entries + records), deterministic.
+[[nodiscard]] std::string to_json(const Telemetry_stream& stream);
+
+/// Human-readable per-entry table of the LAST record (deltas vs the
+/// previous record for counters), the noc_top "live" view.
+[[nodiscard]] std::string render_latest(const Telemetry_stream& stream);
+
+} // namespace noc

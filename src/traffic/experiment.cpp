@@ -1,19 +1,72 @@
 #include "traffic/experiment.h"
 
+#include "telemetry/registry.h"
+#include "telemetry/sampler.h"
 #include "traffic/flow_traffic.h"
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 namespace noc {
 
 namespace {
 
+/// Run the measurement window, honouring the early-stop protocol when
+/// Sweep_config::early_stop_check is set. Returns true when the point was
+/// stopped early (window truncated at the stop cycle).
+bool run_measurement(Noc_system& sys, const Sweep_config& cfg)
+{
+    if (cfg.early_stop_check == 0) {
+        sys.measure(cfg.measure);
+        return false;
+    }
+    // Chunked measure with live saturation detection: stop when mean
+    // packet latency is above the cap AND rose since the previous check.
+    // Both reads are exact-integer-derived at sequential points, so the
+    // stop cycle is a pure function of the point configuration —
+    // deterministic and worker-count-invariant.
+    sys.open_measurement(cfg.measure);
+    const Cycle end = sys.kernel().now() + cfg.measure;
+    double prev_latency = -1.0;
+    while (sys.kernel().now() < end) {
+        sys.advance(std::min(cfg.early_stop_check,
+                             end - sys.kernel().now()));
+        if (sys.kernel().now() >= end) break;
+        if (sys.stats().measured_delivered() == 0) continue;
+        const double latency = sys.stats().packet_latency().mean();
+        if (latency > cfg.early_stop_latency_cap &&
+            latency > prev_latency && prev_latency >= 0.0) {
+            sys.close_measurement();
+            return true;
+        }
+        prev_latency = latency;
+    }
+    return false;
+}
+
 Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
 {
+    // Telemetry attach (one branch, off by default): registry + async
+    // sampler, samples to a side stream only — the Load_point below reads
+    // exactly the same stats either way.
+    Telemetry_registry registry;
+    std::unique_ptr<Telemetry_sampler> sampler;
+    if (cfg.telemetry_period != 0) {
+        sys.attach_telemetry(registry);
+        std::string path;
+        if (!cfg.telemetry_dir.empty())
+            path = cfg.telemetry_dir + "/point_" + std::to_string(cfg.seed) +
+                   ".noct";
+        sampler = std::make_unique<Telemetry_sampler>(
+            &registry, cfg.telemetry_period, path);
+        sys.attach_sampler(sampler.get());
+    }
     sys.warmup(cfg.warmup);
-    sys.measure(cfg.measure);
+    const bool early_stopped = run_measurement(sys, cfg);
     Load_point pt;
+    pt.early_stopped = early_stopped;
+    pt.measured_cycles = sys.stats().measurement_window_cycles();
     const Cycle drain_limit =
         cfg.fault_drain_cap != 0 && cfg.build.fault_plan != nullptr
             ? std::min(cfg.drain_limit, cfg.fault_drain_cap)
@@ -60,6 +113,10 @@ Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
     if (measured_delivered + connected_dropped > 0.0)
         pt.connected_availability =
             measured_delivered / (measured_delivered + connected_dropped);
+    if (sampler) {
+        sys.attach_sampler(nullptr); // sampler dies with this scope
+        sampler->stop();
+    }
     return pt;
 }
 

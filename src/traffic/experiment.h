@@ -11,6 +11,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 
 namespace noc {
 
@@ -45,6 +46,16 @@ struct Load_point {
     /// with replay on this is 1.0 whenever every still-connected pair's
     /// traffic eventually lands.
     double connected_availability = 1.0;
+
+    // --- live saturation early-stop (Sweep_config::early_stop_check) --------
+    /// True when the measurement window was cut short because mean packet
+    /// latency crossed the early-stop cap and was still rising — the
+    /// latency curve went vertical, so finishing the window buys nothing.
+    bool early_stopped = false;
+    /// Cycles actually measured (== Sweep_config::measure unless
+    /// early_stopped) — the cost ledger BENCH_sweep.json reports savings
+    /// from.
+    Cycle measured_cycles = 0;
 };
 
 struct Sweep_config {
@@ -67,6 +78,33 @@ struct Sweep_config {
     /// unable to drain; a sweep worker must not wedge on it — see
     /// Sweep_runner's retry path).
     Cycle fault_drain_cap = 0;
+
+    // --- live saturation early-stop (telemetry tentpole) --------------------
+    /// Nonzero: run the measurement window in chunks of this many cycles
+    /// and stop the point early when mean packet latency exceeds
+    /// early_stop_latency_cap AND rose since the previous check — the
+    /// saturated-point signature. The window is then truncated at the stop
+    /// cycle (rates use the cycles actually measured) and the Load_point
+    /// reports early_stopped. The decision reads only exact-integer-
+    /// derived statistics at sequential points, so it is deterministic and
+    /// worker-count-invariant; 0 (the default) preserves the old protocol
+    /// bit-for-bit.
+    Cycle early_stop_check = 0;
+    /// Mean-latency cap the early-stop triggers above (same unit as
+    /// Sweep_spec::latency_cap; unusable points sit above it by
+    /// definition).
+    double early_stop_latency_cap = 200.0;
+
+    // --- live telemetry (telemetry/sampler.h) -------------------------------
+    /// Nonzero: attach a registry + async sampler to every system this
+    /// point builds, sampling each `telemetry_period` cycles. Samples go
+    /// to a SIDE stream only — never into the Load_point — so sampled and
+    /// unsampled runs produce identical results (CI gates on it).
+    Cycle telemetry_period = 0;
+    /// When non-empty (and telemetry_period != 0), each point streams its
+    /// samples to "<telemetry_dir>/point_<seed>.noct" for live viewing
+    /// with tools/noc_top.
+    std::string telemetry_dir;
 };
 
 /// One synthetic load point on a fresh network built from (topology,

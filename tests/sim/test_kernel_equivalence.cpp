@@ -11,7 +11,12 @@
 // (1 shard = the degenerate case that must equal the gated schedule).
 // These tests sweep the flow-control schemes, load levels, source models
 // and a dateline-VC topology through the kernels and diff every observable
-// counter.
+// counter. Every configuration is additionally re-run with a telemetry
+// registry + async sampler attached (telemetry/registry.h): the pull-based
+// surface must be result-invisible on every schedule, so the attached runs
+// are held to the same bit-identity bar.
+#include "telemetry/registry.h"
+#include "telemetry/sampler.h"
 #include "topology/routing.h"
 #include "traffic/experiment.h"
 #include "traffic/flow_traffic.h"
@@ -95,21 +100,35 @@ std::vector<std::uint64_t> ramp_weights(int switches)
 /// Build the configured system, install sources via `rig`, run the standard
 /// warmup/measure/drain protocol under `mode`, and snapshot every counter.
 /// `plan` partitions the system (only meaningful with
-/// Kernel_mode::sharded).
+/// Kernel_mode::sharded). With `telemetry` a registry + async sampler ride
+/// along (period 64) — the snapshot must not notice.
 template<typename Rig>
 Run_result run_mode(const Topology& topo, const Route_set& routes,
                     const Network_params& params, Kernel_mode mode,
                     const Rig& rig,
-                    Partition_plan plan = Partition_plan::single())
+                    Partition_plan plan = Partition_plan::single(),
+                    bool telemetry = false)
 {
     Build_options opts;
     opts.kernel_mode = mode;
     opts.partition = std::move(plan);
     Noc_system sys{topo, routes, params, opts};
     rig(sys);
+    Telemetry_registry reg;
+    std::unique_ptr<Telemetry_sampler> sampler;
+    if (telemetry) {
+        sys.attach_telemetry(reg);
+        sampler = std::make_unique<Telemetry_sampler>(&reg, 64);
+        sys.attach_sampler(sampler.get());
+    }
     sys.warmup(500);
     sys.measure(2'000);
     const bool drained = sys.drain(30'000);
+    if (sampler) {
+        sys.attach_sampler(nullptr);
+        sampler->stop();
+        EXPECT_GT(sampler->sample_count(), 0u);
+    }
     // A handful of settle cycles so components woken by the very last
     // in-flight tokens get the step in which they go back to sleep.
     sys.kernel().run(32);
@@ -174,6 +193,22 @@ void expect_equivalent(const Topology& topo, const Route_set& routes,
                 << shards << " shards " << kind;
         }
     }
+    // Telemetry attach (registry + async sampler) must be result-invisible
+    // on every schedule — the registry's zero-perturbation contract, held
+    // to the same bit-identity bar as the schedules themselves.
+    const Run_result tele_ref =
+        run_mode(topo, routes, params, Kernel_mode::reference, rig,
+                 Partition_plan::single(), /*telemetry=*/true);
+    EXPECT_TRUE(tele_ref.snap == ref.snap) << "telemetry-attached reference";
+    const Run_result tele_gated =
+        run_mode(topo, routes, params, Kernel_mode::activity_gated, rig,
+                 Partition_plan::single(), /*telemetry=*/true);
+    EXPECT_TRUE(tele_gated.snap == ref.snap) << "telemetry-attached gated";
+    const Run_result tele_sharded =
+        run_mode(topo, routes, params, Kernel_mode::sharded, rig,
+                 Partition_plan::contiguous(4), /*telemetry=*/true);
+    EXPECT_TRUE(tele_sharded.snap == ref.snap)
+        << "telemetry-attached sharded x4";
     // Open-loop sources keep injecting after the measurement window, so no
     // bound on the post-drain active set holds here — the "gating actually
     // gates" check lives in TraceDrivenSystemSleepsWhenDone, where traffic

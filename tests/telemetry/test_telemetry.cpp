@@ -1,0 +1,375 @@
+// Live telemetry service contract tests: registry shard partitioning,
+// zero-perturbation attach (telemetry-attached runs bit-identical to bare
+// ones), byte-deterministic sampler streams (rerun-identical, file ==
+// memory, decode round-trip), schedule-invariance of the simulation-state
+// entry subset, heatmap determinism, and the live saturation early-stop
+// (deterministic, worker-count-invariant, serialization-gated so old specs
+// stay byte-identical). The TSan CI leg runs this suite with the sharded
+// kernel at 4 shards to prove the capture/encode split is race-free.
+#include "telemetry/heatmap.h"
+#include "telemetry/registry.h"
+#include "telemetry/sampler.h"
+
+#include "arch/noc_builder.h"
+#include "explore/sweep_runner.h"
+#include "topology/mesh.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+#include "traffic/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace noc {
+namespace {
+
+std::unique_ptr<Noc_system> rigged_mesh(double rate, std::uint32_t shards,
+                                        Kernel_mode mode =
+                                            Kernel_mode::sharded)
+{
+    Mesh_params mp; // 4x4
+    const Topology topo = make_mesh(mp);
+    Noc_builder b;
+    b.topology(topo).routes(xy_routes(topo, mp)).params(Network_params{});
+    if (shards > 1)
+        b.schedule(mode).partition(Partition_plan::contiguous(shards));
+    auto sys = b.build();
+    auto pattern = std::shared_ptr<const Dest_pattern>(
+        make_uniform_pattern(topo.core_count()));
+    for (int c = 0; c < topo.core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = rate;
+        sp.seed = 700 + static_cast<std::uint64_t>(c);
+        sys->ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+    return sys;
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(TelemetryRegistry, EntriesPartitionByOwningShard)
+{
+    Telemetry_registry reg;
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+    reg.add_counter("s0.a", 0, [&a] { return a; });
+    reg.add_gauge("s1.b", 1, [&b] { return b; });
+    reg.add_counter("s1.c", 1, [&c] { return c; });
+    reg.add_gauge("s3.d", 3, [&d] { return d; });
+
+    ASSERT_EQ(reg.entry_count(), 4u);
+    EXPECT_EQ(reg.entry_count_in_shard(0), 1u);
+    EXPECT_EQ(reg.entry_count_in_shard(1), 2u);
+    EXPECT_EQ(reg.entry_count_in_shard(2), 0u);
+    EXPECT_EQ(reg.entry_count_in_shard(3), 1u);
+
+    // The shard slices partition [0, entry_count): disjoint, complete, and
+    // in registration order within a shard.
+    std::vector<bool> seen(reg.entry_count(), false);
+    std::size_t total = 0;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        const auto idx = reg.entries_in_shard(s);
+        EXPECT_EQ(idx.size(), reg.entry_count_in_shard(s));
+        for (std::size_t i = 0; i < idx.size(); ++i) {
+            EXPECT_FALSE(seen.at(idx[i])) << "entry in two shard slices";
+            seen[idx[i]] = true;
+            EXPECT_EQ(reg.entry(idx[i]).shard, s);
+            if (i > 0) EXPECT_GT(idx[i], idx[i - 1]);
+            ++total;
+        }
+    }
+    EXPECT_EQ(total, reg.entry_count());
+
+    EXPECT_EQ(reg.find("s1.c"), 2u);
+    EXPECT_EQ(reg.find("absent"), Telemetry_registry::npos);
+    EXPECT_EQ(reg.read(3), 4u);
+
+    // capture() reads in registration order and sees live updates.
+    EXPECT_EQ(reg.capture(), (std::vector<std::uint64_t>{1, 2, 3, 4}));
+    b = 20;
+    std::vector<std::uint64_t> buf;
+    reg.capture_into(buf);
+    EXPECT_EQ(buf, (std::vector<std::uint64_t>{1, 20, 3, 4}));
+}
+
+TEST(TelemetryRegistry, SystemSurfaceIsCaptureStableAtASequentialPoint)
+{
+    auto sys = rigged_mesh(0.15, 2);
+    Telemetry_registry reg;
+    sys->attach_telemetry(reg);
+    ASSERT_GT(reg.entry_count(), 0u);
+    sys->warmup(200);
+    // Two captures at the same sequential point are identical (pure reads).
+    EXPECT_EQ(reg.capture(), reg.capture());
+    // Every entry belongs to a real shard.
+    for (std::size_t i = 0; i < reg.entry_count(); ++i)
+        EXPECT_LT(reg.entry(i).shard, 2u);
+}
+
+// --- zero-perturbation attach -----------------------------------------------
+
+TEST(Telemetry, AttachedRunIsBitIdenticalToBareRun)
+{
+    auto bare = rigged_mesh(0.2, 4);
+    bare->warmup(300);
+    bare->measure(1'000);
+    (void)bare->drain(20'000);
+
+    auto probed = rigged_mesh(0.2, 4);
+    Telemetry_registry reg;
+    probed->attach_telemetry(reg);
+    Telemetry_sampler sampler{&reg, 64};
+    probed->attach_sampler(&sampler);
+    probed->warmup(300);
+    probed->measure(1'000);
+    (void)probed->drain(20'000);
+    probed->attach_sampler(nullptr);
+    sampler.stop();
+
+    EXPECT_EQ(probed->total_flits_routed(), bare->total_flits_routed());
+    EXPECT_EQ(probed->stats().packet_latency().mean(),
+              bare->stats().packet_latency().mean());
+    EXPECT_EQ(probed->stats().packets_delivered(),
+              bare->stats().packets_delivered());
+    EXPECT_GT(sampler.sample_count(), 0u);
+}
+
+// --- sampler stream ---------------------------------------------------------
+
+std::vector<std::uint8_t> sampled_stream(std::uint32_t shards,
+                                         Kernel_mode mode,
+                                         const std::string& path = {})
+{
+    auto sys = rigged_mesh(0.2, shards, mode);
+    Telemetry_registry reg;
+    sys->attach_telemetry(reg);
+    Telemetry_sampler sampler{&reg, 64, path};
+    sys->attach_sampler(&sampler);
+    sys->warmup(256);
+    sys->measure(512);
+    sys->attach_sampler(nullptr);
+    sampler.stop();
+    return sampler.stream();
+}
+
+TEST(TelemetrySampler, StreamIsByteDeterministicAcrossReruns)
+{
+    // 4 shards: the TSan leg exercises the capture (sim thread) / encode
+    // (background thread) handoff under the real sharded kernel.
+    const auto first = sampled_stream(4, Kernel_mode::sharded);
+    const auto again = sampled_stream(4, Kernel_mode::sharded);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, again);
+}
+
+TEST(TelemetrySampler, FileStreamMatchesMemoryStream)
+{
+    const std::string path = "test_telemetry_stream.noct";
+    const auto mem = sampled_stream(2, Kernel_mode::sharded, path);
+    std::ifstream in{path, std::ios::binary};
+    ASSERT_TRUE(in.good());
+    const std::vector<std::uint8_t> file{
+        std::istreambuf_iterator<char>{in},
+        std::istreambuf_iterator<char>{}};
+    EXPECT_EQ(file, mem);
+    in.close();
+    std::remove(path.c_str());
+}
+
+TEST(TelemetrySampler, DecodeRoundTripsHeaderAndRecords)
+{
+    const auto bytes = sampled_stream(2, Kernel_mode::sharded);
+    const Telemetry_stream stream = decode_telemetry_stream(bytes);
+    EXPECT_EQ(stream.period, 64u);
+    ASSERT_FALSE(stream.entries.empty());
+    ASSERT_FALSE(stream.records.empty());
+    for (std::size_t i = 0; i < stream.records.size(); ++i) {
+        const auto& r = stream.records[i];
+        EXPECT_EQ(r.index, i);
+        EXPECT_EQ(r.cycle, (i + 1) * 64); // exact multiples of the period
+        EXPECT_EQ(r.values.size(), stream.entries.size());
+    }
+    // A torn tail (live file caught mid-record) decodes to the same full
+    // records with the partial one dropped.
+    auto torn = bytes;
+    torn.resize(torn.size() - 5);
+    const Telemetry_stream partial = decode_telemetry_stream(torn);
+    EXPECT_EQ(partial.records.size(), stream.records.size() - 1);
+
+    // Renderers are pure functions of the decoded stream.
+    EXPECT_EQ(to_json(stream), to_json(decode_telemetry_stream(bytes)));
+    EXPECT_FALSE(render_latest(stream).empty());
+}
+
+TEST(TelemetrySampler, SimulationStateEntriesAreScheduleInvariant)
+{
+    // The registry contract: entries describing simulation state (link
+    // occupancy, NI injected/ejected, router routed/occ) are identical
+    // across kernel schedules at every sample; only kernel.* scheduling
+    // counters and router blocked-sleep entries may differ.
+    const auto ref = decode_telemetry_stream(
+        sampled_stream(1, Kernel_mode::reference));
+    const auto shr = decode_telemetry_stream(
+        sampled_stream(4, Kernel_mode::sharded));
+    ASSERT_EQ(ref.entries.size(), shr.entries.size());
+    ASSERT_EQ(ref.records.size(), shr.records.size());
+    for (std::size_t e = 0; e < ref.entries.size(); ++e) {
+        const std::string& name = ref.entries[e].name;
+        EXPECT_EQ(name, shr.entries[e].name);
+        if (name.rfind("kernel.", 0) == 0) continue;
+        if (name.size() >= 8 &&
+            name.compare(name.size() - 8, 8, ".blocked") == 0)
+            continue;
+        // Intra-cycle allocation peak: depends on within-cycle component
+        // order, which schedules legitimately permute.
+        if (name == "pool.high_water") continue;
+        for (std::size_t r = 0; r < ref.records.size(); ++r)
+            ASSERT_EQ(ref.records[r].values[e], shr.records[r].values[e])
+                << name << " diverged at sample " << r;
+    }
+}
+
+// --- heatmap ----------------------------------------------------------------
+
+TEST(TelemetryHeatmap, RenderIsDeterministicAndSelectsByName)
+{
+    const auto stream =
+        decode_telemetry_stream(sampled_stream(2, Kernel_mode::sharded));
+    const std::string routers = render_heatmap(stream, "router", ".occ");
+    EXPECT_EQ(routers, render_heatmap(stream, "router", ".occ"));
+    EXPECT_NE(routers.find("router0.occ"), std::string::npos);
+    EXPECT_EQ(routers.find("link"), std::string::npos);
+    // One row per record plus the legend.
+    std::size_t rows = 0;
+    for (const char ch : routers)
+        if (ch == '\n') ++rows;
+    EXPECT_GE(rows, stream.records.size());
+    const std::string links = render_heatmap(stream, "link", ".occ");
+    EXPECT_NE(links.find("link0.occ"), std::string::npos);
+}
+
+// --- sampled load points ----------------------------------------------------
+
+Sweep_config point_cfg()
+{
+    Sweep_config cfg;
+    cfg.warmup = 300;
+    cfg.measure = 1'500;
+    cfg.drain_limit = 10'000;
+    return cfg;
+}
+
+Load_point mesh_point(double rate, const Sweep_config& cfg)
+{
+    Mesh_params mp; // 4x4
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const auto cores = topo.core_count();
+    return run_synthetic_load(
+        topo, routes, Network_params{}, rate,
+        [cores] {
+            return std::shared_ptr<const Dest_pattern>(
+                make_uniform_pattern(cores));
+        },
+        cfg);
+}
+
+TEST(Telemetry, SampledLoadPointEqualsUnsampledLoadPoint)
+{
+    const Load_point plain = mesh_point(0.2, point_cfg());
+    Sweep_config sampled_cfg = point_cfg();
+    sampled_cfg.telemetry_period = 64; // side stream only
+    const Load_point sampled = mesh_point(0.2, sampled_cfg);
+    EXPECT_EQ(sampled.packets, plain.packets);
+    EXPECT_EQ(sampled.avg_packet_latency, plain.avg_packet_latency);
+    EXPECT_EQ(sampled.accepted_flits_per_node_cycle,
+              plain.accepted_flits_per_node_cycle);
+    EXPECT_EQ(sampled.drained, plain.drained);
+    EXPECT_EQ(sampled.measured_cycles, plain.measured_cycles);
+}
+
+// --- live saturation early-stop ---------------------------------------------
+
+TEST(EarlyStop, SaturatedPointStopsEarlyAndHealthyPointRunsFull)
+{
+    Sweep_config cfg = point_cfg();
+    cfg.measure = 4'000;
+    cfg.early_stop_check = 200;
+    cfg.early_stop_latency_cap = 120.0;
+
+    const Load_point healthy = mesh_point(0.05, cfg);
+    EXPECT_FALSE(healthy.early_stopped);
+    EXPECT_EQ(healthy.measured_cycles, cfg.measure);
+
+    const Load_point saturated = mesh_point(0.8, cfg);
+    EXPECT_TRUE(saturated.early_stopped);
+    EXPECT_LT(saturated.measured_cycles, cfg.measure);
+    EXPECT_GE(saturated.measured_cycles, cfg.early_stop_check);
+    // The truncated window still yields a usable (nonzero) point.
+    EXPECT_GT(saturated.packets, 0u);
+
+    // Deterministic: the stop cycle is a pure function of the run.
+    const Load_point again = mesh_point(0.8, cfg);
+    EXPECT_EQ(again.measured_cycles, saturated.measured_cycles);
+    EXPECT_EQ(again.avg_packet_latency, saturated.avg_packet_latency);
+}
+
+Sweep_spec saturating_spec()
+{
+    Sweep_spec spec;
+    spec.name = "early-stop-unit";
+    spec.add_mesh(4, 4);
+    spec.add_synthetic(Sweep_pattern_kind::uniform);
+    spec.loads = {0.1, 0.45, 0.8}; // last two sit past 4x4 saturation
+    spec.base.warmup = 300;
+    spec.base.measure = 4'000;
+    spec.base.drain_limit = 12'000;
+    return spec;
+}
+
+TEST(EarlyStop, SweepIsByteIdenticalAcrossWorkerCountsAndReportsStops)
+{
+    Sweep_spec spec = saturating_spec();
+    spec.base.early_stop_check = 200;
+    spec.latency_cap = 120.0; // point_config syncs the early-stop cap
+
+    const Sweep_result serial = run_sweep(spec, 1);
+    const Sweep_result parallel = run_sweep(spec, 4);
+    EXPECT_EQ(serial.to_json(), parallel.to_json());
+    EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+
+    EXPECT_NE(serial.to_json().find("\"early_stopped\": true"),
+              std::string::npos);
+    EXPECT_NE(serial.to_csv().find("early_stopped"), std::string::npos);
+
+    // The stop must actually save simulated cycles on the saturated points.
+    std::uint64_t saved = 0;
+    for (const auto& c : serial.curves)
+        for (const auto& p : c.points)
+            if (p.load.early_stopped) {
+                EXPECT_LT(p.load.measured_cycles, spec.base.measure);
+                saved += spec.base.measure - p.load.measured_cycles;
+            }
+    EXPECT_GT(saved, 0u);
+}
+
+TEST(EarlyStop, DisabledSpecSerializesExactlyAsBefore)
+{
+    // The gate: early_stop_check == 0 must not add keys or columns, so
+    // pre-existing specs (and the farm's cmp-based acceptance checks) stay
+    // byte-identical.
+    const Sweep_result off = run_sweep(saturating_spec(), 2);
+    EXPECT_EQ(off.to_json().find("early_stopped"), std::string::npos);
+    EXPECT_EQ(off.to_json().find("measured_cycles"), std::string::npos);
+    EXPECT_EQ(off.to_csv().find("early_stopped"), std::string::npos);
+}
+
+} // namespace
+} // namespace noc

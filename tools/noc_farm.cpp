@@ -226,6 +226,28 @@ int main(int argc, char** argv)
         static_cast<std::uint32_t>(r.duplicate_records));
     if (!r.coverage.empty()) std::printf("  %s\n", r.coverage.c_str());
 
+    // Per-slice ledger: every slice's dispatch/failure/straggler history
+    // and how it ultimately got its bytes (which attempt, or the resume
+    // checkpoint) — the table form of Farm_report::slice_stats.
+    if (!r.slice_stats.empty()) {
+        std::printf("\n  %-14s %9s %6s %6s %-22s %8s\n", "slice",
+                    "attempts", "fails", "dups", "published by", "wall(s)");
+        for (const auto& s : r.slice_stats) {
+            const std::string range = "[" + std::to_string(s.begin) + ".." +
+                                      std::to_string(s.end) + ")";
+            const std::string how =
+                s.trusted_on_resume
+                    ? "resume checkpoint"
+                    : (s.published
+                           ? "attempt " +
+                                 std::to_string(s.published_by_attempt)
+                           : "NOT PUBLISHED");
+            std::printf("  %-14s %9u %6u %6u %-22s %8.2f\n", range.c_str(),
+                        s.dispatches, s.failures, s.straggler_dups,
+                        how.c_str(), s.wall_seconds);
+        }
+    }
+
     bool ref_identical = true;
     if (r.success && !ref_path.empty()) {
         std::string merged, ref;

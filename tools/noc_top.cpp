@@ -1,0 +1,144 @@
+// noc_top — terminal viewer for telemetry streams (src/telemetry).
+//
+// Reads a .noct stream file written by a Telemetry_sampler (bench_sweep
+// --telemetry-dir, or any Noc_system with a sampler attached), decodes it
+// and renders:
+//
+//   * the latest sample as a per-entry table (counter deltas vs the
+//     previous sample), and
+//   * a queue-depth heatmap over time for a name prefix/suffix selection
+//     (default: router ".occ" gauges — buffered flits per router).
+//
+// Because the sampler flushes record-by-record and the decoder ignores a
+// torn trailing record, the viewer can watch a live file while the
+// simulation is still running:
+//
+//   ./noc_top telemetry/point_42.noct            # one-shot snapshot
+//   ./noc_top --follow telemetry/point_42.noct   # live top-style refresh
+//   ./noc_top --json telemetry/point_42.noct     # full decode as JSON
+//   ./noc_top --heatmap link --suffix .occ FILE  # per-link heatmap
+//
+// Exit code 0 on a decodable stream, 1 on usage / unreadable / malformed.
+#include "telemetry/heatmap.h"
+#include "telemetry/sampler.h"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace noc;
+
+namespace {
+
+bool read_bytes(const std::string& path, std::vector<std::uint8_t>& out)
+{
+    std::ifstream in{path, std::ios::binary};
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>{in},
+               std::istreambuf_iterator<char>{});
+    return true;
+}
+
+int usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: noc_top [--json] [--follow] [--interval MS]\n"
+        "               [--heatmap PREFIX] [--suffix SUFFIX] STREAM.noct\n"
+        "\n"
+        "  --json          dump the full decoded stream as JSON and exit\n"
+        "  --follow        re-read and re-render until interrupted\n"
+        "  --interval MS   refresh period for --follow (default 500)\n"
+        "  --heatmap P     heatmap entry-name prefix (default \"router\")\n"
+        "  --suffix S      heatmap entry-name suffix (default \".occ\")\n");
+    return 1;
+}
+
+/// One rendered frame: latest-sample table plus the selected heatmap.
+std::string render_frame(const Telemetry_stream& stream,
+                         const std::string& prefix,
+                         const std::string& suffix)
+{
+    std::string out = render_latest(stream);
+    out += "\n";
+    out += render_heatmap(stream, prefix, suffix);
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    std::string path;
+    std::string prefix = "router";
+    std::string suffix = ".occ";
+    bool json = false;
+    bool follow = false;
+    long interval_ms = 500;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--json") {
+            json = true;
+        } else if (a == "--follow") {
+            follow = true;
+        } else if (a == "--interval" && i + 1 < argc) {
+            interval_ms = std::strtol(argv[++i], nullptr, 10);
+            if (interval_ms < 1) interval_ms = 1;
+        } else if (a == "--heatmap" && i + 1 < argc) {
+            prefix = argv[++i];
+        } else if (a == "--suffix" && i + 1 < argc) {
+            suffix = argv[++i];
+        } else if (!a.empty() && a[0] == '-') {
+            return usage();
+        } else {
+            path = a;
+        }
+    }
+    if (path.empty()) return usage();
+
+    std::uint64_t last_rendered = ~std::uint64_t{0};
+    do {
+        std::vector<std::uint8_t> bytes;
+        if (!read_bytes(path, bytes)) {
+            std::fprintf(stderr, "noc_top: cannot read %s\n", path.c_str());
+            return 1;
+        }
+        Telemetry_stream stream;
+        try {
+            stream = decode_telemetry_stream(bytes);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "noc_top: %s: %s\n", path.c_str(),
+                         e.what());
+            return 1;
+        }
+        if (json) {
+            std::fputs(to_json(stream).c_str(), stdout);
+            std::fputc('\n', stdout);
+            return 0;
+        }
+        // In follow mode only redraw when a new record landed (the decoder
+        // skips a torn tail, so record count is the stable progress mark).
+        const std::uint64_t have = stream.records.size();
+        if (!follow || have != last_rendered) {
+            last_rendered = have;
+            if (follow) std::fputs("\x1b[2J\x1b[H", stdout); // clear screen
+            std::printf("%s  (%llu sample(s), period %llu cycles)\n\n",
+                        path.c_str(), static_cast<unsigned long long>(have),
+                        static_cast<unsigned long long>(stream.period));
+            std::fputs(render_frame(stream, prefix, suffix).c_str(),
+                       stdout);
+            std::fflush(stdout);
+        }
+        if (follow)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds{interval_ms});
+    } while (follow);
+    return 0;
+}
