@@ -1,0 +1,163 @@
+// Collective traffic on the multicast fabric (src/collective): broadcast
+// and allreduce completion on an 8x8 mesh, destination-set trees vs the
+// naive one-unicast-per-destination emulation.
+//
+// The tree fabric's claim is structural: a broadcast is ONE packet forked
+// in the switches instead of N-1 packets serialized through the root's
+// injection link, so completion time should drop from O(N) injection
+// serialization to roughly the tree depth. The bench measures completion
+// cycles for both modes on a quiet network, repeats allreduce under a
+// Bernoulli background load (the explore layer's collective axis in one
+// point), and gates on the acceptance criterion: tree allreduce completes
+// no later than its unicast emulation.
+//
+// Results land in BENCH_collective.json for cross-PR trending. The verdict
+// gates on shape (completion, tree <= naive), not absolute figures.
+#include "bench_util.h"
+
+#include "collective/collective.h"
+#include "topology/routing.h"
+#include "traffic/experiment.h"
+#include "traffic/patterns.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace noc;
+
+namespace {
+
+struct Fixture {
+    Topology topo;
+    Route_set routes;
+    Network_params params;
+};
+
+Fixture make_fixture()
+{
+    Mesh_params mp;
+    mp.width = 8;
+    mp.height = 8;
+    Fixture f{make_mesh(mp), {}, {}};
+    f.routes = xy_routes(f.topo, mp);
+    return f;
+}
+
+/// Completion cycles of one collective on an otherwise quiet system.
+Cycle quiet_completion(const Fixture& f, Collective_kind kind,
+                       bool use_multicast)
+{
+    Build_options opts;
+    Noc_system sys{f.topo, f.routes, f.params, opts};
+    Collective_config cfg;
+    cfg.kind = kind;
+    cfg.root = Core_id{0};
+    cfg.use_multicast = use_multicast;
+    Collective_driver driver{sys, cfg};
+    return driver.run_to_completion(1'000'000);
+}
+
+void print_row(const char* label, Cycle tree, Cycle naive)
+{
+    std::printf("%-12s %10llu %10llu %9.2fx\n", label,
+                static_cast<unsigned long long>(tree),
+                static_cast<unsigned long long>(naive),
+                tree != 0 ? static_cast<double>(naive) /
+                                static_cast<double>(tree)
+                          : 0.0);
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+
+    bench::print_banner(
+        "Collective traffic — broadcast/reduce trees vs unicast emulation",
+        "one-to-many traffic (invalidations, barrier releases) forked in "
+        "the switches beats serializing one unicast per destination "
+        "through the source's injection link");
+
+    const Fixture f = make_fixture();
+    const Cycle bcast_tree =
+        quiet_completion(f, Collective_kind::broadcast, true);
+    const Cycle bcast_naive =
+        quiet_completion(f, Collective_kind::broadcast, false);
+    const Cycle ar_tree =
+        quiet_completion(f, Collective_kind::allreduce, true);
+    const Cycle ar_naive =
+        quiet_completion(f, Collective_kind::allreduce, false);
+    const Cycle ag_tree =
+        quiet_completion(f, Collective_kind::allgather, true);
+    const Cycle ag_naive =
+        quiet_completion(f, Collective_kind::allgather, false);
+
+    std::printf("%-12s %10s %10s %9s\n", "collective", "tree(cy)",
+                "naive(cy)", "speedup");
+    print_row("broadcast", bcast_tree, bcast_naive);
+    print_row("allreduce", ar_tree, ar_naive);
+    print_row("allgather", ag_tree, ag_naive);
+
+    // Allreduce riding on a background Bernoulli load — the explore
+    // layer's collective axis in a single point.
+    Sweep_config cfg;
+    cfg.warmup = smoke ? 300 : 1'000;
+    cfg.measure = smoke ? 2'000 : 10'000;
+    cfg.drain_limit = smoke ? 20'000 : 60'000;
+    cfg.seed = 20100607; // DAC'10
+    Collective_config loaded_cfg;
+    loaded_cfg.kind = Collective_kind::allreduce;
+    loaded_cfg.root = Core_id{0};
+    const Load_point loaded = run_synthetic_load_with_collective(
+        f.topo, f.routes, f.params, 0.05,
+        [&] { return make_uniform_pattern(f.topo.core_count()); }, cfg,
+        loaded_cfg);
+    std::printf("\nallreduce under 0.05 flits/node/cycle background: "
+                "%llu cycles (completed: %s, background drained: %s)\n",
+                static_cast<unsigned long long>(
+                    loaded.collective_completion_cycles),
+                loaded.collective_completed ? "yes" : "NO",
+                loaded.drained ? "yes" : "NO");
+
+    const std::string json =
+        "{\n  \"bench\": \"collective\",\n  \"smoke\": " +
+        std::string{smoke ? "true" : "false"} +
+        ",\n  \"broadcast_tree_cycles\": " + std::to_string(bcast_tree) +
+        ",\n  \"broadcast_naive_cycles\": " + std::to_string(bcast_naive) +
+        ",\n  \"allreduce_tree_cycles\": " + std::to_string(ar_tree) +
+        ",\n  \"allreduce_naive_cycles\": " + std::to_string(ar_naive) +
+        ",\n  \"allgather_tree_cycles\": " + std::to_string(ag_tree) +
+        ",\n  \"allgather_naive_cycles\": " + std::to_string(ag_naive) +
+        ",\n  \"allreduce_loaded_cycles\": " +
+        std::to_string(loaded.collective_completion_cycles) +
+        ",\n  \"allreduce_loaded_completed\": " +
+        (loaded.collective_completed ? "true" : "false") + "\n}\n";
+    if (std::FILE* out = std::fopen("BENCH_collective.json", "w")) {
+        std::fputs(json.c_str(), out);
+        std::fclose(out);
+        std::printf("\nwrote BENCH_collective.json\n");
+    }
+
+    // Shape gate: everything completed, and the tree fabric never loses to
+    // its own unicast emulation (the subsystem's acceptance criterion).
+    const bool ok = bcast_tree != invalid_cycle &&
+                    bcast_naive != invalid_cycle &&
+                    ar_tree != invalid_cycle && ar_naive != invalid_cycle &&
+                    ag_tree != invalid_cycle && ag_naive != invalid_cycle &&
+                    loaded.collective_completed && loaded.drained &&
+                    bcast_tree <= bcast_naive && ar_tree <= ar_naive &&
+                    ag_tree <= ag_naive;
+    bench::print_verdict(
+        ok, "broadcast " + std::to_string(bcast_tree) + " vs " +
+                std::to_string(bcast_naive) + " cy, allreduce " +
+                std::to_string(ar_tree) + " vs " + std::to_string(ar_naive) +
+                " cy, allgather " + std::to_string(ag_tree) + " vs " +
+                std::to_string(ag_naive) +
+                " cy (tree vs naive); loaded allreduce " +
+                std::to_string(loaded.collective_completion_cycles) + " cy");
+    return ok ? 0 : 1;
+}

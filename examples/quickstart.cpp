@@ -12,6 +12,7 @@
 #include "arch/fault_plan.h"
 #include "arch/noc_builder.h"
 #include "arch/probe.h"
+#include "collective/collective.h"
 #include "common/table.h"
 #include "telemetry/heatmap.h"
 #include "telemetry/registry.h"
@@ -256,7 +257,39 @@ int main()
                   << rec.unreachable_pairs.size()
                   << " unreachable pairs)\n";
 
-    // 8. Scale out: when one machine's sweep is too slow, the sweep farm
+    // 8. Collectives: one-to-many and many-to-one traffic as a first-class
+    //    workload (src/collective). A multicast packet names a DESTINATION
+    //    SET instead of a core; multicast_routes merges the unicast routes
+    //    into per-source trees (deadlock-checked on the branching
+    //    channel-dependency graph), the switches fork flits at the tree
+    //    branches, and every member NI counts its own delivery. The
+    //    Collective_driver schedules broadcast / reduce / allreduce /
+    //    allgather over that fabric and reports a COMPLETION CYCLE — the
+    //    figure of merit for barrier releases and parameter updates. The
+    //    use_multicast flag flips the same collective onto naive unicast
+    //    emulation (one packet per destination), the baseline a tree
+    //    fabric must beat — compare the two numbers printed below, or run
+    //    bench_collective for the full story.
+    {
+        auto run_allreduce = [&](bool use_multicast) {
+            auto csys = Noc_builder{}
+                            .topology(topo)
+                            .routes(routes)
+                            .params(params)
+                            .build();
+            Collective_config ccfg;
+            ccfg.kind = Collective_kind::allreduce;
+            ccfg.root = Core_id{0};
+            ccfg.use_multicast = use_multicast;
+            Collective_driver driver{*csys, ccfg};
+            return driver.run_to_completion(100'000);
+        };
+        std::cout << "\nallreduce on the quiet 4x4 mesh: multicast tree "
+                  << run_allreduce(true) << " cycles vs unicast emulation "
+                  << run_allreduce(false) << " cycles\n\n";
+    }
+
+    // 9. Scale out: when one machine's sweep is too slow, the sweep farm
     //    (src/farm, `noc_farm` binary) shards the point grid across
     //    crash-isolated `bench_sweep --points a..b` worker processes with
     //    retry/backoff, hang detection, straggler re-dispatch and

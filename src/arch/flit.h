@@ -28,6 +28,19 @@
 //     into the VC ring) and releases drops; the sender releases window
 //     slots as the cumulative ACK retires them. Ejection ports bypass the
 //     window, so their handles transfer ownership like the credit case.
+//   * MULTICAST forks follow the same owned-copy rule. A multicast flit
+//     travels each tree segment (topology/multicast.h) as one uniquely-
+//     owned handle; at the branching switch the router neither forwards
+//     nor borrows it — for each child segment it acquires a fresh slot,
+//     copies the payload, and retargets the copy at its own branch
+//     (route / route_index / mseg / dst). Branches copy at their own pace
+//     (per-branch cursors, arch/router.h phase 1b), so the copies of one
+//     flit may be born on different cycles; the parent handle stays parked
+//     in the fork's input ring and is released only when the slowest
+//     branch has taken it. Downstream of a fork each branch copy is an
+//     ordinary uniquely-owned flit, so in-place mutation at later switches
+//     stays legal and the ACK/NACK window rules compose per branch
+//     unchanged.
 //
 // A Flit_ref held after its owner released it is DANGLING: dereferencing
 // one through Flit_pool::operator[] is a simulator bug (not a recoverable
@@ -48,6 +61,8 @@
 #include <cstdint>
 
 namespace noc {
+
+struct Mcast_tree; // topology/multicast.h
 
 enum class Flit_kind : std::uint8_t { head, body, tail, head_tail };
 
@@ -79,6 +94,20 @@ struct Flit {
     const Route* route = nullptr;
     /// Next hop to execute in `route`.
     std::uint16_t route_index = 0;
+    /// Multicast destination-set tree this flit travels (nullptr =
+    /// unicast). Non-owning: trees live in the NI-held Mcast_route_set,
+    /// which outlives the simulation, like `route` above. When set,
+    /// `route` points at segment `mseg`'s hop list and exhausting it at a
+    /// switch that is NOT an ejection means "fork here" (Router::step
+    /// makes one owned copy per child segment; see the ownership contract
+    /// above). `dst` is the leaf destination once the flit enters a leaf
+    /// segment; on interior segments it is the set's representative first
+    /// destination (never ejected there).
+    const Mcast_tree* mtree = nullptr;
+    /// Segment of `mtree` this flit is currently traversing.
+    std::uint16_t mseg = 0;
+    /// Destination-set id carried by multicast packets (stats keying).
+    Dset_id dset{};
     /// Effective VC occupied on the link this flit is currently crossing.
     std::uint16_t vc = 0;
     /// ACK/NACK link sequence number (assigned per link by the sender).

@@ -58,8 +58,20 @@ public:
     Link_sender& operator=(Link_sender&&) = delete;
 
     /// Phase 1 entry: arm for this cycle's sends (token consumption happens
-    /// in deliver(), at channel-commit time).
-    void begin_cycle() { sent_this_cycle_ = false; }
+    /// in deliver(), at channel-commit time). Resetting a consumed send
+    /// budget is a state change: the multicast sub-phase (phase 1b) sends
+    /// BEFORE unicast classification, so an allocation verdict computed the
+    /// same cycle can legitimately observe sent_this_cycle_ == true and
+    /// memoize "blocked" — without the bump here that memo would key on
+    /// generations that never change again and a head could starve forever
+    /// against a free output (a deadlock, not a slowdown).
+    void begin_cycle()
+    {
+        if (sent_this_cycle_) {
+            sent_this_cycle_ = false;
+            ++state_gen_;
+        }
+    }
 
     /// Value_sink: fold one reverse-channel token into sender state.
     void deliver(const Fc_token& token) override;
@@ -101,10 +113,12 @@ public:
 
     /// Monotonic counter bumped on every event that can change a future
     /// can_send() verdict: a send (credit consumed / window slot filled),
-    /// a delivered credit, an ON/OFF mask CHANGE, a retired ACK window
-    /// slot. The router's per-VC classify memo keys its cached allocation
-    /// verdicts on this (see Router::classify): while the counter is
-    /// unchanged, a cached verdict against this sender is still valid.
+    /// the one-send budget resetting at the next begin_cycle() after a
+    /// send, a delivered credit, an ON/OFF mask CHANGE, a retired ACK
+    /// window slot. The router's per-VC classify memo keys its cached
+    /// allocation verdicts on this (see Router::classify): while the
+    /// counter is unchanged, a cached verdict against this sender is still
+    /// valid.
     [[nodiscard]] std::uint64_t state_gen() const { return state_gen_; }
 
     [[nodiscard]] int credits(int vc) const;

@@ -159,6 +159,27 @@ std::uint64_t Network_stats::flow_flits_delivered(Flow_id f) const
     return n;
 }
 
+std::uint64_t Network_stats::multicast_packets() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->mcast_packets_;
+    return n;
+}
+
+std::uint64_t Network_stats::multicast_destinations() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->mcast_destinations_;
+    return n;
+}
+
+std::uint64_t Network_stats::multicast_deliveries() const
+{
+    std::uint64_t n = 0;
+    for (const auto& s : slots_) n += s->mcast_deliveries_;
+    return n;
+}
+
 double Network_stats::accepted_flits_per_cycle() const
 {
     const Cycle span = window_end_ - window_start_;

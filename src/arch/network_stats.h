@@ -53,6 +53,18 @@ public:
             if (measured) ++measured_unreachable_;
             dropped_flits_ += flits;
         }
+        /// A multicast packet offered at its source NI. The source also
+        /// calls on_packet_created once PER MEMBER of the destination set,
+        /// so packets_in_flight stays consistent with per-destination
+        /// delivery; this records the packet itself and its fan-out as
+        /// exact integers the sharded merge keeps bit-identical.
+        void on_multicast_created(std::uint32_t destinations)
+        {
+            ++mcast_packets_;
+            mcast_destinations_ += destinations;
+        }
+        /// One multicast destination delivery (a tail ejected at a member).
+        void on_multicast_delivered() { ++mcast_deliveries_; }
 
     private:
         friend class Network_stats;
@@ -66,6 +78,9 @@ public:
         std::uint64_t unreachable_ = 0;
         std::uint64_t measured_unreachable_ = 0;
         std::uint64_t dropped_flits_ = 0;
+        std::uint64_t mcast_packets_ = 0;
+        std::uint64_t mcast_destinations_ = 0;
+        std::uint64_t mcast_deliveries_ = 0;
         Exact_stat packet_latency_;
         Exact_stat network_latency_;
         std::unordered_map<Flow_id, Exact_stat> flow_latency_;
@@ -150,6 +165,32 @@ public:
     /// by core count for the per-node rate).
     [[nodiscard]] double accepted_flits_per_cycle() const;
 
+    // --- multicast / collective bookkeeping (topology/multicast.h) ----------
+
+    /// Multicast packets offered at source NIs (merged over slots).
+    [[nodiscard]] std::uint64_t multicast_packets() const;
+    /// Total destination fan-out of those packets (sum of set sizes).
+    [[nodiscard]] std::uint64_t multicast_destinations() const;
+    /// Per-destination multicast deliveries (merged over slots). For a
+    /// drained run this equals multicast_destinations().
+    [[nodiscard]] std::uint64_t multicast_deliveries() const;
+    /// Absolute fork-event / branch-copy totals, re-synced from the routers
+    /// after each kernel run chunk (the routers own the live counters),
+    /// mirroring record_retransmissions.
+    void record_multicast_forks(std::uint64_t forks, std::uint64_t copies)
+    {
+        mcast_forks_ = forks;
+        mcast_copies_ = copies;
+    }
+    [[nodiscard]] std::uint64_t multicast_forks() const
+    {
+        return mcast_forks_;
+    }
+    [[nodiscard]] std::uint64_t multicast_copies() const
+    {
+        return mcast_copies_;
+    }
+
     // --- fault / recovery bookkeeping (arch/fault_plan.h) -------------------
     // Written only at sequential points by the Noc_system fault engine, so
     // these live on the stats object itself rather than in the slots.
@@ -216,6 +257,9 @@ private:
     std::uint64_t corrupted_flits_ = 0;
     std::uint64_t retransmissions_ = 0;
     std::uint64_t packets_replayed_ = 0;
+    // --- sequential-only multicast bookkeeping (router re-sync) ---
+    std::uint64_t mcast_forks_ = 0;
+    std::uint64_t mcast_copies_ = 0;
     std::vector<Recovery_record> recoveries_;
 };
 

@@ -1,6 +1,9 @@
 #include "arch/ni.h"
 
+#include "topology/multicast.h"
+
 #include <stdexcept>
+#include <string>
 
 namespace noc {
 
@@ -132,10 +135,14 @@ void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
     request_wake();
     may_sleep_ = false;
     enqueued_this_step_ = true;
-    if (desc.dst == core_)
-        throw std::invalid_argument{"Ni: packet addressed to self"};
     if (desc.size_flits == 0)
         throw std::invalid_argument{"Ni: empty packet"};
+    if (desc.dset.is_valid()) {
+        enqueue_multicast(desc, now);
+        return;
+    }
+    if (desc.dst == core_)
+        throw std::invalid_argument{"Ni: packet addressed to self"};
     if (powered_off_) {
         // Dead core (router death / region power-off): offered traffic is
         // counted and discarded, exactly like the no-route case below.
@@ -198,6 +205,64 @@ void Ni::enqueue_packet(const Packet_desc& desc, Cycle now)
         queue_.push(p);
 }
 
+void Ni::enqueue_multicast(const Packet_desc& desc, Cycle now)
+{
+    if (desc.cls == Traffic_class::gt)
+        throw std::invalid_argument{
+            "Ni: multicast is best-effort only (no GT class)"};
+    // Absorb condition for deadlock-free tree forks: a lagging branch must
+    // always be able to reach its tail from the flits already buffered at
+    // the fork, so a multicast packet must fit a router input buffer
+    // (arch/router.h, phase 1b).
+    if (desc.size_flits > static_cast<std::uint32_t>(params_.buffer_depth))
+        throw std::invalid_argument{
+            "Ni: multicast packet exceeds buffer_depth (" +
+            std::to_string(desc.size_flits) + " > " +
+            std::to_string(params_.buffer_depth) +
+            " flits); tree forks absorb a whole packet per branch"};
+    if (mroutes_ == nullptr)
+        throw std::logic_error{
+            "Ni: multicast packet but no multicast routes installed"};
+    const Mcast_tree& tree = mroutes_->at(core_, desc.dset);
+    if (tree.empty())
+        throw std::logic_error{
+            "Ni: multicast destination set has no members beyond this core"};
+    const auto dests =
+        static_cast<std::uint32_t>(tree.destinations.size());
+    const bool measured = stats_->in_measurement(now);
+    // One creation per destination, so per-destination deliveries balance
+    // packets_in_flight; the multicast counter records the packet itself.
+    for (std::uint32_t d = 0; d < dests; ++d)
+        stats_slot_->on_packet_created(desc.flow, now, measured);
+    stats_slot_->on_multicast_created(dests);
+    if (powered_off_) {
+        for (std::uint32_t d = 0; d < dests; ++d)
+            stats_slot_->on_packet_unreachable(measured, desc.size_flits);
+        return;
+    }
+    // Multicast does not compose with the end-to-end replay protocol (one
+    // replay record cannot represent per-destination delivery state), so no
+    // replay record is kept: a purged multicast packet stays dropped.
+    const Packet_id pid{(static_cast<std::uint64_t>(core_.get()) << 40) |
+                        next_packet_seq_++};
+    ++mcast_packets_injected_;
+    Pending_packet p;
+    p.dst = tree.segments[0].dst; // representative; retargeted per branch
+    p.size_flits = desc.size_flits;
+    p.reply_flits = desc.reply_flits;
+    p.cls = desc.cls;
+    p.flow = desc.flow;
+    p.conn = desc.conn;
+    p.route = &tree.segments[0].hops;
+    p.pid = pid;
+    p.birth = now;
+    p.measured = measured;
+    p.epoch = epoch_;
+    p.mtree = &tree;
+    queued_flits_ += desc.size_flits;
+    queue_.push(p);
+}
+
 Flit_ref Ni::materialize_flit(Pending_packet& p, Cycle now, int vc)
 {
     const Flit_ref ref = pool_->acquire();
@@ -222,6 +287,13 @@ Flit_ref Ni::materialize_flit(Pending_packet& p, Cycle now, int vc)
     f.route = is_head(f.kind) ? p.route : nullptr;
     f.route_index = 0;
     f.route_epoch = p.epoch;
+    if (p.mtree != nullptr) {
+        // Every flit (not just the head) carries the tree: body/tail
+        // replication at a fork reads the branch targets through it.
+        f.mtree = p.mtree;
+        f.mseg = 0;
+        f.dset = p.mtree->dset;
+    }
     if (is_tail(f.kind)) f.reply_flits = p.reply_flits;
     f.birth = p.birth;
     f.measured = p.measured;
@@ -318,6 +390,12 @@ void Ni::eject(Cycle now)
     reassembly_.erase(f.packet);
     stats_slot_->on_packet_delivered(f.flow, f.packet_size, f.birth,
                                      f.inject, now, f.measured);
+    if (f.dset.is_valid()) {
+        // One multicast destination completed here; the other members'
+        // branch copies are counted by their own NIs.
+        ++mcast_deliveries_;
+        stats_slot_->on_multicast_delivered();
+    }
     // End-to-end replay: remember the delivery so the fault engine can ack
     // the source NI's replay record at the next sequential point.
     if (replay_protocol_) delivered_pids_.push_back(f.packet);

@@ -41,6 +41,8 @@
 
 namespace noc {
 
+class Mcast_route_set; // topology/multicast.h
+
 class Ni final : public Component {
 public:
     Ni(Core_id core, const Network_params& params, Flit_pool* pool,
@@ -143,6 +145,28 @@ public:
     /// Route epoch new injections are stamped with (0 until the first
     /// set_routes after construction).
     [[nodiscard]] std::uint16_t route_epoch() const { return epoch_; }
+
+    // --- multicast (topology/multicast.h) ----------------------------------
+
+    /// Install the destination-set trees. Non-owning; may be null (no
+    /// multicast traffic). Packets whose Packet_desc::dset is valid are
+    /// routed by their set's tree instead of the unicast LUT.
+    void set_mcast_routes(const Mcast_route_set* mroutes)
+    {
+        mroutes_ = mroutes;
+    }
+    /// Multicast packets this NI has enqueued (telemetry; one per packet,
+    /// not per destination). Exact and schedule-invariant.
+    [[nodiscard]] std::uint64_t mcast_packets_injected() const
+    {
+        return mcast_packets_injected_;
+    }
+    /// Multicast destination deliveries completed AT this NI (one per tail
+    /// ejected here). Exact and schedule-invariant.
+    [[nodiscard]] std::uint64_t mcast_deliveries() const
+    {
+        return mcast_deliveries_;
+    }
 
     // --- end-to-end replay protocol (Fault_plan::replay) --------------------
     // The source NI keeps a replay record per injected packet until the
@@ -268,8 +292,11 @@ public:
         auto rebind = [&](Ring_fifo<Pending_packet>& q) {
             for (std::size_t i = 0; i < q.size();) {
                 Pending_packet& p = q[i];
-                if (p.next_flit > 0) {
-                    ++i; // mid-flight: keeps its (still valid) old route
+                if (p.next_flit > 0 || p.mtree != nullptr) {
+                    // Mid-flight: keeps its (still valid) old route.
+                    // Multicast: routed by tree, not the swapped LUT
+                    // (multicast does not compose with fault plans).
+                    ++i;
                     continue;
                 }
                 const Route* route = &routes_->at(core_, p.dst);
@@ -305,6 +332,9 @@ private:
         bool measured = false;
         std::uint32_t next_flit = 0;
         std::uint16_t epoch = 0; ///< route epoch stamped on its flits
+        /// Multicast tree (nullptr = unicast); `route` then points at its
+        /// root segment's hops and flits are stamped with it.
+        const Mcast_tree* mtree = nullptr;
     };
 
     /// Source-side replay record (set_replay_protocol): everything needed
@@ -322,6 +352,9 @@ private:
     };
 
     void poll_source(Cycle now);
+    /// enqueue_packet's multicast arm (desc.dset valid): routes by the
+    /// set's tree and counts one creation per destination.
+    void enqueue_multicast(const Packet_desc& desc, Cycle now);
     void release_replies(Cycle now);
     void release_replays(Cycle now);
     void inject(Cycle now);
@@ -336,6 +369,7 @@ private:
     Network_params params_;
     Flit_pool* pool_;
     const Route_set* routes_;
+    const Mcast_route_set* mroutes_ = nullptr;
     Link_sender sender_;
     Flit_channel* eject_data_;
     Network_stats* stats_;
@@ -353,6 +387,8 @@ private:
     std::function<void(const Flit&, Cycle)> on_delivery_;
     std::uint64_t next_packet_seq_ = 0;
     std::uint64_t flits_ejected_ = 0; ///< see flits_ejected()
+    std::uint64_t mcast_packets_injected_ = 0; ///< see accessor
+    std::uint64_t mcast_deliveries_ = 0;       ///< see accessor
     /// Source promise refreshed each step: no poll due next cycle.
     bool source_may_sleep_ = false;
     /// Source's promised next poll cycle (valid when source_may_sleep_).

@@ -5,6 +5,7 @@
 #include "telemetry/sampler.h"
 #include "topology/deadlock.h"
 #include "topology/fault.h"
+#include "topology/multicast.h"
 #include "topology/routing.h"
 
 #include <algorithm>
@@ -239,6 +240,42 @@ Noc_system::Noc_system(Topology topology, Route_set routes,
     }
 }
 
+void Noc_system::set_mcast_routes(Mcast_route_set mroutes)
+{
+    if (fault_plan_)
+        throw std::logic_error{
+            "Noc_system: multicast does not compose with fault plans"};
+    if (mroutes.core_count() != topology_.core_count())
+        throw std::invalid_argument{
+            "Noc_system: multicast route/core count mismatch"};
+    // Validate every tree against the port map and VC budget up front,
+    // like the ctor does for unicast routes — a bad tree would otherwise
+    // surface as a mid-simulation logic error.
+    for (int s = 0; s < topology_.core_count(); ++s) {
+        const Core_id src{static_cast<std::uint32_t>(s)};
+        for (std::size_t d = 0; d < mroutes.dset_count(); ++d) {
+            const Mcast_tree& tree =
+                mroutes.at(src, Dset_id{static_cast<std::uint32_t>(d)});
+            if (!tree.empty())
+                validate_mcast_tree(topology_, tree, params_.route_vcs);
+        }
+    }
+    mcast_routes_ = std::make_unique<Mcast_route_set>(std::move(mroutes));
+    for (const auto& ni : nis_) ni->set_mcast_routes(mcast_routes_.get());
+}
+
+void Noc_system::sync_multicast_counters()
+{
+    if (!mcast_routes_) return;
+    std::uint64_t forks = 0;
+    std::uint64_t copies = 0;
+    for (const auto& r : routers_) {
+        forks += r->multicast_forks();
+        copies += r->multicast_copies();
+    }
+    stats_.record_multicast_forks(forks, copies);
+}
+
 void Noc_system::attach_probe(Probe* probe)
 {
     if (probe != nullptr) probe->bind(shard_count_);
@@ -264,8 +301,9 @@ std::uint32_t Noc_system::link_occupancy(Link_id l) const
 
 void Noc_system::attach_telemetry(Telemetry_registry& registry) const
 {
-    // Fixed registration order (links, NIs, routers, kernel, pool) keeps
-    // captures — and the sampler stream built from them — deterministic.
+    // Fixed registration order (links, NIs, routers, kernel, pool,
+    // multicast) keeps captures — and the sampler stream built from them —
+    // deterministic.
     // Every read-function targets a counter the component maintains
     // anyway; nothing here adds hot-path work.
     for (int i = 0; i < topology_.link_count(); ++i) {
@@ -329,6 +367,32 @@ void Noc_system::attach_telemetry(Telemetry_registry& registry) const
     registry.add_counter("pool.high_water", 0, [pool] {
         return static_cast<std::uint64_t>(pool->high_water());
     });
+    // Multicast group — registered only when trees are installed, so
+    // systems without collectives keep their registration set (and any
+    // stream diffs over it) byte-identical to before.
+    if (mcast_routes_) {
+        for (int c = 0; c < topology_.core_count(); ++c) {
+            const Core_id core{static_cast<std::uint32_t>(c)};
+            const std::uint32_t shard = shard_of_core(core);
+            const Ni* ni = nis_[static_cast<std::size_t>(c)].get();
+            const std::string base = "ni" + std::to_string(c);
+            registry.add_counter(base + ".mcast_injected", shard, [ni] {
+                return ni->mcast_packets_injected();
+            });
+            registry.add_counter(base + ".mcast_delivered", shard, [ni] {
+                return ni->mcast_deliveries();
+            });
+        }
+        for (int s = 0; s < topology_.switch_count(); ++s) {
+            const std::uint32_t shard =
+                shard_of_switch(Switch_id{static_cast<std::uint32_t>(s)});
+            const Router* r = routers_[static_cast<std::size_t>(s)].get();
+            registry.add_counter("router" + std::to_string(s) +
+                                     ".mcast_forks",
+                                 shard,
+                                 [r] { return r->multicast_forks(); });
+        }
+    }
 }
 
 void Noc_system::warmup(Cycle cycles)
@@ -360,22 +424,27 @@ void Noc_system::close_measurement()
 bool Noc_system::drain(Cycle max_cycles)
 {
     if (!fault_plan_) {
-        if (sampler_ == nullptr)
-            return kernel_.run_until(
+        bool drained;
+        if (sampler_ == nullptr) {
+            drained = kernel_.run_until(
                 [this] { return stats_.measured_in_flight() == 0; },
                 max_cycles);
-        // Sampled fast path: same 64-cycle predicate cadence as
-        // run_until, with the sampling splits inside each chunk — the
-        // stop cycle is unchanged (splitting a kernel run at a cycle
-        // boundary is behaviour-neutral; the fault path below relies on
-        // the same fact).
-        constexpr Cycle check_interval = 64;
-        const Cycle deadline = kernel_.now() + max_cycles;
-        while (kernel_.now() < deadline) {
-            run_plain(std::min(check_interval, deadline - kernel_.now()));
-            if (stats_.measured_in_flight() == 0) return true;
+        } else {
+            // Sampled fast path: same 64-cycle predicate cadence as
+            // run_until, with the sampling splits inside each chunk — the
+            // stop cycle is unchanged (splitting a kernel run at a cycle
+            // boundary is behaviour-neutral; the fault path below relies
+            // on the same fact).
+            constexpr Cycle check_interval = 64;
+            const Cycle deadline = kernel_.now() + max_cycles;
+            while (kernel_.now() < deadline &&
+                   stats_.measured_in_flight() != 0)
+                run_plain(std::min(check_interval,
+                                   deadline - kernel_.now()));
+            drained = stats_.measured_in_flight() == 0;
         }
-        return stats_.measured_in_flight() == 0;
+        sync_multicast_counters();
+        return drained;
     }
     // Fixed 64-cycle chunks, split further at fault boundaries, so the
     // cadence of sequential points — and therefore the exact stop cycle —
@@ -411,6 +480,7 @@ void Noc_system::run_with_faults(Cycle cycles)
 {
     if (!fault_plan_) {
         run_plain(cycles);
+        sync_multicast_counters();
         return;
     }
     const Cycle end = kernel_.now() + cycles;

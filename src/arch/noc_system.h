@@ -34,6 +34,7 @@
 #include "arch/router.h"
 #include "sim/kernel.h"
 #include "topology/graph.h"
+#include "topology/multicast.h"
 #include "topology/route.h"
 
 #include <memory>
@@ -84,6 +85,22 @@ public:
     [[nodiscard]] const Topology& topology() const { return topology_; }
     [[nodiscard]] const Route_set& routes() const { return routes_; }
     [[nodiscard]] const Network_params& params() const { return params_; }
+
+    // --- multicast / collective traffic (topology/multicast.h) --------------
+    /// Install destination-set trees and hand them to every NI. Takes
+    /// ownership — multicast flits hold pointers into the trees, so the
+    /// set must live exactly as long as the system (like the unicast
+    /// Route_set). Every tree is validated against the topology up front,
+    /// mirroring the ctor's unicast route validation. Sequential points
+    /// only; does not compose with fault plans (the purge/reroute
+    /// machinery does not understand branched worms) and throws if one is
+    /// installed.
+    void set_mcast_routes(Mcast_route_set mroutes);
+    /// The installed trees (nullptr until set_mcast_routes).
+    [[nodiscard]] const Mcast_route_set* mcast_routes() const
+    {
+        return mcast_routes_.get();
+    }
 
     // --- shard partition (sharded kernel; see ctor comment) -----------------
     [[nodiscard]] std::uint32_t shard_count() const { return shard_count_; }
@@ -247,11 +264,18 @@ private:
     void collect_acks();
     /// Re-sync sender-owned counters (retransmissions) into stats_.
     void sync_fault_counters();
+    /// Re-sync router-owned multicast fork/copy counters into stats_
+    /// (absolute totals, mirroring sync_fault_counters). No-op until
+    /// set_mcast_routes.
+    void sync_multicast_counters();
     void wake_everything();
 
     Topology topology_;
     Route_set routes_;
     Network_params params_;
+    /// Destination-set trees (set_mcast_routes; null = no multicast).
+    /// unique_ptr so tree addresses stay stable for in-flight flits.
+    std::unique_ptr<Mcast_route_set> mcast_routes_;
     std::uint32_t shard_count_ = 1;
     /// Per-switch shard ids resolved from the Partition_plan (contiguous
     /// blocks; see arch/partition_plan.h).

@@ -82,15 +82,18 @@ std::string hop_line(const Flit_pool& pool, const Trace_probe::Hop& h)
     if (!pool.is_live(h.flit)) return {};
 #endif
     const Flit& f = pool[h.flit];
-    return "@" + std::to_string(h.now) + " sw" +
-           std::to_string(h.sw.get()) + " flit#" +
-           std::to_string(h.flit.index) + " pkt" +
-           std::to_string(f.packet.get()) + " " +
-           std::to_string(f.src.get()) + "->" +
-           std::to_string(f.dst.get()) + " idx " +
-           std::to_string(f.index) + "/" +
-           std::to_string(f.packet_size) + " hop " +
-           std::to_string(f.route_index);
+    std::string line = "@" + std::to_string(h.now) + " sw" +
+                       std::to_string(h.sw.get()) + " flit#" +
+                       std::to_string(h.flit.index) + " pkt" +
+                       std::to_string(f.packet.get()) + " " +
+                       std::to_string(f.src.get()) + "->" +
+                       std::to_string(f.dst.get()) + " idx " +
+                       std::to_string(f.index) + "/" +
+                       std::to_string(f.packet_size) + " hop " +
+                       std::to_string(f.route_index);
+    if (h.branches > 0)
+        line += " multicast_forked x" + std::to_string(h.branches);
+    return line;
 }
 
 } // namespace

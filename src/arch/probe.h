@@ -22,8 +22,9 @@
 // ## Trace_probe record format
 //
 // Trace_probe keeps one fixed-capacity ring buffer per shard; each record
-// is a 16-byte Hop: the 4-byte Flit_ref handle of the flit that hopped,
-// the switch it traversed, and the cycle it happened — the ROADMAP's
+// is a compact Hop: the 4-byte Flit_ref handle of the flit that hopped,
+// the switch it traversed, the cycle it happened, and a branch count that
+// tags multicast fork events (0 = plain hop) — the ROADMAP's
 // "pool-aware trace capture": flit payloads live in the per-system
 // Flit_pool, so the handle stands in for the payload and logging a hop
 // costs one ring store (no payload copy, no allocation, no branch beyond
@@ -95,6 +96,23 @@ public:
     virtual void on_hop(std::uint32_t shard, Cycle now, Switch_id sw,
                         Flit_ref flit) = 0;
 
+    /// One multicast head-flit fork (topology/multicast.h): router `sw`
+    /// replicated `flit` into `branches` per-branch pool copies at cycle
+    /// `now`. Fired before the parent handle is released, so `flit` still
+    /// resolves inside the call; each branch copy additionally reports its
+    /// own on_hop. Same threading contract as on_hop (phase 1b, shard
+    /// worker thread).
+    virtual void on_multicast_fork(std::uint32_t shard, Cycle now,
+                                   Switch_id sw, Flit_ref flit,
+                                   std::uint16_t branches)
+    {
+        (void)shard;
+        (void)now;
+        (void)sw;
+        (void)flit;
+        (void)branches;
+    }
+
     /// One fault-engine event (arch/fault_plan.h). Unlike on_hop this runs
     /// at a sequential point between kernel runs, never concurrently —
     /// implementations need no per-shard partitioning for it.
@@ -106,10 +124,13 @@ public:
 class Trace_probe final : public Probe {
 public:
     /// One retained record: which flit crossed which switch, and when.
+    /// `branches` discriminates the event kind: 0 = crossbar hop, > 0 = a
+    /// multicast fork that made that many branch copies.
     struct Hop {
         Flit_ref flit;
         Switch_id sw{};
         Cycle now = invalid_cycle;
+        std::uint16_t branches = 0;
     };
 
     /// Readout ordering for dump() — see the header comment.
@@ -128,7 +149,21 @@ public:
     {
         Ring& r = rings_[shard];
         r.records[static_cast<std::size_t>(r.count & mask_)] =
-            Hop{flit, sw, now};
+            Hop{flit, sw, now, 0};
+        ++r.count;
+    }
+
+    /// Fork events share the hop rings (they are ordinary per-shard
+    /// hot-path records); `branches` tags them for dump()'s
+    /// `multicast_forked` label. The parent handle is released right after
+    /// the fork, so like any delivered flit it may resolve to recycled
+    /// contents at dump time (NOC_DEBUG builds skip such records).
+    void on_multicast_fork(std::uint32_t shard, Cycle now, Switch_id sw,
+                           Flit_ref flit, std::uint16_t branches) override
+    {
+        Ring& r = rings_[shard];
+        r.records[static_cast<std::size_t>(r.count & mask_)] =
+            Hop{flit, sw, now, branches};
         ++r.count;
     }
 

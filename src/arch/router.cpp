@@ -1,7 +1,9 @@
 #include "arch/router.h"
 
 #include "arch/probe.h"
+#include "topology/multicast.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -28,10 +30,9 @@ Router::Router(Switch_id id, const Network_params& params, Flit_pool* pool,
         Input in{ip, {}, Round_robin_arbiter{vcs}, 0, 0, {}};
         in.vcs.reserve(static_cast<std::size_t>(vcs));
         for (int v = 0; v < vcs; ++v)
-            in.vcs.push_back(Vc_state{
-                Ring_fifo<Flit_ref>{
-                    static_cast<std::size_t>(params_.buffer_depth)},
-                false, 0, 0});
+            in.vcs.push_back(Vc_state{.fifo = Ring_fifo<Flit_ref>{
+                                          static_cast<std::size_t>(
+                                              params_.buffer_depth)}});
         inputs_.push_back(std::move(in));
     }
     // Wire the arrival sinks once the Input addresses are final.
@@ -70,14 +71,84 @@ std::string Router::name() const
     return "router" + std::to_string(id_.get());
 }
 
+std::string Router::debug_dump() const
+{
+    const int vcs = params_.total_vcs();
+    std::string s = "router" + std::to_string(id_.get()) +
+                    " buffered=" + std::to_string(buffered_) + "\n";
+    const auto flit_str = [this](Flit_ref ref) {
+        const Flit& f = (*pool_)[ref];
+        std::string t = "pkt" + std::to_string(f.packet.get()) + " " +
+                        std::to_string(f.src.get()) + "->" +
+                        std::to_string(f.dst.get()) + " idx " +
+                        std::to_string(f.index) + "/" +
+                        std::to_string(f.packet_size);
+        if (f.mtree != nullptr) t += " mseg " + std::to_string(f.mseg);
+        else if (f.route != nullptr)
+            t += " hop " + std::to_string(f.route_index) + "/" +
+                 std::to_string(f.route->size());
+        return t;
+    };
+    for (std::size_t p = 0; p < inputs_.size(); ++p) {
+        const Input& in = inputs_[p];
+        if (in.arrival_sink.pending.is_valid())
+            s += "  in" + std::to_string(p) +
+                 " arrival: " + flit_str(in.arrival_sink.pending) + "\n";
+        for (int v = 0; v < vcs; ++v) {
+            const Vc_state& vs = in.vcs[static_cast<std::size_t>(v)];
+            if (vs.fifo.empty() && !vs.bound && !vs.mcast_bound) continue;
+            s += "  in" + std::to_string(p) + " vc" + std::to_string(v) +
+                 ":";
+            if (vs.bound)
+                s += " bound->out" + std::to_string(vs.out_port) + "/vc" +
+                     std::to_string(vs.out_vc);
+            if (vs.mcast_bound) {
+                s += " mcast(pkt" + std::to_string(vs.mcast_owner.get()) +
+                     " popped=" + std::to_string(vs.mcast_popped);
+                for (const Mcast_branch& b : vs.mcast_branches)
+                    s += " [out" + std::to_string(b.out_port) + "/vc" +
+                         std::to_string(b.out_vc) +
+                         " taken=" + std::to_string(b.taken) +
+                         (b.done ? " done]" : "]");
+                s += ")";
+            }
+            s += "\n";
+            for (std::size_t i = 0; i < vs.fifo.size(); ++i)
+                s += "    [" + std::to_string(i) + "] " +
+                     flit_str(vs.fifo[i]) + "\n";
+        }
+    }
+    for (std::size_t o = 0; o < outputs_.size(); ++o) {
+        const Output& out = outputs_[o];
+        std::string line;
+        for (int v = 0; v < vcs; ++v) {
+            const Packet_id owner =
+                out.vc_owner[static_cast<std::size_t>(v)];
+            if (owner.is_valid())
+                line += " vc" + std::to_string(v) + ":pkt" +
+                        std::to_string(owner.get());
+            if (!out.sender.can_send(v))
+                line += " vc" + std::to_string(v) + ":!send";
+        }
+        if (!line.empty())
+            s += "  out" + std::to_string(o) +
+                 (out.is_ejection ? " (ej)" : "") + ":" + line + "\n";
+    }
+    return s;
+}
+
 std::optional<Router::Request> Router::classify(Input& in, int vc)
 {
     Vc_state& vs = in.vcs[static_cast<std::size_t>(vc)];
+    // Multicast-bound VCs advance only through the multicast sub-phase.
+    if (vs.mcast_bound) return std::nullopt;
     // Memo hit: same head flit (fifo unchanged) against an unchanged
-    // output — the previous verdict still holds. classify() is only called
-    // during allocation (phase 2a), before any send this cycle, so the
-    // transient sent_this_cycle_ part of can_send() is false at both the
-    // memo's computation and its reuse.
+    // output — the previous verdict still holds. The multicast sub-phase
+    // (phase 1b) may have consumed the output's one-send-per-cycle budget
+    // before we classify, so a verdict computed here can reflect the
+    // transient sent_this_cycle_ state; that is safe because begin_cycle()
+    // bumps the sender's state_gen when it resets a consumed budget, which
+    // invalidates any memo taken under it on the very next step.
     if (vs.memo_fifo_gen == vs.fifo_gen) {
         if (vs.memo_out_port < 0) return std::nullopt; // memo: fifo empty
         const Output& o =
@@ -98,8 +169,17 @@ std::optional<Router::Request> Router::classify(Input& in, int vc)
     int out_port = 0;
     int out_vc = 0;
     if (is_head(f.kind)) {
-        if (f.route == nullptr || f.route_index >= f.route->size())
+        if (f.route == nullptr || f.route_index >= f.route->size()) {
+            if (f.mtree != nullptr && f.route != nullptr) {
+                // Fork-parked multicast head: the sub-phase replicates it;
+                // unicast allocation must never pop it. Memoized like an
+                // empty fifo — the memo clears when the sub-phase pops.
+                vs.memo_fifo_gen = vs.fifo_gen;
+                vs.memo_out_port = -1;
+                return std::nullopt;
+            }
             throw std::logic_error{"Router: head flit without route"};
+        }
         const Hop& hop = (*f.route)[f.route_index];
         out_port = hop.out_port;
         out_vc = params_.effective_vc(f.cls, hop.out_vc);
@@ -130,11 +210,142 @@ std::optional<Router::Request> Router::classify(Input& in, int vc)
     return vs.memo_req;
 }
 
+bool Router::step_multicast(Cycle now)
+{
+    mcast_consumed_ = 0;
+    bool moved = false;
+    const int vcs = params_.total_vcs();
+    for (std::size_t i = 0; i < inputs_.size(); ++i) {
+        Input& in = inputs_[i];
+        if (in.occupancy == 0) continue;
+        for (int v = 0; v < vcs; ++v) {
+            Vc_state& vs = in.vcs[static_cast<std::size_t>(v)];
+            if (vs.fifo.empty() && !vs.mcast_bound) continue;
+
+            if (!vs.mcast_bound) {
+                // Bind when a fork-parked head reaches the front: segment
+                // hops exhausted with children left. Binding claims
+                // nothing — each branch claims its output VC with its own
+                // head copy, below.
+                const Flit& f = (*pool_)[vs.fifo.front()];
+                if (!is_head(f.kind) || f.mtree == nullptr ||
+                    f.route == nullptr || f.route_index < f.route->size())
+                    continue;
+                const Mcast_segment& seg = f.mtree->segments[f.mseg];
+                NOC_ASSERT(seg.children.size() >= 2,
+                           "Router: fork-parked flit with no branches");
+                vs.mcast_bound = true;
+                vs.mcast_owner = f.packet;
+                vs.mcast_branches.clear();
+                vs.mcast_popped = 0;
+                for (const std::uint32_t child : seg.children) {
+                    const Hop& h0 = f.mtree->segments[child].hops.front();
+                    const auto ov = static_cast<std::uint16_t>(
+                        params_.effective_vc(f.cls, h0.out_vc));
+                    vs.mcast_branches.push_back(
+                        Mcast_branch{h0.out_port, ov, child, 0, false});
+                }
+                ++mcast_forks_;
+                if (probe_ != nullptr)
+                    probe_->on_multicast_fork(
+                        probe_shard_, now, id_, vs.fifo.front(),
+                        static_cast<std::uint16_t>(seg.children.size()));
+            }
+
+            // Advance every branch cursor that has a buffered flit and a
+            // willing output. Branches are independent: a blocked sibling
+            // never holds another back (the deadlock-freedom argument in
+            // the header comment rests on this).
+            bool vc_moved = false;
+            for (Mcast_branch& b : vs.mcast_branches) {
+                if (b.done) continue;
+                const std::size_t idx = b.taken - vs.mcast_popped;
+                if (idx >= vs.fifo.size()) continue; // not yet arrived
+                const Flit_ref ref = vs.fifo[idx];
+                Output& out = outputs_[b.out_port];
+                const bool head_copy = b.taken == 0;
+                if (head_copy &&
+                    out.vc_owner[b.out_vc].is_valid())
+                    continue; // output VC still owned by another packet
+                if (!out.sender.can_send(b.out_vc)) continue;
+
+                const Flit_ref copy = pool_->acquire_uninitialized();
+                (*pool_)[copy] = (*pool_)[ref];
+                Flit& c = (*pool_)[copy];
+                const Route& chops =
+                    c.mtree->segments[b.seg].hops;
+                c.mseg = static_cast<std::uint16_t>(b.seg);
+                c.dst = c.mtree->segments[b.seg].dst;
+                c.vc = b.out_vc;
+                if (head_copy) {
+                    c.route = &chops;
+                    c.route_index = 1; // hop 0 executed here, at the fork
+                    out.vc_owner[b.out_vc] = c.packet;
+                    ++out.owner_gen;
+                }
+                if (is_tail(c.kind)) {
+                    out.vc_owner[b.out_vc] = Packet_id::invalid();
+                    ++out.owner_gen;
+                    b.done = true;
+                }
+                out.sender.send(copy);
+                ++flits_routed_;
+                ++mcast_copies_;
+                ++b.taken;
+                if (probe_ != nullptr)
+                    probe_->on_hop(probe_shard_, now, id_, copy);
+                vc_moved = true;
+            }
+
+            // Free the prefix every branch has taken; the upstream slot is
+            // genuinely available again only then.
+            std::uint32_t min_taken = ~0u;
+            bool all_done = true;
+            for (const Mcast_branch& b : vs.mcast_branches) {
+                min_taken = std::min(min_taken, b.taken);
+                all_done = all_done && b.done;
+            }
+            while (vs.mcast_popped < min_taken) {
+                const Flit_ref front = vs.fifo.pop();
+                ++vs.fifo_gen;
+                --buffered_;
+                --in.occupancy;
+                const auto freed_vc = (*pool_)[front].vc;
+                pool_->release(front);
+                ++vs.mcast_popped;
+                if (params_.fc == Flow_control_kind::credit)
+                    in.port.tokens->write(
+                        Fc_token{Fc_token::Kind::credit, freed_vc, 0, 0});
+                vc_moved = true;
+            }
+            if (all_done && vs.mcast_popped == min_taken) {
+                vs.mcast_bound = false;
+                vs.mcast_owner = Packet_id::invalid();
+                vs.mcast_branches.clear();
+                vs.mcast_popped = 0;
+            }
+
+            if (vc_moved) {
+                moved = true;
+                mcast_consumed_ |= 1ull << i;
+                break; // one multicast VC per input per cycle
+            }
+        }
+    }
+    return moved;
+}
+
 void Router::step(Cycle now)
 {
     blocked_memo_ = false;
     // Phase 1: reverse-channel tokens.
     for (auto& o : outputs_) o.sender.begin_cycle();
+
+    // Phase 1b: multicast fork replication (input- and output-priority
+    // over unicast; see the header comment). Sends here consume the
+    // senders' one-send-per-cycle budget, which phase 2a observes through
+    // can_send()/state_gen like any other sender state change.
+    bool moved = step_multicast(now);
 
     // Phase 2a: each input nominates one VC (GT priority, then round-robin).
     const int vcs = params_.total_vcs();
@@ -145,6 +356,7 @@ void Router::step(Cycle now)
         Nomination& nom = nominated[i];
         nom.vc = -1;
         if (in.occupancy == 0) continue; // nothing buffered: no nominee
+        if (mcast_consumed_ & (1ull << i)) continue; // forked this cycle
         // Dedicated GT VC wins unconditionally when ready.
         if (gt_enabled) {
             if (auto req = classify(in, params_.gt_vc())) {
@@ -167,7 +379,6 @@ void Router::step(Cycle now)
     // Phase 2b: each output grants one nominee; GT has absolute priority.
     // Each input nominates at most one (VC, output), so an input appears in
     // exactly one output's nominee mask and double grants are impossible.
-    bool moved = false;
     for (auto& w : out_wants_) w = 0;
     for (std::size_t i = 0; i < inputs_.size(); ++i)
         if (nominated[i].vc >= 0)

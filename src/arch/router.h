@@ -2,6 +2,26 @@
 //
 // Microarchitecture, per cycle (single step() call, order matters):
 //   1. output units consume reverse-channel tokens (credits / masks / acks);
+//   1b. multicast sub-phase: a head parked at a fork of its destination-set
+//      tree (topology/multicast.h) binds the input VC to the fork's
+//      branches, and from then on each branch copies the buffered flits AT
+//      ITS OWN PACE — per-branch cursors into the VC ring, one uniquely-
+//      owned pool copy per flit per branch (arch/flit.h). A branch claims
+//      its output VC with its head copy and releases it with its tail
+//      copy, independently of its siblings; the input slot frees (credit /
+//      stop-mask update) once the SLOWEST branch has taken it. Branches
+//      are never coupled to each other — only to the fork's input channel
+//      — which is exactly the in->child dependency the branching-CDG
+//      admission (analyze_multicast_deadlock) models; an atomic
+//      all-branches-ready handshake would add sibling wait-for edges the
+//      CDG does not check and deadlocks under shallow buffers. The absorb
+//      condition this rests on (a lagging branch can always reach its
+//      tail) is that a multicast packet fits the input buffer, enforced at
+//      injection (Ni::enqueue_multicast). An input whose sub-phase moved
+//      anything is skipped by this cycle's unicast allocation, and branch
+//      sends count against the one-send-per-output budget, so multicast
+//      has input- and output-priority over unicast (scanned in
+//      input-then-VC index order: deterministic under every schedule);
 //   2. separable two-stage allocation: each input port nominates one ready
 //      VC (round-robin), each output port grants one nominee (round-robin,
 //      GT traffic has absolute priority); granted flits traverse the
@@ -96,6 +116,18 @@ public:
         probe_shard_ = shard;
     }
     [[nodiscard]] std::uint64_t flits_routed() const { return flits_routed_; }
+    /// Head-flit fork events executed at this switch (one per packet per
+    /// fork; exact integers, merged into Network_stats at sequential
+    /// points by Noc_system).
+    [[nodiscard]] std::uint64_t multicast_forks() const
+    {
+        return mcast_forks_;
+    }
+    /// Branch pool copies made by this switch's forks (all flit kinds).
+    [[nodiscard]] std::uint64_t multicast_copies() const
+    {
+        return mcast_copies_;
+    }
     [[nodiscard]] std::uint64_t buffer_writes() const;
     [[nodiscard]] std::uint64_t buffer_reads() const;
     [[nodiscard]] std::size_t input_vc_occupancy(int port, int vc) const;
@@ -115,6 +147,13 @@ public:
     {
         return blocked_sleeps_;
     }
+    /// Human-readable snapshot of every occupied input VC (buffered flits,
+    /// wormhole/multicast bindings with per-branch cursors) and every
+    /// output (VC owners, per-VC can_send verdicts). The complement of
+    /// Trace_probe::dump for a wedged-network post-mortem: the trace shows
+    /// the last movements, this shows the frozen wait-for state those
+    /// movements left behind. Call only at a sequential point.
+    [[nodiscard]] std::string debug_dump() const;
 
     // --- fault-injection support (arch/fault_plan.h) -----------------------
     // May only be called at a sequential point between kernel runs, by the
@@ -195,6 +234,21 @@ public:
                     vs.bound = false;
                     ++vs.fifo_gen;
                 }
+                if (vs.mcast_bound && doomed(vs.mcast_owner)) {
+                    for (const Mcast_branch& b : vs.mcast_branches) {
+                        Packet_id& owner =
+                            outputs_[b.out_port].vc_owner[b.out_vc];
+                        if (owner == vs.mcast_owner) {
+                            owner = Packet_id::invalid();
+                            ++outputs_[b.out_port].owner_gen;
+                        }
+                    }
+                    vs.mcast_bound = false;
+                    vs.mcast_owner = Packet_id::invalid();
+                    vs.mcast_branches.clear();
+                    vs.mcast_popped = 0;
+                    ++vs.fifo_gen;
+                }
                 for (std::size_t i = 0; i < vs.fifo.size();) {
                     if (doomed((*pool_)[vs.fifo[i]].packet)) {
                         on_drop(vs.fifo.erase_at(i));
@@ -224,11 +278,36 @@ private:
         int out_vc = -1;
     };
 
+    /// One branch of an input VC's multicast binding: the (output port,
+    /// effective VC) the branch claims with its head copy, the child
+    /// segment its copies continue on, and the branch's private cursor
+    /// into the bound packet (how many of its flits this branch has
+    /// copied). `done` marks a sent tail copy — the branch released its
+    /// output VC and takes no further flits.
+    struct Mcast_branch {
+        std::uint16_t out_port = 0;
+        std::uint16_t out_vc = 0;
+        std::uint32_t seg = 0;
+        std::uint32_t taken = 0;
+        bool done = false;
+    };
+
     struct Vc_state {
         Ring_fifo<Flit_ref> fifo;
         bool bound = false;
         std::uint16_t out_port = 0;
         std::uint16_t out_vc = 0;
+        /// Multicast wormhole binding: set when a fork-parked head reaches
+        /// the front, cleared when every branch has sent its tail copy and
+        /// the packet's flits have left the ring. While set, the sub-phase
+        /// advances each branch cursor independently and unicast
+        /// allocation skips the VC. The bound packet's flits stay in the
+        /// fifo until the slowest branch has taken them; `mcast_popped`
+        /// counts how many have left.
+        bool mcast_bound = false;
+        Packet_id mcast_owner{};
+        std::vector<Mcast_branch> mcast_branches;
+        std::uint32_t mcast_popped = 0;
         /// Bumped on every push/pop of `fifo` (a new head may want a
         /// different output; a pop may also rewrite the binding).
         std::uint64_t fifo_gen = 0;
@@ -288,6 +367,13 @@ private:
     /// Returns true when a flit was accepted into a VC ring.
     bool deliver_arrival(Input& in, Flit_ref ref);
 
+    /// Phase 1b: advance at most one multicast-bound (or fork-parked) VC
+    /// per input — each of its branches may copy one flit at its own
+    /// cursor (see the header comment). Returns true when anything moved;
+    /// inputs that moved are recorded in mcast_consumed_ so phase 2a
+    /// skips them.
+    bool step_multicast(Cycle now);
+
     struct Nomination {
         int vc = -1;
         Request req;
@@ -324,6 +410,10 @@ private:
     bool senders_armed_ = false;
     std::uint64_t blocked_sleeps_ = 0;
     std::uint64_t flits_routed_ = 0;
+    std::uint64_t mcast_forks_ = 0;
+    std::uint64_t mcast_copies_ = 0;
+    /// Inputs consumed by this cycle's multicast sub-phase (bitmask).
+    std::uint64_t mcast_consumed_ = 0;
     /// Hop probe (null = none; the common case pays one branch per routed
     /// flit). probe_shard_ is this router's kernel shard, so a per-shard
     /// probe (Trace_probe) writes only its own slice — race-free under the

@@ -19,6 +19,12 @@ struct Packet_desc {
     /// Response size the target must send back (0 = no response). This is
     /// how read-data/write-ack sizes ride along with a request.
     std::uint32_t reply_flits = 0;
+    /// Multicast destination set (topology/multicast.h). Valid = this is a
+    /// multicast packet: `dst` is ignored and the NI routes it along the
+    /// set's tree, counting one creation/delivery per member. Multicast is
+    /// best-effort only (no GT) and composes with neither fault plans nor
+    /// the replay protocol.
+    Dset_id dset{};
 };
 
 /// Polled once per cycle by the owning NI. Implementations hold their own

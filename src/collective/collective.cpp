@@ -1,0 +1,229 @@
+#include "collective/collective.h"
+
+#include "topology/multicast.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace noc {
+
+const char* collective_kind_name(Collective_kind k)
+{
+    switch (k) {
+    case Collective_kind::broadcast: return "broadcast";
+    case Collective_kind::reduce: return "reduce";
+    case Collective_kind::allreduce: return "allreduce";
+    case Collective_kind::allgather: return "allgather";
+    }
+    return "unknown";
+}
+
+Collective_driver::Collective_driver(Noc_system& sys, Collective_config cfg)
+    : sys_{&sys}, cfg_{cfg}
+{
+    const int n = sys.topology().core_count();
+    if (n < 1) throw std::invalid_argument{"Collective_driver: no cores"};
+    if (cfg_.root.get() >= static_cast<std::uint32_t>(n))
+        throw std::invalid_argument{"Collective_driver: root out of range"};
+    if (cfg_.payload_flits == 0)
+        throw std::invalid_argument{"Collective_driver: empty payload"};
+    if (cfg_.fanin == 0)
+        throw std::invalid_argument{"Collective_driver: zero fan-in"};
+
+    // Flow stamps are how listeners tell collective packets (and the two
+    // allreduce phases) apart from background traffic.
+    reduce_flow_ =
+        cfg_.flow.is_valid() ? cfg_.flow : Flow_id{0xC0110000u};
+    bcast_flow_ = Flow_id{reduce_flow_.get() + 1};
+
+    // Rank order: root first, then the remaining cores ascending by id —
+    // deterministic, so the k-ary tree (children of rank r are ranks
+    // r*k+1 .. r*k+k) is too.
+    ranks_.reserve(static_cast<std::size_t>(n));
+    ranks_.push_back(cfg_.root);
+    for (int c = 0; c < n; ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        if (core != cfg_.root) ranks_.push_back(core);
+    }
+    rank_of_.assign(static_cast<std::size_t>(n), 0);
+    for (std::uint32_t r = 0; r < ranks_.size(); ++r)
+        rank_of_[ranks_[r].get()] = r;
+    slots_.assign(static_cast<std::size_t>(n), Slot{});
+
+    // Broadcast-shaped phases under use_multicast ride one destination set
+    // holding every core: multicast_routes prunes each source out of its
+    // own tree, so the same set serves any root (and allgather's N roots).
+    const bool needs_mcast =
+        cfg_.use_multicast && cfg_.kind != Collective_kind::reduce && n > 1;
+    if (needs_mcast) {
+        std::vector<std::vector<Core_id>> dsets(1);
+        for (int c = 0; c < n; ++c)
+            dsets[0].push_back(Core_id{static_cast<std::uint32_t>(c)});
+        sys.set_mcast_routes(multicast_routes(sys.topology(), sys.routes(),
+                                              dsets,
+                                              sys.params().route_vcs));
+    }
+
+    for (int c = 0; c < n; ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        sys.ni(core).set_delivery_listener(
+            [this, core](const Flit& f, Cycle now) {
+                on_delivery(core, f, now);
+            });
+    }
+}
+
+std::uint32_t Collective_driver::child_count(std::uint32_t rank) const
+{
+    const auto n = static_cast<std::uint64_t>(ranks_.size());
+    const std::uint64_t first =
+        static_cast<std::uint64_t>(rank) * cfg_.fanin + 1;
+    if (first >= n) return 0;
+    return static_cast<std::uint32_t>(std::min<std::uint64_t>(cfg_.fanin,
+                                                              n - first));
+}
+
+Core_id Collective_driver::parent_core(std::uint32_t rank) const
+{
+    return ranks_[(rank - 1) / cfg_.fanin];
+}
+
+void Collective_driver::enqueue_broadcast(Core_id src, Cycle now)
+{
+    Packet_desc d;
+    d.size_flits = cfg_.payload_flits;
+    d.flow = bcast_flow_;
+    if (cfg_.use_multicast) {
+        d.dset = Dset_id{0};
+        sys_->ni(src).enqueue_packet(d, now);
+        return;
+    }
+    // Naive emulation: one unicast per destination, serialized through the
+    // source's injection link — the baseline the tree fabric must beat.
+    for (const Core_id dst : ranks_) {
+        if (dst == src) continue;
+        d.dst = dst;
+        sys_->ni(src).enqueue_packet(d, now);
+    }
+}
+
+void Collective_driver::send_contribution(Core_id c, Cycle now)
+{
+    Packet_desc d;
+    d.dst = parent_core(rank_of_[c.get()]);
+    d.size_flits = cfg_.payload_flits;
+    d.flow = reduce_flow_;
+    sys_->ni(c).enqueue_packet(d, now);
+}
+
+void Collective_driver::start()
+{
+    if (started_)
+        throw std::logic_error{"Collective_driver: already started"};
+    started_ = true;
+    const Cycle now = sys_->kernel().now();
+    const auto n = static_cast<std::uint32_t>(ranks_.size());
+    if (n == 1) { // degenerate single-core network: nothing to move
+        slots_[cfg_.root.get()].completed_at = now;
+        return;
+    }
+    switch (cfg_.kind) {
+    case Collective_kind::broadcast:
+        // Root's role ends at the send; everyone else expects the payload.
+        slots_[cfg_.root.get()].completed_at = now;
+        for (std::uint32_t r = 1; r < n; ++r)
+            slots_[ranks_[r].get()].expected = 1;
+        enqueue_broadcast(cfg_.root, now);
+        break;
+    case Collective_kind::reduce:
+    case Collective_kind::allreduce:
+        for (std::uint32_t r = 0; r < n; ++r) {
+            Slot& s = slots_[ranks_[r].get()];
+            const std::uint32_t kids = child_count(r);
+            s.expected = kids;
+            if (kids != 0) continue;
+            // Leaves contribute immediately; their reduce role is done
+            // (allreduce leaves still await the broadcast, phase 2).
+            if (cfg_.kind == Collective_kind::reduce)
+                s.completed_at = now;
+            send_contribution(ranks_[r], now);
+        }
+        break;
+    case Collective_kind::allgather:
+        for (std::uint32_t r = 0; r < n; ++r) {
+            slots_[ranks_[r].get()].expected = n - 1;
+            enqueue_broadcast(ranks_[r], now);
+        }
+        break;
+    }
+}
+
+void Collective_driver::on_delivery(Core_id c, const Flit& f, Cycle now)
+{
+    Slot& s = slots_[c.get()];
+    switch (cfg_.kind) {
+    case Collective_kind::broadcast:
+    case Collective_kind::allgather:
+        if (f.flow != bcast_flow_) return;
+        ++s.received;
+        if (s.received == s.expected) s.completed_at = now;
+        break;
+    case Collective_kind::reduce:
+        if (f.flow != reduce_flow_) return;
+        ++s.received;
+        if (s.received == s.expected) {
+            s.completed_at = now;
+            if (c != cfg_.root) send_contribution(c, now);
+        }
+        break;
+    case Collective_kind::allreduce:
+        if (f.flow == reduce_flow_) {
+            ++s.received;
+            if (s.received == s.expected) {
+                if (c == cfg_.root) {
+                    // Reduce phase complete at the root: fire the result
+                    // broadcast. Enqueued on the root's own NI from the
+                    // root's own listener (shard-safe, like replies).
+                    s.completed_at = now;
+                    enqueue_broadcast(cfg_.root, now);
+                } else {
+                    send_contribution(c, now);
+                }
+            }
+        } else if (f.flow == bcast_flow_) {
+            s.completed_at = now;
+        }
+        break;
+    }
+}
+
+bool Collective_driver::done() const
+{
+    if (!started_) return false;
+    for (const Slot& s : slots_)
+        if (s.completed_at == invalid_cycle) return false;
+    return true;
+}
+
+Cycle Collective_driver::completion_cycle() const
+{
+    if (!done()) return invalid_cycle;
+    Cycle last = 0;
+    for (const Slot& s : slots_) last = std::max(last, s.completed_at);
+    return last;
+}
+
+Cycle Collective_driver::run_to_completion(Cycle max_cycles)
+{
+    start();
+    // Fixed 64-cycle chunks, matching the drain cadence, so the sequence
+    // of sequential points — and the observed completion — is identical
+    // across kernel schedules.
+    constexpr Cycle chunk = 64;
+    const Cycle deadline = sys_->kernel().now() + max_cycles;
+    while (!done() && sys_->kernel().now() < deadline)
+        sys_->advance(std::min(chunk, deadline - sys_->kernel().now()));
+    return completion_cycle();
+}
+
+} // namespace noc

@@ -1,0 +1,132 @@
+// Collective traffic — broadcast/reduce trees as a first-class workload.
+//
+// MPSoC traffic is not all point-to-point: cache-coherence invalidations,
+// barrier releases and DNN parameter updates are one-to-many and
+// many-to-one patterns whose cost is a COMPLETION time, not a steady-state
+// latency distribution. This module models the four standard collectives
+// as deterministic phase schedules over one Noc_system:
+//
+//   broadcast  — root sends one payload to every other core;
+//   reduce     — every core contributes one payload up a k-ary tree of
+//                unicast packets; an interior node forwards to its parent
+//                once all of its children's contributions arrived;
+//   allreduce  — reduce to the root, then broadcast of the result
+//                (the classic two-phase emulation);
+//   allgather  — every core broadcasts its payload to every other core.
+//
+// Broadcast-shaped phases use the multicast fabric when
+// Collective_config::use_multicast is set (one packet per source routed
+// along its destination-set tree, forked in the switches —
+// topology/multicast.h); with it clear they fall back to NAIVE UNICAST
+// EMULATION (one packet per destination serialized through the source's
+// injection link), which is the baseline a multicast fabric must beat —
+// bench_collective gates on tree allreduce completing no later than its
+// emulation.
+//
+// ## Determinism and threading
+//
+// The driver is a set of per-core delivery-listener state machines wired
+// through Ni::set_delivery_listener. Listeners run on shard worker
+// threads (inside Ni::eject), so the discipline mirrors Trace_probe's:
+// core c's listener writes ONLY core c's state slot and enqueues ONLY on
+// core c's own NI (same shard thread — exactly how reply packets already
+// enqueue from inside eject). done() / completion_cycle() read the slots
+// at sequential points only. Deliveries land on schedule-invariant cycles
+// (the tri-schedule bit-identity invariant), so the completion cycle is
+// bit-identical across kernel schedules and shard counts — the
+// KernelEquivalence collective rig proves it.
+#pragma once
+
+#include "arch/noc_system.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace noc {
+
+enum class Collective_kind : std::uint8_t {
+    broadcast,
+    reduce,
+    allreduce,
+    allgather,
+};
+
+[[nodiscard]] const char* collective_kind_name(Collective_kind k);
+
+struct Collective_config {
+    Collective_kind kind = Collective_kind::broadcast;
+    /// Root of the broadcast / reduce tree (ignored by allgather).
+    Core_id root{};
+    /// Payload size of every collective packet, flits.
+    std::uint32_t payload_flits = 4;
+    /// Reduction-tree fan-in: interior nodes combine up to this many
+    /// children (reduce / allreduce).
+    std::uint32_t fanin = 4;
+    /// Tree multicast (default) vs naive per-destination unicast emulation
+    /// for the broadcast-shaped phases — the bench gate's baseline.
+    bool use_multicast = true;
+    /// Flow id stamped on reduce-phase packets; broadcast-phase packets use
+    /// flow + 1. Invalid (the default) picks a high id unlikely to collide
+    /// with background traffic.
+    Flow_id flow{};
+};
+
+/// One collective operation over a live system. Construction installs the
+/// destination-set tree routes (when use_multicast and the kind needs
+/// them; replaces any previously installed set, so build the driver before
+/// any multicast packet is in flight) and takes over every NI's delivery
+/// listener — one driver per system at a time, and it must outlive the
+/// packets it causes. start() is a sequential-point call; then advance the
+/// system (or call run_to_completion) and poll done().
+class Collective_driver {
+public:
+    Collective_driver(Noc_system& sys, Collective_config cfg);
+
+    /// Kick the collective off at the CURRENT kernel cycle (sequential
+    /// point): leaves / roots / every core enqueue their phase-0 packets.
+    /// One-shot — a second start() throws.
+    void start();
+
+    /// All participating cores finished their role. Sequential points only.
+    [[nodiscard]] bool done() const;
+
+    /// Cycle the last core finished at (the collective's completion time);
+    /// invalid_cycle until done(). Schedule-invariant.
+    [[nodiscard]] Cycle completion_cycle() const;
+
+    /// start() + advance the system in drain-sized chunks until done or
+    /// `max_cycles` elapse. Returns the completion cycle, or invalid_cycle
+    /// on timeout.
+    [[nodiscard]] Cycle run_to_completion(Cycle max_cycles);
+
+    [[nodiscard]] const Collective_config& config() const { return cfg_; }
+
+private:
+    /// Per-core listener state. Written only by the owning core's listener
+    /// (its shard thread); read at sequential points.
+    struct Slot {
+        std::uint32_t received = 0; ///< phase arrivals counted so far
+        std::uint32_t expected = 0; ///< arrivals that complete the role
+        Cycle completed_at = invalid_cycle;
+    };
+
+    void on_delivery(Core_id c, const Flit& f, Cycle now);
+    void enqueue_broadcast(Core_id src, Cycle now);
+    void send_contribution(Core_id c, Cycle now);
+
+    /// Reduction-tree helpers over the rank order (rank 0 = root, then the
+    /// remaining cores ascending by id — deterministic by construction).
+    [[nodiscard]] std::uint32_t child_count(std::uint32_t rank) const;
+    [[nodiscard]] Core_id parent_core(std::uint32_t rank) const;
+
+    Noc_system* sys_;
+    Collective_config cfg_;
+    Flow_id reduce_flow_{};
+    Flow_id bcast_flow_{};
+    std::vector<Core_id> ranks_;        ///< rank -> core
+    std::vector<std::uint32_t> rank_of_; ///< core -> rank
+    std::vector<Slot> slots_;
+    bool started_ = false;
+};
+
+} // namespace noc

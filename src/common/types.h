@@ -58,6 +58,7 @@ struct Packet_tag {};
 struct Link_tag {};
 struct Connection_tag {};
 struct Layer_tag {};
+struct Dset_tag {};
 
 /// An IP core (processing element, memory, accelerator) attached to the NoC.
 using Core_id = detail::Strong_id<Core_tag>;
@@ -79,6 +80,9 @@ using Link_id = detail::Strong_id<Link_tag>;
 using Connection_id = detail::Strong_id<Connection_tag>;
 /// A silicon layer in a 3D-stacked design (0 = bottom die).
 using Layer_id = detail::Strong_id<Layer_tag, std::uint16_t>;
+/// A multicast destination set (topology/multicast.h): one id names one
+/// ordered set of destination cores shared by every packet of a collective.
+using Dset_id = detail::Strong_id<Dset_tag>;
 
 } // namespace noc
 

@@ -102,6 +102,7 @@ Sweep_result assemble_sweep_result(const Sweep_spec& spec,
     result.spec_name = spec.name;
     result.has_fault_axis = !spec.fault_scenarios.empty();
     result.has_early_stop = spec.base.early_stop_check != 0;
+    result.has_collective_axis = !spec.collectives.empty();
     result.curves.reserve(spec.curve_count());
 
     std::size_t next = 0;
@@ -109,18 +110,23 @@ Sweep_result assemble_sweep_result(const Sweep_spec& spec,
         const Topology topo = make_sweep_topology(spec.designs[d]);
         for (std::uint32_t t = 0; t < spec.traffics.size(); ++t)
             for (std::uint32_t s = 0;
-                 s < static_cast<std::uint32_t>(spec.scenario_count());
-                 ++s) {
+                 s < static_cast<std::uint32_t>(spec.scenario_count()); ++s)
+            for (std::uint32_t co = 0;
+                 co < static_cast<std::uint32_t>(spec.collective_count());
+                 ++co) {
                 Design_curve curve;
                 curve.design = d;
                 curve.traffic = t;
                 curve.scenario = s;
-                curve.label = spec.curve_label(d, t, s);
+                curve.collective = co;
+                curve.label = spec.curve_label(d, t, s, co);
                 curve.design_label = spec.designs[d].label;
                 curve.params_label = spec.designs[d].params_label;
                 curve.traffic_label = spec.traffics[t].label;
                 if (result.has_fault_axis)
                     curve.scenario_label = spec.fault_scenarios[s].label;
+                if (result.has_collective_axis)
+                    curve.collective_label = spec.collectives[co].label;
                 curve.cost_bits = curve_cost_bits(spec.designs[d], topo);
                 for (std::size_t li = 0; li < loads; ++li)
                     curve.points.push_back(std::move(point_results[next++]));
@@ -157,50 +163,74 @@ Sweep_result assemble_sweep_result(const Sweep_spec& spec,
                 if (avail_n > 0)
                     curve.availability =
                         avail_sum / static_cast<double>(avail_n);
+                // Collective completion: lowest usable load whose
+                // collective finished (the zero-load analogue).
+                if (result.has_collective_axis)
+                    for (const auto& p : curve.points)
+                        if (usable(p, spec.latency_cap) &&
+                            p.load.collective_completed) {
+                            curve.collective_latency = static_cast<double>(
+                                p.load.collective_completion_cycles);
+                            break;
+                        }
                 result.curves.push_back(std::move(curve));
             }
     }
 
     // Simulation-backed Pareto front over (cost, zero-load latency,
-    // -saturation throughput, -availability): the synth layer's dominance
-    // rule (no worse everywhere, strictly better somewhere) extended by
-    // the reliability axis — with no fault scenarios every availability is
-    // 1.0 and the filter is exactly the historical three-dimensional one.
-    // Designs compete only WITHIN one (traffic, scenario) workload (a
-    // design's tornado curve must not shadow its own uniform curve, nor a
-    // faulted curve its fault-free baseline — those answer different
-    // questions), so fronts are computed per pair and reported as one
-    // sorted union. Curves with no usable point carry no evidence and are
-    // excluded.
-    const auto dominates4 = [](const Design_curve& a, const Design_curve& b) {
+    // -saturation throughput, -availability, collective latency): the
+    // synth layer's dominance rule (no worse everywhere, strictly better
+    // somewhere) extended by the reliability and collective axes — with no
+    // fault scenarios every availability is 1.0, with no collectives every
+    // collective_latency is 0.0, and the filter is exactly the historical
+    // three-dimensional one. Designs compete only WITHIN one (traffic,
+    // scenario, collective) workload (a design's tornado curve must not
+    // shadow its own uniform curve, nor a faulted curve its fault-free
+    // baseline, nor an allreduce curve a broadcast one — those answer
+    // different questions), so fronts are computed per triple and reported
+    // as one sorted union. Curves with no usable point carry no evidence
+    // and are excluded.
+    const auto dominates5 = [](const Design_curve& a, const Design_curve& b) {
         if (a.cost_bits > b.cost_bits) return false;
         if (a.zero_load_latency > b.zero_load_latency) return false;
         if (a.saturation_throughput < b.saturation_throughput) return false;
         if (a.availability < b.availability) return false;
+        if (a.collective_latency > b.collective_latency) return false;
         return a.cost_bits < b.cost_bits ||
                a.zero_load_latency < b.zero_load_latency ||
                a.saturation_throughput > b.saturation_throughput ||
-               a.availability > b.availability;
+               a.availability > b.availability ||
+               a.collective_latency < b.collective_latency;
     };
     for (std::uint32_t t = 0; t < spec.traffics.size(); ++t)
         for (std::uint32_t s = 0;
-             s < static_cast<std::uint32_t>(spec.scenario_count()); ++s) {
+             s < static_cast<std::uint32_t>(spec.scenario_count()); ++s)
+        for (std::uint32_t co = 0;
+             co < static_cast<std::uint32_t>(spec.collective_count());
+             ++co) {
             std::vector<std::size_t> candidates;
             for (std::size_t i = 0; i < result.curves.size(); ++i) {
                 const Design_curve& c = result.curves[i];
-                if (c.traffic != t || c.scenario != s) continue;
+                if (c.traffic != t || c.scenario != s ||
+                    c.collective != co)
+                    continue;
                 // A curve without a single usable grid point has no
                 // latency evidence (zero_load_latency kept its 0.0
                 // sentinel, which would read as PERFECT latency to the
                 // dominance filter) — excluded even when a saturation
-                // search returned a throughput.
+                // search returned a throughput. With a collective axis the
+                // same applies to a curve whose collective never finished
+                // (collective_latency 0.0 would read as instantaneous).
                 if (c.zero_load_latency <= 0.0) continue;
+                if (result.has_collective_axis &&
+                    c.collective_latency <= 0.0)
+                    continue;
                 candidates.push_back(i);
             }
             for (const std::size_t i : candidates) {
                 bool dominated = false;
                 for (const std::size_t j : candidates)
-                    if (j != i && dominates4(result.curves[j],
+                    if (j != i && dominates5(result.curves[j],
                                              result.curves[i])) {
                         dominated = true;
                         break;
@@ -229,6 +259,9 @@ std::string Sweep_result::to_json() const
         if (has_fault_axis)
             json += " \"scenario\": \"" +
                     json_escape_string(c.scenario_label) + "\",";
+        if (has_collective_axis)
+            json += " \"collective\": \"" +
+                    json_escape_string(c.collective_label) + "\",";
         json += "\n     \"cost_bits\": " + shortest_double(c.cost_bits) +
                 ", \"zero_load_latency\": " + shortest_double(c.zero_load_latency) +
                 ", \"saturation_throughput\": " +
@@ -237,6 +270,10 @@ std::string Sweep_result::to_json() const
                 (c.saturation_searched ? "true" : "false") +
                 (has_fault_axis
                      ? ", \"availability\": " + shortest_double(c.availability)
+                     : std::string{}) +
+                (has_collective_axis
+                     ? ", \"collective_latency\": " +
+                           shortest_double(c.collective_latency)
                      : std::string{}) +
                 ", \"on_pareto\": " + (c.on_pareto ? "true" : "false") +
                 ",\n     \"points\": [\n";
@@ -267,6 +304,13 @@ std::string Sweep_result::to_json() const
                             (pr.load.early_stopped ? "true" : "false") +
                             ", \"measured_cycles\": " +
                             std::to_string(pr.load.measured_cycles);
+                if (has_collective_axis)
+                    json += ", \"collective_completion\": " +
+                            std::to_string(
+                                pr.load.collective_completion_cycles) +
+                            ", \"collective_completed\": " +
+                            (pr.load.collective_completed ? "true"
+                                                          : "false");
                 if (has_fault_axis)
                     json +=
                         ", \"dropped\": " +
@@ -307,21 +351,25 @@ std::string Sweep_result::to_csv() const
 {
     std::string csv = "curve,design,params,traffic,";
     if (has_fault_axis) csv += "scenario,";
+    if (has_collective_axis) csv += "collective,";
     csv +=
         "load,offered,accepted,"
         "avg_packet_latency,avg_network_latency,p99_estimate,max_latency,"
         "packets,drained,";
     if (has_early_stop) csv += "early_stopped,measured_cycles,";
+    if (has_collective_axis)
+        csv += "collective_completion,collective_completed,";
     if (has_fault_axis)
         csv += "dropped,unreachable,corrupted_flits,retransmissions,"
                "recoveries,replayed,live_switchovers,availability,"
                "connected_availability,";
     csv += "error\n";
     // Six empty value columns for rows with no measurement (skipped /
-    // errored), plus the early-stop / reliability ones when those axes are
-    // on.
+    // errored), plus the early-stop / collective / reliability ones when
+    // those axes are on.
     std::string empty_values = ",,,,,,0,false,";
     if (has_early_stop) empty_values += ",,";
+    if (has_collective_axis) empty_values += ",,";
     if (has_fault_axis) empty_values += ",,,,,,,,,";
     for (const auto& c : curves)
         for (const auto& p : c.points) {
@@ -329,6 +377,8 @@ std::string Sweep_result::to_csv() const
                    "," + csv_escape(c.params_label) + "," +
                    csv_escape(c.traffic_label) + ",";
             if (has_fault_axis) csv += csv_escape(c.scenario_label) + ",";
+            if (has_collective_axis)
+                csv += csv_escape(c.collective_label) + ",";
             csv += shortest_double(p.point.load) + ",";
             if (p.skipped) {
                 csv += empty_values + "skipped";
@@ -347,6 +397,12 @@ std::string Sweep_result::to_csv() const
                     csv += std::string{p.load.early_stopped ? "true"
                                                             : "false"} +
                            "," + std::to_string(p.load.measured_cycles) +
+                           ",";
+                if (has_collective_axis)
+                    csv += std::to_string(
+                               p.load.collective_completion_cycles) +
+                           "," +
+                           (p.load.collective_completed ? "true" : "false") +
                            ",";
                 if (has_fault_axis)
                     csv += std::to_string(p.load.packets_dropped) + "," +
@@ -373,30 +429,24 @@ std::string Sweep_result::report() const
        << " on the simulation-backed Pareto front (" << worker_threads
        << " worker threads, " << format_double(wall_seconds, 2)
        << " s wall)\n\n";
-    if (has_fault_axis) {
-        Text_table table{{"curve", "cost(bits)", "lat0(cy)", "sat(fl/n/cy)",
-                          "sat src", "avail", "pareto"}};
-        for (const auto& c : curves)
+    {
+        std::vector<std::string> headers{"curve", "cost(bits)", "lat0(cy)",
+                                         "sat(fl/n/cy)", "sat src"};
+        if (has_fault_axis) headers.emplace_back("avail");
+        if (has_collective_axis) headers.emplace_back("coll(cy)");
+        headers.emplace_back("pareto");
+        Text_table table{std::move(headers)};
+        for (const auto& c : curves) {
             table.row()
                 .add(c.label)
                 .add(c.cost_bits, 0)
                 .add(c.zero_load_latency, 1)
                 .add(c.saturation_throughput, 3)
-                .add(c.saturation_searched ? "search" : "grid")
-                .add(c.availability, 4)
-                .add(c.on_pareto ? "*" : "");
-        table.print(os);
-    } else {
-        Text_table table{{"curve", "cost(bits)", "lat0(cy)", "sat(fl/n/cy)",
-                          "sat src", "pareto"}};
-        for (const auto& c : curves)
-            table.row()
-                .add(c.label)
-                .add(c.cost_bits, 0)
-                .add(c.zero_load_latency, 1)
-                .add(c.saturation_throughput, 3)
-                .add(c.saturation_searched ? "search" : "grid")
-                .add(c.on_pareto ? "*" : "");
+                .add(c.saturation_searched ? "search" : "grid");
+            if (has_fault_axis) table.add(c.availability, 4);
+            if (has_collective_axis) table.add(c.collective_latency, 0);
+            table.add(c.on_pareto ? "*" : "");
+        }
         table.print(os);
     }
     if (has_early_stop) {

@@ -40,11 +40,15 @@ struct Design_curve {
     /// Index into Sweep_spec::fault_scenarios (0, with an empty
     /// scenario_label, when the spec declares none).
     std::uint32_t scenario = 0;
-    std::string label; ///< "design/params/traffic[/scenario]"
+    /// Index into Sweep_spec::collectives (0, with an empty
+    /// collective_label, when the spec declares none).
+    std::uint32_t collective = 0;
+    std::string label; ///< "design/params/traffic[/scenario][/collective]"
     std::string design_label;
     std::string params_label;
     std::string traffic_label;
-    std::string scenario_label; ///< empty without a fault axis
+    std::string scenario_label;   ///< empty without a fault axis
+    std::string collective_label; ///< empty without a collective axis
     /// Implementation-cost proxy in storage bits: wiring (links x flit
     /// width) + buffering (input ports x VCs x depth x flit width). The
     /// cost axis of the simulation-backed Pareto front — simulation
@@ -64,8 +68,15 @@ struct Design_curve {
     /// under a fault scenario this is the reliability dimension the Pareto
     /// front trades against cost/latency/throughput.
     double availability = 1.0;
+    /// Collective completion latency (cycles) at the lowest usable load
+    /// whose collective completed — the zero-load analogue for the
+    /// collective dimension. 0.0 without a collective axis (or when no
+    /// usable point's collective finished), which excludes the curve from
+    /// the collective Pareto comparison rather than flattering it.
+    double collective_latency = 0.0;
     /// On its workload's Pareto front (designs compete only within one
-    /// (traffic, fault scenario) pair; see Sweep_result::pareto).
+    /// (traffic, fault scenario, collective) triple; see
+    /// Sweep_result::pareto).
     bool on_pareto = false;
 };
 
@@ -86,12 +97,18 @@ struct Sweep_result {
     /// reliability ones, so specs that never opt in serialize
     /// byte-identically to builds that predate the protocol.
     bool has_early_stop = false;
+    /// True when the spec declared collective workloads; gates the
+    /// collective columns in to_json()/to_csv() (same contract as the two
+    /// bools above) and arms the collective-latency Pareto dimension.
+    bool has_collective_axis = false;
     /// Curve indices (ascending) on the simulation-backed front over
     /// (cost_bits, zero_load_latency, -saturation_throughput,
-    /// -availability), computed per (traffic, scenario) pair: a design's
-    /// curves under different workloads or fault scenarios answer
-    /// different questions and never dominate each other. Without a fault
-    /// axis every availability is 1.0 and the filter degenerates to the
+    /// -availability, collective_latency), computed per (traffic,
+    /// scenario, collective) triple: a design's curves under different
+    /// workloads, fault scenarios or collectives answer different
+    /// questions and never dominate each other. Without a fault axis every
+    /// availability is 1.0, and without a collective axis every
+    /// collective_latency is 0.0, so the filter degenerates to the
     /// historical three-dimensional front.
     std::vector<std::size_t> pareto;
     // Execution metadata (not serialized; see Point_result::wall_seconds).

@@ -13,6 +13,18 @@ namespace {
 /// traffic) and run the standard warmup/measure/drain protocol. Every input
 /// derives from the spec + the point's seed, so any worker produces the
 /// identical Load_point.
+/// Materialize a spec-level collective workload as a driver config.
+Collective_config make_collective_config(const Collective_workload& w)
+{
+    Collective_config cc;
+    cc.kind = w.kind;
+    cc.root = Core_id{w.root};
+    cc.payload_flits = w.payload_flits;
+    cc.fanin = w.fanin;
+    cc.use_multicast = w.use_multicast;
+    return cc;
+}
+
 Load_point run_point(const Sweep_spec& spec, const Sweep_point& p)
 {
     const Design_variant& d = spec.designs[p.design];
@@ -23,15 +35,23 @@ Load_point run_point(const Sweep_spec& spec, const Sweep_point& p)
     if (t.is_application)
         return run_application_load(topo, routes, d.params, *t.graph,
                                     p.load, cfg);
+    if (!spec.collectives.empty())
+        return run_synthetic_load_with_collective(
+            topo, routes, d.params, p.load,
+            [&] { return make_sweep_pattern(t, d, topo.core_count()); }, cfg,
+            make_collective_config(spec.collectives[p.collective]));
     return run_synthetic_load(
         topo, routes, d.params, p.load,
         [&] { return make_sweep_pattern(t, d, topo.core_count()); }, cfg);
 }
 
 /// Per-curve saturation binary search (synthetic traffic only). One
-/// sequential task: the search's iterations depend on each other.
+/// sequential task: the search's iterations depend on each other. The
+/// search measures the BACKGROUND channel, so it runs without the curve's
+/// collective (the label-keyed seed still distinguishes collective curves).
 double search_saturation(const Sweep_spec& spec, std::uint32_t design,
-                         std::uint32_t traffic, std::uint32_t scenario)
+                         std::uint32_t traffic, std::uint32_t scenario,
+                         std::uint32_t collective)
 {
     const Design_variant& d = spec.designs[design];
     const Traffic_variant& t = spec.traffics[traffic];
@@ -39,8 +59,9 @@ double search_saturation(const Sweep_spec& spec, std::uint32_t design,
     const Route_set routes = make_sweep_routes(d, topo);
     const Sweep_config cfg = point_config(
         spec, d,
-        sweep_seed(spec, spec.curve_label(design, traffic, scenario) +
-                             "@saturation"),
+        sweep_seed(spec,
+                   spec.curve_label(design, traffic, scenario, collective) +
+                       "@saturation"),
         &topo, scenario);
     return find_saturation_throughput(
         topo, routes, d.params,
@@ -111,12 +132,17 @@ void Sweep_runner::run_task(const Task& t)
 {
     const auto scenarios =
         static_cast<std::uint32_t>(spec_->scenario_count());
+    const auto collectives =
+        static_cast<std::uint32_t>(spec_->collective_count());
     const auto traffics = static_cast<std::uint32_t>(spec_->traffics.size());
     if (t.is_saturation) {
         try {
+            // Curve index decomposes as d*(T*S*C) + t*(S*C) + s*C + c —
+            // the enumeration order of Sweep_spec::enumerate().
             saturation_[t.curve] = search_saturation(
-                *spec_, t.curve / (traffics * scenarios),
-                (t.curve / scenarios) % traffics, t.curve % scenarios);
+                *spec_, t.curve / (traffics * scenarios * collectives),
+                (t.curve / (scenarios * collectives)) % traffics,
+                (t.curve / collectives) % scenarios, t.curve % collectives);
         } catch (...) {
             saturation_[t.curve] = -1.0; // fall back to the grid estimate
         }
@@ -202,7 +228,8 @@ Sweep_result Sweep_runner::run(const Sweep_spec& spec, Point_range range)
     if (spec.search_saturation && full_grid)
         for (std::uint32_t c = 0;
              c < static_cast<std::uint32_t>(spec.curve_count()); ++c)
-            if (!spec.traffics[(c / spec.scenario_count()) %
+            if (!spec.traffics[(c / (spec.scenario_count() *
+                                     spec.collective_count())) %
                                spec.traffics.size()]
                      .is_application)
                 tasks_.push_back({true, 0, c});

@@ -174,6 +174,18 @@ Fault_scenario& Sweep_spec::add_fault_scenario(
     return fault_scenarios.back();
 }
 
+Collective_workload& Sweep_spec::add_collective(std::string label,
+                                                Collective_kind kind,
+                                                bool use_multicast)
+{
+    Collective_workload c;
+    c.label = std::move(label);
+    c.kind = kind;
+    c.use_multicast = use_multicast;
+    collectives.push_back(std::move(c));
+    return collectives.back();
+}
+
 void Sweep_spec::validate() const
 {
     if (designs.empty())
@@ -264,6 +276,48 @@ void Sweep_spec::validate() const
                     "fault-free baseline)"};
         }
     }
+    if (!collectives.empty()) {
+        // Multicast composes with neither fault plans nor replay
+        // (arch/noc_system.h), and the collective driver owns the delivery
+        // listeners a dependency-driven application source would need.
+        if (!fault_scenarios.empty())
+            throw std::invalid_argument{
+                "Sweep_spec: collectives cannot combine with fault "
+                "scenarios"};
+        for (const auto& t : traffics)
+            if (t.is_application)
+                throw std::invalid_argument{
+                    "Sweep_spec: collectives compose with synthetic "
+                    "background traffic only (application traffic '" +
+                    t.label + "')"};
+        std::set<std::string> seen;
+        for (const auto& c : collectives) {
+            if (c.label.empty())
+                throw std::invalid_argument{
+                    "Sweep_spec: unlabeled collective workload"};
+            if (!seen.insert(c.label).second)
+                throw std::invalid_argument{
+                    "Sweep_spec: duplicate collective label '" + c.label +
+                    "'"};
+            if (c.payload_flits == 0)
+                throw std::invalid_argument{
+                    "Sweep_spec: collective '" + c.label +
+                    "' has an empty payload"};
+            if (c.fanin == 0)
+                throw std::invalid_argument{"Sweep_spec: collective '" +
+                                            c.label + "' has zero fan-in"};
+            for (const auto& d : designs) {
+                const int cores =
+                    d.kind == Sweep_topology_kind::custom
+                        ? d.custom_topology->core_count()
+                        : d.width * d.height;
+                if (static_cast<int>(c.root) >= cores)
+                    throw std::invalid_argument{
+                        "Sweep_spec: collective '" + c.label +
+                        "' root out of range on design '" + d.label + "'"};
+            }
+        }
+    }
     for (const auto& t : traffics) {
         if (t.label.empty())
             throw std::invalid_argument{"Sweep_spec: unlabeled traffic"};
@@ -321,15 +375,19 @@ void Sweep_spec::validate() const
 
 std::string Sweep_spec::curve_label(std::uint32_t design,
                                     std::uint32_t traffic,
-                                    std::uint32_t scenario) const
+                                    std::uint32_t scenario,
+                                    std::uint32_t collective) const
 {
     std::string label = designs.at(design).label + "/" +
                         designs.at(design).params_label + "/" +
                         traffics.at(traffic).label;
     // The implicit fault-free scenario adds no suffix, so specs without a
-    // reliability axis keep their historical labels (and therefore seeds).
+    // reliability axis keep their historical labels (and therefore seeds);
+    // the implicit no-collective axis behaves identically.
     if (!fault_scenarios.empty())
         label += "/" + fault_scenarios.at(scenario).label;
+    if (!collectives.empty())
+        label += "/" + collectives.at(collective).label;
     return label;
 }
 
@@ -348,22 +406,26 @@ std::vector<Sweep_point> Sweep_spec::enumerate() const
     for (std::uint32_t d = 0; d < designs.size(); ++d)
         for (std::uint32_t t = 0; t < traffics.size(); ++t)
             for (std::uint32_t s = 0; s < scenario_count(); ++s)
-                for (std::uint32_t li = 0; li < loads.size(); ++li) {
-                    Sweep_point p;
-                    p.index = static_cast<std::uint32_t>(points.size());
-                    p.design = d;
-                    p.traffic = t;
-                    p.scenario = s;
-                    p.load_index = li;
-                    p.load = loads[li];
-                    // Label-keyed: the seed survives reordering/appending
-                    // of designs, traffics, scenarios and loads (only the
-                    // point's own identity feeds it), so growing a spec
-                    // never perturbs existing points.
-                    p.seed = sweep_seed(*this, curve_label(d, t, s) + "@" +
-                                                   std::to_string(li));
-                    points.push_back(p);
-                }
+                for (std::uint32_t c = 0; c < collective_count(); ++c)
+                    for (std::uint32_t li = 0; li < loads.size(); ++li) {
+                        Sweep_point p;
+                        p.index = static_cast<std::uint32_t>(points.size());
+                        p.design = d;
+                        p.traffic = t;
+                        p.scenario = s;
+                        p.collective = c;
+                        p.load_index = li;
+                        p.load = loads[li];
+                        // Label-keyed: the seed survives reordering/
+                        // appending of designs, traffics, scenarios,
+                        // collectives and loads (only the point's own
+                        // identity feeds it), so growing a spec never
+                        // perturbs existing points.
+                        p.seed = sweep_seed(*this,
+                                            curve_label(d, t, s, c) + "@" +
+                                                std::to_string(li));
+                        points.push_back(p);
+                    }
     return points;
 }
 

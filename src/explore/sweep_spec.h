@@ -33,6 +33,7 @@
 //     trending.
 #pragma once
 
+#include "collective/collective.h"
 #include "topology/graph.h"
 #include "topology/route.h"
 #include "traffic/core_graph.h"
@@ -129,6 +130,26 @@ struct Fault_scenario {
     bool replay = false;
 };
 
+/// One collective workload (src/collective): every point under it
+/// additionally runs one collective operation on the background load —
+/// started at the measurement boundary — and reports its completion
+/// latency, the explore layer's collective dimension. An empty
+/// Sweep_spec::collectives list means no collective axis: existing specs
+/// enumerate, seed and serialize exactly as before the axis existed.
+/// Collectives compose with synthetic background traffic only, and not
+/// with fault scenarios (the multicast fabric composes with neither fault
+/// plans nor replay — validate() enforces both).
+struct Collective_workload {
+    std::string label;
+    Collective_kind kind = Collective_kind::broadcast;
+    std::uint32_t root = 0;          ///< broadcast/reduce tree root core
+    std::uint32_t payload_flits = 4; ///< collective packet size
+    std::uint32_t fanin = 4;         ///< reduction-tree fan-in
+    /// Tree multicast vs naive per-destination unicast emulation — declare
+    /// one workload of each to sweep the fabric against its baseline.
+    bool use_multicast = true;
+};
+
 /// One enumerated simulation point: indices into the spec plus the seed
 /// derived from it. (design, traffic) identifies the curve the point's
 /// Load_point lands on; load_index its position along the load grid.
@@ -137,6 +158,7 @@ struct Sweep_point {
     std::uint32_t design = 0;
     std::uint32_t traffic = 0;
     std::uint32_t scenario = 0; ///< into fault_scenarios (0 when none)
+    std::uint32_t collective = 0; ///< into collectives (0 when none)
     std::uint32_t load_index = 0;
     double load = 0.0;
     std::uint64_t seed = 0; ///< deterministic function of the spec alone
@@ -165,6 +187,12 @@ struct Sweep_spec {
     /// under each scenario, multiplying the curve count. Empty = the
     /// implicit fault-free scenario (no extra curves, labels unchanged).
     std::vector<Fault_scenario> fault_scenarios;
+    /// Collective axis: every curve is additionally run with each
+    /// collective workload riding on the background load, multiplying the
+    /// curve count like the fault axis does. Empty = no collective (no
+    /// extra curves, labels unchanged). Mutually exclusive with
+    /// fault_scenarios and with application traffic.
+    std::vector<Collective_workload> collectives;
     /// Also binary-search each synthetic design's saturation throughput
     /// (one extra worker task per curve); application curves always derive
     /// saturation from the measured grid.
@@ -198,6 +226,9 @@ struct Sweep_spec {
                                        std::uint32_t transient_count,
                                        std::uint32_t permanent_link_count,
                                        Cycle reroute_latency = 64);
+    Collective_workload& add_collective(std::string label,
+                                        Collective_kind kind,
+                                        bool use_multicast = true);
 
     /// Throws std::invalid_argument on an inconsistent spec (empty axes,
     /// grid pattern on a non-grid design, application traffic without a
@@ -215,15 +246,23 @@ struct Sweep_spec {
     {
         return fault_scenarios.empty() ? 1 : fault_scenarios.size();
     }
+    /// Collective axis length with the implicit no-collective folded in.
+    [[nodiscard]] std::size_t collective_count() const
+    {
+        return collectives.empty() ? 1 : collectives.size();
+    }
     [[nodiscard]] std::size_t curve_count() const
     {
-        return designs.size() * traffics.size() * scenario_count();
+        return designs.size() * traffics.size() * scenario_count() *
+               collective_count();
     }
     /// Curve label "design/params/traffic" — the identity results key on.
-    /// With fault scenarios declared, "design/params/traffic/scenario".
+    /// With fault scenarios declared, "design/params/traffic/scenario";
+    /// with collectives, the collective label is appended the same way.
     [[nodiscard]] std::string curve_label(std::uint32_t design,
                                           std::uint32_t traffic,
-                                          std::uint32_t scenario = 0) const;
+                                          std::uint32_t scenario = 0,
+                                          std::uint32_t collective = 0) const;
 };
 
 /// Deterministic seed for any sweep entity, derived from the spec's name,

@@ -1,0 +1,109 @@
+#include "telemetry/window.h"
+
+#include <stdexcept>
+
+namespace noc {
+
+Telemetry_window::Telemetry_window(const Telemetry_registry* source,
+                                   std::uint32_t ewma_shift)
+    : source_{source}, shift_{ewma_shift}
+{
+    if (source_ == nullptr)
+        throw std::invalid_argument{"Telemetry_window: null source"};
+    if (shift_ >= 48)
+        throw std::invalid_argument{
+            "Telemetry_window: ewma_shift out of range"};
+    previous_.assign(source_->entry_count(), 0);
+    rates_.assign(source_->entry_count(), 0);
+    ewma_.assign(source_->entry_count(), Ewma_q16{});
+}
+
+void Telemetry_window::advance()
+{
+    source_->capture_into(scratch_);
+    if (scratch_.size() != previous_.size())
+        throw std::logic_error{
+            "Telemetry_window: source registry changed size"};
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+        const bool counter = source_->entry(i).kind ==
+                             Telemetry_registry::Kind::counter;
+        // Counters window their delta (the previous capture is the window
+        // base; the implicit base before the first advance is 0, matching
+        // counters that start at 0 at cycle 0). Gauges pass their level
+        // through — the EWMA does the smoothing.
+        rates_[i] = counter ? scratch_[i] - previous_[i] : scratch_[i];
+        ewma_[i].step(rates_[i], shift_);
+        previous_[i] = scratch_[i];
+    }
+    ++windows_;
+}
+
+std::uint64_t Telemetry_window::rate(std::size_t i) const
+{
+    return rates_.at(i);
+}
+
+std::uint64_t Telemetry_window::ewma(std::size_t i) const
+{
+    return ewma_.at(i).value();
+}
+
+void Telemetry_window::register_into(Telemetry_registry& out) const
+{
+    for (std::size_t i = 0; i < previous_.size(); ++i) {
+        const Telemetry_registry::Entry& e = source_->entry(i);
+        if (e.kind == Telemetry_registry::Kind::counter)
+            out.add_gauge(e.name + ".rate", e.shard,
+                          [this, i] { return rate(i); });
+        out.add_gauge(e.name + ".ewma", e.shard,
+                      [this, i] { return ewma(i); });
+    }
+}
+
+Telemetry_stream windowed_stream(const Telemetry_stream& in,
+                                 std::uint32_t ewma_shift)
+{
+    if (ewma_shift >= 48)
+        throw std::invalid_argument{
+            "windowed_stream: ewma_shift out of range"};
+    Telemetry_stream out;
+    out.period = in.period;
+
+    // Derived entry layout: source order, counters contributing a ".rate"
+    // then a ".ewma" column, gauges a ".ewma" column only.
+    std::vector<bool> is_counter(in.entries.size(), false);
+    for (std::size_t i = 0; i < in.entries.size(); ++i) {
+        const auto& e = in.entries[i];
+        is_counter[i] = e.kind == Telemetry_registry::Kind::counter;
+        if (is_counter[i])
+            out.entries.push_back({e.name + ".rate",
+                                   Telemetry_registry::Kind::gauge, e.shard});
+        out.entries.push_back(
+            {e.name + ".ewma", Telemetry_registry::Kind::gauge, e.shard});
+    }
+
+    std::vector<std::uint64_t> previous(in.entries.size(), 0);
+    std::vector<Ewma_q16> ewma(in.entries.size());
+    out.records.reserve(in.records.size());
+    for (const auto& rec : in.records) {
+        if (rec.values.size() != in.entries.size())
+            throw std::invalid_argument{
+                "windowed_stream: record width mismatch"};
+        Telemetry_stream::Record d;
+        d.index = rec.index;
+        d.cycle = rec.cycle;
+        d.values.reserve(out.entries.size());
+        for (std::size_t i = 0; i < rec.values.size(); ++i) {
+            const std::uint64_t rate =
+                is_counter[i] ? rec.values[i] - previous[i] : rec.values[i];
+            ewma[i].step(rate, ewma_shift);
+            if (is_counter[i]) d.values.push_back(rate);
+            d.values.push_back(ewma[i].value());
+            previous[i] = rec.values[i];
+        }
+        out.records.push_back(std::move(d));
+    }
+    return out;
+}
+
+} // namespace noc

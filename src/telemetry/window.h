@@ -1,0 +1,121 @@
+// Windowed / derivative telemetry — rates and EWMA over the counter
+// surface, so heatmaps can show FLOW, not just level.
+//
+// The registry's counters are monotonic totals: a heatmap over
+// "ni3.injected" shows cumulative work, which saturates the scale and hides
+// where traffic is moving NOW. This module derives per-window views:
+//
+//   * rate — the counter's delta over the last completed window (flits
+//     routed in the last N cycles, not since boot);
+//   * ewma — an exponentially weighted moving average with alpha = 1/2^k,
+//     computed in Q16 fixed point so the smoothed series is exact integer
+//     arithmetic, bit-identical across platforms and kernel schedules
+//     (floating-point EWMA would accumulate rounding that depends on the
+//     sample count). Counters smooth their rate; gauges smooth their level.
+//
+// Two consumers, same math:
+//
+//   * Telemetry_window wraps a live registry: advance() captures the source
+//     at a sequential point and updates the window state; register_into()
+//     publishes "<name>.rate" / "<name>.ewma" entries into a second
+//     registry, so a sampler can stream derivatives like any other entry.
+//   * windowed_stream() post-processes an already decoded .noct stream into
+//     a derived stream with the same record cycles, feeding render_heatmap
+//     directly: render_heatmap(windowed_stream(s), "router", ".rate") is
+//     the flow view of the classic occupancy heatmap.
+//
+// Determinism: both paths are pure integer functions of the captured
+// values, so the derived entries inherit the source's schedule-invariance
+// (kernel.* scheduling counters stay schedule-sensitive, exactly as in the
+// source — see the contract in telemetry/registry.h).
+#pragma once
+
+#include "common/types.h"
+#include "telemetry/registry.h"
+#include "telemetry/sampler.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace noc {
+
+/// One EWMA state cell: Q16 fixed point, alpha = 1/2^shift.
+/// step() folds a new observation in; value() rounds back to integer.
+struct Ewma_q16 {
+    std::uint64_t q16 = 0;
+    bool primed = false;
+
+    void step(std::uint64_t observation, std::uint32_t shift)
+    {
+        const std::uint64_t obs_q16 = observation << 16;
+        if (!primed) {
+            q16 = obs_q16;
+            primed = true;
+            return;
+        }
+        // q16 += (obs - q16) / 2^shift with the division computed on the
+        // magnitude, so the pull toward the observation never overshoots
+        // regardless of sign.
+        if (obs_q16 >= q16)
+            q16 += (obs_q16 - q16) >> shift;
+        else
+            q16 -= (q16 - obs_q16) >> shift;
+    }
+
+    [[nodiscard]] std::uint64_t value() const { return q16 >> 16; }
+};
+
+/// Live windowed view over a Telemetry_registry. Capture the source with
+/// advance() at sequential points (typically every sampler period); read
+/// the derived values directly or publish them into a second registry.
+/// Derived-entry order is source registration order: for every source
+/// counter a ".rate" then a ".ewma" entry, for every source gauge a
+/// ".ewma" entry only (a level's delta can go negative, which a uint64
+/// surface cannot represent — smooth the level instead).
+class Telemetry_window {
+public:
+    /// `ewma_shift` sets alpha = 1/2^shift (default 2 → alpha 0.25). The
+    /// source registry must outlive the window.
+    explicit Telemetry_window(const Telemetry_registry* source,
+                              std::uint32_t ewma_shift = 2);
+
+    /// Capture the source and roll the window forward. Sequential points
+    /// only (same contract as Telemetry_registry::capture).
+    void advance();
+
+    /// Windows completed so far (rates are 0 until the first advance()).
+    [[nodiscard]] std::uint64_t windows() const { return windows_; }
+
+    /// Last window's delta of source counter entry `i` (source entry
+    /// index). Gauges report their last sampled level.
+    [[nodiscard]] std::uint64_t rate(std::size_t i) const;
+
+    /// EWMA (rounded to integer) of source entry `i`'s rate (counters) or
+    /// level (gauges).
+    [[nodiscard]] std::uint64_t ewma(std::size_t i) const;
+
+    /// Publish the derived entries into `out` as gauges named
+    /// "<source-name>.rate" / "<source-name>.ewma" (shard ownership is
+    /// copied from the source entry; reads refer to this window's state, so
+    /// the window must outlive `out`'s consumers).
+    void register_into(Telemetry_registry& out) const;
+
+private:
+    const Telemetry_registry* source_;
+    std::uint32_t shift_;
+    std::uint64_t windows_ = 0;
+    std::vector<std::uint64_t> previous_; ///< last captured values
+    std::vector<std::uint64_t> rates_;    ///< last window's deltas/levels
+    std::vector<Ewma_q16> ewma_;
+    mutable std::vector<std::uint64_t> scratch_;
+};
+
+/// Derive a windowed stream from a decoded one: every source counter entry
+/// becomes "<name>.rate" (per-record delta; the first record's rate is its
+/// value — counters start at 0) and "<name>.ewma"; every gauge becomes
+/// "<name>.ewma" of its level. All derived entries are gauges. Records keep
+/// their cycles/indices, so the result feeds render_heatmap directly.
+[[nodiscard]] Telemetry_stream windowed_stream(const Telemetry_stream& in,
+                                               std::uint32_t ewma_shift = 2);
+
+} // namespace noc

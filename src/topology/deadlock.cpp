@@ -121,6 +121,52 @@ void add_surviving_route_dependencies(Cdg& cdg, const Topology& t,
         cdg.add_edge(nodes[i], nodes[i + 1]);
 }
 
+/// Dependencies of one multicast tree: consecutive-hop edges along every
+/// segment, and at each fork an edge from the incoming channel to each
+/// child's first channel. The router frees a fork's input slot only when
+/// the SLOWEST branch has copied it (per-branch cursors, arch/router.h
+/// phase 1b), so the input channel depends on every child — and on
+/// nothing else: branches copy at their own pace and release their output
+/// VCs with their own tail copy, so there are no sibling wait-for edges
+/// to model.
+void add_tree_dependencies(Cdg& cdg, const Topology& t,
+                           const Mcast_tree& tree, int vc_count)
+{
+    if (tree.segments.empty()) return;
+    struct Item {
+        std::uint32_t seg;
+        Switch_id sw;
+        int prev_node;
+    };
+    std::vector<Item> stack{{0u, t.core_switch(tree.src), -1}};
+    while (!stack.empty()) {
+        const Item item = stack.back();
+        stack.pop_back();
+        const Mcast_segment& seg = tree.segments.at(item.seg);
+        Switch_id sw = item.sw;
+        int prev_node = item.prev_node;
+        bool ejected = false;
+        for (const Hop& h : seg.hops) {
+            const Link_id l = t.link_of_output_port(sw, Port_id{h.out_port});
+            if (!l.is_valid()) {
+                ejected = true; // ejection: sink, no further dependency
+                break;
+            }
+            if (static_cast<int>(h.out_vc) >= vc_count)
+                throw std::invalid_argument{
+                    "analyze_multicast_deadlock: tree uses vc beyond "
+                    "vc_count"};
+            const int node = cdg.node_of(l, h.out_vc);
+            if (prev_node >= 0) cdg.add_edge(prev_node, node);
+            prev_node = node;
+            sw = t.link(l).to;
+        }
+        if (ejected) continue;
+        for (const std::uint32_t c : seg.children)
+            stack.push_back({c, sw, prev_node});
+    }
+}
+
 Deadlock_report report_from(const Cdg& cdg, int vc_count)
 {
     Deadlock_report rep;
@@ -207,6 +253,35 @@ analyze_union_deadlock(const Topology& t,
                                                  failed_links);
             }
         }
+    }
+    return report_from(cdg, vc_count);
+}
+
+Deadlock_report
+analyze_multicast_deadlock(const Topology& t, const Route_set* unicast,
+                           const std::vector<const Mcast_tree*>& trees,
+                           int vc_count)
+{
+    if (vc_count <= 0)
+        throw std::invalid_argument{
+            "analyze_multicast_deadlock: vc_count <= 0"};
+    Cdg cdg{t.link_count(), vc_count};
+    if (unicast != nullptr) {
+        for (int s = 0; s < unicast->core_count(); ++s) {
+            for (int d = 0; d < unicast->core_count(); ++d) {
+                if (s == d) continue;
+                const Core_id src{static_cast<std::uint32_t>(s)};
+                const Core_id dst{static_cast<std::uint32_t>(d)};
+                add_route_dependencies(cdg, t, src, unicast->at(src, dst),
+                                       vc_count);
+            }
+        }
+    }
+    for (const Mcast_tree* tree : trees) {
+        if (tree == nullptr)
+            throw std::invalid_argument{
+                "analyze_multicast_deadlock: null tree"};
+        add_tree_dependencies(cdg, t, *tree, vc_count);
     }
     return report_from(cdg, vc_count);
 }

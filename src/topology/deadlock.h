@@ -10,6 +10,7 @@
 #pragma once
 
 #include "topology/graph.h"
+#include "topology/multicast.h"
 #include "topology/route.h"
 
 #include <set>
@@ -61,5 +62,20 @@ analyze_deadlock_flows(const Topology& t,
 analyze_union_deadlock(const Topology& t,
                        const std::vector<const Route_set*>& route_sets,
                        int vc_count, const std::set<Link_id>& failed_links);
+
+/// Analyze BRANCHING routes: the CDG of multicast trees
+/// (topology/multicast.h), optionally unioned with the unicast route set
+/// they coexist with (`unicast` may be nullptr for a trees-only check).
+/// A tree contributes the consecutive-hop edges along every segment plus,
+/// at each fork, one edge from the incoming channel to EACH child
+/// segment's first channel — the input slot frees only when the slowest
+/// branch has copied it. Branches themselves copy at their own pace and
+/// release their output VCs independently (arch/router.h phase 1b), so no
+/// sibling edges exist and acyclicity of this graph is a sound admission
+/// for multicast (see multicast.h).
+[[nodiscard]] Deadlock_report
+analyze_multicast_deadlock(const Topology& t, const Route_set* unicast,
+                           const std::vector<const Mcast_tree*>& trees,
+                           int vc_count);
 
 } // namespace noc

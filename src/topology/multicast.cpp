@@ -1,0 +1,347 @@
+#include "topology/multicast.h"
+
+#include "topology/deadlock.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace noc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what)
+{
+    throw std::invalid_argument{"multicast_routes: " + what};
+}
+
+/// Prefix trie over unicast hop sequences. Children keep insertion order
+/// (= destination-set order), which fixes the child order of every fork
+/// deterministically.
+struct Trie_node {
+    std::vector<std::pair<Hop, std::uint32_t>> children;
+    Core_id terminal{}; ///< destination whose route ends here (leaves only)
+};
+
+Mcast_tree build_trie_tree(const Route_set& routes, Core_id src, Dset_id id,
+                           const std::vector<Core_id>& dsts)
+{
+    std::vector<Trie_node> trie(1);
+    for (const Core_id d : dsts) {
+        const Route& r = routes.at(src, d);
+        if (r.empty())
+            fail("no unicast route from core " + std::to_string(src.get()) +
+                 " to destination " + std::to_string(d.get()));
+        std::uint32_t cur = 0;
+        for (const Hop& h : r) {
+            std::uint32_t next = 0;
+            bool found = false;
+            for (const auto& [hop, child] : trie[cur].children) {
+                if (hop == h) {
+                    next = child;
+                    found = true;
+                    break;
+                }
+            }
+            if (!found) {
+                next = static_cast<std::uint32_t>(trie.size());
+                trie.emplace_back();
+                trie[cur].children.emplace_back(h, next);
+            }
+            cur = next;
+        }
+        // Ejection hops are unique per core, so no route is a prefix of
+        // another and terminals land on childless leaves.
+        trie[cur].terminal = d;
+    }
+
+    Mcast_tree tree;
+    tree.src = src;
+    tree.dset = id;
+    tree.destinations = dsts;
+    // Collapse single-child chains into segments; >= 2 children = fork.
+    auto build = [&](auto&& self, std::uint32_t node,
+                     Route prefix) -> std::uint32_t {
+        const auto seg_idx =
+            static_cast<std::uint32_t>(tree.segments.size());
+        tree.segments.emplace_back();
+        Route hops = std::move(prefix);
+        std::uint32_t n = node;
+        while (true) {
+            if (trie[n].terminal.is_valid()) {
+                tree.segments[seg_idx].dst = trie[n].terminal;
+                break;
+            }
+            if (trie[n].children.size() == 1) {
+                hops.push_back(trie[n].children[0].first);
+                n = trie[n].children[0].second;
+                continue;
+            }
+            std::vector<std::uint32_t> kids;
+            kids.reserve(trie[n].children.size());
+            for (const auto& [hop, child] : trie[n].children)
+                kids.push_back(self(self, child, Route{hop}));
+            tree.segments[seg_idx].dst = tree.segments[kids.front()].dst;
+            tree.segments[seg_idx].children = std::move(kids);
+            break;
+        }
+        tree.segments[seg_idx].hops = std::move(hops);
+        return seg_idx;
+    };
+    build(build, 0, Route{});
+    return tree;
+}
+
+/// Path-based fallback: chain the destinations in set order; every
+/// intermediate destination's switch is a fork (eject copies for the
+/// destinations at that switch, one continuation for the rest).
+Mcast_tree build_path_tree(const Route_set& routes, Core_id src, Dset_id id,
+                           const std::vector<Core_id>& dsts)
+{
+    Mcast_tree tree;
+    tree.src = src;
+    tree.dset = id;
+    tree.destinations = dsts;
+    tree.path_fallback = true;
+    tree.segments.emplace_back();
+    std::uint32_t cur = 0;
+    Core_id at = src;
+    std::size_t i = 0;
+    const std::size_t n = dsts.size();
+    while (i < n) {
+        const Route& r = routes.at(at, dsts[i]);
+        if (r.empty())
+            fail("path fallback: no unicast route from core " +
+                 std::to_string(at.get()) + " to destination " +
+                 std::to_string(dsts[i].get()));
+        tree.segments[cur].hops.insert(tree.segments[cur].hops.end(),
+                                       r.begin(), r.end() - 1);
+        // Now at dsts[i]'s switch; absorb every following destination that
+        // shares it (their connecting route is just the ejection hop), so
+        // no child segment is ever hopless.
+        std::vector<std::pair<Core_id, Hop>> leaves{{dsts[i], r.back()}};
+        at = dsts[i];
+        ++i;
+        while (i < n && routes.at(at, dsts[i]).size() == 1) {
+            leaves.emplace_back(dsts[i], routes.at(at, dsts[i]).front());
+            at = dsts[i];
+            ++i;
+        }
+        if (i == n && leaves.size() == 1) {
+            // Final destination terminates the carrier segment itself.
+            tree.segments[cur].hops.push_back(leaves[0].second);
+            tree.segments[cur].dst = leaves[0].first;
+            break;
+        }
+        std::vector<std::uint32_t> kids;
+        for (const auto& [d, hop] : leaves) {
+            kids.push_back(static_cast<std::uint32_t>(tree.segments.size()));
+            Mcast_segment leaf;
+            leaf.hops.push_back(hop);
+            leaf.dst = d;
+            tree.segments.push_back(std::move(leaf));
+        }
+        if (i < n) {
+            kids.push_back(static_cast<std::uint32_t>(tree.segments.size()));
+            tree.segments.emplace_back(); // continuation, filled next round
+        }
+        tree.segments[cur].dst = leaves[0].first;
+        tree.segments[cur].children = std::move(kids);
+        if (i < n) cur = tree.segments[cur].children.back();
+    }
+    return tree;
+}
+
+} // namespace
+
+void validate_mcast_tree(const Topology& t, const Mcast_tree& tree,
+                         int vc_count)
+{
+    auto bad = [&](const std::string& what) {
+        throw std::invalid_argument{
+            "validate_mcast_tree(src " + std::to_string(tree.src.get()) +
+            ", dset " + std::to_string(tree.dset.get()) + "): " + what};
+    };
+    if (tree.segments.empty()) {
+        if (!tree.destinations.empty())
+            bad("empty tree with declared destinations");
+        return;
+    }
+    if (tree.destinations.empty()) bad("tree with no destinations");
+    if (!tree.src.is_valid() ||
+        tree.src.get() >= static_cast<std::uint32_t>(t.core_count()))
+        bad("invalid source core");
+
+    std::vector<char> visited(tree.segments.size(), 0);
+    std::vector<Core_id> reached;
+    struct Item {
+        std::uint32_t seg;
+        Switch_id sw;
+    };
+    std::vector<Item> stack{{0u, t.core_switch(tree.src)}};
+    while (!stack.empty()) {
+        const Item item = stack.back();
+        stack.pop_back();
+        if (item.seg >= tree.segments.size()) bad("child index out of range");
+        if (visited[item.seg]) bad("segment visited twice (not a tree)");
+        visited[item.seg] = 1;
+        const Mcast_segment& seg = tree.segments[item.seg];
+        if (!seg.dst.is_valid()) bad("segment without representative dst");
+        if (seg.hops.empty() && item.seg != 0)
+            bad("non-root segment with no hops");
+        const bool is_leaf = seg.children.empty();
+        if (!is_leaf && seg.children.size() < 2)
+            bad("fork with fewer than 2 branches");
+        Switch_id sw = item.sw;
+        bool ejected = false;
+        for (std::size_t h = 0; h < seg.hops.size(); ++h) {
+            const Hop& hop = seg.hops[h];
+            if (static_cast<int>(hop.out_vc) >= vc_count)
+                bad("hop vc beyond vc_count");
+            if (static_cast<int>(hop.out_port) >= t.output_port_count(sw))
+                bad("hop output port out of range");
+            const Link_id l =
+                t.link_of_output_port(sw, Port_id{hop.out_port});
+            if (!l.is_valid()) {
+                // Ejection: legal only as the last hop of a leaf, aimed at
+                // the leaf's own destination.
+                if (!is_leaf || h + 1 != seg.hops.size())
+                    bad("ejection before the end of a segment");
+                if (t.core_switch(seg.dst) != sw ||
+                    t.ejection_port_of_core(seg.dst) !=
+                        Port_id{hop.out_port})
+                    bad("leaf ejects to a port that is not its dst's");
+                reached.push_back(seg.dst);
+                ejected = true;
+            } else {
+                sw = t.link(l).to;
+            }
+        }
+        if (is_leaf) {
+            if (!ejected) bad("leaf segment does not end with an ejection");
+        } else {
+            // One send per output per cycle: sibling branches must leave
+            // through distinct output ports, or Router::step could never
+            // claim them all atomically in one cycle.
+            std::vector<std::uint16_t> ports;
+            for (const std::uint32_t c : seg.children) {
+                if (c >= tree.segments.size())
+                    bad("child index out of range");
+                if (tree.segments[c].hops.empty())
+                    bad("non-root segment with no hops");
+                ports.push_back(tree.segments[c].hops.front().out_port);
+                stack.push_back({c, sw});
+            }
+            std::sort(ports.begin(), ports.end());
+            if (std::adjacent_find(ports.begin(), ports.end()) !=
+                ports.end())
+                bad("fork branches share an output port");
+        }
+    }
+    for (std::size_t s = 0; s < tree.segments.size(); ++s)
+        if (!visited[s]) bad("unreachable segment");
+
+    std::vector<Core_id> want = tree.destinations;
+    std::vector<Core_id> got = reached;
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    if (std::adjacent_find(want.begin(), want.end()) != want.end())
+        bad("duplicate destination in set");
+    if (want != got)
+        bad("leaf destinations do not match the declared set");
+    for (const Core_id d : want) {
+        if (!d.is_valid() ||
+            d.get() >= static_cast<std::uint32_t>(t.core_count()))
+            bad("destination core out of range");
+        if (d == tree.src) bad("source listed as its own destination");
+    }
+}
+
+Mcast_route_set multicast_routes(const Topology& t, const Route_set& routes,
+                                 const std::vector<std::vector<Core_id>>& dsets,
+                                 int vc_count)
+{
+    if (vc_count <= 0) fail("vc_count <= 0");
+    const int cores = t.core_count();
+    if (routes.core_count() != cores)
+        fail("route set core count does not match topology");
+
+    Mcast_route_set out;
+    out.resize(cores, dsets.size());
+    for (std::size_t di = 0; di < dsets.size(); ++di) {
+        std::vector<Core_id> members = dsets[di];
+        std::sort(members.begin(), members.end());
+        if (std::adjacent_find(members.begin(), members.end()) !=
+            members.end())
+            fail("destination set " + std::to_string(di) +
+                 " holds duplicates");
+        for (const Core_id c : members)
+            if (!c.is_valid() ||
+                c.get() >= static_cast<std::uint32_t>(cores))
+                fail("destination set " + std::to_string(di) +
+                     " member out of range");
+        out.set_dset(Dset_id{static_cast<std::uint32_t>(di)}, dsets[di]);
+    }
+
+    // A trie-merged tree's CDG edges are a subset of the unicast CDG (each
+    // segment chain and each fork branch continues some unicast route), so
+    // when the unicast routes are acyclic every trie tree is admitted for
+    // free and only path fallbacks need an incremental re-check. When the
+    // unicast set itself is cyclic (e.g. raw shortest paths), every tree
+    // is checked against the union of the already-admitted ones.
+    const bool unicast_ok = analyze_deadlock(t, routes, vc_count).acyclic;
+    std::vector<const Mcast_tree*> checked; // trees carrying novel edges
+
+    for (std::size_t di = 0; di < dsets.size(); ++di) {
+        const Dset_id id{static_cast<std::uint32_t>(di)};
+        for (int s = 0; s < cores; ++s) {
+            const Core_id src{static_cast<std::uint32_t>(s)};
+            std::vector<Core_id> dsts;
+            for (const Core_id c : dsets[di])
+                if (c != src) dsts.push_back(c);
+            if (dsts.empty()) continue; // empty tree: nothing to send
+
+            // Tree-based first; structural rejection (e.g. sibling
+            // branches on one output port, possible on dateline route
+            // sets) falls back to the path construction like a deadlock
+            // rejection does.
+            Mcast_tree tree;
+            bool admitted = false;
+            try {
+                tree = build_trie_tree(routes, src, id, dsts);
+                validate_mcast_tree(t, tree, vc_count);
+                admitted = unicast_ok;
+                if (!admitted) {
+                    auto candidate = checked;
+                    candidate.push_back(&tree);
+                    admitted = analyze_multicast_deadlock(t, nullptr,
+                                                          candidate,
+                                                          vc_count)
+                                   .acyclic;
+                }
+            } catch (const std::invalid_argument&) {
+                admitted = false;
+            }
+            if (!admitted) {
+                tree = build_path_tree(routes, src, id, dsts);
+                validate_mcast_tree(t, tree, vc_count);
+                auto candidate = checked;
+                candidate.push_back(&tree);
+                if (!analyze_multicast_deadlock(
+                         t, unicast_ok ? &routes : nullptr, candidate,
+                         vc_count)
+                         .acyclic)
+                    fail("set " + std::to_string(di) + " from core " +
+                         std::to_string(s) +
+                         ": neither tree nor path construction is "
+                         "deadlock-free");
+            }
+            const bool novel = tree.path_fallback || !unicast_ok;
+            out.set(src, id, std::move(tree));
+            if (novel) checked.push_back(&out.at(src, id));
+        }
+    }
+    return out;
+}
+
+} // namespace noc

@@ -1,0 +1,139 @@
+// Multicast routing: destination-set trees over a unicast Route_set.
+//
+// A multicast packet names one DESTINATION SET (Dset_id); the routing layer
+// turns each (source, set) pair into a deterministic Mcast_tree — a tree of
+// route SEGMENTS whose edges reuse the hop vocabulary of topology/route.h.
+// A flit travels one segment exactly like a unicast flit travels its
+// source route; exhausting a segment's hops at a switch that is not an
+// ejection port means "fork here": the router replicates the flit once per
+// child segment (per-branch owned pool copies, arch/flit.h). Leaf segments
+// end with the ejection hop of their destination.
+//
+// Tree construction (multicast_routes) follows Berejuck's survey split:
+//   * TREE-BASED first: merge the unicast routes src->d (d in the set) by
+//     longest common hop prefix. Because every segment chain is a prefix of
+//     some unicast route through the same switches, the channel-dependency
+//     edges of a merged tree are a subset of the unicast CDG plus the fork
+//     branch edges — on turn-rule route sets (XY, datelines, up*/down*)
+//     the tree is admitted by construction.
+//   * PATH-BASED fallback: when the branching CDG check
+//     (analyze_multicast_deadlock, topology/deadlock.h) rejects the tree,
+//     chain the destinations in set order (src -> d0 -> d1 -> ...), each
+//     intermediate destination a 2-way fork (eject copy, forward rest).
+//   * If both are rejected the set is unroutable and construction throws —
+//     deadlock safety is checked, not assumed.
+//
+// Fork admission note: Router::step copies flits into each branch at that
+// branch's own pace (per-branch cursors) and releases each branch's output
+// VC with that branch's tail copy — siblings never wait on each other, and
+// a multicast packet must fit a router input buffer (enforced at
+// injection) so a lagging branch can always drain to its tail from the
+// flits parked at the fork. A waiting branch therefore holds only its own
+// downstream channel, and the fork's input channel waits on every child —
+// exactly the in->child hold-and-wait the branching CDG models, so its
+// acyclicity is a sound deadlock-freedom condition for multicast.
+#pragma once
+
+#include "topology/graph.h"
+#include "topology/route.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace noc {
+
+/// One tree segment: a unicast-style hop chain, then either children (the
+/// last switch is a fork) or a destination (the last hop is its ejection).
+struct Mcast_segment {
+    /// Hop chain of this segment. Non-empty except possibly for the root
+    /// (a fork at the source switch itself).
+    Route hops;
+    /// Child segment indices when this segment ends at a fork switch
+    /// (>= 2 entries); empty on leaves.
+    std::vector<std::uint32_t> children;
+    /// Representative destination: on a leaf, THE destination this segment
+    /// ejects to; on an interior segment, the first (set-order) destination
+    /// in its subtree. Router::step stamps it into each branch copy so a
+    /// flit's `dst` is always a real member of the set.
+    Core_id dst{};
+};
+
+/// One (source, destination-set) multicast tree. Segment 0 is the root,
+/// entered at the source switch; `destinations` is the set minus the source
+/// itself, in declaration order — the NIs count one delivery per entry.
+struct Mcast_tree {
+    Core_id src{};
+    Dset_id dset{};
+    std::vector<Mcast_segment> segments;
+    std::vector<Core_id> destinations;
+    /// True when tree-based construction was rejected by the deadlock
+    /// check and this tree is the path-based (destination-chain) fallback.
+    bool path_fallback = false;
+
+    [[nodiscard]] bool empty() const { return segments.empty(); }
+};
+
+/// All (source core, destination set) trees of one system, plus the set
+/// definitions themselves. Non-owning consumers (NIs) hold a pointer to
+/// this table exactly like they hold the unicast Route_set — it must
+/// outlive the simulation.
+class Mcast_route_set {
+public:
+    Mcast_route_set() = default;
+
+    [[nodiscard]] int core_count() const
+    {
+        return static_cast<int>(trees_.size());
+    }
+    [[nodiscard]] std::size_t dset_count() const { return dsets_.size(); }
+    [[nodiscard]] const std::vector<Core_id>& dset(Dset_id d) const
+    {
+        return dsets_.at(d.get());
+    }
+    [[nodiscard]] const Mcast_tree& at(Core_id src, Dset_id d) const
+    {
+        return trees_.at(src.get()).at(d.get());
+    }
+
+    /// Construction surface (multicast_routes fills these).
+    void resize(int core_count, std::size_t dset_count)
+    {
+        dsets_.resize(dset_count);
+        trees_.assign(static_cast<std::size_t>(core_count),
+                      std::vector<Mcast_tree>(dset_count));
+    }
+    void set_dset(Dset_id d, std::vector<Core_id> members)
+    {
+        dsets_.at(d.get()) = std::move(members);
+    }
+    void set(Core_id src, Dset_id d, Mcast_tree tree)
+    {
+        trees_.at(src.get()).at(d.get()) = std::move(tree);
+    }
+
+private:
+    std::vector<std::vector<Core_id>> dsets_;
+    std::vector<std::vector<Mcast_tree>> trees_; ///< [src][dset]
+};
+
+/// Build the all-sources multicast table for `dsets` over `routes`
+/// (tree-based with path-based fallback, both admitted through the
+/// branching CDG check with `vc_count` VCs — see the header comment).
+/// Every tree's destination list is its dset minus the source core; a
+/// source whose pruned list is empty gets an empty tree (NIs reject
+/// sending on it). Throws when a destination is unreachable, a set holds
+/// duplicates, or neither construction passes the deadlock check.
+[[nodiscard]] Mcast_route_set
+multicast_routes(const Topology& t, const Route_set& routes,
+                 const std::vector<std::vector<Core_id>>& dsets,
+                 int vc_count);
+
+/// Structural validation of one tree against the topology: segment hops
+/// must follow real links, forks must have >= 2 children, leaves must end
+/// with the ejection hop of their `dst`, and every declared destination
+/// must be reached exactly once. Throws std::invalid_argument on
+/// violation. Noc_system runs this on every tree it is handed.
+void validate_mcast_tree(const Topology& t, const Mcast_tree& tree,
+                         int vc_count);
+
+} // namespace noc

@@ -1,5 +1,6 @@
 #include "traffic/experiment.h"
 
+#include "collective/collective.h"
 #include "telemetry/registry.h"
 #include "telemetry/sampler.h"
 #include "traffic/flow_traffic.h"
@@ -45,7 +46,8 @@ bool run_measurement(Noc_system& sys, const Sweep_config& cfg)
     return false;
 }
 
-Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
+Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg,
+                   Collective_driver* collective = nullptr)
 {
     // Telemetry attach (one branch, off by default): registry + async
     // sampler, samples to a side stream only — the Load_point below reads
@@ -63,6 +65,10 @@ Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
         sys.attach_sampler(sampler.get());
     }
     sys.warmup(cfg.warmup);
+    // The collective starts at the measurement boundary (a sequential
+    // point), so its completion latency shares the window's origin.
+    const Cycle collective_start = sys.kernel().now();
+    if (collective != nullptr) collective->start();
     const bool early_stopped = run_measurement(sys, cfg);
     Load_point pt;
     pt.early_stopped = early_stopped;
@@ -72,6 +78,19 @@ Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
             ? std::min(cfg.drain_limit, cfg.fault_drain_cap)
             : cfg.drain_limit;
     pt.drained = sys.drain(drain_limit);
+    if (collective != nullptr) {
+        // Reduce-tree cascades enqueued during the drain are created after
+        // the window closed, so drain()'s measured-in-flight test does not
+        // wait for them: grant the collective its own drain-sized budget in
+        // the same 64-cycle chunks (schedule-invariant cadence).
+        const Cycle deadline = sys.kernel().now() + cfg.drain_limit;
+        while (!collective->done() && sys.kernel().now() < deadline)
+            sys.advance(std::min<Cycle>(64, deadline - sys.kernel().now()));
+        pt.collective_completed = collective->done();
+        if (pt.collective_completed)
+            pt.collective_completion_cycles =
+                collective->completion_cycle() - collective_start;
+    }
     pt.offered_flits_per_node_cycle = offered;
     const auto cores = static_cast<double>(sys.topology().core_count());
     pt.accepted_flits_per_node_cycle =
@@ -120,6 +139,24 @@ Load_point collect(Noc_system& sys, double offered, const Sweep_config& cfg)
     return pt;
 }
 
+/// Install a Bernoulli background source on every core (shared by the
+/// plain and collective-carrying synthetic runs).
+void install_bernoulli_sources(
+    Noc_system& sys, double rate_flits_per_node_cycle,
+    const std::shared_ptr<const Dest_pattern>& pattern,
+    const Sweep_config& cfg)
+{
+    for (int c = 0; c < sys.topology().core_count(); ++c) {
+        const Core_id core{static_cast<std::uint32_t>(c)};
+        Bernoulli_source::Params sp;
+        sp.flits_per_cycle = rate_flits_per_node_cycle;
+        sp.packet_size_flits = cfg.packet_size_flits;
+        sp.seed = cfg.seed * 7919 + static_cast<std::uint64_t>(c);
+        sys.ni(core).set_source(
+            std::make_unique<Bernoulli_source>(core, sp, pattern));
+    }
+}
+
 } // namespace
 
 Load_point run_synthetic_load(
@@ -130,17 +167,25 @@ Load_point run_synthetic_load(
     const Sweep_config& cfg)
 {
     Noc_system sys{topology, routes, params, cfg.build};
-    const auto pattern = pattern_factory();
-    for (int c = 0; c < topology.core_count(); ++c) {
-        const Core_id core{static_cast<std::uint32_t>(c)};
-        Bernoulli_source::Params sp;
-        sp.flits_per_cycle = rate_flits_per_node_cycle;
-        sp.packet_size_flits = cfg.packet_size_flits;
-        sp.seed = cfg.seed * 7919 + static_cast<std::uint64_t>(c);
-        sys.ni(core).set_source(
-            std::make_unique<Bernoulli_source>(core, sp, pattern));
-    }
+    install_bernoulli_sources(sys, rate_flits_per_node_cycle,
+                              pattern_factory(), cfg);
     return collect(sys, rate_flits_per_node_cycle, cfg);
+}
+
+Load_point run_synthetic_load_with_collective(
+    const Topology& topology, const Route_set& routes,
+    const Network_params& params, double rate_flits_per_node_cycle,
+    const std::function<std::shared_ptr<const Dest_pattern>()>&
+        pattern_factory,
+    const Sweep_config& cfg, const Collective_config& collective)
+{
+    Noc_system sys{topology, routes, params, cfg.build};
+    install_bernoulli_sources(sys, rate_flits_per_node_cycle,
+                              pattern_factory(), cfg);
+    // Built before any packet is in flight: construction installs the
+    // destination-set trees and takes over the delivery listeners.
+    Collective_driver driver{sys, collective};
+    return collect(sys, rate_flits_per_node_cycle, cfg, &driver);
 }
 
 double find_saturation_throughput(

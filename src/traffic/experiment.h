@@ -15,6 +15,8 @@
 
 namespace noc {
 
+struct Collective_config; // collective/collective.h
+
 struct Load_point {
     double offered_flits_per_node_cycle = 0.0;
     double accepted_flits_per_node_cycle = 0.0;
@@ -56,6 +58,15 @@ struct Load_point {
     /// early_stopped) — the cost ledger BENCH_sweep.json reports savings
     /// from.
     Cycle measured_cycles = 0;
+
+    // --- collective completion (Sweep_spec::collectives / src/collective) ---
+    /// Cycles from the collective's start (the end of warmup) to the last
+    /// participating core's completion. 0 when the point ran no collective
+    /// or it never completed.
+    Cycle collective_completion_cycles = 0;
+    /// True when the point ran a collective and every core finished its
+    /// role before the drain budget ran out.
+    bool collective_completed = false;
 };
 
 struct Sweep_config {
@@ -116,6 +127,20 @@ struct Sweep_config {
     const std::function<std::shared_ptr<const Dest_pattern>()>&
         pattern_factory,
     const Sweep_config& cfg);
+
+/// run_synthetic_load plus one collective operation riding on the
+/// background load: the Collective_driver is built before warmup (it
+/// installs the destination-set tree routes and the delivery listeners),
+/// started at the measurement boundary, and the system is advanced past the
+/// drain until the collective completes (or a second drain_limit budget
+/// runs out). The Load_point's collective_completion_cycles is the
+/// start-to-last-core time — schedule-invariant like every other field.
+[[nodiscard]] Load_point run_synthetic_load_with_collective(
+    const Topology& topology, const Route_set& routes,
+    const Network_params& params, double rate_flits_per_node_cycle,
+    const std::function<std::shared_ptr<const Dest_pattern>()>&
+        pattern_factory,
+    const Sweep_config& cfg, const Collective_config& collective);
 
 /// Saturation throughput: binary-search the load at which average latency
 /// exceeds `latency_cap` cycles; returns accepted throughput there.

@@ -1,0 +1,213 @@
+// Collective driver semantics: completion, per-NI delivery accounting,
+// multicast vs unicast-emulation, and validation (src/collective).
+#include "collective/collective.h"
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace noc {
+namespace {
+
+struct Rig {
+    Topology topo;
+    Route_set routes;
+    Network_params params;
+    Build_options opts;
+
+    static Rig mesh()
+    {
+        Mesh_params mp; // 4x4
+        Rig r{make_mesh(mp), {}, {}, {}};
+        r.routes = xy_routes(r.topo, mp);
+        return r;
+    }
+};
+
+Cycle run_collective(Rig& rig, const Collective_config& cfg,
+                     Noc_system* out_sys = nullptr)
+{
+    Noc_system sys{rig.topo, rig.routes, rig.params, rig.opts};
+    Collective_driver driver{sys, cfg};
+    const Cycle done = driver.run_to_completion(100'000);
+    EXPECT_TRUE(driver.done());
+    EXPECT_EQ(driver.completion_cycle(), done);
+    (void)out_sys;
+    return done;
+}
+
+TEST(Collective, BroadcastDeliversOncePerNonRootCore)
+{
+    Rig rig = Rig::mesh();
+    Collective_config cfg;
+    cfg.kind = Collective_kind::broadcast;
+    cfg.root = Core_id{5};
+
+    Noc_system sys{rig.topo, rig.routes, rig.params, rig.opts};
+    Collective_driver driver{sys, cfg};
+    const Cycle done = driver.run_to_completion(100'000);
+    ASSERT_NE(done, invalid_cycle);
+    EXPECT_TRUE(driver.done());
+
+    const int cores = rig.topo.core_count();
+    // One multicast packet from the root, one delivery at every other NI.
+    EXPECT_EQ(sys.stats().multicast_packets(), 1u);
+    EXPECT_EQ(sys.stats().multicast_destinations(),
+              static_cast<std::uint64_t>(cores - 1));
+    EXPECT_EQ(sys.stats().multicast_deliveries(),
+              static_cast<std::uint64_t>(cores - 1));
+    for (int c = 0; c < cores; ++c)
+        EXPECT_EQ(sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+                      .mcast_deliveries(),
+                  c == 5 ? 0u : 1u)
+            << "core " << c;
+}
+
+TEST(Collective, ReduceConvergesOnRoot)
+{
+    Rig rig = Rig::mesh();
+    Collective_config cfg;
+    cfg.kind = Collective_kind::reduce;
+    cfg.root = Core_id{0};
+    cfg.fanin = 2;
+
+    Noc_system sys{rig.topo, rig.routes, rig.params, rig.opts};
+    Collective_driver driver{sys, cfg};
+    EXPECT_FALSE(driver.done());
+    EXPECT_EQ(driver.completion_cycle(), invalid_cycle);
+    const Cycle done = driver.run_to_completion(100'000);
+    ASSERT_NE(done, invalid_cycle);
+    // Reduce is unicast-only: no multicast packets regardless of the flag.
+    EXPECT_EQ(sys.stats().multicast_packets(), 0u);
+    // A k-ary reduce over n cores carries exactly n-1 contributions.
+    EXPECT_EQ(sys.stats().packets_delivered(),
+              static_cast<std::uint64_t>(rig.topo.core_count() - 1));
+}
+
+TEST(Collective, AllgatherDeliversAllToAll)
+{
+    Rig rig = Rig::mesh();
+    Collective_config cfg;
+    cfg.kind = Collective_kind::allgather;
+    cfg.root = Core_id{0}; // validated even where the phase plan ignores it
+
+    Noc_system sys{rig.topo, rig.routes, rig.params, rig.opts};
+    Collective_driver driver{sys, cfg};
+    const Cycle done = driver.run_to_completion(100'000);
+    ASSERT_NE(done, invalid_cycle);
+    const auto n = static_cast<std::uint64_t>(rig.topo.core_count());
+    EXPECT_EQ(sys.stats().multicast_packets(), n);
+    EXPECT_EQ(sys.stats().multicast_deliveries(), n * (n - 1));
+    for (int c = 0; c < rig.topo.core_count(); ++c)
+        EXPECT_EQ(sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+                      .mcast_deliveries(),
+                  n - 1);
+}
+
+TEST(Collective, AllreduceMulticastNoSlowerThanEmulation)
+{
+    // The acceptance gate of the subsystem, in miniature: the tree
+    // multicast broadcast phase must complete no later than serializing
+    // one unicast packet per destination through the root's injection
+    // link.
+    Rig rig = Rig::mesh();
+    Collective_config cfg;
+    cfg.kind = Collective_kind::allreduce;
+    cfg.root = Core_id{0};
+
+    cfg.use_multicast = true;
+    const Cycle tree = run_collective(rig, cfg);
+    cfg.use_multicast = false;
+    const Cycle emulated = run_collective(rig, cfg);
+    ASSERT_NE(tree, invalid_cycle);
+    ASSERT_NE(emulated, invalid_cycle);
+    EXPECT_LE(tree, emulated);
+}
+
+TEST(Collective, BroadcastEmulationMatchesDeliveryCount)
+{
+    Rig rig = Rig::mesh();
+    Collective_config cfg;
+    cfg.kind = Collective_kind::broadcast;
+    cfg.root = Core_id{0};
+    cfg.use_multicast = false;
+
+    Noc_system sys{rig.topo, rig.routes, rig.params, rig.opts};
+    Collective_driver driver{sys, cfg};
+    const Cycle done = driver.run_to_completion(100'000);
+    ASSERT_NE(done, invalid_cycle);
+    EXPECT_EQ(sys.stats().multicast_packets(), 0u);
+    EXPECT_EQ(sys.stats().packets_delivered(),
+              static_cast<std::uint64_t>(rig.topo.core_count() - 1));
+}
+
+TEST(Collective, SingleCoreCompletesImmediately)
+{
+    Topology topo{"solo", 1};
+    topo.attach_core(Switch_id{0});
+    Route_set routes{1};
+    Network_params params;
+    Build_options opts;
+    Noc_system sys{topo, routes, params, opts};
+    Collective_config cfg;
+    cfg.kind = Collective_kind::broadcast;
+    cfg.root = Core_id{0};
+    Collective_driver driver{sys, cfg};
+    const Cycle done = driver.run_to_completion(1'000);
+    EXPECT_NE(done, invalid_cycle);
+    EXPECT_TRUE(driver.done());
+    EXPECT_EQ(sys.stats().packets_created(), 0u);
+}
+
+TEST(Collective, DoubleStartThrows)
+{
+    Rig rig = Rig::mesh();
+    Noc_system sys{rig.topo, rig.routes, rig.params, rig.opts};
+    Collective_config cfg;
+    cfg.kind = Collective_kind::broadcast;
+    cfg.root = Core_id{0};
+    Collective_driver driver{sys, cfg};
+    driver.start();
+    EXPECT_THROW(driver.start(), std::logic_error);
+}
+
+TEST(Collective, RejectsBadConfig)
+{
+    Rig rig = Rig::mesh();
+    Noc_system sys{rig.topo, rig.routes, rig.params, rig.opts};
+    {
+        Collective_config cfg;
+        cfg.root = Core_id{99}; // out of range
+        EXPECT_THROW((Collective_driver{sys, cfg}), std::invalid_argument);
+    }
+    {
+        Collective_config cfg;
+        cfg.root = Core_id{0};
+        cfg.payload_flits = 0;
+        EXPECT_THROW((Collective_driver{sys, cfg}), std::invalid_argument);
+    }
+    {
+        Collective_config cfg;
+        cfg.kind = Collective_kind::reduce;
+        cfg.root = Core_id{0};
+        cfg.fanin = 0;
+        EXPECT_THROW((Collective_driver{sys, cfg}), std::invalid_argument);
+    }
+}
+
+TEST(Collective, RunToCompletionTimesOutGracefully)
+{
+    Rig rig = Rig::mesh();
+    Noc_system sys{rig.topo, rig.routes, rig.params, rig.opts};
+    Collective_config cfg;
+    cfg.kind = Collective_kind::allreduce;
+    cfg.root = Core_id{0};
+    Collective_driver driver{sys, cfg};
+    // 1 cycle cannot possibly finish a 16-core allreduce.
+    EXPECT_EQ(driver.run_to_completion(1), invalid_cycle);
+    EXPECT_FALSE(driver.done());
+}
+
+} // namespace
+} // namespace noc

@@ -570,5 +570,129 @@ TEST(SweepRunner, FaultDrainCapNamesTheTimeout)
     }
 }
 
+TEST(SweepRunner, CollectiveAxisMultipliesCurvesDeterministically)
+{
+    // The collective axis: each (design, traffic) curve re-runs under every
+    // declared collective workload, the completion cycle joins the curve
+    // metrics, and the whole result stays byte-identical across worker
+    // counts — same contract as the fault axis.
+    Sweep_spec spec;
+    spec.name = "collective-axis";
+    spec.add_mesh(4, 4, two_vc_params(), "vc2");
+    spec.add_synthetic(Sweep_pattern_kind::uniform);
+    spec.loads = {0.05, 0.10};
+    spec.base.warmup = 300;
+    spec.base.measure = 1'500;
+    spec.base.drain_limit = 15'000;
+    spec.add_collective("ar-tree", Collective_kind::allreduce, true);
+    spec.add_collective("ar-naive", Collective_kind::allreduce, false);
+
+    const auto points = spec.enumerate();
+    ASSERT_EQ(points.size(), 4u); // 1 design x 1 traffic x 2 coll x 2 loads
+    EXPECT_NE(points[0].seed, points[2].seed)
+        << "collective must feed the point seed";
+    EXPECT_EQ(points[0].collective, 0u);
+    EXPECT_EQ(points[2].collective, 1u);
+
+    const Sweep_result serial = run_sweep(spec, 1);
+    const Sweep_result parallel = run_sweep(spec, 3);
+    EXPECT_EQ(serial.to_json(), parallel.to_json());
+    EXPECT_EQ(serial.to_csv(), parallel.to_csv());
+
+    ASSERT_EQ(serial.curves.size(), 2u);
+    EXPECT_TRUE(serial.has_collective_axis);
+    const Design_curve& tree = serial.curves[0];
+    const Design_curve& naive = serial.curves[1];
+    EXPECT_EQ(tree.collective_label, "ar-tree");
+    EXPECT_EQ(naive.collective_label, "ar-naive");
+    EXPECT_NE(tree.label.find("/ar-tree"), std::string::npos);
+    for (const auto& c : serial.curves)
+        for (const auto& p : c.points) {
+            ASSERT_TRUE(p.error.empty())
+                << c.label << " @ " << p.point.load << ": " << p.error;
+            EXPECT_TRUE(p.load.drained);
+            EXPECT_TRUE(p.load.collective_completed)
+                << c.label << " @ " << p.point.load;
+            EXPECT_GT(p.load.collective_completion_cycles, 0u);
+        }
+    EXPECT_GT(tree.collective_latency, 0.0);
+    EXPECT_GT(naive.collective_latency, 0.0);
+    // The multicast fabric must not lose to serializing one unicast per
+    // destination through the root — the subsystem's acceptance gate,
+    // visible at the explore layer.
+    EXPECT_LE(tree.collective_latency, naive.collective_latency);
+
+    // The collective columns serialize only under the axis, so existing
+    // specs keep their byte format.
+    EXPECT_NE(serial.to_json().find("\"collective_latency\""),
+              std::string::npos);
+    EXPECT_NE(serial.to_csv().find("collective_completion"),
+              std::string::npos);
+    const Sweep_result plain = run_sweep(small_spec(), 1);
+    EXPECT_FALSE(plain.has_collective_axis);
+    EXPECT_EQ(plain.to_json().find("\"collective"), std::string::npos);
+    EXPECT_EQ(plain.to_csv().find("collective"), std::string::npos);
+}
+
+TEST(SweepSpec, CollectiveAxisValidation)
+{
+    auto base = [] {
+        Sweep_spec spec;
+        spec.name = "coll-validate";
+        spec.add_mesh(4, 4, two_vc_params(), "vc2");
+        spec.add_synthetic(Sweep_pattern_kind::uniform);
+        spec.loads = {0.05};
+        return spec;
+    };
+
+    {
+        Sweep_spec ok = base();
+        ok.add_collective("bcast", Collective_kind::broadcast);
+        EXPECT_NO_THROW(ok.validate());
+    }
+    {
+        // Multicast composes with neither fault plans nor replay, so the
+        // two axes are mutually exclusive.
+        Sweep_spec bad = base();
+        bad.add_collective("bcast", Collective_kind::broadcast);
+        bad.add_fault_scenario("soft", 4, 0);
+        EXPECT_THROW(bad.validate(), std::invalid_argument);
+    }
+    {
+        // The driver owns every NI's delivery listener; application
+        // traffic needs them for replies.
+        Sweep_spec bad;
+        bad.name = "coll-app";
+        bad.add_mesh(3, 4);
+        bad.add_application(
+            std::make_shared<const Core_graph>(make_vopd_graph()), "vopd");
+        bad.loads = {0.5};
+        bad.add_collective("bcast", Collective_kind::broadcast);
+        EXPECT_THROW(bad.validate(), std::invalid_argument);
+    }
+    {
+        Sweep_spec bad = base();
+        bad.add_collective("dup", Collective_kind::broadcast);
+        bad.add_collective("dup", Collective_kind::allreduce);
+        EXPECT_THROW(bad.validate(), std::invalid_argument);
+    }
+    {
+        Sweep_spec bad = base();
+        bad.add_collective("", Collective_kind::broadcast);
+        EXPECT_THROW(bad.validate(), std::invalid_argument);
+    }
+    {
+        Sweep_spec bad = base();
+        bad.add_collective("bcast", Collective_kind::broadcast).root = 99;
+        EXPECT_THROW(bad.validate(), std::invalid_argument);
+    }
+    {
+        Sweep_spec bad = base();
+        bad.add_collective("bcast", Collective_kind::broadcast)
+            .payload_flits = 0;
+        EXPECT_THROW(bad.validate(), std::invalid_argument);
+    }
+}
+
 } // namespace
 } // namespace noc

@@ -15,8 +15,11 @@
 // registry + async sampler attached (telemetry/registry.h): the pull-based
 // surface must be result-invisible on every schedule, so the attached runs
 // are held to the same bit-identity bar.
+#include "arch/traffic_source.h"
+#include "collective/collective.h"
 #include "telemetry/registry.h"
 #include "telemetry/sampler.h"
+#include "topology/multicast.h"
 #include "topology/routing.h"
 #include "traffic/experiment.h"
 #include "traffic/flow_traffic.h"
@@ -47,6 +50,14 @@ struct Snapshot {
     std::vector<std::uint64_t> per_router_flits;
     std::vector<std::uint64_t> per_ni_injected;
     std::vector<std::uint64_t> per_link_flits;
+    // Multicast surface (all zero on unicast-only runs, so the defaulted
+    // comparison stays meaningful for the historical tests).
+    std::uint64_t mcast_packets = 0;
+    std::uint64_t mcast_destinations = 0;
+    std::uint64_t mcast_deliveries = 0;
+    std::uint64_t mcast_forks = 0;
+    std::uint64_t mcast_copies = 0;
+    std::vector<std::uint64_t> per_ni_mcast_deliveries;
 
     bool operator==(const Snapshot&) const = default;
 };
@@ -77,6 +88,15 @@ Snapshot snapshot(Noc_system& sys, Cycle now, bool drained)
     for (int c = 0; c < sys.topology().core_count(); ++c)
         s.per_ni_injected.push_back(
             sys.ni(Core_id{static_cast<std::uint32_t>(c)}).flits_injected());
+    s.mcast_packets = st.multicast_packets();
+    s.mcast_destinations = st.multicast_destinations();
+    s.mcast_deliveries = st.multicast_deliveries();
+    s.mcast_forks = st.multicast_forks();
+    s.mcast_copies = st.multicast_copies();
+    for (int c = 0; c < sys.topology().core_count(); ++c)
+        s.per_ni_mcast_deliveries.push_back(
+            sys.ni(Core_id{static_cast<std::uint32_t>(c)})
+                .mcast_deliveries());
     return s;
 }
 
@@ -444,6 +464,228 @@ TEST(KernelEquivalence, FlowSourceApplicationGraph)
         }
     };
     expect_equivalent(topo, routes, params, rig);
+}
+
+// --- multicast / collective -------------------------------------------------
+
+/// Bounded periodic multicast source: one dset-0 packet every `period`
+/// cycles starting at `phase`, `count` packets total, then quiescent — so
+/// the run drains and activity gating can prove the NI sleeps through the
+/// gaps (next_poll_at promises them side-effect-free).
+class Mcast_burst_source final : public Traffic_source {
+public:
+    Mcast_burst_source(Cycle phase, Cycle period, std::uint32_t count,
+                       std::uint32_t size_flits)
+        : phase_{phase}, period_{period}, remaining_{count},
+          size_flits_{size_flits}
+    {
+    }
+
+    std::optional<Packet_desc> poll(Cycle now) override
+    {
+        if (remaining_ == 0 || now < phase_ || (now - phase_) % period_ != 0)
+            return std::nullopt;
+        --remaining_;
+        Packet_desc d;
+        d.size_flits = size_flits_;
+        d.dset = Dset_id{0};
+        return d;
+    }
+
+    [[nodiscard]] Cycle next_poll_at(Cycle now) const override
+    {
+        if (remaining_ == 0) return invalid_cycle;
+        if (now < phase_) return phase_;
+        return phase_ + ((now - phase_) / period_ + 1) * period_;
+    }
+
+private:
+    Cycle phase_;
+    Cycle period_;
+    std::uint32_t remaining_;
+    std::uint32_t size_flits_;
+};
+
+/// Multicast bursts on two cores (dset 0 spans both mesh diagonals' ends)
+/// over Bernoulli background everywhere else. The rig installs the
+/// destination-set trees exactly like production callers do — through
+/// multicast_routes + Noc_system::set_mcast_routes.
+auto multicast_rig(const Topology& topo, const Route_set& routes,
+                   const Network_params& params)
+{
+    return [&topo, &routes, &params](Noc_system& sys) {
+        sys.set_mcast_routes(multicast_routes(
+            topo, routes,
+            {{Core_id{0}, Core_id{3}, Core_id{5}, Core_id{12}, Core_id{15}}},
+            params.route_vcs));
+        const int cores = sys.topology().core_count();
+        auto pattern = std::shared_ptr<const Dest_pattern>(
+            make_uniform_pattern(cores));
+        for (int c = 0; c < cores; ++c) {
+            const Core_id core{static_cast<std::uint32_t>(c)};
+            if (c == 0 || c == 5) {
+                sys.ni(core).set_source(std::make_unique<Mcast_burst_source>(
+                    /*phase=*/100 + static_cast<Cycle>(c), /*period=*/40,
+                    /*count=*/55, /*size_flits=*/4));
+                continue;
+            }
+            Bernoulli_source::Params sp;
+            sp.flits_per_cycle = 0.05;
+            sp.packet_size_flits = 4;
+            sp.seed = 4242 + static_cast<std::uint64_t>(c);
+            sys.ni(core).set_source(
+                std::make_unique<Bernoulli_source>(core, sp, pattern));
+        }
+    };
+}
+
+TEST(KernelEquivalence, MulticastCreditMesh)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    const auto rig = multicast_rig(topo, routes, params);
+    // The rig actually exercises the multicast fabric: packets fork in the
+    // switches and every destination of a drained run is delivered.
+    const Run_result probe =
+        run_mode(topo, routes, params, Kernel_mode::reference, rig);
+    ASSERT_TRUE(probe.snap.drained);
+    EXPECT_GT(probe.snap.mcast_packets, 0u);
+    EXPECT_GT(probe.snap.mcast_forks, 0u);
+    EXPECT_EQ(probe.snap.mcast_deliveries, probe.snap.mcast_destinations);
+    expect_equivalent(topo, routes, params, rig);
+}
+
+TEST(KernelEquivalence, MulticastOnOffMesh)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.fc = Flow_control_kind::on_off;
+    params.buffer_depth = 6;
+    expect_equivalent(topo, routes, params,
+                      multicast_rig(topo, routes, params));
+}
+
+TEST(KernelEquivalence, MulticastAckNackMesh)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    Network_params params;
+    params.fc = Flow_control_kind::ack_nack;
+    expect_equivalent(topo, routes, params,
+                      multicast_rig(topo, routes, params));
+}
+
+struct Collective_result {
+    Snapshot snap;
+    Cycle completion = invalid_cycle;
+};
+
+/// Build the system under `mode`, run one collective to completion, and
+/// snapshot everything. No background traffic: the completion cycle is the
+/// schedule-invariant observable under test.
+Collective_result run_collective(const Topology& topo,
+                                 const Route_set& routes,
+                                 const Network_params& params,
+                                 Kernel_mode mode,
+                                 const Collective_config& cfg,
+                                 Partition_plan plan =
+                                     Partition_plan::single())
+{
+    Build_options opts;
+    opts.kernel_mode = mode;
+    opts.partition = std::move(plan);
+    Noc_system sys{topo, routes, params, opts};
+    Collective_driver driver{sys, cfg};
+    Collective_result r;
+    r.completion = driver.run_to_completion(50'000);
+    r.snap = snapshot(sys, sys.kernel().now(), driver.done());
+    return r;
+}
+
+/// Broadcast and allreduce completion cycles (and every counter) must be
+/// bit-identical across reference / gated / sharded at 1, 2 and 4 shards
+/// under both cut placements — the collective analogue of the synthetic
+/// equivalence sweeps above.
+TEST(KernelEquivalence, CollectiveCompletionAllSchedules)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    const Network_params params;
+    const auto weights = ramp_weights(topo.switch_count());
+    for (const Collective_kind kind :
+         {Collective_kind::broadcast, Collective_kind::allreduce}) {
+        Collective_config cfg;
+        cfg.kind = kind;
+        cfg.root = Core_id{0};
+        const Collective_result ref = run_collective(
+            topo, routes, params, Kernel_mode::reference, cfg);
+        ASSERT_NE(ref.completion, invalid_cycle)
+            << collective_kind_name(kind);
+        EXPECT_GT(ref.snap.mcast_packets, 0u) << collective_kind_name(kind);
+        const Collective_result gated = run_collective(
+            topo, routes, params, Kernel_mode::activity_gated, cfg);
+        EXPECT_EQ(gated.completion, ref.completion)
+            << collective_kind_name(kind);
+        EXPECT_TRUE(gated.snap == ref.snap) << collective_kind_name(kind);
+        for (const std::uint32_t shards : {1u, 2u, 4u}) {
+            for (const bool balanced : {false, true}) {
+                const Partition_plan plan =
+                    balanced ? Partition_plan::balanced(shards, weights)
+                             : Partition_plan::contiguous(shards);
+                const Collective_result sharded =
+                    run_collective(topo, routes, params,
+                                   Kernel_mode::sharded, cfg, plan);
+                EXPECT_EQ(sharded.completion, ref.completion)
+                    << collective_kind_name(kind) << " " << shards
+                    << " shards " << (balanced ? "balanced" : "contiguous");
+                EXPECT_TRUE(sharded.snap == ref.snap)
+                    << collective_kind_name(kind) << " " << shards
+                    << " shards " << (balanced ? "balanced" : "contiguous");
+            }
+        }
+    }
+}
+
+/// The collective completion invariant holds for every flow-control
+/// scheme, including the unicast-emulation fallback (no multicast fabric
+/// involved at all).
+TEST(KernelEquivalence, CollectiveAllreduceEveryFlowControl)
+{
+    Mesh_params mp;
+    const Topology topo = make_mesh(mp);
+    const Route_set routes = xy_routes(topo, mp);
+    for (const Flow_control_kind fc :
+         {Flow_control_kind::credit, Flow_control_kind::on_off,
+          Flow_control_kind::ack_nack}) {
+        Network_params params;
+        params.fc = fc;
+        if (fc == Flow_control_kind::on_off) params.buffer_depth = 6;
+        for (const bool use_multicast : {true, false}) {
+            Collective_config cfg;
+            cfg.kind = Collective_kind::allreduce;
+            cfg.root = Core_id{0};
+            cfg.use_multicast = use_multicast;
+            const Collective_result ref = run_collective(
+                topo, routes, params, Kernel_mode::reference, cfg);
+            ASSERT_NE(ref.completion, invalid_cycle);
+            if (!use_multicast) EXPECT_EQ(ref.snap.mcast_packets, 0u);
+            const Collective_result gated = run_collective(
+                topo, routes, params, Kernel_mode::activity_gated, cfg);
+            EXPECT_EQ(gated.completion, ref.completion);
+            EXPECT_TRUE(gated.snap == ref.snap);
+            const Collective_result sharded = run_collective(
+                topo, routes, params, Kernel_mode::sharded, cfg,
+                Partition_plan::contiguous(4));
+            EXPECT_EQ(sharded.completion, ref.completion);
+            EXPECT_TRUE(sharded.snap == ref.snap);
+        }
+    }
 }
 
 } // namespace

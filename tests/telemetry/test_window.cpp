@@ -1,0 +1,174 @@
+// Windowed / derivative telemetry (telemetry/window.h): rates, Q16 EWMA,
+// registry republication and decoded-stream post-processing.
+#include "telemetry/heatmap.h"
+#include "telemetry/window.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace noc {
+namespace {
+
+TEST(TelemetryWindow, EwmaPrimesOnFirstObservationThenSmooths)
+{
+    Ewma_q16 e;
+    EXPECT_EQ(e.value(), 0u);
+    e.step(100, 2);
+    EXPECT_EQ(e.value(), 100u); // primed, not pulled from 0
+    e.step(100, 2);
+    EXPECT_EQ(e.value(), 100u); // fixed point of a constant series
+    // One observation of 200 with alpha 1/4 pulls 100 -> 125, exactly.
+    e.step(200, 2);
+    EXPECT_EQ(e.value(), 125u);
+    // And back down: 125 + (0 - 125)/4 = 93.75, Q16-exact.
+    e.step(0, 2);
+    EXPECT_EQ(e.q16, (125u << 16) - ((125u << 16) >> 2));
+    EXPECT_EQ(e.value(), 93u);
+}
+
+TEST(TelemetryWindow, EwmaIsDeterministicOverLongSeries)
+{
+    // Two independent runs of the same series must agree bit-for-bit —
+    // the property floating point would eventually lose.
+    Ewma_q16 a;
+    Ewma_q16 b;
+    for (std::uint64_t i = 0; i < 10'000; ++i) {
+        const std::uint64_t obs = (i * 2654435761u) % 1000;
+        a.step(obs, 3);
+        b.step(obs, 3);
+    }
+    EXPECT_EQ(a.q16, b.q16);
+}
+
+TEST(TelemetryWindow, WindowsCounterDeltasAndPassesGaugeLevels)
+{
+    std::uint64_t counter = 0;
+    std::uint64_t gauge = 0;
+    Telemetry_registry reg;
+    reg.add_counter("flits", 0, [&] { return counter; });
+    reg.add_gauge("occupancy", 0, [&] { return gauge; });
+
+    Telemetry_window w{&reg, /*ewma_shift=*/2};
+    EXPECT_EQ(w.windows(), 0u);
+    EXPECT_EQ(w.rate(0), 0u);
+
+    counter = 40;
+    gauge = 7;
+    w.advance();
+    EXPECT_EQ(w.windows(), 1u);
+    EXPECT_EQ(w.rate(0), 40u); // implicit 0 base before the first window
+    EXPECT_EQ(w.ewma(0), 40u); // primed
+    EXPECT_EQ(w.rate(1), 7u);  // gauges pass their level
+    EXPECT_EQ(w.ewma(1), 7u);
+
+    counter = 100; // delta 60
+    gauge = 3;
+    w.advance();
+    EXPECT_EQ(w.rate(0), 60u);
+    EXPECT_EQ(w.ewma(0), 45u); // 40 + (60-40)/4
+    EXPECT_EQ(w.rate(1), 3u);
+    EXPECT_EQ(w.ewma(1), 6u); // 7 - (7-3)/4 = 6 (Q16 floor)
+
+    counter = 100; // idle window: rate drops to 0, EWMA decays
+    w.advance();
+    EXPECT_EQ(w.rate(0), 0u);
+    EXPECT_EQ(w.ewma(0), 33u); // 45 - 45/4 = 33.75 -> 33
+}
+
+TEST(TelemetryWindow, RegisterIntoPublishesDerivedGauges)
+{
+    std::uint64_t counter = 0;
+    std::uint64_t gauge = 5;
+    Telemetry_registry reg;
+    reg.add_counter("flits", 1, [&] { return counter; });
+    reg.add_gauge("occupancy", 2, [&] { return gauge; });
+    Telemetry_window w{&reg};
+
+    Telemetry_registry derived;
+    w.register_into(derived);
+    // Counters publish ".rate" then ".ewma", gauges ".ewma" only, all as
+    // gauges (a rate is a level of the window, not a monotone total).
+    ASSERT_EQ(derived.entry_count(), 3u);
+    EXPECT_EQ(derived.entry(0).name, "flits.rate");
+    EXPECT_EQ(derived.entry(1).name, "flits.ewma");
+    EXPECT_EQ(derived.entry(2).name, "occupancy.ewma");
+    EXPECT_EQ(derived.entry(0).kind, Telemetry_registry::Kind::gauge);
+    EXPECT_EQ(derived.entry(1).kind, Telemetry_registry::Kind::gauge);
+    EXPECT_EQ(derived.entry(2).kind, Telemetry_registry::Kind::gauge);
+    EXPECT_EQ(derived.entry(0).shard, 1);
+    EXPECT_EQ(derived.entry(2).shard, 2);
+
+    counter = 12;
+    w.advance();
+    const auto values = derived.capture();
+    ASSERT_EQ(values.size(), 3u);
+    EXPECT_EQ(values[0], 12u);
+    EXPECT_EQ(values[1], 12u);
+    EXPECT_EQ(values[2], 5u);
+}
+
+TEST(TelemetryWindow, RejectsBadConstruction)
+{
+    Telemetry_registry reg;
+    EXPECT_THROW((Telemetry_window{nullptr}), std::invalid_argument);
+    EXPECT_THROW((Telemetry_window{&reg, 48}), std::invalid_argument);
+}
+
+Telemetry_stream make_stream()
+{
+    Telemetry_stream s;
+    s.period = 64;
+    s.entries.push_back({"r0.flits", Telemetry_registry::Kind::counter, 0});
+    s.entries.push_back({"r0.occ", Telemetry_registry::Kind::gauge, 0});
+    const std::uint64_t counters[] = {40, 100, 100};
+    const std::uint64_t gauges[] = {7, 3, 3};
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        Telemetry_stream::Record rec;
+        rec.index = i;
+        rec.cycle = (i + 1) * 64;
+        rec.values = {counters[i], gauges[i]};
+        s.records.push_back(rec);
+    }
+    return s;
+}
+
+TEST(TelemetryWindow, WindowedStreamDerivesRatesInPlace)
+{
+    const Telemetry_stream derived = windowed_stream(make_stream(), 2);
+    EXPECT_EQ(derived.period, 64u);
+    ASSERT_EQ(derived.entries.size(), 3u);
+    EXPECT_EQ(derived.entries[0].name, "r0.flits.rate");
+    EXPECT_EQ(derived.entries[1].name, "r0.flits.ewma");
+    EXPECT_EQ(derived.entries[2].name, "r0.occ.ewma");
+    ASSERT_EQ(derived.records.size(), 3u);
+    // Records keep their cycles/indices so heatmaps line up.
+    EXPECT_EQ(derived.records[1].index, 1u);
+    EXPECT_EQ(derived.records[1].cycle, 128u);
+    // Same arithmetic as the live window (shared Ewma_q16 path).
+    EXPECT_EQ(derived.records[0].values,
+              (std::vector<std::uint64_t>{40, 40, 7}));
+    EXPECT_EQ(derived.records[1].values,
+              (std::vector<std::uint64_t>{60, 45, 6}));
+    EXPECT_EQ(derived.records[2].values,
+              (std::vector<std::uint64_t>{0, 33, 5}));
+}
+
+TEST(TelemetryWindow, WindowedStreamFeedsHeatmap)
+{
+    const Telemetry_stream derived = windowed_stream(make_stream(), 2);
+    const std::string map = render_heatmap(derived, "r0", ".rate");
+    EXPECT_FALSE(map.empty());
+}
+
+TEST(TelemetryWindow, WindowedStreamRejectsBadInput)
+{
+    EXPECT_THROW(windowed_stream(make_stream(), 48), std::invalid_argument);
+    Telemetry_stream ragged = make_stream();
+    ragged.records[1].values.pop_back();
+    EXPECT_THROW(windowed_stream(ragged, 2), std::invalid_argument);
+}
+
+} // namespace
+} // namespace noc
